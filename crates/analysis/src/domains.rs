@@ -1,0 +1,293 @@
+//! Download-domain analyses (§IV-B: Tables III–V, XIII; Figs. 3 and 6).
+
+use crate::labels::LabelView;
+use crate::stats::{Counter, Ecdf};
+use downlake_telemetry::Dataset;
+use downlake_types::{FileLabel, MalwareType};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One row of a domain table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainCount {
+    /// The e2LD.
+    pub domain: String,
+    /// The metric (machines, files, or downloads — per table).
+    pub count: u64,
+}
+
+/// Alexa-rank lookup abstraction (keeps this crate decoupled from the
+/// ground-truth crate's `UrlLabeler`).
+pub struct RankSource<'a>(Box<dyn Fn(&str) -> Option<u32> + 'a>);
+
+impl<'a> RankSource<'a> {
+    /// Wraps a rank lookup closure (`None` = unranked).
+    pub fn new(f: impl Fn(&str) -> Option<u32> + 'a) -> Self {
+        Self(Box::new(f))
+    }
+
+    /// The rank of an e2LD.
+    pub fn rank(&self, e2ld: &str) -> Option<u32> {
+        (self.0)(e2ld)
+    }
+}
+
+impl fmt::Debug for RankSource<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RankSource").finish_non_exhaustive()
+    }
+}
+
+/// Table III: domains with the highest *download popularity* — distinct
+/// machines that downloaded (a) any file, (b) a benign file, (c) a
+/// malicious file from each domain. Returns the three top-`k` tables.
+pub fn domain_popularity(
+    dataset: &Dataset,
+    labels: &LabelView<'_>,
+    k: usize,
+) -> [Vec<DomainCount>; 3] {
+    let mut overall: HashMap<String, HashSet<u64>> = HashMap::new();
+    let mut benign: HashMap<String, HashSet<u64>> = HashMap::new();
+    let mut malicious: HashMap<String, HashSet<u64>> = HashMap::new();
+    for event in dataset.events() {
+        let e2ld = dataset.url_of(event).e2ld();
+        let machine = event.machine.raw();
+        overall.entry(e2ld.to_owned()).or_default().insert(machine);
+        match labels.label(event.file) {
+            FileLabel::Benign => {
+                benign.entry(e2ld.to_owned()).or_default().insert(machine);
+            }
+            FileLabel::Malicious => {
+                malicious.entry(e2ld.to_owned()).or_default().insert(machine);
+            }
+            _ => {}
+        }
+    }
+    [overall, benign, malicious].map(|m| top_by_set_size(m, k))
+}
+
+/// Table IV: distinct benign / malicious files served per domain.
+pub fn files_per_domain(
+    dataset: &Dataset,
+    labels: &LabelView<'_>,
+    k: usize,
+) -> [Vec<DomainCount>; 2] {
+    let mut benign: HashMap<String, HashSet<u64>> = HashMap::new();
+    let mut malicious: HashMap<String, HashSet<u64>> = HashMap::new();
+    for event in dataset.events() {
+        let e2ld = dataset.url_of(event).e2ld();
+        match labels.label(event.file) {
+            FileLabel::Benign => {
+                benign
+                    .entry(e2ld.to_owned())
+                    .or_default()
+                    .insert(event.file.raw());
+            }
+            FileLabel::Malicious => {
+                malicious
+                    .entry(e2ld.to_owned())
+                    .or_default()
+                    .insert(event.file.raw());
+            }
+            _ => {}
+        }
+    }
+    [benign, malicious].map(|m| top_by_set_size(m, k))
+}
+
+/// Table V: per malicious behaviour type, the domains serving the most
+/// distinct files of that type.
+pub fn type_domain_tables(
+    dataset: &Dataset,
+    labels: &LabelView<'_>,
+    k: usize,
+) -> HashMap<MalwareType, Vec<DomainCount>> {
+    let mut per_type: HashMap<MalwareType, HashMap<String, HashSet<u64>>> = HashMap::new();
+    for event in dataset.events() {
+        if labels.label(event.file) != FileLabel::Malicious {
+            continue;
+        }
+        let Some(ty) = labels.malware_type(event.file) else {
+            continue;
+        };
+        let e2ld = dataset.url_of(event).e2ld();
+        per_type
+            .entry(ty)
+            .or_default()
+            .entry(e2ld.to_owned())
+            .or_default()
+            .insert(event.file.raw());
+    }
+    per_type
+        .into_iter()
+        .map(|(ty, m)| (ty, top_by_set_size(m, k)))
+        .collect()
+}
+
+/// Table XIII: domains serving the most *download events* of a given
+/// class (the paper uses it for unknowns).
+pub fn top_domains_by_downloads(
+    dataset: &Dataset,
+    labels: &LabelView<'_>,
+    class: FileLabel,
+    k: usize,
+) -> Vec<DomainCount> {
+    let mut counter: Counter<String> = Counter::new();
+    for event in dataset.events() {
+        if labels.label(event.file) == class {
+            counter.add(dataset.url_of(event).e2ld().to_owned());
+        }
+    }
+    counter
+        .top(k)
+        .into_iter()
+        .map(|(domain, count)| DomainCount { domain, count })
+        .collect()
+}
+
+/// Figs. 3/6: the ECDF of Alexa ranks over the distinct domains hosting
+/// files of `class`. Returns the ECDF over *ranked* domains plus the
+/// count of unranked ones.
+pub fn rank_distribution(
+    dataset: &Dataset,
+    labels: &LabelView<'_>,
+    ranks: &RankSource<'_>,
+    class: FileLabel,
+) -> (Ecdf, usize) {
+    let mut domains: HashSet<String> = HashSet::new();
+    for event in dataset.events() {
+        if labels.label(event.file) == class {
+            domains.insert(dataset.url_of(event).e2ld().to_owned());
+        }
+    }
+    let mut samples = Vec::new();
+    let mut unranked = 0usize;
+    for d in &domains {
+        match ranks.rank(d) {
+            Some(r) => samples.push(r as f64),
+            None => unranked += 1,
+        }
+    }
+    (Ecdf::from_samples(samples), unranked)
+}
+
+fn top_by_set_size(map: HashMap<String, HashSet<u64>>, k: usize) -> Vec<DomainCount> {
+    let mut rows: Vec<DomainCount> = map
+        .into_iter()
+        .map(|(domain, set)| DomainCount {
+            domain,
+            count: set.len() as u64,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.domain.cmp(&b.domain)));
+    rows.truncate(k);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_telemetry::{DatasetBuilder, RawEvent};
+    use downlake_types::{FileHash, FileMeta, MachineId, Timestamp, Url};
+
+    fn event(file: u64, machine: u64, url: &str) -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(file),
+            file_meta: FileMeta::default(),
+            machine: MachineId::from_raw(machine),
+            process: FileHash::from_raw(999),
+            process_meta: FileMeta::default(),
+            url: url.parse::<Url>().unwrap(),
+            timestamp: Timestamp::from_day(1),
+            executed: true,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        // softonic serves benign file 1 (machines 1,2) and malicious 2 (machine 3).
+        b.push(event(1, 1, "http://dl.softonic.com/a"));
+        b.push(event(1, 2, "http://dl.softonic.com/a"));
+        b.push(event(2, 3, "http://softonic.com/b"));
+        // wipmsc serves malicious file 3 twice on one machine.
+        b.push(event(3, 4, "http://wipmsc.ru/c"));
+        b.push(event(3, 4, "http://wipmsc.ru/c"));
+        // unknown file 9 from inbox.com.
+        b.push(event(9, 5, "http://inbox.com/d"));
+        b.finish()
+    }
+
+    fn labels() -> LabelView<'static> {
+        LabelView::new(
+            |h| match h.raw() {
+                1 => FileLabel::Benign,
+                2 | 3 => FileLabel::Malicious,
+                _ => FileLabel::Unknown,
+            },
+            |h| match h.raw() {
+                2 => Some(MalwareType::Dropper),
+                3 => Some(MalwareType::Bot),
+                _ => None,
+            },
+        )
+    }
+
+    #[test]
+    fn popularity_counts_distinct_machines() {
+        let ds = dataset();
+        let view = labels();
+        let [overall, benign, malicious] = domain_popularity(&ds, &view, 10);
+        assert_eq!(overall[0].domain, "softonic.com");
+        assert_eq!(overall[0].count, 3);
+        assert_eq!(benign[0].count, 2);
+        // wipmsc counted once despite two events on machine 4.
+        let wipmsc = malicious.iter().find(|d| d.domain == "wipmsc.ru").unwrap();
+        assert_eq!(wipmsc.count, 1);
+    }
+
+    #[test]
+    fn files_per_domain_counts_distinct_files() {
+        let ds = dataset();
+        let view = labels();
+        let [benign, malicious] = files_per_domain(&ds, &view, 10);
+        assert_eq!(benign[0].domain, "softonic.com");
+        assert_eq!(benign[0].count, 1);
+        // softonic and wipmsc each served one malicious file.
+        assert_eq!(malicious.len(), 2);
+    }
+
+    #[test]
+    fn per_type_tables() {
+        let ds = dataset();
+        let view = labels();
+        let tables = type_domain_tables(&ds, &view, 5);
+        assert_eq!(tables[&MalwareType::Dropper][0].domain, "softonic.com");
+        assert_eq!(tables[&MalwareType::Bot][0].domain, "wipmsc.ru");
+    }
+
+    #[test]
+    fn downloads_table_counts_events() {
+        let ds = dataset();
+        let view = labels();
+        let rows = top_domains_by_downloads(&ds, &view, FileLabel::Malicious, 5);
+        let wipmsc = rows.iter().find(|d| d.domain == "wipmsc.ru").unwrap();
+        assert_eq!(wipmsc.count, 2, "downloads count events, not machines");
+        let unknowns = top_domains_by_downloads(&ds, &view, FileLabel::Unknown, 5);
+        assert_eq!(unknowns[0].domain, "inbox.com");
+    }
+
+    #[test]
+    fn rank_distribution_splits_ranked_and_unranked() {
+        let ds = dataset();
+        let view = labels();
+        let ranks = RankSource::new(|d| match d {
+            "softonic.com" => Some(170),
+            _ => None,
+        });
+        let (cdf, unranked) = rank_distribution(&ds, &view, &ranks, FileLabel::Malicious);
+        assert_eq!(cdf.len(), 1);
+        assert_eq!(unranked, 1); // wipmsc.ru
+        assert_eq!(cdf.eval(170.0), 1.0);
+    }
+}

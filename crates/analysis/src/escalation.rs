@@ -1,0 +1,252 @@
+//! Infection-escalation timing (§V-B, Fig. 5).
+//!
+//! For each machine, measure the day delta between executing a seed file
+//! of a given kind (benign / adware / PUP / dropper) and the machine's
+//! next download of *other* malware — where "other malware" excludes
+//! adware, PUPs, and undefined, exactly as the paper does so the four
+//! curves are comparable.
+
+use crate::labels::LabelView;
+use crate::stats::Ecdf;
+use downlake_telemetry::Dataset;
+use downlake_types::{FileLabel, MalwareType, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The four seed kinds of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EscalationKind {
+    /// Benign baseline: machines with no prior malicious download.
+    Benign,
+    /// Adware seed.
+    Adware,
+    /// PUP seed.
+    Pup,
+    /// Dropper seed.
+    Dropper,
+}
+
+impl EscalationKind {
+    /// All kinds, display order.
+    pub const ALL: [EscalationKind; 4] = [
+        EscalationKind::Benign,
+        EscalationKind::Adware,
+        EscalationKind::Pup,
+        EscalationKind::Dropper,
+    ];
+
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EscalationKind::Benign => "benign",
+            EscalationKind::Adware => "adware",
+            EscalationKind::Pup => "pup",
+            EscalationKind::Dropper => "dropper",
+        }
+    }
+}
+
+/// The Fig. 5 data: one day-delta ECDF per seed kind.
+#[derive(Debug, Default)]
+pub struct EscalationReport {
+    /// `(kind, ECDF of day deltas, number of machines contributing)`.
+    pub curves: Vec<(EscalationKind, Ecdf, usize)>,
+}
+
+impl EscalationReport {
+    /// The curve for one kind.
+    pub fn curve(&self, kind: EscalationKind) -> Option<&Ecdf> {
+        self.curves
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .map(|(_, cdf, _)| cdf)
+    }
+}
+
+/// Whether a downloaded file counts as "other malware" for escalation.
+fn is_target_malware(labels: &LabelView<'_>, file: downlake_types::FileHash) -> bool {
+    labels.label(file) == FileLabel::Malicious
+        && !matches!(
+            labels.malware_type(file),
+            Some(MalwareType::Adware) | Some(MalwareType::Pup) | Some(MalwareType::Undefined) | None
+        )
+}
+
+/// Computes the Fig. 5 curves.
+pub fn escalation_cdf(dataset: &Dataset, labels: &LabelView<'_>) -> EscalationReport {
+    let mut samples: HashMap<EscalationKind, Vec<f64>> = HashMap::new();
+
+    for machine in dataset.machines() {
+        // Events are time-ordered per machine.
+        let events: Vec<_> = dataset.events_of_machine(machine).collect();
+
+        // Seed times: first adware, first pup, first dropper download;
+        // benign baseline = first benign download on a machine with no
+        // earlier malicious download. The seed file is remembered so the
+        // seed event itself is not counted as the escalation target.
+        let mut seeds: HashMap<EscalationKind, (Timestamp, downlake_types::FileHash)> =
+            HashMap::new();
+        let mut seen_malicious = false;
+        for event in &events {
+            match labels.label(event.file) {
+                FileLabel::Malicious => {
+                    let kind = match labels.malware_type(event.file) {
+                        Some(MalwareType::Adware) => Some(EscalationKind::Adware),
+                        Some(MalwareType::Pup) => Some(EscalationKind::Pup),
+                        Some(MalwareType::Dropper) => Some(EscalationKind::Dropper),
+                        _ => None,
+                    };
+                    if let Some(kind) = kind {
+                        seeds.entry(kind).or_insert((event.timestamp, event.file));
+                    }
+                    seen_malicious = true;
+                }
+                FileLabel::Benign => {
+                    if !seen_malicious {
+                        seeds
+                            .entry(EscalationKind::Benign)
+                            .or_insert((event.timestamp, event.file));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // For each seed: the first *other malware* download at or after
+        // the seed time (same-day escalations are day 0), never counting
+        // the seed download itself.
+        for (kind, (seed_time, seed_file)) in seeds {
+            let delta = events
+                .iter()
+                .filter(|e| {
+                    e.timestamp >= seed_time
+                        && !(e.timestamp == seed_time && e.file == seed_file)
+                        && is_target_malware(labels, e.file)
+                })
+                .map(|e| (e.timestamp - seed_time).whole_days() as f64)
+                .next();
+            if let Some(days) = delta {
+                samples.entry(kind).or_default().push(days);
+            }
+        }
+    }
+
+    EscalationReport {
+        curves: EscalationKind::ALL
+            .iter()
+            .map(|&kind| {
+                let data = samples.remove(&kind).unwrap_or_default();
+                let n = data.len();
+                (kind, Ecdf::from_samples(data), n)
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_telemetry::{DatasetBuilder, RawEvent};
+    use downlake_types::{FileHash, FileMeta, MachineId, Url};
+
+    fn event(file: u64, machine: u64, day: u32) -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(file),
+            file_meta: FileMeta::default(),
+            machine: MachineId::from_raw(machine),
+            process: FileHash::from_raw(999),
+            process_meta: FileMeta::default(),
+            url: "http://x.com/f".parse::<Url>().unwrap(),
+            timestamp: downlake_types::Timestamp::from_day(day),
+            executed: true,
+        }
+    }
+
+    /// files: 10=adware, 11=pup, 12=dropper, 13=banker, 14=benign.
+    fn labels() -> LabelView<'static> {
+        LabelView::new(
+            |h| match h.raw() {
+                10..=13 => FileLabel::Malicious,
+                14 => FileLabel::Benign,
+                _ => FileLabel::Unknown,
+            },
+            |h| match h.raw() {
+                10 => Some(MalwareType::Adware),
+                11 => Some(MalwareType::Pup),
+                12 => Some(MalwareType::Dropper),
+                13 => Some(MalwareType::Banker),
+                _ => None,
+            },
+        )
+    }
+
+    #[test]
+    fn deltas_per_seed_kind() {
+        let mut b = DatasetBuilder::new();
+        // Machine 1: adware day 10, banker day 12 → adware delta 2.
+        b.push(event(10, 1, 10));
+        b.push(event(13, 1, 12));
+        // Machine 2: dropper day 5, banker day 5 → dropper delta 0.
+        b.push(event(12, 2, 5));
+        b.push(event(13, 2, 5));
+        // Machine 3: benign day 1, banker day 31 → benign delta 30.
+        b.push(event(14, 3, 1));
+        b.push(event(13, 3, 31));
+        let ds = b.finish();
+        let view = labels();
+        let report = escalation_cdf(&ds, &view);
+
+        let adware = report.curve(EscalationKind::Adware).unwrap();
+        assert_eq!(adware.len(), 1);
+        assert_eq!(adware.eval(2.0), 1.0);
+        assert_eq!(adware.eval(1.0), 0.0);
+
+        let dropper = report.curve(EscalationKind::Dropper).unwrap();
+        assert_eq!(dropper.eval(0.0), 1.0);
+
+        let benign = report.curve(EscalationKind::Benign).unwrap();
+        assert_eq!(benign.eval(29.0), 0.0);
+        assert_eq!(benign.eval(30.0), 1.0);
+    }
+
+    #[test]
+    fn adware_to_adware_does_not_count() {
+        let mut b = DatasetBuilder::new();
+        b.push(event(10, 1, 10));
+        b.push(event(11, 1, 12)); // pup follows adware: not "other malware"
+        let ds = b.finish();
+        let view = labels();
+        let report = escalation_cdf(&ds, &view);
+        assert!(report.curve(EscalationKind::Adware).unwrap().is_empty());
+    }
+
+    #[test]
+    fn benign_baseline_requires_clean_history() {
+        let mut b = DatasetBuilder::new();
+        // Banker precedes the benign download → machine excluded from
+        // the benign baseline.
+        b.push(event(13, 1, 2));
+        b.push(event(14, 1, 3));
+        b.push(event(13, 1, 9));
+        let ds = b.finish();
+        let view = labels();
+        let report = escalation_cdf(&ds, &view);
+        assert!(report.curve(EscalationKind::Benign).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dropper_seed_ignores_its_own_seed_event() {
+        // Droppers are themselves "other malware" targets, but the seed
+        // download must not count: the real target is the banker one day
+        // later.
+        let mut b = DatasetBuilder::new();
+        b.push(event(12, 1, 4));
+        b.push(event(13, 1, 5));
+        let ds = b.finish();
+        let view = labels();
+        let report = escalation_cdf(&ds, &view);
+        let dropper = report.curve(EscalationKind::Dropper).unwrap();
+        assert_eq!(dropper.eval(0.0), 0.0, "seed itself must not count");
+        assert_eq!(dropper.eval(1.0), 1.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Label-source abstraction.
+
+use downlake_types::{FileHash, FileLabel, MalwareType};
+use std::fmt;
+
+/// Closures mapping file hashes to ground-truth labels and behaviour
+/// types. Keeps the analyses independent of where labels come from.
+pub struct LabelView<'a> {
+    label: Box<dyn Fn(FileHash) -> FileLabel + 'a>,
+    malware_type: Box<dyn Fn(FileHash) -> Option<MalwareType> + 'a>,
+}
+
+impl<'a> LabelView<'a> {
+    /// Creates a view from a label closure and a type closure.
+    pub fn new(
+        label: impl Fn(FileHash) -> FileLabel + 'a,
+        malware_type: impl Fn(FileHash) -> Option<MalwareType> + 'a,
+    ) -> Self {
+        Self {
+            label: Box::new(label),
+            malware_type: Box::new(malware_type),
+        }
+    }
+
+    /// The ground-truth label of a file.
+    pub fn label(&self, file: FileHash) -> FileLabel {
+        (self.label)(file)
+    }
+
+    /// The behaviour type, for files labeled malicious.
+    pub fn malware_type(&self, file: FileHash) -> Option<MalwareType> {
+        (self.malware_type)(file)
+    }
+}
+
+impl fmt::Debug for LabelView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LabelView").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_delegates_to_closures() {
+        let view = LabelView::new(
+            |h| {
+                if h.raw() % 2 == 0 {
+                    FileLabel::Malicious
+                } else {
+                    FileLabel::Unknown
+                }
+            },
+            |_| Some(MalwareType::Dropper),
+        );
+        assert_eq!(view.label(FileHash::from_raw(2)), FileLabel::Malicious);
+        assert_eq!(view.label(FileHash::from_raw(3)), FileLabel::Unknown);
+        assert_eq!(
+            view.malware_type(FileHash::from_raw(2)),
+            Some(MalwareType::Dropper)
+        );
+    }
+}

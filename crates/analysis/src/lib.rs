@@ -1,0 +1,39 @@
+//! Measurement analyses for `downlake`: everything §III–§VI of the paper
+//! computes over the download dataset, as reusable, label-source-agnostic
+//! functions.
+//!
+//! Analyses take a [`LabelView`] — closures mapping file hashes to their
+//! ground-truth label and (for malicious files) behaviour type — so the
+//! crate works with any labeling source: the `downlake-groundtruth`
+//! oracle, rule-extended labels, or hand-built fixtures in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod domains;
+mod escalation;
+mod labels;
+mod monthly;
+mod packers;
+mod prevalence;
+mod processes;
+mod signers;
+pub mod stats;
+
+pub use domains::{
+    domain_popularity, files_per_domain, rank_distribution, top_domains_by_downloads,
+    type_domain_tables, DomainCount, RankSource,
+};
+pub use escalation::{escalation_cdf, EscalationKind, EscalationReport};
+pub use labels::LabelView;
+pub use monthly::{monthly_summary, MonthSummary};
+pub use packers::{packer_report, PackerReport};
+pub use prevalence::{prevalence_report, PrevalenceReport};
+pub use processes::{
+    browser_behavior, category_behavior, malicious_process_behavior, unknown_download_categories,
+    ProcessBehaviorRow,
+};
+pub use signers::{
+    signer_overlap, signing_rates_table, top_signers, SignerOverlapRow, SignerScatterPoint,
+    SigningRateRow, TopSignersReport,
+};

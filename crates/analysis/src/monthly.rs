@@ -1,0 +1,184 @@
+//! Monthly collection summary (Table I).
+
+use crate::labels::LabelView;
+use crate::stats::percent;
+use downlake_telemetry::Dataset;
+use downlake_types::{FileLabel, Month, UrlLabel};
+use serde::{Deserialize, Serialize};
+
+/// Percentage shares of the labeled classes within one population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ClassShares {
+    /// % benign.
+    pub benign: f64,
+    /// % likely benign.
+    pub likely_benign: f64,
+    /// % malicious.
+    pub malicious: f64,
+    /// % likely malicious.
+    pub likely_malicious: f64,
+}
+
+impl ClassShares {
+    fn from_counts(counts: [usize; 4], total: usize) -> Self {
+        Self {
+            benign: percent(counts[0], total),
+            likely_benign: percent(counts[1], total),
+            malicious: percent(counts[2], total),
+            likely_malicious: percent(counts[3], total),
+        }
+    }
+
+    /// % that stays unknown.
+    pub fn unknown(&self) -> f64 {
+        100.0 - self.benign - self.likely_benign - self.malicious - self.likely_malicious
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthSummary {
+    /// The month.
+    pub month: Month,
+    /// Distinct active machines.
+    pub machines: usize,
+    /// Download events.
+    pub events: usize,
+    /// Distinct downloading processes.
+    pub processes: usize,
+    /// Label shares over those processes.
+    pub process_shares: ClassShares,
+    /// Distinct downloaded files.
+    pub files: usize,
+    /// Label shares over those files.
+    pub file_shares: ClassShares,
+    /// Distinct download URLs.
+    pub urls: usize,
+    /// % of URLs labeled benign.
+    pub url_benign: f64,
+    /// % of URLs labeled malicious.
+    pub url_malicious: f64,
+}
+
+/// Computes Table I: one summary per study month.
+///
+/// `url_label` maps an e2LD to its URL label.
+pub fn monthly_summary(
+    dataset: &Dataset,
+    labels: &LabelView<'_>,
+    url_label: impl Fn(&str) -> UrlLabel,
+) -> Vec<MonthSummary> {
+    dataset
+        .months()
+        .map(|view| {
+            let files = view.distinct_files();
+            let processes = view.distinct_processes();
+            let urls = view.distinct_urls();
+
+            let mut file_counts = [0usize; 4];
+            for &f in &files {
+                bump(&mut file_counts, labels.label(f));
+            }
+            let mut process_counts = [0usize; 4];
+            for &p in &processes {
+                bump(&mut process_counts, labels.label(p));
+            }
+            let mut url_benign = 0usize;
+            let mut url_malicious = 0usize;
+            for &u in &urls {
+                match url_label(view.dataset().resolve_url(u).e2ld()) {
+                    UrlLabel::Benign => url_benign += 1,
+                    UrlLabel::Malicious => url_malicious += 1,
+                    UrlLabel::Unknown => {}
+                }
+            }
+
+            MonthSummary {
+                month: view.month(),
+                machines: view.distinct_machines().len(),
+                events: view.events().len(),
+                processes: processes.len(),
+                process_shares: ClassShares::from_counts(process_counts, processes.len()),
+                files: files.len(),
+                file_shares: ClassShares::from_counts(file_counts, files.len()),
+                urls: urls.len(),
+                url_benign: percent(url_benign, urls.len()),
+                url_malicious: percent(url_malicious, urls.len()),
+            }
+        })
+        .collect()
+}
+
+fn bump(counts: &mut [usize; 4], label: FileLabel) {
+    match label {
+        FileLabel::Benign => counts[0] += 1,
+        FileLabel::LikelyBenign => counts[1] += 1,
+        FileLabel::Malicious => counts[2] += 1,
+        FileLabel::LikelyMalicious => counts[3] += 1,
+        FileLabel::Unknown => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_telemetry::{DatasetBuilder, RawEvent};
+    use downlake_types::{FileHash, FileMeta, MachineId, Timestamp, Url};
+
+    fn event(file: u64, machine: u64, day: u32, url: &str) -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(file),
+            file_meta: FileMeta::default(),
+            machine: MachineId::from_raw(machine),
+            process: FileHash::from_raw(500 + file % 2),
+            process_meta: FileMeta {
+                disk_name: "chrome.exe".into(),
+                ..FileMeta::default()
+            },
+            url: url.parse::<Url>().unwrap(),
+            timestamp: Timestamp::from_day(day),
+            executed: true,
+        }
+    }
+
+    #[test]
+    fn per_month_rows() {
+        let mut b = DatasetBuilder::new();
+        b.push(event(1, 1, 5, "http://good.com/a")); // January
+        b.push(event(2, 2, 6, "http://bad.ru/b")); // January
+        b.push(event(3, 1, 40, "http://good.com/c")); // February
+        let ds = b.finish();
+        let view = LabelView::new(
+            |h| match h.raw() {
+                1 => FileLabel::Benign,
+                2 => FileLabel::Malicious,
+                500 | 501 => FileLabel::Benign,
+                _ => FileLabel::Unknown,
+            },
+            |_| None,
+        );
+        let rows = monthly_summary(&ds, &view, |e2ld| match e2ld {
+            "good.com" => UrlLabel::Benign,
+            "bad.ru" => UrlLabel::Malicious,
+            _ => UrlLabel::Unknown,
+        });
+        assert_eq!(rows.len(), 7);
+        let jan = &rows[0];
+        assert_eq!(jan.month, Month::January);
+        assert_eq!(jan.machines, 2);
+        assert_eq!(jan.events, 2);
+        assert_eq!(jan.files, 2);
+        assert!((jan.file_shares.benign - 50.0).abs() < 1e-9);
+        assert!((jan.file_shares.malicious - 50.0).abs() < 1e-9);
+        assert!((jan.file_shares.unknown() - 0.0).abs() < 1e-9);
+        assert!((jan.url_benign - 50.0).abs() < 1e-9);
+        assert!((jan.url_malicious - 50.0).abs() < 1e-9);
+        assert_eq!(jan.process_shares.benign, 100.0);
+
+        let feb = &rows[1];
+        assert_eq!(feb.events, 1);
+        assert!((feb.file_shares.unknown() - 100.0).abs() < 1e-9);
+        let march = &rows[2];
+        assert_eq!(march.events, 0);
+    }
+}

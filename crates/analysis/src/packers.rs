@@ -1,0 +1,143 @@
+//! Packer analyses (§IV-C's packing paragraphs).
+
+use crate::labels::LabelView;
+use crate::stats::percent;
+use downlake_telemetry::Dataset;
+use downlake_types::FileLabel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The packing-overlap report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PackerReport {
+    /// % of benign files packed with a recognised packer (paper: 54%).
+    pub benign_packed_pct: f64,
+    /// % of malicious files packed (paper: 58%).
+    pub malicious_packed_pct: f64,
+    /// Distinct packers observed across both classes.
+    pub total_packers: usize,
+    /// Packers used by both classes (paper: 35 of 69).
+    pub shared_packers: usize,
+    /// Packers observed only on malicious files.
+    pub malicious_only: Vec<String>,
+    /// Packers observed only on benign files.
+    pub benign_only: Vec<String>,
+    /// Packers observed on both (sorted).
+    pub shared: Vec<String>,
+}
+
+/// Computes packing rates and the packer-overlap structure.
+pub fn packer_report(dataset: &Dataset, labels: &LabelView<'_>) -> PackerReport {
+    let mut benign_files = 0usize;
+    let mut benign_packed = 0usize;
+    let mut malicious_files = 0usize;
+    let mut malicious_packed = 0usize;
+    let mut benign_packers: HashSet<String> = HashSet::new();
+    let mut malicious_packers: HashSet<String> = HashSet::new();
+
+    for record in dataset.files().iter() {
+        let packer = record.meta.packer.as_ref().map(|p| p.name.clone());
+        match labels.label(record.hash) {
+            FileLabel::Benign => {
+                benign_files += 1;
+                if let Some(name) = packer {
+                    benign_packed += 1;
+                    benign_packers.insert(name);
+                }
+            }
+            FileLabel::Malicious => {
+                malicious_files += 1;
+                if let Some(name) = packer {
+                    malicious_packed += 1;
+                    malicious_packers.insert(name);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut shared: Vec<String> = benign_packers
+        .intersection(&malicious_packers)
+        .cloned()
+        .collect();
+    let mut malicious_only: Vec<String> = malicious_packers
+        .difference(&benign_packers)
+        .cloned()
+        .collect();
+    let mut benign_only: Vec<String> = benign_packers
+        .difference(&malicious_packers)
+        .cloned()
+        .collect();
+    shared.sort();
+    malicious_only.sort();
+    benign_only.sort();
+
+    PackerReport {
+        benign_packed_pct: percent(benign_packed, benign_files),
+        malicious_packed_pct: percent(malicious_packed, malicious_files),
+        total_packers: benign_packers.union(&malicious_packers).count(),
+        shared_packers: shared.len(),
+        malicious_only,
+        benign_only,
+        shared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_telemetry::{DatasetBuilder, RawEvent};
+    use downlake_types::{FileHash, FileMeta, MachineId, PackerInfo, Timestamp, Url};
+
+    fn event(file: u64, packer: Option<&str>) -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(file),
+            file_meta: FileMeta {
+                packer: packer.map(PackerInfo::new),
+                ..FileMeta::default()
+            },
+            machine: MachineId::from_raw(file),
+            process: FileHash::from_raw(999),
+            process_meta: FileMeta::default(),
+            url: "http://x.com/f".parse::<Url>().unwrap(),
+            timestamp: Timestamp::from_day(1),
+            executed: true,
+        }
+    }
+
+    #[test]
+    fn overlap_and_rates() {
+        let mut b = DatasetBuilder::new();
+        b.push(event(1, Some("UPX"))); // benign packed
+        b.push(event(2, None)); // benign unpacked
+        b.push(event(3, Some("UPX"))); // malicious packed (shared packer)
+        b.push(event(4, Some("Themida"))); // malicious packed (exclusive)
+        b.push(event(5, Some("WixBurn"))); // benign packed (exclusive)
+        b.push(event(6, Some("NSIS"))); // unknown → ignored entirely
+        let ds = b.finish();
+        let view = LabelView::new(
+            |h| match h.raw() {
+                1 | 2 | 5 => FileLabel::Benign,
+                3 | 4 => FileLabel::Malicious,
+                _ => FileLabel::Unknown,
+            },
+            |_| None,
+        );
+        let report = packer_report(&ds, &view);
+        assert!((report.benign_packed_pct - 200.0 / 3.0).abs() < 1e-9);
+        assert_eq!(report.malicious_packed_pct, 100.0);
+        assert_eq!(report.total_packers, 3);
+        assert_eq!(report.shared, vec!["UPX"]);
+        assert_eq!(report.malicious_only, vec!["Themida"]);
+        assert_eq!(report.benign_only, vec!["WixBurn"]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = DatasetBuilder::new().finish();
+        let view = LabelView::new(|_| FileLabel::Unknown, |_| None);
+        let report = packer_report(&ds, &view);
+        assert_eq!(report.total_packers, 0);
+        assert_eq!(report.benign_packed_pct, 0.0);
+    }
+}

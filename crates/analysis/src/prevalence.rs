@@ -1,0 +1,180 @@
+//! File-prevalence analysis (§IV-A, Fig. 2).
+
+use crate::labels::LabelView;
+use crate::stats::percent;
+use downlake_telemetry::Dataset;
+use downlake_types::{FileLabel, MachineId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// The prevalence distribution of one file class plus the head/tail
+/// shape numbers the paper quotes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PrevalenceReport {
+    /// `prevalence → number of files` for all files.
+    pub all: BTreeMap<usize, usize>,
+    /// Same, per label class.
+    pub benign: BTreeMap<usize, usize>,
+    /// Same, for malicious files.
+    pub malicious: BTreeMap<usize, usize>,
+    /// Same, for unknown files.
+    pub unknown: BTreeMap<usize, usize>,
+    /// Share of all files with prevalence exactly 1 (paper: ~90%).
+    pub prevalence_one_share: f64,
+    /// Share of files whose prevalence reached the σ cap.
+    pub capped_share: f64,
+    /// Share of monitored machines that downloaded ≥1 unknown file
+    /// (paper: 69%).
+    pub machines_touching_unknown: f64,
+    /// Mean prevalence per class `(all, benign, malicious, unknown)`.
+    pub means: (f64, f64, f64, f64),
+}
+
+/// Computes the prevalence distributions of Fig. 2.
+pub fn prevalence_report(dataset: &Dataset, labels: &LabelView<'_>, sigma: usize) -> PrevalenceReport {
+    let mut report = PrevalenceReport::default();
+    let mut ones = 0usize;
+    let mut capped = 0usize;
+    let mut total_files = 0usize;
+    let mut sums = (0usize, 0usize, 0usize, 0usize);
+    let mut counts = (0usize, 0usize, 0usize, 0usize);
+
+    for record in dataset.files().iter() {
+        let prevalence = dataset.prevalence(record.hash);
+        if prevalence == 0 {
+            continue; // file never appeared in a reported event
+        }
+        total_files += 1;
+        if prevalence == 1 {
+            ones += 1;
+        }
+        if prevalence >= sigma {
+            capped += 1;
+        }
+        *report.all.entry(prevalence).or_insert(0) += 1;
+        sums.0 += prevalence;
+        counts.0 += 1;
+        match labels.label(record.hash) {
+            FileLabel::Benign => {
+                *report.benign.entry(prevalence).or_insert(0) += 1;
+                sums.1 += prevalence;
+                counts.1 += 1;
+            }
+            FileLabel::Malicious => {
+                *report.malicious.entry(prevalence).or_insert(0) += 1;
+                sums.2 += prevalence;
+                counts.2 += 1;
+            }
+            FileLabel::Unknown => {
+                *report.unknown.entry(prevalence).or_insert(0) += 1;
+                sums.3 += prevalence;
+                counts.3 += 1;
+            }
+            // Likely-* files are excluded from the measurement (§III).
+            FileLabel::LikelyBenign | FileLabel::LikelyMalicious => {}
+        }
+    }
+
+    let mut touched: HashSet<MachineId> = HashSet::new();
+    for event in dataset.events() {
+        if labels.label(event.file) == FileLabel::Unknown {
+            touched.insert(event.machine);
+        }
+    }
+
+    report.prevalence_one_share = percent(ones, total_files);
+    report.capped_share = percent(capped, total_files);
+    report.machines_touching_unknown = percent(touched.len(), dataset.machine_count());
+    let mean = |s: usize, c: usize| if c == 0 { 0.0 } else { s as f64 / c as f64 };
+    report.means = (
+        mean(sums.0, counts.0),
+        mean(sums.1, counts.1),
+        mean(sums.2, counts.2),
+        mean(sums.3, counts.3),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_telemetry::{DatasetBuilder, RawEvent};
+    use downlake_types::{FileHash, FileMeta, MachineId, Timestamp, Url};
+
+    fn event(file: u64, machine: u64) -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(file),
+            file_meta: FileMeta::default(),
+            machine: MachineId::from_raw(machine),
+            process: FileHash::from_raw(999),
+            process_meta: FileMeta {
+                disk_name: "chrome.exe".into(),
+                ..FileMeta::default()
+            },
+            url: "http://x.com/f".parse::<Url>().unwrap(),
+            timestamp: Timestamp::from_day(1),
+            executed: true,
+        }
+    }
+
+    fn labels() -> LabelView<'static> {
+        LabelView::new(
+            |h| match h.raw() {
+                1 => FileLabel::Benign,
+                2 => FileLabel::Malicious,
+                _ => FileLabel::Unknown,
+            },
+            |_| None,
+        )
+    }
+
+    #[test]
+    fn distribution_counts_by_class() {
+        let mut b = DatasetBuilder::new();
+        // file 1 (benign): 3 machines; file 2 (malicious): 1; files 3,4
+        // (unknown): 1 machine each.
+        for m in 0..3 {
+            b.push(event(1, m));
+        }
+        b.push(event(2, 0));
+        b.push(event(3, 1));
+        b.push(event(4, 2));
+        let ds = b.finish();
+        let view = labels();
+        let report = prevalence_report(&ds, &view, 20);
+
+        assert_eq!(report.all[&1], 3);
+        assert_eq!(report.all[&3], 1);
+        assert_eq!(report.benign[&3], 1);
+        assert_eq!(report.malicious[&1], 1);
+        assert_eq!(report.unknown[&1], 2);
+        // 3 of 4 files have prevalence 1.
+        assert!((report.prevalence_one_share - 75.0).abs() < 1e-9);
+        // Machines 1 and 2 downloaded unknown files; machine 0 did not.
+        assert!((report.machines_touching_unknown - 200.0 / 3.0).abs() < 1e-9);
+        assert!(report.means.1 > report.means.3, "benign mean above unknown mean");
+    }
+
+    #[test]
+    fn capped_share_counts_sigma_reached() {
+        let mut b = DatasetBuilder::new();
+        for m in 0..5 {
+            b.push(event(7, m));
+        }
+        b.push(event(8, 0));
+        let ds = b.finish();
+        let view = labels();
+        let report = prevalence_report(&ds, &view, 5);
+        assert!((report.capped_share - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_yields_zeroes() {
+        let ds = DatasetBuilder::new().finish();
+        let view = labels();
+        let report = prevalence_report(&ds, &view, 20);
+        assert!(report.all.is_empty());
+        assert_eq!(report.prevalence_one_share, 0.0);
+        assert_eq!(report.machines_touching_unknown, 0.0);
+    }
+}

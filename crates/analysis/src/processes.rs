@@ -1,0 +1,347 @@
+//! Downloading-process behaviour analyses (§V: Tables X–XII, XIV).
+
+use crate::labels::LabelView;
+use crate::stats::percent;
+use downlake_telemetry::Dataset;
+use downlake_types::{BrowserKind, FileHash, FileLabel, MachineId, MalwareType, ProcessCategory};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One row of Tables X/XI/XII.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ProcessBehaviorRow {
+    /// Row label (category / browser / malware type name).
+    pub label: String,
+    /// Distinct process versions (image hashes).
+    pub processes: usize,
+    /// Distinct machines on which they initiated downloads.
+    pub machines: usize,
+    /// Distinct downloaded files that are unknown.
+    pub unknown_files: usize,
+    /// Distinct downloaded files labeled benign.
+    pub benign_files: usize,
+    /// Distinct downloaded files labeled malicious.
+    pub malicious_files: usize,
+    /// % of those machines that downloaded ≥1 malicious file.
+    pub infected_pct: f64,
+    /// Behaviour-type mix (percent) of the malicious downloads.
+    pub type_mix: Vec<(MalwareType, f64)>,
+}
+
+#[derive(Default)]
+struct RowAccumulator {
+    processes: HashSet<FileHash>,
+    machines: HashSet<MachineId>,
+    infected: HashSet<MachineId>,
+    unknown: HashSet<FileHash>,
+    benign: HashSet<FileHash>,
+    malicious: HashSet<FileHash>,
+    types: HashMap<MalwareType, HashSet<FileHash>>,
+}
+
+impl RowAccumulator {
+    fn record(
+        &mut self,
+        process: FileHash,
+        machine: MachineId,
+        file: FileHash,
+        label: FileLabel,
+        ty: Option<MalwareType>,
+    ) {
+        self.processes.insert(process);
+        self.machines.insert(machine);
+        match label {
+            FileLabel::Unknown => {
+                self.unknown.insert(file);
+            }
+            FileLabel::Benign => {
+                self.benign.insert(file);
+            }
+            FileLabel::Malicious => {
+                self.malicious.insert(file);
+                self.infected.insert(machine);
+                if let Some(ty) = ty {
+                    self.types.entry(ty).or_default().insert(file);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn into_row(self, label: String) -> ProcessBehaviorRow {
+        let malicious_total = self.malicious.len();
+        let mut type_mix: Vec<(MalwareType, f64)> = MalwareType::ALL
+            .iter()
+            .filter_map(|&ty| {
+                self.types
+                    .get(&ty)
+                    .map(|files| (ty, percent(files.len(), malicious_total)))
+            })
+            .collect();
+        type_mix.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        ProcessBehaviorRow {
+            label,
+            processes: self.processes.len(),
+            machines: self.machines.len(),
+            unknown_files: self.unknown.len(),
+            benign_files: self.benign.len(),
+            malicious_files: self.malicious.len(),
+            infected_pct: percent(self.infected.len(), self.machines.len()),
+            type_mix,
+        }
+    }
+}
+
+fn aggregate_label(category: ProcessCategory) -> &'static str {
+    category.aggregate_name()
+}
+
+/// Table X: download behaviour of *known benign* processes, by category.
+/// Only events whose process hash is labeled benign participate, exactly
+/// as the paper restricts to whitelist-matched processes.
+pub fn category_behavior(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<ProcessBehaviorRow> {
+    let mut acc: HashMap<&'static str, RowAccumulator> = HashMap::new();
+    for event in dataset.events() {
+        let Some(proc_rec) = dataset.processes().get(event.process) else {
+            continue;
+        };
+        if labels.label(event.process) != FileLabel::Benign {
+            continue;
+        }
+        acc.entry(aggregate_label(proc_rec.category))
+            .or_default()
+            .record(
+                event.process,
+                event.machine,
+                event.file,
+                labels.label(event.file),
+                labels.malware_type(event.file),
+            );
+    }
+    let order = [
+        "Browsers",
+        "Windows Processes",
+        "Java",
+        "Acrobat Reader",
+        "All other processes",
+    ];
+    order
+        .iter()
+        .filter_map(|&label| acc.remove(label).map(|a| a.into_row(label.to_owned())))
+        .collect()
+}
+
+/// Table XI: download behaviour per browser (benign browser processes).
+pub fn browser_behavior(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<ProcessBehaviorRow> {
+    let mut acc: HashMap<BrowserKind, RowAccumulator> = HashMap::new();
+    for event in dataset.events() {
+        let Some(proc_rec) = dataset.processes().get(event.process) else {
+            continue;
+        };
+        let Some(kind) = proc_rec.category.browser() else {
+            continue;
+        };
+        if labels.label(event.process) != FileLabel::Benign {
+            continue;
+        }
+        acc.entry(kind).or_default().record(
+            event.process,
+            event.machine,
+            event.file,
+            labels.label(event.file),
+            labels.malware_type(event.file),
+        );
+    }
+    BrowserKind::ALL
+        .iter()
+        .filter_map(|&kind| {
+            acc.remove(&kind)
+                .map(|a| a.into_row(kind.name().to_owned()))
+        })
+        .collect()
+}
+
+/// Table XII: download behaviour of *malicious* processes, by the
+/// process's own behaviour type, plus an `"overall"` row.
+pub fn malicious_process_behavior(
+    dataset: &Dataset,
+    labels: &LabelView<'_>,
+) -> Vec<ProcessBehaviorRow> {
+    let mut acc: HashMap<MalwareType, RowAccumulator> = HashMap::new();
+    let mut overall = RowAccumulator::default();
+    for event in dataset.events() {
+        if labels.label(event.process) != FileLabel::Malicious {
+            continue;
+        }
+        let ty = labels
+            .malware_type(event.process)
+            .unwrap_or(MalwareType::Undefined);
+        let file_label = labels.label(event.file);
+        let file_type = labels.malware_type(event.file);
+        acc.entry(ty).or_default().record(
+            event.process,
+            event.machine,
+            event.file,
+            file_label,
+            file_type,
+        );
+        overall.record(event.process, event.machine, event.file, file_label, file_type);
+    }
+    let mut rows: Vec<ProcessBehaviorRow> = MalwareType::ALL
+        .iter()
+        .filter_map(|&ty| {
+            acc.remove(&ty)
+                .map(|a| a.into_row(ty.name().to_owned()))
+        })
+        .collect();
+    if overall.machines.is_empty() {
+        return rows;
+    }
+    rows.push(overall.into_row("overall".to_owned()));
+    rows
+}
+
+/// Table XIV: how many distinct *unknown* files each benign process
+/// category downloaded, plus the total.
+pub fn unknown_download_categories(
+    dataset: &Dataset,
+    labels: &LabelView<'_>,
+) -> Vec<(String, usize)> {
+    let mut acc: HashMap<&'static str, HashSet<FileHash>> = HashMap::new();
+    for event in dataset.events() {
+        if labels.label(event.file) != FileLabel::Unknown {
+            continue;
+        }
+        let Some(proc_rec) = dataset.processes().get(event.process) else {
+            continue;
+        };
+        if labels.label(event.process) != FileLabel::Benign {
+            continue;
+        }
+        acc.entry(aggregate_label(proc_rec.category))
+            .or_default()
+            .insert(event.file);
+    }
+    let order = [
+        "Browsers",
+        "Windows Processes",
+        "Java",
+        "Acrobat Reader",
+        "All other processes",
+    ];
+    let mut rows: Vec<(String, usize)> = Vec::new();
+    let mut total = 0usize;
+    for label in order {
+        let n = acc.get(label).map_or(0, HashSet::len);
+        total += n;
+        rows.push((label.to_owned(), n));
+    }
+    rows.push(("Total".to_owned(), total));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_telemetry::{DatasetBuilder, RawEvent};
+    use downlake_types::{FileMeta, Timestamp, Url};
+
+    /// Machines 1/2 use Chrome (process 100, benign), machine 3 uses a
+    /// malicious dropper process (hash 200).
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let push = |b: &mut DatasetBuilder, file: u64, machine: u64, process: u64, pname: &str| {
+            b.push(RawEvent {
+                file: FileHash::from_raw(file),
+                file_meta: FileMeta::default(),
+                machine: MachineId::from_raw(machine),
+                process: FileHash::from_raw(process),
+                process_meta: FileMeta {
+                    disk_name: pname.into(),
+                    ..FileMeta::default()
+                },
+                url: "http://x.com/f".parse::<Url>().unwrap(),
+                timestamp: Timestamp::from_day(1),
+                executed: true,
+            });
+        };
+        push(&mut b, 1, 1, 100, "chrome.exe"); // unknown file
+        push(&mut b, 2, 1, 100, "chrome.exe"); // malicious file → machine 1 infected
+        push(&mut b, 3, 2, 100, "chrome.exe"); // benign file
+        push(&mut b, 4, 3, 200, "payload.exe"); // dropper process downloads banker
+        push(&mut b, 5, 3, 101, "svchost.exe"); // windows process, unknown file
+        b.finish()
+    }
+
+    fn labels() -> LabelView<'static> {
+        LabelView::new(
+            |h| match h.raw() {
+                2 | 4 | 200 => FileLabel::Malicious,
+                3 | 100 | 101 => FileLabel::Benign,
+                _ => FileLabel::Unknown,
+            },
+            |h| match h.raw() {
+                2 => Some(MalwareType::Pup),
+                4 => Some(MalwareType::Banker),
+                200 => Some(MalwareType::Dropper),
+                _ => None,
+            },
+        )
+    }
+
+    #[test]
+    fn table10_rows() {
+        let ds = dataset();
+        let view = labels();
+        let rows = category_behavior(&ds, &view);
+        let browsers = rows.iter().find(|r| r.label == "Browsers").unwrap();
+        assert_eq!(browsers.processes, 1);
+        assert_eq!(browsers.machines, 2);
+        assert_eq!(browsers.unknown_files, 1);
+        assert_eq!(browsers.benign_files, 1);
+        assert_eq!(browsers.malicious_files, 1);
+        assert!((browsers.infected_pct - 50.0).abs() < 1e-9);
+        assert_eq!(browsers.type_mix[0].0, MalwareType::Pup);
+
+        let windows = rows.iter().find(|r| r.label == "Windows Processes").unwrap();
+        assert_eq!(windows.unknown_files, 1);
+        assert_eq!(windows.infected_pct, 0.0);
+        // The malicious dropper process (200) appears in no benign row.
+        assert!(rows.iter().all(|r| r.label != "All other processes"));
+    }
+
+    #[test]
+    fn table11_rows() {
+        let ds = dataset();
+        let view = labels();
+        let rows = browser_behavior(&ds, &view);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].label, "Chrome");
+        assert_eq!(rows[0].machines, 2);
+    }
+
+    #[test]
+    fn table12_rows() {
+        let ds = dataset();
+        let view = labels();
+        let rows = malicious_process_behavior(&ds, &view);
+        let dropper = rows.iter().find(|r| r.label == "dropper").unwrap();
+        assert_eq!(dropper.processes, 1);
+        assert_eq!(dropper.machines, 1);
+        assert_eq!(dropper.malicious_files, 1);
+        assert_eq!(dropper.type_mix[0].0, MalwareType::Banker);
+        let overall = rows.iter().find(|r| r.label == "overall").unwrap();
+        assert_eq!(overall.malicious_files, 1);
+    }
+
+    #[test]
+    fn table14_rows() {
+        let ds = dataset();
+        let view = labels();
+        let rows = unknown_download_categories(&ds, &view);
+        let browsers = rows.iter().find(|(l, _)| l == "Browsers").unwrap();
+        assert_eq!(browsers.1, 1);
+        let total = rows.iter().find(|(l, _)| l == "Total").unwrap();
+        assert_eq!(total.1, 2);
+    }
+}

@@ -1,0 +1,363 @@
+//! Code-signer analyses (§IV-C: Tables VI–IX, Fig. 4).
+
+use crate::labels::LabelView;
+use crate::stats::percent;
+use downlake_telemetry::Dataset;
+use downlake_types::{FileHash, FileLabel, MalwareType};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One row of Table VI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SigningRateRow {
+    /// Class name (`"dropper"`, …, `"benign"`, `"unknown"`, `"malicious"`).
+    pub class: String,
+    /// Distinct files of the class.
+    pub files: usize,
+    /// % of them carrying a valid signature.
+    pub signed_pct: f64,
+    /// Distinct files of the class downloaded via browsers.
+    pub browser_files: usize,
+    /// % of *those* carrying a valid signature.
+    pub browser_signed_pct: f64,
+}
+
+/// One row of Table VII.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignerOverlapRow {
+    /// Behaviour type.
+    pub class: String,
+    /// Distinct signers of files of this type.
+    pub signers: usize,
+    /// Of those, signers that also signed benign files.
+    pub common_with_benign: usize,
+}
+
+/// One point of Fig. 4's scatter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignerScatterPoint {
+    /// Signer subject.
+    pub signer: String,
+    /// Benign files signed.
+    pub benign_files: u64,
+    /// Malicious files signed.
+    pub malicious_files: u64,
+}
+
+/// Tables VIII/IX content.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TopSignersReport {
+    /// Per behaviour type: `(type name, top signers, top common-with-
+    /// benign, top exclusive-to-malware)`, counts are files signed.
+    pub per_type: Vec<(String, Vec<(String, u64)>, Vec<(String, u64)>, Vec<(String, u64)>)>,
+    /// Top signers exclusive to benign files.
+    pub benign_exclusive: Vec<(String, u64)>,
+    /// Top signers exclusive to malicious files (all types pooled).
+    pub malicious_exclusive: Vec<(String, u64)>,
+    /// Fig. 4: all signers that signed both classes.
+    pub scatter: Vec<SignerScatterPoint>,
+}
+
+/// Which files were downloaded by a browser at least once.
+fn browser_files(dataset: &Dataset) -> HashSet<FileHash> {
+    let mut set = HashSet::new();
+    for event in dataset.events() {
+        if dataset
+            .processes()
+            .get(event.process)
+            .is_some_and(|p| p.category.is_browser())
+        {
+            set.insert(event.file);
+        }
+    }
+    set
+}
+
+/// Table VI: signing rates per class, overall and via browsers.
+pub fn signing_rates_table(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<SigningRateRow> {
+    let via_browser = browser_files(dataset);
+    // (files, signed, browser files, browser signed) per class key.
+    let mut acc: HashMap<String, (usize, usize, usize, usize)> = HashMap::new();
+    let mut bump = |key: &str, signed: bool, browser: bool| {
+        let entry = acc.entry(key.to_owned()).or_default();
+        entry.0 += 1;
+        if signed {
+            entry.1 += 1;
+        }
+        if browser {
+            entry.2 += 1;
+            if signed {
+                entry.3 += 1;
+            }
+        }
+    };
+    for record in dataset.files().iter() {
+        let signed = record.meta.is_validly_signed();
+        let browser = via_browser.contains(&record.hash);
+        match labels.label(record.hash) {
+            FileLabel::Benign => bump("benign", signed, browser),
+            FileLabel::Unknown => bump("unknown", signed, browser),
+            FileLabel::Malicious => {
+                bump("malicious", signed, browser);
+                if let Some(ty) = labels.malware_type(record.hash) {
+                    bump(ty.name(), signed, browser);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut rows: Vec<SigningRateRow> = Vec::new();
+    let order: Vec<String> = MalwareType::ALL
+        .iter()
+        .map(|t| t.name().to_owned())
+        .chain(["benign".to_owned(), "unknown".to_owned(), "malicious".to_owned()])
+        .collect();
+    for class in order {
+        if let Some(&(files, signed, bfiles, bsigned)) = acc.get(&class) {
+            rows.push(SigningRateRow {
+                class,
+                files,
+                signed_pct: percent(signed, files),
+                browser_files: bfiles,
+                browser_signed_pct: percent(bsigned, bfiles),
+            });
+        }
+    }
+    rows
+}
+
+/// Signer → (benign files, malicious files, per-type files) index.
+struct SignerIndex {
+    benign: HashMap<String, u64>,
+    malicious: HashMap<String, u64>,
+    per_type: HashMap<MalwareType, HashMap<String, u64>>,
+}
+
+fn signer_index(dataset: &Dataset, labels: &LabelView<'_>) -> SignerIndex {
+    let mut index = SignerIndex {
+        benign: HashMap::new(),
+        malicious: HashMap::new(),
+        per_type: HashMap::new(),
+    };
+    for record in dataset.files().iter() {
+        let Some(subject) = record.meta.valid_signer_subject() else {
+            continue;
+        };
+        match labels.label(record.hash) {
+            FileLabel::Benign => {
+                *index.benign.entry(subject.to_owned()).or_insert(0) += 1;
+            }
+            FileLabel::Malicious => {
+                *index.malicious.entry(subject.to_owned()).or_insert(0) += 1;
+                if let Some(ty) = labels.malware_type(record.hash) {
+                    *index
+                        .per_type
+                        .entry(ty)
+                        .or_default()
+                        .entry(subject.to_owned())
+                        .or_insert(0) += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    index
+}
+
+/// Table VII: signers per malicious type and the overlap with benign.
+pub fn signer_overlap(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<SignerOverlapRow> {
+    let index = signer_index(dataset, labels);
+    let benign: HashSet<&String> = index.benign.keys().collect();
+    let mut rows = Vec::new();
+    for ty in MalwareType::ALL {
+        let Some(signers) = index.per_type.get(&ty) else {
+            continue;
+        };
+        let common = signers.keys().filter(|s| benign.contains(s)).count();
+        rows.push(SignerOverlapRow {
+            class: ty.name().to_owned(),
+            signers: signers.len(),
+            common_with_benign: common,
+        });
+    }
+    let common_total = index
+        .malicious
+        .keys()
+        .filter(|s| benign.contains(s))
+        .count();
+    rows.push(SignerOverlapRow {
+        class: "total".to_owned(),
+        signers: index.malicious.len(),
+        common_with_benign: common_total,
+    });
+    rows
+}
+
+/// Tables VIII/IX and Fig. 4.
+pub fn top_signers(dataset: &Dataset, labels: &LabelView<'_>, k: usize) -> TopSignersReport {
+    let index = signer_index(dataset, labels);
+    let benign_set: HashSet<&String> = index.benign.keys().collect();
+    let malicious_set: HashSet<&String> = index.malicious.keys().collect();
+
+    let top = |m: &HashMap<String, u64>, filter: &dyn Fn(&String) -> bool| -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = m
+            .iter()
+            .filter(|(s, _)| filter(s))
+            .map(|(s, &c)| (s.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    };
+
+    let mut per_type = Vec::new();
+    for ty in MalwareType::ALL {
+        let Some(signers) = index.per_type.get(&ty) else {
+            continue;
+        };
+        per_type.push((
+            ty.name().to_owned(),
+            top(signers, &|_| true),
+            top(signers, &|s| benign_set.contains(s)),
+            top(signers, &|s| !benign_set.contains(s)),
+        ));
+    }
+
+    let scatter: Vec<SignerScatterPoint> = {
+        let mut pts: Vec<SignerScatterPoint> = index
+            .malicious
+            .iter()
+            .filter_map(|(s, &mal)| {
+                index.benign.get(s).map(|&ben| SignerScatterPoint {
+                    signer: s.clone(),
+                    benign_files: ben,
+                    malicious_files: mal,
+                })
+            })
+            .collect();
+        pts.sort_by(|a, b| {
+            (b.benign_files + b.malicious_files)
+                .cmp(&(a.benign_files + a.malicious_files))
+                .then_with(|| a.signer.cmp(&b.signer))
+        });
+        pts
+    };
+
+    TopSignersReport {
+        per_type,
+        benign_exclusive: top(&index.benign, &|s| !malicious_set.contains(s)),
+        malicious_exclusive: top(&index.malicious, &|s| !benign_set.contains(s)),
+        scatter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_telemetry::{DatasetBuilder, RawEvent};
+    use downlake_types::{FileMeta, MachineId, SignerInfo, Timestamp, Url};
+
+    fn event(file: u64, signer: Option<&str>, process_name: &str) -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(file),
+            file_meta: FileMeta {
+                disk_name: "f.exe".into(),
+                signer: signer.map(|s| SignerInfo::valid(s, "ca")),
+                ..FileMeta::default()
+            },
+            machine: MachineId::from_raw(file),
+            process: FileHash::from_raw(1000 + process_name.len() as u64),
+            process_meta: FileMeta {
+                disk_name: process_name.into(),
+                ..FileMeta::default()
+            },
+            url: "http://x.com/f".parse::<Url>().unwrap(),
+            timestamp: Timestamp::from_day(1),
+            executed: true,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.push(event(1, Some("Somoto Ltd."), "chrome.exe")); // malicious dropper, browser
+        b.push(event(2, Some("Binstall"), "svchost.exe")); // malicious pup
+        b.push(event(3, Some("Binstall"), "chrome.exe")); // benign
+        b.push(event(4, Some("TeamViewer"), "chrome.exe")); // benign
+        b.push(event(5, None, "svchost.exe")); // malicious banker, unsigned
+        b.push(event(6, None, "chrome.exe")); // unknown unsigned
+        b.finish()
+    }
+
+    fn labels() -> LabelView<'static> {
+        LabelView::new(
+            |h| match h.raw() {
+                1 | 2 | 5 => FileLabel::Malicious,
+                3 | 4 => FileLabel::Benign,
+                _ => FileLabel::Unknown,
+            },
+            |h| match h.raw() {
+                1 => Some(MalwareType::Dropper),
+                2 => Some(MalwareType::Pup),
+                5 => Some(MalwareType::Banker),
+                _ => None,
+            },
+        )
+    }
+
+    #[test]
+    fn signing_rates_per_class() {
+        let ds = dataset();
+        let view = labels();
+        let rows = signing_rates_table(&ds, &view);
+        let get = |name: &str| rows.iter().find(|r| r.class == name).unwrap().clone();
+        assert_eq!(get("dropper").files, 1);
+        assert_eq!(get("dropper").signed_pct, 100.0);
+        assert_eq!(get("banker").signed_pct, 0.0);
+        assert_eq!(get("benign").files, 2);
+        assert_eq!(get("benign").signed_pct, 100.0);
+        let mal = get("malicious");
+        assert_eq!(mal.files, 3);
+        assert!((mal.signed_pct - 200.0 / 3.0).abs() < 1e-9);
+        // Browser subset: dropper file 1 was downloaded via Chrome.
+        assert_eq!(get("dropper").browser_files, 1);
+        assert_eq!(get("dropper").browser_signed_pct, 100.0);
+    }
+
+    #[test]
+    fn overlap_table() {
+        let ds = dataset();
+        let view = labels();
+        let rows = signer_overlap(&ds, &view);
+        let pup = rows.iter().find(|r| r.class == "pup").unwrap();
+        assert_eq!(pup.signers, 1);
+        assert_eq!(pup.common_with_benign, 1, "Binstall signs both");
+        let dropper = rows.iter().find(|r| r.class == "dropper").unwrap();
+        assert_eq!(dropper.common_with_benign, 0);
+        let total = rows.iter().find(|r| r.class == "total").unwrap();
+        assert_eq!(total.signers, 2);
+        assert_eq!(total.common_with_benign, 1);
+    }
+
+    #[test]
+    fn top_signers_and_scatter() {
+        let ds = dataset();
+        let view = labels();
+        let report = top_signers(&ds, &view, 3);
+        assert_eq!(report.benign_exclusive, vec![("TeamViewer".to_owned(), 1)]);
+        assert_eq!(
+            report.malicious_exclusive,
+            vec![("Somoto Ltd.".to_owned(), 1)]
+        );
+        assert_eq!(report.scatter.len(), 1);
+        assert_eq!(report.scatter[0].signer, "Binstall");
+        assert_eq!(report.scatter[0].benign_files, 1);
+        assert_eq!(report.scatter[0].malicious_files, 1);
+        // Per-type tables include dropper with Somoto at the top.
+        let dropper_row = report
+            .per_type
+            .iter()
+            .find(|(name, ..)| name == "dropper")
+            .unwrap();
+        assert_eq!(dropper_row.1[0].0, "Somoto Ltd.");
+    }
+}

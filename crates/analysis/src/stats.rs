@@ -1,0 +1,226 @@
+//! Small statistics toolkit: ECDFs, top-k tables, share helpers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An empirical cumulative distribution function over `f64` samples.
+///
+/// ```
+/// use downlake_analysis::stats::Ecdf;
+/// let cdf = Ecdf::from_samples(vec![1.0, 2.0, 2.0, 10.0]);
+/// assert_eq!(cdf.eval(0.5), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.75);
+/// assert_eq!(cdf.eval(100.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF (NaNs are dropped).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`; 0 for an empty ECDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// `(x, P(X ≤ x))` points suitable for plotting, thinned to at most
+    /// `max_points` evenly spaced sample positions.
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n / max_points).max(1);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(x, _)| x) != Some(self.sorted[n - 1]) {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+/// Counts occurrences of keys and extracts the heaviest `k`.
+///
+/// ```
+/// use downlake_analysis::stats::Counter;
+/// let mut c = Counter::new();
+/// c.add("a");
+/// c.add("b");
+/// c.add("a");
+/// assert_eq!(c.top(1), vec![("a", 2)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Counter<K> {
+    counts: HashMap<K, u64>,
+}
+
+impl<K: Eq + Hash + Clone + Ord> Counter<K> {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self {
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Increments a key by one.
+    pub fn add(&mut self, key: K) {
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    /// Increments a key by `n`.
+    pub fn add_n(&mut self, key: K, n: u64) {
+        *self.counts.entry(key).or_insert(0) += n;
+    }
+
+    /// The count of one key.
+    pub fn count(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The `k` heaviest keys, by descending count then ascending key
+    /// (deterministic).
+    pub fn top(&self, k: usize) -> Vec<(K, u64)> {
+        let mut entries: Vec<(K, u64)> = self
+            .counts
+            .iter()
+            .map(|(key, &n)| (key.clone(), n))
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Iterates over all `(key, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+}
+
+impl<K: Eq + Hash + Clone + Ord> Default for Counter<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone + Ord> FromIterator<K> for Counter<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut c = Counter::new();
+        for key in iter {
+            c.add(key);
+        }
+        c
+    }
+}
+
+/// `part / whole` as a percentage; 0 when `whole == 0`.
+pub fn percent(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_eval_and_quantiles() {
+        let cdf = Ecdf::from_samples(vec![5.0, 1.0, 3.0, 3.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(3.0), 0.75);
+        assert_eq!(cdf.eval(5.0), 1.0);
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn ecdf_handles_empty_and_nan() {
+        let cdf = Ecdf::from_samples(vec![f64::NAN]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert!(cdf.points(10).is_empty());
+    }
+
+    #[test]
+    fn ecdf_points_end_at_one() {
+        let cdf = Ecdf::from_samples((1..=100).map(|i| i as f64).collect());
+        let pts = cdf.points(10);
+        assert!(pts.len() <= 12);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // Monotone in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn counter_top_is_deterministic() {
+        let mut c = Counter::new();
+        for key in ["b", "a", "c", "a", "b"] {
+            c.add(key);
+        }
+        assert_eq!(c.top(3), vec![("a", 2), ("b", 2), ("c", 1)]);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.distinct(), 3);
+        assert_eq!(c.count(&"z"), 0);
+    }
+
+    #[test]
+    fn percent_guards_zero() {
+        assert_eq!(percent(1, 0), 0.0);
+        assert!((percent(1, 4) - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the statistics toolkit.
+
+use downlake_analysis::stats::{percent, Counter, Ecdf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The ECDF is a proper CDF: monotone, within [0,1], reaching 1 at
+    /// the maximum sample.
+    #[test]
+    fn ecdf_is_a_cdf(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Ecdf::from_samples(samples.clone());
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert_eq!(cdf.eval(max), 1.0);
+        prop_assert!(cdf.eval(min - 1.0) == 0.0);
+        let mut last = 0.0;
+        let mut x = min;
+        while x <= max {
+            let y = cdf.eval(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y >= last);
+            last = y;
+            x += (max - min).max(1.0) / 17.0;
+        }
+    }
+
+    /// Quantiles are order statistics: within sample range and monotone
+    /// in q.
+    #[test]
+    fn quantiles_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let cdf = Ecdf::from_samples(samples.clone());
+        let mut last = f64::MIN;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = cdf.quantile(q).expect("non-empty");
+            prop_assert!(samples.contains(&v));
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// ECDF plot points are monotone and end at probability 1.
+    #[test]
+    fn points_are_monotone(samples in proptest::collection::vec(0f64..1e3, 1..300), k in 1usize..40) {
+        let cdf = Ecdf::from_samples(samples);
+        let pts = cdf.points(k);
+        prop_assert!(!pts.is_empty());
+        prop_assert_eq!(pts.last().unwrap().1, 1.0);
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    /// Counter totals are conserved and top-k is sorted.
+    #[test]
+    fn counter_conservation(keys in proptest::collection::vec(0u32..30, 0..300), k in 1usize..10) {
+        let counter: Counter<u32> = keys.iter().copied().collect();
+        prop_assert_eq!(counter.total(), keys.len() as u64);
+        let top = counter.top(k);
+        prop_assert!(top.len() <= k);
+        for w in top.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        // Each reported count is exact.
+        for (key, count) in &top {
+            let expected = keys.iter().filter(|&&x| x == *key).count() as u64;
+            prop_assert_eq!(*count, expected);
+        }
+    }
+
+    /// percent() stays within [0, 100] for part ≤ whole.
+    #[test]
+    fn percent_bounds(part in 0usize..1000, extra in 0usize..1000) {
+        let whole = part + extra;
+        let p = percent(part, whole);
+        if whole == 0 {
+            prop_assert_eq!(p, 0.0);
+        } else {
+            prop_assert!((0.0..=100.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The AVType conflict-resolution algorithm (§II-C).
+
+use crate::map::LabelInterpretationMap;
+use downlake_types::MalwareType;
+use serde::{Deserialize, Serialize};
+
+/// How a file's final behaviour type was arrived at.
+///
+/// The paper reports 44% of files resolving with full agreement, 28% by
+/// voting, 23% by specificity, and 5% manually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resolution {
+    /// Every contributing label mapped to the same type.
+    NoConflict,
+    /// A strict plurality of label votes decided.
+    Voting,
+    /// A vote tie was broken by type specificity.
+    Specificity,
+    /// Even specificity tied; the manual-analysis fallback decided.
+    Manual,
+}
+
+/// The outcome of behaviour-type extraction for one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeVerdict {
+    /// The assigned behaviour type.
+    pub ty: MalwareType,
+    /// Which rule decided it.
+    pub resolution: Resolution,
+}
+
+/// Running tally of resolution kinds across a corpus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolutionStats {
+    /// Files with full agreement.
+    pub no_conflict: usize,
+    /// Files resolved by voting.
+    pub voting: usize,
+    /// Files resolved by specificity.
+    pub specificity: usize,
+    /// Files resolved manually.
+    pub manual: usize,
+}
+
+impl ResolutionStats {
+    /// Records one verdict.
+    pub fn record(&mut self, resolution: Resolution) {
+        match resolution {
+            Resolution::NoConflict => self.no_conflict += 1,
+            Resolution::Voting => self.voting += 1,
+            Resolution::Specificity => self.specificity += 1,
+            Resolution::Manual => self.manual += 1,
+        }
+    }
+
+    /// Total recorded verdicts.
+    pub fn total(&self) -> usize {
+        self.no_conflict + self.voting + self.specificity + self.manual
+    }
+}
+
+/// The AVType behaviour-type extractor.
+#[derive(Debug, Clone, Default)]
+pub struct BehaviorExtractor {
+    map: LabelInterpretationMap,
+}
+
+impl BehaviorExtractor {
+    /// Creates an extractor with the default interpretation map.
+    pub fn new() -> Self {
+        Self {
+            map: LabelInterpretationMap::new(),
+        }
+    }
+
+    /// Creates an extractor with a custom map.
+    pub fn with_map(map: LabelInterpretationMap) -> Self {
+        Self { map }
+    }
+
+    /// The interpretation map in use.
+    pub fn map(&self) -> &LabelInterpretationMap {
+        &self.map
+    }
+
+    /// Extracts the behaviour type from `(engine, label)` pairs — the
+    /// labels of the five leading engines that detected the file.
+    ///
+    /// Returns `Undefined`/`NoConflict` when no labels are supplied.
+    pub fn extract(&self, labels: &[(&str, &str)]) -> TypeVerdict {
+        let types: Vec<MalwareType> = labels.iter().map(|&(_, l)| self.map.interpret(l)).collect();
+        if types.is_empty() {
+            return TypeVerdict {
+                ty: MalwareType::Undefined,
+                resolution: Resolution::NoConflict,
+            };
+        }
+
+        // Rule 0: full agreement.
+        if types.windows(2).all(|w| w[0] == w[1]) {
+            return TypeVerdict {
+                ty: types[0],
+                resolution: Resolution::NoConflict,
+            };
+        }
+
+        // Rule 1: voting.
+        let mut counts: Vec<(MalwareType, usize)> = Vec::new();
+        for &ty in &types {
+            match counts.iter_mut().find(|(t, _)| *t == ty) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((ty, 1)),
+            }
+        }
+        let max_votes = counts.iter().map(|&(_, c)| c).max().expect("nonempty");
+        let tied: Vec<MalwareType> = counts
+            .iter()
+            .filter(|&&(_, c)| c == max_votes)
+            .map(|&(t, _)| t)
+            .collect();
+        if tied.len() == 1 {
+            return TypeVerdict {
+                ty: tied[0],
+                resolution: Resolution::Voting,
+            };
+        }
+
+        // Rule 2: specificity among the vote-tied types.
+        let max_spec = tied.iter().map(|t| t.specificity()).max().expect("nonempty");
+        let most_specific: Vec<MalwareType> = tied
+            .iter()
+            .copied()
+            .filter(|t| t.specificity() == max_spec)
+            .collect();
+        if most_specific.len() == 1 {
+            return TypeVerdict {
+                ty: most_specific[0],
+                resolution: Resolution::Specificity,
+            };
+        }
+
+        // Rule 3: manual analysis. Deterministic stand-in: the canonical
+        // (Table II) ordering decides, which is what a tie between e.g.
+        // banker and bot would get from an analyst triaging by prevalence.
+        let ty = MalwareType::ALL
+            .into_iter()
+            .find(|t| most_specific.contains(t))
+            .expect("tied set non-empty");
+        TypeVerdict {
+            ty,
+            resolution: Resolution::Manual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extract(labels: &[(&str, &str)]) -> TypeVerdict {
+        BehaviorExtractor::new().extract(labels)
+    }
+
+    #[test]
+    fn paper_voting_example() {
+        // §II-C: 3 banker-ish Zbot labels vs one dropper label → banker.
+        let v = extract(&[
+            ("Symantec", "Trojan.Zbot"),
+            ("McAfee", "Downloader-FYH!6C7411D1C043"),
+            ("Kaspersky", "Trojan-Spy.Win32.Zbot.ruxa"),
+            ("Microsoft", "PWS:Win32/Zbot"),
+        ]);
+        assert_eq!(v.ty, MalwareType::Banker);
+        assert_eq!(v.resolution, Resolution::Voting);
+    }
+
+    #[test]
+    fn paper_specificity_example() {
+        // §II-C: Kaspersky dropper label vs McAfee generic → dropper.
+        let v = extract(&[
+            ("Kaspersky", "Trojan-Downloader.Win32.Agent.heqj"),
+            ("McAfee", "Artemis!DEC3771868CB"),
+        ]);
+        assert_eq!(v.ty, MalwareType::Dropper);
+        assert_eq!(v.resolution, Resolution::Specificity);
+    }
+
+    #[test]
+    fn full_agreement() {
+        let v = extract(&[
+            ("Microsoft", "Ransom:Win32/Urausy"),
+            ("TrendMicro", "RANSOM.ABC"),
+        ]);
+        assert_eq!(v.ty, MalwareType::Ransomware);
+        assert_eq!(v.resolution, Resolution::NoConflict);
+    }
+
+    #[test]
+    fn single_label_is_no_conflict() {
+        let v = extract(&[("Microsoft", "Worm:Win32/Vobfus")]);
+        assert_eq!(v.ty, MalwareType::Worm);
+        assert_eq!(v.resolution, Resolution::NoConflict);
+    }
+
+    #[test]
+    fn empty_labels_are_undefined() {
+        let v = extract(&[]);
+        assert_eq!(v.ty, MalwareType::Undefined);
+    }
+
+    #[test]
+    fn manual_fallback_on_equal_specificity_tie() {
+        // banker vs bot: one vote each, equal specificity → manual.
+        let v = extract(&[
+            ("Microsoft", "PWS:Win32/Other"),
+            ("Kaspersky", "Backdoor.Win32.Other.abcd"),
+        ]);
+        assert_eq!(v.resolution, Resolution::Manual);
+        // Canonical order puts banker before bot.
+        assert_eq!(v.ty, MalwareType::Banker);
+    }
+
+    #[test]
+    fn stats_tally() {
+        let mut stats = ResolutionStats::default();
+        stats.record(Resolution::NoConflict);
+        stats.record(Resolution::Voting);
+        stats.record(Resolution::Voting);
+        stats.record(Resolution::Manual);
+        assert_eq!(stats.total(), 4);
+        assert_eq!(stats.voting, 2);
+    }
+
+    #[test]
+    fn trojan_loses_to_specific_type_on_tie() {
+        let v = extract(&[
+            ("Symantec", "Trojan.Gen.abc"),
+            ("Kaspersky", "Trojan-Ransom.Win32.Foo.a"),
+        ]);
+        assert_eq!(v.ty, MalwareType::Ransomware);
+        assert_eq!(v.resolution, Resolution::Specificity);
+    }
+}

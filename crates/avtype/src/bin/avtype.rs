@@ -1,0 +1,122 @@
+//! `avtype` — command-line behaviour-type and family extraction from AV
+//! labels, mirroring the open-source tool the paper publishes
+//! (gitlab.com/pub-open/AVType).
+//!
+//! One *sample* per line on stdin; each line holds comma-separated
+//! `Engine=Label` pairs:
+//!
+//! ```text
+//! $ echo 'Symantec=Trojan.Zbot,McAfee=Downloader-FYH!6C7411D1C043,Kaspersky=Trojan-Spy.Win32.Zbot.ruxa,Microsoft=PWS:Win32/Zbot' | avtype
+//! banker	voting	zbot
+//! ```
+//!
+//! Output columns (tab-separated): behaviour type, resolution rule that
+//! decided it, extracted family (`-` if none).
+//!
+//! Pass `Engine=Label` pairs as CLI arguments to classify one sample
+//! without stdin. `--stats` appends a resolution-statistics summary.
+
+use downlake_avtype::{BehaviorExtractor, FamilyExtractor, Resolution, ResolutionStats};
+use std::io::{self, BufRead, Write};
+
+fn parse_pairs(line: &str) -> Vec<(String, String)> {
+    line.split(',')
+        .filter_map(|pair| {
+            let (engine, label) = pair.split_once('=')?;
+            let engine = engine.trim();
+            let label = label.trim();
+            if engine.is_empty() || label.is_empty() {
+                None
+            } else {
+                Some((engine.to_owned(), label.to_owned()))
+            }
+        })
+        .collect()
+}
+
+fn resolution_name(r: Resolution) -> &'static str {
+    match r {
+        Resolution::NoConflict => "no-conflict",
+        Resolution::Voting => "voting",
+        Resolution::Specificity => "specificity",
+        Resolution::Manual => "manual",
+    }
+}
+
+fn classify_line(
+    behavior: &BehaviorExtractor,
+    families: &FamilyExtractor,
+    stats: &mut ResolutionStats,
+    line: &str,
+) -> Option<String> {
+    let pairs = parse_pairs(line);
+    if pairs.is_empty() {
+        return None;
+    }
+    let refs: Vec<(&str, &str)> = pairs
+        .iter()
+        .map(|(e, l)| (e.as_str(), l.as_str()))
+        .collect();
+    let verdict = behavior.extract(&refs);
+    stats.record(verdict.resolution);
+    let family = families.extract(&refs).unwrap_or_else(|| "-".to_owned());
+    Some(format!(
+        "{}\t{}\t{}",
+        verdict.ty,
+        resolution_name(verdict.resolution),
+        family
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want_stats = args.iter().any(|a| a == "--stats");
+    let inline: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let behavior = BehaviorExtractor::new();
+    let families = FamilyExtractor::new();
+    let mut stats = ResolutionStats::default();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+
+    if !inline.is_empty() {
+        let line = inline
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+        if let Some(result) = classify_line(&behavior, &families, &mut stats, &line) {
+            let _ = writeln!(out, "{result}");
+        } else {
+            eprintln!("avtype: no Engine=Label pairs found in arguments");
+            std::process::exit(2);
+        }
+    } else {
+        let stdin = io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match classify_line(&behavior, &families, &mut stats, &line) {
+                Some(result) => {
+                    let _ = writeln!(out, "{result}");
+                }
+                None => {
+                    let _ = writeln!(out, "undefined\tno-labels\t-");
+                }
+            }
+        }
+    }
+
+    if want_stats {
+        let total = stats.total().max(1) as f64;
+        eprintln!(
+            "# resolution: no-conflict {:.1}%, voting {:.1}%, specificity {:.1}%, manual {:.1}%",
+            100.0 * stats.no_conflict as f64 / total,
+            100.0 * stats.voting as f64 / total,
+            100.0 * stats.specificity as f64 / total,
+            100.0 * stats.manual as f64 / total,
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! AVclass-style malware-family extraction (Sebastián et al. 2016).
+//!
+//! A deliberately faithful *simplification* of AVclass: normalise every
+//! label into tokens, drop generic/vendor/platform tokens and
+//! serial-number fragments, apply an alias map, and take the plurality
+//! token across engines (each engine votes once per token). Families
+//! backed by fewer than two engines are rejected — which is how 58% of
+//! the paper's samples end up without a family.
+
+use crate::parse::{looks_like_serial, tokenize};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Tokens that can never be family names: platform tags, behaviour-type
+/// keywords, vendor boilerplate, heuristic markers.
+pub const GENERIC_TOKENS: &[&str] = &[
+    "win32", "win64", "w32", "w64", "msil", "android", "linux", "html", "js", "vbs",
+    "trojan", "troj", "virus", "malware", "worm", "backdoor", "bkdr", "bot", "downloader",
+    "dloadr", "dldr", "dropper", "spy", "spyware", "tspy", "pws", "banker", "infostealer",
+    "ransom", "ransomlock", "cryptor", "rogue", "fakeav", "fakealert", "adware", "adw",
+    "adload", "pua", "pup", "unwanted", "webtoolbar", "bundler", "softwarebundler",
+    "generic", "artemis", "heuristic", "heur", "suspicious", "cloud", "variant", "gen",
+    "agent", "kryptik", "krypt", "packed", "obfuscated", "injector", "starter", "small",
+    "not", "a", "application", "program", "riskware", "tool", "unsafe", "behaveslike",
+    "lookslike", "based", "possible", "probably", "malicious", "deepscan", "graftor",
+];
+
+/// Alias normalisation: vendor-specific family spellings → canonical.
+const ALIASES: &[(&str, &str)] = &[
+    ("zeus", "zbot"),
+    ("zeusbot", "zbot"),
+    ("wsnpoem", "zbot"),
+    ("sirefef", "zeroaccess"),
+    ("andromeda", "gamarue"),
+    ("barys", "firseria"),
+    ("firser", "firseria"),
+    ("somotoinstaller", "somoto"),
+    ("bettersurf", "bsurf"),
+];
+
+/// The family extractor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyExtractor {
+    generic: HashSet<String>,
+    aliases: HashMap<String, String>,
+    /// Minimum engines that must agree on the token (AVclass default: 2).
+    min_engines: usize,
+}
+
+impl FamilyExtractor {
+    /// Creates the extractor with default token lists and threshold 2.
+    pub fn new() -> Self {
+        Self {
+            generic: GENERIC_TOKENS.iter().map(|&s| s.to_owned()).collect(),
+            aliases: ALIASES
+                .iter()
+                .map(|&(a, b)| (a.to_owned(), b.to_owned()))
+                .collect(),
+            min_engines: 2,
+        }
+    }
+
+    /// Overrides the plurality threshold.
+    pub fn with_min_engines(mut self, min_engines: usize) -> Self {
+        self.min_engines = min_engines.max(1);
+        self
+    }
+
+    /// Registers an extra generic token.
+    pub fn add_generic(&mut self, token: impl Into<String>) {
+        self.generic.insert(token.into());
+    }
+
+    /// Extracts the family from `(engine, label)` pairs, or `None` if no
+    /// candidate token reaches the engine threshold.
+    pub fn extract(&self, labels: &[(&str, &str)]) -> Option<String> {
+        let mut votes: HashMap<String, usize> = HashMap::new();
+        for &(_, label) in labels {
+            let mut seen_this_engine: HashSet<String> = HashSet::new();
+            for token in tokenize(label) {
+                if token.len() < 4 || self.generic.contains(&token) || looks_like_serial(&token) {
+                    continue;
+                }
+                let canonical = self.aliases.get(&token).cloned().unwrap_or(token);
+                if seen_this_engine.insert(canonical.clone()) {
+                    *votes.entry(canonical).or_insert(0) += 1;
+                }
+            }
+        }
+        votes
+            .into_iter()
+            .filter(|&(_, v)| v >= self.min_engines)
+            // Plurality; deterministic lexicographic tie-break.
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(token, _)| token)
+    }
+}
+
+impl Default for FamilyExtractor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurality_across_engines() {
+        let ex = FamilyExtractor::new();
+        let fam = ex.extract(&[
+            ("Symantec", "Trojan.Zbot"),
+            ("Kaspersky", "Trojan-Spy.Win32.Zbot.ruxa"),
+            ("Microsoft", "PWS:Win32/Zbot"),
+            ("McAfee", "Artemis!ABC123"),
+        ]);
+        assert_eq!(fam.as_deref(), Some("zbot"));
+    }
+
+    #[test]
+    fn aliases_unify_spellings() {
+        let ex = FamilyExtractor::new();
+        let fam = ex.extract(&[
+            ("Symantec", "Trojan.Zeus"),
+            ("Kaspersky", "Trojan-Spy.Win32.Zbot.a"),
+        ]);
+        assert_eq!(fam.as_deref(), Some("zbot"));
+    }
+
+    #[test]
+    fn generic_only_labels_yield_none() {
+        let ex = FamilyExtractor::new();
+        let fam = ex.extract(&[
+            ("McAfee", "Artemis!DEADBEEF01"),
+            ("Generic1", "Gen:Variant.Kryptik.12"),
+            ("Generic2", "Suspicious.Cloud"),
+        ]);
+        assert_eq!(fam, None);
+    }
+
+    #[test]
+    fn single_engine_is_not_enough() {
+        let ex = FamilyExtractor::new();
+        let fam = ex.extract(&[("Kaspersky", "Trojan.Win32.Fareit.x")]);
+        assert_eq!(fam, None);
+        let relaxed = FamilyExtractor::new().with_min_engines(1);
+        assert_eq!(
+            relaxed.extract(&[("Kaspersky", "Trojan.Win32.Fareit.x")]).as_deref(),
+            Some("fareit")
+        );
+    }
+
+    #[test]
+    fn same_engine_does_not_double_vote() {
+        let ex = FamilyExtractor::new();
+        // One engine mentioning the token twice is still one vote.
+        let fam = ex.extract(&[("X", "Sality.Win32.Sality.q")]);
+        assert_eq!(fam, None);
+    }
+
+    #[test]
+    fn serial_fragments_ignored() {
+        let ex = FamilyExtractor::new().with_min_engines(1);
+        let fam = ex.extract(&[("McAfee", "Downloader-FYH!6C7411D1C043")]);
+        assert_eq!(fam, None, "hex serials and short tokens are not families");
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let ex = FamilyExtractor::new();
+        let labels = [
+            ("A", "Trojan.Alpha"),
+            ("B", "Trojan.Alphabeta"),
+            ("C", "Win32.Alpha.x"),
+            ("D", "Win32.Alphabeta.y"),
+        ];
+        let a = ex.extract(&labels);
+        let b = ex.extract(&labels);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+}

@@ -1,0 +1,45 @@
+//! AV-label interpretation for `downlake`: the paper's **AVType** tool
+//! (behaviour-type extraction, §II-C) and an **AVclass**-style family
+//! extractor (Sebastián et al., used in §III).
+//!
+//! AVType resolves the behaviour type of a malicious file from the labels
+//! assigned by five leading AV engines using a vendor-specific *label
+//! interpretation map* and three conflict-resolution rules:
+//!
+//! 1. **Voting** — each label maps to a type; the type with the most
+//!    votes wins.
+//! 2. **Specificity** — on a tie, the most behaviour-specific type wins
+//!    (`banker` beats `trojan`; `dropper` beats a generic `Artemis`).
+//! 3. **Manual** — rare residual ties go to an analyst callback.
+//!
+//! # Example
+//!
+//! The paper's own worked example (§II-C):
+//!
+//! ```
+//! use downlake_avtype::{BehaviorExtractor, Resolution};
+//! use downlake_types::MalwareType;
+//!
+//! let extractor = BehaviorExtractor::new();
+//! let verdict = extractor.extract(&[
+//!     ("Symantec", "Trojan.Zbot"),
+//!     ("McAfee", "Downloader-FYH!6C7411D1C043"),
+//!     ("Kaspersky", "Trojan-Spy.Win32.Zbot.ruxa"),
+//!     ("Microsoft", "PWS:Win32/Zbot"),
+//! ]);
+//! assert_eq!(verdict.ty, MalwareType::Banker);
+//! assert_eq!(verdict.resolution, Resolution::Voting);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod behavior;
+mod family;
+mod map;
+mod parse;
+
+pub use behavior::{BehaviorExtractor, Resolution, ResolutionStats, TypeVerdict};
+pub use family::{FamilyExtractor, GENERIC_TOKENS};
+pub use map::{label_type, LabelInterpretationMap};
+pub use parse::tokenize;

@@ -1,0 +1,230 @@
+//! The label interpretation map (§II-C).
+//!
+//! Two layers of keyword knowledge, mirroring how Trend Micro's map plus
+//! analyst experience work in the paper:
+//!
+//! * **family keywords** — family names whose behaviour is established
+//!   (Zbot is a banker regardless of the surrounding label text); these
+//!   take precedence;
+//! * **type keywords** — vendor label components (`pws`, `dloadr`,
+//!   `bkdr`, `rogue`, …); when several match, the most *specific* type is
+//!   taken for that label (a `Trojan-Downloader` label is a dropper
+//!   label, not a trojan label).
+
+use crate::parse::tokenize;
+use downlake_types::MalwareType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Family names with established behaviour (take precedence over type
+/// keywords within one label).
+const FAMILY_KEYWORDS: &[(&str, MalwareType)] = &[
+    ("zbot", MalwareType::Banker),
+    ("zeus", MalwareType::Banker),
+    ("bancos", MalwareType::Banker),
+    ("banload", MalwareType::Banker),
+    ("cryptolocker", MalwareType::Ransomware),
+    ("urausy", MalwareType::Ransomware),
+    ("reveton", MalwareType::Ransomware),
+    ("zeroaccess", MalwareType::Bot),
+    ("gamarue", MalwareType::Bot),
+    ("sality", MalwareType::Worm),
+    ("vobfus", MalwareType::Worm),
+    ("fakerean", MalwareType::FakeAv),
+    ("refog", MalwareType::Spyware),
+];
+
+/// Vendor-label type keywords.
+const TYPE_KEYWORDS: &[(&str, MalwareType)] = &[
+    // droppers / downloaders
+    ("downloader", MalwareType::Dropper),
+    ("trojandownloader", MalwareType::Dropper),
+    ("dloadr", MalwareType::Dropper),
+    ("dropper", MalwareType::Dropper),
+    ("dldr", MalwareType::Dropper),
+    // bankers / credential stealers
+    ("pws", MalwareType::Banker),
+    ("banker", MalwareType::Banker),
+    ("infostealer", MalwareType::Banker),
+    ("banking", MalwareType::Banker),
+    // bots
+    ("backdoor", MalwareType::Bot),
+    ("bkdr", MalwareType::Bot),
+    ("bot", MalwareType::Bot),
+    ("ircbot", MalwareType::Bot),
+    // fake AVs
+    ("fakeav", MalwareType::FakeAv),
+    ("rogue", MalwareType::FakeAv),
+    ("fakealert", MalwareType::FakeAv),
+    ("fraudtool", MalwareType::FakeAv),
+    // ransomware
+    ("ransom", MalwareType::Ransomware),
+    ("ransomlock", MalwareType::Ransomware),
+    ("cryptor", MalwareType::Ransomware),
+    // worms
+    ("worm", MalwareType::Worm),
+    // spyware
+    ("spy", MalwareType::Spyware),
+    ("spyware", MalwareType::Spyware),
+    ("trojanspy", MalwareType::Spyware),
+    ("tspy", MalwareType::Spyware),
+    ("keylogger", MalwareType::Spyware),
+    // adware
+    ("adware", MalwareType::Adware),
+    ("adw", MalwareType::Adware),
+    ("adload", MalwareType::Adware),
+    // PUPs
+    ("pua", MalwareType::Pup),
+    ("pup", MalwareType::Pup),
+    ("unwanted", MalwareType::Pup),
+    ("webtoolbar", MalwareType::Pup),
+    ("bundler", MalwareType::Pup),
+    ("softwarebundler", MalwareType::Pup),
+    // generic trojan tier
+    ("trojan", MalwareType::Trojan),
+    ("troj", MalwareType::Trojan),
+    // explicit generics
+    ("artemis", MalwareType::Undefined),
+    ("generic", MalwareType::Undefined),
+    ("heuristic", MalwareType::Undefined),
+    ("suspicious", MalwareType::Undefined),
+    ("kryptik", MalwareType::Undefined),
+];
+
+/// The assembled keyword map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelInterpretationMap {
+    family: HashMap<String, MalwareType>,
+    types: HashMap<String, MalwareType>,
+}
+
+impl LabelInterpretationMap {
+    /// Builds the default map (Trend Micro–style keywords for the five
+    /// leading vendors plus common third-tier grammar).
+    pub fn new() -> Self {
+        Self {
+            family: FAMILY_KEYWORDS
+                .iter()
+                .map(|&(k, v)| (k.to_owned(), v))
+                .collect(),
+            types: TYPE_KEYWORDS
+                .iter()
+                .map(|&(k, v)| (k.to_owned(), v))
+                .collect(),
+        }
+    }
+
+    /// Adds/overrides a family keyword.
+    pub fn insert_family(&mut self, keyword: impl Into<String>, ty: MalwareType) {
+        self.family.insert(keyword.into(), ty);
+    }
+
+    /// Adds/overrides a type keyword.
+    pub fn insert_type(&mut self, keyword: impl Into<String>, ty: MalwareType) {
+        self.types.insert(keyword.into(), ty);
+    }
+
+    /// Interprets a single AV label into a behaviour type.
+    ///
+    /// Family keywords win outright; otherwise the most specific matching
+    /// type keyword wins; labels matching nothing are `Undefined`.
+    pub fn interpret(&self, label: &str) -> MalwareType {
+        let tokens = tokenize(label);
+        for t in &tokens {
+            if let Some(&ty) = self.family.get(t.as_str()) {
+                return ty;
+            }
+        }
+        let mut best: Option<MalwareType> = None;
+        for t in &tokens {
+            if let Some(&ty) = self.types.get(t.as_str()) {
+                // Ties go to the later keyword: vendor grammars put the
+                // refining component after the coarse one (TSPY_BANKER
+                // should read as banker, not spyware).
+                best = Some(match best {
+                    Some(prev) if prev.specificity() > ty.specificity() => prev,
+                    _ => ty,
+                });
+            }
+        }
+        best.unwrap_or(MalwareType::Undefined)
+    }
+}
+
+impl Default for LabelInterpretationMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Interprets a label with the default map (convenience for one-offs).
+pub fn label_type(label: &str) -> MalwareType {
+    LabelInterpretationMap::new().interpret(label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_label_examples() {
+        let map = LabelInterpretationMap::new();
+        assert_eq!(map.interpret("TROJ_FAKEAV.SMU1"), MalwareType::FakeAv);
+        assert_eq!(map.interpret("Trojan.Zbot"), MalwareType::Banker);
+        assert_eq!(
+            map.interpret("Downloader-FYH!6C7411D1C043"),
+            MalwareType::Dropper
+        );
+        assert_eq!(
+            map.interpret("Trojan-Spy.Win32.Zbot.ruxa"),
+            MalwareType::Banker
+        );
+        assert_eq!(map.interpret("PWS:Win32/Zbot"), MalwareType::Banker);
+        assert_eq!(
+            map.interpret("Trojan-Downloader.Win32.Agent.heqj"),
+            MalwareType::Dropper
+        );
+        assert_eq!(map.interpret("Artemis!DEC3771868CB"), MalwareType::Undefined);
+    }
+
+    #[test]
+    fn specificity_within_one_label() {
+        let map = LabelInterpretationMap::new();
+        // trojan + downloader → dropper beats trojan.
+        assert_eq!(
+            map.interpret("Trojan-Downloader.Win32.Small"),
+            MalwareType::Dropper
+        );
+        // trojan alone stays trojan.
+        assert_eq!(map.interpret("Trojan.Win32.Agent"), MalwareType::Trojan);
+    }
+
+    #[test]
+    fn unmatched_labels_are_undefined() {
+        let map = LabelInterpretationMap::new();
+        assert_eq!(map.interpret("W32/Blarg.x"), MalwareType::Undefined);
+        assert_eq!(map.interpret(""), MalwareType::Undefined);
+    }
+
+    #[test]
+    fn custom_keywords_override() {
+        let mut map = LabelInterpretationMap::new();
+        map.insert_family("blarg", MalwareType::Ransomware);
+        assert_eq!(map.interpret("W32/Blarg.x"), MalwareType::Ransomware);
+        map.insert_type("w32", MalwareType::Worm);
+        assert_eq!(map.interpret("W32/Other.x"), MalwareType::Worm);
+    }
+
+    #[test]
+    fn not_a_virus_labels() {
+        let map = LabelInterpretationMap::new();
+        assert_eq!(
+            map.interpret("not-a-virus:AdWare.Win32.Eorezo.abcd"),
+            MalwareType::Adware
+        );
+        assert_eq!(
+            map.interpret("not-a-virus:WebToolbar.Win32.Conduit.x"),
+            MalwareType::Pup
+        );
+    }
+}

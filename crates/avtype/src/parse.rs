@@ -1,0 +1,67 @@
+//! AV label tokenization.
+
+/// Splits an AV label into lowercase alphanumeric tokens.
+///
+/// Separators are everything non-alphanumeric (`.`, `:`, `/`, `-`, `_`,
+/// `!`, whitespace). Tokens keep digits (family names like `win32` or
+/// hex-ish variant ids are filtered later, where the filtering criteria
+/// belong).
+///
+/// ```
+/// use downlake_avtype::tokenize;
+/// assert_eq!(
+///     tokenize("Trojan-Spy.Win32.Zbot.ruxa"),
+///     vec!["trojan", "spy", "win32", "zbot", "ruxa"],
+/// );
+/// ```
+pub fn tokenize(label: &str) -> Vec<String> {
+    label
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_ascii_lowercase)
+        .collect()
+}
+
+/// Whether a token looks like a hex / serial-number fragment rather than a
+/// word (e.g. `6c7411d1c043`, `smu1`, `heqj` stays since it's alphabetic).
+pub(crate) fn looks_like_serial(token: &str) -> bool {
+    let digits = token.bytes().filter(u8::is_ascii_digit).count();
+    if digits * 2 >= token.len() {
+        return true;
+    }
+    // Long all-hex tokens are serials even without digits dominating.
+    token.len() >= 8 && token.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_on_all_separators() {
+        assert_eq!(
+            tokenize("PWS:Win32/Zbot"),
+            vec!["pws", "win32", "zbot"]
+        );
+        assert_eq!(
+            tokenize("Downloader-FYH!6C7411D1C043"),
+            vec!["downloader", "fyh", "6c7411d1c043"]
+        );
+        assert_eq!(tokenize("TROJ_FAKEAV.SMU1"), vec!["troj", "fakeav", "smu1"]);
+    }
+
+    #[test]
+    fn tokenize_handles_empty_and_degenerate_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!..//--").is_empty());
+    }
+
+    #[test]
+    fn serial_detection() {
+        assert!(looks_like_serial("6c7411d1c043"));
+        assert!(!looks_like_serial("smu1")); // mostly alphabetic, short
+        assert!(!looks_like_serial("zbot"));
+        assert!(!looks_like_serial("fakeav"));
+        assert!(looks_like_serial("deadbeef"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests: the extractors must be total and deterministic
+//! on arbitrary label strings, and never emit nonsense.
+
+use downlake_avtype::{tokenize, BehaviorExtractor, FamilyExtractor, GENERIC_TOKENS};
+use proptest::prelude::*;
+
+fn arbitrary_label() -> impl Strategy<Value = String> {
+    // A mix of realistic label shapes and raw noise.
+    prop_oneof![
+        "[A-Za-z]{2,12}([.:/_-][A-Za-z0-9]{1,10}){0,4}",
+        "[ -~]{0,40}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tokenisation is total, lowercase, and free of separators.
+    #[test]
+    fn tokenize_is_clean(label in arbitrary_label()) {
+        for token in tokenize(&label) {
+            prop_assert!(!token.is_empty());
+            prop_assert!(token.chars().all(|c| c.is_ascii_alphanumeric()));
+            prop_assert_eq!(token.to_ascii_lowercase(), token.clone());
+            prop_assert!(label.to_ascii_lowercase().contains(&token));
+        }
+    }
+
+    /// Behaviour extraction never panics and is deterministic, whatever
+    /// the engines emit.
+    #[test]
+    fn behavior_extraction_is_total(
+        labels in proptest::collection::vec(arbitrary_label(), 0..6),
+    ) {
+        let extractor = BehaviorExtractor::new();
+        let pairs: Vec<(&str, &str)> = labels.iter().map(|l| ("X", l.as_str())).collect();
+        let a = extractor.extract(&pairs);
+        let b = extractor.extract(&pairs);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Family extraction never returns a generic/platform token, a
+    /// too-short token, or a serial fragment.
+    #[test]
+    fn family_is_never_generic(
+        labels in proptest::collection::vec(arbitrary_label(), 0..6),
+    ) {
+        let extractor = FamilyExtractor::new();
+        let pairs: Vec<(&str, &str)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (["A", "B", "C", "D", "E", "F"][i], l.as_str()))
+            .collect();
+        if let Some(family) = extractor.extract(&pairs) {
+            prop_assert!(family.len() >= 4, "family {family} too short");
+            prop_assert!(
+                !GENERIC_TOKENS.contains(&family.as_str()),
+                "generic token {family} leaked"
+            );
+            let digits = family.bytes().filter(u8::is_ascii_digit).count();
+            prop_assert!(digits * 2 < family.len(), "serial-like family {family}");
+        }
+    }
+
+    /// A single engine can never establish a family (threshold 2).
+    #[test]
+    fn single_engine_never_names_family(label in arbitrary_label()) {
+        let extractor = FamilyExtractor::new();
+        prop_assert_eq!(extractor.extract(&[("Solo", label.as_str())]), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! Round-trip tests: labels emitted by the ground-truth oracle's vendor
+//! grammars must be interpretable by the AVType reimplementation.
+
+use downlake_avtype::{BehaviorExtractor, FamilyExtractor, Resolution, ResolutionStats};
+use downlake_groundtruth::{engine_roster, EngineTier};
+use downlake_types::MalwareType;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Types whose informative vendor labels should round-trip exactly.
+const ROUNDTRIP_TYPES: [MalwareType; 9] = [
+    MalwareType::Dropper,
+    MalwareType::Banker,
+    MalwareType::Bot,
+    MalwareType::FakeAv,
+    MalwareType::Ransomware,
+    MalwareType::Worm,
+    MalwareType::Spyware,
+    MalwareType::Adware,
+    MalwareType::Pup,
+];
+
+#[test]
+fn informative_labels_round_trip_per_engine() {
+    let roster = engine_roster();
+    let extractor = BehaviorExtractor::new();
+    let mut rng = SmallRng::seed_from_u64(101);
+    for engine in roster.iter().filter(|e| e.tier == EngineTier::Trusted) {
+        for ty in ROUNDTRIP_TYPES {
+            let label = engine.render_label(ty, Some("testfam"), true, &mut rng);
+            let verdict = extractor.extract(&[(engine.name, label.as_str())]);
+            assert_eq!(
+                verdict.ty, ty,
+                "{}: label {label} interpreted as {} instead of {ty}",
+                engine.name, verdict.ty
+            );
+        }
+    }
+}
+
+#[test]
+fn uninformative_labels_degrade_to_generic_tier() {
+    let roster = engine_roster();
+    let extractor = BehaviorExtractor::new();
+    let mut rng = SmallRng::seed_from_u64(102);
+    for engine in &roster {
+        let label = engine.render_label(MalwareType::Ransomware, None, false, &mut rng);
+        let verdict = extractor.extract(&[(engine.name, label.as_str())]);
+        assert!(
+            !verdict.ty.is_specific(),
+            "{}: generic label {label} produced specific type {}",
+            engine.name,
+            verdict.ty
+        );
+    }
+}
+
+#[test]
+fn family_round_trips_when_two_engines_name_it() {
+    let roster = engine_roster();
+    let families = FamilyExtractor::new();
+    let mut rng = SmallRng::seed_from_u64(103);
+    let ms = roster.iter().find(|e| e.name == "Microsoft").unwrap();
+    let kasp = roster.iter().find(|e| e.name == "Kaspersky").unwrap();
+    let l1 = ms.render_label(MalwareType::Banker, Some("krendol"), true, &mut rng);
+    let l2 = kasp.render_label(MalwareType::Banker, Some("krendol"), true, &mut rng);
+    let fam = families.extract(&[("Microsoft", l1.as_str()), ("Kaspersky", l2.as_str())]);
+    assert_eq!(fam.as_deref(), Some("krendol"));
+}
+
+#[test]
+fn mixed_corpus_resolution_stats_have_paper_shape() {
+    // Build a corpus of synthetic multi-engine label sets and check that
+    // the no-conflict + voting + specificity buckets dominate and manual
+    // is rare (paper: 44% / 28% / 23% / 5%).
+    let roster = engine_roster();
+    let leading: Vec<_> = roster
+        .iter()
+        .filter(|e| downlake_groundtruth::LEADING_ENGINES.contains(&e.name))
+        .collect();
+    let extractor = BehaviorExtractor::new();
+    let mut rng = SmallRng::seed_from_u64(104);
+    let mut stats = ResolutionStats::default();
+    use rand::Rng;
+    for i in 0..600 {
+        let ty = ROUNDTRIP_TYPES[i % ROUNDTRIP_TYPES.len()];
+        let mut labels: Vec<(String, String)> = Vec::new();
+        for e in &leading {
+            if !rng.gen_bool(0.8) {
+                continue;
+            }
+            let informative = rng.gen_bool(0.7);
+            labels.push((
+                e.name.to_string(),
+                e.render_label(ty, Some("famtok"), informative, &mut rng),
+            ));
+        }
+        if labels.is_empty() {
+            continue;
+        }
+        let refs: Vec<(&str, &str)> = labels
+            .iter()
+            .map(|(n, l)| (n.as_str(), l.as_str()))
+            .collect();
+        stats.record(extractor.extract(&refs).resolution);
+    }
+    let total = stats.total() as f64;
+    assert!(stats.no_conflict as f64 / total > 0.15, "{stats:?}");
+    assert!(stats.manual as f64 / total < 0.15, "{stats:?}");
+    assert!(
+        (stats.voting + stats.specificity) as f64 / total > 0.2,
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn resolution_example_from_paper_worked_end_to_end() {
+    let extractor = BehaviorExtractor::new();
+    let verdict = extractor.extract(&[
+        ("Symantec", "Trojan.Zbot"),
+        ("McAfee", "Downloader-FYH!6C7411D1C043"),
+        ("Kaspersky", "Trojan-Spy.Win32.Zbot.ruxa"),
+        ("Microsoft", "PWS:Win32/Zbot"),
+    ]);
+    assert_eq!(verdict.ty, MalwareType::Banker);
+    assert_eq!(verdict.resolution, Resolution::Voting);
+}

@@ -1,0 +1,26 @@
+//! Ablation benches: runtime of each ablation study (the quality numbers
+//! are printed by the `ablations` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use downlake_bench::{ablation, tiny_study};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let data = ablation::ablation_data(tiny_study());
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("tau_sweep", |b| b.iter(|| black_box(ablation::tau_sweep(&data))));
+    group.bench_function("conflict_policies", |b| {
+        b.iter(|| black_box(ablation::conflict_policies(&data)))
+    });
+    group.bench_function("part_vs_tree", |b| {
+        b.iter(|| black_box(ablation::part_vs_tree(&data)))
+    });
+    group.bench_function("feature_ablation", |b| {
+        b.iter(|| black_box(ablation::feature_ablation(&data)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

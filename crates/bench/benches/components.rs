@@ -1,0 +1,113 @@
+//! Component micro-benches: the hot paths of each substrate crate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use downlake_avtype::{BehaviorExtractor, FamilyExtractor};
+use downlake_bench::tiny_study;
+use downlake_features::{build_training_set, Extractor};
+use downlake_groundtruth::VirusTotalSim;
+use downlake_rulelearn::{ConflictPolicy, PartLearner, TreeConfig};
+use downlake_types::{effective_second_level_domain, FileHash, LatentProfile, Timestamp, Url};
+use std::hint::black_box;
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group.sample_size(20);
+
+    // e2LD extraction / URL parsing.
+    let hosts = [
+        "dl3.files.softonic.com",
+        "cdn.baixaki.com.br",
+        "a.b.c.example.co.uk",
+        "192.168.10.4",
+        "wipmsc.ru",
+    ];
+    group.throughput(Throughput::Elements(hosts.len() as u64));
+    group.bench_function("e2ld_extraction", |b| {
+        b.iter(|| {
+            for host in hosts {
+                black_box(effective_second_level_domain(black_box(host)));
+            }
+        })
+    });
+    group.bench_function("url_parse", |b| {
+        b.iter(|| {
+            black_box(
+                "http://dl3.files.softonic.com/pkg/setup_v2.exe"
+                    .parse::<Url>()
+                    .unwrap(),
+            )
+        })
+    });
+
+    // AV label interpretation (AVType) and family extraction.
+    let labels = [
+        ("Symantec", "Trojan.Zbot"),
+        ("McAfee", "Downloader-FYH!6C7411D1C043"),
+        ("Kaspersky", "Trojan-Spy.Win32.Zbot.ruxa"),
+        ("Microsoft", "PWS:Win32/Zbot"),
+    ];
+    let behavior = BehaviorExtractor::new();
+    group.bench_function("avtype_extract", |b| {
+        b.iter(|| black_box(behavior.extract(black_box(&labels))))
+    });
+    let families = FamilyExtractor::new();
+    group.bench_function("avclass_family", |b| {
+        b.iter(|| black_box(families.extract(black_box(&labels))))
+    });
+
+    // VirusTotal scan simulation.
+    let vt = VirusTotalSim::new(7);
+    let profile = LatentProfile::malicious(
+        downlake_types::FileNature::Malicious(downlake_types::MalwareType::Dropper),
+        Some("somoto".into()),
+        0.95,
+        0.9,
+    );
+    group.bench_function("vt_scan", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(vt.scan(FileHash::from_raw(i), &profile, Timestamp::from_day(3)))
+        })
+    });
+
+    // Feature extraction + PART training + classification on real data.
+    let study = tiny_study();
+    let extractor = Extractor::new(study.dataset(), study.url_labeler());
+    group.bench_function("feature_extract_event", |b| {
+        let event = &study.dataset().events()[0];
+        b.iter(|| black_box(extractor.extract_event(black_box(event))))
+    });
+
+    let gt = study.ground_truth();
+    let vectors = extractor.extract_files();
+    let instances =
+        build_training_set(vectors.iter().map(|(&h, v)| (v, gt.label(h))));
+    group.bench_function("part_learn", |b| {
+        let learner = PartLearner::new(TreeConfig {
+            min_leaf: 4,
+            prune: false,
+            ..TreeConfig::default()
+        });
+        b.iter(|| black_box(learner.learn(black_box(&instances))))
+    });
+
+    let set = PartLearner::new(TreeConfig {
+        min_leaf: 4,
+        prune: false,
+        ..TreeConfig::default()
+    })
+    .learn(&instances)
+    .reevaluate(&instances)
+    .select_with(0.001, 10);
+    let sample = vectors.values().next().expect("nonempty");
+    group.bench_function("ruleset_classify", |b| {
+        let encoded = set.schema().encode(&sample.values());
+        b.iter(|| black_box(set.classify(black_box(&encoded), ConflictPolicy::Reject)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regeneration benches: one benchmark per paper figure (Figs. 1–6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use downlake::experiments;
+use downlake_bench::tiny_study;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let study = tiny_study();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig1", |b| b.iter(|| black_box(experiments::fig1(study))));
+    group.bench_function("fig2", |b| b.iter(|| black_box(experiments::fig2(study))));
+    group.bench_function("fig3", |b| b.iter(|| black_box(experiments::fig3(study))));
+    group.bench_function("fig4", |b| b.iter(|| black_box(experiments::fig4(study))));
+    group.bench_function("fig5", |b| b.iter(|| black_box(experiments::fig5(study))));
+    group.bench_function("fig6", |b| b.iter(|| black_box(experiments::fig6(study))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

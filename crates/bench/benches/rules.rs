@@ -1,0 +1,24 @@
+//! Regeneration benches for the rule-system experiments (Tables XVI/XVII)
+//! and the end-to-end study pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use downlake::{experiments, Study, StudyConfig};
+use downlake_bench::tiny_study;
+use downlake_synth::Scale;
+use std::hint::black_box;
+
+fn bench_rules(c: &mut Criterion) {
+    let study = tiny_study();
+    let mut group = c.benchmark_group("rules");
+    group.sample_size(10);
+    group.bench_function("table16_and_17", |b| {
+        b.iter(|| black_box(experiments::rule_experiments(study)))
+    });
+    group.bench_function("full_pipeline_tiny", |b| {
+        b.iter(|| black_box(Study::run(&StudyConfig::new(7).with_scale(Scale::Tiny))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules);
+criterion_main!(benches);

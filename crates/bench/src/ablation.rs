@@ -1,0 +1,310 @@
+//! Ablation studies for the design choices `DESIGN.md` calls out:
+//!
+//! * **τ sweep** — rule-selection threshold vs TP/FP/coverage;
+//! * **conflict policy** — rejection vs majority vote vs first match;
+//! * **PART vs C4.5** — independent rules vs deploying the whole tree;
+//! * **feature ablation** — drop one feature, measure rule quality;
+//! * **σ sweep** — the reporting cap's effect on measured prevalence.
+
+use downlake::{Study, StudyConfig};
+use downlake_analysis::prevalence_report;
+use downlake_features::{build_training_set, Extractor, FeatureVector, FEATURE_NAMES};
+use downlake_rulelearn::{
+    ConflictPolicy, Confusion, DecisionTree, Instances, PartLearner, TreeConfig, Verdict,
+};
+use downlake_synth::Scale;
+use downlake_types::{FileHash, FileLabel, Month};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Feature vectors of one month, keyed by file.
+type MonthVectors = HashMap<FileHash, FeatureVector>;
+
+/// Train/test material for the rule ablations.
+#[derive(Debug)]
+pub struct AblationData {
+    /// Training month vectors.
+    pub train: MonthVectors,
+    /// Test month vectors.
+    pub test: MonthVectors,
+    /// The training instances.
+    pub instances: Instances,
+    /// Test `(vector, is_malicious)` pairs (confident labels only, train
+    /// files excluded).
+    pub test_rows: Vec<(FeatureVector, bool)>,
+}
+
+/// Extracts one month pair's material from a study.
+pub fn ablation_data(study: &Study) -> AblationData {
+    let extractor = Extractor::new(study.dataset(), study.url_labeler());
+    let gt = study.ground_truth();
+    let month_vecs = |m: Month| -> MonthVectors {
+        let mut map = MonthVectors::new();
+        for event in study.dataset().month(m).events() {
+            map.entry(event.file)
+                .or_insert_with(|| extractor.extract_event(event));
+        }
+        map
+    };
+    let train = month_vecs(Month::January);
+    let test = month_vecs(Month::February);
+    let instances = build_training_set(train.iter().map(|(&h, v)| (v, gt.label(h))));
+    let test_rows: Vec<(FeatureVector, bool)> = test
+        .iter()
+        .filter(|(h, _)| !train.contains_key(h))
+        .filter_map(|(&h, v)| match gt.label(h) {
+            FileLabel::Benign => Some((v.clone(), false)),
+            FileLabel::Malicious => Some((v.clone(), true)),
+            _ => None,
+        })
+        .collect();
+    AblationData {
+        train,
+        test,
+        instances,
+        test_rows,
+    }
+}
+
+fn experiment_learner() -> PartLearner {
+    PartLearner::new(TreeConfig {
+        min_leaf: 4,
+        prune: false,
+        ..TreeConfig::default()
+    })
+}
+
+/// One row of an ablation table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityRow {
+    /// Variant label.
+    pub variant: String,
+    /// Rules deployed (0 for tree baselines).
+    pub rules: usize,
+    /// Confusion over the test rows.
+    pub confusion: Confusion,
+}
+
+impl fmt::Display for QualityRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} rules={:<5} decided={:<5} TP={:>6.2}% FP={:>6.2}% rejected={} unmatched={}",
+            self.variant,
+            self.rules,
+            self.confusion.decided(),
+            100.0 * self.confusion.tp_rate(),
+            100.0 * self.confusion.fp_rate(),
+            self.confusion.rejected,
+            self.confusion.unmatched,
+        )
+    }
+}
+
+fn evaluate_rules(
+    data: &AblationData,
+    tau: f64,
+    min_coverage: usize,
+    policy: ConflictPolicy,
+) -> QualityRow {
+    let set = experiment_learner()
+        .learn(&data.instances)
+        .reevaluate(&data.instances)
+        .select_with(tau, min_coverage);
+    let mut confusion = Confusion::default();
+    for (vector, malicious) in &data.test_rows {
+        let encoded = set.schema().encode(&vector.values());
+        let verdict = set.classify(&encoded, policy);
+        confusion.record(verdict, u8::from(*malicious), 1);
+    }
+    QualityRow {
+        variant: format!("τ={:.2}% cov≥{} {:?}", tau * 100.0, min_coverage, policy),
+        rules: set.len(),
+        confusion,
+    }
+}
+
+/// τ sweep at the standard support floor and rejection policy.
+pub fn tau_sweep(data: &AblationData) -> Vec<QualityRow> {
+    [0.0, 0.001, 0.005, 0.01, 0.05, 0.10]
+        .into_iter()
+        .map(|tau| evaluate_rules(data, tau, 10, ConflictPolicy::Reject))
+        .collect()
+}
+
+/// Conflict-policy comparison at τ = 0.1%.
+pub fn conflict_policies(data: &AblationData) -> Vec<QualityRow> {
+    [
+        ConflictPolicy::Reject,
+        ConflictPolicy::MajorityVote,
+        ConflictPolicy::FirstMatch,
+    ]
+    .into_iter()
+    .map(|policy| evaluate_rules(data, 0.001, 10, policy))
+    .collect()
+}
+
+/// Support-floor sweep at τ = 0.1%.
+pub fn coverage_sweep(data: &AblationData) -> Vec<QualityRow> {
+    [0, 4, 10, 25, 50]
+        .into_iter()
+        .map(|cov| evaluate_rules(data, 0.001, cov, ConflictPolicy::Reject))
+        .collect()
+}
+
+/// PART rule set vs deploying a whole C4.5 decision tree (§VI-D's
+/// argument for per-rule selection).
+pub fn part_vs_tree(data: &AblationData) -> Vec<QualityRow> {
+    let mut rows = vec![evaluate_rules(data, 0.001, 10, ConflictPolicy::Reject)];
+    for (label, config) in [
+        ("C4.5 tree (pruned)", TreeConfig::default()),
+        (
+            "C4.5 tree (unpruned)",
+            TreeConfig {
+                prune: false,
+                ..TreeConfig::default()
+            },
+        ),
+    ] {
+        let tree = DecisionTree::learn(&data.instances, config);
+        let mut confusion = Confusion::default();
+        for (vector, malicious) in &data.test_rows {
+            let encoded = data.instances.schema().encode(&vector.values());
+            let class = tree.classify(&encoded);
+            confusion.record(Verdict::Class(class), u8::from(*malicious), 1);
+        }
+        rows.push(QualityRow {
+            variant: label.to_owned(),
+            rules: 0,
+            confusion,
+        });
+    }
+    rows
+}
+
+/// Feature ablation: blank out one feature at a time and re-learn.
+pub fn feature_ablation(data: &AblationData) -> Vec<QualityRow> {
+    let mut rows = vec![evaluate_rules(data, 0.001, 10, ConflictPolicy::Reject)];
+    for drop in 0..FEATURE_NAMES.len() {
+        // Rebuild instances with feature `drop` forced constant.
+        let gt_rows: Vec<(FeatureVector, bool)> = data.test_rows.clone();
+        let mut builder = downlake_rulelearn::InstancesBuilder::new(
+            &FEATURE_NAMES,
+            &["benign", "malicious"],
+        );
+        for row in data.instances.rows() {
+            let values: Vec<&str> = (0..FEATURE_NAMES.len())
+                .map(|attr| {
+                    if attr == drop {
+                        "(ablated)"
+                    } else {
+                        data.instances.schema().attrs()[attr].value(row.values[attr])
+                    }
+                })
+                .collect();
+            builder.push(
+                &values,
+                if row.class == 1 { "malicious" } else { "benign" },
+            );
+        }
+        let instances = builder.build();
+        let set = experiment_learner()
+            .learn(&instances)
+            .reevaluate(&instances)
+            .select_with(0.001, 10);
+        let mut confusion = Confusion::default();
+        for (vector, malicious) in &gt_rows {
+            let mut raw = vector.values();
+            raw[drop] = "(ablated)";
+            let encoded = set.schema().encode(&raw);
+            confusion.record(
+                set.classify(&encoded, ConflictPolicy::Reject),
+                u8::from(*malicious),
+                1,
+            );
+        }
+        rows.push(QualityRow {
+            variant: format!("without {}", FEATURE_NAMES[drop]),
+            rules: set.len(),
+            confusion,
+        });
+    }
+    rows
+}
+
+/// σ sweep: regenerate tiny worlds with different reporting caps and
+/// report the measured prevalence shape.
+pub fn sigma_sweep(seed: u64) -> Vec<String> {
+    [5u32, 20, 60]
+        .into_iter()
+        .map(|sigma| {
+            let mut config = StudyConfig::new(seed).with_scale(Scale::Tiny);
+            config.synth.sigma = sigma;
+            let study = Study::run(&config);
+            let view = study.label_view();
+            let report = prevalence_report(study.dataset(), &view, sigma as usize);
+            format!(
+                "σ={sigma:<3} P(prev=1)={:.1}%  capped={:.2}%  mean prevalence={:.2}",
+                report.prevalence_one_share, report.capped_share, report.means.0
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiny_study;
+
+    #[test]
+    fn ablation_data_is_usable() {
+        let data = ablation_data(tiny_study());
+        assert!(!data.instances.is_empty());
+        assert!(!data.test_rows.is_empty());
+    }
+
+    #[test]
+    fn tau_sweep_is_monotone_in_rules() {
+        let data = ablation_data(tiny_study());
+        let rows = tau_sweep(&data);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].rules <= pair[1].rules,
+                "looser τ must admit at least as many rules"
+            );
+        }
+    }
+
+    #[test]
+    fn rejection_never_has_more_fps_than_first_match() {
+        let data = ablation_data(tiny_study());
+        let rows = conflict_policies(&data);
+        let reject = &rows[0].confusion;
+        let first = &rows[2].confusion;
+        assert!(reject.false_positives <= first.false_positives);
+    }
+
+    #[test]
+    fn tree_baseline_decides_everything() {
+        let data = ablation_data(tiny_study());
+        let rows = part_vs_tree(&data);
+        let tree = &rows[1].confusion;
+        assert_eq!(tree.unmatched, 0);
+        assert_eq!(tree.rejected, 0);
+        assert_eq!(tree.decided(), data.test_rows.len());
+    }
+
+    #[test]
+    fn feature_ablation_has_one_row_per_feature() {
+        let data = ablation_data(tiny_study());
+        let rows = feature_ablation(&data);
+        assert_eq!(rows.len(), 1 + FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn sigma_sweep_reports_three_settings() {
+        let rows = sigma_sweep(7);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].starts_with("σ=5"));
+    }
+}

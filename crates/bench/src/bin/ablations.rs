@@ -1,0 +1,42 @@
+//! Prints the quality side of every ablation study.
+//!
+//! ```text
+//! cargo run --release -p downlake-bench --bin ablations
+//! ```
+
+use downlake_bench::ablation;
+
+fn main() {
+    println!("building 1/64-scale study (seed 42)…\n");
+    let data = ablation::ablation_data(downlake_bench::small_study());
+
+    println!("== τ sweep (selection threshold vs quality) ==");
+    for row in ablation::tau_sweep(&data) {
+        println!("  {row}");
+    }
+
+    println!("\n== support-floor sweep (min rule coverage at τ=0.1%) ==");
+    for row in ablation::coverage_sweep(&data) {
+        println!("  {row}");
+    }
+
+    println!("\n== conflict policy (τ=0.1%, cov≥10) ==");
+    for row in ablation::conflict_policies(&data) {
+        println!("  {row}");
+    }
+
+    println!("\n== PART rules vs whole C4.5 tree ==");
+    for row in ablation::part_vs_tree(&data) {
+        println!("  {row}");
+    }
+
+    println!("\n== feature ablation (drop one feature, re-learn) ==");
+    for row in ablation::feature_ablation(&data) {
+        println!("  {row}");
+    }
+
+    println!("\n== σ (reporting cap) sweep on tiny worlds ==");
+    for line in ablation::sigma_sweep(42) {
+        println!("  {line}");
+    }
+}

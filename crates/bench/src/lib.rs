@@ -1,0 +1,28 @@
+//! Benchmark support library: shared study fixtures and the ablation
+//! studies for the design choices called out in `DESIGN.md`.
+//!
+//! The criterion benches (`benches/`) regenerate every paper table and
+//! figure against fixtures built here; the `ablations` binary prints the
+//! quality side of each ablation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod ablation;
+
+use downlake::{Study, StudyConfig};
+use downlake_synth::Scale;
+use std::sync::OnceLock;
+
+/// A process-wide tiny study (1/256 scale, seed 42) for cheap benches.
+pub fn tiny_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(&StudyConfig::new(42).with_scale(Scale::Tiny)))
+}
+
+/// A process-wide small study (1/64 scale, seed 42) for the heavier
+/// regeneration benches and ablations.
+pub fn small_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(&StudyConfig::new(42).with_scale(Scale::Small)))
+}

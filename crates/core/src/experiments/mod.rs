@@ -1,0 +1,604 @@
+//! Regeneration functions for every table and figure of the paper's
+//! evaluation. Each function consumes a completed [`Study`] and returns a
+//! renderable [`TextTable`] or [`Figure`].
+
+mod baselines;
+mod evasion;
+mod rules;
+
+pub use baselines::{
+    baselines_table, domain_reputation, graph_reputation, BaselineReport, BucketEval,
+};
+
+pub use evasion::{
+    evasion_rows, evasion_table, expansion_reach, expansion_reach_table, EvasionRow,
+    EvasionStrategy, ExpansionReach,
+};
+pub use rules::{
+    render_table16, render_table17, rule_experiments, table15, table16, table17,
+    RuleExperimentOutcome, RuleRoundReport, TAU_SETTINGS,
+};
+
+use crate::pipeline::Study;
+use crate::render::{Figure, TextTable};
+use downlake_analysis::{
+    browser_behavior, category_behavior, domain_popularity, escalation_cdf, files_per_domain,
+    malicious_process_behavior, monthly_summary, packer_report, prevalence_report,
+    rank_distribution, top_domains_by_downloads, type_domain_tables, unknown_download_categories,
+    EscalationKind, ProcessBehaviorRow, RankSource,
+};
+use downlake_types::{FileLabel, MalwareType};
+use std::collections::BTreeMap;
+
+fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+fn pct2(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+/// Table I: monthly summary of collected data, plus the Overall row.
+pub fn table1(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let rows = monthly_summary(study.dataset(), &view, |e2ld| {
+        study.url_labeler().label_e2ld(e2ld)
+    });
+    let overall = overall_row(study, &view);
+    let mut table = TextTable::new(
+        "Table I — Monthly summary of collected data",
+        &[
+            "Month", "Machines", "Events", "Procs", "P-ben", "P-lben", "P-mal", "P-lmal",
+            "Files", "F-ben", "F-lben", "F-mal", "F-lmal", "URLs", "U-ben", "U-mal",
+        ],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.month.to_string(),
+            r.machines.to_string(),
+            r.events.to_string(),
+            r.processes.to_string(),
+            pct(r.process_shares.benign),
+            pct(r.process_shares.likely_benign),
+            pct(r.process_shares.malicious),
+            pct(r.process_shares.likely_malicious),
+            r.files.to_string(),
+            pct(r.file_shares.benign),
+            pct(r.file_shares.likely_benign),
+            pct(r.file_shares.malicious),
+            pct(r.file_shares.likely_malicious),
+            r.urls.to_string(),
+            pct(r.url_benign),
+            pct(r.url_malicious),
+        ]);
+    }
+    table.push_row(overall);
+    table
+}
+
+/// The Table I "Overall" row: distinct counts over the whole window.
+fn overall_row(study: &Study, view: &downlake_analysis::LabelView<'_>) -> Vec<String> {
+    use downlake_types::{FileLabel, UrlLabel};
+    let ds = study.dataset();
+    let stats = ds.stats();
+
+    let mut file_counts = [0usize; 4];
+    for record in ds.files().iter() {
+        bump_label(&mut file_counts, view.label(record.hash));
+    }
+    let mut process_counts = [0usize; 4];
+    for record in ds.processes().iter() {
+        bump_label(&mut process_counts, view.label(record.hash));
+    }
+    let mut url_benign = 0usize;
+    let mut url_malicious = 0usize;
+    for (_, url) in ds.urls().iter() {
+        match study.url_labeler().label_e2ld(url.e2ld()) {
+            UrlLabel::Benign => url_benign += 1,
+            UrlLabel::Malicious => url_malicious += 1,
+            UrlLabel::Unknown => {}
+        }
+    }
+    fn bump_label(counts: &mut [usize; 4], label: FileLabel) {
+        match label {
+            FileLabel::Benign => counts[0] += 1,
+            FileLabel::LikelyBenign => counts[1] += 1,
+            FileLabel::Malicious => counts[2] += 1,
+            FileLabel::LikelyMalicious => counts[3] += 1,
+            FileLabel::Unknown => {}
+        }
+    }
+    let share = |n: usize, total: usize| {
+        if total == 0 {
+            "0.0%".to_owned()
+        } else {
+            format!("{:.1}%", 100.0 * n as f64 / total as f64)
+        }
+    };
+    vec![
+        "Overall".to_owned(),
+        stats.machines.to_string(),
+        stats.events.to_string(),
+        stats.processes.to_string(),
+        share(process_counts[0], stats.processes),
+        share(process_counts[1], stats.processes),
+        share(process_counts[2], stats.processes),
+        share(process_counts[3], stats.processes),
+        stats.files.to_string(),
+        share(file_counts[0], stats.files),
+        share(file_counts[1], stats.files),
+        share(file_counts[2], stats.files),
+        share(file_counts[3], stats.files),
+        stats.urls.to_string(),
+        share(url_benign, stats.urls),
+        share(url_malicious, stats.urls),
+    ]
+}
+
+/// Fig. 1: distribution of malware families (top 25).
+pub fn fig1(study: &Study) -> TextTable {
+    let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut unnamed = 0u64;
+    let mut named = 0u64;
+    let view = study.label_view();
+    for record in study.dataset().files().iter() {
+        if view.label(record.hash) != FileLabel::Malicious {
+            continue;
+        }
+        match study.types().family(record.hash) {
+            Some(f) => {
+                *counts.entry(f).or_insert(0) += 1;
+                named += 1;
+            }
+            None => unnamed += 1,
+        }
+    }
+    let mut rows: Vec<(&str, u64)> = counts.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    rows.truncate(25);
+    let mut table = TextTable::new(
+        format!(
+            "Fig. 1 — Top 25 malware families ({} named, {} unnamed = {:.0}% unnameable)",
+            named,
+            unnamed,
+            100.0 * unnamed as f64 / (named + unnamed).max(1) as f64
+        ),
+        &["family", "# samples"],
+    );
+    for (family, n) in rows {
+        table.push_row(vec![family.to_owned(), n.to_string()]);
+    }
+    table
+}
+
+/// Table II: breakdown of malicious files per behaviour type.
+pub fn table2(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let mut counts: BTreeMap<MalwareType, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for record in study.dataset().files().iter() {
+        if view.label(record.hash) != FileLabel::Malicious {
+            continue;
+        }
+        let ty = view.malware_type(record.hash).unwrap_or(MalwareType::Undefined);
+        *counts.entry(ty).or_insert(0) += 1;
+        total += 1;
+    }
+    let mut table = TextTable::new(
+        "Table II — Breakdown of downloaded malicious files per type",
+        &["Type", "Share"],
+    );
+    for ty in MalwareType::ALL {
+        let n = counts.get(&ty).copied().unwrap_or(0);
+        table.push_row(vec![
+            ty.name().to_owned(),
+            pct2(100.0 * n as f64 / total.max(1) as f64),
+        ]);
+    }
+    table
+}
+
+/// Fig. 2: prevalence of downloaded files, per class.
+pub fn fig2(study: &Study) -> Figure {
+    let view = study.label_view();
+    let report = prevalence_report(
+        study.dataset(),
+        &view,
+        study.config().synth.sigma as usize,
+    );
+    let mut fig = Figure::new(
+        format!(
+            "Fig. 2 — File prevalence (P(1)={:.1}%, capped={:.2}%, machines touching unknown={:.1}%)",
+            report.prevalence_one_share, report.capped_share, report.machines_touching_unknown
+        ),
+        "prevalence",
+        "CCDF-style counts",
+    );
+    let to_points = |m: &BTreeMap<usize, usize>| -> Vec<(f64, f64)> {
+        let total: usize = m.values().sum();
+        let mut cum = 0usize;
+        m.iter()
+            .map(|(&p, &n)| {
+                cum += n;
+                (p as f64, cum as f64 / total.max(1) as f64)
+            })
+            .collect()
+    };
+    fig.push_series("all", to_points(&report.all));
+    fig.push_series("benign", to_points(&report.benign));
+    fig.push_series("malicious", to_points(&report.malicious));
+    fig.push_series("unknown", to_points(&report.unknown));
+    fig
+}
+
+/// Table III: domains with the highest download popularity.
+pub fn table3(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let [overall, benign, malicious] = domain_popularity(study.dataset(), &view, 10);
+    let mut table = TextTable::new(
+        "Table III — Domains with highest download popularity (distinct machines)",
+        &["Overall", "#m", "Benign", "#m", "Malicious", "#m"],
+    );
+    for i in 0..10 {
+        let cell = |v: &[downlake_analysis::DomainCount], i: usize| -> (String, String) {
+            v.get(i)
+                .map(|d| (d.domain.clone(), d.count.to_string()))
+                .unwrap_or_default()
+        };
+        let (o, oc) = cell(&overall, i);
+        let (b, bc) = cell(&benign, i);
+        let (m, mc) = cell(&malicious, i);
+        if o.is_empty() && b.is_empty() && m.is_empty() {
+            break;
+        }
+        table.push_row(vec![o, oc, b, bc, m, mc]);
+    }
+    table
+}
+
+/// Table IV: number of distinct files served per domain.
+pub fn table4(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let [benign, malicious] = files_per_domain(study.dataset(), &view, 10);
+    let mut table = TextTable::new(
+        "Table IV — Number of files served per domain (top 10)",
+        &["Benign domain", "#files", "Malicious domain", "#files"],
+    );
+    for i in 0..10 {
+        let b = benign.get(i);
+        let m = malicious.get(i);
+        if b.is_none() && m.is_none() {
+            break;
+        }
+        table.push_row(vec![
+            b.map(|d| d.domain.clone()).unwrap_or_default(),
+            b.map(|d| d.count.to_string()).unwrap_or_default(),
+            m.map(|d| d.domain.clone()).unwrap_or_default(),
+            m.map(|d| d.count.to_string()).unwrap_or_default(),
+        ]);
+    }
+    table
+}
+
+fn rank_source(study: &Study) -> RankSource<'_> {
+    RankSource::new(move |e2ld| study.url_labeler().rank(e2ld).rank())
+}
+
+/// Fig. 3: Alexa-rank distribution of benign vs malicious hosting domains.
+pub fn fig3(study: &Study) -> Figure {
+    let view = study.label_view();
+    let ranks = rank_source(study);
+    let (benign, benign_unranked) =
+        rank_distribution(study.dataset(), &view, &ranks, FileLabel::Benign);
+    let (malicious, malicious_unranked) =
+        rank_distribution(study.dataset(), &view, &ranks, FileLabel::Malicious);
+    let mut fig = Figure::new(
+        format!(
+            "Fig. 3 — Alexa ranks of hosting domains (unranked: benign={benign_unranked}, malicious={malicious_unranked})"
+        ),
+        "alexa rank",
+        "CDF",
+    );
+    fig.push_series("benign", benign.points(64));
+    fig.push_series("malicious", malicious.points(64));
+    fig
+}
+
+/// Table V: popular download domains per type of malicious file.
+pub fn table5(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let tables = type_domain_tables(study.dataset(), &view, 5);
+    let mut table = TextTable::new(
+        "Table V — Popular download domains per type of malicious file",
+        &["Type", "Domain", "#files"],
+    );
+    for ty in MalwareType::ALL {
+        if let Some(rows) = tables.get(&ty) {
+            for d in rows {
+                table.push_row(vec![
+                    ty.name().to_owned(),
+                    d.domain.clone(),
+                    d.count.to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Table VI: percentage of signed files per class.
+pub fn table6(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let rows = downlake_analysis::signing_rates_table(study.dataset(), &view);
+    let mut table = TextTable::new(
+        "Table VI — Percentage of signed benign, unknown, and malicious files",
+        &["Type", "# files", "Signed", "# from browsers", "Signed (browsers)"],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.class,
+            r.files.to_string(),
+            pct(r.signed_pct),
+            r.browser_files.to_string(),
+            pct(r.browser_signed_pct),
+        ]);
+    }
+    table
+}
+
+/// Table VII: common signers among malicious file types.
+pub fn table7(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let rows = downlake_analysis::signer_overlap(study.dataset(), &view);
+    let mut table = TextTable::new(
+        "Table VII — Common signers among malicious file types",
+        &["Type", "# signers", "In common with benign"],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.class,
+            r.signers.to_string(),
+            r.common_with_benign.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Table VIII: top signers of different file types.
+pub fn table8(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let report = downlake_analysis::top_signers(study.dataset(), &view, 3);
+    let mut table = TextTable::new(
+        "Table VIII — Top signers of different file types",
+        &["Type", "Top signers", "Top common with benign", "Top exclusive to malware"],
+    );
+    let join = |v: &[(String, u64)]| {
+        v.iter()
+            .map(|(s, _)| s.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    for (ty, top, common, exclusive) in &report.per_type {
+        table.push_row(vec![
+            ty.clone(),
+            join(top),
+            join(common),
+            join(exclusive),
+        ]);
+    }
+    table
+}
+
+/// Table IX: top exclusively-benign and exclusively-malicious signers.
+pub fn table9(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let report = downlake_analysis::top_signers(study.dataset(), &view, 10);
+    let mut table = TextTable::new(
+        "Table IX — Top signers that exclusively signed benign or malicious files",
+        &["Benign signer", "# files", "Malicious signer", "# files"],
+    );
+    for i in 0..10 {
+        let b = report.benign_exclusive.get(i);
+        let m = report.malicious_exclusive.get(i);
+        if b.is_none() && m.is_none() {
+            break;
+        }
+        table.push_row(vec![
+            b.map(|(s, _)| s.clone()).unwrap_or_default(),
+            b.map(|(_, n)| n.to_string()).unwrap_or_default(),
+            m.map(|(s, _)| s.clone()).unwrap_or_default(),
+            m.map(|(_, n)| n.to_string()).unwrap_or_default(),
+        ]);
+    }
+    table
+}
+
+/// Fig. 4: common signers between malicious and benign files (scatter).
+pub fn fig4(study: &Study) -> Figure {
+    let view = study.label_view();
+    let report = downlake_analysis::top_signers(study.dataset(), &view, 10);
+    let mut fig = Figure::new(
+        format!(
+            "Fig. 4 — Common signers between malicious and benign files ({} shared signers)",
+            report.scatter.len()
+        ),
+        "# benign files",
+        "# malicious files",
+    );
+    fig.push_series(
+        "shared signers",
+        report
+            .scatter
+            .iter()
+            .map(|p| (p.benign_files as f64, p.malicious_files as f64))
+            .collect(),
+    );
+    fig
+}
+
+/// §IV-C packer statistics (prose numbers rendered as a table).
+pub fn packers(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let report = packer_report(study.dataset(), &view);
+    let mut table = TextTable::new(
+        "§IV-C — Packer usage overlap",
+        &["Metric", "Value"],
+    );
+    table.push_row(vec!["benign files packed".into(), pct(report.benign_packed_pct)]);
+    table.push_row(vec![
+        "malicious files packed".into(),
+        pct(report.malicious_packed_pct),
+    ]);
+    table.push_row(vec!["distinct packers".into(), report.total_packers.to_string()]);
+    table.push_row(vec!["shared packers".into(), report.shared_packers.to_string()]);
+    table.push_row(vec![
+        "malicious-exclusive packers".into(),
+        report.malicious_only.len().to_string(),
+    ]);
+    table.push_row(vec![
+        "example malicious-exclusive".into(),
+        report.malicious_only.iter().take(3).cloned().collect::<Vec<_>>().join(", "),
+    ]);
+    table.push_row(vec![
+        "example shared".into(),
+        report.shared.iter().take(4).cloned().collect::<Vec<_>>().join(", "),
+    ]);
+    table
+}
+
+fn behavior_table(title: &str, rows: Vec<ProcessBehaviorRow>) -> TextTable {
+    let mut table = TextTable::new(
+        title,
+        &[
+            "Row", "Procs", "Machines", "Unknown", "Benign", "Malicious", "Infected",
+            "Top malicious types",
+        ],
+    );
+    for r in rows {
+        let mix = r
+            .type_mix
+            .iter()
+            .take(4)
+            .map(|(ty, p)| format!("{}={:.1}%", ty.name(), p))
+            .collect::<Vec<_>>()
+            .join(", ");
+        table.push_row(vec![
+            r.label,
+            r.processes.to_string(),
+            r.machines.to_string(),
+            r.unknown_files.to_string(),
+            r.benign_files.to_string(),
+            r.malicious_files.to_string(),
+            pct(r.infected_pct),
+            mix,
+        ]);
+    }
+    table
+}
+
+/// Table X: download behaviour of benign processes by category.
+pub fn table10(study: &Study) -> TextTable {
+    let view = study.label_view();
+    behavior_table(
+        "Table X — Download behavior of benign processes (by category)",
+        category_behavior(study.dataset(), &view),
+    )
+}
+
+/// Table XI: download behaviour per browser.
+pub fn table11(study: &Study) -> TextTable {
+    let view = study.label_view();
+    behavior_table(
+        "Table XI — Download behavior of benign browser processes",
+        browser_behavior(study.dataset(), &view),
+    )
+}
+
+/// Table XII: download behaviour of malicious processes per type.
+pub fn table12(study: &Study) -> TextTable {
+    let view = study.label_view();
+    behavior_table(
+        "Table XII — Download behavior of malicious processes (by type)",
+        malicious_process_behavior(study.dataset(), &view),
+    )
+}
+
+/// Fig. 5: time delta between benign/adware/pup/dropper and other malware.
+pub fn fig5(study: &Study) -> Figure {
+    let view = study.label_view();
+    let report = escalation_cdf(study.dataset(), &view);
+    let mut fig = Figure::new(
+        "Fig. 5 — Time delta between downloading benign/adware/pup/dropper and other malware",
+        "days",
+        "CDF",
+    );
+    for (kind, cdf, n) in &report.curves {
+        fig.push_series(format!("{} (n={n})", kind.name()), cdf.points(32));
+    }
+    fig
+}
+
+/// Convenience: the same report as [`fig5`], as quantile rows.
+pub fn fig5_quantiles(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let report = escalation_cdf(study.dataset(), &view);
+    let mut table = TextTable::new(
+        "Fig. 5 (quantiles) — share of machines escalating within N days",
+        &["Seed", "day 0", "≤5 days", "≤30 days", "samples"],
+    );
+    for kind in EscalationKind::ALL {
+        if let Some(cdf) = report.curve(kind) {
+            table.push_row(vec![
+                kind.name().to_owned(),
+                pct(100.0 * cdf.eval(0.0)),
+                pct(100.0 * cdf.eval(5.0)),
+                pct(100.0 * cdf.eval(30.0)),
+                cdf.len().to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Fig. 6: Alexa-rank distribution of domains hosting unknown files.
+pub fn fig6(study: &Study) -> Figure {
+    let view = study.label_view();
+    let ranks = rank_source(study);
+    let (unknown, unranked) =
+        rank_distribution(study.dataset(), &view, &ranks, FileLabel::Unknown);
+    let mut fig = Figure::new(
+        format!("Fig. 6 — Alexa ranks of domains hosting unknown files (unranked={unranked})"),
+        "alexa rank",
+        "CDF",
+    );
+    fig.push_series("unknown", unknown.points(64));
+    fig
+}
+
+/// Table XIII: top 10 domains serving unknown files (by downloads).
+pub fn table13(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let rows = top_domains_by_downloads(study.dataset(), &view, FileLabel::Unknown, 10);
+    let mut table = TextTable::new(
+        "Table XIII — Top 10 download domains (unknown files)",
+        &["Domain", "# downloads"],
+    );
+    for d in rows {
+        table.push_row(vec![d.domain, d.count.to_string()]);
+    }
+    table
+}
+
+/// Table XIV: process categories downloading unknown files.
+pub fn table14(study: &Study) -> TextTable {
+    let view = study.label_view();
+    let rows = unknown_download_categories(study.dataset(), &view);
+    let mut table = TextTable::new(
+        "Table XIV — Categories of processes downloading unknown files",
+        &["Downloading process type", "# unknown files"],
+    );
+    for (label, n) in rows {
+        table.push_row(vec![label, n.to_string()]);
+    }
+    table
+}

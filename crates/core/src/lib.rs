@@ -1,0 +1,46 @@
+//! `downlake` — an end-to-end reproduction of *Exploring the Long Tail of
+//! (Malicious) Software Downloads* (Rahbarinia, Balduzzi, Perdisci —
+//! DSN 2017).
+//!
+//! This crate wires the substrate crates into the paper's full pipeline:
+//!
+//! 1. **generate** a calibrated synthetic download world
+//!    ([`downlake_synth`]) — the substitution for the proprietary
+//!    Trend Micro telemetry;
+//! 2. **collect** the raw event stream through the σ-capped collection
+//!    server ([`downlake_telemetry`]);
+//! 3. **label** files, processes, and URLs with the simulated
+//!    VirusTotal / whitelist / GSB machinery ([`downlake_groundtruth`]);
+//! 4. **type** malicious files with the AVType + AVclass-style
+//!    extractors ([`downlake_avtype`]);
+//! 5. **measure** everything §III–§V measures ([`downlake_analysis`]);
+//! 6. **learn and evaluate** the rule-based classifier of §VI
+//!    ([`downlake_features`] + [`downlake_rulelearn`]).
+//!
+//! Each table and figure of the paper has a regeneration function in
+//! [`experiments`]; [`report::full_report`] runs them all.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use downlake::{Study, StudyConfig};
+//! use downlake_synth::Scale;
+//!
+//! let study = Study::run(&StudyConfig::new(42).with_scale(Scale::Tiny));
+//! let stats = study.dataset().stats();
+//! assert!(stats.events > 0);
+//! // The long tail: most files remain unknown.
+//! let table1 = downlake::experiments::table1(&study);
+//! assert!(!table1.rows.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod experiments;
+mod pipeline;
+mod render;
+pub mod report;
+
+pub use pipeline::{Study, StudyConfig, TypeAssignments};
+pub use render::{Figure, TextTable};

@@ -1,0 +1,287 @@
+//! The end-to-end study pipeline.
+
+use downlake_analysis::LabelView;
+use downlake_avtype::{BehaviorExtractor, FamilyExtractor, ResolutionStats};
+use downlake_groundtruth::{DomainFacts, GroundTruth, GroundTruthOracle, OracleConfig, UrlLabeler};
+use downlake_synth::{Scale, SynthConfig, World};
+use downlake_telemetry::{CollectionServer, Dataset, ReportingPolicy, SuppressionStats};
+use downlake_types::{FileHash, FileLabel, MalwareType, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a full study run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// World-generation configuration.
+    pub synth: SynthConfig,
+    /// Ground-truth oracle configuration.
+    pub oracle: OracleConfig,
+}
+
+impl StudyConfig {
+    /// Default configuration with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            synth: SynthConfig::new(seed),
+            oracle: OracleConfig {
+                seed: seed ^ 0x0617_C0DE,
+                ..OracleConfig::default()
+            },
+        }
+    }
+
+    /// Sets the world scale (builder-style).
+    pub fn with_scale(mut self, scale: Scale) -> Self {
+        self.synth.scale = scale;
+        self
+    }
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self::new(SynthConfig::default().seed)
+    }
+}
+
+/// Behaviour types and families assigned to malicious files by the
+/// AVType / AVclass-style extractors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TypeAssignments {
+    types: HashMap<FileHash, MalwareType>,
+    families: HashMap<FileHash, String>,
+    resolution: ResolutionStats,
+}
+
+impl TypeAssignments {
+    /// The behaviour type of a malicious file.
+    pub fn malware_type(&self, file: FileHash) -> Option<MalwareType> {
+        self.types.get(&file).copied()
+    }
+
+    /// The extracted family, if AVclass-style extraction found one.
+    pub fn family(&self, file: FileHash) -> Option<&str> {
+        self.families.get(&file).map(String::as_str)
+    }
+
+    /// Iterates over all `(file, type)` assignments.
+    pub fn types(&self) -> impl Iterator<Item = (FileHash, MalwareType)> + '_ {
+        self.types.iter().map(|(&h, &t)| (h, t))
+    }
+
+    /// Iterates over all `(file, family)` assignments.
+    pub fn families(&self) -> impl Iterator<Item = (FileHash, &str)> {
+        self.families.iter().map(|(&h, f)| (h, f.as_str()))
+    }
+
+    /// Conflict-resolution statistics across the corpus (§II-C).
+    pub fn resolution_stats(&self) -> ResolutionStats {
+        self.resolution
+    }
+}
+
+/// A completed study: the world, the collected dataset, ground truth,
+/// and type/family assignments — everything the experiments consume.
+#[derive(Debug)]
+pub struct Study {
+    config: StudyConfig,
+    world: World,
+    dataset: Dataset,
+    suppression: SuppressionStats,
+    ground_truth: GroundTruth,
+    url_labeler: UrlLabeler,
+    types: TypeAssignments,
+}
+
+impl Study {
+    /// Runs the full pipeline. Deterministic per configuration.
+    pub fn run(config: &StudyConfig) -> Study {
+        // 1. Generate the world + raw event stream.
+        let generated = World::generate(&config.synth);
+        let world = generated.world;
+
+        // 2. Feed the stream through the collection server.
+        let policy = ReportingPolicy::paper_default();
+        let mut server = CollectionServer::new(policy);
+        for raw in generated.events {
+            server.observe(raw);
+        }
+        let suppression = server.suppression_stats();
+        let dataset = server.into_dataset();
+
+        // 3. Collect ground truth over every file and process hash that
+        //    survived into the dataset.
+        let mut first_seen: HashMap<FileHash, Timestamp> = HashMap::new();
+        for event in dataset.events() {
+            first_seen.entry(event.file).or_insert(event.timestamp);
+            first_seen.entry(event.process).or_insert(event.timestamp);
+        }
+        let oracle = GroundTruthOracle::new(config.oracle);
+        let subjects: Vec<(FileHash, &downlake_types::LatentProfile, Timestamp)> = first_seen
+            .iter()
+            .filter_map(|(&hash, &t)| world.latent(hash).map(|p| (hash, p, t)))
+            .collect();
+        let ground_truth = oracle.collect(subjects);
+
+        // 4. URL labeler from the world's domain directory.
+        let url_labeler = UrlLabeler::from_facts(world.domains().entries().iter().map(|e| {
+            (
+                e.name.clone(),
+                DomainFacts {
+                    rank: e.rank,
+                    curated_whitelist: e.curated_whitelist,
+                    gsb_listed: e.gsb_listed,
+                    private_blacklist: e.private_blacklist,
+                },
+            )
+        }));
+
+        // 5. AVType + family extraction over the malicious scan reports.
+        let behavior = BehaviorExtractor::new();
+        let families = FamilyExtractor::new();
+        let mut types = TypeAssignments::default();
+        for (hash, label) in ground_truth.iter() {
+            if label != FileLabel::Malicious {
+                continue;
+            }
+            let Some(scan) = ground_truth.scan(hash) else {
+                continue;
+            };
+            let verdict = behavior.extract(&scan.leading_labels());
+            types.resolution.record(verdict.resolution);
+            types.types.insert(hash, verdict.ty);
+            if let Some(family) = families.extract(&scan.all_labels()) {
+                types.families.insert(hash, family);
+            }
+        }
+
+        Study {
+            config: config.clone(),
+            world,
+            dataset,
+            suppression,
+            ground_truth,
+            url_labeler,
+            types,
+        }
+    }
+
+    /// The configuration the study ran with.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The generated world (latent truth included).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The collected, indexed dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// What the collection server suppressed.
+    pub fn suppression(&self) -> SuppressionStats {
+        self.suppression
+    }
+
+    /// The collected ground truth.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// The URL labeler / rank directory.
+    pub fn url_labeler(&self) -> &UrlLabeler {
+        &self.url_labeler
+    }
+
+    /// Behaviour-type and family assignments.
+    pub fn types(&self) -> &TypeAssignments {
+        &self.types
+    }
+
+    /// A [`LabelView`] over this study's ground truth, for the analyses.
+    pub fn label_view(&self) -> LabelView<'_> {
+        LabelView::new(
+            |h| self.ground_truth.label(h),
+            |h| self.types.malware_type(h),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_study() -> Study {
+        Study::run(&StudyConfig::new(7).with_scale(Scale::Tiny))
+    }
+
+    #[test]
+    fn pipeline_produces_labeled_dataset() {
+        let study = tiny_study();
+        let stats = study.dataset().stats();
+        assert!(stats.events > 1_000, "events = {}", stats.events);
+        assert!(stats.files > 1_000);
+        assert!(stats.machines > 500);
+
+        // Some of everything: benign, malicious, unknown.
+        let counts = study.ground_truth().counts();
+        assert!(counts.get(&FileLabel::Benign).copied().unwrap_or(0) > 0);
+        assert!(counts.get(&FileLabel::Malicious).copied().unwrap_or(0) > 0);
+        assert!(counts.get(&FileLabel::Unknown).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn suppression_happened() {
+        let study = tiny_study();
+        let s = study.suppression();
+        assert!(s.not_executed > 0);
+        assert!(s.whitelisted_url > 0);
+    }
+
+    #[test]
+    fn malicious_files_receive_types() {
+        let study = tiny_study();
+        let labeled_malicious = study
+            .ground_truth()
+            .iter()
+            .filter(|&(_, l)| l == FileLabel::Malicious)
+            .count();
+        let typed = study.types().types().count();
+        assert!(typed > 0);
+        assert_eq!(typed, labeled_malicious, "every malicious file gets a type");
+        // Families are extracted for a strict subset.
+        let families = study.types().families().count();
+        assert!(families > 0);
+        assert!(families < typed);
+    }
+
+    #[test]
+    fn unknown_share_has_paper_shape() {
+        let study = tiny_study();
+        // Over *downloaded files* (not processes), the unknown share must
+        // dominate (paper: 83%).
+        let view = study.label_view();
+        let total = study.dataset().files().len();
+        let unknown = study
+            .dataset()
+            .files()
+            .iter()
+            .filter(|r| view.label(r.hash) == FileLabel::Unknown)
+            .count();
+        let share = unknown as f64 / total as f64;
+        assert!(share > 0.70 && share < 0.95, "unknown share {share}");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = tiny_study();
+        let b = tiny_study();
+        assert_eq!(a.dataset().stats(), b.dataset().stats());
+        assert_eq!(
+            a.ground_truth().counts(),
+            b.ground_truth().counts()
+        );
+    }
+}

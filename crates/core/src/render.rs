@@ -1,0 +1,153 @@
+//! Plain-text rendering of experiment outputs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rendered table: title, column headers, string rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TextTable {
+    /// Table title (e.g. `"Table II — Breakdown of malicious files per type"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|&h| h.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count mismatches the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                line.extend(std::iter::repeat(' ').take(pad));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A rendered figure: one or more named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Figure {
+    /// Figure title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Named series.
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl Figure {
+    /// Creates a figure.
+    pub fn new(title: impl Into<String>, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push((name.into(), points));
+    }
+
+    /// Renders each series as a compact textual sparkline of key points.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("{}\n  ({} vs {})\n", self.title, self.y_label, self.x_label);
+        for (name, points) in &self.series {
+            out.push_str(&format!("  series {name} ({} pts):", points.len()));
+            let take = 8usize;
+            let step = (points.len() / take).max(1);
+            for (i, (x, y)) in points.iter().enumerate() {
+                if i % step == 0 || i + 1 == points.len() {
+                    out.push_str(&format!(" ({x:.4}, {y:.4})"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Demo", &["name", "count"]);
+        t.push_row(vec!["softonic.com".into(), "64300".into()]);
+        t.push_row(vec!["x.io".into(), "7".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("Demo\n"));
+        assert!(s.contains("softonic.com"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = TextTable::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn figure_renders_series() {
+        let mut fig = Figure::new("Fig 2", "prevalence", "CDF");
+        fig.push_series("unknown", vec![(1.0, 0.9), (2.0, 0.95), (20.0, 1.0)]);
+        let text = fig.to_string();
+        assert!(text.contains("series unknown"));
+        assert!(text.contains("(20.0000, 1.0000)"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Full-report assembly: every table and figure, in paper order.
+
+use crate::experiments;
+use crate::pipeline::Study;
+use std::fmt::Write as _;
+
+/// Runs every experiment and renders one plain-text report.
+pub fn full_report(study: &Study) -> String {
+    let mut out = String::new();
+    let stats = study.dataset().stats();
+    let _ = writeln!(
+        out,
+        "downlake study report — {} events, {} machines, {} files, {} processes, {} urls, {} domains\n",
+        stats.events, stats.machines, stats.files, stats.processes, stats.urls, stats.domains
+    );
+    let suppression = study.suppression();
+    let _ = writeln!(
+        out,
+        "collection-server suppression: {} not executed, {} prevalence-capped, {} whitelisted URLs\n",
+        suppression.not_executed, suppression.prevalence_cap, suppression.whitelisted_url
+    );
+
+    let _ = writeln!(out, "{}", experiments::table1(study));
+    let _ = writeln!(out, "{}", experiments::fig1(study));
+    let _ = writeln!(out, "{}", experiments::table2(study));
+    let _ = writeln!(out, "{}", experiments::fig2(study));
+    let _ = writeln!(out, "{}", experiments::table3(study));
+    let _ = writeln!(out, "{}", experiments::table4(study));
+    let _ = writeln!(out, "{}", experiments::fig3(study));
+    let _ = writeln!(out, "{}", experiments::table5(study));
+    let _ = writeln!(out, "{}", experiments::table6(study));
+    let _ = writeln!(out, "{}", experiments::table7(study));
+    let _ = writeln!(out, "{}", experiments::table8(study));
+    let _ = writeln!(out, "{}", experiments::table9(study));
+    let _ = writeln!(out, "{}", experiments::fig4(study));
+    let _ = writeln!(out, "{}", experiments::packers(study));
+    let _ = writeln!(out, "{}", experiments::table10(study));
+    let _ = writeln!(out, "{}", experiments::table11(study));
+    let _ = writeln!(out, "{}", experiments::table12(study));
+    let _ = writeln!(out, "{}", experiments::fig5(study));
+    let _ = writeln!(out, "{}", experiments::fig5_quantiles(study));
+    let _ = writeln!(out, "{}", experiments::fig6(study));
+    let _ = writeln!(out, "{}", experiments::table13(study));
+    let _ = writeln!(out, "{}", experiments::table14(study));
+    let _ = writeln!(out, "{}", experiments::table15());
+
+    let outcome = experiments::rule_experiments(study);
+    let _ = writeln!(out, "{}", experiments::render_table16(&outcome));
+    let _ = writeln!(out, "{}", experiments::render_table17(&outcome));
+    let _ = writeln!(
+        out,
+        "rule labeling expansion: {} of {} unknowns labeled ({:.1}%), expansion factor {:.2}x",
+        outcome.unknowns_labeled,
+        outcome.total_unknowns,
+        outcome.unknown_labeled_share(),
+        outcome.expansion_factor()
+    );
+    if !outcome.example_rules.is_empty() {
+        let _ = writeln!(out, "\nexample high-coverage rules:");
+        for rule in &outcome.example_rules {
+            let _ = writeln!(out, "  {rule}");
+        }
+    }
+    let _ = writeln!(out, "\n{}", crate::experiments::baselines_table(study));
+    let _ = writeln!(out, "{}", crate::experiments::evasion_table(study));
+    let _ = writeln!(out, "{}", crate::experiments::expansion_reach_table(study));
+
+    let resolution = study.types().resolution_stats();
+    let _ = writeln!(
+        out,
+        "\nAVType conflict resolution: {} no-conflict, {} voting, {} specificity, {} manual",
+        resolution.no_conflict, resolution.voting, resolution.specificity, resolution.manual
+    );
+    out
+}

@@ -1,0 +1,308 @@
+//! Feature extraction for the rule-based classifier (Table XV).
+//!
+//! Eight intuitive, easy-to-measure categorical features per downloaded
+//! file:
+//!
+//! | # | feature | source |
+//! |---|---------|--------|
+//! | 0 | file's signer | the file's code-signing subject |
+//! | 1 | file's CA | the CA in the file's chain of trust |
+//! | 2 | file's packer | recognised packer of the file |
+//! | 3 | process's signer | signer of the downloading process |
+//! | 4 | process's CA | CA of the downloading process |
+//! | 5 | process's packer | packer of the downloading process |
+//! | 6 | process's type | browser / windows / java / acrobat / other |
+//! | 7 | domain's Alexa rank | coarse rank bucket of the download e2LD |
+//!
+//! Absence is a value, not a missing datum: an unsigned file has
+//! `"(unsigned)"` as its signer — the paper's own example rules test for
+//! exactly that (*"IF (file is not signed) AND …"*).
+//!
+//! A file downloaded several times gets the context of its **first**
+//! download event (time order), which is both deterministic and what an
+//! on-line deployment would see.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use downlake_groundtruth::UrlLabeler;
+use downlake_rulelearn::{Instances, InstancesBuilder};
+use downlake_telemetry::{Dataset, DownloadEvent};
+use downlake_types::{FileHash, FileLabel, FileMeta, ProcessCategory};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The feature names, in vector order (also the attribute names of the
+/// training sets this crate builds).
+pub const FEATURE_NAMES: [&str; 8] = [
+    "file's signer",
+    "file's CA",
+    "file's packer",
+    "process's signer",
+    "process's CA",
+    "process's packer",
+    "process's type",
+    "domain's Alexa rank",
+];
+
+/// Placeholder value for unsigned files/processes.
+pub const UNSIGNED: &str = "(unsigned)";
+/// Placeholder value for unpacked files/processes.
+pub const UNPACKED: &str = "(unpacked)";
+/// Placeholder when the downloading process is unknown to the dataset.
+pub const NO_PROCESS: &str = "(no process)";
+
+/// One extracted feature vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureVector {
+    values: [String; 8],
+}
+
+impl FeatureVector {
+    /// The raw values in [`FEATURE_NAMES`] order.
+    pub fn values(&self) -> [&str; 8] {
+        let v = &self.values;
+        [
+            &v[0], &v[1], &v[2], &v[3], &v[4], &v[5], &v[6], &v[7],
+        ]
+    }
+
+    /// The value of one feature by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn value(&self, index: usize) -> &str {
+        &self.values[index]
+    }
+}
+
+/// Extracts feature vectors from a dataset.
+#[derive(Debug)]
+pub struct Extractor<'a> {
+    dataset: &'a Dataset,
+    urls: &'a UrlLabeler,
+}
+
+impl<'a> Extractor<'a> {
+    /// Creates an extractor over a dataset and the URL/rank directory.
+    pub fn new(dataset: &'a Dataset, urls: &'a UrlLabeler) -> Self {
+        Self { dataset, urls }
+    }
+
+    /// Extracts the feature vector of a single event.
+    pub fn extract_event(&self, event: &DownloadEvent) -> FeatureVector {
+        let file_meta = self
+            .dataset
+            .files()
+            .get(event.file)
+            .map(|r| r.meta.clone())
+            .unwrap_or_default();
+        let process = self.dataset.processes().get(event.process);
+        let e2ld = self.dataset.url_of(event).e2ld();
+        let rank_bucket = self.urls.rank(e2ld).bucket();
+
+        let (psigner, pca, ppacker, ptype) = match process {
+            Some(rec) => (
+                signer_of(&rec.meta),
+                ca_of(&rec.meta),
+                packer_of(&rec.meta),
+                category_feature(rec.category).to_owned(),
+            ),
+            None => (
+                NO_PROCESS.to_owned(),
+                NO_PROCESS.to_owned(),
+                NO_PROCESS.to_owned(),
+                NO_PROCESS.to_owned(),
+            ),
+        };
+
+        FeatureVector {
+            values: [
+                signer_of(&file_meta),
+                ca_of(&file_meta),
+                packer_of(&file_meta),
+                psigner,
+                pca,
+                ppacker,
+                ptype,
+                rank_bucket.name().to_owned(),
+            ],
+        }
+    }
+
+    /// Extracts one vector per distinct file, using each file's first
+    /// download event.
+    pub fn extract_files(&self) -> HashMap<FileHash, FeatureVector> {
+        let mut out: HashMap<FileHash, FeatureVector> = HashMap::new();
+        for event in self.dataset.events() {
+            out.entry(event.file)
+                .or_insert_with(|| self.extract_event(event));
+        }
+        out
+    }
+}
+
+fn signer_of(meta: &FileMeta) -> String {
+    meta.signer
+        .as_ref()
+        .filter(|s| s.valid)
+        .map(|s| s.subject.clone())
+        .unwrap_or_else(|| UNSIGNED.to_owned())
+}
+
+fn ca_of(meta: &FileMeta) -> String {
+    meta.signer
+        .as_ref()
+        .filter(|s| s.valid)
+        .map(|s| s.ca.clone())
+        .unwrap_or_else(|| UNSIGNED.to_owned())
+}
+
+fn packer_of(meta: &FileMeta) -> String {
+    meta.packer
+        .as_ref()
+        .map(|p| p.name.clone())
+        .unwrap_or_else(|| UNPACKED.to_owned())
+}
+
+/// The categorical value of the process-type feature.
+pub fn category_feature(category: ProcessCategory) -> &'static str {
+    match category {
+        ProcessCategory::Browser(_) => "browser",
+        ProcessCategory::Windows => "windows",
+        ProcessCategory::Java => "java",
+        ProcessCategory::AcrobatReader => "acrobat reader",
+        ProcessCategory::Other => "other",
+    }
+}
+
+/// Builds a rule-learning training set from labeled feature vectors.
+///
+/// Only confidently labeled files participate (benign / malicious), as
+/// in §VI-D's training-set construction; *likely* labels are excluded.
+pub fn build_training_set<'a>(
+    vectors: impl IntoIterator<Item = (&'a FeatureVector, FileLabel)>,
+) -> Instances {
+    let mut builder = InstancesBuilder::new(&FEATURE_NAMES, &["benign", "malicious"]);
+    for (vector, label) in vectors {
+        let class = match label {
+            FileLabel::Benign => "benign",
+            FileLabel::Malicious => "malicious",
+            _ => continue,
+        };
+        builder.push(&vector.values(), class);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_groundtruth::DomainFacts;
+    use downlake_telemetry::{DatasetBuilder, RawEvent};
+    use downlake_types::{AlexaRank, MachineId, PackerInfo, SignerInfo, Timestamp, Url};
+
+    fn meta(signer: Option<&str>, packer: Option<&str>, disk: &str) -> FileMeta {
+        FileMeta {
+            size_bytes: 1000,
+            disk_name: disk.into(),
+            signer: signer.map(|s| SignerInfo::valid(s, "thawte code signing ca g2")),
+            packer: packer.map(PackerInfo::new),
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.push(RawEvent {
+            file: FileHash::from_raw(1),
+            file_meta: meta(Some("Somoto Ltd."), Some("NSIS"), "setup.exe"),
+            machine: MachineId::from_raw(1),
+            process: FileHash::from_raw(100),
+            process_meta: meta(Some("Google Inc"), None, "chrome.exe"),
+            url: "http://dl.softonic.com/f/setup.exe".parse::<Url>().unwrap(),
+            timestamp: Timestamp::from_day(3),
+            executed: true,
+        });
+        b.push(RawEvent {
+            file: FileHash::from_raw(2),
+            file_meta: meta(None, None, "tool.exe"),
+            machine: MachineId::from_raw(2),
+            process: FileHash::from_raw(101),
+            process_meta: meta(Some("Microsoft Windows"), None, "svchost.exe"),
+            url: "http://wipmsc.ru/x/tool.exe".parse::<Url>().unwrap(),
+            timestamp: Timestamp::from_day(4),
+            executed: true,
+        });
+        b.finish()
+    }
+
+    fn labeler() -> UrlLabeler {
+        let mut l = UrlLabeler::new();
+        l.insert(
+            "softonic.com",
+            DomainFacts {
+                rank: AlexaRank::ranked(170),
+                curated_whitelist: true,
+                ..DomainFacts::default()
+            },
+        );
+        l
+    }
+
+    #[test]
+    fn extracts_all_eight_features() {
+        let ds = dataset();
+        let urls = labeler();
+        let ex = Extractor::new(&ds, &urls);
+        let v = ex.extract_event(&ds.events()[0]);
+        assert_eq!(v.value(0), "Somoto Ltd.");
+        assert_eq!(v.value(1), "thawte code signing ca g2");
+        assert_eq!(v.value(2), "NSIS");
+        assert_eq!(v.value(3), "Google Inc");
+        assert_eq!(v.value(5), UNPACKED);
+        assert_eq!(v.value(6), "browser");
+        assert_eq!(v.value(7), "top 1k");
+    }
+
+    #[test]
+    fn absence_values_are_explicit() {
+        let ds = dataset();
+        let urls = labeler();
+        let ex = Extractor::new(&ds, &urls);
+        let v = ex.extract_event(&ds.events()[1]);
+        assert_eq!(v.value(0), UNSIGNED);
+        assert_eq!(v.value(1), UNSIGNED);
+        assert_eq!(v.value(2), UNPACKED);
+        assert_eq!(v.value(6), "windows");
+        assert_eq!(v.value(7), "unranked");
+    }
+
+    #[test]
+    fn per_file_extraction_uses_first_event() {
+        let ds = dataset();
+        let urls = labeler();
+        let ex = Extractor::new(&ds, &urls);
+        let map = ex.extract_files();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&FileHash::from_raw(1)].value(0), "Somoto Ltd.");
+    }
+
+    #[test]
+    fn training_set_skips_unconfident_labels() {
+        let ds = dataset();
+        let urls = labeler();
+        let ex = Extractor::new(&ds, &urls);
+        let map = ex.extract_files();
+        let v1 = &map[&FileHash::from_raw(1)];
+        let v2 = &map[&FileHash::from_raw(2)];
+        let inst = build_training_set([
+            (v1, FileLabel::Malicious),
+            (v2, FileLabel::LikelyMalicious),
+            (v2, FileLabel::Unknown),
+        ]);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.schema().classes(), &["benign", "malicious"]);
+        assert_eq!(inst.attr_count(), 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for feature extraction: totality, absence
+//! conventions, and training-set construction.
+
+use downlake_features::{
+    build_training_set, Extractor, FEATURE_NAMES, NO_PROCESS, UNPACKED, UNSIGNED,
+};
+use downlake_groundtruth::{DomainFacts, UrlLabeler};
+use downlake_telemetry::{DatasetBuilder, RawEvent};
+use downlake_types::{
+    AlexaRank, FileHash, FileLabel, FileMeta, MachineId, PackerInfo, SignerInfo, Timestamp, Url,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct EventSpec {
+    file: u64,
+    signer: Option<String>,
+    packer: Option<String>,
+    process_known: bool,
+    rank: Option<u32>,
+}
+
+fn event_spec() -> impl Strategy<Value = EventSpec> {
+    (
+        1u64..50,
+        proptest::option::of("[A-Z][a-z]{2,8} Ltd"),
+        proptest::option::of("[A-Z]{3,6}"),
+        any::<bool>(),
+        proptest::option::of(1u32..1_000_000),
+    )
+        .prop_map(|(file, signer, packer, process_known, rank)| EventSpec {
+            file,
+            signer,
+            packer,
+            process_known,
+            rank,
+        })
+}
+
+fn materialise(spec: &EventSpec) -> RawEvent {
+    RawEvent {
+        file: FileHash::from_raw(spec.file),
+        file_meta: FileMeta {
+            size_bytes: 100,
+            disk_name: "f.exe".into(),
+            signer: spec
+                .signer
+                .as_ref()
+                .map(|s| SignerInfo::valid(s.clone(), "some ca")),
+            packer: spec.packer.as_ref().map(PackerInfo::new),
+        },
+        machine: MachineId::from_raw(spec.file % 7),
+        process: FileHash::from_raw(if spec.process_known { 9_000 } else { 9_001 }),
+        process_meta: FileMeta {
+            disk_name: if spec.process_known {
+                "chrome.exe".into()
+            } else {
+                "mystery.exe".into()
+            },
+            signer: Some(SignerInfo::valid("Google Inc", "verisign")),
+            ..FileMeta::default()
+        },
+        url: Url::from_parts("http", "host.example.com", "/f.exe").expect("static"),
+        timestamp: Timestamp::from_day((spec.file % 200) as u32),
+        executed: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Extraction is total: eight non-empty values per event, with the
+    /// absence placeholders exactly where metadata is missing.
+    #[test]
+    fn extraction_is_total(specs in proptest::collection::vec(event_spec(), 1..40)) {
+        let mut builder = DatasetBuilder::new();
+        for spec in &specs {
+            builder.push(materialise(spec));
+        }
+        let dataset = builder.finish();
+        let mut urls = UrlLabeler::new();
+        if let Some(rank) = specs[0].rank {
+            urls.insert(
+                "example.com",
+                DomainFacts {
+                    rank: AlexaRank::ranked(rank),
+                    ..DomainFacts::default()
+                },
+            );
+        }
+        let extractor = Extractor::new(&dataset, &urls);
+        for event in dataset.events() {
+            let vector = extractor.extract_event(event);
+            for (i, value) in vector.values().iter().enumerate() {
+                prop_assert!(!value.is_empty(), "feature {} empty", FEATURE_NAMES[i]);
+                prop_assert_ne!(*value, NO_PROCESS, "process is always interned here");
+            }
+            let meta = &dataset.files().get(event.file).expect("interned").meta;
+            prop_assert_eq!(
+                vector.value(0) == UNSIGNED,
+                meta.signer.is_none(),
+                "unsigned placeholder tracks metadata"
+            );
+            prop_assert_eq!(vector.value(2) == UNPACKED, meta.packer.is_none());
+        }
+    }
+
+    /// Training sets contain exactly the confidently labeled vectors.
+    #[test]
+    fn training_set_counts(specs in proptest::collection::vec(event_spec(), 1..40)) {
+        let mut builder = DatasetBuilder::new();
+        for spec in &specs {
+            builder.push(materialise(spec));
+        }
+        let dataset = builder.finish();
+        let urls = UrlLabeler::new();
+        let extractor = Extractor::new(&dataset, &urls);
+        let vectors = extractor.extract_files();
+
+        // Label files round-robin over the five label classes.
+        let label_of = |h: FileHash| match h.raw() % 5 {
+            0 => FileLabel::Benign,
+            1 => FileLabel::Malicious,
+            2 => FileLabel::LikelyBenign,
+            3 => FileLabel::LikelyMalicious,
+            _ => FileLabel::Unknown,
+        };
+        let confident = vectors
+            .keys()
+            .filter(|h| label_of(**h).is_confident())
+            .count();
+        let instances = build_training_set(
+            vectors.iter().map(|(&h, v)| (v, label_of(h))),
+        );
+        prop_assert_eq!(instances.len(), confident);
+        prop_assert_eq!(instances.attr_count(), FEATURE_NAMES.len());
+    }
+}

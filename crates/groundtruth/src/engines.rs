@@ -1,0 +1,400 @@
+//! The AV engine roster and per-vendor label grammars.
+//!
+//! §II-B splits VirusTotal's 50+ engines into ten "trusted" vendors and
+//! the rest. §II-C uses five *leading* engines (Microsoft, Symantec,
+//! TrendMicro, Kaspersky, McAfee) for behaviour-type extraction, because a
+//! label interpretation map exists for them. The grammars below emit label
+//! strings in each vendor's authentic format so the AVType reimplementation
+//! parses realistic input.
+
+use downlake_types::MalwareType;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Whether an engine belongs to the trusted tier (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineTier {
+    /// One of the ten most popular vendors; a single detection from this
+    /// tier makes a file *malicious*.
+    Trusted,
+    /// Everything else; detections only support *likely malicious*.
+    Other,
+}
+
+/// The label-string dialect an engine emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelGrammar {
+    /// `PWS:Win32/Zbot`, `TrojanDownloader:Win32/Agent`.
+    Microsoft,
+    /// `Trojan.Zbot`, `Downloader`, `Infostealer.Banker`.
+    Symantec,
+    /// `TROJ_FAKEAV.SMU1`, `TSPY_ZBOT.ABC`.
+    TrendMicro,
+    /// `Trojan-Spy.Win32.Zbot.ruxa`, `Trojan-Downloader.Win32.Agent.heqj`.
+    Kaspersky,
+    /// `PWS-Zbot`, `Downloader-FYH!6C7411D1C043`, `Artemis!DEADBEEF`.
+    McAfee,
+    /// Generic third-tier grammar: `Gen:Variant.Zbot.17`, `Win32.Malware!x`.
+    Generic,
+}
+
+/// One anti-virus engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvEngine {
+    /// Vendor name as it appears in scan reports.
+    pub name: &'static str,
+    /// Trust tier.
+    pub tier: EngineTier,
+    /// Label dialect.
+    pub grammar: LabelGrammar,
+    /// Detection threshold in `[0, 1]`: the engine flags a file it scans
+    /// iff the file's latent detectability is at least this value. Trusted
+    /// engines sit at or below 0.8 (so destiny-malicious files are always
+    /// caught by someone); lax engines reach much lower.
+    pub threshold: f64,
+}
+
+/// The five leading engines used for behaviour-type extraction (§II-C).
+pub const LEADING_ENGINES: [&str; 5] =
+    ["Microsoft", "Symantec", "TrendMicro", "Kaspersky", "McAfee"];
+
+/// Builds the full 52-engine roster: 10 trusted + 42 others.
+pub fn engine_roster() -> Vec<AvEngine> {
+    let mut roster = vec![
+        AvEngine { name: "Microsoft", tier: EngineTier::Trusted, grammar: LabelGrammar::Microsoft, threshold: 0.70 },
+        AvEngine { name: "Symantec", tier: EngineTier::Trusted, grammar: LabelGrammar::Symantec, threshold: 0.72 },
+        AvEngine { name: "TrendMicro", tier: EngineTier::Trusted, grammar: LabelGrammar::TrendMicro, threshold: 0.68 },
+        AvEngine { name: "Kaspersky", tier: EngineTier::Trusted, grammar: LabelGrammar::Kaspersky, threshold: 0.62 },
+        AvEngine { name: "McAfee", tier: EngineTier::Trusted, grammar: LabelGrammar::McAfee, threshold: 0.66 },
+        AvEngine { name: "Avast", tier: EngineTier::Trusted, grammar: LabelGrammar::Generic, threshold: 0.74 },
+        AvEngine { name: "Bitdefender", tier: EngineTier::Trusted, grammar: LabelGrammar::Generic, threshold: 0.76 },
+        AvEngine { name: "ESET", tier: EngineTier::Trusted, grammar: LabelGrammar::Generic, threshold: 0.78 },
+        AvEngine { name: "Sophos", tier: EngineTier::Trusted, grammar: LabelGrammar::Generic, threshold: 0.79 },
+        AvEngine { name: "F-Secure", tier: EngineTier::Trusted, grammar: LabelGrammar::Generic, threshold: 0.80 },
+    ];
+    const OTHER_NAMES: [&str; 42] = [
+        "AegisLab", "Agnitum", "AhnLab", "Antiy", "Arcabit", "Baidu", "ByteHero", "CatQuick",
+        "ClamView", "CMC", "Comodo", "Cyren", "DrWeb", "Emsisoft", "Fortinet", "GData",
+        "Ikarus", "Jiangmin", "K7", "Kingsoft", "Malwarebytes", "MaxSecure", "eScan",
+        "NanoAv", "Norman", "nProtect", "Panda", "Qihoo", "Rising", "SecureAge", "SUPERAnti",
+        "Tencent", "TheHacker", "TotalDefense", "VBA32", "VIPRE", "ViRobot", "Webroot",
+        "Yandex", "Zillya", "ZoneAlarm", "Zoner",
+    ];
+    for (i, name) in OTHER_NAMES.iter().enumerate() {
+        // Thresholds spread over [0.25, 0.55]: lax engines flag files the
+        // trusted tier has no signature for, producing *likely malicious*.
+        let threshold = 0.25 + 0.30 * (i as f64 / (OTHER_NAMES.len() - 1) as f64);
+        roster.push(AvEngine {
+            name,
+            tier: EngineTier::Other,
+            grammar: LabelGrammar::Generic,
+            threshold,
+        });
+    }
+    roster
+}
+
+impl AvEngine {
+    /// Emits a label string for a detected file.
+    ///
+    /// `ty` is the file's behaviour type; `family` its family token, if
+    /// nameable; `informative` controls whether the label carries the
+    /// type keyword or degrades to the vendor's generic form (Artemis,
+    /// Generic.dx, heuristic names).
+    pub fn render_label<R: Rng + ?Sized>(
+        &self,
+        ty: MalwareType,
+        family: Option<&str>,
+        informative: bool,
+        rng: &mut R,
+    ) -> String {
+        let fam = family.map(capitalize);
+        let fam = fam.as_deref();
+        match self.grammar {
+            LabelGrammar::Microsoft => microsoft_label(ty, fam, informative, rng),
+            LabelGrammar::Symantec => symantec_label(ty, fam, informative, rng),
+            LabelGrammar::TrendMicro => trendmicro_label(ty, fam, informative, rng),
+            LabelGrammar::Kaspersky => kaspersky_label(ty, fam, informative, rng),
+            LabelGrammar::McAfee => mcafee_label(ty, fam, informative, rng),
+            LabelGrammar::Generic => generic_label(ty, fam, informative, rng),
+        }
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+fn suffix<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+fn hex_suffix<R: Rng + ?Sized>(rng: &mut R) -> String {
+    format!("{:012X}", rng.gen_range(0u64..0xFFFF_FFFF_FFFF))
+}
+
+fn microsoft_label<R: Rng + ?Sized>(
+    ty: MalwareType,
+    family: Option<&str>,
+    informative: bool,
+    rng: &mut R,
+) -> String {
+    let fam = family.map(str::to_owned).unwrap_or_else(|| format!("Agent.{}", suffix(rng, 2).to_uppercase()));
+    if !informative {
+        // Vendor-generic detections; occasionally a bare trojan label.
+        return if rng.gen_bool(0.15) {
+            format!("Trojan:Win32/Wacatac.{}!ml", suffix(rng, 1).to_uppercase())
+        } else {
+            format!("Program:Win32/Wacapew.{}!ml", suffix(rng, 1).to_uppercase())
+        };
+    }
+    let prefix = match ty {
+        MalwareType::Dropper => "TrojanDownloader",
+        MalwareType::Banker => "PWS",
+        MalwareType::Bot => "Backdoor",
+        MalwareType::FakeAv => "Rogue",
+        MalwareType::Ransomware => "Ransom",
+        MalwareType::Worm => "Worm",
+        MalwareType::Spyware => "TrojanSpy",
+        MalwareType::Adware => "Adware",
+        MalwareType::Pup => "PUA",
+        MalwareType::Trojan | MalwareType::Undefined => "Trojan",
+    };
+    format!("{prefix}:Win32/{fam}")
+}
+
+fn symantec_label<R: Rng + ?Sized>(
+    ty: MalwareType,
+    family: Option<&str>,
+    informative: bool,
+    rng: &mut R,
+) -> String {
+    let fam = family.map(str::to_owned).unwrap_or_else(|| format!("Gen.{}", suffix(rng, 3)));
+    if !informative {
+        return if rng.gen_bool(0.15) {
+            format!("Trojan.Gen.{}", rng.gen_range(2..9))
+        } else {
+            format!("WS.Reputation.{}", rng.gen_range(1..3))
+        };
+    }
+    match ty {
+        MalwareType::Dropper => format!("Downloader.{fam}"),
+        MalwareType::Banker => format!("Infostealer.{fam}"),
+        MalwareType::Bot => format!("Backdoor.{fam}"),
+        MalwareType::FakeAv => format!("FakeAV.{fam}"),
+        MalwareType::Ransomware => format!("Ransomlock.{fam}"),
+        MalwareType::Worm => format!("W32.{fam}.Worm"),
+        MalwareType::Spyware => format!("Spyware.{fam}"),
+        MalwareType::Adware => format!("Adware.{fam}"),
+        MalwareType::Pup => format!("PUA.{fam}"),
+        MalwareType::Trojan | MalwareType::Undefined => format!("Trojan.{fam}"),
+    }
+}
+
+fn trendmicro_label<R: Rng + ?Sized>(
+    ty: MalwareType,
+    family: Option<&str>,
+    informative: bool,
+    rng: &mut R,
+) -> String {
+    let fam = family
+        .map(|f| f.to_uppercase())
+        .unwrap_or_else(|| format!("GEN{}", suffix(rng, 2).to_uppercase()));
+    let tag = suffix(rng, 3).to_uppercase();
+    if !informative {
+        return if rng.gen_bool(0.15) {
+            format!("TROJ_GEN.R{:03}C{}", rng.gen_range(0..999), rng.gen_range(0..9))
+        } else {
+            format!("Cryp_Xed-{}", rng.gen_range(10..60))
+        };
+    }
+    let prefix = match ty {
+        MalwareType::Dropper => "TROJ_DLOADR",
+        MalwareType::Banker => "TSPY_BANKER",
+        MalwareType::Bot => "BKDR",
+        MalwareType::FakeAv => "TROJ_FAKEAV",
+        MalwareType::Ransomware => "RANSOM",
+        MalwareType::Worm => "WORM",
+        MalwareType::Spyware => "TSPY",
+        MalwareType::Adware => "ADW",
+        MalwareType::Pup => "PUA",
+        MalwareType::Trojan | MalwareType::Undefined => "TROJ",
+    };
+    // When the prefix already names the behaviour, the family rides in
+    // the variant position, e.g. TROJ_FAKEAV.SMU1.
+    if matches!(ty, MalwareType::Trojan | MalwareType::Undefined | MalwareType::Worm | MalwareType::Bot | MalwareType::Spyware | MalwareType::Adware | MalwareType::Pup) {
+        format!("{prefix}_{fam}.{tag}")
+    } else {
+        format!("{prefix}.{tag}")
+    }
+}
+
+fn kaspersky_label<R: Rng + ?Sized>(
+    ty: MalwareType,
+    family: Option<&str>,
+    informative: bool,
+    rng: &mut R,
+) -> String {
+    let fam = family.map(str::to_owned).unwrap_or_else(|| "Agent".to_owned());
+    let variant = suffix(rng, 4);
+    if !informative {
+        return if rng.gen_bool(0.15) {
+            format!("Trojan.Win32.Generic.{variant}")
+        } else {
+            "UDS:DangerousObject.Multi.Generic".to_owned()
+        };
+    }
+    match ty {
+        MalwareType::Dropper => format!("Trojan-Downloader.Win32.{fam}.{variant}"),
+        MalwareType::Banker => format!("Trojan-Banker.Win32.{fam}.{variant}"),
+        MalwareType::Bot => format!("Backdoor.Win32.{fam}.{variant}"),
+        MalwareType::FakeAv => format!("Trojan-FakeAV.Win32.{fam}.{variant}"),
+        MalwareType::Ransomware => format!("Trojan-Ransom.Win32.{fam}.{variant}"),
+        MalwareType::Worm => format!("Worm.Win32.{fam}.{variant}"),
+        MalwareType::Spyware => format!("Trojan-Spy.Win32.{fam}.{variant}"),
+        MalwareType::Adware => format!("not-a-virus:AdWare.Win32.{fam}.{variant}"),
+        MalwareType::Pup => format!("not-a-virus:WebToolbar.Win32.{fam}.{variant}"),
+        MalwareType::Trojan | MalwareType::Undefined => {
+            format!("Trojan.Win32.{fam}.{variant}")
+        }
+    }
+}
+
+fn mcafee_label<R: Rng + ?Sized>(
+    ty: MalwareType,
+    family: Option<&str>,
+    informative: bool,
+    rng: &mut R,
+) -> String {
+    if !informative {
+        return if rng.gen_bool(0.15) {
+            format!("Generic.dx!{}", suffix(rng, 3))
+        } else {
+            format!("Artemis!{}", hex_suffix(rng))
+        };
+    }
+    let fam = family.map(str::to_owned).unwrap_or_else(|| format!("FYH!{}", hex_suffix(rng)));
+    match ty {
+        MalwareType::Dropper => format!("Downloader-{fam}"),
+        MalwareType::Banker => format!("PWS-{fam}"),
+        MalwareType::Bot => format!("BackDoor-{fam}"),
+        MalwareType::FakeAv => format!("FakeAlert-{fam}"),
+        MalwareType::Ransomware => format!("Ransom-{fam}"),
+        MalwareType::Worm => format!("W32/{fam}.worm"),
+        MalwareType::Spyware => format!("Spy-{fam}"),
+        MalwareType::Adware => format!("Adware-{fam}"),
+        MalwareType::Pup => format!("Program.PUP-{fam}"),
+        MalwareType::Trojan | MalwareType::Undefined => format!("Generic.{}", suffix(rng, 2)),
+    }
+}
+
+fn generic_label<R: Rng + ?Sized>(
+    ty: MalwareType,
+    family: Option<&str>,
+    informative: bool,
+    rng: &mut R,
+) -> String {
+    let fam = family.map(str::to_owned).unwrap_or_else(|| "Kryptik".to_owned());
+    if !informative {
+        return match rng.gen_range(0..3u8) {
+            0 => format!("Gen:Variant.{fam}.{}", rng.gen_range(1..90)),
+            1 => "Suspicious.Cloud".to_owned(),
+            _ => format!("Malware.Heuristic!{}", rng.gen_range(10..99)),
+        };
+    }
+    format!("Win32.{}.{fam}.{}", type_keyword(ty), rng.gen_range(1..90))
+}
+
+fn type_keyword(ty: MalwareType) -> &'static str {
+    match ty {
+        MalwareType::Dropper => "Downloader",
+        MalwareType::Banker => "Banker",
+        MalwareType::Bot => "Backdoor",
+        MalwareType::FakeAv => "FakeAV",
+        MalwareType::Ransomware => "Ransom",
+        MalwareType::Worm => "Worm",
+        MalwareType::Spyware => "Spyware",
+        MalwareType::Adware => "Adware",
+        MalwareType::Pup => "PUP",
+        MalwareType::Trojan => "Trojan",
+        MalwareType::Undefined => "Generic",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roster_composition() {
+        let roster = engine_roster();
+        assert_eq!(roster.len(), 52);
+        assert_eq!(roster.iter().filter(|e| e.tier == EngineTier::Trusted).count(), 10);
+        for lead in LEADING_ENGINES {
+            assert!(roster.iter().any(|e| e.name == lead), "missing {lead}");
+        }
+    }
+
+    #[test]
+    fn trusted_thresholds_cover_destiny_malicious() {
+        // A file with detectability ≥ 0.8 must be detectable by at least
+        // one trusted engine.
+        let roster = engine_roster();
+        let min_trusted = roster
+            .iter()
+            .filter(|e| e.tier == EngineTier::Trusted)
+            .map(|e| e.threshold)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_trusted <= 0.80);
+        // And nothing in the trusted tier fires below 0.55 (likely-
+        // malicious band stays trusted-clean).
+        assert!(roster
+            .iter()
+            .filter(|e| e.tier == EngineTier::Trusted)
+            .all(|e| e.threshold > 0.55));
+    }
+
+    #[test]
+    fn labels_follow_vendor_grammars() {
+        let roster = engine_roster();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ms = roster.iter().find(|e| e.name == "Microsoft").unwrap();
+        let label = ms.render_label(MalwareType::Banker, Some("zbot"), true, &mut rng);
+        assert_eq!(label, "PWS:Win32/Zbot");
+
+        let kasp = roster.iter().find(|e| e.name == "Kaspersky").unwrap();
+        let label = kasp.render_label(MalwareType::Dropper, Some("agent"), true, &mut rng);
+        assert!(label.starts_with("Trojan-Downloader.Win32.Agent."), "{label}");
+
+        let tm = roster.iter().find(|e| e.name == "TrendMicro").unwrap();
+        let label = tm.render_label(MalwareType::FakeAv, None, true, &mut rng);
+        assert!(label.starts_with("TROJ_FAKEAV."), "{label}");
+
+        let mc = roster.iter().find(|e| e.name == "McAfee").unwrap();
+        let label = mc.render_label(MalwareType::Trojan, Some("zbot"), false, &mut rng);
+        assert!(label.starts_with("Artemis!"), "{label}");
+    }
+
+    #[test]
+    fn uninformative_labels_hide_the_type() {
+        let roster = engine_roster();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for e in &roster {
+            let label = e.render_label(MalwareType::Ransomware, Some("urausy"), false, &mut rng);
+            let lowered = label.to_lowercase();
+            assert!(
+                !lowered.contains("ransom"),
+                "{}: generic label {label} leaks the type",
+                e.name
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The file-labeling decision procedure (§II-B).
+
+use crate::scan::ScanReport;
+use crate::whitelist::Whitelists;
+use downlake_types::{FileHash, FileLabel};
+
+/// Maximum first-to-last-scan span (days) below which an all-clean file is
+/// only *likely* benign.
+pub const LIKELY_BENIGN_SPAN_DAYS: i64 = 14;
+
+/// Applies the paper's decision procedure to one file's evidence.
+///
+/// * whitelist hit → **benign**;
+/// * no scan report at all → **unknown**;
+/// * clean report with ≥ 14 days between first and last scan → **benign**;
+/// * clean report younger than that → **likely benign**;
+/// * any trusted-tier detection → **malicious**;
+/// * detections from lax engines only → **likely malicious**.
+pub fn label_from_evidence(whitelisted: bool, scan: Option<&ScanReport>) -> FileLabel {
+    if whitelisted {
+        return FileLabel::Benign;
+    }
+    let Some(report) = scan else {
+        return FileLabel::Unknown;
+    };
+    if report.detections.is_empty() {
+        if report.span_days() < LIKELY_BENIGN_SPAN_DAYS {
+            FileLabel::LikelyBenign
+        } else {
+            FileLabel::Benign
+        }
+    } else if report.trusted_detection() {
+        FileLabel::Malicious
+    } else {
+        FileLabel::LikelyMalicious
+    }
+}
+
+/// Convenience wrapper binding a whitelist to the decision procedure.
+#[derive(Debug, Clone, Default)]
+pub struct Labeler {
+    whitelists: Whitelists,
+}
+
+impl Labeler {
+    /// Creates a labeler over the given whitelists.
+    pub fn new(whitelists: Whitelists) -> Self {
+        Self { whitelists }
+    }
+
+    /// The underlying whitelists.
+    pub fn whitelists(&self) -> &Whitelists {
+        &self.whitelists
+    }
+
+    /// Labels one file from its (optional) scan report.
+    pub fn label(&self, file: FileHash, scan: Option<&ScanReport>) -> FileLabel {
+        label_from_evidence(self.whitelists.contains(file), scan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::EngineTier;
+    use crate::scan::Detection;
+    use downlake_types::{Duration, Timestamp};
+
+    fn report(detections: Vec<Detection>, span_days: i64) -> ScanReport {
+        let first_scan = Timestamp::from_day(10);
+        ScanReport {
+            first_scan,
+            last_scan: first_scan + Duration::from_days(span_days),
+            detections,
+        }
+    }
+
+    fn det(tier: EngineTier) -> Detection {
+        Detection {
+            engine: "X".to_owned(),
+            tier,
+            label: "Trojan.Test".into(),
+        }
+    }
+
+    #[test]
+    fn whitelist_wins() {
+        let mut wl = Whitelists::new();
+        wl.insert(FileHash::from_raw(1));
+        let labeler = Labeler::new(wl);
+        // Even with a malicious-looking report, the whitelist decides.
+        let r = report(vec![det(EngineTier::Trusted)], 700);
+        assert_eq!(labeler.label(FileHash::from_raw(1), Some(&r)), FileLabel::Benign);
+        assert_eq!(
+            labeler.label(FileHash::from_raw(2), Some(&r)),
+            FileLabel::Malicious
+        );
+    }
+
+    #[test]
+    fn no_evidence_is_unknown() {
+        assert_eq!(label_from_evidence(false, None), FileLabel::Unknown);
+    }
+
+    #[test]
+    fn clean_long_span_is_benign() {
+        let r = report(vec![], 600);
+        assert_eq!(label_from_evidence(false, Some(&r)), FileLabel::Benign);
+    }
+
+    #[test]
+    fn clean_short_span_is_likely_benign() {
+        let r = report(vec![], 13);
+        assert_eq!(label_from_evidence(false, Some(&r)), FileLabel::LikelyBenign);
+        let r = report(vec![], 14);
+        assert_eq!(label_from_evidence(false, Some(&r)), FileLabel::Benign);
+    }
+
+    #[test]
+    fn trusted_detection_is_malicious() {
+        let r = report(vec![det(EngineTier::Other), det(EngineTier::Trusted)], 700);
+        assert_eq!(label_from_evidence(false, Some(&r)), FileLabel::Malicious);
+    }
+
+    #[test]
+    fn lax_only_detection_is_likely_malicious() {
+        let r = report(vec![det(EngineTier::Other)], 700);
+        assert_eq!(
+            label_from_evidence(false, Some(&r)),
+            FileLabel::LikelyMalicious
+        );
+    }
+}

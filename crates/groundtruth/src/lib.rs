@@ -1,0 +1,42 @@
+//! Ground-truth collection and labeling for `downlake`.
+//!
+//! The paper (§II-B) labels files using VirusTotal scans taken close to
+//! the download *and again almost two years later*, a commercial
+//! whitelist plus NIST's NSRL, and labels URLs using a year-stable Alexa
+//! list, a curated whitelist, Google Safe Browsing, and a private
+//! blacklist. This crate reproduces that machinery:
+//!
+//! * [`VirusTotalSim`] — a 52-engine scanning oracle. Whether a file is
+//!   ever submitted is governed by its latent `visibility`; whether the
+//!   engines that see it flag it is governed by its latent
+//!   `detectability`. Detections come with *vendor-grammar label strings*
+//!   (`TROJ_FAKEAV.SMU1`, `Trojan-Spy.Win32.Zbot.ruxa`, …) that the
+//!   `downlake-avtype` crate parses exactly as the paper's AVType tool
+//!   parses real labels.
+//! * [`Whitelists`] — hash whitelists standing in for NSRL + the
+//!   commercial list.
+//! * [`UrlLabeler`] — the Alexa/GSB/blacklist URL decision procedure.
+//! * [`Labeler`]/[`GroundTruth`] — the five-way file labeling decision
+//!   (benign / likely benign / malicious / likely malicious / unknown).
+//!
+//! The oracle never reads a file's latent *nature* to decide a label — it
+//! simulates evidence (scan reports, list membership) from the latent
+//! propensities and then runs the paper's decision procedure over that
+//! evidence, so the full mechanism is exercised end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod engines;
+mod labeler;
+mod oracle;
+mod scan;
+mod urllabel;
+mod whitelist;
+
+pub use engines::{engine_roster, AvEngine, EngineTier, LabelGrammar, LEADING_ENGINES};
+pub use labeler::{label_from_evidence, Labeler};
+pub use oracle::{GroundTruth, GroundTruthOracle, OracleConfig};
+pub use scan::{Detection, ScanReport, VirusTotalSim};
+pub use urllabel::{DomainFacts, UrlLabeler};
+pub use whitelist::Whitelists;

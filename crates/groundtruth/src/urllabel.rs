@@ -1,0 +1,154 @@
+//! URL labeling (§II-B).
+//!
+//! A URL is **benign** only if its e2LD sat stably in the Alexa top
+//! million *and* appears on the curated whitelist; **malicious** only if
+//! it is flagged by both Google Safe Browsing and the private blacklist.
+//! Everything else is unknown — deliberately conservative on both sides.
+
+use downlake_types::{AlexaRank, Url, UrlLabel};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Everything the labeler knows about one e2LD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DomainFacts {
+    /// Alexa-style rank (year-stable).
+    pub rank: AlexaRank,
+    /// On the vendor's curated URL whitelist.
+    pub curated_whitelist: bool,
+    /// Flagged by Google Safe Browsing.
+    pub gsb_listed: bool,
+    /// On the vendor's private URL blacklist.
+    pub private_blacklist: bool,
+}
+
+/// The URL labeling service.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UrlLabeler {
+    facts: HashMap<String, DomainFacts>,
+}
+
+impl UrlLabeler {
+    /// Creates an empty labeler (everything unknown, everything unranked).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the labeler from `(e2LD, facts)` pairs.
+    pub fn from_facts(entries: impl IntoIterator<Item = (String, DomainFacts)>) -> Self {
+        Self {
+            facts: entries.into_iter().collect(),
+        }
+    }
+
+    /// Registers facts about one e2LD.
+    pub fn insert(&mut self, e2ld: impl Into<String>, facts: DomainFacts) {
+        self.facts.insert(e2ld.into(), facts);
+    }
+
+    /// The facts known about an e2LD.
+    pub fn facts(&self, e2ld: &str) -> DomainFacts {
+        self.facts.get(e2ld).copied().unwrap_or_default()
+    }
+
+    /// The Alexa rank of an e2LD ([`AlexaRank::UNRANKED`] if unknown).
+    pub fn rank(&self, e2ld: &str) -> AlexaRank {
+        self.facts(e2ld).rank
+    }
+
+    /// Labels an e2LD per the paper's rules.
+    pub fn label_e2ld(&self, e2ld: &str) -> UrlLabel {
+        let f = self.facts(e2ld);
+        if f.rank.in_top_million() && f.curated_whitelist {
+            UrlLabel::Benign
+        } else if f.gsb_listed && f.private_blacklist {
+            UrlLabel::Malicious
+        } else {
+            UrlLabel::Unknown
+        }
+    }
+
+    /// Labels a full URL by its e2LD.
+    pub fn label(&self, url: &Url) -> UrlLabel {
+        self.label_e2ld(url.e2ld())
+    }
+
+    /// Number of e2LDs with recorded facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether no facts are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeler() -> UrlLabeler {
+        let mut l = UrlLabeler::new();
+        l.insert(
+            "softonic.com",
+            DomainFacts {
+                rank: AlexaRank::ranked(170),
+                curated_whitelist: true,
+                ..DomainFacts::default()
+            },
+        );
+        l.insert(
+            "wipmsc.ru",
+            DomainFacts {
+                gsb_listed: true,
+                private_blacklist: true,
+                ..DomainFacts::default()
+            },
+        );
+        l.insert(
+            "popular-but-uncurated.com",
+            DomainFacts {
+                rank: AlexaRank::ranked(500),
+                ..DomainFacts::default()
+            },
+        );
+        l.insert(
+            "gsb-only.com",
+            DomainFacts {
+                gsb_listed: true,
+                ..DomainFacts::default()
+            },
+        );
+        l
+    }
+
+    #[test]
+    fn benign_requires_rank_and_whitelist() {
+        let l = labeler();
+        assert_eq!(l.label_e2ld("softonic.com"), UrlLabel::Benign);
+        // Popular alone is not enough (Alexa noise mitigation).
+        assert_eq!(l.label_e2ld("popular-but-uncurated.com"), UrlLabel::Unknown);
+    }
+
+    #[test]
+    fn malicious_requires_both_lists() {
+        let l = labeler();
+        assert_eq!(l.label_e2ld("wipmsc.ru"), UrlLabel::Malicious);
+        assert_eq!(l.label_e2ld("gsb-only.com"), UrlLabel::Unknown);
+    }
+
+    #[test]
+    fn unrecorded_domains_are_unknown_and_unranked() {
+        let l = labeler();
+        assert_eq!(l.label_e2ld("never-seen.biz"), UrlLabel::Unknown);
+        assert_eq!(l.rank("never-seen.biz"), AlexaRank::UNRANKED);
+    }
+
+    #[test]
+    fn full_urls_label_via_e2ld() {
+        let l = labeler();
+        let url: Url = "http://dl3.softonic.com/app/setup.exe".parse().unwrap();
+        assert_eq!(l.label(&url), UrlLabel::Benign);
+    }
+}

@@ -1,0 +1,115 @@
+//! File-hash whitelists standing in for NSRL + the commercial whitelist.
+
+use downlake_types::{FileHash, FileNature, LatentProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The combined hash whitelist (NSRL + commercial list).
+///
+/// Coverage is probabilistic per file: well-known benign software (high
+/// visibility) is very likely to be catalogued; the benign long tail is
+/// not — exactly the mechanism by which genuinely harmless
+/// low-prevalence files stay *unknown*.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Whitelists {
+    hashes: HashSet<FileHash>,
+}
+
+impl Whitelists {
+    /// An empty whitelist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds coverage over a population of files. A benign file with
+    /// visibility `v` is catalogued with probability `coverage · v`;
+    /// malicious files never are (the lists are curated).
+    pub fn build<'a>(
+        files: impl IntoIterator<Item = (FileHash, &'a LatentProfile)>,
+        coverage: f64,
+        seed: u64,
+    ) -> Self {
+        let mut hashes = HashSet::new();
+        for (hash, profile) in files {
+            if profile.nature != FileNature::Benign {
+                continue;
+            }
+            let mut rng = SmallRng::seed_from_u64(seed ^ hash.raw().rotate_left(29));
+            if rng.gen_bool((coverage * profile.visibility).clamp(0.0, 1.0)) {
+                hashes.insert(hash);
+            }
+        }
+        Self { hashes }
+    }
+
+    /// Inserts a hash directly (for hand-curated additions and tests).
+    pub fn insert(&mut self, hash: FileHash) {
+        self.hashes.insert(hash);
+    }
+
+    /// Whether a hash is whitelisted.
+    pub fn contains(&self, hash: FileHash) -> bool {
+        self.hashes.contains(&hash)
+    }
+
+    /// Number of catalogued hashes.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_types::MalwareType;
+
+    #[test]
+    fn malicious_files_never_whitelisted() {
+        let profile = LatentProfile::malicious(
+            FileNature::Malicious(MalwareType::Dropper),
+            None,
+            1.0,
+            0.9,
+        );
+        let files: Vec<(FileHash, &LatentProfile)> =
+            (0..100).map(|i| (FileHash::from_raw(i), &profile)).collect();
+        let wl = Whitelists::build(files, 1.0, 1);
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn visible_benign_files_mostly_whitelisted() {
+        let profile = LatentProfile::benign(1.0);
+        let files: Vec<(FileHash, &LatentProfile)> =
+            (0..1000).map(|i| (FileHash::from_raw(i), &profile)).collect();
+        let wl = Whitelists::build(files, 0.5, 2);
+        let share = wl.len() as f64 / 1000.0;
+        assert!((share - 0.5).abs() < 0.08, "coverage {share}");
+    }
+
+    #[test]
+    fn invisible_benign_files_not_whitelisted() {
+        let profile = LatentProfile::benign(0.0);
+        let files: Vec<(FileHash, &LatentProfile)> =
+            (0..100).map(|i| (FileHash::from_raw(i), &profile)).collect();
+        let wl = Whitelists::build(files, 1.0, 3);
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn manual_insert() {
+        let mut wl = Whitelists::new();
+        let h = FileHash::from_raw(42);
+        assert!(!wl.contains(h));
+        wl.insert(h);
+        assert!(wl.contains(h));
+        assert_eq!(wl.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the labeling oracle: the decision procedure
+//! must respond to latent evidence exactly as §II-B specifies, for any
+//! profile.
+
+use downlake_groundtruth::{GroundTruthOracle, OracleConfig};
+use downlake_types::{FileHash, FileLabel, FileNature, LatentProfile, MalwareType, Timestamp};
+use proptest::prelude::*;
+
+fn malware_type() -> impl Strategy<Value = MalwareType> {
+    proptest::sample::select(MalwareType::ALL.to_vec())
+}
+
+fn profile() -> impl Strategy<Value = LatentProfile> {
+    (
+        proptest::bool::ANY,
+        malware_type(),
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+    )
+        .prop_map(|(malicious, ty, visibility, detectability)| LatentProfile {
+            nature: if malicious {
+                FileNature::Malicious(ty)
+            } else {
+                FileNature::Benign
+            },
+            family: None,
+            visibility,
+            detectability: if malicious { detectability } else { 0.0 },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Confident labels never contradict the latent nature, and the
+    /// boundary propensities force deterministic outcomes.
+    #[test]
+    fn labels_respect_latent_evidence(
+        profiles in proptest::collection::vec(profile(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let oracle = GroundTruthOracle::new(OracleConfig {
+            seed,
+            ..OracleConfig::default()
+        });
+        let subjects: Vec<(FileHash, &LatentProfile, Timestamp)> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (FileHash::from_raw(i as u64), p, Timestamp::from_day(3)))
+            .collect();
+        let gt = oracle.collect(subjects);
+        // The laxest engine in the roster fires at detectability 0.25;
+        // malware below that threshold is a universal AV false negative
+        // and legitimately scans clean (the paper itself flags such
+        // ground-truth noise in §VII).
+        const LAXEST_THRESHOLD: f64 = 0.25;
+        for (i, p) in profiles.iter().enumerate() {
+            let label = gt.label(FileHash::from_raw(i as u64));
+            match (label, p.nature) {
+                // Benign files can never be detected by anything.
+                (FileLabel::Malicious | FileLabel::LikelyMalicious, FileNature::Benign) => {
+                    prop_assert!(false, "benign file labeled {label}");
+                }
+                // Malware detectable by at least one engine can never be
+                // blessed as (likely) benign.
+                (FileLabel::Benign | FileLabel::LikelyBenign, FileNature::Malicious(_))
+                    if p.detectability >= LAXEST_THRESHOLD =>
+                {
+                    prop_assert!(false, "detectable malware labeled {label}");
+                }
+                _ => {}
+            }
+            // Zero visibility and no whitelist hit ⇒ unknown, always.
+            if p.visibility == 0.0 {
+                prop_assert_eq!(label, FileLabel::Unknown);
+            }
+            // Fully visible, fully detectable malware is always caught by
+            // a trusted engine.
+            if p.visibility == 1.0 && p.detectability >= 0.999 {
+                prop_assert_eq!(label, FileLabel::Malicious);
+            }
+        }
+    }
+
+    /// Detection-bearing scan reports exist iff the label is
+    /// malicious-ish, and their detections justify the tier.
+    #[test]
+    fn scan_reports_justify_labels(
+        profiles in proptest::collection::vec(profile(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let oracle = GroundTruthOracle::new(OracleConfig {
+            seed,
+            ..OracleConfig::default()
+        });
+        let subjects: Vec<(FileHash, &LatentProfile, Timestamp)> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (FileHash::from_raw(i as u64), p, Timestamp::from_day(3)))
+            .collect();
+        let gt = oracle.collect(subjects);
+        for i in 0..profiles.len() {
+            let hash = FileHash::from_raw(i as u64);
+            match gt.label(hash) {
+                FileLabel::Malicious => {
+                    let scan = gt.scan(hash).expect("malicious needs a report");
+                    prop_assert!(scan.trusted_detection());
+                }
+                FileLabel::LikelyMalicious => {
+                    let scan = gt.scan(hash).expect("likely-malicious needs a report");
+                    prop_assert!(!scan.trusted_detection());
+                    prop_assert!(!scan.detections.is_empty());
+                }
+                FileLabel::LikelyBenign => {
+                    // Short scan span by definition; no detections kept.
+                    prop_assert!(gt.scan(hash).is_none());
+                }
+                _ => prop_assert!(gt.scan(hash).is_none()),
+            }
+        }
+    }
+}

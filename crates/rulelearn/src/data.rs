@@ -1,0 +1,305 @@
+//! Categorical training data: attributes, value domains, instances.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One categorical attribute and its value domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Attribute {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            values: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct values seen.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The string for a value id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this attribute.
+    pub fn value(&self, id: u32) -> &str {
+        &self.values[id as usize]
+    }
+
+    /// Looks up a value's id, if it has been seen.
+    pub fn id_of(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&id) = self.index.get(value) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("attribute domain too large");
+        self.values.push(value.to_owned());
+        self.index.insert(value.to_owned(), id);
+        id
+    }
+}
+
+/// The shape of a dataset: attribute domains plus class names. Shared by
+/// [`Instances`], trees, and rule sets so rules can render themselves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    classes: Vec<String>,
+}
+
+impl Schema {
+    /// The attributes.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The class names.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// The id of a class name.
+    pub fn class_id(&self, name: &str) -> Option<u8> {
+        self.classes
+            .iter()
+            .position(|c| c == name)
+            .map(|i| i as u8)
+    }
+
+    /// Encodes a row of attribute value strings into value ids; values
+    /// never seen in training encode as `None` in that slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the attribute count.
+    pub fn encode(&self, values: &[&str]) -> Vec<Option<u32>> {
+        assert_eq!(values.len(), self.attrs.len(), "row arity mismatch");
+        values
+            .iter()
+            .zip(&self.attrs)
+            .map(|(v, a)| a.id_of(v))
+            .collect()
+    }
+}
+
+/// One training instance: encoded attribute values plus a class id.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row {
+    /// Value id per attribute.
+    pub values: Vec<u32>,
+    /// Class id.
+    pub class: u8,
+}
+
+/// An immutable categorical training set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instances {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Instances {
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.schema.attrs.len()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.schema.classes.len()
+    }
+
+    /// Class counts over a subset of row indices.
+    pub fn class_counts(&self, indices: &[u32]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.class_count()];
+        for &i in indices {
+            counts[self.rows[i as usize].class as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl fmt::Display for Instances {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instances × {} attributes, {} classes",
+            self.rows.len(),
+            self.schema.attrs.len(),
+            self.schema.classes.len()
+        )
+    }
+}
+
+/// Builds an [`Instances`] by interning value strings.
+#[derive(Debug, Clone)]
+pub struct InstancesBuilder {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl InstancesBuilder {
+    /// Creates a builder with the given attribute and class names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attrs` is empty, `classes` has fewer than two entries,
+    /// or `classes` has more than 255 entries.
+    pub fn new(attrs: &[&str], classes: &[&str]) -> Self {
+        assert!(!attrs.is_empty(), "need at least one attribute");
+        assert!(classes.len() >= 2, "need at least two classes");
+        assert!(classes.len() <= 255, "too many classes");
+        Self {
+            schema: Schema {
+                attrs: attrs.iter().map(|a| Attribute::new(a)).collect(),
+                classes: classes.iter().map(|&c| c.to_owned()).collect(),
+            },
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count mismatches the attribute count or the
+    /// class name is unknown.
+    pub fn push(&mut self, values: &[&str], class: &str) {
+        assert_eq!(
+            values.len(),
+            self.schema.attrs.len(),
+            "row arity mismatch"
+        );
+        let class = self
+            .schema
+            .class_id(class)
+            .unwrap_or_else(|| panic!("unknown class {class:?}"));
+        let values = values
+            .iter()
+            .zip(&mut self.schema.attrs)
+            .map(|(v, a)| a.intern(v))
+            .collect();
+        self.rows.push(Row { values, class });
+    }
+
+    /// Number of rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Finishes the training set.
+    pub fn build(self) -> Instances {
+        Instances {
+            schema: self.schema,
+            rows: self.rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instances {
+        let mut b = InstancesBuilder::new(&["color", "shape"], &["yes", "no"]);
+        b.push(&["red", "round"], "yes");
+        b.push(&["red", "square"], "yes");
+        b.push(&["blue", "round"], "no");
+        b.build()
+    }
+
+    #[test]
+    fn interning_builds_domains() {
+        let inst = sample();
+        let color = &inst.schema().attrs()[0];
+        assert_eq!(color.arity(), 2);
+        assert_eq!(color.id_of("red"), Some(0));
+        assert_eq!(color.id_of("blue"), Some(1));
+        assert_eq!(color.value(1), "blue");
+        assert_eq!(color.id_of("green"), None);
+    }
+
+    #[test]
+    fn rows_encode_classes() {
+        let inst = sample();
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst.rows()[0].class, 0);
+        assert_eq!(inst.rows()[2].class, 1);
+        assert_eq!(inst.class_counts(&[0, 1, 2]), vec![2, 1]);
+    }
+
+    #[test]
+    fn schema_encode_handles_unseen_values() {
+        let inst = sample();
+        let encoded = inst.schema().encode(&["red", "hexagonal"]);
+        assert_eq!(encoded, vec![Some(0), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn push_rejects_wrong_arity() {
+        let mut b = InstancesBuilder::new(&["a", "b"], &["x", "y"]);
+        b.push(&["only-one"], "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown class")]
+    fn push_rejects_unknown_class() {
+        let mut b = InstancesBuilder::new(&["a"], &["x", "y"]);
+        b.push(&["v"], "z");
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn builder_requires_two_classes() {
+        InstancesBuilder::new(&["a"], &["only"]);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let inst = sample();
+        assert_eq!(inst.to_string(), "3 instances × 2 attributes, 2 classes");
+    }
+}

@@ -1,0 +1,121 @@
+//! Information-theoretic split criteria (C4.5's gain ratio).
+
+/// Shannon entropy (bits) of a class-count histogram.
+///
+/// ```
+/// use downlake_rulelearn::entropy;
+/// assert_eq!(entropy(&[8, 0]), 0.0);
+/// assert!((entropy(&[4, 4]) - 1.0).abs() < 1e-12);
+/// ```
+pub fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Information gain of a candidate split.
+///
+/// `parent` is the class histogram before the split, `children` the class
+/// histogram of each branch.
+pub fn info_gain(parent: &[usize], children: &[Vec<usize>]) -> f64 {
+    let parent_total: usize = parent.iter().sum();
+    if parent_total == 0 {
+        return 0.0;
+    }
+    let mut remainder = 0.0;
+    for child in children {
+        let child_total: usize = child.iter().sum();
+        if child_total == 0 {
+            continue;
+        }
+        remainder += (child_total as f64 / parent_total as f64) * entropy(child);
+    }
+    (entropy(parent) - remainder).max(0.0)
+}
+
+/// C4.5 gain ratio: information gain normalised by the split's intrinsic
+/// information, correcting the bias toward high-arity attributes.
+///
+/// Returns 0 when the split information is (near) zero — a split that
+/// sends everything down one branch carries no usable information.
+pub fn gain_ratio(parent: &[usize], children: &[Vec<usize>]) -> f64 {
+    let gain = info_gain(parent, children);
+    if gain <= 0.0 {
+        return 0.0;
+    }
+    let branch_sizes: Vec<usize> = children.iter().map(|c| c.iter().sum()).collect();
+    let split_info = entropy(&branch_sizes);
+    if split_info < 1e-10 {
+        0.0
+    } else {
+        gain / split_info
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[0, 0]), 0.0);
+        assert_eq!(entropy(&[5]), 0.0);
+        let e = entropy(&[1, 1, 1, 1]);
+        assert!((e - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_split_gains_full_entropy() {
+        let parent = [4, 4];
+        let children = vec![vec![4, 0], vec![0, 4]];
+        assert!((info_gain(&parent, &children) - 1.0).abs() < 1e-12);
+        assert!((gain_ratio(&parent, &children) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_split_gains_nothing() {
+        let parent = [4, 4];
+        let children = vec![vec![2, 2], vec![2, 2]];
+        assert!(info_gain(&parent, &children).abs() < 1e-12);
+        assert_eq!(gain_ratio(&parent, &children), 0.0);
+    }
+
+    #[test]
+    fn one_sided_split_has_zero_ratio() {
+        // Everything in one branch: split info 0 → ratio forced to 0.
+        let parent = [4, 4];
+        let children = vec![vec![4, 4], vec![0, 0]];
+        assert_eq!(gain_ratio(&parent, &children), 0.0);
+    }
+
+    #[test]
+    fn gain_ratio_penalises_high_arity() {
+        let parent = [4, 4];
+        // A binary perfect split…
+        let binary = vec![vec![4, 0], vec![0, 4]];
+        // …vs an 8-way split that also separates classes perfectly.
+        let eight: Vec<Vec<usize>> = (0..8)
+            .map(|i| if i < 4 { vec![1, 0] } else { vec![0, 1] })
+            .collect();
+        assert!(gain_ratio(&parent, &binary) > gain_ratio(&parent, &eight));
+        assert!(info_gain(&parent, &binary) <= info_gain(&parent, &eight) + 1e-12);
+    }
+
+    #[test]
+    fn empty_children_are_ignored() {
+        let parent = [3, 3];
+        let children = vec![vec![3, 0], vec![0, 0], vec![0, 3]];
+        assert!((info_gain(&parent, &children) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,61 @@
+//! Rule learning for `downlake`: a from-scratch implementation of the
+//! **PART** algorithm (Frank & Witten, *Generating Accurate Rule Sets
+//! Without Global Optimization*, ICML 1998) over categorical data, plus
+//! the C4.5-style decision tree it is built from (which doubles as the
+//! paper's "regular decision tree" baseline).
+//!
+//! PART builds a decision list by repeatedly growing a pruned C4.5 tree
+//! over the instances not yet covered, extracting the single leaf with the
+//! largest coverage as a rule, and discarding the instances it covers.
+//! The result is a set of independent, *human-readable* rules:
+//!
+//! ```text
+//! IF (file's signer is "SecureInstall") → file is malicious
+//! ```
+//!
+//! On top of PART, this crate implements the DSN'17 paper's rule-selection
+//! and deployment machinery (§VI-C/D): rules are filtered by a maximum
+//! training-error threshold **τ**, and classification *rejects* files
+//! matched by conflicting rules instead of guessing.
+//!
+//! (Implementation note: Frank & Witten's *partial* tree construction is
+//! an efficiency device — expansion stops as soon as a stable subtree is
+//! found. This implementation grows and prunes the full tree each round,
+//! which yields the same decision-list semantics at slightly higher
+//! training cost; training sets here are small enough not to care.)
+//!
+//! # Example
+//!
+//! ```
+//! use downlake_rulelearn::{ConflictPolicy, InstancesBuilder, PartLearner};
+//!
+//! let mut b = InstancesBuilder::new(&["signer", "packer"], &["benign", "malicious"]);
+//! for _ in 0..30 {
+//!     b.push(&["Somoto Ltd.", "NSIS"], "malicious");
+//!     b.push(&["TeamViewer", "INNO"], "benign");
+//! }
+//! let instances = b.build();
+//! let ruleset = PartLearner::default().learn(&instances);
+//! let selected = ruleset.select(0.001); // τ = 0.1%
+//! let verdict = selected.classify_values(&["Somoto Ltd.", "NSIS"], ConflictPolicy::Reject);
+//! assert_eq!(verdict.class_name(), Some("malicious"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod data;
+mod entropy;
+mod metrics;
+mod part;
+mod rule;
+mod ruleset;
+mod tree;
+
+pub use data::{Attribute, Instances, InstancesBuilder, Schema};
+pub use entropy::{entropy, gain_ratio, info_gain};
+pub use metrics::{BinaryEval, Confusion};
+pub use part::PartLearner;
+pub use rule::{Condition, Rule};
+pub use ruleset::{ConflictPolicy, RuleSet, Verdict};
+pub use tree::{DecisionTree, TreeConfig, TreeNode};

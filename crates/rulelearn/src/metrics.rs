@@ -1,0 +1,143 @@
+//! Evaluation metrics for deployed rule sets.
+//!
+//! Matching the paper's §VI-D methodology: TP and FP rates are computed
+//! **only over samples that match at least one rule** and are not
+//! rejected — a rule-based labeler that abstains is not wrong, it is
+//! silent.
+
+use crate::ruleset::Verdict;
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion over the matched, non-rejected samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Malicious samples classified malicious.
+    pub true_positives: usize,
+    /// Malicious samples classified benign.
+    pub false_negatives: usize,
+    /// Benign samples classified malicious.
+    pub false_positives: usize,
+    /// Benign samples classified benign.
+    pub true_negatives: usize,
+    /// Samples rejected due to rule conflicts.
+    pub rejected: usize,
+    /// Samples matching no rule.
+    pub unmatched: usize,
+}
+
+impl Confusion {
+    /// Records one sample. `positive_class` is the id of the "malicious"
+    /// class; `truth` the sample's true class id.
+    pub fn record(&mut self, verdict: Verdict, truth: u8, positive_class: u8) {
+        match verdict {
+            Verdict::NoMatch => self.unmatched += 1,
+            Verdict::Rejected => self.rejected += 1,
+            Verdict::Class(predicted) => {
+                let truth_pos = truth == positive_class;
+                let pred_pos = predicted == positive_class;
+                match (truth_pos, pred_pos) {
+                    (true, true) => self.true_positives += 1,
+                    (true, false) => self.false_negatives += 1,
+                    (false, true) => self.false_positives += 1,
+                    (false, false) => self.true_negatives += 1,
+                }
+            }
+        }
+    }
+
+    /// Matched-and-decided malicious samples.
+    pub fn positives(&self) -> usize {
+        self.true_positives + self.false_negatives
+    }
+
+    /// Matched-and-decided benign samples.
+    pub fn negatives(&self) -> usize {
+        self.false_positives + self.true_negatives
+    }
+
+    /// True-positive rate over decided malicious samples (0 if none).
+    pub fn tp_rate(&self) -> f64 {
+        let p = self.positives();
+        if p == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / p as f64
+        }
+    }
+
+    /// False-positive rate over decided benign samples (0 if none).
+    pub fn fp_rate(&self) -> f64 {
+        let n = self.negatives();
+        if n == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / n as f64
+        }
+    }
+
+    /// All decided samples.
+    pub fn decided(&self) -> usize {
+        self.positives() + self.negatives()
+    }
+}
+
+/// Summary of a train/test evaluation round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryEval {
+    /// The confusion over the test set.
+    pub confusion: Confusion,
+    /// Rules deployed.
+    pub rules: usize,
+}
+
+impl BinaryEval {
+    /// Convenience accessor.
+    pub fn tp_rate(&self) -> f64 {
+        self.confusion.tp_rate()
+    }
+
+    /// Convenience accessor.
+    pub fn fp_rate(&self) -> f64 {
+        self.confusion.fp_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_ignore_unmatched_and_rejected() {
+        let mut c = Confusion::default();
+        c.record(Verdict::Class(1), 1, 1); // TP
+        c.record(Verdict::Class(1), 0, 1); // FP
+        c.record(Verdict::Class(0), 0, 1); // TN
+        c.record(Verdict::Class(0), 1, 1); // FN
+        c.record(Verdict::Rejected, 1, 1);
+        c.record(Verdict::NoMatch, 0, 1);
+        assert_eq!(c.decided(), 4);
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.unmatched, 1);
+        assert!((c.tp_rate() - 0.5).abs() < 1e-12);
+        assert!((c.fp_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_confusion_rates_are_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.tp_rate(), 0.0);
+        assert_eq!(c.fp_rate(), 0.0);
+        assert_eq!(c.decided(), 0);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let mut c = Confusion::default();
+        for _ in 0..10 {
+            c.record(Verdict::Class(1), 1, 1);
+            c.record(Verdict::Class(0), 0, 1);
+        }
+        assert_eq!(c.tp_rate(), 1.0);
+        assert_eq!(c.fp_rate(), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Individual classification rules.
+
+use crate::data::Schema;
+use serde::{Deserialize, Serialize};
+
+/// One `attribute = value` test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Condition {
+    /// Attribute index into the schema.
+    pub attr: usize,
+    /// Required value id.
+    pub value: u32,
+}
+
+/// A conjunctive classification rule extracted by PART.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The conjunction of conditions (empty = catch-all default rule).
+    pub conditions: Vec<Condition>,
+    /// Predicted class id.
+    pub class: u8,
+    /// Training instances the rule covered when extracted.
+    pub covered: usize,
+    /// Of those, how many it misclassified.
+    pub errors: usize,
+}
+
+impl Rule {
+    /// Training error rate (`errors / covered`; 0 for zero coverage).
+    pub fn error_rate(&self) -> f64 {
+        if self.covered == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.covered as f64
+        }
+    }
+
+    /// Whether the rule is the empty-antecedent default rule.
+    pub fn is_default(&self) -> bool {
+        self.conditions.is_empty()
+    }
+
+    /// Whether an encoded row satisfies every condition.
+    pub fn matches(&self, values: &[Option<u32>]) -> bool {
+        self.conditions
+            .iter()
+            .all(|c| values[c.attr] == Some(c.value))
+    }
+
+    /// Renders the rule in the paper's human-readable form:
+    ///
+    /// ```text
+    /// IF (signer is "Somoto Ltd.") AND (packer is "NSIS") → malicious
+    /// ```
+    pub fn render(&self, schema: &Schema) -> String {
+        let class = &schema.classes()[self.class as usize];
+        if self.conditions.is_empty() {
+            return format!("IF (anything) → {class}  [covered={}, errors={}]", self.covered, self.errors);
+        }
+        let conds: Vec<String> = self
+            .conditions
+            .iter()
+            .map(|c| {
+                let attr = &schema.attrs()[c.attr];
+                format!("({} is {:?})", attr.name(), attr.value(c.value))
+            })
+            .collect();
+        format!(
+            "IF {} → {class}  [covered={}, errors={}]",
+            conds.join(" AND "),
+            self.covered,
+            self.errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::InstancesBuilder;
+
+    fn schema() -> crate::data::Schema {
+        let mut b = InstancesBuilder::new(&["signer", "packer"], &["benign", "malicious"]);
+        b.push(&["Somoto Ltd.", "NSIS"], "malicious");
+        b.push(&["TeamViewer", "INNO"], "benign");
+        b.build().schema().clone()
+    }
+
+    #[test]
+    fn matching_requires_all_conditions() {
+        let rule = Rule {
+            conditions: vec![
+                Condition { attr: 0, value: 0 },
+                Condition { attr: 1, value: 0 },
+            ],
+            class: 1,
+            covered: 10,
+            errors: 0,
+        };
+        assert!(rule.matches(&[Some(0), Some(0)]));
+        assert!(!rule.matches(&[Some(0), Some(1)]));
+        assert!(!rule.matches(&[None, Some(0)]));
+    }
+
+    #[test]
+    fn default_rule_matches_everything() {
+        let rule = Rule {
+            conditions: vec![],
+            class: 0,
+            covered: 5,
+            errors: 2,
+        };
+        assert!(rule.is_default());
+        assert!(rule.matches(&[None, None]));
+        assert!((rule.error_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_matches_paper_style() {
+        let schema = schema();
+        let rule = Rule {
+            conditions: vec![
+                Condition { attr: 0, value: 0 },
+                Condition { attr: 1, value: 0 },
+            ],
+            class: 1,
+            covered: 52,
+            errors: 0,
+        };
+        let text = rule.render(&schema);
+        assert_eq!(
+            text,
+            "IF (signer is \"Somoto Ltd.\") AND (packer is \"NSIS\") → malicious  [covered=52, errors=0]"
+        );
+    }
+
+    #[test]
+    fn zero_coverage_error_rate_is_zero() {
+        let rule = Rule {
+            conditions: vec![],
+            class: 0,
+            covered: 0,
+            errors: 0,
+        };
+        assert_eq!(rule.error_rate(), 0.0);
+    }
+}

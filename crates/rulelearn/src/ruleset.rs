@@ -1,0 +1,503 @@
+//! Rule sets: τ-selection and conflict-aware classification (§VI-C/D).
+
+use crate::data::Schema;
+use crate::rule::Rule;
+use serde::{Deserialize, Serialize};
+
+/// What to do when several matching rules disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ConflictPolicy {
+    /// Refuse to classify (the paper's choice — keeps FPs down).
+    #[default]
+    Reject,
+    /// The class backed by the larger total coverage wins.
+    MajorityVote,
+    /// The earliest-extracted matching rule wins (decision-list order,
+    /// what a plain PART decision list would do).
+    FirstMatch,
+}
+
+/// Outcome of classifying one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The matched rules agreed on a class.
+    Class(u8),
+    /// Matching rules conflicted and the policy was [`ConflictPolicy::Reject`].
+    Rejected,
+    /// No rule matched.
+    NoMatch,
+}
+
+impl Verdict {
+    /// The class id, if one was assigned.
+    pub fn class(self) -> Option<u8> {
+        match self {
+            Verdict::Class(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered set of rules sharing a schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuleSet {
+    schema: Schema,
+    rules: Vec<Rule>,
+}
+
+/// A verdict plus access to the class name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NamedVerdict<'a> {
+    verdict: Verdict,
+    schema: &'a Schema,
+}
+
+impl RuleSet {
+    /// Creates a rule set.
+    pub fn new(schema: Schema, rules: Vec<Rule>) -> Self {
+        Self { schema, rules }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rules, in extraction order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Recomputes every rule's `covered`/`errors` against a full
+    /// dataset, *independently of decision-list order*.
+    ///
+    /// PART extracts each rule against the instances not covered by
+    /// earlier rules, so a late rule's recorded coverage says nothing
+    /// about how broadly it matches. Deploying rules as an unordered set
+    /// (as the DSN'17 system does) therefore re-scores each rule on the
+    /// whole training set before τ-selection — the paper's own example
+    /// ("learned from more than 50 instances … does not match any of the
+    /// tens of thousands of benign downloads") is exactly this
+    /// whole-set statistic.
+    pub fn reevaluate(&self, instances: &crate::data::Instances) -> RuleSet {
+        let rules = self
+            .rules
+            .iter()
+            .map(|rule| {
+                let mut covered = 0usize;
+                let mut errors = 0usize;
+                for row in instances.rows() {
+                    let matches = rule
+                        .conditions
+                        .iter()
+                        .all(|c| row.values[c.attr] == c.value);
+                    if matches {
+                        covered += 1;
+                        if row.class != rule.class {
+                            errors += 1;
+                        }
+                    }
+                }
+                Rule {
+                    conditions: rule.conditions.clone(),
+                    class: rule.class,
+                    covered,
+                    errors,
+                }
+            })
+            .collect();
+        RuleSet {
+            schema: self.schema.clone(),
+            rules,
+        }
+    }
+
+    /// Greedily simplifies every rule against a training set: drop any
+    /// condition whose removal does not increase the rule's error rate
+    /// (re-scored on the full set), preferring the shortest rule.
+    ///
+    /// This is the deployment-side analogue of PART's rule pruning and is
+    /// why the paper's rule lists read so cleanly — "simple rules
+    /// containing one feature … composed 89% of rules" (§VII). Returns
+    /// rules re-scored against `instances` (like [`Self::reevaluate`]).
+    pub fn simplify(&self, instances: &crate::data::Instances) -> RuleSet {
+        let score = |conditions: &[crate::rule::Condition], class: u8| -> (usize, usize) {
+            let mut covered = 0usize;
+            let mut errors = 0usize;
+            for row in instances.rows() {
+                if conditions.iter().all(|c| row.values[c.attr] == c.value) {
+                    covered += 1;
+                    if row.class != class {
+                        errors += 1;
+                    }
+                }
+            }
+            (covered, errors)
+        };
+        let rules = self
+            .rules
+            .iter()
+            .map(|rule| {
+                let mut conditions = rule.conditions.clone();
+                let (mut covered, mut errors) = score(&conditions, rule.class);
+                let mut rate = if covered == 0 {
+                    0.0
+                } else {
+                    errors as f64 / covered as f64
+                };
+                loop {
+                    let mut best: Option<(usize, usize, usize, f64)> = None;
+                    for drop in 0..conditions.len() {
+                        let candidate: Vec<_> = conditions
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != drop)
+                            .map(|(_, &c)| c)
+                            .collect();
+                        let (c, e) = score(&candidate, rule.class);
+                        let r = if c == 0 { 0.0 } else { e as f64 / c as f64 };
+                        if r <= rate + 1e-12
+                            && best.map_or(true, |(_, _, bc, _)| c > bc)
+                        {
+                            best = Some((drop, e, c, r));
+                        }
+                    }
+                    match best {
+                        Some((drop, e, c, r)) if !conditions.is_empty() => {
+                            conditions.remove(drop);
+                            covered = c;
+                            errors = e;
+                            rate = r;
+                            if conditions.is_empty() {
+                                break;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                Rule {
+                    conditions,
+                    class: rule.class,
+                    covered,
+                    errors,
+                }
+            })
+            .collect();
+        RuleSet {
+            schema: self.schema.clone(),
+            rules: dedup_rules(rules),
+        }
+    }
+
+    /// Keeps only rules with training error rate ≤ τ, dropping the
+    /// default (catch-all) rule, which exists to complete the decision
+    /// list, not to be deployed independently (§VI-C selects only
+    /// high-accuracy rules).
+    pub fn select(&self, tau: f64) -> RuleSet {
+        self.select_with(tau, 0)
+    }
+
+    /// Like [`Self::select`], additionally requiring a minimum training
+    /// coverage per rule. An error *rate* alone cannot distinguish a
+    /// well-supported pure rule from one that was pure by accident on a
+    /// handful of instances; the paper's deployable rules are backed by
+    /// dozens of training files ("learned from more than 50 instances").
+    pub fn select_with(&self, tau: f64, min_coverage: usize) -> RuleSet {
+        RuleSet {
+            schema: self.schema.clone(),
+            rules: self
+                .rules
+                .iter()
+                .filter(|r| {
+                    !r.is_default()
+                        && r.covered >= min_coverage
+                        && r.error_rate() <= tau + 1e-12
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Number of rules concluding each class.
+    pub fn class_composition(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.schema.classes().len()];
+        for rule in &self.rules {
+            counts[rule.class as usize] += 1;
+        }
+        counts
+    }
+
+    /// Classifies an encoded row.
+    pub fn classify(&self, values: &[Option<u32>], policy: ConflictPolicy) -> Verdict {
+        let mut matched: Vec<&Rule> = Vec::new();
+        for rule in &self.rules {
+            if rule.matches(values) {
+                if policy == ConflictPolicy::FirstMatch {
+                    return Verdict::Class(rule.class);
+                }
+                matched.push(rule);
+            }
+        }
+        if matched.is_empty() {
+            return Verdict::NoMatch;
+        }
+        let first_class = matched[0].class;
+        if matched.iter().all(|r| r.class == first_class) {
+            return Verdict::Class(first_class);
+        }
+        match policy {
+            ConflictPolicy::Reject => Verdict::Rejected,
+            ConflictPolicy::FirstMatch => unreachable!("handled above"),
+            ConflictPolicy::MajorityVote => {
+                let mut weight = vec![0usize; self.schema.classes().len()];
+                for r in &matched {
+                    weight[r.class as usize] += r.covered.max(1);
+                }
+                let best = weight
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, w)| *w)
+                    .map(|(i, _)| i as u8)
+                    .expect("non-empty weights");
+                Verdict::Class(best)
+            }
+        }
+    }
+
+    /// Classifies raw value strings; returns a verdict that can name its
+    /// class.
+    pub fn classify_values(&self, values: &[&str], policy: ConflictPolicy) -> NamedVerdict<'_> {
+        let encoded = self.schema.encode(values);
+        NamedVerdict {
+            verdict: self.classify(&encoded, policy),
+            schema: &self.schema,
+        }
+    }
+
+    /// Renders every rule, one per line.
+    pub fn render(&self) -> String {
+        self.rules
+            .iter()
+            .map(|r| r.render(&self.schema))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Removes exact-duplicate rules (same conditions and class), keeping
+/// the first occurrence.
+fn dedup_rules(rules: Vec<Rule>) -> Vec<Rule> {
+    let mut seen: std::collections::HashSet<(Vec<crate::rule::Condition>, u8)> =
+        std::collections::HashSet::new();
+    rules
+        .into_iter()
+        .filter(|r| seen.insert((r.conditions.clone(), r.class)))
+        .collect()
+}
+
+impl<'a> NamedVerdict<'a> {
+    /// The raw verdict.
+    pub fn verdict(&self) -> Verdict {
+        self.verdict
+    }
+
+    /// The class name, if a class was assigned.
+    pub fn class_name(&self) -> Option<&'a str> {
+        self.verdict
+            .class()
+            .map(|c| self.schema.classes()[c as usize].as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::InstancesBuilder;
+    use crate::rule::Condition;
+
+    fn schema() -> Schema {
+        let mut b = InstancesBuilder::new(&["signer"], &["benign", "malicious"]);
+        b.push(&["somoto"], "malicious");
+        b.push(&["teamviewer"], "benign");
+        b.push(&["binstall"], "benign");
+        b.build().schema().clone()
+    }
+
+    fn rule(attr: usize, value: u32, class: u8, covered: usize, errors: usize) -> Rule {
+        Rule {
+            conditions: vec![Condition { attr, value }],
+            class,
+            covered,
+            errors,
+        }
+    }
+
+    #[test]
+    fn select_filters_by_error_rate_and_drops_default() {
+        let schema = schema();
+        let rules = vec![
+            rule(0, 0, 1, 100, 0),
+            rule(0, 1, 0, 100, 1),  // 1% error
+            Rule { conditions: vec![], class: 0, covered: 50, errors: 0 },
+        ];
+        let set = RuleSet::new(schema, rules);
+        assert_eq!(set.select(0.0).len(), 1);
+        assert_eq!(set.select(0.01).len(), 2);
+        assert_eq!(set.select(1.0).len(), 2, "default rule always dropped");
+    }
+
+    #[test]
+    fn conflict_rejection() {
+        let schema = schema();
+        // Two rules match signer=somoto but disagree.
+        let set = RuleSet::new(
+            schema,
+            vec![rule(0, 0, 1, 10, 0), rule(0, 0, 0, 3, 0)],
+        );
+        let v = set.classify_values(&["somoto"], ConflictPolicy::Reject);
+        assert_eq!(v.verdict(), Verdict::Rejected);
+        assert_eq!(v.class_name(), None);
+
+        let v = set.classify_values(&["somoto"], ConflictPolicy::MajorityVote);
+        assert_eq!(v.class_name(), Some("malicious"));
+
+        let v = set.classify_values(&["somoto"], ConflictPolicy::FirstMatch);
+        assert_eq!(v.class_name(), Some("malicious"));
+    }
+
+    #[test]
+    fn agreeing_rules_classify() {
+        let schema = schema();
+        let set = RuleSet::new(
+            schema,
+            vec![rule(0, 0, 1, 10, 0), rule(0, 0, 1, 5, 0)],
+        );
+        let v = set.classify_values(&["somoto"], ConflictPolicy::Reject);
+        assert_eq!(v.class_name(), Some("malicious"));
+    }
+
+    #[test]
+    fn no_match_for_unseen_or_uncovered() {
+        let schema = schema();
+        let set = RuleSet::new(schema, vec![rule(0, 0, 1, 10, 0)]);
+        assert_eq!(
+            set.classify_values(&["teamviewer"], ConflictPolicy::Reject).verdict(),
+            Verdict::NoMatch
+        );
+        assert_eq!(
+            set.classify_values(&["never-seen"], ConflictPolicy::Reject).verdict(),
+            Verdict::NoMatch
+        );
+    }
+
+    #[test]
+    fn composition_counts_rules_per_class() {
+        let schema = schema();
+        let set = RuleSet::new(
+            schema,
+            vec![rule(0, 0, 1, 1, 0), rule(0, 1, 0, 1, 0), rule(0, 2, 0, 1, 0)],
+        );
+        assert_eq!(set.class_composition(), vec![2, 1]);
+    }
+
+    #[test]
+    fn simplify_drops_redundant_conditions() {
+        use crate::data::InstancesBuilder;
+        // signer fully determines the class; packer is noise.
+        let mut b = InstancesBuilder::new(&["signer", "packer"], &["benign", "malicious"]);
+        for packer in ["NSIS", "UPX", "INNO"] {
+            for _ in 0..5 {
+                b.push(&["somoto", packer], "malicious");
+                b.push(&["teamviewer", packer], "benign");
+            }
+        }
+        let inst = b.build();
+        let over_specific = Rule {
+            conditions: vec![
+                Condition { attr: 0, value: 0 }, // signer = somoto
+                Condition { attr: 1, value: 0 }, // packer = NSIS (redundant)
+            ],
+            class: 1,
+            covered: 5,
+            errors: 0,
+        };
+        let set = RuleSet::new(inst.schema().clone(), vec![over_specific]);
+        let simplified = set.simplify(&inst);
+        assert_eq!(simplified.rules().len(), 1);
+        let rule = &simplified.rules()[0];
+        assert_eq!(rule.conditions.len(), 1, "{}", rule.render(inst.schema()));
+        assert_eq!(rule.conditions[0].attr, 0, "the signer condition must survive");
+        assert_eq!(rule.covered, 15, "coverage grows to the whole signer");
+        assert_eq!(rule.errors, 0);
+    }
+
+    #[test]
+    fn simplify_keeps_needed_conjunctions() {
+        use crate::data::InstancesBuilder;
+        // Malicious only when BOTH conditions hold.
+        let mut b = InstancesBuilder::new(&["signer", "packer"], &["benign", "malicious"]);
+        for _ in 0..5 {
+            b.push(&["somoto", "NSIS"], "malicious");
+            b.push(&["somoto", "INNO"], "benign");
+            b.push(&["teamviewer", "NSIS"], "benign");
+        }
+        let inst = b.build();
+        let rule = Rule {
+            conditions: vec![
+                Condition { attr: 0, value: 0 },
+                Condition { attr: 1, value: 0 },
+            ],
+            class: 1,
+            covered: 5,
+            errors: 0,
+        };
+        let set = RuleSet::new(inst.schema().clone(), vec![rule]);
+        let simplified = set.simplify(&inst);
+        assert_eq!(simplified.rules()[0].conditions.len(), 2, "both conditions needed");
+    }
+
+    #[test]
+    fn simplify_dedups_collapsed_rules() {
+        use crate::data::InstancesBuilder;
+        let mut b = InstancesBuilder::new(&["signer", "packer"], &["benign", "malicious"]);
+        for packer in ["NSIS", "UPX"] {
+            for _ in 0..4 {
+                b.push(&["somoto", packer], "malicious");
+            }
+        }
+        b.push(&["teamviewer", "NSIS"], "benign");
+        let inst = b.build();
+        // Two over-specific rules that both collapse to signer=somoto.
+        let r = |packer_value: u32| Rule {
+            conditions: vec![
+                Condition { attr: 0, value: 0 },
+                Condition { attr: 1, value: packer_value },
+            ],
+            class: 1,
+            covered: 4,
+            errors: 0,
+        };
+        let set = RuleSet::new(inst.schema().clone(), vec![r(0), r(1)]);
+        let simplified = set.simplify(&inst);
+        assert_eq!(simplified.rules().len(), 1, "collapsed duplicates must merge");
+    }
+
+    #[test]
+    fn render_joins_rules() {
+        let schema = schema();
+        let set = RuleSet::new(schema, vec![rule(0, 0, 1, 7, 0), rule(0, 1, 0, 3, 0)]);
+        let text = set.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("somoto"));
+    }
+}

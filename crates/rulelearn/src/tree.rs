@@ -1,0 +1,533 @@
+//! A C4.5-style decision tree over categorical attributes, with
+//! pessimistic-error (confidence-factor) subtree-replacement pruning.
+//!
+//! This is both the tree PART repeatedly builds and the paper's "regular
+//! decision tree" baseline (§VI-D argues PART's per-rule selection beats
+//! deploying the whole tree).
+
+use crate::data::{Instances, Schema};
+use crate::entropy::gain_ratio;
+use serde::{Deserialize, Serialize};
+
+/// Tree-growing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Minimum instances a split branch must receive (C4.5's `-m`).
+    pub min_leaf: usize,
+    /// Confidence factor for pessimistic pruning (C4.5's `-c`, 0.25).
+    pub cf: f64,
+    /// Whether to prune at all.
+    pub prune: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            min_leaf: 2,
+            cf: 0.25,
+            prune: true,
+        }
+    }
+}
+
+/// A node of the tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// A terminal node predicting `class`.
+    Leaf {
+        /// Predicted class id.
+        class: u8,
+        /// Training instances that reached the leaf.
+        count: usize,
+        /// Of those, how many the prediction gets wrong.
+        errors: usize,
+    },
+    /// A multiway split on a categorical attribute.
+    Split {
+        /// Attribute index split on.
+        attr: usize,
+        /// One child per attribute value id.
+        children: Vec<TreeNode>,
+        /// Majority class at this node (used for unseen values).
+        majority: u8,
+        /// Training instances that reached the node.
+        count: usize,
+    },
+}
+
+impl TreeNode {
+    /// Training instances that reached this node.
+    pub fn count(&self) -> usize {
+        match self {
+            TreeNode::Leaf { count, .. } | TreeNode::Split { count, .. } => *count,
+        }
+    }
+
+    /// Training errors committed in this subtree.
+    pub fn errors(&self) -> usize {
+        match self {
+            TreeNode::Leaf { errors, .. } => *errors,
+            TreeNode::Split { children, .. } => children.iter().map(TreeNode::errors).sum(),
+        }
+    }
+
+    /// Pessimistic (upper-bound) error estimate of the subtree.
+    fn pessimistic_errors(&self, cf: f64) -> f64 {
+        match self {
+            TreeNode::Leaf { count, errors, .. } => {
+                *errors as f64 + add_errs(*count as f64, *errors as f64, cf)
+            }
+            TreeNode::Split { children, .. } => children
+                .iter()
+                .filter(|c| c.count() > 0)
+                .map(|c| c.pessimistic_errors(cf))
+                .sum(),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 1,
+            TreeNode::Split { children, .. } => children.iter().map(TreeNode::leaf_count).sum(),
+        }
+    }
+
+    /// Depth (a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 1,
+            TreeNode::Split { children, .. } => {
+                1 + children.iter().map(TreeNode::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    schema: Schema,
+    root: TreeNode,
+    config: TreeConfig,
+}
+
+impl DecisionTree {
+    /// Grows (and, per config, prunes) a tree over the whole training set.
+    pub fn learn(instances: &Instances, config: TreeConfig) -> Self {
+        let indices: Vec<u32> = (0..instances.len() as u32).collect();
+        Self::learn_subset(instances, &indices, config)
+    }
+
+    /// Grows a tree over a subset of row indices (PART's per-round call).
+    pub fn learn_subset(instances: &Instances, indices: &[u32], config: TreeConfig) -> Self {
+        let mut used = vec![false; instances.attr_count()];
+        let mut root = build(instances, indices, &mut used, &config);
+        if config.prune {
+            prune(&mut root, config.cf);
+        }
+        Self {
+            schema: instances.schema().clone(),
+            root,
+            config,
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &TreeNode {
+        &self.root
+    }
+
+    /// The schema the tree was trained against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> TreeConfig {
+        self.config
+    }
+
+    /// Classifies an encoded row (unseen values fall back to node
+    /// majorities).
+    pub fn classify(&self, values: &[Option<u32>]) -> u8 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                TreeNode::Leaf { class, .. } => return *class,
+                TreeNode::Split {
+                    attr,
+                    children,
+                    majority,
+                    ..
+                } => {
+                    match values[*attr] {
+                        Some(v) if (v as usize) < children.len() => {
+                            node = &children[v as usize];
+                        }
+                        _ => return *majority,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classifies a row of raw value strings, returning the class name.
+    pub fn classify_values(&self, values: &[&str]) -> &str {
+        let encoded = self.schema.encode(values);
+        &self.schema.classes()[self.classify(&encoded) as usize]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.root.leaf_count()
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+}
+
+fn majority_class(counts: &[usize]) -> u8 {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| *c)
+        .map(|(i, _)| i as u8)
+        .unwrap_or(0)
+}
+
+fn build(
+    instances: &Instances,
+    indices: &[u32],
+    used: &mut [bool],
+    config: &TreeConfig,
+) -> TreeNode {
+    let counts = instances.class_counts(indices);
+    let total: usize = counts.iter().sum();
+    let majority = majority_class(&counts);
+    let errors = total - counts[majority as usize];
+    let leaf = TreeNode::Leaf {
+        class: majority,
+        count: total,
+        errors,
+    };
+    if errors == 0 || total < config.min_leaf * 2 {
+        return leaf;
+    }
+
+    // Pick the unused attribute with the best gain ratio.
+    let mut best: Option<(usize, f64)> = None;
+    for attr in 0..instances.attr_count() {
+        if used[attr] {
+            continue;
+        }
+        let arity = instances.schema().attrs()[attr].arity();
+        if arity < 2 {
+            continue;
+        }
+        let mut children = vec![vec![0usize; instances.class_count()]; arity];
+        for &i in indices {
+            let row = &instances.rows()[i as usize];
+            children[row.values[attr] as usize][row.class as usize] += 1;
+        }
+        // Require at least two populated branches.
+        let populated = children
+            .iter()
+            .filter(|c| c.iter().sum::<usize>() > 0)
+            .count();
+        if populated < 2 {
+            continue;
+        }
+        let ratio = gain_ratio(&counts, &children);
+        if ratio > 1e-10 && best.map_or(true, |(_, b)| ratio > b) {
+            best = Some((attr, ratio));
+        }
+    }
+    let Some((attr, _)) = best else {
+        return leaf;
+    };
+
+    let arity = instances.schema().attrs()[attr].arity();
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); arity];
+    for &i in indices {
+        buckets[instances.rows()[i as usize].values[attr] as usize].push(i);
+    }
+    used[attr] = true;
+    let children = buckets
+        .iter()
+        .map(|bucket| {
+            if bucket.is_empty() {
+                // Empty branch: predict the parent majority.
+                TreeNode::Leaf {
+                    class: majority,
+                    count: 0,
+                    errors: 0,
+                }
+            } else {
+                build(instances, bucket, used, config)
+            }
+        })
+        .collect();
+    used[attr] = false;
+
+    TreeNode::Split {
+        attr,
+        children,
+        majority,
+        count: total,
+    }
+}
+
+/// Bottom-up subtree-replacement pruning with C4.5's pessimistic error.
+fn prune(node: &mut TreeNode, cf: f64) {
+    let TreeNode::Split {
+        children,
+        majority,
+        count,
+        ..
+    } = node
+    else {
+        return;
+    };
+    for child in children.iter_mut() {
+        prune(child, cf);
+    }
+    let majority = *majority;
+    let count = *count;
+    let subtree_est = node.pessimistic_errors(cf);
+    let leaf_errors = count - class_count_of(node, majority);
+    let leaf_est = leaf_errors as f64 + add_errs(count as f64, leaf_errors as f64, cf);
+    if leaf_est <= subtree_est + 0.1 {
+        *node = TreeNode::Leaf {
+            class: majority,
+            count,
+            errors: leaf_errors,
+        };
+    }
+}
+
+/// Training instances of class `class` under the node (count − errors for
+/// leaves of that class; recomputed structurally for splits).
+fn class_count_of(node: &TreeNode, class: u8) -> usize {
+    match node {
+        TreeNode::Leaf {
+            class: c,
+            count,
+            errors,
+        } => {
+            if *c == class {
+                count - errors
+            } else {
+                // The leaf's own class absorbed `count - errors`; the
+                // remaining errors are spread over other classes. Without
+                // per-class histograms we bound from below with 0, which
+                // makes pruning slightly conservative for >2 classes and
+                // exact for binary problems.
+                *errors * usize::from(node_is_binary_complement(c, class))
+            }
+        }
+        TreeNode::Split { children, .. } => {
+            children.iter().map(|c| class_count_of(c, class)).sum()
+        }
+    }
+}
+
+/// For binary problems the non-majority mass belongs to the other class.
+fn node_is_binary_complement(leaf_class: &u8, query: u8) -> bool {
+    // Only ever called with class ids 0/1 in the binary case; for
+    // multi-class data this underestimates, which is safe (conservative).
+    (*leaf_class == 0 && query == 1) || (*leaf_class == 1 && query == 0)
+}
+
+/// Weka's `Stats.addErrs`: the number of *extra* errors to add to `e`
+/// observed errors out of `n`, at confidence `cf`.
+fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    if e < 1.0 {
+        let base = n * (1.0 - cf.powf(1.0 / n));
+        if e == 0.0 {
+            return base;
+        }
+        return base + e * (add_errs(n, 1.0, cf) - base);
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    let z = normal_inverse(1.0 - cf);
+    let f = (e + 0.5) / n;
+    let r = (f + z * z / (2.0 * n)
+        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+        / (1.0 + z * z / n);
+    (r * n - e).max(0.0)
+}
+
+/// Acklam's rational approximation to the standard normal quantile.
+fn normal_inverse(p: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p) && p > 0.0);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::InstancesBuilder;
+
+    fn conjunction() -> Instances {
+        // class = yes iff (red AND round): a greedy gain-based tree must
+        // recover the conjunction exactly.
+        let mut b = InstancesBuilder::new(&["color", "shape"], &["yes", "no"]);
+        for _ in 0..10 {
+            b.push(&["red", "round"], "yes");
+            b.push(&["red", "square"], "no");
+            b.push(&["blue", "round"], "no");
+            b.push(&["blue", "square"], "no");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn learns_conjunction_exactly() {
+        let inst = conjunction();
+        let tree = DecisionTree::learn(&inst, TreeConfig::default());
+        assert_eq!(tree.classify_values(&["red", "round"]), "yes");
+        assert_eq!(tree.classify_values(&["red", "square"]), "no");
+        assert_eq!(tree.classify_values(&["blue", "round"]), "no");
+        assert_eq!(tree.classify_values(&["blue", "square"]), "no");
+        assert_eq!(tree.root().errors(), 0);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_data_yields_single_leaf() {
+        let mut b = InstancesBuilder::new(&["x"], &["a", "b"]);
+        for _ in 0..5 {
+            b.push(&["v"], "a");
+        }
+        let tree = DecisionTree::learn(&b.build(), TreeConfig::default());
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn unseen_values_fall_back_to_majority() {
+        let inst = conjunction();
+        let tree = DecisionTree::learn(&inst, TreeConfig::default());
+        let encoded = inst.schema().encode(&["red", "hexagon"]);
+        // Must not panic; falls back to some class.
+        let class = tree.classify(&encoded);
+        assert!(class < 2);
+    }
+
+    #[test]
+    fn pruning_collapses_noise_splits() {
+        // A strongly dominant class with sprinkled noise: the pruned tree
+        // should be (near-)trivial while the unpruned tree overfits.
+        let mut b = InstancesBuilder::new(&["a", "b"], &["yes", "no"]);
+        let values_a = ["a0", "a1", "a2", "a3"];
+        let values_b = ["b0", "b1", "b2", "b3"];
+        let mut i = 0;
+        for &va in &values_a {
+            for &vb in &values_b {
+                for _ in 0..6 {
+                    b.push(&[va, vb], "yes");
+                }
+                // one noisy instance in some cells
+                if i % 3 == 0 {
+                    b.push(&[va, vb], "no");
+                }
+                i += 1;
+            }
+        }
+        let inst = b.build();
+        let unpruned = DecisionTree::learn(
+            &inst,
+            TreeConfig {
+                prune: false,
+                ..TreeConfig::default()
+            },
+        );
+        let pruned = DecisionTree::learn(&inst, TreeConfig::default());
+        assert!(pruned.leaf_count() <= unpruned.leaf_count());
+        assert!(pruned.leaf_count() <= 4, "pruned to {}", pruned.leaf_count());
+    }
+
+    #[test]
+    fn add_errs_matches_weka_reference_points() {
+        // Reference values computed from Weka's Stats.addErrs.
+        assert!((add_errs(100.0, 0.0, 0.25) - 100.0 * (1.0 - 0.25f64.powf(0.01))).abs() < 1e-9);
+        let v = add_errs(14.0, 1.0, 0.25);
+        assert!(v > 0.5 && v < 3.0, "addErrs(14,1)={v}");
+        assert!((add_errs(10.0, 9.9, 0.25) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_inverse_sanity() {
+        assert!((normal_inverse(0.5)).abs() < 1e-9);
+        assert!((normal_inverse(0.75) - 0.6744897501960817).abs() < 1e-6);
+        assert!((normal_inverse(0.975) - 1.959963984540054).abs() < 1e-6);
+        assert!((normal_inverse(0.025) + 1.959963984540054).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_leaf_blocks_tiny_splits() {
+        let mut b = InstancesBuilder::new(&["x"], &["a", "b"]);
+        b.push(&["u"], "a");
+        b.push(&["v"], "b");
+        let tree = DecisionTree::learn(
+            &b.build(),
+            TreeConfig {
+                min_leaf: 2,
+                ..TreeConfig::default()
+            },
+        );
+        // 2 instances < 2*min_leaf → single leaf.
+        assert_eq!(tree.leaf_count(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the learning stack: trees, PART, rule sets.
+
+use downlake_rulelearn::{
+    entropy, gain_ratio, ConflictPolicy, DecisionTree, Instances, InstancesBuilder, PartLearner,
+    TreeConfig, Verdict,
+};
+use proptest::prelude::*;
+
+/// A random categorical dataset: 2–4 attributes with small domains, two
+/// classes, 10–200 rows.
+fn dataset_strategy() -> impl Strategy<Value = Instances> {
+    (2usize..=4, 2usize..=4, 10usize..=200).prop_flat_map(|(attrs, arity, rows)| {
+        let row = proptest::collection::vec(0usize..arity, attrs);
+        proptest::collection::vec((row, proptest::bool::ANY), rows).prop_map(move |data| {
+            let attr_names: Vec<String> = (0..attrs).map(|i| format!("a{i}")).collect();
+            let attr_refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
+            let mut builder = InstancesBuilder::new(&attr_refs, &["no", "yes"]);
+            for (values, class) in data {
+                let value_names: Vec<String> =
+                    values.iter().map(|v| format!("v{v}")).collect();
+                let value_refs: Vec<&str> = value_names.iter().map(String::as_str).collect();
+                builder.push(&value_refs, if class { "yes" } else { "no" });
+            }
+            builder.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Entropy stays within [0, log2(k)]; gain ratio within [0, 1+ε].
+    #[test]
+    fn entropy_bounds(counts in proptest::collection::vec(0usize..50, 2..6)) {
+        let e = entropy(&counts);
+        prop_assert!(e >= 0.0);
+        prop_assert!(e <= (counts.len() as f64).log2() + 1e-9);
+    }
+
+    /// Gain ratio of any two-way partition of the parent is in [0, 1].
+    #[test]
+    fn gain_ratio_bounds(
+        left in proptest::collection::vec(0usize..30, 2),
+        right in proptest::collection::vec(0usize..30, 2),
+    ) {
+        let parent = vec![left[0] + right[0], left[1] + right[1]];
+        let ratio = gain_ratio(&parent, &[left, right]);
+        prop_assert!(ratio >= 0.0);
+        prop_assert!(ratio <= 1.0 + 1e-9, "ratio {ratio}");
+    }
+
+    /// Trees never panic, classify every training row to a valid class,
+    /// and an unpruned tree never errs more than the majority baseline.
+    #[test]
+    fn tree_training_consistency(instances in dataset_strategy()) {
+        let unpruned = DecisionTree::learn(
+            &instances,
+            TreeConfig { prune: false, min_leaf: 1, ..TreeConfig::default() },
+        );
+        let counts = instances.class_counts(
+            &(0..instances.len() as u32).collect::<Vec<_>>(),
+        );
+        let majority_errors = instances.len() - counts.iter().max().copied().unwrap_or(0);
+        prop_assert!(unpruned.root().errors() <= majority_errors);
+        for row in instances.rows() {
+            let values: Vec<Option<u32>> = row.values.iter().map(|&v| Some(v)).collect();
+            let class = unpruned.classify(&values);
+            prop_assert!((class as usize) < instances.class_count());
+        }
+        // Pruning never grows the tree.
+        let pruned = DecisionTree::learn(&instances, TreeConfig::default());
+        prop_assert!(pruned.leaf_count() <= unpruned.leaf_count());
+    }
+
+    /// PART rules cover every training instance (a complete decision list)
+    /// and first-match classification never answers NoMatch on training
+    /// rows.
+    #[test]
+    fn part_decision_list_is_complete(instances in dataset_strategy()) {
+        let set = PartLearner::default().learn(&instances);
+        for row in instances.rows() {
+            let values: Vec<Option<u32>> = row.values.iter().map(|&v| Some(v)).collect();
+            let verdict = set.classify(&values, ConflictPolicy::FirstMatch);
+            prop_assert!(matches!(verdict, Verdict::Class(_)), "uncovered training row");
+        }
+    }
+
+    /// τ-selection is monotone: a looser threshold keeps a superset.
+    #[test]
+    fn tau_selection_monotone(instances in dataset_strategy(), t1 in 0.0f64..0.5, t2 in 0.0f64..0.5) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let set = PartLearner::default().learn(&instances).reevaluate(&instances);
+        let strict = set.select(lo);
+        let loose = set.select(hi);
+        prop_assert!(strict.len() <= loose.len());
+        // Every strictly-selected rule also appears in the loose set.
+        for rule in strict.rules() {
+            prop_assert!(loose.rules().contains(rule));
+        }
+    }
+
+    /// Re-evaluation preserves the rule list (conditions and classes) and
+    /// assigns every rule coverage ≥ what it covered during extraction is
+    /// NOT guaranteed — but coverage must be ≥ 0 and errors ≤ covered.
+    #[test]
+    fn reevaluation_is_sound(instances in dataset_strategy()) {
+        let set = PartLearner::default().learn(&instances);
+        let rescored = set.reevaluate(&instances);
+        prop_assert_eq!(set.len(), rescored.len());
+        for (a, b) in set.rules().iter().zip(rescored.rules()) {
+            prop_assert_eq!(&a.conditions, &b.conditions);
+            prop_assert_eq!(a.class, b.class);
+            prop_assert!(b.errors <= b.covered);
+        }
+        // Total coverage accounts for every training row at least once
+        // across the (complete) list.
+        let total: usize = rescored.rules().iter().map(|r| r.covered).sum();
+        prop_assert!(total >= instances.len());
+    }
+
+    /// Learning is deterministic.
+    #[test]
+    fn learning_is_deterministic(instances in dataset_strategy()) {
+        let a = PartLearner::default().learn(&instances);
+        let b = PartLearner::default().learn(&instances);
+        prop_assert_eq!(a.rules(), b.rules());
+        let ta = DecisionTree::learn(&instances, TreeConfig::default());
+        let tb = DecisionTree::learn(&instances, TreeConfig::default());
+        prop_assert_eq!(ta.root(), tb.root());
+    }
+
+    /// Classification with any policy is total (never panics) even on
+    /// rows full of unseen values.
+    #[test]
+    fn classification_is_total(instances in dataset_strategy()) {
+        let set = PartLearner::default().learn(&instances).select(0.1);
+        let unseen: Vec<Option<u32>> = vec![None; instances.attr_count()];
+        for policy in [ConflictPolicy::Reject, ConflictPolicy::MajorityVote, ConflictPolicy::FirstMatch] {
+            let _ = set.classify(&unseen, policy);
+        }
+        let tree = DecisionTree::learn(&instances, TreeConfig::default());
+        let class = tree.classify(&unseen);
+        prop_assert!((class as usize) < instances.class_count());
+    }
+}

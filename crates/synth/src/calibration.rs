@@ -1,0 +1,554 @@
+//! Calibration targets transcribed from the paper's tables.
+//!
+//! Every constant in this module is a number published in *Exploring the
+//! Long Tail of (Malicious) Software Downloads* (DSN 2017). The generator
+//! samples against these targets and the integration tests assert the
+//! resulting *shape* (not exact values) against them.
+//!
+//! A few cells of Table VI are illegible in the available copy of the
+//! paper (trojan signing rates, dropper from-browser rate, adware overall
+//! rate); those are interpolated from the surrounding rows and the
+//! paper's prose and are marked `// interpolated` below.
+
+use downlake_types::{BrowserKind, MalwareType, Month};
+
+/// Headline totals of §III.
+pub mod totals {
+    /// Machines monitored over the seven months.
+    pub const MACHINES: u64 = 1_139_183;
+    /// Software download events observed.
+    pub const EVENTS: u64 = 3_073_863;
+    /// Distinct downloaded files.
+    pub const FILES: u64 = 1_791_803;
+    /// Distinct downloading processes.
+    pub const PROCESSES: u64 = 141_229;
+    /// Distinct download URLs.
+    pub const URLS: u64 = 1_629_336;
+    /// Distinct domains.
+    pub const DOMAINS: u64 = 96_862;
+    /// Share of downloaded files with no ground truth.
+    pub const UNKNOWN_FILE_SHARE: f64 = 0.83;
+    /// Share of machines that downloaded at least one unknown file.
+    pub const MACHINES_TOUCHING_UNKNOWN: f64 = 0.69;
+    /// Share of files downloaded and executed by exactly one machine.
+    pub const PREVALENCE_ONE_SHARE: f64 = 0.90;
+    /// Share of files whose prevalence was capped by σ = 20.
+    pub const CAPPED_SHARE: f64 = 0.0025;
+}
+
+/// Percentages of a population falling in each ground-truth class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelShares {
+    /// % labeled benign.
+    pub benign: f64,
+    /// % labeled likely benign.
+    pub likely_benign: f64,
+    /// % labeled malicious.
+    pub malicious: f64,
+    /// % labeled likely malicious.
+    pub likely_malicious: f64,
+}
+
+impl LabelShares {
+    /// % that remains unknown.
+    pub fn unknown(&self) -> f64 {
+        100.0 - self.benign - self.likely_benign - self.malicious - self.likely_malicious
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonthRow {
+    /// Calendar month.
+    pub month: Month,
+    /// Active machines.
+    pub machines: u64,
+    /// Download events.
+    pub events: u64,
+    /// Distinct downloading processes.
+    pub processes: u64,
+    /// Label shares of downloading processes.
+    pub process_labels: LabelShares,
+    /// Distinct downloaded files.
+    pub files: u64,
+    /// Label shares of downloaded files.
+    pub file_labels: LabelShares,
+    /// Distinct download URLs.
+    pub urls: u64,
+    /// % of URLs labeled benign.
+    pub url_benign: f64,
+    /// % of URLs labeled malicious.
+    pub url_malicious: f64,
+}
+
+/// Table I, one row per study month.
+pub const TABLE1: [MonthRow; 7] = [
+    MonthRow {
+        month: Month::January,
+        machines: 292_516,
+        events: 578_510,
+        processes: 27_265,
+        process_labels: LabelShares { benign: 15.8, likely_benign: 8.4, malicious: 16.2, likely_malicious: 4.8 },
+        files: 366_981,
+        file_labels: LabelShares { benign: 2.9, likely_benign: 2.8, malicious: 7.9, likely_malicious: 2.8 },
+        urls: 318_834,
+        url_benign: 30.2,
+        url_malicious: 11.6,
+    },
+    MonthRow {
+        month: Month::February,
+        machines: 246_481,
+        events: 470_291,
+        processes: 25_001,
+        process_labels: LabelShares { benign: 15.4, likely_benign: 8.2, malicious: 16.8, likely_malicious: 4.8 },
+        files: 296_362,
+        file_labels: LabelShares { benign: 3.1, likely_benign: 3.1, malicious: 8.9, likely_malicious: 3.1 },
+        urls: 258_410,
+        url_benign: 30.0,
+        url_malicious: 12.2,
+    },
+    MonthRow {
+        month: Month::March,
+        machines: 248_568,
+        events: 493_487,
+        processes: 25_497,
+        process_labels: LabelShares { benign: 15.7, likely_benign: 9.1, malicious: 16.2, likely_malicious: 4.6 },
+        files: 312_662,
+        file_labels: LabelShares { benign: 3.0, likely_benign: 3.1, malicious: 9.6, likely_malicious: 2.9 },
+        urls: 282_179,
+        url_benign: 33.0,
+        url_malicious: 12.3,
+    },
+    MonthRow {
+        month: Month::April,
+        machines: 215_693,
+        events: 427_110,
+        processes: 23_078,
+        process_labels: LabelShares { benign: 16.3, likely_benign: 9.3, malicious: 19.4, likely_malicious: 4.5 },
+        files: 258_752,
+        file_labels: LabelShares { benign: 3.6, likely_benign: 3.4, malicious: 12.6, likely_malicious: 3.2 },
+        urls: 250_634,
+        url_benign: 31.8,
+        url_malicious: 11.3,
+    },
+    MonthRow {
+        month: Month::May,
+        machines: 180_947,
+        events: 351_271,
+        processes: 20_071,
+        process_labels: LabelShares { benign: 17.3, likely_benign: 9.5, malicious: 19.3, likely_malicious: 4.7 },
+        files: 218_156,
+        file_labels: LabelShares { benign: 3.7, likely_benign: 3.5, malicious: 12.5, likely_malicious: 3.2 },
+        urls: 206_095,
+        url_benign: 29.9,
+        url_malicious: 18.9,
+    },
+    MonthRow {
+        month: Month::June,
+        machines: 176_463,
+        events: 351_509,
+        processes: 23_799,
+        process_labels: LabelShares { benign: 14.3, likely_benign: 8.1, malicious: 20.9, likely_malicious: 3.8 },
+        files: 206_309,
+        file_labels: LabelShares { benign: 3.8, likely_benign: 3.4, malicious: 14.0, likely_malicious: 3.5 },
+        urls: 201_920,
+        url_benign: 29.5,
+        url_malicious: 23.0,
+    },
+    MonthRow {
+        month: Month::July,
+        machines: 157_457,
+        events: 323_159,
+        processes: 26_304,
+        process_labels: LabelShares { benign: 12.2, likely_benign: 7.2, malicious: 16.6, likely_malicious: 3.3 },
+        files: 188_564,
+        file_labels: LabelShares { benign: 4.0, likely_benign: 3.7, malicious: 12.6, likely_malicious: 3.6 },
+        urls: 187_315,
+        url_benign: 29.3,
+        url_malicious: 17.9,
+    },
+];
+
+/// Table I "Overall" file label shares.
+pub const OVERALL_FILE_LABELS: LabelShares = LabelShares {
+    benign: 2.3,
+    likely_benign: 2.5,
+    malicious: 9.9,
+    likely_malicious: 2.3,
+};
+
+/// Table II: share of malicious files per behaviour type (percent).
+pub const TABLE2_TYPE_MIX: [(MalwareType, f64); 11] = [
+    (MalwareType::Dropper, 22.7),
+    (MalwareType::Pup, 16.8),
+    (MalwareType::Adware, 15.4),
+    (MalwareType::Trojan, 11.3),
+    (MalwareType::Banker, 0.9),
+    (MalwareType::Bot, 0.6),
+    (MalwareType::FakeAv, 0.5),
+    (MalwareType::Ransomware, 0.3),
+    (MalwareType::Worm, 0.1),
+    (MalwareType::Spyware, 0.04),
+    (MalwareType::Undefined, 31.3),
+];
+
+/// Table VI: percentage of files carrying a valid signature, overall and
+/// when downloaded via a browser, per file class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SigningRates {
+    /// % signed, across all download vectors.
+    pub overall: f64,
+    /// % signed, among files downloaded by browsers.
+    pub from_browsers: f64,
+}
+
+/// Signing rate for a malicious behaviour type (Table VI).
+pub fn signing_rates(ty: MalwareType) -> SigningRates {
+    let (overall, from_browsers) = match ty {
+        MalwareType::Trojan => (30.0, 38.0), // interpolated
+        MalwareType::Dropper => (85.6, 89.0), // from-browser interpolated
+        MalwareType::Ransomware => (44.4, 68.7),
+        MalwareType::Bot => (1.5, 2.2),
+        MalwareType::Worm => (5.5, 12.3),
+        MalwareType::Spyware => (21.2, 25.0),
+        MalwareType::Banker => (1.2, 1.8),
+        MalwareType::FakeAv => (2.8, 4.5),
+        MalwareType::Adware => (85.0, 91.8), // overall interpolated
+        MalwareType::Pup => (76.0, 79.6),
+        MalwareType::Undefined => (65.1, 71.3),
+    };
+    SigningRates { overall, from_browsers }
+}
+
+/// Table VI signing rates for benign files.
+pub const BENIGN_SIGNING: SigningRates = SigningRates { overall: 30.7, from_browsers: 32.1 };
+/// Table VI signing rates for unknown files.
+pub const UNKNOWN_SIGNING: SigningRates = SigningRates { overall: 38.4, from_browsers: 42.1 };
+/// Table VI signing rates across all malicious files.
+pub const MALICIOUS_SIGNING: SigningRates = SigningRates { overall: 66.0, from_browsers: 81.0 };
+
+/// §IV-C packer statistics.
+pub mod packing {
+    /// Share of benign files packed with a recognised packer.
+    pub const BENIGN_PACKED: f64 = 0.54;
+    /// Share of malicious files packed with a recognised packer.
+    pub const MALICIOUS_PACKED: f64 = 0.58;
+    /// Distinct packers observed.
+    pub const TOTAL_PACKERS: usize = 69;
+    /// Packers used by both benign and malicious files.
+    pub const SHARED_PACKERS: usize = 35;
+}
+
+/// Downloaded-file class mix for a process population (Tables X–XII).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessRow {
+    /// Distinct process versions (image hashes).
+    pub processes: u64,
+    /// Machines on which such processes initiated downloads.
+    pub machines: u64,
+    /// Downloaded files that remained unknown.
+    pub unknown_files: u64,
+    /// Downloaded files labeled benign.
+    pub benign_files: u64,
+    /// Downloaded files labeled malicious.
+    pub malicious_files: u64,
+    /// % of those machines that downloaded ≥1 malicious file.
+    pub infected_pct: f64,
+}
+
+impl ProcessRow {
+    /// Total downloaded files with any destiny.
+    pub fn total_files(&self) -> u64 {
+        self.unknown_files + self.benign_files + self.malicious_files
+    }
+}
+
+/// A `(type, percent)` mix of malicious downloads. Entries absent from the
+/// paper's row are zero.
+pub type TypeMix = &'static [(MalwareType, f64)];
+
+/// Table X: download behaviour of benign process categories.
+/// Order: browsers, windows, java, acrobat, other.
+pub const TABLE10: [(ProcessRow, TypeMix); 5] = [
+    (
+        ProcessRow { processes: 1_342, machines: 799_342, unknown_files: 1_120_855, benign_files: 28_265, malicious_files: 113_750, infected_pct: 24.44 },
+        &[
+            (MalwareType::Dropper, 28.05), (MalwareType::Pup, 18.55), (MalwareType::Trojan, 10.48),
+            (MalwareType::Adware, 7.36), (MalwareType::FakeAv, 0.35), (MalwareType::Ransomware, 0.27),
+            (MalwareType::Banker, 0.23), (MalwareType::Bot, 0.22), (MalwareType::Worm, 0.05),
+            (MalwareType::Spyware, 0.03), (MalwareType::Undefined, 34.43),
+        ],
+    ),
+    (
+        ProcessRow { processes: 587, machines: 429_593, unknown_files: 368_925, benign_files: 23_059, malicious_files: 68_767, infected_pct: 27.71 },
+        &[
+            (MalwareType::Dropper, 25.42), (MalwareType::Pup, 17.75), (MalwareType::Trojan, 11.75),
+            (MalwareType::Adware, 5.80), (MalwareType::Banker, 1.23), (MalwareType::Bot, 0.73),
+            (MalwareType::Ransomware, 0.37), (MalwareType::FakeAv, 0.11), (MalwareType::Worm, 0.08),
+            (MalwareType::Spyware, 0.06), (MalwareType::Undefined, 36.70),
+        ],
+    ),
+    (
+        ProcessRow { processes: 173, machines: 2_977, unknown_files: 227, benign_files: 25, malicious_files: 488, infected_pct: 33.36 },
+        &[
+            (MalwareType::Trojan, 45.29), (MalwareType::Bot, 15.78), (MalwareType::Dropper, 12.30),
+            (MalwareType::Banker, 6.97), (MalwareType::Ransomware, 4.30), (MalwareType::Pup, 1.02),
+            (MalwareType::Worm, 0.82), (MalwareType::Undefined, 12.54),
+        ],
+    ),
+    (
+        ProcessRow { processes: 9, machines: 1_080, unknown_files: 264, benign_files: 0, malicious_files: 696, infected_pct: 78.52 },
+        &[
+            (MalwareType::Trojan, 39.51), (MalwareType::Dropper, 23.71), (MalwareType::Banker, 15.80),
+            (MalwareType::Bot, 8.19), (MalwareType::Ransomware, 3.74), (MalwareType::FakeAv, 1.44),
+            (MalwareType::Spyware, 0.43), (MalwareType::Worm, 0.29), (MalwareType::Undefined, 6.89),
+        ],
+    ),
+    (
+        ProcessRow { processes: 8_714, machines: 112_681, unknown_files: 68_334, benign_files: 5_642, malicious_files: 15_440, infected_pct: 31.24 },
+        &[
+            (MalwareType::Pup, 22.57), (MalwareType::Dropper, 17.22), (MalwareType::Trojan, 11.34),
+            (MalwareType::Adware, 8.38), (MalwareType::FakeAv, 5.03), (MalwareType::Banker, 1.20),
+            (MalwareType::Bot, 0.79), (MalwareType::Ransomware, 0.44), (MalwareType::Worm, 0.30),
+            (MalwareType::Spyware, 0.02), (MalwareType::Undefined, 32.71),
+        ],
+    ),
+];
+
+/// Table XI: per-browser download behaviour.
+pub const TABLE11: [(BrowserKind, ProcessRow); 5] = [
+    (BrowserKind::Firefox, ProcessRow { processes: 378, machines: 86_104, unknown_files: 104_237, benign_files: 7_411, malicious_files: 21_443, infected_pct: 26.00 }),
+    (BrowserKind::Chrome, ProcessRow { processes: 528, machines: 344_994, unknown_files: 460_214, benign_files: 17_623, malicious_files: 73_806, infected_pct: 31.92 }),
+    (BrowserKind::Opera, ProcessRow { processes: 91, machines: 4_337, unknown_files: 4_749, benign_files: 534, malicious_files: 1_567, infected_pct: 27.83 }),
+    (BrowserKind::Safari, ProcessRow { processes: 17, machines: 1_762, unknown_files: 2_579, benign_files: 117, malicious_files: 422, infected_pct: 18.56 }),
+    (BrowserKind::InternetExplorer, ProcessRow { processes: 307, machines: 411_138, unknown_files: 561_769, benign_files: 13_801, malicious_files: 48_206, infected_pct: 18.09 }),
+];
+
+/// Table XII: download behaviour of malicious process types.
+/// One entry per behaviour type, in [`MalwareType::ALL`] order minus the
+/// absent rows (all types are present).
+pub const TABLE12: [(MalwareType, ProcessRow, TypeMix); 11] = [
+    (
+        MalwareType::Trojan,
+        ProcessRow { processes: 3_442, machines: 11_042, unknown_files: 1_265, benign_files: 73, malicious_files: 4_168, infected_pct: 100.0 },
+        &[
+            (MalwareType::Trojan, 51.90), (MalwareType::Adware, 11.80), (MalwareType::Dropper, 10.94),
+            (MalwareType::Pup, 8.25), (MalwareType::Banker, 4.25), (MalwareType::Bot, 0.89),
+            (MalwareType::Ransomware, 0.34), (MalwareType::FakeAv, 0.12), (MalwareType::Worm, 0.10),
+            (MalwareType::Undefined, 11.42),
+        ],
+    ),
+    (
+        MalwareType::Dropper,
+        ProcessRow { processes: 4_242, machines: 10_453, unknown_files: 1_565, benign_files: 267, malicious_files: 2_992, infected_pct: 100.0 },
+        &[
+            (MalwareType::Dropper, 39.10), (MalwareType::Trojan, 16.78), (MalwareType::Pup, 10.26),
+            (MalwareType::Adware, 8.46), (MalwareType::Banker, 7.59), (MalwareType::Bot, 1.34),
+            (MalwareType::Ransomware, 0.47), (MalwareType::Worm, 0.30), (MalwareType::FakeAv, 0.20),
+            (MalwareType::Spyware, 0.07), (MalwareType::Undefined, 15.44),
+        ],
+    ),
+    (
+        MalwareType::Ransomware,
+        ProcessRow { processes: 136, machines: 332, unknown_files: 7, benign_files: 0, malicious_files: 147, infected_pct: 100.0 },
+        &[
+            (MalwareType::Ransomware, 80.95), (MalwareType::Trojan, 9.52), (MalwareType::Dropper, 3.40),
+            (MalwareType::Banker, 1.36), (MalwareType::Undefined, 4.76),
+        ],
+    ),
+    (
+        MalwareType::Bot,
+        ProcessRow { processes: 323, machines: 689, unknown_files: 81, benign_files: 2, malicious_files: 394, infected_pct: 100.0 },
+        &[
+            (MalwareType::Bot, 64.72), (MalwareType::Trojan, 15.99), (MalwareType::Dropper, 4.57),
+            (MalwareType::Banker, 4.31), (MalwareType::Pup, 2.54), (MalwareType::Ransomware, 1.27),
+            (MalwareType::Worm, 0.51), (MalwareType::Adware, 0.25), (MalwareType::FakeAv, 0.25),
+            (MalwareType::Undefined, 5.58),
+        ],
+    ),
+    (
+        MalwareType::Worm,
+        ProcessRow { processes: 67, machines: 164, unknown_files: 4, benign_files: 0, malicious_files: 69, infected_pct: 100.0 },
+        &[
+            (MalwareType::Worm, 72.46), (MalwareType::Banker, 8.70), (MalwareType::Trojan, 4.35),
+            (MalwareType::Dropper, 4.35), (MalwareType::Bot, 1.45), (MalwareType::Pup, 1.45),
+            (MalwareType::Undefined, 7.25),
+        ],
+    ),
+    (
+        MalwareType::Spyware,
+        ProcessRow { processes: 7, machines: 19, unknown_files: 2, benign_files: 1, malicious_files: 6, infected_pct: 100.0 },
+        &[
+            (MalwareType::Spyware, 66.67), (MalwareType::Trojan, 16.67), (MalwareType::Undefined, 16.67),
+        ],
+    ),
+    (
+        MalwareType::Banker,
+        ProcessRow { processes: 484, machines: 1_146, unknown_files: 47, benign_files: 5, malicious_files: 525, infected_pct: 100.0 },
+        &[
+            (MalwareType::Banker, 76.00), (MalwareType::Trojan, 14.48), (MalwareType::Dropper, 4.00),
+            (MalwareType::Worm, 0.57), (MalwareType::FakeAv, 0.38), (MalwareType::Ransomware, 0.19),
+            (MalwareType::Bot, 0.19), (MalwareType::Adware, 0.19), (MalwareType::Undefined, 4.00),
+        ],
+    ),
+    (
+        MalwareType::FakeAv,
+        ProcessRow { processes: 43, machines: 81, unknown_files: 1, benign_files: 0, malicious_files: 53, infected_pct: 100.0 },
+        &[
+            (MalwareType::FakeAv, 56.60), (MalwareType::Trojan, 22.64), (MalwareType::Banker, 9.43),
+            (MalwareType::Dropper, 7.55), (MalwareType::Undefined, 3.77),
+        ],
+    ),
+    (
+        MalwareType::Adware,
+        ProcessRow { processes: 2_862, machines: 16_509, unknown_files: 2_934, benign_files: 98, malicious_files: 6_078, infected_pct: 100.0 },
+        &[
+            (MalwareType::Adware, 66.24), (MalwareType::Pup, 9.97), (MalwareType::Trojan, 6.65),
+            (MalwareType::Dropper, 2.91), (MalwareType::Banker, 0.13), (MalwareType::Bot, 0.03),
+            (MalwareType::Undefined, 14.07),
+        ],
+    ),
+    (
+        MalwareType::Pup,
+        ProcessRow { processes: 5_597, machines: 32_590, unknown_files: 6_757, benign_files: 199, malicious_files: 16_957, infected_pct: 100.0 },
+        &[
+            (MalwareType::Adware, 58.64), (MalwareType::Pup, 22.91), (MalwareType::Trojan, 6.30),
+            (MalwareType::Dropper, 4.57), (MalwareType::Ransomware, 0.02), (MalwareType::Bot, 0.01),
+            (MalwareType::Banker, 0.01), (MalwareType::FakeAv, 0.01), (MalwareType::Undefined, 7.54),
+        ],
+    ),
+    (
+        MalwareType::Undefined,
+        ProcessRow { processes: 8_905, machines: 29_216, unknown_files: 6_343, benign_files: 499, malicious_files: 8_329, infected_pct: 100.0 },
+        &[
+            (MalwareType::Adware, 6.52), (MalwareType::Pup, 5.53), (MalwareType::Dropper, 3.77),
+            (MalwareType::Trojan, 3.36), (MalwareType::Banker, 0.36), (MalwareType::Bot, 0.22),
+            (MalwareType::Worm, 0.06), (MalwareType::Ransomware, 0.04), (MalwareType::Spyware, 0.04),
+            (MalwareType::FakeAv, 0.01), (MalwareType::Undefined, 80.09),
+        ],
+    ),
+];
+
+/// Fig. 5 escalation dynamics: mean day delta between executing a file of
+/// the given kind and the machine downloading a subsequent (non-adware,
+/// non-PUP, non-undefined) malicious file. The paper reports >40% of
+/// adware/PUP escalations on day 0, >55% within five days; droppers much
+/// faster; benign baseline much slower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EscalationTiming {
+    /// Mean of the exponential day-delta for dropper-initiated chains.
+    pub dropper_mean_days: f64,
+    /// Mean for adware-initiated escalation.
+    pub adware_mean_days: f64,
+    /// Mean for PUP-initiated escalation.
+    pub pup_mean_days: f64,
+    /// Mean for the benign baseline (coincidental later infection).
+    pub benign_mean_days: f64,
+}
+
+/// Default escalation timing calibrated to Fig. 5's reported quantiles.
+pub const ESCALATION: EscalationTiming = EscalationTiming {
+    dropper_mean_days: 1.2,
+    adware_mean_days: 7.0,
+    pup_mean_days: 8.0,
+    benign_mean_days: 35.0,
+};
+
+/// §VI/§VII rule-system evaluation targets.
+pub mod rules {
+    /// Minimum true-positive rate at τ = 0.1%.
+    pub const TP_TARGET: f64 = 0.95;
+    /// Maximum false-positive rate at τ = 0.1%.
+    pub const FP_CEILING: f64 = 0.0032;
+    /// Share of unknown files the rules labeled (Feb–Aug).
+    pub const UNKNOWN_MATCH_SHARE: f64 = 0.283;
+    /// Expansion of labeled files relative to available ground truth.
+    pub const LABEL_EXPANSION: f64 = 2.33;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_overall_sums_match_paper_totals() {
+        let machines: u64 = TABLE1.iter().map(|r| r.machines).sum();
+        let events: u64 = TABLE1.iter().map(|r| r.events).sum();
+        // Monthly machine counts overlap (machines active in several
+        // months), so their sum exceeds the distinct total.
+        assert!(machines > totals::MACHINES);
+        // Monthly event counts sum to within ~3% of the stated overall
+        // (the paper's table rows don't add exactly to its Overall row).
+        let ratio = events as f64 / totals::EVENTS as f64;
+        assert!((0.97..=1.03).contains(&ratio), "ratio = {ratio}");
+        let files: u64 = TABLE1.iter().map(|r| r.files).sum();
+        // Files also overlap across months (re-downloads), sum ≥ distinct.
+        assert!(files >= totals::FILES);
+    }
+
+    #[test]
+    fn type_mix_sums_to_about_100() {
+        let sum: f64 = TABLE2_TYPE_MIX.iter().map(|(_, p)| p).sum();
+        assert!((sum - 100.0).abs() < 0.5, "sum = {sum}");
+    }
+
+    #[test]
+    fn label_shares_unknown_is_complement() {
+        let shares = OVERALL_FILE_LABELS;
+        assert!((shares.unknown() - 83.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn table10_mixes_sum_to_about_100() {
+        for (row, mix) in &TABLE10 {
+            let sum: f64 = mix.iter().map(|(_, p)| p).sum();
+            assert!((sum - 100.0).abs() < 2.0, "mix sums to {sum} for {row:?}");
+        }
+    }
+
+    #[test]
+    fn table12_covers_all_types() {
+        assert_eq!(TABLE12.len(), MalwareType::ALL.len());
+        for ty in MalwareType::ALL {
+            assert!(TABLE12.iter().any(|(t, _, _)| *t == ty), "missing {ty}");
+        }
+    }
+
+    #[test]
+    fn browser_machines_ordering_matches_paper() {
+        // IE > Chrome > Firefox > Opera > Safari by machine count.
+        let by_kind = |k: BrowserKind| {
+            TABLE11.iter().find(|(b, _)| *b == k).unwrap().1.machines
+        };
+        assert!(by_kind(BrowserKind::InternetExplorer) > by_kind(BrowserKind::Chrome));
+        assert!(by_kind(BrowserKind::Chrome) > by_kind(BrowserKind::Firefox));
+        assert!(by_kind(BrowserKind::Firefox) > by_kind(BrowserKind::Opera));
+        assert!(by_kind(BrowserKind::Opera) > by_kind(BrowserKind::Safari));
+    }
+
+    #[test]
+    fn signing_rates_defined_for_all_types() {
+        for ty in MalwareType::ALL {
+            let r = signing_rates(ty);
+            assert!((0.0..=100.0).contains(&r.overall));
+            assert!((0.0..=100.0).contains(&r.from_browsers));
+        }
+        // Droppers and PUPs far more signed than bots and bankers (§IV-C).
+        assert!(signing_rates(MalwareType::Dropper).overall > 80.0);
+        assert!(signing_rates(MalwareType::Bot).overall < 5.0);
+    }
+
+    #[test]
+    fn escalation_ordering() {
+        assert!(ESCALATION.dropper_mean_days < ESCALATION.adware_mean_days);
+        assert!(ESCALATION.adware_mean_days <= ESCALATION.pup_mean_days);
+        assert!(ESCALATION.pup_mean_days < ESCALATION.benign_mean_days);
+    }
+
+    #[test]
+    fn acrobat_row_has_no_benign_downloads() {
+        let (acrobat, _) = &TABLE10[3];
+        assert_eq!(acrobat.benign_files, 0);
+        assert_eq!(acrobat.total_files(), 960);
+    }
+}

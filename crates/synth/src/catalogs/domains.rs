@@ -1,0 +1,438 @@
+//! The download-domain catalog.
+//!
+//! §IV-B's central finding is *mixed domain reputation*: the file-hosting
+//! services at the top of the popularity tables (softonic.com,
+//! mediafire.com, cloudfront.net, …) serve both benign and malicious
+//! files, while some malware types use dedicated infrastructure (fakeAV
+//! social-engineering domains, adware streaming portals, DGA-looking
+//! malware sites). The catalog reproduces those strata with the real head
+//! names of Tables III–V/XIII and a generated tail, and exposes
+//! class-conditional sampling that recreates Fig. 3/Fig. 6's rank skews.
+
+use super::names;
+use crate::dist::{BoundedZipf, Categorical};
+use downlake_types::{AlexaRank, MalwareType};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Stratum a domain belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainKind {
+    /// Large mixed-reputation file-hosting / download-portal services.
+    FileHosting,
+    /// Content-delivery networks (also mixed: anyone can rent them).
+    Cdn,
+    /// Software portals and vendor download sites.
+    DownloadPortal,
+    /// Dedicated malware-distribution infrastructure.
+    MalwareSite,
+    /// Adware / free-live-streaming ecosystems (§IV-B, ref. \[13\]).
+    AdwarePortal,
+    /// FakeAV social-engineering domains (the name *is* the lure).
+    FakeAvSite,
+    /// Long-tail generic domains.
+    Generic,
+}
+
+/// One domain of the synthetic web.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DomainEntry {
+    /// e2LD of the domain.
+    pub name: String,
+    /// Alexa-style popularity rank.
+    pub rank: AlexaRank,
+    /// Stratum.
+    pub kind: DomainKind,
+    /// Member of the vendor's curated URL whitelist.
+    pub curated_whitelist: bool,
+    /// Listed by Google Safe Browsing.
+    pub gsb_listed: bool,
+    /// Member of the vendor's private URL blacklist.
+    pub private_blacklist: bool,
+}
+
+fn head(name: &str, rank: Option<u32>, kind: DomainKind, wl: bool, bad: bool) -> DomainEntry {
+    DomainEntry {
+        name: name.to_owned(),
+        rank: rank.map_or(AlexaRank::UNRANKED, AlexaRank::ranked),
+        kind,
+        curated_whitelist: wl,
+        gsb_listed: bad,
+        private_blacklist: bad,
+    }
+}
+
+fn head_entries() -> Vec<DomainEntry> {
+    use DomainKind::*;
+    vec![
+        // Mixed-reputation file hosting (Tables III/IV heads).
+        head("softonic.com", Some(170), FileHosting, true, false),
+        head("mediafire.com", Some(140), FileHosting, true, false),
+        head("4shared.com", Some(180), FileHosting, true, false),
+        head("uptodown.com", Some(900), FileHosting, true, false),
+        head("soft32.com", Some(1_200), FileHosting, true, false),
+        head("baixaki.com.br", Some(950), FileHosting, true, false),
+        head("softonic.com.br", Some(2_100), FileHosting, false, false),
+        head("softonic.fr", Some(3_500), FileHosting, false, false),
+        head("softonic.jp", Some(4_200), FileHosting, false, false),
+        head("filehippo.com", Some(600), FileHosting, true, false),
+        head("nzs.com.br", Some(45_000), FileHosting, false, false),
+        head("files-info.com", Some(90_000), FileHosting, false, false),
+        head("ge.tt", Some(25_000), FileHosting, false, false),
+        head("sharesend.com", Some(60_000), FileHosting, false, false),
+        head("gulfup.com", Some(8_000), FileHosting, false, false),
+        head("hinet.net", Some(700), FileHosting, false, false),
+        head("naver.net", Some(400), FileHosting, true, false),
+        head("co.vu", Some(150_000), FileHosting, false, false),
+        // CDNs.
+        head("cloudfront.net", Some(60), Cdn, true, false),
+        head("amazonaws.com", Some(75), Cdn, true, false),
+        head("rackcdn.com", Some(3_000), Cdn, true, false),
+        head("cdn77.net", Some(9_000), Cdn, false, false),
+        head("akamaihd.net", Some(90), Cdn, true, false),
+        // Portals.
+        head("inbox.com", Some(2_500), DownloadPortal, true, false),
+        head("driverupdate.net", Some(18_000), DownloadPortal, false, false),
+        head("arcadefrontier.com", Some(22_000), DownloadPortal, false, false),
+        head("ziputil.net", Some(35_000), DownloadPortal, false, false),
+        head("gamehouse.com", Some(5_200), DownloadPortal, true, false),
+        head("coolrom.com", Some(6_100), DownloadPortal, false, false),
+        head("updatestar.com", Some(4_000), DownloadPortal, false, false),
+        head("zilliontoolkitusa.info", Some(190_000), DownloadPortal, false, false),
+        // Dedicated malware infrastructure.
+        head("humipapp.com", Some(85_000), MalwareSite, false, true),
+        head("bestdownload-manager.com", Some(120_000), MalwareSite, false, true),
+        head("freepdf-converter.com", Some(95_000), MalwareSite, false, true),
+        head("free-fileopener.com", Some(110_000), MalwareSite, false, true),
+        head("wipmsc.ru", None, MalwareSite, false, true),
+        head("f-best.biz", None, MalwareSite, false, true),
+        head("vitkvitk.com", None, MalwareSite, false, true),
+        head("d0wnpzivrubajjui.com", None, MalwareSite, false, true),
+        head("downloadnuchaik.com", None, MalwareSite, false, true),
+        head("downloadaixeechahgho.com", None, MalwareSite, false, true),
+        // Adware / streaming portals.
+        head("media-watch-app.com", Some(40_000), AdwarePortal, false, false),
+        head("trustmediaviewer.com", Some(55_000), AdwarePortal, false, false),
+        head("media-view.net", Some(48_000), AdwarePortal, false, false),
+        head("media-viewer.com", Some(52_000), AdwarePortal, false, false),
+        head("media-buzz.org", Some(70_000), AdwarePortal, false, false),
+        head("pinchfist.info", None, AdwarePortal, false, false),
+        head("dl24x7.net", Some(65_000), AdwarePortal, false, false),
+        head("zrich-media-view.com", None, AdwarePortal, false, false),
+        head("vidply.net", Some(80_000), AdwarePortal, false, false),
+        head("mediaply.net", Some(88_000), AdwarePortal, false, false),
+        // FakeAV social-engineering domains (Table V).
+        head("5k-stopadware2014.in", None, FakeAvSite, false, true),
+        head("sncpwindefender2014.in", None, FakeAvSite, false, true),
+        head("webantiviruspro-fr.pw", None, FakeAvSite, false, true),
+        head("12e-stopadware2014.in", None, FakeAvSite, false, true),
+        head("zeroantivirusprojectx.nl", None, FakeAvSite, false, true),
+        head("wmicrodefender27.nl", None, FakeAvSite, false, true),
+        head("qwindowsdefender.nl", None, FakeAvSite, false, true),
+        head("alphavirusprotectz.pw", None, FakeAvSite, false, true),
+    ]
+}
+
+/// The domain catalog: stratified entries with per-stratum Zipf sampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainCatalog {
+    entries: Vec<DomainEntry>,
+    by_kind: Vec<Vec<usize>>, // indexed by kind_index
+    zipf_by_kind: Vec<BoundedZipf>,
+}
+
+const KINDS: [DomainKind; 7] = [
+    DomainKind::FileHosting,
+    DomainKind::Cdn,
+    DomainKind::DownloadPortal,
+    DomainKind::MalwareSite,
+    DomainKind::AdwarePortal,
+    DomainKind::FakeAvSite,
+    DomainKind::Generic,
+];
+
+fn kind_index(kind: DomainKind) -> usize {
+    KINDS.iter().position(|&k| k == kind).expect("kind listed")
+}
+
+impl DomainCatalog {
+    /// Builds the catalog deterministically with `tail` generated generic
+    /// domains plus smaller generated tails in each special stratum.
+    pub fn generate(seed: u64, tail: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD0_4A13);
+        let mut entries = head_entries();
+
+        // Stratum tails (sizes relative to the generic tail).
+        let specials: [(DomainKind, usize, bool); 5] = [
+            (DomainKind::FileHosting, tail / 50, false),
+            (DomainKind::DownloadPortal, tail / 30, false),
+            (DomainKind::MalwareSite, tail / 12, true),
+            (DomainKind::AdwarePortal, tail / 40, false),
+            (DomainKind::FakeAvSite, tail / 80, true),
+        ];
+        for (kind, count, bad) in specials {
+            for _ in 0..count {
+                let rank = sample_rank_for(kind, &mut rng);
+                // Established hosting services and portals are broadly
+                // covered by the curated URL whitelist (which is how the
+                // paper labels ~30% of URLs benign).
+                let curated = matches!(
+                    kind,
+                    DomainKind::FileHosting | DomainKind::DownloadPortal
+                ) && rank.in_top_million()
+                    && rng.gen_bool(0.55);
+                entries.push(DomainEntry {
+                    name: names::domain(&mut rng),
+                    rank,
+                    kind,
+                    curated_whitelist: curated,
+                    gsb_listed: bad && rng.gen_bool(0.8),
+                    private_blacklist: bad && rng.gen_bool(0.8),
+                });
+            }
+        }
+        for _ in 0..tail {
+            let rank = sample_rank_for(DomainKind::Generic, &mut rng);
+            let popular = matches!(rank.rank(), Some(r) if r < 200_000);
+            entries.push(DomainEntry {
+                name: names::domain(&mut rng),
+                rank,
+                kind: DomainKind::Generic,
+                curated_whitelist: popular && rng.gen_bool(0.45),
+                gsb_listed: false,
+                private_blacklist: false,
+            });
+        }
+
+        // Deduplicate generated names (head names are unique by
+        // construction) by keeping first occurrence.
+        let mut seen = std::collections::HashSet::new();
+        entries.retain(|e| seen.insert(e.name.clone()));
+
+        let mut by_kind: Vec<Vec<usize>> = vec![Vec::new(); KINDS.len()];
+        for (i, e) in entries.iter().enumerate() {
+            by_kind[kind_index(e.kind)].push(i);
+        }
+        let zipf_by_kind = by_kind
+            .iter()
+            .map(|pool| BoundedZipf::new(pool.len().max(1), 1.05).expect("nonempty"))
+            .collect();
+        Self {
+            entries,
+            by_kind,
+            zipf_by_kind,
+        }
+    }
+
+    /// All domains.
+    pub fn entries(&self) -> &[DomainEntry] {
+        &self.entries
+    }
+
+    /// Looks a domain up by name.
+    pub fn get(&self, name: &str) -> Option<&DomainEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    fn sample_kind<R: Rng + ?Sized>(&self, kind: DomainKind, rng: &mut R) -> &DomainEntry {
+        let pool = &self.by_kind[kind_index(kind)];
+        let zipf = &self.zipf_by_kind[kind_index(kind)];
+        let idx = zipf.sample(rng) - 1;
+        &self.entries[pool[idx.min(pool.len() - 1)]]
+    }
+
+    fn sample_mix<R: Rng + ?Sized>(
+        &self,
+        mix: &[(DomainKind, f64)],
+        rng: &mut R,
+    ) -> &DomainEntry {
+        let weights: Vec<f64> = mix.iter().map(|&(_, w)| w).collect();
+        let dist = Categorical::new(&weights).expect("valid mix");
+        self.sample_kind(mix[dist.sample(rng)].0, rng)
+    }
+
+    /// Serving domain for a benign file.
+    pub fn sample_benign<R: Rng + ?Sized>(&self, rng: &mut R) -> &DomainEntry {
+        self.sample_mix(
+            &[
+                (DomainKind::FileHosting, 0.40),
+                (DomainKind::Cdn, 0.22),
+                (DomainKind::DownloadPortal, 0.23),
+                (DomainKind::Generic, 0.15),
+            ],
+            rng,
+        )
+    }
+
+    /// Serving domain for an unknown-destiny file: a blend of low-profile
+    /// portals and generic tail, with some file hosting (Table XIII).
+    pub fn sample_unknown<R: Rng + ?Sized>(&self, rng: &mut R) -> &DomainEntry {
+        self.sample_mix(
+            &[
+                (DomainKind::DownloadPortal, 0.28),
+                (DomainKind::FileHosting, 0.17),
+                (DomainKind::MalwareSite, 0.15),
+                (DomainKind::AdwarePortal, 0.08),
+                (DomainKind::Generic, 0.32),
+            ],
+            rng,
+        )
+    }
+
+    /// Serving domain for a malicious file of the given behaviour type
+    /// (Table V's per-type strata).
+    pub fn sample_malicious<R: Rng + ?Sized>(
+        &self,
+        ty: MalwareType,
+        rng: &mut R,
+    ) -> &DomainEntry {
+        let mix: &[(DomainKind, f64)] = match ty {
+            MalwareType::Dropper => &[
+                (DomainKind::FileHosting, 0.48),
+                (DomainKind::Cdn, 0.12),
+                (DomainKind::MalwareSite, 0.22),
+                (DomainKind::Generic, 0.18),
+            ],
+            MalwareType::Pup => &[
+                (DomainKind::FileHosting, 0.42),
+                (DomainKind::DownloadPortal, 0.20),
+                (DomainKind::MalwareSite, 0.18),
+                (DomainKind::Generic, 0.20),
+            ],
+            MalwareType::Adware => &[
+                (DomainKind::AdwarePortal, 0.58),
+                (DomainKind::FileHosting, 0.15),
+                (DomainKind::Generic, 0.27),
+            ],
+            MalwareType::FakeAv => &[
+                (DomainKind::FakeAvSite, 0.75),
+                (DomainKind::MalwareSite, 0.15),
+                (DomainKind::Generic, 0.10),
+            ],
+            MalwareType::Bot | MalwareType::Banker | MalwareType::Worm => &[
+                (DomainKind::MalwareSite, 0.55),
+                (DomainKind::Generic, 0.40),
+                (DomainKind::FileHosting, 0.05),
+            ],
+            MalwareType::Ransomware | MalwareType::Spyware | MalwareType::Trojan => &[
+                (DomainKind::MalwareSite, 0.45),
+                (DomainKind::Generic, 0.30),
+                (DomainKind::FileHosting, 0.25),
+            ],
+            MalwareType::Undefined => &[
+                (DomainKind::FileHosting, 0.30),
+                (DomainKind::MalwareSite, 0.30),
+                (DomainKind::AdwarePortal, 0.10),
+                (DomainKind::Generic, 0.30),
+            ],
+        };
+        self.sample_mix(mix, rng)
+    }
+}
+
+fn sample_rank_for<R: Rng + ?Sized>(kind: DomainKind, rng: &mut R) -> AlexaRank {
+    let (lo, hi, unranked_prob) = match kind {
+        DomainKind::Cdn => (20, 10_000, 0.0),
+        DomainKind::FileHosting => (100, 60_000, 0.05),
+        DomainKind::DownloadPortal => (1_000, 200_000, 0.10),
+        DomainKind::AdwarePortal => (5_000, 400_000, 0.25),
+        DomainKind::MalwareSite => (50_000, 1_000_000, 0.55),
+        DomainKind::FakeAvSite => (200_000, 1_000_000, 0.85),
+        DomainKind::Generic => (5_000, 1_000_000, 0.45),
+    };
+    if rng.gen_bool(unranked_prob) {
+        AlexaRank::UNRANKED
+    } else {
+        // log-uniform between lo and hi.
+        let (lo, hi) = (lo as f64, hi as f64);
+        let x = (lo.ln() + rng.gen_range(0.0..1.0) * (hi.ln() - lo.ln())).exp();
+        AlexaRank::ranked(x as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_names_present_and_unique() {
+        let c = DomainCatalog::generate(1, 500);
+        assert!(c.get("softonic.com").is_some());
+        assert!(c.get("5k-stopadware2014.in").is_some());
+        let mut names: Vec<_> = c.entries().iter().map(|e| &e.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate domain names");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = DomainCatalog::generate(9, 300);
+        let b = DomainCatalog::generate(9, 300);
+        assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
+    fn fakeav_sampling_prefers_fakeav_sites() {
+        let c = DomainCatalog::generate(2, 500);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut fakeav_hits = 0;
+        let n = 1000;
+        for _ in 0..n {
+            if c.sample_malicious(MalwareType::FakeAv, &mut rng).kind == DomainKind::FakeAvSite {
+                fakeav_hits += 1;
+            }
+        }
+        assert!(fakeav_hits as f64 / n as f64 > 0.6);
+    }
+
+    #[test]
+    fn benign_sampling_avoids_dedicated_malware_infra() {
+        let c = DomainCatalog::generate(3, 500);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let d = c.sample_benign(&mut rng);
+            assert!(
+                !matches!(d.kind, DomainKind::MalwareSite | DomainKind::FakeAvSite),
+                "benign file from {}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn dropper_and_benign_share_file_hosting() {
+        // The mixed-reputation property: the same top hosting domain must
+        // show up for both benign and dropper downloads.
+        let c = DomainCatalog::generate(4, 500);
+        let mut rng = SmallRng::seed_from_u64(6);
+        use std::collections::HashSet;
+        let benign: HashSet<String> = (0..2000)
+            .map(|_| c.sample_benign(&mut rng).name.clone())
+            .collect();
+        let dropper: HashSet<String> = (0..2000)
+            .map(|_| c.sample_malicious(MalwareType::Dropper, &mut rng).name.clone())
+            .collect();
+        let common: Vec<_> = benign.intersection(&dropper).collect();
+        assert!(!common.is_empty(), "no overlap between benign and dropper domains");
+    }
+
+    #[test]
+    fn malware_sites_skew_unranked_or_deep() {
+        let c = DomainCatalog::generate(5, 2_000);
+        let deep_or_unranked = c
+            .entries()
+            .iter()
+            .filter(|e| e.kind == DomainKind::FakeAvSite)
+            .filter(|e| e.rank.rank().map_or(true, |r| r > 100_000))
+            .count();
+        let total = c
+            .entries()
+            .iter()
+            .filter(|e| e.kind == DomainKind::FakeAvSite)
+            .count();
+        assert!(deep_or_unranked as f64 / total as f64 > 0.8);
+    }
+}

@@ -1,0 +1,14 @@
+//! Catalogs of the synthetic world's entities: code signers, packers,
+//! domains, malware families, and benign process inventories.
+//!
+//! Catalog heads are seeded with the real names the paper's tables report
+//! (softonic.com, Somoto Ltd., TeamViewer, UPX, …) so rendered experiment
+//! tables read like the originals; tails are generated deterministically
+//! from the configured seed.
+
+pub mod domains;
+pub mod families;
+pub mod names;
+pub mod packers;
+pub mod processes;
+pub mod signers;

@@ -1,0 +1,110 @@
+//! Deterministic name generation for catalog tails.
+
+use rand::Rng;
+
+const COMPANY_HEADS: &[&str] = &[
+    "Acme", "Nova", "Bright", "Quick", "Silver", "Golden", "Prime", "Hyper", "Micro", "Macro",
+    "Blue", "Red", "Green", "Swift", "Rapid", "Smart", "Clever", "Solid", "Clear", "Deep",
+    "True", "Pure", "Core", "Meta", "Ultra", "Giga", "Tera", "Astro", "Cosmo", "Pixel",
+];
+
+const COMPANY_TAILS: &[&str] = &[
+    "Soft", "Ware", "Apps", "Media", "Systems", "Solutions", "Digital", "Labs", "Works",
+    "Tech", "Net", "Data", "Code", "Logic", "Tools", "Install", "Download", "Bundle",
+];
+
+const COMPANY_SUFFIXES: &[&str] = &[
+    "Ltd.", "LLC", "GmbH", "S.L.", "Inc.", "Corp.", "s.r.o.", "SARL", "Pty Ltd", "Oy",
+    "AB", "BV", "SpA", "KK", "Sp. z o.o.",
+];
+
+const DOMAIN_WORDS: &[&str] = &[
+    "file", "down", "load", "soft", "media", "app", "play", "view", "tube", "zip", "pack",
+    "driver", "update", "free", "fast", "best", "top", "super", "mega", "ultra", "game",
+    "tool", "kit", "box", "hub", "share", "send", "get", "grab", "fetch", "click", "win",
+];
+
+const TLDS: &[&str] = &[
+    "com", "net", "org", "info", "biz", "ru", "in", "pw", "nl", "br", "fr", "jp", "co",
+];
+
+/// Generates a synthetic company/signer name, e.g. `"Rapid Media GmbH"`.
+pub fn company<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let head = COMPANY_HEADS[rng.gen_range(0..COMPANY_HEADS.len())];
+    let tail = COMPANY_TAILS[rng.gen_range(0..COMPANY_TAILS.len())];
+    let suffix = COMPANY_SUFFIXES[rng.gen_range(0..COMPANY_SUFFIXES.len())];
+    format!("{head} {tail} {suffix}")
+}
+
+/// Generates a synthetic domain, e.g. `"fastmediahub24.net"`.
+pub fn domain<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let a = DOMAIN_WORDS[rng.gen_range(0..DOMAIN_WORDS.len())];
+    let b = DOMAIN_WORDS[rng.gen_range(0..DOMAIN_WORDS.len())];
+    let tld = TLDS[rng.gen_range(0..TLDS.len())];
+    if rng.gen_bool(0.3) {
+        let n: u32 = rng.gen_range(2..2015);
+        format!("{a}{b}{n}.{tld}")
+    } else {
+        format!("{a}{b}.{tld}")
+    }
+}
+
+/// Generates a synthetic malware family token, e.g. `"krendofax"`.
+pub fn family<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const SYLLABLES: &[&str] = &[
+        "kre", "zan", "vor", "mul", "tig", "bro", "fex", "dol", "wam", "sur", "pli", "gra",
+        "nok", "ter", "vis", "hul", "bam", "cro", "dex", "fi",
+    ];
+    let n = rng.gen_range(2..4usize);
+    let mut out = String::new();
+    for _ in 0..n {
+        out.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+    }
+    out
+}
+
+/// Generates an executable file name for a downloaded file, flavoured by
+/// whether it pretends to be an installer, codec, update, etc.
+pub fn executable<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const STEMS: &[&str] = &[
+        "setup", "install", "update", "player", "codec", "viewer", "converter", "manager",
+        "downloader", "toolbar", "plugin", "flash_update", "driver_pack", "game_loader",
+        "pdf_tool", "video_fix", "archive", "launcher",
+    ];
+    let stem = STEMS[rng.gen_range(0..STEMS.len())];
+    let v: u32 = rng.gen_range(1..9);
+    match rng.gen_range(0..3u8) {
+        0 => format!("{stem}.exe"),
+        1 => format!("{stem}_v{v}.exe"),
+        _ => format!("{stem}{v}.exe"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_names_are_nonempty_and_plausible() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            assert!(company(&mut rng).contains(' '));
+            let d = domain(&mut rng);
+            assert!(d.contains('.'), "domain {d} has no tld");
+            assert!(!family(&mut rng).is_empty());
+            assert!(executable(&mut rng).ends_with(".exe"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(11);
+        let mut b = SmallRng::seed_from_u64(11);
+        for _ in 0..50 {
+            assert_eq!(company(&mut a), company(&mut b));
+            assert_eq!(domain(&mut a), domain(&mut b));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The packer catalog.
+//!
+//! §IV-C: 69 distinct packers; 35 are used by both benign and malicious
+//! files (INNO, UPX, AutoIt, NSIS, …); some are malicious-exclusive
+//! (Molebox, NSPack, Themida, …). Benign files are 54% packed, malicious
+//! 58% — packing alone does not discriminate, but *which* packer does
+//! carry some signal (e.g. the paper's learned rules mention NSIS and
+//! ASPack conjunctions).
+
+use crate::dist::BoundedZipf;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Packers used by both benign and malicious software (35 of 69).
+const SHARED: &[&str] = &[
+    "INNO", "UPX", "AutoIt", "NSIS", "ASPack", "PECompact", "Armadillo", "InstallShield",
+    "WiseInstaller", "7zSFX", "WinRARSfx", "MPRESS", "FSG", "PEtite", "UPack", "ExePack",
+    "kkrunchy", "Smart Install Maker", "Setup Factory", "InstallAnywhere", "Ghost Installer",
+    "Astrum", "CreateInstall", "Excelsior", "InstallAware", "Tarma", "ZipSFX", "CabSFX",
+    "MoleboxPro-Lite", "BoxedApp", "Enigma-Lite", "Xenocode", "Spoon Studio", "Cameyo",
+    "AdvancedInstaller",
+];
+
+/// Malicious-exclusive packers (custom/hard-to-reverse protectors).
+const MALICIOUS_ONLY: &[&str] = &[
+    "Molebox", "NSPack", "Themida", "VMProtect", "ExeCryptor", "Obsidium", "PELock",
+    "yoda-crypter", "MEW", "PESpin", "tElock", "PolyCrypt", "Morphine", "PEncrypt",
+    "CrypKey", "EXEStealth", "Krypton", "SVKProtector", "PC-Guard", "ASProtect-Mod",
+    "CustomCryptA", "CustomCryptB",
+];
+
+/// Benign-exclusive packers (commercial installer suites).
+const BENIGN_ONLY: &[&str] = &[
+    "MSI-Wrapped", "ClickOnce", "InstallMate", "Actual Installer", "InstallSimple",
+    "WixBurn", "SetupBuilder", "InstallJammer", "BitRock", "IzPack", "Squirrel",
+    "NSudo-Setup",
+];
+
+/// The full packer catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PackerCatalog {
+    shared_zipf: BoundedZipf,
+    malicious_zipf: BoundedZipf,
+    benign_zipf: BoundedZipf,
+}
+
+impl PackerCatalog {
+    /// Builds the catalog (static pools; Zipf popularity over each pool).
+    pub fn new() -> Self {
+        Self {
+            shared_zipf: BoundedZipf::new(SHARED.len(), 1.0).expect("nonempty"),
+            malicious_zipf: BoundedZipf::new(MALICIOUS_ONLY.len(), 1.0).expect("nonempty"),
+            benign_zipf: BoundedZipf::new(BENIGN_ONLY.len(), 1.0).expect("nonempty"),
+        }
+    }
+
+    /// Total distinct packers (matches the paper's 69).
+    pub fn total(&self) -> usize {
+        SHARED.len() + MALICIOUS_ONLY.len() + BENIGN_ONLY.len()
+    }
+
+    /// Packers shared between benign and malicious files (35).
+    pub fn shared(&self) -> &'static [&'static str] {
+        SHARED
+    }
+
+    /// Malicious-exclusive packers.
+    pub fn malicious_only(&self) -> &'static [&'static str] {
+        MALICIOUS_ONLY
+    }
+
+    /// Benign-exclusive packers.
+    pub fn benign_only(&self) -> &'static [&'static str] {
+        BENIGN_ONLY
+    }
+
+    /// Picks a packer for a benign file (mostly shared pool).
+    pub fn sample_benign<R: Rng + ?Sized>(&self, rng: &mut R) -> &'static str {
+        if rng.gen_bool(0.75) {
+            SHARED[self.shared_zipf.sample(rng) - 1]
+        } else {
+            BENIGN_ONLY[self.benign_zipf.sample(rng) - 1]
+        }
+    }
+
+    /// Picks a packer for a malicious file (mostly shared pool; the
+    /// malicious-exclusive protectors are the minority the rules exploit).
+    pub fn sample_malicious<R: Rng + ?Sized>(&self, rng: &mut R) -> &'static str {
+        if rng.gen_bool(0.7) {
+            SHARED[self.shared_zipf.sample(rng) - 1]
+        } else {
+            MALICIOUS_ONLY[self.malicious_zipf.sample(rng) - 1]
+        }
+    }
+}
+
+impl Default for PackerCatalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pool_sizes_match_paper() {
+        let c = PackerCatalog::new();
+        assert_eq!(c.total(), 69);
+        assert_eq!(c.shared().len(), 35);
+    }
+
+    #[test]
+    fn pools_are_disjoint() {
+        use std::collections::HashSet;
+        let all: Vec<&str> = SHARED
+            .iter()
+            .chain(MALICIOUS_ONLY)
+            .chain(BENIGN_ONLY)
+            .copied()
+            .collect();
+        let set: HashSet<&str> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "duplicate packer name across pools");
+    }
+
+    #[test]
+    fn benign_sampling_avoids_malicious_exclusive() {
+        let c = PackerCatalog::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let p = c.sample_benign(&mut rng);
+            assert!(!MALICIOUS_ONLY.contains(&p), "benign file packed with {p}");
+        }
+    }
+
+    #[test]
+    fn malicious_sampling_uses_both_pools() {
+        let c = PackerCatalog::new();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut shared = 0;
+        let mut exclusive = 0;
+        for _ in 0..2000 {
+            let p = c.sample_malicious(&mut rng);
+            if SHARED.contains(&p) {
+                shared += 1;
+            } else if MALICIOUS_ONLY.contains(&p) {
+                exclusive += 1;
+            } else {
+                panic!("malicious file packed with benign-only {p}");
+            }
+        }
+        assert!(shared > 0 && exclusive > 0);
+        assert!(shared > exclusive, "shared pool should dominate");
+    }
+}

@@ -1,0 +1,291 @@
+//! Benign downloading-process inventory.
+//!
+//! §V-A counts distinct process *versions* (image hashes) per category:
+//! 1,342 browser builds across five browsers (Table XI), 587 Windows
+//! system-process builds, 173 Java builds, 9 Acrobat Reader builds, and
+//! 8,714 "other" processes. The inventory scales those counts and assigns
+//! each image a vendor signature — the *process signer* is one of the
+//! eight rule-learning features.
+
+use crate::config::Scale;
+use crate::dist::BoundedZipf;
+use downlake_types::{BrowserKind, FileHash, FileMeta, ProcessCategory, SignerInfo};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One process image (a distinct build/version of an executable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessImage {
+    /// Image hash.
+    pub hash: FileHash,
+    /// Observable metadata (disk name drives categorisation; the signer
+    /// is the `process signer` feature).
+    pub meta: FileMeta,
+    /// Derived category.
+    pub category: ProcessCategory,
+}
+
+/// Paper version counts per browser (Table XI).
+const BROWSER_VERSIONS: [(BrowserKind, u64); 5] = [
+    (BrowserKind::Firefox, 378),
+    (BrowserKind::Chrome, 528),
+    (BrowserKind::Opera, 91),
+    (BrowserKind::Safari, 17),
+    (BrowserKind::InternetExplorer, 307),
+];
+
+/// Paper machine counts per browser (Table XI) — used as machine browser
+/// preference weights.
+pub const BROWSER_MACHINE_WEIGHTS: [(BrowserKind, u64); 5] = [
+    (BrowserKind::Firefox, 86_104),
+    (BrowserKind::Chrome, 344_994),
+    (BrowserKind::Opera, 4_337),
+    (BrowserKind::Safari, 1_762),
+    (BrowserKind::InternetExplorer, 411_138),
+];
+
+const WINDOWS_NAMES: &[&str] = &[
+    "svchost.exe",
+    "explorer.exe",
+    "rundll32.exe",
+    "services.exe",
+    "wuauclt.exe",
+    "taskhost.exe",
+    "msiexec.exe",
+    "dllhost.exe",
+];
+
+const JAVA_NAMES: &[&str] = &["java.exe", "javaw.exe", "javaws.exe", "jp2launcher.exe"];
+const ACROBAT_NAMES: &[&str] = &["acrord32.exe", "acrobat.exe", "reader_sl.exe"];
+
+const OTHER_NAMES: &[&str] = &[
+    "utorrent.exe",
+    "dropbox.exe",
+    "skype.exe",
+    "steam.exe",
+    "winamp.exe",
+    "vlc.exe",
+    "notepadpp.exe",
+    "ccleaner.exe",
+    "teamviewer.exe",
+    "download_manager.exe",
+    "updater.exe",
+    "helper.exe",
+    "sync_agent.exe",
+    "launcher.exe",
+];
+
+fn browser_signer(kind: BrowserKind) -> &'static str {
+    match kind {
+        BrowserKind::Firefox => "Mozilla Corporation",
+        BrowserKind::Chrome => "Google Inc",
+        BrowserKind::Opera => "Opera Software ASA",
+        BrowserKind::Safari => "Apple Inc.",
+        BrowserKind::InternetExplorer => "Microsoft Corporation",
+    }
+}
+
+/// The benign process inventory, with per-category Zipf version sampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenignProcessInventory {
+    browsers: Vec<Vec<ProcessImage>>, // indexed by BrowserKind position
+    windows: Vec<ProcessImage>,
+    java: Vec<ProcessImage>,
+    acrobat: Vec<ProcessImage>,
+    other: Vec<ProcessImage>,
+    browser_zipfs: Vec<BoundedZipf>,
+    windows_zipf: BoundedZipf,
+    java_zipf: BoundedZipf,
+    acrobat_zipf: BoundedZipf,
+    other_zipf: BoundedZipf,
+}
+
+impl BenignProcessInventory {
+    /// Builds the inventory at the given scale, allocating image hashes
+    /// from `next_hash` (monotonically increasing).
+    pub fn generate(seed: u64, scale: Scale, next_hash: &mut u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9900_CE55);
+        // Versions don't scale linearly with population: a quarter-scale
+        // deployment still sees most browser builds. Use sqrt scaling
+        // with small floors.
+        let count =
+            |paper: u64| -> usize { ((paper as f64 * scale.fraction().sqrt()).ceil() as usize).max(3) };
+
+        let mut make = |name: &str, signer: &str, rng: &mut SmallRng| -> ProcessImage {
+            let hash = FileHash::from_raw(*next_hash);
+            *next_hash += 1;
+            let meta = FileMeta {
+                size_bytes: rng.gen_range(200_000..80_000_000),
+                disk_name: name.to_owned(),
+                signer: Some(SignerInfo::valid(signer, "verisign class 3 code signing 2010 ca")),
+                packer: None,
+            };
+            ProcessImage {
+                hash,
+                category: ProcessCategory::from_executable_name(name),
+                meta,
+            }
+        };
+
+        let browsers: Vec<Vec<ProcessImage>> = BROWSER_VERSIONS
+            .iter()
+            .map(|&(kind, versions)| {
+                (0..count(versions))
+                    .map(|_| make(kind.executable(), browser_signer(kind), &mut rng))
+                    .collect()
+            })
+            .collect();
+
+        let windows: Vec<ProcessImage> = (0..count(587))
+            .map(|i| {
+                make(
+                    WINDOWS_NAMES[i % WINDOWS_NAMES.len()],
+                    "Microsoft Windows",
+                    &mut rng,
+                )
+            })
+            .collect();
+        let java: Vec<ProcessImage> = (0..count(173))
+            .map(|i| make(JAVA_NAMES[i % JAVA_NAMES.len()], "Oracle America Inc.", &mut rng))
+            .collect();
+        let acrobat: Vec<ProcessImage> = (0..count(9).min(9))
+            .map(|i| {
+                make(
+                    ACROBAT_NAMES[i % ACROBAT_NAMES.len()],
+                    "Adobe Systems Incorporated",
+                    &mut rng,
+                )
+            })
+            .collect();
+        let other: Vec<ProcessImage> = (0..count(8_714))
+            .map(|i| {
+                let name = OTHER_NAMES[i % OTHER_NAMES.len()];
+                let signer = if i % 3 == 0 { "Microsoft Windows" } else { "Rare Ideas" };
+                make(name, signer, &mut rng)
+            })
+            .collect();
+
+        let zipf = |n: usize| BoundedZipf::new(n.max(1), 0.9).expect("nonempty");
+        Self {
+            browser_zipfs: browsers.iter().map(|v| zipf(v.len())).collect(),
+            windows_zipf: zipf(windows.len()),
+            java_zipf: zipf(java.len()),
+            acrobat_zipf: zipf(acrobat.len()),
+            other_zipf: zipf(other.len()),
+            browsers,
+            windows,
+            java,
+            acrobat,
+            other,
+        }
+    }
+
+    /// Picks an image of the given browser.
+    pub fn sample_browser<R: Rng + ?Sized>(&self, kind: BrowserKind, rng: &mut R) -> &ProcessImage {
+        let idx = BrowserKind::ALL.iter().position(|&k| k == kind).expect("listed");
+        let pool = &self.browsers[idx];
+        &pool[self.browser_zipfs[idx].sample(rng) - 1]
+    }
+
+    /// Picks an image of the given non-browser category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with `ProcessCategory::Browser` — use
+    /// [`Self::sample_browser`].
+    pub fn sample_category<R: Rng + ?Sized>(
+        &self,
+        category: ProcessCategory,
+        rng: &mut R,
+    ) -> &ProcessImage {
+        let (pool, zipf) = match category {
+            ProcessCategory::Windows => (&self.windows, &self.windows_zipf),
+            ProcessCategory::Java => (&self.java, &self.java_zipf),
+            ProcessCategory::AcrobatReader => (&self.acrobat, &self.acrobat_zipf),
+            ProcessCategory::Other => (&self.other, &self.other_zipf),
+            ProcessCategory::Browser(_) => panic!("use sample_browser for browsers"),
+        };
+        &pool[zipf.sample(rng) - 1]
+    }
+
+    /// All images, across categories.
+    pub fn all(&self) -> impl Iterator<Item = &ProcessImage> {
+        self.browsers
+            .iter()
+            .flatten()
+            .chain(&self.windows)
+            .chain(&self.java)
+            .chain(&self.acrobat)
+            .chain(&self.other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_categories_are_consistent() {
+        let mut next = 1;
+        let inv = BenignProcessInventory::generate(1, Scale::Tiny, &mut next);
+        for img in inv.all() {
+            assert_eq!(
+                img.category,
+                ProcessCategory::from_executable_name(&img.meta.disk_name)
+            );
+            assert!(img.meta.signer.is_some());
+        }
+    }
+
+    #[test]
+    fn hashes_are_unique() {
+        let mut next = 100;
+        let inv = BenignProcessInventory::generate(2, Scale::Small, &mut next);
+        let mut hashes: Vec<_> = inv.all().map(|p| p.hash).collect();
+        let before = hashes.len();
+        hashes.sort();
+        hashes.dedup();
+        assert_eq!(hashes.len(), before);
+        assert!(next > 100);
+    }
+
+    #[test]
+    fn acrobat_pool_stays_tiny() {
+        let mut next = 0;
+        let inv = BenignProcessInventory::generate(3, Scale::Paper, &mut next);
+        assert!(inv.acrobat.len() <= 9);
+    }
+
+    #[test]
+    fn browser_sampling_returns_right_kind() {
+        let mut next = 0;
+        let inv = BenignProcessInventory::generate(4, Scale::Tiny, &mut next);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for kind in BrowserKind::ALL {
+            let img = inv.sample_browser(kind, &mut rng);
+            assert_eq!(img.category, ProcessCategory::Browser(kind));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_browser")]
+    fn sample_category_rejects_browsers() {
+        let mut next = 0;
+        let inv = BenignProcessInventory::generate(5, Scale::Tiny, &mut next);
+        let mut rng = SmallRng::seed_from_u64(2);
+        inv.sample_category(ProcessCategory::Browser(BrowserKind::Chrome), &mut rng);
+    }
+
+    #[test]
+    fn windows_images_signed_by_microsoft() {
+        let mut next = 0;
+        let inv = BenignProcessInventory::generate(6, Scale::Tiny, &mut next);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let img = inv.sample_category(ProcessCategory::Windows, &mut rng);
+        assert_eq!(
+            img.meta.signer.as_ref().unwrap().subject,
+            "Microsoft Windows"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How large a world to generate, as a fraction of the paper's population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Scale {
+    /// 1/256 of the paper — a few thousand events; unit-test sized.
+    Tiny,
+    /// 1/64 of the paper — tens of thousands of events; CI sized.
+    Small,
+    /// 1/16 of the paper — ~190k events; the default for examples and
+    /// experiment regeneration.
+    #[default]
+    Default,
+    /// 1/4 of the paper — ~770k events.
+    Large,
+    /// Full paper scale (~3M events). Slow; minutes, not seconds.
+    Paper,
+    /// An arbitrary fraction of the paper's population.
+    Fraction(f64),
+}
+
+impl Scale {
+    /// The fraction of the paper's population this scale represents.
+    pub fn fraction(self) -> f64 {
+        match self {
+            Scale::Tiny => 1.0 / 256.0,
+            Scale::Small => 1.0 / 64.0,
+            Scale::Default => 1.0 / 16.0,
+            Scale::Large => 1.0 / 4.0,
+            Scale::Paper => 1.0,
+            Scale::Fraction(f) => f,
+        }
+    }
+
+    /// Scales a paper-population count down to this scale (at least 1 if
+    /// the input was nonzero).
+    pub fn apply(self, paper_count: u64) -> u64 {
+        if paper_count == 0 {
+            return 0;
+        }
+        ((paper_count as f64 * self.fraction()).round() as u64).max(1)
+    }
+}
+
+/// Full configuration of the synthetic world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// RNG seed — the entire world is a deterministic function of this
+    /// seed and the rest of the configuration.
+    pub seed: u64,
+    /// Population scale.
+    pub scale: Scale,
+    /// Collection-server prevalence threshold σ (paper: 20).
+    pub sigma: u32,
+    /// Point mass of prevalence 1 for unknown-destiny files (Fig. 2 head).
+    pub unknown_singleton_mass: f64,
+    /// Point mass of prevalence 1 for labeled files (flatter tail).
+    pub labeled_singleton_mass: f64,
+    /// Maximum prevalence any generated file may target (beyond σ so the
+    /// cap mechanism is actually exercised).
+    pub max_prevalence: usize,
+    /// Share of raw events that are downloads never executed (exercises
+    /// the reporting policy's executed-only filter).
+    pub unexecuted_share: f64,
+    /// Share of raw events pointed at whitelisted update hosts (exercises
+    /// the URL whitelist filter).
+    pub whitelisted_share: f64,
+    /// Latent share of unknown-destiny files that are actually malicious.
+    /// Not observable anywhere downstream; §VI argues many unknowns are
+    /// likely malicious.
+    pub unknown_latent_malicious: f64,
+}
+
+impl SynthConfig {
+    /// Creates the default configuration with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            scale: Scale::Default,
+            sigma: 20,
+            unknown_singleton_mass: 0.93,
+            labeled_singleton_mass: 0.55,
+            max_prevalence: 60,
+            unexecuted_share: 0.08,
+            whitelisted_share: 0.02,
+            unknown_latent_malicious: 0.55,
+        }
+    }
+
+    /// Sets the scale (builder-style).
+    pub fn with_scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets σ (builder-style).
+    pub fn with_sigma(mut self, sigma: u32) -> Self {
+        self.sigma = sigma;
+        self
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self::new(0xD014_1ABE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_fractions_are_monotone() {
+        assert!(Scale::Tiny.fraction() < Scale::Small.fraction());
+        assert!(Scale::Small.fraction() < Scale::Default.fraction());
+        assert!(Scale::Default.fraction() < Scale::Large.fraction());
+        assert!(Scale::Large.fraction() < Scale::Paper.fraction());
+        assert_eq!(Scale::Paper.fraction(), 1.0);
+    }
+
+    #[test]
+    fn apply_rounds_and_floors_at_one() {
+        assert_eq!(Scale::Tiny.apply(0), 0);
+        assert_eq!(Scale::Tiny.apply(1), 1);
+        assert_eq!(Scale::Paper.apply(123), 123);
+        assert_eq!(Scale::Fraction(0.5).apply(100), 50);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SynthConfig::new(1).with_scale(Scale::Paper).with_sigma(5);
+        assert_eq!(c.seed, 1);
+        assert_eq!(c.sigma, 5);
+        assert_eq!(c.scale, Scale::Paper);
+    }
+}

@@ -1,0 +1,273 @@
+//! Sampling primitives used by the generator.
+//!
+//! Only `rand`'s core RNG machinery is a dependency; the distributions the
+//! generator needs (categorical tables, bounded Zipf, discrete power laws)
+//! are implemented here to stay within the approved dependency set.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A categorical distribution over `0..n` sampled by inverse CDF.
+///
+/// Weights need not be normalised. Construction is `O(n)`, sampling is
+/// `O(log n)`.
+///
+/// ```
+/// use downlake_synth::Categorical;
+/// use rand::SeedableRng;
+/// let dist = Categorical::new(&[1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let idx = dist.sample(&mut rng);
+/// assert!(idx == 0 || idx == 2); // index 1 has zero weight
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds the distribution from non-negative weights.
+    ///
+    /// Returns `None` if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return None;
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        Some(Self { cumulative })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has no categories (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`, sampled by
+/// inverse CDF over the precomputed harmonic weights.
+///
+/// Used for domain popularity ranks and family sizes. Construction is
+/// `O(n)`; keep `n` modest (catalogs are thousands, not millions).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoundedZipf {
+    inner: Categorical,
+}
+
+impl BoundedZipf {
+    /// Builds a Zipf over `1..=n` with exponent `s ≥ 0`.
+    ///
+    /// Returns `None` when `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Option<Self> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return None;
+        }
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        Categorical::new(&weights).map(|inner| Self { inner })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Draws a rank in `1..=n` (1 is the heaviest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.inner.sample(rng) + 1
+    }
+}
+
+/// Discrete power law over `1..=max` with exponent `alpha` and an extra
+/// point mass at 1.
+///
+/// This is the prevalence model of Fig. 2: `P(1) = p1 + (1-p1)·z(1)`,
+/// where `z` is Zipf(α) over `1..=max`. Setting `p1` high produces the
+/// "almost 90% of files are downloaded by only one machine" head while the
+/// Zipf component supplies the long tail.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiscretePowerLaw {
+    p1: f64,
+    tail: BoundedZipf,
+}
+
+impl DiscretePowerLaw {
+    /// Builds the distribution.
+    ///
+    /// Returns `None` if `max == 0`, `p1 ∉ [0, 1]`, or `alpha` is invalid.
+    pub fn new(p1: f64, alpha: f64, max: usize) -> Option<Self> {
+        if !(0.0..=1.0).contains(&p1) {
+            return None;
+        }
+        BoundedZipf::new(max, alpha).map(|tail| Self { p1, tail })
+    }
+
+    /// Draws a value in `1..=max`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        if rng.gen_bool(self.p1) {
+            1
+        } else {
+            self.tail.sample(rng)
+        }
+    }
+}
+
+/// Samples a log-normal-ish file size in bytes via Box–Muller, clamped to
+/// `[16 KiB, 512 MiB]`. `mu`/`sigma` are in ln-space.
+pub fn sample_file_size<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> u64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let bytes = (mu + sigma * z).exp();
+    bytes.clamp(16.0 * 1024.0, 512.0 * 1024.0 * 1024.0) as u64
+}
+
+/// Draws an exponentially distributed day delta with the given mean,
+/// truncated to `max_days`. Used for escalation timing (Fig. 5).
+pub fn sample_exp_days<R: Rng + ?Sized>(rng: &mut R, mean_days: f64, max_days: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-mean_days * u.ln()).min(max_days)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xD0_17)
+    }
+
+    #[test]
+    fn categorical_rejects_bad_weights() {
+        assert!(Categorical::new(&[]).is_none());
+        assert!(Categorical::new(&[0.0, 0.0]).is_none());
+        assert!(Categorical::new(&[1.0, -1.0]).is_none());
+        assert!(Categorical::new(&[f64::NAN]).is_none());
+        assert!(Categorical::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let dist = Categorical::new(&[8.0, 0.0, 2.0]).unwrap();
+        let mut rng = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let share0 = counts[0] as f64 / 10_000.0;
+        assert!((share0 - 0.8).abs() < 0.03, "share0 = {share0}");
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let dist = Categorical::new(&[5.0]).unwrap();
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zipf_head_is_heaviest() {
+        let zipf = BoundedZipf::new(100, 1.2).unwrap();
+        let mut rng = rng();
+        let mut counts = vec![0usize; 101];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[10]);
+        assert!(counts[1] > counts[50]);
+        assert_eq!(counts[0], 0, "rank 0 must never be drawn");
+    }
+
+    #[test]
+    fn zipf_rejects_degenerate_params() {
+        assert!(BoundedZipf::new(0, 1.0).is_none());
+        assert!(BoundedZipf::new(10, f64::NAN).is_none());
+        assert!(BoundedZipf::new(10, -1.0).is_none());
+    }
+
+    #[test]
+    fn power_law_head_mass() {
+        let p = DiscretePowerLaw::new(0.9, 2.0, 50).unwrap();
+        let mut rng = rng();
+        let mut ones = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if p.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        let share = ones as f64 / n as f64;
+        assert!(share > 0.9, "P(1) should exceed the point mass, got {share}");
+    }
+
+    #[test]
+    fn power_law_rejects_bad_p1() {
+        assert!(DiscretePowerLaw::new(1.5, 2.0, 10).is_none());
+        assert!(DiscretePowerLaw::new(-0.1, 2.0, 10).is_none());
+    }
+
+    #[test]
+    fn file_sizes_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..1_000 {
+            let s = sample_file_size(&mut rng, 13.0, 2.0);
+            assert!((16 * 1024..=512 * 1024 * 1024).contains(&s));
+        }
+    }
+
+    #[test]
+    fn exp_days_truncates() {
+        let mut rng = rng();
+        for _ in 0..1_000 {
+            let d = sample_exp_days(&mut rng, 3.0, 30.0);
+            assert!((0.0..=30.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let dist = Categorical::new(&[1.0, 2.0, 3.0]).unwrap();
+        let a: Vec<usize> = {
+            let mut r = SmallRng::seed_from_u64(9);
+            (0..50).map(|_| dist.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = SmallRng::seed_from_u64(9);
+            (0..50).map(|_| dist.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

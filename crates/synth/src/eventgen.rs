@@ -1,0 +1,928 @@
+//! The download-event simulation.
+//!
+//! Generation happens in two phases:
+//!
+//! * **Phase A — primary downloads.** For each study month, a calibrated
+//!   number of new files is born (Table I). Each file draws the benign
+//!   process category that delivers it (Table X column totals), its
+//!   labeling destiny (Table X class mix + Table I likely-rates), its
+//!   prevalence (Fig. 2 head/tail), its serving domain (Table III–V
+//!   strata), and the machines/times of its downloads.
+//! * **Phase B — infection chains.** Files destined to be labeled
+//!   malicious may become *downloaders*: every machine that executes them
+//!   later pulls further files whose class mix follows that malware type's
+//!   row of Table XII, after a delay drawn from the type's escalation
+//!   profile (Fig. 5). Chains recurse to a bounded depth.
+//!
+//! A configurable fraction of noise events (never-executed downloads,
+//! downloads from whitelisted update hosts) is woven in so the collection
+//! server's reporting policy is exercised end to end.
+
+use crate::calibration::{self, ProcessRow, TABLE1, TABLE10, TABLE11, TABLE12};
+use crate::catalogs::domains::{DomainCatalog, DomainEntry};
+use crate::catalogs::families::FamilyCatalog;
+use crate::catalogs::packers::PackerCatalog;
+use crate::catalogs::processes::{BenignProcessInventory, BROWSER_MACHINE_WEIGHTS};
+use crate::catalogs::signers::SignerCatalog;
+use crate::config::SynthConfig;
+use crate::dist::{sample_exp_days, Categorical, DiscretePowerLaw};
+use crate::filegen::{FileDestiny, FileFactory, GeneratedFile};
+use crate::world::World;
+use downlake_telemetry::RawEvent;
+use downlake_types::{
+    BrowserKind, Duration, FileHash, MachineId, MalwareType, Month, ProcessCategory, Timestamp,
+    Url, SECONDS_PER_DAY,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Output of [`World::generate`]: the world plus its raw event stream,
+/// sorted by timestamp (the order the collection server would see).
+#[derive(Debug)]
+pub struct Generated {
+    /// The generated world (catalogs + latent truth).
+    pub world: World,
+    /// The raw event stream, time-ordered.
+    pub events: Vec<RawEvent>,
+}
+
+/// Per-machine attributes fixed at roster-build time.
+#[derive(Debug, Clone, Copy)]
+struct Machine {
+    id: MachineId,
+    browser: BrowserKind,
+    first_month: usize,
+    last_month: usize, // inclusive
+    has_java: bool,
+    has_acrobat: bool,
+}
+
+#[derive(Debug)]
+struct Roster {
+    machines: Vec<Machine>,
+    by_month: Vec<Vec<u32>>,
+    by_month_browser: Vec<Vec<Vec<u32>>>,
+    java_by_month: Vec<Vec<u32>>,
+    acrobat_by_month: Vec<Vec<u32>>,
+}
+
+impl Roster {
+    fn build(config: &SynthConfig, rng: &mut SmallRng) -> Self {
+        let total = config.scale.apply(calibration::totals::MACHINES) as usize;
+        // Arrival weights proportional to each month's machine volume so
+        // the monthly actives decline like Table I.
+        let arrival = Categorical::new(
+            &TABLE1
+                .iter()
+                .map(|r| r.machines as f64)
+                .collect::<Vec<_>>(),
+        )
+        .expect("calibrated");
+        let browser_weights = Categorical::new(
+            &BROWSER_MACHINE_WEIGHTS
+                .iter()
+                .map(|&(_, w)| w as f64)
+                .collect::<Vec<_>>(),
+        )
+        .expect("calibrated");
+
+        let mut machines = Vec::with_capacity(total);
+        for i in 0..total {
+            let first_month = arrival.sample(rng);
+            // Active-duration in months: mostly one, geometric tail, so
+            // the sum of monthly actives lands near Table I's 1.33×.
+            let mut duration = 1usize;
+            while duration < Month::ALL.len() && rng.gen_bool(0.25) {
+                duration += 1;
+            }
+            let last_month = (first_month + duration - 1).min(Month::ALL.len() - 1);
+            let browser = BROWSER_MACHINE_WEIGHTS[browser_weights.sample(rng)].0;
+            machines.push(Machine {
+                id: MachineId::from_raw(i as u64 + 1),
+                browser,
+                first_month,
+                last_month,
+                has_java: rng.gen_bool(0.004),
+                has_acrobat: rng.gen_bool(0.0015),
+            });
+        }
+
+        let months = Month::ALL.len();
+        let mut by_month = vec![Vec::new(); months];
+        let mut by_month_browser = vec![vec![Vec::new(); BrowserKind::ALL.len()]; months];
+        let mut java_by_month = vec![Vec::new(); months];
+        let mut acrobat_by_month = vec![Vec::new(); months];
+        for (i, m) in machines.iter().enumerate() {
+            let bidx = BrowserKind::ALL
+                .iter()
+                .position(|&b| b == m.browser)
+                .expect("listed");
+            for month in m.first_month..=m.last_month {
+                by_month[month].push(i as u32);
+                by_month_browser[month][bidx].push(i as u32);
+                if m.has_java {
+                    java_by_month[month].push(i as u32);
+                }
+                if m.has_acrobat {
+                    acrobat_by_month[month].push(i as u32);
+                }
+            }
+        }
+        // Guarantee non-empty pools even at tiny scales.
+        for month in 0..months {
+            if by_month[month].is_empty() {
+                by_month[month].push(0);
+            }
+            for pool in [&mut java_by_month[month], &mut acrobat_by_month[month]] {
+                if pool.is_empty() {
+                    pool.push(by_month[month][0]);
+                }
+            }
+            for b in 0..BrowserKind::ALL.len() {
+                if by_month_browser[month][b].is_empty() {
+                    by_month_browser[month][b].push(by_month[month][0]);
+                }
+            }
+        }
+        Self {
+            machines,
+            by_month,
+            by_month_browser,
+            java_by_month,
+            acrobat_by_month,
+        }
+    }
+
+}
+
+/// One pending chain expansion.
+#[derive(Debug, Clone)]
+struct ChainSeed {
+    machine_idx: u32,
+    time: Timestamp,
+    downloader: FileHash,
+    ty: MalwareType,
+    depth: u8,
+    /// Indirect (malvertising-style) escalation: the follow-up arrives
+    /// via the machine's browser and is always a damaging malware type
+    /// (§V-B's adware→malware discussion).
+    indirect: bool,
+}
+
+/// Destiny-class weights for one process category.
+#[derive(Debug)]
+struct DestinyDist {
+    dist: Categorical,
+    type_mix: Categorical,
+    types: Vec<MalwareType>,
+}
+
+/// Owned behaviour-type mix.
+type TypeMixOwned = Vec<(MalwareType, f64)>;
+
+impl DestinyDist {
+    fn from_row(row: &ProcessRow, mix: &[(MalwareType, f64)], carve_likely: bool) -> Self {
+        Self::from_row_owned(row, mix, carve_likely)
+    }
+
+    fn from_row_owned(row: &ProcessRow, mix: &[(MalwareType, f64)], carve_likely: bool) -> Self {
+        let total = row.total_files() as f64;
+        let benign = row.benign_files as f64 / total;
+        let malicious = row.malicious_files as f64 / total;
+        let unknown_raw = row.unknown_files as f64 / total;
+        let (lb, lm) = if carve_likely {
+            (
+                (unknown_raw * 0.25).min(0.028),
+                (unknown_raw * 0.25).min(0.026),
+            )
+        } else {
+            (0.0, (unknown_raw * 0.10).min(0.02))
+        };
+        let unknown = (unknown_raw - lb - lm).max(0.0);
+        // Order: benign, likely-benign, malicious, likely-malicious, unknown.
+        let dist = Categorical::new(&[benign, lb, malicious, lm, unknown]).expect("valid row");
+        let types: Vec<MalwareType> = mix.iter().map(|&(t, _)| t).collect();
+        let type_mix =
+            Categorical::new(&mix.iter().map(|&(_, p)| p).collect::<Vec<_>>()).expect("valid mix");
+        Self {
+            dist,
+            type_mix,
+            types,
+        }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> FileDestiny {
+        match self.dist.sample(rng) {
+            0 => FileDestiny::Benign,
+            1 => FileDestiny::LikelyBenign,
+            2 => FileDestiny::Malicious(self.sample_type(rng)),
+            3 => FileDestiny::LikelyMalicious(self.sample_type(rng)),
+            _ => FileDestiny::Unknown,
+        }
+    }
+
+    fn sample_type(&self, rng: &mut SmallRng) -> MalwareType {
+        self.types[self.type_mix.sample(rng)]
+    }
+}
+
+struct Generator<'a> {
+    config: &'a SynthConfig,
+    rng: SmallRng,
+    roster: Roster,
+    inventory: BenignProcessInventory,
+    domains: DomainCatalog,
+    next_hash: u64,
+    files: HashMap<FileHash, GeneratedFile>,
+    events: Vec<RawEvent>,
+    chain_queue: Vec<ChainSeed>,
+    // Campaign pools: recently created chain files per malware type.
+    campaign_pools: HashMap<MalwareType, Vec<FileHash>>,
+    category_dist: Categorical,
+    destiny_dists: Vec<DestinyDist>,        // per TABLE10 category
+    chain_dists: HashMap<MalwareType, DestinyDist>, // per TABLE12 row
+    browser_by_destiny: [Categorical; 3],   // benign-ish, malicious-ish, unknown
+    prevalence_unknown: DiscretePowerLaw,
+    prevalence_labeled: DiscretePowerLaw,
+    prevalence_exploit: DiscretePowerLaw,
+}
+
+impl<'a> Generator<'a> {
+    fn new(config: &'a SynthConfig, signers: &SignerCatalog) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let tail = (config.scale.apply(calibration::totals::DOMAINS) as usize).clamp(200, 40_000);
+        let domains = DomainCatalog::generate(config.seed, tail);
+        let mut next_hash = 0x0100_0000;
+        let inventory = BenignProcessInventory::generate(config.seed, config.scale, &mut next_hash);
+        let roster = Roster::build(config, &mut rng);
+        let _ = signers; // catalogs are owned by the caller; kept for clarity
+
+        // Per-category behaviour-type mixes are blended toward the overall
+        // Table II mix: primary downloads alone under-represent types that
+        // mostly arrive via infection chains (adware especially), and the
+        // published per-category and overall mixes are reconciled this way.
+        let blend_mix = |mix: TypeMixOwned, weight_cat: f64| -> Vec<(MalwareType, f64)> {
+            let mut out: Vec<(MalwareType, f64)> = calibration::TABLE2_TYPE_MIX
+                .iter()
+                .map(|&(ty, p)| (ty, p * (1.0 - weight_cat)))
+                .collect();
+            for (ty, p) in mix {
+                if let Some(entry) = out.iter_mut().find(|(t, _)| *t == ty) {
+                    entry.1 += p * weight_cat;
+                }
+            }
+            out
+        };
+
+        let category_files: Vec<f64> = TABLE10
+            .iter()
+            .map(|(row, _)| row.total_files() as f64)
+            .collect();
+        let category_dist = Categorical::new(&category_files).expect("calibrated");
+        let destiny_dists: Vec<DestinyDist> = TABLE10
+            .iter()
+            .enumerate()
+            .map(|(i, (row, mix))| {
+                let mix_owned: TypeMixOwned = mix.to_vec();
+                // Java/Acrobat keep their distinctive exploit-payload
+                // mixes; the broad categories blend toward Table II.
+                let blended = if i == 2 || i == 3 {
+                    mix_owned
+                } else {
+                    blend_mix(mix_owned, 0.55)
+                };
+                DestinyDist::from_row_owned(row, &blended, i != 2 && i != 3)
+            })
+            .collect();
+        let chain_dists: HashMap<MalwareType, DestinyDist> = TABLE12
+            .iter()
+            .map(|(ty, row, mix)| (*ty, DestinyDist::from_row(row, mix, false)))
+            .collect();
+
+        let browser_weight = |f: fn(&ProcessRow) -> u64| {
+            Categorical::new(
+                &TABLE11
+                    .iter()
+                    .map(|(_, row)| f(row) as f64)
+                    .collect::<Vec<_>>(),
+            )
+            .expect("calibrated")
+        };
+        let browser_by_destiny = [
+            browser_weight(|r| r.benign_files),
+            browser_weight(|r| r.malicious_files),
+            browser_weight(|r| r.unknown_files),
+        ];
+
+        Self {
+            config,
+            rng,
+            roster,
+            inventory,
+            domains,
+            next_hash,
+            files: HashMap::new(),
+            events: Vec::new(),
+            chain_queue: Vec::new(),
+            campaign_pools: HashMap::new(),
+            category_dist,
+            destiny_dists,
+            chain_dists,
+            browser_by_destiny,
+            prevalence_unknown: DiscretePowerLaw::new(
+                config.unknown_singleton_mass,
+                2.2,
+                config.max_prevalence,
+            )
+            .expect("valid config"),
+            prevalence_labeled: DiscretePowerLaw::new(
+                config.labeled_singleton_mass,
+                1.6,
+                config.max_prevalence,
+            )
+            .expect("valid config"),
+            prevalence_exploit: DiscretePowerLaw::new(0.30, 1.2, 30).expect("static"),
+        }
+    }
+
+    fn alloc_hash(&mut self) -> FileHash {
+        let h = FileHash::from_raw(self.next_hash);
+        self.next_hash += 1;
+        h
+    }
+
+    fn run(mut self, factory: &FileFactory<'_>) -> (HashMap<FileHash, GeneratedFile>, Vec<RawEvent>) {
+        for month in Month::ALL {
+            self.primary_downloads(month, factory);
+            self.noise_events(month, factory);
+        }
+        self.expand_chains(factory);
+        self.events.sort_by_key(|e| e.timestamp);
+        (self.files, self.events)
+    }
+
+    /// Phase A for one month.
+    fn primary_downloads(&mut self, month: Month, factory: &FileFactory<'_>) {
+        let n_files = self.config.scale.apply(TABLE1[month.index()].files);
+        for _ in 0..n_files {
+            let cat_idx = self.category_dist.sample(&mut self.rng);
+            let destiny = self.destiny_dists[cat_idx].sample(&mut self.rng);
+            let category = match cat_idx {
+                0 => ProcessCategory::Browser(self.pick_browser(destiny)),
+                1 => ProcessCategory::Windows,
+                2 => ProcessCategory::Java,
+                3 => ProcessCategory::AcrobatReader,
+                _ => ProcessCategory::Other,
+            };
+            let hash = self.alloc_hash();
+            let file = factory.make(hash, destiny, category.is_browser(), &mut self.rng);
+            let prevalence = self.prevalence_for(destiny, category);
+            let domain_name = self.domain_for(&file).name.clone();
+            let url = make_url(&domain_name, &file.meta.disk_name, &mut self.rng);
+            self.schedule_downloads(&file, category, month, prevalence, &url);
+            self.files.insert(hash, file);
+        }
+    }
+
+    fn pick_browser(&mut self, destiny: FileDestiny) -> BrowserKind {
+        let dist = match destiny {
+            FileDestiny::Benign | FileDestiny::LikelyBenign => &self.browser_by_destiny[0],
+            FileDestiny::Malicious(_) | FileDestiny::LikelyMalicious(_) => {
+                &self.browser_by_destiny[1]
+            }
+            FileDestiny::Unknown => &self.browser_by_destiny[2],
+        };
+        TABLE11[dist.sample(&mut self.rng)].0
+    }
+
+    fn prevalence_for(&mut self, destiny: FileDestiny, category: ProcessCategory) -> usize {
+        // Exploit-delivered payloads (Java/Acrobat) hit many machines each
+        // (Table X: 2,977 Java machines vs 740 Java-delivered files).
+        if matches!(
+            category,
+            ProcessCategory::Java | ProcessCategory::AcrobatReader
+        ) {
+            return self.prevalence_exploit.sample(&mut self.rng);
+        }
+        match destiny {
+            FileDestiny::Unknown => self.prevalence_unknown.sample(&mut self.rng),
+            _ => self.prevalence_labeled.sample(&mut self.rng),
+        }
+    }
+
+    fn domain_for(&mut self, file: &GeneratedFile) -> &DomainEntry {
+        match file.destiny {
+            FileDestiny::Benign | FileDestiny::LikelyBenign => {
+                self.domains.sample_benign(&mut self.rng)
+            }
+            FileDestiny::Malicious(ty) | FileDestiny::LikelyMalicious(ty) => {
+                self.domains.sample_malicious(ty, &mut self.rng)
+            }
+            FileDestiny::Unknown => self.domains.sample_unknown(&mut self.rng),
+        }
+    }
+
+    /// Creates `prevalence` download events for a file, starting inside
+    /// `month` and trailing into the following weeks.
+    fn schedule_downloads(
+        &mut self,
+        file: &GeneratedFile,
+        category: ProcessCategory,
+        month: Month,
+        prevalence: usize,
+        url: &Url,
+    ) {
+        let first_day = self
+            .rng
+            .gen_range(month.start_day()..month.end_day());
+        let window_end = Timestamp::from_day(Month::July.end_day()).seconds() - 1;
+        for k in 0..prevalence {
+            let day_offset = if k == 0 {
+                0.0
+            } else {
+                sample_exp_days(&mut self.rng, 12.0, 120.0)
+            };
+            let secs = Timestamp::from_day(first_day).seconds()
+                + (day_offset * SECONDS_PER_DAY as f64) as i64
+                + self.rng.gen_range(0..SECONDS_PER_DAY);
+            let t = Timestamp::from_seconds(secs.min(window_end));
+            let event_month = t.month().index();
+            let (machine_idx, process_image) = self.pick_initiator(category, event_month);
+            let machine = self.roster.machines[machine_idx as usize].id;
+            let (process, process_meta) = process_image;
+            self.events.push(RawEvent {
+                file: file.hash,
+                file_meta: file.meta.clone(),
+                machine,
+                process,
+                process_meta,
+                url: url.clone(),
+                timestamp: t,
+                executed: true,
+            });
+            if let FileDestiny::Malicious(ty) = file.destiny {
+                self.maybe_seed_chain(machine_idx, t, file.hash, ty, 0);
+            }
+        }
+    }
+
+    /// Picks (machine, process image) for a primary download.
+    fn pick_initiator(
+        &mut self,
+        category: ProcessCategory,
+        month: usize,
+    ) -> (u32, (FileHash, downlake_types::FileMeta)) {
+        match category {
+            ProcessCategory::Browser(kind) => {
+                let pool = {
+                    let bidx = BrowserKind::ALL.iter().position(|&b| b == kind).expect("listed");
+                    &self.roster.by_month_browser[month][bidx]
+                };
+                let idx = pool[self.rng.gen_range(0..pool.len())];
+                let img = self.inventory.sample_browser(kind, &mut self.rng);
+                (idx, (img.hash, img.meta.clone()))
+            }
+            ProcessCategory::Java => {
+                let pool = &self.roster.java_by_month[month];
+                let idx = pool[self.rng.gen_range(0..pool.len())];
+                let img = self.inventory.sample_category(ProcessCategory::Java, &mut self.rng);
+                (idx, (img.hash, img.meta.clone()))
+            }
+            ProcessCategory::AcrobatReader => {
+                let pool = &self.roster.acrobat_by_month[month];
+                let idx = pool[self.rng.gen_range(0..pool.len())];
+                let img = self
+                    .inventory
+                    .sample_category(ProcessCategory::AcrobatReader, &mut self.rng);
+                (idx, (img.hash, img.meta.clone()))
+            }
+            other => {
+                let pool = &self.roster.by_month[month];
+                let idx = pool[self.rng.gen_range(0..pool.len())];
+                let img = self.inventory.sample_category(other, &mut self.rng);
+                (idx, (img.hash, img.meta.clone()))
+            }
+        }
+    }
+
+    /// A freshly executed malicious file may become an active downloader.
+    fn maybe_seed_chain(
+        &mut self,
+        machine_idx: u32,
+        t: Timestamp,
+        file: FileHash,
+        ty: MalwareType,
+        depth: u8,
+    ) {
+        if depth >= 2 {
+            return;
+        }
+        let activation = match ty {
+            MalwareType::Dropper => 0.45,
+            MalwareType::Worm | MalwareType::Bot => 0.30,
+            MalwareType::Banker | MalwareType::Ransomware => 0.25,
+            MalwareType::Pup => 0.18,
+            MalwareType::Trojan | MalwareType::Undefined => 0.15,
+            MalwareType::Adware | MalwareType::Spyware => 0.12,
+            MalwareType::FakeAv => 0.05,
+        };
+        if self.rng.gen_bool(activation) {
+            self.chain_queue.push(ChainSeed {
+                machine_idx,
+                time: t,
+                downloader: file,
+                ty,
+                depth,
+                indirect: false,
+            });
+        }
+        // Adware/PUP additionally expose the user to malvertising: with
+        // some probability the machine later pulls damaging malware via
+        // its browser (indirect infection, §V-B).
+        if matches!(ty, MalwareType::Adware | MalwareType::Pup) && self.rng.gen_bool(0.30) {
+            self.chain_queue.push(ChainSeed {
+                machine_idx,
+                time: t,
+                downloader: file,
+                ty,
+                depth,
+                indirect: true,
+            });
+        }
+    }
+
+    /// Phase B: expand all chain seeds (including recursively created
+    /// ones) until the queue drains.
+    fn expand_chains(&mut self, factory: &FileFactory<'_>) {
+        let mut cursor = 0;
+        while cursor < self.chain_queue.len() {
+            let seed = self.chain_queue[cursor].clone();
+            cursor += 1;
+            if seed.indirect {
+                self.indirect_download(&seed, factory);
+                continue;
+            }
+            // Number of follow-up downloads by this downloader instance.
+            let mut k = 0;
+            while k < 6 && self.rng.gen_bool(0.45) {
+                k += 1;
+            }
+            for _ in 0..k {
+                self.chain_download(&seed, factory);
+            }
+        }
+    }
+
+    /// Day delta for a chain/indirect download: a same-day point mass
+    /// plus an exponential tail (matching Fig. 5's ~40% day-0 shares).
+    fn escalation_delay_days(&mut self, ty: MalwareType) -> f64 {
+        let (same_day, mean_days) = match ty {
+            MalwareType::Dropper => (0.55, calibration::ESCALATION.dropper_mean_days),
+            MalwareType::Adware => (0.42, calibration::ESCALATION.adware_mean_days),
+            MalwareType::Pup => (0.40, calibration::ESCALATION.pup_mean_days),
+            _ => (0.35, 2.0),
+        };
+        if self.rng.gen_bool(same_day) {
+            self.rng.gen_range(0.0..0.8)
+        } else {
+            sample_exp_days(&mut self.rng, mean_days, 90.0)
+        }
+    }
+
+    /// Indirect (browser-mediated) escalation after adware/PUP: one
+    /// damaging malware download via the machine's primary browser.
+    fn indirect_download(&mut self, seed: &ChainSeed, factory: &FileFactory<'_>) {
+        let ty = {
+            const QUALIFYING: &[(MalwareType, f64)] = &[
+                (MalwareType::Trojan, 0.45),
+                (MalwareType::Dropper, 0.30),
+                (MalwareType::Banker, 0.12),
+                (MalwareType::Ransomware, 0.05),
+                (MalwareType::Bot, 0.05),
+                (MalwareType::FakeAv, 0.03),
+            ];
+            let dist = Categorical::new(
+                &QUALIFYING.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
+            )
+            .expect("static weights");
+            QUALIFYING[dist.sample(&mut self.rng)].0
+        };
+        let delay_days = self.escalation_delay_days(seed.ty);
+        let window_end = Timestamp::from_day(Month::July.end_day()).seconds() - 1;
+        let t = Timestamp::from_seconds(
+            (seed.time.seconds()
+                + (delay_days * SECONDS_PER_DAY as f64) as i64
+                + self.rng.gen_range(60..3_600))
+            .min(window_end),
+        );
+        // Malvertising campaigns push the same payload to many victims:
+        // reuse a recent campaign file half the time.
+        let reuse = if self.rng.gen_bool(0.5) {
+            self.campaign_pools.get(&ty).and_then(|pool| {
+                if pool.is_empty() {
+                    None
+                } else {
+                    let start = pool.len().saturating_sub(32);
+                    Some(pool[self.rng.gen_range(start..pool.len())])
+                }
+            })
+        } else {
+            None
+        };
+        let (hash, file_meta) = match reuse {
+            Some(hash) => (hash, self.files[&hash].meta.clone()),
+            None => {
+                let hash = self.alloc_hash();
+                let file = factory.make(hash, FileDestiny::Malicious(ty), true, &mut self.rng);
+                let meta = file.meta.clone();
+                self.campaign_pools.entry(ty).or_default().push(hash);
+                self.files.insert(hash, file);
+                (hash, meta)
+            }
+        };
+        let domain_name = self.domains.sample_malicious(ty, &mut self.rng).name.clone();
+        let url = make_url(&domain_name, &file_meta.disk_name, &mut self.rng);
+        let machine = self.roster.machines[seed.machine_idx as usize];
+        let browser = machine.browser;
+        let img = self.inventory.sample_browser(browser, &mut self.rng);
+        let (process, process_meta) = (img.hash, img.meta.clone());
+        self.events.push(RawEvent {
+            file: hash,
+            file_meta,
+            machine: machine.id,
+            process,
+            process_meta,
+            url,
+            timestamp: t,
+            executed: true,
+        });
+        self.maybe_seed_chain(seed.machine_idx, t, hash, ty, seed.depth + 1);
+    }
+
+    fn chain_download(&mut self, seed: &ChainSeed, factory: &FileFactory<'_>) {
+        let delay_days = self.escalation_delay_days(seed.ty);
+        let t = seed.time
+            + Duration::from_seconds(
+                (delay_days * SECONDS_PER_DAY as f64) as i64 + self.rng.gen_range(60..3_600),
+            );
+        let window_end = Timestamp::from_day(Month::July.end_day()).seconds() - 1;
+        let t = Timestamp::from_seconds(t.seconds().min(window_end));
+
+        let destiny = self.chain_dists[&seed.ty].sample(&mut self.rng);
+
+        // Reuse a recent campaign file of the same destiny type half the
+        // time so chain files develop prevalence > 1.
+        let reuse = if let FileDestiny::Malicious(ty) = destiny {
+            if self.rng.gen_bool(0.5) {
+                self.campaign_pools
+                    .get(&ty)
+                    .and_then(|pool| {
+                        if pool.is_empty() {
+                            None
+                        } else {
+                            let start = pool.len().saturating_sub(32);
+                            Some(pool[self.rng.gen_range(start..pool.len())])
+                        }
+                    })
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        let (file_hash, file_meta, file_destiny) = match reuse {
+            Some(hash) => {
+                let f = &self.files[&hash];
+                (hash, f.meta.clone(), f.destiny)
+            }
+            None => {
+                let hash = self.alloc_hash();
+                let file = factory.make(hash, destiny, false, &mut self.rng);
+                if let FileDestiny::Malicious(ty) = destiny {
+                    self.campaign_pools.entry(ty).or_default().push(hash);
+                }
+                let meta = file.meta.clone();
+                self.files.insert(hash, file);
+                (hash, meta, destiny)
+            }
+        };
+
+        let domain_name = match file_destiny {
+            FileDestiny::Benign | FileDestiny::LikelyBenign => {
+                self.domains.sample_benign(&mut self.rng).name.clone()
+            }
+            FileDestiny::Malicious(ty) | FileDestiny::LikelyMalicious(ty) => {
+                self.domains.sample_malicious(ty, &mut self.rng).name.clone()
+            }
+            FileDestiny::Unknown => self.domains.sample_unknown(&mut self.rng).name.clone(),
+        };
+        let url = make_url(&domain_name, &file_meta.disk_name, &mut self.rng);
+
+        let downloader_meta = self.files[&seed.downloader].meta.clone();
+        let machine = self.roster.machines[seed.machine_idx as usize].id;
+        self.events.push(RawEvent {
+            file: file_hash,
+            file_meta,
+            machine,
+            process: seed.downloader,
+            process_meta: downloader_meta,
+            url,
+            timestamp: t,
+            executed: true,
+        });
+        if let FileDestiny::Malicious(ty) = file_destiny {
+            self.maybe_seed_chain(seed.machine_idx, t, file_hash, ty, seed.depth + 1);
+        }
+    }
+
+    /// Noise events: never-executed downloads and whitelisted update-host
+    /// downloads, both of which the collection server must drop.
+    fn noise_events(&mut self, month: Month, factory: &FileFactory<'_>) {
+        let month_events = self.config.scale.apply(TABLE1[month.index()].events);
+        let unexecuted = (month_events as f64 * self.config.unexecuted_share) as u64;
+        let whitelisted = (month_events as f64 * self.config.whitelisted_share) as u64;
+        for i in 0..(unexecuted + whitelisted) {
+            let hash = self.alloc_hash();
+            let file = factory.make(hash, FileDestiny::Unknown, true, &mut self.rng);
+            let day = self.rng.gen_range(month.start_day()..month.end_day());
+            let t = Timestamp::from_seconds(
+                Timestamp::from_day(day).seconds() + self.rng.gen_range(0..SECONDS_PER_DAY),
+            );
+            let month_idx = month.index();
+            let (machine_idx, (process, process_meta)) =
+                self.pick_initiator(ProcessCategory::Browser(BrowserKind::Chrome), month_idx);
+            // First `whitelisted` events: executed, but served from a
+            // whitelisted update host. The rest: ordinary URL, never
+            // executed. Both must be suppressed by the server.
+            let (url, executed) = if i < whitelisted {
+                (
+                    make_url("microsoft.com", &file.meta.disk_name, &mut self.rng),
+                    true,
+                )
+            } else {
+                (
+                    make_url("filehub-generic.com", &file.meta.disk_name, &mut self.rng),
+                    false,
+                )
+            };
+            let machine = self.roster.machines[machine_idx as usize].id;
+            self.events.push(RawEvent {
+                file: file.hash,
+                file_meta: file.meta.clone(),
+                machine,
+                process,
+                process_meta,
+                url,
+                timestamp: t,
+                executed,
+            });
+            self.files.insert(hash, file);
+        }
+    }
+}
+
+fn make_url(domain: &str, file_name: &str, rng: &mut SmallRng) -> Url {
+    let host = if rng.gen_bool(0.4) {
+        format!("dl{}.{domain}", rng.gen_range(1..9))
+    } else {
+        domain.to_owned()
+    };
+    let dir = ["files", "get", "d", "download", "pkg"][rng.gen_range(0..5)];
+    Url::from_parts("http", &host, &format!("/{dir}/{file_name}"))
+        .expect("generated hosts are valid")
+}
+
+/// Generates a world and its time-ordered raw event stream.
+pub(crate) fn generate(config: &SynthConfig) -> Generated {
+    let signers = SignerCatalog::generate_scaled(config.seed, config.scale.fraction().sqrt());
+    let packers = PackerCatalog::new();
+    let families = FamilyCatalog::generate(config.seed);
+    let factory_signers = signers.clone();
+    let factory_packers = packers.clone();
+    let factory_families = families.clone();
+    let factory = FileFactory::new(config, &factory_signers, &factory_packers, &factory_families);
+
+    let generator = Generator::new(config, &signers);
+    // The generator's domain catalog and inventory are moved into the
+    // world afterwards.
+    let domains = generator.domains.clone();
+    let inventory = generator.inventory.clone();
+    let (mut files, events) = generator.run(&factory);
+
+    // The benign process-inventory images are part of the world too:
+    // ground truth is collected over downloading processes as well
+    // (Table I's process label shares). Browsers and system software are
+    // universally catalogued; the long tail of "other" processes mostly
+    // is not — which is how the paper ends up with the majority of
+    // downloading processes unknown.
+    let mut proc_rng = SmallRng::seed_from_u64(config.seed ^ 0x9a0c_0de5);
+    for img in inventory.all() {
+        let (visibility, destiny) = if img.category == ProcessCategory::Other {
+            let roll: f64 = proc_rng.gen_range(0.0..1.0);
+            if roll < 0.25 {
+                (0.95, FileDestiny::Benign)
+            } else if roll < 0.40 {
+                (0.65, FileDestiny::LikelyBenign)
+            } else {
+                (0.02, FileDestiny::Unknown)
+            }
+        } else {
+            (0.97, FileDestiny::Benign)
+        };
+        files.entry(img.hash).or_insert_with(|| GeneratedFile {
+            hash: img.hash,
+            meta: img.meta.clone(),
+            latent: downlake_types::LatentProfile::benign(visibility),
+            destiny,
+        });
+    }
+
+    let world = World {
+        config: config.clone(),
+        signers,
+        packers,
+        domains,
+        families,
+        processes: inventory,
+        files,
+    };
+    Generated { world, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    fn tiny() -> Generated {
+        generate(&SynthConfig::new(42).with_scale(Scale::Tiny))
+    }
+
+    #[test]
+    fn stream_is_time_ordered() {
+        let g = tiny();
+        for pair in g.events.windows(2) {
+            assert!(pair[0].timestamp <= pair[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn volumes_scale_with_config() {
+        let g = tiny();
+        let expected = Scale::Tiny.apply(calibration::totals::EVENTS);
+        let ratio = g.events.len() as f64 / expected as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "events {} vs expected {expected}",
+            g.events.len()
+        );
+    }
+
+    #[test]
+    fn noise_events_present() {
+        let g = tiny();
+        let unexecuted = g.events.iter().filter(|e| !e.executed).count();
+        assert!(unexecuted > 0, "generator must emit unexecuted noise");
+        let whitelisted = g
+            .events
+            .iter()
+            .filter(|e| e.url.e2ld() == "microsoft.com")
+            .count();
+        assert!(whitelisted > 0, "generator must emit whitelisted-host noise");
+    }
+
+    #[test]
+    fn unknown_destiny_dominates() {
+        let g = tiny();
+        let unknown = g
+            .world
+            .files()
+            .filter(|f| f.destiny == FileDestiny::Unknown)
+            .count();
+        let share = unknown as f64 / g.world.file_count() as f64;
+        assert!(share > 0.70, "unknown share {share}");
+    }
+
+    #[test]
+    fn chains_reuse_downloader_as_process() {
+        let g = tiny();
+        // At least one event must be initiated by a process that is
+        // itself a generated (downloaded) file.
+        let chained = g
+            .events
+            .iter()
+            .filter(|e| g.world.latent(e.process).is_some())
+            .count();
+        assert!(chained > 0, "no chain downloads generated");
+    }
+
+    #[test]
+    fn timestamps_fit_study_window() {
+        let g = tiny();
+        for e in &g.events {
+            assert!(e.timestamp.in_study_window(), "event at {}", e.timestamp);
+        }
+    }
+}

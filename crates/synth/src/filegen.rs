@@ -1,0 +1,356 @@
+//! File synthesis: latent nature, metadata, and labeling destiny.
+//!
+//! Every file is created with a [`FileDestiny`] — which ground-truth class
+//! it will eventually land in once the oracle runs. The destiny is encoded
+//! into the file's [`LatentProfile`] *only* through the semantically
+//! meaningful knobs `visibility` (will labeling sources ever see it?) and
+//! `detectability` (will engines that see it flag it?), so the
+//! ground-truth crate can implement the paper's actual decision procedure
+//! instead of reading the answer off a field.
+
+use crate::calibration::{self, packing};
+use crate::catalogs::families::FamilyCatalog;
+use crate::catalogs::names;
+use crate::catalogs::packers::PackerCatalog;
+use crate::catalogs::signers::SignerCatalog;
+use crate::config::SynthConfig;
+use crate::dist::{sample_file_size, Categorical};
+use downlake_types::{
+    FileHash, FileMeta, FileNature, LatentProfile, MalwareType, PackerInfo, SignerInfo,
+};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The ground-truth class a file is destined for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileDestiny {
+    /// Will be labeled benign.
+    Benign,
+    /// Will be labeled likely benign (short scan span).
+    LikelyBenign,
+    /// Will be labeled malicious (trusted-engine detection).
+    Malicious(MalwareType),
+    /// Will be labeled likely malicious (untrusted-engine detection only).
+    LikelyMalicious(MalwareType),
+    /// Will never gain ground truth.
+    Unknown,
+}
+
+impl FileDestiny {
+    /// Whether the destiny is one of the confidently labeled classes.
+    pub fn is_labeled(self) -> bool {
+        !matches!(self, FileDestiny::Unknown)
+    }
+}
+
+/// A fully synthesised file: identity, observable metadata, hidden truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedFile {
+    /// The file hash.
+    pub hash: FileHash,
+    /// Observable metadata.
+    pub meta: FileMeta,
+    /// Hidden truth.
+    pub latent: LatentProfile,
+    /// Generator-internal destiny (used for routing; the ground-truth
+    /// oracle never reads this).
+    pub destiny: FileDestiny,
+}
+
+/// Synthesises files against the calibrated marginals.
+#[derive(Debug)]
+pub struct FileFactory<'a> {
+    signers: &'a SignerCatalog,
+    packers: &'a PackerCatalog,
+    families: &'a FamilyCatalog,
+    unknown_latent_malicious: f64,
+    type_mix: Categorical,
+}
+
+impl<'a> FileFactory<'a> {
+    /// Creates a factory over the given catalogs.
+    pub fn new(
+        config: &SynthConfig,
+        signers: &'a SignerCatalog,
+        packers: &'a PackerCatalog,
+        families: &'a FamilyCatalog,
+    ) -> Self {
+        let weights: Vec<f64> = calibration::TABLE2_TYPE_MIX.iter().map(|&(_, p)| p).collect();
+        Self {
+            signers,
+            packers,
+            families,
+            unknown_latent_malicious: config.unknown_latent_malicious,
+            type_mix: Categorical::new(&weights).expect("calibrated mix is valid"),
+        }
+    }
+
+    /// Draws a behaviour type from the Table II mix.
+    pub fn sample_type<R: Rng + ?Sized>(&self, rng: &mut R) -> MalwareType {
+        calibration::TABLE2_TYPE_MIX[self.type_mix.sample(rng)].0
+    }
+
+    /// Synthesises one file.
+    ///
+    /// `via_browser` marks whether the file's *first* download was
+    /// browser-initiated — browser-delivered files are signed more often
+    /// (Table VI "From Browsers" column).
+    pub fn make<R: Rng + ?Sized>(
+        &self,
+        hash: FileHash,
+        destiny: FileDestiny,
+        via_browser: bool,
+        rng: &mut R,
+    ) -> GeneratedFile {
+        let nature = self.latent_nature(destiny, rng);
+        // The unlabeled long tail skews unsigned even when latent-
+        // malicious: obscure one-off builds rarely carry a certificate
+        // (Table VI: unknowns 38.4% signed vs 66% for known malware).
+        let signing_scale = if destiny == FileDestiny::Unknown { 0.72 } else { 1.0 };
+        let meta = self.make_meta(nature, via_browser, signing_scale, rng);
+        let family = match nature {
+            FileNature::Malicious(ty) => {
+                // 58% of samples have no AVclass-derivable family (§III).
+                if rng.gen_bool(0.58) {
+                    None
+                } else {
+                    Some(self.families.sample(ty, rng).name.clone())
+                }
+            }
+            FileNature::Benign => None,
+        };
+        let (visibility, detectability) = destiny_propensities(destiny, rng);
+        GeneratedFile {
+            hash,
+            meta,
+            latent: LatentProfile {
+                nature,
+                family,
+                visibility,
+                detectability,
+            },
+            destiny,
+        }
+    }
+
+    fn latent_nature<R: Rng + ?Sized>(&self, destiny: FileDestiny, rng: &mut R) -> FileNature {
+        match destiny {
+            FileDestiny::Benign | FileDestiny::LikelyBenign => FileNature::Benign,
+            FileDestiny::Malicious(ty) | FileDestiny::LikelyMalicious(ty) => {
+                FileNature::Malicious(ty)
+            }
+            FileDestiny::Unknown => {
+                if rng.gen_bool(self.unknown_latent_malicious) {
+                    FileNature::Malicious(self.sample_type(rng))
+                } else {
+                    FileNature::Benign
+                }
+            }
+        }
+    }
+
+    fn make_meta<R: Rng + ?Sized>(
+        &self,
+        nature: FileNature,
+        via_browser: bool,
+        signing_scale: f64,
+        rng: &mut R,
+    ) -> FileMeta {
+        let (signed_prob, packed_prob) = match nature {
+            FileNature::Benign => {
+                let r = calibration::BENIGN_SIGNING;
+                (
+                    if via_browser { r.from_browsers } else { r.overall } / 100.0,
+                    packing::BENIGN_PACKED,
+                )
+            }
+            FileNature::Malicious(ty) => {
+                let r = calibration::signing_rates(ty);
+                (
+                    if via_browser { r.from_browsers } else { r.overall } / 100.0,
+                    packing::MALICIOUS_PACKED,
+                )
+            }
+        };
+        let signer = if rng.gen_bool((signed_prob * signing_scale).clamp(0.0, 1.0)) {
+            let entry = match nature {
+                FileNature::Benign => self.signers.sample_benign(rng),
+                FileNature::Malicious(ty) => self.signers.sample_malicious(ty, rng),
+            };
+            Some(SignerInfo::valid(entry.name.clone(), entry.ca.clone()))
+        } else {
+            None
+        };
+        let packer = if rng.gen_bool(packed_prob) {
+            let name = match nature {
+                FileNature::Benign => self.packers.sample_benign(rng),
+                FileNature::Malicious(_) => self.packers.sample_malicious(rng),
+            };
+            Some(PackerInfo::new(name))
+        } else {
+            None
+        };
+        FileMeta {
+            size_bytes: sample_file_size(rng, 13.5, 1.8),
+            disk_name: names::executable(rng),
+            signer,
+            packer,
+        }
+    }
+}
+
+/// Maps a destiny to `(visibility, detectability)` propensities.
+///
+/// * Labeled destinies are highly visible; *likely benign* files are
+///   mid-visibility (they surface late, so their scan span is short).
+/// * Malicious vs likely-malicious differ in detectability: high enough
+///   for a trusted engine vs only the long tail of lax engines.
+/// * Unknown files are almost never seen by any labeling source.
+fn destiny_propensities<R: Rng + ?Sized>(destiny: FileDestiny, rng: &mut R) -> (f64, f64) {
+    match destiny {
+        FileDestiny::Benign => (rng.gen_range(0.90..1.0), 0.0),
+        FileDestiny::LikelyBenign => (rng.gen_range(0.55..0.75), 0.0),
+        FileDestiny::Malicious(_) => (rng.gen_range(0.90..1.0), rng.gen_range(0.80..1.0)),
+        FileDestiny::LikelyMalicious(_) => (rng.gen_range(0.90..1.0), rng.gen_range(0.30..0.55)),
+        FileDestiny::Unknown => (rng.gen_range(0.0..0.05), rng.gen_range(0.3..0.8)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        signers: SignerCatalog,
+        packers: PackerCatalog,
+        families: FamilyCatalog,
+        config: SynthConfig,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Self {
+                signers: SignerCatalog::generate(1),
+                packers: PackerCatalog::new(),
+                families: FamilyCatalog::generate(1),
+                config: SynthConfig::new(1),
+            }
+        }
+
+        fn factory(&self) -> FileFactory<'_> {
+            FileFactory::new(&self.config, &self.signers, &self.packers, &self.families)
+        }
+    }
+
+    #[test]
+    fn destinies_map_to_consistent_natures() {
+        let fx = Fixture::new();
+        let f = fx.factory();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let benign = f.make(FileHash::from_raw(1), FileDestiny::Benign, true, &mut rng);
+        assert_eq!(benign.latent.nature, FileNature::Benign);
+        let mal = f.make(
+            FileHash::from_raw(2),
+            FileDestiny::Malicious(MalwareType::Bot),
+            false,
+            &mut rng,
+        );
+        assert_eq!(mal.latent.nature, FileNature::Malicious(MalwareType::Bot));
+    }
+
+    #[test]
+    fn droppers_are_mostly_signed_bots_mostly_not() {
+        let fx = Fixture::new();
+        let f = fx.factory();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let signed = |ty: MalwareType, rng: &mut SmallRng| {
+            let n = 600;
+            let mut count = 0;
+            for i in 0..n {
+                let file = f.make(FileHash::from_raw(i), FileDestiny::Malicious(ty), true, rng);
+                if file.meta.is_validly_signed() {
+                    count += 1;
+                }
+            }
+            count as f64 / n as f64
+        };
+        assert!(signed(MalwareType::Dropper, &mut rng) > 0.75);
+        assert!(signed(MalwareType::Bot, &mut rng) < 0.10);
+    }
+
+    #[test]
+    fn unknown_latent_mix_respects_config() {
+        let fx = Fixture::new();
+        let f = fx.factory();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 3000;
+        let mut malicious = 0;
+        for i in 0..n {
+            let file = f.make(FileHash::from_raw(i), FileDestiny::Unknown, false, &mut rng);
+            if file.latent.nature.is_malicious() {
+                malicious += 1;
+            }
+            assert!(file.latent.visibility < 0.05);
+        }
+        let share = malicious as f64 / n as f64;
+        assert!(
+            (share - fx.config.unknown_latent_malicious).abs() < 0.05,
+            "latent malicious share {share}"
+        );
+    }
+
+    #[test]
+    fn visibility_separates_destinies() {
+        let fx = Fixture::new();
+        let f = fx.factory();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let b = f.make(FileHash::from_raw(1), FileDestiny::Benign, true, &mut rng);
+        let lb = f.make(FileHash::from_raw(2), FileDestiny::LikelyBenign, true, &mut rng);
+        let u = f.make(FileHash::from_raw(3), FileDestiny::Unknown, true, &mut rng);
+        assert!(b.latent.visibility > lb.latent.visibility);
+        assert!(lb.latent.visibility > u.latent.visibility);
+    }
+
+    #[test]
+    fn malicious_files_sometimes_carry_families() {
+        let fx = Fixture::new();
+        let f = fx.factory();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut named = 0;
+        let n = 500;
+        for i in 0..n {
+            let file = f.make(
+                FileHash::from_raw(i),
+                FileDestiny::Malicious(MalwareType::Banker),
+                false,
+                &mut rng,
+            );
+            if file.latent.family.is_some() {
+                named += 1;
+            }
+        }
+        let share = named as f64 / n as f64;
+        assert!((share - 0.42).abs() < 0.08, "named share {share}");
+    }
+
+    #[test]
+    fn type_mix_is_table2_shaped() {
+        let fx = Fixture::new();
+        let f = fx.factory();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut droppers = 0;
+        let mut spyware = 0;
+        let n = 5000;
+        for _ in 0..n {
+            match f.sample_type(&mut rng) {
+                MalwareType::Dropper => droppers += 1,
+                MalwareType::Spyware => spyware += 1,
+                _ => {}
+            }
+        }
+        assert!(droppers > spyware * 20, "droppers {droppers}, spyware {spyware}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the world generator: structural invariants
+//! that must hold for any seed and any (small) scale.
+
+use downlake_synth::{FileDestiny, Scale, SynthConfig, World};
+use downlake_types::{FileNature, Month, Timestamp};
+use proptest::prelude::*;
+
+fn tiny_config() -> impl Strategy<Value = SynthConfig> {
+    (any::<u64>(), 1u32..=40).prop_map(|(seed, sigma)| {
+        SynthConfig::new(seed)
+            .with_scale(Scale::Fraction(1.0 / 1024.0))
+            .with_sigma(sigma)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Structural invariants of a generated world.
+    #[test]
+    fn generated_world_is_well_formed(config in tiny_config()) {
+        let generated = World::generate(&config);
+        let world = &generated.world;
+        prop_assert!(!generated.events.is_empty());
+
+        let window_end = Timestamp::from_day(Month::July.end_day());
+        let mut last = Timestamp::EPOCH;
+        for event in &generated.events {
+            // Time-ordered, inside the study window.
+            prop_assert!(event.timestamp >= last);
+            prop_assert!(event.timestamp >= Timestamp::EPOCH);
+            prop_assert!(event.timestamp < window_end);
+            last = event.timestamp;
+
+            // Every referenced downloaded file has latent truth.
+            let latent = world.latent(event.file);
+            prop_assert!(latent.is_some(), "file without latent profile");
+            let latent = latent.unwrap();
+            prop_assert!((0.0..=1.0).contains(&latent.visibility));
+            prop_assert!((0.0..=1.0).contains(&latent.detectability));
+
+            // Destiny and latent nature are consistent.
+            match world.destiny(event.file).unwrap() {
+                FileDestiny::Benign | FileDestiny::LikelyBenign => {
+                    prop_assert_eq!(latent.nature, FileNature::Benign);
+                }
+                FileDestiny::Malicious(ty) | FileDestiny::LikelyMalicious(ty) => {
+                    prop_assert_eq!(latent.nature, FileNature::Malicious(ty));
+                }
+                FileDestiny::Unknown => {
+                    prop_assert!(latent.visibility < 0.1, "unknowns must stay invisible");
+                }
+            }
+
+            // URLs have a non-empty e2LD and an executable-ish path.
+            prop_assert!(!event.url.e2ld().is_empty());
+            prop_assert!(event.url.path().starts_with('/'));
+        }
+    }
+
+    /// Same config → byte-identical stream; different seed → different.
+    #[test]
+    fn generation_determinism(seed in any::<u64>()) {
+        let config = SynthConfig::new(seed).with_scale(Scale::Fraction(1.0 / 1024.0));
+        let a = World::generate(&config);
+        let b = World::generate(&config);
+        prop_assert_eq!(a.events.len(), b.events.len());
+        for (ea, eb) in a.events.iter().zip(&b.events) {
+            prop_assert_eq!(ea, eb);
+        }
+        prop_assert_eq!(a.world.file_count(), b.world.file_count());
+    }
+
+    /// Destiny mix: unknown-destiny files dominate at any seed (the 83%
+    /// long tail is structural, not a lucky seed).
+    #[test]
+    fn unknown_destiny_dominates(seed in any::<u64>()) {
+        let config = SynthConfig::new(seed).with_scale(Scale::Fraction(1.0 / 1024.0));
+        let generated = World::generate(&config);
+        let total = generated.world.file_count();
+        let unknown = generated
+            .world
+            .files()
+            .filter(|f| f.destiny == FileDestiny::Unknown)
+            .count();
+        let share = unknown as f64 / total as f64;
+        prop_assert!(share > 0.55, "unknown destiny share {share:.2}");
+    }
+}

@@ -1,0 +1,379 @@
+//! CSV interchange for download events.
+//!
+//! A minimal, dependency-free CSV codec so a real telemetry feed (or an
+//! exported dataset) can flow through the exact same pipeline the
+//! synthetic world uses. One row per event, with the columns:
+//!
+//! ```text
+//! timestamp_secs,machine_id,file_hash,file_size,file_name,file_signer,
+//! file_ca,file_signer_valid,file_packer,process_hash,process_name,
+//! process_signer,process_ca,process_signer_valid,process_packer,url,executed
+//! ```
+//!
+//! Hashes are 16-digit hex; empty `*_signer` / `*_packer` columns mean
+//! "absent". Fields containing commas, quotes, or newlines are quoted
+//! with standard `""` escaping.
+
+use crate::dataset::Dataset;
+use crate::event::RawEvent;
+use downlake_types::{FileHash, FileMeta, MachineId, PackerInfo, SignerInfo, Timestamp, Url};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// The column header written and expected by this codec.
+pub const HEADER: &str = "timestamp_secs,machine_id,file_hash,file_size,file_name,file_signer,file_ca,file_signer_valid,file_packer,process_hash,process_name,process_signer,process_ca,process_signer_valid,process_packer,url,executed";
+
+const COLUMNS: usize = 17;
+
+/// Error produced when parsing an event CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line: `(1-based line number, description)`.
+    Parse(usize, String),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error reading event csv: {e}"),
+            CsvError::Parse(line, what) => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse(..) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Splits one CSV line respecting quotes. Returns an error description
+/// on unbalanced quoting.
+fn split_line(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current.push(c);
+            }
+        } else {
+            match c {
+                '"' if current.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut current)),
+                _ => current.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".to_owned());
+    }
+    fields.push(current);
+    Ok(fields)
+}
+
+fn meta_fields(meta: &FileMeta) -> [String; 5] {
+    let (signer, ca, valid) = match &meta.signer {
+        Some(s) => (s.subject.clone(), s.ca.clone(), s.valid.to_string()),
+        None => (String::new(), String::new(), String::new()),
+    };
+    let packer = meta.packer.as_ref().map(|p| p.name.clone()).unwrap_or_default();
+    [meta.disk_name.clone(), signer, ca, valid, packer]
+}
+
+fn parse_meta(
+    line: usize,
+    size: &str,
+    name: &str,
+    signer: &str,
+    ca: &str,
+    valid: &str,
+    packer: &str,
+) -> Result<FileMeta, CsvError> {
+    let size_bytes: u64 = size
+        .parse()
+        .map_err(|_| CsvError::Parse(line, format!("bad file size {size:?}")))?;
+    let signer = if signer.is_empty() {
+        None
+    } else {
+        let valid: bool = if valid.is_empty() {
+            true
+        } else {
+            valid
+                .parse()
+                .map_err(|_| CsvError::Parse(line, format!("bad signer validity {valid:?}")))?
+        };
+        Some(SignerInfo {
+            subject: signer.to_owned(),
+            ca: ca.to_owned(),
+            valid,
+        })
+    };
+    let packer = if packer.is_empty() {
+        None
+    } else {
+        Some(PackerInfo::new(packer))
+    };
+    Ok(FileMeta {
+        size_bytes,
+        disk_name: name.to_owned(),
+        signer,
+        packer,
+    })
+}
+
+fn parse_hash(line: usize, field: &str, what: &str) -> Result<FileHash, CsvError> {
+    u64::from_str_radix(field, 16)
+        .map(FileHash::from_raw)
+        .map_err(|_| CsvError::Parse(line, format!("bad {what} hash {field:?}")))
+}
+
+/// Writes every event of a dataset (header + rows). Reported events are
+/// by definition executed, so the `executed` column is `true`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_events<W: Write>(dataset: &Dataset, mut out: W) -> io::Result<()> {
+    writeln!(out, "{HEADER}")?;
+    for event in dataset.events() {
+        let file_meta = dataset
+            .files()
+            .get(event.file)
+            .map(|r| r.meta.clone())
+            .unwrap_or_default();
+        let process_meta = dataset
+            .processes()
+            .get(event.process)
+            .map(|r| r.meta.clone())
+            .unwrap_or_default();
+        let [fname, fsigner, fca, fvalid, fpacker] = meta_fields(&file_meta);
+        let [pname, psigner, pca, pvalid, ppacker] = meta_fields(&process_meta);
+        let row = [
+            event.timestamp.seconds().to_string(),
+            event.machine.raw().to_string(),
+            format!("{}", event.file),
+            file_meta.size_bytes.to_string(),
+            fname,
+            fsigner,
+            fca,
+            fvalid,
+            fpacker,
+            format!("{}", event.process),
+            pname,
+            psigner,
+            pca,
+            pvalid,
+            ppacker,
+            dataset.url_of(event).to_string(),
+            "true".to_owned(),
+        ];
+        let encoded: Vec<String> = row.iter().map(|f| quote(f)).collect();
+        writeln!(out, "{}", encoded.join(","))?;
+    }
+    Ok(())
+}
+
+/// Reads raw events from CSV (with the [`HEADER`] header row).
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on I/O failure or any malformed line; parsing is
+/// strict because silently skipping telemetry rows would bias every
+/// analysis downstream.
+pub fn read_raw_events<R: BufRead>(reader: R) -> Result<Vec<RawEvent>, CsvError> {
+    let mut events = Vec::new();
+    let mut lines = reader.lines().enumerate();
+    let Some((_, first)) = lines.next() else {
+        return Ok(events);
+    };
+    let first = first?;
+    if first.trim() != HEADER {
+        return Err(CsvError::Parse(1, "missing or unexpected header".to_owned()));
+    }
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_line(&line).map_err(|e| CsvError::Parse(line_no, e))?;
+        if fields.len() != COLUMNS {
+            return Err(CsvError::Parse(
+                line_no,
+                format!("expected {COLUMNS} columns, found {}", fields.len()),
+            ));
+        }
+        let timestamp: i64 = fields[0]
+            .parse()
+            .map_err(|_| CsvError::Parse(line_no, format!("bad timestamp {:?}", fields[0])))?;
+        let machine: u64 = fields[1]
+            .parse()
+            .map_err(|_| CsvError::Parse(line_no, format!("bad machine id {:?}", fields[1])))?;
+        let file = parse_hash(line_no, &fields[2], "file")?;
+        let file_meta = parse_meta(
+            line_no, &fields[3], &fields[4], &fields[5], &fields[6], &fields[7], &fields[8],
+        )?;
+        let process = parse_hash(line_no, &fields[9], "process")?;
+        let process_meta = parse_meta(
+            line_no, "0", &fields[10], &fields[11], &fields[12], &fields[13], &fields[14],
+        )?;
+        let url: Url = fields[15]
+            .parse()
+            .map_err(|e| CsvError::Parse(line_no, format!("bad url: {e}")))?;
+        let executed: bool = fields[16]
+            .parse()
+            .map_err(|_| CsvError::Parse(line_no, format!("bad executed flag {:?}", fields[16])))?;
+        events.push(RawEvent {
+            file,
+            file_meta,
+            machine: MachineId::from_raw(machine),
+            process,
+            process_meta,
+            url,
+            timestamp: Timestamp::from_seconds(timestamp),
+            executed,
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn sample_raw(signer: Option<&str>) -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(0xabc),
+            file_meta: FileMeta {
+                size_bytes: 2048,
+                disk_name: "setup, \"v2\".exe".into(),
+                signer: signer.map(|s| SignerInfo::valid(s, "thawte code signing ca g2")),
+                packer: Some(PackerInfo::new("NSIS")),
+            },
+            machine: MachineId::from_raw(42),
+            process: FileHash::from_raw(0xdef),
+            process_meta: FileMeta {
+                size_bytes: 0,
+                disk_name: "chrome.exe".into(),
+                signer: Some(SignerInfo::valid("Google Inc", "verisign")),
+                packer: None,
+            },
+            url: "http://dl.softonic.com/f/setup.exe".parse().unwrap(),
+            timestamp: Timestamp::from_day(12),
+            executed: true,
+        }
+    }
+
+    #[test]
+    fn round_trip_through_dataset() {
+        let mut b = DatasetBuilder::new();
+        b.push(sample_raw(Some("Somoto, Ltd.")));
+        b.push(sample_raw(None));
+        let ds = b.finish();
+
+        let mut buffer = Vec::new();
+        write_events(&ds, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.starts_with(HEADER));
+
+        let parsed = read_raw_events(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let e = &parsed[0];
+        assert_eq!(e.file, FileHash::from_raw(0xabc));
+        assert_eq!(e.machine, MachineId::from_raw(42));
+        assert_eq!(e.file_meta.disk_name, "setup, \"v2\".exe");
+        assert_eq!(e.file_meta.packer.as_ref().unwrap().name, "NSIS");
+        assert_eq!(e.url.e2ld(), "softonic.com");
+        assert!(e.executed);
+        // Both rows intern the same file hash: the first-seen metadata
+        // (the signed variant) won inside the dataset, so both exported
+        // rows carry it.
+        assert_eq!(
+            parsed[1].file_meta.signer.as_ref().map(|s| s.subject.as_str()),
+            Some("Somoto, Ltd.")
+        );
+    }
+
+    #[test]
+    fn rejects_missing_header_and_bad_rows() {
+        assert!(matches!(
+            read_raw_events("not,a,header\n".as_bytes()),
+            Err(CsvError::Parse(1, _))
+        ));
+        let bad_row = format!("{HEADER}\n1,2,3\n");
+        assert!(matches!(
+            read_raw_events(bad_row.as_bytes()),
+            Err(CsvError::Parse(2, _))
+        ));
+        let bad_hash = format!(
+            "{HEADER}\n0,1,zzzz,10,f.exe,,,,,0000000000000001,p.exe,,,,,http://a.com/,true\n"
+        );
+        assert!(matches!(
+            read_raw_events(bad_hash.as_bytes()),
+            Err(CsvError::Parse(2, _))
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(read_raw_events("".as_bytes()).unwrap().is_empty());
+        let header_only = format!("{HEADER}\n");
+        assert!(read_raw_events(header_only.as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn quoting_handles_embedded_delimiters() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(
+            split_line("a,\"b,c\",\"say \"\"hi\"\"\"").unwrap(),
+            vec!["a", "b,c", "say \"hi\""]
+        );
+        assert!(split_line("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unexecuted_events_round_trip() {
+        let text = format!(
+            "{HEADER}\n86400,7,00000000000000ab,512,f.exe,,,,UPX,00000000000000cd,chrome.exe,Google Inc,verisign,true,,http://x.com/f.exe,false\n"
+        );
+        let parsed = read_raw_events(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(!parsed[0].executed);
+        assert!(parsed[0].file_meta.signer.is_none());
+        assert_eq!(parsed[0].file_meta.packer.as_ref().unwrap().name, "UPX");
+        assert_eq!(parsed[0].timestamp.day(), 1);
+    }
+}

@@ -1,0 +1,384 @@
+//! The indexed dataset of reported download events.
+
+use crate::event::{DownloadEvent, RawEvent};
+use crate::tables::{FileTable, ProcessTable, UrlTable};
+use downlake_types::{FileHash, MachineId, Month, Timestamp, Url, UrlId, MONTHS_IN_STUDY};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// Accumulates reported events and produces an indexed [`Dataset`].
+///
+/// Events may arrive in any order; [`DatasetBuilder::finish`] sorts them by
+/// timestamp (stable, so equal-time events keep arrival order) and builds
+/// the per-file / per-machine / per-month indexes.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    events: Vec<DownloadEvent>,
+    urls: UrlTable,
+    files: FileTable,
+    processes: ProcessTable,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one reported event, interning its URL, file, and process.
+    pub fn push(&mut self, raw: RawEvent) {
+        let url = self.urls.intern(raw.url);
+        self.files.intern(raw.file, &raw.file_meta);
+        self.processes.intern(raw.process, &raw.process_meta);
+        self.events.push(DownloadEvent {
+            file: raw.file,
+            machine: raw.machine,
+            process: raw.process,
+            url,
+            timestamp: raw.timestamp,
+        });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Sorts, indexes, and produces the dataset.
+    pub fn finish(mut self) -> Dataset {
+        self.events.sort_by_key(|e| e.timestamp);
+
+        let mut file_machines: HashMap<FileHash, Vec<MachineId>> = HashMap::new();
+        let mut machine_events: HashMap<MachineId, Vec<u32>> = HashMap::new();
+        let mut file_events: HashMap<FileHash, Vec<u32>> = HashMap::new();
+        let mut process_events: HashMap<FileHash, Vec<u32>> = HashMap::new();
+        for (idx, event) in self.events.iter().enumerate() {
+            let idx = idx as u32;
+            file_machines.entry(event.file).or_default().push(event.machine);
+            machine_events.entry(event.machine).or_default().push(idx);
+            file_events.entry(event.file).or_default().push(idx);
+            process_events.entry(event.process).or_default().push(idx);
+        }
+        for machines in file_machines.values_mut() {
+            machines.sort_unstable();
+            machines.dedup();
+        }
+
+        let mut month_bounds = Vec::with_capacity(MONTHS_IN_STUDY);
+        for month in Month::ALL {
+            let start = Timestamp::from_day(month.start_day());
+            let end = Timestamp::from_day(month.end_day());
+            let lo = self.events.partition_point(|e| e.timestamp < start);
+            let hi = self.events.partition_point(|e| e.timestamp < end);
+            month_bounds.push(lo as u32..hi as u32);
+        }
+
+        Dataset {
+            events: self.events,
+            urls: self.urls,
+            files: self.files,
+            processes: self.processes,
+            file_machines,
+            machine_events,
+            file_events,
+            process_events,
+            month_bounds,
+        }
+    }
+}
+
+/// A finished, immutable, indexed collection of download events.
+///
+/// This is the object every measurement analysis consumes. All indexes are
+/// precomputed by [`DatasetBuilder::finish`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    events: Vec<DownloadEvent>,
+    urls: UrlTable,
+    files: FileTable,
+    processes: ProcessTable,
+    file_machines: HashMap<FileHash, Vec<MachineId>>,
+    machine_events: HashMap<MachineId, Vec<u32>>,
+    file_events: HashMap<FileHash, Vec<u32>>,
+    process_events: HashMap<FileHash, Vec<u32>>,
+    month_bounds: Vec<Range<u32>>,
+}
+
+impl Dataset {
+    /// All events, sorted by timestamp.
+    pub fn events(&self) -> &[DownloadEvent] {
+        &self.events
+    }
+
+    /// The URL interning table.
+    pub fn urls(&self) -> &UrlTable {
+        &self.urls
+    }
+
+    /// The distinct-file table.
+    pub fn files(&self) -> &FileTable {
+        &self.files
+    }
+
+    /// The distinct-process table.
+    pub fn processes(&self) -> &ProcessTable {
+        &self.processes
+    }
+
+    /// Resolves an event's URL.
+    pub fn url_of(&self, event: &DownloadEvent) -> &Url {
+        self.urls.resolve(event.url)
+    }
+
+    /// Resolves an event's URL id.
+    pub fn resolve_url(&self, id: UrlId) -> &Url {
+        self.urls.resolve(id)
+    }
+
+    /// The *prevalence* of a file: the number of distinct machines that
+    /// downloaded it, as visible in the (σ-capped) reported data (§IV-A).
+    pub fn prevalence(&self, file: FileHash) -> usize {
+        self.file_machines.get(&file).map_or(0, Vec::len)
+    }
+
+    /// Distinct machines that downloaded a file, in ascending id order.
+    pub fn machines_of_file(&self, file: FileHash) -> &[MachineId] {
+        self.file_machines.get(&file).map_or(&[], Vec::as_slice)
+    }
+
+    /// Events (by reference) initiated on a machine, time-ordered.
+    pub fn events_of_machine(&self, machine: MachineId) -> impl Iterator<Item = &DownloadEvent> {
+        self.machine_events
+            .get(&machine)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.events[i as usize])
+    }
+
+    /// Events that downloaded a given file, time-ordered.
+    pub fn events_of_file(&self, file: FileHash) -> impl Iterator<Item = &DownloadEvent> {
+        self.file_events
+            .get(&file)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.events[i as usize])
+    }
+
+    /// Events initiated by a given process image, time-ordered.
+    pub fn events_of_process(&self, process: FileHash) -> impl Iterator<Item = &DownloadEvent> {
+        self.process_events
+            .get(&process)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.events[i as usize])
+    }
+
+    /// All machine ids that appear in the dataset.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> + '_ {
+        self.machine_events.keys().copied()
+    }
+
+    /// Number of distinct machines.
+    pub fn machine_count(&self) -> usize {
+        self.machine_events.len()
+    }
+
+    /// The events of one study month.
+    pub fn month(&self, month: Month) -> MonthlyView<'_> {
+        let range = self.month_bounds[month.index()].clone();
+        MonthlyView {
+            dataset: self,
+            month,
+            range,
+        }
+    }
+
+    /// Views for every study month, in order.
+    pub fn months(&self) -> impl Iterator<Item = MonthlyView<'_>> {
+        Month::ALL.into_iter().map(|m| self.month(m))
+    }
+
+    /// Headline counts (Table I "Overall" row inputs).
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            events: self.events.len(),
+            machines: self.machine_events.len(),
+            files: self.files.len(),
+            processes: self.processes.len(),
+            urls: self.urls.len(),
+            domains: self
+                .urls
+                .iter()
+                .map(|(_, u)| u.e2ld())
+                .collect::<HashSet<_>>()
+                .len(),
+        }
+    }
+}
+
+/// Headline dataset counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Total download events.
+    pub events: usize,
+    /// Distinct machines.
+    pub machines: usize,
+    /// Distinct downloaded files.
+    pub files: usize,
+    /// Distinct downloading processes.
+    pub processes: usize,
+    /// Distinct download URLs.
+    pub urls: usize,
+    /// Distinct e2LDs.
+    pub domains: usize,
+}
+
+/// A single month's slice of a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct MonthlyView<'a> {
+    dataset: &'a Dataset,
+    month: Month,
+    range: Range<u32>,
+}
+
+impl<'a> MonthlyView<'a> {
+    /// The month this view covers.
+    pub fn month(&self) -> Month {
+        self.month
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.dataset
+    }
+
+    /// Events of the month, time-ordered.
+    pub fn events(&self) -> &'a [DownloadEvent] {
+        &self.dataset.events[self.range.start as usize..self.range.end as usize]
+    }
+
+    /// Distinct machines active in the month.
+    pub fn distinct_machines(&self) -> HashSet<MachineId> {
+        self.events().iter().map(|e| e.machine).collect()
+    }
+
+    /// Distinct files downloaded in the month.
+    pub fn distinct_files(&self) -> HashSet<FileHash> {
+        self.events().iter().map(|e| e.file).collect()
+    }
+
+    /// Distinct downloading processes in the month.
+    pub fn distinct_processes(&self) -> HashSet<FileHash> {
+        self.events().iter().map(|e| e.process).collect()
+    }
+
+    /// Distinct URLs in the month.
+    pub fn distinct_urls(&self) -> HashSet<UrlId> {
+        self.events().iter().map(|e| e.url).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_types::Url;
+
+    fn raw(file: u64, machine: u64, day: u32, url: &str) -> RawEvent {
+        RawEvent::builder()
+            .file(FileHash::from_raw(file))
+            .machine(MachineId::from_raw(machine))
+            .process(FileHash::from_raw(500), "chrome.exe")
+            .url(url.parse::<Url>().unwrap())
+            .timestamp(Timestamp::from_day(day))
+            .executed(true)
+            .build()
+    }
+
+    fn sample_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        // Deliberately out of time order.
+        b.push(raw(1, 1, 40, "http://a.com/x.exe")); // February
+        b.push(raw(1, 2, 5, "http://a.com/x.exe")); // January
+        b.push(raw(2, 1, 70, "http://b.com/y.exe")); // March
+        b.push(raw(2, 1, 75, "http://b.com/y.exe")); // March, re-download
+        b.finish()
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let ds = sample_dataset();
+        let times: Vec<_> = ds.events().iter().map(|e| e.timestamp.day()).collect();
+        assert_eq!(times, vec![5, 40, 70, 75]);
+    }
+
+    #[test]
+    fn prevalence_counts_distinct_machines() {
+        let ds = sample_dataset();
+        assert_eq!(ds.prevalence(FileHash::from_raw(1)), 2);
+        assert_eq!(ds.prevalence(FileHash::from_raw(2)), 1); // same machine twice
+        assert_eq!(ds.prevalence(FileHash::from_raw(99)), 0);
+        assert_eq!(ds.machines_of_file(FileHash::from_raw(99)), &[]);
+    }
+
+    #[test]
+    fn monthly_partition() {
+        let ds = sample_dataset();
+        assert_eq!(ds.month(Month::January).events().len(), 1);
+        assert_eq!(ds.month(Month::February).events().len(), 1);
+        assert_eq!(ds.month(Month::March).events().len(), 2);
+        assert_eq!(ds.month(Month::April).events().len(), 0);
+        let march = ds.month(Month::March);
+        assert_eq!(march.distinct_machines().len(), 1);
+        assert_eq!(march.distinct_files().len(), 1);
+    }
+
+    #[test]
+    fn per_machine_and_per_file_indexes() {
+        let ds = sample_dataset();
+        let m1: Vec<_> = ds
+            .events_of_machine(MachineId::from_raw(1))
+            .map(|e| e.timestamp.day())
+            .collect();
+        assert_eq!(m1, vec![40, 70, 75]);
+        assert_eq!(ds.events_of_file(FileHash::from_raw(2)).count(), 2);
+        assert_eq!(ds.events_of_process(FileHash::from_raw(500)).count(), 4);
+        assert_eq!(ds.machine_count(), 2);
+    }
+
+    #[test]
+    fn stats_count_distincts() {
+        let ds = sample_dataset();
+        let s = ds.stats();
+        assert_eq!(s.events, 4);
+        assert_eq!(s.machines, 2);
+        assert_eq!(s.files, 2);
+        assert_eq!(s.processes, 1);
+        assert_eq!(s.urls, 2);
+        assert_eq!(s.domains, 2);
+    }
+
+    #[test]
+    fn empty_dataset_is_well_formed() {
+        let ds = DatasetBuilder::new().finish();
+        assert!(ds.events().is_empty());
+        assert_eq!(ds.machine_count(), 0);
+        for view in ds.months() {
+            assert!(view.events().is_empty());
+        }
+        assert_eq!(ds.stats().domains, 0);
+    }
+
+    #[test]
+    fn builder_len_tracks_pushes() {
+        let mut b = DatasetBuilder::new();
+        assert!(b.is_empty());
+        b.push(raw(1, 1, 0, "http://a.com/x"));
+        assert_eq!(b.len(), 1);
+    }
+}

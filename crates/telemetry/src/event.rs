@@ -1,0 +1,220 @@
+//! Raw (agent-side) and reported (server-side) download events.
+
+use downlake_types::{FileHash, FileMeta, MachineId, Timestamp, Url, UrlId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reported download event — the 5-tuple `(f, m, p, u, t)` of §II-A,
+/// with the URL interned into the owning [`crate::Dataset`]'s URL table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DownloadEvent {
+    /// The downloaded file.
+    pub file: FileHash,
+    /// The machine that downloaded the file.
+    pub machine: MachineId,
+    /// The process (by image hash) that initiated the download.
+    pub process: FileHash,
+    /// The download URL, as an index into the dataset URL table.
+    pub url: UrlId,
+    /// When the download occurred.
+    pub timestamp: Timestamp,
+}
+
+impl fmt::Display for DownloadEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} downloaded {} via {} from {}",
+            self.timestamp, self.machine, self.file, self.process, self.url
+        )
+    }
+}
+
+/// An event as observed by a machine's software agent, before the
+/// collection server's reporting policy is applied.
+///
+/// Carries everything the policy needs to decide: the full URL (for
+/// whitelist matching) and whether the downloaded file was ever executed.
+/// It also carries the static metadata of the downloaded file and the
+/// downloading process image, which the server interns on first sight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawEvent {
+    /// The downloaded file.
+    pub file: FileHash,
+    /// Observable metadata of the downloaded file.
+    pub file_meta: FileMeta,
+    /// The machine observing the download.
+    pub machine: MachineId,
+    /// The downloading process image hash.
+    pub process: FileHash,
+    /// Observable metadata of the downloading process image. Its
+    /// `disk_name` determines the process category.
+    pub process_meta: FileMeta,
+    /// Full download URL.
+    pub url: Url,
+    /// When the download occurred.
+    pub timestamp: Timestamp,
+    /// Whether the downloaded file was subsequently executed on the
+    /// machine. Non-executed downloads are never reported.
+    pub executed: bool,
+}
+
+impl RawEvent {
+    /// Starts building a raw event. All of file, machine, process, url and
+    /// timestamp must be supplied before [`RawEventBuilder::build`].
+    pub fn builder() -> RawEventBuilder {
+        RawEventBuilder::default()
+    }
+}
+
+/// Builder for [`RawEvent`]. See [`RawEvent::builder`].
+#[derive(Debug, Default)]
+pub struct RawEventBuilder {
+    file: Option<FileHash>,
+    file_meta: FileMeta,
+    machine: Option<MachineId>,
+    process: Option<FileHash>,
+    process_meta: FileMeta,
+    url: Option<Url>,
+    timestamp: Option<Timestamp>,
+    executed: bool,
+}
+
+impl RawEventBuilder {
+    /// Sets the downloaded file hash.
+    pub fn file(mut self, file: FileHash) -> Self {
+        self.file = Some(file);
+        self
+    }
+
+    /// Sets the downloaded file's metadata.
+    pub fn file_meta(mut self, meta: FileMeta) -> Self {
+        self.file_meta = meta;
+        self
+    }
+
+    /// Sets the observing machine.
+    pub fn machine(mut self, machine: MachineId) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// Sets the downloading process image hash and its on-disk name.
+    pub fn process(mut self, process: FileHash, disk_name: &str) -> Self {
+        self.process = Some(process);
+        self.process_meta.disk_name = disk_name.to_owned();
+        self
+    }
+
+    /// Sets the downloading process's full metadata (overrides the
+    /// disk name set by [`Self::process`] if both are called).
+    pub fn process_meta(mut self, meta: FileMeta) -> Self {
+        self.process_meta = meta;
+        self
+    }
+
+    /// Sets the download URL.
+    pub fn url(mut self, url: Url) -> Self {
+        self.url = Some(url);
+        self
+    }
+
+    /// Sets the event timestamp.
+    pub fn timestamp(mut self, t: Timestamp) -> Self {
+        self.timestamp = Some(t);
+        self
+    }
+
+    /// Marks whether the downloaded file was executed.
+    pub fn executed(mut self, executed: bool) -> Self {
+        self.executed = executed;
+        self
+    }
+
+    /// Finishes the event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of file, machine, process, url, or timestamp is
+    /// missing — builders are used by generators where absence is a bug.
+    pub fn build(self) -> RawEvent {
+        RawEvent {
+            file: self.file.expect("raw event needs a file"),
+            file_meta: self.file_meta,
+            machine: self.machine.expect("raw event needs a machine"),
+            process: self.process.expect("raw event needs a process"),
+            process_meta: self.process_meta,
+            url: self.url.expect("raw event needs a url"),
+            timestamp: self.timestamp.expect("raw event needs a timestamp"),
+            executed: self.executed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_raw() -> RawEvent {
+        RawEvent::builder()
+            .file(FileHash::from_raw(10))
+            .machine(MachineId::from_raw(20))
+            .process(FileHash::from_raw(30), "chrome.exe")
+            .url("http://x.example.com/a.exe".parse().unwrap())
+            .timestamp(Timestamp::from_day(1))
+            .executed(true)
+            .build()
+    }
+
+    #[test]
+    fn builder_assembles_event() {
+        let e = sample_raw();
+        assert_eq!(e.file.raw(), 10);
+        assert_eq!(e.machine.raw(), 20);
+        assert_eq!(e.process.raw(), 30);
+        assert_eq!(e.process_meta.disk_name, "chrome.exe");
+        assert!(e.executed);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a file")]
+    fn builder_panics_without_file() {
+        RawEvent::builder()
+            .machine(MachineId::from_raw(1))
+            .process(FileHash::from_raw(2), "x.exe")
+            .url("http://h.com/".parse().unwrap())
+            .timestamp(Timestamp::EPOCH)
+            .build();
+    }
+
+    #[test]
+    fn download_event_display_mentions_all_parts() {
+        let e = DownloadEvent {
+            file: FileHash::from_raw(1),
+            machine: MachineId::from_raw(2),
+            process: FileHash::from_raw(3),
+            url: UrlId::from_raw(4),
+            timestamp: Timestamp::from_day(5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("M-0000002"));
+        assert!(s.contains("U-4"));
+    }
+
+    #[test]
+    fn process_meta_overrides_disk_name() {
+        let meta = FileMeta {
+            disk_name: "other.exe".into(),
+            ..FileMeta::default()
+        };
+        let e = RawEvent::builder()
+            .file(FileHash::from_raw(1))
+            .machine(MachineId::from_raw(1))
+            .process(FileHash::from_raw(1), "chrome.exe")
+            .process_meta(meta)
+            .url("http://h.com/".parse().unwrap())
+            .timestamp(Timestamp::EPOCH)
+            .build();
+        assert_eq!(e.process_meta.disk_name, "other.exe");
+    }
+}

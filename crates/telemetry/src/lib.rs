@@ -1,0 +1,54 @@
+//! Download-event telemetry for `downlake`.
+//!
+//! This crate models the data-collection side of the paper (§II-A): each
+//! monitored machine runs a *software agent* that observes web-based
+//! software downloads; events of interest are reported to a centralized
+//! *collection server* which applies the reporting policy (the downloaded
+//! file must have been executed, its current prevalence must be below the
+//! threshold σ, and the download URL must not be whitelisted).
+//!
+//! The output of the pipeline is a [`Dataset`]: a time-ordered sequence of
+//! [`DownloadEvent`] 5-tuples `(file, machine, process, url, timestamp)`
+//! together with interned per-file, per-process and per-URL records and the
+//! indexes the measurement analyses need (prevalence, per-domain and
+//! per-machine views, monthly partitions).
+//!
+//! # Example
+//!
+//! ```
+//! use downlake_telemetry::{CollectionServer, RawEvent, ReportingPolicy};
+//! use downlake_types::{FileHash, MachineId, Timestamp};
+//!
+//! let policy = ReportingPolicy::new(20).with_whitelisted_domain("microsoft.com");
+//! let mut server = CollectionServer::new(policy);
+//!
+//! let raw = RawEvent::builder()
+//!     .file(FileHash::from_raw(1))
+//!     .machine(MachineId::from_raw(9))
+//!     .process(FileHash::from_raw(2), "chrome.exe")
+//!     .url("http://dl.example.com/setup.exe".parse()?)
+//!     .timestamp(Timestamp::from_day(3))
+//!     .executed(true)
+//!     .build();
+//! assert!(server.observe(raw));
+//! let dataset = server.into_dataset();
+//! assert_eq!(dataset.events().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod csv;
+mod dataset;
+mod event;
+mod record;
+mod server;
+mod tables;
+
+pub use csv::CsvError;
+pub use dataset::{Dataset, DatasetBuilder, DatasetStats, MonthlyView};
+pub use event::{DownloadEvent, RawEvent, RawEventBuilder};
+pub use record::{FileRecord, ProcessRecord};
+pub use server::{CollectionServer, ReportingPolicy, SuppressionReason, SuppressionStats};
+pub use tables::{FileTable, ProcessTable, UrlTable};

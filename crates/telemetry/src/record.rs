@@ -1,0 +1,73 @@
+//! Interned per-file and per-process records.
+
+use downlake_types::{FileHash, FileMeta, ProcessCategory};
+use serde::{Deserialize, Serialize};
+
+/// A distinct downloaded file, with its observable metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileRecord {
+    /// The file's hash.
+    pub hash: FileHash,
+    /// Observable static metadata.
+    pub meta: FileMeta,
+}
+
+impl FileRecord {
+    /// Creates a record.
+    pub fn new(hash: FileHash, meta: FileMeta) -> Self {
+        Self { hash, meta }
+    }
+}
+
+/// A distinct downloading process image, with its observable metadata and
+/// derived category.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessRecord {
+    /// The process image hash.
+    pub hash: FileHash,
+    /// Observable static metadata of the image.
+    pub meta: FileMeta,
+    /// Category derived from the on-disk executable name (§V-A).
+    pub category: ProcessCategory,
+}
+
+impl ProcessRecord {
+    /// Creates a record, deriving the category from `meta.disk_name`.
+    pub fn new(hash: FileHash, meta: FileMeta) -> Self {
+        let category = ProcessCategory::from_executable_name(&meta.disk_name);
+        Self {
+            hash,
+            meta,
+            category,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_types::BrowserKind;
+
+    #[test]
+    fn process_category_derived_from_disk_name() {
+        let meta = FileMeta {
+            disk_name: "iexplore.exe".into(),
+            ..FileMeta::default()
+        };
+        let rec = ProcessRecord::new(FileHash::from_raw(5), meta);
+        assert_eq!(
+            rec.category,
+            ProcessCategory::Browser(BrowserKind::InternetExplorer)
+        );
+    }
+
+    #[test]
+    fn unknown_names_fall_in_other() {
+        let meta = FileMeta {
+            disk_name: "updater_x.exe".into(),
+            ..FileMeta::default()
+        };
+        let rec = ProcessRecord::new(FileHash::from_raw(5), meta);
+        assert_eq!(rec.category, ProcessCategory::Other);
+    }
+}

@@ -1,0 +1,285 @@
+//! The collection server and its reporting policy (§II-A).
+//!
+//! Software agents capture all web-based download events, but only events
+//! of interest reach the server:
+//!
+//! 1. the downloaded file must have been *executed* on the machine;
+//! 2. the file's current prevalence (distinct machines that downloaded it
+//!    before this event) must be below the threshold σ (set to 20 during
+//!    the paper's collection);
+//! 3. the download URL must not match the vendor's URL whitelist (major
+//!    software-update hosts).
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::event::RawEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use downlake_types::{FileHash, MachineId};
+
+/// Why a raw event was not reported to the collection server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SuppressionReason {
+    /// The downloaded file was never executed.
+    NotExecuted,
+    /// The file's prevalence had already reached σ.
+    PrevalenceCap,
+    /// The download URL's e2LD is whitelisted.
+    WhitelistedUrl,
+}
+
+impl fmt::Display for SuppressionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SuppressionReason::NotExecuted => "file not executed",
+            SuppressionReason::PrevalenceCap => "prevalence cap reached",
+            SuppressionReason::WhitelistedUrl => "whitelisted url",
+        })
+    }
+}
+
+/// Counts of suppressed events, by reason.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuppressionStats {
+    /// Events whose file was never executed.
+    pub not_executed: u64,
+    /// Events dropped by the σ prevalence cap.
+    pub prevalence_cap: u64,
+    /// Events from whitelisted URLs.
+    pub whitelisted_url: u64,
+}
+
+impl SuppressionStats {
+    /// Total suppressed events.
+    pub fn total(&self) -> u64 {
+        self.not_executed + self.prevalence_cap + self.whitelisted_url
+    }
+
+    fn bump(&mut self, reason: SuppressionReason) {
+        match reason {
+            SuppressionReason::NotExecuted => self.not_executed += 1,
+            SuppressionReason::PrevalenceCap => self.prevalence_cap += 1,
+            SuppressionReason::WhitelistedUrl => self.whitelisted_url += 1,
+        }
+    }
+}
+
+/// The collection server's reporting policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReportingPolicy {
+    sigma: u32,
+    whitelisted_e2lds: HashSet<String>,
+}
+
+impl ReportingPolicy {
+    /// Creates a policy with prevalence threshold `sigma` and an empty URL
+    /// whitelist. The paper's deployment used σ = 20.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is zero (which would report nothing).
+    pub fn new(sigma: u32) -> Self {
+        assert!(sigma > 0, "sigma must be positive");
+        Self {
+            sigma,
+            whitelisted_e2lds: HashSet::new(),
+        }
+    }
+
+    /// The paper's production policy: σ = 20 with the major software-update
+    /// hosts whitelisted.
+    pub fn paper_default() -> Self {
+        let mut policy = Self::new(20);
+        for domain in [
+            "microsoft.com",
+            "windowsupdate.com",
+            "apple.com",
+            "adobe.com",
+            "mozilla.org",
+            "google.com",
+            "java.com",
+            "oracle.com",
+        ] {
+            policy = policy.with_whitelisted_domain(domain);
+        }
+        policy
+    }
+
+    /// Adds an e2LD to the URL whitelist (builder-style).
+    pub fn with_whitelisted_domain(mut self, e2ld: &str) -> Self {
+        self.whitelisted_e2lds.insert(e2ld.to_ascii_lowercase());
+        self
+    }
+
+    /// The prevalence threshold σ.
+    pub fn sigma(&self) -> u32 {
+        self.sigma
+    }
+
+    /// Whether an e2LD is whitelisted.
+    pub fn is_whitelisted(&self, e2ld: &str) -> bool {
+        self.whitelisted_e2lds.contains(&e2ld.to_ascii_lowercase())
+    }
+}
+
+impl Default for ReportingPolicy {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The centralized collection server: applies the [`ReportingPolicy`] to a
+/// stream of [`RawEvent`]s and accumulates reported events into a
+/// [`Dataset`].
+#[derive(Debug)]
+pub struct CollectionServer {
+    policy: ReportingPolicy,
+    builder: DatasetBuilder,
+    machines_per_file: HashMap<FileHash, HashSet<MachineId>>,
+    suppressed: SuppressionStats,
+}
+
+impl CollectionServer {
+    /// Creates a server with the given policy.
+    pub fn new(policy: ReportingPolicy) -> Self {
+        Self {
+            policy,
+            builder: DatasetBuilder::new(),
+            machines_per_file: HashMap::new(),
+            suppressed: SuppressionStats::default(),
+        }
+    }
+
+    /// Applies the policy to one raw event. Returns `true` if the event was
+    /// reported (recorded), `false` if it was suppressed.
+    pub fn observe(&mut self, raw: RawEvent) -> bool {
+        match self.check(&raw) {
+            Ok(()) => {
+                self.machines_per_file
+                    .entry(raw.file)
+                    .or_default()
+                    .insert(raw.machine);
+                self.builder.push(raw);
+                true
+            }
+            Err(reason) => {
+                self.suppressed.bump(reason);
+                false
+            }
+        }
+    }
+
+    fn check(&self, raw: &RawEvent) -> Result<(), SuppressionReason> {
+        if !raw.executed {
+            return Err(SuppressionReason::NotExecuted);
+        }
+        if self.policy.is_whitelisted(raw.url.e2ld()) {
+            return Err(SuppressionReason::WhitelistedUrl);
+        }
+        // The event is reported only if the number of distinct machines
+        // that downloaded the file *before* this event is below sigma. A
+        // machine re-downloading a file it already reported does not push
+        // past the cap check (it is one of the counted machines).
+        let seen = self.machines_per_file.get(&raw.file);
+        let prior = seen.map_or(0, |s| s.len());
+        let already_counted = seen.is_some_and(|s| s.contains(&raw.machine));
+        if prior >= self.policy.sigma() as usize && !already_counted {
+            return Err(SuppressionReason::PrevalenceCap);
+        }
+        Ok(())
+    }
+
+    /// Suppression counters so far.
+    pub fn suppression_stats(&self) -> SuppressionStats {
+        self.suppressed
+    }
+
+    /// Finishes collection, producing the indexed dataset.
+    pub fn into_dataset(self) -> Dataset {
+        self.builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_types::{Timestamp, Url};
+
+    fn raw(file: u64, machine: u64, executed: bool, url: &str, day: u32) -> RawEvent {
+        RawEvent::builder()
+            .file(FileHash::from_raw(file))
+            .machine(MachineId::from_raw(machine))
+            .process(FileHash::from_raw(1000 + file), "chrome.exe")
+            .url(url.parse::<Url>().unwrap())
+            .timestamp(Timestamp::from_day(day))
+            .executed(executed)
+            .build()
+    }
+
+    #[test]
+    fn unexecuted_downloads_are_suppressed() {
+        let mut server = CollectionServer::new(ReportingPolicy::new(20));
+        assert!(!server.observe(raw(1, 1, false, "http://a.com/f.exe", 0)));
+        assert_eq!(server.suppression_stats().not_executed, 1);
+        assert!(server.into_dataset().events().is_empty());
+    }
+
+    #[test]
+    fn whitelisted_domains_are_suppressed_by_e2ld() {
+        let policy = ReportingPolicy::new(20).with_whitelisted_domain("microsoft.com");
+        let mut server = CollectionServer::new(policy);
+        assert!(!server.observe(raw(1, 1, true, "http://dl.update.microsoft.com/kb.exe", 0)));
+        assert!(server.observe(raw(1, 1, true, "http://microsoft.com.evil.biz/kb.exe", 0)));
+        assert_eq!(server.suppression_stats().whitelisted_url, 1);
+    }
+
+    #[test]
+    fn prevalence_cap_stops_new_machines() {
+        let mut server = CollectionServer::new(ReportingPolicy::new(3));
+        for m in 0..3 {
+            assert!(server.observe(raw(7, m, true, "http://a.com/f.exe", 0)));
+        }
+        // 4th distinct machine: suppressed.
+        assert!(!server.observe(raw(7, 99, true, "http://a.com/f.exe", 1)));
+        assert_eq!(server.suppression_stats().prevalence_cap, 1);
+        // A machine already counted may still report (re-download).
+        assert!(server.observe(raw(7, 0, true, "http://a.com/f.exe", 2)));
+        let ds = server.into_dataset();
+        assert_eq!(ds.prevalence(FileHash::from_raw(7)), 3);
+        assert_eq!(ds.events().len(), 4);
+    }
+
+    #[test]
+    fn cap_applies_per_file() {
+        let mut server = CollectionServer::new(ReportingPolicy::new(1));
+        assert!(server.observe(raw(1, 1, true, "http://a.com/f.exe", 0)));
+        assert!(!server.observe(raw(1, 2, true, "http://a.com/f.exe", 0)));
+        assert!(server.observe(raw(2, 2, true, "http://a.com/g.exe", 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sigma_rejected() {
+        ReportingPolicy::new(0);
+    }
+
+    #[test]
+    fn paper_default_whitelists_update_hosts() {
+        let p = ReportingPolicy::paper_default();
+        assert_eq!(p.sigma(), 20);
+        assert!(p.is_whitelisted("microsoft.com"));
+        assert!(p.is_whitelisted("MICROSOFT.COM"));
+        assert!(!p.is_whitelisted("softonic.com"));
+    }
+
+    #[test]
+    fn suppression_total_sums_reasons() {
+        let mut s = SuppressionStats::default();
+        s.bump(SuppressionReason::NotExecuted);
+        s.bump(SuppressionReason::PrevalenceCap);
+        s.bump(SuppressionReason::WhitelistedUrl);
+        s.bump(SuppressionReason::WhitelistedUrl);
+        assert_eq!(s.total(), 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! Interning tables for URLs, files, and processes.
+//!
+//! The paper's dataset contains 1.79M distinct files, 141k distinct
+//! processes, and 1.63M distinct URLs referenced by 3.07M events; interning
+//! keeps each distinct entity's metadata stored once and lets events carry
+//! compact ids.
+
+use crate::record::{FileRecord, ProcessRecord};
+use downlake_types::{FileHash, FileMeta, Url, UrlId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interns distinct download URLs and resolves [`UrlId`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UrlTable {
+    urls: Vec<Url>,
+    by_url: HashMap<Url, UrlId>,
+}
+
+impl UrlTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a URL, returning its stable id. Repeated interning of the
+    /// same URL returns the same id.
+    pub fn intern(&mut self, url: Url) -> UrlId {
+        if let Some(&id) = self.by_url.get(&url) {
+            return id;
+        }
+        let id = UrlId::from_raw(
+            u32::try_from(self.urls.len()).expect("more than u32::MAX distinct urls"),
+        );
+        self.urls.push(url.clone());
+        self.by_url.insert(url, id);
+        id
+    }
+
+    /// Resolves an id to its URL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this table.
+    pub fn resolve(&self, id: UrlId) -> &Url {
+        &self.urls[id.index()]
+    }
+
+    /// Looks up the id of a previously interned URL.
+    pub fn get(&self, url: &Url) -> Option<UrlId> {
+        self.by_url.get(url).copied()
+    }
+
+    /// Number of distinct URLs.
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+
+    /// Iterates over `(id, url)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (UrlId, &Url)> {
+        self.urls
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (UrlId::from_raw(i as u32), u))
+    }
+}
+
+/// Interns distinct downloaded files keyed by hash.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FileTable {
+    records: HashMap<FileHash, FileRecord>,
+}
+
+impl FileTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a file. The first-seen metadata wins (file hashes are
+    /// content hashes, so metadata cannot legitimately differ).
+    pub fn intern(&mut self, hash: FileHash, meta: &FileMeta) -> &FileRecord {
+        self.records
+            .entry(hash)
+            .or_insert_with(|| FileRecord::new(hash, meta.clone()))
+    }
+
+    /// Looks up a file record.
+    pub fn get(&self, hash: FileHash) -> Option<&FileRecord> {
+        self.records.get(&hash)
+    }
+
+    /// Number of distinct files.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over all records in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &FileRecord> {
+        self.records.values()
+    }
+}
+
+/// Interns distinct downloading-process images keyed by image hash.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProcessTable {
+    records: HashMap<FileHash, ProcessRecord>,
+}
+
+impl ProcessTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a process image. First-seen metadata wins.
+    pub fn intern(&mut self, hash: FileHash, meta: &FileMeta) -> &ProcessRecord {
+        self.records
+            .entry(hash)
+            .or_insert_with(|| ProcessRecord::new(hash, meta.clone()))
+    }
+
+    /// Looks up a process record.
+    pub fn get(&self, hash: FileHash) -> Option<&ProcessRecord> {
+        self.records.get(&hash)
+    }
+
+    /// Number of distinct process images.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over all records in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProcessRecord> {
+        self.records.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_interning_is_idempotent() {
+        let mut table = UrlTable::new();
+        let u: Url = "http://a.com/x".parse().unwrap();
+        let id1 = table.intern(u.clone());
+        let id2 = table.intern(u.clone());
+        assert_eq!(id1, id2);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.resolve(id1), &u);
+        assert_eq!(table.get(&u), Some(id1));
+    }
+
+    #[test]
+    fn url_ids_are_dense_and_ordered() {
+        let mut table = UrlTable::new();
+        for i in 0..10 {
+            let u: Url = format!("http://d{i}.com/f").parse().unwrap();
+            let id = table.intern(u);
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(table.iter().count(), 10);
+    }
+
+    #[test]
+    fn file_first_meta_wins() {
+        let mut table = FileTable::new();
+        let h = FileHash::from_raw(1);
+        let m1 = FileMeta {
+            size_bytes: 10,
+            ..FileMeta::default()
+        };
+        let m2 = FileMeta {
+            size_bytes: 99,
+            ..FileMeta::default()
+        };
+        table.intern(h, &m1);
+        table.intern(h, &m2);
+        assert_eq!(table.get(h).unwrap().meta.size_bytes, 10);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn process_table_derives_categories() {
+        let mut table = ProcessTable::new();
+        let meta = FileMeta {
+            disk_name: "java.exe".into(),
+            ..FileMeta::default()
+        };
+        let rec = table.intern(FileHash::from_raw(2), &meta);
+        assert_eq!(rec.category, downlake_types::ProcessCategory::Java);
+    }
+
+    #[test]
+    fn empty_tables_report_empty() {
+        assert!(UrlTable::new().is_empty());
+        assert!(FileTable::new().is_empty());
+        assert!(ProcessTable::new().is_empty());
+    }
+}

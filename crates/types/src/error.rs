@@ -1,0 +1,93 @@
+//! Error types returned by parsing routines in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a string cannot be parsed into a [`crate::Url`].
+///
+/// The message carries the offending input (truncated) and the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUrlError {
+    input: String,
+    reason: &'static str,
+}
+
+impl ParseUrlError {
+    pub(crate) fn new(input: &str, reason: &'static str) -> Self {
+        let mut input = input.to_owned();
+        input.truncate(80);
+        Self { input, reason }
+    }
+
+    /// The (possibly truncated) input that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// Human-readable reason the input was rejected.
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
+impl fmt::Display for ParseUrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid url {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl Error for ParseUrlError {}
+
+/// Returned when a string cannot be parsed into a label enum such as
+/// [`crate::MalwareType`] or [`crate::FileLabel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLabelError {
+    input: String,
+    expected: &'static str,
+}
+
+impl ParseLabelError {
+    pub(crate) fn new(input: &str, expected: &'static str) -> Self {
+        let mut input = input.to_owned();
+        input.truncate(80);
+        Self { input, expected }
+    }
+
+    /// The input that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseLabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {} name: {:?}", self.expected, self.input)
+    }
+}
+
+impl Error for ParseLabelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_error_truncates_long_input() {
+        let long = "x".repeat(500);
+        let err = ParseUrlError::new(&long, "too long");
+        assert_eq!(err.input().len(), 80);
+        assert_eq!(err.reason(), "too long");
+    }
+
+    #[test]
+    fn errors_display_reason() {
+        let err = ParseUrlError::new("not a url", "missing host");
+        let text = err.to_string();
+        assert!(text.contains("not a url"));
+        assert!(text.contains("missing host"));
+
+        let err = ParseLabelError::new("zzz", "malware type");
+        assert!(err.to_string().contains("malware type"));
+        assert_eq!(err.input(), "zzz");
+    }
+}

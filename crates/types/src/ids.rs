@@ -1,0 +1,161 @@
+//! Identifier newtypes for files, machines, and URLs.
+//!
+//! The real telemetry feed identifies downloaded files and downloading
+//! processes by cryptographic file hash, and machines by an anonymised
+//! global unique id generated at agent-install time (paper §II-A). In this
+//! reproduction both are compact 64-bit values; [`FileHash`] renders as a
+//! 16-digit hex digest to keep log output recognisable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The hash digest identifying a software file (downloaded file or
+/// downloading-process image). Two files are the same iff their hashes are
+/// equal, exactly as in the paper's dataset.
+///
+/// ```
+/// use downlake_types::FileHash;
+/// let h = FileHash::from_raw(0xabc);
+/// assert_eq!(h.to_string(), "0000000000000abc");
+/// assert_eq!(h.raw(), 0xabc);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FileHash(u64);
+
+impl FileHash {
+    /// Wraps a raw 64-bit digest.
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw 64-bit digest.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FileHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl From<u64> for FileHash {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+/// Anonymised global unique machine identifier.
+///
+/// ```
+/// use downlake_types::MachineId;
+/// let m = MachineId::from_raw(7);
+/// assert_eq!(m.to_string(), "M-0000007");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MachineId(u64);
+
+impl MachineId {
+    /// Wraps a raw machine id.
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw machine id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M-{:07}", self.0)
+    }
+}
+
+impl From<u64> for MachineId {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+/// Index of a URL inside a dataset's URL table.
+///
+/// Datasets intern the 1.6M-scale distinct URL strings into a table and
+/// events reference them by this compact id.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct UrlId(u32);
+
+impl UrlId {
+    /// Wraps a raw table index.
+    pub const fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw table index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as a `usize` for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UrlId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U-{}", self.0)
+    }
+}
+
+impl From<u32> for UrlId {
+    fn from(raw: u32) -> Self {
+        Self(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn file_hash_hex_rendering_is_zero_padded() {
+        assert_eq!(FileHash::from_raw(0).to_string(), "0000000000000000");
+        assert_eq!(
+            FileHash::from_raw(u64::MAX).to_string(),
+            "ffffffffffffffff"
+        );
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        let mut set = HashSet::new();
+        set.insert(FileHash::from_raw(1));
+        set.insert(FileHash::from_raw(1));
+        set.insert(FileHash::from_raw(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ids_round_trip_raw() {
+        assert_eq!(FileHash::from(42u64).raw(), 42);
+        assert_eq!(MachineId::from(42u64).raw(), 42);
+        assert_eq!(UrlId::from(42u32).index(), 42);
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(FileHash::from_raw(1) < FileHash::from_raw(2));
+        assert!(MachineId::from_raw(1) < MachineId::from_raw(2));
+        assert!(UrlId::from_raw(1) < UrlId::from_raw(2));
+    }
+}

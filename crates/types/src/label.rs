@@ -1,0 +1,304 @@
+//! Label taxonomies: ground-truth file labels, URL labels, malware
+//! behaviour types, and the latent (hidden) nature of a file.
+
+use crate::error::ParseLabelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Ground-truth label assigned to a downloaded file or downloading process
+/// by the labeling procedure of §II-B.
+///
+/// `LikelyBenign` / `LikelyMalicious` carry weaker evidence and — exactly
+/// as in the paper — are *excluded* from the measurement analyses and from
+/// rule training.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum FileLabel {
+    /// Matches a whitelist, or clean on every AV engine two years on.
+    Benign,
+    /// Clean on VirusTotal but with under 14 days between first and last scan.
+    LikelyBenign,
+    /// Detected by at least one of the ten "trusted" AV engines.
+    Malicious,
+    /// Detected only by less-reliable engines.
+    LikelyMalicious,
+    /// No ground truth whatsoever — the 83% long tail.
+    #[default]
+    Unknown,
+}
+
+impl FileLabel {
+    /// All labels, in display order.
+    pub const ALL: [FileLabel; 5] = [
+        FileLabel::Benign,
+        FileLabel::LikelyBenign,
+        FileLabel::Malicious,
+        FileLabel::LikelyMalicious,
+        FileLabel::Unknown,
+    ];
+
+    /// Whether the label is confident enough for measurement and training
+    /// (`Benign` or `Malicious`).
+    pub const fn is_confident(self) -> bool {
+        matches!(self, FileLabel::Benign | FileLabel::Malicious)
+    }
+
+    /// Short lowercase name used in report tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FileLabel::Benign => "benign",
+            FileLabel::LikelyBenign => "likely benign",
+            FileLabel::Malicious => "malicious",
+            FileLabel::LikelyMalicious => "likely malicious",
+            FileLabel::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for FileLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Label assigned to a download URL (§II-B): benign requires Alexa-stable
+/// e2LD *and* curated-whitelist membership; malicious requires both Google
+/// Safe Browsing and the private blacklist.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum UrlLabel {
+    /// On the stable-Alexa list and the curated whitelist.
+    Benign,
+    /// On Google Safe Browsing and the private blacklist.
+    Malicious,
+    /// Everything else.
+    #[default]
+    Unknown,
+}
+
+impl UrlLabel {
+    /// Short lowercase name used in report tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            UrlLabel::Benign => "benign",
+            UrlLabel::Malicious => "malicious",
+            UrlLabel::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for UrlLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Malware *behaviour type* (Table II), derived from AV labels by the
+/// AVType procedure (§II-C).
+///
+/// Ordering of variants is the display order of Table II.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MalwareType {
+    /// First-stage malware that downloads further malware.
+    Dropper,
+    /// Potentially unwanted program / application.
+    Pup,
+    /// Ad-injecting or ad-displaying unwanted software.
+    Adware,
+    /// Generic malware disguising as a benign application.
+    Trojan,
+    /// Banking-credential stealers (e.g. Zbot).
+    Banker,
+    /// Remotely controlled malware.
+    Bot,
+    /// Concealed fake anti-virus software.
+    FakeAv,
+    /// Endpoint/file lockers demanding payment.
+    Ransomware,
+    /// Self-replicating network propagators.
+    Worm,
+    /// User-activity monitors.
+    Spyware,
+    /// Generic or unclassified malicious software.
+    Undefined,
+}
+
+impl MalwareType {
+    /// All behaviour types, in Table II order.
+    pub const ALL: [MalwareType; 11] = [
+        MalwareType::Dropper,
+        MalwareType::Pup,
+        MalwareType::Adware,
+        MalwareType::Trojan,
+        MalwareType::Banker,
+        MalwareType::Bot,
+        MalwareType::FakeAv,
+        MalwareType::Ransomware,
+        MalwareType::Worm,
+        MalwareType::Spyware,
+        MalwareType::Undefined,
+    ];
+
+    /// Short lowercase name used in report tables and AV-label keyword maps.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MalwareType::Dropper => "dropper",
+            MalwareType::Pup => "pup",
+            MalwareType::Adware => "adware",
+            MalwareType::Trojan => "trojan",
+            MalwareType::Banker => "banker",
+            MalwareType::Bot => "bot",
+            MalwareType::FakeAv => "fakeav",
+            MalwareType::Ransomware => "ransomware",
+            MalwareType::Worm => "worm",
+            MalwareType::Spyware => "spyware",
+            MalwareType::Undefined => "undefined",
+        }
+    }
+
+    /// *Specificity* rank used by AVType's tie-break rule (§II-C rule 2):
+    /// higher means the keyword identifies a more specific behaviour.
+    /// `trojan` and `undefined` are the generic catch-alls AV engines use
+    /// when the true behaviour is unknown.
+    pub const fn specificity(self) -> u8 {
+        match self {
+            MalwareType::Undefined => 0,
+            MalwareType::Trojan => 1,
+            MalwareType::Dropper => 2,
+            MalwareType::Adware => 2,
+            MalwareType::Pup => 2,
+            MalwareType::Banker => 3,
+            MalwareType::Bot => 3,
+            MalwareType::FakeAv => 3,
+            MalwareType::Ransomware => 3,
+            MalwareType::Worm => 3,
+            MalwareType::Spyware => 3,
+        }
+    }
+
+    /// Whether the type identifies a concrete behaviour (everything above
+    /// the generic `trojan`/`undefined` tier).
+    pub const fn is_specific(self) -> bool {
+        self.specificity() >= 2
+    }
+}
+
+impl fmt::Display for MalwareType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for MalwareType {
+    type Err = ParseLabelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lowered = s.to_ascii_lowercase();
+        for ty in MalwareType::ALL {
+            if ty.name() == lowered {
+                return Ok(ty);
+            }
+        }
+        match lowered.as_str() {
+            "fake-av" | "fake_av" => Ok(MalwareType::FakeAv),
+            "pua" => Ok(MalwareType::Pup),
+            _ => Err(ParseLabelError::new(s, "malware type")),
+        }
+    }
+}
+
+/// The *latent* (ground) nature of a file — what the file actually is,
+/// independent of whether any labeling source ever finds out.
+///
+/// The synthetic world assigns every file a latent nature; the ground-truth
+/// oracle reveals only a fraction of them, which is precisely how the 83%
+/// *unknown* long tail arises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileNature {
+    /// Legitimate software.
+    Benign,
+    /// Malware of the given behaviour type.
+    Malicious(MalwareType),
+}
+
+impl FileNature {
+    /// Whether the latent nature is malicious.
+    pub const fn is_malicious(self) -> bool {
+        matches!(self, FileNature::Malicious(_))
+    }
+
+    /// The behaviour type, if malicious.
+    pub const fn malware_type(self) -> Option<MalwareType> {
+        match self {
+            FileNature::Benign => None,
+            FileNature::Malicious(ty) => Some(ty),
+        }
+    }
+}
+
+impl fmt::Display for FileNature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileNature::Benign => f.write_str("benign"),
+            FileNature::Malicious(ty) => write!(f, "malicious({ty})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_labels() {
+        assert!(FileLabel::Benign.is_confident());
+        assert!(FileLabel::Malicious.is_confident());
+        assert!(!FileLabel::LikelyBenign.is_confident());
+        assert!(!FileLabel::LikelyMalicious.is_confident());
+        assert!(!FileLabel::Unknown.is_confident());
+    }
+
+    #[test]
+    fn default_label_is_unknown() {
+        assert_eq!(FileLabel::default(), FileLabel::Unknown);
+        assert_eq!(UrlLabel::default(), UrlLabel::Unknown);
+    }
+
+    #[test]
+    fn malware_type_round_trips_through_name() {
+        for ty in MalwareType::ALL {
+            assert_eq!(ty.name().parse::<MalwareType>().unwrap(), ty);
+        }
+    }
+
+    #[test]
+    fn malware_type_aliases_parse() {
+        assert_eq!("fake-av".parse::<MalwareType>().unwrap(), MalwareType::FakeAv);
+        assert_eq!("PUA".parse::<MalwareType>().unwrap(), MalwareType::Pup);
+        assert!("keylogger9000".parse::<MalwareType>().is_err());
+    }
+
+    #[test]
+    fn specificity_ordering_matches_paper_examples() {
+        // §II-C: banker beats trojan; dropper beats a generic (Artemis) label.
+        assert!(MalwareType::Banker.specificity() > MalwareType::Trojan.specificity());
+        assert!(MalwareType::Dropper.specificity() > MalwareType::Undefined.specificity());
+        assert!(!MalwareType::Trojan.is_specific());
+        assert!(MalwareType::Ransomware.is_specific());
+    }
+
+    #[test]
+    fn nature_accessors() {
+        assert!(!FileNature::Benign.is_malicious());
+        assert_eq!(FileNature::Benign.malware_type(), None);
+        let n = FileNature::Malicious(MalwareType::Bot);
+        assert!(n.is_malicious());
+        assert_eq!(n.malware_type(), Some(MalwareType::Bot));
+        assert_eq!(n.to_string(), "malicious(bot)");
+    }
+}

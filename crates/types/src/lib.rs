@@ -1,0 +1,44 @@
+//! Core vocabulary for the `downlake` system — a reproduction of
+//! *Exploring the Long Tail of (Malicious) Software Downloads* (DSN 2017).
+//!
+//! This crate defines the identifier newtypes, timestamps, URL/e2LD handling,
+//! label taxonomies, malware behaviour types, process categories, and
+//! file-metadata records shared by every other `downlake` crate. It has no
+//! knowledge of how events are generated, labeled, or analysed.
+//!
+//! # Example
+//!
+//! ```
+//! use downlake_types::{FileHash, MalwareType, Timestamp, Url};
+//!
+//! let f = FileHash::from_raw(0xdead_beef);
+//! assert_eq!(f.to_string(), "00000000deadbeef");
+//!
+//! let u: Url = "http://dl.softonic.com/pkg/app.exe".parse().unwrap();
+//! assert_eq!(u.e2ld(), "softonic.com");
+//!
+//! let t = Timestamp::from_day(40);
+//! assert_eq!(t.month().index(), 1); // February 2014
+//! assert!(MalwareType::Banker.is_specific());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod ids;
+mod label;
+mod meta;
+mod process;
+mod rank;
+mod time;
+mod url;
+
+pub use error::{ParseLabelError, ParseUrlError};
+pub use ids::{FileHash, MachineId, UrlId};
+pub use label::{FileLabel, FileNature, MalwareType, UrlLabel};
+pub use meta::{FileMeta, LatentProfile, PackerInfo, SignerInfo};
+pub use process::{BrowserKind, ProcessCategory};
+pub use rank::{AlexaRank, RankBucket};
+pub use time::{Duration, Month, Timestamp, MONTHS_IN_STUDY, SECONDS_PER_DAY};
+pub use url::{effective_second_level_domain, Url};

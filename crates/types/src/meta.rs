@@ -1,0 +1,215 @@
+//! Per-file metadata records.
+//!
+//! [`FileMeta`] holds the *observable* static properties of a software file
+//! (size, code-signing information, packer) that §IV-C measures and that
+//! Table XV turns into classification features. [`LatentProfile`] holds the
+//! *hidden* truth about a file that only the synthetic world knows; the
+//! ground-truth oracle reveals it probabilistically, which is how the
+//! unlabeled long tail arises.
+
+use crate::label::FileNature;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Code-signing information attached to a signed executable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignerInfo {
+    /// The subject (signing entity), e.g. `"Somoto Ltd."`.
+    pub subject: String,
+    /// The certification authority in the chain of trust,
+    /// e.g. `"thawte code signing ca g2"`.
+    pub ca: String,
+    /// Whether the signature verifies against an unrevoked chain.
+    pub valid: bool,
+}
+
+impl SignerInfo {
+    /// Convenience constructor for a valid signature.
+    pub fn valid(subject: impl Into<String>, ca: impl Into<String>) -> Self {
+        Self {
+            subject: subject.into(),
+            ca: ca.into(),
+            valid: true,
+        }
+    }
+}
+
+impl fmt::Display for SignerInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (CA: {}{})",
+            self.subject,
+            self.ca,
+            if self.valid { "" } else { ", INVALID" }
+        )
+    }
+}
+
+/// Identification of the packing software applied to an executable, if any
+/// known packer was recognised (§IV-C: INNO, UPX, AutoIt, Molebox, …).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PackerInfo {
+    /// Packer product name, e.g. `"UPX"` or `"NSIS"`.
+    pub name: String,
+}
+
+impl PackerInfo {
+    /// Creates a packer record.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl fmt::Display for PackerInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Observable static properties of a software file, gathered (in the real
+/// system) from VirusTotal and the vendor's internal analysis
+/// infrastructure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct FileMeta {
+    /// File size in bytes.
+    pub size_bytes: u64,
+    /// On-disk file name (anonymised path's final component).
+    pub disk_name: String,
+    /// Code-signing record, if the file carries a signature.
+    pub signer: Option<SignerInfo>,
+    /// Recognised packer, if the file is packed with known software.
+    pub packer: Option<PackerInfo>,
+}
+
+impl FileMeta {
+    /// Whether the file carries a *valid* software signature — the
+    /// property Table VI tabulates.
+    pub fn is_validly_signed(&self) -> bool {
+        self.signer.as_ref().is_some_and(|s| s.valid)
+    }
+
+    /// Whether the file is packed with a recognised packer.
+    pub fn is_packed(&self) -> bool {
+        self.packer.is_some()
+    }
+
+    /// The signing subject, if validly signed.
+    pub fn valid_signer_subject(&self) -> Option<&str> {
+        self.signer
+            .as_ref()
+            .filter(|s| s.valid)
+            .map(|s| s.subject.as_str())
+    }
+}
+
+/// The hidden truth about a file, known only to the synthetic world.
+///
+/// * `nature` — what the file actually is.
+/// * `family` — malware family name (drives Fig. 1), if malicious and the
+///   family is nameable; `None` models the 58% of samples AVclass cannot
+///   name.
+/// * `visibility` — propensity in `[0, 1]` that labeling sources ever
+///   encounter the file (crowd-sourced VT submissions, whitelist
+///   inclusion). Low-prevalence long-tail files have low visibility, which
+///   is precisely why 83% of files stay unknown.
+/// * `detectability` — propensity in `[0, 1]` that AV engines develop a
+///   signature for the file once seen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatentProfile {
+    /// True nature of the file.
+    pub nature: FileNature,
+    /// Malware family, if malicious and nameable.
+    pub family: Option<String>,
+    /// Propensity that labeling sources ever see the file.
+    pub visibility: f64,
+    /// Propensity that engines that saw the file detect it.
+    pub detectability: f64,
+}
+
+impl LatentProfile {
+    /// A benign profile with the given visibility.
+    pub fn benign(visibility: f64) -> Self {
+        Self {
+            nature: FileNature::Benign,
+            family: None,
+            visibility,
+            detectability: 0.0,
+        }
+    }
+
+    /// A malicious profile.
+    pub fn malicious(
+        nature: FileNature,
+        family: Option<String>,
+        visibility: f64,
+        detectability: f64,
+    ) -> Self {
+        debug_assert!(nature.is_malicious(), "malicious profile needs malicious nature");
+        Self {
+            nature,
+            family,
+            visibility,
+            detectability,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::MalwareType;
+
+    #[test]
+    fn valid_signature_detection() {
+        let mut meta = FileMeta {
+            size_bytes: 1024,
+            disk_name: "setup.exe".into(),
+            signer: Some(SignerInfo::valid("Somoto Ltd.", "verisign class 3")),
+            packer: None,
+        };
+        assert!(meta.is_validly_signed());
+        assert_eq!(meta.valid_signer_subject(), Some("Somoto Ltd."));
+
+        meta.signer.as_mut().unwrap().valid = false;
+        assert!(!meta.is_validly_signed());
+        assert_eq!(meta.valid_signer_subject(), None);
+
+        meta.signer = None;
+        assert!(!meta.is_validly_signed());
+    }
+
+    #[test]
+    fn packer_detection() {
+        let meta = FileMeta {
+            packer: Some(PackerInfo::new("UPX")),
+            ..FileMeta::default()
+        };
+        assert!(meta.is_packed());
+        assert!(!FileMeta::default().is_packed());
+    }
+
+    #[test]
+    fn signer_display_marks_invalid() {
+        let mut s = SignerInfo::valid("TeamViewer", "digicert");
+        assert!(!s.to_string().contains("INVALID"));
+        s.valid = false;
+        assert!(s.to_string().contains("INVALID"));
+    }
+
+    #[test]
+    fn latent_constructors() {
+        let b = LatentProfile::benign(0.9);
+        assert!(!b.nature.is_malicious());
+        assert_eq!(b.detectability, 0.0);
+
+        let m = LatentProfile::malicious(
+            FileNature::Malicious(MalwareType::Dropper),
+            Some("firseria".into()),
+            0.5,
+            0.8,
+        );
+        assert!(m.nature.is_malicious());
+        assert_eq!(m.family.as_deref(), Some("firseria"));
+    }
+}

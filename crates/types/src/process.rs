@@ -1,0 +1,250 @@
+//! Downloading-process categories.
+//!
+//! §V-A groups client processes into five broad classes — browsers, Windows
+//! system processes, Java runtime processes, Acrobat Reader, and everything
+//! else — assigned from the on-disk executable name of the process.
+
+use crate::error::ParseLabelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A popular web browser, as distinguished in Table XI.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum BrowserKind {
+    Firefox,
+    Chrome,
+    Opera,
+    Safari,
+    InternetExplorer,
+}
+
+impl BrowserKind {
+    /// All browsers, in Table XI order.
+    pub const ALL: [BrowserKind; 5] = [
+        BrowserKind::Firefox,
+        BrowserKind::Chrome,
+        BrowserKind::Opera,
+        BrowserKind::Safari,
+        BrowserKind::InternetExplorer,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BrowserKind::Firefox => "Firefox",
+            BrowserKind::Chrome => "Chrome",
+            BrowserKind::Opera => "Opera",
+            BrowserKind::Safari => "Safari",
+            BrowserKind::InternetExplorer => "IE",
+        }
+    }
+
+    /// Canonical on-disk executable name for this browser.
+    pub const fn executable(self) -> &'static str {
+        match self {
+            BrowserKind::Firefox => "firefox.exe",
+            BrowserKind::Chrome => "chrome.exe",
+            BrowserKind::Opera => "opera.exe",
+            BrowserKind::Safari => "safari.exe",
+            BrowserKind::InternetExplorer => "iexplore.exe",
+        }
+    }
+}
+
+impl fmt::Display for BrowserKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Broad category of a downloading process (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessCategory {
+    /// A web browser (the dominant download vector).
+    Browser(BrowserKind),
+    /// A Windows system process (svchost, explorer, …) — malicious
+    /// downloads here suggest exploitation of unpatched components.
+    Windows,
+    /// Java runtime environment processes — notoriously exploited.
+    Java,
+    /// Adobe Acrobat Reader — likewise.
+    AcrobatReader,
+    /// Any other process.
+    Other,
+}
+
+impl ProcessCategory {
+    /// The five aggregate categories of Table X (browsers collapsed).
+    pub const AGGREGATES: [ProcessCategory; 5] = [
+        ProcessCategory::Browser(BrowserKind::Chrome), // representative
+        ProcessCategory::Windows,
+        ProcessCategory::Java,
+        ProcessCategory::AcrobatReader,
+        ProcessCategory::Other,
+    ];
+
+    /// Whether the process is any browser.
+    pub const fn is_browser(self) -> bool {
+        matches!(self, ProcessCategory::Browser(_))
+    }
+
+    /// The concrete browser, if the process is one.
+    pub const fn browser(self) -> Option<BrowserKind> {
+        match self {
+            ProcessCategory::Browser(kind) => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// Aggregate display name, collapsing browsers (Table X row labels).
+    pub const fn aggregate_name(self) -> &'static str {
+        match self {
+            ProcessCategory::Browser(_) => "Browsers",
+            ProcessCategory::Windows => "Windows Processes",
+            ProcessCategory::Java => "Java",
+            ProcessCategory::AcrobatReader => "Acrobat Reader",
+            ProcessCategory::Other => "All other processes",
+        }
+    }
+
+    /// Classifies a process by the name of the executable file on disk from
+    /// which it was launched, mirroring the paper's name-list approach.
+    ///
+    /// ```
+    /// use downlake_types::{BrowserKind, ProcessCategory};
+    /// assert_eq!(
+    ///     ProcessCategory::from_executable_name("FIREFOX.EXE"),
+    ///     ProcessCategory::Browser(BrowserKind::Firefox),
+    /// );
+    /// assert_eq!(
+    ///     ProcessCategory::from_executable_name("svchost.exe"),
+    ///     ProcessCategory::Windows,
+    /// );
+    /// ```
+    pub fn from_executable_name(name: &str) -> ProcessCategory {
+        let lowered = name.to_ascii_lowercase();
+        match lowered.as_str() {
+            "firefox.exe" | "firefox" => ProcessCategory::Browser(BrowserKind::Firefox),
+            "chrome.exe" | "chrome" | "googlechrome.exe" => {
+                ProcessCategory::Browser(BrowserKind::Chrome)
+            }
+            "opera.exe" | "opera" => ProcessCategory::Browser(BrowserKind::Opera),
+            "safari.exe" | "safari" => ProcessCategory::Browser(BrowserKind::Safari),
+            "iexplore.exe" | "iexplore" | "ielowutil.exe" => {
+                ProcessCategory::Browser(BrowserKind::InternetExplorer)
+            }
+            "svchost.exe" | "explorer.exe" | "rundll32.exe" | "services.exe" | "winlogon.exe"
+            | "wuauclt.exe" | "taskhost.exe" | "csrss.exe" | "smss.exe" | "lsass.exe"
+            | "spoolsv.exe" | "dllhost.exe" | "conhost.exe" | "msiexec.exe" => {
+                ProcessCategory::Windows
+            }
+            "java.exe" | "javaw.exe" | "javaws.exe" | "jp2launcher.exe" | "jusched.exe" => {
+                ProcessCategory::Java
+            }
+            "acrord32.exe" | "acrobat.exe" | "reader_sl.exe" | "acrordr.exe" => {
+                ProcessCategory::AcrobatReader
+            }
+            _ => ProcessCategory::Other,
+        }
+    }
+}
+
+impl fmt::Display for ProcessCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessCategory::Browser(kind) => write!(f, "Browser({kind})"),
+            other => f.write_str(other.aggregate_name()),
+        }
+    }
+}
+
+impl FromStr for BrowserKind {
+    type Err = ParseLabelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lowered = s.to_ascii_lowercase();
+        for kind in BrowserKind::ALL {
+            if kind.name().to_ascii_lowercase() == lowered {
+                return Ok(kind);
+            }
+        }
+        match lowered.as_str() {
+            "internet explorer" | "internetexplorer" | "msie" => {
+                Ok(BrowserKind::InternetExplorer)
+            }
+            _ => Err(ParseLabelError::new(s, "browser")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executable_name_classification() {
+        assert_eq!(
+            ProcessCategory::from_executable_name("chrome.exe"),
+            ProcessCategory::Browser(BrowserKind::Chrome)
+        );
+        assert_eq!(
+            ProcessCategory::from_executable_name("AcroRd32.exe"),
+            ProcessCategory::AcrobatReader
+        );
+        assert_eq!(
+            ProcessCategory::from_executable_name("javaw.exe"),
+            ProcessCategory::Java
+        );
+        assert_eq!(
+            ProcessCategory::from_executable_name("svchost.exe"),
+            ProcessCategory::Windows
+        );
+        assert_eq!(
+            ProcessCategory::from_executable_name("dropper_v2.exe"),
+            ProcessCategory::Other
+        );
+    }
+
+    #[test]
+    fn browser_parsing() {
+        assert_eq!("IE".parse::<BrowserKind>().unwrap(), BrowserKind::InternetExplorer);
+        assert_eq!(
+            "internet explorer".parse::<BrowserKind>().unwrap(),
+            BrowserKind::InternetExplorer
+        );
+        assert_eq!("chrome".parse::<BrowserKind>().unwrap(), BrowserKind::Chrome);
+        assert!("netscape".parse::<BrowserKind>().is_err());
+    }
+
+    #[test]
+    fn aggregate_names_collapse_browsers() {
+        assert_eq!(
+            ProcessCategory::Browser(BrowserKind::Opera).aggregate_name(),
+            "Browsers"
+        );
+        assert_eq!(ProcessCategory::Windows.aggregate_name(), "Windows Processes");
+    }
+
+    #[test]
+    fn browser_accessors() {
+        let p = ProcessCategory::Browser(BrowserKind::Safari);
+        assert!(p.is_browser());
+        assert_eq!(p.browser(), Some(BrowserKind::Safari));
+        assert!(!ProcessCategory::Java.is_browser());
+        assert_eq!(ProcessCategory::Java.browser(), None);
+    }
+
+    #[test]
+    fn all_browser_executables_classify_back() {
+        for kind in BrowserKind::ALL {
+            assert_eq!(
+                ProcessCategory::from_executable_name(kind.executable()),
+                ProcessCategory::Browser(kind)
+            );
+        }
+    }
+}

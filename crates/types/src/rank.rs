@@ -1,0 +1,160 @@
+//! Alexa-style domain popularity ranks and the rank buckets used as a
+//! classification feature (Table XV: "Download domain's Alexa rank").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A domain's position in an Alexa-style top-sites ranking. `None` models
+/// a domain outside the ranked set entirely.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AlexaRank(Option<u32>);
+
+impl AlexaRank {
+    /// An unranked domain.
+    pub const UNRANKED: AlexaRank = AlexaRank(None);
+
+    /// A ranked domain. Rank 1 is the most popular site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero — ranks are 1-based.
+    pub fn ranked(rank: u32) -> Self {
+        assert!(rank >= 1, "Alexa ranks are 1-based");
+        Self(Some(rank))
+    }
+
+    /// The numeric rank, if ranked.
+    pub const fn rank(self) -> Option<u32> {
+        self.0
+    }
+
+    /// Whether the domain appears in the ranking at all.
+    pub const fn is_ranked(self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Whether the domain sits in the top-1M set the paper's whitelisting
+    /// pipeline consumes.
+    pub fn in_top_million(self) -> bool {
+        matches!(self.0, Some(r) if r <= 1_000_000)
+    }
+
+    /// The coarse bucket used as a rule-learning feature.
+    pub fn bucket(self) -> RankBucket {
+        match self.0 {
+            None => RankBucket::Unranked,
+            Some(r) if r <= 1_000 => RankBucket::Top1k,
+            Some(r) if r <= 10_000 => RankBucket::To10k,
+            Some(r) if r <= 100_000 => RankBucket::To100k,
+            Some(r) if r <= 1_000_000 => RankBucket::To1m,
+            Some(_) => RankBucket::Unranked,
+        }
+    }
+}
+
+impl fmt::Display for AlexaRank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(r) => write!(f, "#{r}"),
+            None => f.write_str("unranked"),
+        }
+    }
+}
+
+/// Coarse Alexa-rank bucket, the categorical value the rule learner sees.
+///
+/// The paper's example rules speak in exactly these intervals, e.g.
+/// *"Alexa rank of file's URL is between 10,000 to 100,000"* (§VII).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum RankBucket {
+    /// Rank 1–1,000.
+    Top1k,
+    /// Rank 1,001–10,000.
+    To10k,
+    /// Rank 10,001–100,000.
+    To100k,
+    /// Rank 100,001–1,000,000.
+    To1m,
+    /// Not in the top million (or absent from the ranking).
+    #[default]
+    Unranked,
+}
+
+impl RankBucket {
+    /// All buckets in increasing-rank order.
+    pub const ALL: [RankBucket; 5] = [
+        RankBucket::Top1k,
+        RankBucket::To10k,
+        RankBucket::To100k,
+        RankBucket::To1m,
+        RankBucket::Unranked,
+    ];
+
+    /// Human-readable interval, as it appears in rendered rules.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RankBucket::Top1k => "top 1k",
+            RankBucket::To10k => "1k to 10k",
+            RankBucket::To100k => "10k to 100k",
+            RankBucket::To1m => "100k to 1M",
+            RankBucket::Unranked => "unranked",
+        }
+    }
+}
+
+impl fmt::Display for RankBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(AlexaRank::ranked(1).bucket(), RankBucket::Top1k);
+        assert_eq!(AlexaRank::ranked(1_000).bucket(), RankBucket::Top1k);
+        assert_eq!(AlexaRank::ranked(1_001).bucket(), RankBucket::To10k);
+        assert_eq!(AlexaRank::ranked(10_000).bucket(), RankBucket::To10k);
+        assert_eq!(AlexaRank::ranked(10_001).bucket(), RankBucket::To100k);
+        assert_eq!(AlexaRank::ranked(100_000).bucket(), RankBucket::To100k);
+        assert_eq!(AlexaRank::ranked(100_001).bucket(), RankBucket::To1m);
+        assert_eq!(AlexaRank::ranked(1_000_000).bucket(), RankBucket::To1m);
+        assert_eq!(AlexaRank::ranked(1_000_001).bucket(), RankBucket::Unranked);
+        assert_eq!(AlexaRank::UNRANKED.bucket(), RankBucket::Unranked);
+    }
+
+    #[test]
+    fn top_million_membership() {
+        assert!(AlexaRank::ranked(999_999).in_top_million());
+        assert!(!AlexaRank::ranked(1_000_001).in_top_million());
+        assert!(!AlexaRank::UNRANKED.in_top_million());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rank_zero_panics() {
+        AlexaRank::ranked(0);
+    }
+
+    #[test]
+    fn unranked_sorts_last() {
+        // PartialOrd on the Option<u32> puts None first; the *bucket*
+        // ordering is what analyses use, and Unranked is last there.
+        assert!(RankBucket::Top1k < RankBucket::Unranked);
+        assert_eq!(RankBucket::default(), RankBucket::Unranked);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AlexaRank::ranked(42).to_string(), "#42");
+        assert_eq!(AlexaRank::UNRANKED.to_string(), "unranked");
+        assert_eq!(RankBucket::To100k.to_string(), "10k to 100k");
+    }
+}

@@ -1,0 +1,301 @@
+//! Study-relative timestamps.
+//!
+//! The paper's observation window spans seven months, January 2014 to
+//! August 2014 (§III). All timestamps in `downlake` are measured in seconds
+//! from the start of that window (2014-01-01 00:00:00), which keeps the
+//! arithmetic needed by the escalation analysis (Fig. 5 time deltas) and the
+//! monthly rollups (Table I) trivially cheap.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Number of seconds in a day.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+
+/// Number of calendar months in the study window (January through July —
+/// the paper collects "January 2014 to August 2014", i.e. seven monthly
+/// buckets ending before August).
+pub const MONTHS_IN_STUDY: usize = 7;
+
+/// Cumulative day offsets of each month boundary within the 2014 study
+/// window (non-leap year). `MONTH_START_DAY[i]` is the first day index of
+/// month `i`, and the window ends at day 212 (1 August).
+const MONTH_START_DAY: [u32; MONTHS_IN_STUDY + 1] = [0, 31, 59, 90, 120, 151, 181, 212];
+
+/// A calendar month of the study window.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum Month {
+    January,
+    February,
+    March,
+    April,
+    May,
+    June,
+    July,
+}
+
+impl Month {
+    /// All months of the study window, in order.
+    pub const ALL: [Month; MONTHS_IN_STUDY] = [
+        Month::January,
+        Month::February,
+        Month::March,
+        Month::April,
+        Month::May,
+        Month::June,
+        Month::July,
+    ];
+
+    /// Zero-based index of the month within the study window.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The month with the given zero-based index, if within the window.
+    pub fn from_index(index: usize) -> Option<Month> {
+        Month::ALL.get(index).copied()
+    }
+
+    /// First day (inclusive) of the month, as a day offset from 2014-01-01.
+    pub const fn start_day(self) -> u32 {
+        MONTH_START_DAY[self as usize]
+    }
+
+    /// One-past-the-last day of the month.
+    pub const fn end_day(self) -> u32 {
+        MONTH_START_DAY[self as usize + 1]
+    }
+
+    /// Number of days in the month.
+    pub const fn days(self) -> u32 {
+        self.end_day() - self.start_day()
+    }
+
+    /// The month that follows this one, if still inside the study window.
+    pub fn next(self) -> Option<Month> {
+        Month::from_index(self.index() + 1)
+    }
+
+    /// Short English name, as used in the paper's tables ("Jan", "Feb", …).
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            Month::January => "Jan",
+            Month::February => "Feb",
+            Month::March => "Mar",
+            Month::April => "Apr",
+            Month::May => "May",
+            Month::June => "Jun",
+            Month::July => "Jul",
+        }
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A point in time, in seconds since the start of the study window
+/// (2014-01-01 00:00:00).
+///
+/// ```
+/// use downlake_types::{Month, Timestamp};
+/// let t = Timestamp::from_day(35); // 5 February
+/// assert_eq!(t.month(), Month::February);
+/// assert_eq!(t.day(), 35);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The start of the study window.
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from raw seconds since the window start.
+    pub const fn from_seconds(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a timestamp at midnight of the given day offset.
+    pub const fn from_day(day: u32) -> Self {
+        Self(day as i64 * SECONDS_PER_DAY)
+    }
+
+    /// Seconds since the window start.
+    pub const fn seconds(self) -> i64 {
+        self.0
+    }
+
+    /// Day offset from 2014-01-01 (negative times clamp to day 0).
+    pub const fn day(self) -> u32 {
+        if self.0 <= 0 {
+            0
+        } else {
+            (self.0 / SECONDS_PER_DAY) as u32
+        }
+    }
+
+    /// The study month this timestamp falls in. Timestamps past the window
+    /// end clamp to [`Month::July`].
+    pub fn month(self) -> Month {
+        let day = self.day();
+        for month in Month::ALL {
+            if day < month.end_day() {
+                return month;
+            }
+        }
+        Month::July
+    }
+
+    /// Whether the timestamp falls inside the seven-month study window.
+    pub fn in_study_window(self) -> bool {
+        self.0 >= 0 && self.day() < MONTH_START_DAY[MONTHS_IN_STUDY]
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}+{}s", self.day(), self.0.rem_euclid(SECONDS_PER_DAY))
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+/// A signed span of time between two [`Timestamp`]s.
+///
+/// ```
+/// use downlake_types::{Duration, Timestamp};
+/// let delta = Timestamp::from_day(7) - Timestamp::from_day(2);
+/// assert_eq!(delta, Duration::from_days(5));
+/// assert_eq!(delta.whole_days(), 5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Duration(i64);
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a span from whole seconds.
+    pub const fn from_seconds(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a span from whole days.
+    pub const fn from_days(days: i64) -> Self {
+        Self(days * SECONDS_PER_DAY)
+    }
+
+    /// Length in seconds.
+    pub const fn seconds(self) -> i64 {
+        self.0
+    }
+
+    /// Length in whole days, truncated toward zero (so "later the same
+    /// day" is day 0, matching Fig. 5's day-granularity CDF).
+    pub const fn whole_days(self) -> i64 {
+        self.0 / SECONDS_PER_DAY
+    }
+
+    /// Whether the span is negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_boundaries_match_2014_calendar() {
+        assert_eq!(Month::January.days(), 31);
+        assert_eq!(Month::February.days(), 28);
+        assert_eq!(Month::March.days(), 31);
+        assert_eq!(Month::April.days(), 30);
+        assert_eq!(Month::May.days(), 31);
+        assert_eq!(Month::June.days(), 30);
+        assert_eq!(Month::July.days(), 31);
+        assert_eq!(Month::July.end_day(), 212);
+    }
+
+    #[test]
+    fn timestamp_month_assignment() {
+        assert_eq!(Timestamp::from_day(0).month(), Month::January);
+        assert_eq!(Timestamp::from_day(30).month(), Month::January);
+        assert_eq!(Timestamp::from_day(31).month(), Month::February);
+        assert_eq!(Timestamp::from_day(211).month(), Month::July);
+        // Past the window clamps to July.
+        assert_eq!(Timestamp::from_day(400).month(), Month::July);
+    }
+
+    #[test]
+    fn window_membership() {
+        assert!(Timestamp::from_day(0).in_study_window());
+        assert!(Timestamp::from_day(211).in_study_window());
+        assert!(!Timestamp::from_day(212).in_study_window());
+        assert!(!Timestamp::from_seconds(-1).in_study_window());
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Timestamp::from_day(10);
+        let b = a + Duration::from_days(3);
+        assert_eq!(b.day(), 13);
+        assert_eq!((b - a).whole_days(), 3);
+        assert!((a - b).is_negative());
+    }
+
+    #[test]
+    fn same_day_delta_is_day_zero() {
+        let morning = Timestamp::from_seconds(9 * 3600);
+        let evening = Timestamp::from_seconds(21 * 3600);
+        assert_eq!((evening - morning).whole_days(), 0);
+    }
+
+    #[test]
+    fn month_iteration_and_next() {
+        let mut seen = 0;
+        let mut m = Some(Month::January);
+        while let Some(cur) = m {
+            seen += 1;
+            m = cur.next();
+        }
+        assert_eq!(seen, MONTHS_IN_STUDY);
+        assert_eq!(Month::July.next(), None);
+    }
+
+    #[test]
+    fn negative_timestamp_clamps_day() {
+        assert_eq!(Timestamp::from_seconds(-5).day(), 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Download URL handling and effective second-level domain extraction.
+//!
+//! The paper aggregates download URLs by *effective second-level domain*
+//! (e2LD, §II-B): `dl.files.softonic.com` → `softonic.com`, but
+//! `cdn.example.co.uk` → `example.co.uk`. We carry a compact public-suffix
+//! table covering the suffixes that occur in the paper's tables (and the
+//! common multi-label country suffixes) rather than the full Mozilla PSL.
+
+use crate::error::ParseUrlError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Multi-label public suffixes recognised by
+/// [`effective_second_level_domain`]. Single-label suffixes (`com`, `net`,
+/// `ru`, …) need no table: any final label is treated as a TLD.
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.br", "net.br", "org.br", "com.au", "net.au",
+    "org.au", "co.jp", "ne.jp", "or.jp", "com.cn", "net.cn", "org.cn", "co.in", "co.kr",
+    "com.mx", "com.ar", "com.tr", "co.za", "com.tw", "com.hk", "co.nz", "com.sg", "com.my",
+    "co.th", "com.vn", "com.ua", "co.il", "com.pl", "com.ru",
+];
+
+/// Returns the effective second-level domain of a fully-qualified host name.
+///
+/// The host is lower-cased. Hosts that are bare IPv4 addresses are returned
+/// unchanged (the paper's feed contains raw-IP download sources; they group
+/// as themselves). A host that *is* a public suffix, or a single label,
+/// is returned unchanged.
+///
+/// ```
+/// use downlake_types::effective_second_level_domain;
+/// assert_eq!(effective_second_level_domain("dl.files.Softonic.com"), "softonic.com");
+/// assert_eq!(effective_second_level_domain("cdn.baixaki.com.br"), "baixaki.com.br");
+/// assert_eq!(effective_second_level_domain("192.168.10.4"), "192.168.10.4");
+/// assert_eq!(effective_second_level_domain("localhost"), "localhost");
+/// ```
+pub fn effective_second_level_domain(host: &str) -> String {
+    let host = host.to_ascii_lowercase();
+    if is_ipv4(&host) {
+        return host;
+    }
+    let labels: Vec<&str> = host.split('.').filter(|l| !l.is_empty()).collect();
+    if labels.len() <= 1 {
+        return host;
+    }
+    // Check for a multi-label public suffix: e2LD = suffix + one more label.
+    for suffix in MULTI_LABEL_SUFFIXES {
+        let suffix_labels = suffix.split('.').count();
+        if labels.len() > suffix_labels && host_ends_with_suffix(&labels, suffix) {
+            let keep = suffix_labels + 1;
+            return labels[labels.len() - keep..].join(".");
+        }
+        if labels.len() == suffix_labels && host_ends_with_suffix(&labels, suffix) {
+            // The host *is* a public suffix; return as-is.
+            return host;
+        }
+    }
+    // Single-label TLD: keep last two labels.
+    labels[labels.len() - 2..].join(".")
+}
+
+fn host_ends_with_suffix(labels: &[&str], suffix: &str) -> bool {
+    let suffix_labels: Vec<&str> = suffix.split('.').collect();
+    if labels.len() < suffix_labels.len() {
+        return false;
+    }
+    labels[labels.len() - suffix_labels.len()..] == suffix_labels[..]
+}
+
+fn is_ipv4(host: &str) -> bool {
+    let mut parts = 0;
+    for part in host.split('.') {
+        if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+            return false;
+        }
+        parts += 1;
+    }
+    parts == 4
+}
+
+/// A parsed download URL: scheme, host, path, and cached e2LD.
+///
+/// ```
+/// use downlake_types::Url;
+/// let u: Url = "https://dl.mediafire.com/f/setup_v2.exe".parse()?;
+/// assert_eq!(u.scheme(), "https");
+/// assert_eq!(u.host(), "dl.mediafire.com");
+/// assert_eq!(u.e2ld(), "mediafire.com");
+/// assert_eq!(u.path(), "/f/setup_v2.exe");
+/// # Ok::<(), downlake_types::ParseUrlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    scheme: String,
+    host: String,
+    path: String,
+    e2ld: String,
+}
+
+impl Url {
+    /// Builds a URL from pre-split components. The host is lower-cased and
+    /// the e2LD computed eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUrlError`] if the host is empty or contains
+    /// whitespace.
+    pub fn from_parts(scheme: &str, host: &str, path: &str) -> Result<Self, ParseUrlError> {
+        if host.is_empty() {
+            return Err(ParseUrlError::new(host, "empty host"));
+        }
+        if host.chars().any(|c| c.is_whitespace() || c == '/') {
+            return Err(ParseUrlError::new(host, "host contains separators"));
+        }
+        let host = host.to_ascii_lowercase();
+        let e2ld = effective_second_level_domain(&host);
+        let path = if path.is_empty() { "/" } else { path };
+        Ok(Self {
+            scheme: scheme.to_owned(),
+            host,
+            path: path.to_owned(),
+            e2ld,
+        })
+    }
+
+    /// URL scheme (`http` or `https` in the feed).
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Fully-qualified host.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Path component, always starting with `/`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Effective second-level domain of the host.
+    pub fn e2ld(&self) -> &str {
+        &self.e2ld
+    }
+
+    /// Final path segment — the downloaded file's name as it appears in
+    /// the URL, or `""` for directory-style URLs.
+    pub fn file_name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or("")
+    }
+}
+
+impl FromStr for Url {
+    type Err = ParseUrlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (scheme, rest) = match s.split_once("://") {
+            Some((scheme, rest)) => (scheme, rest),
+            None => return Err(ParseUrlError::new(s, "missing scheme")),
+        };
+        if scheme.is_empty() {
+            return Err(ParseUrlError::new(s, "empty scheme"));
+        }
+        let (host, path) = match rest.find('/') {
+            Some(idx) => (&rest[..idx], &rest[idx..]),
+            None => (rest, "/"),
+        };
+        Url::from_parts(scheme, host, path)
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme, self.host, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2ld_plain_com() {
+        assert_eq!(effective_second_level_domain("softonic.com"), "softonic.com");
+        assert_eq!(
+            effective_second_level_domain("dl.files.softonic.com"),
+            "softonic.com"
+        );
+    }
+
+    #[test]
+    fn e2ld_multi_label_suffix() {
+        assert_eq!(
+            effective_second_level_domain("mirror.baixaki.com.br"),
+            "baixaki.com.br"
+        );
+        assert_eq!(effective_second_level_domain("a.b.example.co.uk"), "example.co.uk");
+    }
+
+    #[test]
+    fn e2ld_host_equal_to_suffix_is_kept() {
+        assert_eq!(effective_second_level_domain("co.uk"), "co.uk");
+        assert_eq!(effective_second_level_domain("com"), "com");
+    }
+
+    #[test]
+    fn e2ld_is_case_insensitive() {
+        assert_eq!(
+            effective_second_level_domain("CDN.MediaFire.COM"),
+            "mediafire.com"
+        );
+    }
+
+    #[test]
+    fn e2ld_ip_addresses_group_as_themselves() {
+        assert_eq!(effective_second_level_domain("10.0.0.1"), "10.0.0.1");
+        // Not a valid IPv4 — treated as domain labels.
+        assert_eq!(effective_second_level_domain("10.0.0.1000"), "0.1000");
+    }
+
+    #[test]
+    fn url_parse_round_trip() {
+        let u: Url = "http://dl24x7.net/media/player.exe".parse().unwrap();
+        assert_eq!(u.to_string(), "http://dl24x7.net/media/player.exe");
+        assert_eq!(u.file_name(), "player.exe");
+        assert_eq!(u.e2ld(), "dl24x7.net");
+    }
+
+    #[test]
+    fn url_without_path_gets_root() {
+        let u: Url = "https://inbox.com".parse().unwrap();
+        assert_eq!(u.path(), "/");
+        assert_eq!(u.file_name(), "");
+    }
+
+    #[test]
+    fn url_rejects_garbage() {
+        assert!("no-scheme.com/x".parse::<Url>().is_err());
+        assert!("://empty.com/".parse::<Url>().is_err());
+        assert!(Url::from_parts("http", "", "/x").is_err());
+        assert!(Url::from_parts("http", "bad host", "/x").is_err());
+    }
+
+    #[test]
+    fn e2ld_of_subdomain_of_suffix_takes_one_extra_label() {
+        assert_eq!(
+            effective_second_level_domain("downloads.softonic.com.br"),
+            "softonic.com.br"
+        );
+    }
+}

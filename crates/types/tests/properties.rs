@@ -1,0 +1,89 @@
+//! Property-based tests for the vocabulary crate: URL/e2LD handling and
+//! time arithmetic.
+
+use downlake_types::{
+    effective_second_level_domain, AlexaRank, Duration, Timestamp, Url, SECONDS_PER_DAY,
+};
+use proptest::prelude::*;
+
+/// Plausible host-name labels.
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}".prop_map(|s| s)
+}
+
+fn host() -> impl Strategy<Value = String> {
+    proptest::collection::vec(label(), 1..5).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// e2LD extraction is idempotent and output is a suffix of the input.
+    #[test]
+    fn e2ld_idempotent_and_suffix(h in host()) {
+        let once = effective_second_level_domain(&h);
+        let twice = effective_second_level_domain(&once);
+        prop_assert_eq!(&once, &twice, "idempotence");
+        prop_assert!(h.ends_with(&once), "{} not a suffix of {}", once, h);
+        // The e2LD has at most one more label than a public suffix —
+        // never more labels than the input.
+        prop_assert!(once.matches('.').count() <= h.matches('.').count());
+    }
+
+    /// e2LD is case-insensitive.
+    #[test]
+    fn e2ld_case_insensitive(h in host()) {
+        let upper = h.to_uppercase();
+        prop_assert_eq!(
+            effective_second_level_domain(&h),
+            effective_second_level_domain(&upper)
+        );
+    }
+
+    /// Subdomains never change the e2LD.
+    #[test]
+    fn subdomains_preserve_e2ld(h in host(), sub in label()) {
+        let base = effective_second_level_domain(&h);
+        let expanded = effective_second_level_domain(&format!("{sub}.{h}"));
+        // Expanding can only matter when the original host *was* a bare
+        // public suffix or single label; otherwise the e2LD is stable.
+        if h.contains('.') && base.matches('.').count() >= 1 && base != h {
+            prop_assert_eq!(base, expanded);
+        }
+    }
+
+    /// URLs round-trip through Display → parse.
+    #[test]
+    fn url_round_trip(h in host(), path in "[a-z0-9/._-]{0,30}") {
+        let url = Url::from_parts("http", &h, &format!("/{path}")).expect("valid host");
+        let rendered = url.to_string();
+        let reparsed: Url = rendered.parse().expect("display output must re-parse");
+        prop_assert_eq!(url, reparsed);
+    }
+
+    /// Timestamp/Duration arithmetic is consistent.
+    #[test]
+    fn time_arithmetic(day in 0u32..212, offset_days in 0i64..90, secs in 0i64..SECONDS_PER_DAY) {
+        let t = Timestamp::from_seconds(Timestamp::from_day(day).seconds() + secs);
+        let later = t + Duration::from_days(offset_days);
+        prop_assert_eq!((later - t).whole_days(), offset_days);
+        prop_assert!(later >= t);
+        prop_assert_eq!(t.day(), day);
+        // month() is consistent with day ranges.
+        let m = t.month();
+        prop_assert!(m.start_day() <= day && day < m.end_day());
+    }
+
+    /// Rank buckets partition the rank space without gaps.
+    #[test]
+    fn rank_buckets_cover(rank in 1u32..2_000_000) {
+        let bucket = AlexaRank::ranked(rank).bucket();
+        let name = bucket.name();
+        prop_assert!(!name.is_empty());
+        // Bucket boundaries are monotone in the rank.
+        if rank > 1 {
+            let prev = AlexaRank::ranked(rank - 1).bucket();
+            prop_assert!(prev <= bucket);
+        }
+    }
+}

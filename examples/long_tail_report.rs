@@ -1,0 +1,40 @@
+//! Regenerates every table and figure of the paper's evaluation and
+//! prints them as one plain-text report.
+//!
+//! ```text
+//! cargo run --release --example long_tail_report [tiny|small|default|large|paper] [seed]
+//! ```
+//!
+//! Scale controls the synthetic population as a fraction of the paper's
+//! (default: 1/16 ≈ 190k events; `paper` regenerates at full 3M-event
+//! scale and takes minutes).
+
+use downlake_repro::core::{report, Study, StudyConfig};
+use downlake_repro::synth::Scale;
+
+fn parse_scale(arg: &str) -> Option<Scale> {
+    match arg {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "default" => Some(Scale::Default),
+        "large" => Some(Scale::Large),
+        "paper" => Some(Scale::Paper),
+        _ => arg.parse::<f64>().ok().map(Scale::Fraction),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .first()
+        .and_then(|a| parse_scale(a))
+        .unwrap_or(Scale::Default);
+    let seed = args
+        .get(1)
+        .and_then(|a| a.parse::<u64>().ok())
+        .unwrap_or(42);
+
+    eprintln!("running study at {scale:?}, seed {seed}…");
+    let study = Study::run(&StudyConfig::new(seed).with_scale(scale));
+    println!("{}", report::full_report(&study));
+}

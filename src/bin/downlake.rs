@@ -1,0 +1,142 @@
+//! `downlake` — the command-line front door to the reproduction.
+//!
+//! ```text
+//! downlake [--scale tiny|small|default|large|paper|<fraction>] [--seed N] <experiment>...
+//! downlake --list
+//! ```
+//!
+//! Experiments are the paper's artifact ids (`table1` … `table17`,
+//! `fig1` … `fig6`, `packers`, `evasion`, `reach`, `rules`, `all`).
+
+use downlake_repro::core::{experiments, report, Study, StudyConfig};
+use downlake_repro::synth::Scale;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "monthly collection summary"),
+    ("fig1", "top-25 malware families"),
+    ("table2", "malicious type breakdown"),
+    ("fig2", "file prevalence distributions"),
+    ("table3", "domains with highest download popularity"),
+    ("table4", "files served per domain"),
+    ("fig3", "Alexa ranks of benign vs malicious hosting domains"),
+    ("table5", "popular domains per malicious type"),
+    ("table6", "signing rates per class"),
+    ("table7", "signer overlap per type"),
+    ("table8", "top signers per type"),
+    ("table9", "exclusive benign/malicious signers"),
+    ("fig4", "shared-signer scatter"),
+    ("packers", "packer usage overlap"),
+    ("table10", "download behavior of benign process categories"),
+    ("table11", "download behavior per browser"),
+    ("table12", "download behavior of malicious process types"),
+    ("fig5", "escalation time-delta CDFs"),
+    ("fig6", "Alexa ranks of unknown-hosting domains"),
+    ("table13", "top domains serving unknowns"),
+    ("table14", "process categories downloading unknowns"),
+    ("table15", "the eight classifier features"),
+    ("rules", "rule experiments (Tables XVI + XVII)"),
+    ("evasion", "§VII evasion strategies vs the rules"),
+    ("reach", "§VII expanded-labeling population reach"),
+    ("all", "the full report (everything above)"),
+];
+
+fn parse_scale(arg: &str) -> Option<Scale> {
+    match arg {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "default" => Some(Scale::Default),
+        "large" => Some(Scale::Large),
+        "paper" => Some(Scale::Paper),
+        _ => arg.parse::<f64>().ok().filter(|f| *f > 0.0).map(Scale::Fraction),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: downlake [--scale SCALE] [--seed N] <experiment>...");
+    eprintln!("       downlake --list");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut seed = 42u64;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (id, what) in EXPERIMENTS {
+                    println!("{id:<10} {what}");
+                }
+                return;
+            }
+            "--scale" => {
+                let Some(value) = args.next().and_then(|v| parse_scale(&v)) else {
+                    usage()
+                };
+                scale = value;
+            }
+            "--seed" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                seed = value;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => usage(),
+            other => wanted.push(other.to_owned()),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    for id in &wanted {
+        if !EXPERIMENTS.iter().any(|(known, _)| known == id) {
+            eprintln!("unknown experiment {id:?}; try --list");
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!("running study (scale {scale:?}, seed {seed})…");
+    let study = Study::run(&StudyConfig::new(seed).with_scale(scale));
+
+    for id in wanted {
+        match id.as_str() {
+            "table1" => println!("{}", experiments::table1(&study)),
+            "fig1" => println!("{}", experiments::fig1(&study)),
+            "table2" => println!("{}", experiments::table2(&study)),
+            "fig2" => println!("{}", experiments::fig2(&study)),
+            "table3" => println!("{}", experiments::table3(&study)),
+            "table4" => println!("{}", experiments::table4(&study)),
+            "fig3" => println!("{}", experiments::fig3(&study)),
+            "table5" => println!("{}", experiments::table5(&study)),
+            "table6" => println!("{}", experiments::table6(&study)),
+            "table7" => println!("{}", experiments::table7(&study)),
+            "table8" => println!("{}", experiments::table8(&study)),
+            "table9" => println!("{}", experiments::table9(&study)),
+            "fig4" => println!("{}", experiments::fig4(&study)),
+            "packers" => println!("{}", experiments::packers(&study)),
+            "table10" => println!("{}", experiments::table10(&study)),
+            "table11" => println!("{}", experiments::table11(&study)),
+            "table12" => println!("{}", experiments::table12(&study)),
+            "fig5" => {
+                println!("{}", experiments::fig5(&study));
+                println!("{}", experiments::fig5_quantiles(&study));
+            }
+            "fig6" => println!("{}", experiments::fig6(&study)),
+            "table13" => println!("{}", experiments::table13(&study)),
+            "table14" => println!("{}", experiments::table14(&study)),
+            "table15" => println!("{}", experiments::table15()),
+            "rules" => {
+                let outcome = experiments::rule_experiments(&study);
+                println!("{}", experiments::render_table16(&outcome));
+                println!("{}", experiments::render_table17(&outcome));
+            }
+            "evasion" => println!("{}", experiments::evasion_table(&study)),
+            "reach" => println!("{}", experiments::expansion_reach_table(&study)),
+            "all" => println!("{}", report::full_report(&study)),
+            _ => unreachable!("validated above"),
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Workspace façade crate: re-exports the whole `downlake` reproduction of
+//! *Exploring the Long Tail of (Malicious) Software Downloads* (DSN 2017)
+//! so root-level `examples/` and `tests/` can use one import path.
+
+pub use downlake as core;
+pub use downlake_analysis as analysis;
+pub use downlake_avtype as avtype;
+pub use downlake_features as features;
+pub use downlake_groundtruth as groundtruth;
+pub use downlake_rulelearn as rulelearn;
+pub use downlake_synth as synth;
+pub use downlake_telemetry as telemetry;
+pub use downlake_types as types;

@@ -1,0 +1,109 @@
+//! Property-based tests of the collection server's reporting policy over
+//! arbitrary raw event streams.
+
+use downlake_repro::telemetry::{CollectionServer, RawEvent, ReportingPolicy};
+use downlake_repro::types::{FileHash, MachineId, Timestamp, Url};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawSpec {
+    file: u64,
+    machine: u64,
+    day: u32,
+    executed: bool,
+    whitelisted_host: bool,
+}
+
+fn raw_spec() -> impl Strategy<Value = RawSpec> {
+    (0u64..12, 0u64..30, 0u32..212, any::<bool>(), any::<bool>()).prop_map(
+        |(file, machine, day, executed, whitelisted_host)| RawSpec {
+            file,
+            machine,
+            day,
+            executed,
+            whitelisted_host,
+        },
+    )
+}
+
+fn materialise(spec: &RawSpec) -> RawEvent {
+    let host = if spec.whitelisted_host {
+        "dl.update-host.com"
+    } else {
+        "files.example.net"
+    };
+    RawEvent::builder()
+        .file(FileHash::from_raw(spec.file))
+        .machine(MachineId::from_raw(spec.machine))
+        .process(FileHash::from_raw(1000), "chrome.exe")
+        .url(Url::from_parts("http", host, "/f.exe").expect("static host"))
+        .timestamp(Timestamp::from_day(spec.day))
+        .executed(spec.executed)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No file's reported prevalence ever exceeds σ, regardless of the
+    /// stream; unexecuted and whitelisted events never land.
+    #[test]
+    fn reporting_policy_invariants(specs in proptest::collection::vec(raw_spec(), 0..300), sigma in 1u32..8) {
+        let policy = ReportingPolicy::new(sigma).with_whitelisted_domain("update-host.com");
+        let mut server = CollectionServer::new(policy);
+        let mut sorted = specs.clone();
+        sorted.sort_by_key(|s| s.day);
+        for spec in &sorted {
+            server.observe(materialise(spec));
+        }
+        let dataset = server.into_dataset();
+        for record in dataset.files().iter() {
+            prop_assert!(dataset.prevalence(record.hash) <= sigma as usize);
+        }
+        for event in dataset.events() {
+            let url = dataset.url_of(event);
+            prop_assert_ne!(url.e2ld(), "update-host.com");
+        }
+        // Reported events are a subset of executed, non-whitelisted ones.
+        let max_reportable = sorted
+            .iter()
+            .filter(|s| s.executed && !s.whitelisted_host)
+            .count();
+        prop_assert!(dataset.events().len() <= max_reportable);
+    }
+
+    /// The suppression counters plus reported events account for every
+    /// observed raw event.
+    #[test]
+    fn conservation_of_events(specs in proptest::collection::vec(raw_spec(), 0..200)) {
+        let policy = ReportingPolicy::new(3).with_whitelisted_domain("update-host.com");
+        let mut server = CollectionServer::new(policy);
+        let mut reported = 0usize;
+        for spec in &specs {
+            if server.observe(materialise(spec)) {
+                reported += 1;
+            }
+        }
+        let suppressed = server.suppression_stats().total() as usize;
+        prop_assert_eq!(reported + suppressed, specs.len());
+        let dataset = server.into_dataset();
+        prop_assert_eq!(dataset.events().len(), reported);
+    }
+
+    /// Re-observing the same stream yields the identical dataset.
+    #[test]
+    fn server_is_deterministic(specs in proptest::collection::vec(raw_spec(), 0..150)) {
+        let run = || {
+            let mut server =
+                CollectionServer::new(ReportingPolicy::new(4));
+            for spec in &specs {
+                server.observe(materialise(spec));
+            }
+            server.into_dataset()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.events(), b.events());
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-crate pipeline invariants, checked over multiple seeds.
+
+use downlake_repro::core::{Study, StudyConfig};
+use downlake_repro::synth::Scale;
+use downlake_repro::types::{FileLabel, FileNature};
+
+fn tiny(seed: u64) -> Study {
+    Study::run(&StudyConfig::new(seed).with_scale(Scale::Tiny))
+}
+
+#[test]
+fn sigma_cap_holds_for_every_file() {
+    for seed in [1, 2, 3] {
+        let study = tiny(seed);
+        let sigma = study.config().synth.sigma as usize;
+        for record in study.dataset().files().iter() {
+            let prevalence = study.dataset().prevalence(record.hash);
+            assert!(
+                prevalence <= sigma,
+                "file {} has prevalence {prevalence} > σ={sigma} (seed {seed})",
+                record.hash
+            );
+        }
+    }
+}
+
+#[test]
+fn events_are_sorted_and_inside_window() {
+    let study = tiny(11);
+    let events = study.dataset().events();
+    for pair in events.windows(2) {
+        assert!(pair[0].timestamp <= pair[1].timestamp);
+    }
+    for event in events {
+        assert!(event.timestamp.in_study_window());
+    }
+}
+
+#[test]
+fn every_dataset_file_has_world_truth_and_meta() {
+    let study = tiny(12);
+    for record in study.dataset().files().iter() {
+        assert!(
+            study.world().latent(record.hash).is_some(),
+            "dataset file without latent profile"
+        );
+    }
+    for event in study.dataset().events() {
+        assert!(study.dataset().files().get(event.file).is_some());
+        assert!(study.dataset().processes().get(event.process).is_some());
+    }
+}
+
+#[test]
+fn labels_never_contradict_latent_truth_strongly() {
+    // The oracle may *miss* malicious files (that's the unknown tail) but
+    // must never confidently label a latent-benign file malicious or a
+    // latent-malicious file benign — it simulates evidence, not noise.
+    for seed in [21, 22] {
+        let study = tiny(seed);
+        for (hash, label) in study.ground_truth().iter() {
+            let Some(latent) = study.world().latent(hash) else {
+                continue;
+            };
+            match (label, latent.nature) {
+                (FileLabel::Malicious, FileNature::Benign) => {
+                    panic!("latent-benign file {hash} labeled malicious (seed {seed})")
+                }
+                (FileLabel::Benign, FileNature::Malicious(_)) => {
+                    panic!("latent-malicious file {hash} labeled benign (seed {seed})")
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn typed_files_are_exactly_the_malicious_ones() {
+    let study = tiny(31);
+    for (hash, label) in study.ground_truth().iter() {
+        let typed = study.types().malware_type(hash).is_some();
+        assert_eq!(
+            typed,
+            label == FileLabel::Malicious,
+            "type assignment must track the malicious label for {hash}"
+        );
+    }
+}
+
+#[test]
+fn suppressed_streams_never_reach_the_dataset() {
+    let study = tiny(41);
+    for event in study.dataset().events() {
+        let url = study.dataset().url_of(event);
+        assert_ne!(
+            url.e2ld(),
+            "microsoft.com",
+            "whitelisted update-host event leaked into the dataset"
+        );
+    }
+    assert!(study.suppression().total() > 0);
+}
+
+#[test]
+fn different_seeds_produce_different_worlds_same_shape() {
+    let a = tiny(101);
+    let b = tiny(102);
+    assert_ne!(
+        a.dataset().stats().events,
+        b.dataset().stats().events,
+        "different seeds should differ in detail"
+    );
+    // …but the same gross shape: unknown-dominated labeling.
+    for study in [&a, &b] {
+        let view = study.label_view();
+        let total = study.dataset().files().len();
+        let unknown = study
+            .dataset()
+            .files()
+            .iter()
+            .filter(|r| view.label(r.hash) == FileLabel::Unknown)
+            .count();
+        let share = unknown as f64 / total as f64;
+        assert!((0.6..=0.95).contains(&share), "unknown share {share}");
+    }
+}
+
+#[test]
+fn monthly_views_partition_all_events() {
+    let study = tiny(51);
+    let total: usize = study
+        .dataset()
+        .months()
+        .map(|view| view.events().len())
+        .sum();
+    assert_eq!(total, study.dataset().events().len());
+}
