@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Lint gate for the workspace: formatting plus clippy with warnings
+# promoted to errors. Run from the repository root before sending a PR;
+# CI can call it verbatim.
+#
+#   sh .github/lint-gate.sh
+#
+# Note: property-test helper functions are only referenced from inside
+# `proptest!` blocks, so building against a stubbed/offline proptest can
+# report spurious dead-code warnings in `*_props.rs` / `properties.rs`
+# test files. Against the real dependency set the gate is clean.
+set -eu
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,11 +1,17 @@
 //! Download-domain analyses (§IV-B: Tables III–V, XIII; Figs. 3 and 6).
+//!
+//! All passes run over [`AnalysisFrame`] columns: distinct-machine and
+//! distinct-file counts per e2LD use dense counter vectors indexed by
+//! [`downlake_types::E2ldId`] plus stamp arrays, never per-event strings
+//! or hash sets.
 
+use crate::frame::{type_index, AnalysisFrame, Stamp, TYPE_COUNT};
 use crate::labels::LabelView;
-use crate::stats::{Counter, Ecdf};
+use crate::stats::Ecdf;
 use downlake_telemetry::Dataset;
 use downlake_types::{FileLabel, MalwareType};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 
 /// One row of a domain table.
@@ -17,9 +23,12 @@ pub struct DomainCount {
     pub count: u64,
 }
 
+/// Boxed rank-lookup closure backing a [`RankSource`].
+type RankFn<'a> = Box<dyn Fn(&str) -> Option<u32> + 'a>;
+
 /// Alexa-rank lookup abstraction (keeps this crate decoupled from the
 /// ground-truth crate's `UrlLabeler`).
-pub struct RankSource<'a>(Box<dyn Fn(&str) -> Option<u32> + 'a>);
+pub struct RankSource<'a>(RankFn<'a>);
 
 impl<'a> RankSource<'a> {
     /// Wraps a rank lookup closure (`None` = unranked).
@@ -39,150 +48,197 @@ impl fmt::Debug for RankSource<'_> {
     }
 }
 
-/// Table III: domains with the highest *download popularity* — distinct
-/// machines that downloaded (a) any file, (b) a benign file, (c) a
-/// malicious file from each domain. Returns the three top-`k` tables.
+impl AnalysisFrame {
+    /// Table III: domains with the highest *download popularity* —
+    /// distinct machines that downloaded (a) any file, (b) a benign
+    /// file, (c) a malicious file from each domain. Returns the three
+    /// top-`k` tables.
+    pub fn domain_popularity(&self, k: usize) -> [Vec<DomainCount>; 3] {
+        let n = self.e2ld_count();
+        let mut overall = vec![0u64; n];
+        let mut benign = vec![0u64; n];
+        let mut malicious = vec![0u64; n];
+        let mut s_overall = Stamp::new(n);
+        let mut s_benign = Stamp::new(n);
+        let mut s_malicious = Stamp::new(n);
+        // Machine-major scan: each machine's events are contiguous in the
+        // CSR, so one stamp tag per machine dedupes (machine, e2LD) pairs.
+        for machine in 0..self.machine_count {
+            let tag = machine as u32;
+            for &e in self.machine_events(machine) {
+                let e = e as usize;
+                let d = self.ev_e2ld[e].index();
+                if s_overall.mark(d, tag) {
+                    overall[d] += 1;
+                }
+                match self.ev_file_label[e] {
+                    FileLabel::Benign if s_benign.mark(d, tag) => benign[d] += 1,
+                    FileLabel::Malicious if s_malicious.mark(d, tag) => malicious[d] += 1,
+                    _ => {}
+                }
+            }
+        }
+        [overall, benign, malicious].map(|counts| self.top_domain_counts(&counts, k))
+    }
+
+    /// Table IV: distinct benign / malicious files served per domain.
+    pub fn files_per_domain(&self, k: usize) -> [Vec<DomainCount>; 2] {
+        let n = self.e2ld_count();
+        let mut benign = vec![0u64; n];
+        let mut malicious = vec![0u64; n];
+        let mut stamp = Stamp::new(n);
+        // File-major scan with one stamp tag per file; a file's label is
+        // fixed, so each (file, e2LD) pair increments exactly one class.
+        for file in 0..self.file_count() {
+            let counts = match self.file_label[file] {
+                FileLabel::Benign => &mut benign,
+                FileLabel::Malicious => &mut malicious,
+                _ => continue,
+            };
+            let tag = file as u32;
+            for &e in self.file_events(file) {
+                let d = self.ev_e2ld[e as usize].index();
+                if stamp.mark(d, tag) {
+                    counts[d] += 1;
+                }
+            }
+        }
+        [benign, malicious].map(|counts| self.top_domain_counts(&counts, k))
+    }
+
+    /// Table V: per malicious behaviour type, the domains serving the
+    /// most distinct files of that type.
+    pub fn type_domain_tables(&self, k: usize) -> HashMap<MalwareType, Vec<DomainCount>> {
+        let n = self.e2ld_count();
+        let mut per_type: [Option<Vec<u64>>; TYPE_COUNT] = std::array::from_fn(|_| None);
+        let mut stamp = Stamp::new(n);
+        for file in 0..self.file_count() {
+            if self.file_label[file] != FileLabel::Malicious {
+                continue;
+            }
+            let Some(ty) = self.file_type[file] else {
+                continue;
+            };
+            let counts = per_type[type_index(ty)].get_or_insert_with(|| vec![0u64; n]);
+            let tag = file as u32;
+            for &e in self.file_events(file) {
+                let d = self.ev_e2ld[e as usize].index();
+                if stamp.mark(d, tag) {
+                    counts[d] += 1;
+                }
+            }
+        }
+        MalwareType::ALL
+            .into_iter()
+            .filter_map(|ty| {
+                per_type[type_index(ty)]
+                    .take()
+                    .map(|counts| (ty, self.top_domain_counts(&counts, k)))
+            })
+            .collect()
+    }
+
+    /// Table XIII: domains serving the most *download events* of a given
+    /// class (the paper uses it for unknowns).
+    pub fn top_domains_by_downloads(&self, class: FileLabel, k: usize) -> Vec<DomainCount> {
+        let mut counts = vec![0u64; self.e2ld_count()];
+        for (e, &label) in self.ev_file_label.iter().enumerate() {
+            if label == class {
+                counts[self.ev_e2ld[e].index()] += 1;
+            }
+        }
+        self.top_domain_counts(&counts, k)
+    }
+
+    /// Figs. 3/6: the ECDF of Alexa ranks over the distinct domains
+    /// hosting files of `class`. Returns the ECDF over *ranked* domains
+    /// plus the count of unranked ones.
+    pub fn rank_distribution(&self, ranks: &RankSource<'_>, class: FileLabel) -> (Ecdf, usize) {
+        let mut seen = vec![false; self.e2ld_count()];
+        for (e, &label) in self.ev_file_label.iter().enumerate() {
+            if label == class {
+                seen[self.ev_e2ld[e].index()] = true;
+            }
+        }
+        let mut samples = Vec::new();
+        let mut unranked = 0usize;
+        for (d, &hit) in seen.iter().enumerate() {
+            if !hit {
+                continue;
+            }
+            match ranks.rank(&self.e2lds[d]) {
+                Some(r) => samples.push(r as f64),
+                None => unranked += 1,
+            }
+        }
+        (Ecdf::from_samples(samples), unranked)
+    }
+
+    /// Turns a dense per-e2LD counter into the top-`k` table rows
+    /// (count descending, domain ascending — a total order, so the
+    /// result is identical to the legacy hash-map path).
+    fn top_domain_counts(&self, counts: &[u64], k: usize) -> Vec<DomainCount> {
+        let mut rows: Vec<DomainCount> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(d, &count)| DomainCount {
+                domain: self.e2lds[d].clone(),
+                count,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.domain.cmp(&b.domain)));
+        rows.truncate(k);
+        rows
+    }
+}
+
+/// Table III (see [`AnalysisFrame::domain_popularity`]); builds a
+/// one-shot frame from the label view.
 pub fn domain_popularity(
     dataset: &Dataset,
     labels: &LabelView<'_>,
     k: usize,
 ) -> [Vec<DomainCount>; 3] {
-    let mut overall: HashMap<String, HashSet<u64>> = HashMap::new();
-    let mut benign: HashMap<String, HashSet<u64>> = HashMap::new();
-    let mut malicious: HashMap<String, HashSet<u64>> = HashMap::new();
-    for event in dataset.events() {
-        let e2ld = dataset.url_of(event).e2ld();
-        let machine = event.machine.raw();
-        overall.entry(e2ld.to_owned()).or_default().insert(machine);
-        match labels.label(event.file) {
-            FileLabel::Benign => {
-                benign.entry(e2ld.to_owned()).or_default().insert(machine);
-            }
-            FileLabel::Malicious => {
-                malicious.entry(e2ld.to_owned()).or_default().insert(machine);
-            }
-            _ => {}
-        }
-    }
-    [overall, benign, malicious].map(|m| top_by_set_size(m, k))
+    AnalysisFrame::from_label_view(dataset, labels).domain_popularity(k)
 }
 
-/// Table IV: distinct benign / malicious files served per domain.
+/// Table IV (see [`AnalysisFrame::files_per_domain`]).
 pub fn files_per_domain(
     dataset: &Dataset,
     labels: &LabelView<'_>,
     k: usize,
 ) -> [Vec<DomainCount>; 2] {
-    let mut benign: HashMap<String, HashSet<u64>> = HashMap::new();
-    let mut malicious: HashMap<String, HashSet<u64>> = HashMap::new();
-    for event in dataset.events() {
-        let e2ld = dataset.url_of(event).e2ld();
-        match labels.label(event.file) {
-            FileLabel::Benign => {
-                benign
-                    .entry(e2ld.to_owned())
-                    .or_default()
-                    .insert(event.file.raw());
-            }
-            FileLabel::Malicious => {
-                malicious
-                    .entry(e2ld.to_owned())
-                    .or_default()
-                    .insert(event.file.raw());
-            }
-            _ => {}
-        }
-    }
-    [benign, malicious].map(|m| top_by_set_size(m, k))
+    AnalysisFrame::from_label_view(dataset, labels).files_per_domain(k)
 }
 
-/// Table V: per malicious behaviour type, the domains serving the most
-/// distinct files of that type.
+/// Table V (see [`AnalysisFrame::type_domain_tables`]).
 pub fn type_domain_tables(
     dataset: &Dataset,
     labels: &LabelView<'_>,
     k: usize,
 ) -> HashMap<MalwareType, Vec<DomainCount>> {
-    let mut per_type: HashMap<MalwareType, HashMap<String, HashSet<u64>>> = HashMap::new();
-    for event in dataset.events() {
-        if labels.label(event.file) != FileLabel::Malicious {
-            continue;
-        }
-        let Some(ty) = labels.malware_type(event.file) else {
-            continue;
-        };
-        let e2ld = dataset.url_of(event).e2ld();
-        per_type
-            .entry(ty)
-            .or_default()
-            .entry(e2ld.to_owned())
-            .or_default()
-            .insert(event.file.raw());
-    }
-    per_type
-        .into_iter()
-        .map(|(ty, m)| (ty, top_by_set_size(m, k)))
-        .collect()
+    AnalysisFrame::from_label_view(dataset, labels).type_domain_tables(k)
 }
 
-/// Table XIII: domains serving the most *download events* of a given
-/// class (the paper uses it for unknowns).
+/// Table XIII (see [`AnalysisFrame::top_domains_by_downloads`]).
 pub fn top_domains_by_downloads(
     dataset: &Dataset,
     labels: &LabelView<'_>,
     class: FileLabel,
     k: usize,
 ) -> Vec<DomainCount> {
-    let mut counter: Counter<String> = Counter::new();
-    for event in dataset.events() {
-        if labels.label(event.file) == class {
-            counter.add(dataset.url_of(event).e2ld().to_owned());
-        }
-    }
-    counter
-        .top(k)
-        .into_iter()
-        .map(|(domain, count)| DomainCount { domain, count })
-        .collect()
+    AnalysisFrame::from_label_view(dataset, labels).top_domains_by_downloads(class, k)
 }
 
-/// Figs. 3/6: the ECDF of Alexa ranks over the distinct domains hosting
-/// files of `class`. Returns the ECDF over *ranked* domains plus the
-/// count of unranked ones.
+/// Figs. 3/6 (see [`AnalysisFrame::rank_distribution`]).
 pub fn rank_distribution(
     dataset: &Dataset,
     labels: &LabelView<'_>,
     ranks: &RankSource<'_>,
     class: FileLabel,
 ) -> (Ecdf, usize) {
-    let mut domains: HashSet<String> = HashSet::new();
-    for event in dataset.events() {
-        if labels.label(event.file) == class {
-            domains.insert(dataset.url_of(event).e2ld().to_owned());
-        }
-    }
-    let mut samples = Vec::new();
-    let mut unranked = 0usize;
-    for d in &domains {
-        match ranks.rank(d) {
-            Some(r) => samples.push(r as f64),
-            None => unranked += 1,
-        }
-    }
-    (Ecdf::from_samples(samples), unranked)
-}
-
-fn top_by_set_size(map: HashMap<String, HashSet<u64>>, k: usize) -> Vec<DomainCount> {
-    let mut rows: Vec<DomainCount> = map
-        .into_iter()
-        .map(|(domain, set)| DomainCount {
-            domain,
-            count: set.len() as u64,
-        })
-        .collect();
-    rows.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.domain.cmp(&b.domain)));
-    rows.truncate(k);
-    rows
+    AnalysisFrame::from_label_view(dataset, labels).rank_distribution(ranks, class)
 }
 
 #[cfg(test)]
@@ -289,5 +345,23 @@ mod tests {
         assert_eq!(cdf.len(), 1);
         assert_eq!(unranked, 1); // wipmsc.ru
         assert_eq!(cdf.eval(170.0), 1.0);
+    }
+
+    #[test]
+    fn frame_and_legacy_paths_agree() {
+        let ds = dataset();
+        let view = labels();
+        assert_eq!(
+            domain_popularity(&ds, &view, 10),
+            crate::legacy::domain_popularity(&ds, &view, 10)
+        );
+        assert_eq!(
+            files_per_domain(&ds, &view, 10),
+            crate::legacy::files_per_domain(&ds, &view, 10)
+        );
+        assert_eq!(
+            type_domain_tables(&ds, &view, 5),
+            crate::legacy::type_domain_tables(&ds, &view, 5)
+        );
     }
 }

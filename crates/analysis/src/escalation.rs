@@ -5,13 +5,17 @@
 //! next download of *other* malware — where "other malware" excludes
 //! adware, PUPs, and undefined, exactly as the paper does so the four
 //! curves are comparable.
+//!
+//! The pass walks each machine's contiguous CSR event slice in the
+//! frame; seeds live in a fixed 4-slot array and target checks read the
+//! per-event label/type columns directly.
 
+use crate::frame::AnalysisFrame;
 use crate::labels::LabelView;
 use crate::stats::Ecdf;
 use downlake_telemetry::Dataset;
-use downlake_types::{FileLabel, MalwareType, Timestamp};
+use downlake_types::{FileId, FileLabel, MalwareType, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The four seed kinds of Fig. 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,84 +67,98 @@ impl EscalationReport {
     }
 }
 
-/// Whether a downloaded file counts as "other malware" for escalation.
-fn is_target_malware(labels: &LabelView<'_>, file: downlake_types::FileHash) -> bool {
-    labels.label(file) == FileLabel::Malicious
-        && !matches!(
-            labels.malware_type(file),
-            Some(MalwareType::Adware) | Some(MalwareType::Pup) | Some(MalwareType::Undefined) | None
-        )
+impl AnalysisFrame {
+    /// Whether an event downloaded "other malware" for escalation.
+    fn is_target_malware(&self, event: usize) -> bool {
+        self.ev_file_label[event] == FileLabel::Malicious
+            && !matches!(
+                self.ev_file_type[event],
+                Some(MalwareType::Adware)
+                    | Some(MalwareType::Pup)
+                    | Some(MalwareType::Undefined)
+                    | None
+            )
+    }
+
+    /// Computes the Fig. 5 curves.
+    pub fn escalation_cdf(&self) -> EscalationReport {
+        // Sample vectors in `EscalationKind::ALL` slot order.
+        let mut samples: [Vec<f64>; 4] = std::array::from_fn(|_| Vec::new());
+
+        for machine in 0..self.machine_count() {
+            // The machine's CSR slice is time-ordered.
+            let events = self.machine_events(machine);
+
+            // Seed times: first adware, first pup, first dropper download;
+            // benign baseline = first benign download on a machine with no
+            // earlier malicious download. The seed file is remembered so
+            // the seed event itself is not counted as the escalation
+            // target.
+            let mut seeds: [Option<(Timestamp, FileId)>; 4] = [None; 4];
+            let mut seen_malicious = false;
+            for &e in events {
+                let e = e as usize;
+                match self.ev_file_label[e] {
+                    FileLabel::Malicious => {
+                        let slot = match self.ev_file_type[e] {
+                            Some(MalwareType::Adware) => Some(1),
+                            Some(MalwareType::Pup) => Some(2),
+                            Some(MalwareType::Dropper) => Some(3),
+                            _ => None,
+                        };
+                        if let Some(slot) = slot {
+                            if seeds[slot].is_none() {
+                                seeds[slot] = Some((self.ev_timestamp[e], self.ev_file[e]));
+                            }
+                        }
+                        seen_malicious = true;
+                    }
+                    FileLabel::Benign if !seen_malicious && seeds[0].is_none() => {
+                        seeds[0] = Some((self.ev_timestamp[e], self.ev_file[e]));
+                    }
+                    _ => {}
+                }
+            }
+
+            // For each seed: the first *other malware* download at or
+            // after the seed time (same-day escalations are day 0), never
+            // counting the seed download itself.
+            for (slot, seed) in seeds.iter().enumerate() {
+                let Some((seed_time, seed_file)) = *seed else {
+                    continue;
+                };
+                let delta = events
+                    .iter()
+                    .map(|&e| e as usize)
+                    .filter(|&e| {
+                        self.ev_timestamp[e] >= seed_time
+                            && !(self.ev_timestamp[e] == seed_time && self.ev_file[e] == seed_file)
+                            && self.is_target_malware(e)
+                    })
+                    .map(|e| (self.ev_timestamp[e] - seed_time).whole_days() as f64)
+                    .next();
+                if let Some(days) = delta {
+                    samples[slot].push(days);
+                }
+            }
+        }
+
+        EscalationReport {
+            curves: EscalationKind::ALL
+                .iter()
+                .zip(samples)
+                .map(|(&kind, data)| {
+                    let n = data.len();
+                    (kind, Ecdf::from_samples(data), n)
+                })
+                .collect(),
+        }
+    }
 }
 
-/// Computes the Fig. 5 curves.
+/// Fig. 5 (see [`AnalysisFrame::escalation_cdf`]).
 pub fn escalation_cdf(dataset: &Dataset, labels: &LabelView<'_>) -> EscalationReport {
-    let mut samples: HashMap<EscalationKind, Vec<f64>> = HashMap::new();
-
-    for machine in dataset.machines() {
-        // Events are time-ordered per machine.
-        let events: Vec<_> = dataset.events_of_machine(machine).collect();
-
-        // Seed times: first adware, first pup, first dropper download;
-        // benign baseline = first benign download on a machine with no
-        // earlier malicious download. The seed file is remembered so the
-        // seed event itself is not counted as the escalation target.
-        let mut seeds: HashMap<EscalationKind, (Timestamp, downlake_types::FileHash)> =
-            HashMap::new();
-        let mut seen_malicious = false;
-        for event in &events {
-            match labels.label(event.file) {
-                FileLabel::Malicious => {
-                    let kind = match labels.malware_type(event.file) {
-                        Some(MalwareType::Adware) => Some(EscalationKind::Adware),
-                        Some(MalwareType::Pup) => Some(EscalationKind::Pup),
-                        Some(MalwareType::Dropper) => Some(EscalationKind::Dropper),
-                        _ => None,
-                    };
-                    if let Some(kind) = kind {
-                        seeds.entry(kind).or_insert((event.timestamp, event.file));
-                    }
-                    seen_malicious = true;
-                }
-                FileLabel::Benign => {
-                    if !seen_malicious {
-                        seeds
-                            .entry(EscalationKind::Benign)
-                            .or_insert((event.timestamp, event.file));
-                    }
-                }
-                _ => {}
-            }
-        }
-
-        // For each seed: the first *other malware* download at or after
-        // the seed time (same-day escalations are day 0), never counting
-        // the seed download itself.
-        for (kind, (seed_time, seed_file)) in seeds {
-            let delta = events
-                .iter()
-                .filter(|e| {
-                    e.timestamp >= seed_time
-                        && !(e.timestamp == seed_time && e.file == seed_file)
-                        && is_target_malware(labels, e.file)
-                })
-                .map(|e| (e.timestamp - seed_time).whole_days() as f64)
-                .next();
-            if let Some(days) = delta {
-                samples.entry(kind).or_default().push(days);
-            }
-        }
-    }
-
-    EscalationReport {
-        curves: EscalationKind::ALL
-            .iter()
-            .map(|&kind| {
-                let data = samples.remove(&kind).unwrap_or_default();
-                let n = data.len();
-                (kind, Ecdf::from_samples(data), n)
-            })
-            .collect(),
-    }
+    AnalysisFrame::from_label_view(dataset, labels).escalation_cdf()
 }
 
 #[cfg(test)]
@@ -207,6 +225,10 @@ mod tests {
         let benign = report.curve(EscalationKind::Benign).unwrap();
         assert_eq!(benign.eval(29.0), 0.0);
         assert_eq!(benign.eval(30.0), 1.0);
+
+        // The legacy per-machine hash-map path yields the same curves.
+        let legacy = crate::legacy::escalation_cdf(&ds, &view);
+        assert_eq!(format!("{report:?}"), format!("{legacy:?}"));
     }
 
     #[test]

@@ -1,0 +1,529 @@
+//! The columnar [`AnalysisFrame`]: dense-id event columns shared across
+//! every table/figure pass.
+//!
+//! Every analysis in this crate used to re-derive the same facts per
+//! event — resolving URLs to e2LD strings, calling boxed label closures,
+//! and accumulating into string-keyed hash maps. The frame resolves each
+//! fact **once**, into flat `Vec` columns indexed by the dense ids the
+//! telemetry layer assigns ([`FileId`], [`ProcessId`], [`MachineIdx`],
+//! [`E2ldId`]):
+//!
+//! - *per-event* columns parallel to `Dataset::events()` — file /
+//!   process / machine / URL / e2LD ids, timestamp, study month, and the
+//!   gathered file label, malware type, and process category;
+//! - *per-file* columns — label, type, prevalence, interned signer and
+//!   packer ids, and whether a browser ever downloaded the file;
+//! - *per-process* columns — label, type, category;
+//! - CSR adjacency (machine → events, file → events) rebuilt over the
+//!   dense ids so per-entity scans are contiguous slices.
+//!
+//! Label and type closures are invoked once per *distinct* file and
+//! process at build time, never per event, and no analysis pass over the
+//! frame allocates a `String` per event. Each analysis module implements
+//! its passes as methods on the frame (`AnalysisFrame::domain_popularity`
+//! and friends); the original hash-keyed implementations live in
+//! [`crate::legacy`] and the equivalence of both paths is asserted by the
+//! `frame_equivalence` integration test.
+
+use crate::labels::LabelView;
+use downlake_telemetry::Dataset;
+use downlake_types::{
+    E2ldId, FileHash, FileId, FileLabel, MachineIdx, MalwareType, Month, ProcessCategory,
+    ProcessId, Timestamp, UrlId, MONTHS_IN_STUDY,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+/// Number of malware behaviour types (rows of the paper's Table II).
+pub(crate) const TYPE_COUNT: usize = 11;
+
+/// Dense index of a malware type, in [`MalwareType::ALL`] (Table II)
+/// order.
+pub(crate) const fn type_index(ty: MalwareType) -> usize {
+    match ty {
+        MalwareType::Dropper => 0,
+        MalwareType::Pup => 1,
+        MalwareType::Adware => 2,
+        MalwareType::Trojan => 3,
+        MalwareType::Banker => 4,
+        MalwareType::Bot => 5,
+        MalwareType::FakeAv => 6,
+        MalwareType::Ransomware => 7,
+        MalwareType::Worm => 8,
+        MalwareType::Spyware => 9,
+        MalwareType::Undefined => 10,
+    }
+}
+
+/// The columnar analysis frame. Built once per study (see
+/// [`AnalysisFrame::build`]); owns all of its columns, so it can live
+/// alongside the `Dataset` it was derived from without borrowing it.
+pub struct AnalysisFrame {
+    // Per-event columns, parallel to `Dataset::events()`.
+    pub(crate) ev_file: Vec<FileId>,
+    pub(crate) ev_process: Vec<ProcessId>,
+    pub(crate) ev_machine: Vec<MachineIdx>,
+    pub(crate) ev_url: Vec<UrlId>,
+    pub(crate) ev_e2ld: Vec<E2ldId>,
+    pub(crate) ev_timestamp: Vec<Timestamp>,
+    /// Study-month index per event (`u8::MAX` = outside the study window).
+    pub(crate) ev_month: Vec<u8>,
+    pub(crate) ev_file_label: Vec<FileLabel>,
+    pub(crate) ev_file_type: Vec<Option<MalwareType>>,
+    pub(crate) ev_proc_category: Vec<ProcessCategory>,
+
+    // Per-file columns, indexed by `FileId`.
+    pub(crate) file_label: Vec<FileLabel>,
+    pub(crate) file_type: Vec<Option<MalwareType>>,
+    pub(crate) file_prevalence: Vec<u32>,
+    /// Interned valid-signer subject, if the file is validly signed.
+    pub(crate) file_signer: Vec<Option<u32>>,
+    /// Interned packer name, if the file is packed.
+    pub(crate) file_packer: Vec<Option<u32>>,
+    /// Whether a browser-category process ever downloaded the file.
+    pub(crate) file_browser: Vec<bool>,
+
+    // Per-process columns, indexed by `ProcessId`.
+    pub(crate) proc_label: Vec<FileLabel>,
+    pub(crate) proc_type: Vec<Option<MalwareType>>,
+    pub(crate) proc_category: Vec<ProcessCategory>,
+
+    // Per-URL column, indexed by `UrlId`.
+    pub(crate) url_e2ld: Vec<E2ldId>,
+
+    // Interned string tables, indexed by the dense ids above.
+    pub(crate) e2lds: Vec<String>,
+    pub(crate) signers: Vec<String>,
+    pub(crate) packers: Vec<String>,
+
+    // CSR adjacency over dense ids: time-ordered event indexes per row.
+    pub(crate) machine_offsets: Vec<u32>,
+    pub(crate) machine_event_idx: Vec<u32>,
+    pub(crate) file_offsets: Vec<u32>,
+    pub(crate) file_event_idx: Vec<u32>,
+
+    /// Event-index range of each study month.
+    pub(crate) month_bounds: Vec<Range<u32>>,
+    pub(crate) machine_count: usize,
+}
+
+impl fmt::Debug for AnalysisFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisFrame")
+            .field("events", &self.ev_file.len())
+            .field("files", &self.file_label.len())
+            .field("processes", &self.proc_label.len())
+            .field("machines", &self.machine_count)
+            .field("e2lds", &self.e2lds.len())
+            .field("signers", &self.signers.len())
+            .field("packers", &self.packers.len())
+            .finish()
+    }
+}
+
+impl AnalysisFrame {
+    /// Builds the frame from a dataset and a labeling.
+    ///
+    /// `label_of` / `type_of` are called once per distinct file and per
+    /// distinct process image — never per event.
+    pub fn build(
+        dataset: &Dataset,
+        label_of: impl Fn(FileHash) -> FileLabel,
+        type_of: impl Fn(FileHash) -> Option<MalwareType>,
+    ) -> Self {
+        let n_events = dataset.events().len();
+        let n_files = dataset.files().len();
+        let n_processes = dataset.processes().len();
+
+        // Per-URL e2LD column and the e2LD string table, copied from the
+        // interning the telemetry layer already did.
+        let urls = dataset.urls();
+        let url_e2ld: Vec<E2ldId> = (0..urls.len())
+            .map(|i| urls.e2ld_of(UrlId::from_raw(i as u32)))
+            .collect();
+        let e2lds: Vec<String> = urls.e2lds().map(str::to_owned).collect();
+
+        // Per-file columns: one closure call and one metadata inspection
+        // per distinct file. Signer subjects and packer names are interned
+        // into dense local id spaces in file order.
+        let mut file_label = Vec::with_capacity(n_files);
+        let mut file_type = Vec::with_capacity(n_files);
+        let mut file_prevalence = Vec::with_capacity(n_files);
+        let mut file_signer = Vec::with_capacity(n_files);
+        let mut file_packer = Vec::with_capacity(n_files);
+        let mut signers: Vec<String> = Vec::new();
+        let mut signer_ids: HashMap<String, u32> = HashMap::new();
+        let mut packers: Vec<String> = Vec::new();
+        let mut packer_ids: HashMap<String, u32> = HashMap::new();
+        for (i, record) in dataset.files().iter().enumerate() {
+            file_label.push(label_of(record.hash));
+            file_type.push(type_of(record.hash));
+            file_prevalence.push(dataset.prevalence_of(FileId::from_raw(i as u32)) as u32);
+            file_signer.push(record.meta.valid_signer_subject().map(|subject| {
+                *signer_ids.entry(subject.to_owned()).or_insert_with(|| {
+                    signers.push(subject.to_owned());
+                    (signers.len() - 1) as u32
+                })
+            }));
+            file_packer.push(record.meta.packer.as_ref().map(|p| {
+                *packer_ids.entry(p.name.clone()).or_insert_with(|| {
+                    packers.push(p.name.clone());
+                    (packers.len() - 1) as u32
+                })
+            }));
+        }
+
+        // Per-process columns.
+        let mut proc_label = Vec::with_capacity(n_processes);
+        let mut proc_type = Vec::with_capacity(n_processes);
+        let mut proc_category = Vec::with_capacity(n_processes);
+        for record in dataset.processes().iter() {
+            proc_label.push(label_of(record.hash));
+            proc_type.push(type_of(record.hash));
+            proc_category.push(record.category);
+        }
+
+        // Per-event columns: copies of the dataset's dense id columns plus
+        // gathers of the per-entity columns above.
+        let ev_file = dataset.event_files().to_vec();
+        let ev_process = dataset.event_processes().to_vec();
+        let ev_machine = dataset.event_machines().to_vec();
+        let mut ev_url = Vec::with_capacity(n_events);
+        let mut ev_timestamp = Vec::with_capacity(n_events);
+        for event in dataset.events() {
+            ev_url.push(event.url);
+            ev_timestamp.push(event.timestamp);
+        }
+        let ev_e2ld: Vec<E2ldId> = ev_url.iter().map(|&u| url_e2ld[u.index()]).collect();
+        let ev_file_label: Vec<FileLabel> =
+            ev_file.iter().map(|&f| file_label[f.index()]).collect();
+        let ev_file_type: Vec<Option<MalwareType>> =
+            ev_file.iter().map(|&f| file_type[f.index()]).collect();
+        let ev_proc_category: Vec<ProcessCategory> = ev_process
+            .iter()
+            .map(|&p| proc_category[p.index()])
+            .collect();
+
+        // Browser exposure per file.
+        let mut file_browser = vec![false; n_files];
+        for (i, &f) in ev_file.iter().enumerate() {
+            if ev_proc_category[i].is_browser() {
+                file_browser[f.index()] = true;
+            }
+        }
+
+        // CSR adjacency (counting sort keeps time order within each row).
+        let (machine_offsets, machine_event_idx) =
+            csr_group(dataset.machine_count(), ev_machine.iter().map(|m| m.raw()));
+        let (file_offsets, file_event_idx) = csr_group(n_files, ev_file.iter().map(|f| f.raw()));
+
+        // Month bounds and the per-event month column.
+        let mut month_bounds = Vec::with_capacity(MONTHS_IN_STUDY);
+        let mut ev_month = vec![u8::MAX; n_events];
+        for month in Month::ALL {
+            let range = dataset.month(month).event_range();
+            for slot in &mut ev_month[range.clone()] {
+                *slot = month.index() as u8;
+            }
+            month_bounds.push(range.start as u32..range.end as u32);
+        }
+
+        Self {
+            ev_file,
+            ev_process,
+            ev_machine,
+            ev_url,
+            ev_e2ld,
+            ev_timestamp,
+            ev_month,
+            ev_file_label,
+            ev_file_type,
+            ev_proc_category,
+            file_label,
+            file_type,
+            file_prevalence,
+            file_signer,
+            file_packer,
+            file_browser,
+            proc_label,
+            proc_type,
+            proc_category,
+            url_e2ld,
+            e2lds,
+            signers,
+            packers,
+            machine_offsets,
+            machine_event_idx,
+            file_offsets,
+            file_event_idx,
+            month_bounds,
+            machine_count: dataset.machine_count(),
+        }
+    }
+
+    /// Builds the frame through a [`LabelView`]'s closures.
+    pub fn from_label_view(dataset: &Dataset, labels: &LabelView<'_>) -> Self {
+        Self::build(dataset, |h| labels.label(h), |h| labels.malware_type(h))
+    }
+
+    /// Number of events.
+    pub fn event_count(&self) -> usize {
+        self.ev_file.len()
+    }
+
+    /// Number of distinct files.
+    pub fn file_count(&self) -> usize {
+        self.file_label.len()
+    }
+
+    /// Number of distinct process images.
+    pub fn process_count(&self) -> usize {
+        self.proc_label.len()
+    }
+
+    /// Number of distinct machines.
+    pub fn machine_count(&self) -> usize {
+        self.machine_count
+    }
+
+    /// Number of distinct e2LDs.
+    pub fn e2ld_count(&self) -> usize {
+        self.e2lds.len()
+    }
+
+    /// Per-file labels, indexed by [`FileId`].
+    pub fn file_labels(&self) -> &[FileLabel] {
+        &self.file_label
+    }
+
+    /// Per-file malware types, indexed by [`FileId`].
+    pub fn file_types(&self) -> &[Option<MalwareType>] {
+        &self.file_type
+    }
+
+    /// Per-file prevalence, indexed by [`FileId`].
+    pub fn file_prevalences(&self) -> &[u32] {
+        &self.file_prevalence
+    }
+
+    /// Per-process labels, indexed by [`ProcessId`].
+    pub fn process_labels(&self) -> &[FileLabel] {
+        &self.proc_label
+    }
+
+    /// Per-process malware types, indexed by [`ProcessId`].
+    pub fn process_types(&self) -> &[Option<MalwareType>] {
+        &self.proc_type
+    }
+
+    /// Per-process categories, indexed by [`ProcessId`].
+    pub fn process_categories(&self) -> &[ProcessCategory] {
+        &self.proc_category
+    }
+
+    /// Per-event file labels, parallel to the event order.
+    pub fn event_file_labels(&self) -> &[FileLabel] {
+        &self.ev_file_label
+    }
+
+    /// Per-event dense file ids, parallel to the event order.
+    pub fn event_files(&self) -> &[FileId] {
+        &self.ev_file
+    }
+
+    /// Per-event e2LD ids, parallel to the event order.
+    pub fn event_e2lds(&self) -> &[E2ldId] {
+        &self.ev_e2ld
+    }
+
+    /// Per-event month indexes (`u8::MAX` when the event's timestamp
+    /// falls outside the study window), parallel to the event order.
+    pub fn event_months(&self) -> &[u8] {
+        &self.ev_month
+    }
+
+    /// Per-URL e2LD ids, indexed by [`UrlId`].
+    pub fn url_e2lds(&self) -> &[E2ldId] {
+        &self.url_e2ld
+    }
+
+    /// Resolves an e2LD id to its domain string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this frame's dataset.
+    pub fn e2ld_str(&self, id: E2ldId) -> &str {
+        &self.e2lds[id.index()]
+    }
+
+    /// Time-ordered event indexes of one machine.
+    pub(crate) fn machine_events(&self, machine: usize) -> &[u32] {
+        let lo = self.machine_offsets[machine] as usize;
+        let hi = self.machine_offsets[machine + 1] as usize;
+        &self.machine_event_idx[lo..hi]
+    }
+
+    /// Time-ordered event indexes of one file.
+    pub(crate) fn file_events(&self, file: usize) -> &[u32] {
+        let lo = self.file_offsets[file] as usize;
+        let hi = self.file_offsets[file + 1] as usize;
+        &self.file_event_idx[lo..hi]
+    }
+}
+
+/// Groups positions `0..keys.len()` by key via counting sort; within a
+/// row, positions keep iteration (time) order.
+fn csr_group(rows: usize, keys: impl Iterator<Item = u32> + Clone) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = vec![0u32; rows + 1];
+    let mut len = 0usize;
+    for key in keys.clone() {
+        offsets[key as usize + 1] += 1;
+        len += 1;
+    }
+    for row in 1..offsets.len() {
+        offsets[row] += offsets[row - 1];
+    }
+    let mut cursor = offsets.clone();
+    let mut values = vec![0u32; len];
+    for (position, key) in keys.enumerate() {
+        let slot = &mut cursor[key as usize];
+        values[*slot as usize] = position as u32;
+        *slot += 1;
+    }
+    (offsets, values)
+}
+
+/// A stamp array for counting distinct dense ids without a `HashSet`:
+/// `mark(id, tag)` returns `true` the first time `id` is seen under
+/// `tag`. Re-tagging (one tag per machine / file / month) reuses the
+/// allocation across groups.
+pub(crate) struct Stamp {
+    marks: Vec<u32>,
+}
+
+impl Stamp {
+    /// A stamp array over `len` dense ids, with nothing marked.
+    pub(crate) fn new(len: usize) -> Self {
+        Self {
+            marks: vec![u32::MAX; len],
+        }
+    }
+
+    /// Marks `id` under `tag`; `true` iff it was not yet marked.
+    /// `tag` must be below `u32::MAX` (dense indexes always are).
+    pub(crate) fn mark(&mut self, id: usize, tag: u32) -> bool {
+        if self.marks[id] == tag {
+            false
+        } else {
+            self.marks[id] = tag;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_telemetry::{DatasetBuilder, RawEvent};
+    use downlake_types::{FileMeta, MachineId, SignerInfo, Url};
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let push = |b: &mut DatasetBuilder, file: u64, machine: u64, day: u32, url: &str| {
+            b.push(RawEvent {
+                file: FileHash::from_raw(file),
+                file_meta: FileMeta {
+                    signer: (file == 1).then(|| SignerInfo::valid("Acme", "ca")),
+                    ..FileMeta::default()
+                },
+                machine: MachineId::from_raw(machine),
+                process: FileHash::from_raw(900),
+                process_meta: FileMeta {
+                    disk_name: "chrome.exe".into(),
+                    ..FileMeta::default()
+                },
+                url: url.parse::<Url>().unwrap(),
+                timestamp: Timestamp::from_day(day),
+                executed: true,
+            });
+        };
+        push(&mut b, 1, 1, 2, "http://a.com/x");
+        push(&mut b, 1, 2, 3, "http://a.com/x");
+        push(&mut b, 2, 1, 40, "http://b.com/y");
+        b.finish()
+    }
+
+    fn frame() -> AnalysisFrame {
+        AnalysisFrame::build(
+            &dataset(),
+            |h| match h.raw() {
+                1 => FileLabel::Benign,
+                2 => FileLabel::Malicious,
+                900 => FileLabel::Benign,
+                _ => FileLabel::Unknown,
+            },
+            |h| (h.raw() == 2).then_some(MalwareType::Trojan),
+        )
+    }
+
+    #[test]
+    fn columns_are_parallel_and_resolved() {
+        let f = frame();
+        assert_eq!(f.event_count(), 3);
+        assert_eq!(f.file_count(), 2);
+        assert_eq!(f.process_count(), 1);
+        assert_eq!(f.machine_count(), 2);
+        assert_eq!(f.e2ld_count(), 2);
+        assert_eq!(
+            f.ev_file_label,
+            vec![FileLabel::Benign, FileLabel::Benign, FileLabel::Malicious]
+        );
+        assert_eq!(f.ev_month, vec![0, 0, 1]);
+        assert_eq!(f.e2ld_str(f.ev_e2ld[0]), "a.com");
+        assert_eq!(f.e2ld_str(f.ev_e2ld[2]), "b.com");
+        assert_eq!(f.file_prevalences(), &[2, 1]);
+        assert_eq!(f.file_types()[1], Some(MalwareType::Trojan));
+        assert!(f.ev_proc_category[0].is_browser());
+        assert!(f.file_browser.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn signers_and_packers_are_interned() {
+        let f = frame();
+        assert_eq!(f.signers, vec!["Acme".to_owned()]);
+        assert_eq!(f.file_signer, vec![Some(0), None]);
+        assert!(f.packers.is_empty());
+        assert_eq!(f.file_packer, vec![None, None]);
+    }
+
+    #[test]
+    fn csr_rows_are_time_ordered() {
+        let f = frame();
+        // Machine 1 (dense 0) has events 0 and 2; machine 2 has event 1.
+        assert_eq!(f.machine_events(0), &[0, 2]);
+        assert_eq!(f.machine_events(1), &[1]);
+        assert_eq!(f.file_events(0), &[0, 1]);
+        assert_eq!(f.file_events(1), &[2]);
+    }
+
+    #[test]
+    fn type_index_is_a_bijection_over_all() {
+        let mut seen = [false; TYPE_COUNT];
+        for ty in MalwareType::ALL {
+            let i = type_index(ty);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stamp_counts_distinct_per_tag() {
+        let mut s = Stamp::new(3);
+        assert!(s.mark(0, 7));
+        assert!(!s.mark(0, 7));
+        assert!(s.mark(0, 8), "new tag re-counts");
+        assert!(s.mark(2, 8));
+    }
+}

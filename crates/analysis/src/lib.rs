@@ -2,23 +2,32 @@
 //! computes over the download dataset, as reusable, label-source-agnostic
 //! functions.
 //!
-//! Analyses take a [`LabelView`] — closures mapping file hashes to their
-//! ground-truth label and (for malicious files) behaviour type — so the
-//! crate works with any labeling source: the `downlake-groundtruth`
-//! oracle, rule-extended labels, or hand-built fixtures in tests.
+//! Analyses are methods on a columnar [`AnalysisFrame`] — dense-id event
+//! and entity columns resolved once per study — so every table/figure
+//! pass is a flat array scan with `Vec`-indexed counters. The historical
+//! free functions (`domain_popularity(dataset, labels, ..)` and friends)
+//! remain as thin wrappers that build a frame from a [`LabelView`] —
+//! closures mapping file hashes to their ground-truth label and (for
+//! malicious files) behaviour type — so the crate still works with any
+//! labeling source: the `downlake-groundtruth` oracle, rule-extended
+//! labels, or hand-built fixtures in tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod domains;
 mod escalation;
+mod frame;
 mod labels;
+pub mod legacy;
 mod monthly;
 mod packers;
 mod prevalence;
 mod processes;
 mod signers;
 pub mod stats;
+
+pub use frame::AnalysisFrame;
 
 pub use domains::{
     domain_popularity, files_per_domain, rank_distribution, top_domains_by_downloads,

@@ -1,5 +1,11 @@
 //! Monthly collection summary (Table I).
+//!
+//! Distinct machines / files / processes / URLs per month are counted
+//! with stamp arrays over the frame's dense ids (one tag per month), and
+//! label shares are bumped at each entity's first sighting — one pass
+//! over each month's event range, no hash sets.
 
+use crate::frame::{AnalysisFrame, Stamp};
 use crate::labels::LabelView;
 use crate::stats::percent;
 use downlake_telemetry::Dataset;
@@ -20,7 +26,7 @@ pub struct ClassShares {
 }
 
 impl ClassShares {
-    fn from_counts(counts: [usize; 4], total: usize) -> Self {
+    pub(crate) fn from_counts(counts: [usize; 4], total: usize) -> Self {
         Self {
             benign: percent(counts[0], total),
             likely_benign: percent(counts[1], total),
@@ -60,53 +66,77 @@ pub struct MonthSummary {
     pub url_malicious: f64,
 }
 
-/// Computes Table I: one summary per study month.
-///
-/// `url_label` maps an e2LD to its URL label.
+impl AnalysisFrame {
+    /// Computes Table I: one summary per study month.
+    ///
+    /// `url_label` maps an e2LD to its URL label; it is called once per
+    /// distinct URL per month.
+    pub fn monthly_summary(&self, url_label: impl Fn(&str) -> UrlLabel) -> Vec<MonthSummary> {
+        let mut mach_stamp = Stamp::new(self.machine_count());
+        let mut file_stamp = Stamp::new(self.file_count());
+        let mut proc_stamp = Stamp::new(self.process_count());
+        let mut url_stamp = Stamp::new(self.url_e2ld.len());
+        Month::ALL
+            .into_iter()
+            .map(|month| {
+                let tag = month.index() as u32;
+                let range = self.month_bounds[month.index()].clone();
+                let mut machines = 0usize;
+                let mut files = 0usize;
+                let mut processes = 0usize;
+                let mut urls = 0usize;
+                let mut file_counts = [0usize; 4];
+                let mut process_counts = [0usize; 4];
+                let mut url_benign = 0usize;
+                let mut url_malicious = 0usize;
+                for e in range.start as usize..range.end as usize {
+                    if mach_stamp.mark(self.ev_machine[e].index(), tag) {
+                        machines += 1;
+                    }
+                    let file = self.ev_file[e].index();
+                    if file_stamp.mark(file, tag) {
+                        files += 1;
+                        bump(&mut file_counts, self.file_label[file]);
+                    }
+                    let process = self.ev_process[e].index();
+                    if proc_stamp.mark(process, tag) {
+                        processes += 1;
+                        bump(&mut process_counts, self.proc_label[process]);
+                    }
+                    let url = self.ev_url[e].index();
+                    if url_stamp.mark(url, tag) {
+                        urls += 1;
+                        match url_label(&self.e2lds[self.url_e2ld[url].index()]) {
+                            UrlLabel::Benign => url_benign += 1,
+                            UrlLabel::Malicious => url_malicious += 1,
+                            UrlLabel::Unknown => {}
+                        }
+                    }
+                }
+                MonthSummary {
+                    month,
+                    machines,
+                    events: (range.end - range.start) as usize,
+                    processes,
+                    process_shares: ClassShares::from_counts(process_counts, processes),
+                    files,
+                    file_shares: ClassShares::from_counts(file_counts, files),
+                    urls,
+                    url_benign: percent(url_benign, urls),
+                    url_malicious: percent(url_malicious, urls),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Table I (see [`AnalysisFrame::monthly_summary`]).
 pub fn monthly_summary(
     dataset: &Dataset,
     labels: &LabelView<'_>,
     url_label: impl Fn(&str) -> UrlLabel,
 ) -> Vec<MonthSummary> {
-    dataset
-        .months()
-        .map(|view| {
-            let files = view.distinct_files();
-            let processes = view.distinct_processes();
-            let urls = view.distinct_urls();
-
-            let mut file_counts = [0usize; 4];
-            for &f in &files {
-                bump(&mut file_counts, labels.label(f));
-            }
-            let mut process_counts = [0usize; 4];
-            for &p in &processes {
-                bump(&mut process_counts, labels.label(p));
-            }
-            let mut url_benign = 0usize;
-            let mut url_malicious = 0usize;
-            for &u in &urls {
-                match url_label(view.dataset().resolve_url(u).e2ld()) {
-                    UrlLabel::Benign => url_benign += 1,
-                    UrlLabel::Malicious => url_malicious += 1,
-                    UrlLabel::Unknown => {}
-                }
-            }
-
-            MonthSummary {
-                month: view.month(),
-                machines: view.distinct_machines().len(),
-                events: view.events().len(),
-                processes: processes.len(),
-                process_shares: ClassShares::from_counts(process_counts, processes.len()),
-                files: files.len(),
-                file_shares: ClassShares::from_counts(file_counts, files.len()),
-                urls: urls.len(),
-                url_benign: percent(url_benign, urls.len()),
-                url_malicious: percent(url_malicious, urls.len()),
-            }
-        })
-        .collect()
+    AnalysisFrame::from_label_view(dataset, labels).monthly_summary(url_label)
 }
 
 fn bump(counts: &mut [usize; 4], label: FileLabel) {
@@ -180,5 +210,32 @@ mod tests {
         assert!((feb.file_shares.unknown() - 100.0).abs() < 1e-9);
         let march = &rows[2];
         assert_eq!(march.events, 0);
+    }
+
+    #[test]
+    fn frame_and_legacy_paths_agree() {
+        let mut b = DatasetBuilder::new();
+        b.push(event(1, 1, 5, "http://good.com/a"));
+        b.push(event(2, 2, 6, "http://bad.ru/b"));
+        b.push(event(1, 2, 40, "http://good.com/a"));
+        b.push(event(3, 1, 40, "http://good.com/c"));
+        let ds = b.finish();
+        let view = LabelView::new(
+            |h| match h.raw() {
+                1 | 500 | 501 => FileLabel::Benign,
+                2 => FileLabel::Malicious,
+                _ => FileLabel::Unknown,
+            },
+            |_| None,
+        );
+        let label_url = |e2ld: &str| match e2ld {
+            "good.com" => UrlLabel::Benign,
+            "bad.ru" => UrlLabel::Malicious,
+            _ => UrlLabel::Unknown,
+        };
+        assert_eq!(
+            monthly_summary(&ds, &view, label_url),
+            crate::legacy::monthly_summary(&ds, &view, label_url)
+        );
     }
 }

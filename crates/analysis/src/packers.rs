@@ -1,11 +1,15 @@
 //! Packer analyses (§IV-C's packing paragraphs).
+//!
+//! Packer names are interned into a dense id space at frame build time;
+//! usage per class is a pair of boolean vectors, and the overlap lists
+//! come from one pass over them.
 
+use crate::frame::AnalysisFrame;
 use crate::labels::LabelView;
 use crate::stats::percent;
 use downlake_telemetry::Dataset;
 use downlake_types::FileLabel;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// The packing-overlap report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -26,61 +30,69 @@ pub struct PackerReport {
     pub shared: Vec<String>,
 }
 
-/// Computes packing rates and the packer-overlap structure.
-pub fn packer_report(dataset: &Dataset, labels: &LabelView<'_>) -> PackerReport {
-    let mut benign_files = 0usize;
-    let mut benign_packed = 0usize;
-    let mut malicious_files = 0usize;
-    let mut malicious_packed = 0usize;
-    let mut benign_packers: HashSet<String> = HashSet::new();
-    let mut malicious_packers: HashSet<String> = HashSet::new();
+impl AnalysisFrame {
+    /// Computes packing rates and the packer-overlap structure.
+    pub fn packer_report(&self) -> PackerReport {
+        let n = self.packers.len();
+        let mut benign_used = vec![false; n];
+        let mut malicious_used = vec![false; n];
+        let mut benign_files = 0usize;
+        let mut benign_packed = 0usize;
+        let mut malicious_files = 0usize;
+        let mut malicious_packed = 0usize;
 
-    for record in dataset.files().iter() {
-        let packer = record.meta.packer.as_ref().map(|p| p.name.clone());
-        match labels.label(record.hash) {
-            FileLabel::Benign => {
-                benign_files += 1;
-                if let Some(name) = packer {
-                    benign_packed += 1;
-                    benign_packers.insert(name);
+        for file in 0..self.file_count() {
+            match self.file_label[file] {
+                FileLabel::Benign => {
+                    benign_files += 1;
+                    if let Some(packer) = self.file_packer[file] {
+                        benign_packed += 1;
+                        benign_used[packer as usize] = true;
+                    }
                 }
-            }
-            FileLabel::Malicious => {
-                malicious_files += 1;
-                if let Some(name) = packer {
-                    malicious_packed += 1;
-                    malicious_packers.insert(name);
+                FileLabel::Malicious => {
+                    malicious_files += 1;
+                    if let Some(packer) = self.file_packer[file] {
+                        malicious_packed += 1;
+                        malicious_used[packer as usize] = true;
+                    }
                 }
+                _ => {}
             }
-            _ => {}
+        }
+
+        let mut shared = Vec::new();
+        let mut malicious_only = Vec::new();
+        let mut benign_only = Vec::new();
+        let mut total_packers = 0usize;
+        for packer in 0..n {
+            match (benign_used[packer], malicious_used[packer]) {
+                (true, true) => shared.push(self.packers[packer].clone()),
+                (false, true) => malicious_only.push(self.packers[packer].clone()),
+                (true, false) => benign_only.push(self.packers[packer].clone()),
+                (false, false) => continue,
+            }
+            total_packers += 1;
+        }
+        shared.sort();
+        malicious_only.sort();
+        benign_only.sort();
+
+        PackerReport {
+            benign_packed_pct: percent(benign_packed, benign_files),
+            malicious_packed_pct: percent(malicious_packed, malicious_files),
+            total_packers,
+            shared_packers: shared.len(),
+            malicious_only,
+            benign_only,
+            shared,
         }
     }
+}
 
-    let mut shared: Vec<String> = benign_packers
-        .intersection(&malicious_packers)
-        .cloned()
-        .collect();
-    let mut malicious_only: Vec<String> = malicious_packers
-        .difference(&benign_packers)
-        .cloned()
-        .collect();
-    let mut benign_only: Vec<String> = benign_packers
-        .difference(&malicious_packers)
-        .cloned()
-        .collect();
-    shared.sort();
-    malicious_only.sort();
-    benign_only.sort();
-
-    PackerReport {
-        benign_packed_pct: percent(benign_packed, benign_files),
-        malicious_packed_pct: percent(malicious_packed, malicious_files),
-        total_packers: benign_packers.union(&malicious_packers).count(),
-        shared_packers: shared.len(),
-        malicious_only,
-        benign_only,
-        shared,
-    }
+/// Packing rates and overlap (see [`AnalysisFrame::packer_report`]).
+pub fn packer_report(dataset: &Dataset, labels: &LabelView<'_>) -> PackerReport {
+    AnalysisFrame::from_label_view(dataset, labels).packer_report()
 }
 
 #[cfg(test)]
@@ -130,6 +142,7 @@ mod tests {
         assert_eq!(report.shared, vec!["UPX"]);
         assert_eq!(report.malicious_only, vec!["Themida"]);
         assert_eq!(report.benign_only, vec!["WixBurn"]);
+        assert_eq!(report, crate::legacy::packer_report(&ds, &view));
     }
 
     #[test]

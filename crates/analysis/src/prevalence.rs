@@ -1,11 +1,16 @@
 //! File-prevalence analysis (§IV-A, Fig. 2).
+//!
+//! Prevalence is a precomputed per-file frame column, so the report is a
+//! single scan over the file columns plus a boolean-vector pass over the
+//! event columns for the machines-touching-unknown share.
 
+use crate::frame::AnalysisFrame;
 use crate::labels::LabelView;
 use crate::stats::percent;
 use downlake_telemetry::Dataset;
-use downlake_types::{FileLabel, MachineId};
+use downlake_types::FileLabel;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
 /// The prevalence distribution of one file class plus the head/tail
 /// shape numbers the paper quotes.
@@ -30,69 +35,85 @@ pub struct PrevalenceReport {
     pub means: (f64, f64, f64, f64),
 }
 
-/// Computes the prevalence distributions of Fig. 2.
-pub fn prevalence_report(dataset: &Dataset, labels: &LabelView<'_>, sigma: usize) -> PrevalenceReport {
-    let mut report = PrevalenceReport::default();
-    let mut ones = 0usize;
-    let mut capped = 0usize;
-    let mut total_files = 0usize;
-    let mut sums = (0usize, 0usize, 0usize, 0usize);
-    let mut counts = (0usize, 0usize, 0usize, 0usize);
+impl AnalysisFrame {
+    /// Computes the prevalence distributions of Fig. 2.
+    pub fn prevalence_report(&self, sigma: usize) -> PrevalenceReport {
+        let mut report = PrevalenceReport::default();
+        let mut ones = 0usize;
+        let mut capped = 0usize;
+        let mut total_files = 0usize;
+        let mut sums = (0usize, 0usize, 0usize, 0usize);
+        let mut counts = (0usize, 0usize, 0usize, 0usize);
 
-    for record in dataset.files().iter() {
-        let prevalence = dataset.prevalence(record.hash);
-        if prevalence == 0 {
-            continue; // file never appeared in a reported event
-        }
-        total_files += 1;
-        if prevalence == 1 {
-            ones += 1;
-        }
-        if prevalence >= sigma {
-            capped += 1;
-        }
-        *report.all.entry(prevalence).or_insert(0) += 1;
-        sums.0 += prevalence;
-        counts.0 += 1;
-        match labels.label(record.hash) {
-            FileLabel::Benign => {
-                *report.benign.entry(prevalence).or_insert(0) += 1;
-                sums.1 += prevalence;
-                counts.1 += 1;
+        for file in 0..self.file_count() {
+            let prevalence = self.file_prevalence[file] as usize;
+            if prevalence == 0 {
+                continue; // file never appeared in a reported event
             }
-            FileLabel::Malicious => {
-                *report.malicious.entry(prevalence).or_insert(0) += 1;
-                sums.2 += prevalence;
-                counts.2 += 1;
+            total_files += 1;
+            if prevalence == 1 {
+                ones += 1;
             }
-            FileLabel::Unknown => {
-                *report.unknown.entry(prevalence).or_insert(0) += 1;
-                sums.3 += prevalence;
-                counts.3 += 1;
+            if prevalence >= sigma {
+                capped += 1;
             }
-            // Likely-* files are excluded from the measurement (§III).
-            FileLabel::LikelyBenign | FileLabel::LikelyMalicious => {}
+            *report.all.entry(prevalence).or_insert(0) += 1;
+            sums.0 += prevalence;
+            counts.0 += 1;
+            match self.file_label[file] {
+                FileLabel::Benign => {
+                    *report.benign.entry(prevalence).or_insert(0) += 1;
+                    sums.1 += prevalence;
+                    counts.1 += 1;
+                }
+                FileLabel::Malicious => {
+                    *report.malicious.entry(prevalence).or_insert(0) += 1;
+                    sums.2 += prevalence;
+                    counts.2 += 1;
+                }
+                FileLabel::Unknown => {
+                    *report.unknown.entry(prevalence).or_insert(0) += 1;
+                    sums.3 += prevalence;
+                    counts.3 += 1;
+                }
+                // Likely-* files are excluded from the measurement (§III).
+                FileLabel::LikelyBenign | FileLabel::LikelyMalicious => {}
+            }
         }
+
+        let mut touched = vec![false; self.machine_count()];
+        let mut touched_count = 0usize;
+        for (e, &label) in self.ev_file_label.iter().enumerate() {
+            if label == FileLabel::Unknown {
+                let machine = self.ev_machine[e].index();
+                if !touched[machine] {
+                    touched[machine] = true;
+                    touched_count += 1;
+                }
+            }
+        }
+
+        report.prevalence_one_share = percent(ones, total_files);
+        report.capped_share = percent(capped, total_files);
+        report.machines_touching_unknown = percent(touched_count, self.machine_count());
+        let mean = |s: usize, c: usize| if c == 0 { 0.0 } else { s as f64 / c as f64 };
+        report.means = (
+            mean(sums.0, counts.0),
+            mean(sums.1, counts.1),
+            mean(sums.2, counts.2),
+            mean(sums.3, counts.3),
+        );
+        report
     }
+}
 
-    let mut touched: HashSet<MachineId> = HashSet::new();
-    for event in dataset.events() {
-        if labels.label(event.file) == FileLabel::Unknown {
-            touched.insert(event.machine);
-        }
-    }
-
-    report.prevalence_one_share = percent(ones, total_files);
-    report.capped_share = percent(capped, total_files);
-    report.machines_touching_unknown = percent(touched.len(), dataset.machine_count());
-    let mean = |s: usize, c: usize| if c == 0 { 0.0 } else { s as f64 / c as f64 };
-    report.means = (
-        mean(sums.0, counts.0),
-        mean(sums.1, counts.1),
-        mean(sums.2, counts.2),
-        mean(sums.3, counts.3),
-    );
-    report
+/// Fig. 2 (see [`AnalysisFrame::prevalence_report`]).
+pub fn prevalence_report(
+    dataset: &Dataset,
+    labels: &LabelView<'_>,
+    sigma: usize,
+) -> PrevalenceReport {
+    AnalysisFrame::from_label_view(dataset, labels).prevalence_report(sigma)
 }
 
 #[cfg(test)]
@@ -152,7 +173,11 @@ mod tests {
         assert!((report.prevalence_one_share - 75.0).abs() < 1e-9);
         // Machines 1 and 2 downloaded unknown files; machine 0 did not.
         assert!((report.machines_touching_unknown - 200.0 / 3.0).abs() < 1e-9);
-        assert!(report.means.1 > report.means.3, "benign mean above unknown mean");
+        assert!(
+            report.means.1 > report.means.3,
+            "benign mean above unknown mean"
+        );
+        assert_eq!(report, crate::legacy::prevalence_report(&ds, &view, 20));
     }
 
     #[test]

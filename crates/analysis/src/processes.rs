@@ -1,11 +1,16 @@
 //! Downloading-process behaviour analyses (§V: Tables X–XII, XIV).
+//!
+//! Row accumulators here are dense: distinct processes / machines /
+//! files per row are tracked in `bool` vectors indexed by the frame's
+//! dense ids, and the type mix in a fixed 11-slot counter — no hash
+//! sets, no per-event hashing.
 
+use crate::frame::{type_index, AnalysisFrame, TYPE_COUNT};
 use crate::labels::LabelView;
 use crate::stats::percent;
 use downlake_telemetry::Dataset;
-use downlake_types::{BrowserKind, FileHash, FileLabel, MachineId, MalwareType, ProcessCategory};
+use downlake_types::{BrowserKind, FileLabel, MalwareType, ProcessCategory};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// One row of Tables X/XI/XII.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -28,40 +33,107 @@ pub struct ProcessBehaviorRow {
     pub type_mix: Vec<(MalwareType, f64)>,
 }
 
-#[derive(Default)]
-struct RowAccumulator {
-    processes: HashSet<FileHash>,
-    machines: HashSet<MachineId>,
-    infected: HashSet<MachineId>,
-    unknown: HashSet<FileHash>,
-    benign: HashSet<FileHash>,
-    malicious: HashSet<FileHash>,
-    types: HashMap<MalwareType, HashSet<FileHash>>,
+/// The five aggregate category rows, in Table X display order.
+const CATEGORY_ORDER: [&str; 5] = [
+    "Browsers",
+    "Windows Processes",
+    "Java",
+    "Acrobat Reader",
+    "All other processes",
+];
+
+/// Dense slot of a category in [`CATEGORY_ORDER`].
+const fn category_index(category: ProcessCategory) -> usize {
+    match category {
+        ProcessCategory::Browser(_) => 0,
+        ProcessCategory::Windows => 1,
+        ProcessCategory::Java => 2,
+        ProcessCategory::AcrobatReader => 3,
+        ProcessCategory::Other => 4,
+    }
 }
 
-impl RowAccumulator {
+/// Dense slot of a browser in [`BrowserKind::ALL`] order.
+const fn browser_index(kind: BrowserKind) -> usize {
+    match kind {
+        BrowserKind::Firefox => 0,
+        BrowserKind::Chrome => 1,
+        BrowserKind::Opera => 2,
+        BrowserKind::Safari => 3,
+        BrowserKind::InternetExplorer => 4,
+    }
+}
+
+/// One table row's distinct-entity accumulator over dense ids.
+struct DenseRowAcc {
+    proc_seen: Vec<bool>,
+    processes: usize,
+    mach_seen: Vec<bool>,
+    machines: usize,
+    infected_seen: Vec<bool>,
+    infected: usize,
+    file_seen: Vec<bool>,
+    unknown: usize,
+    benign: usize,
+    malicious: usize,
+    type_counts: [u64; TYPE_COUNT],
+}
+
+impl DenseRowAcc {
+    fn new(frame: &AnalysisFrame) -> Self {
+        Self {
+            proc_seen: vec![false; frame.process_count()],
+            processes: 0,
+            mach_seen: vec![false; frame.machine_count()],
+            machines: 0,
+            infected_seen: vec![false; frame.machine_count()],
+            infected: 0,
+            file_seen: vec![false; frame.file_count()],
+            unknown: 0,
+            benign: 0,
+            malicious: 0,
+            type_counts: [0; TYPE_COUNT],
+        }
+    }
+
     fn record(
         &mut self,
-        process: FileHash,
-        machine: MachineId,
-        file: FileHash,
+        process: usize,
+        machine: usize,
+        file: usize,
         label: FileLabel,
         ty: Option<MalwareType>,
     ) {
-        self.processes.insert(process);
-        self.machines.insert(machine);
+        if !self.proc_seen[process] {
+            self.proc_seen[process] = true;
+            self.processes += 1;
+        }
+        if !self.mach_seen[machine] {
+            self.mach_seen[machine] = true;
+            self.machines += 1;
+        }
+        // A file has exactly one label, so one seen-vector serves all
+        // three distinct-file counts.
         match label {
-            FileLabel::Unknown => {
-                self.unknown.insert(file);
+            FileLabel::Unknown if !self.file_seen[file] => {
+                self.file_seen[file] = true;
+                self.unknown += 1;
             }
-            FileLabel::Benign => {
-                self.benign.insert(file);
+            FileLabel::Benign if !self.file_seen[file] => {
+                self.file_seen[file] = true;
+                self.benign += 1;
             }
             FileLabel::Malicious => {
-                self.malicious.insert(file);
-                self.infected.insert(machine);
-                if let Some(ty) = ty {
-                    self.types.entry(ty).or_default().insert(file);
+                if !self.infected_seen[machine] {
+                    self.infected_seen[machine] = true;
+                    self.infected += 1;
+                }
+                if !self.file_seen[file] {
+                    self.file_seen[file] = true;
+                    self.malicious += 1;
+                    if let Some(ty) = ty {
+                        self.type_counts[type_index(ty)] += 1;
+                    }
                 }
             }
             _ => {}
@@ -69,182 +141,175 @@ impl RowAccumulator {
     }
 
     fn into_row(self, label: String) -> ProcessBehaviorRow {
-        let malicious_total = self.malicious.len();
+        let malicious_total = self.malicious;
         let mut type_mix: Vec<(MalwareType, f64)> = MalwareType::ALL
             .iter()
             .filter_map(|&ty| {
-                self.types
-                    .get(&ty)
-                    .map(|files| (ty, percent(files.len(), malicious_total)))
+                let count = self.type_counts[type_index(ty)];
+                (count > 0).then(|| (ty, percent(count as usize, malicious_total)))
             })
             .collect();
         type_mix.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
         ProcessBehaviorRow {
             label,
-            processes: self.processes.len(),
-            machines: self.machines.len(),
-            unknown_files: self.unknown.len(),
-            benign_files: self.benign.len(),
-            malicious_files: self.malicious.len(),
-            infected_pct: percent(self.infected.len(), self.machines.len()),
+            processes: self.processes,
+            machines: self.machines,
+            unknown_files: self.unknown,
+            benign_files: self.benign,
+            malicious_files: self.malicious,
+            infected_pct: percent(self.infected, self.machines),
             type_mix,
         }
     }
 }
 
-fn aggregate_label(category: ProcessCategory) -> &'static str {
-    category.aggregate_name()
-}
-
-/// Table X: download behaviour of *known benign* processes, by category.
-/// Only events whose process hash is labeled benign participate, exactly
-/// as the paper restricts to whitelist-matched processes.
-pub fn category_behavior(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<ProcessBehaviorRow> {
-    let mut acc: HashMap<&'static str, RowAccumulator> = HashMap::new();
-    for event in dataset.events() {
-        let Some(proc_rec) = dataset.processes().get(event.process) else {
-            continue;
-        };
-        if labels.label(event.process) != FileLabel::Benign {
-            continue;
-        }
-        acc.entry(aggregate_label(proc_rec.category))
-            .or_default()
-            .record(
-                event.process,
-                event.machine,
-                event.file,
-                labels.label(event.file),
-                labels.malware_type(event.file),
-            );
-    }
-    let order = [
-        "Browsers",
-        "Windows Processes",
-        "Java",
-        "Acrobat Reader",
-        "All other processes",
-    ];
-    order
-        .iter()
-        .filter_map(|&label| acc.remove(label).map(|a| a.into_row(label.to_owned())))
-        .collect()
-}
-
-/// Table XI: download behaviour per browser (benign browser processes).
-pub fn browser_behavior(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<ProcessBehaviorRow> {
-    let mut acc: HashMap<BrowserKind, RowAccumulator> = HashMap::new();
-    for event in dataset.events() {
-        let Some(proc_rec) = dataset.processes().get(event.process) else {
-            continue;
-        };
-        let Some(kind) = proc_rec.category.browser() else {
-            continue;
-        };
-        if labels.label(event.process) != FileLabel::Benign {
-            continue;
-        }
-        acc.entry(kind).or_default().record(
-            event.process,
-            event.machine,
-            event.file,
-            labels.label(event.file),
-            labels.malware_type(event.file),
+impl AnalysisFrame {
+    fn record_event(&self, acc: &mut DenseRowAcc, event: usize) {
+        acc.record(
+            self.ev_process[event].index(),
+            self.ev_machine[event].index(),
+            self.ev_file[event].index(),
+            self.ev_file_label[event],
+            self.ev_file_type[event],
         );
     }
-    BrowserKind::ALL
-        .iter()
-        .filter_map(|&kind| {
-            acc.remove(&kind)
-                .map(|a| a.into_row(kind.name().to_owned()))
-        })
-        .collect()
+
+    /// Table X: download behaviour of *known benign* processes, by
+    /// category. Only events whose process hash is labeled benign
+    /// participate, exactly as the paper restricts to whitelist-matched
+    /// processes.
+    pub fn category_behavior(&self) -> Vec<ProcessBehaviorRow> {
+        let mut accs: [Option<Box<DenseRowAcc>>; 5] = std::array::from_fn(|_| None);
+        for event in 0..self.event_count() {
+            if self.proc_label[self.ev_process[event].index()] != FileLabel::Benign {
+                continue;
+            }
+            let slot = category_index(self.ev_proc_category[event]);
+            let acc = accs[slot].get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
+            self.record_event(acc, event);
+        }
+        CATEGORY_ORDER
+            .iter()
+            .zip(accs)
+            .filter_map(|(&label, acc)| acc.map(|a| a.into_row(label.to_owned())))
+            .collect()
+    }
+
+    /// Table XI: download behaviour per browser (benign browser
+    /// processes).
+    pub fn browser_behavior(&self) -> Vec<ProcessBehaviorRow> {
+        let mut accs: [Option<Box<DenseRowAcc>>; 5] = std::array::from_fn(|_| None);
+        for event in 0..self.event_count() {
+            let Some(kind) = self.ev_proc_category[event].browser() else {
+                continue;
+            };
+            if self.proc_label[self.ev_process[event].index()] != FileLabel::Benign {
+                continue;
+            }
+            let acc =
+                accs[browser_index(kind)].get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
+            self.record_event(acc, event);
+        }
+        BrowserKind::ALL
+            .iter()
+            .zip(accs)
+            .filter_map(|(&kind, acc)| acc.map(|a| a.into_row(kind.name().to_owned())))
+            .collect()
+    }
+
+    /// Table XII: download behaviour of *malicious* processes, by the
+    /// process's own behaviour type, plus an `"overall"` row.
+    pub fn malicious_process_behavior(&self) -> Vec<ProcessBehaviorRow> {
+        let mut accs: [Option<Box<DenseRowAcc>>; TYPE_COUNT] = std::array::from_fn(|_| None);
+        let mut overall: Option<Box<DenseRowAcc>> = None;
+        for event in 0..self.event_count() {
+            let process = self.ev_process[event].index();
+            if self.proc_label[process] != FileLabel::Malicious {
+                continue;
+            }
+            let ty = self.proc_type[process].unwrap_or(MalwareType::Undefined);
+            let acc = accs[type_index(ty)].get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
+            self.record_event(acc, event);
+            let acc = overall.get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
+            self.record_event(acc, event);
+        }
+        let mut rows: Vec<ProcessBehaviorRow> = MalwareType::ALL
+            .into_iter()
+            .filter_map(|ty| {
+                accs[type_index(ty)]
+                    .take()
+                    .map(|a| a.into_row(ty.name().to_owned()))
+            })
+            .collect();
+        if let Some(overall) = overall {
+            rows.push(overall.into_row("overall".to_owned()));
+        }
+        rows
+    }
+
+    /// Table XIV: how many distinct *unknown* files each benign process
+    /// category downloaded, plus the total.
+    pub fn unknown_download_categories(&self) -> Vec<(String, usize)> {
+        // One bit per (file, category) pair — a file can arrive via
+        // several categories and must count once in each.
+        let mut seen = vec![0u8; self.file_count()];
+        let mut counts = [0usize; 5];
+        for event in 0..self.event_count() {
+            if self.ev_file_label[event] != FileLabel::Unknown {
+                continue;
+            }
+            if self.proc_label[self.ev_process[event].index()] != FileLabel::Benign {
+                continue;
+            }
+            let slot = category_index(self.ev_proc_category[event]);
+            let bit = 1u8 << slot;
+            let file = self.ev_file[event].index();
+            if seen[file] & bit == 0 {
+                seen[file] |= bit;
+                counts[slot] += 1;
+            }
+        }
+        let mut rows: Vec<(String, usize)> = CATEGORY_ORDER
+            .iter()
+            .zip(counts)
+            .map(|(&label, n)| (label.to_owned(), n))
+            .collect();
+        rows.push(("Total".to_owned(), counts.iter().sum()));
+        rows
+    }
 }
 
-/// Table XII: download behaviour of *malicious* processes, by the
-/// process's own behaviour type, plus an `"overall"` row.
+/// Table X (see [`AnalysisFrame::category_behavior`]).
+pub fn category_behavior(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<ProcessBehaviorRow> {
+    AnalysisFrame::from_label_view(dataset, labels).category_behavior()
+}
+
+/// Table XI (see [`AnalysisFrame::browser_behavior`]).
+pub fn browser_behavior(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<ProcessBehaviorRow> {
+    AnalysisFrame::from_label_view(dataset, labels).browser_behavior()
+}
+
+/// Table XII (see [`AnalysisFrame::malicious_process_behavior`]).
 pub fn malicious_process_behavior(
     dataset: &Dataset,
     labels: &LabelView<'_>,
 ) -> Vec<ProcessBehaviorRow> {
-    let mut acc: HashMap<MalwareType, RowAccumulator> = HashMap::new();
-    let mut overall = RowAccumulator::default();
-    for event in dataset.events() {
-        if labels.label(event.process) != FileLabel::Malicious {
-            continue;
-        }
-        let ty = labels
-            .malware_type(event.process)
-            .unwrap_or(MalwareType::Undefined);
-        let file_label = labels.label(event.file);
-        let file_type = labels.malware_type(event.file);
-        acc.entry(ty).or_default().record(
-            event.process,
-            event.machine,
-            event.file,
-            file_label,
-            file_type,
-        );
-        overall.record(event.process, event.machine, event.file, file_label, file_type);
-    }
-    let mut rows: Vec<ProcessBehaviorRow> = MalwareType::ALL
-        .iter()
-        .filter_map(|&ty| {
-            acc.remove(&ty)
-                .map(|a| a.into_row(ty.name().to_owned()))
-        })
-        .collect();
-    if overall.machines.is_empty() {
-        return rows;
-    }
-    rows.push(overall.into_row("overall".to_owned()));
-    rows
+    AnalysisFrame::from_label_view(dataset, labels).malicious_process_behavior()
 }
 
-/// Table XIV: how many distinct *unknown* files each benign process
-/// category downloaded, plus the total.
+/// Table XIV (see [`AnalysisFrame::unknown_download_categories`]).
 pub fn unknown_download_categories(
     dataset: &Dataset,
     labels: &LabelView<'_>,
 ) -> Vec<(String, usize)> {
-    let mut acc: HashMap<&'static str, HashSet<FileHash>> = HashMap::new();
-    for event in dataset.events() {
-        if labels.label(event.file) != FileLabel::Unknown {
-            continue;
-        }
-        let Some(proc_rec) = dataset.processes().get(event.process) else {
-            continue;
-        };
-        if labels.label(event.process) != FileLabel::Benign {
-            continue;
-        }
-        acc.entry(aggregate_label(proc_rec.category))
-            .or_default()
-            .insert(event.file);
-    }
-    let order = [
-        "Browsers",
-        "Windows Processes",
-        "Java",
-        "Acrobat Reader",
-        "All other processes",
-    ];
-    let mut rows: Vec<(String, usize)> = Vec::new();
-    let mut total = 0usize;
-    for label in order {
-        let n = acc.get(label).map_or(0, HashSet::len);
-        total += n;
-        rows.push((label.to_owned(), n));
-    }
-    rows.push(("Total".to_owned(), total));
-    rows
+    AnalysisFrame::from_label_view(dataset, labels).unknown_download_categories()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use downlake_telemetry::{DatasetBuilder, RawEvent};
-    use downlake_types::{FileMeta, Timestamp, Url};
+    use downlake_types::{FileHash, FileMeta, MachineId, Timestamp, Url};
 
     /// Machines 1/2 use Chrome (process 100, benign), machine 3 uses a
     /// malicious dropper process (hash 200).
@@ -303,7 +368,10 @@ mod tests {
         assert!((browsers.infected_pct - 50.0).abs() < 1e-9);
         assert_eq!(browsers.type_mix[0].0, MalwareType::Pup);
 
-        let windows = rows.iter().find(|r| r.label == "Windows Processes").unwrap();
+        let windows = rows
+            .iter()
+            .find(|r| r.label == "Windows Processes")
+            .unwrap();
         assert_eq!(windows.unknown_files, 1);
         assert_eq!(windows.infected_pct, 0.0);
         // The malicious dropper process (200) appears in no benign row.
@@ -343,5 +411,27 @@ mod tests {
         assert_eq!(browsers.1, 1);
         let total = rows.iter().find(|(l, _)| l == "Total").unwrap();
         assert_eq!(total.1, 2);
+    }
+
+    #[test]
+    fn frame_and_legacy_paths_agree() {
+        let ds = dataset();
+        let view = labels();
+        assert_eq!(
+            category_behavior(&ds, &view),
+            crate::legacy::category_behavior(&ds, &view)
+        );
+        assert_eq!(
+            browser_behavior(&ds, &view),
+            crate::legacy::browser_behavior(&ds, &view)
+        );
+        assert_eq!(
+            malicious_process_behavior(&ds, &view),
+            crate::legacy::malicious_process_behavior(&ds, &view)
+        );
+        assert_eq!(
+            unknown_download_categories(&ds, &view),
+            crate::legacy::unknown_download_categories(&ds, &view)
+        );
     }
 }

@@ -1,11 +1,16 @@
 //! Code-signer analyses (§IV-C: Tables VI–IX, Fig. 4).
+//!
+//! Signer subjects are interned into a dense id space at
+//! [`AnalysisFrame`] build time, so every pass here counts into plain
+//! `Vec`s indexed by signer id — no string-keyed maps, no per-file
+//! subject clones.
 
+use crate::frame::{type_index, AnalysisFrame, TYPE_COUNT};
 use crate::labels::LabelView;
 use crate::stats::percent;
 use downlake_telemetry::Dataset;
-use downlake_types::{FileHash, FileLabel, MalwareType};
+use downlake_types::{FileLabel, MalwareType};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// One row of Table VI.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,12 +49,15 @@ pub struct SignerScatterPoint {
     pub malicious_files: u64,
 }
 
+/// A ranked list of `(signer subject, files signed)` pairs.
+pub type SignerCounts = Vec<(String, u64)>;
+
 /// Tables VIII/IX content.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct TopSignersReport {
     /// Per behaviour type: `(type name, top signers, top common-with-
     /// benign, top exclusive-to-malware)`, counts are files signed.
-    pub per_type: Vec<(String, Vec<(String, u64)>, Vec<(String, u64)>, Vec<(String, u64)>)>,
+    pub per_type: Vec<(String, SignerCounts, SignerCounts, SignerCounts)>,
     /// Top signers exclusive to benign files.
     pub benign_exclusive: Vec<(String, u64)>,
     /// Top signers exclusive to malicious files (all types pooled).
@@ -58,104 +66,31 @@ pub struct TopSignersReport {
     pub scatter: Vec<SignerScatterPoint>,
 }
 
-/// Which files were downloaded by a browser at least once.
-fn browser_files(dataset: &Dataset) -> HashSet<FileHash> {
-    let mut set = HashSet::new();
-    for event in dataset.events() {
-        if dataset
-            .processes()
-            .get(event.process)
-            .is_some_and(|p| p.category.is_browser())
-        {
-            set.insert(event.file);
-        }
-    }
-    set
+/// Per-signer file counts in dense signer-id space.
+struct DenseSignerIndex {
+    benign: Vec<u64>,
+    malicious: Vec<u64>,
+    per_type: [Option<Vec<u64>>; TYPE_COUNT],
 }
 
-/// Table VI: signing rates per class, overall and via browsers.
-pub fn signing_rates_table(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<SigningRateRow> {
-    let via_browser = browser_files(dataset);
-    // (files, signed, browser files, browser signed) per class key.
-    let mut acc: HashMap<String, (usize, usize, usize, usize)> = HashMap::new();
-    let mut bump = |key: &str, signed: bool, browser: bool| {
-        let entry = acc.entry(key.to_owned()).or_default();
-        entry.0 += 1;
-        if signed {
-            entry.1 += 1;
-        }
-        if browser {
-            entry.2 += 1;
-            if signed {
-                entry.3 += 1;
-            }
-        }
+fn dense_signer_index(frame: &AnalysisFrame) -> DenseSignerIndex {
+    let n = frame.signers.len();
+    let mut index = DenseSignerIndex {
+        benign: vec![0; n],
+        malicious: vec![0; n],
+        per_type: std::array::from_fn(|_| None),
     };
-    for record in dataset.files().iter() {
-        let signed = record.meta.is_validly_signed();
-        let browser = via_browser.contains(&record.hash);
-        match labels.label(record.hash) {
-            FileLabel::Benign => bump("benign", signed, browser),
-            FileLabel::Unknown => bump("unknown", signed, browser),
-            FileLabel::Malicious => {
-                bump("malicious", signed, browser);
-                if let Some(ty) = labels.malware_type(record.hash) {
-                    bump(ty.name(), signed, browser);
-                }
-            }
-            _ => {}
-        }
-    }
-    let mut rows: Vec<SigningRateRow> = Vec::new();
-    let order: Vec<String> = MalwareType::ALL
-        .iter()
-        .map(|t| t.name().to_owned())
-        .chain(["benign".to_owned(), "unknown".to_owned(), "malicious".to_owned()])
-        .collect();
-    for class in order {
-        if let Some(&(files, signed, bfiles, bsigned)) = acc.get(&class) {
-            rows.push(SigningRateRow {
-                class,
-                files,
-                signed_pct: percent(signed, files),
-                browser_files: bfiles,
-                browser_signed_pct: percent(bsigned, bfiles),
-            });
-        }
-    }
-    rows
-}
-
-/// Signer → (benign files, malicious files, per-type files) index.
-struct SignerIndex {
-    benign: HashMap<String, u64>,
-    malicious: HashMap<String, u64>,
-    per_type: HashMap<MalwareType, HashMap<String, u64>>,
-}
-
-fn signer_index(dataset: &Dataset, labels: &LabelView<'_>) -> SignerIndex {
-    let mut index = SignerIndex {
-        benign: HashMap::new(),
-        malicious: HashMap::new(),
-        per_type: HashMap::new(),
-    };
-    for record in dataset.files().iter() {
-        let Some(subject) = record.meta.valid_signer_subject() else {
+    for file in 0..frame.file_count() {
+        let Some(signer) = frame.file_signer[file] else {
             continue;
         };
-        match labels.label(record.hash) {
-            FileLabel::Benign => {
-                *index.benign.entry(subject.to_owned()).or_insert(0) += 1;
-            }
+        let signer = signer as usize;
+        match frame.file_label[file] {
+            FileLabel::Benign => index.benign[signer] += 1,
             FileLabel::Malicious => {
-                *index.malicious.entry(subject.to_owned()).or_insert(0) += 1;
-                if let Some(ty) = labels.malware_type(record.hash) {
-                    *index
-                        .per_type
-                        .entry(ty)
-                        .or_default()
-                        .entry(subject.to_owned())
-                        .or_insert(0) += 1;
+                index.malicious[signer] += 1;
+                if let Some(ty) = frame.file_type[file] {
+                    index.per_type[type_index(ty)].get_or_insert_with(|| vec![0; n])[signer] += 1;
                 }
             }
             _ => {}
@@ -164,98 +99,195 @@ fn signer_index(dataset: &Dataset, labels: &LabelView<'_>) -> SignerIndex {
     index
 }
 
-/// Table VII: signers per malicious type and the overlap with benign.
-pub fn signer_overlap(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<SignerOverlapRow> {
-    let index = signer_index(dataset, labels);
-    let benign: HashSet<&String> = index.benign.keys().collect();
-    let mut rows = Vec::new();
-    for ty in MalwareType::ALL {
-        let Some(signers) = index.per_type.get(&ty) else {
-            continue;
-        };
-        let common = signers.keys().filter(|s| benign.contains(s)).count();
-        rows.push(SignerOverlapRow {
-            class: ty.name().to_owned(),
-            signers: signers.len(),
-            common_with_benign: common,
-        });
-    }
-    let common_total = index
-        .malicious
-        .keys()
-        .filter(|s| benign.contains(s))
-        .count();
-    rows.push(SignerOverlapRow {
-        class: "total".to_owned(),
-        signers: index.malicious.len(),
-        common_with_benign: common_total,
-    });
-    rows
+/// Top-`k` signers by file count (count descending, subject ascending —
+/// a total order, so ties resolve identically to the legacy map path).
+fn top_signers_by_count(
+    names: &[String],
+    counts: &[u64],
+    k: usize,
+    filter: impl Fn(usize) -> bool,
+) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(s, &c)| c > 0 && filter(s))
+        .map(|(s, &c)| (names[s].clone(), c))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
 }
 
-/// Tables VIII/IX and Fig. 4.
-pub fn top_signers(dataset: &Dataset, labels: &LabelView<'_>, k: usize) -> TopSignersReport {
-    let index = signer_index(dataset, labels);
-    let benign_set: HashSet<&String> = index.benign.keys().collect();
-    let malicious_set: HashSet<&String> = index.malicious.keys().collect();
-
-    let top = |m: &HashMap<String, u64>, filter: &dyn Fn(&String) -> bool| -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = m
-            .iter()
-            .filter(|(s, _)| filter(s))
-            .map(|(s, &c)| (s.clone(), c))
-            .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        v.truncate(k);
-        v
-    };
-
-    let mut per_type = Vec::new();
-    for ty in MalwareType::ALL {
-        let Some(signers) = index.per_type.get(&ty) else {
-            continue;
+impl AnalysisFrame {
+    /// Table VI: signing rates per class, overall and via browsers.
+    pub fn signing_rates_table(&self) -> Vec<SigningRateRow> {
+        // Class slots: the 11 behaviour types, then benign/unknown/malicious.
+        const BENIGN: usize = TYPE_COUNT;
+        const UNKNOWN: usize = TYPE_COUNT + 1;
+        const MALICIOUS: usize = TYPE_COUNT + 2;
+        let mut acc = [(0usize, 0usize, 0usize, 0usize); TYPE_COUNT + 3];
+        let mut bump = |slot: usize, signed: bool, browser: bool| {
+            let entry = &mut acc[slot];
+            entry.0 += 1;
+            if signed {
+                entry.1 += 1;
+            }
+            if browser {
+                entry.2 += 1;
+                if signed {
+                    entry.3 += 1;
+                }
+            }
         };
-        per_type.push((
-            ty.name().to_owned(),
-            top(signers, &|_| true),
-            top(signers, &|s| benign_set.contains(s)),
-            top(signers, &|s| !benign_set.contains(s)),
-        ));
+        for file in 0..self.file_count() {
+            let signed = self.file_signer[file].is_some();
+            let browser = self.file_browser[file];
+            match self.file_label[file] {
+                FileLabel::Benign => bump(BENIGN, signed, browser),
+                FileLabel::Unknown => bump(UNKNOWN, signed, browser),
+                FileLabel::Malicious => {
+                    bump(MALICIOUS, signed, browser);
+                    if let Some(ty) = self.file_type[file] {
+                        bump(type_index(ty), signed, browser);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let order = MalwareType::ALL
+            .iter()
+            .map(|t| (type_index(*t), t.name()))
+            .chain([
+                (BENIGN, "benign"),
+                (UNKNOWN, "unknown"),
+                (MALICIOUS, "malicious"),
+            ]);
+        let mut rows = Vec::new();
+        for (slot, class) in order {
+            let (files, signed, bfiles, bsigned) = acc[slot];
+            if files == 0 {
+                continue;
+            }
+            rows.push(SigningRateRow {
+                class: class.to_owned(),
+                files,
+                signed_pct: percent(signed, files),
+                browser_files: bfiles,
+                browser_signed_pct: percent(bsigned, bfiles),
+            });
+        }
+        rows
     }
 
-    let scatter: Vec<SignerScatterPoint> = {
-        let mut pts: Vec<SignerScatterPoint> = index
+    /// Table VII: signers per malicious type and the overlap with benign.
+    pub fn signer_overlap(&self) -> Vec<SignerOverlapRow> {
+        let index = dense_signer_index(self);
+        let mut rows = Vec::new();
+        for ty in MalwareType::ALL {
+            let Some(counts) = &index.per_type[type_index(ty)] else {
+                continue;
+            };
+            let mut signers = 0usize;
+            let mut common = 0usize;
+            for (s, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    signers += 1;
+                    if index.benign[s] > 0 {
+                        common += 1;
+                    }
+                }
+            }
+            rows.push(SignerOverlapRow {
+                class: ty.name().to_owned(),
+                signers,
+                common_with_benign: common,
+            });
+        }
+        let mut total = 0usize;
+        let mut common_total = 0usize;
+        for (s, &c) in index.malicious.iter().enumerate() {
+            if c > 0 {
+                total += 1;
+                if index.benign[s] > 0 {
+                    common_total += 1;
+                }
+            }
+        }
+        rows.push(SignerOverlapRow {
+            class: "total".to_owned(),
+            signers: total,
+            common_with_benign: common_total,
+        });
+        rows
+    }
+
+    /// Tables VIII/IX and Fig. 4.
+    pub fn top_signers(&self, k: usize) -> TopSignersReport {
+        let index = dense_signer_index(self);
+
+        let mut per_type = Vec::new();
+        for ty in MalwareType::ALL {
+            let Some(counts) = &index.per_type[type_index(ty)] else {
+                continue;
+            };
+            per_type.push((
+                ty.name().to_owned(),
+                top_signers_by_count(&self.signers, counts, k, |_| true),
+                top_signers_by_count(&self.signers, counts, k, |s| index.benign[s] > 0),
+                top_signers_by_count(&self.signers, counts, k, |s| index.benign[s] == 0),
+            ));
+        }
+
+        let mut scatter: Vec<SignerScatterPoint> = index
             .malicious
             .iter()
-            .filter_map(|(s, &mal)| {
-                index.benign.get(s).map(|&ben| SignerScatterPoint {
-                    signer: s.clone(),
-                    benign_files: ben,
-                    malicious_files: mal,
-                })
+            .enumerate()
+            .filter(|&(s, &mal)| mal > 0 && index.benign[s] > 0)
+            .map(|(s, &mal)| SignerScatterPoint {
+                signer: self.signers[s].clone(),
+                benign_files: index.benign[s],
+                malicious_files: mal,
             })
             .collect();
-        pts.sort_by(|a, b| {
+        scatter.sort_by(|a, b| {
             (b.benign_files + b.malicious_files)
                 .cmp(&(a.benign_files + a.malicious_files))
                 .then_with(|| a.signer.cmp(&b.signer))
         });
-        pts
-    };
 
-    TopSignersReport {
-        per_type,
-        benign_exclusive: top(&index.benign, &|s| !malicious_set.contains(s)),
-        malicious_exclusive: top(&index.malicious, &|s| !benign_set.contains(s)),
-        scatter,
+        TopSignersReport {
+            benign_exclusive: top_signers_by_count(&self.signers, &index.benign, k, |s| {
+                index.malicious[s] == 0
+            }),
+            malicious_exclusive: top_signers_by_count(&self.signers, &index.malicious, k, |s| {
+                index.benign[s] == 0
+            }),
+            per_type,
+            scatter,
+        }
     }
+}
+
+/// Table VI (see [`AnalysisFrame::signing_rates_table`]).
+pub fn signing_rates_table(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<SigningRateRow> {
+    AnalysisFrame::from_label_view(dataset, labels).signing_rates_table()
+}
+
+/// Table VII (see [`AnalysisFrame::signer_overlap`]).
+pub fn signer_overlap(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<SignerOverlapRow> {
+    AnalysisFrame::from_label_view(dataset, labels).signer_overlap()
+}
+
+/// Tables VIII/IX and Fig. 4 (see [`AnalysisFrame::top_signers`]).
+pub fn top_signers(dataset: &Dataset, labels: &LabelView<'_>, k: usize) -> TopSignersReport {
+    AnalysisFrame::from_label_view(dataset, labels).top_signers(k)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use downlake_telemetry::{DatasetBuilder, RawEvent};
-    use downlake_types::{FileMeta, MachineId, SignerInfo, Timestamp, Url};
+    use downlake_types::{FileHash, FileMeta, MachineId, SignerInfo, Timestamp, Url};
 
     fn event(file: u64, signer: Option<&str>, process_name: &str) -> RawEvent {
         RawEvent {
@@ -359,5 +391,23 @@ mod tests {
             .find(|(name, ..)| name == "dropper")
             .unwrap();
         assert_eq!(dropper_row.1[0].0, "Somoto Ltd.");
+    }
+
+    #[test]
+    fn frame_and_legacy_paths_agree() {
+        let ds = dataset();
+        let view = labels();
+        assert_eq!(
+            signing_rates_table(&ds, &view),
+            crate::legacy::signing_rates_table(&ds, &view)
+        );
+        assert_eq!(
+            signer_overlap(&ds, &view),
+            crate::legacy::signer_overlap(&ds, &view)
+        );
+        assert_eq!(
+            top_signers(&ds, &view, 3),
+            crate::legacy::top_signers(&ds, &view, 3)
+        );
     }
 }

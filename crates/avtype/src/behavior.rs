@@ -126,7 +126,11 @@ impl BehaviorExtractor {
         }
 
         // Rule 2: specificity among the vote-tied types.
-        let max_spec = tied.iter().map(|t| t.specificity()).max().expect("nonempty");
+        let max_spec = tied
+            .iter()
+            .map(|t| t.specificity())
+            .max()
+            .expect("nonempty");
         let most_specific: Vec<MalwareType> = tied
             .iter()
             .copied()

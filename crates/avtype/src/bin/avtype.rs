@@ -1,3 +1,6 @@
+// The doc example below shows real tab-separated output.
+#![allow(clippy::tabs_in_doc_comments)]
+
 //! `avtype` — command-line behaviour-type and family extraction from AV
 //! labels, mirroring the open-source tool the paper publishes
 //! (gitlab.com/pub-open/AVType).

@@ -14,15 +14,80 @@ use std::collections::{HashMap, HashSet};
 /// Tokens that can never be family names: platform tags, behaviour-type
 /// keywords, vendor boilerplate, heuristic markers.
 pub const GENERIC_TOKENS: &[&str] = &[
-    "win32", "win64", "w32", "w64", "msil", "android", "linux", "html", "js", "vbs",
-    "trojan", "troj", "virus", "malware", "worm", "backdoor", "bkdr", "bot", "downloader",
-    "dloadr", "dldr", "dropper", "spy", "spyware", "tspy", "pws", "banker", "infostealer",
-    "ransom", "ransomlock", "cryptor", "rogue", "fakeav", "fakealert", "adware", "adw",
-    "adload", "pua", "pup", "unwanted", "webtoolbar", "bundler", "softwarebundler",
-    "generic", "artemis", "heuristic", "heur", "suspicious", "cloud", "variant", "gen",
-    "agent", "kryptik", "krypt", "packed", "obfuscated", "injector", "starter", "small",
-    "not", "a", "application", "program", "riskware", "tool", "unsafe", "behaveslike",
-    "lookslike", "based", "possible", "probably", "malicious", "deepscan", "graftor",
+    "win32",
+    "win64",
+    "w32",
+    "w64",
+    "msil",
+    "android",
+    "linux",
+    "html",
+    "js",
+    "vbs",
+    "trojan",
+    "troj",
+    "virus",
+    "malware",
+    "worm",
+    "backdoor",
+    "bkdr",
+    "bot",
+    "downloader",
+    "dloadr",
+    "dldr",
+    "dropper",
+    "spy",
+    "spyware",
+    "tspy",
+    "pws",
+    "banker",
+    "infostealer",
+    "ransom",
+    "ransomlock",
+    "cryptor",
+    "rogue",
+    "fakeav",
+    "fakealert",
+    "adware",
+    "adw",
+    "adload",
+    "pua",
+    "pup",
+    "unwanted",
+    "webtoolbar",
+    "bundler",
+    "softwarebundler",
+    "generic",
+    "artemis",
+    "heuristic",
+    "heur",
+    "suspicious",
+    "cloud",
+    "variant",
+    "gen",
+    "agent",
+    "kryptik",
+    "krypt",
+    "packed",
+    "obfuscated",
+    "injector",
+    "starter",
+    "small",
+    "not",
+    "a",
+    "application",
+    "program",
+    "riskware",
+    "tool",
+    "unsafe",
+    "behaveslike",
+    "lookslike",
+    "based",
+    "possible",
+    "probably",
+    "malicious",
+    "deepscan",
+    "graftor",
 ];
 
 /// Alias normalisation: vendor-specific family spellings → canonical.
@@ -146,7 +211,9 @@ mod tests {
         assert_eq!(fam, None);
         let relaxed = FamilyExtractor::new().with_min_engines(1);
         assert_eq!(
-            relaxed.extract(&[("Kaspersky", "Trojan.Win32.Fareit.x")]).as_deref(),
+            relaxed
+                .extract(&[("Kaspersky", "Trojan.Win32.Fareit.x")])
+                .as_deref(),
             Some("fareit")
         );
     }

@@ -184,7 +184,10 @@ mod tests {
             map.interpret("Trojan-Downloader.Win32.Agent.heqj"),
             MalwareType::Dropper
         );
-        assert_eq!(map.interpret("Artemis!DEC3771868CB"), MalwareType::Undefined);
+        assert_eq!(
+            map.interpret("Artemis!DEC3771868CB"),
+            MalwareType::Undefined
+        );
     }
 
     #[test]

@@ -39,10 +39,7 @@ mod tests {
 
     #[test]
     fn tokenize_splits_on_all_separators() {
-        assert_eq!(
-            tokenize("PWS:Win32/Zbot"),
-            vec!["pws", "win32", "zbot"]
-        );
+        assert_eq!(tokenize("PWS:Win32/Zbot"), vec!["pws", "win32", "zbot"]);
         assert_eq!(
             tokenize("Downloader-FYH!6C7411D1C043"),
             vec!["downloader", "fyh", "6c7411d1c043"]

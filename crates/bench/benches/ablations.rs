@@ -9,7 +9,9 @@ fn bench_ablations(c: &mut Criterion) {
     let data = ablation::ablation_data(tiny_study());
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
-    group.bench_function("tau_sweep", |b| b.iter(|| black_box(ablation::tau_sweep(&data))));
+    group.bench_function("tau_sweep", |b| {
+        b.iter(|| black_box(ablation::tau_sweep(&data)))
+    });
     group.bench_function("conflict_policies", |b| {
         b.iter(|| black_box(ablation::conflict_policies(&data)))
     });

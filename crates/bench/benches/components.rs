@@ -1,6 +1,7 @@
 //! Component micro-benches: the hot paths of each substrate crate.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use downlake_analysis::AnalysisFrame;
 use downlake_avtype::{BehaviorExtractor, FamilyExtractor};
 use downlake_bench::tiny_study;
 use downlake_features::{build_training_set, Extractor};
@@ -81,8 +82,7 @@ fn bench_components(c: &mut Criterion) {
 
     let gt = study.ground_truth();
     let vectors = extractor.extract_files();
-    let instances =
-        build_training_set(vectors.iter().map(|(&h, v)| (v, gt.label(h))));
+    let instances = build_training_set(vectors.iter().map(|(h, v)| (v, gt.label(h))));
     group.bench_function("part_learn", |b| {
         let learner = PartLearner::new(TreeConfig {
             min_leaf: 4,
@@ -100,10 +100,28 @@ fn bench_components(c: &mut Criterion) {
     .learn(&instances)
     .reevaluate(&instances)
     .select_with(0.001, 10);
-    let sample = vectors.values().next().expect("nonempty");
+    let sample = vectors.iter().next().map(|(_, v)| v).expect("nonempty");
     group.bench_function("ruleset_classify", |b| {
         let encoded = set.schema().encode(&sample.values());
         b.iter(|| black_box(set.classify(black_box(&encoded), ConflictPolicy::Reject)))
+    });
+
+    // Columnar frame construction: labels/types resolved once per
+    // distinct file/process, CSR adjacency, month bounds.
+    let types = study.types();
+    group.bench_function("frame_build", |b| {
+        b.iter(|| {
+            black_box(AnalysisFrame::build(
+                study.dataset(),
+                |h| gt.label(h),
+                |h| types.malware_type(h),
+            ))
+        })
+    });
+
+    // A representative analysis pass over the prebuilt frame.
+    group.bench_function("frame_domain_popularity", |b| {
+        b.iter(|| black_box(study.frame().domain_popularity(10)))
     });
 
     group.finish();

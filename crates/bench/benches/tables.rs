@@ -9,21 +9,51 @@ fn bench_tables(c: &mut Criterion) {
     let study = tiny_study();
     let mut group = c.benchmark_group("tables");
     group.sample_size(10);
-    group.bench_function("table1", |b| b.iter(|| black_box(experiments::table1(study))));
-    group.bench_function("table2", |b| b.iter(|| black_box(experiments::table2(study))));
-    group.bench_function("table3", |b| b.iter(|| black_box(experiments::table3(study))));
-    group.bench_function("table4", |b| b.iter(|| black_box(experiments::table4(study))));
-    group.bench_function("table5", |b| b.iter(|| black_box(experiments::table5(study))));
-    group.bench_function("table6", |b| b.iter(|| black_box(experiments::table6(study))));
-    group.bench_function("table7", |b| b.iter(|| black_box(experiments::table7(study))));
-    group.bench_function("table8", |b| b.iter(|| black_box(experiments::table8(study))));
-    group.bench_function("table9", |b| b.iter(|| black_box(experiments::table9(study))));
-    group.bench_function("packers", |b| b.iter(|| black_box(experiments::packers(study))));
-    group.bench_function("table10", |b| b.iter(|| black_box(experiments::table10(study))));
-    group.bench_function("table11", |b| b.iter(|| black_box(experiments::table11(study))));
-    group.bench_function("table12", |b| b.iter(|| black_box(experiments::table12(study))));
-    group.bench_function("table13", |b| b.iter(|| black_box(experiments::table13(study))));
-    group.bench_function("table14", |b| b.iter(|| black_box(experiments::table14(study))));
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(experiments::table1(study)))
+    });
+    group.bench_function("table2", |b| {
+        b.iter(|| black_box(experiments::table2(study)))
+    });
+    group.bench_function("table3", |b| {
+        b.iter(|| black_box(experiments::table3(study)))
+    });
+    group.bench_function("table4", |b| {
+        b.iter(|| black_box(experiments::table4(study)))
+    });
+    group.bench_function("table5", |b| {
+        b.iter(|| black_box(experiments::table5(study)))
+    });
+    group.bench_function("table6", |b| {
+        b.iter(|| black_box(experiments::table6(study)))
+    });
+    group.bench_function("table7", |b| {
+        b.iter(|| black_box(experiments::table7(study)))
+    });
+    group.bench_function("table8", |b| {
+        b.iter(|| black_box(experiments::table8(study)))
+    });
+    group.bench_function("table9", |b| {
+        b.iter(|| black_box(experiments::table9(study)))
+    });
+    group.bench_function("packers", |b| {
+        b.iter(|| black_box(experiments::packers(study)))
+    });
+    group.bench_function("table10", |b| {
+        b.iter(|| black_box(experiments::table10(study)))
+    });
+    group.bench_function("table11", |b| {
+        b.iter(|| black_box(experiments::table11(study)))
+    });
+    group.bench_function("table12", |b| {
+        b.iter(|| black_box(experiments::table12(study)))
+    });
+    group.bench_function("table13", |b| {
+        b.iter(|| black_box(experiments::table13(study)))
+    });
+    group.bench_function("table14", |b| {
+        b.iter(|| black_box(experiments::table14(study)))
+    });
     group.bench_function("table15", |b| b.iter(|| black_box(experiments::table15())));
     group.finish();
 }

@@ -7,7 +7,6 @@
 //! * **σ sweep** — the reporting cap's effect on measured prevalence.
 
 use downlake::{Study, StudyConfig};
-use downlake_analysis::prevalence_report;
 use downlake_features::{build_training_set, Extractor, FeatureVector, FEATURE_NAMES};
 use downlake_rulelearn::{
     ConflictPolicy, Confusion, DecisionTree, Instances, PartLearner, TreeConfig, Verdict,
@@ -188,10 +187,8 @@ pub fn feature_ablation(data: &AblationData) -> Vec<QualityRow> {
     for drop in 0..FEATURE_NAMES.len() {
         // Rebuild instances with feature `drop` forced constant.
         let gt_rows: Vec<(FeatureVector, bool)> = data.test_rows.clone();
-        let mut builder = downlake_rulelearn::InstancesBuilder::new(
-            &FEATURE_NAMES,
-            &["benign", "malicious"],
-        );
+        let mut builder =
+            downlake_rulelearn::InstancesBuilder::new(&FEATURE_NAMES, &["benign", "malicious"]);
         for row in data.instances.rows() {
             let values: Vec<&str> = (0..FEATURE_NAMES.len())
                 .map(|attr| {
@@ -204,7 +201,11 @@ pub fn feature_ablation(data: &AblationData) -> Vec<QualityRow> {
                 .collect();
             builder.push(
                 &values,
-                if row.class == 1 { "malicious" } else { "benign" },
+                if row.class == 1 {
+                    "malicious"
+                } else {
+                    "benign"
+                },
             );
         }
         let instances = builder.build();
@@ -241,8 +242,7 @@ pub fn sigma_sweep(seed: u64) -> Vec<String> {
             let mut config = StudyConfig::new(seed).with_scale(Scale::Tiny);
             config.synth.sigma = sigma;
             let study = Study::run(&config);
-            let view = study.label_view();
-            let report = prevalence_report(study.dataset(), &view, sigma as usize);
+            let report = study.frame().prevalence_report(sigma as usize);
             format!(
                 "σ={sigma:<3} P(prev=1)={:.1}%  capped={:.2}%  mean prevalence={:.2}",
                 report.prevalence_one_share, report.capped_share, report.means.0

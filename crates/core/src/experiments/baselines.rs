@@ -124,7 +124,16 @@ pub fn graph_reputation(study: &Study, train_month: Month) -> BaselineReport {
     }
     let machine_badness: HashMap<MachineId, f64> = machine_score
         .into_iter()
-        .map(|(m, (bad, total))| (m, if total <= 0.0 { 0.5 } else { (bad / total).clamp(0.0, 1.0) }))
+        .map(|(m, (bad, total))| {
+            (
+                m,
+                if total <= 0.0 {
+                    0.5
+                } else {
+                    (bad / total).clamp(0.0, 1.0)
+                },
+            )
+        })
         .collect();
 
     // One propagation step: file badness = mean badness of its machines
@@ -166,14 +175,15 @@ pub fn domain_reputation(study: &Study, train_month: Month) -> BaselineReport {
     let dataset = study.dataset();
     let split = split(study, train_month);
 
-    let mut domain_score: HashMap<String, (f64, f64)> = HashMap::new(); // (bad, labeled)
-    let mut counted: HashSet<(FileHash, String)> = HashSet::new();
+    // Scores are dense vectors over e2LD ids — no string keys or clones.
+    let mut domain_score: Vec<(f64, f64)> = vec![(0.0, 0.0); dataset.urls().e2ld_count()];
+    let mut counted: HashSet<(FileHash, downlake_types::E2ldId)> = HashSet::new();
     for event in dataset.month(train_month).events() {
-        let e2ld = dataset.url_of(event).e2ld().to_owned();
-        if !counted.insert((event.file, e2ld.clone())) {
+        let e2ld = dataset.urls().e2ld_of(event.url);
+        if !counted.insert((event.file, e2ld)) {
             continue;
         }
-        let entry = domain_score.entry(e2ld).or_insert((0.0, 0.0));
+        let entry = &mut domain_score[e2ld.index()];
         match gt.label(event.file) {
             FileLabel::Malicious => {
                 entry.0 += 1.0;
@@ -185,20 +195,30 @@ pub fn domain_reputation(study: &Study, train_month: Month) -> BaselineReport {
     }
 
     // Test files: use the first event's domain (the deployment view).
-    let mut first_domain: HashMap<FileHash, &str> = HashMap::new();
-    for event in dataset.events() {
-        first_domain
-            .entry(event.file)
-            .or_insert_with(|| dataset.url_of(event).e2ld());
+    // Events are time-ordered, so the first write per file id wins.
+    let mut first_domain: Vec<Option<downlake_types::E2ldId>> = vec![None; dataset.files().len()];
+    for (e, event) in dataset.events().iter().enumerate() {
+        let slot = &mut first_domain[dataset.event_files()[e].index()];
+        if slot.is_none() {
+            *slot = Some(dataset.urls().e2ld_of(event.url));
+        }
     }
 
     let mut report: HashMap<&'static str, BucketEval> = HashMap::new();
     for &(file, is_malicious) in &split.test {
         let prevalence = dataset.prevalence(file);
-        let score = first_domain
-            .get(&file)
-            .and_then(|d| domain_score.get(*d))
-            .map(|&(bad, labeled)| if labeled < 3.0 { 0.5 } else { bad / labeled })
+        let score = dataset
+            .files()
+            .id_of(file)
+            .and_then(|id| first_domain[id.index()])
+            .map(|d| {
+                let (bad, labeled) = domain_score[d.index()];
+                if labeled < 3.0 {
+                    0.5
+                } else {
+                    bad / labeled
+                }
+            })
             .unwrap_or(0.5);
         let detected = score > 0.6;
         let bucket = report.entry(bucket_label(prevalence)).or_default();
@@ -280,11 +300,7 @@ mod tests {
     #[test]
     fn domain_reputation_produces_mixed_reputation_fps() {
         let report = domain_reputation(study(), Month::January);
-        let total_fp: usize = report
-            .buckets
-            .iter()
-            .map(|(_, e)| e.false_positives)
-            .sum();
+        let total_fp: usize = report.buckets.iter().map(|(_, e)| e.false_positives).sum();
         let total_benign: usize = report.buckets.iter().map(|(_, e)| e.benign).sum();
         assert!(total_benign > 0);
         // Mixed-reputation hosting: some benign files come from

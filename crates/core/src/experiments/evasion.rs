@@ -10,11 +10,11 @@
 use crate::experiments::rules::{rule_experiments, RuleExperimentOutcome};
 use crate::pipeline::Study;
 use crate::render::TextTable;
-use downlake_features::{build_training_set, Extractor, FeatureVector, UNSIGNED};
+use downlake_features::{build_training_set, Extractor, FeatureVector, FileVectors, UNSIGNED};
 use downlake_rulelearn::{ConflictPolicy, PartLearner, RuleSet, TreeConfig, Verdict};
 use downlake_types::{FileHash, FileLabel, Month};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// An attacker's evasion move, applied to a malicious file's features.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -117,13 +117,8 @@ impl EvasionRow {
 fn trained_rules(study: &Study) -> (RuleSet, Vec<FeatureVector>) {
     let extractor = Extractor::new(study.dataset(), study.url_labeler());
     let gt = study.ground_truth();
-    let mut train: HashMap<FileHash, FeatureVector> = HashMap::new();
-    for event in study.dataset().month(Month::January).events() {
-        train
-            .entry(event.file)
-            .or_insert_with(|| extractor.extract_event(event));
-    }
-    let instances = build_training_set(train.iter().map(|(&h, v)| (v, gt.label(h))));
+    let train = extractor.extract_first_seen(study.dataset().month(Month::January).events());
+    let instances = build_training_set(train.iter().map(|(h, v)| (v, gt.label(h))));
     let learner = PartLearner::new(TreeConfig {
         min_leaf: 4,
         prune: false,
@@ -139,7 +134,7 @@ fn trained_rules(study: &Study) -> (RuleSet, Vec<FeatureVector>) {
     let mut targets = Vec::new();
     let mut seen: HashSet<FileHash> = HashSet::new();
     for event in study.dataset().month(Month::February).events() {
-        if !seen.insert(event.file) || train.contains_key(&event.file) {
+        if !seen.insert(event.file) || train.contains(event.file) {
             continue;
         }
         if gt.label(event.file) == FileLabel::Malicious {
@@ -188,7 +183,14 @@ pub fn evasion_table(study: &Study) -> TextTable {
     let rows = evasion_rows(study);
     let mut table = TextTable::new(
         "§VII — Evading detection: attacker moves vs the trained rules",
-        &["Strategy", "Samples", "Detected", "Rejected", "As benign", "Unmatched"],
+        &[
+            "Strategy",
+            "Samples",
+            "Detected",
+            "Rejected",
+            "As benign",
+            "Unmatched",
+        ],
     );
     for row in rows {
         table.push_row(vec![
@@ -247,20 +249,15 @@ pub fn expansion_reach(study: &Study, outcome: &RuleExperimentOutcome) -> Expans
     });
 
     let mut labeled: HashSet<FileHash> = HashSet::new();
-    let mut monthly: Vec<HashMap<FileHash, FeatureVector>> = Vec::new();
-    for month in Month::ALL {
-        let mut map = HashMap::new();
-        for event in study.dataset().month(month).events() {
-            map.entry(event.file)
-                .or_insert_with(|| extractor.extract_event(event));
-        }
-        monthly.push(map);
-    }
+    let monthly: Vec<FileVectors> = Month::ALL
+        .into_iter()
+        .map(|month| extractor.extract_first_seen(study.dataset().month(month).events()))
+        .collect();
     for train_month in Month::ALL.into_iter().take(Month::ALL.len() - 1) {
         let test_month = train_month.next().expect("not last");
         let train = &monthly[train_month.index()];
         let test = &monthly[test_month.index()];
-        let instances = build_training_set(train.iter().map(|(&h, v)| (v, gt.label(h))));
+        let instances = build_training_set(train.iter().map(|(h, v)| (v, gt.label(h))));
         if instances.is_empty() {
             continue;
         }
@@ -269,8 +266,8 @@ pub fn expansion_reach(study: &Study, outcome: &RuleExperimentOutcome) -> Expans
             .learn(&instances)
             .reevaluate(&instances)
             .select_with(0.001, min_coverage);
-        for (&hash, vector) in test {
-            if gt.label(hash) != FileLabel::Unknown || train.contains_key(&hash) {
+        for (hash, vector) in test.iter() {
+            if gt.label(hash) != FileLabel::Unknown || train.contains(hash) {
                 continue;
             }
             let encoded = set.schema().encode(&vector.values());

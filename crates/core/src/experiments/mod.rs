@@ -21,12 +21,7 @@ pub use rules::{
 
 use crate::pipeline::Study;
 use crate::render::{Figure, TextTable};
-use downlake_analysis::{
-    browser_behavior, category_behavior, domain_popularity, escalation_cdf, files_per_domain,
-    malicious_process_behavior, monthly_summary, packer_report, prevalence_report,
-    rank_distribution, top_domains_by_downloads, type_domain_tables, unknown_download_categories,
-    EscalationKind, ProcessBehaviorRow, RankSource,
-};
+use downlake_analysis::{EscalationKind, ProcessBehaviorRow, RankSource};
 use downlake_types::{FileLabel, MalwareType};
 use std::collections::BTreeMap;
 
@@ -40,16 +35,15 @@ fn pct2(x: f64) -> String {
 
 /// Table I: monthly summary of collected data, plus the Overall row.
 pub fn table1(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let rows = monthly_summary(study.dataset(), &view, |e2ld| {
-        study.url_labeler().label_e2ld(e2ld)
-    });
-    let overall = overall_row(study, &view);
+    let rows = study
+        .frame()
+        .monthly_summary(|e2ld| study.url_labeler().label_e2ld(e2ld));
+    let overall = overall_row(study);
     let mut table = TextTable::new(
         "Table I — Monthly summary of collected data",
         &[
-            "Month", "Machines", "Events", "Procs", "P-ben", "P-lben", "P-mal", "P-lmal",
-            "Files", "F-ben", "F-lben", "F-mal", "F-lmal", "URLs", "U-ben", "U-mal",
+            "Month", "Machines", "Events", "Procs", "P-ben", "P-lben", "P-mal", "P-lmal", "Files",
+            "F-ben", "F-lben", "F-mal", "F-lmal", "URLs", "U-ben", "U-mal",
         ],
     );
     for r in rows {
@@ -77,18 +71,19 @@ pub fn table1(study: &Study) -> TextTable {
 }
 
 /// The Table I "Overall" row: distinct counts over the whole window.
-fn overall_row(study: &Study, view: &downlake_analysis::LabelView<'_>) -> Vec<String> {
+fn overall_row(study: &Study) -> Vec<String> {
     use downlake_types::{FileLabel, UrlLabel};
     let ds = study.dataset();
     let stats = ds.stats();
+    let frame = study.frame();
 
     let mut file_counts = [0usize; 4];
-    for record in ds.files().iter() {
-        bump_label(&mut file_counts, view.label(record.hash));
+    for &label in frame.file_labels() {
+        bump_label(&mut file_counts, label);
     }
     let mut process_counts = [0usize; 4];
-    for record in ds.processes().iter() {
-        bump_label(&mut process_counts, view.label(record.hash));
+    for &label in frame.process_labels() {
+        bump_label(&mut process_counts, label);
     }
     let mut url_benign = 0usize;
     let mut url_malicious = 0usize;
@@ -140,9 +135,9 @@ pub fn fig1(study: &Study) -> TextTable {
     let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
     let mut unnamed = 0u64;
     let mut named = 0u64;
-    let view = study.label_view();
-    for record in study.dataset().files().iter() {
-        if view.label(record.hash) != FileLabel::Malicious {
+    let labels = study.frame().file_labels();
+    for (i, record) in study.dataset().files().iter().enumerate() {
+        if labels[i] != FileLabel::Malicious {
             continue;
         }
         match study.types().family(record.hash) {
@@ -173,14 +168,14 @@ pub fn fig1(study: &Study) -> TextTable {
 
 /// Table II: breakdown of malicious files per behaviour type.
 pub fn table2(study: &Study) -> TextTable {
-    let view = study.label_view();
+    let frame = study.frame();
     let mut counts: BTreeMap<MalwareType, usize> = BTreeMap::new();
     let mut total = 0usize;
-    for record in study.dataset().files().iter() {
-        if view.label(record.hash) != FileLabel::Malicious {
+    for (i, &label) in frame.file_labels().iter().enumerate() {
+        if label != FileLabel::Malicious {
             continue;
         }
-        let ty = view.malware_type(record.hash).unwrap_or(MalwareType::Undefined);
+        let ty = frame.file_types()[i].unwrap_or(MalwareType::Undefined);
         *counts.entry(ty).or_insert(0) += 1;
         total += 1;
     }
@@ -200,12 +195,9 @@ pub fn table2(study: &Study) -> TextTable {
 
 /// Fig. 2: prevalence of downloaded files, per class.
 pub fn fig2(study: &Study) -> Figure {
-    let view = study.label_view();
-    let report = prevalence_report(
-        study.dataset(),
-        &view,
-        study.config().synth.sigma as usize,
-    );
+    let report = study
+        .frame()
+        .prevalence_report(study.config().synth.sigma as usize);
     let mut fig = Figure::new(
         format!(
             "Fig. 2 — File prevalence (P(1)={:.1}%, capped={:.2}%, machines touching unknown={:.1}%)",
@@ -233,8 +225,7 @@ pub fn fig2(study: &Study) -> Figure {
 
 /// Table III: domains with the highest download popularity.
 pub fn table3(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let [overall, benign, malicious] = domain_popularity(study.dataset(), &view, 10);
+    let [overall, benign, malicious] = study.frame().domain_popularity(10);
     let mut table = TextTable::new(
         "Table III — Domains with highest download popularity (distinct machines)",
         &["Overall", "#m", "Benign", "#m", "Malicious", "#m"],
@@ -258,8 +249,7 @@ pub fn table3(study: &Study) -> TextTable {
 
 /// Table IV: number of distinct files served per domain.
 pub fn table4(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let [benign, malicious] = files_per_domain(study.dataset(), &view, 10);
+    let [benign, malicious] = study.frame().files_per_domain(10);
     let mut table = TextTable::new(
         "Table IV — Number of files served per domain (top 10)",
         &["Benign domain", "#files", "Malicious domain", "#files"],
@@ -286,12 +276,11 @@ fn rank_source(study: &Study) -> RankSource<'_> {
 
 /// Fig. 3: Alexa-rank distribution of benign vs malicious hosting domains.
 pub fn fig3(study: &Study) -> Figure {
-    let view = study.label_view();
     let ranks = rank_source(study);
-    let (benign, benign_unranked) =
-        rank_distribution(study.dataset(), &view, &ranks, FileLabel::Benign);
-    let (malicious, malicious_unranked) =
-        rank_distribution(study.dataset(), &view, &ranks, FileLabel::Malicious);
+    let (benign, benign_unranked) = study.frame().rank_distribution(&ranks, FileLabel::Benign);
+    let (malicious, malicious_unranked) = study
+        .frame()
+        .rank_distribution(&ranks, FileLabel::Malicious);
     let mut fig = Figure::new(
         format!(
             "Fig. 3 — Alexa ranks of hosting domains (unranked: benign={benign_unranked}, malicious={malicious_unranked})"
@@ -306,8 +295,7 @@ pub fn fig3(study: &Study) -> Figure {
 
 /// Table V: popular download domains per type of malicious file.
 pub fn table5(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let tables = type_domain_tables(study.dataset(), &view, 5);
+    let tables = study.frame().type_domain_tables(5);
     let mut table = TextTable::new(
         "Table V — Popular download domains per type of malicious file",
         &["Type", "Domain", "#files"],
@@ -328,11 +316,16 @@ pub fn table5(study: &Study) -> TextTable {
 
 /// Table VI: percentage of signed files per class.
 pub fn table6(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let rows = downlake_analysis::signing_rates_table(study.dataset(), &view);
+    let rows = study.frame().signing_rates_table();
     let mut table = TextTable::new(
         "Table VI — Percentage of signed benign, unknown, and malicious files",
-        &["Type", "# files", "Signed", "# from browsers", "Signed (browsers)"],
+        &[
+            "Type",
+            "# files",
+            "Signed",
+            "# from browsers",
+            "Signed (browsers)",
+        ],
     );
     for r in rows {
         table.push_row(vec![
@@ -348,8 +341,7 @@ pub fn table6(study: &Study) -> TextTable {
 
 /// Table VII: common signers among malicious file types.
 pub fn table7(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let rows = downlake_analysis::signer_overlap(study.dataset(), &view);
+    let rows = study.frame().signer_overlap();
     let mut table = TextTable::new(
         "Table VII — Common signers among malicious file types",
         &["Type", "# signers", "In common with benign"],
@@ -366,11 +358,15 @@ pub fn table7(study: &Study) -> TextTable {
 
 /// Table VIII: top signers of different file types.
 pub fn table8(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let report = downlake_analysis::top_signers(study.dataset(), &view, 3);
+    let report = study.frame().top_signers(3);
     let mut table = TextTable::new(
         "Table VIII — Top signers of different file types",
-        &["Type", "Top signers", "Top common with benign", "Top exclusive to malware"],
+        &[
+            "Type",
+            "Top signers",
+            "Top common with benign",
+            "Top exclusive to malware",
+        ],
     );
     let join = |v: &[(String, u64)]| {
         v.iter()
@@ -379,20 +375,14 @@ pub fn table8(study: &Study) -> TextTable {
             .join(", ")
     };
     for (ty, top, common, exclusive) in &report.per_type {
-        table.push_row(vec![
-            ty.clone(),
-            join(top),
-            join(common),
-            join(exclusive),
-        ]);
+        table.push_row(vec![ty.clone(), join(top), join(common), join(exclusive)]);
     }
     table
 }
 
 /// Table IX: top exclusively-benign and exclusively-malicious signers.
 pub fn table9(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let report = downlake_analysis::top_signers(study.dataset(), &view, 10);
+    let report = study.frame().top_signers(10);
     let mut table = TextTable::new(
         "Table IX — Top signers that exclusively signed benign or malicious files",
         &["Benign signer", "# files", "Malicious signer", "# files"],
@@ -415,8 +405,7 @@ pub fn table9(study: &Study) -> TextTable {
 
 /// Fig. 4: common signers between malicious and benign files (scatter).
 pub fn fig4(study: &Study) -> Figure {
-    let view = study.label_view();
-    let report = downlake_analysis::top_signers(study.dataset(), &view, 10);
+    let report = study.frame().top_signers(10);
     let mut fig = Figure::new(
         format!(
             "Fig. 4 — Common signers between malicious and benign files ({} shared signers)",
@@ -438,30 +427,47 @@ pub fn fig4(study: &Study) -> Figure {
 
 /// §IV-C packer statistics (prose numbers rendered as a table).
 pub fn packers(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let report = packer_report(study.dataset(), &view);
-    let mut table = TextTable::new(
-        "§IV-C — Packer usage overlap",
-        &["Metric", "Value"],
-    );
-    table.push_row(vec!["benign files packed".into(), pct(report.benign_packed_pct)]);
+    let report = study.frame().packer_report();
+    let mut table = TextTable::new("§IV-C — Packer usage overlap", &["Metric", "Value"]);
+    table.push_row(vec![
+        "benign files packed".into(),
+        pct(report.benign_packed_pct),
+    ]);
     table.push_row(vec![
         "malicious files packed".into(),
         pct(report.malicious_packed_pct),
     ]);
-    table.push_row(vec!["distinct packers".into(), report.total_packers.to_string()]);
-    table.push_row(vec!["shared packers".into(), report.shared_packers.to_string()]);
+    table.push_row(vec![
+        "distinct packers".into(),
+        report.total_packers.to_string(),
+    ]);
+    table.push_row(vec![
+        "shared packers".into(),
+        report.shared_packers.to_string(),
+    ]);
     table.push_row(vec![
         "malicious-exclusive packers".into(),
         report.malicious_only.len().to_string(),
     ]);
     table.push_row(vec![
         "example malicious-exclusive".into(),
-        report.malicious_only.iter().take(3).cloned().collect::<Vec<_>>().join(", "),
+        report
+            .malicious_only
+            .iter()
+            .take(3)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", "),
     ]);
     table.push_row(vec![
         "example shared".into(),
-        report.shared.iter().take(4).cloned().collect::<Vec<_>>().join(", "),
+        report
+            .shared
+            .iter()
+            .take(4)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", "),
     ]);
     table
 }
@@ -470,7 +476,13 @@ fn behavior_table(title: &str, rows: Vec<ProcessBehaviorRow>) -> TextTable {
     let mut table = TextTable::new(
         title,
         &[
-            "Row", "Procs", "Machines", "Unknown", "Benign", "Malicious", "Infected",
+            "Row",
+            "Procs",
+            "Machines",
+            "Unknown",
+            "Benign",
+            "Malicious",
+            "Infected",
             "Top malicious types",
         ],
     );
@@ -498,35 +510,31 @@ fn behavior_table(title: &str, rows: Vec<ProcessBehaviorRow>) -> TextTable {
 
 /// Table X: download behaviour of benign processes by category.
 pub fn table10(study: &Study) -> TextTable {
-    let view = study.label_view();
     behavior_table(
         "Table X — Download behavior of benign processes (by category)",
-        category_behavior(study.dataset(), &view),
+        study.frame().category_behavior(),
     )
 }
 
 /// Table XI: download behaviour per browser.
 pub fn table11(study: &Study) -> TextTable {
-    let view = study.label_view();
     behavior_table(
         "Table XI — Download behavior of benign browser processes",
-        browser_behavior(study.dataset(), &view),
+        study.frame().browser_behavior(),
     )
 }
 
 /// Table XII: download behaviour of malicious processes per type.
 pub fn table12(study: &Study) -> TextTable {
-    let view = study.label_view();
     behavior_table(
         "Table XII — Download behavior of malicious processes (by type)",
-        malicious_process_behavior(study.dataset(), &view),
+        study.frame().malicious_process_behavior(),
     )
 }
 
 /// Fig. 5: time delta between benign/adware/pup/dropper and other malware.
 pub fn fig5(study: &Study) -> Figure {
-    let view = study.label_view();
-    let report = escalation_cdf(study.dataset(), &view);
+    let report = study.frame().escalation_cdf();
     let mut fig = Figure::new(
         "Fig. 5 — Time delta between downloading benign/adware/pup/dropper and other malware",
         "days",
@@ -540,8 +548,7 @@ pub fn fig5(study: &Study) -> Figure {
 
 /// Convenience: the same report as [`fig5`], as quantile rows.
 pub fn fig5_quantiles(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let report = escalation_cdf(study.dataset(), &view);
+    let report = study.frame().escalation_cdf();
     let mut table = TextTable::new(
         "Fig. 5 (quantiles) — share of machines escalating within N days",
         &["Seed", "day 0", "≤5 days", "≤30 days", "samples"],
@@ -562,10 +569,8 @@ pub fn fig5_quantiles(study: &Study) -> TextTable {
 
 /// Fig. 6: Alexa-rank distribution of domains hosting unknown files.
 pub fn fig6(study: &Study) -> Figure {
-    let view = study.label_view();
     let ranks = rank_source(study);
-    let (unknown, unranked) =
-        rank_distribution(study.dataset(), &view, &ranks, FileLabel::Unknown);
+    let (unknown, unranked) = study.frame().rank_distribution(&ranks, FileLabel::Unknown);
     let mut fig = Figure::new(
         format!("Fig. 6 — Alexa ranks of domains hosting unknown files (unranked={unranked})"),
         "alexa rank",
@@ -577,8 +582,9 @@ pub fn fig6(study: &Study) -> Figure {
 
 /// Table XIII: top 10 domains serving unknown files (by downloads).
 pub fn table13(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let rows = top_domains_by_downloads(study.dataset(), &view, FileLabel::Unknown, 10);
+    let rows = study
+        .frame()
+        .top_domains_by_downloads(FileLabel::Unknown, 10);
     let mut table = TextTable::new(
         "Table XIII — Top 10 download domains (unknown files)",
         &["Domain", "# downloads"],
@@ -591,8 +597,7 @@ pub fn table13(study: &Study) -> TextTable {
 
 /// Table XIV: process categories downloading unknown files.
 pub fn table14(study: &Study) -> TextTable {
-    let view = study.label_view();
-    let rows = unknown_download_categories(study.dataset(), &view);
+    let rows = study.frame().unknown_download_categories();
     let mut table = TextTable::new(
         "Table XIV — Categories of processes downloading unknown files",
         &["Downloading process type", "# unknown files"],

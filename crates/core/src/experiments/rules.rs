@@ -8,11 +8,11 @@
 
 use crate::pipeline::Study;
 use crate::render::TextTable;
-use downlake_features::{build_training_set, Extractor, FeatureVector, FEATURE_NAMES};
+use downlake_features::{build_training_set, Extractor, FileVectors, FEATURE_NAMES};
 use downlake_rulelearn::{ConflictPolicy, Confusion, PartLearner, RuleSet, TreeConfig, Verdict};
 use downlake_types::{FileHash, FileLabel, FileNature, Month};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// The two rule-selection thresholds the paper evaluates.
 pub const TAU_SETTINGS: [f64; 2] = [0.0, 0.001];
@@ -101,19 +101,13 @@ impl RuleExperimentOutcome {
     }
 }
 
-/// Per-month per-file feature vectors (first event inside the month).
-fn monthly_vectors(study: &Study) -> Vec<HashMap<FileHash, FeatureVector>> {
+/// Per-month per-file feature vectors (first event inside the month),
+/// in deterministic first-sighting order.
+fn monthly_vectors(study: &Study) -> Vec<FileVectors> {
     let extractor = Extractor::new(study.dataset(), study.url_labeler());
     Month::ALL
         .iter()
-        .map(|&month| {
-            let mut map: HashMap<FileHash, FeatureVector> = HashMap::new();
-            for event in study.dataset().month(month).events() {
-                map.entry(event.file)
-                    .or_insert_with(|| extractor.extract_event(event));
-            }
-            map
-        })
+        .map(|&month| extractor.extract_first_seen(study.dataset().month(month).events()))
         .collect()
 }
 
@@ -132,9 +126,7 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
         let train = &vectors[train_month.index()];
         let test = &vectors[test_month.index()];
 
-        let instances = build_training_set(
-            train.iter().map(|(&hash, vec)| (vec, gt.label(hash))),
-        );
+        let instances = build_training_set(train.iter().map(|(hash, vec)| (vec, gt.label(hash))));
         if instances.is_empty() {
             continue;
         }
@@ -161,8 +153,8 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
 
             let mut confusion = Confusion::default();
             let mut fp_rules: HashSet<usize> = HashSet::new();
-            for (&hash, vector) in test {
-                if train.contains_key(&hash) {
+            for (hash, vector) in test.iter() {
+                if train.contains(hash) {
                     continue; // enforce empty train∩test intersection
                 }
                 let truth = match gt.label(hash) {
@@ -190,8 +182,8 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
             let mut rejected = 0usize;
             let mut latent_checked = 0usize;
             let mut latent_agree = 0usize;
-            for (&hash, vector) in test {
-                if gt.label(hash) != FileLabel::Unknown || train.contains_key(&hash) {
+            for (hash, vector) in test.iter() {
+                if gt.label(hash) != FileLabel::Unknown || train.contains(hash) {
                     continue;
                 }
                 unknown_total += 1;
@@ -258,16 +250,13 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
 
     outcome.total_unknowns = all_unknowns.len();
     outcome.unknowns_labeled = labeled_unknowns.len();
-    outcome.ground_truth_files = gt
-        .iter()
-        .filter(|&(_, label)| label.is_confident())
-        .count();
+    outcome.ground_truth_files = gt.iter().filter(|&(_, label)| label.is_confident()).count();
     outcome
 }
 
 fn example_rules(set: &RuleSet, k: usize) -> Vec<String> {
     let mut rules: Vec<_> = set.rules().to_vec();
-    rules.sort_by(|a, b| b.covered.cmp(&a.covered));
+    rules.sort_by_key(|rule| std::cmp::Reverse(rule.covered));
     rules
         .iter()
         .take(k)
@@ -307,7 +296,14 @@ pub fn table16(study: &Study) -> TextTable {
 pub fn render_table16(outcome: &RuleExperimentOutcome) -> TextTable {
     let mut table = TextTable::new(
         "Table XVI — Extracted rules per training window",
-        &["T_tr", "τ", "Overall rules", "Selected", "# benign", "# malicious"],
+        &[
+            "T_tr",
+            "τ",
+            "Overall rules",
+            "Selected",
+            "# benign",
+            "# malicious",
+        ],
     );
     for round in &outcome.rounds {
         table.push_row(vec![
@@ -333,8 +329,18 @@ pub fn render_table17(outcome: &RuleExperimentOutcome) -> TextTable {
     let mut table = TextTable::new(
         "Table XVII — Rule evaluation (test) and unknown-file classification",
         &[
-            "T_tr-T_ts", "τ", "# mal", "TP", "# ben", "FP", "# FP rules", "# unknowns",
-            "matched", "u-mal", "u-ben", "latent-agree",
+            "T_tr-T_ts",
+            "τ",
+            "# mal",
+            "TP",
+            "# ben",
+            "FP",
+            "# FP rules",
+            "# unknowns",
+            "matched",
+            "u-mal",
+            "u-ben",
+            "latent-agree",
         ],
     );
     for round in &outcome.rounds {

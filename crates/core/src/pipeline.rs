@@ -1,6 +1,6 @@
 //! The end-to-end study pipeline.
 
-use downlake_analysis::LabelView;
+use downlake_analysis::{AnalysisFrame, LabelView};
 use downlake_avtype::{BehaviorExtractor, FamilyExtractor, ResolutionStats};
 use downlake_groundtruth::{DomainFacts, GroundTruth, GroundTruthOracle, OracleConfig, UrlLabeler};
 use downlake_synth::{Scale, SynthConfig, World};
@@ -90,6 +90,7 @@ pub struct Study {
     ground_truth: GroundTruth,
     url_labeler: UrlLabeler,
     types: TypeAssignments,
+    frame: AnalysisFrame,
 }
 
 impl Study {
@@ -154,6 +155,15 @@ impl Study {
             }
         }
 
+        // 6. Resolve labels/types into the shared columnar frame every
+        //    table and figure pass consumes. Labels are looked up once
+        //    per distinct file and process here, never again per event.
+        let frame = AnalysisFrame::build(
+            &dataset,
+            |h| ground_truth.label(h),
+            |h| types.malware_type(h),
+        );
+
         Study {
             config: config.clone(),
             world,
@@ -162,6 +172,7 @@ impl Study {
             ground_truth,
             url_labeler,
             types,
+            frame,
         }
     }
 
@@ -200,7 +211,18 @@ impl Study {
         &self.types
     }
 
-    /// A [`LabelView`] over this study's ground truth, for the analyses.
+    /// The columnar [`AnalysisFrame`] shared by every analysis pass.
+    pub fn frame(&self) -> &AnalysisFrame {
+        &self.frame
+    }
+
+    /// A [`LabelView`] over this study's ground truth.
+    ///
+    /// This is a thin compatibility shim for callers that still use the
+    /// closure-based analysis entry points (e.g. ablations that re-label
+    /// on the fly); the experiment drivers consume [`Study::frame`]
+    /// directly. Both resolve through the same ground truth, so the
+    /// outputs are identical.
     pub fn label_view(&self) -> LabelView<'_> {
         LabelView::new(
             |h| self.ground_truth.label(h),
@@ -279,9 +301,6 @@ mod tests {
         let a = tiny_study();
         let b = tiny_study();
         assert_eq!(a.dataset().stats(), b.dataset().stats());
-        assert_eq!(
-            a.ground_truth().counts(),
-            b.ground_truth().counts()
-        );
+        assert_eq!(a.ground_truth().counts(), b.ground_truth().counts());
     }
 }

@@ -52,7 +52,7 @@ impl fmt::Display for TextTable {
                 }
                 line.push_str(cell);
                 let pad = widths[i].saturating_sub(cell.chars().count());
-                line.extend(std::iter::repeat(' ').take(pad));
+                line.extend(std::iter::repeat_n(' ', pad));
             }
             writeln!(f, "{}", line.trim_end())
         };

@@ -62,9 +62,7 @@ impl FeatureVector {
     /// The raw values in [`FEATURE_NAMES`] order.
     pub fn values(&self) -> [&str; 8] {
         let v = &self.values;
-        [
-            &v[0], &v[1], &v[2], &v[3], &v[4], &v[5], &v[6], &v[7],
-        ]
+        [&v[0], &v[1], &v[2], &v[3], &v[4], &v[5], &v[6], &v[7]]
     }
 
     /// The value of one feature by index.
@@ -133,13 +131,63 @@ impl<'a> Extractor<'a> {
 
     /// Extracts one vector per distinct file, using each file's first
     /// download event.
-    pub fn extract_files(&self) -> HashMap<FileHash, FeatureVector> {
-        let mut out: HashMap<FileHash, FeatureVector> = HashMap::new();
-        for event in self.dataset.events() {
-            out.entry(event.file)
-                .or_insert_with(|| self.extract_event(event));
+    pub fn extract_files(&self) -> FileVectors {
+        self.extract_first_seen(self.dataset.events())
+    }
+
+    /// Extracts one vector per distinct file over an event slice (e.g.
+    /// one month), using each file's first event inside the slice.
+    ///
+    /// The result iterates in first-sighting order, so anything built
+    /// from it — training sets in particular — is deterministic.
+    pub fn extract_first_seen(&self, events: &[DownloadEvent]) -> FileVectors {
+        let mut out = FileVectors::default();
+        for event in events {
+            if !out.index.contains_key(&event.file) {
+                out.index.insert(event.file, out.entries.len());
+                out.entries.push((event.file, self.extract_event(event)));
+            }
         }
         out
+    }
+}
+
+/// Per-file feature vectors in deterministic first-sighting order.
+///
+/// A plain `HashMap<FileHash, FeatureVector>` iterates in randomized
+/// hasher order, which leaks into rule-learning results (instance order
+/// breaks learner ties); this container iterates in the order files were
+/// first seen while keeping O(1) membership checks.
+#[derive(Debug, Clone, Default)]
+pub struct FileVectors {
+    entries: Vec<(FileHash, FeatureVector)>,
+    index: HashMap<FileHash, usize>,
+}
+
+impl FileVectors {
+    /// Iterates `(file, vector)` in first-sighting order.
+    pub fn iter(&self) -> impl Iterator<Item = (FileHash, &FeatureVector)> {
+        self.entries.iter().map(|(h, v)| (*h, v))
+    }
+
+    /// Whether the file has a vector.
+    pub fn contains(&self, file: FileHash) -> bool {
+        self.index.contains_key(&file)
+    }
+
+    /// The vector of one file, if present.
+    pub fn get(&self, file: FileHash) -> Option<&FeatureVector> {
+        self.index.get(&file).map(|&i| &self.entries[i].1)
+    }
+
+    /// Number of distinct files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no file has a vector.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -285,7 +333,10 @@ mod tests {
         let ex = Extractor::new(&ds, &urls);
         let map = ex.extract_files();
         assert_eq!(map.len(), 2);
-        assert_eq!(map[&FileHash::from_raw(1)].value(0), "Somoto Ltd.");
+        assert_eq!(
+            map.get(FileHash::from_raw(1)).unwrap().value(0),
+            "Somoto Ltd."
+        );
     }
 
     #[test]
@@ -294,8 +345,8 @@ mod tests {
         let urls = labeler();
         let ex = Extractor::new(&ds, &urls);
         let map = ex.extract_files();
-        let v1 = &map[&FileHash::from_raw(1)];
-        let v2 = &map[&FileHash::from_raw(2)];
+        let v1 = map.get(FileHash::from_raw(1)).unwrap();
+        let v2 = map.get(FileHash::from_raw(2)).unwrap();
         let inst = build_training_set([
             (v1, FileLabel::Malicious),
             (v2, FileLabel::LikelyMalicious),

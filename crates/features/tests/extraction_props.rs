@@ -126,11 +126,11 @@ proptest! {
             _ => FileLabel::Unknown,
         };
         let confident = vectors
-            .keys()
-            .filter(|h| label_of(**h).is_confident())
+            .iter()
+            .filter(|(h, _)| label_of(*h).is_confident())
             .count();
         let instances = build_training_set(
-            vectors.iter().map(|(&h, v)| (v, label_of(h))),
+            vectors.iter().map(|(h, v)| (v, label_of(h))),
         );
         prop_assert_eq!(instances.len(), confident);
         prop_assert_eq!(instances.attr_count(), FEATURE_NAMES.len());

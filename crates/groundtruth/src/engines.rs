@@ -61,24 +61,110 @@ pub const LEADING_ENGINES: [&str; 5] =
 /// Builds the full 52-engine roster: 10 trusted + 42 others.
 pub fn engine_roster() -> Vec<AvEngine> {
     let mut roster = vec![
-        AvEngine { name: "Microsoft", tier: EngineTier::Trusted, grammar: LabelGrammar::Microsoft, threshold: 0.70 },
-        AvEngine { name: "Symantec", tier: EngineTier::Trusted, grammar: LabelGrammar::Symantec, threshold: 0.72 },
-        AvEngine { name: "TrendMicro", tier: EngineTier::Trusted, grammar: LabelGrammar::TrendMicro, threshold: 0.68 },
-        AvEngine { name: "Kaspersky", tier: EngineTier::Trusted, grammar: LabelGrammar::Kaspersky, threshold: 0.62 },
-        AvEngine { name: "McAfee", tier: EngineTier::Trusted, grammar: LabelGrammar::McAfee, threshold: 0.66 },
-        AvEngine { name: "Avast", tier: EngineTier::Trusted, grammar: LabelGrammar::Generic, threshold: 0.74 },
-        AvEngine { name: "Bitdefender", tier: EngineTier::Trusted, grammar: LabelGrammar::Generic, threshold: 0.76 },
-        AvEngine { name: "ESET", tier: EngineTier::Trusted, grammar: LabelGrammar::Generic, threshold: 0.78 },
-        AvEngine { name: "Sophos", tier: EngineTier::Trusted, grammar: LabelGrammar::Generic, threshold: 0.79 },
-        AvEngine { name: "F-Secure", tier: EngineTier::Trusted, grammar: LabelGrammar::Generic, threshold: 0.80 },
+        AvEngine {
+            name: "Microsoft",
+            tier: EngineTier::Trusted,
+            grammar: LabelGrammar::Microsoft,
+            threshold: 0.70,
+        },
+        AvEngine {
+            name: "Symantec",
+            tier: EngineTier::Trusted,
+            grammar: LabelGrammar::Symantec,
+            threshold: 0.72,
+        },
+        AvEngine {
+            name: "TrendMicro",
+            tier: EngineTier::Trusted,
+            grammar: LabelGrammar::TrendMicro,
+            threshold: 0.68,
+        },
+        AvEngine {
+            name: "Kaspersky",
+            tier: EngineTier::Trusted,
+            grammar: LabelGrammar::Kaspersky,
+            threshold: 0.62,
+        },
+        AvEngine {
+            name: "McAfee",
+            tier: EngineTier::Trusted,
+            grammar: LabelGrammar::McAfee,
+            threshold: 0.66,
+        },
+        AvEngine {
+            name: "Avast",
+            tier: EngineTier::Trusted,
+            grammar: LabelGrammar::Generic,
+            threshold: 0.74,
+        },
+        AvEngine {
+            name: "Bitdefender",
+            tier: EngineTier::Trusted,
+            grammar: LabelGrammar::Generic,
+            threshold: 0.76,
+        },
+        AvEngine {
+            name: "ESET",
+            tier: EngineTier::Trusted,
+            grammar: LabelGrammar::Generic,
+            threshold: 0.78,
+        },
+        AvEngine {
+            name: "Sophos",
+            tier: EngineTier::Trusted,
+            grammar: LabelGrammar::Generic,
+            threshold: 0.79,
+        },
+        AvEngine {
+            name: "F-Secure",
+            tier: EngineTier::Trusted,
+            grammar: LabelGrammar::Generic,
+            threshold: 0.80,
+        },
     ];
     const OTHER_NAMES: [&str; 42] = [
-        "AegisLab", "Agnitum", "AhnLab", "Antiy", "Arcabit", "Baidu", "ByteHero", "CatQuick",
-        "ClamView", "CMC", "Comodo", "Cyren", "DrWeb", "Emsisoft", "Fortinet", "GData",
-        "Ikarus", "Jiangmin", "K7", "Kingsoft", "Malwarebytes", "MaxSecure", "eScan",
-        "NanoAv", "Norman", "nProtect", "Panda", "Qihoo", "Rising", "SecureAge", "SUPERAnti",
-        "Tencent", "TheHacker", "TotalDefense", "VBA32", "VIPRE", "ViRobot", "Webroot",
-        "Yandex", "Zillya", "ZoneAlarm", "Zoner",
+        "AegisLab",
+        "Agnitum",
+        "AhnLab",
+        "Antiy",
+        "Arcabit",
+        "Baidu",
+        "ByteHero",
+        "CatQuick",
+        "ClamView",
+        "CMC",
+        "Comodo",
+        "Cyren",
+        "DrWeb",
+        "Emsisoft",
+        "Fortinet",
+        "GData",
+        "Ikarus",
+        "Jiangmin",
+        "K7",
+        "Kingsoft",
+        "Malwarebytes",
+        "MaxSecure",
+        "eScan",
+        "NanoAv",
+        "Norman",
+        "nProtect",
+        "Panda",
+        "Qihoo",
+        "Rising",
+        "SecureAge",
+        "SUPERAnti",
+        "Tencent",
+        "TheHacker",
+        "TotalDefense",
+        "VBA32",
+        "VIPRE",
+        "ViRobot",
+        "Webroot",
+        "Yandex",
+        "Zillya",
+        "ZoneAlarm",
+        "Zoner",
     ];
     for (i, name) in OTHER_NAMES.iter().enumerate() {
         // Thresholds spread over [0.25, 0.55]: lax engines flag files the
@@ -145,7 +231,9 @@ fn microsoft_label<R: Rng + ?Sized>(
     informative: bool,
     rng: &mut R,
 ) -> String {
-    let fam = family.map(str::to_owned).unwrap_or_else(|| format!("Agent.{}", suffix(rng, 2).to_uppercase()));
+    let fam = family
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("Agent.{}", suffix(rng, 2).to_uppercase()));
     if !informative {
         // Vendor-generic detections; occasionally a bare trojan label.
         return if rng.gen_bool(0.15) {
@@ -175,7 +263,9 @@ fn symantec_label<R: Rng + ?Sized>(
     informative: bool,
     rng: &mut R,
 ) -> String {
-    let fam = family.map(str::to_owned).unwrap_or_else(|| format!("Gen.{}", suffix(rng, 3)));
+    let fam = family
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("Gen.{}", suffix(rng, 3)));
     if !informative {
         return if rng.gen_bool(0.15) {
             format!("Trojan.Gen.{}", rng.gen_range(2..9))
@@ -209,7 +299,11 @@ fn trendmicro_label<R: Rng + ?Sized>(
     let tag = suffix(rng, 3).to_uppercase();
     if !informative {
         return if rng.gen_bool(0.15) {
-            format!("TROJ_GEN.R{:03}C{}", rng.gen_range(0..999), rng.gen_range(0..9))
+            format!(
+                "TROJ_GEN.R{:03}C{}",
+                rng.gen_range(0..999),
+                rng.gen_range(0..9)
+            )
         } else {
             format!("Cryp_Xed-{}", rng.gen_range(10..60))
         };
@@ -228,7 +322,16 @@ fn trendmicro_label<R: Rng + ?Sized>(
     };
     // When the prefix already names the behaviour, the family rides in
     // the variant position, e.g. TROJ_FAKEAV.SMU1.
-    if matches!(ty, MalwareType::Trojan | MalwareType::Undefined | MalwareType::Worm | MalwareType::Bot | MalwareType::Spyware | MalwareType::Adware | MalwareType::Pup) {
+    if matches!(
+        ty,
+        MalwareType::Trojan
+            | MalwareType::Undefined
+            | MalwareType::Worm
+            | MalwareType::Bot
+            | MalwareType::Spyware
+            | MalwareType::Adware
+            | MalwareType::Pup
+    ) {
         format!("{prefix}_{fam}.{tag}")
     } else {
         format!("{prefix}.{tag}")
@@ -241,7 +344,9 @@ fn kaspersky_label<R: Rng + ?Sized>(
     informative: bool,
     rng: &mut R,
 ) -> String {
-    let fam = family.map(str::to_owned).unwrap_or_else(|| "Agent".to_owned());
+    let fam = family
+        .map(str::to_owned)
+        .unwrap_or_else(|| "Agent".to_owned());
     let variant = suffix(rng, 4);
     if !informative {
         return if rng.gen_bool(0.15) {
@@ -279,7 +384,9 @@ fn mcafee_label<R: Rng + ?Sized>(
             format!("Artemis!{}", hex_suffix(rng))
         };
     }
-    let fam = family.map(str::to_owned).unwrap_or_else(|| format!("FYH!{}", hex_suffix(rng)));
+    let fam = family
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("FYH!{}", hex_suffix(rng)));
     match ty {
         MalwareType::Dropper => format!("Downloader-{fam}"),
         MalwareType::Banker => format!("PWS-{fam}"),
@@ -300,7 +407,9 @@ fn generic_label<R: Rng + ?Sized>(
     informative: bool,
     rng: &mut R,
 ) -> String {
-    let fam = family.map(str::to_owned).unwrap_or_else(|| "Kryptik".to_owned());
+    let fam = family
+        .map(str::to_owned)
+        .unwrap_or_else(|| "Kryptik".to_owned());
     if !informative {
         return match rng.gen_range(0..3u8) {
             0 => format!("Gen:Variant.{fam}.{}", rng.gen_range(1..90)),
@@ -337,7 +446,13 @@ mod tests {
     fn roster_composition() {
         let roster = engine_roster();
         assert_eq!(roster.len(), 52);
-        assert_eq!(roster.iter().filter(|e| e.tier == EngineTier::Trusted).count(), 10);
+        assert_eq!(
+            roster
+                .iter()
+                .filter(|e| e.tier == EngineTier::Trusted)
+                .count(),
+            10
+        );
         for lead in LEADING_ENGINES {
             assert!(roster.iter().any(|e| e.name == lead), "missing {lead}");
         }
@@ -372,7 +487,10 @@ mod tests {
 
         let kasp = roster.iter().find(|e| e.name == "Kaspersky").unwrap();
         let label = kasp.render_label(MalwareType::Dropper, Some("agent"), true, &mut rng);
-        assert!(label.starts_with("Trojan-Downloader.Win32.Agent."), "{label}");
+        assert!(
+            label.starts_with("Trojan-Downloader.Win32.Agent."),
+            "{label}"
+        );
 
         let tm = roster.iter().find(|e| e.name == "TrendMicro").unwrap();
         let label = tm.render_label(MalwareType::FakeAv, None, true, &mut rng);

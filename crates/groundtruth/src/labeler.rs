@@ -90,7 +90,10 @@ mod tests {
         let labeler = Labeler::new(wl);
         // Even with a malicious-looking report, the whitelist decides.
         let r = report(vec![det(EngineTier::Trusted)], 700);
-        assert_eq!(labeler.label(FileHash::from_raw(1), Some(&r)), FileLabel::Benign);
+        assert_eq!(
+            labeler.label(FileHash::from_raw(1), Some(&r)),
+            FileLabel::Benign
+        );
         assert_eq!(
             labeler.label(FileHash::from_raw(2), Some(&r)),
             FileLabel::Malicious
@@ -111,7 +114,10 @@ mod tests {
     #[test]
     fn clean_short_span_is_likely_benign() {
         let r = report(vec![], 13);
-        assert_eq!(label_from_evidence(false, Some(&r)), FileLabel::LikelyBenign);
+        assert_eq!(
+            label_from_evidence(false, Some(&r)),
+            FileLabel::LikelyBenign
+        );
         let r = report(vec![], 14);
         assert_eq!(label_from_evidence(false, Some(&r)), FileLabel::Benign);
     }

@@ -144,7 +144,6 @@ impl GroundTruth {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,18 +180,20 @@ mod tests {
     fn oracle_produces_expected_label_classes() {
         let oracle = GroundTruthOracle::new(OracleConfig::default());
         let files = population();
-        let gt = oracle.collect(
-            files
-                .iter()
-                .map(|(h, p)| (*h, p, Timestamp::from_day(5))),
-        );
+        let gt = oracle.collect(files.iter().map(|(h, p)| (*h, p, Timestamp::from_day(5))));
         let counts = gt.counts();
         // Destiny-benign quarter: labeled benign (whitelist or clean VT).
         assert!(counts.get(&FileLabel::Benign).copied().unwrap_or(0) > 50);
         // Destiny-malicious quarter: trusted detections.
         assert!(counts.get(&FileLabel::Malicious).copied().unwrap_or(0) > 70);
         // Mid-detectability quarter: likely malicious.
-        assert!(counts.get(&FileLabel::LikelyMalicious).copied().unwrap_or(0) > 70);
+        assert!(
+            counts
+                .get(&FileLabel::LikelyMalicious)
+                .copied()
+                .unwrap_or(0)
+                > 70
+        );
         // Low-visibility quarter: unknown.
         assert!(counts.get(&FileLabel::Unknown).copied().unwrap_or(0) > 80);
     }
@@ -201,11 +202,7 @@ mod tests {
     fn malicious_files_have_scan_reports() {
         let oracle = GroundTruthOracle::new(OracleConfig::default());
         let files = population();
-        let gt = oracle.collect(
-            files
-                .iter()
-                .map(|(h, p)| (*h, p, Timestamp::from_day(5))),
-        );
+        let gt = oracle.collect(files.iter().map(|(h, p)| (*h, p, Timestamp::from_day(5))));
         for (hash, label) in gt.iter() {
             if label == FileLabel::Malicious {
                 let scan = gt.scan(hash).expect("malicious file must have a report");
@@ -225,13 +222,7 @@ mod tests {
     fn collection_is_deterministic() {
         let oracle = GroundTruthOracle::new(OracleConfig::default());
         let files = population();
-        let make = || {
-            oracle.collect(
-                files
-                    .iter()
-                    .map(|(h, p)| (*h, p, Timestamp::from_day(5))),
-            )
-        };
+        let make = || oracle.collect(files.iter().map(|(h, p)| (*h, p, Timestamp::from_day(5))));
         let a = make();
         let b = make();
         for (hash, label) in a.iter() {

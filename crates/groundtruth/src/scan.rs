@@ -39,7 +39,9 @@ impl ScanReport {
 
     /// Whether any trusted-tier engine detected the file.
     pub fn trusted_detection(&self) -> bool {
-        self.detections.iter().any(|d| d.tier == EngineTier::Trusted)
+        self.detections
+            .iter()
+            .any(|d| d.tier == EngineTier::Trusted)
     }
 
     /// Labels from the five leading engines (§II-C), as
@@ -162,7 +164,9 @@ mod tests {
         let vt = VirusTotalSim::new(1);
         let p = mal_profile(0.9, 0.0);
         for i in 0..50 {
-            assert!(vt.scan(FileHash::from_raw(i), &p, Timestamp::EPOCH).is_none());
+            assert!(vt
+                .scan(FileHash::from_raw(i), &p, Timestamp::EPOCH)
+                .is_none());
         }
     }
 
@@ -170,7 +174,9 @@ mod tests {
     fn high_detectability_triggers_trusted_engines() {
         let vt = VirusTotalSim::new(2);
         let p = mal_profile(0.95, 1.0);
-        let report = vt.scan(FileHash::from_raw(9), &p, Timestamp::EPOCH).unwrap();
+        let report = vt
+            .scan(FileHash::from_raw(9), &p, Timestamp::EPOCH)
+            .unwrap();
         assert!(report.trusted_detection());
         assert!(!report.leading_labels().is_empty());
     }
@@ -179,7 +185,9 @@ mod tests {
     fn mid_detectability_only_lax_engines() {
         let vt = VirusTotalSim::new(3);
         let p = mal_profile(0.45, 1.0);
-        let report = vt.scan(FileHash::from_raw(9), &p, Timestamp::EPOCH).unwrap();
+        let report = vt
+            .scan(FileHash::from_raw(9), &p, Timestamp::EPOCH)
+            .unwrap();
         assert!(!report.detections.is_empty());
         assert!(!report.trusted_detection());
     }
@@ -188,7 +196,9 @@ mod tests {
     fn benign_files_scan_clean() {
         let vt = VirusTotalSim::new(4);
         let p = LatentProfile::benign(1.0);
-        let report = vt.scan(FileHash::from_raw(3), &p, Timestamp::EPOCH).unwrap();
+        let report = vt
+            .scan(FileHash::from_raw(3), &p, Timestamp::EPOCH)
+            .unwrap();
         assert!(report.detections.is_empty());
         assert!(report.span_days() >= 600);
     }

@@ -72,14 +72,11 @@ mod tests {
 
     #[test]
     fn malicious_files_never_whitelisted() {
-        let profile = LatentProfile::malicious(
-            FileNature::Malicious(MalwareType::Dropper),
-            None,
-            1.0,
-            0.9,
-        );
-        let files: Vec<(FileHash, &LatentProfile)> =
-            (0..100).map(|i| (FileHash::from_raw(i), &profile)).collect();
+        let profile =
+            LatentProfile::malicious(FileNature::Malicious(MalwareType::Dropper), None, 1.0, 0.9);
+        let files: Vec<(FileHash, &LatentProfile)> = (0..100)
+            .map(|i| (FileHash::from_raw(i), &profile))
+            .collect();
         let wl = Whitelists::build(files, 1.0, 1);
         assert!(wl.is_empty());
     }
@@ -87,8 +84,9 @@ mod tests {
     #[test]
     fn visible_benign_files_mostly_whitelisted() {
         let profile = LatentProfile::benign(1.0);
-        let files: Vec<(FileHash, &LatentProfile)> =
-            (0..1000).map(|i| (FileHash::from_raw(i), &profile)).collect();
+        let files: Vec<(FileHash, &LatentProfile)> = (0..1000)
+            .map(|i| (FileHash::from_raw(i), &profile))
+            .collect();
         let wl = Whitelists::build(files, 0.5, 2);
         let share = wl.len() as f64 / 1000.0;
         assert!((share - 0.5).abs() < 0.08, "coverage {share}");
@@ -97,8 +95,9 @@ mod tests {
     #[test]
     fn invisible_benign_files_not_whitelisted() {
         let profile = LatentProfile::benign(0.0);
-        let files: Vec<(FileHash, &LatentProfile)> =
-            (0..100).map(|i| (FileHash::from_raw(i), &profile)).collect();
+        let files: Vec<(FileHash, &LatentProfile)> = (0..100)
+            .map(|i| (FileHash::from_raw(i), &profile))
+            .collect();
         let wl = Whitelists::build(files, 1.0, 3);
         assert!(wl.is_empty());
     }

@@ -77,10 +77,7 @@ impl Schema {
 
     /// The id of a class name.
     pub fn class_id(&self, name: &str) -> Option<u8> {
-        self.classes
-            .iter()
-            .position(|c| c == name)
-            .map(|i| i as u8)
+        self.classes.iter().position(|c| c == name).map(|i| i as u8)
     }
 
     /// Encodes a row of attribute value strings into value ids; values
@@ -202,11 +199,7 @@ impl InstancesBuilder {
     /// Panics if the value count mismatches the attribute count or the
     /// class name is unknown.
     pub fn push(&mut self, values: &[&str], class: &str) {
-        assert_eq!(
-            values.len(),
-            self.schema.attrs.len(),
-            "row arity mismatch"
-        );
+        assert_eq!(values.len(), self.schema.attrs.len(), "row arity mismatch");
         let class = self
             .schema
             .class_id(class)

@@ -91,7 +91,7 @@ fn walk(node: &TreeNode, path: &mut Vec<Condition>, best: &mut Option<BestLeaf>)
             count,
             errors,
         } => {
-            if *count > 0 && best.as_ref().map_or(true, |b| *count > b.count) {
+            if *count > 0 && best.as_ref().is_none_or(|b| *count > b.count) {
                 *best = Some(BestLeaf {
                     path: path.clone(),
                     class: *class,
@@ -115,9 +115,7 @@ fn walk(node: &TreeNode, path: &mut Vec<Condition>, best: &mut Option<BestLeaf>)
 
 fn matches_row(instances: &Instances, rule: &Rule, row: u32) -> bool {
     let values = &instances.rows()[row as usize].values;
-    rule.conditions
-        .iter()
-        .all(|c| values[c.attr] == c.value)
+    rule.conditions.iter().all(|c| values[c.attr] == c.value)
 }
 
 #[cfg(test)]
@@ -127,10 +125,8 @@ mod tests {
     use crate::ruleset::{ConflictPolicy, Verdict};
 
     fn signer_world() -> Instances {
-        let mut b = InstancesBuilder::new(
-            &["file signer", "file packer"],
-            &["benign", "malicious"],
-        );
+        let mut b =
+            InstancesBuilder::new(&["file signer", "file packer"], &["benign", "malicious"]);
         for _ in 0..40 {
             b.push(&["Somoto Ltd.", "NSIS"], "malicious");
             b.push(&["SecureInstall", "UPX"], "malicious");
@@ -190,7 +186,10 @@ mod tests {
     fn extraction_makes_progress_and_terminates() {
         let inst = signer_world();
         let set = PartLearner::default().learn(&inst);
-        assert!(set.len() < inst.len(), "one rule per instance means no generalisation");
+        assert!(
+            set.len() < inst.len(),
+            "one rule per instance means no generalisation"
+        );
         // Coverage numbers are positive and sum to ≥ training size
         // (every instance covered by exactly the rule that removed it).
         let total: usize = set.rules().iter().map(|r| r.covered).sum();

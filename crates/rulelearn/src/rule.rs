@@ -55,7 +55,10 @@ impl Rule {
     pub fn render(&self, schema: &Schema) -> String {
         let class = &schema.classes()[self.class as usize];
         if self.conditions.is_empty() {
-            return format!("IF (anything) → {class}  [covered={}, errors={}]", self.covered, self.errors);
+            return format!(
+                "IF (anything) → {class}  [covered={}, errors={}]",
+                self.covered, self.errors
+            );
         }
         let conds: Vec<String> = self
             .conditions

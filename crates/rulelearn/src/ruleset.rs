@@ -166,9 +166,7 @@ impl RuleSet {
                             .collect();
                         let (c, e) = score(&candidate, rule.class);
                         let r = if c == 0 { 0.0 } else { e as f64 / c as f64 };
-                        if r <= rate + 1e-12
-                            && best.map_or(true, |(_, _, bc, _)| c > bc)
-                        {
+                        if r <= rate + 1e-12 && best.is_none_or(|(_, _, bc, _)| c > bc) {
                             best = Some((drop, e, c, r));
                         }
                     }
@@ -219,9 +217,7 @@ impl RuleSet {
                 .rules
                 .iter()
                 .filter(|r| {
-                    !r.is_default()
-                        && r.covered >= min_coverage
-                        && r.error_rate() <= tau + 1e-12
+                    !r.is_default() && r.covered >= min_coverage && r.error_rate() <= tau + 1e-12
                 })
                 .cloned()
                 .collect(),
@@ -347,8 +343,13 @@ mod tests {
         let schema = schema();
         let rules = vec![
             rule(0, 0, 1, 100, 0),
-            rule(0, 1, 0, 100, 1),  // 1% error
-            Rule { conditions: vec![], class: 0, covered: 50, errors: 0 },
+            rule(0, 1, 0, 100, 1), // 1% error
+            Rule {
+                conditions: vec![],
+                class: 0,
+                covered: 50,
+                errors: 0,
+            },
         ];
         let set = RuleSet::new(schema, rules);
         assert_eq!(set.select(0.0).len(), 1);
@@ -360,10 +361,7 @@ mod tests {
     fn conflict_rejection() {
         let schema = schema();
         // Two rules match signer=somoto but disagree.
-        let set = RuleSet::new(
-            schema,
-            vec![rule(0, 0, 1, 10, 0), rule(0, 0, 0, 3, 0)],
-        );
+        let set = RuleSet::new(schema, vec![rule(0, 0, 1, 10, 0), rule(0, 0, 0, 3, 0)]);
         let v = set.classify_values(&["somoto"], ConflictPolicy::Reject);
         assert_eq!(v.verdict(), Verdict::Rejected);
         assert_eq!(v.class_name(), None);
@@ -378,10 +376,7 @@ mod tests {
     #[test]
     fn agreeing_rules_classify() {
         let schema = schema();
-        let set = RuleSet::new(
-            schema,
-            vec![rule(0, 0, 1, 10, 0), rule(0, 0, 1, 5, 0)],
-        );
+        let set = RuleSet::new(schema, vec![rule(0, 0, 1, 10, 0), rule(0, 0, 1, 5, 0)]);
         let v = set.classify_values(&["somoto"], ConflictPolicy::Reject);
         assert_eq!(v.class_name(), Some("malicious"));
     }
@@ -391,11 +386,13 @@ mod tests {
         let schema = schema();
         let set = RuleSet::new(schema, vec![rule(0, 0, 1, 10, 0)]);
         assert_eq!(
-            set.classify_values(&["teamviewer"], ConflictPolicy::Reject).verdict(),
+            set.classify_values(&["teamviewer"], ConflictPolicy::Reject)
+                .verdict(),
             Verdict::NoMatch
         );
         assert_eq!(
-            set.classify_values(&["never-seen"], ConflictPolicy::Reject).verdict(),
+            set.classify_values(&["never-seen"], ConflictPolicy::Reject)
+                .verdict(),
             Verdict::NoMatch
         );
     }
@@ -405,7 +402,11 @@ mod tests {
         let schema = schema();
         let set = RuleSet::new(
             schema,
-            vec![rule(0, 0, 1, 1, 0), rule(0, 1, 0, 1, 0), rule(0, 2, 0, 1, 0)],
+            vec![
+                rule(0, 0, 1, 1, 0),
+                rule(0, 1, 0, 1, 0),
+                rule(0, 2, 0, 1, 0),
+            ],
         );
         assert_eq!(set.class_composition(), vec![2, 1]);
     }
@@ -436,7 +437,10 @@ mod tests {
         assert_eq!(simplified.rules().len(), 1);
         let rule = &simplified.rules()[0];
         assert_eq!(rule.conditions.len(), 1, "{}", rule.render(inst.schema()));
-        assert_eq!(rule.conditions[0].attr, 0, "the signer condition must survive");
+        assert_eq!(
+            rule.conditions[0].attr, 0,
+            "the signer condition must survive"
+        );
         assert_eq!(rule.covered, 15, "coverage grows to the whole signer");
         assert_eq!(rule.errors, 0);
     }
@@ -463,7 +467,11 @@ mod tests {
         };
         let set = RuleSet::new(inst.schema().clone(), vec![rule]);
         let simplified = set.simplify(&inst);
-        assert_eq!(simplified.rules()[0].conditions.len(), 2, "both conditions needed");
+        assert_eq!(
+            simplified.rules()[0].conditions.len(),
+            2,
+            "both conditions needed"
+        );
     }
 
     #[test]
@@ -481,7 +489,10 @@ mod tests {
         let r = |packer_value: u32| Rule {
             conditions: vec![
                 Condition { attr: 0, value: 0 },
-                Condition { attr: 1, value: packer_value },
+                Condition {
+                    attr: 1,
+                    value: packer_value,
+                },
             ],
             class: 1,
             covered: 4,
@@ -489,7 +500,11 @@ mod tests {
         };
         let set = RuleSet::new(inst.schema().clone(), vec![r(0), r(1)]);
         let simplified = set.simplify(&inst);
-        assert_eq!(simplified.rules().len(), 1, "collapsed duplicates must merge");
+        assert_eq!(
+            simplified.rules().len(),
+            1,
+            "collapsed duplicates must merge"
+        );
     }
 
     #[test]

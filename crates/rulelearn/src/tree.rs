@@ -160,14 +160,12 @@ impl DecisionTree {
                     children,
                     majority,
                     ..
-                } => {
-                    match values[*attr] {
-                        Some(v) if (v as usize) < children.len() => {
-                            node = &children[v as usize];
-                        }
-                        _ => return *majority,
+                } => match values[*attr] {
+                    Some(v) if (v as usize) < children.len() => {
+                        node = &children[v as usize];
                     }
-                }
+                    _ => return *majority,
+                },
             }
         }
     }
@@ -241,7 +239,7 @@ fn build(
             continue;
         }
         let ratio = gain_ratio(&counts, &children);
-        if ratio > 1e-10 && best.map_or(true, |(_, b)| ratio > b) {
+        if ratio > 1e-10 && best.is_none_or(|(_, b)| ratio > b) {
             best = Some((attr, ratio));
         }
     }
@@ -328,9 +326,7 @@ fn class_count_of(node: &TreeNode, class: u8) -> usize {
                 *errors * usize::from(node_is_binary_complement(c, class))
             }
         }
-        TreeNode::Split { children, .. } => {
-            children.iter().map(|c| class_count_of(c, class)).sum()
-        }
+        TreeNode::Split { children, .. } => children.iter().map(|c| class_count_of(c, class)).sum(),
     }
 }
 
@@ -359,8 +355,7 @@ fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
     }
     let z = normal_inverse(1.0 - cf);
     let f = (e + 0.5) / n;
-    let r = (f + z * z / (2.0 * n)
-        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+    let r = (f + z * z / (2.0 * n) + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
         / (1.0 + z * z / n);
     (r * n - e).max(0.0)
 }
@@ -372,7 +367,7 @@ fn normal_inverse(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -495,7 +490,11 @@ mod tests {
         );
         let pruned = DecisionTree::learn(&inst, TreeConfig::default());
         assert!(pruned.leaf_count() <= unpruned.leaf_count());
-        assert!(pruned.leaf_count() <= 4, "pruned to {}", pruned.leaf_count());
+        assert!(
+            pruned.leaf_count() <= 4,
+            "pruned to {}",
+            pruned.leaf_count()
+        );
     }
 
     #[test]

@@ -16,8 +16,7 @@ fn dataset_strategy() -> impl Strategy<Value = Instances> {
             let attr_refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
             let mut builder = InstancesBuilder::new(&attr_refs, &["no", "yes"]);
             for (values, class) in data {
-                let value_names: Vec<String> =
-                    values.iter().map(|v| format!("v{v}")).collect();
+                let value_names: Vec<String> = values.iter().map(|v| format!("v{v}")).collect();
                 let value_refs: Vec<&str> = value_names.iter().map(String::as_str).collect();
                 builder.push(&value_refs, if class { "yes" } else { "no" });
             }

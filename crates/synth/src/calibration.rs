@@ -88,9 +88,19 @@ pub const TABLE1: [MonthRow; 7] = [
         machines: 292_516,
         events: 578_510,
         processes: 27_265,
-        process_labels: LabelShares { benign: 15.8, likely_benign: 8.4, malicious: 16.2, likely_malicious: 4.8 },
+        process_labels: LabelShares {
+            benign: 15.8,
+            likely_benign: 8.4,
+            malicious: 16.2,
+            likely_malicious: 4.8,
+        },
         files: 366_981,
-        file_labels: LabelShares { benign: 2.9, likely_benign: 2.8, malicious: 7.9, likely_malicious: 2.8 },
+        file_labels: LabelShares {
+            benign: 2.9,
+            likely_benign: 2.8,
+            malicious: 7.9,
+            likely_malicious: 2.8,
+        },
         urls: 318_834,
         url_benign: 30.2,
         url_malicious: 11.6,
@@ -100,9 +110,19 @@ pub const TABLE1: [MonthRow; 7] = [
         machines: 246_481,
         events: 470_291,
         processes: 25_001,
-        process_labels: LabelShares { benign: 15.4, likely_benign: 8.2, malicious: 16.8, likely_malicious: 4.8 },
+        process_labels: LabelShares {
+            benign: 15.4,
+            likely_benign: 8.2,
+            malicious: 16.8,
+            likely_malicious: 4.8,
+        },
         files: 296_362,
-        file_labels: LabelShares { benign: 3.1, likely_benign: 3.1, malicious: 8.9, likely_malicious: 3.1 },
+        file_labels: LabelShares {
+            benign: 3.1,
+            likely_benign: 3.1,
+            malicious: 8.9,
+            likely_malicious: 3.1,
+        },
         urls: 258_410,
         url_benign: 30.0,
         url_malicious: 12.2,
@@ -112,9 +132,19 @@ pub const TABLE1: [MonthRow; 7] = [
         machines: 248_568,
         events: 493_487,
         processes: 25_497,
-        process_labels: LabelShares { benign: 15.7, likely_benign: 9.1, malicious: 16.2, likely_malicious: 4.6 },
+        process_labels: LabelShares {
+            benign: 15.7,
+            likely_benign: 9.1,
+            malicious: 16.2,
+            likely_malicious: 4.6,
+        },
         files: 312_662,
-        file_labels: LabelShares { benign: 3.0, likely_benign: 3.1, malicious: 9.6, likely_malicious: 2.9 },
+        file_labels: LabelShares {
+            benign: 3.0,
+            likely_benign: 3.1,
+            malicious: 9.6,
+            likely_malicious: 2.9,
+        },
         urls: 282_179,
         url_benign: 33.0,
         url_malicious: 12.3,
@@ -124,9 +154,19 @@ pub const TABLE1: [MonthRow; 7] = [
         machines: 215_693,
         events: 427_110,
         processes: 23_078,
-        process_labels: LabelShares { benign: 16.3, likely_benign: 9.3, malicious: 19.4, likely_malicious: 4.5 },
+        process_labels: LabelShares {
+            benign: 16.3,
+            likely_benign: 9.3,
+            malicious: 19.4,
+            likely_malicious: 4.5,
+        },
         files: 258_752,
-        file_labels: LabelShares { benign: 3.6, likely_benign: 3.4, malicious: 12.6, likely_malicious: 3.2 },
+        file_labels: LabelShares {
+            benign: 3.6,
+            likely_benign: 3.4,
+            malicious: 12.6,
+            likely_malicious: 3.2,
+        },
         urls: 250_634,
         url_benign: 31.8,
         url_malicious: 11.3,
@@ -136,9 +176,19 @@ pub const TABLE1: [MonthRow; 7] = [
         machines: 180_947,
         events: 351_271,
         processes: 20_071,
-        process_labels: LabelShares { benign: 17.3, likely_benign: 9.5, malicious: 19.3, likely_malicious: 4.7 },
+        process_labels: LabelShares {
+            benign: 17.3,
+            likely_benign: 9.5,
+            malicious: 19.3,
+            likely_malicious: 4.7,
+        },
         files: 218_156,
-        file_labels: LabelShares { benign: 3.7, likely_benign: 3.5, malicious: 12.5, likely_malicious: 3.2 },
+        file_labels: LabelShares {
+            benign: 3.7,
+            likely_benign: 3.5,
+            malicious: 12.5,
+            likely_malicious: 3.2,
+        },
         urls: 206_095,
         url_benign: 29.9,
         url_malicious: 18.9,
@@ -148,9 +198,19 @@ pub const TABLE1: [MonthRow; 7] = [
         machines: 176_463,
         events: 351_509,
         processes: 23_799,
-        process_labels: LabelShares { benign: 14.3, likely_benign: 8.1, malicious: 20.9, likely_malicious: 3.8 },
+        process_labels: LabelShares {
+            benign: 14.3,
+            likely_benign: 8.1,
+            malicious: 20.9,
+            likely_malicious: 3.8,
+        },
         files: 206_309,
-        file_labels: LabelShares { benign: 3.8, likely_benign: 3.4, malicious: 14.0, likely_malicious: 3.5 },
+        file_labels: LabelShares {
+            benign: 3.8,
+            likely_benign: 3.4,
+            malicious: 14.0,
+            likely_malicious: 3.5,
+        },
         urls: 201_920,
         url_benign: 29.5,
         url_malicious: 23.0,
@@ -160,9 +220,19 @@ pub const TABLE1: [MonthRow; 7] = [
         machines: 157_457,
         events: 323_159,
         processes: 26_304,
-        process_labels: LabelShares { benign: 12.2, likely_benign: 7.2, malicious: 16.6, likely_malicious: 3.3 },
+        process_labels: LabelShares {
+            benign: 12.2,
+            likely_benign: 7.2,
+            malicious: 16.6,
+            likely_malicious: 3.3,
+        },
         files: 188_564,
-        file_labels: LabelShares { benign: 4.0, likely_benign: 3.7, malicious: 12.6, likely_malicious: 3.6 },
+        file_labels: LabelShares {
+            benign: 4.0,
+            likely_benign: 3.7,
+            malicious: 12.6,
+            likely_malicious: 3.6,
+        },
         urls: 187_315,
         url_benign: 29.3,
         url_malicious: 17.9,
@@ -205,7 +275,7 @@ pub struct SigningRates {
 /// Signing rate for a malicious behaviour type (Table VI).
 pub fn signing_rates(ty: MalwareType) -> SigningRates {
     let (overall, from_browsers) = match ty {
-        MalwareType::Trojan => (30.0, 38.0), // interpolated
+        MalwareType::Trojan => (30.0, 38.0),  // interpolated
         MalwareType::Dropper => (85.6, 89.0), // from-browser interpolated
         MalwareType::Ransomware => (44.4, 68.7),
         MalwareType::Bot => (1.5, 2.2),
@@ -217,15 +287,27 @@ pub fn signing_rates(ty: MalwareType) -> SigningRates {
         MalwareType::Pup => (76.0, 79.6),
         MalwareType::Undefined => (65.1, 71.3),
     };
-    SigningRates { overall, from_browsers }
+    SigningRates {
+        overall,
+        from_browsers,
+    }
 }
 
 /// Table VI signing rates for benign files.
-pub const BENIGN_SIGNING: SigningRates = SigningRates { overall: 30.7, from_browsers: 32.1 };
+pub const BENIGN_SIGNING: SigningRates = SigningRates {
+    overall: 30.7,
+    from_browsers: 32.1,
+};
 /// Table VI signing rates for unknown files.
-pub const UNKNOWN_SIGNING: SigningRates = SigningRates { overall: 38.4, from_browsers: 42.1 };
+pub const UNKNOWN_SIGNING: SigningRates = SigningRates {
+    overall: 38.4,
+    from_browsers: 42.1,
+};
 /// Table VI signing rates across all malicious files.
-pub const MALICIOUS_SIGNING: SigningRates = SigningRates { overall: 66.0, from_browsers: 81.0 };
+pub const MALICIOUS_SIGNING: SigningRates = SigningRates {
+    overall: 66.0,
+    from_browsers: 81.0,
+};
 
 /// §IV-C packer statistics.
 pub mod packing {
@@ -271,57 +353,174 @@ pub type TypeMix = &'static [(MalwareType, f64)];
 /// Order: browsers, windows, java, acrobat, other.
 pub const TABLE10: [(ProcessRow, TypeMix); 5] = [
     (
-        ProcessRow { processes: 1_342, machines: 799_342, unknown_files: 1_120_855, benign_files: 28_265, malicious_files: 113_750, infected_pct: 24.44 },
+        ProcessRow {
+            processes: 1_342,
+            machines: 799_342,
+            unknown_files: 1_120_855,
+            benign_files: 28_265,
+            malicious_files: 113_750,
+            infected_pct: 24.44,
+        },
         &[
-            (MalwareType::Dropper, 28.05), (MalwareType::Pup, 18.55), (MalwareType::Trojan, 10.48),
-            (MalwareType::Adware, 7.36), (MalwareType::FakeAv, 0.35), (MalwareType::Ransomware, 0.27),
-            (MalwareType::Banker, 0.23), (MalwareType::Bot, 0.22), (MalwareType::Worm, 0.05),
-            (MalwareType::Spyware, 0.03), (MalwareType::Undefined, 34.43),
+            (MalwareType::Dropper, 28.05),
+            (MalwareType::Pup, 18.55),
+            (MalwareType::Trojan, 10.48),
+            (MalwareType::Adware, 7.36),
+            (MalwareType::FakeAv, 0.35),
+            (MalwareType::Ransomware, 0.27),
+            (MalwareType::Banker, 0.23),
+            (MalwareType::Bot, 0.22),
+            (MalwareType::Worm, 0.05),
+            (MalwareType::Spyware, 0.03),
+            (MalwareType::Undefined, 34.43),
         ],
     ),
     (
-        ProcessRow { processes: 587, machines: 429_593, unknown_files: 368_925, benign_files: 23_059, malicious_files: 68_767, infected_pct: 27.71 },
+        ProcessRow {
+            processes: 587,
+            machines: 429_593,
+            unknown_files: 368_925,
+            benign_files: 23_059,
+            malicious_files: 68_767,
+            infected_pct: 27.71,
+        },
         &[
-            (MalwareType::Dropper, 25.42), (MalwareType::Pup, 17.75), (MalwareType::Trojan, 11.75),
-            (MalwareType::Adware, 5.80), (MalwareType::Banker, 1.23), (MalwareType::Bot, 0.73),
-            (MalwareType::Ransomware, 0.37), (MalwareType::FakeAv, 0.11), (MalwareType::Worm, 0.08),
-            (MalwareType::Spyware, 0.06), (MalwareType::Undefined, 36.70),
+            (MalwareType::Dropper, 25.42),
+            (MalwareType::Pup, 17.75),
+            (MalwareType::Trojan, 11.75),
+            (MalwareType::Adware, 5.80),
+            (MalwareType::Banker, 1.23),
+            (MalwareType::Bot, 0.73),
+            (MalwareType::Ransomware, 0.37),
+            (MalwareType::FakeAv, 0.11),
+            (MalwareType::Worm, 0.08),
+            (MalwareType::Spyware, 0.06),
+            (MalwareType::Undefined, 36.70),
         ],
     ),
     (
-        ProcessRow { processes: 173, machines: 2_977, unknown_files: 227, benign_files: 25, malicious_files: 488, infected_pct: 33.36 },
+        ProcessRow {
+            processes: 173,
+            machines: 2_977,
+            unknown_files: 227,
+            benign_files: 25,
+            malicious_files: 488,
+            infected_pct: 33.36,
+        },
         &[
-            (MalwareType::Trojan, 45.29), (MalwareType::Bot, 15.78), (MalwareType::Dropper, 12.30),
-            (MalwareType::Banker, 6.97), (MalwareType::Ransomware, 4.30), (MalwareType::Pup, 1.02),
-            (MalwareType::Worm, 0.82), (MalwareType::Undefined, 12.54),
+            (MalwareType::Trojan, 45.29),
+            (MalwareType::Bot, 15.78),
+            (MalwareType::Dropper, 12.30),
+            (MalwareType::Banker, 6.97),
+            (MalwareType::Ransomware, 4.30),
+            (MalwareType::Pup, 1.02),
+            (MalwareType::Worm, 0.82),
+            (MalwareType::Undefined, 12.54),
         ],
     ),
     (
-        ProcessRow { processes: 9, machines: 1_080, unknown_files: 264, benign_files: 0, malicious_files: 696, infected_pct: 78.52 },
+        ProcessRow {
+            processes: 9,
+            machines: 1_080,
+            unknown_files: 264,
+            benign_files: 0,
+            malicious_files: 696,
+            infected_pct: 78.52,
+        },
         &[
-            (MalwareType::Trojan, 39.51), (MalwareType::Dropper, 23.71), (MalwareType::Banker, 15.80),
-            (MalwareType::Bot, 8.19), (MalwareType::Ransomware, 3.74), (MalwareType::FakeAv, 1.44),
-            (MalwareType::Spyware, 0.43), (MalwareType::Worm, 0.29), (MalwareType::Undefined, 6.89),
+            (MalwareType::Trojan, 39.51),
+            (MalwareType::Dropper, 23.71),
+            (MalwareType::Banker, 15.80),
+            (MalwareType::Bot, 8.19),
+            (MalwareType::Ransomware, 3.74),
+            (MalwareType::FakeAv, 1.44),
+            (MalwareType::Spyware, 0.43),
+            (MalwareType::Worm, 0.29),
+            (MalwareType::Undefined, 6.89),
         ],
     ),
     (
-        ProcessRow { processes: 8_714, machines: 112_681, unknown_files: 68_334, benign_files: 5_642, malicious_files: 15_440, infected_pct: 31.24 },
+        ProcessRow {
+            processes: 8_714,
+            machines: 112_681,
+            unknown_files: 68_334,
+            benign_files: 5_642,
+            malicious_files: 15_440,
+            infected_pct: 31.24,
+        },
         &[
-            (MalwareType::Pup, 22.57), (MalwareType::Dropper, 17.22), (MalwareType::Trojan, 11.34),
-            (MalwareType::Adware, 8.38), (MalwareType::FakeAv, 5.03), (MalwareType::Banker, 1.20),
-            (MalwareType::Bot, 0.79), (MalwareType::Ransomware, 0.44), (MalwareType::Worm, 0.30),
-            (MalwareType::Spyware, 0.02), (MalwareType::Undefined, 32.71),
+            (MalwareType::Pup, 22.57),
+            (MalwareType::Dropper, 17.22),
+            (MalwareType::Trojan, 11.34),
+            (MalwareType::Adware, 8.38),
+            (MalwareType::FakeAv, 5.03),
+            (MalwareType::Banker, 1.20),
+            (MalwareType::Bot, 0.79),
+            (MalwareType::Ransomware, 0.44),
+            (MalwareType::Worm, 0.30),
+            (MalwareType::Spyware, 0.02),
+            (MalwareType::Undefined, 32.71),
         ],
     ),
 ];
 
 /// Table XI: per-browser download behaviour.
 pub const TABLE11: [(BrowserKind, ProcessRow); 5] = [
-    (BrowserKind::Firefox, ProcessRow { processes: 378, machines: 86_104, unknown_files: 104_237, benign_files: 7_411, malicious_files: 21_443, infected_pct: 26.00 }),
-    (BrowserKind::Chrome, ProcessRow { processes: 528, machines: 344_994, unknown_files: 460_214, benign_files: 17_623, malicious_files: 73_806, infected_pct: 31.92 }),
-    (BrowserKind::Opera, ProcessRow { processes: 91, machines: 4_337, unknown_files: 4_749, benign_files: 534, malicious_files: 1_567, infected_pct: 27.83 }),
-    (BrowserKind::Safari, ProcessRow { processes: 17, machines: 1_762, unknown_files: 2_579, benign_files: 117, malicious_files: 422, infected_pct: 18.56 }),
-    (BrowserKind::InternetExplorer, ProcessRow { processes: 307, machines: 411_138, unknown_files: 561_769, benign_files: 13_801, malicious_files: 48_206, infected_pct: 18.09 }),
+    (
+        BrowserKind::Firefox,
+        ProcessRow {
+            processes: 378,
+            machines: 86_104,
+            unknown_files: 104_237,
+            benign_files: 7_411,
+            malicious_files: 21_443,
+            infected_pct: 26.00,
+        },
+    ),
+    (
+        BrowserKind::Chrome,
+        ProcessRow {
+            processes: 528,
+            machines: 344_994,
+            unknown_files: 460_214,
+            benign_files: 17_623,
+            malicious_files: 73_806,
+            infected_pct: 31.92,
+        },
+    ),
+    (
+        BrowserKind::Opera,
+        ProcessRow {
+            processes: 91,
+            machines: 4_337,
+            unknown_files: 4_749,
+            benign_files: 534,
+            malicious_files: 1_567,
+            infected_pct: 27.83,
+        },
+    ),
+    (
+        BrowserKind::Safari,
+        ProcessRow {
+            processes: 17,
+            machines: 1_762,
+            unknown_files: 2_579,
+            benign_files: 117,
+            malicious_files: 422,
+            infected_pct: 18.56,
+        },
+    ),
+    (
+        BrowserKind::InternetExplorer,
+        ProcessRow {
+            processes: 307,
+            machines: 411_138,
+            unknown_files: 561_769,
+            benign_files: 13_801,
+            malicious_files: 48_206,
+            infected_pct: 18.09,
+        },
+    ),
 ];
 
 /// Table XII: download behaviour of malicious process types.
@@ -330,101 +529,232 @@ pub const TABLE11: [(BrowserKind, ProcessRow); 5] = [
 pub const TABLE12: [(MalwareType, ProcessRow, TypeMix); 11] = [
     (
         MalwareType::Trojan,
-        ProcessRow { processes: 3_442, machines: 11_042, unknown_files: 1_265, benign_files: 73, malicious_files: 4_168, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 3_442,
+            machines: 11_042,
+            unknown_files: 1_265,
+            benign_files: 73,
+            malicious_files: 4_168,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::Trojan, 51.90), (MalwareType::Adware, 11.80), (MalwareType::Dropper, 10.94),
-            (MalwareType::Pup, 8.25), (MalwareType::Banker, 4.25), (MalwareType::Bot, 0.89),
-            (MalwareType::Ransomware, 0.34), (MalwareType::FakeAv, 0.12), (MalwareType::Worm, 0.10),
+            (MalwareType::Trojan, 51.90),
+            (MalwareType::Adware, 11.80),
+            (MalwareType::Dropper, 10.94),
+            (MalwareType::Pup, 8.25),
+            (MalwareType::Banker, 4.25),
+            (MalwareType::Bot, 0.89),
+            (MalwareType::Ransomware, 0.34),
+            (MalwareType::FakeAv, 0.12),
+            (MalwareType::Worm, 0.10),
             (MalwareType::Undefined, 11.42),
         ],
     ),
     (
         MalwareType::Dropper,
-        ProcessRow { processes: 4_242, machines: 10_453, unknown_files: 1_565, benign_files: 267, malicious_files: 2_992, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 4_242,
+            machines: 10_453,
+            unknown_files: 1_565,
+            benign_files: 267,
+            malicious_files: 2_992,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::Dropper, 39.10), (MalwareType::Trojan, 16.78), (MalwareType::Pup, 10.26),
-            (MalwareType::Adware, 8.46), (MalwareType::Banker, 7.59), (MalwareType::Bot, 1.34),
-            (MalwareType::Ransomware, 0.47), (MalwareType::Worm, 0.30), (MalwareType::FakeAv, 0.20),
-            (MalwareType::Spyware, 0.07), (MalwareType::Undefined, 15.44),
+            (MalwareType::Dropper, 39.10),
+            (MalwareType::Trojan, 16.78),
+            (MalwareType::Pup, 10.26),
+            (MalwareType::Adware, 8.46),
+            (MalwareType::Banker, 7.59),
+            (MalwareType::Bot, 1.34),
+            (MalwareType::Ransomware, 0.47),
+            (MalwareType::Worm, 0.30),
+            (MalwareType::FakeAv, 0.20),
+            (MalwareType::Spyware, 0.07),
+            (MalwareType::Undefined, 15.44),
         ],
     ),
     (
         MalwareType::Ransomware,
-        ProcessRow { processes: 136, machines: 332, unknown_files: 7, benign_files: 0, malicious_files: 147, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 136,
+            machines: 332,
+            unknown_files: 7,
+            benign_files: 0,
+            malicious_files: 147,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::Ransomware, 80.95), (MalwareType::Trojan, 9.52), (MalwareType::Dropper, 3.40),
-            (MalwareType::Banker, 1.36), (MalwareType::Undefined, 4.76),
+            (MalwareType::Ransomware, 80.95),
+            (MalwareType::Trojan, 9.52),
+            (MalwareType::Dropper, 3.40),
+            (MalwareType::Banker, 1.36),
+            (MalwareType::Undefined, 4.76),
         ],
     ),
     (
         MalwareType::Bot,
-        ProcessRow { processes: 323, machines: 689, unknown_files: 81, benign_files: 2, malicious_files: 394, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 323,
+            machines: 689,
+            unknown_files: 81,
+            benign_files: 2,
+            malicious_files: 394,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::Bot, 64.72), (MalwareType::Trojan, 15.99), (MalwareType::Dropper, 4.57),
-            (MalwareType::Banker, 4.31), (MalwareType::Pup, 2.54), (MalwareType::Ransomware, 1.27),
-            (MalwareType::Worm, 0.51), (MalwareType::Adware, 0.25), (MalwareType::FakeAv, 0.25),
+            (MalwareType::Bot, 64.72),
+            (MalwareType::Trojan, 15.99),
+            (MalwareType::Dropper, 4.57),
+            (MalwareType::Banker, 4.31),
+            (MalwareType::Pup, 2.54),
+            (MalwareType::Ransomware, 1.27),
+            (MalwareType::Worm, 0.51),
+            (MalwareType::Adware, 0.25),
+            (MalwareType::FakeAv, 0.25),
             (MalwareType::Undefined, 5.58),
         ],
     ),
     (
         MalwareType::Worm,
-        ProcessRow { processes: 67, machines: 164, unknown_files: 4, benign_files: 0, malicious_files: 69, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 67,
+            machines: 164,
+            unknown_files: 4,
+            benign_files: 0,
+            malicious_files: 69,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::Worm, 72.46), (MalwareType::Banker, 8.70), (MalwareType::Trojan, 4.35),
-            (MalwareType::Dropper, 4.35), (MalwareType::Bot, 1.45), (MalwareType::Pup, 1.45),
+            (MalwareType::Worm, 72.46),
+            (MalwareType::Banker, 8.70),
+            (MalwareType::Trojan, 4.35),
+            (MalwareType::Dropper, 4.35),
+            (MalwareType::Bot, 1.45),
+            (MalwareType::Pup, 1.45),
             (MalwareType::Undefined, 7.25),
         ],
     ),
     (
         MalwareType::Spyware,
-        ProcessRow { processes: 7, machines: 19, unknown_files: 2, benign_files: 1, malicious_files: 6, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 7,
+            machines: 19,
+            unknown_files: 2,
+            benign_files: 1,
+            malicious_files: 6,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::Spyware, 66.67), (MalwareType::Trojan, 16.67), (MalwareType::Undefined, 16.67),
+            (MalwareType::Spyware, 66.67),
+            (MalwareType::Trojan, 16.67),
+            (MalwareType::Undefined, 16.67),
         ],
     ),
     (
         MalwareType::Banker,
-        ProcessRow { processes: 484, machines: 1_146, unknown_files: 47, benign_files: 5, malicious_files: 525, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 484,
+            machines: 1_146,
+            unknown_files: 47,
+            benign_files: 5,
+            malicious_files: 525,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::Banker, 76.00), (MalwareType::Trojan, 14.48), (MalwareType::Dropper, 4.00),
-            (MalwareType::Worm, 0.57), (MalwareType::FakeAv, 0.38), (MalwareType::Ransomware, 0.19),
-            (MalwareType::Bot, 0.19), (MalwareType::Adware, 0.19), (MalwareType::Undefined, 4.00),
+            (MalwareType::Banker, 76.00),
+            (MalwareType::Trojan, 14.48),
+            (MalwareType::Dropper, 4.00),
+            (MalwareType::Worm, 0.57),
+            (MalwareType::FakeAv, 0.38),
+            (MalwareType::Ransomware, 0.19),
+            (MalwareType::Bot, 0.19),
+            (MalwareType::Adware, 0.19),
+            (MalwareType::Undefined, 4.00),
         ],
     ),
     (
         MalwareType::FakeAv,
-        ProcessRow { processes: 43, machines: 81, unknown_files: 1, benign_files: 0, malicious_files: 53, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 43,
+            machines: 81,
+            unknown_files: 1,
+            benign_files: 0,
+            malicious_files: 53,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::FakeAv, 56.60), (MalwareType::Trojan, 22.64), (MalwareType::Banker, 9.43),
-            (MalwareType::Dropper, 7.55), (MalwareType::Undefined, 3.77),
+            (MalwareType::FakeAv, 56.60),
+            (MalwareType::Trojan, 22.64),
+            (MalwareType::Banker, 9.43),
+            (MalwareType::Dropper, 7.55),
+            (MalwareType::Undefined, 3.77),
         ],
     ),
     (
         MalwareType::Adware,
-        ProcessRow { processes: 2_862, machines: 16_509, unknown_files: 2_934, benign_files: 98, malicious_files: 6_078, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 2_862,
+            machines: 16_509,
+            unknown_files: 2_934,
+            benign_files: 98,
+            malicious_files: 6_078,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::Adware, 66.24), (MalwareType::Pup, 9.97), (MalwareType::Trojan, 6.65),
-            (MalwareType::Dropper, 2.91), (MalwareType::Banker, 0.13), (MalwareType::Bot, 0.03),
+            (MalwareType::Adware, 66.24),
+            (MalwareType::Pup, 9.97),
+            (MalwareType::Trojan, 6.65),
+            (MalwareType::Dropper, 2.91),
+            (MalwareType::Banker, 0.13),
+            (MalwareType::Bot, 0.03),
             (MalwareType::Undefined, 14.07),
         ],
     ),
     (
         MalwareType::Pup,
-        ProcessRow { processes: 5_597, machines: 32_590, unknown_files: 6_757, benign_files: 199, malicious_files: 16_957, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 5_597,
+            machines: 32_590,
+            unknown_files: 6_757,
+            benign_files: 199,
+            malicious_files: 16_957,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::Adware, 58.64), (MalwareType::Pup, 22.91), (MalwareType::Trojan, 6.30),
-            (MalwareType::Dropper, 4.57), (MalwareType::Ransomware, 0.02), (MalwareType::Bot, 0.01),
-            (MalwareType::Banker, 0.01), (MalwareType::FakeAv, 0.01), (MalwareType::Undefined, 7.54),
+            (MalwareType::Adware, 58.64),
+            (MalwareType::Pup, 22.91),
+            (MalwareType::Trojan, 6.30),
+            (MalwareType::Dropper, 4.57),
+            (MalwareType::Ransomware, 0.02),
+            (MalwareType::Bot, 0.01),
+            (MalwareType::Banker, 0.01),
+            (MalwareType::FakeAv, 0.01),
+            (MalwareType::Undefined, 7.54),
         ],
     ),
     (
         MalwareType::Undefined,
-        ProcessRow { processes: 8_905, machines: 29_216, unknown_files: 6_343, benign_files: 499, malicious_files: 8_329, infected_pct: 100.0 },
+        ProcessRow {
+            processes: 8_905,
+            machines: 29_216,
+            unknown_files: 6_343,
+            benign_files: 499,
+            malicious_files: 8_329,
+            infected_pct: 100.0,
+        },
         &[
-            (MalwareType::Adware, 6.52), (MalwareType::Pup, 5.53), (MalwareType::Dropper, 3.77),
-            (MalwareType::Trojan, 3.36), (MalwareType::Banker, 0.36), (MalwareType::Bot, 0.22),
-            (MalwareType::Worm, 0.06), (MalwareType::Ransomware, 0.04), (MalwareType::Spyware, 0.04),
-            (MalwareType::FakeAv, 0.01), (MalwareType::Undefined, 80.09),
+            (MalwareType::Adware, 6.52),
+            (MalwareType::Pup, 5.53),
+            (MalwareType::Dropper, 3.77),
+            (MalwareType::Trojan, 3.36),
+            (MalwareType::Banker, 0.36),
+            (MalwareType::Bot, 0.22),
+            (MalwareType::Worm, 0.06),
+            (MalwareType::Ransomware, 0.04),
+            (MalwareType::Spyware, 0.04),
+            (MalwareType::FakeAv, 0.01),
+            (MalwareType::Undefined, 80.09),
         ],
     ),
 ];
@@ -517,9 +847,7 @@ mod tests {
     #[test]
     fn browser_machines_ordering_matches_paper() {
         // IE > Chrome > Firefox > Opera > Safari by machine count.
-        let by_kind = |k: BrowserKind| {
-            TABLE11.iter().find(|(b, _)| *b == k).unwrap().1.machines
-        };
+        let by_kind = |k: BrowserKind| TABLE11.iter().find(|(b, _)| *b == k).unwrap().1.machines;
         assert!(by_kind(BrowserKind::InternetExplorer) > by_kind(BrowserKind::Chrome));
         assert!(by_kind(BrowserKind::Chrome) > by_kind(BrowserKind::Firefox));
         assert!(by_kind(BrowserKind::Firefox) > by_kind(BrowserKind::Opera));
@@ -539,6 +867,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // sanity-checks the calibration table
     fn escalation_ordering() {
         assert!(ESCALATION.dropper_mean_days < ESCALATION.adware_mean_days);
         assert!(ESCALATION.adware_mean_days <= ESCALATION.pup_mean_days);

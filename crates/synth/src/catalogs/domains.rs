@@ -93,18 +93,54 @@ fn head_entries() -> Vec<DomainEntry> {
         head("akamaihd.net", Some(90), Cdn, true, false),
         // Portals.
         head("inbox.com", Some(2_500), DownloadPortal, true, false),
-        head("driverupdate.net", Some(18_000), DownloadPortal, false, false),
-        head("arcadefrontier.com", Some(22_000), DownloadPortal, false, false),
+        head(
+            "driverupdate.net",
+            Some(18_000),
+            DownloadPortal,
+            false,
+            false,
+        ),
+        head(
+            "arcadefrontier.com",
+            Some(22_000),
+            DownloadPortal,
+            false,
+            false,
+        ),
         head("ziputil.net", Some(35_000), DownloadPortal, false, false),
         head("gamehouse.com", Some(5_200), DownloadPortal, true, false),
         head("coolrom.com", Some(6_100), DownloadPortal, false, false),
         head("updatestar.com", Some(4_000), DownloadPortal, false, false),
-        head("zilliontoolkitusa.info", Some(190_000), DownloadPortal, false, false),
+        head(
+            "zilliontoolkitusa.info",
+            Some(190_000),
+            DownloadPortal,
+            false,
+            false,
+        ),
         // Dedicated malware infrastructure.
         head("humipapp.com", Some(85_000), MalwareSite, false, true),
-        head("bestdownload-manager.com", Some(120_000), MalwareSite, false, true),
-        head("freepdf-converter.com", Some(95_000), MalwareSite, false, true),
-        head("free-fileopener.com", Some(110_000), MalwareSite, false, true),
+        head(
+            "bestdownload-manager.com",
+            Some(120_000),
+            MalwareSite,
+            false,
+            true,
+        ),
+        head(
+            "freepdf-converter.com",
+            Some(95_000),
+            MalwareSite,
+            false,
+            true,
+        ),
+        head(
+            "free-fileopener.com",
+            Some(110_000),
+            MalwareSite,
+            false,
+            true,
+        ),
         head("wipmsc.ru", None, MalwareSite, false, true),
         head("f-best.biz", None, MalwareSite, false, true),
         head("vitkvitk.com", None, MalwareSite, false, true),
@@ -112,8 +148,20 @@ fn head_entries() -> Vec<DomainEntry> {
         head("downloadnuchaik.com", None, MalwareSite, false, true),
         head("downloadaixeechahgho.com", None, MalwareSite, false, true),
         // Adware / streaming portals.
-        head("media-watch-app.com", Some(40_000), AdwarePortal, false, false),
-        head("trustmediaviewer.com", Some(55_000), AdwarePortal, false, false),
+        head(
+            "media-watch-app.com",
+            Some(40_000),
+            AdwarePortal,
+            false,
+            false,
+        ),
+        head(
+            "trustmediaviewer.com",
+            Some(55_000),
+            AdwarePortal,
+            false,
+            false,
+        ),
         head("media-view.net", Some(48_000), AdwarePortal, false, false),
         head("media-viewer.com", Some(52_000), AdwarePortal, false, false),
         head("media-buzz.org", Some(70_000), AdwarePortal, false, false),
@@ -177,10 +225,8 @@ impl DomainCatalog {
                 // Established hosting services and portals are broadly
                 // covered by the curated URL whitelist (which is how the
                 // paper labels ~30% of URLs benign).
-                let curated = matches!(
-                    kind,
-                    DomainKind::FileHosting | DomainKind::DownloadPortal
-                ) && rank.in_top_million()
+                let curated = matches!(kind, DomainKind::FileHosting | DomainKind::DownloadPortal)
+                    && rank.in_top_million()
                     && rng.gen_bool(0.55);
                 entries.push(DomainEntry {
                     name: names::domain(&mut rng),
@@ -242,11 +288,7 @@ impl DomainCatalog {
         &self.entries[pool[idx.min(pool.len() - 1)]]
     }
 
-    fn sample_mix<R: Rng + ?Sized>(
-        &self,
-        mix: &[(DomainKind, f64)],
-        rng: &mut R,
-    ) -> &DomainEntry {
+    fn sample_mix<R: Rng + ?Sized>(&self, mix: &[(DomainKind, f64)], rng: &mut R) -> &DomainEntry {
         let weights: Vec<f64> = mix.iter().map(|&(_, w)| w).collect();
         let dist = Categorical::new(&weights).expect("valid mix");
         self.sample_kind(mix[dist.sample(rng)].0, rng)
@@ -282,11 +324,7 @@ impl DomainCatalog {
 
     /// Serving domain for a malicious file of the given behaviour type
     /// (Table V's per-type strata).
-    pub fn sample_malicious<R: Rng + ?Sized>(
-        &self,
-        ty: MalwareType,
-        rng: &mut R,
-    ) -> &DomainEntry {
+    pub fn sample_malicious<R: Rng + ?Sized>(&self, ty: MalwareType, rng: &mut R) -> &DomainEntry {
         let mix: &[(DomainKind, f64)] = match ty {
             MalwareType::Dropper => &[
                 (DomainKind::FileHosting, 0.48),
@@ -413,10 +451,17 @@ mod tests {
             .map(|_| c.sample_benign(&mut rng).name.clone())
             .collect();
         let dropper: HashSet<String> = (0..2000)
-            .map(|_| c.sample_malicious(MalwareType::Dropper, &mut rng).name.clone())
+            .map(|_| {
+                c.sample_malicious(MalwareType::Dropper, &mut rng)
+                    .name
+                    .clone()
+            })
             .collect();
         let common: Vec<_> = benign.intersection(&dropper).collect();
-        assert!(!common.is_empty(), "no overlap between benign and dropper domains");
+        assert!(
+            !common.is_empty(),
+            "no overlap between benign and dropper domains"
+        );
     }
 
     #[test]
@@ -426,7 +471,7 @@ mod tests {
             .entries()
             .iter()
             .filter(|e| e.kind == DomainKind::FakeAvSite)
-            .filter(|e| e.rank.rank().map_or(true, |r| r > 100_000))
+            .filter(|e| e.rank.rank().is_none_or(|r| r > 100_000))
             .count();
         let total = c
             .entries()

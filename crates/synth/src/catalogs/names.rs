@@ -4,24 +4,53 @@ use rand::Rng;
 
 const COMPANY_HEADS: &[&str] = &[
     "Acme", "Nova", "Bright", "Quick", "Silver", "Golden", "Prime", "Hyper", "Micro", "Macro",
-    "Blue", "Red", "Green", "Swift", "Rapid", "Smart", "Clever", "Solid", "Clear", "Deep",
-    "True", "Pure", "Core", "Meta", "Ultra", "Giga", "Tera", "Astro", "Cosmo", "Pixel",
+    "Blue", "Red", "Green", "Swift", "Rapid", "Smart", "Clever", "Solid", "Clear", "Deep", "True",
+    "Pure", "Core", "Meta", "Ultra", "Giga", "Tera", "Astro", "Cosmo", "Pixel",
 ];
 
 const COMPANY_TAILS: &[&str] = &[
-    "Soft", "Ware", "Apps", "Media", "Systems", "Solutions", "Digital", "Labs", "Works",
-    "Tech", "Net", "Data", "Code", "Logic", "Tools", "Install", "Download", "Bundle",
+    "Soft",
+    "Ware",
+    "Apps",
+    "Media",
+    "Systems",
+    "Solutions",
+    "Digital",
+    "Labs",
+    "Works",
+    "Tech",
+    "Net",
+    "Data",
+    "Code",
+    "Logic",
+    "Tools",
+    "Install",
+    "Download",
+    "Bundle",
 ];
 
 const COMPANY_SUFFIXES: &[&str] = &[
-    "Ltd.", "LLC", "GmbH", "S.L.", "Inc.", "Corp.", "s.r.o.", "SARL", "Pty Ltd", "Oy",
-    "AB", "BV", "SpA", "KK", "Sp. z o.o.",
+    "Ltd.",
+    "LLC",
+    "GmbH",
+    "S.L.",
+    "Inc.",
+    "Corp.",
+    "s.r.o.",
+    "SARL",
+    "Pty Ltd",
+    "Oy",
+    "AB",
+    "BV",
+    "SpA",
+    "KK",
+    "Sp. z o.o.",
 ];
 
 const DOMAIN_WORDS: &[&str] = &[
     "file", "down", "load", "soft", "media", "app", "play", "view", "tube", "zip", "pack",
-    "driver", "update", "free", "fast", "best", "top", "super", "mega", "ultra", "game",
-    "tool", "kit", "box", "hub", "share", "send", "get", "grab", "fetch", "click", "win",
+    "driver", "update", "free", "fast", "best", "top", "super", "mega", "ultra", "game", "tool",
+    "kit", "box", "hub", "share", "send", "get", "grab", "fetch", "click", "win",
 ];
 
 const TLDS: &[&str] = &[
@@ -52,8 +81,8 @@ pub fn domain<R: Rng + ?Sized>(rng: &mut R) -> String {
 /// Generates a synthetic malware family token, e.g. `"krendofax"`.
 pub fn family<R: Rng + ?Sized>(rng: &mut R) -> String {
     const SYLLABLES: &[&str] = &[
-        "kre", "zan", "vor", "mul", "tig", "bro", "fex", "dol", "wam", "sur", "pli", "gra",
-        "nok", "ter", "vis", "hul", "bam", "cro", "dex", "fi",
+        "kre", "zan", "vor", "mul", "tig", "bro", "fex", "dol", "wam", "sur", "pli", "gra", "nok",
+        "ter", "vis", "hul", "bam", "cro", "dex", "fi",
     ];
     let n = rng.gen_range(2..4usize);
     let mut out = String::new();
@@ -67,9 +96,24 @@ pub fn family<R: Rng + ?Sized>(rng: &mut R) -> String {
 /// whether it pretends to be an installer, codec, update, etc.
 pub fn executable<R: Rng + ?Sized>(rng: &mut R) -> String {
     const STEMS: &[&str] = &[
-        "setup", "install", "update", "player", "codec", "viewer", "converter", "manager",
-        "downloader", "toolbar", "plugin", "flash_update", "driver_pack", "game_loader",
-        "pdf_tool", "video_fix", "archive", "launcher",
+        "setup",
+        "install",
+        "update",
+        "player",
+        "codec",
+        "viewer",
+        "converter",
+        "manager",
+        "downloader",
+        "toolbar",
+        "plugin",
+        "flash_update",
+        "driver_pack",
+        "game_loader",
+        "pdf_tool",
+        "video_fix",
+        "archive",
+        "launcher",
     ];
     let stem = STEMS[rng.gen_range(0..STEMS.len())];
     let v: u32 = rng.gen_range(1..9);

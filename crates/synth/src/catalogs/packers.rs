@@ -13,26 +13,82 @@ use serde::{Deserialize, Serialize};
 
 /// Packers used by both benign and malicious software (35 of 69).
 const SHARED: &[&str] = &[
-    "INNO", "UPX", "AutoIt", "NSIS", "ASPack", "PECompact", "Armadillo", "InstallShield",
-    "WiseInstaller", "7zSFX", "WinRARSfx", "MPRESS", "FSG", "PEtite", "UPack", "ExePack",
-    "kkrunchy", "Smart Install Maker", "Setup Factory", "InstallAnywhere", "Ghost Installer",
-    "Astrum", "CreateInstall", "Excelsior", "InstallAware", "Tarma", "ZipSFX", "CabSFX",
-    "MoleboxPro-Lite", "BoxedApp", "Enigma-Lite", "Xenocode", "Spoon Studio", "Cameyo",
+    "INNO",
+    "UPX",
+    "AutoIt",
+    "NSIS",
+    "ASPack",
+    "PECompact",
+    "Armadillo",
+    "InstallShield",
+    "WiseInstaller",
+    "7zSFX",
+    "WinRARSfx",
+    "MPRESS",
+    "FSG",
+    "PEtite",
+    "UPack",
+    "ExePack",
+    "kkrunchy",
+    "Smart Install Maker",
+    "Setup Factory",
+    "InstallAnywhere",
+    "Ghost Installer",
+    "Astrum",
+    "CreateInstall",
+    "Excelsior",
+    "InstallAware",
+    "Tarma",
+    "ZipSFX",
+    "CabSFX",
+    "MoleboxPro-Lite",
+    "BoxedApp",
+    "Enigma-Lite",
+    "Xenocode",
+    "Spoon Studio",
+    "Cameyo",
     "AdvancedInstaller",
 ];
 
 /// Malicious-exclusive packers (custom/hard-to-reverse protectors).
 const MALICIOUS_ONLY: &[&str] = &[
-    "Molebox", "NSPack", "Themida", "VMProtect", "ExeCryptor", "Obsidium", "PELock",
-    "yoda-crypter", "MEW", "PESpin", "tElock", "PolyCrypt", "Morphine", "PEncrypt",
-    "CrypKey", "EXEStealth", "Krypton", "SVKProtector", "PC-Guard", "ASProtect-Mod",
-    "CustomCryptA", "CustomCryptB",
+    "Molebox",
+    "NSPack",
+    "Themida",
+    "VMProtect",
+    "ExeCryptor",
+    "Obsidium",
+    "PELock",
+    "yoda-crypter",
+    "MEW",
+    "PESpin",
+    "tElock",
+    "PolyCrypt",
+    "Morphine",
+    "PEncrypt",
+    "CrypKey",
+    "EXEStealth",
+    "Krypton",
+    "SVKProtector",
+    "PC-Guard",
+    "ASProtect-Mod",
+    "CustomCryptA",
+    "CustomCryptB",
 ];
 
 /// Benign-exclusive packers (commercial installer suites).
 const BENIGN_ONLY: &[&str] = &[
-    "MSI-Wrapped", "ClickOnce", "InstallMate", "Actual Installer", "InstallSimple",
-    "WixBurn", "SetupBuilder", "InstallJammer", "BitRock", "IzPack", "Squirrel",
+    "MSI-Wrapped",
+    "ClickOnce",
+    "InstallMate",
+    "Actual Installer",
+    "InstallSimple",
+    "WixBurn",
+    "SetupBuilder",
+    "InstallJammer",
+    "BitRock",
+    "IzPack",
+    "Squirrel",
     "NSudo-Setup",
 ];
 

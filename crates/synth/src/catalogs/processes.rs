@@ -109,8 +109,9 @@ impl BenignProcessInventory {
         // Versions don't scale linearly with population: a quarter-scale
         // deployment still sees most browser builds. Use sqrt scaling
         // with small floors.
-        let count =
-            |paper: u64| -> usize { ((paper as f64 * scale.fraction().sqrt()).ceil() as usize).max(3) };
+        let count = |paper: u64| -> usize {
+            ((paper as f64 * scale.fraction().sqrt()).ceil() as usize).max(3)
+        };
 
         let mut make = |name: &str, signer: &str, rng: &mut SmallRng| -> ProcessImage {
             let hash = FileHash::from_raw(*next_hash);
@@ -118,7 +119,10 @@ impl BenignProcessInventory {
             let meta = FileMeta {
                 size_bytes: rng.gen_range(200_000..80_000_000),
                 disk_name: name.to_owned(),
-                signer: Some(SignerInfo::valid(signer, "verisign class 3 code signing 2010 ca")),
+                signer: Some(SignerInfo::valid(
+                    signer,
+                    "verisign class 3 code signing 2010 ca",
+                )),
                 packer: None,
             };
             ProcessImage {
@@ -147,7 +151,13 @@ impl BenignProcessInventory {
             })
             .collect();
         let java: Vec<ProcessImage> = (0..count(173))
-            .map(|i| make(JAVA_NAMES[i % JAVA_NAMES.len()], "Oracle America Inc.", &mut rng))
+            .map(|i| {
+                make(
+                    JAVA_NAMES[i % JAVA_NAMES.len()],
+                    "Oracle America Inc.",
+                    &mut rng,
+                )
+            })
             .collect();
         let acrobat: Vec<ProcessImage> = (0..count(9).min(9))
             .map(|i| {
@@ -161,7 +171,11 @@ impl BenignProcessInventory {
         let other: Vec<ProcessImage> = (0..count(8_714))
             .map(|i| {
                 let name = OTHER_NAMES[i % OTHER_NAMES.len()];
-                let signer = if i % 3 == 0 { "Microsoft Windows" } else { "Rare Ideas" };
+                let signer = if i % 3 == 0 {
+                    "Microsoft Windows"
+                } else {
+                    "Rare Ideas"
+                };
                 make(name, signer, &mut rng)
             })
             .collect();
@@ -183,7 +197,10 @@ impl BenignProcessInventory {
 
     /// Picks an image of the given browser.
     pub fn sample_browser<R: Rng + ?Sized>(&self, kind: BrowserKind, rng: &mut R) -> &ProcessImage {
-        let idx = BrowserKind::ALL.iter().position(|&k| k == kind).expect("listed");
+        let idx = BrowserKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("listed");
         let pool = &self.browsers[idx];
         &pool[self.browser_zipfs[idx].sample(rng) - 1]
     }

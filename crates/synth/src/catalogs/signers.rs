@@ -85,7 +85,10 @@ const MALICIOUS_HEAD: &[(&str, MalwareType)] = &[
     ("Tuto4PC.com", MalwareType::Adware),
     ("RAPIDDOWN", MalwareType::Trojan),
     ("Sevas-S LLC", MalwareType::Dropper),
-    ("WEBPIC DESENVOLVIMENTO DE SOFTWARE LTDA", MalwareType::Banker),
+    (
+        "WEBPIC DESENVOLVIMENTO DE SOFTWARE LTDA",
+        MalwareType::Banker,
+    ),
     ("JDI BACKUP LIMITED", MalwareType::Banker),
     ("Wallinson", MalwareType::Banker),
     ("R-DATA Sp. z o.o.", MalwareType::Spyware),
@@ -153,12 +156,10 @@ impl SignerCatalog {
             .chain(MALICIOUS_HEAD.iter().map(|&(n, _)| n.to_owned()))
             .chain(SHARED_HEAD.iter().map(|&(n, _)| n.to_owned()))
             .collect();
-        let fresh_name = |rng: &mut SmallRng, seen: &mut std::collections::HashSet<String>| {
-            loop {
-                let name = names::company(rng);
-                if seen.insert(name.clone()) {
-                    return name;
-                }
+        let fresh_name = |rng: &mut SmallRng, seen: &mut std::collections::HashSet<String>| loop {
+            let name = names::company(rng);
+            if seen.insert(name.clone()) {
+                return name;
             }
         };
         let mut benign: Vec<SignerEntry> = BENIGN_HEAD
@@ -339,8 +340,14 @@ mod tests {
     fn head_names_present() {
         let c = SignerCatalog::generate(1);
         assert!(c.benign_signers().iter().any(|s| s.name == "TeamViewer"));
-        assert!(c.malicious_signers().iter().any(|s| s.name == "Somoto Ltd."));
-        assert!(c.shared_signers().iter().any(|s| s.name == "Softonic International"));
+        assert!(c
+            .malicious_signers()
+            .iter()
+            .any(|s| s.name == "Somoto Ltd."));
+        assert!(c
+            .shared_signers()
+            .iter()
+            .any(|s| s.name == "Softonic International"));
     }
 
     #[test]

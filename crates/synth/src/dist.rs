@@ -100,6 +100,12 @@ impl BoundedZipf {
         self.inner.len()
     }
 
+    /// Whether the distribution has no ranks (never true: construction
+    /// rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
     /// Draws a rank in `1..=n` (1 is the heaviest).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         self.inner.sample(rng) + 1
@@ -230,7 +236,10 @@ mod tests {
             }
         }
         let share = ones as f64 / n as f64;
-        assert!(share > 0.9, "P(1) should exceed the point mass, got {share}");
+        assert!(
+            share > 0.9,
+            "P(1) should exceed the point mass, got {share}"
+        );
     }
 
     #[test]

@@ -72,13 +72,9 @@ impl Roster {
         let total = config.scale.apply(calibration::totals::MACHINES) as usize;
         // Arrival weights proportional to each month's machine volume so
         // the monthly actives decline like Table I.
-        let arrival = Categorical::new(
-            &TABLE1
-                .iter()
-                .map(|r| r.machines as f64)
-                .collect::<Vec<_>>(),
-        )
-        .expect("calibrated");
+        let arrival =
+            Categorical::new(&TABLE1.iter().map(|r| r.machines as f64).collect::<Vec<_>>())
+                .expect("calibrated");
         let browser_weights = Categorical::new(
             &BROWSER_MACHINE_WEIGHTS
                 .iter()
@@ -139,9 +135,10 @@ impl Roster {
                     pool.push(by_month[month][0]);
                 }
             }
-            for b in 0..BrowserKind::ALL.len() {
-                if by_month_browser[month][b].is_empty() {
-                    by_month_browser[month][b].push(by_month[month][0]);
+            let fallback = by_month[month][0];
+            for pool in &mut by_month_browser[month] {
+                if pool.is_empty() {
+                    pool.push(fallback);
                 }
             }
         }
@@ -153,7 +150,6 @@ impl Roster {
             acrobat_by_month,
         }
     }
-
 }
 
 /// One pending chain expansion.
@@ -240,9 +236,9 @@ struct Generator<'a> {
     // Campaign pools: recently created chain files per malware type.
     campaign_pools: HashMap<MalwareType, Vec<FileHash>>,
     category_dist: Categorical,
-    destiny_dists: Vec<DestinyDist>,        // per TABLE10 category
+    destiny_dists: Vec<DestinyDist>, // per TABLE10 category
     chain_dists: HashMap<MalwareType, DestinyDist>, // per TABLE12 row
-    browser_by_destiny: [Categorical; 3],   // benign-ish, malicious-ish, unknown
+    browser_by_destiny: [Categorical; 3], // benign-ish, malicious-ish, unknown
     prevalence_unknown: DiscretePowerLaw,
     prevalence_labeled: DiscretePowerLaw,
     prevalence_exploit: DiscretePowerLaw,
@@ -352,7 +348,10 @@ impl<'a> Generator<'a> {
         h
     }
 
-    fn run(mut self, factory: &FileFactory<'_>) -> (HashMap<FileHash, GeneratedFile>, Vec<RawEvent>) {
+    fn run(
+        mut self,
+        factory: &FileFactory<'_>,
+    ) -> (HashMap<FileHash, GeneratedFile>, Vec<RawEvent>) {
         for month in Month::ALL {
             self.primary_downloads(month, factory);
             self.noise_events(month, factory);
@@ -433,9 +432,7 @@ impl<'a> Generator<'a> {
         prevalence: usize,
         url: &Url,
     ) {
-        let first_day = self
-            .rng
-            .gen_range(month.start_day()..month.end_day());
+        let first_day = self.rng.gen_range(month.start_day()..month.end_day());
         let window_end = Timestamp::from_day(Month::July.end_day()).seconds() - 1;
         for k in 0..prevalence {
             let day_offset = if k == 0 {
@@ -476,7 +473,10 @@ impl<'a> Generator<'a> {
         match category {
             ProcessCategory::Browser(kind) => {
                 let pool = {
-                    let bidx = BrowserKind::ALL.iter().position(|&b| b == kind).expect("listed");
+                    let bidx = BrowserKind::ALL
+                        .iter()
+                        .position(|&b| b == kind)
+                        .expect("listed");
                     &self.roster.by_month_browser[month][bidx]
                 };
                 let idx = pool[self.rng.gen_range(0..pool.len())];
@@ -486,7 +486,9 @@ impl<'a> Generator<'a> {
             ProcessCategory::Java => {
                 let pool = &self.roster.java_by_month[month];
                 let idx = pool[self.rng.gen_range(0..pool.len())];
-                let img = self.inventory.sample_category(ProcessCategory::Java, &mut self.rng);
+                let img = self
+                    .inventory
+                    .sample_category(ProcessCategory::Java, &mut self.rng);
                 (idx, (img.hash, img.meta.clone()))
             }
             ProcessCategory::AcrobatReader => {
@@ -602,10 +604,8 @@ impl<'a> Generator<'a> {
                 (MalwareType::Bot, 0.05),
                 (MalwareType::FakeAv, 0.03),
             ];
-            let dist = Categorical::new(
-                &QUALIFYING.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
-            )
-            .expect("static weights");
+            let dist = Categorical::new(&QUALIFYING.iter().map(|&(_, w)| w).collect::<Vec<_>>())
+                .expect("static weights");
             QUALIFYING[dist.sample(&mut self.rng)].0
         };
         let delay_days = self.escalation_delay_days(seed.ty);
@@ -641,7 +641,11 @@ impl<'a> Generator<'a> {
                 (hash, meta)
             }
         };
-        let domain_name = self.domains.sample_malicious(ty, &mut self.rng).name.clone();
+        let domain_name = self
+            .domains
+            .sample_malicious(ty, &mut self.rng)
+            .name
+            .clone();
         let url = make_url(&domain_name, &file_meta.disk_name, &mut self.rng);
         let machine = self.roster.machines[seed.machine_idx as usize];
         let browser = machine.browser;
@@ -675,16 +679,14 @@ impl<'a> Generator<'a> {
         // time so chain files develop prevalence > 1.
         let reuse = if let FileDestiny::Malicious(ty) = destiny {
             if self.rng.gen_bool(0.5) {
-                self.campaign_pools
-                    .get(&ty)
-                    .and_then(|pool| {
-                        if pool.is_empty() {
-                            None
-                        } else {
-                            let start = pool.len().saturating_sub(32);
-                            Some(pool[self.rng.gen_range(start..pool.len())])
-                        }
-                    })
+                self.campaign_pools.get(&ty).and_then(|pool| {
+                    if pool.is_empty() {
+                        None
+                    } else {
+                        let start = pool.len().saturating_sub(32);
+                        Some(pool[self.rng.gen_range(start..pool.len())])
+                    }
+                })
             } else {
                 None
             }
@@ -713,9 +715,11 @@ impl<'a> Generator<'a> {
             FileDestiny::Benign | FileDestiny::LikelyBenign => {
                 self.domains.sample_benign(&mut self.rng).name.clone()
             }
-            FileDestiny::Malicious(ty) | FileDestiny::LikelyMalicious(ty) => {
-                self.domains.sample_malicious(ty, &mut self.rng).name.clone()
-            }
+            FileDestiny::Malicious(ty) | FileDestiny::LikelyMalicious(ty) => self
+                .domains
+                .sample_malicious(ty, &mut self.rng)
+                .name
+                .clone(),
             FileDestiny::Unknown => self.domains.sample_unknown(&mut self.rng).name.clone(),
         };
         let url = make_url(&domain_name, &file_meta.disk_name, &mut self.rng);
@@ -802,7 +806,12 @@ pub(crate) fn generate(config: &SynthConfig) -> Generated {
     let factory_signers = signers.clone();
     let factory_packers = packers.clone();
     let factory_families = families.clone();
-    let factory = FileFactory::new(config, &factory_signers, &factory_packers, &factory_families);
+    let factory = FileFactory::new(
+        config,
+        &factory_signers,
+        &factory_packers,
+        &factory_families,
+    );
 
     let generator = Generator::new(config, &signers);
     // The generator's domain catalog and inventory are moved into the
@@ -890,7 +899,10 @@ mod tests {
             .iter()
             .filter(|e| e.url.e2ld() == "microsoft.com")
             .count();
-        assert!(whitelisted > 0, "generator must emit whitelisted-host noise");
+        assert!(
+            whitelisted > 0,
+            "generator must emit whitelisted-host noise"
+        );
     }
 
     #[test]

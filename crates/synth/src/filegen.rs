@@ -75,7 +75,10 @@ impl<'a> FileFactory<'a> {
         packers: &'a PackerCatalog,
         families: &'a FamilyCatalog,
     ) -> Self {
-        let weights: Vec<f64> = calibration::TABLE2_TYPE_MIX.iter().map(|&(_, p)| p).collect();
+        let weights: Vec<f64> = calibration::TABLE2_TYPE_MIX
+            .iter()
+            .map(|&(_, p)| p)
+            .collect();
         Self {
             signers,
             packers,
@@ -106,7 +109,11 @@ impl<'a> FileFactory<'a> {
         // The unlabeled long tail skews unsigned even when latent-
         // malicious: obscure one-off builds rarely carry a certificate
         // (Table VI: unknowns 38.4% signed vs 66% for known malware).
-        let signing_scale = if destiny == FileDestiny::Unknown { 0.72 } else { 1.0 };
+        let signing_scale = if destiny == FileDestiny::Unknown {
+            0.72
+        } else {
+            1.0
+        };
         let meta = self.make_meta(nature, via_browser, signing_scale, rng);
         let family = match nature {
             FileNature::Malicious(ty) => {
@@ -160,14 +167,22 @@ impl<'a> FileFactory<'a> {
             FileNature::Benign => {
                 let r = calibration::BENIGN_SIGNING;
                 (
-                    if via_browser { r.from_browsers } else { r.overall } / 100.0,
+                    if via_browser {
+                        r.from_browsers
+                    } else {
+                        r.overall
+                    } / 100.0,
                     packing::BENIGN_PACKED,
                 )
             }
             FileNature::Malicious(ty) => {
                 let r = calibration::signing_rates(ty);
                 (
-                    if via_browser { r.from_browsers } else { r.overall } / 100.0,
+                    if via_browser {
+                        r.from_browsers
+                    } else {
+                        r.overall
+                    } / 100.0,
                     packing::MALICIOUS_PACKED,
                 )
             }
@@ -308,7 +323,12 @@ mod tests {
         let f = fx.factory();
         let mut rng = SmallRng::seed_from_u64(5);
         let b = f.make(FileHash::from_raw(1), FileDestiny::Benign, true, &mut rng);
-        let lb = f.make(FileHash::from_raw(2), FileDestiny::LikelyBenign, true, &mut rng);
+        let lb = f.make(
+            FileHash::from_raw(2),
+            FileDestiny::LikelyBenign,
+            true,
+            &mut rng,
+        );
         let u = f.make(FileHash::from_raw(3), FileDestiny::Unknown, true, &mut rng);
         assert!(b.latent.visibility > lb.latent.visibility);
         assert!(lb.latent.visibility > u.latent.visibility);
@@ -351,6 +371,9 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(droppers > spyware * 20, "droppers {droppers}, spyware {spyware}");
+        assert!(
+            droppers > spyware * 20,
+            "droppers {droppers}, spyware {spyware}"
+        );
     }
 }

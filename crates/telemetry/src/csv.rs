@@ -106,7 +106,11 @@ fn meta_fields(meta: &FileMeta) -> [String; 5] {
         Some(s) => (s.subject.clone(), s.ca.clone(), s.valid.to_string()),
         None => (String::new(), String::new(), String::new()),
     };
-    let packer = meta.packer.as_ref().map(|p| p.name.clone()).unwrap_or_default();
+    let packer = meta
+        .packer
+        .as_ref()
+        .map(|p| p.name.clone())
+        .unwrap_or_default();
     [meta.disk_name.clone(), signer, ca, valid, packer]
 }
 
@@ -218,7 +222,10 @@ pub fn read_raw_events<R: BufRead>(reader: R) -> Result<Vec<RawEvent>, CsvError>
     };
     let first = first?;
     if first.trim() != HEADER {
-        return Err(CsvError::Parse(1, "missing or unexpected header".to_owned()));
+        return Err(CsvError::Parse(
+            1,
+            "missing or unexpected header".to_owned(),
+        ));
     }
     for (idx, line) in lines {
         let line_no = idx + 1;
@@ -245,7 +252,13 @@ pub fn read_raw_events<R: BufRead>(reader: R) -> Result<Vec<RawEvent>, CsvError>
         )?;
         let process = parse_hash(line_no, &fields[9], "process")?;
         let process_meta = parse_meta(
-            line_no, "0", &fields[10], &fields[11], &fields[12], &fields[13], &fields[14],
+            line_no,
+            "0",
+            &fields[10],
+            &fields[11],
+            &fields[12],
+            &fields[13],
+            &fields[14],
         )?;
         let url: Url = fields[15]
             .parse()
@@ -320,7 +333,11 @@ mod tests {
         // (the signed variant) won inside the dataset, so both exported
         // rows carry it.
         assert_eq!(
-            parsed[1].file_meta.signer.as_ref().map(|s| s.subject.as_str()),
+            parsed[1]
+                .file_meta
+                .signer
+                .as_ref()
+                .map(|s| s.subject.as_str()),
             Some("Somoto, Ltd.")
         );
     }

@@ -1,10 +1,18 @@
 //! The indexed dataset of reported download events.
+//!
+//! [`DatasetBuilder::finish`] interns every entity into dense id spaces
+//! ([`FileId`], [`ProcessId`], [`MachineIdx`], [`downlake_types::E2ldId`])
+//! and materialises per-event id *columns* plus CSR (offset + flat index
+//! array) adjacency indexes, so every per-entity lookup downstream is an
+//! array index instead of a hash probe.
 
 use crate::event::{DownloadEvent, RawEvent};
-use crate::tables::{FileTable, ProcessTable, UrlTable};
-use downlake_types::{FileHash, MachineId, Month, Timestamp, Url, UrlId, MONTHS_IN_STUDY};
+use crate::tables::{FileTable, MachineTable, ProcessTable, UrlTable};
+use downlake_types::{
+    FileHash, FileId, MachineId, MachineIdx, Month, ProcessId, Timestamp, Url, UrlId,
+    MONTHS_IN_STUDY,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 
 /// Accumulates reported events and produces an indexed [`Dataset`].
@@ -54,20 +62,46 @@ impl DatasetBuilder {
     pub fn finish(mut self) -> Dataset {
         self.events.sort_by_key(|e| e.timestamp);
 
-        let mut file_machines: HashMap<FileHash, Vec<MachineId>> = HashMap::new();
-        let mut machine_events: HashMap<MachineId, Vec<u32>> = HashMap::new();
-        let mut file_events: HashMap<FileHash, Vec<u32>> = HashMap::new();
-        let mut process_events: HashMap<FileHash, Vec<u32>> = HashMap::new();
-        for (idx, event) in self.events.iter().enumerate() {
-            let idx = idx as u32;
-            file_machines.entry(event.file).or_default().push(event.machine);
-            machine_events.entry(event.machine).or_default().push(idx);
-            file_events.entry(event.file).or_default().push(idx);
-            process_events.entry(event.process).or_default().push(idx);
+        // Dense per-event id columns. Machines are interned here, in
+        // first-seen (time) order; files and processes were interned at
+        // push time.
+        let mut machines = MachineTable::new();
+        let mut event_file = Vec::with_capacity(self.events.len());
+        let mut event_process = Vec::with_capacity(self.events.len());
+        let mut event_machine = Vec::with_capacity(self.events.len());
+        for event in &self.events {
+            event_file.push(self.files.id_of(event.file).expect("file interned at push"));
+            event_process.push(
+                self.processes
+                    .id_of(event.process)
+                    .expect("process interned at push"),
+            );
+            event_machine.push(machines.intern(event.machine));
         }
-        for machines in file_machines.values_mut() {
-            machines.sort_unstable();
-            machines.dedup();
+
+        let machine_events = Csr::group(machines.len(), event_machine.iter().map(|m| m.raw()));
+        let file_events = Csr::group(self.files.len(), event_file.iter().map(|f| f.raw()));
+        let process_events =
+            Csr::group(self.processes.len(), event_process.iter().map(|p| p.raw()));
+
+        // Per-file sorted distinct machine lists (prevalence).
+        let mut file_machine_offsets = Vec::with_capacity(self.files.len() + 1);
+        let mut file_machine_ids = Vec::new();
+        file_machine_offsets.push(0u32);
+        let mut scratch: Vec<MachineId> = Vec::new();
+        for file in 0..self.files.len() {
+            scratch.clear();
+            scratch.extend(
+                file_events
+                    .row(file)
+                    .iter()
+                    .map(|&i| self.events[i as usize].machine),
+            );
+            scratch.sort_unstable();
+            scratch.dedup();
+            file_machine_ids.extend_from_slice(&scratch);
+            file_machine_offsets
+                .push(u32::try_from(file_machine_ids.len()).expect("machine list overflow"));
         }
 
         let mut month_bounds = Vec::with_capacity(MONTHS_IN_STUDY);
@@ -79,35 +113,144 @@ impl DatasetBuilder {
             month_bounds.push(lo as u32..hi as u32);
         }
 
+        // Per-month distinct-entity counts via stamp arrays: one pass over
+        // the month's events, no per-call HashSet allocation later.
+        let mut month_distinct = vec![MonthDistinct::default(); MONTHS_IN_STUDY];
+        let mut machine_stamp = vec![u8::MAX; machines.len()];
+        let mut file_stamp = vec![u8::MAX; self.files.len()];
+        let mut process_stamp = vec![u8::MAX; self.processes.len()];
+        let mut url_stamp = vec![u8::MAX; self.urls.len()];
+        for (month, bounds) in month_bounds.iter().enumerate() {
+            let tag = month as u8;
+            let distinct = &mut month_distinct[month];
+            for i in bounds.start as usize..bounds.end as usize {
+                let machine = event_machine[i].index();
+                if machine_stamp[machine] != tag {
+                    machine_stamp[machine] = tag;
+                    distinct.machines += 1;
+                }
+                let file = event_file[i].index();
+                if file_stamp[file] != tag {
+                    file_stamp[file] = tag;
+                    distinct.files += 1;
+                }
+                let process = event_process[i].index();
+                if process_stamp[process] != tag {
+                    process_stamp[process] = tag;
+                    distinct.processes += 1;
+                }
+                let url = self.events[i].url.index();
+                if url_stamp[url] != tag {
+                    url_stamp[url] = tag;
+                    distinct.urls += 1;
+                }
+            }
+        }
+
+        let stats = DatasetStats {
+            events: self.events.len(),
+            machines: machines.len(),
+            files: self.files.len(),
+            processes: self.processes.len(),
+            urls: self.urls.len(),
+            domains: self.urls.e2ld_count(),
+        };
+
         Dataset {
             events: self.events,
             urls: self.urls,
             files: self.files,
             processes: self.processes,
-            file_machines,
+            machines,
+            event_file,
+            event_process,
+            event_machine,
             machine_events,
             file_events,
             process_events,
+            file_machine_offsets,
+            file_machine_ids,
             month_bounds,
+            month_distinct,
+            stats,
         }
     }
+}
+
+/// A compressed sparse row (CSR) adjacency index: for each dense row id,
+/// the time-ordered event indexes belonging to it, stored as one flat
+/// array plus per-row offsets.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Csr {
+    /// `rows + 1` offsets into `values`.
+    offsets: Vec<u32>,
+    /// Event indexes, grouped by row, time-ordered within each row.
+    values: Vec<u32>,
+}
+
+impl Csr {
+    /// Groups positions `0..keys.len()` by their key via counting sort.
+    /// Within a row, positions keep iteration (time) order.
+    fn group(rows: usize, keys: impl Iterator<Item = u32> + Clone) -> Self {
+        let mut offsets = vec![0u32; rows + 1];
+        let mut len = 0usize;
+        for key in keys.clone() {
+            offsets[key as usize + 1] += 1;
+            len += 1;
+        }
+        for row in 1..offsets.len() {
+            offsets[row] += offsets[row - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut values = vec![0u32; len];
+        for (position, key) in keys.enumerate() {
+            let slot = &mut cursor[key as usize];
+            values[*slot as usize] = position as u32;
+            *slot += 1;
+        }
+        Self { offsets, values }
+    }
+
+    /// The positions grouped under `row`.
+    fn row(&self, row: usize) -> &[u32] {
+        &self.values[self.offsets[row] as usize..self.offsets[row + 1] as usize]
+    }
+}
+
+/// Per-month distinct-entity counts, precomputed at `finish()` time.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct MonthDistinct {
+    machines: usize,
+    files: usize,
+    processes: usize,
+    urls: usize,
 }
 
 /// A finished, immutable, indexed collection of download events.
 ///
 /// This is the object every measurement analysis consumes. All indexes are
-/// precomputed by [`DatasetBuilder::finish`].
+/// precomputed by [`DatasetBuilder::finish`]: dense per-event id columns
+/// ([`Dataset::event_files`] and friends), CSR adjacency from machines /
+/// files / processes to their events, per-file distinct machine lists, and
+/// cached headline / per-month counts.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct Dataset {
     events: Vec<DownloadEvent>,
     urls: UrlTable,
     files: FileTable,
     processes: ProcessTable,
-    file_machines: HashMap<FileHash, Vec<MachineId>>,
-    machine_events: HashMap<MachineId, Vec<u32>>,
-    file_events: HashMap<FileHash, Vec<u32>>,
-    process_events: HashMap<FileHash, Vec<u32>>,
+    machines: MachineTable,
+    event_file: Vec<FileId>,
+    event_process: Vec<ProcessId>,
+    event_machine: Vec<MachineIdx>,
+    machine_events: Csr,
+    file_events: Csr,
+    process_events: Csr,
+    file_machine_offsets: Vec<u32>,
+    file_machine_ids: Vec<MachineId>,
     month_bounds: Vec<Range<u32>>,
+    month_distinct: Vec<MonthDistinct>,
+    stats: DatasetStats,
 }
 
 impl Dataset {
@@ -131,6 +274,26 @@ impl Dataset {
         &self.processes
     }
 
+    /// The machine interning table.
+    pub fn machine_table(&self) -> &MachineTable {
+        &self.machines
+    }
+
+    /// Per-event dense file ids, parallel to [`Dataset::events`].
+    pub fn event_files(&self) -> &[FileId] {
+        &self.event_file
+    }
+
+    /// Per-event dense process ids, parallel to [`Dataset::events`].
+    pub fn event_processes(&self) -> &[ProcessId] {
+        &self.event_process
+    }
+
+    /// Per-event dense machine indexes, parallel to [`Dataset::events`].
+    pub fn event_machines(&self) -> &[MachineIdx] {
+        &self.event_machine
+    }
+
     /// Resolves an event's URL.
     pub fn url_of(&self, event: &DownloadEvent) -> &Url {
         self.urls.resolve(event.url)
@@ -144,49 +307,74 @@ impl Dataset {
     /// The *prevalence* of a file: the number of distinct machines that
     /// downloaded it, as visible in the (σ-capped) reported data (§IV-A).
     pub fn prevalence(&self, file: FileHash) -> usize {
-        self.file_machines.get(&file).map_or(0, Vec::len)
+        self.files
+            .id_of(file)
+            .map_or(0, |id| self.prevalence_of(id))
+    }
+
+    /// Prevalence by dense file id.
+    pub fn prevalence_of(&self, file: FileId) -> usize {
+        self.machines_of_file_id(file).len()
     }
 
     /// Distinct machines that downloaded a file, in ascending id order.
     pub fn machines_of_file(&self, file: FileHash) -> &[MachineId] {
-        self.file_machines.get(&file).map_or(&[], Vec::as_slice)
+        self.files
+            .id_of(file)
+            .map_or(&[], |id| self.machines_of_file_id(id))
+    }
+
+    /// Distinct machines that downloaded a file (by dense id), in
+    /// ascending id order.
+    pub fn machines_of_file_id(&self, file: FileId) -> &[MachineId] {
+        let lo = self.file_machine_offsets[file.index()] as usize;
+        let hi = self.file_machine_offsets[file.index() + 1] as usize;
+        &self.file_machine_ids[lo..hi]
     }
 
     /// Events (by reference) initiated on a machine, time-ordered.
     pub fn events_of_machine(&self, machine: MachineId) -> impl Iterator<Item = &DownloadEvent> {
-        self.machine_events
-            .get(&machine)
-            .into_iter()
-            .flatten()
+        self.machines
+            .idx_of(machine)
+            .map(|idx| self.machine_events.row(idx.index()))
+            .unwrap_or(&[])
+            .iter()
             .map(move |&i| &self.events[i as usize])
+    }
+
+    /// Time-ordered event indexes of a machine, by dense index.
+    pub fn events_of_machine_idx(&self, machine: MachineIdx) -> &[u32] {
+        self.machine_events.row(machine.index())
     }
 
     /// Events that downloaded a given file, time-ordered.
     pub fn events_of_file(&self, file: FileHash) -> impl Iterator<Item = &DownloadEvent> {
-        self.file_events
-            .get(&file)
-            .into_iter()
-            .flatten()
+        self.files
+            .id_of(file)
+            .map(|id| self.file_events.row(id.index()))
+            .unwrap_or(&[])
+            .iter()
             .map(move |&i| &self.events[i as usize])
     }
 
     /// Events initiated by a given process image, time-ordered.
     pub fn events_of_process(&self, process: FileHash) -> impl Iterator<Item = &DownloadEvent> {
-        self.process_events
-            .get(&process)
-            .into_iter()
-            .flatten()
+        self.processes
+            .id_of(process)
+            .map(|id| self.process_events.row(id.index()))
+            .unwrap_or(&[])
+            .iter()
             .map(move |&i| &self.events[i as usize])
     }
 
-    /// All machine ids that appear in the dataset.
+    /// All machine ids that appear in the dataset, in dense-index order.
     pub fn machines(&self) -> impl Iterator<Item = MachineId> + '_ {
-        self.machine_events.keys().copied()
+        self.machines.iter()
     }
 
     /// Number of distinct machines.
     pub fn machine_count(&self) -> usize {
-        self.machine_events.len()
+        self.machines.len()
     }
 
     /// The events of one study month.
@@ -204,21 +392,10 @@ impl Dataset {
         Month::ALL.into_iter().map(|m| self.month(m))
     }
 
-    /// Headline counts (Table I "Overall" row inputs).
+    /// Headline counts (Table I "Overall" row inputs), cached at
+    /// [`DatasetBuilder::finish`] time.
     pub fn stats(&self) -> DatasetStats {
-        DatasetStats {
-            events: self.events.len(),
-            machines: self.machine_events.len(),
-            files: self.files.len(),
-            processes: self.processes.len(),
-            urls: self.urls.len(),
-            domains: self
-                .urls
-                .iter()
-                .map(|(_, u)| u.e2ld())
-                .collect::<HashSet<_>>()
-                .len(),
-        }
+        self.stats
     }
 }
 
@@ -260,27 +437,33 @@ impl<'a> MonthlyView<'a> {
 
     /// Events of the month, time-ordered.
     pub fn events(&self) -> &'a [DownloadEvent] {
-        &self.dataset.events[self.range.start as usize..self.range.end as usize]
+        &self.dataset.events[self.event_range()]
     }
 
-    /// Distinct machines active in the month.
-    pub fn distinct_machines(&self) -> HashSet<MachineId> {
-        self.events().iter().map(|e| e.machine).collect()
+    /// The month's index range into [`Dataset::events`].
+    pub fn event_range(&self) -> Range<usize> {
+        self.range.start as usize..self.range.end as usize
     }
 
-    /// Distinct files downloaded in the month.
-    pub fn distinct_files(&self) -> HashSet<FileHash> {
-        self.events().iter().map(|e| e.file).collect()
+    /// Number of distinct machines active in the month (precomputed).
+    pub fn distinct_machines(&self) -> usize {
+        self.dataset.month_distinct[self.month.index()].machines
     }
 
-    /// Distinct downloading processes in the month.
-    pub fn distinct_processes(&self) -> HashSet<FileHash> {
-        self.events().iter().map(|e| e.process).collect()
+    /// Number of distinct files downloaded in the month (precomputed).
+    pub fn distinct_files(&self) -> usize {
+        self.dataset.month_distinct[self.month.index()].files
     }
 
-    /// Distinct URLs in the month.
-    pub fn distinct_urls(&self) -> HashSet<UrlId> {
-        self.events().iter().map(|e| e.url).collect()
+    /// Number of distinct downloading processes in the month
+    /// (precomputed).
+    pub fn distinct_processes(&self) -> usize {
+        self.dataset.month_distinct[self.month.index()].processes
+    }
+
+    /// Number of distinct URLs in the month (precomputed).
+    pub fn distinct_urls(&self) -> usize {
+        self.dataset.month_distinct[self.month.index()].urls
     }
 }
 
@@ -334,8 +517,11 @@ mod tests {
         assert_eq!(ds.month(Month::March).events().len(), 2);
         assert_eq!(ds.month(Month::April).events().len(), 0);
         let march = ds.month(Month::March);
-        assert_eq!(march.distinct_machines().len(), 1);
-        assert_eq!(march.distinct_files().len(), 1);
+        assert_eq!(march.distinct_machines(), 1);
+        assert_eq!(march.distinct_files(), 1);
+        assert_eq!(march.distinct_processes(), 1);
+        assert_eq!(march.distinct_urls(), 1);
+        assert_eq!(ds.month(Month::April).distinct_machines(), 0);
     }
 
     #[test]
@@ -349,6 +535,31 @@ mod tests {
         assert_eq!(ds.events_of_file(FileHash::from_raw(2)).count(), 2);
         assert_eq!(ds.events_of_process(FileHash::from_raw(500)).count(), 4);
         assert_eq!(ds.machine_count(), 2);
+    }
+
+    #[test]
+    fn dense_columns_are_parallel_to_events() {
+        let ds = sample_dataset();
+        assert_eq!(ds.event_files().len(), ds.events().len());
+        assert_eq!(ds.event_processes().len(), ds.events().len());
+        assert_eq!(ds.event_machines().len(), ds.events().len());
+        for (i, event) in ds.events().iter().enumerate() {
+            assert_eq!(ds.files().record(ds.event_files()[i]).hash, event.file);
+            assert_eq!(
+                ds.processes().record(ds.event_processes()[i]).hash,
+                event.process
+            );
+            assert_eq!(
+                ds.machine_table().resolve(ds.event_machines()[i]),
+                event.machine
+            );
+        }
+        // CSR rows by dense index agree with the hash-keyed iterators.
+        let idx = ds.machine_table().idx_of(MachineId::from_raw(1)).unwrap();
+        assert_eq!(ds.events_of_machine_idx(idx).len(), 3);
+        let fid = ds.files().id_of(FileHash::from_raw(1)).unwrap();
+        assert_eq!(ds.prevalence_of(fid), 2);
+        assert_eq!(ds.machines_of_file_id(fid).len(), 2);
     }
 
     #[test]
@@ -370,6 +581,7 @@ mod tests {
         assert_eq!(ds.machine_count(), 0);
         for view in ds.months() {
             assert!(view.events().is_empty());
+            assert_eq!(view.distinct_machines(), 0);
         }
         assert_eq!(ds.stats().domains, 0);
     }

@@ -51,4 +51,4 @@ pub use dataset::{Dataset, DatasetBuilder, DatasetStats, MonthlyView};
 pub use event::{DownloadEvent, RawEvent, RawEventBuilder};
 pub use record::{FileRecord, ProcessRecord};
 pub use server::{CollectionServer, ReportingPolicy, SuppressionReason, SuppressionStats};
-pub use tables::{FileTable, ProcessTable, UrlTable};
+pub use tables::{FileTable, MachineTable, ProcessTable, UrlTable};

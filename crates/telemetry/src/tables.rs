@@ -1,20 +1,35 @@
-//! Interning tables for URLs, files, and processes.
+//! Interning tables for URLs, e2LDs, files, processes, and machines.
 //!
 //! The paper's dataset contains 1.79M distinct files, 141k distinct
 //! processes, and 1.63M distinct URLs referenced by 3.07M events; interning
 //! keeps each distinct entity's metadata stored once and lets events carry
-//! compact ids.
+//! compact ids. Each table assigns *dense* ids ([`downlake_types::FileId`],
+//! [`downlake_types::ProcessId`], [`downlake_types::MachineIdx`],
+//! [`downlake_types::E2ldId`]) in first-seen order, so per-entity statistics
+//! downstream can live in plain `Vec` columns indexed by id instead of
+//! hash maps keyed by sparse 64-bit identifiers.
 
 use crate::record::{FileRecord, ProcessRecord};
-use downlake_types::{FileHash, FileMeta, Url, UrlId};
+use downlake_types::{
+    E2ldId, FileHash, FileId, FileMeta, MachineId, MachineIdx, ProcessId, Url, UrlId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Interns distinct download URLs and resolves [`UrlId`]s.
+///
+/// Each URL's effective second-level domain is interned as well at
+/// [`UrlTable::intern`] time, so resolving a URL to its e2LD is a dense
+/// column lookup ([`UrlTable::e2ld_of`]) rather than a string operation.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct UrlTable {
     urls: Vec<Url>,
     by_url: HashMap<Url, UrlId>,
+    /// Per-URL e2LD id, indexed by `UrlId`.
+    url_e2ld: Vec<E2ldId>,
+    /// Distinct e2LD strings, indexed by `E2ldId`.
+    e2lds: Vec<String>,
+    by_e2ld: HashMap<String, E2ldId>,
 }
 
 impl UrlTable {
@@ -24,7 +39,8 @@ impl UrlTable {
     }
 
     /// Interns a URL, returning its stable id. Repeated interning of the
-    /// same URL returns the same id.
+    /// same URL returns the same id. The URL's e2LD is interned at the
+    /// same time.
     pub fn intern(&mut self, url: Url) -> UrlId {
         if let Some(&id) = self.by_url.get(&url) {
             return id;
@@ -32,8 +48,22 @@ impl UrlTable {
         let id = UrlId::from_raw(
             u32::try_from(self.urls.len()).expect("more than u32::MAX distinct urls"),
         );
+        let e2ld = self.intern_e2ld(url.e2ld());
+        self.url_e2ld.push(e2ld);
         self.urls.push(url.clone());
         self.by_url.insert(url, id);
+        id
+    }
+
+    fn intern_e2ld(&mut self, e2ld: &str) -> E2ldId {
+        if let Some(&id) = self.by_e2ld.get(e2ld) {
+            return id;
+        }
+        let id = E2ldId::from_raw(
+            u32::try_from(self.e2lds.len()).expect("more than u32::MAX distinct e2LDs"),
+        );
+        self.e2lds.push(e2ld.to_owned());
+        self.by_e2ld.insert(e2ld.to_owned(), id);
         id
     }
 
@@ -49,6 +79,35 @@ impl UrlTable {
     /// Looks up the id of a previously interned URL.
     pub fn get(&self, url: &Url) -> Option<UrlId> {
         self.by_url.get(url).copied()
+    }
+
+    /// The e2LD id of an interned URL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this table.
+    pub fn e2ld_of(&self, id: UrlId) -> E2ldId {
+        self.url_e2ld[id.index()]
+    }
+
+    /// Resolves an e2LD id to its domain string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this table.
+    pub fn e2ld_str(&self, id: E2ldId) -> &str {
+        &self.e2lds[id.index()]
+    }
+
+    /// Number of distinct e2LDs across all interned URLs.
+    pub fn e2ld_count(&self) -> usize {
+        self.e2lds.len()
+    }
+
+    /// Iterates over distinct e2LD strings in interning order (dense
+    /// [`E2ldId`] order).
+    pub fn e2lds(&self) -> impl Iterator<Item = &str> {
+        self.e2lds.iter().map(String::as_str)
     }
 
     /// Number of distinct URLs.
@@ -70,10 +129,12 @@ impl UrlTable {
     }
 }
 
-/// Interns distinct downloaded files keyed by hash.
+/// Interns distinct downloaded files keyed by hash, assigning dense
+/// [`FileId`]s in first-seen order.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FileTable {
-    records: HashMap<FileHash, FileRecord>,
+    records: Vec<FileRecord>,
+    by_hash: HashMap<FileHash, FileId>,
 }
 
 impl FileTable {
@@ -82,17 +143,38 @@ impl FileTable {
         Self::default()
     }
 
-    /// Interns a file. The first-seen metadata wins (file hashes are
-    /// content hashes, so metadata cannot legitimately differ).
-    pub fn intern(&mut self, hash: FileHash, meta: &FileMeta) -> &FileRecord {
-        self.records
-            .entry(hash)
-            .or_insert_with(|| FileRecord::new(hash, meta.clone()))
+    /// Interns a file, returning its dense id. The first-seen metadata
+    /// wins (file hashes are content hashes, so metadata cannot
+    /// legitimately differ).
+    pub fn intern(&mut self, hash: FileHash, meta: &FileMeta) -> FileId {
+        if let Some(&id) = self.by_hash.get(&hash) {
+            return id;
+        }
+        let id = FileId::from_raw(
+            u32::try_from(self.records.len()).expect("more than u32::MAX distinct files"),
+        );
+        self.records.push(FileRecord::new(hash, meta.clone()));
+        self.by_hash.insert(hash, id);
+        id
     }
 
-    /// Looks up a file record.
+    /// Looks up a file record by hash.
     pub fn get(&self, hash: FileHash) -> Option<&FileRecord> {
-        self.records.get(&hash)
+        self.by_hash.get(&hash).map(|id| &self.records[id.index()])
+    }
+
+    /// Looks up the dense id of a previously interned file.
+    pub fn id_of(&self, hash: FileHash) -> Option<FileId> {
+        self.by_hash.get(&hash).copied()
+    }
+
+    /// The record at a dense id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this table.
+    pub fn record(&self, id: FileId) -> &FileRecord {
+        &self.records[id.index()]
     }
 
     /// Number of distinct files.
@@ -105,16 +187,21 @@ impl FileTable {
         self.records.is_empty()
     }
 
-    /// Iterates over all records in arbitrary order.
+    /// Iterates over all records in dense-id (first-seen) order.
     pub fn iter(&self) -> impl Iterator<Item = &FileRecord> {
-        self.records.values()
+        self.records.iter()
     }
 }
 
-/// Interns distinct downloading-process images keyed by image hash.
+/// Interns distinct downloading-process images keyed by image hash,
+/// assigning dense [`ProcessId`]s in first-seen order.
+///
+/// Processes get their own id space distinct from [`FileId`] so process
+/// and file columns cannot be cross-indexed by mistake.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ProcessTable {
-    records: HashMap<FileHash, ProcessRecord>,
+    records: Vec<ProcessRecord>,
+    by_hash: HashMap<FileHash, ProcessId>,
 }
 
 impl ProcessTable {
@@ -123,16 +210,37 @@ impl ProcessTable {
         Self::default()
     }
 
-    /// Interns a process image. First-seen metadata wins.
-    pub fn intern(&mut self, hash: FileHash, meta: &FileMeta) -> &ProcessRecord {
-        self.records
-            .entry(hash)
-            .or_insert_with(|| ProcessRecord::new(hash, meta.clone()))
+    /// Interns a process image, returning its dense id. First-seen
+    /// metadata wins.
+    pub fn intern(&mut self, hash: FileHash, meta: &FileMeta) -> ProcessId {
+        if let Some(&id) = self.by_hash.get(&hash) {
+            return id;
+        }
+        let id = ProcessId::from_raw(
+            u32::try_from(self.records.len()).expect("more than u32::MAX distinct processes"),
+        );
+        self.records.push(ProcessRecord::new(hash, meta.clone()));
+        self.by_hash.insert(hash, id);
+        id
     }
 
-    /// Looks up a process record.
+    /// Looks up a process record by image hash.
     pub fn get(&self, hash: FileHash) -> Option<&ProcessRecord> {
-        self.records.get(&hash)
+        self.by_hash.get(&hash).map(|id| &self.records[id.index()])
+    }
+
+    /// Looks up the dense id of a previously interned process image.
+    pub fn id_of(&self, hash: FileHash) -> Option<ProcessId> {
+        self.by_hash.get(&hash).copied()
+    }
+
+    /// The record at a dense id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this table.
+    pub fn record(&self, id: ProcessId) -> &ProcessRecord {
+        &self.records[id.index()]
     }
 
     /// Number of distinct process images.
@@ -145,9 +253,66 @@ impl ProcessTable {
         self.records.is_empty()
     }
 
-    /// Iterates over all records in arbitrary order.
+    /// Iterates over all records in dense-id (first-seen) order.
     pub fn iter(&self) -> impl Iterator<Item = &ProcessRecord> {
-        self.records.values()
+        self.records.iter()
+    }
+}
+
+/// Interns machine identifiers, assigning dense [`MachineIdx`] positions
+/// in first-seen order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MachineTable {
+    ids: Vec<MachineId>,
+    by_id: HashMap<MachineId, MachineIdx>,
+}
+
+impl MachineTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a machine id, returning its dense index.
+    pub fn intern(&mut self, id: MachineId) -> MachineIdx {
+        if let Some(&idx) = self.by_id.get(&id) {
+            return idx;
+        }
+        let idx = MachineIdx::from_raw(
+            u32::try_from(self.ids.len()).expect("more than u32::MAX distinct machines"),
+        );
+        self.ids.push(id);
+        self.by_id.insert(id, idx);
+        idx
+    }
+
+    /// Looks up the dense index of a previously interned machine.
+    pub fn idx_of(&self, id: MachineId) -> Option<MachineIdx> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// The sparse machine id at a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index did not come from this table.
+    pub fn resolve(&self, idx: MachineIdx) -> MachineId {
+        self.ids[idx.index()]
+    }
+
+    /// Number of distinct machines.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates over machine ids in dense-index (first-seen) order.
+    pub fn iter(&self) -> impl Iterator<Item = MachineId> + '_ {
+        self.ids.iter().copied()
     }
 }
 
@@ -179,6 +344,20 @@ mod tests {
     }
 
     #[test]
+    fn url_table_interns_e2lds_densely() {
+        let mut table = UrlTable::new();
+        let a1 = table.intern("http://dl.a.com/x".parse().unwrap());
+        let a2 = table.intern("http://cdn.a.com/y".parse().unwrap());
+        let b = table.intern("http://b.org/z".parse().unwrap());
+        assert_eq!(table.e2ld_of(a1), table.e2ld_of(a2));
+        assert_ne!(table.e2ld_of(a1), table.e2ld_of(b));
+        assert_eq!(table.e2ld_count(), 2);
+        assert_eq!(table.e2ld_str(table.e2ld_of(a1)), "a.com");
+        assert_eq!(table.e2ld_str(table.e2ld_of(b)), "b.org");
+        assert_eq!(table.e2lds().collect::<Vec<_>>(), vec!["a.com", "b.org"]);
+    }
+
+    #[test]
     fn file_first_meta_wins() {
         let mut table = FileTable::new();
         let h = FileHash::from_raw(1);
@@ -190,9 +369,12 @@ mod tests {
             size_bytes: 99,
             ..FileMeta::default()
         };
-        table.intern(h, &m1);
-        table.intern(h, &m2);
+        let id1 = table.intern(h, &m1);
+        let id2 = table.intern(h, &m2);
+        assert_eq!(id1, id2);
         assert_eq!(table.get(h).unwrap().meta.size_bytes, 10);
+        assert_eq!(table.record(id1).meta.size_bytes, 10);
+        assert_eq!(table.id_of(h), Some(id1));
         assert_eq!(table.len(), 1);
     }
 
@@ -203,8 +385,43 @@ mod tests {
             disk_name: "java.exe".into(),
             ..FileMeta::default()
         };
-        let rec = table.intern(FileHash::from_raw(2), &meta);
-        assert_eq!(rec.category, downlake_types::ProcessCategory::Java);
+        let id = table.intern(FileHash::from_raw(2), &meta);
+        assert_eq!(
+            table.record(id).category,
+            downlake_types::ProcessCategory::Java
+        );
+    }
+
+    #[test]
+    fn file_and_process_ids_are_separate_spaces() {
+        let mut files = FileTable::new();
+        let mut procs = ProcessTable::new();
+        let meta = FileMeta::default();
+        let fid = files.intern(FileHash::from_raw(7), &meta);
+        let pid = procs.intern(FileHash::from_raw(7), &meta);
+        assert_eq!(fid.index(), 0);
+        assert_eq!(pid.index(), 0);
+        // Same hash, same raw index — but the types are distinct, so the
+        // compiler rejects cross-indexing a file column with a ProcessId.
+        assert_eq!(files.record(fid).hash, procs.record(pid).hash);
+    }
+
+    #[test]
+    fn machine_table_interns_in_first_seen_order() {
+        let mut table = MachineTable::new();
+        let a = table.intern(MachineId::from_raw(50));
+        let b = table.intern(MachineId::from_raw(3));
+        assert_eq!(table.intern(MachineId::from_raw(50)), a);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(table.resolve(b), MachineId::from_raw(3));
+        assert_eq!(table.idx_of(MachineId::from_raw(3)), Some(b));
+        assert_eq!(table.idx_of(MachineId::from_raw(99)), None);
+        assert_eq!(table.len(), 2);
+        assert_eq!(
+            table.iter().collect::<Vec<_>>(),
+            vec![MachineId::from_raw(50), MachineId::from_raw(3)]
+        );
     }
 
     #[test]
@@ -212,5 +429,6 @@ mod tests {
         assert!(UrlTable::new().is_empty());
         assert!(FileTable::new().is_empty());
         assert!(ProcessTable::new().is_empty());
+        assert!(MachineTable::new().is_empty());
     }
 }

@@ -122,6 +122,98 @@ impl From<u32> for UrlId {
     }
 }
 
+/// Macro defining a dense table-index newtype: a `u32` position inside a
+/// per-dataset interning table, assigned in first-seen order.
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug,
+            Clone,
+            Copy,
+            PartialEq,
+            Eq,
+            PartialOrd,
+            Ord,
+            Hash,
+            Serialize,
+            Deserialize,
+            Default,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw table index.
+            pub const fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw table index.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the index as a `usize` for column lookups.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Dense index of a *downloaded file* inside a dataset's file table.
+    ///
+    /// Unlike [`FileHash`] (a sparse 64-bit digest), a `FileId` is a
+    /// table position assigned at interning time, so per-file statistics
+    /// can live in plain `Vec` columns instead of hash maps.
+    FileId,
+    "F-"
+);
+
+dense_id!(
+    /// Dense index of a *downloading process* inside a dataset's process
+    /// table.
+    ///
+    /// Processes are identified by [`FileHash`] on the wire, but the
+    /// process table assigns them their own dense id space so process and
+    /// file columns can never be cross-indexed by mistake.
+    ProcessId,
+    "P-"
+);
+
+dense_id!(
+    /// Dense index of a machine inside a dataset's machine table.
+    ///
+    /// [`MachineId`] is the sparse anonymised agent identifier; a
+    /// `MachineIdx` is its position in the dataset's interning table.
+    MachineIdx,
+    "m#"
+);
+
+dense_id!(
+    /// Dense index of an effective second-level domain (e2LD) inside a
+    /// dataset's URL table.
+    ///
+    /// Every interned URL resolves to exactly one `E2ldId`, letting
+    /// per-domain statistics run over integer columns instead of owned
+    /// domain strings.
+    E2ldId,
+    "D-"
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,10 +222,7 @@ mod tests {
     #[test]
     fn file_hash_hex_rendering_is_zero_padded() {
         assert_eq!(FileHash::from_raw(0).to_string(), "0000000000000000");
-        assert_eq!(
-            FileHash::from_raw(u64::MAX).to_string(),
-            "ffffffffffffffff"
-        );
+        assert_eq!(FileHash::from_raw(u64::MAX).to_string(), "ffffffffffffffff");
     }
 
     #[test]
@@ -157,5 +246,16 @@ mod tests {
         assert!(FileHash::from_raw(1) < FileHash::from_raw(2));
         assert!(MachineId::from_raw(1) < MachineId::from_raw(2));
         assert!(UrlId::from_raw(1) < UrlId::from_raw(2));
+    }
+
+    #[test]
+    fn dense_ids_round_trip_and_render() {
+        assert_eq!(FileId::from_raw(3).index(), 3);
+        assert_eq!(FileId::from(3u32).raw(), 3);
+        assert_eq!(FileId::from_raw(3).to_string(), "F-3");
+        assert_eq!(ProcessId::from_raw(9).to_string(), "P-9");
+        assert_eq!(MachineIdx::from_raw(1).to_string(), "m#1");
+        assert_eq!(E2ldId::from_raw(0).to_string(), "D-0");
+        assert!(E2ldId::from_raw(1) < E2ldId::from_raw(2));
     }
 }

@@ -100,9 +100,7 @@ impl fmt::Display for UrlLabel {
 /// AVType procedure (§II-C).
 ///
 /// Ordering of variants is the display order of Table II.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MalwareType {
     /// First-stage malware that downloads further malware.
     Dropper,
@@ -278,7 +276,10 @@ mod tests {
 
     #[test]
     fn malware_type_aliases_parse() {
-        assert_eq!("fake-av".parse::<MalwareType>().unwrap(), MalwareType::FakeAv);
+        assert_eq!(
+            "fake-av".parse::<MalwareType>().unwrap(),
+            MalwareType::FakeAv
+        );
         assert_eq!("PUA".parse::<MalwareType>().unwrap(), MalwareType::Pup);
         assert!("keylogger9000".parse::<MalwareType>().is_err());
     }

@@ -35,7 +35,7 @@ mod time;
 mod url;
 
 pub use error::{ParseLabelError, ParseUrlError};
-pub use ids::{FileHash, MachineId, UrlId};
+pub use ids::{E2ldId, FileHash, FileId, MachineId, MachineIdx, ProcessId, UrlId};
 pub use label::{FileLabel, FileNature, MalwareType, UrlLabel};
 pub use meta::{FileMeta, LatentProfile, PackerInfo, SignerInfo};
 pub use process::{BrowserKind, ProcessCategory};

@@ -145,7 +145,10 @@ impl LatentProfile {
         visibility: f64,
         detectability: f64,
     ) -> Self {
-        debug_assert!(nature.is_malicious(), "malicious profile needs malicious nature");
+        debug_assert!(
+            nature.is_malicious(),
+            "malicious profile needs malicious nature"
+        );
         Self {
             nature,
             family,

@@ -10,9 +10,7 @@ use std::fmt;
 use std::str::FromStr;
 
 /// A popular web browser, as distinguished in Table XI.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum BrowserKind {
     Firefox,
@@ -173,9 +171,7 @@ impl FromStr for BrowserKind {
             }
         }
         match lowered.as_str() {
-            "internet explorer" | "internetexplorer" | "msie" => {
-                Ok(BrowserKind::InternetExplorer)
-            }
+            "internet explorer" | "internetexplorer" | "msie" => Ok(BrowserKind::InternetExplorer),
             _ => Err(ParseLabelError::new(s, "browser")),
         }
     }
@@ -211,12 +207,18 @@ mod tests {
 
     #[test]
     fn browser_parsing() {
-        assert_eq!("IE".parse::<BrowserKind>().unwrap(), BrowserKind::InternetExplorer);
+        assert_eq!(
+            "IE".parse::<BrowserKind>().unwrap(),
+            BrowserKind::InternetExplorer
+        );
         assert_eq!(
             "internet explorer".parse::<BrowserKind>().unwrap(),
             BrowserKind::InternetExplorer
         );
-        assert_eq!("chrome".parse::<BrowserKind>().unwrap(), BrowserKind::Chrome);
+        assert_eq!(
+            "chrome".parse::<BrowserKind>().unwrap(),
+            BrowserKind::Chrome
+        );
         assert!("netscape".parse::<BrowserKind>().is_err());
     }
 
@@ -226,7 +228,10 @@ mod tests {
             ProcessCategory::Browser(BrowserKind::Opera).aggregate_name(),
             "Browsers"
         );
-        assert_eq!(ProcessCategory::Windows.aggregate_name(), "Windows Processes");
+        assert_eq!(
+            ProcessCategory::Windows.aggregate_name(),
+            "Windows Processes"
+        );
     }
 
     #[test]

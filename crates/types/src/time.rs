@@ -24,9 +24,7 @@ pub const MONTHS_IN_STUDY: usize = 7;
 const MONTH_START_DAY: [u32; MONTHS_IN_STUDY + 1] = [0, 31, 59, 90, 120, 151, 181, 212];
 
 /// A calendar month of the study window.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Month {
     January,

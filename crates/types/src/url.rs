@@ -16,9 +16,9 @@ use std::str::FromStr;
 /// `ru`, …) need no table: any final label is treated as a TLD.
 const MULTI_LABEL_SUFFIXES: &[&str] = &[
     "co.uk", "org.uk", "ac.uk", "gov.uk", "com.br", "net.br", "org.br", "com.au", "net.au",
-    "org.au", "co.jp", "ne.jp", "or.jp", "com.cn", "net.cn", "org.cn", "co.in", "co.kr",
-    "com.mx", "com.ar", "com.tr", "co.za", "com.tw", "com.hk", "co.nz", "com.sg", "com.my",
-    "co.th", "com.vn", "com.ua", "co.il", "com.pl", "com.ru",
+    "org.au", "co.jp", "ne.jp", "or.jp", "com.cn", "net.cn", "org.cn", "co.in", "co.kr", "com.mx",
+    "com.ar", "com.tr", "co.za", "com.tw", "com.hk", "co.nz", "com.sg", "com.my", "co.th",
+    "com.vn", "com.ua", "co.il", "com.pl", "com.ru",
 ];
 
 /// Returns the effective second-level domain of a fully-qualified host name.
@@ -182,7 +182,10 @@ mod tests {
 
     #[test]
     fn e2ld_plain_com() {
-        assert_eq!(effective_second_level_domain("softonic.com"), "softonic.com");
+        assert_eq!(
+            effective_second_level_domain("softonic.com"),
+            "softonic.com"
+        );
         assert_eq!(
             effective_second_level_domain("dl.files.softonic.com"),
             "softonic.com"
@@ -195,7 +198,10 @@ mod tests {
             effective_second_level_domain("mirror.baixaki.com.br"),
             "baixaki.com.br"
         );
-        assert_eq!(effective_second_level_domain("a.b.example.co.uk"), "example.co.uk");
+        assert_eq!(
+            effective_second_level_domain("a.b.example.co.uk"),
+            "example.co.uk"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ fn main() {
     let report = escalation_cdf(study.dataset(), &view);
 
     println!("escalation profile (share of escalating machines within N days):\n");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8} {:>9}", "seed", "day 0", "≤1 day", "≤5 days", "≤30 days", "machines");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "seed", "day 0", "≤1 day", "≤5 days", "≤30 days", "machines"
+    );
     for kind in EscalationKind::ALL {
         if let Some(cdf) = report.curve(kind) {
             println!(

@@ -45,7 +45,7 @@ fn main() {
 
     println!("ten highest-coverage rules:");
     let mut sorted: Vec<_> = rules.rules().to_vec();
-    sorted.sort_by(|a, b| b.covered.cmp(&a.covered));
+    sorted.sort_by_key(|rule| std::cmp::Reverse(rule.covered));
     for rule in sorted.iter().take(10) {
         println!("  {}", rule.render(rules.schema()));
     }
@@ -55,23 +55,55 @@ fn main() {
     let scenarios: [(&str, [&str; 8]); 4] = [
         (
             "Somoto-signed NSIS installer via Chrome from a top-1k host",
-            ["Somoto Ltd.", "thawte code signing ca g2", "NSIS", "Google Inc",
-             "verisign class 3 code signing 2010 ca", "(unpacked)", "browser", "top 1k"],
+            [
+                "Somoto Ltd.",
+                "thawte code signing ca g2",
+                "NSIS",
+                "Google Inc",
+                "verisign class 3 code signing 2010 ca",
+                "(unpacked)",
+                "browser",
+                "top 1k",
+            ],
         ),
         (
             "TeamViewer-signed setup via Chrome",
-            ["TeamViewer", "digicert assured id code signing ca-1", "INNO", "Google Inc",
-             "verisign class 3 code signing 2010 ca", "(unpacked)", "browser", "top 1k"],
+            [
+                "TeamViewer",
+                "digicert assured id code signing ca-1",
+                "INNO",
+                "Google Inc",
+                "verisign class 3 code signing 2010 ca",
+                "(unpacked)",
+                "browser",
+                "top 1k",
+            ],
         ),
         (
             "unsigned executable dropped by Acrobat Reader",
-            ["(unsigned)", "(unsigned)", "(unpacked)", "Adobe Systems Incorporated",
-             "verisign class 3 code signing 2010 ca", "(unpacked)", "acrobat reader", "unranked"],
+            [
+                "(unsigned)",
+                "(unsigned)",
+                "(unpacked)",
+                "Adobe Systems Incorporated",
+                "verisign class 3 code signing 2010 ca",
+                "(unpacked)",
+                "acrobat reader",
+                "unranked",
+            ],
         ),
         (
             "unsigned UPX-packed file from an unranked domain",
-            ["(unsigned)", "(unsigned)", "UPX", "Microsoft Windows",
-             "verisign class 3 code signing 2010 ca", "(unpacked)", "windows", "unranked"],
+            [
+                "(unsigned)",
+                "(unsigned)",
+                "UPX",
+                "Microsoft Windows",
+                "verisign class 3 code signing 2010 ca",
+                "(unpacked)",
+                "windows",
+                "unranked",
+            ],
         ),
     ];
     for (what, values) in scenarios {

@@ -47,7 +47,11 @@ fn parse_scale(arg: &str) -> Option<Scale> {
         "default" => Some(Scale::Default),
         "large" => Some(Scale::Large),
         "paper" => Some(Scale::Paper),
-        _ => arg.parse::<f64>().ok().filter(|f| *f > 0.0).map(Scale::Fraction),
+        _ => arg
+            .parse::<f64>()
+            .ok()
+            .filter(|f| *f > 0.0)
+            .map(Scale::Fraction),
     }
 }
 

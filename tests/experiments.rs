@@ -42,7 +42,10 @@ fn table1_monthly_decline_and_unknown_dominance() {
     for row in table.rows.iter().take(7) {
         let pct = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
         let labeled = pct(&row[9]) + pct(&row[10]) + pct(&row[11]) + pct(&row[12]);
-        assert!(labeled < 30.0, "labeled share {labeled} too high in {row:?}");
+        assert!(
+            labeled < 30.0,
+            "labeled share {labeled} too high in {row:?}"
+        );
     }
 }
 
@@ -64,13 +67,12 @@ fn fig1_family_head_and_unnameable_majority() {
 fn table2_type_mix_shape() {
     let s = study();
     let view = s.label_view();
-    let mut count = |ty: MalwareType| {
+    let count = |ty: MalwareType| {
         s.dataset()
             .files()
             .iter()
             .filter(|r| {
-                view.label(r.hash) == FileLabel::Malicious
-                    && view.malware_type(r.hash) == Some(ty)
+                view.label(r.hash) == FileLabel::Malicious && view.malware_type(r.hash) == Some(ty)
             })
             .count()
     };
@@ -81,8 +83,14 @@ fn table2_type_mix_shape() {
     let banker = count(MalwareType::Banker);
     // Droppers are the most common defined type; undefined is large;
     // bankers/spyware are rare (Table II ordering).
-    assert!(dropper > banker * 5, "droppers {dropper} vs bankers {banker}");
-    assert!(undefined > pup, "undefined {undefined} should be the biggest bucket");
+    assert!(
+        dropper > banker * 5,
+        "droppers {dropper} vs bankers {banker}"
+    );
+    assert!(
+        undefined > pup,
+        "undefined {undefined} should be the biggest bucket"
+    );
     assert!(spyware < dropper / 20);
 }
 
@@ -96,10 +104,20 @@ fn fig2_long_tail_shape() {
         "P(prevalence=1) = {:.1}%",
         report.prevalence_one_share
     );
-    assert!(report.capped_share < 2.0, "capped {:.2}%", report.capped_share);
+    assert!(
+        report.capped_share < 2.0,
+        "capped {:.2}%",
+        report.capped_share
+    );
     // Unknowns drive the singleton head; labeled classes sit higher.
-    assert!(report.means.3 < report.means.1, "unknown mean below benign mean");
-    assert!(report.means.3 < report.means.2, "unknown mean below malicious mean");
+    assert!(
+        report.means.3 < report.means.1,
+        "unknown mean below benign mean"
+    );
+    assert!(
+        report.means.3 < report.means.2,
+        "unknown mean below malicious mean"
+    );
     // The aggregate impact: most machines touched an unknown file.
     assert!(
         report.machines_touching_unknown > 55.0,
@@ -135,7 +153,11 @@ fn table6_signing_rates_shape() {
             .map(|r| r.signed_pct)
             .unwrap_or(0.0)
     };
-    assert!(rate("dropper") > 70.0, "droppers {:.1}% signed", rate("dropper"));
+    assert!(
+        rate("dropper") > 70.0,
+        "droppers {:.1}% signed",
+        rate("dropper")
+    );
     assert!(rate("pup") > 60.0);
     assert!(rate("bot") < 16.0, "bots {:.1}% signed", rate("bot"));
     assert!(rate("banker") < 10.0);
@@ -153,11 +175,17 @@ fn table7_and_fig4_signer_overlap() {
     let rows = signer_overlap(s.dataset(), &view);
     let total = rows.iter().find(|r| r.class == "total").unwrap();
     assert!(total.signers > 20);
-    assert!(total.common_with_benign > 0, "some signers must sign both classes");
+    assert!(
+        total.common_with_benign > 0,
+        "some signers must sign both classes"
+    );
     assert!(total.common_with_benign < total.signers);
 
     let report = top_signers(s.dataset(), &view, 10);
-    assert!(!report.scatter.is_empty(), "Fig. 4 scatter must be non-empty");
+    assert!(
+        !report.scatter.is_empty(),
+        "Fig. 4 scatter must be non-empty"
+    );
     assert!(!report.malicious_exclusive.is_empty());
     assert!(!report.benign_exclusive.is_empty());
     // The known PPI heads should sit in the malicious-exclusive list.
@@ -167,7 +195,9 @@ fn table7_and_fig4_signer_overlap() {
         .map(|(s, _)| s.as_str())
         .collect();
     assert!(
-        names.iter().any(|n| n.contains("Somoto") || *n == "ISBRInstaller"),
+        names
+            .iter()
+            .any(|n| n.contains("Somoto") || *n == "ISBRInstaller"),
         "expected PPI signer heads, got {names:?}"
     );
 }
@@ -184,9 +214,15 @@ fn packer_overlap_shape() {
     // A substantial shared pool, plus malicious-exclusive protectors.
     assert!(report.shared_packers >= 10);
     assert!(!report.malicious_only.is_empty());
-    assert!(report.shared.iter().any(|p| p == "INNO" || p == "UPX" || p == "NSIS"));
+    assert!(report
+        .shared
+        .iter()
+        .any(|p| p == "INNO" || p == "UPX" || p == "NSIS"));
     assert!(
-        report.malicious_only.iter().any(|p| p == "Themida" || p == "Molebox" || p == "NSPack"),
+        report
+            .malicious_only
+            .iter()
+            .any(|p| p == "Themida" || p == "Molebox" || p == "NSPack"),
         "expected protector names in {:?}",
         report.malicious_only
     );
@@ -269,9 +305,8 @@ fn fig5_escalation_ordering() {
     let s = study();
     let view = s.label_view();
     let report = escalation_cdf(s.dataset(), &view);
-    let eval = |kind: EscalationKind, days: f64| {
-        report.curve(kind).map(|c| c.eval(days)).unwrap_or(0.0)
-    };
+    let eval =
+        |kind: EscalationKind, days: f64| report.curve(kind).map(|c| c.eval(days)).unwrap_or(0.0);
     // Day-0: adware/pup ≥ ~0.3, far above benign; dropper fastest.
     assert!(eval(EscalationKind::Adware, 0.0) > 0.25);
     assert!(eval(EscalationKind::Pup, 0.0) > 0.25);
@@ -337,7 +372,10 @@ fn rule_experiments_match_paper_shape() {
     assert!(!outcome.example_rules.is_empty());
     // Rules are the paper's kind: signer conditions dominate.
     assert!(
-        outcome.example_rules.iter().any(|r| r.contains("file's signer")),
+        outcome
+            .example_rules
+            .iter()
+            .any(|r| r.contains("file's signer")),
         "{:?}",
         outcome.example_rules
     );
@@ -358,10 +396,30 @@ fn avtype_resolution_stats_shape() {
 fn full_report_renders_everything() {
     let report = downlake_repro::core::report::full_report(study());
     for needle in [
-        "Table I", "Fig. 1", "Table II", "Fig. 2", "Table III", "Table IV", "Fig. 3",
-        "Table V", "Table VI", "Table VII", "Table VIII", "Table IX", "Fig. 4",
-        "Packer", "Table X ", "Table XI", "Table XII", "Fig. 5", "Fig. 6",
-        "Table XIII", "Table XIV", "Table XV", "Table XVI", "Table XVII",
+        "Table I",
+        "Fig. 1",
+        "Table II",
+        "Fig. 2",
+        "Table III",
+        "Table IV",
+        "Fig. 3",
+        "Table V",
+        "Table VI",
+        "Table VII",
+        "Table VIII",
+        "Table IX",
+        "Fig. 4",
+        "Packer",
+        "Table X ",
+        "Table XI",
+        "Table XII",
+        "Fig. 5",
+        "Fig. 6",
+        "Table XIII",
+        "Table XIV",
+        "Table XV",
+        "Table XVI",
+        "Table XVII",
         "expansion factor",
     ] {
         assert!(report.contains(needle), "report missing {needle:?}");

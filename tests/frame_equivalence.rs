@@ -1,0 +1,171 @@
+//! Equivalence gate for the columnar [`AnalysisFrame`] refactor: at a
+//! fixed seed, every analysis must produce *identical* output through the
+//! dense-column frame path and through the pre-refactor per-event
+//! hash-map path preserved in `downlake_analysis::legacy`.
+//!
+//! Where a result type has no `PartialEq` (ECDF reports), equality is
+//! asserted on the `Debug` rendering, which exposes every field.
+
+use downlake_repro::analysis::{legacy, AnalysisFrame};
+use downlake_repro::core::{Study, StudyConfig};
+use downlake_repro::synth::Scale;
+use downlake_repro::types::{FileLabel, MalwareType};
+use std::sync::OnceLock;
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(&StudyConfig::new(42).with_scale(Scale::Tiny)))
+}
+
+fn frame(study: &Study) -> &AnalysisFrame {
+    study.frame()
+}
+
+#[test]
+fn study_frame_matches_label_view_frame() {
+    // The frame the pipeline builds from raw ground truth must equal a
+    // frame built through the LabelView shim, column by column.
+    let s = study();
+    let view = s.label_view();
+    let rebuilt = AnalysisFrame::from_label_view(s.dataset(), &view);
+    let built = frame(s);
+    assert_eq!(built.file_labels(), rebuilt.file_labels());
+    assert_eq!(built.file_types(), rebuilt.file_types());
+    assert_eq!(built.file_prevalences(), rebuilt.file_prevalences());
+    assert_eq!(built.process_labels(), rebuilt.process_labels());
+    assert_eq!(built.process_types(), rebuilt.process_types());
+    assert_eq!(built.process_categories(), rebuilt.process_categories());
+    assert_eq!(built.event_files(), rebuilt.event_files());
+    assert_eq!(built.event_file_labels(), rebuilt.event_file_labels());
+    assert_eq!(built.event_e2lds(), rebuilt.event_e2lds());
+    assert_eq!(built.event_months(), rebuilt.event_months());
+    assert_eq!(built.url_e2lds(), rebuilt.url_e2lds());
+    assert_eq!(built.event_count(), rebuilt.event_count());
+    assert_eq!(built.machine_count(), rebuilt.machine_count());
+    assert_eq!(built.e2ld_count(), rebuilt.e2ld_count());
+}
+
+#[test]
+fn domains_match_legacy() {
+    let s = study();
+    let view = s.label_view();
+    assert_eq!(
+        frame(s).domain_popularity(10),
+        legacy::domain_popularity(s.dataset(), &view, 10)
+    );
+    assert_eq!(
+        frame(s).files_per_domain(10),
+        legacy::files_per_domain(s.dataset(), &view, 10)
+    );
+    assert_eq!(
+        frame(s).top_domains_by_downloads(FileLabel::Unknown, 10),
+        legacy::top_domains_by_downloads(s.dataset(), &view, FileLabel::Unknown, 10)
+    );
+    let new = frame(s).type_domain_tables(5);
+    let old = legacy::type_domain_tables(s.dataset(), &view, 5);
+    assert_eq!(new.len(), old.len());
+    for ty in MalwareType::ALL {
+        assert_eq!(new.get(&ty), old.get(&ty), "type tables for {ty:?}");
+    }
+}
+
+#[test]
+fn rank_distributions_match_legacy() {
+    let s = study();
+    let view = s.label_view();
+    let ranks = downlake_repro::analysis::RankSource::new(|e2ld| s.url_labeler().rank(e2ld).rank());
+    for class in [FileLabel::Benign, FileLabel::Malicious, FileLabel::Unknown] {
+        let (new_cdf, new_unranked) = frame(s).rank_distribution(&ranks, class);
+        let (old_cdf, old_unranked) = legacy::rank_distribution(s.dataset(), &view, &ranks, class);
+        assert_eq!(new_unranked, old_unranked, "unranked count for {class:?}");
+        assert_eq!(
+            format!("{new_cdf:?}"),
+            format!("{old_cdf:?}"),
+            "rank ECDF for {class:?}"
+        );
+    }
+}
+
+#[test]
+fn signers_match_legacy() {
+    let s = study();
+    let view = s.label_view();
+    assert_eq!(
+        frame(s).signing_rates_table(),
+        legacy::signing_rates_table(s.dataset(), &view)
+    );
+    assert_eq!(
+        frame(s).signer_overlap(),
+        legacy::signer_overlap(s.dataset(), &view)
+    );
+    for k in [3, 10] {
+        assert_eq!(
+            frame(s).top_signers(k),
+            legacy::top_signers(s.dataset(), &view, k)
+        );
+    }
+}
+
+#[test]
+fn packers_match_legacy() {
+    let s = study();
+    let view = s.label_view();
+    assert_eq!(
+        frame(s).packer_report(),
+        legacy::packer_report(s.dataset(), &view)
+    );
+}
+
+#[test]
+fn processes_match_legacy() {
+    let s = study();
+    let view = s.label_view();
+    assert_eq!(
+        frame(s).category_behavior(),
+        legacy::category_behavior(s.dataset(), &view)
+    );
+    assert_eq!(
+        frame(s).browser_behavior(),
+        legacy::browser_behavior(s.dataset(), &view)
+    );
+    assert_eq!(
+        frame(s).malicious_process_behavior(),
+        legacy::malicious_process_behavior(s.dataset(), &view)
+    );
+    assert_eq!(
+        frame(s).unknown_download_categories(),
+        legacy::unknown_download_categories(s.dataset(), &view)
+    );
+}
+
+#[test]
+fn prevalence_matches_legacy() {
+    let s = study();
+    let view = s.label_view();
+    let sigma = s.config().synth.sigma as usize;
+    assert_eq!(
+        frame(s).prevalence_report(sigma),
+        legacy::prevalence_report(s.dataset(), &view, sigma)
+    );
+}
+
+#[test]
+fn monthly_matches_legacy() {
+    let s = study();
+    let view = s.label_view();
+    let label_url = |e2ld: &str| s.url_labeler().label_e2ld(e2ld);
+    assert_eq!(
+        frame(s).monthly_summary(label_url),
+        legacy::monthly_summary(s.dataset(), &view, label_url)
+    );
+}
+
+#[test]
+fn escalation_matches_legacy() {
+    let s = study();
+    let view = s.label_view();
+    assert_eq!(
+        format!("{:?}", frame(s).escalation_cdf()),
+        format!("{:?}", legacy::escalation_cdf(s.dataset(), &view))
+    );
+}
