@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Lint gate for the workspace: formatting plus clippy with warnings
-# promoted to errors. Run from the repository root before sending a PR;
-# CI can call it verbatim.
+# Lint gate for the workspace: formatting, clippy with warnings promoted
+# to errors, then the custom determinism/hot-path static-analysis pass.
+# Run from the repository root before sending a PR; CI can call it
+# verbatim.
 #
 #   sh .github/lint-gate.sh
 #
@@ -13,3 +14,12 @@ set -eu
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Final step: downlake-lint. Fails (non-zero) only on findings that are
+# NEW relative to the committed lint-baseline.json, and prints a friendly
+# per-rule count diff either way. Burn-down is ratcheted: fix the new
+# finding or justify it inline with
+#   // downlake-lint: allow(<rule>) — <reason>
+# and use `--update-baseline` only for accepted debt.
+echo "downlake-lint: checking determinism & hot-path rules against lint-baseline.json"
+cargo run -p downlake-lint --release -- --check

@@ -137,9 +137,12 @@ impl<K: Eq + Hash + Clone + Ord> Counter<K> {
         entries
     }
 
-    /// Iterates over all `(key, count)` pairs in arbitrary order.
+    /// Iterates over all `(key, count)` pairs in ascending key order, so
+    /// anything rendered from a `Counter` is deterministic.
     pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
-        self.counts.iter().map(|(k, &v)| (k, v))
+        let mut entries: Vec<(&K, u64)> = self.counts.iter().map(|(k, &v)| (k, v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries.into_iter()
     }
 }
 

@@ -7,7 +7,7 @@ use downlake_synth::{Scale, SynthConfig, World};
 use downlake_telemetry::{CollectionServer, Dataset, ReportingPolicy, SuppressionStats};
 use downlake_types::{FileHash, FileLabel, MalwareType, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Configuration of a full study run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,14 +63,25 @@ impl TypeAssignments {
         self.families.get(&file).map(String::as_str)
     }
 
-    /// Iterates over all `(file, type)` assignments.
+    /// Iterates over all `(file, type)` assignments in ascending hash
+    /// order, so consumers see a deterministic sequence.
     pub fn types(&self) -> impl Iterator<Item = (FileHash, MalwareType)> + '_ {
-        self.types.iter().map(|(&h, &t)| (h, t))
+        let mut rows: Vec<(FileHash, MalwareType)> =
+            self.types.iter().map(|(&h, &t)| (h, t)).collect();
+        rows.sort_by_key(|&(h, _)| h);
+        rows.into_iter()
     }
 
-    /// Iterates over all `(file, family)` assignments.
+    /// Iterates over all `(file, family)` assignments in ascending hash
+    /// order, so consumers see a deterministic sequence.
     pub fn families(&self) -> impl Iterator<Item = (FileHash, &str)> {
-        self.families.iter().map(|(&h, f)| (h, f.as_str()))
+        let mut rows: Vec<(FileHash, &str)> = self
+            .families
+            .iter()
+            .map(|(&h, f)| (h, f.as_str()))
+            .collect();
+        rows.sort_by_key(|&(h, _)| h);
+        rows.into_iter()
     }
 
     /// Conflict-resolution statistics across the corpus (§II-C).
@@ -110,8 +121,9 @@ impl Study {
         let dataset = server.into_dataset();
 
         // 3. Collect ground truth over every file and process hash that
-        //    survived into the dataset.
-        let mut first_seen: HashMap<FileHash, Timestamp> = HashMap::new();
+        //    survived into the dataset. A BTreeMap keeps the subject
+        //    sequence deterministic regardless of event hashing.
+        let mut first_seen: BTreeMap<FileHash, Timestamp> = BTreeMap::new();
         for event in dataset.events() {
             first_seen.entry(event.file).or_insert(event.timestamp);
             first_seen.entry(event.process).or_insert(event.timestamp);

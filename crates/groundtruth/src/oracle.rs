@@ -119,14 +119,19 @@ impl GroundTruth {
         &self.whitelists
     }
 
-    /// Iterates over `(file, label)` pairs.
+    /// Iterates over `(file, label)` pairs in ascending hash order, so
+    /// consumers see a deterministic sequence.
     pub fn iter(&self) -> impl Iterator<Item = (FileHash, FileLabel)> + '_ {
-        self.labels.iter().map(|(&h, &l)| (h, l))
+        let mut rows: Vec<(FileHash, FileLabel)> =
+            self.labels.iter().map(|(&h, &l)| (h, l)).collect();
+        rows.sort_by_key(|&(h, _)| h);
+        rows.into_iter()
     }
 
     /// Counts files per label.
     pub fn counts(&self) -> HashMap<FileLabel, usize> {
         let mut counts = HashMap::new();
+        // downlake-lint: allow(unordered-iter) — commutative count into an unordered map
         for &label in self.labels.values() {
             *counts.entry(label).or_insert(0) += 1;
         }

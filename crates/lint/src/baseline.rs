@@ -1,0 +1,351 @@
+//! Committed-baseline handling: serialize findings to
+//! `lint-baseline.json`, parse them back, and diff current findings
+//! against the baseline so the CI gate fails only on *new* findings
+//! while the existing debt is burned down.
+//!
+//! The JSON reader/writer is hand-rolled for the one flat schema used
+//! here — the lint must stay dependency-free to run in hermetic CI.
+
+use crate::rules::{Finding, RuleId, ALL_RULES};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serialize findings as the canonical baseline document (sorted input
+/// expected; the scanner already sorts).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            s,
+            "{sep}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\"}}",
+            f.rule.id(),
+            escape(&f.file),
+            f.line,
+            escape(&f.msg)
+        );
+    }
+    if findings.is_empty() {
+        s.push_str("]\n}\n");
+    } else {
+        s.push_str("\n  ]\n}\n");
+    }
+    s
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a baseline document produced by [`to_json`] (tolerant of
+/// whitespace differences). Returns an error string on malformed input.
+pub fn parse(doc: &str) -> Result<Vec<Finding>, String> {
+    let mut p = Parser {
+        chars: doc.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut findings = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "version" => {
+                let _ = p.number()?;
+            }
+            "findings" => {
+                p.expect('[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(']') {
+                        break;
+                    }
+                    findings.push(p.finding()?);
+                    p.skip_ws();
+                    let _ = p.eat(',');
+                }
+            }
+            other => return Err(format!("unexpected key `{other}` in baseline")),
+        }
+        p.skip_ws();
+        let _ = p.eat(',');
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {} (found {:?})",
+                self.pos,
+                self.peek()
+            ))
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string in baseline".into()),
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some('r') => out.push('\r'),
+                        Some('u') => {
+                            let hex: String = self.chars
+                                [self.pos + 1..(self.pos + 5).min(self.chars.len())]
+                                .iter()
+                                .collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        Some(c) => out.push(c),
+                        None => return Err("dangling escape in baseline".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+    fn number(&mut self) -> Result<u32, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<u32>().map_err(|e| format!("bad number: {e}"))
+    }
+    fn finding(&mut self) -> Result<Finding, String> {
+        self.expect('{')?;
+        let mut rule = None;
+        let mut file = String::new();
+        let mut line = 0u32;
+        let mut msg = String::new();
+        loop {
+            self.skip_ws();
+            if self.eat('}') {
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "rule" => {
+                    let id = self.string()?;
+                    rule = RuleId::parse(&id);
+                    if rule.is_none() {
+                        return Err(format!("unknown rule id `{id}` in baseline"));
+                    }
+                }
+                "file" => file = self.string()?,
+                "line" => line = self.number()?,
+                "msg" => msg = self.string()?,
+                other => return Err(format!("unexpected finding key `{other}`")),
+            }
+            self.skip_ws();
+            let _ = self.eat(',');
+        }
+        let rule = rule.ok_or_else(|| "finding missing `rule`".to_string())?;
+        Ok(Finding {
+            file,
+            line,
+            rule,
+            msg,
+        })
+    }
+}
+
+/// Per-`(rule, file)` finding counts — line numbers drift as files are
+/// edited, so the gate ratchets on counts instead of exact positions.
+pub fn counts(findings: &[Finding]) -> BTreeMap<(RuleId, String), usize> {
+    let mut map: BTreeMap<(RuleId, String), usize> = BTreeMap::new();
+    for f in findings {
+        *map.entry((f.rule, f.file.clone())).or_default() += 1;
+    }
+    map
+}
+
+/// Outcome of diffing current findings against the baseline.
+pub struct Diff {
+    /// `(rule, file, current, baseline)` where current > baseline.
+    pub regressions: Vec<(RuleId, String, usize, usize)>,
+    /// `(rule, file, current, baseline)` where current < baseline.
+    pub improvements: Vec<(RuleId, String, usize, usize)>,
+}
+
+impl Diff {
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare current findings with the baseline by `(rule, file)` counts.
+pub fn diff(current: &[Finding], baseline: &[Finding]) -> Diff {
+    let cur = counts(current);
+    let base = counts(baseline);
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    let mut keys: Vec<&(RuleId, String)> = cur.keys().chain(base.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let c = cur.get(key).copied().unwrap_or(0);
+        let b = base.get(key).copied().unwrap_or(0);
+        if c > b {
+            regressions.push((key.0, key.1.clone(), c, b));
+        } else if c < b {
+            improvements.push((key.0, key.1.clone(), c, b));
+        }
+    }
+    Diff {
+        regressions,
+        improvements,
+    }
+}
+
+/// Render the friendly per-rule count table the CI gate prints:
+/// `rule  baseline  current  delta` for every rule id.
+pub fn rule_count_table(current: &[Finding], baseline: &[Finding]) -> String {
+    let mut by_rule_cur: BTreeMap<RuleId, usize> = BTreeMap::new();
+    let mut by_rule_base: BTreeMap<RuleId, usize> = BTreeMap::new();
+    for f in current {
+        *by_rule_cur.entry(f.rule).or_default() += 1;
+    }
+    for f in baseline {
+        *by_rule_base.entry(f.rule).or_default() += 1;
+    }
+    let mut s = String::from("rule  name                    baseline  current  delta\n");
+    for r in ALL_RULES {
+        let b = by_rule_base.get(&r).copied().unwrap_or(0);
+        let c = by_rule_cur.get(&r).copied().unwrap_or(0);
+        let delta = c as i64 - b as i64;
+        let _ = writeln!(
+            s,
+            "{:<4}  {:<22}  {:>8}  {:>7}  {:>+5}",
+            r.id(),
+            r.name(),
+            b,
+            c,
+            delta
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "crates/a/src/lib.rs".into(),
+                line: 10,
+                rule: RuleId::D1,
+                msg: "iteration over `m` with \"quotes\" and \\ backslash".into(),
+            },
+            Finding {
+                file: "crates/b/src/lib.rs".into(),
+                line: 3,
+                rule: RuleId::P2,
+                msg: "format! in loop".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trip_preserves_findings() {
+        let fs = sample();
+        let doc = to_json(&fs);
+        let back = parse(&doc).expect("parse back");
+        let mut sorted = fs.clone();
+        sorted.sort();
+        assert_eq!(back, sorted);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let doc = to_json(&[]);
+        assert_eq!(parse(&doc).expect("parse empty"), vec![]);
+    }
+
+    #[test]
+    fn diff_detects_new_and_fixed() {
+        let base = sample();
+        let mut cur = sample();
+        cur.push(Finding {
+            file: "crates/a/src/lib.rs".into(),
+            line: 99,
+            rule: RuleId::D1,
+            msg: "another".into(),
+        });
+        cur.retain(|f| f.rule != RuleId::P2);
+        let d = diff(&cur, &base);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].2, 2);
+        assert_eq!(d.improvements.len(), 1);
+        assert!(!d.is_clean());
+        assert!(diff(&base, &base).is_clean());
+    }
+}

@@ -1,0 +1,341 @@
+//! A minimal, comment- and string-aware Rust lexer.
+//!
+//! The lint deliberately ships its own tokenizer instead of depending on
+//! `syn`: the pass has to run in hermetic CI containers with no registry
+//! access, and the five rules it enforces only need token streams plus
+//! brace structure, not full ASTs. The lexer understands line/block
+//! comments (nested), string/char/byte/raw-string literals, lifetimes,
+//! numeric literals, identifiers, and single-character punctuation; that
+//! is enough to never mistake the inside of a string or comment for code.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `iter`, ...).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `(`, `!`, ...).
+    Punct,
+    /// String/char/byte/numeric literal. `text` keeps the raw spelling.
+    Lit,
+    /// Lifetime such as `'a` (kept distinct so `'a` is never a char literal).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A `//` comment captured during lexing (block comments are discarded —
+/// allow-directives must be line comments so they stay attached to a line).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    pub line: u32,
+    /// Comment text after the leading `//`.
+    pub text: String,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Lex `src` into tokens plus captured line comments.
+///
+/// The lexer is lossy by design (multi-char operators come out as runs of
+/// single puncts; numeric suffixes stay glued to the number) — rule
+/// matching works on short token-sequence patterns, so that is enough.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let n = bytes.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.iter().filter(|&&c| c == '\n').count() as u32
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    line,
+                    text: bytes[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (j, consumed) = scan_string(&bytes, i);
+                bump_lines!(&bytes[i..j]);
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: consumed,
+                    line,
+                });
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes, i) => {
+                let (j, consumed) = scan_raw_or_byte_string(&bytes, i);
+                let tok_line = line;
+                bump_lines!(&bytes[i..j]);
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: consumed,
+                    line: tok_line,
+                });
+                i = j;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if i + 1 < n
+                    && (bytes[i + 1].is_alphabetic() || bytes[i + 1] == '_')
+                    && !(i + 2 < n && bytes[i + 2] == '\'')
+                {
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: bytes[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < n && bytes[j] != '\'' {
+                        if bytes[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    j = (j + 1).min(n);
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: bytes[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n {
+                    let d = bytes[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.'
+                        && j + 1 < n
+                        && bytes[j + 1].is_ascii_digit()
+                        && !(j >= 1 && bytes[j - 1] == '.')
+                    {
+                        // `1.5` continues the number; `1..n` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: bytes[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: bytes[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scan a plain `"..."` string starting at `i`; returns (end index, text).
+fn scan_string(bytes: &[char], i: usize) -> (usize, String) {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n && bytes[j] != '"' {
+        if bytes[j] == '\\' {
+            j += 1;
+        }
+        j += 1;
+    }
+    j = (j + 1).min(n);
+    (j, bytes[i..j].iter().collect())
+}
+
+/// Does position `i` start `r"`, `r#"`, `b"`, `br"`, or `br#"`?
+fn starts_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if j < n && bytes[j] == 'r' {
+        j += 1;
+        while j < n && bytes[j] == '#' {
+            j += 1;
+        }
+        return j < n && bytes[j] == '"';
+    }
+    // `b"..."` byte string without `r`.
+    bytes[i] == 'b' && j < n && bytes[j] == '"'
+}
+
+/// Scan a raw/byte string starting at `i`; returns (end index, text).
+fn scan_raw_or_byte_string(bytes: &[char], i: usize) -> (usize, String) {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < n && bytes[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < n && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    if raw {
+        // Raw string: runs to `"` followed by `hashes` `#`s, no escapes.
+        while j < n {
+            if bytes[j] == '"' {
+                let mut k = j + 1;
+                let mut h = 0usize;
+                while k < n && h < hashes && bytes[k] == '#' {
+                    h += 1;
+                    k += 1;
+                }
+                if h == hashes {
+                    j = k;
+                    return (j, bytes[i..j].iter().collect());
+                }
+            }
+            j += 1;
+        }
+        (n, bytes[i..].iter().collect())
+    } else {
+        // Byte string with escapes.
+        while j < n && bytes[j] != '"' {
+            if bytes[j] == '\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        j = (j + 1).min(n);
+        (j, bytes[i..j].iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            // comment with HashMap.iter() inside
+            let s = "for x in map.keys()"; /* block HashMap */
+            let r = r#"SystemTime::now()"#;
+        "##;
+        let lexed = lex(src);
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("keys")));
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("SystemTime")));
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lit && t.text == "'x'"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

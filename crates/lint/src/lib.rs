@@ -1,0 +1,52 @@
+//! `downlake-lint` — determinism & hot-path static analysis for the
+//! downlake workspace.
+//!
+//! The reproduction's whole value is that Tables I–XVII and Figures 1–6
+//! are byte-identical under a fixed seed. That invariant is enforced
+//! dynamically by the seed-42 pins in `tests/frame_equivalence.rs`; this
+//! crate enforces it *statically*, at CI time, before an unordered
+//! `HashMap` iteration or an ambient clock read can corrupt a pinned
+//! table. Five rules:
+//!
+//! | id | name                   | what it catches |
+//! |----|------------------------|-----------------|
+//! | D1 | `unordered-iter`       | hash-order iteration leaking into output |
+//! | D2 | `ambient-nondeterminism` | wall clocks, thread RNGs, env reads |
+//! | D3 | `unordered-float-fold` | float `sum`/`fold` over unordered iterators |
+//! | P1 | `panic-surface`        | `unwrap`/`expect`/literal indexing in library code |
+//! | P2 | `hot-loop-alloc`       | per-iteration allocation on the analysis hot path |
+//!
+//! Findings diff against a committed `lint-baseline.json` so CI fails only
+//! on *new* findings while the existing debt is burned down. A site can opt
+//! out with an inline justification:
+//!
+//! ```text
+//! // downlake-lint: allow(unordered-iter) — feeds a commutative count
+//! ```
+//!
+//! The crate is dependency-free (hand-rolled lexer + JSON) so the gate
+//! runs in hermetic CI containers with no registry access.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+pub use rules::{Finding, RuleId};
+pub use scan::{scan_file, FileCtx};
+
+use std::io;
+use std::path::Path;
+
+/// Lint every workspace file under `root`; findings come back sorted by
+/// `(file, line, rule)`.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (path, ctx) in walk::collect_files(root)? {
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(scan_file(&ctx, &src));
+    }
+    findings.sort();
+    Ok(findings)
+}

@@ -1,0 +1,206 @@
+//! CLI for `downlake-lint`.
+//!
+//! ```text
+//! downlake-lint                  # print all findings (informational)
+//! downlake-lint --json           # findings as JSON on stdout
+//! downlake-lint --check          # gate: fail only on findings new vs. baseline
+//! downlake-lint --update-baseline# rewrite lint-baseline.json from current state
+//! downlake-lint --root <dir>     # workspace root (default: discovered from cwd)
+//! downlake-lint --baseline <file># baseline path (default: <root>/lint-baseline.json)
+//! ```
+
+use downlake_lint::{baseline, scan_workspace};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Writes bulk output to stdout, exiting quietly if the reader went away
+/// (e.g. `downlake-lint --json | head`) instead of panicking on SIGPIPE.
+fn emit(text: &str) -> Result<(), ExitCode> {
+    match std::io::stdout().write_all(text.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Err(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("downlake-lint: cannot write to stdout: {e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+struct Opts {
+    check: bool,
+    json: bool,
+    update_baseline: bool,
+    quiet: bool,
+    root: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        check: false,
+        json: false,
+        update_baseline: false,
+        quiet: false,
+        root: None,
+        baseline_path: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "-q" | "--quiet" => opts.quiet = true,
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory argument")?,
+                ))
+            }
+            "--baseline" => {
+                opts.baseline_path = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a file argument")?,
+                ))
+            }
+            "-h" | "--help" => {
+                println!(
+                    "downlake-lint [--check | --json | --update-baseline] \
+                     [--root <dir>] [--baseline <file>] [-q]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("downlake-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match opts
+        .root
+        .clone()
+        .or_else(|| downlake_lint::walk::find_workspace_root(&cwd))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "downlake-lint: no workspace root found above {}",
+                cwd.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    let findings = match scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("downlake-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        let doc = baseline::to_json(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, doc) {
+            eprintln!(
+                "downlake-lint: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "downlake-lint: baseline updated — {} finding(s) recorded in {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.json {
+        let mut doc = baseline::to_json(&findings);
+        doc.push('\n');
+        if let Err(code) = emit(&doc) {
+            return code;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.check {
+        let base = match std::fs::read_to_string(&baseline_path) {
+            Ok(doc) => match baseline::parse(&doc) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!(
+                        "downlake-lint: malformed baseline {}: {e}",
+                        baseline_path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => Vec::new(), // no baseline yet: everything counts as new
+        };
+        let diff = baseline::diff(&findings, &base);
+        if !opts.quiet {
+            print!("{}", baseline::rule_count_table(&findings, &base));
+        }
+        if !diff.is_clean() {
+            eprintln!("\ndownlake-lint: NEW findings vs. baseline:");
+            for (rule, file, cur, was) in &diff.regressions {
+                eprintln!("  {rule} {file}: {was} -> {cur}");
+                for f in findings
+                    .iter()
+                    .filter(|f| f.rule == *rule && &f.file == file)
+                {
+                    eprintln!("    {}", f.human());
+                }
+            }
+            eprintln!(
+                "\nfix the new findings (or justify with \
+                 `// downlake-lint: allow(<rule>) — <reason>`);\n\
+                 run `cargo run -p downlake-lint --release -- --update-baseline` \
+                 only for accepted debt."
+            );
+            return ExitCode::FAILURE;
+        }
+        if !diff.improvements.is_empty() && !opts.quiet {
+            println!(
+                "downlake-lint: {} (rule, file) bucket(s) improved — consider \
+                 `--update-baseline` to ratchet down.",
+                diff.improvements.len()
+            );
+        }
+        if !opts.quiet {
+            println!(
+                "downlake-lint: clean vs. baseline ({} known finding(s))",
+                base.len()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut listing = String::new();
+    for f in &findings {
+        listing.push_str(&f.human());
+        listing.push('\n');
+    }
+    if !opts.quiet {
+        listing.push_str(&format!("downlake-lint: {} finding(s)\n", findings.len()));
+    }
+    if let Err(code) = emit(&listing) {
+        return code;
+    }
+    ExitCode::SUCCESS
+}

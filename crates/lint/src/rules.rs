@@ -1,0 +1,101 @@
+//! Rule registry and the `Finding` record every rule emits.
+
+use std::fmt;
+
+/// Identifier of one lint rule. Determinism rules are `D*`, hot-path /
+/// panic rules are `P*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Iteration over `HashMap`/`HashSet` in non-test code without an
+    /// order-restoring or order-insensitive consumer.
+    D1,
+    /// Ambient nondeterminism: wall clocks, thread-local RNGs, env reads.
+    D2,
+    /// Floating-point `sum`/`fold` over an unordered iterator (FP addition
+    /// is not associative, so the result depends on hash order).
+    D3,
+    /// Panic surface in library code: `unwrap`/`expect`/literal indexing.
+    P1,
+    /// Allocation inside a `for` loop on the analysis hot path.
+    P2,
+}
+
+pub const ALL_RULES: [RuleId; 5] = [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::P1, RuleId::P2];
+
+impl RuleId {
+    /// Short id as it appears in output and the baseline (`"D1"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::P1 => "P1",
+            RuleId::P2 => "P2",
+        }
+    }
+
+    /// Human-readable rule name as used in allow-comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::D1 => "unordered-iter",
+            RuleId::D2 => "ambient-nondeterminism",
+            RuleId::D3 => "unordered-float-fold",
+            RuleId::P1 => "panic-surface",
+            RuleId::P2 => "hot-loop-alloc",
+        }
+    }
+
+    /// Parse either the short id (`D1`, case-insensitive) or the rule
+    /// name (`unordered-iter`) as written inside `allow(...)`.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        let s = s.trim();
+        ALL_RULES
+            .into_iter()
+            .find(|&r| s.eq_ignore_ascii_case(r.id()) || s == r.name())
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// One lint finding, pointing at a workspace-relative `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators (stable across hosts).
+    pub file: String,
+    pub line: u32,
+    pub rule: RuleId,
+    /// Short explanation naming the offending expression.
+    pub msg: String,
+}
+
+impl Finding {
+    /// Render as the canonical single-line human form.
+    pub fn human(&self) -> String {
+        format!(
+            "{} {:<22} {}:{} — {}",
+            self.rule.id(),
+            self.rule.name(),
+            self.file,
+            self.line,
+            self.msg
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_ids_and_names() {
+        assert_eq!(RuleId::parse("D1"), Some(RuleId::D1));
+        assert_eq!(RuleId::parse("d3"), Some(RuleId::D3));
+        assert_eq!(RuleId::parse("unordered-iter"), Some(RuleId::D1));
+        assert_eq!(RuleId::parse("hot-loop-alloc"), Some(RuleId::P2));
+        assert_eq!(RuleId::parse("nope"), None);
+    }
+}

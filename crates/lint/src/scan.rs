@@ -1,0 +1,938 @@
+//! Per-file scanner implementing the five downlake lint rules.
+//!
+//! The scanner works on the token stream produced by [`crate::lexer`]:
+//! it first collects per-file facts (brace matching, `#[cfg(test)]` /
+//! `#[test]` spans, identifiers whose type is known to be a hash
+//! collection or a `String`, allow-comments), then runs the rule passes.
+//!
+//! The type knowledge is deliberately intra-file and heuristic: an
+//! identifier counts as hash-typed when the file declares it with a
+//! `HashMap`/`HashSet` annotation or constructs it via
+//! `HashMap::new()`-style calls. Identifiers that *also* carry an
+//! ordered-collection declaration somewhere in the file are treated as
+//! ambiguous and never flagged — the lint prefers false negatives over
+//! false positives, with `clippy.toml`'s `disallowed-methods` as the
+//! coarse backstop.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{Finding, RuleId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How the workspace walker classified one file; controls which rules run.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// `crates/bench` may use `Instant::now`/`SystemTime::now` (D2 carve-out).
+    pub allow_time: bool,
+    /// Library (non-binary, non-test) code: P1 and the D2 env-read arm apply.
+    pub library: bool,
+    /// Analysis hot path (`crates/analysis/src`, `legacy.rs` exempt): P2 applies.
+    pub hot_loop: bool,
+}
+
+/// Methods that start an iteration over the receiver collection.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Chain terminals whose result does not depend on iteration order.
+const ORDER_INSENSITIVE: [&str; 11] = [
+    "count",
+    "len",
+    "any",
+    "all",
+    "max",
+    "min",
+    "max_by",
+    "min_by",
+    "max_by_key",
+    "min_by_key",
+    "is_empty",
+];
+
+/// Explicit in-chain sorting adapters (itertools-style).
+const CHAIN_SORTERS: [&str; 4] = ["sorted", "sorted_by", "sorted_by_key", "sorted_unstable"];
+
+/// Scan one file and return its findings (sorted, deduplicated,
+/// allow-comments already applied).
+pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let close_of = match_brackets(toks);
+    let test_spans = test_spans(toks, &close_of);
+    let allow = allow_lines(&lexed.comments);
+
+    let facts = TypeFacts::collect(toks);
+    let mut out: Vec<Finding> = Vec::new();
+
+    let in_test = |i: usize| test_spans.iter().any(|&(a, b)| i > a && i < b);
+
+    scan_d1_d3(ctx, toks, &close_of, &facts, &in_test, &mut out);
+    scan_for_loops_d1(ctx, toks, &close_of, &facts, &in_test, &mut out);
+    scan_d2(ctx, toks, &in_test, &mut out);
+    if ctx.library {
+        scan_p1(ctx, toks, &close_of, &in_test, &mut out);
+    }
+    if ctx.hot_loop {
+        scan_p2(ctx, toks, &close_of, &facts, &in_test, &mut out);
+    }
+
+    out.retain(|f| {
+        let allowed = |l: u32| allow.get(&l).is_some_and(|set| set.contains(&f.rule));
+        !(allowed(f.line) || (f.line > 1 && allowed(f.line - 1)))
+    });
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Intra-file, heuristic knowledge about identifier types.
+struct TypeFacts {
+    /// Idents declared/constructed as `HashMap`/`HashSet`.
+    hash_idents: BTreeSet<String>,
+    /// Idents declared/constructed as ordered collections or scalars —
+    /// used to veto ambiguous names shared with hash-typed declarations.
+    ordered_idents: BTreeSet<String>,
+    /// Idents declared/constructed as `String` (for the P2 clone arm).
+    string_idents: BTreeSet<String>,
+}
+
+impl TypeFacts {
+    fn collect(toks: &[Tok]) -> TypeFacts {
+        let mut hash_idents = BTreeSet::new();
+        let mut ordered_idents = BTreeSet::new();
+        let mut string_idents = BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let bucket: Option<&mut BTreeSet<String>> = match t.text.as_str() {
+                "HashMap" | "HashSet" => Some(&mut hash_idents),
+                "BTreeMap" | "BTreeSet" | "Vec" | "VecDeque" | "BinaryHeap" => {
+                    Some(&mut ordered_idents)
+                }
+                "String" => Some(&mut string_idents),
+                _ => None,
+            };
+            let Some(bucket) = bucket else { continue };
+            if let Some(name) = declared_ident(toks, i) {
+                bucket.insert(name);
+            }
+        }
+        // `let s = format!(...)` / `let s = x.to_string()` bind Strings too.
+        for i in 0..toks.len() {
+            let is_fmt =
+                toks[i].is_ident("format") && toks.get(i + 1).is_some_and(|t| t.is_punct("!"));
+            let is_tos = toks[i].is_ident("to_string") && i >= 1 && toks[i - 1].is_punct(".");
+            if (is_fmt || is_tos) && i >= 2 && toks[i - 1].is_punct("=") {
+                if let Some(name) = ident_before_eq(toks, i - 1) {
+                    string_idents.insert(name);
+                }
+            }
+        }
+        TypeFacts {
+            hash_idents,
+            ordered_idents,
+            string_idents,
+        }
+    }
+
+    /// Is `name` hash-typed and not also claimed by an ordered declaration?
+    fn is_hash(&self, name: &str) -> bool {
+        self.hash_idents.contains(name) && !self.ordered_idents.contains(name)
+    }
+}
+
+/// Given the index of a type-name token (`HashMap`, `Vec`, `String`, ...),
+/// walk backwards over path segments / `&` / `mut` and return the ident it
+/// annotates (`x: HashMap<..>`) or is assigned to (`x = HashMap::new()`).
+fn declared_ident(toks: &[Tok], idx: usize) -> Option<String> {
+    let mut k = idx;
+    // Skip a leading path: `std :: collections :: HashMap`.
+    while k >= 3
+        && toks[k - 1].is_punct(":")
+        && toks[k - 2].is_punct(":")
+        && toks[k - 3].kind == TokKind::Ident
+    {
+        k -= 3;
+    }
+    // Skip reference/mut qualifiers in annotations: `x: &mut HashMap`.
+    while k >= 1 && (toks[k - 1].is_punct("&") || toks[k - 1].is_ident("mut")) {
+        k -= 1;
+    }
+    if k >= 2 && toks[k - 1].is_punct(":") && !toks[k - 2].is_punct(":") {
+        // Annotation form. The token before `:` must be the ident.
+        if toks[k - 2].kind == TokKind::Ident {
+            return Some(toks[k - 2].text.clone());
+        }
+        return None;
+    }
+    if k >= 1 && toks[k - 1].is_punct("=") {
+        // Constructor form: require `Type :: new|default|with_capacity|from*`
+        // right after the type name (or a `vec!`-less direct call).
+        let ctor_ok = toks.get(idx + 1).is_some_and(|t| t.is_punct(":"))
+            && toks.get(idx + 2).is_some_and(|t| t.is_punct(":"))
+            && toks.get(idx + 3).is_some_and(|t| {
+                matches!(
+                    t.text.as_str(),
+                    "new" | "default" | "with_capacity" | "from" | "from_iter"
+                )
+            });
+        if ctor_ok {
+            return ident_before_eq(toks, k - 1);
+        }
+    }
+    None
+}
+
+/// For a `=` token at `eq`, return the ident directly before it, rejecting
+/// compound operators (`==`, `!=`, `<=`, `>=`, `+=`, ...).
+fn ident_before_eq(toks: &[Tok], eq: usize) -> Option<String> {
+    if eq == 0 || !toks[eq].is_punct("=") {
+        return None;
+    }
+    let prev = &toks[eq - 1];
+    if prev.kind == TokKind::Ident && !prev.is_ident("mut") {
+        // Reject `a == b` (the ident is before the *second* `=`).
+        if toks.get(eq + 1).is_some_and(|t| t.is_punct("=")) {
+            return None;
+        }
+        return Some(prev.text.clone());
+    }
+    None
+}
+
+/// Compute, for every opening bracket token (`(`, `[`, `{`), the index of
+/// its matching closer. Unbalanced input (mid-edit files) degrades to
+/// `None` rather than panicking.
+fn match_brackets(toks: &[Tok]) -> Vec<Option<usize>> {
+    let mut close_of = vec![None; toks.len()];
+    let mut stacks: BTreeMap<char, Vec<usize>> = BTreeMap::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => {
+                let c = t.text.chars().next().unwrap_or('(');
+                stacks.entry(c).or_default().push(i);
+            }
+            ")" => {
+                if let Some(o) = stacks.entry('(').or_default().pop() {
+                    close_of[o] = Some(i);
+                }
+            }
+            "]" => {
+                if let Some(o) = stacks.entry('[').or_default().pop() {
+                    close_of[o] = Some(i);
+                }
+            }
+            "}" => {
+                if let Some(o) = stacks.entry('{').or_default().pop() {
+                    close_of[o] = Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    close_of
+}
+
+/// Token-index spans covered by `#[cfg(test)]` items or `#[test]` functions.
+fn test_spans(toks: &[Tok], close_of: &[Option<usize>]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 4 < toks.len() {
+        let is_attr = toks[i].is_punct("#") && toks[i + 1].is_punct("[");
+        if is_attr {
+            let is_cfg_test = toks[i + 2].is_ident("cfg")
+                && toks[i + 3].is_punct("(")
+                && toks[i + 4].is_ident("test");
+            let is_test = toks[i + 2].is_ident("test") && toks[i + 3].is_punct("]");
+            if is_cfg_test || is_test {
+                // Find the `{` that opens the annotated item, stopping at
+                // `;` (cfg'd `use` items have no body).
+                let attr_end = close_of[i + 1].unwrap_or(i + 1);
+                let mut j = attr_end + 1;
+                let limit = (attr_end + 40).min(toks.len());
+                while j < limit {
+                    if toks[j].is_punct(";") {
+                        break;
+                    }
+                    if toks[j].is_punct("{") {
+                        if let Some(end) = close_of[j] {
+                            spans.push((j, end));
+                            i = j;
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Parse `// downlake-lint: allow(rule, ...) — reason` comments into a
+/// line → allowed-rules map. A directive without a reason is ignored.
+fn allow_lines(comments: &[crate::lexer::LineComment]) -> BTreeMap<u32, BTreeSet<RuleId>> {
+    let mut map: BTreeMap<u32, BTreeSet<RuleId>> = BTreeMap::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("downlake-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let (rules_part, reason_part) = rest.split_at(close);
+        let reason = reason_part[1..]
+            .trim_start_matches([' ', '\t', '—', '-', '–', ':'])
+            .trim();
+        if reason.is_empty() {
+            // An allow without a written justification does not count.
+            continue;
+        }
+        let entry = map.entry(c.line).or_default();
+        for r in rules_part.split(',') {
+            if let Some(rule) = RuleId::parse(r) {
+                entry.insert(rule);
+            }
+        }
+    }
+    map
+}
+
+/// One parsed link of a method chain: name plus raw turbofish text.
+struct ChainLink {
+    name: String,
+    turbofish: String,
+}
+
+/// Walk a method chain starting from the closing paren of the origin call;
+/// returns the subsequent `.method::<T>(...)` links in order.
+fn walk_chain(toks: &[Tok], close_of: &[Option<usize>], origin_open: usize) -> Vec<ChainLink> {
+    let mut links = Vec::new();
+    let Some(mut j) = close_of[origin_open].map(|c| c + 1) else {
+        return links;
+    };
+    loop {
+        // Tolerate `?` between links.
+        while j < toks.len() && toks[j].is_punct("?") {
+            j += 1;
+        }
+        if j + 1 >= toks.len() || !toks[j].is_punct(".") || toks[j + 1].kind != TokKind::Ident {
+            break;
+        }
+        let name = toks[j + 1].text.clone();
+        j += 2;
+        let mut turbofish = String::new();
+        if j + 2 < toks.len()
+            && toks[j].is_punct(":")
+            && toks[j + 1].is_punct(":")
+            && toks[j + 2].is_punct("<")
+        {
+            let mut depth = 0i32;
+            let mut k = j + 2;
+            while k < toks.len() {
+                if toks[k].is_punct("<") {
+                    depth += 1;
+                } else if toks[k].is_punct(">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    turbofish.push_str(&toks[k].text);
+                    turbofish.push(' ');
+                }
+                k += 1;
+            }
+            j = (k + 1).min(toks.len());
+        }
+        if j < toks.len() && toks[j].is_punct("(") {
+            match close_of[j] {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        } else if name != "await" {
+            // Field access, not a call — stop walking.
+            break;
+        }
+        links.push(ChainLink { name, turbofish });
+    }
+    links
+}
+
+/// Resolve the simple receiver of `recv.method(...)` given the index of the
+/// method ident. Returns the receiver ident when it is `x` or `self.x`.
+fn simple_receiver(toks: &[Tok], method_idx: usize) -> Option<String> {
+    if method_idx < 2 || !toks[method_idx - 1].is_punct(".") {
+        return None;
+    }
+    let r = &toks[method_idx - 2];
+    if r.kind != TokKind::Ident {
+        return None;
+    }
+    if r.is_ident("self") {
+        return None; // bare `self.iter()` — receiver type unknown
+    }
+    // `self.field.iter()` and plain `x.iter()` both resolve to the ident.
+    Some(r.text.clone())
+}
+
+/// Does the statement containing token `idx` start with `let [mut] name`,
+/// and if so, what is the bound name and the annotation text before `=`?
+fn let_binding(toks: &[Tok], idx: usize) -> Option<(String, String)> {
+    let mut k = idx;
+    while k > 0 {
+        let t = &toks[k - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        k -= 1;
+    }
+    if !toks.get(k)?.is_ident("let") {
+        return None;
+    }
+    let mut j = k + 1;
+    if toks.get(j)?.is_ident("mut") {
+        j += 1;
+    }
+    if toks.get(j)?.kind != TokKind::Ident {
+        return None;
+    }
+    let name = toks[j].text.clone();
+    let mut annotation = String::new();
+    let mut m = j + 1;
+    while m < toks.len() && m < idx {
+        if toks[m].is_punct("=") {
+            break;
+        }
+        annotation.push_str(&toks[m].text);
+        annotation.push(' ');
+        m += 1;
+    }
+    Some((name, annotation))
+}
+
+/// After a chain ends in `.collect()`, is the binding sorted within the
+/// next few lines (`v.sort*()`)?
+fn sorted_later(toks: &[Tok], from_idx: usize, name: &str, within_lines: u32) -> bool {
+    let start_line = toks.get(from_idx).map(|t| t.line).unwrap_or(0);
+    let mut i = from_idx;
+    while i + 2 < toks.len() {
+        if toks[i].line > start_line.saturating_add(within_lines) {
+            return false;
+        }
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == name
+            && toks[i + 1].is_punct(".")
+            && toks[i + 2].text.starts_with("sort")
+        {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// D1/D3: method-chain iteration over hash collections.
+fn scan_d1_d3(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    close_of: &[Option<usize>],
+    facts: &TypeFacts,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident
+            || !ITER_METHODS.contains(&toks[i].text.as_str())
+            || in_test(i)
+        {
+            continue;
+        }
+        // Must be a call: `recv . method (`.
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        let Some(recv) = simple_receiver(toks, i) else {
+            continue;
+        };
+        if !facts.is_hash(&recv) {
+            continue;
+        }
+        let links = walk_chain(toks, close_of, i + 1);
+        match classify_chain(toks, close_of, i, &links) {
+            ChainVerdict::Ordered => {}
+            ChainVerdict::FloatFold(what) => out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: toks[i].line,
+                rule: RuleId::D3,
+                msg: format!(
+                    "float {what} over unordered iteration of `{recv}` — FP addition is order-dependent"
+                ),
+            }),
+            ChainVerdict::Unordered => out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: toks[i].line,
+                rule: RuleId::D1,
+                msg: format!(
+                    "iteration over hash collection `{recv}` via `.{}()` without order restoration",
+                    toks[i].text
+                ),
+            }),
+        }
+    }
+}
+
+enum ChainVerdict {
+    /// Order restored or irrelevant — no finding.
+    Ordered,
+    /// Chain feeds a float sum/fold — D3.
+    FloatFold(&'static str),
+    /// Order can leak — D1.
+    Unordered,
+}
+
+/// Iterator adapters that preserve (lack of) ordering without consuming —
+/// the verdict is decided further down the chain.
+const ORDER_PRESERVING_ADAPTERS: [&str; 14] = [
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "flatten",
+    "inspect",
+    "copied",
+    "cloned",
+    "enumerate",
+    "zip",
+    "chain",
+    "peekable",
+    "fuse",
+    "by_ref",
+];
+
+/// Decide what a chain hanging off an unordered origin does with ordering.
+/// Links are scanned in order; the first order-deciding link wins (anything
+/// after `.max_by(...)` operates on a scalar/Option, not the iterator).
+fn classify_chain(
+    toks: &[Tok],
+    close_of: &[Option<usize>],
+    origin_idx: usize,
+    links: &[ChainLink],
+) -> ChainVerdict {
+    for link in links {
+        let name = link.name.as_str();
+        if CHAIN_SORTERS.contains(&name) || ORDER_INSENSITIVE.contains(&name) {
+            return ChainVerdict::Ordered;
+        }
+        if ORDER_PRESERVING_ADAPTERS.contains(&name) {
+            continue;
+        }
+        return match name {
+            "sum" | "product" => {
+                if link.turbofish.contains("f64") || link.turbofish.contains("f32") {
+                    return ChainVerdict::FloatFold("sum");
+                }
+                if !link.turbofish.is_empty() {
+                    return ChainVerdict::Ordered; // integer accumulation
+                }
+                // No turbofish: consult the let-binding annotation if any.
+                if let Some((_, ann)) = let_binding(toks, origin_idx) {
+                    if ann.contains("f64") || ann.contains("f32") {
+                        return ChainVerdict::FloatFold("sum");
+                    }
+                }
+                ChainVerdict::Ordered
+            }
+            "fold" => {
+                // Float seed ⇒ order-dependent accumulation.
+                if fold_seed_is_float(toks, close_of, origin_idx, links) {
+                    ChainVerdict::FloatFold("fold")
+                } else {
+                    ChainVerdict::Ordered
+                }
+            }
+            "collect" | "extend" => {
+                if link.turbofish.contains("BTreeMap")
+                    || link.turbofish.contains("BTreeSet")
+                    || link.turbofish.contains("HashMap")
+                    || link.turbofish.contains("HashSet")
+                    || link.turbofish.contains("BinaryHeap")
+                {
+                    // Collecting back into an order-free or self-ordering
+                    // container erases iteration order.
+                    return ChainVerdict::Ordered;
+                }
+                if let Some((name, ann)) = let_binding(toks, origin_idx) {
+                    if ann.contains("BTreeMap")
+                        || ann.contains("BTreeSet")
+                        || ann.contains("HashMap")
+                        || ann.contains("HashSet")
+                    {
+                        return ChainVerdict::Ordered;
+                    }
+                    if sorted_later(toks, origin_idx, &name, 8) {
+                        return ChainVerdict::Ordered;
+                    }
+                }
+                ChainVerdict::Unordered
+            }
+            // Positional selectors (`take`, `nth`, `find`, `last`, ...) and
+            // unknown consumers (`for_each`, ...) leak hash order.
+            _ => ChainVerdict::Unordered,
+        };
+    }
+    // Adapter-only chain (or bare `m.iter()`) handed to an unknown consumer
+    // — argument position, `for` expression, or a public return value.
+    ChainVerdict::Unordered
+}
+
+/// Inspect the first argument of the chain's trailing `fold(seed, f)` call:
+/// float literals or `f32`/`f64` mentions make it order-dependent.
+fn fold_seed_is_float(
+    toks: &[Tok],
+    close_of: &[Option<usize>],
+    origin_idx: usize,
+    links: &[ChainLink],
+) -> bool {
+    // Re-walk to find the fold's opening paren (last link's call site).
+    let mut j = match close_of.get(origin_idx + 1).and_then(|c| *c) {
+        Some(c) => c + 1,
+        None => return false,
+    };
+    let mut open = None;
+    for link in links {
+        while j < toks.len() && toks[j].is_punct("?") {
+            j += 1;
+        }
+        if j + 1 >= toks.len() || !toks[j].is_punct(".") {
+            break;
+        }
+        j += 2; // past `. name`
+        if j + 2 < toks.len()
+            && toks[j].is_punct(":")
+            && toks[j + 1].is_punct(":")
+            && toks[j + 2].is_punct("<")
+        {
+            let mut depth = 0i32;
+            let mut k = j + 2;
+            while k < toks.len() {
+                if toks[k].is_punct("<") {
+                    depth += 1;
+                } else if toks[k].is_punct(">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = (k + 1).min(toks.len());
+        }
+        if j < toks.len() && toks[j].is_punct("(") {
+            if link.name == "fold" {
+                open = Some(j);
+            }
+            match close_of[j] {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+    }
+    let Some(open) = open else { return false };
+    let end = close_of[open].unwrap_or(open);
+    let mut depth = 0i32;
+    for t in &toks[open + 1..end] {
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(",") {
+            break; // end of the seed argument
+        }
+        if t.kind == TokKind::Lit && t.text.contains('.') {
+            return true;
+        }
+        if t.is_ident("f64") || t.is_ident("f32") {
+            return true;
+        }
+    }
+    false
+}
+
+/// D1: `for x in &hash_map { ... }` loops with a bare collection expression.
+fn scan_for_loops_d1(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    close_of: &[Option<usize>],
+    facts: &TypeFacts,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, span) in for_loops(toks, close_of) {
+        if in_test(i) {
+            continue;
+        }
+        let _ = span;
+        // Tokens between `in` and the body `{`.
+        let Some((in_idx, body_idx)) = for_in_and_body(toks, i) else {
+            continue;
+        };
+        let expr: Vec<&Tok> = toks[in_idx + 1..body_idx].iter().collect();
+        // Match `[&] [mut] x` and `[&] self . x`.
+        let mut e: &[&Tok] = &expr;
+        while let Some(first) = e.first() {
+            if first.is_punct("&") || first.is_ident("mut") {
+                e = &e[1..];
+            } else {
+                break;
+            }
+        }
+        let name = match e {
+            [x] if x.kind == TokKind::Ident => Some(x.text.clone()),
+            [s, dot, x] if s.is_ident("self") && dot.is_punct(".") && x.kind == TokKind::Ident => {
+                Some(x.text.clone())
+            }
+            _ => None,
+        };
+        if let Some(name) = name {
+            if facts.is_hash(&name) {
+                out.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: toks[i].line,
+                    rule: RuleId::D1,
+                    msg: format!("for-loop over hash collection `{name}` iterates in hash order"),
+                });
+            }
+        }
+    }
+}
+
+/// All `for` loops: (index of `for`, body token span).
+fn for_loops(toks: &[Tok], close_of: &[Option<usize>]) -> Vec<(usize, (usize, usize))> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("for") {
+            continue;
+        }
+        if let Some((_, body_idx)) = for_in_and_body(toks, i) {
+            if let Some(end) = close_of[body_idx] {
+                out.push((i, (body_idx, end)));
+            }
+        }
+    }
+    out
+}
+
+/// For a `for` token, locate the `in` keyword and the body `{`, rejecting
+/// `impl Trait for Type` (which has no `in` before its brace).
+fn for_in_and_body(toks: &[Tok], for_idx: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut in_idx = None;
+    let mut j = for_idx + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+            depth -= 1;
+        } else if depth <= 0 && t.is_punct("{") {
+            return in_idx.map(|ii| (ii, j));
+        } else if depth <= 0 && t.is_ident("in") && in_idx.is_none() {
+            in_idx = Some(j);
+        } else if t.is_punct(";") {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// D2: ambient nondeterminism sources.
+fn scan_d2(ctx: &FileCtx, toks: &[Tok], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    let mut push = |line: u32, msg: String| {
+        out.push(Finding {
+            file: ctx.rel_path.clone(),
+            line,
+            rule: RuleId::D2,
+            msg,
+        })
+    };
+    for i in 0..toks.len() {
+        if in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let path_call = |what: &str, method: &str| -> bool {
+            t.is_ident(what)
+                && toks.get(i + 1).is_some_and(|x| x.is_punct(":"))
+                && toks.get(i + 2).is_some_and(|x| x.is_punct(":"))
+                && toks.get(i + 3).is_some_and(|x| x.is_ident(method))
+        };
+        if (path_call("SystemTime", "now") || path_call("Instant", "now")) && !ctx.allow_time {
+            push(
+                t.line,
+                format!(
+                    "`{}::now()` reads the ambient clock (only `crates/bench` may)",
+                    t.text
+                ),
+            );
+        }
+        if t.is_ident("thread_rng") {
+            push(
+                t.line,
+                "`thread_rng()` is seeded from the OS — use the run's seeded SmallRng".into(),
+            );
+        }
+        if path_call("rand", "random") {
+            push(
+                t.line,
+                "`rand::random()` draws from the thread RNG — use the run's seeded SmallRng".into(),
+            );
+        }
+        if ctx.library
+            && (path_call("env", "var")
+                || path_call("env", "vars")
+                || path_call("env", "var_os")
+                || path_call("env", "vars_os"))
+        {
+            push(
+                t.line,
+                "environment read in library code makes results host-dependent".into(),
+            );
+        }
+    }
+}
+
+/// P1: panic surface in library code.
+fn scan_p1(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    close_of: &[Option<usize>],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct("("))
+        {
+            out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: RuleId::P1,
+                msg: format!(
+                    "`.{}()` can panic in library code — return an error or use a total accessor",
+                    t.text
+                ),
+            });
+        }
+        // Literal integer indexing: `xs[0]` after an ident or call/index.
+        if t.is_punct("[")
+            && i >= 1
+            && (toks[i - 1].kind == TokKind::Ident
+                || toks[i - 1].is_punct(")")
+                || toks[i - 1].is_punct("]"))
+            && close_of[i] == Some(i + 2)
+            && toks[i + 1].kind == TokKind::Lit
+            && toks[i + 1]
+                .text
+                .chars()
+                .all(|c| c.is_ascii_digit() || c == '_')
+        {
+            out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: RuleId::P1,
+                msg: format!(
+                    "literal index `[{}]` panics when the slice is short",
+                    toks[i + 1].text
+                ),
+            });
+        }
+    }
+}
+
+/// P2: allocations inside `for` loops on the analysis hot path.
+fn scan_p2(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    close_of: &[Option<usize>],
+    facts: &TypeFacts,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let loops = for_loops(toks, close_of);
+    let in_loop = |i: usize| loops.iter().any(|&(_, (a, b))| i > a && i < b);
+    for i in 0..toks.len() {
+        if !in_loop(i) || in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let mut push = |msg: String| {
+            out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: RuleId::P2,
+                msg,
+            })
+        };
+        if t.is_ident("format") && toks.get(i + 1).is_some_and(|x| x.is_punct("!")) {
+            push(
+                "`format!` allocates on every loop iteration — hoist or write into a reused buffer"
+                    .into(),
+            );
+        }
+        if t.is_ident("to_string")
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct("("))
+        {
+            push(
+                "`.to_string()` allocates on every loop iteration — precompute outside the loop"
+                    .into(),
+            );
+        }
+        if t.is_ident("clone")
+            && i >= 2
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct("("))
+            && toks[i - 2].kind == TokKind::Ident
+            && facts.string_idents.contains(&toks[i - 2].text)
+        {
+            push(format!(
+                "`{}.clone()` copies a String on every loop iteration — borrow or intern instead",
+                toks[i - 2].text
+            ));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Workspace discovery: find every `.rs` file to lint and classify it so
+//! the scanner knows which rules apply.
+
+use crate::scan::FileCtx;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "docs", "fixtures"];
+
+/// Locate the workspace root: `start` itself or the nearest ancestor whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collect every lintable `.rs` file under `root`, sorted by relative path
+/// so the whole pass is deterministic.
+pub fn collect_files(root: &Path) -> io::Result<Vec<(PathBuf, FileCtx)>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.1.rel_path.cmp(&b.1.rel_path));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(PathBuf, FileCtx)>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_path(root, &path);
+            if let Some(ctx) = classify(&rel) {
+                out.push((path, ctx));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Decide which rules apply to a workspace-relative path. `None` means the
+/// file is not linted at all (integration tests, benches, fixtures).
+pub fn classify(rel: &str) -> Option<FileCtx> {
+    // Test-only trees are exempt from every rule; `#[cfg(test)]` modules in
+    // linted files are handled by the scanner itself.
+    if rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/fixtures/")
+    {
+        return None;
+    }
+    let bench_crate = rel.starts_with("crates/bench/");
+    // Binaries and examples own their process: CLI panics and env/arg
+    // handling there are deliberate, so P1 does not apply.
+    let binary = rel.contains("/bin/")
+        || rel.ends_with("/main.rs")
+        || rel.starts_with("examples/")
+        || rel.starts_with("src/");
+    let library = !binary && !bench_crate && rel.starts_with("crates/");
+    let hot_loop = rel.starts_with("crates/analysis/src/") && !rel.ends_with("/legacy.rs");
+    Some(FileCtx {
+        rel_path: rel.to_string(),
+        allow_time: bench_crate,
+        library,
+        hot_loop,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        assert!(classify("tests/frame_equivalence.rs").is_none());
+        assert!(classify("crates/lint/tests/fixtures/d1.rs").is_none());
+        assert!(classify("crates/bench/benches/tables.rs").is_none());
+
+        let legacy = classify("crates/analysis/src/legacy.rs").expect("linted");
+        assert!(legacy.library && !legacy.hot_loop && !legacy.allow_time);
+
+        let frame = classify("crates/analysis/src/frame.rs").expect("linted");
+        assert!(frame.library && frame.hot_loop);
+
+        let bench = classify("crates/bench/src/ablation.rs").expect("linted");
+        assert!(bench.allow_time && !bench.library);
+
+        let cli = classify("src/bin/downlake.rs").expect("linted");
+        assert!(!cli.library && !cli.hot_loop);
+    }
+}

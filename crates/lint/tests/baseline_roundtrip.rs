@@ -1,0 +1,66 @@
+//! The committed baseline must survive `--update-baseline` unchanged:
+//! scan → serialize → parse → diff is a fixed point, and the real
+//! `lint-baseline.json` at the workspace root parses and matches the
+//! current tree.
+
+use downlake_lint::{baseline, scan_workspace};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[test]
+fn update_baseline_round_trips() {
+    let root = workspace_root();
+    let findings = scan_workspace(&root).expect("scan workspace");
+    // Serialize exactly as --update-baseline writes it, then parse back.
+    let doc = baseline::to_json(&findings);
+    let parsed = baseline::parse(&doc).expect("parse regenerated baseline");
+    assert_eq!(parsed, findings, "to_json ∘ parse must be the identity");
+    // Writing it again yields byte-identical output (idempotent).
+    assert_eq!(baseline::to_json(&parsed), doc);
+}
+
+#[test]
+fn committed_baseline_is_current() {
+    let root = workspace_root();
+    let path = root.join("lint-baseline.json");
+    let doc = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
+    let committed = baseline::parse(&doc).expect("parse committed baseline");
+    let current = scan_workspace(&root).expect("scan workspace");
+    let diff = baseline::diff(&current, &committed);
+    assert!(
+        diff.is_clean(),
+        "new findings vs. committed baseline:\n{}",
+        baseline::rule_count_table(&current, &committed)
+    );
+}
+
+#[test]
+fn determinism_rules_are_clean_outside_legacy() {
+    // The PR's burn-down guarantee: every D1/D2 finding lives in
+    // crates/analysis/src/legacy.rs (the preserved pre-frame code paths).
+    let root = workspace_root();
+    let current = scan_workspace(&root).expect("scan workspace");
+    let offenders: Vec<String> = current
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.rule,
+                downlake_lint::RuleId::D1 | downlake_lint::RuleId::D2
+            ) && f.file != "crates/analysis/src/legacy.rs"
+        })
+        .map(|f| f.human())
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "determinism findings outside legacy.rs:\n{}",
+        offenders.join("\n")
+    );
+}

@@ -1,0 +1,116 @@
+//! Each seeded-violation fixture must reproduce its rule's findings at the
+//! exact expected lines — this pins both the detectors and the
+//! allow-comment escape hatch.
+
+use downlake_lint::{scan_file, FileCtx, RuleId};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn ctx(name: &str, library: bool, hot_loop: bool) -> FileCtx {
+    FileCtx {
+        rel_path: format!("fixtures/{name}"),
+        allow_time: false,
+        library,
+        hot_loop,
+    }
+}
+
+/// `(rule, line)` pairs of a scan, in order.
+fn findings(name: &str, library: bool, hot_loop: bool) -> Vec<(RuleId, u32)> {
+    scan_file(&ctx(name, library, hot_loop), &fixture(name))
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn d1_unordered_iter_fixture() {
+    assert_eq!(
+        findings("d1_unordered_iter.rs", true, false),
+        vec![(RuleId::D1, 7), (RuleId::D1, 14), (RuleId::D1, 19)]
+    );
+}
+
+#[test]
+fn d2_ambient_fixture() {
+    assert_eq!(
+        findings("d2_ambient.rs", true, false),
+        vec![
+            (RuleId::D2, 5),
+            (RuleId::D2, 9),
+            (RuleId::D2, 13),
+            (RuleId::D2, 14),
+            (RuleId::D2, 20),
+        ]
+    );
+}
+
+#[test]
+fn d2_time_is_allowed_in_bench() {
+    let mut c = ctx("d2_ambient.rs", true, false);
+    c.allow_time = true;
+    let rng_only: Vec<(RuleId, u32)> = scan_file(&c, &fixture("d2_ambient.rs"))
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect();
+    // Clock reads are exempt under `crates/bench`; RNG and env reads are not.
+    assert_eq!(
+        rng_only,
+        vec![(RuleId::D2, 13), (RuleId::D2, 14), (RuleId::D2, 20)]
+    );
+}
+
+#[test]
+fn d3_float_fold_fixture() {
+    assert_eq!(
+        findings("d3_float_fold.rs", true, false),
+        vec![(RuleId::D3, 5), (RuleId::D3, 9)]
+    );
+}
+
+#[test]
+fn p1_panic_fixture() {
+    assert_eq!(
+        findings("p1_panic.rs", true, false),
+        vec![(RuleId::P1, 4), (RuleId::P1, 8), (RuleId::P1, 12)]
+    );
+    // Outside library code (binaries, examples) P1 does not apply.
+    assert_eq!(findings("p1_panic.rs", false, false), vec![]);
+}
+
+#[test]
+fn p2_hot_loop_fixture() {
+    assert_eq!(
+        findings("p2_hot_loop.rs", true, true),
+        vec![(RuleId::P2, 7), (RuleId::P2, 8), (RuleId::P2, 9)]
+    );
+    // Off the analysis hot path the same code is not flagged.
+    assert_eq!(findings("p2_hot_loop.rs", true, false), vec![]);
+}
+
+#[test]
+fn allow_comment_fixture() {
+    // Justified allows (preceding line or same line) suppress; a
+    // reasonless allow does not.
+    assert_eq!(
+        findings("allow_comment.rs", true, false),
+        vec![(RuleId::D1, 20)]
+    );
+}
+
+#[test]
+fn fixture_messages_name_the_offender() {
+    let fs = scan_file(
+        &ctx("d1_unordered_iter.rs", true, false),
+        &fixture("d1_unordered_iter.rs"),
+    );
+    assert!(fs[0].msg.contains("`counts`"), "msg: {}", fs[0].msg);
+    assert!(fs[1].msg.contains("`seen`"), "msg: {}", fs[1].msg);
+    assert!(fs[2].msg.contains("`index`"), "msg: {}", fs[2].msg);
+}

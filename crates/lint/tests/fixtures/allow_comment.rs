@@ -1,0 +1,21 @@
+//! Fixture: allow-comment handling. The justified sites are suppressed;
+//! the unjustified ones still fire.
+use std::collections::HashMap;
+
+pub fn commutative_total(counts: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    // downlake-lint: allow(unordered-iter) — commutative sum, order cannot leak
+    for (_, n) in counts.iter() {
+        total += n;
+    }
+    total
+}
+
+pub fn same_line_allow(counts: &HashMap<u64, u64>) -> Vec<u64> {
+    counts.keys().copied().collect() // downlake-lint: allow(unordered-iter) — test helper, order irrelevant
+}
+
+pub fn reasonless_allow_still_fires(counts: &HashMap<u64, u64>) -> Vec<u64> {
+    // downlake-lint: allow(unordered-iter)
+    counts.keys().copied().collect() // line 20: allow without a reason is ignored
+}

@@ -1,0 +1,33 @@
+//! Fixture: D1 `unordered-iter` violations. Line numbers are asserted by
+//! `tests/fixture_findings.rs` — keep edits line-stable or update the test.
+use std::collections::{HashMap, HashSet};
+
+pub fn render(counts: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, n) in counts.iter() { // line 7: hash order leaks into `out`
+        out.push(format!("{name}: {n}"));
+    }
+    out
+}
+
+pub fn first_seen(seen: &HashSet<u64>) -> Option<u64> {
+    seen.iter().copied().take(1).next() // line 14: positional pick from a hash set
+}
+
+pub fn loop_over_map(index: &HashMap<u64, String>) -> usize {
+    let mut total = 0;
+    for v in index { // line 19: for-loop in hash order
+        total += v.1.len();
+    }
+    total
+}
+
+pub fn ok_sorted(counts: &HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut rows: Vec<(String, u64)> = counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0)); // sorted right after collect: no finding
+    rows
+}
+
+pub fn ok_count(seen: &HashSet<u64>) -> usize {
+    seen.iter().count() // order-insensitive terminal: no finding
+}

@@ -1,0 +1,21 @@
+//! Fixture: D2 `ambient-nondeterminism` violations.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() // line 5: ambient wall clock
+}
+
+pub fn elapsed_guess() -> Instant {
+    Instant::now() // line 9: ambient monotonic clock
+}
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng(); // line 13: OS-seeded RNG
+    let x: f64 = rand::random(); // line 14: thread RNG draw
+    let _ = &mut rng;
+    x
+}
+
+pub fn tuning() -> Option<String> {
+    std::env::var("DOWNLAKE_TUNING").ok() // line 20: env read in library code
+}

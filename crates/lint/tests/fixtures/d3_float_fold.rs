@@ -1,0 +1,14 @@
+//! Fixture: D3 `unordered-float-fold` violations.
+use std::collections::HashMap;
+
+pub fn total_score(scores: &HashMap<u64, f64>) -> f64 {
+    scores.values().sum::<f64>() // line 5: FP sum in hash order
+}
+
+pub fn folded(scores: &HashMap<u64, f64>) -> f64 {
+    scores.values().fold(0.0, |acc, v| acc + v) // line 9: FP fold in hash order
+}
+
+pub fn ok_int_sum(counts: &HashMap<u64, u64>) -> u64 {
+    counts.values().sum::<u64>() // integer sum is order-insensitive: no finding
+}

@@ -1,0 +1,17 @@
+//! Fixture: P1 `panic-surface` violations (library-code context).
+
+pub fn head(parts: &[String]) -> String {
+    parts[0].clone() // line 4: literal index panics on empty input
+}
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().unwrap() // line 8: unwrap in library code
+}
+
+pub fn must_get(v: Option<u32>) -> u32 {
+    v.expect("value must be present") // line 12: expect in library code
+}
+
+pub fn ok_get(parts: &[String]) -> Option<&String> {
+    parts.first() // total accessor: no finding
+}

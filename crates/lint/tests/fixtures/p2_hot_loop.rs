@@ -1,0 +1,21 @@
+//! Fixture: P2 `hot-loop-alloc` violations (analysis hot-path context).
+
+pub fn label_rows(rows: &[(String, u64)]) -> Vec<String> {
+    let mut out = Vec::new();
+    let prefix: String = String::from("row");
+    for (name, n) in rows {
+        out.push(format!("{name}={n}")); // line 7: format! per iteration
+        let tag = n.to_string(); // line 8: to_string per iteration
+        let p = prefix.clone(); // line 9: String clone per iteration
+        let _ = (tag, p);
+    }
+    out
+}
+
+pub fn ok_hoisted(rows: &[(String, u64)]) -> String {
+    let mut buf = String::new();
+    for (name, _) in rows {
+        buf.push_str(name); // reuses one buffer: no finding
+    }
+    buf
+}

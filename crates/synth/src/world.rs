@@ -83,9 +83,12 @@ impl World {
         self.files.get(&file).map(|f| f.destiny)
     }
 
-    /// Iterates over all generated files.
+    /// Iterates over all generated files in ascending hash order, so
+    /// consumers see a deterministic sequence.
     pub fn files(&self) -> impl Iterator<Item = &GeneratedFile> {
-        self.files.values()
+        let mut rows: Vec<&GeneratedFile> = self.files.values().collect();
+        rows.sort_by_key(|f| f.hash);
+        rows.into_iter()
     }
 
     /// Number of generated files.

@@ -11,15 +11,17 @@ use downlake_repro::features::{build_training_set, Extractor, FeatureVector};
 use downlake_repro::rulelearn::{ConflictPolicy, PartLearner, TreeConfig};
 use downlake_repro::synth::Scale;
 use downlake_repro::types::{FileHash, Month};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn main() {
     let study = Study::run(&StudyConfig::new(7).with_scale(Scale::Small));
     let extractor = Extractor::new(study.dataset(), study.url_labeler());
     let gt = study.ground_truth();
 
-    // Training data: the labeled files of January.
-    let mut vectors: HashMap<FileHash, FeatureVector> = HashMap::new();
+    // Training data: the labeled files of January. A BTreeMap keeps the
+    // training-instance order (and therefore PART rule induction)
+    // deterministic run-to-run.
+    let mut vectors: BTreeMap<FileHash, FeatureVector> = BTreeMap::new();
     for event in study.dataset().month(Month::January).events() {
         vectors
             .entry(event.file)
