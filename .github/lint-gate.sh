@@ -23,3 +23,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # and use `--update-baseline` only for accepted debt.
 echo "downlake-lint: checking determinism & hot-path rules against lint-baseline.json"
 cargo run -p downlake-lint --release -- --check
+
+# Smoke-run the parallel-speedup bench at tiny scale: exercises the
+# worker pool end to end and fails if thread count changes one byte of
+# the report. (Timing numbers at this scale are noise; ignore them.)
+echo "parallel_speedup: tiny-scale smoke run (byte-identity across thread counts)"
+cargo run -p downlake-bench --release --bin parallel -- --smoke

@@ -26,6 +26,7 @@
 //! `frame_equivalence` integration test.
 
 use crate::labels::LabelView;
+use downlake_exec::{partition, Pool};
 use downlake_telemetry::Dataset;
 use downlake_types::{
     E2ldId, FileHash, FileId, FileLabel, MachineIdx, MalwareType, Month, ProcessCategory,
@@ -122,19 +123,51 @@ impl fmt::Debug for AnalysisFrame {
     }
 }
 
+/// Per-file column partial built over one chunk of the file id range.
+/// Signer/packer ids are local to the chunk's own string tables and are
+/// remapped to the global first-seen order at merge time.
+struct FilePartial {
+    label: Vec<FileLabel>,
+    ty: Vec<Option<MalwareType>>,
+    prevalence: Vec<u32>,
+    signer: Vec<Option<u32>>,
+    packer: Vec<Option<u32>>,
+    signers: Vec<String>,
+    packers: Vec<String>,
+}
+
 impl AnalysisFrame {
-    /// Builds the frame from a dataset and a labeling.
+    /// Builds the frame from a dataset and a labeling, sequentially.
     ///
     /// `label_of` / `type_of` are called once per distinct file and per
-    /// distinct process image — never per event.
+    /// distinct process image — never per event. This is exactly
+    /// [`AnalysisFrame::build_with`] on the inline single-threaded pool,
+    /// kept as the oracle path.
     pub fn build(
         dataset: &Dataset,
-        label_of: impl Fn(FileHash) -> FileLabel,
-        type_of: impl Fn(FileHash) -> Option<MalwareType>,
+        label_of: impl Fn(FileHash) -> FileLabel + Sync,
+        type_of: impl Fn(FileHash) -> Option<MalwareType> + Sync,
+    ) -> Self {
+        Self::build_with(dataset, &Pool::sequential(), label_of, type_of)
+    }
+
+    /// Builds the frame with column and CSR chunks as pool jobs.
+    ///
+    /// The frame is byte-identical for every pool width: chunks are
+    /// contiguous id ranges, chunk outputs are concatenated in chunk
+    /// order, and chunk-local intern tables are remapped to the global
+    /// first-seen order — which equals the sequential one because chunks
+    /// are merged in range order.
+    pub fn build_with(
+        dataset: &Dataset,
+        pool: &Pool,
+        label_of: impl Fn(FileHash) -> FileLabel + Sync,
+        type_of: impl Fn(FileHash) -> Option<MalwareType> + Sync,
     ) -> Self {
         let n_events = dataset.events().len();
         let n_files = dataset.files().len();
         let n_processes = dataset.processes().len();
+        let jobs = pool.threads().max(1);
 
         // Per-URL e2LD column and the e2LD string table, copied from the
         // interning the telemetry layer already did.
@@ -145,8 +178,51 @@ impl AnalysisFrame {
         let e2lds: Vec<String> = urls.e2lds().map(str::to_owned).collect();
 
         // Per-file columns: one closure call and one metadata inspection
-        // per distinct file. Signer subjects and packer names are interned
-        // into dense local id spaces in file order.
+        // per distinct file, chunked over contiguous file id ranges.
+        // Signer subjects and packer names are interned per chunk and
+        // remapped below.
+        let file_chunks = partition(n_files, jobs);
+        let file_partials = pool.map(&file_chunks, |_, range| {
+            let records = &dataset.files().records()[range.clone()];
+            let mut partial = FilePartial {
+                label: Vec::with_capacity(records.len()),
+                ty: Vec::with_capacity(records.len()),
+                prevalence: Vec::with_capacity(records.len()),
+                signer: Vec::with_capacity(records.len()),
+                packer: Vec::with_capacity(records.len()),
+                signers: Vec::new(),
+                packers: Vec::new(),
+            };
+            let mut signer_ids: HashMap<String, u32> = HashMap::new();
+            let mut packer_ids: HashMap<String, u32> = HashMap::new();
+            for (offset, record) in records.iter().enumerate() {
+                let i = range.start + offset;
+                partial.label.push(label_of(record.hash));
+                partial.ty.push(type_of(record.hash));
+                partial
+                    .prevalence
+                    .push(dataset.prevalence_of(FileId::from_raw(i as u32)) as u32);
+                partial
+                    .signer
+                    .push(record.meta.valid_signer_subject().map(|subject| {
+                        *signer_ids.entry(subject.to_owned()).or_insert_with(|| {
+                            partial.signers.push(subject.to_owned());
+                            (partial.signers.len() - 1) as u32
+                        })
+                    }));
+                partial.packer.push(record.meta.packer.as_ref().map(|p| {
+                    *packer_ids.entry(p.name.clone()).or_insert_with(|| {
+                        partial.packers.push(p.name.clone());
+                        (partial.packers.len() - 1) as u32
+                    })
+                }));
+            }
+            partial
+        });
+
+        // Merge the per-file partials in chunk (= file id) order. Interned
+        // strings dedup against the growing global tables, so the final
+        // id assignment is the global first-seen order.
         let mut file_label = Vec::with_capacity(n_files);
         let mut file_type = Vec::with_capacity(n_files);
         let mut file_prevalence = Vec::with_capacity(n_files);
@@ -156,36 +232,70 @@ impl AnalysisFrame {
         let mut signer_ids: HashMap<String, u32> = HashMap::new();
         let mut packers: Vec<String> = Vec::new();
         let mut packer_ids: HashMap<String, u32> = HashMap::new();
-        for (i, record) in dataset.files().iter().enumerate() {
-            file_label.push(label_of(record.hash));
-            file_type.push(type_of(record.hash));
-            file_prevalence.push(dataset.prevalence_of(FileId::from_raw(i as u32)) as u32);
-            file_signer.push(record.meta.valid_signer_subject().map(|subject| {
-                *signer_ids.entry(subject.to_owned()).or_insert_with(|| {
-                    signers.push(subject.to_owned());
-                    (signers.len() - 1) as u32
+        for partial in file_partials {
+            let signer_remap: Vec<u32> = partial
+                .signers
+                .into_iter()
+                .map(|subject| {
+                    *signer_ids.entry(subject.clone()).or_insert_with(|| {
+                        signers.push(subject);
+                        (signers.len() - 1) as u32
+                    })
                 })
-            }));
-            file_packer.push(record.meta.packer.as_ref().map(|p| {
-                *packer_ids.entry(p.name.clone()).or_insert_with(|| {
-                    packers.push(p.name.clone());
-                    (packers.len() - 1) as u32
+                .collect();
+            let packer_remap: Vec<u32> = partial
+                .packers
+                .into_iter()
+                .map(|name| {
+                    *packer_ids.entry(name.clone()).or_insert_with(|| {
+                        packers.push(name);
+                        (packers.len() - 1) as u32
+                    })
                 })
-            }));
+                .collect();
+            file_label.extend(partial.label);
+            file_type.extend(partial.ty);
+            file_prevalence.extend(partial.prevalence);
+            file_signer.extend(
+                partial
+                    .signer
+                    .into_iter()
+                    .map(|s| s.map(|local| signer_remap[local as usize])),
+            );
+            file_packer.extend(
+                partial
+                    .packer
+                    .into_iter()
+                    .map(|p| p.map(|local| packer_remap[local as usize])),
+            );
         }
 
-        // Per-process columns.
+        // Per-process columns, chunked the same way.
+        let proc_chunks = partition(n_processes, jobs);
+        let proc_partials = pool.map(&proc_chunks, |_, range| {
+            let records = &dataset.processes().records()[range.clone()];
+            let mut label = Vec::with_capacity(records.len());
+            let mut ty = Vec::with_capacity(records.len());
+            let mut category = Vec::with_capacity(records.len());
+            for record in records {
+                label.push(label_of(record.hash));
+                ty.push(type_of(record.hash));
+                category.push(record.category);
+            }
+            (label, ty, category)
+        });
         let mut proc_label = Vec::with_capacity(n_processes);
         let mut proc_type = Vec::with_capacity(n_processes);
         let mut proc_category = Vec::with_capacity(n_processes);
-        for record in dataset.processes().iter() {
-            proc_label.push(label_of(record.hash));
-            proc_type.push(type_of(record.hash));
-            proc_category.push(record.category);
+        for (label, ty, category) in proc_partials {
+            proc_label.extend(label);
+            proc_type.extend(ty);
+            proc_category.extend(category);
         }
 
         // Per-event columns: copies of the dataset's dense id columns plus
-        // gathers of the per-entity columns above.
+        // gathers of the per-entity columns above, chunked over contiguous
+        // event ranges and concatenated in range order.
         let ev_file = dataset.event_files().to_vec();
         let ev_process = dataset.event_processes().to_vec();
         let ev_machine = dataset.event_machines().to_vec();
@@ -195,17 +305,35 @@ impl AnalysisFrame {
             ev_url.push(event.url);
             ev_timestamp.push(event.timestamp);
         }
-        let ev_e2ld: Vec<E2ldId> = ev_url.iter().map(|&u| url_e2ld[u.index()]).collect();
-        let ev_file_label: Vec<FileLabel> =
-            ev_file.iter().map(|&f| file_label[f.index()]).collect();
-        let ev_file_type: Vec<Option<MalwareType>> =
-            ev_file.iter().map(|&f| file_type[f.index()]).collect();
-        let ev_proc_category: Vec<ProcessCategory> = ev_process
-            .iter()
-            .map(|&p| proc_category[p.index()])
-            .collect();
+        let event_chunks = partition(n_events, jobs);
+        let gather_partials = pool.map(&event_chunks, |_, range| {
+            let ev_e2ld: Vec<E2ldId> = ev_url[range.clone()]
+                .iter()
+                .map(|&u| url_e2ld[u.index()])
+                .collect();
+            let files = &ev_file[range.clone()];
+            let ev_file_label: Vec<FileLabel> =
+                files.iter().map(|&f| file_label[f.index()]).collect();
+            let ev_file_type: Vec<Option<MalwareType>> =
+                files.iter().map(|&f| file_type[f.index()]).collect();
+            let ev_proc_category: Vec<ProcessCategory> = ev_process[range.clone()]
+                .iter()
+                .map(|&p| proc_category[p.index()])
+                .collect();
+            (ev_e2ld, ev_file_label, ev_file_type, ev_proc_category)
+        });
+        let mut ev_e2ld = Vec::with_capacity(n_events);
+        let mut ev_file_label = Vec::with_capacity(n_events);
+        let mut ev_file_type = Vec::with_capacity(n_events);
+        let mut ev_proc_category = Vec::with_capacity(n_events);
+        for (e2ld, label, ty, category) in gather_partials {
+            ev_e2ld.extend(e2ld);
+            ev_file_label.extend(label);
+            ev_file_type.extend(ty);
+            ev_proc_category.extend(category);
+        }
 
-        // Browser exposure per file.
+        // Browser exposure per file (cheap OR-accumulation; sequential).
         let mut file_browser = vec![false; n_files];
         for (i, &f) in ev_file.iter().enumerate() {
             if ev_proc_category[i].is_browser() {
@@ -213,10 +341,14 @@ impl AnalysisFrame {
             }
         }
 
-        // CSR adjacency (counting sort keeps time order within each row).
+        // CSR adjacency from per-chunk counting-sort partials, merged in
+        // chunk order so each row keeps time order.
+        let machine_keys: Vec<u32> = ev_machine.iter().map(|m| m.raw()).collect();
         let (machine_offsets, machine_event_idx) =
-            csr_group(dataset.machine_count(), ev_machine.iter().map(|m| m.raw()));
-        let (file_offsets, file_event_idx) = csr_group(n_files, ev_file.iter().map(|f| f.raw()));
+            csr_group_with(pool, dataset.machine_count(), &machine_keys, &event_chunks);
+        let file_keys: Vec<u32> = ev_file.iter().map(|f| f.raw()).collect();
+        let (file_offsets, file_event_idx) =
+            csr_group_with(pool, n_files, &file_keys, &event_chunks);
 
         // Month bounds and the per-event month column.
         let mut month_bounds = Vec::with_capacity(MONTHS_IN_STUDY);
@@ -265,6 +397,16 @@ impl AnalysisFrame {
     /// Builds the frame through a [`LabelView`]'s closures.
     pub fn from_label_view(dataset: &Dataset, labels: &LabelView<'_>) -> Self {
         Self::build(dataset, |h| labels.label(h), |h| labels.malware_type(h))
+    }
+
+    /// Builds the frame through a [`LabelView`]'s closures on a pool.
+    pub fn from_label_view_with(dataset: &Dataset, pool: &Pool, labels: &LabelView<'_>) -> Self {
+        Self::build_with(
+            dataset,
+            pool,
+            |h| labels.label(h),
+            |h| labels.malware_type(h),
+        )
     }
 
     /// Number of events.
@@ -370,6 +512,65 @@ impl AnalysisFrame {
         let hi = self.file_offsets[file + 1] as usize;
         &self.file_event_idx[lo..hi]
     }
+}
+
+/// Parallel [`csr_group`]: each chunk counting-sorts its own event range
+/// into a mini-CSR, then the partials are merged row by row in chunk
+/// order. Chunks are contiguous and visited in order, so every row's
+/// positions come out ascending — exactly the sequential result.
+fn csr_group_with(
+    pool: &Pool,
+    rows: usize,
+    keys: &[u32],
+    chunks: &[Range<usize>],
+) -> (Vec<u32>, Vec<u32>) {
+    if chunks.len() <= 1 {
+        return csr_group(rows, keys.iter().copied());
+    }
+    let partials = pool.map(chunks, |_, range| {
+        let mut offsets = vec![0u32; rows + 1];
+        for &key in &keys[range.clone()] {
+            offsets[key as usize + 1] += 1;
+        }
+        for row in 1..offsets.len() {
+            offsets[row] += offsets[row - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut values = vec![0u32; range.len()];
+        for (position, &key) in keys[range.clone()].iter().enumerate() {
+            let slot = &mut cursor[key as usize];
+            values[*slot as usize] = (range.start + position) as u32;
+            *slot += 1;
+        }
+        (offsets, values)
+    });
+    // Global row sizes = sum of the partial row sizes.
+    let mut offsets = vec![0u32; rows + 1];
+    for (partial_offsets, _) in &partials {
+        for row in 0..rows {
+            offsets[row + 1] += partial_offsets[row + 1] - partial_offsets[row];
+        }
+    }
+    for row in 1..offsets.len() {
+        offsets[row] += offsets[row - 1];
+    }
+    // Fill each row by concatenating the partials' row segments in chunk
+    // order; segments carry global positions already.
+    let mut values = vec![0u32; keys.len()];
+    let mut cursor: Vec<u32> = offsets[..rows].to_vec();
+    for (partial_offsets, partial_values) in &partials {
+        for row in 0..rows {
+            let lo = partial_offsets[row] as usize;
+            let hi = partial_offsets[row + 1] as usize;
+            if lo == hi {
+                continue;
+            }
+            let dst = cursor[row] as usize;
+            values[dst..dst + (hi - lo)].copy_from_slice(&partial_values[lo..hi]);
+            cursor[row] += (hi - lo) as u32;
+        }
+    }
+    (offsets, values)
 }
 
 /// Groups positions `0..keys.len()` by key via counting sort; within a
@@ -516,6 +717,43 @@ mod tests {
             seen[i] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn build_with_matches_sequential_build_at_any_width() {
+        let ds = dataset();
+        let label = |h: FileHash| match h.raw() {
+            1 => FileLabel::Benign,
+            2 => FileLabel::Malicious,
+            900 => FileLabel::Benign,
+            _ => FileLabel::Unknown,
+        };
+        let ty = |h: FileHash| (h.raw() == 2).then_some(MalwareType::Trojan);
+        let oracle = AnalysisFrame::build(&ds, label, ty);
+        for threads in [2, 3, 8] {
+            let f = AnalysisFrame::build_with(&ds, &Pool::new(threads), label, ty);
+            assert_eq!(f.ev_file_label, oracle.ev_file_label, "threads={threads}");
+            assert_eq!(f.ev_e2ld, oracle.ev_e2ld);
+            assert_eq!(f.ev_proc_category, oracle.ev_proc_category);
+            assert_eq!(f.file_label, oracle.file_label);
+            assert_eq!(f.file_signer, oracle.file_signer);
+            assert_eq!(f.signers, oracle.signers);
+            assert_eq!(f.machine_offsets, oracle.machine_offsets);
+            assert_eq!(f.machine_event_idx, oracle.machine_event_idx);
+            assert_eq!(f.file_offsets, oracle.file_offsets);
+            assert_eq!(f.file_event_idx, oracle.file_event_idx);
+        }
+    }
+
+    #[test]
+    fn parallel_csr_matches_sequential_on_awkward_chunking() {
+        // 11 keys over 4 rows, cut into 3 uneven chunks.
+        let keys = [2u32, 0, 1, 2, 2, 0, 3, 1, 0, 2, 0];
+        let (seq_offsets, seq_values) = csr_group(4, keys.iter().copied());
+        let chunks = partition(keys.len(), 3);
+        let (par_offsets, par_values) = csr_group_with(&Pool::new(2), 4, &keys, &chunks);
+        assert_eq!(par_offsets, seq_offsets);
+        assert_eq!(par_values, seq_values);
     }
 
     #[test]

@@ -5,16 +5,18 @@ use std::fmt;
 
 /// Closures mapping file hashes to ground-truth labels and behaviour
 /// types. Keeps the analyses independent of where labels come from.
+/// The closures must be `Sync` so frame construction can call them from
+/// worker threads.
 pub struct LabelView<'a> {
-    label: Box<dyn Fn(FileHash) -> FileLabel + 'a>,
-    malware_type: Box<dyn Fn(FileHash) -> Option<MalwareType> + 'a>,
+    label: Box<dyn Fn(FileHash) -> FileLabel + Sync + 'a>,
+    malware_type: Box<dyn Fn(FileHash) -> Option<MalwareType> + Sync + 'a>,
 }
 
 impl<'a> LabelView<'a> {
     /// Creates a view from a label closure and a type closure.
     pub fn new(
-        label: impl Fn(FileHash) -> FileLabel + 'a,
-        malware_type: impl Fn(FileHash) -> Option<MalwareType> + 'a,
+        label: impl Fn(FileHash) -> FileLabel + Sync + 'a,
+        malware_type: impl Fn(FileHash) -> Option<MalwareType> + Sync + 'a,
     ) -> Self {
         Self {
             label: Box::new(label),

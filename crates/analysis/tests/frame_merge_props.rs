@@ -1,0 +1,121 @@
+//! Property: merging per-shard frame partials reproduces the
+//! single-shard frame exactly, for randomized datasets and every pool
+//! width.
+//!
+//! The dataset generator is a pure function of a `u64` seed (driven by
+//! `downlake_exec::splitmix64`, no RNG dependency), so the `proptest!`
+//! property and its plain `#[test]` grid mirror exercise the same code.
+
+use downlake_analysis::AnalysisFrame;
+use downlake_exec::{splitmix64, Pool};
+use downlake_telemetry::{Dataset, DatasetBuilder, RawEvent};
+use downlake_types::{
+    FileHash, FileLabel, FileMeta, MachineId, MalwareType, PackerInfo, SignerInfo, Timestamp,
+};
+use proptest::prelude::*;
+
+/// Builds a small randomized dataset: a pure function of `seed`.
+fn dataset(seed: u64) -> Dataset {
+    let mut builder = DatasetBuilder::new();
+    let events = 40 + (splitmix64(seed) % 160) as usize;
+    for i in 0..events {
+        let roll = |salt: u64| splitmix64(seed ^ salt.wrapping_add(i as u64).wrapping_mul(0x9e37));
+        let file = 1 + roll(1) % 23;
+        let process = 900 + roll(2) % 7;
+        let host = [
+            "a.com",
+            "b.com",
+            "c.net",
+            "d.org",
+            "cdn.e.com",
+            "f.io",
+            "g.co",
+        ][(roll(3) % 7) as usize];
+        let url = format!("http://{host}/f{}", roll(4) % 11);
+        builder.push(RawEvent {
+            file: FileHash::from_raw(file),
+            file_meta: FileMeta {
+                signer: (file % 3 == 0).then(|| {
+                    SignerInfo::valid(["Acme", "Globex", "Initech"][(file % 3) as usize], "ca")
+                }),
+                packer: (file % 5 == 0)
+                    .then(|| PackerInfo::new(["UPX", "NSIS"][(file % 2) as usize])),
+                ..FileMeta::default()
+            },
+            machine: MachineId::from_raw(1 + roll(5) % 17),
+            process: FileHash::from_raw(process),
+            process_meta: FileMeta {
+                disk_name: ["chrome.exe", "java.exe", "setup.exe"][(process % 3) as usize]
+                    .to_owned(),
+                ..FileMeta::default()
+            },
+            url: url.parse().expect("synthetic url parses"),
+            timestamp: Timestamp::from_day((roll(6) % 200) as u32),
+            executed: roll(7) % 4 != 0,
+        });
+    }
+    builder.finish()
+}
+
+fn label_of(h: FileHash) -> FileLabel {
+    match h.raw() % 4 {
+        0 => FileLabel::Benign,
+        1 => FileLabel::Malicious,
+        _ => FileLabel::Unknown,
+    }
+}
+
+fn type_of(h: FileHash) -> Option<MalwareType> {
+    (h.raw() % 4 == 1).then_some(MalwareType::Trojan)
+}
+
+/// The property: every public column of the pooled frame equals the
+/// sequential frame, at every tested width.
+fn check_merge_matches_sequential(seed: u64, threads: usize) {
+    let data = dataset(seed);
+    let oracle = AnalysisFrame::build(&data, label_of, type_of);
+    let pool = Pool::new(threads);
+    let merged = AnalysisFrame::build_with(&data, &pool, label_of, type_of);
+
+    assert_eq!(merged.event_count(), oracle.event_count());
+    assert_eq!(merged.file_count(), oracle.file_count());
+    assert_eq!(merged.process_count(), oracle.process_count());
+    assert_eq!(merged.machine_count(), oracle.machine_count());
+    assert_eq!(merged.e2ld_count(), oracle.e2ld_count());
+    assert_eq!(merged.file_labels(), oracle.file_labels());
+    assert_eq!(merged.file_types(), oracle.file_types());
+    assert_eq!(merged.file_prevalences(), oracle.file_prevalences());
+    assert_eq!(merged.process_labels(), oracle.process_labels());
+    assert_eq!(merged.process_types(), oracle.process_types());
+    assert_eq!(merged.process_categories(), oracle.process_categories());
+    assert_eq!(merged.event_files(), oracle.event_files());
+    assert_eq!(merged.event_file_labels(), oracle.event_file_labels());
+    assert_eq!(merged.event_e2lds(), oracle.event_e2lds());
+    assert_eq!(merged.event_months(), oracle.event_months());
+    assert_eq!(merged.url_e2lds(), oracle.url_e2lds());
+
+    // Derived analyses exercise the CSR groupings and intern tables end
+    // to end — any merge-order slip shows up here too.
+    assert_eq!(merged.domain_popularity(10), oracle.domain_popularity(10));
+    assert_eq!(merged.signing_rates_table(), oracle.signing_rates_table());
+    assert_eq!(merged.packer_report(), oracle.packer_report());
+    assert_eq!(merged.category_behavior(), oracle.category_behavior());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shard_merge_equals_single_shard_frame(seed in any::<u64>(), threads in 1usize..9) {
+        check_merge_matches_sequential(seed, threads);
+    }
+}
+
+#[test]
+fn shard_merge_grid_mirror() {
+    for seed in [0u64, 1, 42, 0xdead_beef, u64::MAX] {
+        for threads in [2usize, 3, 5, 8] {
+            check_merge_matches_sequential(seed, threads);
+        }
+    }
+}

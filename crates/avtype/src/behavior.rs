@@ -57,6 +57,16 @@ impl ResolutionStats {
     pub fn total(&self) -> usize {
         self.no_conflict + self.voting + self.specificity + self.manual
     }
+
+    /// Folds another stats block into this one. Counts are commutative,
+    /// so merging per-chunk partials in any order equals recording the
+    /// verdicts sequentially.
+    pub fn merge(&mut self, other: ResolutionStats) {
+        self.no_conflict += other.no_conflict;
+        self.voting += other.voting;
+        self.specificity += other.specificity;
+        self.manual += other.manual;
+    }
 }
 
 /// The AVType behaviour-type extractor.

@@ -1,0 +1,101 @@
+//! `parallel_speedup` — wall-clock effect of the deterministic worker
+//! pool, measured end to end (generation → collection → labeling →
+//! frame → full report) at 1 vs 4 threads.
+//!
+//! ```text
+//! cargo run --release -p downlake-bench --bin parallel            # large scale
+//! cargo run --release -p downlake-bench --bin parallel -- --smoke # tiny, for CI
+//! ```
+//!
+//! Emits `BENCH_parallel.json` in the current directory. Numbers are
+//! honest: `host_cpus` is recorded alongside the timings, because on a
+//! single-core runner the pool cannot (and should not) show a speedup —
+//! what must hold everywhere is byte-identical output, which this bin
+//! also verifies and reports as `"identical"`.
+
+use downlake::{report, Study, StudyConfig};
+use downlake_synth::Scale;
+use std::time::Instant;
+
+struct Run {
+    threads: usize,
+    seconds: f64,
+    report: String,
+}
+
+fn run_once(scale: Scale, seed: u64, threads: usize) -> Run {
+    let start = Instant::now();
+    let study = Study::run(
+        &StudyConfig::new(seed)
+            .with_scale(scale)
+            .with_threads(threads),
+    );
+    let report = report::full_report(&study);
+    Run {
+        threads,
+        seconds: start.elapsed().as_secs_f64(),
+        report,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, scale_name) = if smoke {
+        (Scale::Tiny, "tiny")
+    } else {
+        (Scale::Large, "large")
+    };
+    let seed = 42u64;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("parallel_speedup: scale {scale_name}, seed {seed}, host_cpus {host_cpus}");
+    let runs: Vec<Run> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let run = run_once(scale, seed, threads);
+            eprintln!("  threads {threads}: {:.3}s", run.seconds);
+            run
+        })
+        .collect();
+
+    let identical = runs.windows(2).all(|w| w[0].report == w[1].report);
+    let speedup = match runs.last() {
+        Some(last) if last.seconds > 0.0 => runs
+            .first()
+            .map_or(1.0, |first| first.seconds / last.seconds),
+        _ => 1.0,
+    };
+    eprintln!("  speedup (1 → 4 threads): {speedup:.2}x, outputs identical: {identical}");
+
+    // Hand-rolled JSON: the bench crate stays free of serialization deps.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"parallel_speedup\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"seconds\": {:.6}}}{comma}\n",
+            run.threads, run.seconds
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
+    json.push_str(&format!("  \"identical\": {identical}\n"));
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write("BENCH_parallel.json", &json) {
+        eprintln!("parallel_speedup: could not write BENCH_parallel.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("parallel_speedup: wrote BENCH_parallel.json");
+
+    if !identical {
+        eprintln!("parallel_speedup: FAIL — thread count changed the report bytes");
+        std::process::exit(1);
+    }
+}

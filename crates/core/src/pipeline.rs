@@ -2,6 +2,7 @@
 
 use downlake_analysis::{AnalysisFrame, LabelView};
 use downlake_avtype::{BehaviorExtractor, FamilyExtractor, ResolutionStats};
+use downlake_exec::{partition, Pool};
 use downlake_groundtruth::{DomainFacts, GroundTruth, GroundTruthOracle, OracleConfig, UrlLabeler};
 use downlake_synth::{Scale, SynthConfig, World};
 use downlake_telemetry::{CollectionServer, Dataset, ReportingPolicy, SuppressionStats};
@@ -16,6 +17,14 @@ pub struct StudyConfig {
     pub synth: SynthConfig,
     /// Ground-truth oracle configuration.
     pub oracle: OracleConfig,
+    /// Worker threads for every pipeline stage; `0` = one per available
+    /// core, `1` = the sequential oracle path. Never affects output.
+    #[serde(default)]
+    pub threads: usize,
+    /// Generation shards; `0` = one per worker thread. Never affects
+    /// output.
+    #[serde(default)]
+    pub shards: usize,
 }
 
 impl StudyConfig {
@@ -27,12 +36,28 @@ impl StudyConfig {
                 seed: seed ^ 0x0617_C0DE,
                 ..OracleConfig::default()
             },
+            threads: 1,
+            shards: 0,
         }
     }
 
     /// Sets the world scale (builder-style).
     pub fn with_scale(mut self, scale: Scale) -> Self {
         self.synth.scale = scale;
+        self
+    }
+
+    /// Sets the worker-thread count (builder-style); `0` = one per
+    /// available core.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the generation shard count (builder-style); `0` = one per
+    /// worker thread.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -105,10 +130,14 @@ pub struct Study {
 }
 
 impl Study {
-    /// Runs the full pipeline. Deterministic per configuration.
+    /// Runs the full pipeline. Deterministic per configuration: the
+    /// `threads` / `shards` knobs change wall-clock time only, never a
+    /// byte of output (pinned by the `thread_matrix` integration test).
     pub fn run(config: &StudyConfig) -> Study {
-        // 1. Generate the world + raw event stream.
-        let generated = World::generate(&config.synth);
+        let pool = Pool::new(config.threads);
+
+        // 1. Generate the world + raw event stream (sharded).
+        let generated = World::generate_with(&config.synth, config.shards, &pool);
         let world = generated.world;
 
         // 2. Feed the stream through the collection server.
@@ -148,30 +177,48 @@ impl Study {
             )
         }));
 
-        // 5. AVType + family extraction over the malicious scan reports.
+        // 5. AVType + family extraction over the malicious scan reports,
+        //    chunked over the hash-ordered malicious list. Chunk results
+        //    land in hash-keyed maps and commutative counters, so the
+        //    merge is independent of chunking.
         let behavior = BehaviorExtractor::new();
         let families = FamilyExtractor::new();
-        let mut types = TypeAssignments::default();
-        for (hash, label) in ground_truth.iter() {
-            if label != FileLabel::Malicious {
-                continue;
+        let malicious: Vec<FileHash> = ground_truth
+            .iter()
+            .filter(|&(_, label)| label == FileLabel::Malicious)
+            .map(|(hash, _)| hash)
+            .collect();
+        let chunks = partition(malicious.len(), pool.threads().max(1));
+        let extracted = pool.map(&chunks, |_, range| {
+            let mut rows = Vec::with_capacity(range.len());
+            let mut stats = ResolutionStats::default();
+            for &hash in &malicious[range.clone()] {
+                let Some(scan) = ground_truth.scan(hash) else {
+                    continue;
+                };
+                let verdict = behavior.extract(&scan.leading_labels());
+                stats.record(verdict.resolution);
+                rows.push((hash, verdict.ty, families.extract(&scan.all_labels())));
             }
-            let Some(scan) = ground_truth.scan(hash) else {
-                continue;
-            };
-            let verdict = behavior.extract(&scan.leading_labels());
-            types.resolution.record(verdict.resolution);
-            types.types.insert(hash, verdict.ty);
-            if let Some(family) = families.extract(&scan.all_labels()) {
-                types.families.insert(hash, family);
+            (rows, stats)
+        });
+        let mut types = TypeAssignments::default();
+        for (rows, stats) in extracted {
+            types.resolution.merge(stats);
+            for (hash, ty, family) in rows {
+                types.types.insert(hash, ty);
+                if let Some(family) = family {
+                    types.families.insert(hash, family);
+                }
             }
         }
 
         // 6. Resolve labels/types into the shared columnar frame every
         //    table and figure pass consumes. Labels are looked up once
         //    per distinct file and process here, never again per event.
-        let frame = AnalysisFrame::build(
+        let frame = AnalysisFrame::build_with(
             &dataset,
+            &pool,
             |h| ground_truth.label(h),
             |h| types.malware_type(h),
         );

@@ -1,49 +1,25 @@
 //! Full-report assembly: every table and figure, in paper order.
+//!
+//! Each table/figure pass reads the shared [`AnalysisFrame`] and renders
+//! an independent section string, so the passes run as worker-pool jobs.
+//! [`Pool::map`] hands sections back in input order and the assembly
+//! below concatenates them in the fixed paper order, so the report is
+//! byte-identical at every thread count.
+//!
+//! [`AnalysisFrame`]: downlake_analysis::AnalysisFrame
 
 use crate::experiments;
 use crate::pipeline::Study;
+use downlake_exec::Pool;
 use std::fmt::Write as _;
 
-/// Runs every experiment and renders one plain-text report.
-pub fn full_report(study: &Study) -> String {
+/// One report section: a pure function of the study.
+type Pass = fn(&Study) -> String;
+
+/// The §VI/§VII rule-mining block: learned-rule tables plus the
+/// expansion summary and example rules, rendered as one section.
+fn rules_pass(study: &Study) -> String {
     let mut out = String::new();
-    let stats = study.dataset().stats();
-    let _ = writeln!(
-        out,
-        "downlake study report — {} events, {} machines, {} files, {} processes, {} urls, {} domains\n",
-        stats.events, stats.machines, stats.files, stats.processes, stats.urls, stats.domains
-    );
-    let suppression = study.suppression();
-    let _ = writeln!(
-        out,
-        "collection-server suppression: {} not executed, {} prevalence-capped, {} whitelisted URLs\n",
-        suppression.not_executed, suppression.prevalence_cap, suppression.whitelisted_url
-    );
-
-    let _ = writeln!(out, "{}", experiments::table1(study));
-    let _ = writeln!(out, "{}", experiments::fig1(study));
-    let _ = writeln!(out, "{}", experiments::table2(study));
-    let _ = writeln!(out, "{}", experiments::fig2(study));
-    let _ = writeln!(out, "{}", experiments::table3(study));
-    let _ = writeln!(out, "{}", experiments::table4(study));
-    let _ = writeln!(out, "{}", experiments::fig3(study));
-    let _ = writeln!(out, "{}", experiments::table5(study));
-    let _ = writeln!(out, "{}", experiments::table6(study));
-    let _ = writeln!(out, "{}", experiments::table7(study));
-    let _ = writeln!(out, "{}", experiments::table8(study));
-    let _ = writeln!(out, "{}", experiments::table9(study));
-    let _ = writeln!(out, "{}", experiments::fig4(study));
-    let _ = writeln!(out, "{}", experiments::packers(study));
-    let _ = writeln!(out, "{}", experiments::table10(study));
-    let _ = writeln!(out, "{}", experiments::table11(study));
-    let _ = writeln!(out, "{}", experiments::table12(study));
-    let _ = writeln!(out, "{}", experiments::fig5(study));
-    let _ = writeln!(out, "{}", experiments::fig5_quantiles(study));
-    let _ = writeln!(out, "{}", experiments::fig6(study));
-    let _ = writeln!(out, "{}", experiments::table13(study));
-    let _ = writeln!(out, "{}", experiments::table14(study));
-    let _ = writeln!(out, "{}", experiments::table15());
-
     let outcome = experiments::rule_experiments(study);
     let _ = writeln!(out, "{}", experiments::render_table16(&outcome));
     let _ = writeln!(out, "{}", experiments::render_table17(&outcome));
@@ -61,9 +37,83 @@ pub fn full_report(study: &Study) -> String {
             let _ = writeln!(out, "  {rule}");
         }
     }
-    let _ = writeln!(out, "\n{}", crate::experiments::baselines_table(study));
-    let _ = writeln!(out, "{}", crate::experiments::evasion_table(study));
-    let _ = writeln!(out, "{}", crate::experiments::expansion_reach_table(study));
+    out
+}
+
+/// Every section pass, in paper order. The order of this array IS the
+/// order of the report; scheduling never reorders it.
+const PASSES: &[Pass] = &[
+    |s| experiments::table1(s).to_string(),
+    |s| experiments::fig1(s).to_string(),
+    |s| experiments::table2(s).to_string(),
+    |s| experiments::fig2(s).to_string(),
+    |s| experiments::table3(s).to_string(),
+    |s| experiments::table4(s).to_string(),
+    |s| experiments::fig3(s).to_string(),
+    |s| experiments::table5(s).to_string(),
+    |s| experiments::table6(s).to_string(),
+    |s| experiments::table7(s).to_string(),
+    |s| experiments::table8(s).to_string(),
+    |s| experiments::table9(s).to_string(),
+    |s| experiments::fig4(s).to_string(),
+    |s| experiments::packers(s).to_string(),
+    |s| experiments::table10(s).to_string(),
+    |s| experiments::table11(s).to_string(),
+    |s| experiments::table12(s).to_string(),
+    |s| experiments::fig5(s).to_string(),
+    |s| experiments::fig5_quantiles(s).to_string(),
+    |s| experiments::fig6(s).to_string(),
+    |s| experiments::table13(s).to_string(),
+    |s| experiments::table14(s).to_string(),
+    |_| experiments::table15().to_string(),
+];
+
+/// Runs every experiment and renders one plain-text report, using the
+/// thread count from the study's own config.
+pub fn full_report(study: &Study) -> String {
+    full_report_with(study, &Pool::new(study.config().threads))
+}
+
+/// Like [`full_report`], but runs the section passes as jobs on `pool`.
+/// Byte-identical for every pool width.
+pub fn full_report_with(study: &Study, pool: &Pool) -> String {
+    let mut out = String::new();
+    let stats = study.dataset().stats();
+    let _ = writeln!(
+        out,
+        "downlake study report — {} events, {} machines, {} files, {} processes, {} urls, {} domains\n",
+        stats.events, stats.machines, stats.files, stats.processes, stats.urls, stats.domains
+    );
+    let suppression = study.suppression();
+    let _ = writeln!(
+        out,
+        "collection-server suppression: {} not executed, {} prevalence-capped, {} whitelisted URLs\n",
+        suppression.not_executed, suppression.prevalence_cap, suppression.whitelisted_url
+    );
+
+    // The rule-mining block and the post-rule tables ride in the same
+    // job batch as the paper-order passes; everything is reassembled in
+    // fixed order below regardless of completion order.
+    let mut jobs: Vec<Pass> = PASSES.to_vec();
+    jobs.push(rules_pass);
+    jobs.push(|s| experiments::baselines_table(s).to_string());
+    jobs.push(|s| experiments::evasion_table(s).to_string());
+    jobs.push(|s| experiments::expansion_reach_table(s).to_string());
+    let sections = pool.map(&jobs, |_, pass| pass(study));
+
+    let mut sections = sections.into_iter();
+    for section in sections.by_ref().take(PASSES.len()) {
+        let _ = writeln!(out, "{section}");
+    }
+    if let Some(rules) = sections.next() {
+        out.push_str(&rules);
+    }
+    if let Some(baselines) = sections.next() {
+        let _ = writeln!(out, "\n{baselines}");
+    }
+    for section in sections {
+        let _ = writeln!(out, "{section}");
+    }
 
     let resolution = study.types().resolution_stats();
     let _ = writeln!(

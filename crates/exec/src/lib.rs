@@ -1,0 +1,34 @@
+//! `downlake-exec` — the workspace's only sanctioned concurrency entry
+//! point.
+//!
+//! Every parallel stage in the pipeline (sharded event generation,
+//! frame-partial builds, table/figure passes) goes through [`Pool::map`],
+//! which has one contract: **the output is a pure function of the input
+//! order, never of scheduling**. Results come back indexed by input
+//! position, so any thread count — including the `threads = 1` inline
+//! path, which spawns nothing and serves as the sequential oracle in the
+//! thread-matrix tests — produces byte-identical output.
+//!
+//! The companion [`shard`] module provides the contiguous partition used
+//! to group work units into shards, and [`seed`] derives the
+//! counter-based per-unit RNG streams (SplitMix64 of `seed ⊕ salt ⊕
+//! index`) that make shard boundaries invisible to the generated world:
+//! randomness is keyed to the *unit*, not to the shard that happened to
+//! run it, so shard count and thread count can vary freely without
+//! perturbing a single draw.
+//!
+//! Raw `std::thread::spawn` / `Mutex` use anywhere else in the workspace
+//! is rejected by `downlake-lint` rule D4 (`raw-concurrency`); this crate
+//! is the carve-out and deliberately needs neither lock: workers own
+//! their partial results and hand them back through the scope join.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod pool;
+pub mod seed;
+pub mod shard;
+
+pub use pool::Pool;
+pub use seed::{splitmix64, unit_seed};
+pub use shard::partition;

@@ -1,0 +1,173 @@
+//! The deterministic worker pool.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// A fixed-width worker pool over OS threads.
+///
+/// The pool itself is just a thread-count policy: each [`Pool::map`] call
+/// opens a fresh [`std::thread::scope`], so borrowed inputs work without
+/// `'static` bounds and no threads linger between calls. Work items are
+/// claimed from an atomic cursor (cheap dynamic load balancing), but
+/// results are returned **in input order**, which is what makes every
+/// consumer deterministic regardless of how the OS schedules the workers.
+pub struct Pool {
+    threads: usize,
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// A pool with the given width; `0` asks the OS via
+    /// [`std::thread::available_parallelism`] (falling back to 1).
+    ///
+    /// The width only affects wall-clock time, never output: a
+    /// `Pool::new(8)` and a [`Pool::sequential`] drive every downstream
+    /// stage to byte-identical results.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// The single-threaded pool: runs every job inline on the caller's
+    /// thread, spawning nothing. This is the oracle path the thread-matrix
+    /// tests compare all wider pools against.
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item and returns the results in item order.
+    ///
+    /// `f` receives `(index, &item)` and must be a pure function of them
+    /// (plus shared read-only state); under that contract the output is
+    /// identical for every pool width. Worker panics are propagated to
+    /// the caller.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            // Inline sequential path: no scope, no spawn, no atomics.
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            if let Some(item) = items.get(i) {
+                                out.push((i, f(i, item)));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => indexed.extend(part),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        // Indices are unique, so the unstable sort is deterministic.
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for Pool {
+    /// `Pool::new(0)`: one worker per available core.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_pool_spawns_nothing_and_preserves_order() {
+        let pool = Pool::sequential();
+        assert_eq!(pool.threads(), 1);
+        let items: Vec<u64> = (0..100).collect();
+        let out = pool.map(&items, |i, &x| (i as u64) * 1000 + x);
+        let expected: Vec<u64> = (0..100).map(|i| i * 1000 + i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn wide_pool_matches_sequential() {
+        let items: Vec<u64> = (0..257).collect();
+        let work = |i: usize, x: &u64| -> u64 {
+            // A little per-item compute so scheduling actually interleaves.
+            (0..(*x % 17)).fold(i as u64, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        };
+        let seq = Pool::sequential().map(&items, work);
+        for threads in [2, 3, 8] {
+            let par = Pool::new(threads).map(&items, work);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_width_resolves_to_at_least_one() {
+        assert!(Pool::new(0).threads() >= 1);
+        assert!(Pool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = Pool::new(16).map(&[1u32, 2, 3], |_, &x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = Pool::new(4).map(&items, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        Pool::new(4).map(&items, |_, &x| {
+            if x == 40 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

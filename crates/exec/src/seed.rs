@@ -1,0 +1,69 @@
+//! Counter-derived seed streams.
+//!
+//! Every parallel work unit draws from an RNG seeded by
+//! [`unit_seed`]`(seed, salt, index)` — a pure function of the study seed,
+//! a per-stage salt, and the unit's position in the *logical* work list.
+//! Because the stream is keyed to the unit rather than to whichever shard
+//! or thread happened to execute it, regrouping units into different
+//! shard counts (or none at all) cannot move a single random draw.
+
+/// One round of the SplitMix64 output function (Steele et al., 2014).
+///
+/// Used both as the seed mixer for per-unit streams and as a cheap
+/// avalanche step wherever a well-spread 64-bit value is needed from a
+/// structured counter.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The golden-ratio increment of the SplitMix64 stream.
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The seed for work unit `index` of the stage identified by `salt`,
+/// under study seed `seed`.
+///
+/// This is the canonical SplitMix64 counter stream: mix the stage state
+/// `splitmix64(seed ^ salt)`, jump the counter by `index` golden-ratio
+/// increments, and run the finalizer. The asymmetric `state + index·γ`
+/// form avoids the commutative-sum trap (`mix(a) + mix(b)` collides
+/// whenever two stages swap state and index values) while keeping
+/// nearby indices far apart in seed space.
+pub fn unit_seed(seed: u64, salt: u64, index: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ salt).wrapping_add(index.wrapping_mul(GAMMA)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        // Reference values from the canonical splitmix64.c with state 0
+        // and 1: the first output of each stream.
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(1), 0x910a_2dec_8902_5cc1);
+    }
+
+    #[test]
+    fn unit_seed_is_pure_and_distinct() {
+        let a = unit_seed(42, 0xfeed, 7);
+        assert_eq!(a, unit_seed(42, 0xfeed, 7));
+        // Neighbouring indices, salts, and seeds all land elsewhere.
+        assert_ne!(a, unit_seed(42, 0xfeed, 8));
+        assert_ne!(a, unit_seed(42, 0xfeee, 7));
+        assert_ne!(a, unit_seed(43, 0xfeed, 7));
+    }
+
+    #[test]
+    fn unit_seed_streams_do_not_collide_over_a_small_grid() {
+        let mut seen = std::collections::BTreeSet::new();
+        for salt in 0..4u64 {
+            for index in 0..1024u64 {
+                assert!(seen.insert(unit_seed(42, salt, index)));
+            }
+        }
+    }
+}

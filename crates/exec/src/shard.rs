@@ -1,0 +1,84 @@
+//! Contiguous work partitioning.
+//!
+//! Shards exist purely to amortise scheduling: a shard is a contiguous
+//! range of work-unit indices handed to [`crate::Pool::map`] as one job.
+//! Because per-unit randomness comes from [`crate::unit_seed`] and the
+//! results are reassembled in shard order (which, for contiguous ranges,
+//! is unit order), the shard count is invisible in the output.
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `k` contiguous, disjoint, exhaustive,
+/// order-stable ranges.
+///
+/// The first `n % k` shards get one extra unit, so sizes differ by at
+/// most one. No shard is empty: when `n < k` only `n` ranges are
+/// returned, and `n == 0` yields no ranges at all. `k == 0` is treated
+/// as `k == 1`.
+pub fn partition(n: usize, k: usize) -> Vec<Range<usize>> {
+    let k = k.max(1).min(n);
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for shard in 0..k {
+        let len = base + usize::from(shard < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_is_partition(n: usize, k: usize) {
+        let shards = partition(n, k);
+        // Exhaustive, disjoint, and order-stable: the ranges tile 0..n
+        // exactly, in order, with no gaps or overlaps.
+        let mut cursor = 0;
+        for shard in &shards {
+            assert_eq!(shard.start, cursor, "n={n} k={k}");
+            assert!(shard.end > shard.start, "empty shard for n={n} k={k}");
+            cursor = shard.end;
+        }
+        assert_eq!(cursor, n, "n={n} k={k}");
+        // Balanced: sizes differ by at most one.
+        if let (Some(max), Some(min)) = (
+            shards.iter().map(|s| s.len()).max(),
+            shards.iter().map(|s| s.len()).min(),
+        ) {
+            assert!(max - min <= 1, "n={n} k={k} max={max} min={min}");
+        }
+    }
+
+    #[test]
+    fn partitions_tile_the_range_for_a_grid_of_shapes() {
+        for n in [0, 1, 2, 3, 7, 64, 100, 101, 1023] {
+            for k in [0, 1, 2, 3, 4, 7, 8, 63, 64, 65, 4096] {
+                assert_is_partition(n, k);
+            }
+        }
+    }
+
+    #[test]
+    fn no_empty_shards_when_n_below_k() {
+        let shards = partition(3, 8);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn zero_units_means_zero_shards() {
+        assert!(partition(0, 4).is_empty());
+    }
+
+    #[test]
+    fn remainder_goes_to_the_leading_shards() {
+        assert_eq!(partition(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the shard partitioner and the per-unit seed
+//! stream.
+//!
+//! Each `proptest!` property also has a plain `#[test]` mirror sweeping
+//! a dense deterministic grid, so the invariants stay exercised even
+//! where the proptest runner is unavailable.
+
+use downlake_exec::{partition, unit_seed};
+use proptest::prelude::*;
+
+/// Checks every partition invariant for one `(n, k)` pair:
+/// shards tile `0..n` exactly (disjoint, exhaustive, in order), no
+/// shard is empty, and sizes differ by at most one.
+fn check_partition(n: usize, k: usize) {
+    let shards = partition(n, k);
+    // Exhaustive + disjoint + order-stable: the concatenation of the
+    // ranges is exactly 0..n.
+    let mut next = 0usize;
+    for range in &shards {
+        assert_eq!(
+            range.start, next,
+            "gap or overlap at {range:?} (n={n}, k={k})"
+        );
+        assert!(
+            range.end > range.start,
+            "empty shard {range:?} (n={n}, k={k})"
+        );
+        next = range.end;
+    }
+    assert_eq!(next, n, "shards do not cover 0..{n} (k={k})");
+    if n == 0 {
+        assert!(shards.is_empty());
+        return;
+    }
+    // Effective shard count and balance.
+    assert_eq!(shards.len(), k.max(1).min(n));
+    let min = shards.iter().map(|r| r.len()).min().unwrap_or(0);
+    let max = shards.iter().map(|r| r.len()).max().unwrap_or(0);
+    assert!(
+        max - min <= 1,
+        "unbalanced shards (n={n}, k={k}): {min}..{max}"
+    );
+}
+
+/// Checks that `unit_seed` is a pure function and distinguishes its
+/// three inputs over a small neighbourhood.
+fn check_unit_seed(seed: u64, salt: u64, index: u64) {
+    assert_eq!(unit_seed(seed, salt, index), unit_seed(seed, salt, index));
+    assert_ne!(
+        unit_seed(seed, salt, index),
+        unit_seed(seed, salt, index.wrapping_add(1)),
+        "adjacent unit indexes must get distinct streams"
+    );
+    assert_ne!(
+        unit_seed(seed, salt, index),
+        unit_seed(seed, salt.wrapping_add(1), index),
+        "adjacent salts must get distinct streams"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn partition_tiles_any_input(n in 0usize..5_000, k in 0usize..64) {
+        check_partition(n, k);
+    }
+
+    #[test]
+    fn unit_seed_pure_and_sensitive(seed in any::<u64>(), salt in any::<u64>(), index in 0u64..1_000_000) {
+        check_unit_seed(seed, salt, index);
+    }
+}
+
+#[test]
+fn partition_tiles_dense_grid() {
+    for n in 0..200 {
+        for k in 0..40 {
+            check_partition(n, k);
+        }
+    }
+    // A few large / degenerate shapes.
+    for (n, k) in [(4_999, 63), (5_000, 1), (1, 63), (1_000_000, 16)] {
+        check_partition(n, k);
+    }
+}
+
+#[test]
+fn unit_seed_grid_mirror() {
+    for seed in [0u64, 42, u64::MAX] {
+        for salt in [0u64, 1, 0x1bd1_1bda_a9fc_1a22] {
+            for index in [0u64, 1, 2, 511, 512, 999_999] {
+                check_unit_seed(seed, salt, index);
+            }
+        }
+    }
+}

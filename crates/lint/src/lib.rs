@@ -6,13 +6,14 @@
 //! dynamically by the seed-42 pins in `tests/frame_equivalence.rs`; this
 //! crate enforces it *statically*, at CI time, before an unordered
 //! `HashMap` iteration or an ambient clock read can corrupt a pinned
-//! table. Five rules:
+//! table. Six rules:
 //!
 //! | id | name                   | what it catches |
 //! |----|------------------------|-----------------|
 //! | D1 | `unordered-iter`       | hash-order iteration leaking into output |
 //! | D2 | `ambient-nondeterminism` | wall clocks, thread RNGs, env reads |
 //! | D3 | `unordered-float-fold` | float `sum`/`fold` over unordered iterators |
+//! | D4 | `raw-concurrency`      | `thread::spawn`/`Mutex` outside `crates/exec`'s pool |
 //! | P1 | `panic-surface`        | `unwrap`/`expect`/literal indexing in library code |
 //! | P2 | `hot-loop-alloc`       | per-iteration allocation on the analysis hot path |
 //!

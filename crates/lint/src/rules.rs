@@ -14,13 +14,24 @@ pub enum RuleId {
     /// Floating-point `sum`/`fold` over an unordered iterator (FP addition
     /// is not associative, so the result depends on hash order).
     D3,
+    /// Raw concurrency primitives (`thread::spawn`, `Mutex`, `RwLock`,
+    /// `Condvar`) outside `crates/exec` — ad-hoc threading reintroduces
+    /// scheduling nondeterminism the worker pool exists to contain.
+    D4,
     /// Panic surface in library code: `unwrap`/`expect`/literal indexing.
     P1,
     /// Allocation inside a `for` loop on the analysis hot path.
     P2,
 }
 
-pub const ALL_RULES: [RuleId; 5] = [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::P1, RuleId::P2];
+pub const ALL_RULES: [RuleId; 6] = [
+    RuleId::D1,
+    RuleId::D2,
+    RuleId::D3,
+    RuleId::D4,
+    RuleId::P1,
+    RuleId::P2,
+];
 
 impl RuleId {
     /// Short id as it appears in output and the baseline (`"D1"`).
@@ -29,6 +40,7 @@ impl RuleId {
             RuleId::D1 => "D1",
             RuleId::D2 => "D2",
             RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
             RuleId::P1 => "P1",
             RuleId::P2 => "P2",
         }
@@ -40,6 +52,7 @@ impl RuleId {
             RuleId::D1 => "unordered-iter",
             RuleId::D2 => "ambient-nondeterminism",
             RuleId::D3 => "unordered-float-fold",
+            RuleId::D4 => "raw-concurrency",
             RuleId::P1 => "panic-surface",
             RuleId::P2 => "hot-loop-alloc",
         }
@@ -95,6 +108,8 @@ mod tests {
         assert_eq!(RuleId::parse("D1"), Some(RuleId::D1));
         assert_eq!(RuleId::parse("d3"), Some(RuleId::D3));
         assert_eq!(RuleId::parse("unordered-iter"), Some(RuleId::D1));
+        assert_eq!(RuleId::parse("D4"), Some(RuleId::D4));
+        assert_eq!(RuleId::parse("raw-concurrency"), Some(RuleId::D4));
         assert_eq!(RuleId::parse("hot-loop-alloc"), Some(RuleId::P2));
         assert_eq!(RuleId::parse("nope"), None);
     }

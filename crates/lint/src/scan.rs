@@ -25,6 +25,9 @@ pub struct FileCtx {
     pub rel_path: String,
     /// `crates/bench` may use `Instant::now`/`SystemTime::now` (D2 carve-out).
     pub allow_time: bool,
+    /// `crates/exec` owns threading: raw concurrency primitives are legal
+    /// there and only there (D4 carve-out).
+    pub allow_concurrency: bool,
     /// Library (non-binary, non-test) code: P1 and the D2 env-read arm apply.
     pub library: bool,
     /// Analysis hot path (`crates/analysis/src`, `legacy.rs` exempt): P2 applies.
@@ -79,6 +82,9 @@ pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
     scan_d1_d3(ctx, toks, &close_of, &facts, &in_test, &mut out);
     scan_for_loops_d1(ctx, toks, &close_of, &facts, &in_test, &mut out);
     scan_d2(ctx, toks, &in_test, &mut out);
+    if !ctx.allow_concurrency {
+        scan_d4(ctx, toks, &in_test, &mut out);
+    }
     if ctx.library {
         scan_p1(ctx, toks, &close_of, &in_test, &mut out);
     }
@@ -822,6 +828,70 @@ fn scan_d2(ctx: &FileCtx, toks: &[Tok], in_test: &dyn Fn(usize) -> bool, out: &m
             push(
                 t.line,
                 "environment read in library code makes results host-dependent".into(),
+            );
+        }
+    }
+}
+
+/// D4: raw concurrency primitives outside `crates/exec`.
+///
+/// The worker pool is the only sanctioned parallelism: its merge
+/// discipline is what keeps output independent of scheduling. A stray
+/// `thread::spawn` or shared-state `Mutex` anywhere else can reorder
+/// writes by whichever thread wins the race, so every such site must
+/// either move behind `Pool::map`-style plumbing in `crates/exec` or
+/// carry a written justification.
+fn scan_d4(ctx: &FileCtx, toks: &[Tok], in_test: &dyn Fn(usize) -> bool, out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let mut push = |line: u32, msg: String| {
+            out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line,
+                rule: RuleId::D4,
+                msg,
+            })
+        };
+        // `thread :: spawn` / `thread :: scope` path calls
+        // (covers `std::thread::spawn` too — the prefix lands earlier).
+        if t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct(":"))
+            && toks.get(i + 2).is_some_and(|x| x.is_punct(":"))
+            && toks
+                .get(i + 3)
+                .is_some_and(|x| x.is_ident("spawn") || x.is_ident("scope"))
+        {
+            push(
+                t.line,
+                format!(
+                    "`thread::{}` outside `crates/exec` — route parallel work through the worker pool",
+                    toks[i + 3].text
+                ),
+            );
+        }
+        // `.spawn(...)` method calls (scoped-spawn handles, builders).
+        if t.is_ident("spawn")
+            && i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct("("))
+        {
+            push(
+                t.line,
+                "`.spawn()` outside `crates/exec` — route parallel work through the worker pool"
+                    .into(),
+            );
+        }
+        // Blocking shared-state primitives.
+        if t.is_ident("Mutex") || t.is_ident("RwLock") || t.is_ident("Condvar") {
+            push(
+                t.line,
+                format!(
+                    "`{}` outside `crates/exec` — share nothing; merge per-shard results instead",
+                    t.text
+                ),
             );
         }
     }

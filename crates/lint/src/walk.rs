@@ -82,6 +82,8 @@ pub fn classify(rel: &str) -> Option<FileCtx> {
         return None;
     }
     let bench_crate = rel.starts_with("crates/bench/");
+    // `crates/exec` is the one sanctioned home for threading primitives.
+    let exec_crate = rel.starts_with("crates/exec/");
     // Binaries and examples own their process: CLI panics and env/arg
     // handling there are deliberate, so P1 does not apply.
     let binary = rel.contains("/bin/")
@@ -93,6 +95,7 @@ pub fn classify(rel: &str) -> Option<FileCtx> {
     Some(FileCtx {
         rel_path: rel.to_string(),
         allow_time: bench_crate,
+        allow_concurrency: exec_crate,
         library,
         hot_loop,
     })
@@ -119,5 +122,12 @@ mod tests {
 
         let cli = classify("src/bin/downlake.rs").expect("linted");
         assert!(!cli.library && !cli.hot_loop);
+
+        // The worker-pool crate alone may hold threading primitives; it
+        // is still library code for every other rule.
+        let pool = classify("crates/exec/src/pool.rs").expect("linted");
+        assert!(pool.allow_concurrency && pool.library && !pool.allow_time);
+        let frame2 = classify("crates/analysis/src/frame.rs").expect("linted");
+        assert!(!frame2.allow_concurrency);
     }
 }

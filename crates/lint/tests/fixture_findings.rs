@@ -16,6 +16,7 @@ fn ctx(name: &str, library: bool, hot_loop: bool) -> FileCtx {
     FileCtx {
         rel_path: format!("fixtures/{name}"),
         allow_time: false,
+        allow_concurrency: false,
         library,
         hot_loop,
     }
@@ -72,6 +73,32 @@ fn d3_float_fold_fixture() {
         findings("d3_float_fold.rs", true, false),
         vec![(RuleId::D3, 5), (RuleId::D3, 9)]
     );
+}
+
+#[test]
+fn d4_raw_thread_fixture() {
+    assert_eq!(
+        findings("d4_raw_thread.rs", true, false),
+        vec![
+            (RuleId::D4, 2),
+            (RuleId::D4, 6),
+            (RuleId::D4, 7),
+            (RuleId::D4, 9),
+            (RuleId::D4, 18),
+        ]
+    );
+}
+
+#[test]
+fn d4_is_allowed_in_exec_crate() {
+    let mut c = ctx("d4_raw_thread.rs", true, false);
+    c.allow_concurrency = true;
+    let leftovers: Vec<(RuleId, u32)> = scan_file(&c, &fixture("d4_raw_thread.rs"))
+        .into_iter()
+        .filter(|f| f.rule == RuleId::D4)
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(leftovers, vec![], "crates/exec owns its threading");
 }
 
 #[test]

@@ -1,0 +1,25 @@
+//! Fixture: D4 `raw-concurrency` violations.
+use std::sync::Mutex; // line 2: Mutex import
+use std::thread;
+
+pub fn fan_out(xs: Vec<u64>) -> u64 {
+    let total = Mutex::new(0u64); // line 6: shared-state accumulator
+    thread::scope(|s| { // line 7: raw scoped threads
+        for x in xs {
+            s.spawn(|| { // line 9: raw spawn handle
+                *total.lock().unwrap_or_else(|e| e.into_inner()) += x;
+            });
+        }
+    });
+    total.into_inner().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn detached(x: u64) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || x + 1) // line 18: detached raw thread
+}
+
+pub fn justified() -> u32 {
+    // downlake-lint: allow(raw-concurrency) — single-threaded init cell, escape-hatch demo
+    let cell = Mutex::new(7u32); // suppressed by the allow on the line above
+    cell.into_inner().unwrap_or_else(|e| e.into_inner())
+}

@@ -17,6 +17,18 @@
 //! A configurable fraction of noise events (never-executed downloads,
 //! downloads from whitelisted update hosts) is woven in so the collection
 //! server's reporting policy is exercised end to end.
+//!
+//! # Deterministic sharding
+//!
+//! The month volumes are cut into fixed-size **work units** (primary-file
+//! batches and noise batches) whose composition depends only on the
+//! config, never on shard or thread count. Each unit owns a private RNG
+//! stream seeded by [`downlake_exec::unit_seed`]`(seed, salt, unit_id)`
+//! and a disjoint [`FileHash`] range derived from its id, and infection
+//! chains expand entirely inside the unit that seeded them. Shards are
+//! just contiguous unit ranges handed to the worker pool; outputs are
+//! concatenated in unit order and time-sorted (stably), so the event
+//! stream is byte-identical for every shard count and thread count.
 
 use crate::calibration::{self, ProcessRow, TABLE1, TABLE10, TABLE11, TABLE12};
 use crate::catalogs::domains::{DomainCatalog, DomainEntry};
@@ -28,6 +40,7 @@ use crate::config::SynthConfig;
 use crate::dist::{sample_exp_days, Categorical, DiscretePowerLaw};
 use crate::filegen::{FileDestiny, FileFactory, GeneratedFile};
 use crate::world::World;
+use downlake_exec::{partition, unit_seed, Pool};
 use downlake_telemetry::RawEvent;
 use downlake_types::{
     BrowserKind, Duration, FileHash, MachineId, MalwareType, Month, ProcessCategory, Timestamp,
@@ -36,6 +49,20 @@ use downlake_types::{
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// Stage salt for the roster-construction RNG stream.
+const ROSTER_SALT: u64 = 0x1bd1_1bda_a9fc_1a22;
+/// Stage salt for per-work-unit event RNG streams.
+const UNIT_SALT: u64 = 0x60be_e2be_e622_186b;
+/// Primary-download files simulated per work unit.
+const PRIMARY_BATCH: u64 = 512;
+/// Noise events simulated per work unit.
+const NOISE_BATCH: u64 = 4096;
+/// First hash of unit 0's allocation range; inventory hashes (sequential
+/// from `0x0100_0000`) stay far below this.
+const UNIT_HASH_BASE: u64 = 1 << 40;
+/// Size of each unit's private hash range.
+const UNIT_HASH_SPAN: u64 = 1 << 24;
 
 /// Output of [`World::generate`]: the world plus its raw event stream,
 /// sorted by timestamp (the order the collection server would see).
@@ -223,18 +250,64 @@ impl DestinyDist {
     }
 }
 
-struct Generator<'a> {
+/// One work unit of event generation. The unit list is a pure function
+/// of the config, so unit ids — and with them every RNG stream and hash
+/// range — are identical no matter how the units are later sharded.
+#[derive(Debug, Clone, Copy)]
+enum UnitSpec {
+    /// A batch of up to [`PRIMARY_BATCH`] primary-download files born in
+    /// `month`.
+    Primary { month: Month, count: u64 },
+    /// A batch of up to [`NOISE_BATCH`] noise events in `month`;
+    /// `offset` is the batch's position in the month's noise sequence
+    /// and `whitelisted` the month's total whitelisted-host quota (the
+    /// first `whitelisted` noise events of the month use update hosts).
+    Noise {
+        month: Month,
+        offset: u64,
+        count: u64,
+        whitelisted: u64,
+    },
+}
+
+/// Cuts the configured month volumes into work units.
+fn build_units(config: &SynthConfig) -> Vec<UnitSpec> {
+    let mut units = Vec::new();
+    for month in Month::ALL {
+        let n_files = config.scale.apply(TABLE1[month.index()].files);
+        let mut done = 0;
+        while done < n_files {
+            let count = (n_files - done).min(PRIMARY_BATCH);
+            units.push(UnitSpec::Primary { month, count });
+            done += count;
+        }
+        let month_events = config.scale.apply(TABLE1[month.index()].events);
+        let unexecuted = (month_events as f64 * config.unexecuted_share) as u64;
+        let whitelisted = (month_events as f64 * config.whitelisted_share) as u64;
+        let total = unexecuted + whitelisted;
+        let mut offset = 0;
+        while offset < total {
+            let count = (total - offset).min(NOISE_BATCH);
+            units.push(UnitSpec::Noise {
+                month,
+                offset,
+                count,
+                whitelisted,
+            });
+            offset += count;
+        }
+    }
+    units
+}
+
+/// Read-only generation state shared by every work unit: the machine
+/// roster, catalogs, and all calibrated distributions. Nothing in here
+/// is mutated after construction, so shards can sample it concurrently.
+struct GenContext<'a> {
     config: &'a SynthConfig,
-    rng: SmallRng,
     roster: Roster,
     inventory: BenignProcessInventory,
     domains: DomainCatalog,
-    next_hash: u64,
-    files: HashMap<FileHash, GeneratedFile>,
-    events: Vec<RawEvent>,
-    chain_queue: Vec<ChainSeed>,
-    // Campaign pools: recently created chain files per malware type.
-    campaign_pools: HashMap<MalwareType, Vec<FileHash>>,
     category_dist: Categorical,
     destiny_dists: Vec<DestinyDist>, // per TABLE10 category
     chain_dists: HashMap<MalwareType, DestinyDist>, // per TABLE12 row
@@ -244,15 +317,14 @@ struct Generator<'a> {
     prevalence_exploit: DiscretePowerLaw,
 }
 
-impl<'a> Generator<'a> {
-    fn new(config: &'a SynthConfig, signers: &SignerCatalog) -> Self {
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+impl<'a> GenContext<'a> {
+    fn new(config: &'a SynthConfig) -> Self {
         let tail = (config.scale.apply(calibration::totals::DOMAINS) as usize).clamp(200, 40_000);
         let domains = DomainCatalog::generate(config.seed, tail);
         let mut next_hash = 0x0100_0000;
         let inventory = BenignProcessInventory::generate(config.seed, config.scale, &mut next_hash);
-        let roster = Roster::build(config, &mut rng);
-        let _ = signers; // catalogs are owned by the caller; kept for clarity
+        let mut roster_rng = SmallRng::seed_from_u64(unit_seed(config.seed, ROSTER_SALT, 0));
+        let roster = Roster::build(config, &mut roster_rng);
 
         // Per-category behaviour-type mixes are blended toward the overall
         // Table II mix: primary downloads alone under-represent types that
@@ -313,15 +385,9 @@ impl<'a> Generator<'a> {
 
         Self {
             config,
-            rng,
             roster,
             inventory,
             domains,
-            next_hash,
-            files: HashMap::new(),
-            events: Vec::new(),
-            chain_queue: Vec::new(),
-            campaign_pools: HashMap::new(),
             category_dist,
             destiny_dists,
             chain_dists,
@@ -341,32 +407,88 @@ impl<'a> Generator<'a> {
             prevalence_exploit: DiscretePowerLaw::new(0.30, 1.2, 30).expect("static"),
         }
     }
+}
+
+/// What one work unit hands back: its files in allocation order and its
+/// raw (not yet time-sorted) events in emission order.
+struct UnitOutput {
+    files: Vec<GeneratedFile>,
+    events: Vec<RawEvent>,
+}
+
+/// Mutable state private to one work unit: its RNG stream, hash range,
+/// created files, emitted events, and the infection chains it seeded.
+struct UnitWorker<'a> {
+    ctx: &'a GenContext<'a>,
+    factory: &'a FileFactory<'a>,
+    rng: SmallRng,
+    next_hash: u64,
+    hash_end: u64,
+    files: Vec<GeneratedFile>,
+    file_index: HashMap<FileHash, u32>,
+    events: Vec<RawEvent>,
+    chain_queue: Vec<ChainSeed>,
+    // Campaign pools: recently created chain files per malware type.
+    campaign_pools: HashMap<MalwareType, Vec<FileHash>>,
+}
+
+impl<'a> UnitWorker<'a> {
+    fn new(ctx: &'a GenContext<'a>, factory: &'a FileFactory<'a>, unit_id: usize) -> Self {
+        let base = UNIT_HASH_BASE + unit_id as u64 * UNIT_HASH_SPAN;
+        Self {
+            ctx,
+            factory,
+            rng: SmallRng::seed_from_u64(unit_seed(ctx.config.seed, UNIT_SALT, unit_id as u64)),
+            next_hash: base,
+            hash_end: base + UNIT_HASH_SPAN,
+            files: Vec::new(),
+            file_index: HashMap::new(),
+            events: Vec::new(),
+            chain_queue: Vec::new(),
+            campaign_pools: HashMap::new(),
+        }
+    }
+
+    fn run(mut self, spec: UnitSpec) -> UnitOutput {
+        match spec {
+            UnitSpec::Primary { month, count } => self.primary_downloads(month, count),
+            UnitSpec::Noise {
+                month,
+                offset,
+                count,
+                whitelisted,
+            } => self.noise_events(month, offset, count, whitelisted),
+        }
+        self.expand_chains();
+        UnitOutput {
+            files: self.files,
+            events: self.events,
+        }
+    }
 
     fn alloc_hash(&mut self) -> FileHash {
+        debug_assert!(self.next_hash < self.hash_end, "unit hash range exhausted");
         let h = FileHash::from_raw(self.next_hash);
         self.next_hash += 1;
         h
     }
 
-    fn run(
-        mut self,
-        factory: &FileFactory<'_>,
-    ) -> (HashMap<FileHash, GeneratedFile>, Vec<RawEvent>) {
-        for month in Month::ALL {
-            self.primary_downloads(month, factory);
-            self.noise_events(month, factory);
-        }
-        self.expand_chains(factory);
-        self.events.sort_by_key(|e| e.timestamp);
-        (self.files, self.events)
+    fn insert_file(&mut self, file: GeneratedFile) {
+        self.file_index.insert(file.hash, self.files.len() as u32);
+        self.files.push(file);
     }
 
-    /// Phase A for one month.
-    fn primary_downloads(&mut self, month: Month, factory: &FileFactory<'_>) {
-        let n_files = self.config.scale.apply(TABLE1[month.index()].files);
-        for _ in 0..n_files {
-            let cat_idx = self.category_dist.sample(&mut self.rng);
-            let destiny = self.destiny_dists[cat_idx].sample(&mut self.rng);
+    fn file(&self, hash: FileHash) -> &GeneratedFile {
+        // Chains only reference files created by this same unit, so the
+        // lookup cannot miss.
+        &self.files[self.file_index[&hash] as usize]
+    }
+
+    /// Phase A for one work unit: `count` primary files born in `month`.
+    fn primary_downloads(&mut self, month: Month, count: u64) {
+        for _ in 0..count {
+            let cat_idx = self.ctx.category_dist.sample(&mut self.rng);
+            let destiny = self.ctx.destiny_dists[cat_idx].sample(&mut self.rng);
             let category = match cat_idx {
                 0 => ProcessCategory::Browser(self.pick_browser(destiny)),
                 1 => ProcessCategory::Windows,
@@ -375,22 +497,24 @@ impl<'a> Generator<'a> {
                 _ => ProcessCategory::Other,
             };
             let hash = self.alloc_hash();
-            let file = factory.make(hash, destiny, category.is_browser(), &mut self.rng);
+            let file = self
+                .factory
+                .make(hash, destiny, category.is_browser(), &mut self.rng);
             let prevalence = self.prevalence_for(destiny, category);
             let domain_name = self.domain_for(&file).name.clone();
             let url = make_url(&domain_name, &file.meta.disk_name, &mut self.rng);
             self.schedule_downloads(&file, category, month, prevalence, &url);
-            self.files.insert(hash, file);
+            self.insert_file(file);
         }
     }
 
     fn pick_browser(&mut self, destiny: FileDestiny) -> BrowserKind {
         let dist = match destiny {
-            FileDestiny::Benign | FileDestiny::LikelyBenign => &self.browser_by_destiny[0],
+            FileDestiny::Benign | FileDestiny::LikelyBenign => &self.ctx.browser_by_destiny[0],
             FileDestiny::Malicious(_) | FileDestiny::LikelyMalicious(_) => {
-                &self.browser_by_destiny[1]
+                &self.ctx.browser_by_destiny[1]
             }
-            FileDestiny::Unknown => &self.browser_by_destiny[2],
+            FileDestiny::Unknown => &self.ctx.browser_by_destiny[2],
         };
         TABLE11[dist.sample(&mut self.rng)].0
     }
@@ -402,23 +526,23 @@ impl<'a> Generator<'a> {
             category,
             ProcessCategory::Java | ProcessCategory::AcrobatReader
         ) {
-            return self.prevalence_exploit.sample(&mut self.rng);
+            return self.ctx.prevalence_exploit.sample(&mut self.rng);
         }
         match destiny {
-            FileDestiny::Unknown => self.prevalence_unknown.sample(&mut self.rng),
-            _ => self.prevalence_labeled.sample(&mut self.rng),
+            FileDestiny::Unknown => self.ctx.prevalence_unknown.sample(&mut self.rng),
+            _ => self.ctx.prevalence_labeled.sample(&mut self.rng),
         }
     }
 
-    fn domain_for(&mut self, file: &GeneratedFile) -> &DomainEntry {
+    fn domain_for(&mut self, file: &GeneratedFile) -> &'a DomainEntry {
         match file.destiny {
             FileDestiny::Benign | FileDestiny::LikelyBenign => {
-                self.domains.sample_benign(&mut self.rng)
+                self.ctx.domains.sample_benign(&mut self.rng)
             }
             FileDestiny::Malicious(ty) | FileDestiny::LikelyMalicious(ty) => {
-                self.domains.sample_malicious(ty, &mut self.rng)
+                self.ctx.domains.sample_malicious(ty, &mut self.rng)
             }
-            FileDestiny::Unknown => self.domains.sample_unknown(&mut self.rng),
+            FileDestiny::Unknown => self.ctx.domains.sample_unknown(&mut self.rng),
         }
     }
 
@@ -446,7 +570,7 @@ impl<'a> Generator<'a> {
             let t = Timestamp::from_seconds(secs.min(window_end));
             let event_month = t.month().index();
             let (machine_idx, process_image) = self.pick_initiator(category, event_month);
-            let machine = self.roster.machines[machine_idx as usize].id;
+            let machine = self.ctx.roster.machines[machine_idx as usize].id;
             let (process, process_meta) = process_image;
             self.events.push(RawEvent {
                 file: file.hash,
@@ -477,32 +601,34 @@ impl<'a> Generator<'a> {
                         .iter()
                         .position(|&b| b == kind)
                         .expect("listed");
-                    &self.roster.by_month_browser[month][bidx]
+                    &self.ctx.roster.by_month_browser[month][bidx]
                 };
                 let idx = pool[self.rng.gen_range(0..pool.len())];
-                let img = self.inventory.sample_browser(kind, &mut self.rng);
+                let img = self.ctx.inventory.sample_browser(kind, &mut self.rng);
                 (idx, (img.hash, img.meta.clone()))
             }
             ProcessCategory::Java => {
-                let pool = &self.roster.java_by_month[month];
+                let pool = &self.ctx.roster.java_by_month[month];
                 let idx = pool[self.rng.gen_range(0..pool.len())];
                 let img = self
+                    .ctx
                     .inventory
                     .sample_category(ProcessCategory::Java, &mut self.rng);
                 (idx, (img.hash, img.meta.clone()))
             }
             ProcessCategory::AcrobatReader => {
-                let pool = &self.roster.acrobat_by_month[month];
+                let pool = &self.ctx.roster.acrobat_by_month[month];
                 let idx = pool[self.rng.gen_range(0..pool.len())];
                 let img = self
+                    .ctx
                     .inventory
                     .sample_category(ProcessCategory::AcrobatReader, &mut self.rng);
                 (idx, (img.hash, img.meta.clone()))
             }
             other => {
-                let pool = &self.roster.by_month[month];
+                let pool = &self.ctx.roster.by_month[month];
                 let idx = pool[self.rng.gen_range(0..pool.len())];
-                let img = self.inventory.sample_category(other, &mut self.rng);
+                let img = self.ctx.inventory.sample_category(other, &mut self.rng);
                 (idx, (img.hash, img.meta.clone()))
             }
         }
@@ -555,14 +681,15 @@ impl<'a> Generator<'a> {
     }
 
     /// Phase B: expand all chain seeds (including recursively created
-    /// ones) until the queue drains.
-    fn expand_chains(&mut self, factory: &FileFactory<'_>) {
+    /// ones) until the queue drains. Chains stay inside the work unit
+    /// that seeded them, so no cross-unit state is needed.
+    fn expand_chains(&mut self) {
         let mut cursor = 0;
         while cursor < self.chain_queue.len() {
             let seed = self.chain_queue[cursor].clone();
             cursor += 1;
             if seed.indirect {
-                self.indirect_download(&seed, factory);
+                self.indirect_download(&seed);
                 continue;
             }
             // Number of follow-up downloads by this downloader instance.
@@ -571,7 +698,7 @@ impl<'a> Generator<'a> {
                 k += 1;
             }
             for _ in 0..k {
-                self.chain_download(&seed, factory);
+                self.chain_download(&seed);
             }
         }
     }
@@ -594,7 +721,7 @@ impl<'a> Generator<'a> {
 
     /// Indirect (browser-mediated) escalation after adware/PUP: one
     /// damaging malware download via the machine's primary browser.
-    fn indirect_download(&mut self, seed: &ChainSeed, factory: &FileFactory<'_>) {
+    fn indirect_download(&mut self, seed: &ChainSeed) {
         let ty = {
             const QUALIFYING: &[(MalwareType, f64)] = &[
                 (MalwareType::Trojan, 0.45),
@@ -631,25 +758,28 @@ impl<'a> Generator<'a> {
             None
         };
         let (hash, file_meta) = match reuse {
-            Some(hash) => (hash, self.files[&hash].meta.clone()),
+            Some(hash) => (hash, self.file(hash).meta.clone()),
             None => {
                 let hash = self.alloc_hash();
-                let file = factory.make(hash, FileDestiny::Malicious(ty), true, &mut self.rng);
+                let file = self
+                    .factory
+                    .make(hash, FileDestiny::Malicious(ty), true, &mut self.rng);
                 let meta = file.meta.clone();
                 self.campaign_pools.entry(ty).or_default().push(hash);
-                self.files.insert(hash, file);
+                self.insert_file(file);
                 (hash, meta)
             }
         };
         let domain_name = self
+            .ctx
             .domains
             .sample_malicious(ty, &mut self.rng)
             .name
             .clone();
         let url = make_url(&domain_name, &file_meta.disk_name, &mut self.rng);
-        let machine = self.roster.machines[seed.machine_idx as usize];
+        let machine = self.ctx.roster.machines[seed.machine_idx as usize];
         let browser = machine.browser;
-        let img = self.inventory.sample_browser(browser, &mut self.rng);
+        let img = self.ctx.inventory.sample_browser(browser, &mut self.rng);
         let (process, process_meta) = (img.hash, img.meta.clone());
         self.events.push(RawEvent {
             file: hash,
@@ -664,7 +794,7 @@ impl<'a> Generator<'a> {
         self.maybe_seed_chain(seed.machine_idx, t, hash, ty, seed.depth + 1);
     }
 
-    fn chain_download(&mut self, seed: &ChainSeed, factory: &FileFactory<'_>) {
+    fn chain_download(&mut self, seed: &ChainSeed) {
         let delay_days = self.escalation_delay_days(seed.ty);
         let t = seed.time
             + Duration::from_seconds(
@@ -673,7 +803,7 @@ impl<'a> Generator<'a> {
         let window_end = Timestamp::from_day(Month::July.end_day()).seconds() - 1;
         let t = Timestamp::from_seconds(t.seconds().min(window_end));
 
-        let destiny = self.chain_dists[&seed.ty].sample(&mut self.rng);
+        let destiny = self.ctx.chain_dists[&seed.ty].sample(&mut self.rng);
 
         // Reuse a recent campaign file of the same destiny type half the
         // time so chain files develop prevalence > 1.
@@ -696,36 +826,37 @@ impl<'a> Generator<'a> {
 
         let (file_hash, file_meta, file_destiny) = match reuse {
             Some(hash) => {
-                let f = &self.files[&hash];
+                let f = self.file(hash);
                 (hash, f.meta.clone(), f.destiny)
             }
             None => {
                 let hash = self.alloc_hash();
-                let file = factory.make(hash, destiny, false, &mut self.rng);
+                let file = self.factory.make(hash, destiny, false, &mut self.rng);
                 if let FileDestiny::Malicious(ty) = destiny {
                     self.campaign_pools.entry(ty).or_default().push(hash);
                 }
                 let meta = file.meta.clone();
-                self.files.insert(hash, file);
+                self.insert_file(file);
                 (hash, meta, destiny)
             }
         };
 
         let domain_name = match file_destiny {
             FileDestiny::Benign | FileDestiny::LikelyBenign => {
-                self.domains.sample_benign(&mut self.rng).name.clone()
+                self.ctx.domains.sample_benign(&mut self.rng).name.clone()
             }
             FileDestiny::Malicious(ty) | FileDestiny::LikelyMalicious(ty) => self
+                .ctx
                 .domains
                 .sample_malicious(ty, &mut self.rng)
                 .name
                 .clone(),
-            FileDestiny::Unknown => self.domains.sample_unknown(&mut self.rng).name.clone(),
+            FileDestiny::Unknown => self.ctx.domains.sample_unknown(&mut self.rng).name.clone(),
         };
         let url = make_url(&domain_name, &file_meta.disk_name, &mut self.rng);
 
-        let downloader_meta = self.files[&seed.downloader].meta.clone();
-        let machine = self.roster.machines[seed.machine_idx as usize].id;
+        let downloader_meta = self.file(seed.downloader).meta.clone();
+        let machine = self.ctx.roster.machines[seed.machine_idx as usize].id;
         self.events.push(RawEvent {
             file: file_hash,
             file_meta,
@@ -742,14 +873,15 @@ impl<'a> Generator<'a> {
     }
 
     /// Noise events: never-executed downloads and whitelisted update-host
-    /// downloads, both of which the collection server must drop.
-    fn noise_events(&mut self, month: Month, factory: &FileFactory<'_>) {
-        let month_events = self.config.scale.apply(TABLE1[month.index()].events);
-        let unexecuted = (month_events as f64 * self.config.unexecuted_share) as u64;
-        let whitelisted = (month_events as f64 * self.config.whitelisted_share) as u64;
-        for i in 0..(unexecuted + whitelisted) {
+    /// downloads, both of which the collection server must drop. `offset`
+    /// positions this unit inside the month's noise sequence so the
+    /// whitelisted/unexecuted split is independent of batching.
+    fn noise_events(&mut self, month: Month, offset: u64, count: u64, whitelisted: u64) {
+        for i in offset..offset + count {
             let hash = self.alloc_hash();
-            let file = factory.make(hash, FileDestiny::Unknown, true, &mut self.rng);
+            let file = self
+                .factory
+                .make(hash, FileDestiny::Unknown, true, &mut self.rng);
             let day = self.rng.gen_range(month.start_day()..month.end_day());
             let t = Timestamp::from_seconds(
                 Timestamp::from_day(day).seconds() + self.rng.gen_range(0..SECONDS_PER_DAY),
@@ -757,9 +889,9 @@ impl<'a> Generator<'a> {
             let month_idx = month.index();
             let (machine_idx, (process, process_meta)) =
                 self.pick_initiator(ProcessCategory::Browser(BrowserKind::Chrome), month_idx);
-            // First `whitelisted` events: executed, but served from a
-            // whitelisted update host. The rest: ordinary URL, never
-            // executed. Both must be suppressed by the server.
+            // First `whitelisted` events of the month: executed, but
+            // served from a whitelisted update host. The rest: ordinary
+            // URL, never executed. Both must be suppressed by the server.
             let (url, executed) = if i < whitelisted {
                 (
                     make_url("microsoft.com", &file.meta.disk_name, &mut self.rng),
@@ -771,7 +903,7 @@ impl<'a> Generator<'a> {
                     false,
                 )
             };
-            let machine = self.roster.machines[machine_idx as usize].id;
+            let machine = self.ctx.roster.machines[machine_idx as usize].id;
             self.events.push(RawEvent {
                 file: file.hash,
                 file_meta: file.meta.clone(),
@@ -782,7 +914,7 @@ impl<'a> Generator<'a> {
                 timestamp: t,
                 executed,
             });
-            self.files.insert(hash, file);
+            self.insert_file(file);
         }
     }
 }
@@ -798,8 +930,22 @@ fn make_url(domain: &str, file_name: &str, rng: &mut SmallRng) -> Url {
         .expect("generated hosts are valid")
 }
 
-/// Generates a world and its time-ordered raw event stream.
+/// Generates a world and its time-ordered raw event stream sequentially.
+///
+/// Exactly [`generate_with`] at one shard on the inline pool; kept as the
+/// single-threaded oracle path.
 pub(crate) fn generate(config: &SynthConfig) -> Generated {
+    generate_with(config, 1, &Pool::sequential())
+}
+
+/// Generates a world and its time-ordered raw event stream, running the
+/// work units in `shards` contiguous groups on `pool`.
+///
+/// `shards == 0` means one shard per pool thread. The output is
+/// byte-identical for every shard count and pool width: unit RNG streams
+/// and hash ranges are derived from unit ids, and shard outputs are
+/// reassembled in unit order before the final stable time sort.
+pub(crate) fn generate_with(config: &SynthConfig, shards: usize, pool: &Pool) -> Generated {
     let signers = SignerCatalog::generate_scaled(config.seed, config.scale.fraction().sqrt());
     let packers = PackerCatalog::new();
     let families = FamilyCatalog::generate(config.seed);
@@ -813,12 +959,36 @@ pub(crate) fn generate(config: &SynthConfig) -> Generated {
         &factory_families,
     );
 
-    let generator = Generator::new(config, &signers);
-    // The generator's domain catalog and inventory are moved into the
-    // world afterwards.
-    let domains = generator.domains.clone();
-    let inventory = generator.inventory.clone();
-    let (mut files, events) = generator.run(&factory);
+    let ctx = GenContext::new(config);
+    let units = build_units(config);
+    let shard_count = if shards == 0 { pool.threads() } else { shards };
+    let ranges = partition(units.len(), shard_count);
+    // One pool job per shard; each runs its unit range in order. The
+    // merge below visits shard outputs in shard order, which for
+    // contiguous ranges is exactly unit order.
+    let shard_outputs = pool.map(&ranges, |_, range| {
+        let mut outputs = Vec::with_capacity(range.len());
+        for unit_id in range.clone() {
+            let worker = UnitWorker::new(&ctx, &factory, unit_id);
+            outputs.push(worker.run(units[unit_id]));
+        }
+        outputs
+    });
+
+    let mut files: HashMap<FileHash, GeneratedFile> = HashMap::new();
+    let mut events: Vec<RawEvent> = Vec::new();
+    for output in shard_outputs.into_iter().flatten() {
+        for file in output.files {
+            files.insert(file.hash, file);
+        }
+        events.extend(output.events);
+    }
+    // Stable by-timestamp sort: ties keep unit order, which is fixed by
+    // the config alone.
+    events.sort_by_key(|e| e.timestamp);
+
+    let domains = ctx.domains.clone();
+    let inventory = ctx.inventory.clone();
 
     // The benign process-inventory images are part of the world too:
     // ground truth is collected over downloading processes as well
@@ -935,6 +1105,45 @@ mod tests {
         let g = tiny();
         for e in &g.events {
             assert!(e.timestamp.in_study_window(), "event at {}", e.timestamp);
+        }
+    }
+
+    #[test]
+    fn unit_list_depends_only_on_config() {
+        let config = SynthConfig::new(42).with_scale(Scale::Tiny);
+        let a = build_units(&config);
+        let b = build_units(&config);
+        assert_eq!(a.len(), b.len());
+        // Unit volumes must tile the configured month totals exactly.
+        let mut primary = 0u64;
+        let mut noise = 0u64;
+        for unit in &a {
+            match *unit {
+                UnitSpec::Primary { count, .. } => primary += count,
+                UnitSpec::Noise { count, .. } => noise += count,
+            }
+        }
+        let expected_primary: u64 = Month::ALL
+            .iter()
+            .map(|m| config.scale.apply(TABLE1[m.index()].files))
+            .sum();
+        assert_eq!(primary, expected_primary);
+        assert!(noise > 0);
+    }
+
+    #[test]
+    fn sharded_generation_matches_sequential() {
+        let config = SynthConfig::new(42).with_scale(Scale::Tiny);
+        let oracle = generate(&config);
+        for (shards, threads) in [(4, 1), (7, 2), (3, 8)] {
+            let g = generate_with(&config, shards, &Pool::new(threads));
+            assert_eq!(
+                g.events.len(),
+                oracle.events.len(),
+                "shards={shards} threads={threads}"
+            );
+            assert_eq!(g.events, oracle.events, "shards={shards} threads={threads}");
+            assert_eq!(g.world.file_count(), oracle.world.file_count());
         }
     }
 }

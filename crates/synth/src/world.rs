@@ -8,6 +8,7 @@ use crate::catalogs::signers::SignerCatalog;
 use crate::config::SynthConfig;
 use crate::eventgen::{self, Generated};
 use crate::filegen::{FileDestiny, GeneratedFile};
+use downlake_exec::Pool;
 use downlake_types::{FileHash, FileMeta, FileNature, LatentProfile};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -31,6 +32,14 @@ impl World {
     /// Deterministic: equal configs produce equal outputs.
     pub fn generate(config: &SynthConfig) -> Generated {
         eventgen::generate(config)
+    }
+
+    /// Like [`World::generate`], but runs the generation work units in
+    /// `shards` groups on `pool` (`shards == 0` → one shard per pool
+    /// thread). Output is byte-identical to [`World::generate`] for
+    /// every shard count and pool width.
+    pub fn generate_with(config: &SynthConfig, shards: usize, pool: &Pool) -> Generated {
+        eventgen::generate_with(config, shards, pool)
     }
 
     /// The configuration the world was generated from.

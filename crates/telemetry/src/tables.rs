@@ -191,6 +191,12 @@ impl FileTable {
     pub fn iter(&self) -> impl Iterator<Item = &FileRecord> {
         self.records.iter()
     }
+
+    /// All records as a slice, indexed by dense id; lets consumers chunk
+    /// the table into contiguous id ranges.
+    pub fn records(&self) -> &[FileRecord] {
+        &self.records
+    }
 }
 
 /// Interns distinct downloading-process images keyed by image hash,
@@ -256,6 +262,12 @@ impl ProcessTable {
     /// Iterates over all records in dense-id (first-seen) order.
     pub fn iter(&self) -> impl Iterator<Item = &ProcessRecord> {
         self.records.iter()
+    }
+
+    /// All records as a slice, indexed by dense id; lets consumers chunk
+    /// the table into contiguous id ranges.
+    pub fn records(&self) -> &[ProcessRecord] {
+        &self.records
     }
 }
 

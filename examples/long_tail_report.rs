@@ -2,12 +2,13 @@
 //! prints them as one plain-text report.
 //!
 //! ```text
-//! cargo run --release --example long_tail_report [tiny|small|default|large|paper] [seed]
+//! cargo run --release --example long_tail_report [tiny|small|default|large|paper] [seed] [--threads N]
 //! ```
 //!
 //! Scale controls the synthetic population as a fraction of the paper's
 //! (default: 1/16 ≈ 190k events; `paper` regenerates at full 3M-event
-//! scale and takes minutes).
+//! scale and takes minutes). `--threads 0` uses one worker per available
+//! core; any thread count produces byte-identical output.
 
 use downlake_repro::core::{report, Study, StudyConfig};
 use downlake_repro::synth::Scale;
@@ -24,17 +25,30 @@ fn parse_scale(arg: &str) -> Option<Scale> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = args
+    let mut threads = 1usize;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+        } else {
+            positional.push(arg);
+        }
+    }
+    let scale = positional
         .first()
         .and_then(|a| parse_scale(a))
         .unwrap_or(Scale::Default);
-    let seed = args
+    let seed = positional
         .get(1)
         .and_then(|a| a.parse::<u64>().ok())
         .unwrap_or(42);
 
-    eprintln!("running study at {scale:?}, seed {seed}…");
-    let study = Study::run(&StudyConfig::new(seed).with_scale(scale));
+    eprintln!("running study at {scale:?}, seed {seed}, threads {threads}…");
+    let study = Study::run(
+        &StudyConfig::new(seed)
+            .with_scale(scale)
+            .with_threads(threads),
+    );
     println!("{}", report::full_report(&study));
 }

@@ -1,9 +1,12 @@
 //! `downlake` — the command-line front door to the reproduction.
 //!
 //! ```text
-//! downlake [--scale tiny|small|default|large|paper|<fraction>] [--seed N] <experiment>...
+//! downlake [--scale tiny|small|default|large|paper|<fraction>] [--seed N] [--threads N] <experiment>...
 //! downlake --list
 //! ```
+//!
+//! `--threads 0` uses one worker per available core; the thread count
+//! only changes wall-clock time, never a byte of output.
 //!
 //! Experiments are the paper's artifact ids (`table1` … `table17`,
 //! `fig1` … `fig6`, `packers`, `evasion`, `reach`, `rules`, `all`).
@@ -56,14 +59,16 @@ fn parse_scale(arg: &str) -> Option<Scale> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: downlake [--scale SCALE] [--seed N] <experiment>...");
+    eprintln!("usage: downlake [--scale SCALE] [--seed N] [--threads N] <experiment>...");
     eprintln!("       downlake --list");
+    eprintln!("       --threads 0 = one worker per core (output is identical at any count)");
     std::process::exit(2);
 }
 
 fn main() {
     let mut scale = Scale::Small;
     let mut seed = 42u64;
+    let mut threads = 1usize;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -87,6 +92,12 @@ fn main() {
                 };
                 seed = value;
             }
+            "--threads" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                threads = value;
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => usage(),
             other => wanted.push(other.to_owned()),
@@ -102,8 +113,12 @@ fn main() {
         }
     }
 
-    eprintln!("running study (scale {scale:?}, seed {seed})…");
-    let study = Study::run(&StudyConfig::new(seed).with_scale(scale));
+    eprintln!("running study (scale {scale:?}, seed {seed}, threads {threads})…");
+    let study = Study::run(
+        &StudyConfig::new(seed)
+            .with_scale(scale)
+            .with_threads(threads),
+    );
 
     for id in wanted {
         match id.as_str() {

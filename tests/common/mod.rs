@@ -1,0 +1,34 @@
+//! Shared fixtures for the integration-test binaries.
+//!
+//! Every suite that needs "the seed-42 study" gets it from here, built
+//! exactly once per scale via `OnceLock` and shared across all tests in
+//! the binary. Keeping the canonical `(seed, scale)` pairs in one place
+//! means a pipeline knob added to `StudyConfig` (e.g. `threads`) is
+//! exercised consistently instead of drifting per suite.
+
+#![allow(dead_code)] // each test binary uses a subset of these fixtures
+
+use downlake_repro::core::{Study, StudyConfig};
+use downlake_repro::synth::Scale;
+use std::sync::OnceLock;
+
+/// The canonical deterministic seed used by every pinned suite.
+pub const SEED: u64 = 42;
+
+/// The shared seed-42 study at `Scale::Small` (1/64), built once.
+pub fn small_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(&StudyConfig::new(SEED).with_scale(Scale::Small)))
+}
+
+/// The shared seed-42 study at `Scale::Tiny`, built once.
+pub fn tiny_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| tiny(SEED))
+}
+
+/// A fresh tiny-scale study at an arbitrary seed (not cached; for
+/// multi-seed invariant sweeps).
+pub fn tiny(seed: u64) -> Study {
+    Study::run(&StudyConfig::new(seed).with_scale(Scale::Tiny))
+}

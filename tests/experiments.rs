@@ -7,16 +7,15 @@ use downlake_repro::analysis::{
     domain_popularity, escalation_cdf, packer_report, prevalence_report, signer_overlap,
     signing_rates_table, top_signers, EscalationKind,
 };
-use downlake_repro::core::{experiments, Study, StudyConfig};
-use downlake_repro::synth::Scale;
+use downlake_repro::core::{experiments, Study};
 use downlake_repro::types::{FileLabel, MalwareType};
 use std::collections::HashSet;
-use std::sync::OnceLock;
+
+mod common;
 
 /// One shared study for all shape tests (seeded, 1/64 scale).
 fn study() -> &'static Study {
-    static STUDY: OnceLock<Study> = OnceLock::new();
-    STUDY.get_or_init(|| Study::run(&StudyConfig::new(42).with_scale(Scale::Small)))
+    common::small_study()
 }
 
 #[test]

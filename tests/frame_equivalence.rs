@@ -7,14 +7,13 @@
 //! asserted on the `Debug` rendering, which exposes every field.
 
 use downlake_repro::analysis::{legacy, AnalysisFrame};
-use downlake_repro::core::{Study, StudyConfig};
-use downlake_repro::synth::Scale;
+use downlake_repro::core::Study;
 use downlake_repro::types::{FileLabel, MalwareType};
-use std::sync::OnceLock;
+
+mod common;
 
 fn study() -> &'static Study {
-    static STUDY: OnceLock<Study> = OnceLock::new();
-    STUDY.get_or_init(|| Study::run(&StudyConfig::new(42).with_scale(Scale::Tiny)))
+    common::tiny_study()
 }
 
 fn frame(study: &Study) -> &AnalysisFrame {

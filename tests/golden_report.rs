@@ -1,0 +1,49 @@
+//! Golden snapshot: the full default-scale report at seed 42 is pinned
+//! byte-for-byte in `docs/report_default.txt`.
+//!
+//! Any change to generation, collection, labeling, analysis, or report
+//! assembly that shifts a single byte fails here — which is the point:
+//! output changes must be deliberate. To bless a deliberate change:
+//!
+//! ```text
+//! DOWNLAKE_BLESS=1 cargo test --release --test golden_report
+//! ```
+//!
+//! then commit the regenerated `docs/report_default.txt` alongside the
+//! change that caused it.
+
+use downlake_repro::core::{report, Study, StudyConfig};
+use std::path::PathBuf;
+
+mod common;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("docs")
+        .join("report_default.txt")
+}
+
+#[test]
+fn default_report_matches_golden_snapshot() {
+    // Default scale (1/16), canonical seed, sequential defaults.
+    let study = Study::run(&StudyConfig::new(common::SEED));
+    let got = report::full_report(&study);
+    let path = golden_path();
+
+    if std::env::var_os("DOWNLAKE_BLESS").is_some() {
+        std::fs::write(&path, &got).expect("write blessed golden report");
+        return;
+    }
+
+    let want = std::fs::read_to_string(&path).expect(
+        "docs/report_default.txt missing — run with DOWNLAKE_BLESS=1 to generate the golden file",
+    );
+    assert!(
+        got == want,
+        "default-scale report diverged from docs/report_default.txt \
+         ({} vs {} bytes); if the change is deliberate, re-bless with \
+         DOWNLAKE_BLESS=1 and commit the new snapshot",
+        got.len(),
+        want.len()
+    );
+}

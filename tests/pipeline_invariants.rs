@@ -1,11 +1,12 @@
 //! Cross-crate pipeline invariants, checked over multiple seeds.
 
-use downlake_repro::core::{Study, StudyConfig};
-use downlake_repro::synth::Scale;
+use downlake_repro::core::Study;
 use downlake_repro::types::{FileLabel, FileNature};
 
+mod common;
+
 fn tiny(seed: u64) -> Study {
-    Study::run(&StudyConfig::new(seed).with_scale(Scale::Tiny))
+    common::tiny(seed)
 }
 
 #[test]

@@ -1,0 +1,68 @@
+//! The determinism gate for `downlake-exec` parallelism: the full
+//! plain-text report must be **byte-identical** at every thread count
+//! and every shard count.
+//!
+//! The oracle is the sequential path (`threads = 1`, one shard). Every
+//! cell of the `threads × shards` matrix below re-runs the entire
+//! pipeline — sharded generation, parallel frame build, parallel
+//! analysis passes — and must reproduce the oracle's report exactly.
+//! A single flipped byte anywhere (event order, intern order, CSR
+//! layout, section assembly) fails this test.
+
+use downlake_repro::core::{report, Study, StudyConfig};
+use downlake_repro::synth::Scale;
+
+mod common;
+
+const THREADS: &[usize] = &[1, 2, 8];
+const SHARDS: &[usize] = &[1, 4, 7];
+
+fn run(threads: usize, shards: usize) -> Study {
+    Study::run(
+        &StudyConfig::new(common::SEED)
+            .with_scale(Scale::Tiny)
+            .with_threads(threads)
+            .with_shards(shards),
+    )
+}
+
+#[test]
+fn full_report_is_byte_identical_across_thread_and_shard_matrix() {
+    let oracle = report::full_report(common::tiny_study());
+    for &threads in THREADS {
+        for &shards in SHARDS {
+            let study = run(threads, shards);
+            let got = report::full_report(&study);
+            assert_eq!(
+                got, oracle,
+                "report diverged at threads={threads}, shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dataset_and_ground_truth_match_sequential_oracle() {
+    // A cheaper, sharper probe than the full report: raw dataset stats
+    // and label counts must already agree before any rendering.
+    let oracle = common::tiny_study();
+    let study = run(8, 7);
+    assert_eq!(study.dataset().stats(), oracle.dataset().stats());
+    assert_eq!(
+        study.ground_truth().counts(),
+        oracle.ground_truth().counts()
+    );
+    assert_eq!(
+        study.types().resolution_stats(),
+        oracle.types().resolution_stats()
+    );
+}
+
+#[test]
+fn auto_thread_count_matches_oracle() {
+    // `threads = 0` resolves to one worker per available core — whatever
+    // that is on the host running this test, the bytes must not change.
+    let oracle = report::full_report(common::tiny_study());
+    let study = run(0, 0);
+    assert_eq!(report::full_report(&study), oracle);
+}
