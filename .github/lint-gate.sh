@@ -29,3 +29,10 @@ cargo run -p downlake-lint --release -- --check
 # the report. (Timing numbers at this scale are noise; ignore them.)
 echo "parallel_speedup: tiny-scale smoke run (byte-identity across thread counts)"
 cargo run -p downlake-bench --release --bin parallel -- --smoke
+
+# Smoke-run the stream-throughput bench at tiny scale: replays the raw
+# event stream through the online subsystem and fails unless every
+# replay (per-event and pooled micro-batches) ends byte-identical to
+# the batch pipeline.
+echo "stream_throughput: tiny-scale smoke run (online/batch identity)"
+cargo run -p downlake-bench --release --bin stream -- --smoke

@@ -1,0 +1,126 @@
+//! `stream_throughput` — events/second of the live classification
+//! replay (`downlake-stream`), one event at a time vs pooled
+//! micro-batches, plus the online/batch identity check.
+//!
+//! ```text
+//! cargo run --release -p downlake-bench --bin stream            # large scale
+//! cargo run --release -p downlake-bench --bin stream -- --smoke # tiny, for CI
+//! ```
+//!
+//! Emits `BENCH_stream.json` in the current directory, schema-matched
+//! to `BENCH_parallel.json`: `host_cpus` is recorded because a
+//! single-core runner cannot show pooled speedup, and `identical`
+//! reports the invariant that actually matters — every replay ends
+//! byte-identical to the batch pipeline and to every other replay.
+//! Exits non-zero if identity ever breaks.
+
+use downlake::live::{self, LiveConfig};
+use downlake::{Study, StudyConfig};
+use downlake_synth::Scale;
+use std::time::Instant;
+
+struct Run {
+    threads: usize,
+    seconds: f64,
+    events_per_sec: f64,
+    outcome: live::LiveOutcome,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, scale_name) = if smoke {
+        (Scale::Tiny, "tiny")
+    } else {
+        (Scale::Large, "large")
+    };
+    let seed = 42u64;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("stream_throughput: scale {scale_name}, seed {seed}, host_cpus {host_cpus}");
+    let study = Study::run(&StudyConfig::new(seed).with_scale(scale));
+    let prep = live::prepare(&study, LiveConfig::default());
+    eprintln!(
+        "  staged: {} events, {} wire bytes, {} rules",
+        prep.events_total(),
+        prep.stream_bytes(),
+        prep.engine().rule_count()
+    );
+
+    let runs: Vec<Run> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let start = Instant::now();
+            let outcome = match prep.replay(threads) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    eprintln!("stream_throughput: replay failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let seconds = start.elapsed().as_secs_f64();
+            let events_per_sec = if seconds > 0.0 {
+                outcome.events_total as f64 / seconds
+            } else {
+                0.0
+            };
+            eprintln!(
+                "  threads {threads}: {seconds:.3}s, {events_per_sec:.0} events/s, \
+                 matches batch: {}",
+                outcome.matches_batch
+            );
+            Run {
+                threads,
+                seconds,
+                events_per_sec,
+                outcome,
+            }
+        })
+        .collect();
+
+    // Identity: every replay equals the batch oracle AND every other
+    // replay (verdicts, vectors, suppression — the whole outcome).
+    let identical = runs.iter().all(|r| r.outcome.matches_batch)
+        && runs.windows(2).all(|w| w[0].outcome == w[1].outcome);
+    let speedup = match runs.last() {
+        Some(last) if last.seconds > 0.0 => runs
+            .first()
+            .map_or(1.0, |first| first.seconds / last.seconds),
+        _ => 1.0,
+    };
+    eprintln!("  speedup (1 → 4 threads): {speedup:.2}x, identical: {identical}");
+
+    // Hand-rolled JSON: the bench crate stays free of serialization deps.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"stream_throughput\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!("  \"events\": {},\n", prep.events_total()));
+    json.push_str(&format!("  \"stream_bytes\": {},\n", prep.stream_bytes()));
+    json.push_str(&format!("  \"rules\": {},\n", prep.engine().rule_count()));
+    json.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}}}{comma}\n",
+            run.threads, run.seconds, run.events_per_sec
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
+    json.push_str(&format!("  \"identical\": {identical}\n"));
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write("BENCH_stream.json", &json) {
+        eprintln!("stream_throughput: could not write BENCH_stream.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("stream_throughput: wrote BENCH_stream.json");
+
+    if !identical {
+        eprintln!("stream_throughput: FAIL — replay diverged from the batch pipeline");
+        std::process::exit(1);
+    }
+}

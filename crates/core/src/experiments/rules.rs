@@ -150,6 +150,11 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
         for tau in TAU_SETTINGS {
             let selected = full.select_with(tau, min_coverage);
             let composition = selected.class_composition();
+            // Interned encoder + reusable row, hoisted out of both
+            // per-file loops (the old path re-walked the schema's hash
+            // tables and allocated a fresh row per call).
+            let encoder = selected.encoder();
+            let mut encoded = Vec::new();
 
             let mut confusion = Confusion::default();
             let mut fp_rules: HashSet<usize> = HashSet::new();
@@ -162,7 +167,7 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
                     FileLabel::Malicious => 1u8,
                     _ => continue,
                 };
-                let encoded = selected.schema().encode(&vector.values());
+                encoder.encode_into(&vector.values(), &mut encoded);
                 let verdict = selected.classify(&encoded, ConflictPolicy::Reject);
                 confusion.record(verdict, truth, malicious_class);
                 if verdict == Verdict::Class(malicious_class) && truth == 0 {
@@ -190,7 +195,7 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
                 if tau > 0.0 {
                     all_unknowns.insert(hash);
                 }
-                let encoded = selected.schema().encode(&vector.values());
+                encoder.encode_into(&vector.values(), &mut encoded);
                 match selected.classify(&encoded, ConflictPolicy::Reject) {
                     Verdict::NoMatch => {}
                     Verdict::Rejected => {

@@ -1,0 +1,285 @@
+//! Live (online) classification over the raw event stream.
+//!
+//! The §VI rules exist to be deployed: classify unknown files *as the
+//! telemetry arrives*, not in a seven-month batch. This module stages
+//! that deployment on top of a finished [`Study`]:
+//!
+//! 1. [`prepare`] trains a PART ruleset on one month (the same recipe
+//!    as the Table XVI/XVII experiments), compiles it to a
+//!    [`CompiledRuleSet`], computes the **batch oracle** (per-file
+//!    verdicts and feature vectors from the finished dataset), and
+//!    codec-encodes the study's raw pre-admission event stream;
+//! 2. [`LivePrep::replay`] re-consumes those bytes through a
+//!    [`StreamSession`] — one event at a time, or in `downlake-exec`
+//!    micro-batches — and reports whether the end-of-stream state is
+//!    byte-identical to the batch oracle.
+//!
+//! Determinism contract: `threads` changes wall-clock time only. The
+//! replay admits, extracts, and classifies in arrival order, so the
+//! session's verdict list and vectors must equal the batch pipeline's
+//! at every pool width (`tests/stream_equivalence.rs` pins this; the
+//! `stream` bench exits non-zero if it ever breaks). No timing happens
+//! here — benches own the clock.
+
+use crate::pipeline::Study;
+use downlake_exec::Pool;
+use downlake_features::{build_training_set, Extractor, FileVectors};
+use downlake_groundtruth::UrlLabeler;
+use downlake_rulelearn::{ConflictPolicy, PartLearner, RuleSet, TreeConfig, Verdict};
+use downlake_stream::{CompiledRuleSet, StreamSession};
+use downlake_synth::World;
+use downlake_telemetry::codec::encode_events;
+use downlake_telemetry::{CodecError, ReportingPolicy, SuppressionStats};
+use downlake_types::{FileHash, Month};
+
+/// Configuration of a live replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveConfig {
+    /// Month whose labeled files train the deployed ruleset.
+    pub train_month: Month,
+    /// Rule-selection threshold τ (the paper deploys τ = 0.1%).
+    pub tau: f64,
+    /// Micro-batch size for pooled replay (`replay` with threads > 1).
+    pub batch: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            train_month: Month::January,
+            tau: 0.001,
+            batch: 512,
+        }
+    }
+}
+
+/// Everything a replay needs, staged once per study: the compiled
+/// engine, the batch oracle, and the codec-encoded raw stream.
+#[derive(Debug)]
+pub struct LivePrep<'a> {
+    urls: &'a UrlLabeler,
+    config: LiveConfig,
+    engine: CompiledRuleSet,
+    batch_vectors: FileVectors,
+    batch_verdicts: Vec<(FileHash, Verdict)>,
+    events_total: usize,
+    bytes: Vec<u8>,
+}
+
+/// End-of-stream state of one replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveOutcome {
+    /// Events decoded from the byte stream (admitted + suppressed).
+    pub events_total: usize,
+    /// Events the streaming collector admitted.
+    pub events_admitted: u64,
+    /// What the streaming collector suppressed.
+    pub suppression: SuppressionStats,
+    /// Distinct files sighted (= verdicts issued).
+    pub files: usize,
+    /// Verdict tally per class index.
+    pub class_counts: Vec<usize>,
+    /// Files rejected due to rule conflicts.
+    pub rejected: usize,
+    /// Files matching no rule.
+    pub no_match: usize,
+    /// Whether verdicts *and* vectors are byte-identical to the batch
+    /// oracle — the subsystem's central invariant.
+    pub matches_batch: bool,
+    /// Per-file verdicts in first-sighting order.
+    pub verdicts: Vec<(FileHash, Verdict)>,
+    /// Per-file feature vectors in first-sighting order.
+    pub vectors: FileVectors,
+}
+
+/// Trains the deployed ruleset with the Table XVI recipe: PART, unpruned
+/// (τ-selection is the quality filter at sub-paper scale), re-scored
+/// against the whole training set, support floor scaled to its size.
+fn train_ruleset(study: &Study, month: Month, tau: f64) -> RuleSet {
+    let extractor = Extractor::new(study.dataset(), study.url_labeler());
+    let train = extractor.extract_first_seen(study.dataset().month(month).events());
+    let gt = study.ground_truth();
+    let instances = build_training_set(train.iter().map(|(hash, vector)| (vector, gt.label(hash))));
+    if instances.is_empty() {
+        return RuleSet::new(instances.schema().clone(), Vec::new());
+    }
+    let learner = PartLearner::new(TreeConfig {
+        min_leaf: 4,
+        prune: false,
+        ..TreeConfig::default()
+    });
+    let full = learner.learn(&instances).reevaluate(&instances);
+    let min_coverage = (instances.len() / 120).clamp(8, 16);
+    full.select_with(tau, min_coverage)
+}
+
+/// Stages a live replay of `study`'s raw event stream.
+///
+/// Trains and compiles the ruleset, classifies the finished dataset the
+/// batch way (the oracle every replay is checked against), regenerates
+/// the deterministic pre-admission event stream, and encodes it with
+/// the telemetry codec — the same bytes a collection endpoint would
+/// receive on the wire.
+pub fn prepare(study: &Study, config: LiveConfig) -> LivePrep<'_> {
+    let ruleset = train_ruleset(study, config.train_month, config.tau);
+    let engine = CompiledRuleSet::compile(&ruleset);
+
+    // Batch oracle: vectors from the finished dataset, verdicts through
+    // the batch classifier (interned encoder hoisted out of the loop).
+    let extractor = Extractor::new(study.dataset(), study.url_labeler());
+    let batch_vectors = extractor.extract_files();
+    let encoder = ruleset.encoder();
+    let mut encoded = Vec::new();
+    let mut batch_verdicts = Vec::with_capacity(batch_vectors.len());
+    for (hash, vector) in batch_vectors.iter() {
+        encoder.encode_into(&vector.values(), &mut encoded);
+        batch_verdicts.push((hash, ruleset.classify(&encoded, ConflictPolicy::Reject)));
+    }
+
+    // The raw stream the study's collection server consumed, regenerated
+    // bit-for-bit (generation is deterministic at any shard count) and
+    // serialized to wire frames.
+    let pool = Pool::new(study.config().threads);
+    let generated = World::generate_with(&study.config().synth, study.config().shards, &pool);
+    let bytes = encode_events(&generated.events);
+
+    LivePrep {
+        urls: study.url_labeler(),
+        config,
+        engine,
+        batch_vectors,
+        batch_verdicts,
+        events_total: generated.events.len(),
+        bytes,
+    }
+}
+
+impl LivePrep<'_> {
+    /// The compiled engine replays classify with.
+    pub fn engine(&self) -> &CompiledRuleSet {
+        &self.engine
+    }
+
+    /// The configuration this prep was staged with.
+    pub fn config(&self) -> LiveConfig {
+        self.config
+    }
+
+    /// Events in the encoded stream.
+    pub fn events_total(&self) -> usize {
+        self.events_total
+    }
+
+    /// Size of the encoded stream in bytes.
+    pub fn stream_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Replays the encoded stream through a fresh [`StreamSession`].
+    ///
+    /// `threads <= 1` pushes one event at a time (the latency shape);
+    /// otherwise events flow in micro-batches of `config.batch` through
+    /// a pool of `threads` workers (the throughput shape). Both produce
+    /// identical outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CodecError`] if the byte stream is malformed
+    /// — impossible for bytes produced by [`prepare`].
+    pub fn replay(&self, threads: usize) -> Result<LiveOutcome, CodecError> {
+        let mut session =
+            StreamSession::new(ReportingPolicy::paper_default(), self.urls, &self.engine);
+        let events_total = if threads <= 1 {
+            session.push_bytes(&self.bytes)?
+        } else {
+            let pool = Pool::new(threads);
+            session.push_bytes_batched(&self.bytes, self.config.batch, &pool)?
+        };
+        let (class_counts, rejected, no_match) = session.verdict_counts();
+        let matches_batch = session.verdicts() == self.batch_verdicts.as_slice()
+            && session.vectors() == &self.batch_vectors;
+        Ok(LiveOutcome {
+            events_total,
+            events_admitted: session.events_admitted(),
+            suppression: session.suppression_stats(),
+            files: session.verdicts().len(),
+            class_counts,
+            rejected,
+            no_match,
+            matches_batch,
+            verdicts: session.verdicts().to_vec(),
+            vectors: session.vectors().clone(),
+        })
+    }
+}
+
+/// Renders a replay outcome for the CLI (counts only — benches own the
+/// clock).
+pub fn render_summary(prep: &LivePrep<'_>, outcome: &LiveOutcome) -> String {
+    let mut lines = Vec::new();
+    lines.push(format!("events decoded    {}", outcome.events_total));
+    lines.push(format!("events admitted   {}", outcome.events_admitted));
+    let s = outcome.suppression;
+    lines.push(format!(
+        "suppressed        {} (not-executed {}, prevalence-cap {}, whitelisted {})",
+        s.total(),
+        s.not_executed,
+        s.prevalence_cap,
+        s.whitelisted_url
+    ));
+    lines.push(format!("distinct files    {}", outcome.files));
+    lines.push(format!(
+        "rules compiled    {} over {} attributes",
+        prep.engine().rule_count(),
+        prep.engine().arity()
+    ));
+    for (class, count) in outcome.class_counts.iter().enumerate() {
+        let name = prep
+            .engine()
+            .class_name(Verdict::Class(class as u8))
+            .unwrap_or("?");
+        lines.push(format!("verdict {name:<10} {count}"));
+    }
+    lines.push(format!("verdict rejected  {}", outcome.rejected));
+    lines.push(format!("verdict no-match  {}", outcome.no_match));
+    lines.push(format!(
+        "matches batch     {}",
+        if outcome.matches_batch { "yes" } else { "NO" }
+    ));
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StudyConfig;
+    use downlake_synth::Scale;
+
+    #[test]
+    fn replay_reproduces_the_batch_pipeline_at_any_width() {
+        let study = Study::run(&StudyConfig::new(7).with_scale(Scale::Tiny));
+        let prep = prepare(&study, LiveConfig::default());
+        assert!(prep.events_total() > 1_000);
+        assert!(prep.stream_bytes() > prep.events_total() * 8);
+
+        let one = prep.replay(1).expect("well-formed stream");
+        let four = prep.replay(4).expect("well-formed stream");
+
+        assert!(one.matches_batch, "per-event replay must equal batch");
+        assert!(four.matches_batch, "batched replay must equal batch");
+        assert_eq!(one, four, "pool width must never change the outcome");
+
+        // The streaming collector re-derives the study's own suppression.
+        assert_eq!(one.suppression, study.suppression());
+        assert_eq!(one.files, study.dataset().files().len());
+        assert_eq!(
+            one.events_admitted as usize,
+            study.dataset().stats().events,
+            "admitted events must equal the dataset's event count"
+        );
+
+        // The summary renders without a panic and names the invariant.
+        let summary = render_summary(&prep, &one);
+        assert!(summary.contains("matches batch     yes"));
+    }
+}

@@ -59,6 +59,13 @@ pub struct FeatureVector {
 }
 
 impl FeatureVector {
+    /// Assembles a vector from raw values in [`FEATURE_NAMES`] order.
+    /// Used by the online extractor in `downlake-stream`, which builds
+    /// the same eight values incrementally.
+    pub fn from_values(values: [String; 8]) -> Self {
+        Self { values }
+    }
+
     /// The raw values in [`FEATURE_NAMES`] order.
     pub fn values(&self) -> [&str; 8] {
         let v = &self.values;
@@ -143,9 +150,8 @@ impl<'a> Extractor<'a> {
     pub fn extract_first_seen(&self, events: &[DownloadEvent]) -> FileVectors {
         let mut out = FileVectors::default();
         for event in events {
-            if !out.index.contains_key(&event.file) {
-                out.index.insert(event.file, out.entries.len());
-                out.entries.push((event.file, self.extract_event(event)));
+            if !out.contains(event.file) {
+                out.push(event.file, self.extract_event(event));
             }
         }
         out
@@ -158,13 +164,24 @@ impl<'a> Extractor<'a> {
 /// hasher order, which leaks into rule-learning results (instance order
 /// breaks learner ties); this container iterates in the order files were
 /// first seen while keeping O(1) membership checks.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FileVectors {
     entries: Vec<(FileHash, FeatureVector)>,
     index: HashMap<FileHash, usize>,
 }
 
 impl FileVectors {
+    /// Appends a vector for `file` unless one exists, preserving
+    /// first-sighting order. Returns whether the vector was inserted.
+    pub fn push(&mut self, file: FileHash, vector: FeatureVector) -> bool {
+        if self.index.contains_key(&file) {
+            return false;
+        }
+        self.index.insert(file, self.entries.len());
+        self.entries.push((file, vector));
+        true
+    }
+
     /// Iterates `(file, vector)` in first-sighting order.
     pub fn iter(&self) -> impl Iterator<Item = (FileHash, &FeatureVector)> {
         self.entries.iter().map(|(h, v)| (*h, v))
@@ -191,7 +208,9 @@ impl FileVectors {
     }
 }
 
-fn signer_of(meta: &FileMeta) -> String {
+/// The signer feature value of a file or process: the signing subject
+/// when validly signed, [`UNSIGNED`] otherwise.
+pub fn signer_of(meta: &FileMeta) -> String {
     meta.signer
         .as_ref()
         .filter(|s| s.valid)
@@ -199,7 +218,9 @@ fn signer_of(meta: &FileMeta) -> String {
         .unwrap_or_else(|| UNSIGNED.to_owned())
 }
 
-fn ca_of(meta: &FileMeta) -> String {
+/// The CA feature value: the CA of a valid signing chain, [`UNSIGNED`]
+/// otherwise.
+pub fn ca_of(meta: &FileMeta) -> String {
     meta.signer
         .as_ref()
         .filter(|s| s.valid)
@@ -207,7 +228,9 @@ fn ca_of(meta: &FileMeta) -> String {
         .unwrap_or_else(|| UNSIGNED.to_owned())
 }
 
-fn packer_of(meta: &FileMeta) -> String {
+/// The packer feature value: the recognised packer name, [`UNPACKED`]
+/// otherwise.
+pub fn packer_of(meta: &FileMeta) -> String {
     meta.packer
         .as_ref()
         .map(|p| p.name.clone())

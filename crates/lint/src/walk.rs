@@ -91,7 +91,10 @@ pub fn classify(rel: &str) -> Option<FileCtx> {
         || rel.starts_with("examples/")
         || rel.starts_with("src/");
     let library = !binary && !bench_crate && rel.starts_with("crates/");
-    let hot_loop = rel.starts_with("crates/analysis/src/") && !rel.ends_with("/legacy.rs");
+    // Hot paths held to the no-per-iteration-allocation rule: the
+    // columnar analysis passes and the per-event streaming subsystem.
+    let hot_loop = (rel.starts_with("crates/analysis/src/") && !rel.ends_with("/legacy.rs"))
+        || rel.starts_with("crates/stream/src/");
     Some(FileCtx {
         rel_path: rel.to_string(),
         allow_time: bench_crate,
@@ -116,6 +119,11 @@ mod tests {
 
         let frame = classify("crates/analysis/src/frame.rs").expect("linted");
         assert!(frame.library && frame.hot_loop);
+
+        // The streaming subsystem's per-event path is hot-loop code too.
+        let engine = classify("crates/stream/src/engine.rs").expect("linted");
+        assert!(engine.library && engine.hot_loop && !engine.allow_time);
+        assert!(classify("crates/stream/tests/zero_alloc.rs").is_none());
 
         let bench = classify("crates/bench/src/ablation.rs").expect("linted");
         assert!(bench.allow_time && !bench.library);

@@ -115,7 +115,14 @@ fn p1_panic_fixture() {
 fn p2_hot_loop_fixture() {
     assert_eq!(
         findings("p2_hot_loop.rs", true, true),
-        vec![(RuleId::P2, 7), (RuleId::P2, 8), (RuleId::P2, 9)]
+        vec![
+            (RuleId::P2, 7),
+            (RuleId::P2, 8),
+            (RuleId::P2, 9),
+            (RuleId::P2, 32),
+            (RuleId::P2, 33),
+            (RuleId::P2, 34),
+        ]
     );
     // Off the analysis hot path the same code is not flagged.
     assert_eq!(findings("p2_hot_loop.rs", true, false), vec![]);

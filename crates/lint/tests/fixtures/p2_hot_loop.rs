@@ -19,3 +19,32 @@ pub fn ok_hoisted(rows: &[(String, u64)]) -> String {
     }
     buf
 }
+
+/// A per-event record, as the streaming hot path sees it.
+pub struct Event {
+    pub name: String,
+}
+
+pub fn classify_events(events: &[Event]) -> usize {
+    let label: String = String::from("event");
+    let mut matched = 0;
+    for event in events {
+        let key = format!("{label}:{}", event.name); // line 32: format! per event
+        let tag = event.name.to_string(); // line 33: to_string per event
+        let l = label.clone(); // line 34: String clone per event
+        if key.len() + tag.len() + l.len() > 3 {
+            matched += 1;
+        }
+    }
+    matched
+}
+
+pub fn classify_events_hoisted(events: &[Event], scratch: &mut String) -> usize {
+    let mut matched = 0;
+    for event in events {
+        scratch.clear();
+        scratch.push_str(&event.name); // reused scratch buffer: no finding
+        matched += scratch.len();
+    }
+    matched
+}

@@ -94,6 +94,88 @@ impl Schema {
             .map(|(v, a)| a.id_of(v))
             .collect()
     }
+
+    /// Builds a reusable [`InternedEncoder`] snapshotting this schema's
+    /// per-attribute value tables. Build it once per ruleset, then encode
+    /// every row through it instead of calling [`Self::encode`] per row.
+    pub fn encoder(&self) -> InternedEncoder {
+        InternedEncoder {
+            tables: self.attrs.iter().map(|a| a.index.clone()).collect(),
+        }
+    }
+}
+
+/// Sentinel for "value never seen in training" in dense (non-`Option`)
+/// encodings produced by [`InternedEncoder::encode_dense_into`]. Real
+/// value ids are bounded by attribute arity and can never reach it.
+pub const UNSEEN: u32 = u32::MAX;
+
+/// A reusable row encoder, built once from a schema's attribute value
+/// tables.
+///
+/// [`Schema::encode`] allocates a fresh output vector and re-walks the
+/// schema on every call, which is fine for one-off lookups but wasteful
+/// in classification loops that encode thousands of rows against the
+/// same ruleset (the batch experiments, the compiled online engine).
+/// An `InternedEncoder` snapshots the per-attribute value tables once
+/// and then fills caller-owned buffers with no per-call setup.
+#[derive(Debug, Clone)]
+pub struct InternedEncoder {
+    tables: Vec<HashMap<String, u32>>,
+}
+
+impl InternedEncoder {
+    /// Number of attributes a row must carry.
+    pub fn arity(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Encodes a row into `out` (cleared first); values never seen in
+    /// training encode as `None`, exactly like [`Schema::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the attribute count.
+    pub fn encode_into(&self, values: &[&str], out: &mut Vec<Option<u32>>) {
+        assert_eq!(values.len(), self.tables.len(), "row arity mismatch");
+        out.clear();
+        out.extend(
+            values
+                .iter()
+                .zip(&self.tables)
+                .map(|(v, table)| table.get(*v).copied()),
+        );
+    }
+
+    /// Allocating convenience form of [`Self::encode_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the attribute count.
+    pub fn encode(&self, values: &[&str]) -> Vec<Option<u32>> {
+        let mut out = Vec::with_capacity(self.tables.len());
+        self.encode_into(values, &mut out);
+        out
+    }
+
+    /// Encodes a row into a dense `u32` buffer (cleared first), mapping
+    /// never-seen values to [`UNSEEN`]. This is the representation the
+    /// compiled online rule engine evaluates: a plain equality compare
+    /// per condition, no `Option` discriminant in the hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the attribute count.
+    pub fn encode_dense_into(&self, values: &[&str], out: &mut Vec<u32>) {
+        assert_eq!(values.len(), self.tables.len(), "row arity mismatch");
+        out.clear();
+        out.extend(
+            values
+                .iter()
+                .zip(&self.tables)
+                .map(|(v, table)| table.get(*v).copied().unwrap_or(UNSEEN)),
+        );
+    }
 }
 
 /// One training instance: encoded attribute values plus a class id.

@@ -52,7 +52,7 @@ mod rule;
 mod ruleset;
 mod tree;
 
-pub use data::{Attribute, Instances, InstancesBuilder, Schema};
+pub use data::{Attribute, Instances, InstancesBuilder, InternedEncoder, Schema, UNSEEN};
 pub use entropy::{entropy, gain_ratio, info_gain};
 pub use metrics::{BinaryEval, Confusion};
 pub use part::PartLearner;

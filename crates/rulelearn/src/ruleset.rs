@@ -1,6 +1,6 @@
 //! Rule sets: τ-selection and conflict-aware classification (§VI-C/D).
 
-use crate::data::Schema;
+use crate::data::{InternedEncoder, Schema};
 use crate::rule::Rule;
 use serde::{Deserialize, Serialize};
 
@@ -270,8 +270,20 @@ impl RuleSet {
         }
     }
 
+    /// Builds a reusable row encoder snapshotting this ruleset's
+    /// attribute value tables once. Classification loops should build
+    /// this once per ruleset and feed [`Self::classify`] through it
+    /// instead of calling [`Self::classify_values`] per row, which
+    /// re-walks the schema's attribute tables on every call.
+    pub fn encoder(&self) -> InternedEncoder {
+        self.schema.encoder()
+    }
+
     /// Classifies raw value strings; returns a verdict that can name its
     /// class.
+    ///
+    /// Convenience for one-off lookups: encoding walks the schema per
+    /// call. Loops should hoist [`Self::encoder`] and a reusable buffer.
     pub fn classify_values(&self, values: &[&str], policy: ConflictPolicy) -> NamedVerdict<'_> {
         let encoded = self.schema.encode(values);
         NamedVerdict {

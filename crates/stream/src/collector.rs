@@ -1,0 +1,174 @@
+//! Streaming collection state: the §II-A reporting policy applied
+//! incrementally, one event at a time, with bounded memory.
+//!
+//! [`StreamingCollector`] reproduces
+//! [`downlake_telemetry::CollectionServer`]'s admission decision exactly
+//! — same check order (executed → whitelist → σ-cap), same
+//! already-counted-machine re-report rule — but keeps only what the
+//! decision needs: per file, the *sorted* list of machines counted
+//! toward its prevalence. Because a machine is added only when its
+//! event is admitted, and a new machine past the cap is suppressed,
+//! each list is bounded at σ entries by construction. Total state is
+//! therefore `O(files × σ)` regardless of stream length — no event
+//! buffering, no per-URL or per-machine tables.
+
+use downlake_telemetry::{RawEvent, ReportingPolicy, SuppressionReason, SuppressionStats};
+use downlake_types::{FileHash, MachineId};
+use std::collections::HashMap;
+
+/// Incremental admission state for the reporting policy.
+#[derive(Debug)]
+pub struct StreamingCollector {
+    policy: ReportingPolicy,
+    /// Machines counted toward each file's prevalence, sorted for
+    /// binary-search membership. Length is bounded by σ.
+    machines_per_file: HashMap<FileHash, Vec<MachineId>>,
+    suppressed: SuppressionStats,
+    admitted: u64,
+}
+
+impl StreamingCollector {
+    /// Creates a collector applying `policy`.
+    pub fn new(policy: ReportingPolicy) -> Self {
+        Self {
+            policy,
+            machines_per_file: HashMap::new(),
+            suppressed: SuppressionStats::default(),
+            admitted: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &ReportingPolicy {
+        &self.policy
+    }
+
+    /// Applies the policy to one event, updating the prevalence state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SuppressionReason`] when the event is suppressed;
+    /// suppressed events leave the prevalence state untouched.
+    pub fn admit(&mut self, raw: &RawEvent) -> Result<(), SuppressionReason> {
+        match self.check(raw) {
+            Ok(()) => {
+                let machines = self.machines_per_file.entry(raw.file).or_default();
+                if let Err(slot) = machines.binary_search(&raw.machine) {
+                    machines.insert(slot, raw.machine);
+                }
+                self.admitted += 1;
+                Ok(())
+            }
+            Err(reason) => {
+                match reason {
+                    SuppressionReason::NotExecuted => self.suppressed.not_executed += 1,
+                    SuppressionReason::PrevalenceCap => self.suppressed.prevalence_cap += 1,
+                    SuppressionReason::WhitelistedUrl => self.suppressed.whitelisted_url += 1,
+                }
+                Err(reason)
+            }
+        }
+    }
+
+    /// The admission decision alone, in the batch server's check order.
+    fn check(&self, raw: &RawEvent) -> Result<(), SuppressionReason> {
+        if !raw.executed {
+            return Err(SuppressionReason::NotExecuted);
+        }
+        if self.policy.is_whitelisted(raw.url.e2ld()) {
+            return Err(SuppressionReason::WhitelistedUrl);
+        }
+        // Reported only while the number of distinct machines counted
+        // *before* this event is below σ; a machine that was already
+        // counted may keep re-reporting past the cap.
+        let seen = self.machines_per_file.get(&raw.file);
+        let prior = seen.map_or(0, Vec::len);
+        let already_counted = seen.is_some_and(|s| s.binary_search(&raw.machine).is_ok());
+        if prior >= self.policy.sigma() as usize && !already_counted {
+            return Err(SuppressionReason::PrevalenceCap);
+        }
+        Ok(())
+    }
+
+    /// Current (capped) prevalence of a file.
+    pub fn prevalence(&self, file: FileHash) -> usize {
+        self.machines_per_file.get(&file).map_or(0, Vec::len)
+    }
+
+    /// Number of distinct files with at least one admitted event.
+    pub fn tracked_files(&self) -> usize {
+        self.machines_per_file.len()
+    }
+
+    /// Events admitted so far.
+    pub fn events_admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Suppression counters so far.
+    pub fn suppression_stats(&self) -> SuppressionStats {
+        self.suppressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_types::{Timestamp, Url};
+
+    fn raw(file: u64, machine: u64, executed: bool, url: &str, day: u32) -> RawEvent {
+        RawEvent::builder()
+            .file(FileHash::from_raw(file))
+            .machine(MachineId::from_raw(machine))
+            .process(FileHash::from_raw(1000 + file), "chrome.exe")
+            .url(url.parse::<Url>().unwrap())
+            .timestamp(Timestamp::from_day(day))
+            .executed(executed)
+            .build()
+    }
+
+    #[test]
+    fn admission_mirrors_batch_server_rules() {
+        let policy = ReportingPolicy::new(3).with_whitelisted_domain("microsoft.com");
+        let mut c = StreamingCollector::new(policy);
+        assert_eq!(
+            c.admit(&raw(1, 1, false, "http://a.com/f.exe", 0)),
+            Err(SuppressionReason::NotExecuted)
+        );
+        assert_eq!(
+            c.admit(&raw(1, 1, true, "http://dl.microsoft.com/kb.exe", 0)),
+            Err(SuppressionReason::WhitelistedUrl)
+        );
+        for m in 0..3 {
+            assert_eq!(c.admit(&raw(7, m, true, "http://a.com/f.exe", 0)), Ok(()));
+        }
+        assert_eq!(
+            c.admit(&raw(7, 99, true, "http://a.com/f.exe", 1)),
+            Err(SuppressionReason::PrevalenceCap)
+        );
+        // An already-counted machine re-reports past the cap.
+        assert_eq!(c.admit(&raw(7, 0, true, "http://a.com/f.exe", 2)), Ok(()));
+        assert_eq!(c.prevalence(FileHash::from_raw(7)), 3);
+        assert_eq!(c.events_admitted(), 4);
+        assert_eq!(c.suppression_stats().total(), 3);
+    }
+
+    #[test]
+    fn memory_is_bounded_at_sigma_per_file() {
+        let mut c = StreamingCollector::new(ReportingPolicy::new(5));
+        for m in 0..1000 {
+            let _ = c.admit(&raw(1, m, true, "http://a.com/f.exe", 0));
+        }
+        assert_eq!(c.prevalence(FileHash::from_raw(1)), 5);
+        assert_eq!(c.tracked_files(), 1);
+        assert_eq!(c.suppression_stats().prevalence_cap, 995);
+    }
+
+    #[test]
+    fn suppressed_events_leave_state_untouched() {
+        let mut c = StreamingCollector::new(ReportingPolicy::new(1));
+        assert!(c.admit(&raw(1, 1, false, "http://a.com/f.exe", 0)).is_err());
+        assert_eq!(c.tracked_files(), 0);
+        assert_eq!(c.prevalence(FileHash::from_raw(1)), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The PART ruleset lowered into a flat, allocation-free evaluator.
+//!
+//! [`downlake_rulelearn::RuleSet::classify`] walks `Vec<Rule>` →
+//! `Vec<Condition>` and collects matched rules into a fresh `Vec` per
+//! call. Fine for batch tables; wrong shape for a per-event hot loop.
+//! [`CompiledRuleSet`] lowers the same rules once into two flat arrays
+//! — all conditions concatenated (sorted by attribute within each
+//! rule), and per-rule `(span, class)` records — plus an
+//! [`InternedEncoder`] snapshotting the attribute value tables. Rows
+//! are encoded densely (`u32` per attribute, [`UNSEEN`] for values
+//! never seen in training), so evaluation is a linear scan of equality
+//! compares: no `Option` discriminants, no hashing, and **zero heap
+//! allocation per event** (pinned by `tests/zero_alloc.rs` and lint
+//! rule P2 on this crate).
+//!
+//! Verdicts are byte-equivalent to
+//! `RuleSet::classify(_, ConflictPolicy::Reject)` — the paper's
+//! deployment policy: agreeing matches classify, disagreeing matches
+//! reject, no match stays unknown.
+
+// A dense row slot holding `downlake_rulelearn::UNSEEN` can never equal
+// a condition's value id (ids are bounded by attribute arity), so unseen
+// values simply fail every condition — the same semantics as the batch
+// path's `None` slots.
+use downlake_rulelearn::{InternedEncoder, RuleSet, Verdict};
+
+/// One `attribute == value` test in the flat condition array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledCondition {
+    /// Attribute index into the row.
+    pub attr: u32,
+    /// Required dense value id.
+    pub value: u32,
+}
+
+/// One rule: a contiguous span of the condition array plus its class.
+#[derive(Debug, Clone, Copy)]
+struct CompiledRule {
+    start: u32,
+    end: u32,
+    class: u8,
+}
+
+/// A ruleset compiled for per-event evaluation.
+#[derive(Debug, Clone)]
+pub struct CompiledRuleSet {
+    arity: usize,
+    conditions: Vec<CompiledCondition>,
+    rules: Vec<CompiledRule>,
+    encoder: InternedEncoder,
+    classes: Vec<String>,
+}
+
+impl CompiledRuleSet {
+    /// Lowers a ruleset. Conditions are sorted by `(attr, value)` within
+    /// each rule so evaluation touches the row in ascending attribute
+    /// order; rule order (and therefore conflict behaviour) is preserved.
+    pub fn compile(set: &RuleSet) -> Self {
+        let mut conditions = Vec::new();
+        let mut rules = Vec::with_capacity(set.len());
+        for rule in set.rules() {
+            let start = conditions.len() as u32;
+            let mut conds: Vec<CompiledCondition> = rule
+                .conditions
+                .iter()
+                .map(|c| CompiledCondition {
+                    attr: c.attr as u32,
+                    value: c.value,
+                })
+                .collect();
+            conds.sort_unstable_by_key(|c| (c.attr, c.value));
+            conditions.extend_from_slice(&conds);
+            rules.push(CompiledRule {
+                start,
+                end: conditions.len() as u32,
+                class: rule.class,
+            });
+        }
+        Self {
+            arity: set.schema().attrs().len(),
+            conditions,
+            rules,
+            encoder: set.encoder(),
+            classes: set.schema().classes().to_vec(),
+        }
+    }
+
+    /// Number of attributes an encoded row must carry.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of compiled rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Number of classes in the compiled schema.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The flat condition array (introspection for tests).
+    pub fn conditions(&self) -> &[CompiledCondition] {
+        &self.conditions
+    }
+
+    /// Per-rule `(condition span, class)` records in rule order
+    /// (introspection for tests).
+    pub fn rule_spans(&self) -> impl Iterator<Item = (std::ops::Range<usize>, u8)> + '_ {
+        self.rules
+            .iter()
+            .map(|r| (r.start as usize..r.end as usize, r.class))
+    }
+
+    /// The class name behind a verdict, if one was assigned.
+    pub fn class_name(&self, verdict: Verdict) -> Option<&str> {
+        verdict
+            .class()
+            .and_then(|c| self.classes.get(c as usize))
+            .map(String::as_str)
+    }
+
+    /// Encodes raw feature values into the dense row representation
+    /// (reusing `out`'s capacity; see [`InternedEncoder::encode_dense_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.arity()`.
+    pub fn encode_into(&self, values: &[&str], out: &mut Vec<u32>) {
+        self.encoder.encode_dense_into(values, out);
+    }
+
+    /// Classifies a dense-encoded row under conflict rejection.
+    ///
+    /// Allocation-free: a linear scan over the flat arrays. Equivalent
+    /// to `RuleSet::classify(_, ConflictPolicy::Reject)` — the first
+    /// disagreeing pair of matched rules decides `Rejected`, which is
+    /// the same verdict the batch path reaches after collecting all
+    /// matches. Rows shorter than the arity match no condition beyond
+    /// their length (a malformed row can only *under*-match).
+    pub fn classify(&self, values: &[u32]) -> Verdict {
+        debug_assert_eq!(values.len(), self.arity, "row arity mismatch");
+        let mut decided: Option<u8> = None;
+        for rule in &self.rules {
+            let span = &self.conditions[rule.start as usize..rule.end as usize];
+            let matched = span
+                .iter()
+                .all(|c| values.get(c.attr as usize).copied() == Some(c.value));
+            if !matched {
+                continue;
+            }
+            match decided {
+                None => decided = Some(rule.class),
+                Some(class) if class != rule.class => return Verdict::Rejected,
+                Some(_) => {}
+            }
+        }
+        match decided {
+            Some(class) => Verdict::Class(class),
+            None => Verdict::NoMatch,
+        }
+    }
+
+    /// Encode-and-classify convenience for callers holding raw values
+    /// and a reusable scratch row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.arity()`.
+    pub fn classify_features(&self, values: &[&str], scratch: &mut Vec<u32>) -> Verdict {
+        self.encoder.encode_dense_into(values, scratch);
+        self.classify(scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_rulelearn::{Condition, ConflictPolicy, InstancesBuilder, Rule};
+
+    /// signer × packer schema with enough pushes to intern all values.
+    fn ruleset() -> RuleSet {
+        let mut b = InstancesBuilder::new(&["signer", "packer"], &["benign", "malicious"]);
+        b.push(&["somoto", "NSIS"], "malicious");
+        b.push(&["teamviewer", "INNO"], "benign");
+        b.push(&["binstall", "UPX"], "benign");
+        let schema = b.build().schema().clone();
+        let rule = |conds: Vec<Condition>, class: u8| Rule {
+            conditions: conds,
+            class,
+            covered: 10,
+            errors: 0,
+        };
+        RuleSet::new(
+            schema,
+            vec![
+                // Deliberately unsorted conditions: packer before signer.
+                rule(
+                    vec![
+                        Condition { attr: 1, value: 0 },
+                        Condition { attr: 0, value: 0 },
+                    ],
+                    1,
+                ),
+                rule(vec![Condition { attr: 0, value: 1 }], 0),
+                rule(vec![Condition { attr: 0, value: 0 }], 1),
+                rule(vec![Condition { attr: 1, value: 1 }], 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn representation_is_flat_sorted_and_contiguous() {
+        let compiled = CompiledRuleSet::compile(&ruleset());
+        assert_eq!(compiled.arity(), 2);
+        assert_eq!(compiled.rule_count(), 4);
+        // Spans tile the condition array in rule order.
+        let mut next = 0usize;
+        for (span, _class) in compiled.rule_spans() {
+            assert_eq!(span.start, next, "spans must be contiguous");
+            next = span.end;
+            // Conditions sorted by attribute within the span.
+            let conds = &compiled.conditions()[span];
+            assert!(
+                conds.windows(2).all(|w| w[0].attr <= w[1].attr),
+                "conditions must be attr-sorted"
+            );
+        }
+        assert_eq!(next, compiled.conditions().len());
+        // The first rule's conditions were reordered to signer-first.
+        assert_eq!(
+            compiled.conditions()[0],
+            CompiledCondition { attr: 0, value: 0 }
+        );
+    }
+
+    #[test]
+    fn verdicts_match_batch_classify_on_the_full_grid() {
+        let set = ruleset();
+        let compiled = CompiledRuleSet::compile(&set);
+        let signers = ["somoto", "teamviewer", "binstall", "never-seen"];
+        let packers = ["NSIS", "INNO", "UPX", "never-seen"];
+        let mut scratch = Vec::new();
+        for signer in signers {
+            for packer in packers {
+                let values = [signer, packer];
+                let batch = set.classify(&set.schema().encode(&values), ConflictPolicy::Reject);
+                let streamed = compiled.classify_features(&values, &mut scratch);
+                assert_eq!(streamed, batch, "disagreement on {values:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_rules_reject_and_agreeing_rules_classify() {
+        let set = ruleset();
+        let compiled = CompiledRuleSet::compile(&set);
+        let mut scratch = Vec::new();
+        // somoto+INNO matches rule 3 (malicious) and rule 4 (benign).
+        assert_eq!(
+            compiled.classify_features(&["somoto", "INNO"], &mut scratch),
+            Verdict::Rejected
+        );
+        // somoto+NSIS matches rules 1 and 3, both malicious.
+        assert_eq!(
+            compiled.classify_features(&["somoto", "NSIS"], &mut scratch),
+            Verdict::Class(1)
+        );
+        assert_eq!(compiled.class_name(Verdict::Class(1)), Some("malicious"));
+        assert_eq!(compiled.class_name(Verdict::Rejected), None);
+        // Unseen everywhere: no rule can match.
+        assert_eq!(
+            compiled.classify_features(&["never-seen", "never-seen"], &mut scratch),
+            Verdict::NoMatch
+        );
+    }
+
+    #[test]
+    fn empty_ruleset_never_matches() {
+        let set = ruleset();
+        let empty = RuleSet::new(set.schema().clone(), Vec::new());
+        let compiled = CompiledRuleSet::compile(&empty);
+        let mut scratch = Vec::new();
+        assert_eq!(
+            compiled.classify_features(&["somoto", "NSIS"], &mut scratch),
+            Verdict::NoMatch
+        );
+    }
+}

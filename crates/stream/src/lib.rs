@@ -1,0 +1,37 @@
+//! Online ingestion and live rule classification for `downlake`.
+//!
+//! The paper's rule-based system (§VI–§VII) exists to be *deployed*:
+//! label unknown files as telemetry arrives, not after a seven-month
+//! batch. This crate is that deployment layer, built from three pieces
+//! that each mirror a batch component exactly:
+//!
+//! | online | batch twin | equivalence |
+//! |--------|-----------|-------------|
+//! | [`StreamingCollector`] | `CollectionServer` (§II-A policy) | same admit/suppress decision per event |
+//! | [`OnlineExtractor`] | `Extractor::extract_files` (Table XV) | same `FileVectors` at stream end |
+//! | [`CompiledRuleSet`] | `RuleSet::classify` under `Reject` | same verdict per row |
+//!
+//! [`StreamSession`] chains them over a raw event stream — in-memory
+//! structs, codec bytes, or `downlake-exec` micro-batches — and the
+//! workspace test `tests/stream_equivalence.rs` pins the end-of-stream
+//! state byte-identical to the batch pipeline on the seed-42 study at
+//! every pool width.
+//!
+//! Memory stays bounded by the number of distinct entities (files ×
+//! σ machine ids, processes, rules), never by stream length; the
+//! per-event hot path allocates nothing (lint rule P2 covers this
+//! crate, and `tests/zero_alloc.rs` counts allocations around the
+//! compiled engine).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod collector;
+mod engine;
+mod online;
+mod session;
+
+pub use collector::StreamingCollector;
+pub use engine::{CompiledCondition, CompiledRuleSet};
+pub use online::OnlineExtractor;
+pub use session::StreamSession;

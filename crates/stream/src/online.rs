@@ -1,0 +1,244 @@
+//! Incremental Table XV feature extraction.
+//!
+//! [`OnlineExtractor`] maintains exactly the state the batch
+//! [`downlake_features::Extractor`] derives from a finished dataset,
+//! but built one admitted event at a time:
+//!
+//! * per downloading process image, the feature values of its *first*
+//!   sighting (the batch `ProcessTable` interns first-push metadata);
+//! * per file, a [`FeatureVector`] captured from the file's *first*
+//!   admitted event (the batch extractor uses each file's first
+//!   dataset event, and dataset order is admission order).
+//!
+//! Memory is bounded by the number of distinct processes and files —
+//! no events are retained. At end of stream [`OnlineExtractor::vectors`]
+//! is equal (same vectors, same first-sighting order) to the batch
+//! `Extractor::extract_files` over the dataset the same admitted
+//! stream builds; `tests/stream_equivalence.rs` pins this.
+
+use downlake_features::{
+    ca_of, category_feature, packer_of, signer_of, FeatureVector, FileVectors,
+};
+use downlake_groundtruth::UrlLabeler;
+use downlake_telemetry::RawEvent;
+use downlake_types::{FileHash, ProcessCategory};
+use std::collections::HashMap;
+
+/// Feature values of a process image, captured at first sighting.
+#[derive(Debug, Clone)]
+struct ProcessFeatures {
+    signer: String,
+    ca: String,
+    packer: String,
+    kind: &'static str,
+}
+
+impl ProcessFeatures {
+    fn of(raw: &RawEvent) -> Self {
+        Self {
+            signer: signer_of(&raw.process_meta),
+            ca: ca_of(&raw.process_meta),
+            packer: packer_of(&raw.process_meta),
+            kind: category_feature(ProcessCategory::from_executable_name(
+                &raw.process_meta.disk_name,
+            )),
+        }
+    }
+}
+
+/// Builds per-file Table XV feature vectors as events arrive.
+#[derive(Debug)]
+pub struct OnlineExtractor<'a> {
+    urls: &'a UrlLabeler,
+    processes: HashMap<FileHash, ProcessFeatures>,
+    vectors: FileVectors,
+}
+
+impl<'a> OnlineExtractor<'a> {
+    /// Creates an extractor resolving domain ranks through `urls`.
+    pub fn new(urls: &'a UrlLabeler) -> Self {
+        Self {
+            urls,
+            processes: HashMap::new(),
+            vectors: FileVectors::default(),
+        }
+    }
+
+    /// Ingests one *admitted* event. Returns the file's feature vector
+    /// when this event is the file's first sighting (the vector that
+    /// needs classifying), `None` for repeat downloads.
+    pub fn ingest(&mut self, raw: &RawEvent) -> Option<&FeatureVector> {
+        // First sighting of the process image fixes its feature values,
+        // mirroring the batch table's first-push interning — and it must
+        // happen even when the file itself was already seen.
+        self.processes
+            .entry(raw.process)
+            .or_insert_with(|| ProcessFeatures::of(raw));
+        if self.vectors.contains(raw.file) {
+            return None;
+        }
+        let process = self.processes.get(&raw.process);
+        let (psigner, pca, ppacker, ptype) = match process {
+            Some(p) => (
+                p.signer.clone(),
+                p.ca.clone(),
+                p.packer.clone(),
+                p.kind.to_owned(),
+            ),
+            // Unreachable after the insert above, but kept total: the
+            // batch extractor's "(no process)" branch for completeness.
+            None => (
+                downlake_features::NO_PROCESS.to_owned(),
+                downlake_features::NO_PROCESS.to_owned(),
+                downlake_features::NO_PROCESS.to_owned(),
+                downlake_features::NO_PROCESS.to_owned(),
+            ),
+        };
+        let rank = self.urls.rank(raw.url.e2ld()).bucket();
+        let vector = FeatureVector::from_values([
+            signer_of(&raw.file_meta),
+            ca_of(&raw.file_meta),
+            packer_of(&raw.file_meta),
+            psigner,
+            pca,
+            ppacker,
+            ptype,
+            rank.name().to_owned(),
+        ]);
+        self.vectors.push(raw.file, vector);
+        self.vectors.get(raw.file)
+    }
+
+    /// Per-file vectors so far, in first-sighting order.
+    pub fn vectors(&self) -> &FileVectors {
+        &self.vectors
+    }
+
+    /// Consumes the extractor, keeping the vectors.
+    pub fn into_vectors(self) -> FileVectors {
+        self.vectors
+    }
+
+    /// Number of distinct process images sighted.
+    pub fn distinct_processes(&self) -> usize {
+        self.processes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_features::{UNPACKED, UNSIGNED};
+    use downlake_groundtruth::DomainFacts;
+    use downlake_types::{AlexaRank, FileMeta, MachineId, SignerInfo, Timestamp, Url};
+
+    fn meta(signer: Option<&str>, disk: &str) -> FileMeta {
+        FileMeta {
+            size_bytes: 10,
+            disk_name: disk.into(),
+            signer: signer.map(|s| SignerInfo::valid(s, "thawte code signing ca g2")),
+            packer: None,
+        }
+    }
+
+    fn event(file: u64, process: u64, pmeta: FileMeta, url: &str) -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(file),
+            file_meta: meta(None, "setup.exe"),
+            machine: MachineId::from_raw(1),
+            process: FileHash::from_raw(process),
+            process_meta: pmeta,
+            url: url.parse::<Url>().unwrap(),
+            timestamp: Timestamp::from_day(0),
+            executed: true,
+        }
+    }
+
+    fn labeler() -> UrlLabeler {
+        let mut l = UrlLabeler::new();
+        l.insert(
+            "softonic.com",
+            DomainFacts {
+                rank: AlexaRank::ranked(170),
+                ..DomainFacts::default()
+            },
+        );
+        l
+    }
+
+    #[test]
+    fn first_sighting_yields_a_vector_and_repeats_do_not() {
+        let urls = labeler();
+        let mut ex = OnlineExtractor::new(&urls);
+        let e = event(
+            1,
+            100,
+            meta(Some("Google Inc"), "chrome.exe"),
+            "http://dl.softonic.com/f.exe",
+        );
+        let v = ex.ingest(&e).cloned().unwrap();
+        assert_eq!(v.value(0), UNSIGNED);
+        assert_eq!(v.value(3), "Google Inc");
+        assert_eq!(v.value(6), "browser");
+        assert_eq!(v.value(7), "top 1k");
+        assert!(ex.ingest(&e).is_none(), "repeat download yields nothing");
+        assert_eq!(ex.vectors().len(), 1);
+    }
+
+    #[test]
+    fn process_features_freeze_at_first_sighting() {
+        let urls = labeler();
+        let mut ex = OnlineExtractor::new(&urls);
+        // Process 100 first seen unsigned...
+        ex.ingest(&event(1, 100, meta(None, "java.exe"), "http://a.com/f.exe"));
+        // ...then re-appears signed; a new file must still see the
+        // first-sighting (unsigned) process features.
+        let v = ex
+            .ingest(&event(
+                2,
+                100,
+                meta(Some("Oracle"), "java.exe"),
+                "http://a.com/g.exe",
+            ))
+            .cloned()
+            .unwrap();
+        assert_eq!(v.value(3), UNSIGNED);
+        assert_eq!(v.value(5), UNPACKED);
+        assert_eq!(v.value(6), "java");
+        assert_eq!(ex.distinct_processes(), 1);
+    }
+
+    #[test]
+    fn repeat_download_still_interns_new_process() {
+        let urls = labeler();
+        let mut ex = OnlineExtractor::new(&urls);
+        ex.ingest(&event(
+            1,
+            100,
+            meta(None, "chrome.exe"),
+            "http://a.com/f.exe",
+        ));
+        // Same file again via a different process: no vector, but the
+        // process is interned for later files.
+        assert!(ex
+            .ingest(&event(
+                1,
+                200,
+                meta(None, "svchost.exe"),
+                "http://a.com/f.exe"
+            ))
+            .is_none());
+        assert_eq!(ex.distinct_processes(), 2);
+        let v = ex
+            .ingest(&event(
+                3,
+                200,
+                meta(Some("X"), "svchost.exe"),
+                "http://a.com/h.exe",
+            ))
+            .cloned()
+            .unwrap();
+        assert_eq!(v.value(6), "windows");
+        assert_eq!(v.value(3), UNSIGNED, "first sighting of 200 was unsigned");
+    }
+}

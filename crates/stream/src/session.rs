@@ -1,0 +1,304 @@
+//! A live classification session: bytes in, verdicts out.
+//!
+//! [`StreamSession`] chains the three online pieces — admission
+//! ([`StreamingCollector`]), incremental features
+//! ([`OnlineExtractor`]), and the compiled engine
+//! ([`CompiledRuleSet`]) — over an event stream. Two ingestion shapes:
+//!
+//! * [`StreamSession::push`] — one event at a time, classifying each
+//!   new file inline with a session-owned scratch row (steady-state:
+//!   zero heap allocation per event);
+//! * [`StreamSession::push_batch`] — a micro-batch through a
+//!   `downlake-exec` [`Pool`]: admission/extraction/encoding stay
+//!   sequential (they are stateful and order-sensitive), then the
+//!   encoded rows are classified in parallel with results restored to
+//!   arrival order. Because the engine is a pure function of the row,
+//!   verdicts are byte-identical to the per-event path at any pool
+//!   width.
+//!
+//! Both shapes also exist bytes-first ([`StreamSession::push_bytes`],
+//! [`StreamSession::push_bytes_batched`]) through the telemetry codec.
+
+use crate::collector::StreamingCollector;
+use crate::engine::CompiledRuleSet;
+use crate::online::OnlineExtractor;
+use downlake_exec::Pool;
+use downlake_features::FileVectors;
+use downlake_groundtruth::UrlLabeler;
+use downlake_rulelearn::Verdict;
+use downlake_telemetry::codec::{decode_event, CodecError};
+use downlake_telemetry::{RawEvent, ReportingPolicy, SuppressionStats};
+use downlake_types::FileHash;
+
+/// An online classification session over one event stream.
+#[derive(Debug)]
+pub struct StreamSession<'a> {
+    collector: StreamingCollector,
+    extractor: OnlineExtractor<'a>,
+    engine: &'a CompiledRuleSet,
+    verdicts: Vec<(FileHash, Verdict)>,
+    scratch: Vec<u32>,
+}
+
+impl<'a> StreamSession<'a> {
+    /// Creates a session applying `policy`, resolving domain ranks
+    /// through `urls`, and classifying with `engine`.
+    pub fn new(policy: ReportingPolicy, urls: &'a UrlLabeler, engine: &'a CompiledRuleSet) -> Self {
+        Self {
+            collector: StreamingCollector::new(policy),
+            extractor: OnlineExtractor::new(urls),
+            engine,
+            verdicts: Vec::new(),
+            scratch: Vec::with_capacity(engine.arity()),
+        }
+    }
+
+    /// Ingests one event. Returns the verdict when the event was
+    /// admitted *and* is its file's first sighting; `None` for
+    /// suppressed events and repeat downloads.
+    pub fn push(&mut self, raw: &RawEvent) -> Option<Verdict> {
+        if self.collector.admit(raw).is_err() {
+            return None;
+        }
+        let vector = self.extractor.ingest(raw)?;
+        self.engine.encode_into(&vector.values(), &mut self.scratch);
+        let verdict = self.engine.classify(&self.scratch);
+        self.verdicts.push((raw.file, verdict));
+        Some(verdict)
+    }
+
+    /// Ingests a micro-batch, classifying the batch's new files on the
+    /// pool. Byte-identical to pushing the same events one at a time.
+    pub fn push_batch(&mut self, batch: &[RawEvent], pool: &Pool) {
+        let arity = self.engine.arity();
+        let mut new_files: Vec<FileHash> = Vec::new();
+        let mut rows: Vec<u32> = Vec::new();
+        for raw in batch {
+            if self.collector.admit(raw).is_err() {
+                continue;
+            }
+            if let Some(vector) = self.extractor.ingest(raw) {
+                new_files.push(raw.file);
+                self.engine.encode_into(&vector.values(), &mut self.scratch);
+                rows.extend_from_slice(&self.scratch);
+            }
+        }
+        let engine = self.engine;
+        let indexes: Vec<usize> = (0..new_files.len()).collect();
+        let verdicts = pool.map(&indexes, |_, &i| {
+            engine.classify(&rows[i * arity..(i + 1) * arity])
+        });
+        self.verdicts.extend(new_files.into_iter().zip(verdicts));
+    }
+
+    /// Decodes and pushes every event in a codec byte stream, one at a
+    /// time. Returns the number of events decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CodecError`] of the first malformed frame; events
+    /// before it have already been ingested.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Result<usize, CodecError> {
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        while pos < bytes.len() {
+            let (event, consumed) = decode_event(&bytes[pos..])?;
+            pos += consumed;
+            count += 1;
+            self.push(&event);
+        }
+        Ok(count)
+    }
+
+    /// Decodes a codec byte stream in micro-batches of `batch` events,
+    /// classifying each batch on the pool. Returns the number of events
+    /// decoded. `batch == 0` is treated as 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CodecError`] of the first malformed frame; batches
+    /// before it have already been ingested.
+    pub fn push_bytes_batched(
+        &mut self,
+        bytes: &[u8],
+        batch: usize,
+        pool: &Pool,
+    ) -> Result<usize, CodecError> {
+        let batch = batch.max(1);
+        let mut buffer: Vec<RawEvent> = Vec::with_capacity(batch);
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        while pos < bytes.len() {
+            let (event, consumed) = decode_event(&bytes[pos..])?;
+            pos += consumed;
+            count += 1;
+            buffer.push(event);
+            if buffer.len() == batch {
+                self.push_batch(&buffer, pool);
+                buffer.clear();
+            }
+        }
+        self.push_batch(&buffer, pool);
+        Ok(count)
+    }
+
+    /// Verdicts so far: one per distinct admitted file, in
+    /// first-sighting order.
+    pub fn verdicts(&self) -> &[(FileHash, Verdict)] {
+        &self.verdicts
+    }
+
+    /// Per-file feature vectors so far, in first-sighting order.
+    pub fn vectors(&self) -> &FileVectors {
+        self.extractor.vectors()
+    }
+
+    /// Events admitted so far.
+    pub fn events_admitted(&self) -> u64 {
+        self.collector.events_admitted()
+    }
+
+    /// Suppression counters so far.
+    pub fn suppression_stats(&self) -> SuppressionStats {
+        self.collector.suppression_stats()
+    }
+
+    /// The engine this session classifies with.
+    pub fn engine(&self) -> &CompiledRuleSet {
+        self.engine
+    }
+
+    /// Counts verdicts per outcome: `(per-class counts, rejected,
+    /// no-match)`.
+    pub fn verdict_counts(&self) -> (Vec<usize>, usize, usize) {
+        let mut classes = vec![0usize; self.engine.class_count()];
+        let mut rejected = 0usize;
+        let mut no_match = 0usize;
+        for &(_, verdict) in &self.verdicts {
+            match verdict {
+                Verdict::Class(c) => {
+                    if let Some(slot) = classes.get_mut(c as usize) {
+                        *slot += 1;
+                    }
+                }
+                Verdict::Rejected => rejected += 1,
+                Verdict::NoMatch => no_match += 1,
+            }
+        }
+        (classes, rejected, no_match)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_rulelearn::{Condition, InstancesBuilder, Rule, RuleSet};
+    use downlake_telemetry::codec::encode_events;
+    use downlake_types::{FileMeta, MachineId, SignerInfo, Timestamp, Url};
+
+    fn engine() -> CompiledRuleSet {
+        let mut b = InstancesBuilder::new(
+            &[
+                "file's signer",
+                "file's CA",
+                "file's packer",
+                "process's signer",
+                "process's CA",
+                "process's packer",
+                "process's type",
+                "domain's Alexa rank",
+            ],
+            &["benign", "malicious"],
+        );
+        // Intern "somoto" (id 0) as the malicious file signer.
+        b.push(
+            &[
+                "somoto",
+                "ca",
+                "(unpacked)",
+                "(unsigned)",
+                "(unsigned)",
+                "(unpacked)",
+                "browser",
+                "unranked",
+            ],
+            "malicious",
+        );
+        let schema = b.build().schema().clone();
+        CompiledRuleSet::compile(&RuleSet::new(
+            schema,
+            vec![Rule {
+                conditions: vec![Condition { attr: 0, value: 0 }],
+                class: 1,
+                covered: 10,
+                errors: 0,
+            }],
+        ))
+    }
+
+    fn event(file: u64, machine: u64, signer: Option<&str>) -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(file),
+            file_meta: FileMeta {
+                size_bytes: 1,
+                disk_name: "setup.exe".into(),
+                signer: signer.map(|s| SignerInfo::valid(s, "ca")),
+                packer: None,
+            },
+            machine: MachineId::from_raw(machine),
+            process: FileHash::from_raw(999),
+            process_meta: FileMeta {
+                disk_name: "chrome.exe".into(),
+                ..FileMeta::default()
+            },
+            url: "http://a.com/f.exe".parse::<Url>().unwrap(),
+            timestamp: Timestamp::from_day(0),
+            executed: true,
+        }
+    }
+
+    #[test]
+    fn per_event_and_batched_paths_agree() {
+        let urls = UrlLabeler::new();
+        let engine = engine();
+        let events: Vec<RawEvent> = (0..40)
+            .map(|i| event(i % 7, i, if i % 7 == 0 { Some("somoto") } else { None }))
+            .collect();
+        let bytes = encode_events(&events);
+
+        let mut one = StreamSession::new(ReportingPolicy::new(20), &urls, &engine);
+        assert_eq!(one.push_bytes(&bytes).unwrap(), 40);
+
+        let mut batched = StreamSession::new(ReportingPolicy::new(20), &urls, &engine);
+        let pool = Pool::new(4);
+        assert_eq!(batched.push_bytes_batched(&bytes, 8, &pool).unwrap(), 40);
+
+        assert_eq!(one.verdicts(), batched.verdicts());
+        assert_eq!(one.vectors(), batched.vectors());
+        assert_eq!(one.suppression_stats(), batched.suppression_stats());
+        assert_eq!(one.verdicts().len(), 7, "one verdict per distinct file");
+        assert_eq!(one.verdicts()[0].1, Verdict::Class(1));
+    }
+
+    #[test]
+    fn verdict_counts_tally_outcomes() {
+        let urls = UrlLabeler::new();
+        let engine = engine();
+        let mut s = StreamSession::new(ReportingPolicy::new(20), &urls, &engine);
+        s.push(&event(1, 1, Some("somoto")));
+        s.push(&event(2, 1, None));
+        let (classes, rejected, no_match) = s.verdict_counts();
+        assert_eq!(classes[1], 1);
+        assert_eq!(rejected, 0);
+        assert_eq!(no_match, 1);
+    }
+
+    #[test]
+    fn truncated_bytes_surface_codec_errors() {
+        let urls = UrlLabeler::new();
+        let engine = engine();
+        let bytes = encode_events([&event(1, 1, None)]);
+        let mut s = StreamSession::new(ReportingPolicy::new(20), &urls, &engine);
+        assert!(s.push_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Pins the acceptance criterion "the compiled rule engine classifies
+//! with zero heap allocation per event": a counting global allocator
+//! measures the exact number of heap allocations across a burst of
+//! encode+classify calls on warmed buffers.
+//!
+//! (The library itself is `#![forbid(unsafe_code)]`; the allocator
+//! shim below lives in this test binary only.)
+
+use downlake_rulelearn::{Condition, InstancesBuilder, Rule, RuleSet};
+use downlake_stream::CompiledRuleSet;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn compiled() -> CompiledRuleSet {
+    let mut b = InstancesBuilder::new(
+        &["signer", "packer", "type", "rank"],
+        &["benign", "malicious"],
+    );
+    b.push(&["somoto", "NSIS", "browser", "unranked"], "malicious");
+    b.push(&["teamviewer", "INNO", "windows", "top 1k"], "benign");
+    b.push(&["binstall", "UPX", "java", "top 10k"], "benign");
+    let schema = b.build().schema().clone();
+    let rule = |conds: Vec<Condition>, class: u8| Rule {
+        conditions: conds,
+        class,
+        covered: 10,
+        errors: 0,
+    };
+    CompiledRuleSet::compile(&RuleSet::new(
+        schema,
+        vec![
+            rule(
+                vec![
+                    Condition { attr: 0, value: 0 },
+                    Condition { attr: 1, value: 0 },
+                ],
+                1,
+            ),
+            rule(vec![Condition { attr: 0, value: 1 }], 0),
+            rule(vec![Condition { attr: 2, value: 2 }], 0),
+            rule(vec![Condition { attr: 3, value: 0 }], 1),
+        ],
+    ))
+}
+
+#[test]
+fn classify_allocates_nothing_per_event() {
+    let engine = compiled();
+    // Rotating inputs exercising every verdict: class, reject, no-match.
+    let inputs: [[&str; 4]; 4] = [
+        ["somoto", "NSIS", "other", "unranked"],
+        ["teamviewer", "INNO", "java", "top 1k"],
+        ["never-seen", "never-seen", "never-seen", "never-seen"],
+        // somoto+NSIS (malicious) vs java (benign): conflict → Rejected.
+        ["somoto", "NSIS", "java", "top 1k"],
+    ];
+    let mut scratch = Vec::with_capacity(engine.arity());
+
+    // Warm-up: lets the scratch row reach its steady-state capacity.
+    for values in &inputs {
+        let _ = engine.classify_features(values.as_slice(), &mut scratch);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut checksum = 0usize;
+    for round in 0..10_000usize {
+        let values = &inputs[round % inputs.len()];
+        let verdict = engine.classify_features(values.as_slice(), &mut scratch);
+        // Consume the verdict so the loop cannot be optimized away.
+        checksum = checksum.wrapping_add(match verdict {
+            downlake_rulelearn::Verdict::Class(c) => c as usize,
+            downlake_rulelearn::Verdict::Rejected => 101,
+            downlake_rulelearn::Verdict::NoMatch => 211,
+        });
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "encode+classify must not touch the heap (checksum {checksum})"
+    );
+    assert_eq!(checksum, (1 + 0 + 211 + 101) * 2500);
+}
+
+#[test]
+fn compilation_itself_is_the_only_allocating_phase() {
+    let engine = compiled();
+    let mut scratch = Vec::with_capacity(engine.arity());
+    let _ = engine.classify_features(&["somoto", "NSIS", "browser", "unranked"], &mut scratch);
+
+    // A fresh, pre-sized scratch row also stays allocation-free after
+    // its first fill.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        let _ = engine.classify(&scratch);
+    }
+    assert_eq!(ALLOCATIONS.load(Ordering::Relaxed) - before, 0);
+}

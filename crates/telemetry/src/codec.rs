@@ -1,0 +1,452 @@
+//! Length-prefixed binary codec for [`RawEvent`] streams.
+//!
+//! The online subsystem (`downlake-stream`) ingests *bytes*, not
+//! in-memory structs: agents would ship serialized events over the
+//! wire, and replay harnesses read them back one frame at a time. Each
+//! event is one frame — a little-endian `u32` payload length followed
+//! by the payload — so a reader can skip or resynchronize per event
+//! without understanding the payload layout.
+//!
+//! Inside the payload every variable-length field (strings) is itself
+//! length-prefixed (`u32` byte count, UTF-8 bytes) and every optional
+//! field carries a one-byte presence tag, which keeps decoding total:
+//! any truncation, bad tag, or malformed string surfaces as a
+//! [`CodecError`] instead of a panic.
+//!
+//! The format has no padding and no implementation-defined layout, so
+//! encoded bytes are byte-identical across platforms — the same
+//! determinism contract as the rest of the workspace.
+
+use crate::event::RawEvent;
+use downlake_types::{FileHash, FileMeta, MachineId, PackerInfo, SignerInfo, Timestamp, Url};
+use std::error::Error;
+use std::fmt;
+
+/// Why a byte buffer failed to decode as an event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the field being read.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+    },
+    /// A presence/bool tag byte held a value other than 0 or 1.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8 {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// The URL components did not reassemble into a valid [`Url`].
+    BadUrl,
+    /// A frame's payload decoded to fewer bytes than its length prefix
+    /// declared (trailing garbage inside the frame).
+    FrameSlack {
+        /// Bytes the prefix declared.
+        declared: usize,
+        /// Bytes the payload actually consumed.
+        consumed: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { what, offset } => {
+                write!(f, "truncated input reading {what} at byte {offset}")
+            }
+            CodecError::BadTag { what, tag } => {
+                write!(f, "invalid tag byte {tag:#04x} for {what}")
+            }
+            CodecError::BadUtf8 { what } => write!(f, "invalid UTF-8 in {what}"),
+            CodecError::BadUrl => f.write_str("decoded URL components are not a valid URL"),
+            CodecError::FrameSlack { declared, consumed } => {
+                write!(
+                    f,
+                    "frame declared {declared} payload bytes but decoding consumed {consumed}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Appends one event to `out` as a length-prefixed frame.
+pub fn encode_event(event: &RawEvent, out: &mut Vec<u8>) {
+    let frame_start = out.len();
+    out.extend_from_slice(&[0u8; 4]); // length prefix placeholder
+    let payload_start = out.len();
+
+    put_u64(out, event.file.raw());
+    put_meta(out, &event.file_meta);
+    put_u64(out, event.machine.raw());
+    put_u64(out, event.process.raw());
+    put_meta(out, &event.process_meta);
+    put_str(out, event.url.scheme());
+    put_str(out, event.url.host());
+    put_str(out, event.url.path());
+    put_i64(out, event.timestamp.seconds());
+    out.push(u8::from(event.executed));
+
+    let payload_len = (out.len() - payload_start) as u32;
+    out[frame_start..payload_start].copy_from_slice(&payload_len.to_le_bytes());
+}
+
+/// Encodes a whole event sequence into one contiguous byte stream.
+pub fn encode_events<'a>(events: impl IntoIterator<Item = &'a RawEvent>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for event in events {
+        encode_event(event, &mut out);
+    }
+    out
+}
+
+/// Decodes the frame at the start of `buf`.
+///
+/// Returns the event and the total bytes consumed (prefix + payload),
+/// so callers can advance through a concatenated stream.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the frame is truncated or malformed.
+pub fn decode_event(buf: &[u8]) -> Result<(RawEvent, usize), CodecError> {
+    let mut cursor = Cursor::new(buf);
+    let declared = cursor.take_u32("frame length")? as usize;
+    let payload_start = cursor.pos;
+    if buf.len() - payload_start < declared {
+        return Err(CodecError::Truncated {
+            what: "frame payload",
+            offset: buf.len(),
+        });
+    }
+
+    let file = FileHash::from_raw(cursor.take_u64("file hash")?);
+    let file_meta = cursor.take_meta("file")?;
+    let machine = MachineId::from_raw(cursor.take_u64("machine id")?);
+    let process = FileHash::from_raw(cursor.take_u64("process hash")?);
+    let process_meta = cursor.take_meta("process")?;
+    let scheme = cursor.take_str("url scheme")?;
+    let host = cursor.take_str("url host")?;
+    let path = cursor.take_str("url path")?;
+    let url = Url::from_parts(&scheme, &host, &path).map_err(|_| CodecError::BadUrl)?;
+    let timestamp = Timestamp::from_seconds(cursor.take_i64("timestamp")?);
+    let executed = cursor.take_bool("executed flag")?;
+
+    let consumed = cursor.pos - payload_start;
+    if consumed != declared {
+        return Err(CodecError::FrameSlack { declared, consumed });
+    }
+    let event = RawEvent {
+        file,
+        file_meta,
+        machine,
+        process,
+        process_meta,
+        url,
+        timestamp,
+        executed,
+    };
+    Ok((event, cursor.pos))
+}
+
+/// Streaming decoder over a concatenated frame buffer.
+///
+/// Yields events until the buffer is exhausted; a malformed frame
+/// yields one `Err` and fuses the iterator (no resynchronization is
+/// attempted past a corrupt frame).
+#[derive(Debug, Clone)]
+pub struct EventReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    failed: bool,
+}
+
+impl<'a> EventReader<'a> {
+    /// Creates a reader over a concatenated frame buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            failed: false,
+        }
+    }
+
+    /// Byte offset of the next unread frame.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Iterator for EventReader<'_> {
+    type Item = Result<RawEvent, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pos >= self.buf.len() {
+            return None;
+        }
+        match decode_event(&self.buf[self.pos..]) {
+            Ok((event, consumed)) => {
+                self.pos += consumed;
+                Some(Ok(event))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_meta(out: &mut Vec<u8>, meta: &FileMeta) {
+    put_u64(out, meta.size_bytes);
+    put_str(out, &meta.disk_name);
+    match &meta.signer {
+        Some(signer) => {
+            out.push(1);
+            put_str(out, &signer.subject);
+            put_str(out, &signer.ca);
+            out.push(u8::from(signer.valid));
+        }
+        None => out.push(0),
+    }
+    match &meta.packer {
+        Some(packer) => {
+            out.push(1);
+            put_str(out, &packer.name);
+        }
+        None => out.push(0),
+    }
+}
+
+/// A panic-free forward reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(CodecError::Truncated {
+                what,
+                offset: self.pos,
+            }),
+        }
+    }
+
+    fn take_u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        let bytes = self.take(4, what)?;
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(bytes);
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    fn take_u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        let bytes = self.take(8, what)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    fn take_i64(&mut self, what: &'static str) -> Result<i64, CodecError> {
+        let bytes = self.take(8, what)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(i64::from_le_bytes(arr))
+    }
+
+    fn take_bool(&mut self, what: &'static str) -> Result<bool, CodecError> {
+        match self.take(1, what)?.first().copied() {
+            Some(0) => Ok(false),
+            Some(1) => Ok(true),
+            Some(tag) => Err(CodecError::BadTag { what, tag }),
+            None => Err(CodecError::Truncated {
+                what,
+                offset: self.pos,
+            }),
+        }
+    }
+
+    fn take_str(&mut self, what: &'static str) -> Result<String, CodecError> {
+        let len = self.take_u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::BadUtf8 { what })
+    }
+
+    fn take_meta(&mut self, what: &'static str) -> Result<FileMeta, CodecError> {
+        let size_bytes = self.take_u64(what)?;
+        let disk_name = self.take_str(what)?;
+        let signer = if self.take_bool(what)? {
+            let subject = self.take_str(what)?;
+            let ca = self.take_str(what)?;
+            let valid = self.take_bool(what)?;
+            Some(SignerInfo { subject, ca, valid })
+        } else {
+            None
+        };
+        let packer = if self.take_bool(what)? {
+            Some(PackerInfo::new(self.take_str(what)?))
+        } else {
+            None
+        };
+        Ok(FileMeta {
+            size_bytes,
+            disk_name,
+            signer,
+            packer,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_types::{FileHash, MachineId, Timestamp};
+
+    fn sample() -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(0xdead_beef_0042),
+            file_meta: FileMeta {
+                size_bytes: 123_456,
+                disk_name: "setup.exe".into(),
+                signer: Some(SignerInfo::valid(
+                    "Somoto Ltd.",
+                    "thawte code signing ca g2",
+                )),
+                packer: Some(PackerInfo::new("NSIS")),
+            },
+            machine: MachineId::from_raw(7),
+            process: FileHash::from_raw(100),
+            process_meta: FileMeta {
+                size_bytes: 0,
+                disk_name: "chrome.exe".into(),
+                signer: None,
+                packer: None,
+            },
+            url: "http://dl.softonic.com/f/setup.exe".parse().unwrap(),
+            timestamp: Timestamp::from_day(3),
+            executed: true,
+        }
+    }
+
+    #[test]
+    fn round_trips_one_event() {
+        let event = sample();
+        let mut buf = Vec::new();
+        encode_event(&event, &mut buf);
+        let (decoded, consumed) = decode_event(&buf).unwrap();
+        assert_eq!(decoded, event);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn reader_round_trips_a_stream() {
+        let a = sample();
+        let mut b = sample();
+        b.executed = false;
+        b.file_meta.signer = None;
+        let buf = encode_events([&a, &b]);
+        let decoded: Vec<RawEvent> = EventReader::new(&buf).map(|r| r.unwrap()).collect();
+        assert_eq!(decoded, vec![a, b]);
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_errors_cleanly() {
+        let mut buf = Vec::new();
+        encode_event(&sample(), &mut buf);
+        for cut in 0..buf.len() {
+            let err = decode_event(&buf[..cut]);
+            assert!(err.is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn bad_bool_tag_is_rejected() {
+        let mut buf = Vec::new();
+        encode_event(&sample(), &mut buf);
+        let last = buf.len() - 1; // the `executed` byte
+        buf[last] = 7;
+        assert!(matches!(
+            decode_event(&buf),
+            Err(CodecError::BadTag { tag: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn frame_slack_is_rejected() {
+        let mut buf = Vec::new();
+        encode_event(&sample(), &mut buf);
+        // Inflate the declared payload length and pad the buffer: the
+        // decoder must notice it consumed less than declared.
+        let declared = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        buf[0..4].copy_from_slice(&(declared + 2).to_le_bytes());
+        buf.extend_from_slice(&[0, 0]);
+        assert!(matches!(
+            decode_event(&buf),
+            Err(CodecError::FrameSlack { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_is_rejected() {
+        let mut buf = Vec::new();
+        encode_event(&sample(), &mut buf);
+        // The disk_name "setup.exe" starts right after the frame prefix,
+        // file hash, size, and name-length prefix: 4 + 8 + 8 + 4 bytes in.
+        buf[24] = 0xff;
+        assert!(matches!(
+            decode_event(&buf),
+            Err(CodecError::BadUtf8 { .. })
+        ));
+    }
+
+    #[test]
+    fn reader_fuses_after_error() {
+        let mut buf = Vec::new();
+        encode_event(&sample(), &mut buf);
+        encode_event(&sample(), &mut buf);
+        let mid = buf.len() - 3;
+        let mut reader = EventReader::new(&buf[..mid]);
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "reader must fuse after an error");
+    }
+
+    #[test]
+    fn empty_buffer_yields_nothing() {
+        assert_eq!(EventReader::new(&[]).count(), 0);
+    }
+}

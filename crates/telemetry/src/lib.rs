@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod codec;
 pub mod csv;
 mod dataset;
 mod event;
@@ -46,6 +47,7 @@ mod record;
 mod server;
 mod tables;
 
+pub use codec::{CodecError, EventReader};
 pub use csv::CsvError;
 pub use dataset::{Dataset, DatasetBuilder, DatasetStats, MonthlyView};
 pub use event::{DownloadEvent, RawEvent, RawEventBuilder};

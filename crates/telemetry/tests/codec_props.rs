@@ -1,0 +1,190 @@
+//! Round-trip property tests for the length-prefixed binary event
+//! codec.
+//!
+//! Each `proptest!` property also has a plain `#[test]` mirror sweeping
+//! a dense deterministic grid, so the invariants stay exercised even
+//! where the proptest runner is unavailable.
+
+use downlake_telemetry::codec::{decode_event, encode_event, encode_events, EventReader};
+use downlake_telemetry::RawEvent;
+use downlake_types::{FileHash, FileMeta, MachineId, PackerInfo, SignerInfo, Timestamp, Url};
+use proptest::prelude::*;
+
+fn build_event(
+    file: u64,
+    machine: u64,
+    process: u64,
+    seconds: i64,
+    executed: bool,
+    file_meta: FileMeta,
+    process_meta: FileMeta,
+    host: &str,
+    path: &str,
+) -> RawEvent {
+    RawEvent {
+        file: FileHash::from_raw(file),
+        file_meta,
+        machine: MachineId::from_raw(machine),
+        process: FileHash::from_raw(process),
+        process_meta,
+        url: Url::from_parts("http", host, path).expect("test host is valid"),
+        timestamp: Timestamp::from_seconds(seconds),
+        executed,
+    }
+}
+
+fn meta(
+    size: u64,
+    disk: &str,
+    signer: Option<(&str, &str, bool)>,
+    packer: Option<&str>,
+) -> FileMeta {
+    FileMeta {
+        size_bytes: size,
+        disk_name: disk.to_owned(),
+        signer: signer.map(|(subject, ca, valid)| SignerInfo {
+            subject: subject.to_owned(),
+            ca: ca.to_owned(),
+            valid,
+        }),
+        packer: packer.map(PackerInfo::new),
+    }
+}
+
+/// Checks the codec's core contract for one event: encode → decode is
+/// the identity, the frame consumes exactly its own bytes, and the
+/// streaming reader agrees with the one-shot decoder.
+fn check_round_trip(event: &RawEvent) {
+    let mut buf = Vec::new();
+    encode_event(event, &mut buf);
+    let (decoded, consumed) = decode_event(&buf).expect("self-encoded frame must decode");
+    assert_eq!(&decoded, event, "decode(encode(e)) must equal e");
+    assert_eq!(consumed, buf.len(), "frame must consume exactly its bytes");
+
+    // Twice through the streaming reader: position advances per frame.
+    let stream = encode_events([event, event]);
+    let mut reader = EventReader::new(&stream);
+    let first = reader.next().expect("first frame").expect("decodes");
+    assert_eq!(reader.position(), buf.len());
+    let second = reader.next().expect("second frame").expect("decodes");
+    assert!(reader.next().is_none());
+    assert_eq!(&first, event);
+    assert_eq!(&second, event);
+
+    // Every strict prefix of a single frame must fail, never panic.
+    for cut in 0..buf.len() {
+        assert!(
+            decode_event(&buf[..cut]).is_err(),
+            "prefix of length {cut} must not decode"
+        );
+    }
+}
+
+fn meta_strategy() -> impl Strategy<Value = FileMeta> {
+    (
+        any::<u64>(),
+        "[a-z0-9_.]{0,16}",
+        proptest::option::of(("[ -~]{0,12}", "[ -~]{0,12}", any::<bool>())),
+        proptest::option::of("[A-Za-z0-9]{0,8}"),
+    )
+        .prop_map(|(size, disk, signer, packer)| {
+            meta(
+                size,
+                &disk,
+                signer
+                    .as_ref()
+                    .map(|(s, c, v)| (s.as_str(), c.as_str(), *v)),
+                packer.as_deref(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_event_round_trips(
+        file in any::<u64>(),
+        machine in any::<u64>(),
+        process in any::<u64>(),
+        seconds in -1_000_000_000i64..1_000_000_000,
+        executed in any::<bool>(),
+        file_meta in meta_strategy(),
+        process_meta in meta_strategy(),
+        host in "[a-z]{1,10}(\\.[a-z]{1,8}){0,2}",
+        path in "(/[a-zA-Z0-9_.-]{0,10}){0,3}",
+    ) {
+        let event = build_event(
+            file, machine, process, seconds, executed,
+            file_meta, process_meta, &host, &path,
+        );
+        check_round_trip(&event);
+    }
+}
+
+#[test]
+fn round_trip_grid_mirror() {
+    let signers = [
+        None,
+        Some(("Somoto Ltd.", "thawte code signing ca g2", true)),
+        Some(("", "", false)),
+        Some(("ünïcode — signer", "漢字 CA", true)),
+    ];
+    let packers = [None, Some("NSIS"), Some("")];
+    let hosts = [
+        "a.com",
+        "dl.files.softonic.com",
+        "cdn.example.co.uk",
+        "10.0.0.1",
+    ];
+    let paths = ["", "/", "/f/setup_v2.exe", "/päth/ütf8"];
+    let mut count = 0usize;
+    for (i, signer) in signers.iter().enumerate() {
+        for (j, packer) in packers.iter().enumerate() {
+            for (k, host) in hosts.iter().enumerate() {
+                for (l, path) in paths.iter().enumerate() {
+                    let salt = (i * 64 + j * 16 + k * 4 + l) as u64;
+                    let event = build_event(
+                        salt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        salt,
+                        u64::MAX - salt,
+                        (salt as i64 - 96) * 86_400,
+                        salt % 2 == 0,
+                        meta(salt, "setup.exe", *signer, *packer),
+                        meta(0, "chrome.exe", *signer, *packer),
+                        host,
+                        path,
+                    );
+                    check_round_trip(&event);
+                    count += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(
+        count,
+        signers.len() * packers.len() * hosts.len() * paths.len()
+    );
+}
+
+#[test]
+fn extreme_values_round_trip() {
+    for raw in [0u64, 1, u64::MAX] {
+        for seconds in [i64::MIN, -1, 0, 1, i64::MAX] {
+            for executed in [false, true] {
+                let event = build_event(
+                    raw,
+                    raw ^ 0xffff,
+                    raw.rotate_left(17),
+                    seconds,
+                    executed,
+                    meta(u64::MAX, "x", Some(("s", "c", true)), Some("UPX")),
+                    meta(0, "", None, None),
+                    "h",
+                    "/",
+                );
+                check_round_trip(&event);
+            }
+        }
+    }
+}

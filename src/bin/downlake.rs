@@ -11,7 +11,7 @@
 //! Experiments are the paper's artifact ids (`table1` … `table17`,
 //! `fig1` … `fig6`, `packers`, `evasion`, `reach`, `rules`, `all`).
 
-use downlake_repro::core::{experiments, report, Study, StudyConfig};
+use downlake_repro::core::{experiments, live, report, Study, StudyConfig};
 use downlake_repro::synth::Scale;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -40,6 +40,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("rules", "rule experiments (Tables XVI + XVII)"),
     ("evasion", "§VII evasion strategies vs the rules"),
     ("reach", "§VII expanded-labeling population reach"),
+    (
+        "stream",
+        "live replay: online classification, checked against batch",
+    ),
     ("all", "the full report (everything above)"),
 ];
 
@@ -154,6 +158,28 @@ fn main() {
             }
             "evasion" => println!("{}", experiments::evasion_table(&study)),
             "reach" => println!("{}", experiments::expansion_reach_table(&study)),
+            "stream" => {
+                let config = live::LiveConfig::default();
+                eprintln!(
+                    "staging live replay (train {}, τ 0.1%)…",
+                    config.train_month
+                );
+                let prep = live::prepare(&study, config);
+                match prep.replay(threads) {
+                    Ok(outcome) => {
+                        println!("== Live replay ({threads} thread(s)) ==");
+                        println!("{}", live::render_summary(&prep, &outcome));
+                        if !outcome.matches_batch {
+                            eprintln!("stream replay diverged from the batch pipeline");
+                            std::process::exit(1);
+                        }
+                    }
+                    Err(err) => {
+                        eprintln!("stream replay failed: {err}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "all" => println!("{}", report::full_report(&study)),
             _ => unreachable!("validated above"),
         }
