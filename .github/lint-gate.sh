@@ -15,6 +15,13 @@ set -eu
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Rustdoc gate: the API docs must build warning-free (missing_docs is
+# a hard warning in every published crate; broken intra-doc links fail
+# here too). `--lib` because the `downlake` CLI bin intentionally shares
+# its name with the core library crate, which cargo reports as a doc
+# output collision.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --lib
+
 # Final step: downlake-lint. Fails (non-zero) only on findings that are
 # NEW relative to the committed lint-baseline.json, and prints a friendly
 # per-rule count diff either way. Burn-down is ratcheted: fix the new
@@ -36,3 +43,20 @@ cargo run -p downlake-bench --release --bin parallel -- --smoke
 # the batch pipeline.
 echo "stream_throughput: tiny-scale smoke run (online/batch identity)"
 cargo run -p downlake-bench --release --bin stream -- --smoke
+
+# Observability smoke: a run manifest must come out of the CLI and its
+# non-timing sections must be byte-identical at 1 vs 4 threads. The
+# committed tests/obs_manifest.rs suite pins the same invariant
+# in-process; this exercises the actual `--obs` flag end to end.
+echo "downlake-obs: manifest smoke (--obs at 1 vs 4 threads, stripped-timing identity)"
+cargo run -p downlake-repro --release --bin downlake -- --scale tiny --threads 1 --obs /tmp/downlake-obs-t1.json run > /dev/null
+cargo run -p downlake-repro --release --bin downlake -- --scale tiny --threads 4 --obs /tmp/downlake-obs-t4.json run > /dev/null
+python3 - <<'EOF'
+import json
+a = json.load(open("/tmp/downlake-obs-t1.json"))
+b = json.load(open("/tmp/downlake-obs-t4.json"))
+assert "timing" in a and "timing" in b, "manifest must carry a timing section"
+a.pop("timing"); b.pop("timing")
+assert a == b, "non-timing manifest sections diverged between 1 and 4 threads"
+print("downlake-obs: manifests identical outside `timing`")
+EOF

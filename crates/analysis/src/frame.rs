@@ -394,6 +394,36 @@ impl AnalysisFrame {
         }
     }
 
+    /// [`AnalysisFrame::build_with`] plus metric observation.
+    ///
+    /// Records the frame's row counts and final intern-table sizes into
+    /// `registry`'s deterministic plane — they are properties of the
+    /// finished frame, which is byte-identical at every pool width — and
+    /// the whole build's duration (read from `clock`) as a
+    /// `frame.build` span in the timing plane. The frame itself is
+    /// byte-identical to the unobserved path.
+    pub fn build_observed(
+        dataset: &Dataset,
+        pool: &Pool,
+        registry: &downlake_obs::Registry,
+        clock: &dyn downlake_obs::Clock,
+        label_of: impl Fn(FileHash) -> FileLabel + Sync,
+        type_of: impl Fn(FileHash) -> Option<MalwareType> + Sync,
+    ) -> Self {
+        let frame = {
+            let _span = registry.span("frame.build", clock);
+            Self::build_with(dataset, pool, label_of, type_of)
+        };
+        registry.counter_add("frame.events", frame.ev_file.len() as u64);
+        registry.counter_add("frame.files", frame.file_label.len() as u64);
+        registry.counter_add("frame.processes", frame.proc_label.len() as u64);
+        registry.counter_add("frame.urls", frame.url_e2ld.len() as u64);
+        registry.gauge_max("frame.intern.e2lds", frame.e2lds.len() as u64);
+        registry.gauge_max("frame.intern.signers", frame.signers.len() as u64);
+        registry.gauge_max("frame.intern.packers", frame.packers.len() as u64);
+        frame
+    }
+
     /// Builds the frame through a [`LabelView`]'s closures.
     pub fn from_label_view(dataset: &Dataset, labels: &LabelView<'_>) -> Self {
         Self::build(dataset, |h| labels.label(h), |h| labels.malware_type(h))
@@ -717,6 +747,47 @@ mod tests {
             seen[i] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn build_observed_records_frame_shape_without_perturbing_it() {
+        use downlake_obs::{Registry, TestClock};
+        let ds = dataset();
+        let label = |h: FileHash| match h.raw() {
+            1 | 900 => FileLabel::Benign,
+            2 => FileLabel::Malicious,
+            _ => FileLabel::Unknown,
+        };
+        let ty = |h: FileHash| (h.raw() == 2).then_some(MalwareType::Trojan);
+        let observe = |threads: usize| {
+            let registry = Registry::new();
+            let clock = TestClock::with_tick(1);
+            let f = AnalysisFrame::build_observed(
+                &ds,
+                &Pool::new(threads),
+                &registry,
+                &clock,
+                label,
+                ty,
+            );
+            (f, registry.snapshot())
+        };
+        let (f1, r1) = observe(1);
+        let (f4, r4) = observe(4);
+        let oracle = frame();
+        // Observation must not perturb the frame at any width.
+        for f in [&f1, &f4] {
+            assert_eq!(f.ev_file_label, oracle.ev_file_label);
+            assert_eq!(f.file_label, oracle.file_label);
+            assert_eq!(f.signers, oracle.signers);
+            assert_eq!(f.machine_event_idx, oracle.machine_event_idx);
+        }
+        assert_eq!(r1.counters, r4.counters);
+        assert_eq!(r1.gauges, r4.gauges);
+        assert_eq!(r1.counters["frame.events"], 3);
+        assert_eq!(r1.counters["frame.files"], 2);
+        assert_eq!(r1.gauges["frame.intern.signers"], 1);
+        assert_eq!(r1.timings["frame.build"].count(), 1);
     }
 
     #[test]

@@ -7,13 +7,18 @@
 //! cargo run --release -p downlake-bench --bin parallel -- --smoke # tiny, for CI
 //! ```
 //!
-//! Emits `BENCH_parallel.json` in the current directory. Numbers are
-//! honest: `host_cpus` is recorded alongside the timings, because on a
-//! single-core runner the pool cannot (and should not) show a speedup —
-//! what must hold everywhere is byte-identical output, which this bin
-//! also verifies and reports as `"identical"`.
+//! Emits `BENCH_parallel.json` in the current directory via the shared
+//! [`downlake_bench::report`] manifest writer. Numbers are honest:
+//! `host_cpus` is recorded alongside the timings (under the manifest's
+//! `timing` section), because on a single-core runner the pool cannot
+//! (and should not) show a speedup — what must hold everywhere is
+//! byte-identical output, which this bin also verifies and reports as
+//! `"identical"`. The pipeline's own deterministic metrics (from
+//! `Study::obs`) ride along in the manifest body.
 
 use downlake::{report, Study, StudyConfig};
+use downlake_bench::report::{bench_manifest, TimedRun};
+use downlake_obs::ObsReport;
 use downlake_synth::Scale;
 use std::time::Instant;
 
@@ -21,6 +26,7 @@ struct Run {
     threads: usize,
     seconds: f64,
     report: String,
+    obs: ObsReport,
 }
 
 fn run_once(scale: Scale, seed: u64, threads: usize) -> Run {
@@ -35,6 +41,7 @@ fn run_once(scale: Scale, seed: u64, threads: usize) -> Run {
         threads,
         seconds: start.elapsed().as_secs_f64(),
         report,
+        obs: study.obs().clone(),
     }
 }
 
@@ -69,26 +76,29 @@ fn main() {
     };
     eprintln!("  speedup (1 → 4 threads): {speedup:.2}x, outputs identical: {identical}");
 
-    // Hand-rolled JSON: the bench crate stays free of serialization deps.
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"parallel_speedup\",\n");
-    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
-    json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
-    json.push_str("  \"runs\": [\n");
-    for (i, run) in runs.iter().enumerate() {
-        let comma = if i + 1 < runs.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"threads\": {}, \"seconds\": {:.6}}}{comma}\n",
-            run.threads, run.seconds
-        ));
+    let timed: Vec<TimedRun> = runs
+        .iter()
+        .map(|r| TimedRun {
+            threads: r.threads,
+            seconds: r.seconds,
+            events_per_sec: None,
+        })
+        .collect();
+    let mut manifest = bench_manifest(
+        "parallel_speedup",
+        scale_name,
+        seed,
+        identical,
+        host_cpus,
+        &timed,
+        speedup,
+    );
+    // The deterministic plane is identical across the runs (that is the
+    // point), so absorbing one representative loses nothing.
+    if let Some(run) = runs.first() {
+        manifest.absorb(&run.obs);
     }
-    json.push_str("  ],\n");
-    json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
-    json.push_str(&format!("  \"identical\": {identical}\n"));
-    json.push_str("}\n");
-    if let Err(e) = std::fs::write("BENCH_parallel.json", &json) {
+    if let Err(e) = manifest.write(std::path::Path::new("BENCH_parallel.json")) {
         eprintln!("parallel_speedup: could not write BENCH_parallel.json: {e}");
         std::process::exit(1);
     }

@@ -7,15 +7,17 @@
 //! cargo run --release -p downlake-bench --bin stream -- --smoke # tiny, for CI
 //! ```
 //!
-//! Emits `BENCH_stream.json` in the current directory, schema-matched
-//! to `BENCH_parallel.json`: `host_cpus` is recorded because a
-//! single-core runner cannot show pooled speedup, and `identical`
-//! reports the invariant that actually matters — every replay ends
-//! byte-identical to the batch pipeline and to every other replay.
-//! Exits non-zero if identity ever breaks.
+//! Emits `BENCH_stream.json` in the current directory via the shared
+//! [`downlake_bench::report`] manifest writer, schema-matched to
+//! `BENCH_parallel.json`: `host_cpus` is recorded (under `timing`)
+//! because a single-core runner cannot show pooled speedup, and
+//! `identical` reports the invariant that actually matters — every
+//! replay ends byte-identical to the batch pipeline and to every other
+//! replay. Exits non-zero if identity ever breaks.
 
 use downlake::live::{self, LiveConfig};
 use downlake::{Study, StudyConfig};
+use downlake_bench::report::{bench_manifest, TimedRun};
 use downlake_synth::Scale;
 use std::time::Instant;
 
@@ -91,29 +93,29 @@ fn main() {
     };
     eprintln!("  speedup (1 → 4 threads): {speedup:.2}x, identical: {identical}");
 
-    // Hand-rolled JSON: the bench crate stays free of serialization deps.
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"stream_throughput\",\n");
-    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
-    json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
-    json.push_str(&format!("  \"events\": {},\n", prep.events_total()));
-    json.push_str(&format!("  \"stream_bytes\": {},\n", prep.stream_bytes()));
-    json.push_str(&format!("  \"rules\": {},\n", prep.engine().rule_count()));
-    json.push_str("  \"runs\": [\n");
-    for (i, run) in runs.iter().enumerate() {
-        let comma = if i + 1 < runs.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"threads\": {}, \"seconds\": {:.6}, \"events_per_sec\": {:.0}}}{comma}\n",
-            run.threads, run.seconds, run.events_per_sec
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
-    json.push_str(&format!("  \"identical\": {identical}\n"));
-    json.push_str("}\n");
-    if let Err(e) = std::fs::write("BENCH_stream.json", &json) {
+    let timed: Vec<TimedRun> = runs
+        .iter()
+        .map(|r| TimedRun {
+            threads: r.threads,
+            seconds: r.seconds,
+            events_per_sec: Some(r.events_per_sec),
+        })
+        .collect();
+    let mut manifest = bench_manifest(
+        "stream_throughput",
+        scale_name,
+        seed,
+        identical,
+        host_cpus,
+        &timed,
+        speedup,
+    );
+    manifest
+        .set_run("events", prep.events_total() as u64)
+        .set_run("stream_bytes", prep.stream_bytes() as u64)
+        .set_run("rules", prep.engine().rule_count() as u64)
+        .absorb(study.obs());
+    if let Err(e) = manifest.write(std::path::Path::new("BENCH_stream.json")) {
         eprintln!("stream_throughput: could not write BENCH_stream.json: {e}");
         std::process::exit(1);
     }

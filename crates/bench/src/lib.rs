@@ -9,6 +9,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod ablation;
+pub mod report;
 
 use downlake::{Study, StudyConfig};
 use downlake_synth::Scale;

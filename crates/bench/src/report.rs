@@ -1,0 +1,122 @@
+//! Shared `BENCH_*.json` emitter for the bench binaries.
+//!
+//! Both speedup bins (`parallel`, `stream`) used to hand-roll their JSON
+//! with `format!`, which silently produced invalid documents the moment
+//! a string field contained a quote or backslash. They now render
+//! through [`downlake_obs::RunManifest`], whose writer escapes per
+//! RFC 8259 — and the same layout discipline applies: facts that are a
+//! pure function of the configuration live under `run`, wall-clock
+//! numbers (`host_cpus`, seconds, speedup) are quarantined under
+//! `timing`.
+
+use downlake_obs::json::Json;
+use downlake_obs::RunManifest;
+
+/// One timed replay/pipeline run at a fixed pool width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedRun {
+    /// Worker-pool width used for this run.
+    pub threads: usize,
+    /// Wall-clock duration of the run.
+    pub seconds: f64,
+    /// Decoded events per second, where the bench measures throughput.
+    pub events_per_sec: Option<f64>,
+}
+
+/// Builds the shared bench manifest.
+///
+/// `identical` — the determinism verdict (every run byte-equal) — sits
+/// in the `run` section: its *value* is configuration-determined (the
+/// bins exit non-zero if it is ever false). Everything measured with a
+/// real clock goes under `timing`.
+pub fn bench_manifest(
+    bench: &str,
+    scale: &str,
+    seed: u64,
+    identical: bool,
+    host_cpus: usize,
+    runs: &[TimedRun],
+    speedup: f64,
+) -> RunManifest {
+    let mut manifest = RunManifest::new(bench);
+    manifest
+        .set_run("scale", scale)
+        .set_run("seed", seed)
+        .set_run("identical", identical)
+        .set_timing("host_cpus", host_cpus as u64)
+        .set_timing("speedup", speedup);
+    let entries: Vec<Json> = runs
+        .iter()
+        .map(|r| {
+            let mut obj = vec![
+                ("threads".to_owned(), Json::from(r.threads as u64)),
+                ("seconds".to_owned(), Json::from(r.seconds)),
+            ];
+            if let Some(eps) = r.events_per_sec {
+                obj.push(("events_per_sec".to_owned(), Json::from(eps)));
+            }
+            Json::Obj(obj)
+        })
+        .collect();
+    manifest.set_timing("runs", Json::Arr(entries));
+    manifest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_obs::json::parse;
+
+    #[test]
+    fn emitted_bench_json_parses_and_keeps_sections_straight() {
+        let runs = [
+            TimedRun {
+                threads: 1,
+                seconds: 1.25,
+                events_per_sec: Some(80_000.0),
+            },
+            TimedRun {
+                threads: 4,
+                seconds: 0.5,
+                events_per_sec: Some(200_000.0),
+            },
+        ];
+        // A hostile scale name: the old format!-based writer emitted
+        // invalid JSON for exactly this input.
+        let manifest = bench_manifest(
+            "stream_throughput",
+            "1/64 \"paper\"\\",
+            42,
+            true,
+            8,
+            &runs,
+            2.5,
+        );
+        let doc = parse(&manifest.to_json()).expect("bench manifest must be valid JSON");
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("stream_throughput")
+        );
+        let run = doc.get("run").expect("run section");
+        assert_eq!(
+            run.get("scale").and_then(Json::as_str),
+            Some("1/64 \"paper\"\\")
+        );
+        assert_eq!(run.get("seed").and_then(Json::as_u64), Some(42));
+        let timing = doc.get("timing").expect("timing section");
+        assert_eq!(timing.get("host_cpus").and_then(Json::as_u64), Some(8));
+        match timing.get("runs") {
+            Some(Json::Arr(entries)) => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[1].get("threads").and_then(Json::as_u64), Some(4));
+            }
+            other => panic!("timing.runs should be an array, got {other:?}"),
+        }
+        // Wall-clock numbers never leak outside `timing`: stripping it
+        // removes every one of them.
+        let stripped = manifest.to_json_stripped();
+        assert!(!stripped.contains("host_cpus"));
+        assert!(!stripped.contains("seconds"));
+        assert!(stripped.contains("identical"));
+    }
+}

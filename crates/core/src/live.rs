@@ -25,6 +25,7 @@ use crate::pipeline::Study;
 use downlake_exec::Pool;
 use downlake_features::{build_training_set, Extractor, FileVectors};
 use downlake_groundtruth::UrlLabeler;
+use downlake_obs::{Clock, Registry};
 use downlake_rulelearn::{ConflictPolicy, PartLearner, RuleSet, TreeConfig, Verdict};
 use downlake_stream::{CompiledRuleSet, StreamSession};
 use downlake_synth::World;
@@ -95,7 +96,12 @@ pub struct LiveOutcome {
 /// Trains the deployed ruleset with the Table XVI recipe: PART, unpruned
 /// (τ-selection is the quality filter at sub-paper scale), re-scored
 /// against the whole training set, support floor scaled to its size.
-fn train_ruleset(study: &Study, month: Month, tau: f64) -> RuleSet {
+fn train_ruleset(
+    study: &Study,
+    month: Month,
+    tau: f64,
+    obs: Option<(&Registry, &dyn Clock)>,
+) -> RuleSet {
     let extractor = Extractor::new(study.dataset(), study.url_labeler());
     let train = extractor.extract_first_seen(study.dataset().month(month).events());
     let gt = study.ground_truth();
@@ -108,7 +114,11 @@ fn train_ruleset(study: &Study, month: Month, tau: f64) -> RuleSet {
         prune: false,
         ..TreeConfig::default()
     });
-    let full = learner.learn(&instances).reevaluate(&instances);
+    let full = match obs {
+        Some((registry, clock)) => learner.learn_observed(&instances, registry, clock),
+        None => learner.learn(&instances),
+    };
+    let full = full.reevaluate(&instances);
     let min_coverage = (instances.len() / 120).clamp(8, 16);
     full.select_with(tau, min_coverage)
 }
@@ -121,7 +131,42 @@ fn train_ruleset(study: &Study, month: Month, tau: f64) -> RuleSet {
 /// the telemetry codec — the same bytes a collection endpoint would
 /// receive on the wire.
 pub fn prepare(study: &Study, config: LiveConfig) -> LivePrep<'_> {
-    let ruleset = train_ruleset(study, config.train_month, config.tau);
+    prepare_impl(study, config, None)
+}
+
+/// [`prepare`] plus metric observation.
+///
+/// Training runs through `learn_observed` (iteration counters, rule
+/// coverage histogram), the staging work is wrapped in `live.prepare` /
+/// `live.train` spans, and the staged artifacts are counted
+/// (`live.rules_deployed`, `live.batch_files`, `live.stream_bytes`, …).
+/// The returned prep is identical to the unobserved path.
+pub fn prepare_observed<'a>(
+    study: &'a Study,
+    config: LiveConfig,
+    registry: &Registry,
+    clock: &dyn Clock,
+) -> LivePrep<'a> {
+    let prep = {
+        let _span = registry.span("live.prepare", clock);
+        prepare_impl(study, config, Some((registry, clock)))
+    };
+    registry.counter_add("live.rules_deployed", prep.engine.rule_count() as u64);
+    registry.counter_add("live.batch_files", prep.batch_vectors.len() as u64);
+    registry.counter_add("live.events_encoded", prep.events_total as u64);
+    registry.counter_add("live.stream_bytes", prep.bytes.len() as u64);
+    prep
+}
+
+fn prepare_impl<'a>(
+    study: &'a Study,
+    config: LiveConfig,
+    obs: Option<(&Registry, &dyn Clock)>,
+) -> LivePrep<'a> {
+    let ruleset = {
+        let _span = obs.map(|(registry, clock)| registry.span("live.train", clock));
+        train_ruleset(study, config.train_month, config.tau, obs)
+    };
     let engine = CompiledRuleSet::compile(&ruleset);
 
     // Batch oracle: vectors from the finished dataset, verdicts through
@@ -187,6 +232,35 @@ impl LivePrep<'_> {
     /// Returns the first [`CodecError`] if the byte stream is malformed
     /// — impossible for bytes produced by [`prepare`].
     pub fn replay(&self, threads: usize) -> Result<LiveOutcome, CodecError> {
+        self.replay_impl(threads, None)
+    }
+
+    /// [`LivePrep::replay`] plus metric observation.
+    ///
+    /// The whole replay runs under a `live.replay` span and the
+    /// end-of-stream session state lands in `registry` via
+    /// [`StreamSession::observe_into`] (admission, suppression, and
+    /// per-class verdict counters). The outcome is identical to the
+    /// unobserved path at every pool width.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LivePrep::replay`].
+    pub fn replay_observed(
+        &self,
+        threads: usize,
+        registry: &Registry,
+        clock: &dyn Clock,
+    ) -> Result<LiveOutcome, CodecError> {
+        self.replay_impl(threads, Some((registry, clock)))
+    }
+
+    fn replay_impl(
+        &self,
+        threads: usize,
+        obs: Option<(&Registry, &dyn Clock)>,
+    ) -> Result<LiveOutcome, CodecError> {
+        let _span = obs.map(|(registry, clock)| registry.span("live.replay", clock));
         let mut session =
             StreamSession::new(ReportingPolicy::paper_default(), self.urls, &self.engine);
         let events_total = if threads <= 1 {
@@ -195,6 +269,9 @@ impl LivePrep<'_> {
             let pool = Pool::new(threads);
             session.push_bytes_batched(&self.bytes, self.config.batch, &pool)?
         };
+        if let Some((registry, _)) = obs {
+            session.observe_into(registry);
+        }
         let (class_counts, rejected, no_match) = session.verdict_counts();
         let matches_batch = session.verdicts() == self.batch_verdicts.as_slice()
             && session.vectors() == &self.batch_vectors;
@@ -281,5 +358,42 @@ mod tests {
         // The summary renders without a panic and names the invariant.
         let summary = render_summary(&prep, &one);
         assert!(summary.contains("matches batch     yes"));
+    }
+
+    #[test]
+    fn observed_replay_is_transparent_and_thread_invariant() {
+        use downlake_obs::{Registry, TestClock};
+        let study = Study::run(&StudyConfig::new(7).with_scale(Scale::Tiny));
+        let registry = Registry::new();
+        let clock = TestClock::with_tick(1);
+        let prep = prepare_observed(&study, LiveConfig::default(), &registry, &clock);
+        let plain = prepare(&study, LiveConfig::default());
+        assert_eq!(prep.engine().rule_count(), plain.engine().rule_count());
+        assert_eq!(prep.stream_bytes(), plain.stream_bytes());
+        let staged = registry.snapshot();
+        assert!(staged.counters["live.rules_deployed"] > 0);
+        assert_eq!(
+            staged.counters["live.stream_bytes"],
+            plain.stream_bytes() as u64
+        );
+        assert_eq!(staged.timings["live.prepare"].count(), 1);
+
+        // Observation never perturbs the outcome, and the deterministic
+        // plane agrees at every pool width even under different clocks.
+        let r1 = Registry::new();
+        let one = prep
+            .replay_observed(1, &r1, &TestClock::with_tick(1))
+            .expect("well-formed stream");
+        let r4 = Registry::new();
+        let four = prep
+            .replay_observed(4, &r4, &TestClock::with_tick(5))
+            .expect("well-formed stream");
+        assert_eq!(one, prep.replay(1).expect("well-formed stream"));
+        assert_eq!(one, four);
+        let (s1, s4) = (r1.snapshot(), r4.snapshot());
+        assert_eq!(s1.counters, s4.counters);
+        assert_eq!(s1.gauges, s4.gauges);
+        assert_eq!(s1.counters["stream.files_classified"], one.files as u64);
+        assert_eq!(s1.timings["live.replay"].count(), 1);
     }
 }

@@ -4,6 +4,7 @@ use downlake_analysis::{AnalysisFrame, LabelView};
 use downlake_avtype::{BehaviorExtractor, FamilyExtractor, ResolutionStats};
 use downlake_exec::{partition, Pool};
 use downlake_groundtruth::{DomainFacts, GroundTruth, GroundTruthOracle, OracleConfig, UrlLabeler};
+use downlake_obs::{Clock, ObsReport, RealClock, Registry, RunManifest};
 use downlake_synth::{Scale, SynthConfig, World};
 use downlake_telemetry::{CollectionServer, Dataset, ReportingPolicy, SuppressionStats};
 use downlake_types::{FileHash, FileLabel, MalwareType, Timestamp};
@@ -127,60 +128,114 @@ pub struct Study {
     url_labeler: UrlLabeler,
     types: TypeAssignments,
     frame: AnalysisFrame,
+    obs: ObsReport,
 }
 
 impl Study {
     /// Runs the full pipeline. Deterministic per configuration: the
     /// `threads` / `shards` knobs change wall-clock time only, never a
     /// byte of output (pinned by the `thread_matrix` integration test).
+    ///
+    /// Phase timings are measured against a [`RealClock`]; use
+    /// [`Study::run_observed`] to inject a deterministic clock instead.
     pub fn run(config: &StudyConfig) -> Study {
+        Self::run_observed(config, &RealClock::new())
+    }
+
+    /// [`Study::run`] with an injected [`Clock`].
+    ///
+    /// Every pipeline phase runs under an RAII span and feeds a metric
+    /// registry whose snapshot ends up on [`Study::obs`]. The
+    /// deterministic plane (counters, gauges, value histograms) is a
+    /// pure function of the configuration — byte-identical at every
+    /// `threads` / `shards` setting — while span durations live in the
+    /// explicitly scheduling-dependent timing plane.
+    pub fn run_observed(config: &StudyConfig, clock: &dyn Clock) -> Study {
+        let registry = Registry::new();
         let pool = Pool::new(config.threads);
 
         // 1. Generate the world + raw event stream (sharded).
-        let generated = World::generate_with(&config.synth, config.shards, &pool);
+        let generated = {
+            let _span = registry.span("phase.generate", clock);
+            World::generate_observed(&config.synth, config.shards, &pool, &registry, clock)
+        };
         let world = generated.world;
 
         // 2. Feed the stream through the collection server.
-        let policy = ReportingPolicy::paper_default();
-        let mut server = CollectionServer::new(policy);
-        for raw in generated.events {
-            server.observe(raw);
-        }
-        let suppression = server.suppression_stats();
-        let dataset = server.into_dataset();
+        let (suppression, dataset) = {
+            let _span = registry.span("phase.collect", clock);
+            let policy = ReportingPolicy::paper_default();
+            let mut server = CollectionServer::new(policy);
+            for raw in generated.events {
+                server.observe(raw);
+            }
+            (server.suppression_stats(), server.into_dataset())
+        };
+        registry.counter_add(
+            "telemetry.suppressed.not_executed",
+            suppression.not_executed,
+        );
+        registry.counter_add(
+            "telemetry.suppressed.prevalence_cap",
+            suppression.prevalence_cap,
+        );
+        registry.counter_add(
+            "telemetry.suppressed.whitelisted_url",
+            suppression.whitelisted_url,
+        );
+        let stats = dataset.stats();
+        registry.counter_add("dataset.events", stats.events as u64);
+        registry.counter_add("dataset.machines", stats.machines as u64);
+        registry.counter_add("dataset.files", stats.files as u64);
+        registry.counter_add("dataset.processes", stats.processes as u64);
+        registry.counter_add("dataset.urls", stats.urls as u64);
+        registry.counter_add("dataset.domains", stats.domains as u64);
 
         // 3. Collect ground truth over every file and process hash that
         //    survived into the dataset. A BTreeMap keeps the subject
         //    sequence deterministic regardless of event hashing.
-        let mut first_seen: BTreeMap<FileHash, Timestamp> = BTreeMap::new();
-        for event in dataset.events() {
-            first_seen.entry(event.file).or_insert(event.timestamp);
-            first_seen.entry(event.process).or_insert(event.timestamp);
+        let ground_truth = {
+            let _span = registry.span("phase.groundtruth", clock);
+            let mut first_seen: BTreeMap<FileHash, Timestamp> = BTreeMap::new();
+            for event in dataset.events() {
+                first_seen.entry(event.file).or_insert(event.timestamp);
+                first_seen.entry(event.process).or_insert(event.timestamp);
+            }
+            let oracle = GroundTruthOracle::new(config.oracle);
+            let subjects: Vec<(FileHash, &downlake_types::LatentProfile, Timestamp)> = first_seen
+                .iter()
+                .filter_map(|(&hash, &t)| world.latent(hash).map(|p| (hash, p, t)))
+                .collect();
+            registry.counter_add("groundtruth.subjects", subjects.len() as u64);
+            oracle.collect(subjects)
+        };
+        let counts = ground_truth.counts();
+        for label in FileLabel::ALL {
+            let key = format!("groundtruth.{}", label.name().replace(' ', "_"));
+            registry.counter_add(&key, counts.get(&label).copied().unwrap_or(0) as u64);
         }
-        let oracle = GroundTruthOracle::new(config.oracle);
-        let subjects: Vec<(FileHash, &downlake_types::LatentProfile, Timestamp)> = first_seen
-            .iter()
-            .filter_map(|(&hash, &t)| world.latent(hash).map(|p| (hash, p, t)))
-            .collect();
-        let ground_truth = oracle.collect(subjects);
 
         // 4. URL labeler from the world's domain directory.
-        let url_labeler = UrlLabeler::from_facts(world.domains().entries().iter().map(|e| {
-            (
-                e.name.clone(),
-                DomainFacts {
-                    rank: e.rank,
-                    curated_whitelist: e.curated_whitelist,
-                    gsb_listed: e.gsb_listed,
-                    private_blacklist: e.private_blacklist,
-                },
-            )
-        }));
+        let url_labeler = {
+            let _span = registry.span("phase.url_labeler", clock);
+            UrlLabeler::from_facts(world.domains().entries().iter().map(|e| {
+                (
+                    e.name.clone(),
+                    DomainFacts {
+                        rank: e.rank,
+                        curated_whitelist: e.curated_whitelist,
+                        gsb_listed: e.gsb_listed,
+                        private_blacklist: e.private_blacklist,
+                    },
+                )
+            }))
+        };
 
         // 5. AVType + family extraction over the malicious scan reports,
         //    chunked over the hash-ordered malicious list. Chunk results
         //    land in hash-keyed maps and commutative counters, so the
         //    merge is independent of chunking.
+        let _avtype_span = registry.span("phase.avtype", clock);
         let behavior = BehaviorExtractor::new();
         let families = FamilyExtractor::new();
         let malicious: Vec<FileHash> = ground_truth
@@ -212,16 +267,29 @@ impl Study {
                 }
             }
         }
+        drop(_avtype_span);
+        registry.counter_add("avtype.typed", types.types.len() as u64);
+        registry.counter_add("avtype.families", types.families.len() as u64);
+        let resolution = types.resolution;
+        registry.counter_add("avtype.resolved.no_conflict", resolution.no_conflict as u64);
+        registry.counter_add("avtype.resolved.voting", resolution.voting as u64);
+        registry.counter_add("avtype.resolved.specificity", resolution.specificity as u64);
+        registry.counter_add("avtype.resolved.manual", resolution.manual as u64);
 
         // 6. Resolve labels/types into the shared columnar frame every
         //    table and figure pass consumes. Labels are looked up once
         //    per distinct file and process here, never again per event.
-        let frame = AnalysisFrame::build_with(
-            &dataset,
-            &pool,
-            |h| ground_truth.label(h),
-            |h| types.malware_type(h),
-        );
+        let frame = {
+            let _span = registry.span("phase.frame", clock);
+            AnalysisFrame::build_observed(
+                &dataset,
+                &pool,
+                &registry,
+                clock,
+                |h| ground_truth.label(h),
+                |h| types.malware_type(h),
+            )
+        };
 
         Study {
             config: config.clone(),
@@ -232,6 +300,7 @@ impl Study {
             url_labeler,
             types,
             frame,
+            obs: registry.snapshot(),
         }
     }
 
@@ -273,6 +342,32 @@ impl Study {
     /// The columnar [`AnalysisFrame`] shared by every analysis pass.
     pub fn frame(&self) -> &AnalysisFrame {
         &self.frame
+    }
+
+    /// Everything the pipeline observed about itself while running.
+    ///
+    /// Counters, gauges, and value histograms are deterministic — a pure
+    /// function of [`StudyConfig`] minus the `threads` / `shards` knobs —
+    /// while `timings` (the `phase.*` spans and per-unit pool timings)
+    /// depend on the clock and scheduler.
+    pub fn obs(&self) -> &ObsReport {
+        &self.obs
+    }
+
+    /// Renders the observations as a [`RunManifest`] (kind `"study"`).
+    ///
+    /// The deterministic plane goes in the main sections; `threads` and
+    /// `shards` are quarantined under `timing` because they are exactly
+    /// the knobs allowed to differ between byte-compared runs.
+    pub fn manifest(&self) -> RunManifest {
+        let mut manifest = RunManifest::new("study");
+        manifest
+            .set_run("seed", self.config.synth.seed)
+            .set_run("scale", format!("{:?}", self.config.synth.scale))
+            .set_timing("threads", self.config.threads as u64)
+            .set_timing("shards", self.config.shards as u64)
+            .absorb(&self.obs);
+        manifest
     }
 
     /// A [`LabelView`] over this study's ground truth.
@@ -361,5 +456,43 @@ mod tests {
         let b = tiny_study();
         assert_eq!(a.dataset().stats(), b.dataset().stats());
         assert_eq!(a.ground_truth().counts(), b.ground_truth().counts());
+    }
+
+    #[test]
+    fn observed_deterministic_plane_is_thread_invariant() {
+        use downlake_obs::TestClock;
+        let base = StudyConfig::new(42).with_scale(Scale::Tiny);
+        let a = Study::run_observed(
+            &base.clone().with_threads(1).with_shards(1),
+            &TestClock::with_tick(1),
+        );
+        let b = Study::run_observed(
+            &base.with_threads(4).with_shards(4),
+            &TestClock::with_tick(3),
+        );
+        assert_eq!(a.obs().counters, b.obs().counters);
+        assert_eq!(a.obs().gauges, b.obs().gauges);
+        assert_eq!(a.obs().values, b.obs().values);
+        // The rendered manifests agree byte-for-byte once timing is
+        // stripped, even though threads/shards/clock all differ.
+        assert_eq!(
+            a.manifest().to_json_stripped(),
+            b.manifest().to_json_stripped()
+        );
+        assert_ne!(a.manifest().to_json(), b.manifest().to_json());
+        // The observed counters mirror the dataset itself.
+        let stats = a.dataset().stats();
+        assert_eq!(a.obs().counters["dataset.events"], stats.events as u64);
+        assert_eq!(
+            a.obs().counters["telemetry.suppressed.not_executed"],
+            a.suppression().not_executed
+        );
+        let counts = a.ground_truth().counts();
+        assert_eq!(
+            a.obs().counters["groundtruth.malicious"],
+            counts.get(&FileLabel::Malicious).copied().unwrap_or(0) as u64
+        );
+        assert!(a.obs().timings.contains_key("phase.generate"));
+        assert!(a.obs().timings.contains_key("phase.frame"));
     }
 }

@@ -21,6 +21,24 @@
 //! is rejected by `downlake-lint` rule D4 (`raw-concurrency`); this crate
 //! is the carve-out and deliberately needs neither lock: workers own
 //! their partial results and hand them back through the scope join.
+//!
+//! ```
+//! use downlake_exec::{partition, Pool};
+//!
+//! let pool = Pool::new(4);
+//! let items: Vec<u64> = (0..100).collect();
+//! // Output is a pure function of the input order — never of scheduling.
+//! let doubled = pool.map(&items, |_, &x| x * 2);
+//! assert_eq!(doubled, Pool::sequential().map(&items, |_, &x| x * 2));
+//! // Contiguous shards cover the input exactly once.
+//! let shards = partition(items.len(), 3);
+//! assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), items.len());
+//! ```
+//!
+//! [`Pool::map_timed`] is the observability variant: same results, plus
+//! one [`pool::UnitTiming`] per unit read from an injected
+//! [`downlake_obs::Clock`] — data that belongs only in the run
+//! manifest's `timing` section.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -29,6 +47,6 @@ pub mod pool;
 pub mod seed;
 pub mod shard;
 
-pub use pool::Pool;
+pub use pool::{Pool, UnitTiming};
 pub use seed::{splitmix64, unit_seed};
 pub use shard::partition;

@@ -1,8 +1,22 @@
 //! The deterministic worker pool.
 
+use downlake_obs::Clock;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+
+/// Per-unit timing observed by [`Pool::map_timed`].
+///
+/// All values are scheduling-dependent: they belong in the run
+/// manifest's `timing` section and nowhere else.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitTiming {
+    /// Nanoseconds between the map call starting and a worker claiming
+    /// this unit.
+    pub queue_nanos: u64,
+    /// Nanoseconds the unit's closure ran for.
+    pub exec_nanos: u64,
+}
 
 /// A fixed-width worker pool over OS threads.
 ///
@@ -66,26 +80,88 @@ impl Pool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.map_impl(items, &f, None).0
+    }
+
+    /// [`Pool::map`] plus per-unit queue/exec timing read from `clock`.
+    ///
+    /// The results vector is identical to what `map` returns — timing
+    /// observation never perturbs output. The timings vector is indexed
+    /// like the input but is inherently scheduling-dependent; route it
+    /// to the run manifest's `timing` section only.
+    pub fn map_timed<T, R, F>(
+        &self,
+        items: &[T],
+        clock: &dyn Clock,
+        f: F,
+    ) -> (Vec<R>, Vec<UnitTiming>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map_impl(items, &f, Some(clock))
+    }
+
+    /// Shared body of `map` / `map_timed`: timing reads are skipped
+    /// entirely when no clock is supplied, so the untimed path stays
+    /// free of clock overhead.
+    fn map_impl<T, R, F>(
+        &self,
+        items: &[T],
+        f: &F,
+        clock: Option<&dyn Clock>,
+    ) -> (Vec<R>, Vec<UnitTiming>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         let n = items.len();
+        let t0 = clock.map_or(0, |c| c.now_nanos());
+        let timed_unit = |c: &dyn Clock, i: usize, item: &T| -> (R, UnitTiming) {
+            let claimed = c.now_nanos();
+            let result = f(i, item);
+            let done = c.now_nanos();
+            let timing = UnitTiming {
+                queue_nanos: claimed.saturating_sub(t0),
+                exec_nanos: done.saturating_sub(claimed),
+            };
+            (result, timing)
+        };
         let workers = self.threads.min(n);
         if workers <= 1 {
             // Inline sequential path: no scope, no spawn, no atomics.
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return match clock {
+                None => (
+                    items.iter().enumerate().map(|(i, t)| f(i, t)).collect(),
+                    Vec::new(),
+                ),
+                Some(c) => items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| timed_unit(c, i, t))
+                    .unzip(),
+            };
         }
         let cursor = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+        let mut indexed: Vec<(usize, R, UnitTiming)> = Vec::with_capacity(n);
         thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut out: Vec<(usize, R)> = Vec::new();
+                        let mut out: Vec<(usize, R, UnitTiming)> = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
                             if let Some(item) = items.get(i) {
-                                out.push((i, f(i, item)));
+                                let (result, timing) = match clock {
+                                    None => (f(i, item), UnitTiming::default()),
+                                    Some(c) => timed_unit(c, i, item),
+                                };
+                                out.push((i, result, timing));
                             }
                         }
                         out
@@ -100,8 +176,16 @@ impl Pool {
             }
         });
         // Indices are unique, so the unstable sort is deterministic.
-        indexed.sort_unstable_by_key(|&(i, _)| i);
-        indexed.into_iter().map(|(_, r)| r).collect()
+        indexed.sort_unstable_by_key(|&(i, _, _)| i);
+        let mut results = Vec::with_capacity(n);
+        let mut timings = Vec::with_capacity(if clock.is_some() { n } else { 0 });
+        for (_, result, timing) in indexed {
+            results.push(result);
+            if clock.is_some() {
+                timings.push(timing);
+            }
+        }
+        (results, timings)
     }
 }
 
@@ -157,6 +241,33 @@ mod tests {
         let items: Vec<u32> = Vec::new();
         let out: Vec<u32> = Pool::new(4).map(&items, |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_timed_returns_identical_results_plus_one_timing_per_unit() {
+        use downlake_obs::TestClock;
+        let items: Vec<u64> = (0..97).collect();
+        let work = |i: usize, x: &u64| (i as u64).wrapping_mul(37).wrapping_add(*x);
+        let plain = Pool::new(4).map(&items, work);
+        for threads in [1, 4] {
+            let clock = TestClock::with_tick(1);
+            let (timed, timings) = Pool::new(threads).map_timed(&items, &clock, work);
+            assert_eq!(timed, plain, "threads = {threads}");
+            assert_eq!(timings.len(), items.len(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_timed_sequential_measures_exact_ticks() {
+        use downlake_obs::TestClock;
+        // tick-per-read clock: t0 is read 0; unit i reads (claim, done).
+        let clock = TestClock::with_tick(1);
+        let (_, timings) = Pool::sequential().map_timed(&[10u32, 20, 30], &clock, |_, &x| x);
+        assert_eq!(timings.len(), 3);
+        for (i, t) in timings.iter().enumerate() {
+            assert_eq!(t.exec_nanos, 1, "unit {i}");
+            assert_eq!(t.queue_nanos, 1 + 2 * i as u64, "unit {i}");
+        }
     }
 
     #[test]

@@ -227,6 +227,7 @@ pub fn counts(findings: &[Finding]) -> BTreeMap<(RuleId, String), usize> {
 }
 
 /// Outcome of diffing current findings against the baseline.
+#[derive(Debug)]
 pub struct Diff {
     /// `(rule, file, current, baseline)` where current > baseline.
     pub regressions: Vec<(RuleId, String, usize, usize)>,
@@ -235,6 +236,7 @@ pub struct Diff {
 }
 
 impl Diff {
+    /// True when nothing regressed against the baseline.
     pub fn is_clean(&self) -> bool {
         self.regressions.is_empty()
     }

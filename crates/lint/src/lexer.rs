@@ -24,8 +24,11 @@ pub enum TokKind {
 /// One token with its 1-based source line.
 #[derive(Debug, Clone)]
 pub struct Tok {
+    /// What class of token this is.
     pub kind: TokKind,
+    /// The token's exact source text.
     pub text: String,
+    /// 1-based line the token starts on.
     pub line: u32,
 }
 
@@ -45,6 +48,7 @@ impl Tok {
 /// allow-directives must be line comments so they stay attached to a line).
 #[derive(Debug, Clone)]
 pub struct LineComment {
+    /// 1-based line the comment sits on.
     pub line: u32,
     /// Comment text after the leading `//`.
     pub text: String,
@@ -53,7 +57,9 @@ pub struct LineComment {
 /// Result of lexing one file.
 #[derive(Debug, Default)]
 pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
     pub toks: Vec<Tok>,
+    /// Line comments captured for allow-directive matching.
     pub comments: Vec<LineComment>,
 }
 

@@ -27,6 +27,31 @@
 //!
 //! The crate is dependency-free (hand-rolled lexer + JSON) so the gate
 //! runs in hermetic CI containers with no registry access.
+//!
+//! The scanner is a plain function over source text, so a rule is easy
+//! to demonstrate (and to pin in a test) without touching the disk:
+//!
+//! ```
+//! use downlake_lint::{scan_file, FileCtx, RuleId};
+//!
+//! let ctx = FileCtx {
+//!     rel_path: "crates/demo/src/lib.rs".into(),
+//!     allow_time: false,
+//!     allow_concurrency: false,
+//!     library: true,
+//!     hot_loop: false,
+//! };
+//! let src = "pub fn stamp() -> std::time::SystemTime { std::time::SystemTime::now() }\n";
+//! let findings = scan_file(&ctx, src);
+//! assert!(findings.iter().any(|f| f.rule == RuleId::D2));
+//!
+//! // The same read with an inline justification passes the gate.
+//! let allowed = format!("// downlake-lint: allow(D2) — demo clock\n{src}");
+//! assert!(scan_file(&ctx, &allowed).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
 
 pub mod baseline;
 pub mod lexer;

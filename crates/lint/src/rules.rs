@@ -24,6 +24,7 @@ pub enum RuleId {
     P2,
 }
 
+/// Every rule the scanner knows, in report order.
 pub const ALL_RULES: [RuleId; 6] = [
     RuleId::D1,
     RuleId::D2,
@@ -79,7 +80,9 @@ impl fmt::Display for RuleId {
 pub struct Finding {
     /// Workspace-relative path with `/` separators (stable across hosts).
     pub file: String,
+    /// 1-based line of the offending token.
     pub line: u32,
+    /// Which rule fired.
     pub rule: RuleId,
     /// Short explanation naming the offending expression.
     pub msg: String,

@@ -131,6 +131,13 @@ mod tests {
         let cli = classify("src/bin/downlake.rs").expect("linted");
         assert!(!cli.library && !cli.hot_loop);
 
+        // The observability crate gets NO blanket time waiver: its one
+        // sanctioned `Instant::now` (RealClock) must carry an inline
+        // reasoned allow(D2), and everything else in the crate is held
+        // to the same ambient-nondeterminism rule as the pipeline.
+        let clock = classify("crates/obs/src/clock.rs").expect("linted");
+        assert!(clock.library && !clock.allow_time && !clock.hot_loop);
+
         // The worker-pool crate alone may hold threading primitives; it
         // is still library code for every other rule.
         let pool = classify("crates/exec/src/pool.rs").expect("linted");

@@ -1,0 +1,132 @@
+//! The monotonic clock abstraction.
+//!
+//! Every duration in the workspace is measured against the [`Clock`]
+//! trait, never against `std::time` directly. That indirection is what
+//! keeps lint rule D2 (`ambient-nondeterminism`) meaningful: the one
+//! sanctioned real-clock read lives in this file, inside [`RealClock`],
+//! and everything it feeds is quarantined in the run manifest's
+//! explicitly nondeterministic `timing` section. Tests and deterministic
+//! replays inject a [`TestClock`] instead and get bit-identical span
+//! values on every run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+///
+/// Implementations must be monotonic per instance (consecutive reads
+/// never decrease) and `Sync`, because worker-pool units read the clock
+/// from their own threads.
+pub trait Clock: Sync {
+    /// Nanoseconds since an arbitrary per-instance epoch.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The production clock: a monotonic `Instant` anchored at construction.
+///
+/// This is the workspace's **only** real-clock source. Library code
+/// never calls `Instant::now()` itself; it takes a `&dyn Clock` and the
+/// caller decides whether time is real (`RealClock`) or scripted
+/// ([`TestClock`]). Values read from this clock may only ever flow into
+/// the `timing` section of a [`RunManifest`](crate::RunManifest).
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// A clock whose epoch is the moment of construction.
+    pub fn new() -> Self {
+        Self {
+            // downlake-lint: allow(D2) — the workspace's single sanctioned real-clock read; every value derived from it is quarantined in the manifest's `timing` section
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_nanos(&self) -> u64 {
+        let nanos = self.epoch.elapsed().as_nanos();
+        u64::try_from(nanos).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock for tests and replays.
+///
+/// Each read returns the current value and then advances it by a fixed
+/// `tick`, so a span that starts and stops with nothing in between
+/// always measures exactly one tick. [`TestClock::advance`] injects
+/// extra elapsed time between reads. Reads are atomic, so the clock can
+/// be shared with pool workers; under concurrency the *interleaving* of
+/// reads is scheduling-dependent, which is fine — test-clock values are
+/// timing-plane data like any other clock's.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    now: AtomicU64,
+    tick: u64,
+}
+
+impl TestClock {
+    /// A clock starting at zero that advances by `tick` nanoseconds on
+    /// every read.
+    pub fn with_tick(tick: u64) -> Self {
+        Self {
+            now: AtomicU64::new(0),
+            tick,
+        }
+    }
+
+    /// A frozen clock: reads do not advance it (every span measures 0
+    /// until [`TestClock::advance`] is called between start and stop).
+    pub fn new() -> Self {
+        Self::with_tick(0)
+    }
+
+    /// Advances the clock by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.now.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for TestClock {
+    fn now_nanos(&self) -> u64 {
+        self.now.fetch_add(self.tick, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let clock = RealClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn test_clock_ticks_deterministically() {
+        let clock = TestClock::with_tick(5);
+        assert_eq!(clock.now_nanos(), 0);
+        assert_eq!(clock.now_nanos(), 5);
+        clock.advance(100);
+        assert_eq!(clock.now_nanos(), 110);
+    }
+
+    #[test]
+    fn frozen_clock_stays_put_until_advanced() {
+        let clock = TestClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        assert_eq!(clock.now_nanos(), 0);
+        clock.advance(7);
+        assert_eq!(clock.now_nanos(), 7);
+    }
+}

@@ -1,0 +1,207 @@
+//! Integer histograms with fixed log-2 buckets.
+//!
+//! Bucket boundaries are powers of two, so bucket assignment is a pure
+//! function of the recorded integer — no float math, no configuration,
+//! and therefore byte-stable across hosts and commutative under merge.
+
+/// Number of buckets: one for zero plus one per bit length 1..=64.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket log-2 histogram over `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `b ≥ 1` holds values whose bit
+/// length is `b`, i.e. the range `[2^(b-1), 2^b - 1]` (bucket 64 is
+/// capped at `u64::MAX`). All state is integer, all updates commute, so
+/// merging per-worker histograms in any order yields identical bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// The bucket index a value lands in: 0 for 0, else the bit length.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` range of bucket `index` (`None` when the
+    /// index is out of range).
+    pub fn bucket_bounds(index: usize) -> Option<(u64, u64)> {
+        match index {
+            0 => Some((0, 0)),
+            1..=63 => Some((1u64 << (index - 1), (1u64 << index) - 1)),
+            64 => Some((1u64 << 63, u64::MAX)),
+            _ => None,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Folds another histogram into this one. Commutative and
+    /// associative: any merge order over any partition of the samples
+    /// produces the same histogram.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, or `None` when empty.
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.sum / self.count)
+    }
+
+    /// Non-empty buckets as `(index, lo, hi, count)`, ascending.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (usize, u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .filter_map(|(i, &n)| Self::bucket_bounds(i).map(|(lo, hi)| (i, lo, hi, n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Zero gets its own bucket.
+        assert_eq!(Hist::bucket_index(0), 0);
+        // Each power of two opens a new bucket; its predecessor closes one.
+        assert_eq!(Hist::bucket_index(1), 1);
+        assert_eq!(Hist::bucket_index(2), 2);
+        assert_eq!(Hist::bucket_index(3), 2);
+        assert_eq!(Hist::bucket_index(4), 3);
+        assert_eq!(Hist::bucket_index(7), 3);
+        assert_eq!(Hist::bucket_index(8), 4);
+        assert_eq!(Hist::bucket_index(1023), 10);
+        assert_eq!(Hist::bucket_index(1024), 11);
+        assert_eq!(Hist::bucket_index(u64::MAX), 64);
+        assert_eq!(Hist::bucket_index(1u64 << 63), 64);
+        // bounds ↔ index agree at every boundary.
+        for index in 0..BUCKETS {
+            let (lo, hi) = Hist::bucket_bounds(index).expect("in range");
+            assert_eq!(Hist::bucket_index(lo), index, "lo of bucket {index}");
+            assert_eq!(Hist::bucket_index(hi), index, "hi of bucket {index}");
+        }
+        assert_eq!(Hist::bucket_bounds(BUCKETS), None);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = Hist::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        for v in [0u64, 3, 9, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1036);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        assert_eq!(h.mean(), Some(259));
+        let occupied: Vec<_> = h.occupied_buckets().collect();
+        assert_eq!(
+            occupied,
+            vec![
+                (0, 0, 0, 1),
+                (2, 2, 3, 1),
+                (4, 8, 15, 1),
+                (11, 1024, 2047, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let samples_a = [1u64, 5, 17, 0, 900];
+        let samples_b = [2u64, 2, 1 << 40, 63];
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for &v in &samples_a {
+            a.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // And equal to recording everything sequentially.
+        let mut seq = Hist::new();
+        for &v in samples_a.iter().chain(samples_b.iter()) {
+            seq.record(v);
+        }
+        assert_eq!(ab, seq);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Hist::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

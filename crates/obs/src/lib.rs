@@ -1,0 +1,55 @@
+//! Deterministic observability for the downlake workspace.
+//!
+//! This crate gives every pipeline stage a way to report what it did —
+//! counters, gauges, histograms, span timers — without compromising the
+//! workspace's core guarantee that output is a pure function of
+//! configuration. It does so by splitting metrics into two planes:
+//!
+//! * the **deterministic plane** (counters, gauges, value histograms):
+//!   integer-only, byte-stable across hosts, threads, and shard counts.
+//!   Workers snapshot private registries and the caller merges them
+//!   commutatively, so `threads=1` and `threads=8` produce identical
+//!   bytes.
+//! * the **timing plane** (span durations, per-unit pool timing):
+//!   inherently scheduling-dependent, quarantined under the run
+//!   manifest's `timing` section so consumers can diff everything else.
+//!
+//! Time is always read through the [`Clock`] trait — [`RealClock`] in
+//! production, [`TestClock`] in tests — so the workspace's single real
+//! clock read lives in one audited place.
+//!
+//! ```
+//! use downlake_obs::{Registry, RunManifest, TestClock};
+//!
+//! let reg = Registry::new();
+//! let clock = TestClock::with_tick(10);
+//! {
+//!     let _span = reg.span("phase.demo", &clock);
+//!     reg.counter_add("events.total", 3);
+//!     reg.record("batch.size", 128);
+//! }
+//!
+//! let mut manifest = RunManifest::new("study");
+//! manifest.set_run("seed", 42u64).absorb(&reg.snapshot());
+//! let json = manifest.to_json();
+//! assert!(json.contains("\"events.total\": 3"));
+//! // The stripped form drops the scheduling-dependent timing section.
+//! assert!(!manifest.to_json_stripped().contains("timing"));
+//! ```
+//!
+//! The crate is dependency-free on purpose: manifests must be emittable
+//! from hermetic CI containers and the bench binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod clock;
+mod hist;
+pub mod json;
+mod manifest;
+mod registry;
+
+pub use clock::{Clock, RealClock, TestClock};
+pub use hist::{Hist, BUCKETS};
+pub use manifest::{RunManifest, MANIFEST_VERSION};
+pub use registry::{ObsReport, Registry, Span};

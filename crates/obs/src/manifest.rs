@@ -1,0 +1,283 @@
+//! The run manifest: one JSON document describing a run.
+//!
+//! Layout:
+//!
+//! ```text
+//! {
+//!   "manifest": 1,
+//!   "kind": "study" | "stream" | "bench",
+//!   "run": { seed, scale, ... },          // deterministic run identity
+//!   "counters": { name: u64, ... },       // deterministic plane
+//!   "gauges": { name: u64, ... },
+//!   "histograms": { name: {count, sum, min, max, buckets}, ... },
+//!   "timing": { ... }                     // explicitly nondeterministic
+//! }
+//! ```
+//!
+//! Everything outside `timing` is a pure function of the run
+//! configuration: two runs with the same config must produce
+//! byte-identical output there at any thread or shard count (and
+//! [`RunManifest::to_json_stripped`] renders exactly that comparable
+//! subset). `timing` holds thread counts, host facts, span durations —
+//! anything scheduling- or host-dependent.
+
+use crate::json::Json;
+use crate::registry::ObsReport;
+use std::io;
+use std::path::Path;
+
+/// Manifest schema version emitted under the `"manifest"` key.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Builder for the run-manifest JSON document.
+///
+/// Fill `run` with deterministic run identity via
+/// [`set_run`](Self::set_run), fold metric snapshots in with
+/// [`absorb`](Self::absorb) (deterministic planes land in
+/// counters/gauges/histograms; the timing plane lands under `timing`),
+/// and attach host/config facts that are *not* reproducible — thread
+/// counts, CPU counts, wall-clock seconds — with
+/// [`set_timing`](Self::set_timing).
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    kind: String,
+    run: Vec<(String, Json)>,
+    report: ObsReport,
+    timing_extra: Vec<(String, Json)>,
+}
+
+impl RunManifest {
+    /// A manifest of the given kind (`"study"`, `"stream"`, `"bench"`).
+    pub fn new(kind: &str) -> Self {
+        Self {
+            kind: kind.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets a key in the `run` section (deterministic run identity:
+    /// seed, scale, experiment list). Insertion order is preserved;
+    /// setting an existing key overwrites in place.
+    pub fn set_run(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        upsert(&mut self.run, key, value.into());
+        self
+    }
+
+    /// Sets a key in the `timing` section (host- or
+    /// scheduling-dependent facts: threads, shards, host CPUs, seconds).
+    pub fn set_timing(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        upsert(&mut self.timing_extra, key, value.into());
+        self
+    }
+
+    /// Folds a metric snapshot into the manifest. Counters, gauges and
+    /// value histograms join the deterministic sections; the snapshot's
+    /// timing histograms render under `timing.spans`. Absorbing multiple
+    /// reports merges them commutatively.
+    pub fn absorb(&mut self, report: &ObsReport) -> &mut Self {
+        self.report.merge(report);
+        self
+    }
+
+    /// Renders the full manifest, `timing` section included.
+    pub fn to_json(&self) -> String {
+        self.document(true).render()
+    }
+
+    /// Renders the manifest **without** the `timing` section — the
+    /// byte-comparable deterministic subset. Two runs of the same config
+    /// must agree on this string exactly, regardless of thread count.
+    pub fn to_json_stripped(&self) -> String {
+        self.document(false).render()
+    }
+
+    /// Writes the full manifest to `path`.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    fn document(&self, with_timing: bool) -> Json {
+        let mut doc = vec![
+            ("manifest".to_owned(), Json::UInt(MANIFEST_VERSION)),
+            ("kind".to_owned(), Json::Str(self.kind.clone())),
+            ("run".to_owned(), Json::Obj(self.run.clone())),
+            (
+                "counters".to_owned(),
+                Json::Obj(
+                    self.report
+                        .counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::UInt(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_owned(),
+                Json::Obj(
+                    self.report
+                        .gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::UInt(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_owned(),
+                Json::Obj(
+                    self.report
+                        .values
+                        .iter()
+                        .map(|(k, h)| (k.clone(), hist_json(h)))
+                        .collect(),
+                ),
+            ),
+        ];
+        if with_timing {
+            let mut timing = self.timing_extra.clone();
+            timing.push((
+                "spans".to_owned(),
+                Json::Obj(
+                    self.report
+                        .timings
+                        .iter()
+                        .map(|(k, h)| (k.clone(), hist_json(h)))
+                        .collect(),
+                ),
+            ));
+            doc.push(("timing".to_owned(), Json::Obj(timing)));
+        }
+        Json::Obj(doc)
+    }
+}
+
+fn upsert(pairs: &mut Vec<(String, Json)>, key: &str, value: Json) {
+    match pairs.iter_mut().find(|(k, _)| k == key) {
+        Some((_, slot)) => *slot = value,
+        None => pairs.push((key.to_owned(), value)),
+    }
+}
+
+/// Renders a histogram as `{count, sum, min, max, buckets: [[lo, hi, n]]}`
+/// with only occupied buckets listed (min/max are `null` when empty).
+fn hist_json(h: &crate::Hist) -> Json {
+    let opt = |v: Option<u64>| v.map_or(Json::Null, Json::UInt);
+    Json::Obj(vec![
+        ("count".to_owned(), Json::UInt(h.count())),
+        ("sum".to_owned(), Json::UInt(h.sum())),
+        ("min".to_owned(), opt(h.min())),
+        ("max".to_owned(), opt(h.max())),
+        (
+            "buckets".to_owned(),
+            Json::Arr(
+                h.occupied_buckets()
+                    .map(|(_, lo, hi, n)| {
+                        Json::Arr(vec![Json::UInt(lo), Json::UInt(hi), Json::UInt(n)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::Registry;
+
+    fn sample_report() -> ObsReport {
+        let reg = Registry::new();
+        reg.counter_add("events.total", 100);
+        reg.gauge_max("intern.peak", 42);
+        reg.record("unit.events", 12);
+        reg.record("unit.events", 88);
+        reg.record_nanos("phase.generate", 1_000_000);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn emitted_manifest_parses_and_has_all_sections() {
+        let mut m = RunManifest::new("study");
+        m.set_run("seed", 42u64)
+            .set_run("scale", "tiny")
+            .absorb(&sample_report())
+            .set_timing("threads", 4u64)
+            .set_timing("seconds", 0.25f64);
+        let doc = json::parse(&m.to_json()).expect("manifest is valid JSON");
+        assert_eq!(doc.get("manifest").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("study"));
+        let run = doc.get("run").expect("run section");
+        assert_eq!(run.get("seed").and_then(Json::as_u64), Some(42));
+        let counters = doc.get("counters").expect("counters section");
+        assert_eq!(
+            counters.get("events.total").and_then(Json::as_u64),
+            Some(100)
+        );
+        let timing = doc.get("timing").expect("timing section");
+        assert_eq!(timing.get("threads").and_then(Json::as_u64), Some(4));
+        assert!(timing
+            .get("spans")
+            .and_then(|s| s.get("phase.generate"))
+            .is_some());
+    }
+
+    #[test]
+    fn stripped_manifest_omits_timing_only() {
+        let mut m = RunManifest::new("study");
+        m.set_run("seed", 7u64)
+            .absorb(&sample_report())
+            .set_timing("threads", 8u64);
+        let full = json::parse(&m.to_json()).expect("valid");
+        let stripped = json::parse(&m.to_json_stripped()).expect("valid");
+        assert!(full.get("timing").is_some());
+        assert_eq!(stripped.get("timing"), None);
+        for section in ["run", "counters", "gauges", "histograms"] {
+            assert_eq!(full.get(section), stripped.get(section), "{section}");
+        }
+    }
+
+    #[test]
+    fn stripped_output_is_invariant_to_timing_differences() {
+        let build = |threads: u64, nanos: u64| {
+            let reg = Registry::new();
+            reg.counter_add("events.total", 500);
+            reg.record_nanos("phase.x", nanos);
+            let mut m = RunManifest::new("study");
+            m.set_run("seed", 42u64)
+                .absorb(&reg.snapshot())
+                .set_timing("threads", threads);
+            m
+        };
+        let a = build(1, 10);
+        let b = build(4, 99_999);
+        assert_ne!(a.to_json(), b.to_json());
+        assert_eq!(a.to_json_stripped(), b.to_json_stripped());
+    }
+
+    #[test]
+    fn set_run_overwrites_in_place_preserving_order() {
+        let mut m = RunManifest::new("bench");
+        m.set_run("first", 1u64).set_run("second", 2u64);
+        m.set_run("first", 10u64);
+        let doc = json::parse(&m.to_json()).expect("valid");
+        let run = doc.get("run").expect("run");
+        assert_eq!(run.get("first").and_then(Json::as_u64), Some(10));
+        let rendered = m.to_json();
+        let f = rendered.find("first").expect("present");
+        let s = rendered.find("second").expect("present");
+        assert!(f < s, "overwrite must not reorder keys");
+    }
+
+    #[test]
+    fn hostile_run_values_are_escaped() {
+        let mut m = RunManifest::new("study");
+        m.set_run("label", "quote \" backslash \\ newline \n end");
+        let doc = json::parse(&m.to_json()).expect("escaping is correct");
+        assert_eq!(
+            doc.get("run")
+                .and_then(|r| r.get("label"))
+                .and_then(Json::as_str),
+            Some("quote \" backslash \\ newline \n end")
+        );
+    }
+}

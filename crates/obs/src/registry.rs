@@ -1,0 +1,303 @@
+//! The metric registry: counters, gauges, value histograms, and span
+//! timers, split into a deterministic plane and a timing plane.
+//!
+//! The split is the crate's core invariant. **Counters, gauges, and
+//! value histograms** may only ever receive values that are pure
+//! functions of the run configuration — event counts, rule tallies,
+//! intern-table sizes — so their bytes are identical at every thread
+//! and shard count. **Timings** (span durations, per-unit pool timing)
+//! are inherently scheduling-dependent and are kept in a separate map
+//! that the manifest renders under the explicitly nondeterministic
+//! `timing` section.
+
+use crate::clock::Clock;
+use crate::hist::Hist;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single-threaded metric registry.
+///
+/// Methods take `&self` (interior mutability), so spans can stay alive
+/// while counters are recorded underneath them. The registry itself is
+/// deliberately **not** `Sync`: worker threads never record into a
+/// shared registry — they return data, and either the caller records it
+/// or each worker snapshots a private registry and the caller folds the
+/// [`ObsReport`]s together with [`Registry::merge`], which is
+/// commutative by construction.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RefCell<BTreeMap<String, u64>>,
+    gauges: RefCell<BTreeMap<String, u64>>,
+    values: RefCell<BTreeMap<String, Hist>>,
+    timings: RefCell<BTreeMap<String, Hist>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named monotonic counter.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        let mut counters = self.counters.borrow_mut();
+        match counters.get_mut(name) {
+            Some(slot) => *slot = slot.saturating_add(n),
+            None => {
+                counters.insert(name.to_owned(), n);
+            }
+        }
+    }
+
+    /// The current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// Raises the named gauge to `v` if `v` is larger (max-merge keeps
+    /// gauges commutative; use it for peaks like intern-table sizes).
+    pub fn gauge_max(&self, name: &str, v: u64) {
+        let mut gauges = self.gauges.borrow_mut();
+        match gauges.get_mut(name) {
+            Some(slot) => *slot = (*slot).max(v),
+            None => {
+                gauges.insert(name.to_owned(), v);
+            }
+        }
+    }
+
+    /// The current value of a gauge (0 when never touched).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one sample into the named **deterministic** value
+    /// histogram (per-unit event counts, rule coverages, …).
+    pub fn record(&self, name: &str, value: u64) {
+        self.values
+            .borrow_mut()
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records one duration into the named **timing** histogram. Only
+    /// clock-derived values belong here; they render under the
+    /// manifest's `timing` section.
+    pub fn record_nanos(&self, name: &str, nanos: u64) {
+        self.timings
+            .borrow_mut()
+            .entry(name.to_owned())
+            .or_default()
+            .record(nanos);
+    }
+
+    /// Starts an RAII span: the duration between this call and the
+    /// returned guard's drop is recorded under `name` in the timing
+    /// plane.
+    ///
+    /// ```
+    /// use downlake_obs::{Registry, TestClock};
+    ///
+    /// let reg = Registry::new();
+    /// let clock = TestClock::new();
+    /// {
+    ///     let _span = reg.span("phase.demo", &clock);
+    ///     clock.advance(1_500);
+    ///     reg.counter_add("work.items", 3); // registry stays usable inside
+    /// }
+    /// let report = reg.snapshot();
+    /// assert_eq!(report.timings["phase.demo"].sum(), 1_500);
+    /// assert_eq!(report.counters["work.items"], 3);
+    /// ```
+    pub fn span<'a>(&'a self, name: &str, clock: &'a dyn Clock) -> Span<'a> {
+        Span {
+            registry: self,
+            clock,
+            name: name.to_owned(),
+            start: clock.now_nanos(),
+        }
+    }
+
+    /// Copies the registry's current state into a plain, `Sync`,
+    /// mergeable report.
+    pub fn snapshot(&self) -> ObsReport {
+        ObsReport {
+            counters: self.counters.borrow().clone(),
+            gauges: self.gauges.borrow().clone(),
+            values: self.values.borrow().clone(),
+            timings: self.timings.borrow().clone(),
+        }
+    }
+
+    /// Folds a report into this registry: counters add, gauges
+    /// max-merge, histograms merge bucket-wise. Commutative, so worker
+    /// snapshots can arrive in any order.
+    pub fn merge(&self, report: &ObsReport) {
+        for (name, &n) in &report.counters {
+            self.counter_add(name, n);
+        }
+        for (name, &v) in &report.gauges {
+            self.gauge_max(name, v);
+        }
+        let mut values = self.values.borrow_mut();
+        for (name, hist) in &report.values {
+            values.entry(name.clone()).or_default().merge(hist);
+        }
+        let mut timings = self.timings.borrow_mut();
+        for (name, hist) in &report.timings {
+            timings.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+}
+
+/// A finished, immutable snapshot of a [`Registry`].
+///
+/// Plain owned maps: `Sync`, cloneable, and mergeable — the form metric
+/// state travels in (stored on a finished `Study`, returned from
+/// workers, absorbed into a [`RunManifest`](crate::RunManifest)).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsReport {
+    /// Monotonic counters (deterministic plane).
+    pub counters: BTreeMap<String, u64>,
+    /// Max-merged gauges (deterministic plane).
+    pub gauges: BTreeMap<String, u64>,
+    /// Value histograms (deterministic plane).
+    pub values: BTreeMap<String, Hist>,
+    /// Duration histograms (timing plane — scheduling-dependent).
+    pub timings: BTreeMap<String, Hist>,
+}
+
+impl ObsReport {
+    /// Folds `other` into `self` (counters add, gauges max, histograms
+    /// merge). Commutative.
+    pub fn merge(&mut self, other: &ObsReport) {
+        for (name, &n) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(n);
+        }
+        for (name, &v) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+        for (name, hist) in &other.values {
+            self.values.entry(name.clone()).or_default().merge(hist);
+        }
+        for (name, hist) in &other.timings {
+            self.timings.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+}
+
+/// An RAII timer started by [`Registry::span`]; records its elapsed
+/// nanoseconds into the registry's timing plane on drop.
+pub struct Span<'a> {
+    registry: &'a Registry,
+    clock: &'a dyn Clock,
+    name: String,
+    start: u64,
+}
+
+impl fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("start", &self.start)
+            .finish()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.clock.now_nanos().saturating_sub(self.start);
+        self.registry.record_nanos(&self.name, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+
+    #[test]
+    fn counters_add_and_gauges_max() {
+        let reg = Registry::new();
+        reg.counter_add("a", 2);
+        reg.counter_add("a", 3);
+        reg.gauge_max("g", 10);
+        reg.gauge_max("g", 4);
+        assert_eq!(reg.counter("a"), 5);
+        assert_eq!(reg.counter("missing"), 0);
+        assert_eq!(reg.gauge("g"), 10);
+        assert_eq!(reg.gauge("missing"), 0);
+    }
+
+    #[test]
+    fn span_records_exactly_the_advanced_time() {
+        let reg = Registry::new();
+        let clock = TestClock::new();
+        {
+            let _outer = reg.span("outer", &clock);
+            clock.advance(100);
+            {
+                let _inner = reg.span("inner", &clock);
+                clock.advance(40);
+            }
+            clock.advance(60);
+        }
+        let report = reg.snapshot();
+        assert_eq!(report.timings["outer"].sum(), 200);
+        assert_eq!(report.timings["outer"].count(), 1);
+        assert_eq!(report.timings["inner"].sum(), 40);
+    }
+
+    #[test]
+    fn span_with_ticking_clock_is_deterministic() {
+        // Two identical runs against tick-per-read clocks must agree on
+        // every recorded nanosecond — this is what keeps `Study::run`
+        // reproducible under a scripted clock.
+        let run = || {
+            let reg = Registry::new();
+            let clock = TestClock::with_tick(7);
+            {
+                let _span = reg.span("phase", &clock);
+                let _ = clock.now_nanos();
+            }
+            reg.snapshot()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merge_of_worker_snapshots_is_commutative() {
+        let worker = |values: &[u64]| {
+            let reg = Registry::new();
+            for &v in values {
+                reg.counter_add("events", 1);
+                reg.record("sizes", v);
+                reg.gauge_max("peak", v);
+            }
+            reg.snapshot()
+        };
+        let a = worker(&[1, 2, 300]);
+        let b = worker(&[40, 0]);
+
+        let ab = Registry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let ba = Registry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.snapshot(), ba.snapshot());
+        assert_eq!(ab.counter("events"), 5);
+        assert_eq!(ab.gauge("peak"), 300);
+
+        let mut ra = a.clone();
+        ra.merge(&b);
+        let mut rb = b.clone();
+        rb.merge(&a);
+        assert_eq!(ra, rb);
+        assert_eq!(ra, ab.snapshot());
+    }
+}

@@ -37,9 +37,42 @@ impl PartLearner {
     /// still-uncovered instances, extract the leaf with the largest
     /// coverage as a rule, remove what it covers, repeat.
     pub fn learn(&self, instances: &Instances) -> RuleSet {
+        self.learn_impl(instances, None)
+    }
+
+    /// [`PartLearner::learn`] plus metric observation.
+    ///
+    /// Learning is single-threaded and deterministic, so everything
+    /// recorded — training-iteration and rule counters, the per-rule
+    /// coverage histogram — lands in `registry`'s deterministic plane.
+    /// The whole call's duration (read from `clock`) is recorded as a
+    /// `rulelearn.learn` span in the timing plane. The returned rule set
+    /// is identical to the unobserved path.
+    pub fn learn_observed(
+        &self,
+        instances: &Instances,
+        registry: &downlake_obs::Registry,
+        clock: &dyn downlake_obs::Clock,
+    ) -> RuleSet {
+        let set = {
+            let _span = registry.span("rulelearn.learn", clock);
+            self.learn_impl(instances, Some(registry))
+        };
+        registry.counter_add("rulelearn.instances", instances.len() as u64);
+        registry.counter_add("rulelearn.rules", set.len() as u64);
+        for rule in set.rules() {
+            registry.record("rulelearn.rule_covered", rule.covered as u64);
+        }
+        set
+    }
+
+    fn learn_impl(&self, instances: &Instances, obs: Option<&downlake_obs::Registry>) -> RuleSet {
         let mut remaining: Vec<u32> = (0..instances.len() as u32).collect();
         let mut rules: Vec<Rule> = Vec::new();
         while !remaining.is_empty() && rules.len() < self.max_rules {
+            if let Some(registry) = obs {
+                registry.counter_add("rulelearn.iterations", 1);
+            }
             let tree = DecisionTree::learn_subset(instances, &remaining, self.tree);
             let Some(best) = best_leaf(tree.root()) else {
                 break;
@@ -228,5 +261,30 @@ mod tests {
         let a = PartLearner::default().learn(&inst);
         let b = PartLearner::default().learn(&inst);
         assert_eq!(a.rules(), b.rules());
+    }
+
+    #[test]
+    fn observed_learning_matches_and_counts_iterations() {
+        use downlake_obs::{Registry, TestClock};
+        let inst = signer_world();
+        let plain = PartLearner::default().learn(&inst);
+        let registry = Registry::new();
+        let clock = TestClock::with_tick(1);
+        let observed = PartLearner::default().learn_observed(&inst, &registry, &clock);
+        assert_eq!(observed.rules(), plain.rules());
+        let report = registry.snapshot();
+        assert_eq!(report.counters["rulelearn.rules"], plain.len() as u64);
+        assert!(report.counters["rulelearn.iterations"] >= plain.len() as u64);
+        assert_eq!(
+            report.values["rulelearn.rule_covered"].count(),
+            plain.len() as u64
+        );
+        assert_eq!(report.timings["rulelearn.learn"].count(), 1);
+        // Two observed runs agree byte-for-byte on the deterministic plane.
+        let registry2 = Registry::new();
+        PartLearner::default().learn_observed(&inst, &registry2, &TestClock::with_tick(1));
+        let report2 = registry2.snapshot();
+        assert_eq!(report.counters, report2.counters);
+        assert_eq!(report.values, report2.values);
     }
 }

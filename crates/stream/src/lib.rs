@@ -22,6 +22,26 @@
 //! per-event hot path allocates nothing (lint rule P2 covers this
 //! crate, and `tests/zero_alloc.rs` counts allocations around the
 //! compiled engine).
+//!
+//! The engine alone is usable without a session — learn a rule set the
+//! batch way, compile it, classify feature rows online:
+//!
+//! ```
+//! use downlake_rulelearn::{InstancesBuilder, PartLearner};
+//! use downlake_stream::CompiledRuleSet;
+//!
+//! let mut b = InstancesBuilder::new(&["signer"], &["benign", "malicious"]);
+//! for _ in 0..12 {
+//!     b.push(&["Somoto Ltd."], "malicious");
+//!     b.push(&["Dell Inc."], "benign");
+//! }
+//! let rules = PartLearner::default().learn(&b.build()).select(0.01);
+//! let engine = CompiledRuleSet::compile(&rules);
+//!
+//! let mut scratch = Vec::new(); // reused across calls: the hot path allocates nothing
+//! let verdict = engine.classify_features(&["Somoto Ltd."], &mut scratch);
+//! assert_eq!(engine.class_name(verdict), Some("malicious"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]

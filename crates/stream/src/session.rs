@@ -168,6 +168,38 @@ impl<'a> StreamSession<'a> {
         self.engine
     }
 
+    /// Records the session's cumulative tallies into `registry`'s
+    /// deterministic plane: events admitted, suppression counters,
+    /// files classified, engine size, and per-outcome verdict counts
+    /// (`stream.verdict.<class>`, plus `rejected` for conflict
+    /// rejections and `no_match`).
+    ///
+    /// Everything recorded is a pure function of the event stream and
+    /// the engine — identical at any batch size or pool width — so a
+    /// manifest built from it is byte-comparable across runs. Call once
+    /// at the end of ingestion (or at checkpoints); the method never
+    /// touches the per-event hot path.
+    pub fn observe_into(&self, registry: &downlake_obs::Registry) {
+        registry.counter_add("stream.events_admitted", self.events_admitted());
+        let s = self.suppression_stats();
+        registry.counter_add("stream.suppressed.not_executed", s.not_executed);
+        registry.counter_add("stream.suppressed.prevalence_cap", s.prevalence_cap);
+        registry.counter_add("stream.suppressed.whitelisted_url", s.whitelisted_url);
+        registry.counter_add("stream.files_classified", self.verdicts.len() as u64);
+        registry.gauge_max("stream.engine.rules", self.engine.rule_count() as u64);
+        let (classes, rejected, no_match) = self.verdict_counts();
+        for (c, &n) in classes.iter().enumerate() {
+            let name = self
+                .engine
+                .class_name(Verdict::Class(c as u8))
+                .unwrap_or("unknown");
+            // downlake-lint: allow(P2) — once-per-run summary over the handful of classes, not the per-event hot path
+            registry.counter_add(&format!("stream.verdict.{name}"), n as u64);
+        }
+        registry.counter_add("stream.verdict.rejected", rejected as u64);
+        registry.counter_add("stream.verdict.no_match", no_match as u64);
+    }
+
     /// Counts verdicts per outcome: `(per-class counts, rejected,
     /// no-match)`.
     pub fn verdict_counts(&self) -> (Vec<usize>, usize, usize) {
@@ -291,6 +323,36 @@ mod tests {
         assert_eq!(classes[1], 1);
         assert_eq!(rejected, 0);
         assert_eq!(no_match, 1);
+    }
+
+    #[test]
+    fn observe_into_is_batch_invariant() {
+        use downlake_obs::Registry;
+        let urls = UrlLabeler::new();
+        let engine = engine();
+        let events: Vec<RawEvent> = (0..40)
+            .map(|i| event(i % 7, i, if i % 7 == 0 { Some("somoto") } else { None }))
+            .collect();
+        let bytes = encode_events(&events);
+
+        let observe = |batch: usize, threads: usize| {
+            let mut s = StreamSession::new(ReportingPolicy::new(20), &urls, &engine);
+            if batch == 0 {
+                s.push_bytes(&bytes).unwrap();
+            } else {
+                s.push_bytes_batched(&bytes, batch, &Pool::new(threads))
+                    .unwrap();
+            }
+            let registry = Registry::new();
+            s.observe_into(&registry);
+            registry.snapshot()
+        };
+        let one = observe(0, 1);
+        let batched = observe(8, 4);
+        assert_eq!(one, batched, "tallies must not depend on batching");
+        assert_eq!(one.counters["stream.files_classified"], 7);
+        assert_eq!(one.counters["stream.verdict.malicious"], 1);
+        assert_eq!(one.gauges["stream.engine.rules"], 1);
     }
 
     #[test]

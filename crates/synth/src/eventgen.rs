@@ -41,6 +41,7 @@ use crate::dist::{sample_exp_days, Categorical, DiscretePowerLaw};
 use crate::filegen::{FileDestiny, FileFactory, GeneratedFile};
 use crate::world::World;
 use downlake_exec::{partition, unit_seed, Pool};
+use downlake_obs::{Clock, Registry};
 use downlake_telemetry::RawEvent;
 use downlake_types::{
     BrowserKind, Duration, FileHash, MachineId, MalwareType, Month, ProcessCategory, Timestamp,
@@ -946,6 +947,33 @@ pub(crate) fn generate(config: &SynthConfig) -> Generated {
 /// and hash ranges are derived from unit ids, and shard outputs are
 /// reassembled in unit order before the final stable time sort.
 pub(crate) fn generate_with(config: &SynthConfig, shards: usize, pool: &Pool) -> Generated {
+    generate_impl(config, shards, pool, None)
+}
+
+/// [`generate_with`] plus metric observation.
+///
+/// Deterministic-plane metrics (unit/event/file counters, the per-unit
+/// event histogram) are pure functions of the config — byte-identical at
+/// every shard and thread count — because units are observed on the
+/// caller thread in unit order after the pool returns. Per-shard
+/// queue/exec durations read from `clock` land in the registry's timing
+/// plane.
+pub(crate) fn generate_observed(
+    config: &SynthConfig,
+    shards: usize,
+    pool: &Pool,
+    registry: &Registry,
+    clock: &dyn Clock,
+) -> Generated {
+    generate_impl(config, shards, pool, Some((registry, clock)))
+}
+
+fn generate_impl(
+    config: &SynthConfig,
+    shards: usize,
+    pool: &Pool,
+    obs: Option<(&Registry, &dyn Clock)>,
+) -> Generated {
     let signers = SignerCatalog::generate_scaled(config.seed, config.scale.fraction().sqrt());
     let packers = PackerCatalog::new();
     let families = FamilyCatalog::generate(config.seed);
@@ -966,14 +994,44 @@ pub(crate) fn generate_with(config: &SynthConfig, shards: usize, pool: &Pool) ->
     // One pool job per shard; each runs its unit range in order. The
     // merge below visits shard outputs in shard order, which for
     // contiguous ranges is exactly unit order.
-    let shard_outputs = pool.map(&ranges, |_, range| {
+    let run_shard = |_: usize, range: &std::ops::Range<usize>| {
         let mut outputs = Vec::with_capacity(range.len());
         for unit_id in range.clone() {
             let worker = UnitWorker::new(&ctx, &factory, unit_id);
             outputs.push(worker.run(units[unit_id]));
         }
         outputs
-    });
+    };
+    let (shard_outputs, shard_timings) = match obs {
+        Some((_, clock)) => pool.map_timed(&ranges, clock, run_shard),
+        None => (pool.map(&ranges, run_shard), Vec::new()),
+    };
+
+    if let Some((registry, _)) = obs {
+        // Observed on the caller thread in unit order: the unit list and
+        // every unit's output are pure functions of the config, so these
+        // metrics are identical at any shard/thread count.
+        registry.counter_add("synth.units", units.len() as u64);
+        let mut primary = 0u64;
+        let mut noise = 0u64;
+        for unit in &units {
+            match *unit {
+                UnitSpec::Primary { count, .. } => primary += count,
+                UnitSpec::Noise { count, .. } => noise += count,
+            }
+        }
+        registry.counter_add("synth.primary_files", primary);
+        registry.counter_add("synth.noise_events", noise);
+        for output in shard_outputs.iter().flatten() {
+            registry.record("synth.unit_events", output.events.len() as u64);
+            registry.record("synth.unit_files", output.files.len() as u64);
+        }
+        // Shard timings are scheduling-dependent → timing plane only.
+        for t in &shard_timings {
+            registry.record_nanos("synth.shard.queue", t.queue_nanos);
+            registry.record_nanos("synth.shard.exec", t.exec_nanos);
+        }
+    }
 
     let mut files: HashMap<FileHash, GeneratedFile> = HashMap::new();
     let mut events: Vec<RawEvent> = Vec::new();
@@ -986,6 +1044,11 @@ pub(crate) fn generate_with(config: &SynthConfig, shards: usize, pool: &Pool) ->
     // Stable by-timestamp sort: ties keep unit order, which is fixed by
     // the config alone.
     events.sort_by_key(|e| e.timestamp);
+
+    if let Some((registry, _)) = obs {
+        registry.counter_add("synth.events", events.len() as u64);
+        registry.counter_add("synth.generated_files", files.len() as u64);
+    }
 
     let domains = ctx.domains.clone();
     let inventory = ctx.inventory.clone();
@@ -1016,6 +1079,10 @@ pub(crate) fn generate_with(config: &SynthConfig, shards: usize, pool: &Pool) ->
             latent: downlake_types::LatentProfile::benign(visibility),
             destiny,
         });
+    }
+
+    if let Some((registry, _)) = obs {
+        registry.counter_add("synth.world_files", files.len() as u64);
     }
 
     let world = World {
@@ -1129,6 +1196,30 @@ mod tests {
             .sum();
         assert_eq!(primary, expected_primary);
         assert!(noise > 0);
+    }
+
+    #[test]
+    fn observed_generation_is_metric_identical_across_threads() {
+        use downlake_obs::TestClock;
+        let config = SynthConfig::new(42).with_scale(Scale::Tiny);
+        let observe = |shards: usize, threads: usize| {
+            let registry = Registry::new();
+            let clock = TestClock::new();
+            let g = generate_observed(&config, shards, &Pool::new(threads), &registry, &clock);
+            (g, registry.snapshot())
+        };
+        let (g1, r1) = observe(1, 1);
+        let (g4, r4) = observe(4, 4);
+        assert_eq!(g1.events, g4.events, "observation must not perturb output");
+        // Deterministic plane: identical. Timing plane: shard counts differ.
+        assert_eq!(r1.counters, r4.counters);
+        assert_eq!(r1.gauges, r4.gauges);
+        assert_eq!(r1.values, r4.values);
+        assert_eq!(r1.counters["synth.events"], g1.events.len() as u64);
+        assert!(r1.values["synth.unit_events"].count() > 0);
+        // And identical to the unobserved oracle.
+        let oracle = generate(&config);
+        assert_eq!(g1.events, oracle.events);
     }
 
     #[test]

@@ -42,6 +42,22 @@ impl World {
         eventgen::generate_with(config, shards, pool)
     }
 
+    /// Like [`World::generate_with`], but records generation metrics
+    /// into `registry`: unit/event/file counters and the per-unit event
+    /// histogram in the deterministic plane (byte-identical at every
+    /// shard and thread count), per-shard queue/exec durations read from
+    /// `clock` in the timing plane. Output is byte-identical to the
+    /// unobserved path.
+    pub fn generate_observed(
+        config: &SynthConfig,
+        shards: usize,
+        pool: &Pool,
+        registry: &downlake_obs::Registry,
+        clock: &dyn downlake_obs::Clock,
+    ) -> Generated {
+        eventgen::generate_observed(config, shards, pool, registry, clock)
+    }
+
     /// The configuration the world was generated from.
     pub fn config(&self) -> &SynthConfig {
         &self.config

@@ -1,20 +1,33 @@
 //! `downlake` — the command-line front door to the reproduction.
 //!
 //! ```text
-//! downlake [--scale tiny|small|default|large|paper|<fraction>] [--seed N] [--threads N] <experiment>...
+//! downlake [--scale tiny|small|default|large|paper|<fraction>] [--seed N] [--threads N] [--obs PATH] <experiment>...
 //! downlake --list
 //! ```
 //!
 //! `--threads 0` uses one worker per available core; the thread count
 //! only changes wall-clock time, never a byte of output.
 //!
+//! `--obs PATH` writes a JSON run manifest after the experiments finish:
+//! every deterministic counter/gauge/histogram the pipeline (and, for
+//! `stream`, the live replay) recorded about itself, plus a clearly
+//! quarantined `timing` section. Everything outside `timing` is
+//! byte-identical at any `--threads` setting.
+//!
 //! Experiments are the paper's artifact ids (`table1` … `table17`,
-//! `fig1` … `fig6`, `packers`, `evasion`, `reach`, `rules`, `all`).
+//! `fig1` … `fig6`, `packers`, `evasion`, `reach`, `rules`, `all`),
+//! plus `run` (build the study and print headline counts only — the
+//! cheapest way to produce a manifest) and `stream` (live replay).
 
 use downlake_repro::core::{experiments, live, report, Study, StudyConfig};
+use downlake_repro::obs::{RealClock, Registry};
 use downlake_repro::synth::Scale;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
+    (
+        "run",
+        "build the study and print headline counts (pairs with --obs)",
+    ),
     ("table1", "monthly collection summary"),
     ("fig1", "top-25 malware families"),
     ("table2", "malicious type breakdown"),
@@ -63,9 +76,12 @@ fn parse_scale(arg: &str) -> Option<Scale> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: downlake [--scale SCALE] [--seed N] [--threads N] <experiment>...");
+    eprintln!(
+        "usage: downlake [--scale SCALE] [--seed N] [--threads N] [--obs PATH] <experiment>..."
+    );
     eprintln!("       downlake --list");
     eprintln!("       --threads 0 = one worker per core (output is identical at any count)");
+    eprintln!("       --obs PATH  = write a JSON run manifest (metrics + quarantined timings)");
     std::process::exit(2);
 }
 
@@ -73,6 +89,7 @@ fn main() {
     let mut scale = Scale::Small;
     let mut seed = 42u64;
     let mut threads = 1usize;
+    let mut obs_path: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -102,6 +119,10 @@ fn main() {
                 };
                 threads = value;
             }
+            "--obs" => {
+                let Some(value) = args.next() else { usage() };
+                obs_path = Some(std::path::PathBuf::from(value));
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => usage(),
             other => wanted.push(other.to_owned()),
@@ -124,8 +145,26 @@ fn main() {
             .with_threads(threads),
     );
 
+    // Live-replay observations land here; absorbed into the manifest
+    // alongside the study's own if --obs was given. Observation is
+    // transparent (pinned per crate), so running it unconditionally
+    // cannot change any experiment's output.
+    let live_registry = Registry::new();
+    let wall_clock = RealClock::new();
+
     for id in wanted {
         match id.as_str() {
+            "run" => {
+                let stats = study.dataset().stats();
+                println!("== Study ==");
+                println!("events     {}", stats.events);
+                println!("machines   {}", stats.machines);
+                println!("files      {}", stats.files);
+                println!("processes  {}", stats.processes);
+                println!("urls       {}", stats.urls);
+                println!("domains    {}", stats.domains);
+                println!("suppressed {}", study.suppression().total());
+            }
             "table1" => println!("{}", experiments::table1(&study)),
             "fig1" => println!("{}", experiments::fig1(&study)),
             "table2" => println!("{}", experiments::table2(&study)),
@@ -164,8 +203,8 @@ fn main() {
                     "staging live replay (train {}, τ 0.1%)…",
                     config.train_month
                 );
-                let prep = live::prepare(&study, config);
-                match prep.replay(threads) {
+                let prep = live::prepare_observed(&study, config, &live_registry, &wall_clock);
+                match prep.replay_observed(threads, &live_registry, &wall_clock) {
                     Ok(outcome) => {
                         println!("== Live replay ({threads} thread(s)) ==");
                         println!("{}", live::render_summary(&prep, &outcome));
@@ -183,5 +222,15 @@ fn main() {
             "all" => println!("{}", report::full_report(&study)),
             _ => unreachable!("validated above"),
         }
+    }
+
+    if let Some(path) = obs_path {
+        let mut manifest = study.manifest();
+        manifest.absorb(&live_registry.snapshot());
+        if let Err(err) = manifest.write(&path) {
+            eprintln!("failed to write manifest {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("manifest written to {}", path.display());
     }
 }

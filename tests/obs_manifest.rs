@@ -1,0 +1,97 @@
+//! The determinism gate for `downlake-obs`: at seed 42, the run
+//! manifest's non-`timing` sections must be **byte-identical** across
+//! the thread/shard matrix — for the batch study and for the live
+//! stream replay alike.
+//!
+//! The manifest's whole design rests on the split between a
+//! deterministic plane (counters, gauges, value histograms: pure
+//! functions of the configuration) and a quarantined `timing` plane
+//! (spans, thread counts: scheduling-dependent by nature). This suite
+//! pins the split from the outside, through the same entry points the
+//! CLI's `--obs` flag uses.
+
+use downlake_repro::core::{live, Study, StudyConfig};
+use downlake_repro::obs::json::{parse, Json};
+use downlake_repro::obs::{Registry, TestClock};
+use downlake_repro::synth::Scale;
+
+mod common;
+
+fn observed_study(threads: usize, shards: usize) -> Study {
+    Study::run_observed(
+        &StudyConfig::new(common::SEED)
+            .with_scale(Scale::Tiny)
+            .with_threads(threads)
+            .with_shards(shards),
+        &TestClock::with_tick(1),
+    )
+}
+
+#[test]
+fn study_manifest_is_byte_identical_across_threads_after_stripping_timing() {
+    let one = observed_study(1, 1);
+    let four = observed_study(4, 4);
+    let stripped_one = one.manifest().to_json_stripped();
+    let stripped_four = four.manifest().to_json_stripped();
+    assert_eq!(
+        stripped_one, stripped_four,
+        "non-timing manifest sections must not depend on threads/shards"
+    );
+    // The full documents *do* differ — the per-unit queue timings see
+    // different clock sequences — which is exactly why `timing` exists.
+    assert!(!stripped_one.contains("\"timing\""));
+    assert!(one.manifest().to_json().contains("\"timing\""));
+}
+
+#[test]
+fn stream_manifest_is_byte_identical_across_threads_after_stripping_timing() {
+    let render = |threads: usize| {
+        let study = observed_study(threads, threads);
+        let registry = Registry::new();
+        let clock = TestClock::with_tick(1);
+        let prep = live::prepare_observed(&study, live::LiveConfig::default(), &registry, &clock);
+        let outcome = prep
+            .replay_observed(threads, &registry, &clock)
+            .expect("well-formed stream");
+        assert!(outcome.matches_batch);
+        let mut manifest = study.manifest();
+        manifest.absorb(&registry.snapshot());
+        manifest
+    };
+    let one = render(1);
+    let four = render(4);
+    assert_eq!(
+        one.to_json_stripped(),
+        four.to_json_stripped(),
+        "live-replay observations must not depend on the pool width"
+    );
+}
+
+#[test]
+fn manifest_json_parses_and_has_every_section() {
+    let study = common::tiny_study();
+    let manifest = study.manifest();
+    let doc = parse(&manifest.to_json()).expect("manifest must be valid JSON");
+    assert_eq!(doc.get("manifest").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some("study"));
+    let run = doc.get("run").expect("run section");
+    assert_eq!(run.get("seed").and_then(Json::as_u64), Some(common::SEED));
+    let counters = doc.get("counters").expect("counters section");
+    let stats = study.dataset().stats();
+    assert_eq!(
+        counters.get("dataset.events").and_then(Json::as_u64),
+        Some(stats.events as u64)
+    );
+    assert!(doc.get("gauges").is_some());
+    assert!(doc.get("histograms").is_some());
+    let timing = doc.get("timing").expect("timing section");
+    assert!(timing.get("threads").is_some());
+    let spans = timing.get("spans").expect("phase spans under timing");
+    assert!(spans.get("phase.generate").is_some());
+    assert!(spans.get("phase.frame").is_some());
+
+    // The stripped form parses too and drops exactly the timing section.
+    let stripped = parse(&manifest.to_json_stripped()).expect("stripped manifest parses");
+    assert!(stripped.get("timing").is_none());
+    assert!(stripped.get("counters").is_some());
+}
