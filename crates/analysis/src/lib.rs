@@ -3,9 +3,11 @@
 //! functions.
 //!
 //! Analyses are methods on a columnar [`AnalysisFrame`] — dense-id event
-//! and entity columns resolved once per study — so every table/figure
-//! pass is a flat array scan with `Vec`-indexed counters. The historical
-//! free functions (`domain_popularity(dataset, labels, ..)` and friends)
+//! and entity columns resolved once per study — and every table/figure
+//! pass is a `downlake-query` relational query: column scans, CSR
+//! adjacency joins, stamp-deduplicated distinct counts, and dense
+//! group-by accumulators. The historical free functions
+//! (`domain_popularity(dataset, labels, ..)` and friends)
 //! remain as thin wrappers that build a frame from a [`LabelView`] —
 //! closures mapping file hashes to their ground-truth label and (for
 //! malicious files) behaviour type — so the crate still works with any
@@ -19,7 +21,6 @@ mod domains;
 mod escalation;
 mod frame;
 mod labels;
-pub mod legacy;
 mod monthly;
 mod packers;
 mod prevalence;
@@ -35,7 +36,7 @@ pub use domains::{
 };
 pub use escalation::{escalation_cdf, EscalationKind, EscalationReport};
 pub use labels::LabelView;
-pub use monthly::{monthly_summary, MonthSummary};
+pub use monthly::{monthly_summary, ClassShares, MonthSummary};
 pub use packers::{packer_report, PackerReport};
 pub use prevalence::{prevalence_report, PrevalenceReport};
 pub use processes::{

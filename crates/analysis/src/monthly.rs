@@ -1,13 +1,15 @@
 //! Monthly collection summary (Table I).
 //!
-//! Distinct machines / files / processes / URLs per month are counted
-//! with stamp arrays over the frame's dense ids (one tag per month), and
-//! label shares are bumped at each entity's first sighting — one pass
-//! over each month's event range, no hash sets.
+//! One query per entity stream per month: each month's event range comes
+//! from the frame's shared [`RangePartition`](downlake_query::RangePartition),
+//! and distinct machines / files / processes / URLs are `distinct_by`
+//! projections with one stamp tag per month — group-major, no hash sets.
+//! Label shares fold at each entity's first sighting.
 
-use crate::frame::{AnalysisFrame, Stamp};
+use crate::frame::AnalysisFrame;
 use crate::labels::LabelView;
 use crate::stats::percent;
+use downlake_query::{scan, Stamp};
 use downlake_telemetry::Dataset;
 use downlake_types::{FileLabel, Month, UrlLabel};
 use serde::{Deserialize, Serialize};
@@ -26,18 +28,39 @@ pub struct ClassShares {
 }
 
 impl ClassShares {
-    pub(crate) fn from_counts(counts: [usize; 4], total: usize) -> Self {
-        Self {
-            benign: percent(counts[0], total),
-            likely_benign: percent(counts[1], total),
-            malicious: percent(counts[2], total),
-            likely_malicious: percent(counts[3], total),
-        }
-    }
-
     /// % that stays unknown.
     pub fn unknown(&self) -> f64 {
         100.0 - self.benign - self.likely_benign - self.malicious - self.likely_malicious
+    }
+}
+
+/// Per-class first-sighting tallies, folded into [`ClassShares`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassCounts {
+    benign: usize,
+    likely_benign: usize,
+    malicious: usize,
+    likely_malicious: usize,
+}
+
+impl ClassCounts {
+    fn bump(&mut self, label: FileLabel) {
+        match label {
+            FileLabel::Benign => self.benign += 1,
+            FileLabel::LikelyBenign => self.likely_benign += 1,
+            FileLabel::Malicious => self.malicious += 1,
+            FileLabel::LikelyMalicious => self.likely_malicious += 1,
+            FileLabel::Unknown => {}
+        }
+    }
+
+    fn shares(self, total: usize) -> ClassShares {
+        ClassShares {
+            benign: percent(self.benign, total),
+            likely_benign: percent(self.likely_benign, total),
+            malicious: percent(self.malicious, total),
+            likely_malicious: percent(self.likely_malicious, total),
+        }
     }
 }
 
@@ -76,51 +99,52 @@ impl AnalysisFrame {
         let mut file_stamp = Stamp::new(self.file_count());
         let mut proc_stamp = Stamp::new(self.process_count());
         let mut url_stamp = Stamp::new(self.url_e2ld.len());
-        Month::ALL
-            .into_iter()
-            .map(|month| {
-                let tag = month.index() as u32;
-                let range = self.month_bounds[month.index()].clone();
-                let mut machines = 0usize;
-                let mut files = 0usize;
-                let mut processes = 0usize;
-                let mut urls = 0usize;
-                let mut file_counts = [0usize; 4];
-                let mut process_counts = [0usize; 4];
-                let mut url_benign = 0usize;
-                let mut url_malicious = 0usize;
-                for e in range.start as usize..range.end as usize {
-                    if mach_stamp.mark(self.ev_machine[e].index(), tag) {
-                        machines += 1;
-                    }
-                    let file = self.ev_file[e].index();
-                    if file_stamp.mark(file, tag) {
-                        files += 1;
-                        bump(&mut file_counts, self.file_label[file]);
-                    }
-                    let process = self.ev_process[e].index();
-                    if proc_stamp.mark(process, tag) {
-                        processes += 1;
-                        bump(&mut process_counts, self.proc_label[process]);
-                    }
-                    let url = self.ev_url[e].index();
-                    if url_stamp.mark(url, tag) {
-                        urls += 1;
-                        match url_label(&self.e2lds[self.url_e2ld[url].index()]) {
-                            UrlLabel::Benign => url_benign += 1,
-                            UrlLabel::Malicious => url_malicious += 1,
-                            UrlLabel::Unknown => {}
-                        }
-                    }
-                }
+        self.months()
+            .groups()
+            .map(|(m, rows)| {
+                let month = Month::ALL[m];
+                let tag = m as u32;
+
+                let machines = scan(rows.clone())
+                    .distinct_by(&mut mach_stamp, tag, |&e| self.ev_machine[e].index())
+                    .count();
+
+                let (files, file_counts) = scan(rows.clone())
+                    .map(|e| self.ev_file[e].index())
+                    .distinct_by(&mut file_stamp, tag, |&f| f)
+                    .fold((0usize, ClassCounts::default()), |(n, mut c), f| {
+                        c.bump(self.file_label[f]);
+                        (n + 1, c)
+                    });
+
+                let (processes, process_counts) = scan(rows.clone())
+                    .map(|e| self.ev_process[e].index())
+                    .distinct_by(&mut proc_stamp, tag, |&p| p)
+                    .fold((0usize, ClassCounts::default()), |(n, mut c), p| {
+                        c.bump(self.proc_label[p]);
+                        (n + 1, c)
+                    });
+
+                let (urls, url_benign, url_malicious) = scan(rows.clone())
+                    .map(|e| self.ev_url[e].index())
+                    .distinct_by(&mut url_stamp, tag, |&u| u)
+                    .fold(
+                        (0usize, 0usize, 0usize),
+                        |(n, ben, mal), u| match url_label(&self.e2lds[self.url_e2ld[u].index()]) {
+                            UrlLabel::Benign => (n + 1, ben + 1, mal),
+                            UrlLabel::Malicious => (n + 1, ben, mal + 1),
+                            UrlLabel::Unknown => (n + 1, ben, mal),
+                        },
+                    );
+
                 MonthSummary {
                     month,
                     machines,
-                    events: (range.end - range.start) as usize,
+                    events: rows.len(),
                     processes,
-                    process_shares: ClassShares::from_counts(process_counts, processes),
+                    process_shares: process_counts.shares(processes),
                     files,
-                    file_shares: ClassShares::from_counts(file_counts, files),
+                    file_shares: file_counts.shares(files),
                     urls,
                     url_benign: percent(url_benign, urls),
                     url_malicious: percent(url_malicious, urls),
@@ -137,16 +161,6 @@ pub fn monthly_summary(
     url_label: impl Fn(&str) -> UrlLabel,
 ) -> Vec<MonthSummary> {
     AnalysisFrame::from_label_view(dataset, labels).monthly_summary(url_label)
-}
-
-fn bump(counts: &mut [usize; 4], label: FileLabel) {
-    match label {
-        FileLabel::Benign => counts[0] += 1,
-        FileLabel::LikelyBenign => counts[1] += 1,
-        FileLabel::Malicious => counts[2] += 1,
-        FileLabel::LikelyMalicious => counts[3] += 1,
-        FileLabel::Unknown => {}
-    }
 }
 
 #[cfg(test)]
@@ -213,29 +227,16 @@ mod tests {
     }
 
     #[test]
-    fn frame_and_legacy_paths_agree() {
+    fn entities_recount_across_months_but_not_within() {
         let mut b = DatasetBuilder::new();
-        b.push(event(1, 1, 5, "http://good.com/a"));
-        b.push(event(2, 2, 6, "http://bad.ru/b"));
-        b.push(event(1, 2, 40, "http://good.com/a"));
-        b.push(event(3, 1, 40, "http://good.com/c"));
+        b.push(event(1, 1, 5, "http://good.com/a")); // January
+        b.push(event(1, 1, 6, "http://good.com/a")); // January again
+        b.push(event(1, 1, 40, "http://good.com/a")); // February
         let ds = b.finish();
-        let view = LabelView::new(
-            |h| match h.raw() {
-                1 | 500 | 501 => FileLabel::Benign,
-                2 => FileLabel::Malicious,
-                _ => FileLabel::Unknown,
-            },
-            |_| None,
-        );
-        let label_url = |e2ld: &str| match e2ld {
-            "good.com" => UrlLabel::Benign,
-            "bad.ru" => UrlLabel::Malicious,
-            _ => UrlLabel::Unknown,
-        };
-        assert_eq!(
-            monthly_summary(&ds, &view, label_url),
-            crate::legacy::monthly_summary(&ds, &view, label_url)
-        );
+        let view = LabelView::new(|_| FileLabel::Unknown, |_| None);
+        let rows = monthly_summary(&ds, &view, |_| UrlLabel::Unknown);
+        assert_eq!((rows[0].machines, rows[0].files, rows[0].urls), (1, 1, 1));
+        assert_eq!(rows[0].events, 2);
+        assert_eq!((rows[1].machines, rows[1].files, rows[1].urls), (1, 1, 1));
     }
 }

@@ -1,12 +1,14 @@
 //! Packer analyses (§IV-C's packing paragraphs).
 //!
 //! Packer names are interned into a dense id space at frame build time;
-//! usage per class is a pair of boolean vectors, and the overlap lists
-//! come from one pass over them.
+//! usage per class is one file-column query folding into a pair of
+//! dense usage vectors, and the overlap lists come from a second query
+//! over the dense packer-id space.
 
 use crate::frame::AnalysisFrame;
 use crate::labels::LabelView;
 use crate::stats::percent;
+use downlake_query::{scan, Dense};
 use downlake_telemetry::Dataset;
 use downlake_types::FileLabel;
 use serde::{Deserialize, Serialize};
@@ -34,46 +36,40 @@ impl AnalysisFrame {
     /// Computes packing rates and the packer-overlap structure.
     pub fn packer_report(&self) -> PackerReport {
         let n = self.packers.len();
-        let mut benign_used = vec![false; n];
-        let mut malicious_used = vec![false; n];
-        let mut benign_files = 0usize;
-        let mut benign_packed = 0usize;
-        let mut malicious_files = 0usize;
-        let mut malicious_packed = 0usize;
+        // Per-class usage query: `(files, packed)` tallies plus a dense
+        // used-flag vector over the interned packer-id space.
+        let usage = |label: FileLabel| {
+            let mut used: Dense<usize, bool> = Dense::new(n);
+            let (files, packed) = scan(0..self.file_count())
+                .filter(|&f| self.file_label[f] == label)
+                .fold((0usize, 0usize), |(files, packed), f| {
+                    let Some(packer) = self.file_packer[f] else {
+                        return (files + 1, packed);
+                    };
+                    *used.get_mut(packer as usize) = true;
+                    (files + 1, packed + 1)
+                });
+            (files, packed, used)
+        };
+        let (benign_files, benign_packed, benign_used) = usage(FileLabel::Benign);
+        let (malicious_files, malicious_packed, malicious_used) = usage(FileLabel::Malicious);
 
-        for file in 0..self.file_count() {
-            match self.file_label[file] {
-                FileLabel::Benign => {
-                    benign_files += 1;
-                    if let Some(packer) = self.file_packer[file] {
-                        benign_packed += 1;
-                        benign_used[packer as usize] = true;
-                    }
+        // Overlap query over the dense id space (id order, then sorted
+        // by name — deterministic either way).
+        let (mut shared, mut malicious_only, mut benign_only) = scan(0..n).fold(
+            (Vec::new(), Vec::new(), Vec::new()),
+            |(mut shared, mut mal_only, mut ben_only), packer| {
+                let name = || self.packers[packer].clone();
+                match (*benign_used.get(packer), *malicious_used.get(packer)) {
+                    (true, true) => shared.push(name()),
+                    (false, true) => mal_only.push(name()),
+                    (true, false) => ben_only.push(name()),
+                    (false, false) => {}
                 }
-                FileLabel::Malicious => {
-                    malicious_files += 1;
-                    if let Some(packer) = self.file_packer[file] {
-                        malicious_packed += 1;
-                        malicious_used[packer as usize] = true;
-                    }
-                }
-                _ => {}
-            }
-        }
-
-        let mut shared = Vec::new();
-        let mut malicious_only = Vec::new();
-        let mut benign_only = Vec::new();
-        let mut total_packers = 0usize;
-        for packer in 0..n {
-            match (benign_used[packer], malicious_used[packer]) {
-                (true, true) => shared.push(self.packers[packer].clone()),
-                (false, true) => malicious_only.push(self.packers[packer].clone()),
-                (true, false) => benign_only.push(self.packers[packer].clone()),
-                (false, false) => continue,
-            }
-            total_packers += 1;
-        }
+                (shared, mal_only, ben_only)
+            },
+        );
+        let total_packers = shared.len() + malicious_only.len() + benign_only.len();
         shared.sort();
         malicious_only.sort();
         benign_only.sort();
@@ -142,7 +138,6 @@ mod tests {
         assert_eq!(report.shared, vec!["UPX"]);
         assert_eq!(report.malicious_only, vec!["Themida"]);
         assert_eq!(report.benign_only, vec!["WixBurn"]);
-        assert_eq!(report, crate::legacy::packer_report(&ds, &view));
     }
 
     #[test]

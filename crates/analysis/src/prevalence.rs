@@ -1,14 +1,16 @@
 //! File-prevalence analysis (§IV-A, Fig. 2).
 //!
 //! Prevalence is a precomputed per-file frame column, so the report is a
-//! single scan over the file columns plus a boolean-vector pass over the
-//! event columns for the machines-touching-unknown share.
+//! family of filtered column queries — one histogram / fold per output —
+//! plus a `distinct_by` event query for the machines-touching-unknown
+//! share.
 
 use crate::frame::AnalysisFrame;
 use crate::labels::LabelView;
 use crate::stats::percent;
+use downlake_query::{scan, Col, Query, Stamp};
 use downlake_telemetry::Dataset;
-use downlake_types::FileLabel;
+use downlake_types::{FileId, FileLabel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -35,75 +37,65 @@ pub struct PrevalenceReport {
     pub means: (f64, f64, f64, f64),
 }
 
+/// Histogram plus mean of one prevalence sub-population.
+fn shape(rows: Query<impl Iterator<Item = usize>>) -> (BTreeMap<usize, usize>, f64) {
+    let (hist, sum, n) = rows.fold(
+        (BTreeMap::new(), 0usize, 0usize),
+        |(mut hist, sum, n), p| {
+            *hist.entry(p).or_insert(0) += 1;
+            (hist, sum + p, n + 1)
+        },
+    );
+    let mean = if n == 0 { 0.0 } else { sum as f64 / n as f64 };
+    (hist, mean)
+}
+
 impl AnalysisFrame {
     /// Computes the prevalence distributions of Fig. 2.
     pub fn prevalence_report(&self, sigma: usize) -> PrevalenceReport {
-        let mut report = PrevalenceReport::default();
-        let mut ones = 0usize;
-        let mut capped = 0usize;
-        let mut total_files = 0usize;
-        let mut sums = (0usize, 0usize, 0usize, 0usize);
-        let mut counts = (0usize, 0usize, 0usize, 0usize);
+        let prevalence: Col<'_, FileId, u32> = Col::new(&self.file_prevalence);
+        let labels: Col<'_, FileId, FileLabel> = Col::new(&self.file_label);
 
-        for file in 0..self.file_count() {
-            let prevalence = self.file_prevalence[file] as usize;
-            if prevalence == 0 {
-                continue; // file never appeared in a reported event
-            }
-            total_files += 1;
-            if prevalence == 1 {
-                ones += 1;
-            }
-            if prevalence >= sigma {
-                capped += 1;
-            }
-            *report.all.entry(prevalence).or_insert(0) += 1;
-            sums.0 += prevalence;
-            counts.0 += 1;
-            match self.file_label[file] {
-                FileLabel::Benign => {
-                    *report.benign.entry(prevalence).or_insert(0) += 1;
-                    sums.1 += prevalence;
-                    counts.1 += 1;
-                }
-                FileLabel::Malicious => {
-                    *report.malicious.entry(prevalence).or_insert(0) += 1;
-                    sums.2 += prevalence;
-                    counts.2 += 1;
-                }
-                FileLabel::Unknown => {
-                    *report.unknown.entry(prevalence).or_insert(0) += 1;
-                    sums.3 += prevalence;
-                    counts.3 += 1;
-                }
-                // Likely-* files are excluded from the measurement (§III).
-                FileLabel::LikelyBenign | FileLabel::LikelyMalicious => {}
-            }
+        // Files that never appeared in a reported event (prevalence 0)
+        // are outside the measurement; likely-* files only join `all`.
+        let seen = || {
+            prevalence
+                .scan()
+                .filter(|&(_, p)| p > 0)
+                .map(|(f, p)| (f, p as usize))
+        };
+        let class = move |label: FileLabel| {
+            seen()
+                .filter(move |&(f, _)| labels.get(f) == label)
+                .map(|(_, p)| p)
+        };
+
+        let total_files = seen().count();
+        let ones = seen().filter(|&(_, p)| p == 1).count();
+        let capped = seen().filter(|&(_, p)| p >= sigma).count();
+
+        let (all, all_mean) = shape(seen().map(|(_, p)| p));
+        let (benign, benign_mean) = shape(class(FileLabel::Benign));
+        let (malicious, malicious_mean) = shape(class(FileLabel::Malicious));
+        let (unknown, unknown_mean) = shape(class(FileLabel::Unknown));
+
+        // Distinct machines that downloaded at least one unknown file.
+        let mut touched = Stamp::new(self.machine_count());
+        let touching = scan(self.ev_file_label.iter().copied().enumerate())
+            .filter(|&(_, label)| label == FileLabel::Unknown)
+            .distinct_by(&mut touched, 0, |&(e, _)| self.ev_machine[e].index())
+            .count();
+
+        PrevalenceReport {
+            all,
+            benign,
+            malicious,
+            unknown,
+            prevalence_one_share: percent(ones, total_files),
+            capped_share: percent(capped, total_files),
+            machines_touching_unknown: percent(touching, self.machine_count()),
+            means: (all_mean, benign_mean, malicious_mean, unknown_mean),
         }
-
-        let mut touched = vec![false; self.machine_count()];
-        let mut touched_count = 0usize;
-        for (e, &label) in self.ev_file_label.iter().enumerate() {
-            if label == FileLabel::Unknown {
-                let machine = self.ev_machine[e].index();
-                if !touched[machine] {
-                    touched[machine] = true;
-                    touched_count += 1;
-                }
-            }
-        }
-
-        report.prevalence_one_share = percent(ones, total_files);
-        report.capped_share = percent(capped, total_files);
-        report.machines_touching_unknown = percent(touched_count, self.machine_count());
-        let mean = |s: usize, c: usize| if c == 0 { 0.0 } else { s as f64 / c as f64 };
-        report.means = (
-            mean(sums.0, counts.0),
-            mean(sums.1, counts.1),
-            mean(sums.2, counts.2),
-            mean(sums.3, counts.3),
-        );
-        report
     }
 }
 
@@ -177,7 +169,6 @@ mod tests {
             report.means.1 > report.means.3,
             "benign mean above unknown mean"
         );
-        assert_eq!(report, crate::legacy::prevalence_report(&ds, &view, 20));
     }
 
     #[test]

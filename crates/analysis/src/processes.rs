@@ -1,13 +1,17 @@
 //! Downloading-process behaviour analyses (§V: Tables X–XII, XIV).
 //!
-//! Row accumulators here are dense: distinct processes / machines /
-//! files per row are tracked in `bool` vectors indexed by the frame's
-//! dense ids, and the type mix in a fixed 11-slot counter — no hash
-//! sets, no per-event hashing.
+//! Each table is an event-column query dispatching into per-row
+//! accumulators: distinct processes / machines / files per row are
+//! first-sighting [`Stamp`](downlake_query::Stamp)s over the frame's
+//! dense ids, the type mix a fixed 11-slot counter, and the
+//! file-by-category grid of Table XIV a
+//! [`MaskStamp`](downlake_query::MaskStamp) — no hash sets, no
+//! per-event hashing.
 
 use crate::frame::{type_index, AnalysisFrame, TYPE_COUNT};
 use crate::labels::LabelView;
 use crate::stats::percent;
+use downlake_query::{scan, MaskStamp, Stamp};
 use downlake_telemetry::Dataset;
 use downlake_types::{BrowserKind, FileLabel, MalwareType, ProcessCategory};
 use serde::{Deserialize, Serialize};
@@ -64,15 +68,17 @@ const fn browser_index(kind: BrowserKind) -> usize {
     }
 }
 
-/// One table row's distinct-entity accumulator over dense ids.
+/// One table row's distinct-entity accumulator: first-sighting stamps
+/// over the dense id spaces plus the folded tallies. Each accumulator
+/// is private to its row, so every stamp uses a single tag.
 struct DenseRowAcc {
-    proc_seen: Vec<bool>,
+    proc: Stamp,
     processes: usize,
-    mach_seen: Vec<bool>,
+    mach: Stamp,
     machines: usize,
-    infected_seen: Vec<bool>,
+    infected_mach: Stamp,
     infected: usize,
-    file_seen: Vec<bool>,
+    file: Stamp,
     unknown: usize,
     benign: usize,
     malicious: usize,
@@ -82,13 +88,13 @@ struct DenseRowAcc {
 impl DenseRowAcc {
     fn new(frame: &AnalysisFrame) -> Self {
         Self {
-            proc_seen: vec![false; frame.process_count()],
+            proc: Stamp::new(frame.process_count()),
             processes: 0,
-            mach_seen: vec![false; frame.machine_count()],
+            mach: Stamp::new(frame.machine_count()),
             machines: 0,
-            infected_seen: vec![false; frame.machine_count()],
+            infected_mach: Stamp::new(frame.machine_count()),
             infected: 0,
-            file_seen: vec![false; frame.file_count()],
+            file: Stamp::new(frame.file_count()),
             unknown: 0,
             benign: 0,
             malicious: 0,
@@ -104,32 +110,16 @@ impl DenseRowAcc {
         label: FileLabel,
         ty: Option<MalwareType>,
     ) {
-        if !self.proc_seen[process] {
-            self.proc_seen[process] = true;
-            self.processes += 1;
-        }
-        if !self.mach_seen[machine] {
-            self.mach_seen[machine] = true;
-            self.machines += 1;
-        }
-        // A file has exactly one label, so one seen-vector serves all
-        // three distinct-file counts.
+        self.processes += usize::from(self.proc.mark(process, 0));
+        self.machines += usize::from(self.mach.mark(machine, 0));
+        // A file has exactly one label, so one stamp serves all three
+        // distinct-file counts; likely-* files touch no file tally.
         match label {
-            FileLabel::Unknown if !self.file_seen[file] => {
-                self.file_seen[file] = true;
-                self.unknown += 1;
-            }
-            FileLabel::Benign if !self.file_seen[file] => {
-                self.file_seen[file] = true;
-                self.benign += 1;
-            }
+            FileLabel::Unknown => self.unknown += usize::from(self.file.mark(file, 0)),
+            FileLabel::Benign => self.benign += usize::from(self.file.mark(file, 0)),
             FileLabel::Malicious => {
-                if !self.infected_seen[machine] {
-                    self.infected_seen[machine] = true;
-                    self.infected += 1;
-                }
-                if !self.file_seen[file] {
-                    self.file_seen[file] = true;
+                self.infected += usize::from(self.infected_mach.mark(machine, 0));
+                if self.file.mark(file, 0) {
                     self.malicious += 1;
                     if let Some(ty) = ty {
                         self.type_counts[type_index(ty)] += 1;
@@ -149,7 +139,7 @@ impl DenseRowAcc {
                 (count > 0).then(|| (ty, percent(count as usize, malicious_total)))
             })
             .collect();
-        type_mix.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        type_mix.sort_by(|a, b| b.1.total_cmp(&a.1));
         ProcessBehaviorRow {
             label,
             processes: self.processes,
@@ -174,20 +164,24 @@ impl AnalysisFrame {
         );
     }
 
+    /// Whether `event`'s downloading process is labeled benign.
+    fn benign_process(&self, event: usize) -> bool {
+        self.proc_label[self.ev_process[event].index()] == FileLabel::Benign
+    }
+
     /// Table X: download behaviour of *known benign* processes, by
     /// category. Only events whose process hash is labeled benign
     /// participate, exactly as the paper restricts to whitelist-matched
     /// processes.
     pub fn category_behavior(&self) -> Vec<ProcessBehaviorRow> {
         let mut accs: [Option<Box<DenseRowAcc>>; 5] = std::array::from_fn(|_| None);
-        for event in 0..self.event_count() {
-            if self.proc_label[self.ev_process[event].index()] != FileLabel::Benign {
-                continue;
-            }
-            let slot = category_index(self.ev_proc_category[event]);
-            let acc = accs[slot].get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
-            self.record_event(acc, event);
-        }
+        scan(0..self.event_count())
+            .filter(|&e| self.benign_process(e))
+            .for_each(|event| {
+                let slot = category_index(self.ev_proc_category[event]);
+                let acc = accs[slot].get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
+                self.record_event(acc, event);
+            });
         CATEGORY_ORDER
             .iter()
             .zip(accs)
@@ -199,17 +193,14 @@ impl AnalysisFrame {
     /// processes).
     pub fn browser_behavior(&self) -> Vec<ProcessBehaviorRow> {
         let mut accs: [Option<Box<DenseRowAcc>>; 5] = std::array::from_fn(|_| None);
-        for event in 0..self.event_count() {
-            let Some(kind) = self.ev_proc_category[event].browser() else {
-                continue;
-            };
-            if self.proc_label[self.ev_process[event].index()] != FileLabel::Benign {
-                continue;
-            }
-            let acc =
-                accs[browser_index(kind)].get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
-            self.record_event(acc, event);
-        }
+        scan(0..self.event_count())
+            .filter_map(|e| self.ev_proc_category[e].browser().map(|kind| (e, kind)))
+            .filter(|&(e, _)| self.benign_process(e))
+            .for_each(|(event, kind)| {
+                let acc = accs[browser_index(kind)]
+                    .get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
+                self.record_event(acc, event);
+            });
         BrowserKind::ALL
             .iter()
             .zip(accs)
@@ -222,17 +213,17 @@ impl AnalysisFrame {
     pub fn malicious_process_behavior(&self) -> Vec<ProcessBehaviorRow> {
         let mut accs: [Option<Box<DenseRowAcc>>; TYPE_COUNT] = std::array::from_fn(|_| None);
         let mut overall: Option<Box<DenseRowAcc>> = None;
-        for event in 0..self.event_count() {
-            let process = self.ev_process[event].index();
-            if self.proc_label[process] != FileLabel::Malicious {
-                continue;
-            }
-            let ty = self.proc_type[process].unwrap_or(MalwareType::Undefined);
-            let acc = accs[type_index(ty)].get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
-            self.record_event(acc, event);
-            let acc = overall.get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
-            self.record_event(acc, event);
-        }
+        scan(0..self.event_count())
+            .filter(|&e| self.proc_label[self.ev_process[e].index()] == FileLabel::Malicious)
+            .for_each(|event| {
+                let process = self.ev_process[event].index();
+                let ty = self.proc_type[process].unwrap_or(MalwareType::Undefined);
+                let acc =
+                    accs[type_index(ty)].get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
+                self.record_event(acc, event);
+                let acc = overall.get_or_insert_with(|| Box::new(DenseRowAcc::new(self)));
+                self.record_event(acc, event);
+            });
         let mut rows: Vec<ProcessBehaviorRow> = MalwareType::ALL
             .into_iter()
             .filter_map(|ty| {
@@ -250,25 +241,17 @@ impl AnalysisFrame {
     /// Table XIV: how many distinct *unknown* files each benign process
     /// category downloaded, plus the total.
     pub fn unknown_download_categories(&self) -> Vec<(String, usize)> {
-        // One bit per (file, category) pair — a file can arrive via
-        // several categories and must count once in each.
-        let mut seen = vec![0u8; self.file_count()];
+        // Categories interleave in event order, so a tag-based stamp
+        // would double-count: one mask bit per (file, category) pair —
+        // a file arriving via several categories counts once in each.
+        let mut seen = MaskStamp::new(self.file_count());
         let mut counts = [0usize; 5];
-        for event in 0..self.event_count() {
-            if self.ev_file_label[event] != FileLabel::Unknown {
-                continue;
-            }
-            if self.proc_label[self.ev_process[event].index()] != FileLabel::Benign {
-                continue;
-            }
-            let slot = category_index(self.ev_proc_category[event]);
-            let bit = 1u8 << slot;
-            let file = self.ev_file[event].index();
-            if seen[file] & bit == 0 {
-                seen[file] |= bit;
-                counts[slot] += 1;
-            }
-        }
+        scan(0..self.event_count())
+            .filter(|&e| self.ev_file_label[e] == FileLabel::Unknown && self.benign_process(e))
+            .for_each(|event| {
+                let slot = category_index(self.ev_proc_category[event]);
+                counts[slot] += usize::from(seen.mark(self.ev_file[event].index(), slot));
+            });
         let mut rows: Vec<(String, usize)> = CATEGORY_ORDER
             .iter()
             .zip(counts)
@@ -414,24 +397,35 @@ mod tests {
     }
 
     #[test]
-    fn frame_and_legacy_paths_agree() {
-        let ds = dataset();
-        let view = labels();
-        assert_eq!(
-            category_behavior(&ds, &view),
-            crate::legacy::category_behavior(&ds, &view)
+    fn file_arriving_via_two_categories_counts_in_each() {
+        let mut b = DatasetBuilder::new();
+        for (process, pname) in [(100u64, "chrome.exe"), (101, "svchost.exe")] {
+            b.push(RawEvent {
+                file: FileHash::from_raw(1),
+                file_meta: FileMeta::default(),
+                machine: MachineId::from_raw(1),
+                process: FileHash::from_raw(process),
+                process_meta: FileMeta {
+                    disk_name: pname.into(),
+                    ..FileMeta::default()
+                },
+                url: "http://x.com/f".parse::<Url>().unwrap(),
+                timestamp: Timestamp::from_day(1),
+                executed: true,
+            });
+        }
+        let ds = b.finish();
+        let view = LabelView::new(
+            |h| match h.raw() {
+                100 | 101 => FileLabel::Benign,
+                _ => FileLabel::Unknown,
+            },
+            |_| None,
         );
-        assert_eq!(
-            browser_behavior(&ds, &view),
-            crate::legacy::browser_behavior(&ds, &view)
-        );
-        assert_eq!(
-            malicious_process_behavior(&ds, &view),
-            crate::legacy::malicious_process_behavior(&ds, &view)
-        );
-        assert_eq!(
-            unknown_download_categories(&ds, &view),
-            crate::legacy::unknown_download_categories(&ds, &view)
-        );
+        let rows = unknown_download_categories(&ds, &view);
+        let get = |name: &str| rows.iter().find(|(l, _)| l == name).unwrap().1;
+        assert_eq!(get("Browsers"), 1);
+        assert_eq!(get("Windows Processes"), 1);
+        assert_eq!(get("Total"), 2);
     }
 }

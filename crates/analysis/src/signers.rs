@@ -1,13 +1,16 @@
 //! Code-signer analyses (§IV-C: Tables VI–IX, Fig. 4).
 //!
 //! Signer subjects are interned into a dense id space at
-//! [`AnalysisFrame`] build time, so every pass here counts into plain
-//! `Vec`s indexed by signer id — no string-keyed maps, no per-file
-//! subject clones.
+//! [`AnalysisFrame`] build time, so every pass here is a file-column
+//! query aggregating into [`Dense`](downlake_query::Dense) signer
+//! counters — no string-keyed maps, no per-file subject clones. Rankings
+//! share the query layer's [`top_k_by`](downlake_query::top_k_by) total
+//! order (count descending, subject ascending).
 
 use crate::frame::{type_index, AnalysisFrame, TYPE_COUNT};
 use crate::labels::LabelView;
 use crate::stats::percent;
+use downlake_query::{scan, top_k_by, Dense};
 use downlake_telemetry::Dataset;
 use downlake_types::{FileLabel, MalwareType};
 use serde::{Deserialize, Serialize};
@@ -68,54 +71,51 @@ pub struct TopSignersReport {
 
 /// Per-signer file counts in dense signer-id space.
 struct DenseSignerIndex {
-    benign: Vec<u64>,
-    malicious: Vec<u64>,
-    per_type: [Option<Vec<u64>>; TYPE_COUNT],
+    benign: Dense<usize, u64>,
+    malicious: Dense<usize, u64>,
+    per_type: [Option<Dense<usize, u64>>; TYPE_COUNT],
 }
 
+/// One file-column query routing each signed file's count into its
+/// class counter (per-type counters materialise lazily, so a type is
+/// present iff some signed malicious file carries it).
 fn dense_signer_index(frame: &AnalysisFrame) -> DenseSignerIndex {
     let n = frame.signers.len();
     let mut index = DenseSignerIndex {
-        benign: vec![0; n],
-        malicious: vec![0; n],
+        benign: Dense::new(n),
+        malicious: Dense::new(n),
         per_type: std::array::from_fn(|_| None),
     };
-    for file in 0..frame.file_count() {
-        let Some(signer) = frame.file_signer[file] else {
-            continue;
-        };
-        let signer = signer as usize;
-        match frame.file_label[file] {
-            FileLabel::Benign => index.benign[signer] += 1,
+    scan(0..frame.file_count())
+        .filter_map(|f| frame.file_signer[f].map(|s| (f, s as usize)))
+        .for_each(|(f, s)| match frame.file_label[f] {
+            FileLabel::Benign => index.benign.add(s, 1),
             FileLabel::Malicious => {
-                index.malicious[signer] += 1;
-                if let Some(ty) = frame.file_type[file] {
-                    index.per_type[type_index(ty)].get_or_insert_with(|| vec![0; n])[signer] += 1;
+                index.malicious.add(s, 1);
+                if let Some(ty) = frame.file_type[f] {
+                    index.per_type[type_index(ty)]
+                        .get_or_insert_with(|| Dense::new(n))
+                        .add(s, 1);
                 }
             }
             _ => {}
-        }
-    }
+        });
     index
 }
 
 /// Top-`k` signers by file count (count descending, subject ascending —
-/// a total order, so ties resolve identically to the legacy map path).
+/// the query layer's total order, so ties resolve identically on every
+/// run).
 fn top_signers_by_count(
     names: &[String],
-    counts: &[u64],
+    counts: &Dense<usize, u64>,
     k: usize,
     filter: impl Fn(usize) -> bool,
 ) -> Vec<(String, u64)> {
-    let mut v: Vec<(String, u64)> = counts
-        .iter()
-        .enumerate()
-        .filter(|&(s, &c)| c > 0 && filter(s))
-        .map(|(s, &c)| (names[s].clone(), c))
-        .collect();
-    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    v.truncate(k);
-    v
+    top_k_by(counts.as_slice(), k, |s| names[s].as_str(), filter)
+        .into_iter()
+        .map(|(s, c)| (names[s].clone(), c))
+        .collect()
 }
 
 impl AnalysisFrame {
@@ -125,35 +125,34 @@ impl AnalysisFrame {
         const BENIGN: usize = TYPE_COUNT;
         const UNKNOWN: usize = TYPE_COUNT + 1;
         const MALICIOUS: usize = TYPE_COUNT + 2;
-        let mut acc = [(0usize, 0usize, 0usize, 0usize); TYPE_COUNT + 3];
-        let mut bump = |slot: usize, signed: bool, browser: bool| {
-            let entry = &mut acc[slot];
-            entry.0 += 1;
-            if signed {
-                entry.1 += 1;
-            }
-            if browser {
-                entry.2 += 1;
-                if signed {
-                    entry.3 += 1;
-                }
-            }
-        };
-        for file in 0..self.file_count() {
-            let signed = self.file_signer[file].is_some();
-            let browser = self.file_browser[file];
-            match self.file_label[file] {
-                FileLabel::Benign => bump(BENIGN, signed, browser),
-                FileLabel::Unknown => bump(UNKNOWN, signed, browser),
-                FileLabel::Malicious => {
-                    bump(MALICIOUS, signed, browser);
-                    if let Some(ty) = self.file_type[file] {
-                        bump(type_index(ty), signed, browser);
+        // `(files, signed, browser files, browser signed)` per slot; a
+        // malicious file folds into both its type slot and the pooled one.
+        let acc = scan(0..self.file_count()).fold(
+            [(0usize, 0usize, 0usize, 0usize); TYPE_COUNT + 3],
+            |mut acc, file| {
+                let signed = self.file_signer[file].is_some();
+                let browser = self.file_browser[file];
+                let mut bump = |slot: usize| {
+                    let entry = &mut acc[slot];
+                    entry.0 += 1;
+                    entry.1 += usize::from(signed);
+                    entry.2 += usize::from(browser);
+                    entry.3 += usize::from(browser && signed);
+                };
+                match self.file_label[file] {
+                    FileLabel::Benign => bump(BENIGN),
+                    FileLabel::Unknown => bump(UNKNOWN),
+                    FileLabel::Malicious => {
+                        bump(MALICIOUS);
+                        if let Some(ty) = self.file_type[file] {
+                            bump(type_index(ty));
+                        }
                     }
+                    _ => {}
                 }
-                _ => {}
-            }
-        }
+                acc
+            },
+        );
         let order = MalwareType::ALL
             .iter()
             .map(|t| (type_index(*t), t.name()))
@@ -162,61 +161,48 @@ impl AnalysisFrame {
                 (UNKNOWN, "unknown"),
                 (MALICIOUS, "malicious"),
             ]);
-        let mut rows = Vec::new();
-        for (slot, class) in order {
-            let (files, signed, bfiles, bsigned) = acc[slot];
-            if files == 0 {
-                continue;
-            }
-            rows.push(SigningRateRow {
-                class: class.to_owned(),
-                files,
-                signed_pct: percent(signed, files),
-                browser_files: bfiles,
-                browser_signed_pct: percent(bsigned, bfiles),
-            });
-        }
-        rows
+        order
+            .filter_map(|(slot, class)| {
+                let (files, signed, bfiles, bsigned) = acc[slot];
+                (files > 0).then(|| SigningRateRow {
+                    class: class.to_owned(),
+                    files,
+                    signed_pct: percent(signed, files),
+                    browser_files: bfiles,
+                    browser_signed_pct: percent(bsigned, bfiles),
+                })
+            })
+            .collect()
     }
 
     /// Table VII: signers per malicious type and the overlap with benign.
     pub fn signer_overlap(&self) -> Vec<SignerOverlapRow> {
         let index = dense_signer_index(self);
-        let mut rows = Vec::new();
-        for ty in MalwareType::ALL {
-            let Some(counts) = &index.per_type[type_index(ty)] else {
-                continue;
-            };
-            let mut signers = 0usize;
-            let mut common = 0usize;
-            for (s, &c) in counts.iter().enumerate() {
-                if c > 0 {
-                    signers += 1;
-                    if index.benign[s] > 0 {
-                        common += 1;
-                    }
-                }
-            }
-            rows.push(SignerOverlapRow {
-                class: ty.name().to_owned(),
-                signers,
-                common_with_benign: common,
-            });
-        }
-        let mut total = 0usize;
-        let mut common_total = 0usize;
-        for (s, &c) in index.malicious.iter().enumerate() {
-            if c > 0 {
-                total += 1;
-                if index.benign[s] > 0 {
-                    common_total += 1;
-                }
-            }
-        }
+        let overlap = |counts: &Dense<usize, u64>| {
+            scan(counts.iter()).filter(|&(_, &c)| c > 0).fold(
+                (0usize, 0usize),
+                |(signers, common), (s, _)| {
+                    (signers + 1, common + usize::from(*index.benign.get(s) > 0))
+                },
+            )
+        };
+        let mut rows: Vec<SignerOverlapRow> = MalwareType::ALL
+            .into_iter()
+            .filter_map(|ty| {
+                let counts = index.per_type[type_index(ty)].as_ref()?;
+                let (signers, common_with_benign) = overlap(counts);
+                Some(SignerOverlapRow {
+                    class: ty.name().to_owned(),
+                    signers,
+                    common_with_benign,
+                })
+            })
+            .collect();
+        let (signers, common_with_benign) = overlap(&index.malicious);
         rows.push(SignerOverlapRow {
             class: "total".to_owned(),
-            signers: total,
-            common_with_benign: common_total,
+            signers,
+            common_with_benign,
         });
         rows
     }
@@ -225,27 +211,24 @@ impl AnalysisFrame {
     pub fn top_signers(&self, k: usize) -> TopSignersReport {
         let index = dense_signer_index(self);
 
-        let mut per_type = Vec::new();
-        for ty in MalwareType::ALL {
-            let Some(counts) = &index.per_type[type_index(ty)] else {
-                continue;
-            };
-            per_type.push((
-                ty.name().to_owned(),
-                top_signers_by_count(&self.signers, counts, k, |_| true),
-                top_signers_by_count(&self.signers, counts, k, |s| index.benign[s] > 0),
-                top_signers_by_count(&self.signers, counts, k, |s| index.benign[s] == 0),
-            ));
-        }
+        let per_type = MalwareType::ALL
+            .into_iter()
+            .filter_map(|ty| {
+                let counts = index.per_type[type_index(ty)].as_ref()?;
+                Some((
+                    ty.name().to_owned(),
+                    top_signers_by_count(&self.signers, counts, k, |_| true),
+                    top_signers_by_count(&self.signers, counts, k, |s| *index.benign.get(s) > 0),
+                    top_signers_by_count(&self.signers, counts, k, |s| *index.benign.get(s) == 0),
+                ))
+            })
+            .collect();
 
-        let mut scatter: Vec<SignerScatterPoint> = index
-            .malicious
-            .iter()
-            .enumerate()
-            .filter(|&(s, &mal)| mal > 0 && index.benign[s] > 0)
+        let mut scatter: Vec<SignerScatterPoint> = scan(index.malicious.iter())
+            .filter(|&(s, &mal)| mal > 0 && *index.benign.get(s) > 0)
             .map(|(s, &mal)| SignerScatterPoint {
                 signer: self.signers[s].clone(),
-                benign_files: index.benign[s],
+                benign_files: *index.benign.get(s),
                 malicious_files: mal,
             })
             .collect();
@@ -257,10 +240,10 @@ impl AnalysisFrame {
 
         TopSignersReport {
             benign_exclusive: top_signers_by_count(&self.signers, &index.benign, k, |s| {
-                index.malicious[s] == 0
+                *index.malicious.get(s) == 0
             }),
             malicious_exclusive: top_signers_by_count(&self.signers, &index.malicious, k, |s| {
-                index.benign[s] == 0
+                *index.benign.get(s) == 0
             }),
             per_type,
             scatter,
@@ -391,23 +374,5 @@ mod tests {
             .find(|(name, ..)| name == "dropper")
             .unwrap();
         assert_eq!(dropper_row.1[0].0, "Somoto Ltd.");
-    }
-
-    #[test]
-    fn frame_and_legacy_paths_agree() {
-        let ds = dataset();
-        let view = labels();
-        assert_eq!(
-            signing_rates_table(&ds, &view),
-            crate::legacy::signing_rates_table(&ds, &view)
-        );
-        assert_eq!(
-            signer_overlap(&ds, &view),
-            crate::legacy::signer_overlap(&ds, &view)
-        );
-        assert_eq!(
-            top_signers(&ds, &view, 3),
-            crate::legacy::top_signers(&ds, &view, 3)
-        );
     }
 }

@@ -22,7 +22,7 @@ impl Ecdf {
     /// Builds the ECDF (NaNs are dropped).
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| !x.is_nan());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        samples.sort_by(f64::total_cmp);
         Self { sorted: samples }
     }
 

@@ -99,17 +99,17 @@ impl BehaviorExtractor {
     /// Returns `Undefined`/`NoConflict` when no labels are supplied.
     pub fn extract(&self, labels: &[(&str, &str)]) -> TypeVerdict {
         let types: Vec<MalwareType> = labels.iter().map(|&(_, l)| self.map.interpret(l)).collect();
-        if types.is_empty() {
+        let Some((&first, rest)) = types.split_first() else {
             return TypeVerdict {
                 ty: MalwareType::Undefined,
                 resolution: Resolution::NoConflict,
             };
-        }
+        };
 
         // Rule 0: full agreement.
-        if types.windows(2).all(|w| w[0] == w[1]) {
+        if rest.iter().all(|&t| t == first) {
             return TypeVerdict {
-                ty: types[0],
+                ty: first,
                 resolution: Resolution::NoConflict,
             };
         }
@@ -122,33 +122,29 @@ impl BehaviorExtractor {
                 None => counts.push((ty, 1)),
             }
         }
-        let max_votes = counts.iter().map(|&(_, c)| c).max().expect("nonempty");
+        let max_votes = counts.iter().map(|&(_, c)| c).fold(0, usize::max);
         let tied: Vec<MalwareType> = counts
             .iter()
             .filter(|&&(_, c)| c == max_votes)
             .map(|&(t, _)| t)
             .collect();
-        if tied.len() == 1 {
+        if let &[only] = tied.as_slice() {
             return TypeVerdict {
-                ty: tied[0],
+                ty: only,
                 resolution: Resolution::Voting,
             };
         }
 
         // Rule 2: specificity among the vote-tied types.
-        let max_spec = tied
-            .iter()
-            .map(|t| t.specificity())
-            .max()
-            .expect("nonempty");
+        let max_spec = tied.iter().map(|t| t.specificity()).fold(0u8, u8::max);
         let most_specific: Vec<MalwareType> = tied
             .iter()
             .copied()
             .filter(|t| t.specificity() == max_spec)
             .collect();
-        if most_specific.len() == 1 {
+        if let &[only] = most_specific.as_slice() {
             return TypeVerdict {
-                ty: most_specific[0],
+                ty: only,
                 resolution: Resolution::Specificity,
             };
         }
@@ -159,7 +155,7 @@ impl BehaviorExtractor {
         let ty = MalwareType::ALL
             .into_iter()
             .find(|t| most_specific.contains(t))
-            .expect("tied set non-empty");
+            .unwrap_or(first);
         TypeVerdict {
             ty,
             resolution: Resolution::Manual,

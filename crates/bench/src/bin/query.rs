@@ -1,0 +1,1125 @@
+//! `query_tables` — the relational query engine vs the pre-refactor
+//! bespoke loops, end to end over every analysis pass.
+//!
+//! ```text
+//! cargo run --release -p downlake-bench --bin query            # large scale
+//! cargo run --release -p downlake-bench --bin query -- --smoke # tiny, for CI
+//! ```
+//!
+//! The baseline (`mod loops`) is the original hash-map/hash-set
+//! accumulation code that `crates/analysis` shipped before the
+//! `downlake-query` rewrite: per-event string allocation, boxed-closure
+//! label lookups, one full event scan per table. The engine side builds
+//! one [`downlake_analysis::AnalysisFrame`] (dense-id columns + CSR
+//! adjacency, counted in its timing) and runs the same sixteen passes
+//! as relational queries. Both sides render their outputs through the
+//! same deterministic serialisation and the bin exits non-zero unless
+//! the bytes agree — the speedup claim is only worth reporting over a
+//! proven-equivalent computation.
+//!
+//! Emits `BENCH_query.json` via the shared [`downlake_bench::report`]
+//! manifest writer. As with the other bench bins, `host_cpus` and all
+//! wall-clock numbers live under the manifest's `timing` section; the
+//! byte-identity verdict lives under `run`. The `runs` array is
+//! `[loops, engine]`, also named `loops_seconds` / `engine_seconds`.
+
+use downlake::{Study, StudyConfig};
+use downlake_analysis::{AnalysisFrame, RankSource};
+use downlake_bench::report::{bench_manifest, TimedRun};
+use downlake_synth::Scale;
+use downlake_types::{FileLabel, MalwareType};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Pre-refactor reference implementations of every analysis pass,
+/// kept as the honest baseline for the engine comparison. These are
+/// the hash-map/hash-set accumulation passes that consumed a
+/// `&Dataset` and a `LabelView` directly before the `downlake-query`
+/// rewrite; they intentionally keep the per-event string allocation
+/// and boxed-closure calls the refactor removed, so the bench
+/// quantifies the win. Their outputs are sorted (or consumed
+/// order-insensitively) before they escape, which is why the hash
+/// iteration below is allowed case by case.
+mod loops {
+    use downlake_analysis::stats::{percent, Counter, Ecdf};
+    use downlake_analysis::{
+        ClassShares, DomainCount, EscalationKind, EscalationReport, LabelView, MonthSummary,
+        PackerReport, PrevalenceReport, ProcessBehaviorRow, RankSource, SignerOverlapRow,
+        SignerScatterPoint, SigningRateRow, TopSignersReport,
+    };
+    use downlake_telemetry::Dataset;
+    use downlake_types::{
+        BrowserKind, FileHash, FileLabel, MachineId, MalwareType, ProcessCategory, Timestamp,
+        UrlId, UrlLabel,
+    };
+    use std::collections::{HashMap, HashSet};
+
+    // -----------------------------------------------------------------
+    // Domains (Tables III–V, XIII; Figs. 3 and 6)
+    // -----------------------------------------------------------------
+
+    /// Table III via the original per-event hash-map accumulation.
+    pub fn domain_popularity(
+        dataset: &Dataset,
+        labels: &LabelView<'_>,
+        k: usize,
+    ) -> [Vec<DomainCount>; 3] {
+        let mut overall: HashMap<String, HashSet<u64>> = HashMap::new();
+        let mut benign: HashMap<String, HashSet<u64>> = HashMap::new();
+        let mut malicious: HashMap<String, HashSet<u64>> = HashMap::new();
+        for event in dataset.events() {
+            let e2ld = dataset.url_of(event).e2ld();
+            let machine = event.machine.raw();
+            overall.entry(e2ld.to_owned()).or_default().insert(machine);
+            match labels.label(event.file) {
+                FileLabel::Benign => {
+                    benign.entry(e2ld.to_owned()).or_default().insert(machine);
+                }
+                FileLabel::Malicious => {
+                    malicious
+                        .entry(e2ld.to_owned())
+                        .or_default()
+                        .insert(machine);
+                }
+                _ => {}
+            }
+        }
+        [overall, benign, malicious].map(|m| top_by_set_size(m, k))
+    }
+
+    /// Table IV via the original per-event hash-map accumulation.
+    pub fn files_per_domain(
+        dataset: &Dataset,
+        labels: &LabelView<'_>,
+        k: usize,
+    ) -> [Vec<DomainCount>; 2] {
+        let mut benign: HashMap<String, HashSet<u64>> = HashMap::new();
+        let mut malicious: HashMap<String, HashSet<u64>> = HashMap::new();
+        for event in dataset.events() {
+            let e2ld = dataset.url_of(event).e2ld();
+            match labels.label(event.file) {
+                FileLabel::Benign => {
+                    benign
+                        .entry(e2ld.to_owned())
+                        .or_default()
+                        .insert(event.file.raw());
+                }
+                FileLabel::Malicious => {
+                    malicious
+                        .entry(e2ld.to_owned())
+                        .or_default()
+                        .insert(event.file.raw());
+                }
+                _ => {}
+            }
+        }
+        [benign, malicious].map(|m| top_by_set_size(m, k))
+    }
+
+    /// Table V via the original per-event hash-map accumulation.
+    pub fn type_domain_tables(
+        dataset: &Dataset,
+        labels: &LabelView<'_>,
+        k: usize,
+    ) -> HashMap<MalwareType, Vec<DomainCount>> {
+        let mut per_type: HashMap<MalwareType, HashMap<String, HashSet<u64>>> = HashMap::new();
+        for event in dataset.events() {
+            if labels.label(event.file) != FileLabel::Malicious {
+                continue;
+            }
+            let Some(ty) = labels.malware_type(event.file) else {
+                continue;
+            };
+            let e2ld = dataset.url_of(event).e2ld();
+            per_type
+                .entry(ty)
+                .or_default()
+                .entry(e2ld.to_owned())
+                .or_default()
+                .insert(event.file.raw());
+        }
+        per_type
+            .into_iter() // downlake-lint: allow(D1) — values are sorted in top_by_set_size; callers render keyed by MalwareType::ALL
+            .map(|(ty, m)| (ty, top_by_set_size(m, k)))
+            .collect()
+    }
+
+    /// Table XIII via the original string-keyed counter.
+    pub fn top_domains_by_downloads(
+        dataset: &Dataset,
+        labels: &LabelView<'_>,
+        class: FileLabel,
+        k: usize,
+    ) -> Vec<DomainCount> {
+        let mut counter: Counter<String> = Counter::new();
+        for event in dataset.events() {
+            if labels.label(event.file) == class {
+                counter.add(dataset.url_of(event).e2ld().to_owned());
+            }
+        }
+        counter
+            .top(k)
+            .into_iter()
+            .map(|(domain, count)| DomainCount { domain, count })
+            .collect()
+    }
+
+    /// Figs. 3/6 rank ECDF via the original domain-string set.
+    pub fn rank_distribution(
+        dataset: &Dataset,
+        labels: &LabelView<'_>,
+        ranks: &RankSource<'_>,
+        class: FileLabel,
+    ) -> (Ecdf, usize) {
+        let mut domains: HashSet<String> = HashSet::new();
+        for event in dataset.events() {
+            if labels.label(event.file) == class {
+                domains.insert(dataset.url_of(event).e2ld().to_owned());
+            }
+        }
+        let mut samples = Vec::new();
+        let mut unranked = 0usize;
+        // downlake-lint: allow(D1) — Ecdf::from_samples sorts; unranked is a count
+        for d in &domains {
+            match ranks.rank(d) {
+                Some(r) => samples.push(r as f64),
+                None => unranked += 1,
+            }
+        }
+        (Ecdf::from_samples(samples), unranked)
+    }
+
+    fn top_by_set_size(map: HashMap<String, HashSet<u64>>, k: usize) -> Vec<DomainCount> {
+        let mut rows: Vec<DomainCount> = map
+            .into_iter() // downlake-lint: allow(D1) — rows are fully sorted before truncation
+            .map(|(domain, set)| DomainCount {
+                domain,
+                count: set.len() as u64,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.domain.cmp(&b.domain)));
+        rows.truncate(k);
+        rows
+    }
+
+    // -----------------------------------------------------------------
+    // Signers (Tables VI–IX, Fig. 4)
+    // -----------------------------------------------------------------
+
+    /// Which files were downloaded by a browser at least once.
+    fn browser_files(dataset: &Dataset) -> HashSet<FileHash> {
+        let mut set = HashSet::new();
+        for event in dataset.events() {
+            if dataset
+                .processes()
+                .get(event.process)
+                .is_some_and(|p| p.category.is_browser())
+            {
+                set.insert(event.file);
+            }
+        }
+        set
+    }
+
+    /// Table VI via the original string-keyed class accumulator.
+    pub fn signing_rates_table(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<SigningRateRow> {
+        let via_browser = browser_files(dataset);
+        // (files, signed, browser files, browser signed) per class key.
+        let mut acc: HashMap<String, (usize, usize, usize, usize)> = HashMap::new();
+        let mut bump = |key: &str, signed: bool, browser: bool| {
+            let entry = acc.entry(key.to_owned()).or_default();
+            entry.0 += 1;
+            if signed {
+                entry.1 += 1;
+            }
+            if browser {
+                entry.2 += 1;
+                if signed {
+                    entry.3 += 1;
+                }
+            }
+        };
+        for record in dataset.files().iter() {
+            let signed = record.meta.is_validly_signed();
+            let browser = via_browser.contains(&record.hash);
+            match labels.label(record.hash) {
+                FileLabel::Benign => bump("benign", signed, browser),
+                FileLabel::Unknown => bump("unknown", signed, browser),
+                FileLabel::Malicious => {
+                    bump("malicious", signed, browser);
+                    if let Some(ty) = labels.malware_type(record.hash) {
+                        bump(ty.name(), signed, browser);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut rows: Vec<SigningRateRow> = Vec::new();
+        let order: Vec<String> = MalwareType::ALL
+            .iter()
+            .map(|t| t.name().to_owned())
+            .chain([
+                "benign".to_owned(),
+                "unknown".to_owned(),
+                "malicious".to_owned(),
+            ])
+            .collect();
+        for class in order {
+            if let Some(&(files, signed, bfiles, bsigned)) = acc.get(&class) {
+                rows.push(SigningRateRow {
+                    class,
+                    files,
+                    signed_pct: percent(signed, files),
+                    browser_files: bfiles,
+                    browser_signed_pct: percent(bsigned, bfiles),
+                });
+            }
+        }
+        rows
+    }
+
+    /// Signer → (benign files, malicious files, per-type files) index.
+    struct SignerIndex {
+        benign: HashMap<String, u64>,
+        malicious: HashMap<String, u64>,
+        per_type: HashMap<MalwareType, HashMap<String, u64>>,
+    }
+
+    fn signer_index(dataset: &Dataset, labels: &LabelView<'_>) -> SignerIndex {
+        let mut index = SignerIndex {
+            benign: HashMap::new(),
+            malicious: HashMap::new(),
+            per_type: HashMap::new(),
+        };
+        for record in dataset.files().iter() {
+            let Some(subject) = record.meta.valid_signer_subject() else {
+                continue;
+            };
+            match labels.label(record.hash) {
+                FileLabel::Benign => {
+                    *index.benign.entry(subject.to_owned()).or_insert(0) += 1;
+                }
+                FileLabel::Malicious => {
+                    *index.malicious.entry(subject.to_owned()).or_insert(0) += 1;
+                    if let Some(ty) = labels.malware_type(record.hash) {
+                        *index
+                            .per_type
+                            .entry(ty)
+                            .or_default()
+                            .entry(subject.to_owned())
+                            .or_insert(0) += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        index
+    }
+
+    /// Table VII via the original signer string index.
+    pub fn signer_overlap(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<SignerOverlapRow> {
+        let index = signer_index(dataset, labels);
+        let benign: HashSet<&String> = index.benign.keys().collect();
+        let mut rows = Vec::new();
+        for ty in MalwareType::ALL {
+            let Some(signers) = index.per_type.get(&ty) else {
+                continue;
+            };
+            // downlake-lint: allow(D1) — membership count, order-insensitive
+            let common = signers.keys().filter(|s| benign.contains(s)).count();
+            rows.push(SignerOverlapRow {
+                class: ty.name().to_owned(),
+                signers: signers.len(),
+                common_with_benign: common,
+            });
+        }
+        let common_total = index
+            .malicious
+            .keys() // downlake-lint: allow(D1) — membership count, order-insensitive
+            .filter(|s| benign.contains(s))
+            .count();
+        rows.push(SignerOverlapRow {
+            class: "total".to_owned(),
+            signers: index.malicious.len(),
+            common_with_benign: common_total,
+        });
+        rows
+    }
+
+    /// Tables VIII/IX and Fig. 4 via the original signer string index.
+    pub fn top_signers(dataset: &Dataset, labels: &LabelView<'_>, k: usize) -> TopSignersReport {
+        let index = signer_index(dataset, labels);
+        let benign_set: HashSet<&String> = index.benign.keys().collect();
+        let malicious_set: HashSet<&String> = index.malicious.keys().collect();
+
+        let top =
+            |m: &HashMap<String, u64>, filter: &dyn Fn(&String) -> bool| -> Vec<(String, u64)> {
+                let mut v: Vec<(String, u64)> = m
+                    .iter() // downlake-lint: allow(D1) — rows are fully sorted before truncation
+                    .filter(|(s, _)| filter(s))
+                    .map(|(s, &c)| (s.clone(), c))
+                    .collect();
+                v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                v.truncate(k);
+                v
+            };
+
+        let mut per_type = Vec::new();
+        for ty in MalwareType::ALL {
+            let Some(signers) = index.per_type.get(&ty) else {
+                continue;
+            };
+            per_type.push((
+                ty.name().to_owned(),
+                top(signers, &|_| true),
+                top(signers, &|s| benign_set.contains(s)),
+                top(signers, &|s| !benign_set.contains(s)),
+            ));
+        }
+
+        let scatter: Vec<SignerScatterPoint> = {
+            let mut pts: Vec<SignerScatterPoint> = index
+                .malicious
+                .iter() // downlake-lint: allow(D1) — points are fully sorted below
+                .filter_map(|(s, &mal)| {
+                    index.benign.get(s).map(|&ben| SignerScatterPoint {
+                        signer: s.clone(),
+                        benign_files: ben,
+                        malicious_files: mal,
+                    })
+                })
+                .collect();
+            pts.sort_by(|a, b| {
+                (b.benign_files + b.malicious_files)
+                    .cmp(&(a.benign_files + a.malicious_files))
+                    .then_with(|| a.signer.cmp(&b.signer))
+            });
+            pts
+        };
+
+        TopSignersReport {
+            per_type,
+            benign_exclusive: top(&index.benign, &|s| !malicious_set.contains(s)),
+            malicious_exclusive: top(&index.malicious, &|s| !benign_set.contains(s)),
+            scatter,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Packers (§IV-C)
+    // -----------------------------------------------------------------
+
+    /// Packing rates and overlap via the original string sets.
+    pub fn packer_report(dataset: &Dataset, labels: &LabelView<'_>) -> PackerReport {
+        let mut benign_files = 0usize;
+        let mut benign_packed = 0usize;
+        let mut malicious_files = 0usize;
+        let mut malicious_packed = 0usize;
+        let mut benign_packers: HashSet<String> = HashSet::new();
+        let mut malicious_packers: HashSet<String> = HashSet::new();
+
+        for record in dataset.files().iter() {
+            let packer = record.meta.packer.as_ref().map(|p| p.name.clone());
+            match labels.label(record.hash) {
+                FileLabel::Benign => {
+                    benign_files += 1;
+                    if let Some(name) = packer {
+                        benign_packed += 1;
+                        benign_packers.insert(name);
+                    }
+                }
+                FileLabel::Malicious => {
+                    malicious_files += 1;
+                    if let Some(name) = packer {
+                        malicious_packed += 1;
+                        malicious_packers.insert(name);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut shared: Vec<String> = benign_packers
+            .intersection(&malicious_packers) // downlake-lint: allow(D1) — collected then sorted below
+            .cloned()
+            .collect();
+        let mut malicious_only: Vec<String> = malicious_packers
+            .difference(&benign_packers) // downlake-lint: allow(D1) — collected then sorted below
+            .cloned()
+            .collect();
+        let mut benign_only: Vec<String> = benign_packers
+            .difference(&malicious_packers) // downlake-lint: allow(D1) — collected then sorted below
+            .cloned()
+            .collect();
+        shared.sort();
+        malicious_only.sort();
+        benign_only.sort();
+
+        PackerReport {
+            benign_packed_pct: percent(benign_packed, benign_files),
+            malicious_packed_pct: percent(malicious_packed, malicious_files),
+            // downlake-lint: allow(D1) — cardinality only
+            total_packers: benign_packers.union(&malicious_packers).count(),
+            shared_packers: shared.len(),
+            malicious_only,
+            benign_only,
+            shared,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Processes (Tables X–XII, XIV)
+    // -----------------------------------------------------------------
+
+    #[derive(Default)]
+    struct RowAccumulator {
+        processes: HashSet<FileHash>,
+        machines: HashSet<MachineId>,
+        infected: HashSet<MachineId>,
+        unknown: HashSet<FileHash>,
+        benign: HashSet<FileHash>,
+        malicious: HashSet<FileHash>,
+        types: HashMap<MalwareType, HashSet<FileHash>>,
+    }
+
+    impl RowAccumulator {
+        fn record(
+            &mut self,
+            process: FileHash,
+            machine: MachineId,
+            file: FileHash,
+            label: FileLabel,
+            ty: Option<MalwareType>,
+        ) {
+            self.processes.insert(process);
+            self.machines.insert(machine);
+            match label {
+                FileLabel::Unknown => {
+                    self.unknown.insert(file);
+                }
+                FileLabel::Benign => {
+                    self.benign.insert(file);
+                }
+                FileLabel::Malicious => {
+                    self.malicious.insert(file);
+                    self.infected.insert(machine);
+                    if let Some(ty) = ty {
+                        self.types.entry(ty).or_default().insert(file);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn into_row(self, label: String) -> ProcessBehaviorRow {
+            let malicious_total = self.malicious.len();
+            let mut type_mix: Vec<(MalwareType, f64)> = MalwareType::ALL
+                .iter()
+                .filter_map(|&ty| {
+                    self.types
+                        .get(&ty)
+                        .map(|files| (ty, percent(files.len(), malicious_total)))
+                })
+                .collect();
+            type_mix.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            ProcessBehaviorRow {
+                label,
+                processes: self.processes.len(),
+                machines: self.machines.len(),
+                unknown_files: self.unknown.len(),
+                benign_files: self.benign.len(),
+                malicious_files: self.malicious.len(),
+                infected_pct: percent(self.infected.len(), self.machines.len()),
+                type_mix,
+            }
+        }
+    }
+
+    fn aggregate_label(category: ProcessCategory) -> &'static str {
+        category.aggregate_name()
+    }
+
+    /// Table X via the original per-event hash-set accumulators.
+    pub fn category_behavior(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<ProcessBehaviorRow> {
+        let mut acc: HashMap<&'static str, RowAccumulator> = HashMap::new();
+        for event in dataset.events() {
+            let Some(proc_rec) = dataset.processes().get(event.process) else {
+                continue;
+            };
+            if labels.label(event.process) != FileLabel::Benign {
+                continue;
+            }
+            acc.entry(aggregate_label(proc_rec.category))
+                .or_default()
+                .record(
+                    event.process,
+                    event.machine,
+                    event.file,
+                    labels.label(event.file),
+                    labels.malware_type(event.file),
+                );
+        }
+        let order = [
+            "Browsers",
+            "Windows Processes",
+            "Java",
+            "Acrobat Reader",
+            "All other processes",
+        ];
+        order
+            .iter()
+            .filter_map(|&label| acc.remove(label).map(|a| a.into_row(label.to_owned())))
+            .collect()
+    }
+
+    /// Table XI via the original per-event hash-set accumulators.
+    pub fn browser_behavior(dataset: &Dataset, labels: &LabelView<'_>) -> Vec<ProcessBehaviorRow> {
+        let mut acc: HashMap<BrowserKind, RowAccumulator> = HashMap::new();
+        for event in dataset.events() {
+            let Some(proc_rec) = dataset.processes().get(event.process) else {
+                continue;
+            };
+            let Some(kind) = proc_rec.category.browser() else {
+                continue;
+            };
+            if labels.label(event.process) != FileLabel::Benign {
+                continue;
+            }
+            acc.entry(kind).or_default().record(
+                event.process,
+                event.machine,
+                event.file,
+                labels.label(event.file),
+                labels.malware_type(event.file),
+            );
+        }
+        BrowserKind::ALL
+            .iter()
+            .filter_map(|&kind| {
+                acc.remove(&kind)
+                    .map(|a| a.into_row(kind.name().to_owned()))
+            })
+            .collect()
+    }
+
+    /// Table XII via the original per-event hash-set accumulators.
+    pub fn malicious_process_behavior(
+        dataset: &Dataset,
+        labels: &LabelView<'_>,
+    ) -> Vec<ProcessBehaviorRow> {
+        let mut acc: HashMap<MalwareType, RowAccumulator> = HashMap::new();
+        let mut overall = RowAccumulator::default();
+        for event in dataset.events() {
+            if labels.label(event.process) != FileLabel::Malicious {
+                continue;
+            }
+            let ty = labels
+                .malware_type(event.process)
+                .unwrap_or(MalwareType::Undefined);
+            let file_label = labels.label(event.file);
+            let file_type = labels.malware_type(event.file);
+            acc.entry(ty).or_default().record(
+                event.process,
+                event.machine,
+                event.file,
+                file_label,
+                file_type,
+            );
+            overall.record(
+                event.process,
+                event.machine,
+                event.file,
+                file_label,
+                file_type,
+            );
+        }
+        let mut rows: Vec<ProcessBehaviorRow> = MalwareType::ALL
+            .iter()
+            .filter_map(|&ty| acc.remove(&ty).map(|a| a.into_row(ty.name().to_owned())))
+            .collect();
+        if overall.machines.is_empty() {
+            return rows;
+        }
+        rows.push(overall.into_row("overall".to_owned()));
+        rows
+    }
+
+    /// Table XIV via the original per-event hash-set accumulators.
+    pub fn unknown_download_categories(
+        dataset: &Dataset,
+        labels: &LabelView<'_>,
+    ) -> Vec<(String, usize)> {
+        let mut acc: HashMap<&'static str, HashSet<FileHash>> = HashMap::new();
+        for event in dataset.events() {
+            if labels.label(event.file) != FileLabel::Unknown {
+                continue;
+            }
+            let Some(proc_rec) = dataset.processes().get(event.process) else {
+                continue;
+            };
+            if labels.label(event.process) != FileLabel::Benign {
+                continue;
+            }
+            acc.entry(aggregate_label(proc_rec.category))
+                .or_default()
+                .insert(event.file);
+        }
+        let order = [
+            "Browsers",
+            "Windows Processes",
+            "Java",
+            "Acrobat Reader",
+            "All other processes",
+        ];
+        let mut rows: Vec<(String, usize)> = Vec::new();
+        let mut total = 0usize;
+        for label in order {
+            let n = acc.get(label).map_or(0, HashSet::len);
+            total += n;
+            rows.push((label.to_owned(), n));
+        }
+        rows.push(("Total".to_owned(), total));
+        rows
+    }
+
+    // -----------------------------------------------------------------
+    // Prevalence (§IV-A, Fig. 2)
+    // -----------------------------------------------------------------
+
+    /// Fig. 2 prevalence distributions via the original per-file lookups.
+    pub fn prevalence_report(
+        dataset: &Dataset,
+        labels: &LabelView<'_>,
+        sigma: usize,
+    ) -> PrevalenceReport {
+        let mut report = PrevalenceReport::default();
+        let mut ones = 0usize;
+        let mut capped = 0usize;
+        let mut total_files = 0usize;
+        let mut sums = (0usize, 0usize, 0usize, 0usize);
+        let mut counts = (0usize, 0usize, 0usize, 0usize);
+
+        for record in dataset.files().iter() {
+            let prevalence = dataset.prevalence(record.hash);
+            if prevalence == 0 {
+                continue; // file never appeared in a reported event
+            }
+            total_files += 1;
+            if prevalence == 1 {
+                ones += 1;
+            }
+            if prevalence >= sigma {
+                capped += 1;
+            }
+            *report.all.entry(prevalence).or_insert(0) += 1;
+            sums.0 += prevalence;
+            counts.0 += 1;
+            match labels.label(record.hash) {
+                FileLabel::Benign => {
+                    *report.benign.entry(prevalence).or_insert(0) += 1;
+                    sums.1 += prevalence;
+                    counts.1 += 1;
+                }
+                FileLabel::Malicious => {
+                    *report.malicious.entry(prevalence).or_insert(0) += 1;
+                    sums.2 += prevalence;
+                    counts.2 += 1;
+                }
+                FileLabel::Unknown => {
+                    *report.unknown.entry(prevalence).or_insert(0) += 1;
+                    sums.3 += prevalence;
+                    counts.3 += 1;
+                }
+                // Likely-* files are excluded from the measurement (§III).
+                FileLabel::LikelyBenign | FileLabel::LikelyMalicious => {}
+            }
+        }
+
+        let mut touched: HashSet<MachineId> = HashSet::new();
+        for event in dataset.events() {
+            if labels.label(event.file) == FileLabel::Unknown {
+                touched.insert(event.machine);
+            }
+        }
+
+        report.prevalence_one_share = percent(ones, total_files);
+        report.capped_share = percent(capped, total_files);
+        report.machines_touching_unknown = percent(touched.len(), dataset.machine_count());
+        let mean = |s: usize, c: usize| if c == 0 { 0.0 } else { s as f64 / c as f64 };
+        report.means = (
+            mean(sums.0, counts.0),
+            mean(sums.1, counts.1),
+            mean(sums.2, counts.2),
+            mean(sums.3, counts.3),
+        );
+        report
+    }
+
+    // -----------------------------------------------------------------
+    // Monthly summary (Table I)
+    // -----------------------------------------------------------------
+
+    /// Table I via per-month hash-set rebuilds (the pre-refactor
+    /// `MonthlyView` behaviour).
+    pub fn monthly_summary(
+        dataset: &Dataset,
+        labels: &LabelView<'_>,
+        url_label: impl Fn(&str) -> UrlLabel,
+    ) -> Vec<MonthSummary> {
+        dataset
+            .months()
+            .map(|view| {
+                let machines: HashSet<MachineId> =
+                    view.events().iter().map(|e| e.machine).collect();
+                let files: HashSet<FileHash> = view.events().iter().map(|e| e.file).collect();
+                let processes: HashSet<FileHash> =
+                    view.events().iter().map(|e| e.process).collect();
+                let urls: HashSet<UrlId> = view.events().iter().map(|e| e.url).collect();
+
+                let mut file_counts = [0usize; 4];
+                // downlake-lint: allow(D1) — commutative per-class counts
+                for &f in &files {
+                    bump(&mut file_counts, labels.label(f));
+                }
+                let mut process_counts = [0usize; 4];
+                // downlake-lint: allow(D1) — commutative per-class counts
+                for &p in &processes {
+                    bump(&mut process_counts, labels.label(p));
+                }
+                let mut url_benign = 0usize;
+                let mut url_malicious = 0usize;
+                // downlake-lint: allow(D1) — commutative per-class counts
+                for &u in &urls {
+                    match url_label(view.dataset().resolve_url(u).e2ld()) {
+                        UrlLabel::Benign => url_benign += 1,
+                        UrlLabel::Malicious => url_malicious += 1,
+                        UrlLabel::Unknown => {}
+                    }
+                }
+
+                MonthSummary {
+                    month: view.month(),
+                    machines: machines.len(),
+                    events: view.events().len(),
+                    processes: processes.len(),
+                    process_shares: class_shares(process_counts, processes.len()),
+                    files: files.len(),
+                    file_shares: class_shares(file_counts, files.len()),
+                    urls: urls.len(),
+                    url_benign: percent(url_benign, urls.len()),
+                    url_malicious: percent(url_malicious, urls.len()),
+                }
+            })
+            .collect()
+    }
+
+    fn class_shares(counts: [usize; 4], total: usize) -> ClassShares {
+        ClassShares {
+            benign: percent(counts[0], total),
+            likely_benign: percent(counts[1], total),
+            malicious: percent(counts[2], total),
+            likely_malicious: percent(counts[3], total),
+        }
+    }
+
+    fn bump(counts: &mut [usize; 4], label: FileLabel) {
+        match label {
+            FileLabel::Benign => counts[0] += 1,
+            FileLabel::LikelyBenign => counts[1] += 1,
+            FileLabel::Malicious => counts[2] += 1,
+            FileLabel::LikelyMalicious => counts[3] += 1,
+            FileLabel::Unknown => {}
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Escalation (§V-B, Fig. 5)
+    // -----------------------------------------------------------------
+
+    /// Whether a downloaded file counts as "other malware" for escalation.
+    fn is_target_malware(labels: &LabelView<'_>, file: FileHash) -> bool {
+        labels.label(file) == FileLabel::Malicious
+            && !matches!(
+                labels.malware_type(file),
+                Some(MalwareType::Adware)
+                    | Some(MalwareType::Pup)
+                    | Some(MalwareType::Undefined)
+                    | None
+            )
+    }
+
+    /// Fig. 5 curves via the original per-machine event collection.
+    pub fn escalation_cdf(dataset: &Dataset, labels: &LabelView<'_>) -> EscalationReport {
+        let mut samples: HashMap<EscalationKind, Vec<f64>> = HashMap::new();
+
+        for machine in dataset.machines() {
+            // Events are time-ordered per machine.
+            let events: Vec<_> = dataset.events_of_machine(machine).collect();
+
+            // Seed times: first adware, first pup, first dropper download;
+            // benign baseline = first benign download on a machine with no
+            // earlier malicious download. The seed file is remembered so
+            // the seed event itself is not counted as the escalation
+            // target.
+            let mut seeds: HashMap<EscalationKind, (Timestamp, FileHash)> = HashMap::new();
+            let mut seen_malicious = false;
+            for event in &events {
+                match labels.label(event.file) {
+                    FileLabel::Malicious => {
+                        let kind = match labels.malware_type(event.file) {
+                            Some(MalwareType::Adware) => Some(EscalationKind::Adware),
+                            Some(MalwareType::Pup) => Some(EscalationKind::Pup),
+                            Some(MalwareType::Dropper) => Some(EscalationKind::Dropper),
+                            _ => None,
+                        };
+                        if let Some(kind) = kind {
+                            seeds.entry(kind).or_insert((event.timestamp, event.file));
+                        }
+                        seen_malicious = true;
+                    }
+                    FileLabel::Benign if !seen_malicious => {
+                        seeds
+                            .entry(EscalationKind::Benign)
+                            .or_insert((event.timestamp, event.file));
+                    }
+                    _ => {}
+                }
+            }
+
+            // For each seed: the first *other malware* download at or after
+            // the seed time (same-day escalations are day 0), never counting
+            // the seed download itself.
+            // downlake-lint: allow(D1) — per-kind sample vectors, kinds independent
+            for (kind, (seed_time, seed_file)) in seeds {
+                let delta = events
+                    .iter()
+                    .filter(|e| {
+                        e.timestamp >= seed_time
+                            && !(e.timestamp == seed_time && e.file == seed_file)
+                            && is_target_malware(labels, e.file)
+                    })
+                    .map(|e| (e.timestamp - seed_time).whole_days() as f64)
+                    .next();
+                if let Some(days) = delta {
+                    samples.entry(kind).or_default().push(days);
+                }
+            }
+        }
+
+        EscalationReport {
+            curves: EscalationKind::ALL
+                .iter()
+                .map(|&kind| {
+                    let data = samples.remove(&kind).unwrap_or_default();
+                    let n = data.len();
+                    (kind, Ecdf::from_samples(data), n)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Every table/figure pass output, collected for rendering. Both sides
+/// produce the same `downlake-analysis` report types, so one renderer
+/// serves both.
+struct PassOutputs {
+    domain_popularity: [Vec<downlake_analysis::DomainCount>; 3],
+    files_per_domain: [Vec<downlake_analysis::DomainCount>; 2],
+    type_domains: std::collections::HashMap<MalwareType, Vec<downlake_analysis::DomainCount>>,
+    unknown_top_domains: Vec<downlake_analysis::DomainCount>,
+    ranks: [(downlake_analysis::stats::Ecdf, usize); 3],
+    signing_rates: Vec<downlake_analysis::SigningRateRow>,
+    signer_overlap: Vec<downlake_analysis::SignerOverlapRow>,
+    top_signers: downlake_analysis::TopSignersReport,
+    packers: downlake_analysis::PackerReport,
+    category_behavior: Vec<downlake_analysis::ProcessBehaviorRow>,
+    browser_behavior: Vec<downlake_analysis::ProcessBehaviorRow>,
+    malicious_processes: Vec<downlake_analysis::ProcessBehaviorRow>,
+    unknown_categories: Vec<(String, usize)>,
+    prevalence: downlake_analysis::PrevalenceReport,
+    monthly: Vec<downlake_analysis::MonthSummary>,
+    escalation: downlake_analysis::EscalationReport,
+}
+
+impl PassOutputs {
+    /// Deterministic serialisation: every collection here is ordered
+    /// except the per-type domain map, which is rendered keyed by
+    /// `MalwareType::ALL` so hash iteration never reaches the output.
+    fn render(&self) -> String {
+        let mut out = String::new();
+        let w = &mut out;
+        writeln!(w, "== domain_popularity ==\n{:#?}", self.domain_popularity).unwrap();
+        writeln!(w, "== files_per_domain ==\n{:#?}", self.files_per_domain).unwrap();
+        writeln!(w, "== type_domain_tables ==").unwrap();
+        for ty in MalwareType::ALL {
+            if let Some(rows) = self.type_domains.get(&ty) {
+                writeln!(w, "[{}]\n{rows:#?}", ty.name()).unwrap();
+            }
+        }
+        writeln!(
+            w,
+            "== top_domains_by_downloads(unknown) ==\n{:#?}",
+            self.unknown_top_domains
+        )
+        .unwrap();
+        writeln!(w, "== rank_distribution ==\n{:#?}", self.ranks).unwrap();
+        writeln!(w, "== signing_rates_table ==\n{:#?}", self.signing_rates).unwrap();
+        writeln!(w, "== signer_overlap ==\n{:#?}", self.signer_overlap).unwrap();
+        writeln!(w, "== top_signers ==\n{:#?}", self.top_signers).unwrap();
+        writeln!(w, "== packer_report ==\n{:#?}", self.packers).unwrap();
+        writeln!(w, "== category_behavior ==\n{:#?}", self.category_behavior).unwrap();
+        writeln!(w, "== browser_behavior ==\n{:#?}", self.browser_behavior).unwrap();
+        writeln!(
+            w,
+            "== malicious_process_behavior ==\n{:#?}",
+            self.malicious_processes
+        )
+        .unwrap();
+        writeln!(
+            w,
+            "== unknown_download_categories ==\n{:#?}",
+            self.unknown_categories
+        )
+        .unwrap();
+        writeln!(w, "== prevalence_report ==\n{:#?}", self.prevalence).unwrap();
+        writeln!(w, "== monthly_summary ==\n{:#?}", self.monthly).unwrap();
+        writeln!(w, "== escalation_cdf ==\n{:#?}", self.escalation).unwrap();
+        out
+    }
+}
+
+const TOP_DOMAINS: usize = 10;
+const TOP_TYPE_DOMAINS: usize = 5;
+const TOP_SIGNERS: usize = 10;
+
+/// All sixteen passes through the pre-refactor loops.
+fn run_loops(study: &Study) -> PassOutputs {
+    let dataset = study.dataset();
+    let labels = study.label_view();
+    let ranks = RankSource::new(move |e2ld| study.url_labeler().rank(e2ld).rank());
+    let sigma = study.config().synth.sigma as usize;
+    PassOutputs {
+        domain_popularity: loops::domain_popularity(dataset, &labels, TOP_DOMAINS),
+        files_per_domain: loops::files_per_domain(dataset, &labels, TOP_DOMAINS),
+        type_domains: loops::type_domain_tables(dataset, &labels, TOP_TYPE_DOMAINS),
+        unknown_top_domains: loops::top_domains_by_downloads(
+            dataset,
+            &labels,
+            FileLabel::Unknown,
+            TOP_DOMAINS,
+        ),
+        ranks: [FileLabel::Benign, FileLabel::Malicious, FileLabel::Unknown]
+            .map(|class| loops::rank_distribution(dataset, &labels, &ranks, class)),
+        signing_rates: loops::signing_rates_table(dataset, &labels),
+        signer_overlap: loops::signer_overlap(dataset, &labels),
+        top_signers: loops::top_signers(dataset, &labels, TOP_SIGNERS),
+        packers: loops::packer_report(dataset, &labels),
+        category_behavior: loops::category_behavior(dataset, &labels),
+        browser_behavior: loops::browser_behavior(dataset, &labels),
+        malicious_processes: loops::malicious_process_behavior(dataset, &labels),
+        unknown_categories: loops::unknown_download_categories(dataset, &labels),
+        prevalence: loops::prevalence_report(dataset, &labels, sigma),
+        monthly: loops::monthly_summary(dataset, &labels, |e2ld| {
+            study.url_labeler().label_e2ld(e2ld)
+        }),
+        escalation: loops::escalation_cdf(dataset, &labels),
+    }
+}
+
+/// The same sixteen passes as relational queries, including the frame
+/// build they share (dense-id columns + CSR adjacency).
+fn run_engine(study: &Study) -> PassOutputs {
+    let frame = AnalysisFrame::from_label_view(study.dataset(), &study.label_view());
+    let ranks = RankSource::new(move |e2ld| study.url_labeler().rank(e2ld).rank());
+    let sigma = study.config().synth.sigma as usize;
+    PassOutputs {
+        domain_popularity: frame.domain_popularity(TOP_DOMAINS),
+        files_per_domain: frame.files_per_domain(TOP_DOMAINS),
+        type_domains: frame.type_domain_tables(TOP_TYPE_DOMAINS),
+        unknown_top_domains: frame.top_domains_by_downloads(FileLabel::Unknown, TOP_DOMAINS),
+        ranks: [FileLabel::Benign, FileLabel::Malicious, FileLabel::Unknown]
+            .map(|class| frame.rank_distribution(&ranks, class)),
+        signing_rates: frame.signing_rates_table(),
+        signer_overlap: frame.signer_overlap(),
+        top_signers: frame.top_signers(TOP_SIGNERS),
+        packers: frame.packer_report(),
+        category_behavior: frame.category_behavior(),
+        browser_behavior: frame.browser_behavior(),
+        malicious_processes: frame.malicious_process_behavior(),
+        unknown_categories: frame.unknown_download_categories(),
+        prevalence: frame.prevalence_report(sigma),
+        monthly: frame.monthly_summary(|e2ld| study.url_labeler().label_e2ld(e2ld)),
+        escalation: frame.escalation_cdf(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, scale_name) = if smoke {
+        (Scale::Tiny, "tiny")
+    } else {
+        (Scale::Large, "large")
+    };
+    let seed = 42u64;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("query_tables: scale {scale_name}, seed {seed}, host_cpus {host_cpus}");
+    let study = Study::run(&StudyConfig::new(seed).with_scale(scale));
+    let events = study.dataset().events().len() as f64;
+
+    let start = Instant::now();
+    let loops_out = run_loops(&study).render();
+    let loops_seconds = start.elapsed().as_secs_f64();
+    eprintln!("  bespoke loops: {loops_seconds:.3}s");
+
+    let start = Instant::now();
+    let engine_out = run_engine(&study).render();
+    let engine_seconds = start.elapsed().as_secs_f64();
+    eprintln!("  query engine:  {engine_seconds:.3}s (frame build included)");
+
+    let identical = loops_out == engine_out;
+    let speedup = if engine_seconds > 0.0 {
+        loops_seconds / engine_seconds
+    } else {
+        1.0
+    };
+    eprintln!("  speedup (loops → engine): {speedup:.2}x, outputs identical: {identical}");
+
+    let timed = [
+        TimedRun {
+            threads: 1,
+            seconds: loops_seconds,
+            events_per_sec: Some(events / loops_seconds.max(f64::MIN_POSITIVE)),
+        },
+        TimedRun {
+            threads: 1,
+            seconds: engine_seconds,
+            events_per_sec: Some(events / engine_seconds.max(f64::MIN_POSITIVE)),
+        },
+    ];
+    let mut manifest = bench_manifest(
+        "query_tables",
+        scale_name,
+        seed,
+        identical,
+        host_cpus,
+        &timed,
+        speedup,
+    );
+    manifest
+        .set_timing("loops_seconds", loops_seconds)
+        .set_timing("engine_seconds", engine_seconds);
+    manifest.absorb(study.obs());
+    if let Err(e) = manifest.write(std::path::Path::new("BENCH_query.json")) {
+        eprintln!("query_tables: could not write BENCH_query.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("query_tables: wrote BENCH_query.json");
+
+    if !identical {
+        eprintln!("query_tables: FAIL — engine and loops disagree on the rendered tables");
+        std::process::exit(1);
+    }
+}

@@ -76,7 +76,10 @@ struct Split {
 
 fn split(study: &Study, train_month: Month) -> Split {
     let gt = study.ground_truth();
-    let test_month = train_month.next().expect("not last month");
+    let Some(test_month) = train_month.next() else {
+        // Unreachable: callers iterate up to the second-to-last month.
+        return Split { test: Vec::new() };
+    };
     let train_files: HashSet<FileHash> = study
         .dataset()
         .month(train_month)

@@ -59,27 +59,30 @@ impl EvasionStrategy {
 
     /// Applies the move to a malicious file's raw feature values.
     fn apply<'a>(self, values: &mut [&'a str; 8], fresh_name: &'a str, stolen: &'a str) {
+        // FEATURE_NAMES order: the first three slots are the file's
+        // signer, CA, and packer — the only features a dropper controls.
+        let [signer, ca, packer, ..] = values;
         match self {
             EvasionStrategy::None => {}
             EvasionStrategy::FreshCertificates => {
-                values[0] = fresh_name;
-                values[1] = "comodo code signing ca 2";
+                *signer = fresh_name;
+                *ca = "comodo code signing ca 2";
             }
             EvasionStrategy::StolenBenignCertificate => {
-                values[0] = stolen;
-                values[1] = "digicert assured id code signing ca-1";
+                *signer = stolen;
+                *ca = "digicert assured id code signing ca-1";
             }
             EvasionStrategy::StripSignature => {
-                values[0] = UNSIGNED;
-                values[1] = UNSIGNED;
+                *signer = UNSIGNED;
+                *ca = UNSIGNED;
             }
             EvasionStrategy::BenignPacker => {
-                values[2] = "INNO";
+                *packer = "INNO";
             }
             EvasionStrategy::Combined => {
-                values[0] = fresh_name;
-                values[1] = "comodo code signing ca 2";
-                values[2] = "INNO";
+                *signer = fresh_name;
+                *ca = "comodo code signing ca 2";
+                *packer = "INNO";
             }
         }
     }
@@ -254,7 +257,9 @@ pub fn expansion_reach(study: &Study, outcome: &RuleExperimentOutcome) -> Expans
         .map(|month| extractor.extract_first_seen(study.dataset().month(month).events()))
         .collect();
     for train_month in Month::ALL.into_iter().take(Month::ALL.len() - 1) {
-        let test_month = train_month.next().expect("not last");
+        let Some(test_month) = train_month.next() else {
+            continue; // unreachable: the loop stops before the last month
+        };
         let train = &monthly[train_month.index()];
         let test = &monthly[test_month.index()];
         let instances = build_training_set(train.iter().map(|(h, v)| (v, gt.label(h))));

@@ -95,11 +95,12 @@ fn overall_row(study: &Study) -> Vec<String> {
         }
     }
     fn bump_label(counts: &mut [usize; 4], label: FileLabel) {
+        let [benign, likely_benign, malicious, likely_malicious] = counts;
         match label {
-            FileLabel::Benign => counts[0] += 1,
-            FileLabel::LikelyBenign => counts[1] += 1,
-            FileLabel::Malicious => counts[2] += 1,
-            FileLabel::LikelyMalicious => counts[3] += 1,
+            FileLabel::Benign => *benign += 1,
+            FileLabel::LikelyBenign => *likely_benign += 1,
+            FileLabel::Malicious => *malicious += 1,
+            FileLabel::LikelyMalicious => *likely_malicious += 1,
             FileLabel::Unknown => {}
         }
     }
@@ -110,20 +111,22 @@ fn overall_row(study: &Study) -> Vec<String> {
             format!("{:.1}%", 100.0 * n as f64 / total as f64)
         }
     };
+    let [p_benign, p_likely_benign, p_malicious, p_likely_malicious] = process_counts;
+    let [f_benign, f_likely_benign, f_malicious, f_likely_malicious] = file_counts;
     vec![
         "Overall".to_owned(),
         stats.machines.to_string(),
         stats.events.to_string(),
         stats.processes.to_string(),
-        share(process_counts[0], stats.processes),
-        share(process_counts[1], stats.processes),
-        share(process_counts[2], stats.processes),
-        share(process_counts[3], stats.processes),
+        share(p_benign, stats.processes),
+        share(p_likely_benign, stats.processes),
+        share(p_malicious, stats.processes),
+        share(p_likely_malicious, stats.processes),
         stats.files.to_string(),
-        share(file_counts[0], stats.files),
-        share(file_counts[1], stats.files),
-        share(file_counts[2], stats.files),
-        share(file_counts[3], stats.files),
+        share(f_benign, stats.files),
+        share(f_likely_benign, stats.files),
+        share(f_malicious, stats.files),
+        share(f_likely_malicious, stats.files),
         stats.urls.to_string(),
         share(url_benign, stats.urls),
         share(url_malicious, stats.urls),

@@ -122,7 +122,9 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
     let mut all_unknowns: HashSet<FileHash> = HashSet::new();
 
     for train_month in Month::ALL.into_iter().take(Month::ALL.len() - 1) {
-        let test_month = train_month.next().expect("not the last month");
+        let Some(test_month) = train_month.next() else {
+            continue; // unreachable: the loop stops before the last month
+        };
         let train = &vectors[train_month.index()];
         let test = &vectors[test_month.index()];
 
@@ -231,8 +233,8 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
                 tau,
                 rules_total: full.len(),
                 rules_selected: selected.len(),
-                benign_rules: composition[0],
-                malicious_rules: composition[1],
+                benign_rules: composition.first().copied().unwrap_or(0),
+                malicious_rules: composition.get(1).copied().unwrap_or(0),
                 confusion,
                 fp_rules: fp_rules.len(),
                 unknown_total,

@@ -68,8 +68,7 @@ impl FeatureVector {
 
     /// The raw values in [`FEATURE_NAMES`] order.
     pub fn values(&self) -> [&str; 8] {
-        let v = &self.values;
-        [&v[0], &v[1], &v[2], &v[3], &v[4], &v[5], &v[6], &v[7]]
+        self.values.each_ref().map(String::as_str)
     }
 
     /// The value of one feature by index.

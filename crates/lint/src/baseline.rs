@@ -1,7 +1,9 @@
 //! Committed-baseline handling: serialize findings to
 //! `lint-baseline.json`, parse them back, and diff current findings
-//! against the baseline so the CI gate fails only on *new* findings
-//! while the existing debt is burned down.
+//! against the baseline. The committed baseline is empty — the CI gate
+//! (`--check`) fails on *any* finding — and rejects attempts to
+//! re-accept debt through a non-empty baseline; the diff machinery is
+//! kept for the informational rule-count table.
 //!
 //! The JSON reader/writer is hand-rolled for the one flat schema used
 //! here — the lint must stay dependency-free to run in hermetic CI.
@@ -60,7 +62,7 @@ pub fn parse(doc: &str) -> Result<Vec<Finding>, String> {
         pos: 0,
     };
     p.skip_ws();
-    p.expect('{')?;
+    p.expect_char('{')?;
     let mut findings = Vec::new();
     loop {
         p.skip_ws();
@@ -69,14 +71,14 @@ pub fn parse(doc: &str) -> Result<Vec<Finding>, String> {
         }
         let key = p.string()?;
         p.skip_ws();
-        p.expect(':')?;
+        p.expect_char(':')?;
         p.skip_ws();
         match key.as_str() {
             "version" => {
                 let _ = p.number()?;
             }
             "findings" => {
-                p.expect('[')?;
+                p.expect_char('[')?;
                 loop {
                     p.skip_ws();
                     if p.eat(']') {
@@ -118,7 +120,7 @@ impl Parser {
             false
         }
     }
-    fn expect(&mut self, c: char) -> Result<(), String> {
+    fn expect_char(&mut self, c: char) -> Result<(), String> {
         if self.eat(c) {
             Ok(())
         } else {
@@ -130,7 +132,7 @@ impl Parser {
         }
     }
     fn string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
+        self.expect_char('"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -176,7 +178,7 @@ impl Parser {
         text.parse::<u32>().map_err(|e| format!("bad number: {e}"))
     }
     fn finding(&mut self) -> Result<Finding, String> {
-        self.expect('{')?;
+        self.expect_char('{')?;
         let mut rule = None;
         let mut file = String::new();
         let mut line = 0u32;
@@ -188,7 +190,7 @@ impl Parser {
             }
             let key = self.string()?;
             self.skip_ws();
-            self.expect(':')?;
+            self.expect_char(':')?;
             self.skip_ws();
             match key.as_str() {
                 "rule" => {

@@ -3,10 +3,10 @@
 //!
 //! The reproduction's whole value is that Tables I–XVII and Figures 1–6
 //! are byte-identical under a fixed seed. That invariant is enforced
-//! dynamically by the seed-42 pins in `tests/frame_equivalence.rs`; this
-//! crate enforces it *statically*, at CI time, before an unordered
-//! `HashMap` iteration or an ambient clock read can corrupt a pinned
-//! table. Six rules:
+//! dynamically by the report goldens and the query-operator property
+//! tests in `crates/query/tests/query_props.rs`; this crate enforces it
+//! *statically*, at CI time, before an unordered `HashMap` iteration or
+//! an ambient clock read can corrupt a pinned table. Six rules:
 //!
 //! | id | name                   | what it catches |
 //! |----|------------------------|-----------------|
@@ -17,9 +17,9 @@
 //! | P1 | `panic-surface`        | `unwrap`/`expect`/literal indexing in library code |
 //! | P2 | `hot-loop-alloc`       | per-iteration allocation on the analysis hot path |
 //!
-//! Findings diff against a committed `lint-baseline.json` so CI fails only
-//! on *new* findings while the existing debt is burned down. A site can opt
-//! out with an inline justification:
+//! The committed `lint-baseline.json` is empty — the historical debt is
+//! burned down — so the CI gate (`--check`) fails on *any* finding. A
+//! site can opt out with an inline justification:
 //!
 //! ```text
 //! // downlake-lint: allow(unordered-iter) — feeds a commutative count

@@ -3,7 +3,7 @@
 //! ```text
 //! downlake-lint                  # print all findings (informational)
 //! downlake-lint --json           # findings as JSON on stdout
-//! downlake-lint --check          # gate: fail only on findings new vs. baseline
+//! downlake-lint --check          # gate: fail on any finding
 //! downlake-lint --update-baseline# rewrite lint-baseline.json from current state
 //! downlake-lint --root <dir>     # workspace root (default: discovered from cwd)
 //! downlake-lint --baseline <file># baseline path (default: <root>/lint-baseline.json)
@@ -139,6 +139,10 @@ fn main() -> ExitCode {
     }
 
     if opts.check {
+        // The historical debt is burned down and the committed baseline
+        // is empty, so the gate allows no findings at all. The baseline
+        // is still parsed: a non-empty one means someone tried to
+        // re-accept debt, which the gate rejects loudly.
         let base = match std::fs::read_to_string(&baseline_path) {
             Ok(doc) => match baseline::parse(&doc) {
                 Ok(b) => b,
@@ -150,43 +154,36 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            Err(_) => Vec::new(), // no baseline yet: everything counts as new
+            Err(_) => Vec::new(), // no baseline file: nothing is accepted
         };
-        let diff = baseline::diff(&findings, &base);
+        if !base.is_empty() {
+            eprintln!(
+                "downlake-lint: baseline {} lists {} finding(s), but the gate \
+                 accepts no debt — fix the findings and empty the baseline",
+                baseline_path.display(),
+                base.len()
+            );
+            return ExitCode::from(2);
+        }
         if !opts.quiet {
             print!("{}", baseline::rule_count_table(&findings, &base));
         }
-        if !diff.is_clean() {
-            eprintln!("\ndownlake-lint: NEW findings vs. baseline:");
-            for (rule, file, cur, was) in &diff.regressions {
-                eprintln!("  {rule} {file}: {was} -> {cur}");
-                for f in findings
-                    .iter()
-                    .filter(|f| f.rule == *rule && &f.file == file)
-                {
-                    eprintln!("    {}", f.human());
-                }
+        if !findings.is_empty() {
+            eprintln!(
+                "\ndownlake-lint: {} finding(s) — the gate allows none:",
+                findings.len()
+            );
+            for f in &findings {
+                eprintln!("  {}", f.human());
             }
             eprintln!(
-                "\nfix the new findings (or justify with \
-                 `// downlake-lint: allow(<rule>) — <reason>`);\n\
-                 run `cargo run -p downlake-lint --release -- --update-baseline` \
-                 only for accepted debt."
+                "\nfix the findings, or justify unavoidable sites with \
+                 `// downlake-lint: allow(<rule>) — <reason>`."
             );
             return ExitCode::FAILURE;
         }
-        if !diff.improvements.is_empty() && !opts.quiet {
-            println!(
-                "downlake-lint: {} (rule, file) bucket(s) improved — consider \
-                 `--update-baseline` to ratchet down.",
-                diff.improvements.len()
-            );
-        }
         if !opts.quiet {
-            println!(
-                "downlake-lint: clean vs. baseline ({} known finding(s))",
-                base.len()
-            );
+            println!("downlake-lint: clean — zero findings");
         }
         return ExitCode::SUCCESS;
     }

@@ -30,7 +30,8 @@ pub struct FileCtx {
     pub allow_concurrency: bool,
     /// Library (non-binary, non-test) code: P1 and the D2 env-read arm apply.
     pub library: bool,
-    /// Analysis hot path (`crates/analysis/src`, `legacy.rs` exempt): P2 applies.
+    /// Analysis hot path (`crates/analysis/src`, `crates/query/src`,
+    /// `crates/stream/src`): P2 applies.
     pub hot_loop: bool,
 }
 

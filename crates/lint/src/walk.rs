@@ -92,8 +92,10 @@ pub fn classify(rel: &str) -> Option<FileCtx> {
         || rel.starts_with("src/");
     let library = !binary && !bench_crate && rel.starts_with("crates/");
     // Hot paths held to the no-per-iteration-allocation rule: the
-    // columnar analysis passes and the per-event streaming subsystem.
-    let hot_loop = (rel.starts_with("crates/analysis/src/") && !rel.ends_with("/legacy.rs"))
+    // columnar analysis passes, the query operators they compose, and
+    // the per-event streaming subsystem.
+    let hot_loop = rel.starts_with("crates/analysis/src/")
+        || rel.starts_with("crates/query/src/")
         || rel.starts_with("crates/stream/src/");
     Some(FileCtx {
         rel_path: rel.to_string(),
@@ -110,15 +112,19 @@ mod tests {
 
     #[test]
     fn classification_matrix() {
-        assert!(classify("tests/frame_equivalence.rs").is_none());
+        assert!(classify("tests/pipeline_invariants.rs").is_none());
         assert!(classify("crates/lint/tests/fixtures/d1.rs").is_none());
         assert!(classify("crates/bench/benches/tables.rs").is_none());
 
-        let legacy = classify("crates/analysis/src/legacy.rs").expect("linted");
-        assert!(legacy.library && !legacy.hot_loop && !legacy.allow_time);
-
         let frame = classify("crates/analysis/src/frame.rs").expect("linted");
         assert!(frame.library && frame.hot_loop);
+
+        // The query operators are the analysis passes' building blocks —
+        // same hot-loop contract, no time or concurrency waivers.
+        let query = classify("crates/query/src/lib.rs").expect("linted");
+        assert!(query.library && query.hot_loop && !query.allow_time);
+        assert!(!query.allow_concurrency);
+        assert!(classify("crates/query/tests/query_props.rs").is_none());
 
         // The streaming subsystem's per-event path is hot-loop code too.
         let engine = classify("crates/stream/src/engine.rs").expect("linted");

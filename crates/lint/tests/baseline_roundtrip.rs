@@ -27,40 +27,25 @@ fn update_baseline_round_trips() {
 }
 
 #[test]
-fn committed_baseline_is_current() {
+fn committed_baseline_is_empty_and_tree_is_clean() {
+    // The debt is fully burned down: the committed baseline lists zero
+    // findings and the tree itself scans clean, which is exactly what
+    // the `--check` gate now enforces (it fails on *any* finding).
     let root = workspace_root();
     let path = root.join("lint-baseline.json");
     let doc = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
     let committed = baseline::parse(&doc).expect("parse committed baseline");
-    let current = scan_workspace(&root).expect("scan workspace");
-    let diff = baseline::diff(&current, &committed);
     assert!(
-        diff.is_clean(),
-        "new findings vs. committed baseline:\n{}",
-        baseline::rule_count_table(&current, &committed)
+        committed.is_empty(),
+        "committed baseline must stay empty, found {} finding(s)",
+        committed.len()
     );
-}
-
-#[test]
-fn determinism_rules_are_clean_outside_legacy() {
-    // The PR's burn-down guarantee: every D1/D2 finding lives in
-    // crates/analysis/src/legacy.rs (the preserved pre-frame code paths).
-    let root = workspace_root();
     let current = scan_workspace(&root).expect("scan workspace");
-    let offenders: Vec<String> = current
-        .iter()
-        .filter(|f| {
-            matches!(
-                f.rule,
-                downlake_lint::RuleId::D1 | downlake_lint::RuleId::D2
-            ) && f.file != "crates/analysis/src/legacy.rs"
-        })
-        .map(|f| f.human())
-        .collect();
+    let offenders: Vec<String> = current.iter().map(|f| f.human()).collect();
     assert!(
         offenders.is_empty(),
-        "determinism findings outside legacy.rs:\n{}",
+        "tree must scan clean:\n{}",
         offenders.join("\n")
     );
 }

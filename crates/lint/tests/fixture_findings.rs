@@ -122,6 +122,8 @@ fn p2_hot_loop_fixture() {
             (RuleId::P2, 32),
             (RuleId::P2, 33),
             (RuleId::P2, 34),
+            (RuleId::P2, 57),
+            (RuleId::P2, 58),
         ]
     );
     // Off the analysis hot path the same code is not flagged.

@@ -48,3 +48,25 @@ pub fn classify_events_hoisted(events: &[Event], scratch: &mut String) -> usize 
     }
     matched
 }
+
+/// A dense group-by pass, shaped like the `crates/query` operators
+/// (scan → group accumulate); the query crate is hot-loop classified.
+pub fn group_labels(rows: &[(u32, String)], groups: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; groups];
+    for (g, name) in rows {
+        let key = name.clone(); // line 57: String clone per row
+        let label = format!("g{g}"); // line 58: format! per row
+        if key.len() + label.len() > 1 {
+            counts[*g as usize] += 1;
+        }
+    }
+    counts
+}
+
+pub fn group_counts_dense(rows: &[(u32, String)], groups: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; groups];
+    for (g, _) in rows {
+        counts[*g as usize] += 1; // dense accumulator, no per-row alloc: no finding
+    }
+    counts
+}

@@ -1,0 +1,224 @@
+//! CSR-adjacency joins (entity → rows) as first-class operators.
+
+use crate::key::DenseKey;
+use downlake_exec::{partition, Pool};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A borrowed CSR adjacency: for each dense id of `K` (machine, file),
+/// the row indexes it joins to, in stored (time) order.
+///
+/// Groups iterate in dense-id order, which is exactly the group-major
+/// order a [`Stamp`](crate::Stamp)-based distinct count requires.
+///
+/// ```
+/// use downlake_query::Adjacency;
+/// use downlake_types::MachineIdx;
+///
+/// // Machine 0 joins rows 0 and 2; machine 1 joins row 1.
+/// let adj: Adjacency<'_, MachineIdx> = Adjacency::new(&[0, 2, 3], &[0, 2, 1]);
+/// assert_eq!(adj.rows(MachineIdx::from_raw(0)), &[0, 2]);
+/// assert_eq!(adj.group_count(), 2);
+/// ```
+pub struct Adjacency<'a, K> {
+    offsets: &'a [u32],
+    rows: &'a [u32],
+    _key: PhantomData<K>,
+}
+
+impl<K> Clone for Adjacency<'_, K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<K> Copy for Adjacency<'_, K> {}
+
+impl<K> fmt::Debug for Adjacency<'_, K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Adjacency")
+            .field("groups", &(self.offsets.len().saturating_sub(1)))
+            .field("rows", &self.rows.len())
+            .finish()
+    }
+}
+
+impl<'a, K: DenseKey> Adjacency<'a, K> {
+    /// Wraps CSR `offsets` (length `groups + 1`, non-decreasing) and the
+    /// concatenated per-group `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty or its last entry does not equal
+    /// `rows.len()`.
+    pub fn new(offsets: &'a [u32], rows: &'a [u32]) -> Self {
+        let last = offsets.last().copied();
+        assert_eq!(
+            last,
+            Some(rows.len() as u32),
+            "CSR offsets must close over the row array"
+        );
+        Self {
+            offsets,
+            rows,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The joined rows of one group, in stored order.
+    pub fn rows(&self, group: K) -> &'a [u32] {
+        let g = group.index();
+        let lo = self.offsets[g] as usize;
+        let hi = self.offsets[g + 1] as usize;
+        &self.rows[lo..hi]
+    }
+
+    /// Iterates `(group, joined rows)` in dense-id order.
+    pub fn groups(&self) -> impl Iterator<Item = (K, &'a [u32])> + 'a {
+        let offsets = self.offsets;
+        let rows = self.rows;
+        (0..offsets.len() - 1).map(move |g| {
+            let lo = offsets[g] as usize;
+            let hi = offsets[g + 1] as usize;
+            (K::from_index(g), &rows[lo..hi])
+        })
+    }
+
+    /// Chunked group fold: splits the group id space into contiguous
+    /// chunks (one per pool thread), folds each chunk's groups in dense
+    /// order into its own accumulator, and merges the accumulators in
+    /// chunk order.
+    ///
+    /// Because each group's rows live entirely inside one chunk and
+    /// `merge` is commutative and associative (slot-wise `+=` on
+    /// [`Dense`](crate::Dense) accumulators, with any per-chunk stamps
+    /// private to the chunk), the result is byte-identical at every
+    /// pool width.
+    pub fn fold_groups_with<A: Send>(
+        &self,
+        pool: &Pool,
+        init: impl Fn() -> A + Sync,
+        fold: impl Fn(&mut A, K, &[u32]) + Sync,
+        mut merge: impl FnMut(&mut A, A),
+    ) -> A {
+        let chunks = partition(self.group_count(), pool.threads().max(1));
+        let partials = pool.map(&chunks, |_, range| {
+            let mut acc = init();
+            for g in range.clone() {
+                let lo = self.offsets[g] as usize;
+                let hi = self.offsets[g + 1] as usize;
+                fold(&mut acc, K::from_index(g), &self.rows[lo..hi]);
+            }
+            acc
+        });
+        let mut out = init();
+        for partial in partials {
+            merge(&mut out, partial);
+        }
+        out
+    }
+}
+
+/// Chunked row fold: the row-scan counterpart of
+/// [`Adjacency::fold_groups_with`]. Splits `0..rows` into contiguous
+/// chunks, folds each chunk in row order, merges in chunk order.
+pub fn fold_rows_with<A: Send>(
+    pool: &Pool,
+    rows: usize,
+    init: impl Fn() -> A + Sync,
+    fold: impl Fn(&mut A, usize) + Sync,
+    mut merge: impl FnMut(&mut A, A),
+) -> A {
+    let chunks = partition(rows, pool.threads().max(1));
+    let partials = pool.map(&chunks, |_, range| {
+        let mut acc = init();
+        for row in range.clone() {
+            fold(&mut acc, row);
+        }
+        acc
+    });
+    let mut out = init();
+    for partial in partials {
+        merge(&mut out, partial);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::scan;
+    use crate::stamp::Stamp;
+
+    /// 6 rows over 3 groups: group 0 → [0, 3], group 1 → [], group 2 →
+    /// [1, 2, 4, 5]; row values index a small value column.
+    const OFFSETS: [u32; 4] = [0, 2, 2, 6];
+    const ROWS: [u32; 6] = [0, 3, 1, 2, 4, 5];
+    const VALUES: [usize; 6] = [7, 8, 7, 9, 8, 8];
+
+    #[test]
+    fn groups_iterate_in_dense_order() {
+        let adj: Adjacency<'_, usize> = Adjacency::new(&OFFSETS, &ROWS);
+        let got: Vec<(usize, usize)> = adj.groups().map(|(g, rows)| (g, rows.len())).collect();
+        assert_eq!(got, vec![(0, 2), (1, 0), (2, 4)]);
+        assert_eq!(adj.rows(2), &[1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn chunked_distinct_pairs_match_sequential_at_every_width() {
+        let adj: Adjacency<'_, usize> = Adjacency::new(&OFFSETS, &ROWS);
+        // Distinct (group, value) pairs per value, sequentially.
+        let sequential = {
+            let mut counts: Dense<usize, u64> = Dense::new(10);
+            let mut stamp = Stamp::new(10);
+            for (g, rows) in adj.groups() {
+                scan(rows.iter().map(|&r| VALUES[r as usize]))
+                    .distinct_by(&mut stamp, g as u32, |&v| v)
+                    .for_each(|v| counts.add(v, 1));
+            }
+            counts.into_inner()
+        };
+        for threads in [1, 2, 4] {
+            let chunked = adj
+                .fold_groups_with(
+                    &Pool::new(threads),
+                    || (Dense::<usize, u64>::new(10), Stamp::new(10)),
+                    |(counts, stamp), g, rows| {
+                        scan(rows.iter().map(|&r| VALUES[r as usize]))
+                            .distinct_by(stamp, g as u32, |&v| v)
+                            .for_each(|v| counts.add(v, 1));
+                    },
+                    |(counts, _), (partial, _)| counts.merge(partial),
+                )
+                .0
+                .into_inner();
+            assert_eq!(chunked, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fold_rows_matches_sequential() {
+        for threads in [1, 3] {
+            let sum = fold_rows_with(
+                &Pool::new(threads),
+                VALUES.len(),
+                || 0usize,
+                |acc, row| *acc += VALUES[row],
+                |acc, partial| *acc += partial,
+            );
+            assert_eq!(sum, VALUES.iter().sum::<usize>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "close over")]
+    fn mismatched_offsets_are_rejected() {
+        let _: Adjacency<'_, usize> = Adjacency::new(&[0, 1], &ROWS);
+    }
+}

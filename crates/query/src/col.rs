@@ -1,0 +1,116 @@
+//! Typed column handles: a borrowed slice that can only be indexed by
+//! its own dense-id type.
+
+use crate::key::DenseKey;
+use crate::pipeline::{scan, Query};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed handle over a dense-id column.
+///
+/// `Col<FileId, FileLabel>` wraps a `&[FileLabel]` whose position `i`
+/// holds the label of `FileId::from_index(i)` — so process or machine
+/// ids cannot be used to index it by mistake.
+///
+/// ```
+/// use downlake_query::Col;
+/// use downlake_types::FileId;
+///
+/// let labels = [10u32, 20, 30];
+/// let col: Col<'_, FileId, u32> = Col::new(&labels);
+/// assert_eq!(col.get(FileId::from_raw(1)), 20);
+/// assert_eq!(col.scan().count(), 3);
+/// ```
+pub struct Col<'a, K, V> {
+    values: &'a [V],
+    _key: PhantomData<K>,
+}
+
+impl<K, V> Clone for Col<'_, K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<K, V> Copy for Col<'_, K, V> {}
+
+impl<K, V: fmt::Debug> fmt::Debug for Col<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Col").field("values", &self.values).finish()
+    }
+}
+
+impl<'a, K: DenseKey, V> Col<'a, K, V> {
+    /// Wraps a dense column slice.
+    pub fn new(values: &'a [V]) -> Self {
+        Self {
+            values,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &'a [V] {
+        self.values
+    }
+
+    /// The value at `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not belong to this column's table.
+    pub fn get(&self, key: K) -> V
+    where
+        V: Copy,
+    {
+        self.values[key.index()]
+    }
+
+    /// Lazy scan of the whole column as `(key, value)` rows, in dense-id
+    /// order.
+    pub fn scan(&self) -> Query<impl Iterator<Item = (K, V)> + 'a>
+    where
+        V: Copy,
+    {
+        let values = self.values;
+        scan(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (K::from_index(i), v)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use downlake_types::ProcessId;
+
+    #[test]
+    fn scan_yields_dense_order() {
+        let v = [5u8, 6, 7];
+        let col: Col<'_, ProcessId, u8> = Col::new(&v);
+        let rows: Vec<(ProcessId, u8)> = col.scan().collect();
+        assert_eq!(
+            rows,
+            vec![
+                (ProcessId::from_raw(0), 5),
+                (ProcessId::from_raw(1), 6),
+                (ProcessId::from_raw(2), 7),
+            ]
+        );
+        assert_eq!(col.len(), 3);
+        assert!(!col.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Owned dense group-by accumulators and the shared top-k ranking.
+
+use crate::key::DenseKey;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::AddAssign;
+
+/// A group-by accumulator indexed by a dense id: one slot per group,
+/// iterated in dense-id order.
+///
+/// Two `Dense` accumulators built over disjoint row sets merge with
+/// [`Dense::merge`]; because slot-wise `+=` is commutative and
+/// associative, chunked execution that merges per-chunk accumulators in
+/// chunk order is byte-identical to the sequential pass.
+///
+/// ```
+/// use downlake_query::Dense;
+/// use downlake_types::E2ldId;
+///
+/// let mut counts: Dense<E2ldId, u64> = Dense::new(3);
+/// counts.add(E2ldId::from_raw(2), 1);
+/// counts.add(E2ldId::from_raw(2), 1);
+/// assert_eq!(counts.get(E2ldId::from_raw(2)), &2);
+/// assert_eq!(counts.as_slice(), &[0, 0, 2]);
+/// ```
+pub struct Dense<K, V> {
+    values: Vec<V>,
+    _key: PhantomData<K>,
+}
+
+impl<K, V: fmt::Debug> fmt::Debug for Dense<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dense")
+            .field("values", &self.values)
+            .finish()
+    }
+}
+
+impl<K: DenseKey, V: Clone + Default> Dense<K, V> {
+    /// An accumulator with `groups` default-initialised slots.
+    pub fn new(groups: usize) -> Self {
+        Self {
+            values: vec![V::default(); groups],
+            _key: PhantomData,
+        }
+    }
+}
+
+impl<K: DenseKey, V> Dense<K, V> {
+    /// Number of group slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether there are no group slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The slot of `group`.
+    pub fn get(&self, group: K) -> &V {
+        &self.values[group.index()]
+    }
+
+    /// Mutable slot of `group`.
+    pub fn get_mut(&mut self, group: K) -> &mut V {
+        &mut self.values[group.index()]
+    }
+
+    /// Adds `value` into `group`'s slot.
+    pub fn add(&mut self, group: K, value: V)
+    where
+        V: AddAssign,
+    {
+        self.values[group.index()] += value;
+    }
+
+    /// Slot-wise merge of an accumulator built over a disjoint row set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group spaces differ in size.
+    pub fn merge(&mut self, other: Self)
+    where
+        V: AddAssign,
+    {
+        assert_eq!(self.values.len(), other.values.len(), "group space");
+        for (slot, value) in self.values.iter_mut().zip(other.values) {
+            *slot += value;
+        }
+    }
+
+    /// Iterates `(group, &value)` in dense-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (K::from_index(i), v))
+    }
+
+    /// The slots as a plain slice, in dense-id order.
+    pub fn as_slice(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Consumes the accumulator into its slot vector.
+    pub fn into_inner(self) -> Vec<V> {
+        self.values
+    }
+}
+
+/// Ranks a dense counter into its top-`k` non-zero `(group index,
+/// count)` rows: count descending, then `name_of(group)` ascending — a
+/// total order, so ties resolve identically on every run.
+///
+/// ```
+/// use downlake_query::top_k_by;
+/// let names = ["b.com", "a.com", "c.com"];
+/// let rows = top_k_by(&[2, 2, 0], 2, |d| names[d], |_| true);
+/// assert_eq!(rows, vec![(1, 2), (0, 2)]); // a.com before b.com
+/// ```
+pub fn top_k_by<'n>(
+    counts: &[u64],
+    k: usize,
+    name_of: impl Fn(usize) -> &'n str,
+    keep: impl Fn(usize) -> bool,
+) -> Vec<(usize, u64)> {
+    let mut rows: Vec<(usize, u64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(g, &c)| c > 0 && keep(g))
+        .map(|(g, &c)| (g, c))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| name_of(a.0).cmp(name_of(b.0))));
+    rows.truncate(k);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_equals_sequential() {
+        let rows = [(0usize, 1u64), (2, 5), (0, 2), (1, 7), (2, 1)];
+        let mut whole: Dense<usize, u64> = Dense::new(3);
+        for &(g, v) in &rows {
+            whole.add(g, v);
+        }
+        let mut left: Dense<usize, u64> = Dense::new(3);
+        let mut right: Dense<usize, u64> = Dense::new(3);
+        for &(g, v) in &rows[..2] {
+            left.add(g, v);
+        }
+        for &(g, v) in &rows[2..] {
+            right.add(g, v);
+        }
+        left.merge(right);
+        assert_eq!(left.as_slice(), whole.as_slice());
+    }
+
+    #[test]
+    fn top_k_filters_and_breaks_ties_by_name() {
+        let names = ["z", "a", "m"];
+        let rows = top_k_by(&[3, 3, 9], 10, |g| names[g], |g| g != 2);
+        assert_eq!(rows, vec![(1, 3), (0, 3)]);
+    }
+
+    #[test]
+    fn iter_is_dense_ordered() {
+        let mut d: Dense<usize, u64> = Dense::new(2);
+        d.add(1, 4);
+        let got: Vec<(usize, u64)> = d.iter().map(|(g, &v)| (g, v)).collect();
+        assert_eq!(got, vec![(0, 0), (1, 4)]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        *d.get_mut(0) += 1;
+        assert_eq!(d.into_inner(), vec![1, 4]);
+    }
+}

@@ -1,0 +1,61 @@
+//! The [`DenseKey`] trait: ids that are positions in a dense table.
+
+use downlake_types::{E2ldId, FileId, MachineIdx, ProcessId, UrlId};
+
+/// A key that is a dense table position, usable to index a [`Col`] or
+/// group a [`Dense`] accumulator.
+///
+/// Implementations must round-trip: `K::from_index(k.index()) == k` for
+/// every value produced by a column, and `index()` must be injective.
+///
+/// [`Col`]: crate::Col
+/// [`Dense`]: crate::Dense
+pub trait DenseKey: Copy {
+    /// The key's position in its dense table.
+    fn index(self) -> usize;
+    /// The key at position `index`.
+    fn from_index(index: usize) -> Self;
+}
+
+macro_rules! dense_key {
+    ($($ty:ty),+) => {
+        $(impl DenseKey for $ty {
+            fn index(self) -> usize {
+                <$ty>::index(self)
+            }
+            fn from_index(index: usize) -> Self {
+                <$ty>::from_raw(index as u32)
+            }
+        })+
+    };
+}
+
+dense_key!(FileId, ProcessId, MachineIdx, E2ldId, UrlId);
+
+impl DenseKey for usize {
+    fn index(self) -> usize {
+        self
+    }
+    fn from_index(index: usize) -> Self {
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_dense_key() {
+        assert_eq!(DenseKey::index(FileId::from_raw(7)), 7);
+        assert_eq!(<FileId as DenseKey>::from_index(7), FileId::from_raw(7));
+        assert_eq!(DenseKey::index(MachineIdx::from_raw(3)), 3);
+        assert_eq!(<usize as DenseKey>::from_index(9), 9);
+        assert_eq!(DenseKey::index(E2ldId::from_raw(0)), 0);
+        assert_eq!(
+            <ProcessId as DenseKey>::from_index(2),
+            ProcessId::from_raw(2)
+        );
+        assert_eq!(<UrlId as DenseKey>::from_index(4), UrlId::from_raw(4));
+    }
+}

@@ -1,0 +1,61 @@
+//! A small relational query layer over dense-id columns.
+//!
+//! Every table and figure in the paper is a filter/group/distinct-count
+//! aggregation over the same five entity spaces (events, files,
+//! processes, machines, e2LDs). This crate packages the handful of
+//! operators those passes share, so an analysis reads as a short query
+//! instead of a bespoke loop:
+//!
+//! - [`Col`] — a typed handle over a dense-id column: a `Col<FileId,
+//!   FileLabel>` can only be indexed by [`downlake_types::FileId`],
+//!   never by a process or machine id.
+//! - [`Query`] — a lazy operator pipeline (`scan → filter → map →
+//!   agg`). Aggregation terminals: [`Query::count`],
+//!   [`Query::group_count`] / [`Query::group_sum`] (dense-id group-by),
+//!   [`Query::histogram`] (ordered), and [`Query::distinct_by`]
+//!   (first-sighting semantics via a [`Stamp`]).
+//! - [`Adjacency`] — a CSR join (machine → events, file → events) as a
+//!   first-class operator: groups iterate in dense-id order, rows keep
+//!   their stored (time) order, and [`Adjacency::fold_groups_with`]
+//!   chunks group ranges over a [`downlake_exec::Pool`] with a
+//!   commutative merge.
+//! - [`Dense`] — an owned group-by accumulator indexed by a dense id,
+//!   with the commutative [`Dense::merge`] that makes chunked execution
+//!   byte-identical to sequential execution.
+//! - [`Stamp`] / [`MaskStamp`] — distinct counting without hash sets:
+//!   a stamp array for group-major scans (one tag per group), a bitmask
+//!   array for row-order scans over at most 16 groups.
+//! - [`RangePartition`] — an ordered partition of the row space into
+//!   contiguous ranges (the study months), derived once and shared by
+//!   every month-keyed pass.
+//!
+//! # Determinism contract
+//!
+//! Every operator iterates in a defined order: scans in row order,
+//! groups in dense-id order, histograms in key order. Nothing in this
+//! crate iterates a hash map, reads a clock, or draws randomness, so a
+//! query's result is a pure function of its input columns. Chunked
+//! execution ([`Adjacency::fold_groups_with`], [`fold_rows_with`])
+//! assigns each chunk a contiguous dense-id range and merges chunk
+//! results **in chunk order**; because per-group aggregates touch only
+//! their own group's rows and merges are commutative and associative,
+//! the result is identical at every pool width.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod adjacency;
+mod col;
+mod dense;
+mod key;
+mod partition;
+mod pipeline;
+mod stamp;
+
+pub use adjacency::{fold_rows_with, Adjacency};
+pub use col::Col;
+pub use dense::{top_k_by, Dense};
+pub use key::DenseKey;
+pub use partition::RangePartition;
+pub use pipeline::{scan, Query};
+pub use stamp::{MaskStamp, Stamp};

@@ -1,0 +1,107 @@
+//! Ordered contiguous partitions of a row space (the study months).
+
+use std::fmt;
+use std::ops::Range;
+
+/// An ordered partition of row indexes into contiguous per-group
+/// ranges — the study's month → event-range map. Derived once and
+/// shared, so every month-keyed pass reads the same partition and none
+/// can drift.
+///
+/// Groups iterate in partition order, which is group-major: a
+/// [`Stamp`](crate::Stamp) tagged by group index counts distinct ids
+/// per group correctly.
+///
+/// ```
+/// use downlake_query::RangePartition;
+/// let months = RangePartition::new(vec![0..2, 2..2, 2..5]);
+/// assert_eq!(months.group_count(), 3);
+/// assert_eq!(months.range(2), 2..5);
+/// assert_eq!(months.dense_column(6, u8::MAX), vec![0, 0, 2, 2, 2, u8::MAX]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct RangePartition {
+    bounds: Vec<Range<u32>>,
+}
+
+impl fmt::Debug for RangePartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RangePartition")
+            .field("bounds", &self.bounds)
+            .finish()
+    }
+}
+
+impl RangePartition {
+    /// Wraps per-group row ranges, in group order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range is decreasing or the ranges are not
+    /// non-overlapping and ascending.
+    pub fn new(bounds: Vec<Range<u32>>) -> Self {
+        let mut prev_end = 0u32;
+        for range in &bounds {
+            assert!(range.start <= range.end, "decreasing range");
+            assert!(range.start >= prev_end, "overlapping or unordered ranges");
+            prev_end = range.end;
+        }
+        Self { bounds }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The row range of one group.
+    pub fn range(&self, group: usize) -> Range<usize> {
+        let r = &self.bounds[group];
+        r.start as usize..r.end as usize
+    }
+
+    /// Iterates `(group, row range)` in group order.
+    pub fn groups(&self) -> impl Iterator<Item = (usize, Range<usize>)> + '_ {
+        (0..self.bounds.len()).map(move |g| (g, self.range(g)))
+    }
+
+    /// Materialises the partition as a dense per-row group column over
+    /// `rows` rows; rows outside every range get `outside`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range exceeds `rows` or there are more than 255
+    /// groups.
+    pub fn dense_column(&self, rows: usize, outside: u8) -> Vec<u8> {
+        assert!(self.bounds.len() < usize::from(u8::MAX));
+        let mut column = vec![outside; rows];
+        for (group, range) in self.groups() {
+            for slot in &mut column[range] {
+                *slot = group as u8;
+            }
+        }
+        column
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_iterate_in_order_with_gaps() {
+        let p = RangePartition::new(vec![1..3, 3..3, 4..6]);
+        let got: Vec<(usize, Range<usize>)> = p.groups().collect();
+        assert_eq!(got, vec![(0, 1..3), (1, 3..3), (2, 4..6)]);
+        assert_eq!(
+            p.dense_column(7, u8::MAX),
+            vec![u8::MAX, 0, 0, u8::MAX, 2, 2, u8::MAX]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_is_rejected() {
+        let _ = RangePartition::new(vec![0..3, 2..4]);
+    }
+}

@@ -1,0 +1,215 @@
+//! The lazy operator pipeline: `scan → filter → map → agg`.
+
+use crate::dense::Dense;
+use crate::key::DenseKey;
+use crate::stamp::Stamp;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Starts a lazy query over any row source: a range of row indexes, a
+/// column scan, or a CSR row slice.
+///
+/// ```
+/// use downlake_query::scan;
+/// let evens = scan(0..10usize).filter(|r| r % 2 == 0).count();
+/// assert_eq!(evens, 5);
+/// ```
+pub fn scan<I: IntoIterator>(rows: I) -> Query<I::IntoIter> {
+    Query(rows.into_iter())
+}
+
+/// A lazy operator pipeline. Nothing runs until an aggregation terminal
+/// ([`Query::count`], [`Query::group_count`], [`Query::histogram`], …)
+/// consumes it; rows stream through one at a time in source order.
+pub struct Query<I>(I);
+
+impl<I> fmt::Debug for Query<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Query").finish_non_exhaustive()
+    }
+}
+
+impl<I: Iterator> Iterator for Query<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+}
+
+impl<I: Iterator> Query<I> {
+    /// Keeps rows for which `keep` is true.
+    pub fn filter<P>(self, keep: P) -> Query<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        Query(self.0.filter(keep))
+    }
+
+    /// Transforms each row.
+    pub fn map<B, F>(self, f: F) -> Query<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> B,
+    {
+        Query(self.0.map(f))
+    }
+
+    /// Transforms and filters in one step (`None` drops the row).
+    pub fn filter_map<B, F>(self, f: F) -> Query<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<B>,
+    {
+        Query(self.0.filter_map(f))
+    }
+
+    /// First-sighting semantics: keeps a row only the first time its
+    /// `key` is seen under `tag`. Group-major callers (one tag per
+    /// machine, file, or month) reuse one stamp across groups.
+    ///
+    /// ```
+    /// use downlake_query::{scan, Stamp};
+    /// let mut stamp = Stamp::new(4);
+    /// let distinct = scan([2usize, 0, 2, 3, 0])
+    ///     .distinct_by(&mut stamp, 0, |&id| id)
+    ///     .count();
+    /// assert_eq!(distinct, 3);
+    /// ```
+    pub fn distinct_by<'s, F>(
+        self,
+        stamp: &'s mut Stamp,
+        tag: u32,
+        mut key: F,
+    ) -> Query<impl Iterator<Item = I::Item> + 's>
+    where
+        I: 's,
+        F: FnMut(&I::Item) -> usize + 's,
+    {
+        Query(self.0.filter(move |row| stamp.mark(key(row), tag)))
+    }
+
+    /// Terminal: number of rows.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Terminal: the first row, if any.
+    pub fn first(mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    /// Terminal: folds rows in source order.
+    pub fn fold<A, F>(self, init: A, f: F) -> A
+    where
+        F: FnMut(A, I::Item) -> A,
+    {
+        self.0.fold(init, f)
+    }
+
+    /// Terminal: runs `f` on every row in source order.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    /// Terminal: ordered histogram of row values (key order, never hash
+    /// order).
+    ///
+    /// ```
+    /// use downlake_query::scan;
+    /// let h = scan([3usize, 1, 3]).histogram();
+    /// assert_eq!(h[&3], 2);
+    /// assert_eq!(h[&1], 1);
+    /// ```
+    pub fn histogram(self) -> BTreeMap<I::Item, usize>
+    where
+        I::Item: Ord,
+    {
+        let mut out = BTreeMap::new();
+        for row in self.0 {
+            *out.entry(row).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+impl<I, G> Query<I>
+where
+    I: Iterator<Item = G>,
+    G: DenseKey,
+{
+    /// Terminal: rows-per-group over a dense-id key space of `groups`
+    /// slots.
+    ///
+    /// ```
+    /// use downlake_query::scan;
+    /// let counts = scan([2usize, 0, 2]).group_count(3);
+    /// assert_eq!(counts.as_slice(), &[1, 0, 2]);
+    /// ```
+    pub fn group_count(self, groups: usize) -> Dense<G, u64> {
+        let mut acc = Dense::new(groups);
+        for g in self.0 {
+            acc.add(g, 1);
+        }
+        acc
+    }
+}
+
+impl<I, G, V> Query<I>
+where
+    I: Iterator<Item = (G, V)>,
+    G: DenseKey,
+    V: AddAssign + Copy + Default,
+{
+    /// Terminal: per-group sum of the value half of `(group, value)`
+    /// rows.
+    pub fn group_sum(self, groups: usize) -> Dense<G, V> {
+        let mut acc = Dense::new(groups);
+        for (g, v) in self.0 {
+            acc.add(g, v);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_composes_lazily() {
+        let total: usize = scan(0..100usize)
+            .filter(|r| r % 3 == 0)
+            .map(|r| r * 2)
+            .fold(0, |a, b| a + b);
+        assert_eq!(total, 2 * (0..100).filter(|r| r % 3 == 0).sum::<usize>());
+        assert_eq!(scan([1, 2, 3]).first(), Some(1));
+        assert_eq!(scan(std::iter::empty::<u8>()).first(), None);
+    }
+
+    #[test]
+    fn distinct_by_respects_tags() {
+        let mut stamp = Stamp::new(3);
+        // Tag 0 marks ids 0 and 1; under tag 1 both count again.
+        let a = scan([0usize, 1, 0])
+            .distinct_by(&mut stamp, 0, |&x| x)
+            .count();
+        let b = scan([0usize, 1]).distinct_by(&mut stamp, 1, |&x| x).count();
+        assert_eq!((a, b), (2, 2));
+    }
+
+    #[test]
+    fn group_sum_accumulates_per_slot() {
+        let sums = scan([(0usize, 2u64), (2, 5), (0, 1)]).group_sum(3);
+        assert_eq!(sums.as_slice(), &[3, 0, 5]);
+    }
+
+    #[test]
+    fn histogram_is_key_ordered() {
+        let h = scan(["b", "a", "b"]).histogram();
+        let keys: Vec<&str> = h.keys().copied().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Distinct counting without hash sets: stamp arrays for group-major
+//! scans, bitmask arrays for row-order scans over few groups.
+
+use std::fmt;
+
+/// A stamp array for counting distinct dense ids: `mark(id, tag)`
+/// returns `true` the first time `id` is seen under `tag`. Re-tagging
+/// (one tag per machine / file / month group) reuses the allocation
+/// across groups, so a whole group-major pass costs one `Vec`.
+///
+/// Correctness requires group-major iteration: all rows of one tag must
+/// be visited before any row of a tag that reuses the same ids, and a
+/// tag must never be revisited after another tag has run. The CSR
+/// [`Adjacency`](crate::Adjacency) and [`RangePartition`](crate::RangePartition)
+/// operators iterate groups in exactly that order.
+///
+/// ```
+/// use downlake_query::Stamp;
+/// let mut s = Stamp::new(3);
+/// assert!(s.mark(0, 7));
+/// assert!(!s.mark(0, 7));
+/// assert!(s.mark(0, 8), "a new tag re-counts");
+/// ```
+pub struct Stamp {
+    marks: Vec<u32>,
+}
+
+impl fmt::Debug for Stamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stamp")
+            .field("len", &self.marks.len())
+            .finish()
+    }
+}
+
+impl Stamp {
+    /// A stamp array over `len` dense ids, with nothing marked.
+    pub fn new(len: usize) -> Self {
+        Self {
+            marks: vec![u32::MAX; len],
+        }
+    }
+
+    /// Marks `id` under `tag`; `true` iff it was not yet marked.
+    /// `tag` must be below `u32::MAX` (dense indexes always are).
+    pub fn mark(&mut self, id: usize, tag: u32) -> bool {
+        if self.marks[id] == tag {
+            false
+        } else {
+            self.marks[id] = tag;
+            true
+        }
+    }
+
+    /// Number of ids the stamp covers.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Whether the stamp covers no ids.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+}
+
+/// A bitmask stamp for row-order scans that count distinct ids per
+/// group when groups interleave (so a [`Stamp`] tag would double-count)
+/// and there are at most 16 groups: one bit per `(id, group)` pair.
+///
+/// ```
+/// use downlake_query::MaskStamp;
+/// let mut m = MaskStamp::new(2);
+/// assert!(m.mark(0, 3));
+/// assert!(!m.mark(0, 3));
+/// assert!(m.mark(0, 4), "same id, other group");
+/// assert!(m.mark(1, 3));
+/// ```
+pub struct MaskStamp {
+    bits: Vec<u16>,
+}
+
+impl fmt::Debug for MaskStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MaskStamp")
+            .field("len", &self.bits.len())
+            .finish()
+    }
+}
+
+impl MaskStamp {
+    /// A mask array over `len` dense ids, with nothing marked.
+    pub fn new(len: usize) -> Self {
+        Self { bits: vec![0; len] }
+    }
+
+    /// Marks `id` under `group` (0‥16); `true` iff it was not yet
+    /// marked under that group.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `group >= 16`.
+    pub fn mark(&mut self, id: usize, group: usize) -> bool {
+        debug_assert!(group < 16, "MaskStamp supports at most 16 groups");
+        let bit = 1u16 << group;
+        if self.bits[id] & bit != 0 {
+            false
+        } else {
+            self.bits[id] |= bit;
+            true
+        }
+    }
+
+    /// Whether `id` is marked under `group`.
+    pub fn contains(&self, id: usize, group: usize) -> bool {
+        self.bits[id] & (1u16 << group) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_counts_distinct_per_tag() {
+        let mut s = Stamp::new(3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(s.mark(0, 7));
+        assert!(!s.mark(0, 7));
+        assert!(s.mark(0, 8));
+        assert!(s.mark(2, 8));
+    }
+
+    #[test]
+    fn mask_tracks_groups_independently() {
+        let mut m = MaskStamp::new(1);
+        for group in 0..16 {
+            assert!(m.mark(0, group));
+            assert!(!m.mark(0, group));
+            assert!(m.contains(0, group));
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Property: every `downlake-query` operator matches a naive loop
+//! oracle (hash-set distinct counts, map-based group-bys, full-sort
+//! rankings) on randomized inputs.
+//!
+//! These properties are the equivalence pin for the analysis-pass
+//! rewrite: the passes are compositions of exactly these operators, so
+//! operator ≡ loop oracle plus the committed report goldens replaces
+//! the retired `legacy` module as the refactor's safety net.
+//!
+//! The input generator is a pure function of a `u64` seed (driven by
+//! `downlake_exec::splitmix64`, no RNG dependency), so the `proptest!`
+//! properties and their plain `#[test]` grid mirrors exercise the same
+//! code.
+
+use downlake_exec::{splitmix64, Pool};
+use downlake_query::{scan, top_k_by, Adjacency, Dense, MaskStamp, RangePartition, Stamp};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Randomized `(group, value)` rows over small dense id spaces: a pure
+/// function of `seed`.
+fn rows(seed: u64, groups: usize, values: usize) -> Vec<(usize, usize)> {
+    let n = 20 + (splitmix64(seed) % 180) as usize;
+    (0..n)
+        .map(|i| {
+            let roll =
+                |salt: u64| splitmix64(seed ^ salt.wrapping_add(i as u64).wrapping_mul(0x9e37));
+            ((roll(1) as usize) % groups, (roll(2) as usize) % values)
+        })
+        .collect()
+}
+
+/// CSR adjacency over the generated rows: row `i` belongs to group
+/// `rows[i].0`; per-group row lists keep source order, exactly like the
+/// frame's machine/file CSR keeps time order.
+fn csr(rows: &[(usize, usize)], groups: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = vec![0u32; groups + 1];
+    for &(g, _) in rows {
+        offsets[g + 1] += 1;
+    }
+    for g in 0..groups {
+        offsets[g + 1] += offsets[g];
+    }
+    let mut cursor: Vec<u32> = offsets[..groups].to_vec();
+    let mut row_idx = vec![0u32; rows.len()];
+    for (i, &(g, _)) in rows.iter().enumerate() {
+        row_idx[cursor[g] as usize] = i as u32;
+        cursor[g] += 1;
+    }
+    (offsets, row_idx)
+}
+
+/// `filter → map → fold` matches the plain-loop sum.
+fn check_scan_pipeline(seed: u64) {
+    let data = rows(seed, 7, 30);
+    let queried = scan(data.iter())
+        .filter(|&&(g, _)| g % 2 == 0)
+        .map(|&(_, v)| v)
+        .fold(0usize, |a, v| a + v);
+    let mut oracle = 0usize;
+    for &(g, v) in &data {
+        if g % 2 == 0 {
+            oracle += v;
+        }
+    }
+    assert_eq!(queried, oracle);
+    assert_eq!(
+        scan(data.iter()).count(),
+        data.len(),
+        "count is the row total"
+    );
+}
+
+/// Group-major `distinct_by` with one stamp tag per group matches a
+/// per-group set oracle, and `histogram` matches a map oracle.
+fn check_distinct_by(seed: u64) {
+    let groups = 6;
+    let data = rows(seed, groups, 12);
+    let (offsets, row_idx) = csr(&data, groups);
+    let adj: Adjacency<'_, usize> = Adjacency::new(&offsets, &row_idx);
+
+    let mut stamp = Stamp::new(12);
+    let mut queried = Vec::new();
+    for (g, group_rows) in adj.groups() {
+        let n = scan(group_rows.iter().map(|&r| data[r as usize].1))
+            .distinct_by(&mut stamp, g as u32, |&v| v)
+            .count();
+        queried.push(n);
+    }
+
+    let oracle: Vec<usize> = (0..groups)
+        .map(|g| {
+            data.iter()
+                .filter(|&&(rg, _)| rg == g)
+                .map(|&(_, v)| v)
+                .collect::<BTreeSet<_>>()
+                .len()
+        })
+        .collect();
+    assert_eq!(queried, oracle);
+
+    let hist = scan(data.iter().map(|&(_, v)| v)).histogram();
+    let mut hist_oracle = BTreeMap::new();
+    for &(_, v) in &data {
+        *hist_oracle.entry(v).or_insert(0usize) += 1;
+    }
+    assert_eq!(hist, hist_oracle);
+}
+
+/// `group_count` / `group_sum` match naive vector accumulation, and
+/// merging partials over a split of the rows reproduces the whole.
+fn check_group_aggs(seed: u64) {
+    let groups = 9;
+    let data = rows(seed, groups, 50);
+
+    let counts = scan(data.iter().map(|&(g, _)| g)).group_count(groups);
+    let sums = scan(data.iter().copied()).group_sum(groups);
+    let mut count_oracle = vec![0u64; groups];
+    let mut sum_oracle = vec![0usize; groups];
+    for &(g, v) in &data {
+        count_oracle[g] += 1;
+        sum_oracle[g] += v;
+    }
+    assert_eq!(counts.as_slice(), &count_oracle[..]);
+    assert_eq!(sums.as_slice(), &sum_oracle[..]);
+
+    let mid = data.len() / 2;
+    let mut left = scan(data[..mid].iter().map(|&(g, _)| g)).group_count(groups);
+    let right = scan(data[mid..].iter().map(|&(g, _)| g)).group_count(groups);
+    left.merge(right);
+    assert_eq!(left.as_slice(), counts.as_slice(), "merge of a row split");
+}
+
+/// `top_k_by` matches a full-sort oracle for every `k`.
+fn check_top_k(seed: u64) {
+    let groups = 11;
+    let data = rows(seed, groups, 50);
+    let names: Vec<String> = (0..groups)
+        .map(|g| format!("g{:02}", (g * 7) % groups))
+        .collect();
+    let counts = scan(data.iter().map(|&(g, _)| g)).group_count(groups);
+
+    let mut oracle: Vec<(usize, u64)> = counts
+        .as_slice()
+        .iter()
+        .enumerate()
+        .filter(|&(g, &c)| c > 0 && g % 3 != 0)
+        .map(|(g, &c)| (g, c))
+        .collect();
+    oracle.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| names[a.0].cmp(&names[b.0])));
+
+    for k in [0, 1, 3, groups + 5] {
+        let ranked = top_k_by(counts.as_slice(), k, |g| names[g].as_str(), |g| g % 3 != 0);
+        assert_eq!(ranked, oracle[..k.min(oracle.len())]);
+    }
+}
+
+/// The CSR join agrees with a naive group scan, and the chunked fold is
+/// width-invariant.
+fn check_adjacency_join(seed: u64) {
+    let groups = 8;
+    let data = rows(seed, groups, 20);
+    let (offsets, row_idx) = csr(&data, groups);
+    let adj: Adjacency<'_, usize> = Adjacency::new(&offsets, &row_idx);
+
+    assert_eq!(adj.group_count(), groups);
+    for (g, group_rows) in adj.groups() {
+        let oracle: Vec<u32> = (0..data.len() as u32)
+            .filter(|&r| data[r as usize].0 == g)
+            .collect();
+        assert_eq!(group_rows, &oracle[..], "rows of group {g}");
+        assert_eq!(adj.rows(g), &oracle[..]);
+    }
+
+    let sequential = {
+        let mut acc: Dense<usize, u64> = Dense::new(20);
+        for (_, group_rows) in adj.groups() {
+            for &r in group_rows {
+                acc.add(data[r as usize].1, 1);
+            }
+        }
+        acc.into_inner()
+    };
+    for threads in [1, 2, 3, 8] {
+        let chunked = adj
+            .fold_groups_with(
+                &Pool::new(threads),
+                || Dense::<usize, u64>::new(20),
+                |acc, _, group_rows| {
+                    for &r in group_rows {
+                        acc.add(data[r as usize].1, 1);
+                    }
+                },
+                |acc, partial| acc.merge(partial),
+            )
+            .into_inner();
+        assert_eq!(chunked, sequential, "threads={threads}");
+    }
+}
+
+/// `RangePartition` groups cover exactly their ranges and the derived
+/// dense column inverts the partition.
+fn check_range_partition(seed: u64) {
+    let n = 30 + (splitmix64(seed) % 100) as usize;
+    // Random ordered cut points → contiguous, possibly-empty ranges
+    // covering a prefix of 0..n (a tail can stay outside, like events
+    // outside the study window).
+    let mut cuts: Vec<u32> = (0..5)
+        .map(|i| (splitmix64(seed ^ (i + 77)) % (n as u64 + 1)) as u32)
+        .collect();
+    cuts.sort_unstable();
+    let bounds: Vec<std::ops::Range<u32>> = cuts.windows(2).map(|w| w[0]..w[1]).collect();
+    let groups = bounds.len();
+    let partition = RangePartition::new(bounds.clone());
+
+    assert_eq!(partition.group_count(), groups);
+    for (g, bound) in bounds.iter().enumerate() {
+        assert_eq!(
+            partition.range(g),
+            (bound.start as usize)..(bound.end as usize)
+        );
+    }
+
+    let column = partition.dense_column(n, u8::MAX);
+    let mut oracle = vec![u8::MAX; n];
+    for (g, bound) in bounds.iter().enumerate() {
+        for row in bound.start..bound.end {
+            oracle[row as usize] = g as u8;
+        }
+    }
+    assert_eq!(column, oracle);
+
+    let total: usize = partition.groups().map(|(_, range)| range.len()).sum();
+    assert_eq!(total, column.iter().filter(|&&m| m != u8::MAX).count());
+}
+
+/// `MaskStamp` first-sighting marks match per-group set oracles when
+/// groups interleave in row order.
+fn check_mask_stamp(seed: u64) {
+    let ids = 15;
+    let data = rows(seed, 5, ids);
+    let mut mask = MaskStamp::new(ids);
+    let mut counts = [0usize; 5];
+    for &(g, id) in &data {
+        counts[g] += usize::from(mask.mark(id, g));
+    }
+    let oracle: Vec<usize> = (0..5)
+        .map(|g| {
+            data.iter()
+                .filter(|&&(rg, _)| rg == g)
+                .map(|&(_, id)| id)
+                .collect::<BTreeSet<_>>()
+                .len()
+        })
+        .collect();
+    assert_eq!(&counts[..], &oracle[..]);
+    for &(g, id) in &data {
+        assert!(mask.contains(id, g));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_pipeline_matches_loop(seed in any::<u64>()) {
+        check_scan_pipeline(seed);
+    }
+
+    #[test]
+    fn distinct_by_matches_set_oracle(seed in any::<u64>()) {
+        check_distinct_by(seed);
+    }
+
+    #[test]
+    fn group_aggs_match_vector_oracle(seed in any::<u64>()) {
+        check_group_aggs(seed);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort(seed in any::<u64>()) {
+        check_top_k(seed);
+    }
+
+    #[test]
+    fn adjacency_join_matches_naive_scan(seed in any::<u64>()) {
+        check_adjacency_join(seed);
+    }
+
+    #[test]
+    fn range_partition_inverts_to_dense_column(seed in any::<u64>()) {
+        check_range_partition(seed);
+    }
+
+    #[test]
+    fn mask_stamp_matches_set_oracle(seed in any::<u64>()) {
+        check_mask_stamp(seed);
+    }
+}
+
+#[test]
+fn operator_grid_mirror() {
+    for seed in [0u64, 1, 42, 0xdead_beef, u64::MAX] {
+        check_scan_pipeline(seed);
+        check_distinct_by(seed);
+        check_group_aggs(seed);
+        check_top_k(seed);
+        check_adjacency_join(seed);
+        check_range_partition(seed);
+        check_mask_stamp(seed);
+    }
+}

@@ -49,7 +49,7 @@ impl Attribute {
         if let Some(&id) = self.index.get(value) {
             return id;
         }
-        let id = u32::try_from(self.values.len()).expect("attribute domain too large");
+        let id = u32::try_from(self.values.len()).expect("attribute domain too large"); // downlake-lint: allow(P1) — u32 overflow guard is the documented intern contract
         self.values.push(value.to_owned());
         self.index.insert(value.to_owned(), id);
         id

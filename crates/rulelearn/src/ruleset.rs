@@ -244,10 +244,10 @@ impl RuleSet {
                 matched.push(rule);
             }
         }
-        if matched.is_empty() {
+        let Some(first) = matched.first() else {
             return Verdict::NoMatch;
-        }
-        let first_class = matched[0].class;
+        };
+        let first_class = first.class;
         if matched.iter().all(|r| r.class == first_class) {
             return Verdict::Class(first_class);
         }
@@ -259,13 +259,17 @@ impl RuleSet {
                 for r in &matched {
                     weight[r.class as usize] += r.covered.max(1);
                 }
-                let best = weight
+                match weight
                     .iter()
                     .enumerate()
                     .max_by_key(|&(_, w)| *w)
                     .map(|(i, _)| i as u8)
-                    .expect("non-empty weights");
-                Verdict::Class(best)
+                {
+                    Some(best) => Verdict::Class(best),
+                    // Unreachable: `matched` is non-empty, so at least
+                    // one class accumulated weight.
+                    None => Verdict::NoMatch,
+                }
             }
         }
     }

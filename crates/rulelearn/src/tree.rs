@@ -392,20 +392,24 @@ fn normal_inverse(p: f64) -> f64 {
         2.445134137142996e+00,
         3.754408661907416e+00,
     ];
+    // Horner evaluation: `fold` reproduces the nested
+    // `(…(c₀·x + c₁)·x + …)·x + cₙ` form operation-for-operation (the
+    // leading `0.0 * x + c₀` is exact), so results are bit-identical to
+    // the expanded polynomial.
+    fn horner(coeffs: &[f64], x: f64) -> f64 {
+        coeffs.iter().fold(0.0, |acc, &c| acc * x + c)
+    }
     let p_low = 0.02425;
     if p < p_low {
         let q = (-2.0 * p.ln()).sqrt();
-        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        horner(&C, q) / (horner(&D, q) * q + 1.0)
     } else if p <= 1.0 - p_low {
         let q = p - 0.5;
         let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        horner(&A, r) * q / (horner(&B, r) * r + 1.0)
     } else {
         let q = (-2.0 * (1.0 - p).ln()).sqrt();
-        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        -horner(&C, q) / (horner(&D, q) * q + 1.0)
     }
 }
 

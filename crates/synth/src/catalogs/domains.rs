@@ -201,7 +201,7 @@ const KINDS: [DomainKind; 7] = [
 ];
 
 fn kind_index(kind: DomainKind) -> usize {
-    KINDS.iter().position(|&k| k == kind).expect("kind listed")
+    KINDS.iter().position(|&k| k == kind).expect("kind listed") // downlake-lint: allow(P1) — every DomainKind variant appears in KINDS
 }
 
 impl DomainCatalog {
@@ -262,7 +262,7 @@ impl DomainCatalog {
         }
         let zipf_by_kind = by_kind
             .iter()
-            .map(|pool| BoundedZipf::new(pool.len().max(1), 1.05).expect("nonempty"))
+            .map(|pool| BoundedZipf::new(pool.len().max(1), 1.05).expect("nonempty")) // downlake-lint: allow(P1) — len().max(1) guarantees a non-empty support
             .collect();
         Self {
             entries,
@@ -290,7 +290,7 @@ impl DomainCatalog {
 
     fn sample_mix<R: Rng + ?Sized>(&self, mix: &[(DomainKind, f64)], rng: &mut R) -> &DomainEntry {
         let weights: Vec<f64> = mix.iter().map(|&(_, w)| w).collect();
-        let dist = Categorical::new(&weights).expect("valid mix");
+        let dist = Categorical::new(&weights).expect("valid mix"); // downlake-lint: allow(P1) — static stratum mixes have positive finite weights
         self.sample_kind(mix[dist.sample(rng)].0, rng)
     }
 

@@ -98,10 +98,10 @@ impl FamilyCatalog {
             let idx = MalwareType::ALL
                 .iter()
                 .position(|&t| t == fam.dominant_type)
-                .expect("listed type");
+                .expect("listed type"); // downlake-lint: allow(P1) — every catalog family dominant type is in ALL
             by_type[idx].push(i);
         }
-        let zipf = BoundedZipf::new(families.len(), 1.1).expect("nonempty");
+        let zipf = BoundedZipf::new(families.len(), 1.1).expect("nonempty"); // downlake-lint: allow(P1) — the static family catalog is non-empty
         Self {
             families,
             by_type,
@@ -120,7 +120,7 @@ impl FamilyCatalog {
         let idx = MalwareType::ALL
             .iter()
             .position(|&t| t == ty)
-            .expect("listed type");
+            .expect("listed type"); // downlake-lint: allow(P1) — every catalog family dominant type is in ALL
         let pool = &self.by_type[idx];
         if pool.is_empty() || rng.gen_bool(0.08) {
             let i = self.zipf.sample(rng) - 1;

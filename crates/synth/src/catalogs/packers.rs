@@ -104,9 +104,9 @@ impl PackerCatalog {
     /// Builds the catalog (static pools; Zipf popularity over each pool).
     pub fn new() -> Self {
         Self {
-            shared_zipf: BoundedZipf::new(SHARED.len(), 1.0).expect("nonempty"),
-            malicious_zipf: BoundedZipf::new(MALICIOUS_ONLY.len(), 1.0).expect("nonempty"),
-            benign_zipf: BoundedZipf::new(BENIGN_ONLY.len(), 1.0).expect("nonempty"),
+            shared_zipf: BoundedZipf::new(SHARED.len(), 1.0).expect("nonempty"), // downlake-lint: allow(P1) — the static packer tables are non-empty
+            malicious_zipf: BoundedZipf::new(MALICIOUS_ONLY.len(), 1.0).expect("nonempty"), // downlake-lint: allow(P1) — the static packer tables are non-empty
+            benign_zipf: BoundedZipf::new(BENIGN_ONLY.len(), 1.0).expect("nonempty"), // downlake-lint: allow(P1) — the static packer tables are non-empty
         }
     }
 

@@ -180,7 +180,7 @@ impl BenignProcessInventory {
             })
             .collect();
 
-        let zipf = |n: usize| BoundedZipf::new(n.max(1), 0.9).expect("nonempty");
+        let zipf = |n: usize| BoundedZipf::new(n.max(1), 0.9).expect("nonempty"); // downlake-lint: allow(P1) — n.max(1) guarantees a non-empty support
         Self {
             browser_zipfs: browsers.iter().map(|v| zipf(v.len())).collect(),
             windows_zipf: zipf(windows.len()),
@@ -200,7 +200,7 @@ impl BenignProcessInventory {
         let idx = BrowserKind::ALL
             .iter()
             .position(|&k| k == kind)
-            .expect("listed");
+            .expect("listed"); // downlake-lint: allow(P1) — every BrowserKind variant appears in the inventory
         let pool = &self.browsers[idx];
         &pool[self.browser_zipfs[idx].sample(rng) - 1]
     }

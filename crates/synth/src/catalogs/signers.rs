@@ -223,12 +223,12 @@ impl SignerCatalog {
             }
         }
 
-        let benign_zipf = BoundedZipf::new(benign.len(), 1.1).expect("nonempty");
-        let malicious_zipf = BoundedZipf::new(malicious.len(), 1.1).expect("nonempty");
-        // Concentrated: the head shared signers (Binstall, Perion, …)
-        // must sign enough of *both* classes every month that the rule
-        // learner sees them as mixed (the paper's Fig. 4 heads).
-        let shared_zipf = BoundedZipf::new(shared.len(), 1.5).expect("nonempty");
+        let benign_zipf = BoundedZipf::new(benign.len(), 1.1).expect("nonempty"); // downlake-lint: allow(P1) — the static signer tables are non-empty
+        let malicious_zipf = BoundedZipf::new(malicious.len(), 1.1).expect("nonempty"); // downlake-lint: allow(P1) — the static signer tables are non-empty
+                                                                                        // Concentrated: the head shared signers (Binstall, Perion, …)
+                                                                                        // must sign enough of *both* classes every month that the rule
+                                                                                        // learner sees them as mixed (the paper's Fig. 4 heads).
+        let shared_zipf = BoundedZipf::new(shared.len(), 1.5).expect("nonempty"); // downlake-lint: allow(P1) — the static signer tables are non-empty
         Self {
             benign,
             malicious,
@@ -321,7 +321,7 @@ fn type_index(ty: MalwareType) -> usize {
     MalwareType::ALL
         .iter()
         .position(|&t| t == ty)
-        .expect("all types are in ALL")
+        .expect("all types are in ALL") // downlake-lint: allow(P1) — every MalwareType variant appears in ALL
 }
 
 #[cfg(test)]

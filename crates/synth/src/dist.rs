@@ -62,12 +62,9 @@ impl Categorical {
 
     /// Draws a category index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let total = *self.cumulative.last().expect("non-empty by construction");
+        let total = *self.cumulative.last().expect("non-empty by construction"); // downlake-lint: allow(P1) — Categorical::new rejects empty weight vectors
         let x = rng.gen_range(0.0..total);
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&x)) {
             Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
         }
     }

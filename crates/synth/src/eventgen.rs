@@ -102,14 +102,14 @@ impl Roster {
         // the monthly actives decline like Table I.
         let arrival =
             Categorical::new(&TABLE1.iter().map(|r| r.machines as f64).collect::<Vec<_>>())
-                .expect("calibrated");
+                .expect("calibrated"); // downlake-lint: allow(P1) — Table 1 calibration weights are static and valid
         let browser_weights = Categorical::new(
             &BROWSER_MACHINE_WEIGHTS
                 .iter()
                 .map(|&(_, w)| w as f64)
                 .collect::<Vec<_>>(),
         )
-        .expect("calibrated");
+        .expect("calibrated"); // downlake-lint: allow(P1) — Table 1 calibration weights are static and valid
 
         let mut machines = Vec::with_capacity(total);
         for i in 0..total {
@@ -141,7 +141,7 @@ impl Roster {
             let bidx = BrowserKind::ALL
                 .iter()
                 .position(|&b| b == m.browser)
-                .expect("listed");
+                .expect("listed"); // downlake-lint: allow(P1) — every roster browser is listed in BROWSERS
             for month in m.first_month..=m.last_month {
                 by_month[month].push(i as u32);
                 by_month_browser[month][bidx].push(i as u32);
@@ -160,10 +160,10 @@ impl Roster {
             }
             for pool in [&mut java_by_month[month], &mut acrobat_by_month[month]] {
                 if pool.is_empty() {
-                    pool.push(by_month[month][0]);
+                    pool.push(by_month[month][0]); // downlake-lint: allow(P1) — roster seeds every month with at least one machine
                 }
             }
-            let fallback = by_month[month][0];
+            let fallback = by_month[month][0]; // downlake-lint: allow(P1) — roster seeds every month with at least one machine
             for pool in &mut by_month_browser[month] {
                 if pool.is_empty() {
                     pool.push(fallback);
@@ -225,10 +225,10 @@ impl DestinyDist {
         };
         let unknown = (unknown_raw - lb - lm).max(0.0);
         // Order: benign, likely-benign, malicious, likely-malicious, unknown.
-        let dist = Categorical::new(&[benign, lb, malicious, lm, unknown]).expect("valid row");
+        let dist = Categorical::new(&[benign, lb, malicious, lm, unknown]).expect("valid row"); // downlake-lint: allow(P1) — row shares are clamped non-negative above
         let types: Vec<MalwareType> = mix.iter().map(|&(t, _)| t).collect();
         let type_mix =
-            Categorical::new(&mix.iter().map(|&(_, p)| p).collect::<Vec<_>>()).expect("valid mix");
+            Categorical::new(&mix.iter().map(|&(_, p)| p).collect::<Vec<_>>()).expect("valid mix"); // downlake-lint: allow(P1) — Table 2 type-mix weights are static and valid
         Self {
             dist,
             type_mix,
@@ -348,7 +348,7 @@ impl<'a> GenContext<'a> {
             .iter()
             .map(|(row, _)| row.total_files() as f64)
             .collect();
-        let category_dist = Categorical::new(&category_files).expect("calibrated");
+        let category_dist = Categorical::new(&category_files).expect("calibrated"); // downlake-lint: allow(P1) — Table 10 calibration weights are static and valid
         let destiny_dists: Vec<DestinyDist> = TABLE10
             .iter()
             .enumerate()
@@ -376,7 +376,7 @@ impl<'a> GenContext<'a> {
                     .map(|(_, row)| f(row) as f64)
                     .collect::<Vec<_>>(),
             )
-            .expect("calibrated")
+            .expect("calibrated") // downlake-lint: allow(P1) — Table 10 calibration weights are static and valid
         };
         let browser_by_destiny = [
             browser_weight(|r| r.benign_files),
@@ -398,14 +398,14 @@ impl<'a> GenContext<'a> {
                 2.2,
                 config.max_prevalence,
             )
-            .expect("valid config"),
+            .expect("valid config"), // downlake-lint: allow(P1) — power-law parameters are validated with the config
             prevalence_labeled: DiscretePowerLaw::new(
                 config.labeled_singleton_mass,
                 1.6,
                 config.max_prevalence,
             )
-            .expect("valid config"),
-            prevalence_exploit: DiscretePowerLaw::new(0.30, 1.2, 30).expect("static"),
+            .expect("valid config"), // downlake-lint: allow(P1) — power-law parameters are validated with the config
+            prevalence_exploit: DiscretePowerLaw::new(0.30, 1.2, 30).expect("static"), // downlake-lint: allow(P1) — static literal power-law parameters
         }
     }
 }
@@ -510,12 +510,11 @@ impl<'a> UnitWorker<'a> {
     }
 
     fn pick_browser(&mut self, destiny: FileDestiny) -> BrowserKind {
+        let [benignish, maliciousish, unknownish] = &self.ctx.browser_by_destiny;
         let dist = match destiny {
-            FileDestiny::Benign | FileDestiny::LikelyBenign => &self.ctx.browser_by_destiny[0],
-            FileDestiny::Malicious(_) | FileDestiny::LikelyMalicious(_) => {
-                &self.ctx.browser_by_destiny[1]
-            }
-            FileDestiny::Unknown => &self.ctx.browser_by_destiny[2],
+            FileDestiny::Benign | FileDestiny::LikelyBenign => benignish,
+            FileDestiny::Malicious(_) | FileDestiny::LikelyMalicious(_) => maliciousish,
+            FileDestiny::Unknown => unknownish,
         };
         TABLE11[dist.sample(&mut self.rng)].0
     }
@@ -601,7 +600,7 @@ impl<'a> UnitWorker<'a> {
                     let bidx = BrowserKind::ALL
                         .iter()
                         .position(|&b| b == kind)
-                        .expect("listed");
+                        .expect("listed"); // downlake-lint: allow(P1) — every roster browser is listed in BROWSERS
                     &self.ctx.roster.by_month_browser[month][bidx]
                 };
                 let idx = pool[self.rng.gen_range(0..pool.len())];
@@ -733,7 +732,7 @@ impl<'a> UnitWorker<'a> {
                 (MalwareType::FakeAv, 0.03),
             ];
             let dist = Categorical::new(&QUALIFYING.iter().map(|&(_, w)| w).collect::<Vec<_>>())
-                .expect("static weights");
+                .expect("static weights"); // downlake-lint: allow(P1) — static literal qualifying-weights table
             QUALIFYING[dist.sample(&mut self.rng)].0
         };
         let delay_days = self.escalation_delay_days(seed.ty);
@@ -928,7 +927,7 @@ fn make_url(domain: &str, file_name: &str, rng: &mut SmallRng) -> Url {
     };
     let dir = ["files", "get", "d", "download", "pkg"][rng.gen_range(0..5)];
     Url::from_parts("http", &host, &format!("/{dir}/{file_name}"))
-        .expect("generated hosts are valid")
+        .expect("generated hosts are valid") // downlake-lint: allow(P1) — scheme and generated host are always URL-valid
 }
 
 /// Generates a world and its time-ordered raw event stream sequentially.

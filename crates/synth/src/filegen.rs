@@ -84,7 +84,7 @@ impl<'a> FileFactory<'a> {
             packers,
             families,
             unknown_latent_malicious: config.unknown_latent_malicious,
-            type_mix: Categorical::new(&weights).expect("calibrated mix is valid"),
+            type_mix: Categorical::new(&weights).expect("calibrated mix is valid"), // downlake-lint: allow(P1) — calibrated Table 2 weights are positive and finite
         }
     }
 

@@ -234,38 +234,32 @@ pub fn read_raw_events<R: BufRead>(reader: R) -> Result<Vec<RawEvent>, CsvError>
             continue;
         }
         let fields = split_line(&line).map_err(|e| CsvError::Parse(line_no, e))?;
-        if fields.len() != COLUMNS {
+        // One slice pattern per [`HEADER`] column: the match doubles as
+        // the column-count check.
+        let [ts, machine, file_hash, f_size, f_name, f_signer, f_ca, f_valid, f_packer, proc_hash, p_name, p_signer, p_ca, p_valid, p_packer, url, executed] =
+            fields.as_slice()
+        else {
             return Err(CsvError::Parse(
                 line_no,
                 format!("expected {COLUMNS} columns, found {}", fields.len()),
             ));
-        }
-        let timestamp: i64 = fields[0]
+        };
+        let timestamp: i64 = ts
             .parse()
-            .map_err(|_| CsvError::Parse(line_no, format!("bad timestamp {:?}", fields[0])))?;
-        let machine: u64 = fields[1]
+            .map_err(|_| CsvError::Parse(line_no, format!("bad timestamp {ts:?}")))?;
+        let machine: u64 = machine
             .parse()
-            .map_err(|_| CsvError::Parse(line_no, format!("bad machine id {:?}", fields[1])))?;
-        let file = parse_hash(line_no, &fields[2], "file")?;
-        let file_meta = parse_meta(
-            line_no, &fields[3], &fields[4], &fields[5], &fields[6], &fields[7], &fields[8],
-        )?;
-        let process = parse_hash(line_no, &fields[9], "process")?;
-        let process_meta = parse_meta(
-            line_no,
-            "0",
-            &fields[10],
-            &fields[11],
-            &fields[12],
-            &fields[13],
-            &fields[14],
-        )?;
-        let url: Url = fields[15]
+            .map_err(|_| CsvError::Parse(line_no, format!("bad machine id {machine:?}")))?;
+        let file = parse_hash(line_no, file_hash, "file")?;
+        let file_meta = parse_meta(line_no, f_size, f_name, f_signer, f_ca, f_valid, f_packer)?;
+        let process = parse_hash(line_no, proc_hash, "process")?;
+        let process_meta = parse_meta(line_no, "0", p_name, p_signer, p_ca, p_valid, p_packer)?;
+        let url: Url = url
             .parse()
             .map_err(|e| CsvError::Parse(line_no, format!("bad url: {e}")))?;
-        let executed: bool = fields[16]
+        let executed: bool = executed
             .parse()
-            .map_err(|_| CsvError::Parse(line_no, format!("bad executed flag {:?}", fields[16])))?;
+            .map_err(|_| CsvError::Parse(line_no, format!("bad executed flag {executed:?}")))?;
         events.push(RawEvent {
             file,
             file_meta,

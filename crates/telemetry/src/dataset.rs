@@ -70,10 +70,11 @@ impl DatasetBuilder {
         let mut event_process = Vec::with_capacity(self.events.len());
         let mut event_machine = Vec::with_capacity(self.events.len());
         for event in &self.events {
+            // downlake-lint: allow(P1) — every pushed event interned its file/process in `push`
             event_file.push(self.files.id_of(event.file).expect("file interned at push"));
             event_process.push(
                 self.processes
-                    .id_of(event.process)
+                    .id_of(event.process) // downlake-lint: allow(P1) — every pushed event interned its file/process in `push`
                     .expect("process interned at push"),
             );
             event_machine.push(machines.intern(event.machine));
@@ -101,6 +102,7 @@ impl DatasetBuilder {
             scratch.dedup();
             file_machine_ids.extend_from_slice(&scratch);
             file_machine_offsets
+                // downlake-lint: allow(P1) — u32 CSR offsets overflowing is a hard data-model limit
                 .push(u32::try_from(file_machine_ids.len()).expect("machine list overflow"));
         }
 

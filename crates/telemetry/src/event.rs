@@ -139,12 +139,12 @@ impl RawEventBuilder {
     /// missing — builders are used by generators where absence is a bug.
     pub fn build(self) -> RawEvent {
         RawEvent {
-            file: self.file.expect("raw event needs a file"),
+            file: self.file.expect("raw event needs a file"), // downlake-lint: allow(P1) — documented builder contract (see `# Panics`)
             file_meta: self.file_meta,
-            machine: self.machine.expect("raw event needs a machine"),
+            machine: self.machine.expect("raw event needs a machine"), // downlake-lint: allow(P1) — documented builder contract (see `# Panics`)
             process: self.process.expect("raw event needs a process"),
             process_meta: self.process_meta,
-            url: self.url.expect("raw event needs a url"),
+            url: self.url.expect("raw event needs a url"), // downlake-lint: allow(P1) — documented builder contract (see `# Panics`)
             timestamp: self.timestamp.expect("raw event needs a timestamp"),
             executed: self.executed,
         }

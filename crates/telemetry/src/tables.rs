@@ -46,7 +46,7 @@ impl UrlTable {
             return id;
         }
         let id = UrlId::from_raw(
-            u32::try_from(self.urls.len()).expect("more than u32::MAX distinct urls"),
+            u32::try_from(self.urls.len()).expect("more than u32::MAX distinct urls"), // downlake-lint: allow(P1) — u32 dense-id overflow is a hard data-model limit
         );
         let e2ld = self.intern_e2ld(url.e2ld());
         self.url_e2ld.push(e2ld);
@@ -60,7 +60,7 @@ impl UrlTable {
             return id;
         }
         let id = E2ldId::from_raw(
-            u32::try_from(self.e2lds.len()).expect("more than u32::MAX distinct e2LDs"),
+            u32::try_from(self.e2lds.len()).expect("more than u32::MAX distinct e2LDs"), // downlake-lint: allow(P1) — u32 dense-id overflow is a hard data-model limit
         );
         self.e2lds.push(e2ld.to_owned());
         self.by_e2ld.insert(e2ld.to_owned(), id);
@@ -151,7 +151,7 @@ impl FileTable {
             return id;
         }
         let id = FileId::from_raw(
-            u32::try_from(self.records.len()).expect("more than u32::MAX distinct files"),
+            u32::try_from(self.records.len()).expect("more than u32::MAX distinct files"), // downlake-lint: allow(P1) — u32 dense-id overflow is a hard data-model limit
         );
         self.records.push(FileRecord::new(hash, meta.clone()));
         self.by_hash.insert(hash, id);
@@ -223,7 +223,7 @@ impl ProcessTable {
             return id;
         }
         let id = ProcessId::from_raw(
-            u32::try_from(self.records.len()).expect("more than u32::MAX distinct processes"),
+            u32::try_from(self.records.len()).expect("more than u32::MAX distinct processes"), // downlake-lint: allow(P1) — u32 dense-id overflow is a hard data-model limit
         );
         self.records.push(ProcessRecord::new(hash, meta.clone()));
         self.by_hash.insert(hash, id);
@@ -291,7 +291,7 @@ impl MachineTable {
             return idx;
         }
         let idx = MachineIdx::from_raw(
-            u32::try_from(self.ids.len()).expect("more than u32::MAX distinct machines"),
+            u32::try_from(self.ids.len()).expect("more than u32::MAX distinct machines"), // downlake-lint: allow(P1) — u32 dense-id overflow is a hard data-model limit
         );
         self.ids.push(id);
         self.by_id.insert(id, idx);

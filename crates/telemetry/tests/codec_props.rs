@@ -10,6 +10,7 @@ use downlake_telemetry::RawEvent;
 use downlake_types::{FileHash, FileMeta, MachineId, PackerInfo, SignerInfo, Timestamp, Url};
 use proptest::prelude::*;
 
+#[allow(clippy::too_many_arguments)] // mirrors the RawEvent field list
 fn build_event(
     file: u64,
     machine: u64,
@@ -149,7 +150,7 @@ fn round_trip_grid_mirror() {
                         salt,
                         u64::MAX - salt,
                         (salt as i64 - 96) * 86_400,
-                        salt % 2 == 0,
+                        salt.is_multiple_of(2),
                         meta(salt, "setup.exe", *signer, *packer),
                         meta(0, "chrome.exe", *signer, *packer),
                         host,

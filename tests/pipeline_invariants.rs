@@ -1,5 +1,6 @@
 //! Cross-crate pipeline invariants, checked over multiple seeds.
 
+use downlake_repro::analysis::AnalysisFrame;
 use downlake_repro::core::Study;
 use downlake_repro::types::{FileLabel, FileNature};
 
@@ -125,6 +126,30 @@ fn different_seeds_produce_different_worlds_same_shape() {
         let share = unknown as f64 / total as f64;
         assert!((0.6..=0.95).contains(&share), "unknown share {share}");
     }
+}
+
+#[test]
+fn study_frame_matches_label_view_frame() {
+    // The frame the pipeline builds from raw ground truth must equal a
+    // frame built through the LabelView shim, column by column.
+    let s = common::tiny_study();
+    let view = s.label_view();
+    let rebuilt = AnalysisFrame::from_label_view(s.dataset(), &view);
+    let built = s.frame();
+    assert_eq!(built.file_labels(), rebuilt.file_labels());
+    assert_eq!(built.file_types(), rebuilt.file_types());
+    assert_eq!(built.file_prevalences(), rebuilt.file_prevalences());
+    assert_eq!(built.process_labels(), rebuilt.process_labels());
+    assert_eq!(built.process_types(), rebuilt.process_types());
+    assert_eq!(built.process_categories(), rebuilt.process_categories());
+    assert_eq!(built.event_files(), rebuilt.event_files());
+    assert_eq!(built.event_file_labels(), rebuilt.event_file_labels());
+    assert_eq!(built.event_e2lds(), rebuilt.event_e2lds());
+    assert_eq!(built.event_months(), rebuilt.event_months());
+    assert_eq!(built.url_e2lds(), rebuilt.url_e2lds());
+    assert_eq!(built.event_count(), rebuilt.event_count());
+    assert_eq!(built.machine_count(), rebuilt.machine_count());
+    assert_eq!(built.e2ld_count(), rebuilt.e2ld_count());
 }
 
 #[test]
