@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-018ecb30dad0acc4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-018ecb30dad0acc4.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

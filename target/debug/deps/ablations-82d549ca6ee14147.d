@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablations-82d549ca6ee14147.d: /root/repo/clippy.toml crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-82d549ca6ee14147.rmeta: /root/repo/clippy.toml crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

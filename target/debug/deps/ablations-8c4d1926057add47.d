@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-8c4d1926057add47.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-8c4d1926057add47.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablations-c39afb37353f859a.d: /root/repo/clippy.toml crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-c39afb37353f859a.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-c6a329308da86124.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-c6a329308da86124.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d01a57b726fb7369.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-d01a57b726fb7369.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-efa79954c0e41e1e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-efa79954c0e41e1e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

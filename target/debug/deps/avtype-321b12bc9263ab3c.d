@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/avtype-321b12bc9263ab3c.d: crates/avtype/src/bin/avtype.rs
+
+/root/repo/target/debug/deps/libavtype-321b12bc9263ab3c.rmeta: crates/avtype/src/bin/avtype.rs
+
+crates/avtype/src/bin/avtype.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/avtype-457dd1353011c99a.d: /root/repo/clippy.toml crates/avtype/src/bin/avtype.rs Cargo.toml
+
+/root/repo/target/debug/deps/libavtype-457dd1353011c99a.rmeta: /root/repo/clippy.toml crates/avtype/src/bin/avtype.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/avtype/src/bin/avtype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

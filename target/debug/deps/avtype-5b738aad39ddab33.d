@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/avtype-5b738aad39ddab33.d: crates/avtype/src/bin/avtype.rs
+
+/root/repo/target/debug/deps/libavtype-5b738aad39ddab33.rmeta: crates/avtype/src/bin/avtype.rs
+
+crates/avtype/src/bin/avtype.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/avtype-cba6987d2ac6477f.d: /root/repo/clippy.toml crates/avtype/src/bin/avtype.rs Cargo.toml
+
+/root/repo/target/debug/deps/libavtype-cba6987d2ac6477f.rmeta: /root/repo/clippy.toml crates/avtype/src/bin/avtype.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/avtype/src/bin/avtype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/avtype-d7e6bcf59450c84d.d: crates/avtype/src/bin/avtype.rs
+
+/root/repo/target/debug/deps/avtype-d7e6bcf59450c84d: crates/avtype/src/bin/avtype.rs
+
+crates/avtype/src/bin/avtype.rs:

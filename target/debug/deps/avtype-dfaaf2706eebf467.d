@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/avtype-dfaaf2706eebf467.d: crates/avtype/src/bin/avtype.rs
+
+/root/repo/target/debug/deps/avtype-dfaaf2706eebf467: crates/avtype/src/bin/avtype.rs
+
+crates/avtype/src/bin/avtype.rs:

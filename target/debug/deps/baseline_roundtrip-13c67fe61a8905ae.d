@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/baseline_roundtrip-13c67fe61a8905ae.d: crates/lint/tests/baseline_roundtrip.rs
+
+/root/repo/target/debug/deps/libbaseline_roundtrip-13c67fe61a8905ae.rmeta: crates/lint/tests/baseline_roundtrip.rs
+
+crates/lint/tests/baseline_roundtrip.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/baseline_roundtrip-e4f54dd54f348e4e.d: /root/repo/clippy.toml crates/lint/tests/baseline_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_roundtrip-e4f54dd54f348e4e.rmeta: /root/repo/clippy.toml crates/lint/tests/baseline_roundtrip.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/lint/tests/baseline_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

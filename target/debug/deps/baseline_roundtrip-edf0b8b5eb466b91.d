@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/baseline_roundtrip-edf0b8b5eb466b91.d: crates/lint/tests/baseline_roundtrip.rs
+
+/root/repo/target/debug/deps/baseline_roundtrip-edf0b8b5eb466b91: crates/lint/tests/baseline_roundtrip.rs
+
+crates/lint/tests/baseline_roundtrip.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_props-06a09fdf87e33f7d.d: crates/telemetry/tests/codec_props.rs
+
+/root/repo/target/debug/deps/codec_props-06a09fdf87e33f7d: crates/telemetry/tests/codec_props.rs
+
+crates/telemetry/tests/codec_props.rs:

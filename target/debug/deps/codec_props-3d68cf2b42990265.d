@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/codec_props-3d68cf2b42990265.d: /root/repo/clippy.toml crates/telemetry/tests/codec_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_props-3d68cf2b42990265.rmeta: /root/repo/clippy.toml crates/telemetry/tests/codec_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/telemetry/tests/codec_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

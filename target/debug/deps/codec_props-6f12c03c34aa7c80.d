@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_props-6f12c03c34aa7c80.d: crates/telemetry/tests/codec_props.rs
+
+/root/repo/target/debug/deps/libcodec_props-6f12c03c34aa7c80.rmeta: crates/telemetry/tests/codec_props.rs
+
+crates/telemetry/tests/codec_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/collection_props-1d854fdecb23b43e.d: /root/repo/clippy.toml tests/collection_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollection_props-1d854fdecb23b43e.rmeta: /root/repo/clippy.toml tests/collection_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/collection_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

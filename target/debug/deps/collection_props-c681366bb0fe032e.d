@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collection_props-c681366bb0fe032e.d: tests/collection_props.rs
+
+/root/repo/target/debug/deps/collection_props-c681366bb0fe032e: tests/collection_props.rs
+
+tests/collection_props.rs:

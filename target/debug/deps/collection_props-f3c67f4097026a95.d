@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collection_props-f3c67f4097026a95.d: tests/collection_props.rs
+
+/root/repo/target/debug/deps/libcollection_props-f3c67f4097026a95.rmeta: tests/collection_props.rs
+
+tests/collection_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/components-8ebb35c437b9f39d.d: /root/repo/clippy.toml crates/bench/benches/components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomponents-8ebb35c437b9f39d.rmeta: /root/repo/clippy.toml crates/bench/benches/components.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/components-e98bc73b86a665bd.d: crates/bench/benches/components.rs
+
+/root/repo/target/debug/deps/libcomponents-e98bc73b86a665bd.rmeta: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

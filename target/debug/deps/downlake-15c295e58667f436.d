@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/downlake-15c295e58667f436.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/baselines.rs crates/core/src/experiments/evasion.rs crates/core/src/experiments/rules.rs crates/core/src/live.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libdownlake-15c295e58667f436.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/baselines.rs crates/core/src/experiments/evasion.rs crates/core/src/experiments/rules.rs crates/core/src/live.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/baselines.rs:
+crates/core/src/experiments/evasion.rs:
+crates/core/src/experiments/rules.rs:
+crates/core/src/live.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/render.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake-1927d32ac6a43863.d: src/bin/downlake.rs
+
+/root/repo/target/debug/deps/libdownlake-1927d32ac6a43863.rmeta: src/bin/downlake.rs
+
+src/bin/downlake.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake-2f0fd6320634ec92.d: src/bin/downlake.rs
+
+/root/repo/target/debug/deps/downlake-2f0fd6320634ec92: src/bin/downlake.rs
+
+src/bin/downlake.rs:

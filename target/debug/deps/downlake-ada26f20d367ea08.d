@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/downlake-ada26f20d367ea08.d: /root/repo/clippy.toml src/bin/downlake.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake-ada26f20d367ea08.rmeta: /root/repo/clippy.toml src/bin/downlake.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/downlake.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

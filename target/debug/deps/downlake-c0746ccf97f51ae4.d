@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake-c0746ccf97f51ae4.d: src/bin/downlake.rs
+
+/root/repo/target/debug/deps/libdownlake-c0746ccf97f51ae4.rmeta: src/bin/downlake.rs
+
+src/bin/downlake.rs:

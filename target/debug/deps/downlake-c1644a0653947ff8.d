@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake-c1644a0653947ff8.d: src/bin/downlake.rs
+
+/root/repo/target/debug/deps/downlake-c1644a0653947ff8: src/bin/downlake.rs
+
+src/bin/downlake.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake-f3bf20d37b23d88d.d: src/bin/downlake.rs
+
+/root/repo/target/debug/deps/libdownlake-f3bf20d37b23d88d.rmeta: src/bin/downlake.rs
+
+src/bin/downlake.rs:

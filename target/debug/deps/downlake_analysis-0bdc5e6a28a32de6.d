@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/downlake_analysis-0bdc5e6a28a32de6.d: /root/repo/clippy.toml crates/analysis/src/lib.rs crates/analysis/src/domains.rs crates/analysis/src/escalation.rs crates/analysis/src/frame.rs crates/analysis/src/labels.rs crates/analysis/src/monthly.rs crates/analysis/src/packers.rs crates/analysis/src/prevalence.rs crates/analysis/src/processes.rs crates/analysis/src/signers.rs crates/analysis/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_analysis-0bdc5e6a28a32de6.rmeta: /root/repo/clippy.toml crates/analysis/src/lib.rs crates/analysis/src/domains.rs crates/analysis/src/escalation.rs crates/analysis/src/frame.rs crates/analysis/src/labels.rs crates/analysis/src/monthly.rs crates/analysis/src/packers.rs crates/analysis/src/prevalence.rs crates/analysis/src/processes.rs crates/analysis/src/signers.rs crates/analysis/src/stats.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/analysis/src/lib.rs:
+crates/analysis/src/domains.rs:
+crates/analysis/src/escalation.rs:
+crates/analysis/src/frame.rs:
+crates/analysis/src/labels.rs:
+crates/analysis/src/monthly.rs:
+crates/analysis/src/packers.rs:
+crates/analysis/src/prevalence.rs:
+crates/analysis/src/processes.rs:
+crates/analysis/src/signers.rs:
+crates/analysis/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/downlake_analysis-9d2cdc896e408d15.d: crates/analysis/src/lib.rs crates/analysis/src/domains.rs crates/analysis/src/escalation.rs crates/analysis/src/frame.rs crates/analysis/src/labels.rs crates/analysis/src/legacy.rs crates/analysis/src/monthly.rs crates/analysis/src/packers.rs crates/analysis/src/prevalence.rs crates/analysis/src/processes.rs crates/analysis/src/signers.rs crates/analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libdownlake_analysis-9d2cdc896e408d15.rmeta: crates/analysis/src/lib.rs crates/analysis/src/domains.rs crates/analysis/src/escalation.rs crates/analysis/src/frame.rs crates/analysis/src/labels.rs crates/analysis/src/legacy.rs crates/analysis/src/monthly.rs crates/analysis/src/packers.rs crates/analysis/src/prevalence.rs crates/analysis/src/processes.rs crates/analysis/src/signers.rs crates/analysis/src/stats.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/domains.rs:
+crates/analysis/src/escalation.rs:
+crates/analysis/src/frame.rs:
+crates/analysis/src/labels.rs:
+crates/analysis/src/legacy.rs:
+crates/analysis/src/monthly.rs:
+crates/analysis/src/packers.rs:
+crates/analysis/src/prevalence.rs:
+crates/analysis/src/processes.rs:
+crates/analysis/src/signers.rs:
+crates/analysis/src/stats.rs:

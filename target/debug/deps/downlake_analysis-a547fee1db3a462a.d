@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/downlake_analysis-a547fee1db3a462a.d: crates/analysis/src/lib.rs crates/analysis/src/domains.rs crates/analysis/src/escalation.rs crates/analysis/src/frame.rs crates/analysis/src/labels.rs crates/analysis/src/legacy.rs crates/analysis/src/monthly.rs crates/analysis/src/packers.rs crates/analysis/src/prevalence.rs crates/analysis/src/processes.rs crates/analysis/src/signers.rs crates/analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libdownlake_analysis-a547fee1db3a462a.rlib: crates/analysis/src/lib.rs crates/analysis/src/domains.rs crates/analysis/src/escalation.rs crates/analysis/src/frame.rs crates/analysis/src/labels.rs crates/analysis/src/legacy.rs crates/analysis/src/monthly.rs crates/analysis/src/packers.rs crates/analysis/src/prevalence.rs crates/analysis/src/processes.rs crates/analysis/src/signers.rs crates/analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libdownlake_analysis-a547fee1db3a462a.rmeta: crates/analysis/src/lib.rs crates/analysis/src/domains.rs crates/analysis/src/escalation.rs crates/analysis/src/frame.rs crates/analysis/src/labels.rs crates/analysis/src/legacy.rs crates/analysis/src/monthly.rs crates/analysis/src/packers.rs crates/analysis/src/prevalence.rs crates/analysis/src/processes.rs crates/analysis/src/signers.rs crates/analysis/src/stats.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/domains.rs:
+crates/analysis/src/escalation.rs:
+crates/analysis/src/frame.rs:
+crates/analysis/src/labels.rs:
+crates/analysis/src/legacy.rs:
+crates/analysis/src/monthly.rs:
+crates/analysis/src/packers.rs:
+crates/analysis/src/prevalence.rs:
+crates/analysis/src/processes.rs:
+crates/analysis/src/signers.rs:
+crates/analysis/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/downlake_avtype-22c5d4963b3c5706.d: crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs
+
+/root/repo/target/debug/deps/libdownlake_avtype-22c5d4963b3c5706.rlib: crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs
+
+/root/repo/target/debug/deps/libdownlake_avtype-22c5d4963b3c5706.rmeta: crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs
+
+crates/avtype/src/lib.rs:
+crates/avtype/src/behavior.rs:
+crates/avtype/src/family.rs:
+crates/avtype/src/map.rs:
+crates/avtype/src/parse.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/downlake_avtype-99a57d35839c2dfc.d: /root/repo/clippy.toml crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_avtype-99a57d35839c2dfc.rmeta: /root/repo/clippy.toml crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/avtype/src/lib.rs:
+crates/avtype/src/behavior.rs:
+crates/avtype/src/family.rs:
+crates/avtype/src/map.rs:
+crates/avtype/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

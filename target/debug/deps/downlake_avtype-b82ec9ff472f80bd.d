@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/downlake_avtype-b82ec9ff472f80bd.d: crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs
+
+/root/repo/target/debug/deps/libdownlake_avtype-b82ec9ff472f80bd.rmeta: crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs
+
+crates/avtype/src/lib.rs:
+crates/avtype/src/behavior.rs:
+crates/avtype/src/family.rs:
+crates/avtype/src/map.rs:
+crates/avtype/src/parse.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/downlake_bench-2e17048d05cd0931.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdownlake_bench-2e17048d05cd0931.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/report.rs:

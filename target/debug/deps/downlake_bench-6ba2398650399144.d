@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/downlake_bench-6ba2398650399144.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/downlake_bench-6ba2398650399144: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/report.rs:

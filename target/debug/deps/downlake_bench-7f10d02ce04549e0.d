@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/downlake_bench-7f10d02ce04549e0.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_bench-7f10d02ce04549e0.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/downlake_bench-80f762b81a1f9422.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdownlake_bench-80f762b81a1f9422.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdownlake_bench-80f762b81a1f9422.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/report.rs:

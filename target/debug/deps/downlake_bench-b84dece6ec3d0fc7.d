@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/downlake_bench-b84dece6ec3d0fc7.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdownlake_bench-b84dece6ec3d0fc7.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/report.rs:

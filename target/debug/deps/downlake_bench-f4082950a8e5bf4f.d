@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/downlake_bench-f4082950a8e5bf4f.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdownlake_bench-f4082950a8e5bf4f.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/downlake_exec-5b431b2c524e758c.d: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+/root/repo/target/debug/deps/downlake_exec-5b431b2c524e758c: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:
+crates/exec/src/seed.rs:
+crates/exec/src/shard.rs:

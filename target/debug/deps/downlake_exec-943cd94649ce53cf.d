@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/downlake_exec-943cd94649ce53cf.d: /root/repo/clippy.toml crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_exec-943cd94649ce53cf.rmeta: /root/repo/clippy.toml crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:
+crates/exec/src/seed.rs:
+crates/exec/src/shard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

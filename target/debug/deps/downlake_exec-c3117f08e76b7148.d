@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/downlake_exec-c3117f08e76b7148.d: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+/root/repo/target/debug/deps/libdownlake_exec-c3117f08e76b7148.rmeta: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:
+crates/exec/src/seed.rs:
+crates/exec/src/shard.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/downlake_exec-f951ecdb6a1bd1ef.d: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+/root/repo/target/debug/deps/libdownlake_exec-f951ecdb6a1bd1ef.rlib: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+/root/repo/target/debug/deps/libdownlake_exec-f951ecdb6a1bd1ef.rmeta: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:
+crates/exec/src/seed.rs:
+crates/exec/src/shard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_features-37f0f6a3fa192f82.d: crates/features/src/lib.rs
+
+/root/repo/target/debug/deps/libdownlake_features-37f0f6a3fa192f82.rmeta: crates/features/src/lib.rs
+
+crates/features/src/lib.rs:

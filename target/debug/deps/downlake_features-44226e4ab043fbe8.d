@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/downlake_features-44226e4ab043fbe8.d: crates/features/src/lib.rs
+
+/root/repo/target/debug/deps/libdownlake_features-44226e4ab043fbe8.rlib: crates/features/src/lib.rs
+
+/root/repo/target/debug/deps/libdownlake_features-44226e4ab043fbe8.rmeta: crates/features/src/lib.rs
+
+crates/features/src/lib.rs:

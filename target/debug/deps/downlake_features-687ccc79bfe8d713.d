@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_features-687ccc79bfe8d713.d: crates/features/src/lib.rs
+
+/root/repo/target/debug/deps/downlake_features-687ccc79bfe8d713: crates/features/src/lib.rs
+
+crates/features/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/downlake_features-71b1b8b172b2ffe6.d: /root/repo/clippy.toml crates/features/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_features-71b1b8b172b2ffe6.rmeta: /root/repo/clippy.toml crates/features/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/features/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_features-95d397cff2657323.d: crates/features/src/lib.rs
+
+/root/repo/target/debug/deps/libdownlake_features-95d397cff2657323.rmeta: crates/features/src/lib.rs
+
+crates/features/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/downlake_groundtruth-48600bde07d23f43.d: crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs
+
+/root/repo/target/debug/deps/libdownlake_groundtruth-48600bde07d23f43.rmeta: crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs
+
+crates/groundtruth/src/lib.rs:
+crates/groundtruth/src/engines.rs:
+crates/groundtruth/src/labeler.rs:
+crates/groundtruth/src/oracle.rs:
+crates/groundtruth/src/scan.rs:
+crates/groundtruth/src/urllabel.rs:
+crates/groundtruth/src/whitelist.rs:

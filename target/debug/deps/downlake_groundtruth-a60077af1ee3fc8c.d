@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/downlake_groundtruth-a60077af1ee3fc8c.d: crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs
+
+/root/repo/target/debug/deps/libdownlake_groundtruth-a60077af1ee3fc8c.rlib: crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs
+
+/root/repo/target/debug/deps/libdownlake_groundtruth-a60077af1ee3fc8c.rmeta: crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs
+
+crates/groundtruth/src/lib.rs:
+crates/groundtruth/src/engines.rs:
+crates/groundtruth/src/labeler.rs:
+crates/groundtruth/src/oracle.rs:
+crates/groundtruth/src/scan.rs:
+crates/groundtruth/src/urllabel.rs:
+crates/groundtruth/src/whitelist.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/downlake_groundtruth-dcf242249fffa04d.d: /root/repo/clippy.toml crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_groundtruth-dcf242249fffa04d.rmeta: /root/repo/clippy.toml crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/groundtruth/src/lib.rs:
+crates/groundtruth/src/engines.rs:
+crates/groundtruth/src/labeler.rs:
+crates/groundtruth/src/oracle.rs:
+crates/groundtruth/src/scan.rs:
+crates/groundtruth/src/urllabel.rs:
+crates/groundtruth/src/whitelist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_lint-03ce1a8526da0678.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/downlake_lint-03ce1a8526da0678: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

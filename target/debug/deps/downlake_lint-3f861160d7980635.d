@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/downlake_lint-3f861160d7980635.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/walk.rs
+
+/root/repo/target/debug/deps/downlake_lint-3f861160d7980635: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/walk.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/scan.rs:
+crates/lint/src/walk.rs:

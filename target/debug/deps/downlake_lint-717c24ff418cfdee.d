@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_lint-717c24ff418cfdee.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/libdownlake_lint-717c24ff418cfdee.rmeta: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_lint-8ff290480db31a9e.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/libdownlake_lint-8ff290480db31a9e.rmeta: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_lint-b6908ae33bf3fcc8.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/downlake_lint-b6908ae33bf3fcc8: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/downlake_lint-e57a25bfe197e328.d: /root/repo/clippy.toml crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/walk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_lint-e57a25bfe197e328.rmeta: /root/repo/clippy.toml crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/walk.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/scan.rs:
+crates/lint/src/walk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

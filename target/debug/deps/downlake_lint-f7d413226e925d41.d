@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/downlake_lint-f7d413226e925d41.d: /root/repo/clippy.toml crates/lint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_lint-f7d413226e925d41.rmeta: /root/repo/clippy.toml crates/lint/src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/downlake_obs-13336af2232d34ce.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/libdownlake_obs-13336af2232d34ce.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/registry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/manifest.rs:
+crates/obs/src/registry.rs:

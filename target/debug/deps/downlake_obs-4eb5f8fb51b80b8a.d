@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/downlake_obs-4eb5f8fb51b80b8a.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/libdownlake_obs-4eb5f8fb51b80b8a.rlib: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/libdownlake_obs-4eb5f8fb51b80b8a.rmeta: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/registry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/manifest.rs:
+crates/obs/src/registry.rs:

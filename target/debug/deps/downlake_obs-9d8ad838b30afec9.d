@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/downlake_obs-9d8ad838b30afec9.d: /root/repo/clippy.toml crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_obs-9d8ad838b30afec9.rmeta: /root/repo/clippy.toml crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/registry.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/manifest.rs:
+crates/obs/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/downlake_query-33802c59a0f5db41.d: crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs
+
+/root/repo/target/debug/deps/downlake_query-33802c59a0f5db41: crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs
+
+crates/query/src/lib.rs:
+crates/query/src/adjacency.rs:
+crates/query/src/col.rs:
+crates/query/src/dense.rs:
+crates/query/src/key.rs:
+crates/query/src/partition.rs:
+crates/query/src/pipeline.rs:
+crates/query/src/stamp.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/downlake_query-d7c95528824990b6.d: /root/repo/clippy.toml crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_query-d7c95528824990b6.rmeta: /root/repo/clippy.toml crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/query/src/lib.rs:
+crates/query/src/adjacency.rs:
+crates/query/src/col.rs:
+crates/query/src/dense.rs:
+crates/query/src/key.rs:
+crates/query/src/partition.rs:
+crates/query/src/pipeline.rs:
+crates/query/src/stamp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

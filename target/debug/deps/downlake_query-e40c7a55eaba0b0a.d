@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/downlake_query-e40c7a55eaba0b0a.d: crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs
+
+/root/repo/target/debug/deps/libdownlake_query-e40c7a55eaba0b0a.rmeta: crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs
+
+crates/query/src/lib.rs:
+crates/query/src/adjacency.rs:
+crates/query/src/col.rs:
+crates/query/src/dense.rs:
+crates/query/src/key.rs:
+crates/query/src/partition.rs:
+crates/query/src/pipeline.rs:
+crates/query/src/stamp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_repro-1d81952ec08ed9e1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdownlake_repro-1d81952ec08ed9e1.rmeta: src/lib.rs
+
+src/lib.rs:

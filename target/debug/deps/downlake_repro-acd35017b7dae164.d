@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/downlake_repro-acd35017b7dae164.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdownlake_repro-acd35017b7dae164.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdownlake_repro-acd35017b7dae164.rmeta: src/lib.rs
+
+src/lib.rs:

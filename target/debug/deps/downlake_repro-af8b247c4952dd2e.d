@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_repro-af8b247c4952dd2e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdownlake_repro-af8b247c4952dd2e.rmeta: src/lib.rs
+
+src/lib.rs:

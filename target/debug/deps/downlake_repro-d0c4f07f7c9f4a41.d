@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_repro-d0c4f07f7c9f4a41.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdownlake_repro-d0c4f07f7c9f4a41.rmeta: src/lib.rs
+
+src/lib.rs:

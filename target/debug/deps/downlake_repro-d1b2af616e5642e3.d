@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/downlake_repro-d1b2af616e5642e3.d: src/lib.rs
+
+/root/repo/target/debug/deps/downlake_repro-d1b2af616e5642e3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/downlake_rulelearn-43689186a07ee1c9.d: crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs
+
+/root/repo/target/debug/deps/libdownlake_rulelearn-43689186a07ee1c9.rlib: crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs
+
+/root/repo/target/debug/deps/libdownlake_rulelearn-43689186a07ee1c9.rmeta: crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs
+
+crates/rulelearn/src/lib.rs:
+crates/rulelearn/src/data.rs:
+crates/rulelearn/src/entropy.rs:
+crates/rulelearn/src/metrics.rs:
+crates/rulelearn/src/part.rs:
+crates/rulelearn/src/rule.rs:
+crates/rulelearn/src/ruleset.rs:
+crates/rulelearn/src/tree.rs:

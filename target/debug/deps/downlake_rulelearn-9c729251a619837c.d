@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/downlake_rulelearn-9c729251a619837c.d: /root/repo/clippy.toml crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_rulelearn-9c729251a619837c.rmeta: /root/repo/clippy.toml crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/rulelearn/src/lib.rs:
+crates/rulelearn/src/data.rs:
+crates/rulelearn/src/entropy.rs:
+crates/rulelearn/src/metrics.rs:
+crates/rulelearn/src/part.rs:
+crates/rulelearn/src/rule.rs:
+crates/rulelearn/src/ruleset.rs:
+crates/rulelearn/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

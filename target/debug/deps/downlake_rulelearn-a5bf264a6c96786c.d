@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/downlake_rulelearn-a5bf264a6c96786c.d: crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs
+
+/root/repo/target/debug/deps/libdownlake_rulelearn-a5bf264a6c96786c.rmeta: crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs
+
+crates/rulelearn/src/lib.rs:
+crates/rulelearn/src/data.rs:
+crates/rulelearn/src/entropy.rs:
+crates/rulelearn/src/metrics.rs:
+crates/rulelearn/src/part.rs:
+crates/rulelearn/src/rule.rs:
+crates/rulelearn/src/ruleset.rs:
+crates/rulelearn/src/tree.rs:

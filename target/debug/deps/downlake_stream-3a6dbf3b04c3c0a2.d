@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/downlake_stream-3a6dbf3b04c3c0a2.d: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+/root/repo/target/debug/deps/libdownlake_stream-3a6dbf3b04c3c0a2.rmeta: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/collector.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/online.rs:
+crates/stream/src/session.rs:

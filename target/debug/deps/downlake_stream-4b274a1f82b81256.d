@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/downlake_stream-4b274a1f82b81256.d: /root/repo/clippy.toml crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_stream-4b274a1f82b81256.rmeta: /root/repo/clippy.toml crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/stream/src/lib.rs:
+crates/stream/src/collector.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/online.rs:
+crates/stream/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/downlake_stream-85fd3e22dd47c24b.d: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+/root/repo/target/debug/deps/downlake_stream-85fd3e22dd47c24b: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/collector.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/online.rs:
+crates/stream/src/session.rs:

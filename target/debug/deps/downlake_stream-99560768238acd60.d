@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/downlake_stream-99560768238acd60.d: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+/root/repo/target/debug/deps/libdownlake_stream-99560768238acd60.rlib: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+/root/repo/target/debug/deps/libdownlake_stream-99560768238acd60.rmeta: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/collector.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/online.rs:
+crates/stream/src/session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/downlake_stream-d2e8742da5fd9324.d: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+/root/repo/target/debug/deps/libdownlake_stream-d2e8742da5fd9324.rmeta: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/collector.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/online.rs:
+crates/stream/src/session.rs:

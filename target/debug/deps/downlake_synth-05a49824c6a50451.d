@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/downlake_synth-05a49824c6a50451.d: /root/repo/clippy.toml crates/synth/src/lib.rs crates/synth/src/calibration.rs crates/synth/src/catalogs/mod.rs crates/synth/src/catalogs/domains.rs crates/synth/src/catalogs/families.rs crates/synth/src/catalogs/names.rs crates/synth/src/catalogs/packers.rs crates/synth/src/catalogs/processes.rs crates/synth/src/catalogs/signers.rs crates/synth/src/config.rs crates/synth/src/dist.rs crates/synth/src/eventgen.rs crates/synth/src/filegen.rs crates/synth/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_synth-05a49824c6a50451.rmeta: /root/repo/clippy.toml crates/synth/src/lib.rs crates/synth/src/calibration.rs crates/synth/src/catalogs/mod.rs crates/synth/src/catalogs/domains.rs crates/synth/src/catalogs/families.rs crates/synth/src/catalogs/names.rs crates/synth/src/catalogs/packers.rs crates/synth/src/catalogs/processes.rs crates/synth/src/catalogs/signers.rs crates/synth/src/config.rs crates/synth/src/dist.rs crates/synth/src/eventgen.rs crates/synth/src/filegen.rs crates/synth/src/world.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/synth/src/lib.rs:
+crates/synth/src/calibration.rs:
+crates/synth/src/catalogs/mod.rs:
+crates/synth/src/catalogs/domains.rs:
+crates/synth/src/catalogs/families.rs:
+crates/synth/src/catalogs/names.rs:
+crates/synth/src/catalogs/packers.rs:
+crates/synth/src/catalogs/processes.rs:
+crates/synth/src/catalogs/signers.rs:
+crates/synth/src/config.rs:
+crates/synth/src/dist.rs:
+crates/synth/src/eventgen.rs:
+crates/synth/src/filegen.rs:
+crates/synth/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/downlake_synth-609caca728747796.d: crates/synth/src/lib.rs crates/synth/src/calibration.rs crates/synth/src/catalogs/mod.rs crates/synth/src/catalogs/domains.rs crates/synth/src/catalogs/families.rs crates/synth/src/catalogs/names.rs crates/synth/src/catalogs/packers.rs crates/synth/src/catalogs/processes.rs crates/synth/src/catalogs/signers.rs crates/synth/src/config.rs crates/synth/src/dist.rs crates/synth/src/eventgen.rs crates/synth/src/filegen.rs crates/synth/src/world.rs
+
+/root/repo/target/debug/deps/downlake_synth-609caca728747796: crates/synth/src/lib.rs crates/synth/src/calibration.rs crates/synth/src/catalogs/mod.rs crates/synth/src/catalogs/domains.rs crates/synth/src/catalogs/families.rs crates/synth/src/catalogs/names.rs crates/synth/src/catalogs/packers.rs crates/synth/src/catalogs/processes.rs crates/synth/src/catalogs/signers.rs crates/synth/src/config.rs crates/synth/src/dist.rs crates/synth/src/eventgen.rs crates/synth/src/filegen.rs crates/synth/src/world.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/calibration.rs:
+crates/synth/src/catalogs/mod.rs:
+crates/synth/src/catalogs/domains.rs:
+crates/synth/src/catalogs/families.rs:
+crates/synth/src/catalogs/names.rs:
+crates/synth/src/catalogs/packers.rs:
+crates/synth/src/catalogs/processes.rs:
+crates/synth/src/catalogs/signers.rs:
+crates/synth/src/config.rs:
+crates/synth/src/dist.rs:
+crates/synth/src/eventgen.rs:
+crates/synth/src/filegen.rs:
+crates/synth/src/world.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/downlake_telemetry-81b9574b0889eba7.d: /root/repo/clippy.toml crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_telemetry-81b9574b0889eba7.rmeta: /root/repo/clippy.toml crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/codec.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/server.rs:
+crates/telemetry/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/downlake_telemetry-a0fc3a19380aed7c.d: crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs
+
+/root/repo/target/debug/deps/libdownlake_telemetry-a0fc3a19380aed7c.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/codec.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/server.rs:
+crates/telemetry/src/tables.rs:

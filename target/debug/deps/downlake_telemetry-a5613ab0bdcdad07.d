@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/downlake_telemetry-a5613ab0bdcdad07.d: crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs
+
+/root/repo/target/debug/deps/libdownlake_telemetry-a5613ab0bdcdad07.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs
+
+/root/repo/target/debug/deps/libdownlake_telemetry-a5613ab0bdcdad07.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/codec.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/server.rs:
+crates/telemetry/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/downlake_telemetry-d711ab2cb6ac2b1f.d: crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs
+
+/root/repo/target/debug/deps/downlake_telemetry-d711ab2cb6ac2b1f: crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/codec.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/server.rs:
+crates/telemetry/src/tables.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/downlake_types-05c281ba75ebab96.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/label.rs crates/types/src/meta.rs crates/types/src/process.rs crates/types/src/rank.rs crates/types/src/time.rs crates/types/src/url.rs
+
+/root/repo/target/debug/deps/libdownlake_types-05c281ba75ebab96.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/label.rs crates/types/src/meta.rs crates/types/src/process.rs crates/types/src/rank.rs crates/types/src/time.rs crates/types/src/url.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/label.rs:
+crates/types/src/meta.rs:
+crates/types/src/process.rs:
+crates/types/src/rank.rs:
+crates/types/src/time.rs:
+crates/types/src/url.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/downlake_types-22d98db2c8c38520.d: /root/repo/clippy.toml crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/label.rs crates/types/src/meta.rs crates/types/src/process.rs crates/types/src/rank.rs crates/types/src/time.rs crates/types/src/url.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdownlake_types-22d98db2c8c38520.rmeta: /root/repo/clippy.toml crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/label.rs crates/types/src/meta.rs crates/types/src/process.rs crates/types/src/rank.rs crates/types/src/time.rs crates/types/src/url.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/label.rs:
+crates/types/src/meta.rs:
+crates/types/src/process.rs:
+crates/types/src/rank.rs:
+crates/types/src/time.rs:
+crates/types/src/url.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

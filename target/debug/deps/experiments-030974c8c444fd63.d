@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/experiments-030974c8c444fd63.d: tests/experiments.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/experiments-030974c8c444fd63: tests/experiments.rs tests/common/mod.rs
+
+tests/experiments.rs:
+tests/common/mod.rs:

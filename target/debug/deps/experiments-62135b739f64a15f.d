@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/experiments-62135b739f64a15f.d: /root/repo/clippy.toml tests/experiments.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-62135b739f64a15f.rmeta: /root/repo/clippy.toml tests/experiments.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/experiments.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

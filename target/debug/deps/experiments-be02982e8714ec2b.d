@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/experiments-be02982e8714ec2b.d: tests/experiments.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libexperiments-be02982e8714ec2b.rmeta: tests/experiments.rs tests/common/mod.rs
+
+tests/experiments.rs:
+tests/common/mod.rs:

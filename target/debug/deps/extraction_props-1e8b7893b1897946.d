@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extraction_props-1e8b7893b1897946.d: crates/features/tests/extraction_props.rs
+
+/root/repo/target/debug/deps/libextraction_props-1e8b7893b1897946.rmeta: crates/features/tests/extraction_props.rs
+
+crates/features/tests/extraction_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extraction_props-51310d5cb8ad0316.d: /root/repo/clippy.toml crates/features/tests/extraction_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextraction_props-51310d5cb8ad0316.rmeta: /root/repo/clippy.toml crates/features/tests/extraction_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/features/tests/extraction_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

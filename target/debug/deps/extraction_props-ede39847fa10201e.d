@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extraction_props-ede39847fa10201e.d: crates/features/tests/extraction_props.rs
+
+/root/repo/target/debug/deps/extraction_props-ede39847fa10201e: crates/features/tests/extraction_props.rs
+
+crates/features/tests/extraction_props.rs:

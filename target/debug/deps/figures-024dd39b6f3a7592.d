@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-024dd39b6f3a7592.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-024dd39b6f3a7592.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/figures-7a72c8244d407939.d: /root/repo/clippy.toml crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-7a72c8244d407939.rmeta: /root/repo/clippy.toml crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

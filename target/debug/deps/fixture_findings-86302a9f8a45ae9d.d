@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fixture_findings-86302a9f8a45ae9d.d: /root/repo/clippy.toml crates/lint/tests/fixture_findings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixture_findings-86302a9f8a45ae9d.rmeta: /root/repo/clippy.toml crates/lint/tests/fixture_findings.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/lint/tests/fixture_findings.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

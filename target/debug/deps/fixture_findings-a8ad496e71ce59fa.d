@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixture_findings-a8ad496e71ce59fa.d: crates/lint/tests/fixture_findings.rs
+
+/root/repo/target/debug/deps/libfixture_findings-a8ad496e71ce59fa.rmeta: crates/lint/tests/fixture_findings.rs
+
+crates/lint/tests/fixture_findings.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixture_findings-f80c4b2a5e7ec82b.d: crates/lint/tests/fixture_findings.rs
+
+/root/repo/target/debug/deps/fixture_findings-f80c4b2a5e7ec82b: crates/lint/tests/fixture_findings.rs
+
+crates/lint/tests/fixture_findings.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/frame_equivalence-383ff9f2eb18b5f9.d: tests/frame_equivalence.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/frame_equivalence-383ff9f2eb18b5f9: tests/frame_equivalence.rs tests/common/mod.rs
+
+tests/frame_equivalence.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/frame_equivalence-81c4b087c042ecb7.d: tests/frame_equivalence.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libframe_equivalence-81c4b087c042ecb7.rmeta: tests/frame_equivalence.rs tests/common/mod.rs
+
+tests/frame_equivalence.rs:
+tests/common/mod.rs:

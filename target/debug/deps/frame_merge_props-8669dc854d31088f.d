@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frame_merge_props-8669dc854d31088f.d: crates/analysis/tests/frame_merge_props.rs
+
+/root/repo/target/debug/deps/libframe_merge_props-8669dc854d31088f.rmeta: crates/analysis/tests/frame_merge_props.rs
+
+crates/analysis/tests/frame_merge_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/frame_merge_props-c53673630606c413.d: /root/repo/clippy.toml crates/analysis/tests/frame_merge_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframe_merge_props-c53673630606c413.rmeta: /root/repo/clippy.toml crates/analysis/tests/frame_merge_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/analysis/tests/frame_merge_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

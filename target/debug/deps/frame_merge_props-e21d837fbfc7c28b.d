@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frame_merge_props-e21d837fbfc7c28b.d: crates/analysis/tests/frame_merge_props.rs
+
+/root/repo/target/debug/deps/frame_merge_props-e21d837fbfc7c28b: crates/analysis/tests/frame_merge_props.rs
+
+crates/analysis/tests/frame_merge_props.rs:

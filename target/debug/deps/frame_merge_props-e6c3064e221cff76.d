@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frame_merge_props-e6c3064e221cff76.d: crates/analysis/tests/frame_merge_props.rs
+
+/root/repo/target/debug/deps/frame_merge_props-e6c3064e221cff76: crates/analysis/tests/frame_merge_props.rs
+
+crates/analysis/tests/frame_merge_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generation_props-5d46d4f8a7d7e1dc.d: crates/synth/tests/generation_props.rs
+
+/root/repo/target/debug/deps/libgeneration_props-5d46d4f8a7d7e1dc.rmeta: crates/synth/tests/generation_props.rs
+
+crates/synth/tests/generation_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generation_props-7ce0653382634d46.d: crates/synth/tests/generation_props.rs
+
+/root/repo/target/debug/deps/generation_props-7ce0653382634d46: crates/synth/tests/generation_props.rs
+
+crates/synth/tests/generation_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/generation_props-a8422f87edf54d1b.d: /root/repo/clippy.toml crates/synth/tests/generation_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeneration_props-a8422f87edf54d1b.rmeta: /root/repo/clippy.toml crates/synth/tests/generation_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/synth/tests/generation_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/golden_report-2c0c49bd539b96d4.d: /root/repo/clippy.toml tests/golden_report.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_report-2c0c49bd539b96d4.rmeta: /root/repo/clippy.toml tests/golden_report.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/golden_report.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

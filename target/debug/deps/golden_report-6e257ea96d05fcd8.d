@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/golden_report-6e257ea96d05fcd8.d: tests/golden_report.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libgolden_report-6e257ea96d05fcd8.rmeta: tests/golden_report.rs tests/common/mod.rs
+
+tests/golden_report.rs:
+tests/common/mod.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

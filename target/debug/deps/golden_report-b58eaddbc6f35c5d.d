@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/golden_report-b58eaddbc6f35c5d.d: tests/golden_report.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/golden_report-b58eaddbc6f35c5d: tests/golden_report.rs tests/common/mod.rs
+
+tests/golden_report.rs:
+tests/common/mod.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

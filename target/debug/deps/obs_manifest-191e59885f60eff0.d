@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/obs_manifest-191e59885f60eff0.d: tests/obs_manifest.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libobs_manifest-191e59885f60eff0.rmeta: tests/obs_manifest.rs tests/common/mod.rs
+
+tests/obs_manifest.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/obs_manifest-9db4467b2a1ca8b1.d: tests/obs_manifest.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/obs_manifest-9db4467b2a1ca8b1: tests/obs_manifest.rs tests/common/mod.rs
+
+tests/obs_manifest.rs:
+tests/common/mod.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/obs_manifest-ae1c798ea92efa61.d: /root/repo/clippy.toml tests/obs_manifest.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_manifest-ae1c798ea92efa61.rmeta: /root/repo/clippy.toml tests/obs_manifest.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/obs_manifest.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_props-211f2ec3ea8b185e.d: crates/groundtruth/tests/oracle_props.rs
+
+/root/repo/target/debug/deps/liboracle_props-211f2ec3ea8b185e.rmeta: crates/groundtruth/tests/oracle_props.rs
+
+crates/groundtruth/tests/oracle_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_props-6054b6d497c02e1e.d: crates/groundtruth/tests/oracle_props.rs
+
+/root/repo/target/debug/deps/oracle_props-6054b6d497c02e1e: crates/groundtruth/tests/oracle_props.rs
+
+crates/groundtruth/tests/oracle_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/oracle_props-a492cc8b82cf84e1.d: /root/repo/clippy.toml crates/groundtruth/tests/oracle_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_props-a492cc8b82cf84e1.rmeta: /root/repo/clippy.toml crates/groundtruth/tests/oracle_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/groundtruth/tests/oracle_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

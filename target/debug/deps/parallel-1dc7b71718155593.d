@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-1dc7b71718155593.d: crates/bench/src/bin/parallel.rs
+
+/root/repo/target/debug/deps/libparallel-1dc7b71718155593.rmeta: crates/bench/src/bin/parallel.rs
+
+crates/bench/src/bin/parallel.rs:

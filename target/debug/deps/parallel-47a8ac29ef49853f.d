@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-47a8ac29ef49853f.d: crates/bench/src/bin/parallel.rs
+
+/root/repo/target/debug/deps/libparallel-47a8ac29ef49853f.rmeta: crates/bench/src/bin/parallel.rs
+
+crates/bench/src/bin/parallel.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parallel-69dc7dc7a1466e76.d: /root/repo/clippy.toml crates/bench/src/bin/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-69dc7dc7a1466e76.rmeta: /root/repo/clippy.toml crates/bench/src/bin/parallel.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

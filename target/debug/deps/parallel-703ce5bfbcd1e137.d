@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-703ce5bfbcd1e137.d: crates/bench/src/bin/parallel.rs
+
+/root/repo/target/debug/deps/libparallel-703ce5bfbcd1e137.rmeta: crates/bench/src/bin/parallel.rs
+
+crates/bench/src/bin/parallel.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parallel-a27b0bffd9b92ba8.d: /root/repo/clippy.toml crates/bench/src/bin/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-a27b0bffd9b92ba8.rmeta: /root/repo/clippy.toml crates/bench/src/bin/parallel.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-ffb785916ad9b440.d: crates/bench/src/bin/parallel.rs
+
+/root/repo/target/debug/deps/parallel-ffb785916ad9b440: crates/bench/src/bin/parallel.rs
+
+crates/bench/src/bin/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partition_props-36e53cc78bd16aef.d: crates/exec/tests/partition_props.rs
+
+/root/repo/target/debug/deps/libpartition_props-36e53cc78bd16aef.rmeta: crates/exec/tests/partition_props.rs
+
+crates/exec/tests/partition_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/partition_props-d96b5620b46c2025.d: /root/repo/clippy.toml crates/exec/tests/partition_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartition_props-d96b5620b46c2025.rmeta: /root/repo/clippy.toml crates/exec/tests/partition_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/exec/tests/partition_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partition_props-e5cbfaec2da3829c.d: crates/exec/tests/partition_props.rs
+
+/root/repo/target/debug/deps/partition_props-e5cbfaec2da3829c: crates/exec/tests/partition_props.rs
+
+crates/exec/tests/partition_props.rs:

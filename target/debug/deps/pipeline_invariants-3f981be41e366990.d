@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pipeline_invariants-3f981be41e366990.d: /root/repo/clippy.toml tests/pipeline_invariants.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_invariants-3f981be41e366990.rmeta: /root/repo/clippy.toml tests/pipeline_invariants.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/pipeline_invariants.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pipeline_invariants-da8e20aab4b68682.d: tests/pipeline_invariants.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libpipeline_invariants-da8e20aab4b68682.rmeta: tests/pipeline_invariants.rs tests/common/mod.rs
+
+tests/pipeline_invariants.rs:
+tests/common/mod.rs:

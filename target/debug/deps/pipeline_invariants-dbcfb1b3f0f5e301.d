@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pipeline_invariants-dbcfb1b3f0f5e301.d: tests/pipeline_invariants.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/pipeline_invariants-dbcfb1b3f0f5e301: tests/pipeline_invariants.rs tests/common/mod.rs
+
+tests/pipeline_invariants.rs:
+tests/common/mod.rs:

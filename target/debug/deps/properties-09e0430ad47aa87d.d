@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-09e0430ad47aa87d.d: crates/avtype/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-09e0430ad47aa87d.rmeta: crates/avtype/tests/properties.rs
+
+crates/avtype/tests/properties.rs:

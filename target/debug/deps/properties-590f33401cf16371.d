@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-590f33401cf16371.d: crates/avtype/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-590f33401cf16371: crates/avtype/tests/properties.rs
+
+crates/avtype/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-60a14a43d8a8c4d9.d: crates/types/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-60a14a43d8a8c4d9: crates/types/tests/properties.rs
+
+crates/types/tests/properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-9eab263f9a602984.d: /root/repo/clippy.toml crates/types/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-9eab263f9a602984.rmeta: /root/repo/clippy.toml crates/types/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/types/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

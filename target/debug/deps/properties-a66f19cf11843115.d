@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a66f19cf11843115.d: crates/rulelearn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a66f19cf11843115: crates/rulelearn/tests/properties.rs
+
+crates/rulelearn/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b08cfefa744e4d14.d: crates/types/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-b08cfefa744e4d14.rmeta: crates/types/tests/properties.rs
+
+crates/types/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dae15f8fce0720a3.d: crates/rulelearn/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-dae15f8fce0720a3.rmeta: crates/rulelearn/tests/properties.rs
+
+crates/rulelearn/tests/properties.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/proptest-c517ba04faf720ff.d: /tmp/stubs/proptest/src/lib.rs /tmp/stubs/proptest/src/arbitrary.rs /tmp/stubs/proptest/src/bool.rs /tmp/stubs/proptest/src/collection.rs /tmp/stubs/proptest/src/option.rs /tmp/stubs/proptest/src/prelude.rs /tmp/stubs/proptest/src/regex.rs /tmp/stubs/proptest/src/rng.rs /tmp/stubs/proptest/src/sample.rs /tmp/stubs/proptest/src/strategy.rs /tmp/stubs/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-c517ba04faf720ff.rmeta: /tmp/stubs/proptest/src/lib.rs /tmp/stubs/proptest/src/arbitrary.rs /tmp/stubs/proptest/src/bool.rs /tmp/stubs/proptest/src/collection.rs /tmp/stubs/proptest/src/option.rs /tmp/stubs/proptest/src/prelude.rs /tmp/stubs/proptest/src/regex.rs /tmp/stubs/proptest/src/rng.rs /tmp/stubs/proptest/src/sample.rs /tmp/stubs/proptest/src/strategy.rs /tmp/stubs/proptest/src/test_runner.rs
+
+/tmp/stubs/proptest/src/lib.rs:
+/tmp/stubs/proptest/src/arbitrary.rs:
+/tmp/stubs/proptest/src/bool.rs:
+/tmp/stubs/proptest/src/collection.rs:
+/tmp/stubs/proptest/src/option.rs:
+/tmp/stubs/proptest/src/prelude.rs:
+/tmp/stubs/proptest/src/regex.rs:
+/tmp/stubs/proptest/src/rng.rs:
+/tmp/stubs/proptest/src/sample.rs:
+/tmp/stubs/proptest/src/strategy.rs:
+/tmp/stubs/proptest/src/test_runner.rs:

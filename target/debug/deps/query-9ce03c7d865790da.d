@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/query-9ce03c7d865790da.d: /root/repo/clippy.toml crates/bench/src/bin/query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery-9ce03c7d865790da.rmeta: /root/repo/clippy.toml crates/bench/src/bin/query.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

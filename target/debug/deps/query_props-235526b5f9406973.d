@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_props-235526b5f9406973.d: crates/query/tests/query_props.rs
+
+/root/repo/target/debug/deps/query_props-235526b5f9406973: crates/query/tests/query_props.rs
+
+crates/query/tests/query_props.rs:

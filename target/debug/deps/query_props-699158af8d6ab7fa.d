@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/query_props-699158af8d6ab7fa.d: /root/repo/clippy.toml crates/query/tests/query_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_props-699158af8d6ab7fa.rmeta: /root/repo/clippy.toml crates/query/tests/query_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/query/tests/query_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4b40c1e466279bcb.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4b40c1e466279bcb.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

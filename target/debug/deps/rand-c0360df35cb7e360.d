@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c0360df35cb7e360.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c0360df35cb7e360.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c0360df35cb7e360.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

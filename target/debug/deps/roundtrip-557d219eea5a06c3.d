@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/roundtrip-557d219eea5a06c3.d: /root/repo/clippy.toml crates/avtype/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-557d219eea5a06c3.rmeta: /root/repo/clippy.toml crates/avtype/tests/roundtrip.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/avtype/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

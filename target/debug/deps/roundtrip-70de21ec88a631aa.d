@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-70de21ec88a631aa.d: crates/avtype/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/libroundtrip-70de21ec88a631aa.rmeta: crates/avtype/tests/roundtrip.rs
+
+crates/avtype/tests/roundtrip.rs:

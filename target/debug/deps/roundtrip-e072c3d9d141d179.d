@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-e072c3d9d141d179.d: crates/avtype/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-e072c3d9d141d179: crates/avtype/tests/roundtrip.rs
+
+crates/avtype/tests/roundtrip.rs:

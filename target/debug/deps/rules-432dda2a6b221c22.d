@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rules-432dda2a6b221c22.d: /root/repo/clippy.toml crates/bench/benches/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/librules-432dda2a6b221c22.rmeta: /root/repo/clippy.toml crates/bench/benches/rules.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rules-fdd97230c6e132e9.d: crates/bench/benches/rules.rs
+
+/root/repo/target/debug/deps/librules-fdd97230c6e132e9.rmeta: crates/bench/benches/rules.rs
+
+crates/bench/benches/rules.rs:

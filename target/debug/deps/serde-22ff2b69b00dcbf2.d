@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-22ff2b69b00dcbf2.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-22ff2b69b00dcbf2.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-22ff2b69b00dcbf2.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

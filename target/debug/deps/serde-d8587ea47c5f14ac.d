@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-d8587ea47c5f14ac.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d8587ea47c5f14ac.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_props-48998d5d7ef18b52.d: crates/analysis/tests/stats_props.rs
+
+/root/repo/target/debug/deps/stats_props-48998d5d7ef18b52: crates/analysis/tests/stats_props.rs
+
+crates/analysis/tests/stats_props.rs:

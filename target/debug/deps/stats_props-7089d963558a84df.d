@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/stats_props-7089d963558a84df.d: /root/repo/clippy.toml crates/analysis/tests/stats_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats_props-7089d963558a84df.rmeta: /root/repo/clippy.toml crates/analysis/tests/stats_props.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/analysis/tests/stats_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_props-a51c86148c7ce8b1.d: crates/analysis/tests/stats_props.rs
+
+/root/repo/target/debug/deps/libstats_props-a51c86148c7ce8b1.rmeta: crates/analysis/tests/stats_props.rs
+
+crates/analysis/tests/stats_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_props-be20774fe3a0c065.d: crates/analysis/tests/stats_props.rs
+
+/root/repo/target/debug/deps/stats_props-be20774fe3a0c065: crates/analysis/tests/stats_props.rs
+
+crates/analysis/tests/stats_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/stream-0b09c7c20aa1e005.d: /root/repo/clippy.toml crates/bench/src/bin/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream-0b09c7c20aa1e005.rmeta: /root/repo/clippy.toml crates/bench/src/bin/stream.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

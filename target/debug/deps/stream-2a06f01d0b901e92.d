@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream-2a06f01d0b901e92.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/debug/deps/libstream-2a06f01d0b901e92.rmeta: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream-56c0ae4786f50aba.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/debug/deps/stream-56c0ae4786f50aba: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream-8acb8c8db1f98fd4.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/debug/deps/libstream-8acb8c8db1f98fd4.rmeta: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

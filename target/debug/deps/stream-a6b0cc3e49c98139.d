@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream-a6b0cc3e49c98139.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/debug/deps/libstream-a6b0cc3e49c98139.rmeta: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

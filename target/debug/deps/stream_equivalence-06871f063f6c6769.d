@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/stream_equivalence-06871f063f6c6769.d: /root/repo/clippy.toml tests/stream_equivalence.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_equivalence-06871f063f6c6769.rmeta: /root/repo/clippy.toml tests/stream_equivalence.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/stream_equivalence.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/stream_equivalence-209682b462c3ad5f.d: tests/stream_equivalence.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/stream_equivalence-209682b462c3ad5f: tests/stream_equivalence.rs tests/common/mod.rs
+
+tests/stream_equivalence.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/stream_equivalence-a1b70a3622341ee2.d: tests/stream_equivalence.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libstream_equivalence-a1b70a3622341ee2.rmeta: tests/stream_equivalence.rs tests/common/mod.rs
+
+tests/stream_equivalence.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-3fbdc16d5c07958c.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/libtables-3fbdc16d5c07958c.rmeta: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tables-fa255a40a06f5b65.d: /root/repo/clippy.toml crates/bench/benches/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-fa255a40a06f5b65.rmeta: /root/repo/clippy.toml crates/bench/benches/tables.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/thread_matrix-46c6774a5a724c3a.d: tests/thread_matrix.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libthread_matrix-46c6774a5a724c3a.rmeta: tests/thread_matrix.rs tests/common/mod.rs
+
+tests/thread_matrix.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/thread_matrix-5428a18b52c37aae.d: tests/thread_matrix.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/thread_matrix-5428a18b52c37aae: tests/thread_matrix.rs tests/common/mod.rs
+
+tests/thread_matrix.rs:
+tests/common/mod.rs:

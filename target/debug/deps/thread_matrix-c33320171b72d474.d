@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thread_matrix-c33320171b72d474.d: /root/repo/clippy.toml tests/thread_matrix.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthread_matrix-c33320171b72d474.rmeta: /root/repo/clippy.toml tests/thread_matrix.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/thread_matrix.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-26caa1a471d95c09.d: crates/stream/tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/libzero_alloc-26caa1a471d95c09.rmeta: crates/stream/tests/zero_alloc.rs
+
+crates/stream/tests/zero_alloc.rs:

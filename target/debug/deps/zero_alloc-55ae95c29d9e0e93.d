@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-55ae95c29d9e0e93.d: crates/stream/tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-55ae95c29d9e0e93: crates/stream/tests/zero_alloc.rs
+
+crates/stream/tests/zero_alloc.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zero_alloc-910020abec1f3d19.d: /root/repo/clippy.toml crates/stream/tests/zero_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_alloc-910020abec1f3d19.rmeta: /root/repo/clippy.toml crates/stream/tests/zero_alloc.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/stream/tests/zero_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/__tmp_gen_report-2c47c3f3dc9d56f1.d: /root/repo/clippy.toml examples/__tmp_gen_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/lib__tmp_gen_report-2c47c3f3dc9d56f1.rmeta: /root/repo/clippy.toml examples/__tmp_gen_report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/__tmp_gen_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/csv_roundtrip-414c27604196f45a.d: examples/csv_roundtrip.rs
+
+/root/repo/target/debug/examples/libcsv_roundtrip-414c27604196f45a.rmeta: examples/csv_roundtrip.rs
+
+examples/csv_roundtrip.rs:

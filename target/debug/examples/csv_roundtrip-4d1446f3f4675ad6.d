@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/csv_roundtrip-4d1446f3f4675ad6.d: /root/repo/clippy.toml examples/csv_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcsv_roundtrip-4d1446f3f4675ad6.rmeta: /root/repo/clippy.toml examples/csv_roundtrip.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/csv_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

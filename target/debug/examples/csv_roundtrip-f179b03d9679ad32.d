@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/csv_roundtrip-f179b03d9679ad32.d: examples/csv_roundtrip.rs
+
+/root/repo/target/debug/examples/csv_roundtrip-f179b03d9679ad32: examples/csv_roundtrip.rs
+
+examples/csv_roundtrip.rs:

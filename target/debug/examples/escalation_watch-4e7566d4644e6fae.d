@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/escalation_watch-4e7566d4644e6fae.d: /root/repo/clippy.toml examples/escalation_watch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libescalation_watch-4e7566d4644e6fae.rmeta: /root/repo/clippy.toml examples/escalation_watch.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/escalation_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/escalation_watch-ae9e091b8d391a6e.d: examples/escalation_watch.rs
+
+/root/repo/target/debug/examples/escalation_watch-ae9e091b8d391a6e: examples/escalation_watch.rs
+
+examples/escalation_watch.rs:

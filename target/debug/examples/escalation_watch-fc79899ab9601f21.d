@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/escalation_watch-fc79899ab9601f21.d: examples/escalation_watch.rs
+
+/root/repo/target/debug/examples/libescalation_watch-fc79899ab9601f21.rmeta: examples/escalation_watch.rs
+
+examples/escalation_watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/long_tail_report-2af5631bb4e79623.d: examples/long_tail_report.rs
+
+/root/repo/target/debug/examples/liblong_tail_report-2af5631bb4e79623.rmeta: examples/long_tail_report.rs
+
+examples/long_tail_report.rs:

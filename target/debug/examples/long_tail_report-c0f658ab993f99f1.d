@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/long_tail_report-c0f658ab993f99f1.d: examples/long_tail_report.rs
+
+/root/repo/target/debug/examples/long_tail_report-c0f658ab993f99f1: examples/long_tail_report.rs
+
+examples/long_tail_report.rs:

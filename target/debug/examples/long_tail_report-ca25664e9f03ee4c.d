@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/long_tail_report-ca25664e9f03ee4c.d: /root/repo/clippy.toml examples/long_tail_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblong_tail_report-ca25664e9f03ee4c.rmeta: /root/repo/clippy.toml examples/long_tail_report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/long_tail_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7f4f1d3ddde634ad.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7f4f1d3ddde634ad: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/quickstart-e396ecec5138758a.d: /root/repo/clippy.toml examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-e396ecec5138758a.rmeta: /root/repo/clippy.toml examples/quickstart.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fa99f825c22068bd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-fa99f825c22068bd.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rule_mining-6db96881e48e4b51.d: examples/rule_mining.rs
+
+/root/repo/target/debug/examples/rule_mining-6db96881e48e4b51: examples/rule_mining.rs
+
+examples/rule_mining.rs:

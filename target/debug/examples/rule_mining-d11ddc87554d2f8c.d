@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rule_mining-d11ddc87554d2f8c.d: examples/rule_mining.rs
+
+/root/repo/target/debug/examples/librule_mining-d11ddc87554d2f8c.rmeta: examples/rule_mining.rs
+
+examples/rule_mining.rs:

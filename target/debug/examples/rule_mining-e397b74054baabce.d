@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/rule_mining-e397b74054baabce.d: /root/repo/clippy.toml examples/rule_mining.rs Cargo.toml
+
+/root/repo/target/debug/examples/librule_mining-e397b74054baabce.rmeta: /root/repo/clippy.toml examples/rule_mining.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/rule_mining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

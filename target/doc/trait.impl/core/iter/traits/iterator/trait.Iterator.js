@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["downlake_query",[["impl&lt;I: <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a>&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"downlake_query/struct.Query.html\" title=\"struct downlake_query::Query\">Query</a>&lt;I&gt;",0]]],["downlake_telemetry",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"downlake_telemetry/codec/struct.EventReader.html\" title=\"struct downlake_telemetry::codec::EventReader\">EventReader</a>&lt;'_&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[515,375]}

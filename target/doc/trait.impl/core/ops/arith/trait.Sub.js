@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["downlake_types",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Sub.html\" title=\"trait core::ops::arith::Sub\">Sub</a> for <a class=\"struct\" href=\"downlake_types/struct.Timestamp.html\" title=\"struct downlake_types::Timestamp\">Timestamp</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[295]}

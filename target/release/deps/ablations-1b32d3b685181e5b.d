@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1b32d3b685181e5b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1b32d3b685181e5b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/avtype-866829b44447db84.d: crates/avtype/src/bin/avtype.rs
+
+/root/repo/target/release/deps/avtype-866829b44447db84: crates/avtype/src/bin/avtype.rs
+
+crates/avtype/src/bin/avtype.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/avtype-9bc163b3bcd641e5.d: crates/avtype/src/bin/avtype.rs
+
+/root/repo/target/release/deps/avtype-9bc163b3bcd641e5: crates/avtype/src/bin/avtype.rs
+
+crates/avtype/src/bin/avtype.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/baseline_roundtrip-b0ed97b233a16588.d: crates/lint/tests/baseline_roundtrip.rs
+
+/root/repo/target/release/deps/baseline_roundtrip-b0ed97b233a16588: crates/lint/tests/baseline_roundtrip.rs
+
+crates/lint/tests/baseline_roundtrip.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec_props-cd23e6a810573737.d: crates/telemetry/tests/codec_props.rs
+
+/root/repo/target/release/deps/codec_props-cd23e6a810573737: crates/telemetry/tests/codec_props.rs
+
+crates/telemetry/tests/codec_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collection_props-2e62e889f94d3c8a.d: tests/collection_props.rs
+
+/root/repo/target/release/deps/collection_props-2e62e889f94d3c8a: tests/collection_props.rs
+
+tests/collection_props.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-e56d1f57204baacd.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e56d1f57204baacd.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e56d1f57204baacd.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

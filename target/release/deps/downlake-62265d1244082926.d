@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/downlake-62265d1244082926.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/baselines.rs crates/core/src/experiments/evasion.rs crates/core/src/experiments/rules.rs crates/core/src/live.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libdownlake-62265d1244082926.rlib: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/baselines.rs crates/core/src/experiments/evasion.rs crates/core/src/experiments/rules.rs crates/core/src/live.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libdownlake-62265d1244082926.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/baselines.rs crates/core/src/experiments/evasion.rs crates/core/src/experiments/rules.rs crates/core/src/live.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/baselines.rs:
+crates/core/src/experiments/evasion.rs:
+crates/core/src/experiments/rules.rs:
+crates/core/src/live.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/render.rs:
+crates/core/src/report.rs:

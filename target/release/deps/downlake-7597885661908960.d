@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/downlake-7597885661908960.d: src/bin/downlake.rs
+
+/root/repo/target/release/deps/downlake-7597885661908960: src/bin/downlake.rs
+
+src/bin/downlake.rs:

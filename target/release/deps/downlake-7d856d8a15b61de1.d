@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/downlake-7d856d8a15b61de1.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/baselines.rs crates/core/src/experiments/evasion.rs crates/core/src/experiments/rules.rs crates/core/src/live.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/downlake-7d856d8a15b61de1: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/baselines.rs crates/core/src/experiments/evasion.rs crates/core/src/experiments/rules.rs crates/core/src/live.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/baselines.rs:
+crates/core/src/experiments/evasion.rs:
+crates/core/src/experiments/rules.rs:
+crates/core/src/live.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/render.rs:
+crates/core/src/report.rs:

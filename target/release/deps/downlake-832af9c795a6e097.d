@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/downlake-832af9c795a6e097.d: src/bin/downlake.rs
+
+/root/repo/target/release/deps/downlake-832af9c795a6e097: src/bin/downlake.rs
+
+src/bin/downlake.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/downlake-b2604aec99eee4a0.d: src/bin/downlake.rs
+
+/root/repo/target/release/deps/downlake-b2604aec99eee4a0: src/bin/downlake.rs
+
+src/bin/downlake.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/downlake-f7d1e50c37d57469.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/baselines.rs crates/core/src/experiments/evasion.rs crates/core/src/experiments/rules.rs crates/core/src/live.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libdownlake-f7d1e50c37d57469.rlib: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/baselines.rs crates/core/src/experiments/evasion.rs crates/core/src/experiments/rules.rs crates/core/src/live.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libdownlake-f7d1e50c37d57469.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/baselines.rs crates/core/src/experiments/evasion.rs crates/core/src/experiments/rules.rs crates/core/src/live.rs crates/core/src/pipeline.rs crates/core/src/render.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/baselines.rs:
+crates/core/src/experiments/evasion.rs:
+crates/core/src/experiments/rules.rs:
+crates/core/src/live.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/render.rs:
+crates/core/src/report.rs:

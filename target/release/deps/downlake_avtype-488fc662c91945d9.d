@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/downlake_avtype-488fc662c91945d9.d: crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs
+
+/root/repo/target/release/deps/downlake_avtype-488fc662c91945d9: crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs
+
+crates/avtype/src/lib.rs:
+crates/avtype/src/behavior.rs:
+crates/avtype/src/family.rs:
+crates/avtype/src/map.rs:
+crates/avtype/src/parse.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/downlake_avtype-eb1160c8e83f28f2.d: crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs
+
+/root/repo/target/release/deps/libdownlake_avtype-eb1160c8e83f28f2.rlib: crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs
+
+/root/repo/target/release/deps/libdownlake_avtype-eb1160c8e83f28f2.rmeta: crates/avtype/src/lib.rs crates/avtype/src/behavior.rs crates/avtype/src/family.rs crates/avtype/src/map.rs crates/avtype/src/parse.rs
+
+crates/avtype/src/lib.rs:
+crates/avtype/src/behavior.rs:
+crates/avtype/src/family.rs:
+crates/avtype/src/map.rs:
+crates/avtype/src/parse.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/downlake_bench-46d9033b2362e6c0.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/downlake_bench-46d9033b2362e6c0: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/report.rs:

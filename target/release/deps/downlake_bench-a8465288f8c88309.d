@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/downlake_bench-a8465288f8c88309.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libdownlake_bench-a8465288f8c88309.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libdownlake_bench-a8465288f8c88309.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/downlake_exec-3078cfb2f91a377d.d: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+/root/repo/target/release/deps/downlake_exec-3078cfb2f91a377d: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:
+crates/exec/src/seed.rs:
+crates/exec/src/shard.rs:

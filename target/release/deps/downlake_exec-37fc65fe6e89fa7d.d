@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/downlake_exec-37fc65fe6e89fa7d.d: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+/root/repo/target/release/deps/libdownlake_exec-37fc65fe6e89fa7d.rlib: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+/root/repo/target/release/deps/libdownlake_exec-37fc65fe6e89fa7d.rmeta: crates/exec/src/lib.rs crates/exec/src/pool.rs crates/exec/src/seed.rs crates/exec/src/shard.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:
+crates/exec/src/seed.rs:
+crates/exec/src/shard.rs:

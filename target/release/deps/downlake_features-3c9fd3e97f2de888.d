@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/downlake_features-3c9fd3e97f2de888.d: crates/features/src/lib.rs
+
+/root/repo/target/release/deps/downlake_features-3c9fd3e97f2de888: crates/features/src/lib.rs
+
+crates/features/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/downlake_features-9d4ec8f4067f7494.d: crates/features/src/lib.rs
+
+/root/repo/target/release/deps/libdownlake_features-9d4ec8f4067f7494.rlib: crates/features/src/lib.rs
+
+/root/repo/target/release/deps/libdownlake_features-9d4ec8f4067f7494.rmeta: crates/features/src/lib.rs
+
+crates/features/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/downlake_groundtruth-5bd021cf3cf4f28e.d: crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs
+
+/root/repo/target/release/deps/downlake_groundtruth-5bd021cf3cf4f28e: crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs
+
+crates/groundtruth/src/lib.rs:
+crates/groundtruth/src/engines.rs:
+crates/groundtruth/src/labeler.rs:
+crates/groundtruth/src/oracle.rs:
+crates/groundtruth/src/scan.rs:
+crates/groundtruth/src/urllabel.rs:
+crates/groundtruth/src/whitelist.rs:

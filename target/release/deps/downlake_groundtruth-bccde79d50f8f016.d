@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/downlake_groundtruth-bccde79d50f8f016.d: crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs
+
+/root/repo/target/release/deps/libdownlake_groundtruth-bccde79d50f8f016.rlib: crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs
+
+/root/repo/target/release/deps/libdownlake_groundtruth-bccde79d50f8f016.rmeta: crates/groundtruth/src/lib.rs crates/groundtruth/src/engines.rs crates/groundtruth/src/labeler.rs crates/groundtruth/src/oracle.rs crates/groundtruth/src/scan.rs crates/groundtruth/src/urllabel.rs crates/groundtruth/src/whitelist.rs
+
+crates/groundtruth/src/lib.rs:
+crates/groundtruth/src/engines.rs:
+crates/groundtruth/src/labeler.rs:
+crates/groundtruth/src/oracle.rs:
+crates/groundtruth/src/scan.rs:
+crates/groundtruth/src/urllabel.rs:
+crates/groundtruth/src/whitelist.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/downlake_lint-0376ff78400d4e89.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/walk.rs
+
+/root/repo/target/release/deps/downlake_lint-0376ff78400d4e89: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/walk.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/scan.rs:
+crates/lint/src/walk.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/downlake_lint-5fb02cb4c2f697fd.d: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/walk.rs
+
+/root/repo/target/release/deps/libdownlake_lint-5fb02cb4c2f697fd.rlib: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/walk.rs
+
+/root/repo/target/release/deps/libdownlake_lint-5fb02cb4c2f697fd.rmeta: crates/lint/src/lib.rs crates/lint/src/baseline.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scan.rs crates/lint/src/walk.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/baseline.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/scan.rs:
+crates/lint/src/walk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/downlake_lint-dc1a0f5c49dbd571.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/downlake_lint-dc1a0f5c49dbd571: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

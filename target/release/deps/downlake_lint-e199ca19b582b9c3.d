@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/downlake_lint-e199ca19b582b9c3.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/downlake_lint-e199ca19b582b9c3: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/downlake_obs-d8191d60a48b9328.d: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/registry.rs
+
+/root/repo/target/release/deps/downlake_obs-d8191d60a48b9328: crates/obs/src/lib.rs crates/obs/src/clock.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/registry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/clock.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/manifest.rs:
+crates/obs/src/registry.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/downlake_query-8848955f0dcb4ed2.d: crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs
+
+/root/repo/target/release/deps/downlake_query-8848955f0dcb4ed2: crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs
+
+crates/query/src/lib.rs:
+crates/query/src/adjacency.rs:
+crates/query/src/col.rs:
+crates/query/src/dense.rs:
+crates/query/src/key.rs:
+crates/query/src/partition.rs:
+crates/query/src/pipeline.rs:
+crates/query/src/stamp.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/downlake_query-cc5e4696d840a6b0.d: crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs
+
+/root/repo/target/release/deps/libdownlake_query-cc5e4696d840a6b0.rlib: crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs
+
+/root/repo/target/release/deps/libdownlake_query-cc5e4696d840a6b0.rmeta: crates/query/src/lib.rs crates/query/src/adjacency.rs crates/query/src/col.rs crates/query/src/dense.rs crates/query/src/key.rs crates/query/src/partition.rs crates/query/src/pipeline.rs crates/query/src/stamp.rs
+
+crates/query/src/lib.rs:
+crates/query/src/adjacency.rs:
+crates/query/src/col.rs:
+crates/query/src/dense.rs:
+crates/query/src/key.rs:
+crates/query/src/partition.rs:
+crates/query/src/pipeline.rs:
+crates/query/src/stamp.rs:

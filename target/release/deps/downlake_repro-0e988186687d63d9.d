@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/downlake_repro-0e988186687d63d9.d: src/lib.rs
+
+/root/repo/target/release/deps/libdownlake_repro-0e988186687d63d9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdownlake_repro-0e988186687d63d9.rmeta: src/lib.rs
+
+src/lib.rs:

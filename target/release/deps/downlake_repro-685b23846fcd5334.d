@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/downlake_repro-685b23846fcd5334.d: src/lib.rs
+
+/root/repo/target/release/deps/libdownlake_repro-685b23846fcd5334.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdownlake_repro-685b23846fcd5334.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/downlake_repro-e889104a8e57bdf3.d: src/lib.rs
+
+/root/repo/target/release/deps/downlake_repro-e889104a8e57bdf3: src/lib.rs
+
+src/lib.rs:

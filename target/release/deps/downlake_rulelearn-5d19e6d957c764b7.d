@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/downlake_rulelearn-5d19e6d957c764b7.d: crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs
+
+/root/repo/target/release/deps/downlake_rulelearn-5d19e6d957c764b7: crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs
+
+crates/rulelearn/src/lib.rs:
+crates/rulelearn/src/data.rs:
+crates/rulelearn/src/entropy.rs:
+crates/rulelearn/src/metrics.rs:
+crates/rulelearn/src/part.rs:
+crates/rulelearn/src/rule.rs:
+crates/rulelearn/src/ruleset.rs:
+crates/rulelearn/src/tree.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/downlake_rulelearn-e972fadc64a84fd8.d: crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs
+
+/root/repo/target/release/deps/libdownlake_rulelearn-e972fadc64a84fd8.rlib: crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs
+
+/root/repo/target/release/deps/libdownlake_rulelearn-e972fadc64a84fd8.rmeta: crates/rulelearn/src/lib.rs crates/rulelearn/src/data.rs crates/rulelearn/src/entropy.rs crates/rulelearn/src/metrics.rs crates/rulelearn/src/part.rs crates/rulelearn/src/rule.rs crates/rulelearn/src/ruleset.rs crates/rulelearn/src/tree.rs
+
+crates/rulelearn/src/lib.rs:
+crates/rulelearn/src/data.rs:
+crates/rulelearn/src/entropy.rs:
+crates/rulelearn/src/metrics.rs:
+crates/rulelearn/src/part.rs:
+crates/rulelearn/src/rule.rs:
+crates/rulelearn/src/ruleset.rs:
+crates/rulelearn/src/tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/downlake_stream-ce8fb63ed5a2b236.d: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+/root/repo/target/release/deps/downlake_stream-ce8fb63ed5a2b236: crates/stream/src/lib.rs crates/stream/src/collector.rs crates/stream/src/engine.rs crates/stream/src/online.rs crates/stream/src/session.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/collector.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/online.rs:
+crates/stream/src/session.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/downlake_telemetry-10e19faefc5dafee.d: crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs
+
+/root/repo/target/release/deps/libdownlake_telemetry-10e19faefc5dafee.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs
+
+/root/repo/target/release/deps/libdownlake_telemetry-10e19faefc5dafee.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/codec.rs crates/telemetry/src/csv.rs crates/telemetry/src/dataset.rs crates/telemetry/src/event.rs crates/telemetry/src/record.rs crates/telemetry/src/server.rs crates/telemetry/src/tables.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/codec.rs:
+crates/telemetry/src/csv.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/server.rs:
+crates/telemetry/src/tables.rs:

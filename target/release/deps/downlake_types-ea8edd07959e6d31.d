@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/downlake_types-ea8edd07959e6d31.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/label.rs crates/types/src/meta.rs crates/types/src/process.rs crates/types/src/rank.rs crates/types/src/time.rs crates/types/src/url.rs
+
+/root/repo/target/release/deps/libdownlake_types-ea8edd07959e6d31.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/label.rs crates/types/src/meta.rs crates/types/src/process.rs crates/types/src/rank.rs crates/types/src/time.rs crates/types/src/url.rs
+
+/root/repo/target/release/deps/libdownlake_types-ea8edd07959e6d31.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/label.rs crates/types/src/meta.rs crates/types/src/process.rs crates/types/src/rank.rs crates/types/src/time.rs crates/types/src/url.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/label.rs:
+crates/types/src/meta.rs:
+crates/types/src/process.rs:
+crates/types/src/rank.rs:
+crates/types/src/time.rs:
+crates/types/src/url.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/experiments-daf8fe5700e50cef.d: tests/experiments.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/experiments-daf8fe5700e50cef: tests/experiments.rs tests/common/mod.rs
+
+tests/experiments.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extraction_props-b4ca6fd1cad23f7e.d: crates/features/tests/extraction_props.rs
+
+/root/repo/target/release/deps/extraction_props-b4ca6fd1cad23f7e: crates/features/tests/extraction_props.rs
+
+crates/features/tests/extraction_props.rs:

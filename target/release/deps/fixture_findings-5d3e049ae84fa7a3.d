@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fixture_findings-5d3e049ae84fa7a3.d: crates/lint/tests/fixture_findings.rs
+
+/root/repo/target/release/deps/fixture_findings-5d3e049ae84fa7a3: crates/lint/tests/fixture_findings.rs
+
+crates/lint/tests/fixture_findings.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frame_merge_props-c5084b28caecbbd9.d: crates/analysis/tests/frame_merge_props.rs
+
+/root/repo/target/release/deps/frame_merge_props-c5084b28caecbbd9: crates/analysis/tests/frame_merge_props.rs
+
+crates/analysis/tests/frame_merge_props.rs:

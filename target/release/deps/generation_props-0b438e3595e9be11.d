@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generation_props-0b438e3595e9be11.d: crates/synth/tests/generation_props.rs
+
+/root/repo/target/release/deps/generation_props-0b438e3595e9be11: crates/synth/tests/generation_props.rs
+
+crates/synth/tests/generation_props.rs:

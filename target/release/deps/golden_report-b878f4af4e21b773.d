@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/golden_report-b878f4af4e21b773.d: tests/golden_report.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/golden_report-b878f4af4e21b773: tests/golden_report.rs tests/common/mod.rs
+
+tests/golden_report.rs:
+tests/common/mod.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/obs_manifest-44e83b1ea7bc2dfc.d: tests/obs_manifest.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/obs_manifest-44e83b1ea7bc2dfc: tests/obs_manifest.rs tests/common/mod.rs
+
+tests/obs_manifest.rs:
+tests/common/mod.rs:

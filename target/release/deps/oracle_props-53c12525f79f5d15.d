@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle_props-53c12525f79f5d15.d: crates/groundtruth/tests/oracle_props.rs
+
+/root/repo/target/release/deps/oracle_props-53c12525f79f5d15: crates/groundtruth/tests/oracle_props.rs
+
+crates/groundtruth/tests/oracle_props.rs:

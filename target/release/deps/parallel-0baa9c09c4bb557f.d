@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel-0baa9c09c4bb557f.d: crates/bench/src/bin/parallel.rs
+
+/root/repo/target/release/deps/parallel-0baa9c09c4bb557f: crates/bench/src/bin/parallel.rs
+
+crates/bench/src/bin/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel-31eb2a4cbc45bf7a.d: crates/bench/src/bin/parallel.rs
+
+/root/repo/target/release/deps/parallel-31eb2a4cbc45bf7a: crates/bench/src/bin/parallel.rs
+
+crates/bench/src/bin/parallel.rs:

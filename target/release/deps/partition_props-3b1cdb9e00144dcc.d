@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/partition_props-3b1cdb9e00144dcc.d: crates/exec/tests/partition_props.rs
+
+/root/repo/target/release/deps/partition_props-3b1cdb9e00144dcc: crates/exec/tests/partition_props.rs
+
+crates/exec/tests/partition_props.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/pipeline_invariants-fa38843372729ef9.d: tests/pipeline_invariants.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/pipeline_invariants-fa38843372729ef9: tests/pipeline_invariants.rs tests/common/mod.rs
+
+tests/pipeline_invariants.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-478f9ae16d5755fa.d: crates/types/tests/properties.rs
+
+/root/repo/target/release/deps/properties-478f9ae16d5755fa: crates/types/tests/properties.rs
+
+crates/types/tests/properties.rs:

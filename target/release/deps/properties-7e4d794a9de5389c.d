@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7e4d794a9de5389c.d: crates/avtype/tests/properties.rs
+
+/root/repo/target/release/deps/properties-7e4d794a9de5389c: crates/avtype/tests/properties.rs
+
+crates/avtype/tests/properties.rs:

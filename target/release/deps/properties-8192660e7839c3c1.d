@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-8192660e7839c3c1.d: crates/rulelearn/tests/properties.rs
+
+/root/repo/target/release/deps/properties-8192660e7839c3c1: crates/rulelearn/tests/properties.rs
+
+crates/rulelearn/tests/properties.rs:

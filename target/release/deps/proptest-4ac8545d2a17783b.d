@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/proptest-4ac8545d2a17783b.d: /tmp/stubs/proptest/src/lib.rs /tmp/stubs/proptest/src/arbitrary.rs /tmp/stubs/proptest/src/bool.rs /tmp/stubs/proptest/src/collection.rs /tmp/stubs/proptest/src/option.rs /tmp/stubs/proptest/src/prelude.rs /tmp/stubs/proptest/src/regex.rs /tmp/stubs/proptest/src/rng.rs /tmp/stubs/proptest/src/sample.rs /tmp/stubs/proptest/src/strategy.rs /tmp/stubs/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-4ac8545d2a17783b.rlib: /tmp/stubs/proptest/src/lib.rs /tmp/stubs/proptest/src/arbitrary.rs /tmp/stubs/proptest/src/bool.rs /tmp/stubs/proptest/src/collection.rs /tmp/stubs/proptest/src/option.rs /tmp/stubs/proptest/src/prelude.rs /tmp/stubs/proptest/src/regex.rs /tmp/stubs/proptest/src/rng.rs /tmp/stubs/proptest/src/sample.rs /tmp/stubs/proptest/src/strategy.rs /tmp/stubs/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-4ac8545d2a17783b.rmeta: /tmp/stubs/proptest/src/lib.rs /tmp/stubs/proptest/src/arbitrary.rs /tmp/stubs/proptest/src/bool.rs /tmp/stubs/proptest/src/collection.rs /tmp/stubs/proptest/src/option.rs /tmp/stubs/proptest/src/prelude.rs /tmp/stubs/proptest/src/regex.rs /tmp/stubs/proptest/src/rng.rs /tmp/stubs/proptest/src/sample.rs /tmp/stubs/proptest/src/strategy.rs /tmp/stubs/proptest/src/test_runner.rs
+
+/tmp/stubs/proptest/src/lib.rs:
+/tmp/stubs/proptest/src/arbitrary.rs:
+/tmp/stubs/proptest/src/bool.rs:
+/tmp/stubs/proptest/src/collection.rs:
+/tmp/stubs/proptest/src/option.rs:
+/tmp/stubs/proptest/src/prelude.rs:
+/tmp/stubs/proptest/src/regex.rs:
+/tmp/stubs/proptest/src/rng.rs:
+/tmp/stubs/proptest/src/sample.rs:
+/tmp/stubs/proptest/src/strategy.rs:
+/tmp/stubs/proptest/src/test_runner.rs:

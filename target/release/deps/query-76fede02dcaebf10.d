@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query-76fede02dcaebf10.d: crates/bench/src/bin/query.rs
+
+/root/repo/target/release/deps/query-76fede02dcaebf10: crates/bench/src/bin/query.rs
+
+crates/bench/src/bin/query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query-d4d77a03bc7f0984.d: crates/bench/src/bin/query.rs
+
+/root/repo/target/release/deps/query-d4d77a03bc7f0984: crates/bench/src/bin/query.rs
+
+crates/bench/src/bin/query.rs:

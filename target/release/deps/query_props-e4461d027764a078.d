@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query_props-e4461d027764a078.d: crates/query/tests/query_props.rs
+
+/root/repo/target/release/deps/query_props-e4461d027764a078: crates/query/tests/query_props.rs
+
+crates/query/tests/query_props.rs:

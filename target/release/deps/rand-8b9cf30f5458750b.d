@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-8b9cf30f5458750b.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8b9cf30f5458750b.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8b9cf30f5458750b.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-dc7772ae5c61a824.d: crates/avtype/tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-dc7772ae5c61a824: crates/avtype/tests/roundtrip.rs
+
+crates/avtype/tests/roundtrip.rs:

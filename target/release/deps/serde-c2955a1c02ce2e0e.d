@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c2955a1c02ce2e0e.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c2955a1c02ce2e0e.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c2955a1c02ce2e0e.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

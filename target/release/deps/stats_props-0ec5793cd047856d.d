@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stats_props-0ec5793cd047856d.d: crates/analysis/tests/stats_props.rs
+
+/root/repo/target/release/deps/stats_props-0ec5793cd047856d: crates/analysis/tests/stats_props.rs
+
+crates/analysis/tests/stats_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream-968b85d0e07d2521.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/release/deps/stream-968b85d0e07d2521: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream-a653b2bde24e0540.d: crates/bench/src/bin/stream.rs
+
+/root/repo/target/release/deps/stream-a653b2bde24e0540: crates/bench/src/bin/stream.rs
+
+crates/bench/src/bin/stream.rs:

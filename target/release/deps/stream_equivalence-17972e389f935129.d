@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/stream_equivalence-17972e389f935129.d: tests/stream_equivalence.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/stream_equivalence-17972e389f935129: tests/stream_equivalence.rs tests/common/mod.rs
+
+tests/stream_equivalence.rs:
+tests/common/mod.rs:

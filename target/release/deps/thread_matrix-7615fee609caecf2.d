@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/thread_matrix-7615fee609caecf2.d: tests/thread_matrix.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/thread_matrix-7615fee609caecf2: tests/thread_matrix.rs tests/common/mod.rs
+
+tests/thread_matrix.rs:
+tests/common/mod.rs:

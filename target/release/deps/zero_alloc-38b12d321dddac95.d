@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zero_alloc-38b12d321dddac95.d: crates/stream/tests/zero_alloc.rs
+
+/root/repo/target/release/deps/zero_alloc-38b12d321dddac95: crates/stream/tests/zero_alloc.rs
+
+crates/stream/tests/zero_alloc.rs:

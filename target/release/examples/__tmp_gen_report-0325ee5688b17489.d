@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__tmp_gen_report-0325ee5688b17489.d: examples/__tmp_gen_report.rs
+
+/root/repo/target/release/examples/__tmp_gen_report-0325ee5688b17489: examples/__tmp_gen_report.rs
+
+examples/__tmp_gen_report.rs:

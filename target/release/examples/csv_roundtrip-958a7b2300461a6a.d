@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/csv_roundtrip-958a7b2300461a6a.d: examples/csv_roundtrip.rs
+
+/root/repo/target/release/examples/csv_roundtrip-958a7b2300461a6a: examples/csv_roundtrip.rs
+
+examples/csv_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/escalation_watch-ee6b4c897720b451.d: examples/escalation_watch.rs
+
+/root/repo/target/release/examples/escalation_watch-ee6b4c897720b451: examples/escalation_watch.rs
+
+examples/escalation_watch.rs:

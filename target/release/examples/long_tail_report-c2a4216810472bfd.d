@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/long_tail_report-c2a4216810472bfd.d: examples/long_tail_report.rs
+
+/root/repo/target/release/examples/long_tail_report-c2a4216810472bfd: examples/long_tail_report.rs
+
+examples/long_tail_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a4307f05b78d8b4e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a4307f05b78d8b4e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rule_mining-7ebfa3cbf013afcb.d: examples/rule_mining.rs
+
+/root/repo/target/release/examples/rule_mining-7ebfa3cbf013afcb: examples/rule_mining.rs
+
+examples/rule_mining.rs:
