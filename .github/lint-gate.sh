@@ -24,12 +24,30 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --lib
 
 # downlake-lint: the baseline is empty and stays empty — `--check`
 # fails (non-zero) on ANY finding and rejects a non-empty
-# lint-baseline.json outright. There is no ratchet anymore: fix the
-# finding, or justify an unavoidable site inline with
+# lint-baseline.json outright. Fix the finding, or justify an
+# unavoidable site inline with
 #   // downlake-lint: allow(<rule>) — <reason>
-# (reasonless allows are ignored).
-echo "downlake-lint: checking determinism & hot-path rules (zero-findings gate)"
-cargo run -p downlake-lint --release -- --check
+# (reasonless allows are ignored). Reasoned allows are themselves
+# ratcheted: lint-allows.json pins the per-rule count and `--check`
+# fails when any rule's count grows. Lower it with --update-allows
+# after burning an allow down. The run also emits a SARIF 2.1.0 report
+# for code-host annotation.
+echo "downlake-lint: checking determinism & hot-path rules (zero-findings gate + allow ratchet)"
+cargo run -p downlake-lint --release -- --check --sarif lint.sarif
+
+# The SARIF report must be machine-readable: parse it with the in-repo
+# JSON parser (no external tooling in hermetic CI) and sanity-check the
+# fields dashboards key on. The committed tests/sarif_smoke.rs suite
+# pins the same shape in-process; this checks the real artifact.
+python3 - <<'EOF'
+import json
+doc = json.load(open("lint.sarif"))
+assert doc["version"] == "2.1.0", "SARIF version"
+run = doc["runs"][0]
+assert run["tool"]["driver"]["name"] == "downlake-lint"
+assert len(run["tool"]["driver"]["rules"]) == 9, "nine rules declared"
+print("downlake-lint: SARIF artifact parses (%d result(s))" % len(run["results"]))
+EOF
 
 # Smoke-run the parallel-speedup bench at tiny scale: exercises the
 # worker pool end to end and fails if thread count changes one byte of

@@ -1,7 +1,9 @@
 //! Property-based tests: the extractors must be total and deterministic
 //! on arbitrary label strings, and never emit nonsense.
 
-use downlake_avtype::{tokenize, BehaviorExtractor, FamilyExtractor, GENERIC_TOKENS};
+use downlake_avtype::{
+    tokenize, BehaviorExtractor, FamilyExtractor, Resolution, ResolutionStats, GENERIC_TOKENS,
+};
 use proptest::prelude::*;
 
 fn arbitrary_label() -> impl Strategy<Value = String> {
@@ -67,5 +69,41 @@ proptest! {
     fn single_engine_never_names_family(label in arbitrary_label()) {
         let extractor = FamilyExtractor::new();
         prop_assert_eq!(extractor.extract(&[("Solo", label.as_str())]), None);
+    }
+
+    /// `ResolutionStats::merge` is commutative: per-chunk partials
+    /// merged in either order equal the sequential tally. This is the
+    /// law cited by the `ResolutionStats` entry in
+    /// `merge-contracts.json`, which licenses the pooled reduction in
+    /// `downlake::pipeline` that `downlake-lint` rule M1 guards.
+    #[test]
+    fn resolution_stats_merge_commutes(
+        verdicts in proptest::collection::vec(0u8..4, 0..64),
+        cut in 0usize..64,
+    ) {
+        let cut = cut.min(verdicts.len());
+        let verdict_of = |v: u8| match v {
+            0 => Resolution::NoConflict,
+            1 => Resolution::Voting,
+            2 => Resolution::Specificity,
+            _ => Resolution::Manual,
+        };
+        let tally = |slice: &[u8]| {
+            let mut stats = ResolutionStats::default();
+            for &v in slice {
+                stats.record(verdict_of(v));
+            }
+            stats
+        };
+        let mut sequential = ResolutionStats::default();
+        for &v in &verdicts {
+            sequential.record(verdict_of(v));
+        }
+        let mut ab = tally(&verdicts[..cut]);
+        ab.merge(tally(&verdicts[cut..]));
+        let mut ba = tally(&verdicts[cut..]);
+        ba.merge(tally(&verdicts[..cut]));
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab, sequential);
     }
 }

@@ -1,11 +1,13 @@
-//! Committed-baseline handling: serialize findings to
-//! `lint-baseline.json`, parse them back, and diff current findings
-//! against the baseline. The committed baseline is empty — the CI gate
-//! (`--check`) fails on *any* finding — and rejects attempts to
-//! re-accept debt through a non-empty baseline; the diff machinery is
-//! kept for the informational rule-count table.
+//! Committed-manifest handling: the findings baseline
+//! (`lint-baseline.json`), the allow-attrition ratchet
+//! (`lint-allows.json`), and the merge-commutativity contract manifest
+//! (`merge-contracts.json`), plus diffing current findings against the
+//! baseline. The committed baseline is empty — the CI gate (`--check`)
+//! fails on *any* finding — and rejects attempts to re-accept debt
+//! through a non-empty baseline; the diff machinery is kept for the
+//! informational rule-count table.
 //!
-//! The JSON reader/writer is hand-rolled for the one flat schema used
+//! The JSON reader/writer is hand-rolled for the three flat schemas used
 //! here — the lint must stay dependency-free to run in hermetic CI.
 
 use crate::rules::{Finding, RuleId, ALL_RULES};
@@ -36,7 +38,7 @@ pub fn to_json(findings: &[Finding]) -> String {
     s
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -57,10 +59,7 @@ fn escape(s: &str) -> String {
 /// Parse a baseline document produced by [`to_json`] (tolerant of
 /// whitespace differences). Returns an error string on malformed input.
 pub fn parse(doc: &str) -> Result<Vec<Finding>, String> {
-    let mut p = Parser {
-        chars: doc.chars().collect(),
-        pos: 0,
-    };
+    let mut p = Parser::new(doc);
     p.skip_ws();
     p.expect_char('{')?;
     let mut findings = Vec::new();
@@ -98,21 +97,34 @@ pub fn parse(doc: &str) -> Result<Vec<Finding>, String> {
     Ok(findings)
 }
 
-struct Parser {
+pub(crate) struct Parser {
     chars: Vec<char>,
     pos: usize,
 }
 
 impl Parser {
+    pub(crate) fn new(doc: &str) -> Parser {
+        Parser {
+            chars: doc.chars().collect(),
+            pos: 0,
+        }
+    }
+    /// 1-based line of the current position (for manifest findings).
+    pub(crate) fn line(&self) -> u32 {
+        1 + self.chars[..self.pos]
+            .iter()
+            .filter(|&&c| c == '\n')
+            .count() as u32
+    }
     fn peek(&self) -> Option<char> {
         self.chars.get(self.pos).copied()
     }
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while self.peek().is_some_and(|c| c.is_whitespace()) {
             self.pos += 1;
         }
     }
-    fn eat(&mut self, c: char) -> bool {
+    pub(crate) fn eat(&mut self, c: char) -> bool {
         if self.peek() == Some(c) {
             self.pos += 1;
             true
@@ -120,7 +132,7 @@ impl Parser {
             false
         }
     }
-    fn expect_char(&mut self, c: char) -> Result<(), String> {
+    pub(crate) fn expect_char(&mut self, c: char) -> Result<(), String> {
         if self.eat(c) {
             Ok(())
         } else {
@@ -131,7 +143,7 @@ impl Parser {
             ))
         }
     }
-    fn string(&mut self) -> Result<String, String> {
+    pub(crate) fn string(&mut self) -> Result<String, String> {
         self.expect_char('"')?;
         let mut out = String::new();
         loop {
@@ -169,7 +181,7 @@ impl Parser {
             }
         }
     }
-    fn number(&mut self) -> Result<u32, String> {
+    pub(crate) fn number(&mut self) -> Result<u32, String> {
         let start = self.pos;
         while self.peek().is_some_and(|c| c.is_ascii_digit()) {
             self.pos += 1;
@@ -216,6 +228,155 @@ impl Parser {
             msg,
         })
     }
+}
+
+// --- Allow-attrition ratchet (`lint-allows.json`) -----------------------
+
+/// Serialize per-rule reasoned-allow counts as the attrition manifest.
+/// Every rule id appears (zero included) so diffs stay one-line.
+pub fn allows_to_json(counts: &BTreeMap<RuleId, usize>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"version\": 1,\n  \"allows\": {");
+    for (i, r) in ALL_RULES.into_iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let n = counts.get(&r).copied().unwrap_or(0);
+        let _ = write!(s, "{sep}\n    \"{}\": {}", r.id(), n);
+    }
+    s.push_str("\n  }\n}\n");
+    s
+}
+
+/// Parse the attrition manifest written by [`allows_to_json`].
+pub fn parse_allows(doc: &str) -> Result<BTreeMap<RuleId, usize>, String> {
+    let mut p = Parser::new(doc);
+    let mut counts = BTreeMap::new();
+    p.skip_ws();
+    p.expect_char('{')?;
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect_char(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "version" => {
+                let _ = p.number()?;
+            }
+            "allows" => {
+                p.expect_char('{')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat('}') {
+                        break;
+                    }
+                    let id = p.string()?;
+                    let rule = RuleId::parse(&id)
+                        .ok_or_else(|| format!("unknown rule id `{id}` in allows manifest"))?;
+                    p.skip_ws();
+                    p.expect_char(':')?;
+                    p.skip_ws();
+                    counts.insert(rule, p.number()? as usize);
+                    p.skip_ws();
+                    let _ = p.eat(',');
+                }
+            }
+            other => return Err(format!("unexpected key `{other}` in allows manifest")),
+        }
+        p.skip_ws();
+        let _ = p.eat(',');
+    }
+    Ok(counts)
+}
+
+// --- Merge-commutativity contracts (`merge-contracts.json`) -------------
+
+/// One entry of the merge-contracts manifest: a type whose `merge` may
+/// appear at reduction sites, the commutativity property test backing
+/// it, and a one-line statement of the law.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeContract {
+    /// Base type name whose `merge` is contracted (e.g. `Dense`).
+    pub type_name: String,
+    /// Name of the property test proving commutativity.
+    pub test: String,
+    /// One-line statement of the algebraic law.
+    pub law: String,
+    /// 1-based line of the entry in the manifest (for findings).
+    pub line: u32,
+}
+
+/// Parse `merge-contracts.json`.
+pub fn parse_contracts(doc: &str) -> Result<Vec<MergeContract>, String> {
+    let mut p = Parser::new(doc);
+    let mut contracts = Vec::new();
+    p.skip_ws();
+    p.expect_char('{')?;
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect_char(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "version" => {
+                let _ = p.number()?;
+            }
+            "contracts" => {
+                p.expect_char('[')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat(']') {
+                        break;
+                    }
+                    let line = p.line();
+                    p.expect_char('{')?;
+                    let mut c = MergeContract {
+                        type_name: String::new(),
+                        test: String::new(),
+                        law: String::new(),
+                        line,
+                    };
+                    loop {
+                        p.skip_ws();
+                        if p.eat('}') {
+                            break;
+                        }
+                        let k = p.string()?;
+                        p.skip_ws();
+                        p.expect_char(':')?;
+                        p.skip_ws();
+                        let v = p.string()?;
+                        match k.as_str() {
+                            "type" => c.type_name = v,
+                            "test" => c.test = v,
+                            "law" => c.law = v,
+                            other => return Err(format!("unexpected contract key `{other}`")),
+                        }
+                        p.skip_ws();
+                        let _ = p.eat(',');
+                    }
+                    if c.type_name.is_empty() || c.test.is_empty() {
+                        return Err(format!(
+                            "contract at line {line} needs both `type` and `test`"
+                        ));
+                    }
+                    contracts.push(c);
+                    p.skip_ws();
+                    let _ = p.eat(',');
+                }
+            }
+            other => return Err(format!("unexpected key `{other}` in contracts manifest")),
+        }
+        p.skip_ws();
+        let _ = p.eat(',');
+    }
+    Ok(contracts)
 }
 
 /// Per-`(rule, file)` finding counts — line numbers drift as files are

@@ -1,0 +1,657 @@
+//! Intra-function dataflow rules over the parsed item tree: S1
+//! seed-provenance and M1 merge-commutativity.
+//!
+//! Both rules follow the lint's standing bias: **prefer false negatives
+//! over false positives**. An identifier the dataflow cannot resolve is
+//! assumed rooted (S1) — the rule exists to catch the easy determinism
+//! mistakes (a literal seed typed in a hurry, an entropy-seeded RNG, a
+//! pooled merge nobody proved commutative), not to model Rust semantics.
+
+use crate::lexer::{Tok, TokKind};
+use crate::modgraph::WorkspaceCtx;
+use crate::parse::{outer_type_name, Item, ItemKind, ParsedFile};
+use crate::rules::{Finding, RuleId};
+use crate::scan::FileCtx;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Seed-accepting RNG constructions: the argument expression must trace
+/// to `exec::unit_seed` or a function parameter. `unit_seed` itself is
+/// in the list — `unit_seed(42, SALT, i)` forks an ambient seed tree
+/// just as surely as `seed_from_u64(42)`.
+const SEED_SINKS: [&str; 5] = [
+    "seed_from_u64",
+    "from_seed",
+    "seed_from",
+    "with_seed",
+    "unit_seed",
+];
+
+/// RNG constructions that are ambient by definition — no argument can
+/// redeem them.
+const AMBIENT_SINKS: [&str; 3] = ["from_entropy", "from_os_rng", "from_rng"];
+
+/// Identifiers that carry no provenance: cast targets and primitive
+/// type names appearing inside seed expressions (`x as u64`).
+const NEUTRAL_IDENTS: [&str; 15] = [
+    "as", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "f32", "f64",
+];
+
+/// Where a seed expression bottoms out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Prov {
+    /// Traces to `unit_seed`, a parameter, or something unresolvable
+    /// (benefit of the doubt).
+    Rooted,
+    /// Every leaf is a literal or a literal-initialized const.
+    Literal,
+}
+
+/// Rule S1 — seed provenance. For every seed-accepting RNG construction
+/// outside test code, prove the seed expression reaches back to
+/// `exec::unit_seed` or a parameter of the enclosing function; literal
+/// and const-literal seeds are findings, as are entropy-seeded RNGs.
+pub fn scan_s1(ctx: &FileCtx, toks: &[Tok], parsed: &ParsedFile) -> Vec<Finding> {
+    let test_spans = parsed.test_spans();
+    let in_test = |i: usize| test_spans.iter().any(|&(a, b)| i > a && i < b);
+    let consts = literal_consts(parsed);
+    let mut findings = Vec::new();
+    for call in &parsed.calls {
+        if in_test(call.name_idx) {
+            continue;
+        }
+        if AMBIENT_SINKS.contains(&call.name.as_str()) {
+            findings.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: toks[call.name_idx].line,
+                rule: RuleId::S1,
+                msg: format!(
+                    "`{}` constructs an entropy-seeded RNG — derive the seed from \
+                     `exec::unit_seed(seed, salt, index)` instead",
+                    call.name
+                ),
+            });
+            continue;
+        }
+        if !SEED_SINKS.contains(&call.name.as_str()) {
+            continue;
+        }
+        let Some(close) = parsed.close_of[call.args_open] else {
+            continue;
+        };
+        let fn_item = parsed.enclosing_fn(call.name_idx);
+        let params: BTreeSet<&str> = fn_item
+            .map(|f| match &f.kind {
+                ItemKind::Fn { params, .. } => params.iter().map(String::as_str).collect(),
+                _ => BTreeSet::new(),
+            })
+            .unwrap_or_default();
+        let lets = fn_item
+            .and_then(|f| f.body_braces())
+            .map(|(open, end)| let_bindings(toks, open + 1, end))
+            .unwrap_or_default();
+        let mut visited = BTreeSet::new();
+        let prov = provenance(
+            toks,
+            call.args_open + 1,
+            close,
+            &params,
+            &lets,
+            &consts,
+            &mut visited,
+        );
+        if prov == Prov::Literal {
+            findings.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: toks[call.name_idx].line,
+                rule: RuleId::S1,
+                msg: format!(
+                    "seed passed to `{}` resolves to a literal — route it through \
+                     `exec::unit_seed` or take it as a parameter",
+                    call.name
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Names of consts in this file whose initializer is identifier-free —
+/// the literal sources the S1 dataflow refuses to accept as seeds.
+fn literal_consts(parsed: &ParsedFile) -> BTreeSet<String> {
+    parsed
+        .all_items()
+        .into_iter()
+        .filter(|i| matches!(i.kind, ItemKind::Const { literal_init: true }))
+        .map(|i| i.name.clone())
+        .collect()
+}
+
+/// `let [mut] name ... = init ;` bindings in a token range:
+/// name → (init start, init end). Later bindings shadow earlier ones.
+fn let_bindings(toks: &[Tok], from: usize, to: usize) -> BTreeMap<String, (usize, usize)> {
+    let mut map = BTreeMap::new();
+    let mut j = from;
+    while j < to {
+        if !toks[j].is_ident("let") {
+            j += 1;
+            continue;
+        }
+        let mut k = j + 1;
+        if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        let Some(name_tok) = toks.get(k) else { break };
+        if name_tok.kind != TokKind::Ident {
+            j = k;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        // Find `=` then the statement-ending `;` at bracket depth 0.
+        let mut depth = 0i32;
+        let mut eq = None;
+        let mut m = k + 1;
+        while m < to {
+            let t = &toks[m];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0 && eq.is_none() && t.is_punct("=") {
+                // `==`, `<=`, `=>` are not assignment.
+                let shifted = toks.get(m + 1).is_some_and(|x| x.is_punct("="))
+                    || toks.get(m + 1).is_some_and(|x| x.is_punct(">"))
+                    || m >= 1
+                        && (toks[m - 1].is_punct("=")
+                            || toks[m - 1].is_punct("<")
+                            || toks[m - 1].is_punct(">")
+                            || toks[m - 1].is_punct("!"));
+                if !shifted {
+                    eq = Some(m);
+                }
+            } else if depth <= 0 && t.is_punct(";") {
+                break;
+            }
+            m += 1;
+        }
+        if let Some(eq) = eq {
+            if eq + 1 < m {
+                map.insert(name, (eq + 1, m));
+            }
+        }
+        j = m + 1;
+    }
+    map
+}
+
+/// Classify the provenance of the expression in `toks[from..to)`.
+#[allow(clippy::too_many_arguments)]
+fn provenance(
+    toks: &[Tok],
+    from: usize,
+    to: usize,
+    params: &BTreeSet<&str>,
+    lets: &BTreeMap<String, (usize, usize)>,
+    consts: &BTreeSet<String>,
+    visited: &mut BTreeSet<String>,
+) -> Prov {
+    if visited.len() > 16 {
+        return Prov::Rooted; // depth cap: give up, benefit of the doubt
+    }
+    let mut saw_rooted = false;
+    for k in from..to.min(toks.len()) {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "unit_seed" {
+            return Prov::Rooted;
+        }
+        if NEUTRAL_IDENTS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Field and method names carry the provenance of their root
+        // (`config.seed` roots at `config`), so skip the `.`-suffixed
+        // segments themselves.
+        if k >= 1 && toks[k - 1].is_punct(".") {
+            continue;
+        }
+        // Path heads (`SmallRng::`) are types, not values.
+        if toks.get(k + 1).is_some_and(|x| x.is_punct(":"))
+            && toks.get(k + 2).is_some_and(|x| x.is_punct(":"))
+        {
+            continue;
+        }
+        // Macro names (`env!`-style) are neutral; D2 owns env reads.
+        if toks.get(k + 1).is_some_and(|x| x.is_punct("!")) {
+            continue;
+        }
+
+        let name = t.text.as_str();
+        if params.contains(name) {
+            saw_rooted = true;
+            continue;
+        }
+        if let Some(&(a, b)) = lets.get(name) {
+            if visited.insert(name.to_string()) {
+                match provenance(toks, a, b, params, lets, consts, visited) {
+                    Prov::Rooted => saw_rooted = true,
+                    Prov::Literal => {}
+                }
+                continue;
+            }
+            continue; // recursive shadowing: treat as literal-neutral
+        }
+        if consts.contains(name) {
+            continue; // literal-initialized const: not rooted
+        }
+        // Unknown identifier (field of something out of scope, free fn
+        // call, cross-module const): benefit of the doubt.
+        saw_rooted = true;
+    }
+    // No identifiers at all means a pure literal; identifiers that all
+    // bottomed out in literals mean the same thing.
+    if saw_rooted {
+        Prov::Rooted
+    } else {
+        Prov::Literal
+    }
+}
+
+/// Calls that chunk work over the deterministic pool and merge partial
+/// accumulators: CSR group folds and pool maps.
+const FOLD_SITES: [&str; 2] = ["fold_groups_with", "fold_rows_with"];
+const POOL_METHODS: [&str; 2] = ["map", "map_timed"];
+
+/// Rule M1 — merge commutativity. Inside any function that drives a
+/// reduction site, every `merge` call's target type must be declared in
+/// the committed merge-contracts manifest (each entry names the
+/// commutativity property test that licenses the merge).
+pub fn scan_m1(
+    ctx: &FileCtx,
+    toks: &[Tok],
+    parsed: &ParsedFile,
+    ws: &WorkspaceCtx,
+) -> Vec<Finding> {
+    let test_spans = parsed.test_spans();
+    let in_test = |i: usize| test_spans.iter().any(|&(a, b)| i > a && i < b);
+    let mut findings = Vec::new();
+    for fn_item in parsed.all_items() {
+        let ItemKind::Fn {
+            body: Some((open, close)),
+            ..
+        } = &fn_item.kind
+        else {
+            continue;
+        };
+        if fn_item.test {
+            continue;
+        }
+        let in_body = |i: usize| i > *open && i < *close;
+        // Reduction sites in this function, with their argument ranges.
+        let reductions: Vec<(usize, usize)> = parsed
+            .calls
+            .iter()
+            .filter(|c| in_body(c.name_idx))
+            .filter(|c| {
+                FOLD_SITES.contains(&c.name.as_str())
+                    || (POOL_METHODS.contains(&c.name.as_str())
+                        && (c.receiver.last().is_some_and(|r| r == "pool")
+                            || c.path.last().is_some_and(|p| p == "Pool")))
+            })
+            .filter_map(|c| parsed.close_of[c.args_open].map(|e| (c.args_open, e)))
+            .collect();
+        if reductions.is_empty() {
+            continue;
+        }
+        // A bare `merge(...)` call naming a parameter of this fn is the
+        // generic combinator invoking its caller's closure — the
+        // contract binds at each monomorphic instantiation site, where
+        // the accumulator type is concrete, not here.
+        let merge_is_param = matches!(&fn_item.kind, ItemKind::Fn { params, .. }
+            if params.iter().any(|p| p == "merge"));
+        for call in parsed.calls.iter().filter(|c| in_body(c.name_idx)) {
+            if call.name != "merge" || in_test(call.name_idx) {
+                continue;
+            }
+            if merge_is_param && call.path.is_empty() && call.receiver.is_empty() {
+                continue;
+            }
+            let merged = resolve_merged_type(toks, parsed, ws, call, fn_item, &reductions);
+            let line = toks[call.name_idx].line;
+            match merged {
+                Some(ty) if ws.has_contract(&ty) => {}
+                Some(ty) => findings.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line,
+                    rule: RuleId::M1,
+                    msg: format!(
+                        "`{ty}::merge` feeds a pooled reduction but `{ty}` has no \
+                         merge-contracts.json entry naming its commutativity test"
+                    ),
+                }),
+                None => findings.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line,
+                    rule: RuleId::M1,
+                    msg: "cannot resolve the type merged at this pooled reduction — \
+                          annotate the accumulator binding or add a reasoned allow"
+                        .to_string(),
+                }),
+            }
+        }
+    }
+    findings
+}
+
+/// Resolve the base type whose `merge` a call invokes, using (in order)
+/// the receiver's root binding, the reduction site's init-closure
+/// accumulator type, and the unique-field-name shortcut.
+fn resolve_merged_type(
+    toks: &[Tok],
+    parsed: &ParsedFile,
+    ws: &WorkspaceCtx,
+    call: &crate::parse::Call,
+    fn_item: &Item,
+    reductions: &[(usize, usize)],
+) -> Option<String> {
+    // `Dense::merge(a, b)` names the type outright.
+    if call.receiver.is_empty() {
+        return call
+            .path
+            .last()
+            .filter(|p| p.chars().next().is_some_and(|c| c.is_uppercase()))
+            .cloned();
+    }
+    let root_seg = call.receiver.first().map(String::as_str).unwrap_or("");
+    let mut root_type: Option<String> = None;
+    if root_seg == "self" {
+        root_type = enclosing_impl_name(parsed, call.name_idx);
+    }
+    if root_type.is_none() {
+        if let Some((open, close)) = fn_item.body_braces() {
+            root_type = let_binding_type(toks, open + 1, close, root_seg);
+        }
+    }
+    if root_type.is_none() {
+        // Closure parameter of a reduction: the accumulator's type is
+        // what the init closure constructs (`|| PopularityAcc::new(n)`).
+        for &(a, b) in reductions {
+            if call.name_idx > a && call.name_idx < b {
+                root_type = init_closure_type(toks, a + 1, b);
+                if root_type.is_some() {
+                    break;
+                }
+            }
+        }
+    }
+    // Walk the remaining `.field` segments through the type index
+    // (`self`/local root alike: segment 0 is the root, the rest fields).
+    let field_path = &call.receiver[1..];
+    if let Some(mut ty) = root_type {
+        let mut ok = true;
+        for seg in field_path {
+            match ws.types.field_type(&ty, seg) {
+                Some(next) => ty = next.to_string(),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return Some(ty);
+        }
+    }
+    // Fallback: the last field name is unambiguous workspace-wide.
+    if call.receiver.len() >= 2 {
+        if let Some(ty) = call
+            .receiver
+            .last()
+            .and_then(|f| ws.types.unique_field_type(f))
+        {
+            return Some(ty.to_string());
+        }
+    }
+    None
+}
+
+/// Name of the innermost `impl` block whose body contains token `idx`.
+fn enclosing_impl_name(parsed: &ParsedFile, idx: usize) -> Option<String> {
+    let mut best: Option<(&Item, usize)> = None;
+    for item in parsed.all_items() {
+        if !matches!(item.kind, ItemKind::Impl) {
+            continue;
+        }
+        if let Some((open, close)) = item.body_braces() {
+            if idx > open && idx < close && best.is_none_or(|(_, bo)| open > bo) {
+                best = Some((item, open));
+            }
+        }
+    }
+    best.map(|(i, _)| i.name.clone()).filter(|n| !n.is_empty())
+}
+
+/// `let [mut] name : Type = ...` or `let [mut] name = Type::...` /
+/// `= Type { ...` in a token range — the declared or constructed type of
+/// a local binding.
+fn let_binding_type(toks: &[Tok], from: usize, to: usize, name: &str) -> Option<String> {
+    let mut j = from;
+    let mut found = None;
+    while j + 2 < to {
+        if toks[j].is_ident("let") {
+            let mut k = j + 1;
+            if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            if toks.get(k).is_some_and(|t| t.is_ident(name)) {
+                // Annotated: `: Type ... =`.
+                if toks.get(k + 1).is_some_and(|t| t.is_punct(":"))
+                    && !toks.get(k + 2).is_some_and(|t| t.is_punct(":"))
+                {
+                    if let Some(ty) = outer_type_name(&toks[k + 2..to.min(k + 16)]) {
+                        found = Some(ty);
+                    }
+                } else if toks.get(k + 1).is_some_and(|t| t.is_punct("=")) {
+                    // Constructed: `= Type::ctor(..)` or `= Type { .. }`.
+                    let head = toks.get(k + 2)?;
+                    let next = toks.get(k + 3);
+                    let is_path = next.is_some_and(|t| t.is_punct(":"))
+                        && toks.get(k + 4).is_some_and(|t| t.is_punct(":"));
+                    let is_struct_lit = next.is_some_and(|t| t.is_punct("{"));
+                    if head.kind == TokKind::Ident
+                        && head.text.chars().next().is_some_and(|c| c.is_uppercase())
+                        && (is_path || is_struct_lit)
+                    {
+                        found = Some(head.text.clone());
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    found
+}
+
+/// The accumulator type an init closure constructs inside a reduction
+/// call's argument range: `|| Type::ctor(..)` or `|| Type { .. }`.
+fn init_closure_type(toks: &[Tok], from: usize, to: usize) -> Option<String> {
+    let mut j = from;
+    while j + 2 < to {
+        if toks[j].is_punct("|") && toks[j + 1].is_punct("|") {
+            let head = &toks[j + 2];
+            if head.kind == TokKind::Ident
+                && head.text.chars().next().is_some_and(|c| c.is_uppercase())
+            {
+                let is_path = toks.get(j + 3).is_some_and(|t| t.is_punct(":"))
+                    && toks.get(j + 4).is_some_and(|t| t.is_punct(":"));
+                let is_struct_lit = toks.get(j + 3).is_some_and(|t| t.is_punct("{"));
+                if is_path || is_struct_lit {
+                    return Some(head.text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::MergeContract;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn ctx() -> FileCtx {
+        FileCtx {
+            rel_path: "crates/demo/src/lib.rs".into(),
+            allow_time: false,
+            allow_concurrency: false,
+            library: true,
+            hot_loop: false,
+        }
+    }
+
+    fn s1(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        scan_s1(&ctx(), &lexed.toks, &parsed)
+    }
+
+    #[test]
+    fn literal_seed_is_a_finding_param_seed_is_not() {
+        let f = s1("fn f() { let r = SmallRng::seed_from_u64(42); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::S1);
+        assert!(s1("fn f(seed: u64) { let r = SmallRng::seed_from_u64(seed); }").is_empty());
+        assert!(
+            s1("fn f(cfg: &Cfg) { let r = SmallRng::seed_from_u64(cfg.seed ^ 0x9e37); }")
+                .is_empty()
+        );
+        assert!(s1("fn f(&self) { let r = SmallRng::seed_from_u64(self.seed); }").is_empty());
+    }
+
+    #[test]
+    fn unit_seed_roots_and_literal_unit_seed_does_not() {
+        assert!(s1(
+            "fn f(seed: u64, i: u64) { let r = SmallRng::seed_from_u64(unit_seed(seed, SALT, i)); }"
+        )
+        .is_empty());
+        let f = s1("const SALT: u64 = 0x1234;\nfn f() { let s = unit_seed(7, SALT, 0); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn let_chains_propagate_literalness() {
+        let f = s1("fn f() { let a = 7u64; let b = a ^ 3; let r = Rng::seed_from_u64(b); }");
+        assert_eq!(f.len(), 1, "literal through a let chain: {f:?}");
+        assert!(
+            s1("fn f(s: u64) { let b = s ^ 3; let r = Rng::seed_from_u64(b); }").is_empty(),
+            "param through a let chain is rooted"
+        );
+    }
+
+    #[test]
+    fn entropy_rngs_and_test_code_handling() {
+        let f = s1("fn f() { let r = SmallRng::from_entropy(); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("entropy"));
+        assert!(
+            s1("#[cfg(test)]\nmod tests { fn t() { let r = SmallRng::seed_from_u64(42); } }")
+                .is_empty()
+        );
+    }
+
+    fn m1_ws() -> WorkspaceCtx {
+        WorkspaceCtx::from_sources(
+            &[(
+                "crates/demo/src/lib.rs",
+                "struct Acc { overall: Dense<K, u64>, n: usize }",
+            )],
+            vec![MergeContract {
+                type_name: "Dense".into(),
+                test: "dense_merge_commutes".into(),
+                law: "slot-wise + commutes".into(),
+                line: 3,
+            }],
+        )
+    }
+
+    fn m1(src: &str, ws: &WorkspaceCtx) -> Vec<Finding> {
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        scan_m1(&ctx(), &lexed.toks, &parsed, ws)
+    }
+
+    #[test]
+    fn contracted_merge_at_reduction_site_passes() {
+        let ws = m1_ws();
+        let src = "fn run(adj: &Adj, pool: &Pool, n: usize) {\n\
+                   let out = adj.fold_groups_with(pool, || Acc { overall: Dense::new(n), n },\n\
+                   |acc, g, rows| acc.n += rows.len(),\n\
+                   |acc, part| { acc.overall.merge(part.overall); });\n}";
+        assert!(m1(src, &ws).is_empty(), "{:?}", m1(src, &ws));
+    }
+
+    #[test]
+    fn uncontracted_merge_at_reduction_site_is_a_finding() {
+        let ws = WorkspaceCtx::from_sources(
+            &[(
+                "crates/demo/src/lib.rs",
+                "struct Acc { overall: Dense<K, u64> }",
+            )],
+            Vec::new(), // empty manifest
+        );
+        let src = "fn run(adj: &Adj, pool: &Pool) {\n\
+                   let out = adj.fold_groups_with(pool, || Acc { overall: Dense::new(4) },\n\
+                   |a, g, r| (),\n\
+                   |acc, part| { acc.overall.merge(part.overall); });\n}";
+        let f = m1(src, &ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::M1);
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].msg.contains("Dense"));
+    }
+
+    #[test]
+    fn merge_without_a_reduction_site_is_ignored() {
+        let ws = WorkspaceCtx::from_sources(&[], Vec::new());
+        let src = "fn plain(a: &mut Hist, b: &Hist) { a.merge(b); }";
+        assert!(m1(src, &ws).is_empty());
+    }
+
+    #[test]
+    fn pool_map_with_let_bound_accumulator_resolves() {
+        let ws = WorkspaceCtx::from_sources(
+            &[(
+                "crates/demo/src/lib.rs",
+                "struct Out { resolution: ResolutionStats }",
+            )],
+            vec![MergeContract {
+                type_name: "ResolutionStats".into(),
+                test: "resolution_stats_merge_commutes".into(),
+                law: "count sums commute".into(),
+                line: 3,
+            }],
+        );
+        let src = "fn phase(pool: &Pool, chunks: &[C]) {\n\
+                   let mut out = Out { resolution: ResolutionStats::default() };\n\
+                   let parts = pool.map(chunks, |c| work(c));\n\
+                   for p in parts { out.resolution.merge(p); }\n}";
+        assert!(m1(src, &ws).is_empty(), "{:?}", m1(src, &ws));
+        // Same shape, empty manifest: finding at the merge line.
+        let ws2 = WorkspaceCtx::from_sources(
+            &[(
+                "crates/demo/src/lib.rs",
+                "struct Out { resolution: ResolutionStats }",
+            )],
+            Vec::new(),
+        );
+        let f = m1(src, &ws2);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].msg.contains("ResolutionStats"));
+    }
+}

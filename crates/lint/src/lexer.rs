@@ -2,11 +2,14 @@
 //!
 //! The lint deliberately ships its own tokenizer instead of depending on
 //! `syn`: the pass has to run in hermetic CI containers with no registry
-//! access, and the five rules it enforces only need token streams plus
-//! brace structure, not full ASTs. The lexer understands line/block
-//! comments (nested), string/char/byte/raw-string literals, lifetimes,
-//! numeric literals, identifiers, and single-character punctuation; that
-//! is enough to never mistake the inside of a string or comment for code.
+//! access, and the rules it enforces need token streams, brace structure,
+//! and item trees, not full type-checked ASTs. The lexer understands
+//! line/block comments (nested), string/char/byte/raw-string literals,
+//! lifetimes, numeric literals, identifiers, and single-character
+//! punctuation; that is enough to never mistake the inside of a string or
+//! comment for code. Every token carries its 1-based line *and* its byte
+//! span in the source, so the parser in [`crate::parse`] can hand out
+//! item spans and the SARIF emitter can point at exact regions.
 
 /// Kind of a lexed token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,7 +24,7 @@ pub enum TokKind {
     Lifetime,
 }
 
-/// One token with its 1-based source line.
+/// One token with its 1-based source line and byte span.
 #[derive(Debug, Clone)]
 pub struct Tok {
     /// What class of token this is.
@@ -30,6 +33,10 @@ pub struct Tok {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub start: u32,
+    /// Byte offset one past the token's last byte.
+    pub end: u32,
 }
 
 impl Tok {
@@ -71,6 +78,15 @@ pub struct Lexed {
 pub fn lex(src: &str) -> Lexed {
     let bytes: Vec<char> = src.chars().collect();
     let n = bytes.len();
+    // Byte offset of each char index (plus the end sentinel), so token
+    // spans can be reported in bytes while the scanner works in chars.
+    let mut byte_of: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut acc = 0u32;
+    for &c in &bytes {
+        byte_of.push(acc);
+        acc += c.len_utf8() as u32;
+    }
+    byte_of.push(acc);
     let mut i = 0usize;
     let mut line: u32 = 1;
     let mut out = Lexed::default();
@@ -78,6 +94,17 @@ pub fn lex(src: &str) -> Lexed {
     macro_rules! bump_lines {
         ($s:expr) => {
             line += $s.iter().filter(|&&c| c == '\n').count() as u32
+        };
+    }
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr, $line:expr, $from:expr, $to:expr) => {
+            out.toks.push(Tok {
+                kind: $kind,
+                text: $text,
+                line: $line,
+                start: byte_of[$from],
+                end: byte_of[$to],
+            })
         };
     }
 
@@ -125,23 +152,16 @@ pub fn lex(src: &str) -> Lexed {
             }
             '"' => {
                 let (j, consumed) = scan_string(&bytes, i);
+                let tok_line = line;
                 bump_lines!(&bytes[i..j]);
-                out.toks.push(Tok {
-                    kind: TokKind::Lit,
-                    text: consumed,
-                    line,
-                });
+                push_tok!(TokKind::Lit, consumed, tok_line, i, j);
                 i = j;
             }
             'r' | 'b' if starts_raw_or_byte_string(&bytes, i) => {
                 let (j, consumed) = scan_raw_or_byte_string(&bytes, i);
                 let tok_line = line;
                 bump_lines!(&bytes[i..j]);
-                out.toks.push(Tok {
-                    kind: TokKind::Lit,
-                    text: consumed,
-                    line: tok_line,
-                });
+                push_tok!(TokKind::Lit, consumed, tok_line, i, j);
                 i = j;
             }
             '\'' => {
@@ -154,11 +174,7 @@ pub fn lex(src: &str) -> Lexed {
                     while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
                         j += 1;
                     }
-                    out.toks.push(Tok {
-                        kind: TokKind::Lifetime,
-                        text: bytes[i..j].iter().collect(),
-                        line,
-                    });
+                    push_tok!(TokKind::Lifetime, bytes[i..j].iter().collect(), line, i, j);
                     i = j;
                 } else {
                     let mut j = i + 1;
@@ -169,11 +185,7 @@ pub fn lex(src: &str) -> Lexed {
                         j += 1;
                     }
                     j = (j + 1).min(n);
-                    out.toks.push(Tok {
-                        kind: TokKind::Lit,
-                        text: bytes[i..j].iter().collect(),
-                        line,
-                    });
+                    push_tok!(TokKind::Lit, bytes[i..j].iter().collect(), line, i, j);
                     i = j;
                 }
             }
@@ -194,11 +206,7 @@ pub fn lex(src: &str) -> Lexed {
                         break;
                     }
                 }
-                out.toks.push(Tok {
-                    kind: TokKind::Lit,
-                    text: bytes[i..j].iter().collect(),
-                    line,
-                });
+                push_tok!(TokKind::Lit, bytes[i..j].iter().collect(), line, i, j);
                 i = j;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -206,19 +214,11 @@ pub fn lex(src: &str) -> Lexed {
                 while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
                     j += 1;
                 }
-                out.toks.push(Tok {
-                    kind: TokKind::Ident,
-                    text: bytes[i..j].iter().collect(),
-                    line,
-                });
+                push_tok!(TokKind::Ident, bytes[i..j].iter().collect(), line, i, j);
                 i = j;
             }
             _ => {
-                out.toks.push(Tok {
-                    kind: TokKind::Punct,
-                    text: c.to_string(),
-                    line,
-                });
+                push_tok!(TokKind::Punct, c.to_string(), line, i, i + 1);
                 i += 1;
             }
         }
@@ -343,5 +343,23 @@ mod tests {
         let lexed = lex("a\nb\n\nc");
         let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn byte_spans_slice_back_to_token_text() {
+        let src = "fn λ_name() { let s = \"héllo\"; x += 42; }";
+        let lexed = lex(src);
+        for t in &lexed.toks {
+            assert_eq!(
+                &src[t.start as usize..t.end as usize],
+                t.text,
+                "span of {:?} must slice back to its text",
+                t
+            );
+        }
+        // Spans are monotone and non-overlapping.
+        for w in lexed.toks.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
     }
 }

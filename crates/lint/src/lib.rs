@@ -6,7 +6,7 @@
 //! dynamically by the report goldens and the query-operator property
 //! tests in `crates/query/tests/query_props.rs`; this crate enforces it
 //! *statically*, at CI time, before an unordered `HashMap` iteration or
-//! an ambient clock read can corrupt a pinned table. Six rules:
+//! an ambient clock read can corrupt a pinned table. Nine rules:
 //!
 //! | id | name                   | what it catches |
 //! |----|------------------------|-----------------|
@@ -16,6 +16,16 @@
 //! | D4 | `raw-concurrency`      | `thread::spawn`/`Mutex` outside `crates/exec`'s pool |
 //! | P1 | `panic-surface`        | `unwrap`/`expect`/literal indexing in library code |
 //! | P2 | `hot-loop-alloc`       | per-iteration allocation on the analysis hot path |
+//! | S1 | `seed-provenance`      | RNG/seed constructions not traceable to `exec::unit_seed` or a fn parameter |
+//! | M1 | `merge-commutativity`  | pooled `merge` reductions whose type lacks a `merge-contracts.json` entry |
+//! | L1 | `crate-layering`       | `use` paths that violate the declared crate-layering DAG |
+//!
+//! D/P rules read the raw token stream. The S/M/L families run on a
+//! parsed item tree (`parse`): S1 is an intra-function dataflow pass
+//! (`dataflow`), M1 resolves merged accumulator types against a
+//! workspace-wide struct/test index plus the committed
+//! `merge-contracts.json` manifest, and L1 checks every `use` head
+//! against the layering DAG declared in `modgraph::LAYERS`.
 //!
 //! The committed `lint-baseline.json` is empty — the historical debt is
 //! burned down — so the CI gate (`--check`) fails on *any* finding. A
@@ -24,6 +34,9 @@
 //! ```text
 //! // downlake-lint: allow(unordered-iter) — feeds a commutative count
 //! ```
+//!
+//! Reasoned allows are themselves ratcheted: `lint-allows.json` pins the
+//! per-rule count and `--check` fails when a rule's count grows.
 //!
 //! The crate is dependency-free (hand-rolled lexer + JSON) so the gate
 //! runs in hermetic CI containers with no registry access.
@@ -54,25 +67,81 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod baseline;
+pub mod dataflow;
 pub mod lexer;
+pub mod modgraph;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
 pub mod walk;
 
 pub use rules::{Finding, RuleId};
 pub use scan::{scan_file, FileCtx};
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
+
+/// Workspace-relative path of the merge-commutativity manifest.
+pub const MERGE_CONTRACTS_FILE: &str = "merge-contracts.json";
+
+/// Aggregated result of a workspace scan: the findings plus the
+/// per-rule count of reasoned `allow` comments (the input to the
+/// allow-attrition ratchet).
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Findings sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Reasoned `// downlake-lint: allow(...)` comments per rule,
+    /// summed over every linted file.
+    pub allows: BTreeMap<RuleId, usize>,
+}
 
 /// Lint every workspace file under `root`; findings come back sorted by
 /// `(file, line, rule)`.
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    scan_workspace_report(root).map(|r| r.findings)
+}
+
+/// Two-pass workspace scan. Pass one parses *every* source — including
+/// the integration tests and benches that are exempt from linting —
+/// into a [`modgraph::WorkspaceCtx`] (struct fields, test-fn names) and
+/// loads `merge-contracts.json` if committed. Pass two lints each
+/// in-scope file with that cross-file context, which is what lets M1
+/// resolve a merged accumulator's type and check its contract names a
+/// real test. The manifest itself is validated last: entries citing
+/// unknown test functions become M1 findings at the manifest line.
+pub fn scan_workspace_report(root: &Path) -> io::Result<WorkspaceReport> {
+    let contracts = match std::fs::read_to_string(root.join(MERGE_CONTRACTS_FILE)) {
+        Ok(doc) => baseline::parse_contracts(&doc).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed {MERGE_CONTRACTS_FILE}: {e}"),
+            )
+        })?,
+        Err(_) => Vec::new(),
+    };
+    let mut ws = modgraph::WorkspaceCtx {
+        contracts,
+        ..modgraph::WorkspaceCtx::default()
+    };
+    for (path, rel) in walk::collect_all_sources(root)? {
+        let src = std::fs::read_to_string(&path)?;
+        let parsed = parse::parse(&lexer::lex(&src));
+        ws.add_parsed(&rel, &parsed);
+    }
+
     let mut findings = Vec::new();
+    let mut allows: BTreeMap<RuleId, usize> = BTreeMap::new();
     for (path, ctx) in walk::collect_files(root)? {
         let src = std::fs::read_to_string(&path)?;
-        findings.extend(scan_file(&ctx, &src));
+        findings.extend(scan::scan_file_in(&ctx, &src, Some(&ws)));
+        for (rule, n) in scan::count_allows(&src) {
+            *allows.entry(rule).or_insert(0) += n;
+        }
     }
+    findings.extend(ws.validate_contracts(MERGE_CONTRACTS_FILE));
     findings.sort();
-    Ok(findings)
+    Ok(WorkspaceReport { findings, allows })
 }

@@ -3,13 +3,16 @@
 //! ```text
 //! downlake-lint                  # print all findings (informational)
 //! downlake-lint --json           # findings as JSON on stdout
-//! downlake-lint --check          # gate: fail on any finding
+//! downlake-lint --check          # gate: fail on any finding or allow-count increase
+//! downlake-lint --sarif <file>   # additionally write findings as SARIF 2.1.0
 //! downlake-lint --update-baseline# rewrite lint-baseline.json from current state
+//! downlake-lint --update-allows  # rewrite lint-allows.json (the attrition ratchet)
 //! downlake-lint --root <dir>     # workspace root (default: discovered from cwd)
 //! downlake-lint --baseline <file># baseline path (default: <root>/lint-baseline.json)
+//! downlake-lint --allows <file>  # ratchet path (default: <root>/lint-allows.json)
 //! ```
 
-use downlake_lint::{baseline, scan_workspace};
+use downlake_lint::{baseline, sarif, scan_workspace_report};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,9 +34,12 @@ struct Opts {
     check: bool,
     json: bool,
     update_baseline: bool,
+    update_allows: bool,
     quiet: bool,
     root: Option<PathBuf>,
     baseline_path: Option<PathBuf>,
+    allows_path: Option<PathBuf>,
+    sarif_path: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -41,9 +47,12 @@ fn parse_args() -> Result<Opts, String> {
         check: false,
         json: false,
         update_baseline: false,
+        update_allows: false,
         quiet: false,
         root: None,
         baseline_path: None,
+        allows_path: None,
+        sarif_path: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -51,6 +60,7 @@ fn parse_args() -> Result<Opts, String> {
             "--check" => opts.check = true,
             "--json" => opts.json = true,
             "--update-baseline" => opts.update_baseline = true,
+            "--update-allows" => opts.update_allows = true,
             "-q" | "--quiet" => opts.quiet = true,
             "--root" => {
                 opts.root = Some(PathBuf::from(
@@ -62,10 +72,20 @@ fn parse_args() -> Result<Opts, String> {
                     args.next().ok_or("--baseline needs a file argument")?,
                 ))
             }
+            "--allows" => {
+                opts.allows_path = Some(PathBuf::from(
+                    args.next().ok_or("--allows needs a file argument")?,
+                ))
+            }
+            "--sarif" => {
+                opts.sarif_path = Some(PathBuf::from(
+                    args.next().ok_or("--sarif needs a file argument")?,
+                ))
+            }
             "-h" | "--help" => {
                 println!(
-                    "downlake-lint [--check | --json | --update-baseline] \
-                     [--root <dir>] [--baseline <file>] [-q]"
+                    "downlake-lint [--check | --json | --update-baseline | --update-allows] \
+                     [--sarif <file>] [--root <dir>] [--baseline <file>] [--allows <file>] [-q]"
                 );
                 std::process::exit(0);
             }
@@ -103,14 +123,49 @@ fn main() -> ExitCode {
         .baseline_path
         .clone()
         .unwrap_or_else(|| root.join("lint-baseline.json"));
+    let allows_path = opts
+        .allows_path
+        .clone()
+        .unwrap_or_else(|| root.join("lint-allows.json"));
 
-    let findings = match scan_workspace(&root) {
-        Ok(f) => f,
+    let report = match scan_workspace_report(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("downlake-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+    let findings = report.findings;
+
+    if let Some(sarif_path) = &opts.sarif_path {
+        let doc = sarif::to_sarif(&findings);
+        if let Err(e) = std::fs::write(sarif_path, doc) {
+            eprintln!("downlake-lint: cannot write {}: {e}", sarif_path.display());
+            return ExitCode::from(2);
+        }
+        if !opts.quiet {
+            println!(
+                "downlake-lint: SARIF ({} result(s)) written to {}",
+                findings.len(),
+                sarif_path.display()
+            );
+        }
+    }
+
+    if opts.update_allows {
+        let doc = baseline::allows_to_json(&report.allows);
+        if let Err(e) = std::fs::write(&allows_path, doc) {
+            eprintln!("downlake-lint: cannot write {}: {e}", allows_path.display());
+            return ExitCode::from(2);
+        }
+        let total: usize = report.allows.values().sum();
+        println!(
+            "downlake-lint: allow ratchet updated — {} reasoned allow(s) recorded in {}",
+            total,
+            allows_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
 
     if opts.update_baseline {
         let doc = baseline::to_json(&findings);
@@ -182,8 +237,50 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        // Allow-attrition ratchet: the committed lint-allows.json pins
+        // the per-rule count of reasoned allow comments. New allows fail
+        // the gate; removing allows is flagged so the pin gets lowered.
+        let pinned = match std::fs::read_to_string(&allows_path) {
+            Ok(doc) => match baseline::parse_allows(&doc) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!(
+                        "downlake-lint: malformed allow ratchet {}: {e}",
+                        allows_path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => Default::default(), // no ratchet file: zero allows accepted
+        };
+        let mut regressed = false;
+        let mut slack = false;
+        for rule in downlake_lint::rules::ALL_RULES {
+            let now = report.allows.get(&rule).copied().unwrap_or(0);
+            let cap = pinned.get(&rule).copied().unwrap_or(0);
+            if now > cap {
+                eprintln!(
+                    "downlake-lint: {} allow({}) comment(s), ratchet caps {cap} — \
+                     fix the new site(s) or raise the cap deliberately with --update-allows",
+                    now,
+                    rule.id()
+                );
+                regressed = true;
+            } else if now < cap {
+                slack = true;
+            }
+        }
+        if regressed {
+            return ExitCode::FAILURE;
+        }
+        if slack && !opts.quiet {
+            println!(
+                "downlake-lint: allow count dropped below the ratchet — run \
+                 --update-allows to lock in the improvement"
+            );
+        }
         if !opts.quiet {
-            println!("downlake-lint: clean — zero findings");
+            println!("downlake-lint: clean — zero findings, allow ratchet holds");
         }
         return ExitCode::SUCCESS;
     }

@@ -1,0 +1,493 @@
+//! Cross-file module graph: the declared crate-layering DAG (rule L1)
+//! and the workspace-wide indexes the dataflow rules consume — a struct
+//! field→type index for resolving merged accumulator types (M1) and a
+//! test-name index for validating that every merge contract names a
+//! property test that actually exists.
+//!
+//! The layering DAG below is *declared*, not derived: it is the
+//! architecture DESIGN.md and `docs/ARCHITECTURE.md` promise
+//! (`analysis → query → exec`, `stream ↛ analysis`, ...), and L1 holds
+//! `use` paths to it so the layering PRs 1–6 built stays load-bearing
+//! even though Cargo would happily accept new edges.
+
+use crate::parse::{parse, Item, ItemKind, ParsedFile};
+use crate::rules::{Finding, RuleId};
+use crate::scan::FileCtx;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The declared layering DAG: crate directory name → the `downlake*`
+/// library idents its `src/` may import. Mirrors each crate's
+/// `[dependencies]` table — dev-dependencies are *not* edges (test items
+/// are exempt from L1), so a `use` that only a dev-dependency satisfies
+/// is still a layering violation in production code.
+pub const LAYERS: &[(&str, &[&str])] = &[
+    ("types", &[]),
+    ("obs", &[]),
+    ("telemetry", &["downlake_types"]),
+    ("exec", &["downlake_obs"]),
+    ("query", &["downlake_types", "downlake_exec"]),
+    (
+        "synth",
+        &[
+            "downlake_types",
+            "downlake_telemetry",
+            "downlake_exec",
+            "downlake_obs",
+        ],
+    ),
+    ("groundtruth", &["downlake_types"]),
+    ("avtype", &["downlake_types"]),
+    ("rulelearn", &["downlake_obs"]),
+    (
+        "features",
+        &[
+            "downlake_types",
+            "downlake_telemetry",
+            "downlake_groundtruth",
+            "downlake_rulelearn",
+        ],
+    ),
+    (
+        "analysis",
+        &[
+            "downlake_types",
+            "downlake_telemetry",
+            "downlake_exec",
+            "downlake_query",
+            "downlake_obs",
+        ],
+    ),
+    (
+        "stream",
+        &[
+            "downlake_types",
+            "downlake_telemetry",
+            "downlake_groundtruth",
+            "downlake_features",
+            "downlake_rulelearn",
+            "downlake_exec",
+            "downlake_obs",
+        ],
+    ),
+    (
+        "core",
+        &[
+            "downlake_types",
+            "downlake_telemetry",
+            "downlake_synth",
+            "downlake_groundtruth",
+            "downlake_avtype",
+            "downlake_features",
+            "downlake_rulelearn",
+            "downlake_analysis",
+            "downlake_exec",
+            "downlake_stream",
+            "downlake_obs",
+        ],
+    ),
+    (
+        "bench",
+        &[
+            "downlake",
+            "downlake_types",
+            "downlake_telemetry",
+            "downlake_synth",
+            "downlake_groundtruth",
+            "downlake_avtype",
+            "downlake_features",
+            "downlake_rulelearn",
+            "downlake_analysis",
+            "downlake_obs",
+        ],
+    ),
+    ("lint", &[]),
+];
+
+/// The library ident a crate directory compiles to (`core` is special:
+/// its lib is the workspace-named `downlake`).
+pub fn lib_ident_of(crate_dir: &str) -> String {
+    if crate_dir == "core" {
+        "downlake".to_string()
+    } else {
+        format!("downlake_{crate_dir}")
+    }
+}
+
+/// The crate directory a workspace-relative path belongs to
+/// (`crates/analysis/src/frame.rs` → `analysis`). `None` for paths
+/// outside `crates/` — the root package (CLI, examples, integration
+/// tests) is the top of the stack and may import everything.
+pub fn crate_dir_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    let end = rest.find('/')?;
+    Some(&rest[..end])
+}
+
+/// Rule L1 — crate layering. Every non-test `use downlake*` import in a
+/// `crates/<dir>/src` file must be the importing crate itself or an edge
+/// of [`LAYERS`].
+pub fn check_layering(ctx: &FileCtx, parsed: &ParsedFile) -> Vec<Finding> {
+    let Some(dir) = crate_dir_of(&ctx.rel_path) else {
+        return Vec::new();
+    };
+    let own_lib = lib_ident_of(dir);
+    let allowed: &[&str] = LAYERS
+        .iter()
+        .find(|(d, _)| *d == dir)
+        .map(|(_, deps)| *deps)
+        .unwrap_or(&[]);
+    let mut findings = Vec::new();
+    for item in parsed.all_items() {
+        let ItemKind::Use { segments } = &item.kind else {
+            continue;
+        };
+        // Test items may lean on dev-dependencies.
+        if item.test {
+            continue;
+        }
+        let Some(head) = segments.first() else {
+            continue;
+        };
+        if head != "downlake" && !head.starts_with("downlake_") {
+            continue;
+        }
+        if *head == own_lib {
+            continue;
+        }
+        if !allowed.contains(&head.as_str()) {
+            findings.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: item.span.line_start,
+                rule: RuleId::L1,
+                msg: format!(
+                    "`use {head}` from crate `{dir}` is not an edge of the declared \
+                     layering DAG — see LAYERS in crates/lint/src/modgraph.rs"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Workspace-wide struct-field index: resolves `acc.overall` to `Dense`
+/// when `struct PopularityAcc { overall: Dense<..>, ... }` exists
+/// anywhere in the workspace.
+#[derive(Debug, Default)]
+pub struct TypeIndex {
+    /// `(struct name, field name)` → outermost field type name.
+    fields: BTreeMap<(String, String), String>,
+    /// field name → set of distinct types it has across all structs
+    /// (the unique-field shortcut needs to know about collisions).
+    by_field: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl TypeIndex {
+    /// Record every struct in a parsed file.
+    pub fn add_file(&mut self, parsed: &ParsedFile) {
+        for item in parsed.all_items() {
+            let ItemKind::Struct { fields } = &item.kind else {
+                continue;
+            };
+            for (fname, fty) in fields {
+                self.fields
+                    .insert((item.name.clone(), fname.clone()), fty.clone());
+                self.by_field
+                    .entry(fname.clone())
+                    .or_default()
+                    .insert(fty.clone());
+            }
+        }
+    }
+
+    /// Type of `struct_name.field`, when that struct is indexed.
+    pub fn field_type(&self, struct_name: &str, field: &str) -> Option<&str> {
+        self.fields
+            .get(&(struct_name.to_string(), field.to_string()))
+            .map(String::as_str)
+    }
+
+    /// If every struct in the workspace that has a field named `field`
+    /// gives it the same outermost type, that type — the fallback when
+    /// the receiver's root type cannot be resolved.
+    pub fn unique_field_type(&self, field: &str) -> Option<&str> {
+        let types = self.by_field.get(field)?;
+        if types.len() == 1 {
+            types.iter().next().map(String::as_str)
+        } else {
+            None
+        }
+    }
+}
+
+/// Workspace-wide index of test function names: `#[test]` /
+/// `#[cfg(test)]` functions, functions in `tests/` trees, and functions
+/// declared inside `proptest! { ... }` bodies.
+#[derive(Debug, Default)]
+pub struct TestIndex {
+    names: BTreeSet<String>,
+}
+
+impl TestIndex {
+    /// Record every test function in a parsed file. `in_tests_tree` is
+    /// true for files under a `tests/` directory, where every fn is
+    /// test code.
+    pub fn add_file(&mut self, parsed: &ParsedFile, in_tests_tree: bool) {
+        fn walk(items: &[Item], all_tests: bool, names: &mut BTreeSet<String>) {
+            for item in items {
+                let in_proptest =
+                    matches!(item.kind, ItemKind::MacroInvocation) && item.name == "proptest";
+                if let ItemKind::Fn { .. } = item.kind {
+                    if all_tests || item.test {
+                        names.insert(item.name.clone());
+                    }
+                }
+                walk(&item.children, all_tests || item.test || in_proptest, names);
+            }
+        }
+        walk(&parsed.items, in_tests_tree, &mut self.names);
+    }
+
+    /// Is `name` a known test function?
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    /// Number of indexed test functions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no test functions are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Cross-file context for the workspace-aware rules: built in a first
+/// pass over *every* source file (tests and benches included, so the
+/// test index is complete), consumed by the per-file scan.
+#[derive(Debug, Default)]
+pub struct WorkspaceCtx {
+    /// Struct field→type index.
+    pub types: TypeIndex,
+    /// Test function names.
+    pub tests: TestIndex,
+    /// Parsed `merge-contracts.json` entries.
+    pub contracts: Vec<crate::baseline::MergeContract>,
+}
+
+impl WorkspaceCtx {
+    /// Build a context from in-memory sources: `(rel_path, source)`
+    /// pairs plus already-parsed contracts. Used by tests; the CLI path
+    /// goes through [`crate::scan_workspace`].
+    pub fn from_sources(
+        sources: &[(&str, &str)],
+        contracts: Vec<crate::baseline::MergeContract>,
+    ) -> WorkspaceCtx {
+        let mut ws = WorkspaceCtx {
+            contracts,
+            ..WorkspaceCtx::default()
+        };
+        for (rel, src) in sources {
+            let parsed = parse(&crate::lexer::lex(src));
+            ws.add_parsed(rel, &parsed);
+        }
+        ws
+    }
+
+    /// Index one parsed file.
+    pub fn add_parsed(&mut self, rel_path: &str, parsed: &ParsedFile) {
+        let in_tests_tree = rel_path.starts_with("tests/") || rel_path.contains("/tests/");
+        self.types.add_file(parsed);
+        self.tests.add_file(parsed, in_tests_tree);
+    }
+
+    /// Is `type_name` covered by a merge contract?
+    pub fn has_contract(&self, type_name: &str) -> bool {
+        self.contracts.iter().any(|c| c.type_name == type_name)
+    }
+
+    /// Validate the manifest itself: every contract must name a test
+    /// function that exists somewhere in the workspace. Findings point
+    /// at the manifest entry's line.
+    pub fn validate_contracts(&self, manifest_rel_path: &str) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for c in &self.contracts {
+            if !self.tests.contains(&c.test) {
+                findings.push(Finding {
+                    file: manifest_rel_path.to_string(),
+                    line: c.line,
+                    rule: RuleId::M1,
+                    msg: format!(
+                        "merge contract for `{}` names test `{}`, which does not \
+                         exist in the workspace",
+                        c.type_name, c.test
+                    ),
+                });
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::MergeContract;
+
+    fn ctx_for(rel: &str) -> FileCtx {
+        FileCtx {
+            rel_path: rel.to_string(),
+            allow_time: false,
+            allow_concurrency: false,
+            library: true,
+            hot_loop: false,
+        }
+    }
+
+    fn layering(rel: &str, src: &str) -> Vec<Finding> {
+        let parsed = parse(&crate::lexer::lex(src));
+        check_layering(&ctx_for(rel), &parsed)
+    }
+
+    #[test]
+    fn declared_edges_pass_and_missing_edges_fail() {
+        // analysis → query is a declared edge.
+        assert!(layering(
+            "crates/analysis/src/domains.rs",
+            "use downlake_query::Adjacency;\n"
+        )
+        .is_empty());
+        // stream → analysis is the canonical forbidden edge.
+        let f = layering(
+            "crates/stream/src/engine.rs",
+            "use std::fmt;\nuse downlake_analysis::frame::AnalysisFrame;\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::L1);
+        assert_eq!(f[0].line, 2);
+        // query → analysis would invert the stack.
+        assert_eq!(
+            layering(
+                "crates/query/src/lib.rs",
+                "use downlake_analysis::frame::AnalysisFrame;\n"
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn self_use_test_items_and_root_package_are_exempt() {
+        assert!(layering(
+            "crates/stream/src/engine.rs",
+            "use downlake_stream::session::StreamSession;\n"
+        )
+        .is_empty());
+        assert!(layering(
+            "crates/avtype/src/behavior.rs",
+            "#[cfg(test)]\nmod tests { use downlake_groundtruth::Oracle; }\n"
+        )
+        .is_empty());
+        assert!(layering("src/bin/downlake.rs", "use downlake_stream::X;\n").is_empty());
+    }
+
+    #[test]
+    fn every_layer_entry_is_acyclic() {
+        // The declared DAG must actually be a DAG: depth-first walk
+        // from every node, following dir→lib-ident edges.
+        fn dir_of_lib(lib: &str) -> &str {
+            if lib == "downlake" {
+                "core"
+            } else {
+                lib.strip_prefix("downlake_").unwrap_or(lib)
+            }
+        }
+        fn visit(dir: &str, stack: &mut Vec<String>) {
+            assert!(
+                !stack.iter().any(|s| s == dir),
+                "layering cycle through `{dir}`: {stack:?}"
+            );
+            stack.push(dir.to_string());
+            let deps = LAYERS
+                .iter()
+                .find(|(d, _)| *d == dir)
+                .map(|(_, deps)| *deps)
+                .unwrap_or(&[]);
+            for dep in deps {
+                visit(dir_of_lib(dep), stack);
+            }
+            stack.pop();
+        }
+        for (dir, _) in LAYERS {
+            visit(dir, &mut Vec::new());
+        }
+    }
+
+    #[test]
+    fn type_index_resolves_fields_and_detects_collisions() {
+        let ws = WorkspaceCtx::from_sources(
+            &[
+                (
+                    "crates/a/src/lib.rs",
+                    "struct Acc { overall: Dense<K, u64>, n: usize }",
+                ),
+                ("crates/b/src/lib.rs", "struct Other { n: u32 }"),
+            ],
+            Vec::new(),
+        );
+        assert_eq!(ws.types.field_type("Acc", "overall"), Some("Dense"));
+        assert_eq!(ws.types.unique_field_type("overall"), Some("Dense"));
+        // `n` is usize in one struct and u32 in the other — not unique.
+        assert_eq!(ws.types.unique_field_type("n"), None);
+    }
+
+    #[test]
+    fn test_index_sees_cfg_test_tests_trees_and_proptest_bodies() {
+        let ws = WorkspaceCtx::from_sources(
+            &[
+                (
+                    "crates/a/src/lib.rs",
+                    "fn live() {}\n#[cfg(test)]\nmod tests { #[test] fn unit_t() {} }",
+                ),
+                (
+                    "crates/a/tests/props.rs",
+                    "proptest! { fn prop_t(x in any()) {} }\nfn helper_t() {}",
+                ),
+            ],
+            Vec::new(),
+        );
+        assert!(ws.tests.contains("unit_t"));
+        assert!(ws.tests.contains("prop_t"));
+        assert!(ws.tests.contains("helper_t"), "tests-tree fns count");
+        assert!(!ws.tests.contains("live"));
+    }
+
+    #[test]
+    fn contract_validation_flags_unknown_tests() {
+        let ws = WorkspaceCtx::from_sources(
+            &[(
+                "crates/a/src/lib.rs",
+                "#[cfg(test)]\nmod tests { #[test] fn merge_commutes() {} }",
+            )],
+            vec![
+                MergeContract {
+                    type_name: "Dense".into(),
+                    test: "merge_commutes".into(),
+                    law: "a+b == b+a".into(),
+                    line: 3,
+                },
+                MergeContract {
+                    type_name: "Ghost".into(),
+                    test: "no_such_test".into(),
+                    law: "".into(),
+                    line: 4,
+                },
+            ],
+        );
+        let f = ws.validate_contracts("merge-contracts.json");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].msg.contains("Ghost"));
+    }
+}

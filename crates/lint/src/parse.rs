@@ -1,0 +1,1173 @@
+//! Recursive-descent parser over the lexed token stream.
+//!
+//! PR 2's rules matched flat token patterns; the dataflow rules added in
+//! this revision (S1 seed-provenance, M1 merge-commutativity, L1
+//! crate-layering) need structure: which function a call lives in, what
+//! a function's parameters are, what fields a struct declares, which
+//! crates a file imports. This module builds that structure — a
+//! per-file item tree with byte spans plus flat loop and call indexes —
+//! from the same dependency-free token stream, so the lint still runs in
+//! hermetic CI with no registry access.
+//!
+//! The parser is deliberately *tolerant*: it never fails. Anything it
+//! does not recognize (macro soup, mid-edit files, exotic syntax) is
+//! skipped token by token, degrading to fewer recognized items rather
+//! than an error — the rule passes prefer false negatives over false
+//! positives, and the property tests in
+//! `crates/lint/tests/parser_props.rs` pin the recognized subset.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Byte + line extent of one parsed node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the node's first token.
+    pub start: u32,
+    /// Byte offset one past the node's last token.
+    pub end: u32,
+    /// 1-based line of the first token.
+    pub line_start: u32,
+    /// 1-based line of the last token.
+    pub line_end: u32,
+}
+
+/// What kind of item a tree node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn name(params) { body }` — params are the bound names
+    /// (`self` included); `body` is the token range of the braces,
+    /// `None` for bodiless trait-method declarations.
+    Fn {
+        /// Parameter binding names, in order (`self` kept literal).
+        params: Vec<String>,
+        /// `(open brace idx, close brace idx)` of the body.
+        body: Option<(usize, usize)>,
+    },
+    /// `impl [Trait for] Type { ... }` — `name` is the Self type.
+    Impl,
+    /// `use a::b::{c, d};` — `segments` is the path stem up to any
+    /// group/glob, e.g. `["downlake_query", "Adjacency"]`.
+    Use {
+        /// Leading simple path segments of the import.
+        segments: Vec<String>,
+    },
+    /// `struct Name { field: Type, ... }` — unit/tuple structs have no
+    /// fields. Field types are reduced to their outermost type name
+    /// (`Dense<K, V>` → `Dense`).
+    Struct {
+        /// `(field name, outermost type name)` pairs.
+        fields: Vec<(String, String)>,
+    },
+    /// `enum Name { ... }`.
+    Enum,
+    /// `trait Name { ... }`.
+    Trait,
+    /// `mod name { ... }` or `mod name;`.
+    Mod,
+    /// `const NAME: T = expr;` — `literal_init` is true when the
+    /// initializer contains no identifiers (a pure literal expression),
+    /// which the seed-provenance dataflow treats as a literal source.
+    Const {
+        /// True when the initializer is identifier-free.
+        literal_init: bool,
+    },
+    /// `static NAME: T = expr;`.
+    Static,
+    /// `type Alias = ...;`.
+    TypeAlias,
+    /// `extern crate name;`.
+    ExternCrate,
+    /// `name! { ... }` macro invocation at item position (items found
+    /// inside its braces become children — `proptest!` bodies declare
+    /// the property-test functions the merge-contracts manifest names).
+    MacroInvocation,
+}
+
+/// One node of the item tree.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind plus kind-specific payload.
+    pub kind: ItemKind,
+    /// Declared name (`""` for impls the parser cannot name, use-decls
+    /// carry their stem in [`ItemKind::Use`] instead).
+    pub name: String,
+    /// Token index range `[first, last]` covered by the item,
+    /// attributes included.
+    pub toks: (usize, usize),
+    /// Byte + line extent of the token range.
+    pub span: Span,
+    /// True when the item carries `#[test]` / `#[cfg(test)]` (directly
+    /// or via an enclosing item).
+    pub test: bool,
+    /// Nested items (module bodies, impl bodies, fn bodies, macro
+    /// braces).
+    pub children: Vec<Item>,
+    /// `{ ... }` token range for non-fn items with a braced body
+    /// (mods, impls, traits, enums, macro invocations). Kept out of
+    /// `ItemKind` so pattern matches stay small; read via
+    /// [`Item::body_braces`].
+    brace_body: Option<(usize, usize)>,
+}
+
+/// One `for` loop: index of the `for` keyword and its body brace range.
+#[derive(Debug, Clone, Copy)]
+pub struct Loop {
+    /// Token index of the `for` keyword.
+    pub head: usize,
+    /// `(open brace idx, close brace idx)` of the loop body.
+    pub body: (usize, usize),
+}
+
+/// One call site: `path::to::name(...)` or `recv.name(...)`.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Token index of the called name.
+    pub name_idx: usize,
+    /// The called name itself.
+    pub name: String,
+    /// Leading `::`-separated path segments before the name
+    /// (`["SmallRng"]` for `SmallRng::seed_from_u64(...)`, empty for
+    /// bare and method calls).
+    pub path: Vec<String>,
+    /// For method calls, the dotted receiver chain when it is a simple
+    /// `a.b.c` path (`["acc", "overall"]` for `acc.overall.merge(..)`).
+    pub receiver: Vec<String>,
+    /// Token index of the argument list's `(`.
+    pub args_open: usize,
+}
+
+/// Parse result for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Top-level item tree.
+    pub items: Vec<Item>,
+    /// Every `for` loop with a resolvable body, in token order.
+    pub loops: Vec<Loop>,
+    /// Every call site, in token order.
+    pub calls: Vec<Call>,
+    /// For every opening bracket token, the index of its matching
+    /// closer (shared with the token-pattern rules in [`crate::scan`]).
+    pub close_of: Vec<Option<usize>>,
+}
+
+impl ParsedFile {
+    /// Token spans `(open, close)` of test-only code: bodies of items
+    /// marked `#[test]` / `#[cfg(test)]`.
+    pub fn test_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        fn walk(items: &[Item], spans: &mut Vec<(usize, usize)>) {
+            for item in items {
+                if item.test {
+                    if let Some(body) = item.body_braces() {
+                        spans.push(body);
+                    }
+                }
+                walk(&item.children, spans);
+            }
+        }
+        walk(&self.items, &mut spans);
+        spans.sort_unstable();
+        spans
+    }
+
+    /// Depth-first iteration over every item in the tree.
+    pub fn all_items(&self) -> Vec<&Item> {
+        let mut out = Vec::new();
+        fn walk<'a>(items: &'a [Item], out: &mut Vec<&'a Item>) {
+            for item in items {
+                out.push(item);
+                walk(&item.children, out);
+            }
+        }
+        walk(&self.items, &mut out);
+        out
+    }
+
+    /// The innermost `fn` item whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&Item> {
+        let mut best: Option<&Item> = None;
+        for item in self.all_items() {
+            if let ItemKind::Fn {
+                body: Some((open, close)),
+                ..
+            } = &item.kind
+            {
+                if idx > *open && idx < *close {
+                    let tighter = best
+                        .and_then(|b| b.body_braces())
+                        .is_none_or(|(bo, _)| *open > bo);
+                    if tighter {
+                        best = Some(item);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Item {
+    /// The `{ ... }` token range of the item's body, when it has one.
+    pub fn body_braces(&self) -> Option<(usize, usize)> {
+        match &self.kind {
+            ItemKind::Fn { body, .. } => *body,
+            _ => self.brace_body,
+        }
+    }
+}
+
+/// Parse a lexed file into its item tree plus loop and call indexes.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let toks = &lexed.toks;
+    let close_of = match_brackets(toks);
+    let mut p = Parser {
+        toks,
+        close_of: &close_of,
+    };
+    let items = p.items_in(0, toks.len(), false);
+    let loops = collect_loops(toks, &close_of);
+    let calls = collect_calls(toks);
+    ParsedFile {
+        items,
+        loops,
+        calls,
+        close_of,
+    }
+}
+
+/// Compute, for every opening bracket token (`(`, `[`, `{`), the index
+/// of its matching closer. Unbalanced input (mid-edit files) degrades to
+/// `None` rather than panicking.
+pub fn match_brackets(toks: &[Tok]) -> Vec<Option<usize>> {
+    let mut close_of = vec![None; toks.len()];
+    let mut paren: Vec<usize> = Vec::new();
+    let mut square: Vec<usize> = Vec::new();
+    let mut curly: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" => paren.push(i),
+            "[" => square.push(i),
+            "{" => curly.push(i),
+            ")" => {
+                if let Some(o) = paren.pop() {
+                    close_of[o] = Some(i);
+                }
+            }
+            "]" => {
+                if let Some(o) = square.pop() {
+                    close_of[o] = Some(i);
+                }
+            }
+            "}" => {
+                if let Some(o) = curly.pop() {
+                    close_of[o] = Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    close_of
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    close_of: &'a [Option<usize>],
+}
+
+/// Item-introducing keywords the parser recognizes after qualifiers.
+const QUALIFIERS: [&str; 5] = ["pub", "default", "unsafe", "async", "extern"];
+
+impl<'a> Parser<'a> {
+    /// Parse items in the token range `[from, to)`. `in_test` marks the
+    /// enclosing scope as test-only (propagated to children).
+    fn items_in(&mut self, from: usize, to: usize, in_test: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        let mut i = from;
+        while i < to {
+            match self.item_at(i, to, in_test) {
+                Some((item, next)) => {
+                    i = next;
+                    items.push(item);
+                }
+                None => {
+                    // Not an item start: skip one token, descending past
+                    // balanced brackets so statement braces in fn bodies
+                    // are not mistaken for item scopes.
+                    i += 1;
+                }
+            }
+        }
+        items
+    }
+
+    /// Try to parse one item starting at `i`; returns the item and the
+    /// index just past it.
+    fn item_at(&mut self, start: usize, limit: usize, in_test: bool) -> Option<(Item, usize)> {
+        let toks = self.toks;
+        let mut i = start;
+        // Leading attributes: `# [ ... ]` (and inner `# ! [ ... ]`).
+        let mut test_attr = false;
+        while i + 1 < limit && toks[i].is_punct("#") {
+            let open = if toks[i + 1].is_punct("[") {
+                i + 1
+            } else if i + 2 < limit && toks[i + 1].is_punct("!") && toks[i + 2].is_punct("[") {
+                i + 2
+            } else {
+                break;
+            };
+            let close = self.close_of[open]?;
+            test_attr |= attr_is_test(&toks[open + 1..close]);
+            i = close + 1;
+        }
+        if i >= limit {
+            return None;
+        }
+        // Qualifiers: `pub`, `pub(crate)`, `default`, `unsafe`,
+        // `async`, `extern "C"`. `const` is special-cased below because
+        // it introduces items too.
+        let mut j = i;
+        let mut saw_qualifier = false;
+        loop {
+            let t = toks.get(j)?;
+            if t.kind == TokKind::Ident && QUALIFIERS.contains(&t.text.as_str()) {
+                let is_extern = t.is_ident("extern");
+                j += 1;
+                saw_qualifier = true;
+                if is_extern {
+                    // `extern crate name;` is its own item kind.
+                    if toks.get(j).is_some_and(|t| t.is_ident("crate")) {
+                        let name = toks.get(j + 1)?.text.clone();
+                        let end = self.seek_semi(j + 1, limit)?;
+                        return Some((
+                            self.mk(
+                                ItemKind::ExternCrate,
+                                name,
+                                start,
+                                end,
+                                test_attr || in_test,
+                            ),
+                            end + 1,
+                        ));
+                    }
+                    // `extern "C"`: skip the ABI string.
+                    if toks.get(j).is_some_and(|t| t.kind == TokKind::Lit) {
+                        j += 1;
+                    }
+                }
+                // `pub ( crate )` visibility argument.
+                if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+                    j = self.close_of[j]? + 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let kw = toks.get(j)?;
+        if kw.kind != TokKind::Ident {
+            return None;
+        }
+        match kw.text.as_str() {
+            "fn" => self.parse_fn(start, j, limit, test_attr || in_test),
+            "struct" => self.parse_struct(start, j, limit, test_attr || in_test),
+            "enum" | "trait" | "union" => {
+                let name = toks.get(j + 1)?.text.clone();
+                let kind = if kw.is_ident("enum") {
+                    ItemKind::Enum
+                } else {
+                    ItemKind::Trait
+                };
+                let (body, end) = self.seek_body_or_semi(j + 1, limit)?;
+                let mut item = self.mk(kind, name, start, end, test_attr || in_test);
+                if let Some((open, close)) = body {
+                    item.brace_body = Some((open, close));
+                    if matches!(item.kind, ItemKind::Trait) {
+                        item.children = self.items_in(open + 1, close, item.test);
+                    }
+                }
+                Some((item, end + 1))
+            }
+            "mod" => {
+                let name = toks.get(j + 1)?;
+                if name.kind != TokKind::Ident {
+                    return None;
+                }
+                let name = name.text.clone();
+                let (body, end) = self.seek_body_or_semi(j + 1, limit)?;
+                let mut item = self.mk(ItemKind::Mod, name, start, end, test_attr || in_test);
+                if let Some((open, close)) = body {
+                    item.brace_body = Some((open, close));
+                    item.children = self.items_in(open + 1, close, item.test);
+                }
+                Some((item, end + 1))
+            }
+            "impl" => self.parse_impl(start, j, limit, test_attr || in_test),
+            "use" => {
+                let end = self.seek_semi(j, limit)?;
+                let segments = use_stem(&toks[j + 1..end]);
+                let name = segments.last().cloned().unwrap_or_default();
+                Some((
+                    self.mk(
+                        ItemKind::Use { segments },
+                        name,
+                        start,
+                        end,
+                        test_attr || in_test,
+                    ),
+                    end + 1,
+                ))
+            }
+            "const" | "static" => {
+                // `const fn name(...)` is a function.
+                if toks.get(j + 1).is_some_and(|t| t.is_ident("fn")) {
+                    return self.parse_fn(start, j + 1, limit, test_attr || in_test);
+                }
+                // `const NAME : Type = init ;` — `const _` and
+                // associated consts included.
+                let name = toks.get(j + 1)?;
+                if name.kind != TokKind::Ident {
+                    return None;
+                }
+                let name = name.text.clone();
+                let end = self.seek_semi(j + 1, limit)?;
+                let kind = if kw.is_ident("static") {
+                    ItemKind::Static
+                } else {
+                    let eq = (j + 2..end).find(|&k| {
+                        toks[k].is_punct("=") && !toks.get(k + 1).is_some_and(|t| t.is_punct("="))
+                    });
+                    let literal_init = eq.is_some_and(|eq| {
+                        toks[eq + 1..end].iter().all(|t| t.kind != TokKind::Ident) && eq + 1 < end
+                    });
+                    ItemKind::Const { literal_init }
+                };
+                Some((
+                    self.mk(kind, name, start, end, test_attr || in_test),
+                    end + 1,
+                ))
+            }
+            "type" => {
+                let name = toks.get(j + 1)?.text.clone();
+                let end = self.seek_semi(j + 1, limit)?;
+                Some((
+                    self.mk(ItemKind::TypeAlias, name, start, end, test_attr || in_test),
+                    end + 1,
+                ))
+            }
+            _ => {
+                if saw_qualifier {
+                    return None;
+                }
+                // Macro invocation at item position: `name ! { ... }`.
+                // `(`/`[` delimited invocations are expressions or
+                // attribute-like items with no items inside; only brace
+                // bodies are descended into (e.g. `proptest! { fn p(..) }`).
+                if toks.get(j + 1).is_some_and(|t| t.is_punct("!"))
+                    && toks.get(j + 2).is_some_and(|t| t.is_punct("{"))
+                {
+                    let open = j + 2;
+                    let close = self.close_of[open]?;
+                    let mut item = self.mk(
+                        ItemKind::MacroInvocation,
+                        kw.text.clone(),
+                        start,
+                        close,
+                        test_attr || in_test,
+                    );
+                    item.brace_body = Some((open, close));
+                    item.children = self.items_in(open + 1, close, item.test);
+                    return Some((item, close + 1));
+                }
+                None
+            }
+        }
+    }
+
+    fn parse_fn(
+        &mut self,
+        start: usize,
+        fn_kw: usize,
+        limit: usize,
+        test: bool,
+    ) -> Option<(Item, usize)> {
+        let toks = self.toks;
+        let name = toks.get(fn_kw + 1)?;
+        if name.kind != TokKind::Ident {
+            return None;
+        }
+        let name = name.text.clone();
+        let mut j = fn_kw + 2;
+        // Generics.
+        if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+            j = skip_angles(toks, j)?;
+        }
+        // Parameter list.
+        if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+            return None;
+        }
+        let params_open = j;
+        let params_close = self.close_of[params_open]?;
+        let params = param_names(&toks[params_open + 1..params_close]);
+        // Return type / where clause, then body `{` or trait-decl `;`.
+        let mut k = params_close + 1;
+        let mut body = None;
+        while k < limit {
+            let t = &toks[k];
+            if t.is_punct("{") {
+                let close = self.close_of[k]?;
+                body = Some((k, close));
+                k = close;
+                break;
+            }
+            if t.is_punct(";") {
+                break;
+            }
+            if t.is_punct("<") {
+                // Angle groups in the return type or where clause.
+                match skip_angles(toks, k) {
+                    Some(next) => {
+                        k = next;
+                        continue;
+                    }
+                    None => return None,
+                }
+            }
+            if t.is_punct("(") || t.is_punct("[") {
+                k = self.close_of[k]? + 1;
+                continue;
+            }
+            k += 1;
+        }
+        let end = match body {
+            Some((_, close)) => close,
+            None => k.min(limit.saturating_sub(1)),
+        };
+        let mut item = self.mk(ItemKind::Fn { params, body }, name, start, end, test);
+        if let Some((open, close)) = body {
+            item.children = self.items_in(open + 1, close, test);
+        }
+        Some((item, end + 1))
+    }
+
+    fn parse_struct(
+        &mut self,
+        start: usize,
+        kw: usize,
+        limit: usize,
+        test: bool,
+    ) -> Option<(Item, usize)> {
+        let toks = self.toks;
+        let name = toks.get(kw + 1)?;
+        if name.kind != TokKind::Ident {
+            return None;
+        }
+        let name = name.text.clone();
+        let mut j = kw + 2;
+        if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+            j = skip_angles(toks, j)?;
+        }
+        // Tuple struct `( ... ) ;`, unit struct `;`, or braced fields.
+        if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+            let close = self.close_of[j]?;
+            let end = self.seek_semi(close, limit).unwrap_or(close);
+            return Some((
+                self.mk(
+                    ItemKind::Struct { fields: Vec::new() },
+                    name,
+                    start,
+                    end,
+                    test,
+                ),
+                end + 1,
+            ));
+        }
+        // `where` clause before the brace.
+        while j < limit && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+            if toks[j].is_punct("<") {
+                j = skip_angles(toks, j)?;
+            } else {
+                j += 1;
+            }
+        }
+        if toks.get(j).is_some_and(|t| t.is_punct(";")) {
+            return Some((
+                self.mk(
+                    ItemKind::Struct { fields: Vec::new() },
+                    name,
+                    start,
+                    j,
+                    test,
+                ),
+                j + 1,
+            ));
+        }
+        let open = j;
+        let close = self.close_of.get(open).copied().flatten()?;
+        let fields = struct_fields(toks, open + 1, close);
+        Some((
+            self.mk(ItemKind::Struct { fields }, name, start, close, test),
+            close + 1,
+        ))
+    }
+
+    fn parse_impl(
+        &mut self,
+        start: usize,
+        kw: usize,
+        limit: usize,
+        test: bool,
+    ) -> Option<(Item, usize)> {
+        let toks = self.toks;
+        let mut j = kw + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+            j = skip_angles(toks, j)?;
+        }
+        // Walk to the body `{`, remembering the last path-head ident at
+        // angle depth 0 — for `impl Tr for Ty` that is `Ty`, for
+        // `impl Ty` it is `Ty`.
+        let mut name = String::new();
+        while j < limit {
+            let t = &toks[j];
+            if t.is_punct("{") {
+                let close = self.close_of[j]?;
+                let mut item = self.mk(ItemKind::Impl, name, start, close, test);
+                item.brace_body = Some((j, close));
+                item.children = self.items_in(j + 1, close, test);
+                return Some((item, close + 1));
+            }
+            if t.is_punct("<") {
+                j = skip_angles(toks, j)?;
+                continue;
+            }
+            if t.kind == TokKind::Ident && !t.is_ident("for") && !t.is_ident("where") {
+                name = t.text.clone();
+            }
+            if t.is_punct(";") {
+                return None;
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Index of the next `;` at bracket depth 0 in `[from, limit)`.
+    fn seek_semi(&self, from: usize, limit: usize) -> Option<usize> {
+        let toks = self.toks;
+        let mut j = from;
+        while j < limit {
+            let t = &toks[j];
+            if t.is_punct(";") {
+                return Some(j);
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                j = self.close_of[j]? + 1;
+                continue;
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Walk to the item's `{ body }` or terminating `;`, whichever comes
+    /// first. Returns `(Some(braces), close)` or `(None, semi)`.
+    #[allow(clippy::type_complexity)]
+    fn seek_body_or_semi(
+        &self,
+        from: usize,
+        limit: usize,
+    ) -> Option<(Option<(usize, usize)>, usize)> {
+        let toks = self.toks;
+        let mut j = from;
+        while j < limit {
+            let t = &toks[j];
+            if t.is_punct("{") {
+                let close = self.close_of[j]?;
+                return Some((Some((j, close)), close));
+            }
+            if t.is_punct(";") {
+                return Some((None, j));
+            }
+            if t.is_punct("<") {
+                j = skip_angles(toks, j)?;
+                continue;
+            }
+            if t.is_punct("(") || t.is_punct("[") {
+                j = self.close_of[j]? + 1;
+                continue;
+            }
+            j += 1;
+        }
+        None
+    }
+
+    fn mk(&self, kind: ItemKind, name: String, first: usize, last: usize, test: bool) -> Item {
+        let toks = self.toks;
+        let last = last.min(toks.len().saturating_sub(1));
+        let span = Span {
+            start: toks[first].start,
+            end: toks[last].end,
+            line_start: toks[first].line,
+            line_end: toks[last].line,
+        };
+        Item {
+            kind,
+            name,
+            toks: (first, last),
+            span,
+            test,
+            children: Vec::new(),
+            brace_body: None,
+        }
+    }
+}
+
+/// Skip a balanced `< ... >` group starting at `open`; returns the index
+/// just past the matching `>`. Counts shifts conservatively (the lexer
+/// emits `>` `>` as two puncts, so `Vec<Vec<u8>>` balances).
+fn skip_angles(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        } else if t.is_punct("(") || t.is_punct("{") || t.is_punct(";") {
+            // Angle groups in type position never contain these at
+            // depth ≥ 1 in the code this lint faces; treat as mismatch
+            // (e.g. `a < b` comparison) and give up on the group.
+            return Some(j);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Does an attribute token list mark test-only code? Matches `test`
+/// (`#[test]`) and `cfg(test`/`cfg(all(test`/`cfg(any(test` heads.
+fn attr_is_test(attr: &[Tok]) -> bool {
+    if attr.len() == 1 && attr.first().is_some_and(|t| t.is_ident("test")) {
+        return true;
+    }
+    if attr.first().is_some_and(|t| t.is_ident("cfg")) {
+        return attr.iter().any(|t| t.is_ident("test"));
+    }
+    false
+}
+
+/// Extract the simple path stem of a use declaration's tokens (between
+/// `use` and `;`): identifiers joined by `::`, stopping at `{`, `*`,
+/// `as`, or anything else.
+fn use_stem(toks: &[Tok]) -> Vec<String> {
+    let mut segments = Vec::new();
+    let mut j = 0usize;
+    // Leading `::` (2015-style absolute paths).
+    while j + 1 < toks.len() && toks[j].is_punct(":") && toks[j + 1].is_punct(":") {
+        j += 2;
+    }
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident || t.is_ident("as") {
+            break;
+        }
+        segments.push(t.text.clone());
+        if toks.get(j + 1).is_some_and(|t| t.is_punct(":"))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(":"))
+        {
+            j += 3;
+        } else {
+            break;
+        }
+    }
+    segments
+}
+
+/// Parameter binding names from a parameter-list token range. `self`
+/// (with any `&`/`mut`/lifetime qualifiers) comes out as `"self"`;
+/// `name: Type` patterns yield `name`; destructuring patterns are
+/// skipped (their bindings are not trackable by the dataflow anyway).
+fn param_names(toks: &[Tok]) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut arg_start = 0usize;
+    let mut j = 0usize;
+    let flush = |params: &mut Vec<String>, arg: &[Tok]| {
+        // `[&] [' a] [mut] self` or `ident :`.
+        let mut k = 0usize;
+        while k < arg.len()
+            && (arg[k].is_punct("&") || arg[k].is_ident("mut") || arg[k].kind == TokKind::Lifetime)
+        {
+            k += 1;
+        }
+        if arg.get(k).is_some_and(|t| t.is_ident("self")) {
+            params.push("self".to_string());
+            return;
+        }
+        if arg.first().is_some_and(|t| t.is_ident("mut")) {
+            // `mut name: Type`.
+            if let Some(name) = arg.get(1).filter(|t| t.kind == TokKind::Ident) {
+                if arg.get(2).is_some_and(|t| t.is_punct(":")) {
+                    params.push(name.text.clone());
+                }
+            }
+            return;
+        }
+        if let Some(name) = arg.first().filter(|t| t.kind == TokKind::Ident) {
+            if arg.get(1).is_some_and(|t| t.is_punct(":")) {
+                params.push(name.text.clone());
+            }
+        }
+    };
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" if t.kind == TokKind::Punct => depth += 1,
+            // `>` closes an angle group — unless it is the tail of a
+            // `->` return arrow in a closure-typed param (`impl Fn() -> A`).
+            ">" if t.kind == TokKind::Punct && j >= 1 && toks[j - 1].is_punct("-") => {}
+            ")" | "]" | "}" | ">" if t.kind == TokKind::Punct => depth -= 1,
+            "," if t.kind == TokKind::Punct && depth == 0 => {
+                flush(&mut params, &toks[arg_start..j]);
+                arg_start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if arg_start < toks.len() {
+        flush(&mut params, &toks[arg_start..]);
+    }
+    params
+}
+
+/// Field `(name, outermost type)` pairs from a struct body token range.
+fn struct_fields(toks: &[Tok], from: usize, to: usize) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut j = from;
+    let mut depth = 0i32;
+    while j < to {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") || t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") || t.is_punct(">") {
+            depth -= 1;
+        } else if depth == 0
+            && t.kind == TokKind::Ident
+            && toks.get(j + 1).is_some_and(|x| x.is_punct(":"))
+            && !toks.get(j + 2).is_some_and(|x| x.is_punct(":"))
+            && (j == from
+                || toks[j - 1].is_punct(",")
+                || toks[j - 1].is_punct("]")
+                || toks[j - 1].is_ident("pub")
+                || toks[j - 1].is_punct(")"))
+        {
+            let name = t.text.clone();
+            if let Some(ty) = outer_type_name(&toks[j + 2..to]) {
+                fields.push((name, ty));
+            }
+        }
+        j += 1;
+    }
+    fields
+}
+
+/// The outermost type name of a type token sequence: skips `&`, `mut`,
+/// lifetimes, `dyn`/`impl`, resolves leading paths to their last
+/// segment (`std::collections::HashMap<..>` → `HashMap`).
+pub fn outer_type_name(toks: &[Tok]) -> Option<String> {
+    let mut k = 0usize;
+    while k < toks.len()
+        && (toks[k].is_punct("&")
+            || toks[k].is_ident("mut")
+            || toks[k].kind == TokKind::Lifetime
+            || toks[k].is_ident("dyn")
+            || toks[k].is_ident("impl"))
+    {
+        k += 1;
+    }
+    let mut name = None;
+    while k < toks.len() && toks[k].kind == TokKind::Ident {
+        name = Some(toks[k].text.clone());
+        if toks.get(k + 1).is_some_and(|t| t.is_punct(":"))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct(":"))
+        {
+            k += 3;
+        } else {
+            break;
+        }
+    }
+    name
+}
+
+/// All `for` loops with resolvable bodies, in token order.
+fn collect_loops(toks: &[Tok], close_of: &[Option<usize>]) -> Vec<Loop> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("for") {
+            continue;
+        }
+        if let Some((_, body_idx)) = for_in_and_body(toks, i) {
+            if let Some(end) = close_of[body_idx] {
+                out.push(Loop {
+                    head: i,
+                    body: (body_idx, end),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// For a `for` token, locate the `in` keyword and the body `{`, rejecting
+/// `impl Trait for Type` (which has no `in` before its brace).
+pub fn for_in_and_body(toks: &[Tok], for_idx: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut in_idx = None;
+    let mut j = for_idx + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+            depth -= 1;
+        } else if depth <= 0 && t.is_punct("{") {
+            return in_idx.map(|ii| (ii, j));
+        } else if depth <= 0 && t.is_ident("in") && in_idx.is_none() {
+            in_idx = Some(j);
+        } else if t.is_punct(";") {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Every call site in the token stream: `name (` preceded by either a
+/// `::` path, a `.` receiver chain, or nothing.
+fn collect_calls(toks: &[Tok]) -> Vec<Call> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|x| x.is_punct("(")) {
+            continue;
+        }
+        // `fn name(` is a declaration, not a call; `for`/`if`/`while`/
+        // `match` heads with parens are not calls either.
+        if i >= 1 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_punct("#")) {
+            continue;
+        }
+        if matches!(t.text.as_str(), "if" | "while" | "for" | "match" | "return") {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut receiver = Vec::new();
+        if i >= 2 && toks[i - 1].is_punct(":") && toks[i - 2].is_punct(":") {
+            // Walk the `::` path backwards.
+            let mut k = i;
+            while k >= 3
+                && toks[k - 1].is_punct(":")
+                && toks[k - 2].is_punct(":")
+                && toks[k - 3].kind == TokKind::Ident
+            {
+                path.push(toks[k - 3].text.clone());
+                k -= 3;
+            }
+            path.reverse();
+        } else if i >= 2 && toks[i - 1].is_punct(".") {
+            // Walk the `.` receiver chain backwards while it stays a
+            // simple `a.b.c` path (any call/index link breaks it).
+            let mut k = i;
+            while k >= 2 && toks[k - 1].is_punct(".") && toks[k - 2].kind == TokKind::Ident {
+                receiver.push(toks[k - 2].text.clone());
+                k -= 2;
+            }
+            // The chain must start the expression: reject `foo().b.c(`.
+            if k >= 1 && (toks[k - 1].is_punct(")") || toks[k - 1].is_punct("]")) {
+                receiver.clear();
+            }
+            receiver.reverse();
+        }
+        out.push(Call {
+            name_idx: i,
+            name: t.text.clone(),
+            path,
+            receiver,
+            args_open: i + 1,
+        });
+    }
+    out
+}
+
+// --- Item: the `brace_body` backing field -------------------------------
+
+// (Declared down here to keep the public struct definition readable.)
+impl Item {
+    /// Internal constructor used by tests that build items directly.
+    #[doc(hidden)]
+    pub fn new_for_tests(kind: ItemKind, name: &str) -> Item {
+        Item {
+            kind,
+            name: name.to_string(),
+            toks: (0, 0),
+            span: Span {
+                start: 0,
+                end: 0,
+                line_start: 1,
+                line_end: 1,
+            },
+            test: false,
+            children: Vec::new(),
+            brace_body: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fn_item_with_params_and_body() {
+        let p = parse_src("pub fn f(a: u64, mut b: &str, self) -> u64 { a + 1 }");
+        assert_eq!(p.items.len(), 1);
+        let item = &p.items[0];
+        assert_eq!(item.name, "f");
+        match &item.kind {
+            ItemKind::Fn { params, body } => {
+                assert_eq!(params, &["a", "b", "self"]);
+                assert!(body.is_some());
+            }
+            other => panic!("expected fn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn struct_fields_resolve_outer_type_names() {
+        let p = parse_src(
+            "struct Acc { overall: Dense<E2ldId, u64>, s: crate::stamp::Stamp, n: usize }",
+        );
+        match &p.items[0].kind {
+            ItemKind::Struct { fields } => {
+                assert_eq!(
+                    fields,
+                    &[
+                        ("overall".into(), "Dense".into()),
+                        ("s".into(), "Stamp".into()),
+                        ("n".into(), "usize".into())
+                    ]
+                );
+            }
+            other => panic!("expected struct, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_mods_and_test_attr_propagate() {
+        let p = parse_src(
+            "mod outer { #[cfg(test)] mod tests { fn helper() { x.iter(); } } fn live() {} }",
+        );
+        let outer = &p.items[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.children.len(), 2);
+        assert!(outer.children[0].test, "cfg(test) mod is test");
+        assert!(outer.children[0].children[0].test, "fn inside inherits");
+        assert!(!outer.children[1].test);
+        // test_spans covers the helper's iter call.
+        let spans = p.test_spans();
+        assert!(!spans.is_empty());
+    }
+
+    #[test]
+    fn use_decl_stems() {
+        let p = parse_src("use downlake_query::{Adjacency, Dense};\nuse std::fmt::Write as _;");
+        match &p.items[0].kind {
+            ItemKind::Use { segments } => assert_eq!(segments, &["downlake_query"]),
+            other => panic!("expected use, got {other:?}"),
+        }
+        match &p.items[1].kind {
+            ItemKind::Use { segments } => assert_eq!(segments, &["std", "fmt", "Write"]),
+            other => panic!("expected use, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn const_literal_init_detection() {
+        let p = parse_src("const SALT: u64 = 0xfeed;\nconst DERIVED: u64 = BASE + 1;");
+        match &p.items[0].kind {
+            ItemKind::Const { literal_init } => assert!(literal_init),
+            other => panic!("{other:?}"),
+        }
+        match &p.items[1].kind {
+            ItemKind::Const { literal_init } => assert!(!literal_init),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn impl_names_the_self_type_and_nests_fns() {
+        let p = parse_src("impl<K: Key> Frame<K> { fn rows(&self) -> usize { self.n } }");
+        let item = &p.items[0];
+        assert!(matches!(item.kind, ItemKind::Impl));
+        assert_eq!(item.name, "Frame");
+        assert_eq!(item.children.len(), 1);
+        assert_eq!(item.children[0].name, "rows");
+        let p2 = parse_src("impl fmt::Display for RuleId { fn fmt(&self) {} }");
+        assert_eq!(p2.items[0].name, "RuleId");
+    }
+
+    #[test]
+    fn macro_invocation_bodies_yield_fn_items() {
+        let p = parse_src("proptest! { #![proptest_config(C)] fn prop_holds(x in any()) { } }");
+        let mac = &p.items[0];
+        assert!(matches!(mac.kind, ItemKind::MacroInvocation));
+        assert_eq!(mac.children.len(), 1);
+        assert_eq!(mac.children[0].name, "prop_holds");
+    }
+
+    #[test]
+    fn calls_carry_paths_and_receivers() {
+        let p = parse_src("fn f() { SmallRng::seed_from_u64(s); acc.overall.merge(x); g(); }");
+        let calls: Vec<(&str, &[String], &[String])> = p
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), &c.path[..], &c.receiver[..]))
+            .collect();
+        assert_eq!(calls.len(), 3);
+        assert_eq!(calls[0].0, "seed_from_u64");
+        assert_eq!(calls[0].1, ["SmallRng".to_string()]);
+        assert_eq!(calls[1].0, "merge");
+        assert_eq!(calls[1].2, ["acc".to_string(), "overall".to_string()]);
+        assert_eq!(calls[2].0, "g");
+    }
+
+    #[test]
+    fn enclosing_fn_finds_the_innermost_body() {
+        let src = "fn outer() { fn inner() { seed_from_u64(1); } }";
+        let p = parse_src(src);
+        let call = p.calls.iter().find(|c| c.name == "seed_from_u64").unwrap();
+        let encl = p.enclosing_fn(call.name_idx).unwrap();
+        assert_eq!(encl.name, "inner");
+    }
+
+    #[test]
+    fn spans_slice_back_to_the_item() {
+        let src = "mod a {}\n\npub fn addone(x: u64) -> u64 { x + 1 }\n";
+        let p = parse_src(src);
+        let f = &p.items[1];
+        let sliced = &src[f.span.start as usize..f.span.end as usize];
+        assert!(sliced.starts_with("pub fn addone"));
+        assert!(sliced.ends_with('}'));
+        assert_eq!(f.span.line_start, 3);
+    }
+}

@@ -22,16 +22,32 @@ pub enum RuleId {
     P1,
     /// Allocation inside a `for` loop on the analysis hot path.
     P2,
+    /// Seed provenance: an RNG/seed construction whose seed expression
+    /// does not trace back (through local `let` chains) to
+    /// `exec::unit_seed` or a function parameter — ambient or literal
+    /// seeds silently fork the deterministic seed tree.
+    S1,
+    /// Merge commutativity: a `merge` reached from a `Pool::map` /
+    /// `fold_groups_with` reduction site whose merged type is not
+    /// declared (with a named commutativity property test) in the
+    /// committed `merge-contracts.json` manifest.
+    M1,
+    /// Crate layering: a `use downlake_*` import that is not an edge of
+    /// the declared layering DAG (e.g. `stream` importing `analysis`).
+    L1,
 }
 
 /// Every rule the scanner knows, in report order.
-pub const ALL_RULES: [RuleId; 6] = [
+pub const ALL_RULES: [RuleId; 9] = [
     RuleId::D1,
     RuleId::D2,
     RuleId::D3,
     RuleId::D4,
     RuleId::P1,
     RuleId::P2,
+    RuleId::S1,
+    RuleId::M1,
+    RuleId::L1,
 ];
 
 impl RuleId {
@@ -44,6 +60,9 @@ impl RuleId {
             RuleId::D4 => "D4",
             RuleId::P1 => "P1",
             RuleId::P2 => "P2",
+            RuleId::S1 => "S1",
+            RuleId::M1 => "M1",
+            RuleId::L1 => "L1",
         }
     }
 
@@ -56,6 +75,9 @@ impl RuleId {
             RuleId::D4 => "raw-concurrency",
             RuleId::P1 => "panic-surface",
             RuleId::P2 => "hot-loop-alloc",
+            RuleId::S1 => "seed-provenance",
+            RuleId::M1 => "merge-commutativity",
+            RuleId::L1 => "crate-layering",
         }
     }
 
@@ -114,6 +136,11 @@ mod tests {
         assert_eq!(RuleId::parse("D4"), Some(RuleId::D4));
         assert_eq!(RuleId::parse("raw-concurrency"), Some(RuleId::D4));
         assert_eq!(RuleId::parse("hot-loop-alloc"), Some(RuleId::P2));
+        assert_eq!(RuleId::parse("S1"), Some(RuleId::S1));
+        assert_eq!(RuleId::parse("seed-provenance"), Some(RuleId::S1));
+        assert_eq!(RuleId::parse("merge-commutativity"), Some(RuleId::M1));
+        assert_eq!(RuleId::parse("l1"), Some(RuleId::L1));
+        assert_eq!(RuleId::parse("crate-layering"), Some(RuleId::L1));
         assert_eq!(RuleId::parse("nope"), None);
     }
 }

@@ -1,0 +1,105 @@
+//! SARIF 2.1.0 emission — the interchange format CI dashboards and code
+//! hosts ingest. The emitter is hand-rolled like every other byte of
+//! this crate (no serde in hermetic CI) and writes the minimal valid
+//! document: one run, one driver, a `rules` table carrying each rule's
+//! name and help text, and one `result` per finding with a physical
+//! location. `.github/lint-gate.sh` smoke-checks that the output parses
+//! with the in-repo `downlake_obs::json` parser.
+
+use crate::baseline::escape;
+use crate::rules::{Finding, RuleId, ALL_RULES};
+use std::fmt::Write as _;
+
+/// One-line help text shown for a rule in SARIF viewers.
+fn help_text(rule: RuleId) -> &'static str {
+    match rule {
+        RuleId::D1 => "Iteration over HashMap/HashSet without an order-restoring consumer",
+        RuleId::D2 => "Ambient nondeterminism: wall clocks, thread RNGs, env reads",
+        RuleId::D3 => "Floating-point fold over an unordered iterator",
+        RuleId::D4 => "Raw concurrency primitives outside crates/exec",
+        RuleId::P1 => "Panic surface in library code",
+        RuleId::P2 => "Per-iteration allocation in a hot loop",
+        RuleId::S1 => "Seed not derived from exec::unit_seed or a parameter",
+        RuleId::M1 => "Pooled merge without a merge-contracts commutativity entry",
+        RuleId::L1 => "use-path violating the declared crate-layering DAG",
+    }
+}
+
+/// Render findings as a SARIF 2.1.0 document (trailing newline included).
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"downlake-lint\",\n          \
+         \"informationUri\": \"https://example.invalid/downlake-lint\",\n          \
+         \"rules\": [",
+    );
+    for (i, r) in ALL_RULES.into_iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            s,
+            "{sep}\n            {{\"id\": \"{}\", \"name\": \"{}\", \
+             \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            r.id(),
+            r.name(),
+            escape(help_text(r))
+        );
+    }
+    s.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            s,
+            "{sep}\n        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+             \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            f.rule.id(),
+            escape(&f.msg),
+            escape(&f.file),
+            f.line
+        );
+    }
+    if findings.is_empty() {
+        s.push_str("]\n    }\n  ]\n}\n");
+    } else {
+        s.push_str("\n      ]\n    }\n  ]\n}\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            file: "crates/a/src/lib.rs".into(),
+            line: 10,
+            rule: RuleId::S1,
+            msg: "seed with \"quotes\"".into(),
+        }]
+    }
+
+    #[test]
+    fn sarif_contains_schema_rules_and_results() {
+        let doc = to_sarif(&sample());
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"name\": \"downlake-lint\""));
+        assert!(doc.contains("\"id\": \"S1\""));
+        assert!(doc.contains("\"startLine\": 10"));
+        assert!(doc.contains("seed with \\\"quotes\\\""));
+        // All nine rules are declared even when only one fires.
+        for r in ALL_RULES {
+            assert!(doc.contains(&format!("\"id\": \"{}\"", r.id())));
+        }
+    }
+
+    #[test]
+    fn empty_findings_still_render_a_valid_run() {
+        let doc = to_sarif(&[]);
+        assert!(doc.contains("\"results\": []"));
+    }
+}

@@ -1,9 +1,14 @@
-//! Per-file scanner implementing the five downlake lint rules.
+//! Per-file scanner driving every downlake lint rule.
 //!
-//! The scanner works on the token stream produced by [`crate::lexer`]:
-//! it first collects per-file facts (brace matching, `#[cfg(test)]` /
-//! `#[test]` spans, identifiers whose type is known to be a hash
-//! collection or a `String`, allow-comments), then runs the rule passes.
+//! The scanner lexes the file once ([`crate::lexer`]), parses the token
+//! stream into an item tree once ([`crate::parse`]), then runs two
+//! kinds of passes over the shared structures: the original
+//! token-pattern rules (D1–D4, P1, P2) and the parser-based rules — S1
+//! seed-provenance and M1 merge-commutativity in [`crate::dataflow`],
+//! L1 crate-layering in [`crate::modgraph`]. M1 needs cross-file
+//! context (struct field types, the contracts manifest), so it only
+//! runs through [`scan_file_in`] when a [`WorkspaceCtx`] is supplied;
+//! [`scan_file`] covers the per-file rules alone.
 //!
 //! The type knowledge is deliberately intra-file and heuristic: an
 //! identifier counts as hash-typed when the file declares it with a
@@ -14,7 +19,10 @@
 //! false positives, with `clippy.toml`'s `disallowed-methods` as the
 //! coarse backstop.
 
+use crate::dataflow::{scan_m1, scan_s1};
 use crate::lexer::{lex, Tok, TokKind};
+use crate::modgraph::{check_layering, WorkspaceCtx};
+use crate::parse::{for_in_and_body, parse, ParsedFile};
 use crate::rules::{Finding, RuleId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -66,13 +74,20 @@ const ORDER_INSENSITIVE: [&str; 11] = [
 /// Explicit in-chain sorting adapters (itertools-style).
 const CHAIN_SORTERS: [&str; 4] = ["sorted", "sorted_by", "sorted_by_key", "sorted_unstable"];
 
-/// Scan one file and return its findings (sorted, deduplicated,
-/// allow-comments already applied).
+/// Scan one file with the per-file rules only (D1–D4, P1, P2, S1, L1).
+/// Findings come back sorted, deduplicated, allow-comments applied.
 pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
+    scan_file_in(ctx, src, None)
+}
+
+/// Scan one file with every rule. When `ws` is supplied, the
+/// cross-file M1 merge-commutativity pass runs too.
+pub fn scan_file_in(ctx: &FileCtx, src: &str, ws: Option<&WorkspaceCtx>) -> Vec<Finding> {
     let lexed = lex(src);
     let toks = &lexed.toks;
-    let close_of = match_brackets(toks);
-    let test_spans = test_spans(toks, &close_of);
+    let parsed = parse(&lexed);
+    let close_of = &parsed.close_of;
+    let test_spans = parsed.test_spans();
     let allow = allow_lines(&lexed.comments);
 
     let facts = TypeFacts::collect(toks);
@@ -80,17 +95,22 @@ pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
 
     let in_test = |i: usize| test_spans.iter().any(|&(a, b)| i > a && i < b);
 
-    scan_d1_d3(ctx, toks, &close_of, &facts, &in_test, &mut out);
-    scan_for_loops_d1(ctx, toks, &close_of, &facts, &in_test, &mut out);
+    scan_d1_d3(ctx, toks, close_of, &facts, &in_test, &mut out);
+    scan_for_loops_d1(ctx, toks, &parsed, &facts, &in_test, &mut out);
     scan_d2(ctx, toks, &in_test, &mut out);
     if !ctx.allow_concurrency {
         scan_d4(ctx, toks, &in_test, &mut out);
     }
     if ctx.library {
-        scan_p1(ctx, toks, &close_of, &in_test, &mut out);
+        scan_p1(ctx, toks, close_of, &in_test, &mut out);
     }
     if ctx.hot_loop {
-        scan_p2(ctx, toks, &close_of, &facts, &in_test, &mut out);
+        scan_p2(ctx, toks, &parsed, &facts, &in_test, &mut out);
+    }
+    out.extend(scan_s1(ctx, toks, &parsed));
+    out.extend(check_layering(ctx, &parsed));
+    if let Some(ws) = ws {
+        out.extend(scan_m1(ctx, toks, &parsed, ws));
     }
 
     out.retain(|f| {
@@ -100,6 +120,21 @@ pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Finding> {
     out.sort();
     out.dedup();
     out
+}
+
+/// Count the reasoned `// downlake-lint: allow(...)` directives in one
+/// file, per rule — the quantity the attrition ratchet
+/// (`lint-allows.json`) tracks. Each `(line, rule)` pair counts once;
+/// reasonless directives are ignored, like everywhere else.
+pub fn count_allows(src: &str) -> BTreeMap<RuleId, usize> {
+    let lexed = lex(src);
+    let mut counts: BTreeMap<RuleId, usize> = BTreeMap::new();
+    for rules in allow_lines(&lexed.comments).values() {
+        for &r in rules {
+            *counts.entry(r).or_default() += 1;
+        }
+    }
+    counts
 }
 
 /// Intra-file, heuristic knowledge about identifier types.
@@ -216,79 +251,6 @@ fn ident_before_eq(toks: &[Tok], eq: usize) -> Option<String> {
         return Some(prev.text.clone());
     }
     None
-}
-
-/// Compute, for every opening bracket token (`(`, `[`, `{`), the index of
-/// its matching closer. Unbalanced input (mid-edit files) degrades to
-/// `None` rather than panicking.
-fn match_brackets(toks: &[Tok]) -> Vec<Option<usize>> {
-    let mut close_of = vec![None; toks.len()];
-    let mut stacks: BTreeMap<char, Vec<usize>> = BTreeMap::new();
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Punct {
-            continue;
-        }
-        match t.text.as_str() {
-            "(" | "[" | "{" => {
-                let c = t.text.chars().next().unwrap_or('(');
-                stacks.entry(c).or_default().push(i);
-            }
-            ")" => {
-                if let Some(o) = stacks.entry('(').or_default().pop() {
-                    close_of[o] = Some(i);
-                }
-            }
-            "]" => {
-                if let Some(o) = stacks.entry('[').or_default().pop() {
-                    close_of[o] = Some(i);
-                }
-            }
-            "}" => {
-                if let Some(o) = stacks.entry('{').or_default().pop() {
-                    close_of[o] = Some(i);
-                }
-            }
-            _ => {}
-        }
-    }
-    close_of
-}
-
-/// Token-index spans covered by `#[cfg(test)]` items or `#[test]` functions.
-fn test_spans(toks: &[Tok], close_of: &[Option<usize>]) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    let mut i = 0usize;
-    while i + 4 < toks.len() {
-        let is_attr = toks[i].is_punct("#") && toks[i + 1].is_punct("[");
-        if is_attr {
-            let is_cfg_test = toks[i + 2].is_ident("cfg")
-                && toks[i + 3].is_punct("(")
-                && toks[i + 4].is_ident("test");
-            let is_test = toks[i + 2].is_ident("test") && toks[i + 3].is_punct("]");
-            if is_cfg_test || is_test {
-                // Find the `{` that opens the annotated item, stopping at
-                // `;` (cfg'd `use` items have no body).
-                let attr_end = close_of[i + 1].unwrap_or(i + 1);
-                let mut j = attr_end + 1;
-                let limit = (attr_end + 40).min(toks.len());
-                while j < limit {
-                    if toks[j].is_punct(";") {
-                        break;
-                    }
-                    if toks[j].is_punct("{") {
-                        if let Some(end) = close_of[j] {
-                            spans.push((j, end));
-                            i = j;
-                        }
-                        break;
-                    }
-                    j += 1;
-                }
-            }
-        }
-        i += 1;
-    }
-    spans
 }
 
 /// Parse `// downlake-lint: allow(rule, ...) — reason` comments into a
@@ -694,16 +656,16 @@ fn fold_seed_is_float(
 fn scan_for_loops_d1(
     ctx: &FileCtx,
     toks: &[Tok],
-    close_of: &[Option<usize>],
+    parsed: &ParsedFile,
     facts: &TypeFacts,
     in_test: &dyn Fn(usize) -> bool,
     out: &mut Vec<Finding>,
 ) {
-    for (i, span) in for_loops(toks, close_of) {
+    for lp in &parsed.loops {
+        let i = lp.head;
         if in_test(i) {
             continue;
         }
-        let _ = span;
         // Tokens between `in` and the body `{`.
         let Some((in_idx, body_idx)) = for_in_and_body(toks, i) else {
             continue;
@@ -736,46 +698,6 @@ fn scan_for_loops_d1(
             }
         }
     }
-}
-
-/// All `for` loops: (index of `for`, body token span).
-fn for_loops(toks: &[Tok], close_of: &[Option<usize>]) -> Vec<(usize, (usize, usize))> {
-    let mut out = Vec::new();
-    for i in 0..toks.len() {
-        if !toks[i].is_ident("for") {
-            continue;
-        }
-        if let Some((_, body_idx)) = for_in_and_body(toks, i) {
-            if let Some(end) = close_of[body_idx] {
-                out.push((i, (body_idx, end)));
-            }
-        }
-    }
-    out
-}
-
-/// For a `for` token, locate the `in` keyword and the body `{`, rejecting
-/// `impl Trait for Type` (which has no `in` before its brace).
-fn for_in_and_body(toks: &[Tok], for_idx: usize) -> Option<(usize, usize)> {
-    let mut depth = 0i32;
-    let mut in_idx = None;
-    let mut j = for_idx + 1;
-    while j < toks.len() {
-        let t = &toks[j];
-        if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
-            depth += 1;
-        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
-            depth -= 1;
-        } else if depth <= 0 && t.is_punct("{") {
-            return in_idx.map(|ii| (ii, j));
-        } else if depth <= 0 && t.is_ident("in") && in_idx.is_none() {
-            in_idx = Some(j);
-        } else if t.is_punct(";") {
-            return None;
-        }
-        j += 1;
-    }
-    None
 }
 
 /// D2: ambient nondeterminism sources.
@@ -957,13 +879,12 @@ fn scan_p1(
 fn scan_p2(
     ctx: &FileCtx,
     toks: &[Tok],
-    close_of: &[Option<usize>],
+    parsed: &ParsedFile,
     facts: &TypeFacts,
     in_test: &dyn Fn(usize) -> bool,
     out: &mut Vec<Finding>,
 ) {
-    let loops = for_loops(toks, close_of);
-    let in_loop = |i: usize| loops.iter().any(|&(_, (a, b))| i > a && i < b);
+    let in_loop = |i: usize| parsed.loops.iter().any(|lp| i > lp.body.0 && i < lp.body.1);
     for i in 0..toks.len() {
         if !in_loop(i) || in_test(i) {
             continue;

@@ -60,6 +60,42 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(PathBuf, FileCtx)>) -> io::Resul
     Ok(())
 }
 
+/// Collect every `.rs` source under `root` — including the integration
+/// tests and benches that `collect_files` exempts from linting — for the
+/// workspace index pass (struct-field and test-name discovery). Fixture
+/// trees stay excluded: they hold deliberate violations and fake types
+/// that must not pollute the index.
+pub fn collect_all_sources(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut files = Vec::new();
+    walk_all(root, root, &mut files)?;
+    files.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(files)
+}
+
+fn walk_all(root: &Path, dir: &Path, out: &mut Vec<(PathBuf, String)>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk_all(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_path(root, &path);
+            out.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
 fn rel_path(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)

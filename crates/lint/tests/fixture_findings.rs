@@ -131,6 +131,77 @@ fn p2_hot_loop_fixture() {
 }
 
 #[test]
+fn s1_seed_provenance_fixture() {
+    assert_eq!(
+        findings("s1_seed_provenance.rs", true, false),
+        vec![
+            (RuleId::S1, 7),
+            (RuleId::S1, 11),
+            (RuleId::S1, 15),
+            (RuleId::S1, 21),
+            (RuleId::S1, 25),
+        ]
+    );
+}
+
+#[test]
+fn l1_layering_fixture() {
+    // The same source is clean inside `crates/analysis` (self-use is
+    // exempt; query/exec/types are declared edges) and flagged when
+    // placed inside `crates/stream`.
+    let analysis_ctx = FileCtx {
+        rel_path: "crates/analysis/src/fixture.rs".into(),
+        ..ctx("l1_layering.rs", true, false)
+    };
+    let src = fixture("l1_layering.rs");
+    let clean: Vec<(RuleId, u32)> = scan_file(&analysis_ctx, &src)
+        .into_iter()
+        .filter(|f| f.rule == RuleId::L1)
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(clean, vec![]);
+
+    let stream_ctx = FileCtx {
+        rel_path: "crates/stream/src/fixture.rs".into(),
+        ..analysis_ctx
+    };
+    let flagged: Vec<(RuleId, u32)> = scan_file(&stream_ctx, &src)
+        .into_iter()
+        .filter(|f| f.rule == RuleId::L1)
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(flagged, vec![(RuleId::L1, 5), (RuleId::L1, 6)]);
+}
+
+#[test]
+fn m1_merge_contract_fixture() {
+    use downlake_lint::baseline::MergeContract;
+    use downlake_lint::modgraph::WorkspaceCtx;
+    use downlake_lint::scan::scan_file_in;
+
+    let src = fixture("m1_merge_contract.rs");
+    let ws = WorkspaceCtx::from_sources(
+        &[("crates/demo/src/lib.rs", src.as_str())],
+        vec![MergeContract {
+            type_name: "Tally".into(),
+            test: "tally_merge_commutes".into(),
+            law: "slot-wise addition".into(),
+            line: 1,
+        }],
+    );
+    let got: Vec<(RuleId, u32)> =
+        scan_file_in(&ctx("m1_merge_contract.rs", true, false), &src, Some(&ws))
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect();
+    assert_eq!(got, vec![(RuleId::M1, 26), (RuleId::M1, 35)]);
+
+    // Without workspace context (single-file mode) M1 stays silent —
+    // the rule needs the manifest to judge.
+    assert_eq!(findings("m1_merge_contract.rs", true, false), vec![]);
+}
+
+#[test]
 fn allow_comment_fixture() {
     // Justified allows (preceding line or same line) suppress; a
     // reasonless allow does not.

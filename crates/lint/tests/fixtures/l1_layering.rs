@@ -1,0 +1,23 @@
+//! Fixture: L1 `crate-layering` violations. Scanned with a ctx that places
+//! the file inside `crates/stream`, whose declared layer may not reach the
+//! analysis or query crates. Lines asserted by `tests/fixture_findings.rs`.
+
+use downlake_analysis::frame::Frame; // line 5: stream does not layer over analysis
+use downlake_query::Dense; // line 6: stream does not layer over query
+use downlake_exec::Pool; // declared edge: no finding
+use downlake_types::EventKind; // declared edge: no finding
+use std::collections::BTreeMap; // non-downlake: no finding
+
+pub fn noop(_frame: &Frame, _dense: &Dense<u32, u64>, _pool: &Pool) {
+    let _map: BTreeMap<u32, EventKind> = BTreeMap::new();
+}
+
+#[cfg(test)]
+mod tests {
+    use downlake_analysis::frame::Frame as TestFrame; // test item: dev-dep exempt
+
+    #[test]
+    fn layering_does_not_apply_here() {
+        let _ = std::mem::size_of::<TestFrame>();
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: M1 `merge-commutativity` violations. Scanned with a workspace
+//! context whose manifest covers `Tally` only; lines asserted by
+//! `tests/fixture_findings.rs`.
+
+pub struct Tally {
+    pub hits: u64,
+}
+
+pub struct Gaps {
+    pub holes: u64,
+}
+
+pub fn contracted(pool: &Pool, chunks: &[usize]) -> Tally {
+    let partials = pool.map(chunks, |_, _| Tally { hits: 0 });
+    let mut out = Tally { hits: 0 };
+    for partial in partials {
+        Tally::merge(&mut out, partial); // contracted type: no finding
+    }
+    out
+}
+
+pub fn uncontracted(pool: &Pool, chunks: &[usize]) -> Gaps {
+    let partials = pool.map(chunks, |_, _| Gaps { holes: 0 });
+    let mut out = Gaps { holes: 0 };
+    for partial in partials {
+        out.merge(partial); // line 26: `Gaps` has no manifest entry
+    }
+    out
+}
+
+pub fn unresolvable(pool: &Pool, chunks: &[usize]) -> u64 {
+    let partials = pool.map(chunks, |_, _| 0u64);
+    let mut acc = mystery();
+    for partial in partials {
+        acc.merge(partial); // line 35: accumulator type unresolvable
+    }
+    acc.hits
+}

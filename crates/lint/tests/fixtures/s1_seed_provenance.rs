@@ -1,0 +1,47 @@
+//! Fixture: S1 `seed-provenance` violations. Line numbers are asserted by
+//! `tests/fixture_findings.rs` — keep edits line-stable or update the test.
+
+const DEFAULT_SEED: u64 = 0xD0E5;
+
+pub fn literal_seed() -> SmallRng {
+    SmallRng::seed_from_u64(42) // line 7: raw literal seed
+}
+
+pub fn const_literal_seed() -> SmallRng {
+    SmallRng::seed_from_u64(DEFAULT_SEED) // line 11: const bottoms out in a literal
+}
+
+pub fn entropy_seeded() -> SmallRng {
+    SmallRng::from_entropy() // line 15: ambient entropy, unredeemable
+}
+
+pub fn literal_let_chain() -> SmallRng {
+    let halved = 84 / 2;
+    let seed = halved as u64;
+    SmallRng::seed_from_u64(seed) // line 21: let chain bottoms out in literals
+}
+
+pub fn literal_unit_seed_fork() -> u64 {
+    unit_seed(42, DEFAULT_SEED, 0) // line 25: forks an ambient seed tree
+}
+
+pub fn ok_param(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed) // parameter provenance: no finding
+}
+
+pub fn ok_unit_seed(seed: u64, index: u64) -> SmallRng {
+    SmallRng::seed_from_u64(unit_seed(seed, SALT_DOWNLOADS, index)) // rooted: no finding
+}
+
+pub fn ok_let_chain(base: u64) -> SmallRng {
+    let salted = base ^ 0x9e37_79b9;
+    SmallRng::seed_from_u64(salted) // let chain roots at the parameter: no finding
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_pin_seeds() {
+        let _ = SmallRng::seed_from_u64(7); // test code: exempt
+    }
+}

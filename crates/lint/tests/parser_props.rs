@@ -1,0 +1,309 @@
+//! Property: rendering a random item-tree spec to source, lexing, and
+//! parsing recovers the spec — names, kinds, params, fields, test
+//! flags, nesting, loop counts — and every item's byte span slices back
+//! to a brace-balanced snippet that starts at the recorded line.
+//!
+//! The generator is a pure function of a `u64` seed (a local
+//! `splitmix64`, so the lint crate stays dependency-free), which lets
+//! the `proptest!` property and its plain `#[test]` grid mirror
+//! exercise identical code.
+
+use downlake_lint::lexer::lex;
+use downlake_lint::parse::{parse, Item, ItemKind};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// Local copy of the SplitMix64 mix (same constants as
+/// `downlake_exec::splitmix64`); the lint crate must not depend on exec.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic generator state.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: splitmix64(seed),
+        }
+    }
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// What the generator decided to emit, i.e. what the parser must find.
+enum Spec {
+    Fn {
+        name: String,
+        params: Vec<String>,
+        has_loop: bool,
+        test: bool,
+    },
+    Struct {
+        name: String,
+        fields: Vec<(String, String)>,
+    },
+    Use {
+        head: String,
+    },
+    Const {
+        name: String,
+        literal: bool,
+    },
+    Mod {
+        name: String,
+        test: bool,
+        children: Vec<Spec>,
+    },
+}
+
+fn gen_specs(g: &mut Gen, depth: usize) -> Vec<Spec> {
+    let n = 1 + g.pick(4) as usize;
+    let mut specs = Vec::new();
+    for i in 0..n {
+        let tag = format!("x{}_{}", depth, i);
+        // Mods only at the top level so nesting stays one deep.
+        let kinds = if depth == 0 { 5 } else { 4 };
+        specs.push(match g.pick(kinds) {
+            0 => Spec::Fn {
+                name: format!("fn_{tag}"),
+                params: (0..g.pick(3)).map(|p| format!("p{p}_{tag}")).collect(),
+                has_loop: g.pick(2) == 0,
+                test: g.pick(4) == 0,
+            },
+            1 => Spec::Struct {
+                name: format!("St{tag}"),
+                fields: (0..1 + g.pick(3))
+                    .map(|f| (format!("field{f}_{tag}"), "u64".to_string()))
+                    .collect(),
+            },
+            2 => Spec::Use {
+                head: format!("crate_{tag}"),
+            },
+            3 => Spec::Const {
+                name: format!("K{tag}").to_uppercase(),
+                literal: g.pick(2) == 0,
+            },
+            _ => Spec::Mod {
+                name: format!("mod_{tag}"),
+                test: g.pick(3) == 0,
+                children: gen_specs(g, depth + 1),
+            },
+        });
+    }
+    specs
+}
+
+/// Render specs to source. `lines` holds the 1-based line each item
+/// starts on (attributes included, matching the parser's span rule).
+fn render(specs: &[Spec], indent: &str, src: &mut String, line: &mut u32, lines: &mut Vec<u32>) {
+    for spec in specs {
+        lines.push(*line);
+        match spec {
+            Spec::Fn {
+                name,
+                params,
+                has_loop,
+                test,
+            } => {
+                if *test {
+                    let _ = writeln!(src, "{indent}#[test]");
+                    *line += 1;
+                }
+                let plist = params
+                    .iter()
+                    .map(|p| format!("{p}: u64"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(src, "{indent}pub fn {name}({plist}) -> u64 {{");
+                if *has_loop {
+                    let _ = writeln!(src, "{indent}    let mut total = 0;");
+                    let _ = writeln!(src, "{indent}    for v in 0..10 {{");
+                    let _ = writeln!(src, "{indent}        total += v;");
+                    let _ = writeln!(src, "{indent}    }}");
+                    let _ = writeln!(src, "{indent}    total");
+                    *line += 5;
+                } else {
+                    let _ = writeln!(src, "{indent}    7");
+                    *line += 1;
+                }
+                let _ = writeln!(src, "{indent}}}");
+                *line += 2;
+            }
+            Spec::Struct { name, fields } => {
+                let _ = writeln!(src, "{indent}pub struct {name} {{");
+                *line += 1;
+                for (f, ty) in fields {
+                    let _ = writeln!(src, "{indent}    pub {f}: {ty},");
+                    *line += 1;
+                }
+                let _ = writeln!(src, "{indent}}}");
+                *line += 1;
+            }
+            Spec::Use { head } => {
+                let _ = writeln!(src, "{indent}use {head}::module::Thing;");
+                *line += 1;
+            }
+            Spec::Const { name, literal } => {
+                let init = if *literal { "42" } else { "derived()" };
+                let _ = writeln!(src, "{indent}pub const {name}: u64 = {init};");
+                *line += 1;
+            }
+            Spec::Mod {
+                name,
+                test,
+                children,
+            } => {
+                if *test {
+                    let _ = writeln!(src, "{indent}#[cfg(test)]");
+                    *line += 1;
+                }
+                let _ = writeln!(src, "{indent}mod {name} {{");
+                *line += 1;
+                let inner = format!("{indent}    ");
+                render(children, &inner, src, line, lines);
+                let _ = writeln!(src, "{indent}}}");
+                *line += 1;
+            }
+        }
+        let _ = writeln!(src);
+        *line += 1;
+    }
+}
+
+/// Count the loops the rendered source should contain.
+fn expected_loops(specs: &[Spec]) -> usize {
+    specs
+        .iter()
+        .map(|s| match s {
+            Spec::Fn { has_loop, .. } => usize::from(*has_loop),
+            Spec::Mod { children, .. } => expected_loops(children),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Assert one level of parsed items mirrors one level of specs.
+/// `in_test_mod` models the parser's test-flag propagation into
+/// `#[cfg(test)]` mod bodies.
+fn assert_level(
+    specs: &[Spec],
+    items: &[Item],
+    src: &str,
+    lines: &mut std::slice::Iter<u32>,
+    in_test_mod: bool,
+) {
+    assert_eq!(
+        specs.len(),
+        items.len(),
+        "item count mismatch at one nesting level"
+    );
+    for (spec, item) in specs.iter().zip(items) {
+        let start_line = *lines.next().expect("a recorded line per item");
+        assert_eq!(item.span.line_start, start_line, "line of `{}`", item.name);
+        let slice = &src[item.span.start as usize..item.span.end as usize];
+        assert!(
+            slice.contains(item.name.as_str()),
+            "span of `{}` slices to `{slice}`",
+            item.name
+        );
+        let opens = slice.matches('{').count();
+        let closes = slice.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced span for `{}`", item.name);
+        match spec {
+            Spec::Fn {
+                name, params, test, ..
+            } => {
+                assert_eq!(&item.name, name);
+                assert_eq!(item.test, *test || in_test_mod, "test flag of `{name}`");
+                match &item.kind {
+                    ItemKind::Fn {
+                        params: got, body, ..
+                    } => {
+                        assert_eq!(got, params, "params of `{name}`");
+                        assert!(body.is_some(), "`{name}` has a body");
+                    }
+                    other => panic!("`{name}` parsed as {other:?}"),
+                }
+            }
+            Spec::Struct { name, fields } => {
+                assert_eq!(&item.name, name);
+                match &item.kind {
+                    ItemKind::Struct { fields: got } => {
+                        assert_eq!(got, fields, "fields of `{name}`")
+                    }
+                    other => panic!("`{name}` parsed as {other:?}"),
+                }
+            }
+            Spec::Use { head } => match &item.kind {
+                ItemKind::Use { segments } => {
+                    assert_eq!(segments.first(), Some(head), "use head")
+                }
+                other => panic!("use parsed as {other:?}"),
+            },
+            Spec::Const { name, literal } => {
+                assert_eq!(&item.name, name);
+                match &item.kind {
+                    ItemKind::Const { literal_init } => {
+                        assert_eq!(literal_init, literal, "literal_init of `{name}`")
+                    }
+                    other => panic!("`{name}` parsed as {other:?}"),
+                }
+            }
+            Spec::Mod {
+                name,
+                test,
+                children,
+            } => {
+                assert_eq!(&item.name, name);
+                assert!(matches!(item.kind, ItemKind::Mod), "`{name}` is a mod");
+                assert_level(children, &item.children, src, lines, in_test_mod || *test);
+            }
+        }
+    }
+}
+
+fn check_roundtrip(seed: u64) {
+    let mut g = Gen::new(seed);
+    let specs = gen_specs(&mut g, 0);
+    let mut src = String::new();
+    let mut line = 1u32;
+    let mut lines = Vec::new();
+    render(&specs, "", &mut src, &mut line, &mut lines);
+
+    let parsed = parse(&lex(&src));
+    let mut line_iter = lines.iter();
+    assert_level(&specs, &parsed.items, &src, &mut line_iter, false);
+    assert_eq!(
+        parsed.loops.len(),
+        expected_loops(&specs),
+        "loop count in:\n{src}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_roundtrips_generated_trees(seed in any::<u64>()) {
+        check_roundtrip(seed);
+    }
+}
+
+#[test]
+fn parser_roundtrip_grid_mirror() {
+    for seed in [0u64, 1, 2, 42, 1234, 0xdead_beef, u64::MAX] {
+        check_roundtrip(seed);
+    }
+}

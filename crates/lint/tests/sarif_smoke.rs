@@ -1,0 +1,104 @@
+//! Smoke test: the hand-rolled SARIF emitter produces a document the
+//! in-repo `downlake_obs::json` parser accepts, with the fields CI
+//! dashboards key on — the same check `.github/lint-gate.sh` runs
+//! against the real workspace scan.
+
+use downlake_lint::sarif::to_sarif;
+use downlake_lint::{Finding, RuleId};
+use downlake_obs::json;
+
+fn sample() -> Vec<Finding> {
+    vec![
+        Finding {
+            file: "crates/a/src/lib.rs".into(),
+            line: 3,
+            rule: RuleId::S1,
+            msg: "seed passed to `seed_from_u64` resolves to a literal".into(),
+        },
+        Finding {
+            file: "crates/b/src/lib.rs".into(),
+            line: 9,
+            rule: RuleId::L1,
+            msg: "`use downlake_analysis` from crate `stream` breaks the DAG — \"quoted\"".into(),
+        },
+    ]
+}
+
+#[test]
+fn emitted_sarif_parses_with_the_obs_json_parser() {
+    let doc = to_sarif(&sample());
+    let parsed = json::parse(&doc).expect("SARIF must be valid JSON");
+
+    assert_eq!(
+        parsed.get("version").and_then(|v| v.as_str()),
+        Some("2.1.0")
+    );
+    let runs = match parsed.get("runs") {
+        Some(json::Json::Arr(runs)) => runs,
+        other => panic!("runs must be an array, got {other:?}"),
+    };
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(|n| n.as_str()),
+        Some("downlake-lint")
+    );
+    let rules = match driver.get("rules") {
+        Some(json::Json::Arr(rules)) => rules,
+        other => panic!("rules must be an array, got {other:?}"),
+    };
+    assert_eq!(rules.len(), 9, "all nine rules are declared");
+
+    let results = match runs[0].get("results") {
+        Some(json::Json::Arr(results)) => results,
+        other => panic!("results must be an array, got {other:?}"),
+    };
+    assert_eq!(results.len(), 2);
+    let first = &results[0];
+    assert_eq!(first.get("ruleId").and_then(|r| r.as_str()), Some("S1"));
+    assert_eq!(first.get("level").and_then(|l| l.as_str()), Some("error"));
+    let loc = first
+        .get("locations")
+        .and_then(|l| match l {
+            json::Json::Arr(a) => a.first(),
+            _ => None,
+        })
+        .and_then(|l| l.get("physicalLocation"))
+        .expect("physicalLocation");
+    assert_eq!(
+        loc.get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(|u| u.as_str()),
+        Some("crates/a/src/lib.rs")
+    );
+    assert_eq!(
+        loc.get("region")
+            .and_then(|r| r.get("startLine"))
+            .and_then(|l| l.as_u64()),
+        Some(3)
+    );
+
+    // The embedded quote survives escaping and re-parsing.
+    let msg = results[1]
+        .get("message")
+        .and_then(|m| m.get("text"))
+        .and_then(|t| t.as_str())
+        .expect("message text");
+    assert!(msg.contains("\"quoted\""), "msg: {msg}");
+}
+
+#[test]
+fn empty_scan_sarif_parses_too() {
+    let parsed = json::parse(&to_sarif(&[])).expect("empty SARIF must parse");
+    let runs = match parsed.get("runs") {
+        Some(json::Json::Arr(runs)) => runs,
+        other => panic!("runs must be an array, got {other:?}"),
+    };
+    assert!(matches!(
+        runs[0].get("results"),
+        Some(json::Json::Arr(r)) if r.is_empty()
+    ));
+}

@@ -259,12 +259,38 @@ fn check_mask_stamp(seed: u64) {
     }
 }
 
+/// `Dense::merge` is commutative: merging two per-chunk partials in
+/// either order yields the same slots. This is the law cited by the
+/// `Dense` entry in `merge-contracts.json`, which licenses its use at
+/// the pooled reduction sites `downlake-lint` rule M1 guards.
+fn check_dense_merge_commutes(seed: u64) {
+    let data = rows(seed, 5, 50);
+    let cut = data.len() / 2;
+    let fill = |slice: &[(usize, usize)]| {
+        let mut acc: Dense<usize, usize> = Dense::new(5);
+        for &(g, v) in slice {
+            acc.add(g, v);
+        }
+        acc
+    };
+    let mut ab = fill(&data[..cut]);
+    ab.merge(fill(&data[cut..]));
+    let mut ba = fill(&data[cut..]);
+    ba.merge(fill(&data[..cut]));
+    assert_eq!(ab.as_slice(), ba.as_slice());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn scan_pipeline_matches_loop(seed in any::<u64>()) {
         check_scan_pipeline(seed);
+    }
+
+    #[test]
+    fn dense_merge_commutes(seed in any::<u64>()) {
+        check_dense_merge_commutes(seed);
     }
 
     #[test]
@@ -308,5 +334,6 @@ fn operator_grid_mirror() {
         check_adjacency_join(seed);
         check_range_partition(seed);
         check_mask_stamp(seed);
+        check_dense_merge_commutes(seed);
     }
 }
