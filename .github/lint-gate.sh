@@ -70,6 +70,14 @@ cargo run -p downlake-bench --release --bin stream -- --smoke
 echo "query_tables: tiny-scale smoke run (engine/loops identity)"
 cargo run -p downlake-bench --release --bin query -- --smoke
 
+# Smoke-run the sweep-fanout bench at tiny scale: fans a 3×3 (σ × τ)
+# sensitivity sweep out over the pool at 1 vs 4 threads and fails
+# unless the timing-stripped sweep surfaces are byte-identical. The
+# committed tests/sweep_determinism.rs suite pins the same invariant
+# in-process; this exercises the sweep-level pool end to end.
+echo "sweep_fanout: tiny-scale smoke run (surface identity across pool widths)"
+cargo run -p downlake-bench --release --bin sweep -- --smoke
+
 # Observability smoke: a run manifest must come out of the CLI and its
 # non-timing sections must be byte-identical at 1 vs 4 threads. The
 # committed tests/obs_manifest.rs suite pins the same invariant

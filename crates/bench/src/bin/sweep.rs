@@ -1,0 +1,112 @@
+//! `sweep_fanout` — wall-clock effect of the sweep-level worker pool,
+//! measured over a full (σ × τ) sensitivity sweep at 1 vs 4 threads.
+//!
+//! ```text
+//! cargo run --release -p downlake-bench --bin sweep            # small scale
+//! cargo run --release -p downlake-bench --bin sweep -- --smoke # tiny, for CI
+//! ```
+//!
+//! Unlike `parallel` (which widens the pool *inside* one study), this
+//! bin holds every study at one thread and fans the runs themselves
+//! out, which is the sweep harness's own parallelism axis. The verdict
+//! that must hold everywhere is byte-identity of the timing-stripped
+//! sweep manifest across pool widths; the bin exits non-zero if it
+//! ever breaks. Emits `BENCH_sweep.json` via the shared
+//! [`downlake_bench::report`] manifest writer, with the sweep's own
+//! deterministic observation plane absorbed into the body.
+
+use downlake_bench::report::{bench_manifest, TimedRun};
+use downlake_obs::{ObsReport, RealClock};
+use downlake_sweep::{run_sweep, SweepManifest};
+use std::time::Instant;
+
+/// The benched surface: three σ caps around the paper's 20 crossed
+/// with the paper's τ settings, canonical seed, full window.
+const MANIFEST: &str = r#"{
+    "name": "bench-3x3",
+    "scale": "SCALE",
+    "sigmas": [5, 20, 60],
+    "taus": [0.0, 0.001, 0.01]
+}"#;
+
+struct Run {
+    threads: usize,
+    seconds: f64,
+    stripped: String,
+    obs: ObsReport,
+}
+
+fn run_once(scale_name: &str, threads: usize) -> Run {
+    let mut manifest = SweepManifest::parse(&MANIFEST.replace("SCALE", scale_name))
+        .expect("bench manifest is valid");
+    manifest.threads = threads;
+    let start = Instant::now();
+    let report = run_sweep(&manifest, &RealClock::new());
+    Run {
+        threads,
+        seconds: start.elapsed().as_secs_f64(),
+        stripped: report.manifest(&manifest).to_json_stripped(),
+        obs: report.obs().clone(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale_name = if smoke { "tiny" } else { "small" };
+    let seed = 42u64;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("sweep_fanout: scale {scale_name}, seed {seed}, host_cpus {host_cpus}");
+    let runs: Vec<Run> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let run = run_once(scale_name, threads);
+            eprintln!("  threads {threads}: {:.3}s", run.seconds);
+            run
+        })
+        .collect();
+
+    let identical = runs.windows(2).all(|w| w[0].stripped == w[1].stripped);
+    let speedup = match runs.last() {
+        Some(last) if last.seconds > 0.0 => runs
+            .first()
+            .map_or(1.0, |first| first.seconds / last.seconds),
+        _ => 1.0,
+    };
+    eprintln!("  speedup (1 → 4 threads): {speedup:.2}x, surfaces identical: {identical}");
+
+    let timed: Vec<TimedRun> = runs
+        .iter()
+        .map(|r| TimedRun {
+            threads: r.threads,
+            seconds: r.seconds,
+            events_per_sec: None,
+        })
+        .collect();
+    let mut manifest = bench_manifest(
+        "sweep_fanout",
+        scale_name,
+        seed,
+        identical,
+        host_cpus,
+        &timed,
+        speedup,
+    );
+    // The deterministic plane is identical across the runs (that is the
+    // point), so absorbing one representative loses nothing.
+    if let Some(run) = runs.first() {
+        manifest.absorb(&run.obs);
+    }
+    if let Err(e) = manifest.write(std::path::Path::new("BENCH_sweep.json")) {
+        eprintln!("sweep_fanout: could not write BENCH_sweep.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("sweep_fanout: wrote BENCH_sweep.json");
+
+    if !identical {
+        eprintln!("sweep_fanout: FAIL — pool width changed the sweep surface bytes");
+        std::process::exit(1);
+    }
+}

@@ -15,8 +15,8 @@ pub use evasion::{
     EvasionStrategy, ExpansionReach,
 };
 pub use rules::{
-    render_table16, render_table17, rule_experiments, table15, table16, table17,
-    RuleExperimentOutcome, RuleRoundReport, TAU_SETTINGS,
+    render_table16, render_table17, rule_experiments, rule_experiments_over, table15, table16,
+    table17, RuleExperimentOutcome, RuleRoundReport, TAU_SETTINGS,
 };
 
 use crate::pipeline::Study;

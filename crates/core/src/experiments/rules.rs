@@ -111,17 +111,41 @@ fn monthly_vectors(study: &Study) -> Vec<FileVectors> {
         .collect()
 }
 
-/// Runs the full §VI experiment suite.
+/// Runs the full §VI experiment suite at the paper's τ settings over
+/// the whole seven-month window.
 pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
+    rule_experiments_over(study, &TAU_SETTINGS, Month::ALL.len())
+}
+
+/// Runs the §VI experiment suite over the first `months` months of the
+/// study window, evaluating every threshold in `taus`.
+///
+/// This is the re-runnable entry point the sweep harness fans out over:
+/// `rule_experiments_over(study, &TAU_SETTINGS, Month::ALL.len())` is
+/// exactly [`rule_experiments`]. Unknown-file coverage (the
+/// `total_unknowns` / `unknowns_labeled` tallies) is tracked at the
+/// *largest* τ in the list — the deployed threshold — which for the
+/// paper settings reproduces the historical "τ = 0.1%" accounting
+/// byte-for-byte.
+pub fn rule_experiments_over(study: &Study, taus: &[f64], months: usize) -> RuleExperimentOutcome {
     let vectors = monthly_vectors(study);
     let gt = study.ground_truth();
     let malicious_class = 1u8; // classes are ["benign", "malicious"]
+
+    // The τ whose unknown-coverage is reported; `max_by(total_cmp)` is
+    // order-insensitive, so permuting `taus` cannot change it.
+    let tracked_tau = taus
+        .iter()
+        .copied()
+        .max_by(f64::total_cmp)
+        .unwrap_or(f64::NAN);
 
     let mut outcome = RuleExperimentOutcome::default();
     let mut labeled_unknowns: HashSet<FileHash> = HashSet::new();
     let mut all_unknowns: HashSet<FileHash> = HashSet::new();
 
-    for train_month in Month::ALL.into_iter().take(Month::ALL.len() - 1) {
+    let pairs = months.min(Month::ALL.len()).saturating_sub(1);
+    for train_month in Month::ALL.into_iter().take(pairs) {
         let Some(test_month) = train_month.next() else {
             continue; // unreachable: the loop stops before the last month
         };
@@ -149,7 +173,7 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
         // deployable rules are backed by ~50+ instances out of ~36k
         // monthly training files; same ratio here).
         let min_coverage = (instances.len() / 120).clamp(8, 16);
-        for tau in TAU_SETTINGS {
+        for &tau in taus {
             let selected = full.select_with(tau, min_coverage);
             let composition = selected.class_composition();
             // Interned encoder + reusable row, hoisted out of both
@@ -194,7 +218,7 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
                     continue;
                 }
                 unknown_total += 1;
-                if tau > 0.0 {
+                if tau == tracked_tau {
                     all_unknowns.insert(hash);
                 }
                 encoder.encode_into(&vector.values(), &mut encoded);
@@ -212,7 +236,7 @@ pub fn rule_experiments(study: &Study) -> RuleExperimentOutcome {
                         } else {
                             unknown_benign += 1;
                         }
-                        if tau > 0.0 {
+                        if tau == tracked_tau {
                             labeled_unknowns.insert(hash);
                         }
                         if let Some(latent) = study.world().latent(hash) {

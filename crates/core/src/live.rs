@@ -60,6 +60,7 @@ impl Default for LiveConfig {
 pub struct LivePrep<'a> {
     urls: &'a UrlLabeler,
     config: LiveConfig,
+    sigma: u32,
     engine: CompiledRuleSet,
     batch_vectors: FileVectors,
     batch_verdicts: Vec<(FileHash, Verdict)>,
@@ -191,6 +192,7 @@ fn prepare_impl<'a>(
     LivePrep {
         urls: study.url_labeler(),
         config,
+        sigma: study.config().synth.sigma,
         engine,
         batch_vectors,
         batch_verdicts,
@@ -261,8 +263,13 @@ impl LivePrep<'_> {
         obs: Option<(&Registry, &dyn Clock)>,
     ) -> Result<LiveOutcome, CodecError> {
         let _span = obs.map(|(registry, clock)| registry.span("live.replay", clock));
-        let mut session =
-            StreamSession::new(ReportingPolicy::paper_default(), self.urls, &self.engine);
+        // The session must admit exactly what the batch study's collection
+        // server admitted, so the policy mirrors the study's σ.
+        let mut session = StreamSession::new(
+            ReportingPolicy::paper_whitelist(self.sigma),
+            self.urls,
+            &self.engine,
+        );
         let events_total = if threads <= 1 {
             session.push_bytes(&self.bytes)?
         } else {

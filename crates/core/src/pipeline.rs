@@ -48,6 +48,13 @@ impl StudyConfig {
         self
     }
 
+    /// Sets the collection-server prevalence threshold σ (builder-style).
+    /// The paper's deployment used σ = 20; the sweep harness varies it.
+    pub fn with_sigma(mut self, sigma: u32) -> Self {
+        self.synth.sigma = sigma;
+        self
+    }
+
     /// Sets the worker-thread count (builder-style); `0` = one per
     /// available core.
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -164,7 +171,10 @@ impl Study {
         // 2. Feed the stream through the collection server.
         let (suppression, dataset) = {
             let _span = registry.span("phase.collect", clock);
-            let policy = ReportingPolicy::paper_default();
+            // The paper's URL whitelist at the *configured* σ: the default
+            // (20) reproduces the paper byte-for-byte, while the sweep
+            // harness turns this knob per scenario.
+            let policy = ReportingPolicy::paper_whitelist(config.synth.sigma);
             let mut server = CollectionServer::new(policy);
             for raw in generated.events {
                 server.observe(raw);
@@ -364,6 +374,7 @@ impl Study {
         manifest
             .set_run("seed", self.config.synth.seed)
             .set_run("scale", format!("{:?}", self.config.synth.scale))
+            .set_run("sigma", self.config.synth.sigma)
             .set_timing("threads", self.config.threads as u64)
             .set_timing("shards", self.config.shards as u64)
             .absorb(&self.obs);

@@ -48,5 +48,5 @@ pub mod seed;
 pub mod shard;
 
 pub use pool::{Pool, UnitTiming};
-pub use seed::{splitmix64, unit_seed};
+pub use seed::{mix, mix_str, splitmix64, unit_seed};
 pub use shard::partition;

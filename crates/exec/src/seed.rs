@@ -35,6 +35,27 @@ pub fn unit_seed(seed: u64, salt: u64, index: u64) -> u64 {
     splitmix64(splitmix64(seed ^ salt).wrapping_add(index.wrapping_mul(GAMMA)))
 }
 
+/// Folds one value into a running hash state with the same asymmetric
+/// SplitMix64 step [`unit_seed`] uses.
+///
+/// This is the canonical way to derive a stable 64-bit identity from a
+/// *sequence* of structured values (a config manifest, a work-unit
+/// descriptor): start from any fixed state, fold each value in a fixed
+/// field order, and the result is a pure function of the sequence —
+/// position-sensitive (swapping two values changes the hash) and
+/// independent of how the values were spelled or keyed in a source
+/// document.
+pub fn mix(state: u64, value: u64) -> u64 {
+    splitmix64(state.wrapping_add(value.wrapping_mul(GAMMA)))
+}
+
+/// Folds a string into a running hash state byte by byte, prefixed with
+/// its length so `("ab", "c")` and `("a", "bc")` cannot collide.
+pub fn mix_str(state: u64, s: &str) -> u64 {
+    s.bytes()
+        .fold(mix(state, s.len() as u64), |st, b| mix(st, u64::from(b)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +76,25 @@ mod tests {
         assert_ne!(a, unit_seed(42, 0xfeed, 8));
         assert_ne!(a, unit_seed(42, 0xfeee, 7));
         assert_ne!(a, unit_seed(43, 0xfeed, 7));
+    }
+
+    #[test]
+    fn mix_is_position_sensitive_and_pure() {
+        let a = mix(mix(0, 7), 9);
+        assert_eq!(a, mix(mix(0, 7), 9));
+        assert_ne!(a, mix(mix(0, 9), 7), "swapped values must land elsewhere");
+        assert_ne!(mix(0, 0), 0);
+    }
+
+    #[test]
+    fn mix_str_is_length_prefixed() {
+        assert_eq!(mix_str(42, "abc"), mix_str(42, "abc"));
+        assert_ne!(mix_str(42, "abc"), mix_str(42, "abd"));
+        // Without the length prefix these two fold the same byte stream.
+        assert_ne!(
+            mix_str(mix_str(0, "ab"), "c"),
+            mix_str(mix_str(0, "a"), "bc")
+        );
     }
 
     #[test]

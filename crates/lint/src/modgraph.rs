@@ -86,6 +86,16 @@ pub const LAYERS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "sweep",
+        &[
+            "downlake",
+            "downlake_types",
+            "downlake_synth",
+            "downlake_exec",
+            "downlake_obs",
+        ],
+    ),
+    (
         "bench",
         &[
             "downlake",
@@ -97,6 +107,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "downlake_features",
             "downlake_rulelearn",
             "downlake_analysis",
+            "downlake_sweep",
             "downlake_obs",
         ],
     ),

@@ -128,11 +128,13 @@ pub fn classify(rel: &str) -> Option<FileCtx> {
         || rel.starts_with("src/");
     let library = !binary && !bench_crate && rel.starts_with("crates/");
     // Hot paths held to the no-per-iteration-allocation rule: the
-    // columnar analysis passes, the query operators they compose, and
-    // the per-event streaming subsystem.
+    // columnar analysis passes, the query operators they compose, the
+    // per-event streaming subsystem, and the sweep harness whose merge
+    // loops fold every run of a fan-out.
     let hot_loop = rel.starts_with("crates/analysis/src/")
         || rel.starts_with("crates/query/src/")
-        || rel.starts_with("crates/stream/src/");
+        || rel.starts_with("crates/stream/src/")
+        || rel.starts_with("crates/sweep/src/");
     Some(FileCtx {
         rel_path: rel.to_string(),
         allow_time: bench_crate,
@@ -166,6 +168,13 @@ mod tests {
         let engine = classify("crates/stream/src/engine.rs").expect("linted");
         assert!(engine.library && engine.hot_loop && !engine.allow_time);
         assert!(classify("crates/stream/tests/zero_alloc.rs").is_none());
+
+        // The sweep harness merges every run of a fan-out: hot-loop
+        // library code, with no time or concurrency waivers.
+        let sweep = classify("crates/sweep/src/report.rs").expect("linted");
+        assert!(sweep.library && sweep.hot_loop && !sweep.allow_time);
+        assert!(!sweep.allow_concurrency);
+        assert!(classify("crates/sweep/tests/plan_props.rs").is_none());
 
         let bench = classify("crates/bench/src/ablation.rs").expect("linted");
         assert!(bench.allow_time && !bench.library);

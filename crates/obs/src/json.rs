@@ -104,6 +104,32 @@ impl Json {
         }
     }
 
+    /// The value as `f64` when it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(v) => Some(v as f64),
+            Json::Int(v) => Some(v as f64),
+            Json::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` when it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value's elements when it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items.as_slice()),
+            _ => None,
+        }
+    }
+
     /// Renders with two-space indentation and a trailing newline.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -573,6 +599,19 @@ mod tests {
         assert_eq!(j.get("s").and_then(Json::as_str), Some("v"));
         assert_eq!(j.get("missing"), None);
         assert_eq!(Json::Null.get("k"), None);
+    }
+
+    #[test]
+    fn numeric_bool_and_array_accessors() {
+        assert_eq!(Json::UInt(3).as_f64(), Some(3.0));
+        assert_eq!(Json::Int(-2).as_f64(), Some(-2.0));
+        assert_eq!(Json::Float(0.001).as_f64(), Some(0.001));
+        assert_eq!(Json::Str("x".into()).as_f64(), None);
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::UInt(1).as_bool(), None);
+        let arr = Json::Arr(vec![Json::UInt(1), Json::UInt(2)]);
+        assert_eq!(arr.as_arr().map(<[Json]>::len), Some(2));
+        assert_eq!(Json::Null.as_arr(), None);
     }
 
     #[test]

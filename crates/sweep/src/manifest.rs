@@ -1,0 +1,416 @@
+//! The typed sweep manifest.
+//!
+//! A manifest is a small JSON document naming the axes of a sensitivity
+//! sweep: which prevalence caps σ, rule-selection thresholds τ, world
+//! seeds, and study-window lengths to cross. Parsing goes through
+//! [`downlake_obs::json`] (the workspace's own total parser — no new
+//! dependencies) and *keys are looked up by name*, so two spellings of
+//! the same manifest with permuted keys are indistinguishable
+//! downstream: the plan, the run ids, and the report are pure functions
+//! of the manifest's *values*, never of its serialization order.
+
+use downlake_exec::{mix, mix_str};
+use downlake_obs::json::{self, Json};
+use downlake_synth::Scale;
+use downlake_types::Month;
+use std::fmt;
+
+/// Fixed initial state for [`SweepManifest::hash`], so manifest hashes
+/// are stable across processes and sessions.
+const HASH_STATE: u64 = 0x5EED_0000_5CA1_E000;
+
+/// A validated sweep configuration.
+///
+/// The four `Vec` fields are the cell axes: the planner crosses every
+/// seed with every σ, τ, and month count. `threads` is deliberately
+/// *not* an axis and is excluded from [`hash`](Self::hash): it sizes
+/// the worker pool that fans the runs out and may never influence a
+/// byte of the deterministic output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepManifest {
+    /// Human-readable sweep name, echoed into the report.
+    pub name: String,
+    /// World scale every run is generated at.
+    pub scale: Scale,
+    /// World seeds to sweep (default: `[42]`).
+    pub seeds: Vec<u64>,
+    /// Collection-server prevalence caps σ to sweep (default: `[20]`,
+    /// the paper's deployment value).
+    pub sigmas: Vec<u32>,
+    /// Rule-selection thresholds τ to sweep (default: `[0.0, 0.001]`,
+    /// the paper's two settings).
+    pub taus: Vec<f64>,
+    /// Study-window lengths in months to sweep; each value `m` runs the
+    /// rule experiments over the first `m` months (default: the full
+    /// seven-month window).
+    pub months: Vec<usize>,
+    /// Worker threads for the sweep-level fan-out; `0` = one per core,
+    /// `1` = the sequential oracle. Timing plane only.
+    pub threads: usize,
+}
+
+/// Why a manifest failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The document is not valid JSON.
+    Json(String),
+    /// A required key is absent or has the wrong JSON type.
+    Missing(&'static str),
+    /// A key the manifest format does not define.
+    UnknownKey(String),
+    /// A value is out of range.
+    Invalid(&'static str, String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Json(msg) => write!(f, "manifest is not valid JSON: {msg}"),
+            SweepError::Missing(key) => {
+                write!(f, "manifest key {key:?} is missing or has the wrong type")
+            }
+            SweepError::UnknownKey(key) => write!(f, "unknown manifest key {key:?}"),
+            SweepError::Invalid(key, why) => write!(f, "manifest key {key:?} invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Every key the manifest format defines.
+const KNOWN_KEYS: [&str; 7] = [
+    "name", "scale", "seeds", "sigmas", "taus", "months", "threads",
+];
+
+impl SweepManifest {
+    /// Parses and validates a manifest document.
+    ///
+    /// Required: `name` (string). Optional with paper-faithful defaults:
+    /// `scale` (string, default `"tiny"`), `seeds` (default `[42]`),
+    /// `sigmas` (default `[20]`), `taus` (default `[0.0, 0.001]`),
+    /// `months` (default the full window), `threads` (default `1`).
+    /// Unknown keys are rejected so typos cannot silently drop an axis.
+    pub fn parse(src: &str) -> Result<Self, SweepError> {
+        let doc = json::parse(src).map_err(|e| SweepError::Json(e.to_string()))?;
+        let Json::Obj(pairs) = &doc else {
+            return Err(SweepError::Json("top level must be an object".to_owned()));
+        };
+        if let Some((key, _)) = pairs
+            .iter()
+            .find(|(k, _)| !KNOWN_KEYS.iter().any(|known| known == k))
+        {
+            return Err(SweepError::UnknownKey(key.clone()));
+        }
+
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(SweepError::Missing("name"))?
+            .to_owned();
+        let scale = match doc.get("scale") {
+            None => Scale::Tiny,
+            Some(value) => value
+                .as_str()
+                .and_then(parse_scale)
+                .ok_or(SweepError::Missing("scale"))?,
+        };
+        let seeds = match doc.get("seeds") {
+            None => vec![42],
+            Some(value) => u64_axis(value, "seeds")?,
+        };
+        let sigmas = match doc.get("sigmas") {
+            None => vec![20],
+            Some(value) => u64_axis(value, "sigmas")?
+                .into_iter()
+                .map(|v| {
+                    u32::try_from(v)
+                        .map_err(|_| SweepError::Invalid("sigmas", format!("{v} exceeds u32")))
+                })
+                .collect::<Result<Vec<u32>, SweepError>>()?,
+        };
+        let taus = match doc.get("taus") {
+            None => vec![0.0, 0.001],
+            Some(value) => f64_axis(value, "taus")?,
+        };
+        let months = match doc.get("months") {
+            None => vec![Month::ALL.len()],
+            Some(value) => u64_axis(value, "months")?
+                .into_iter()
+                .map(|v| v as usize)
+                .collect(),
+        };
+        let threads = match doc.get("threads") {
+            None => 1,
+            Some(value) => value.as_u64().ok_or(SweepError::Missing("threads"))? as usize,
+        };
+
+        let manifest = Self {
+            name,
+            scale,
+            seeds,
+            sigmas,
+            taus,
+            months,
+            threads,
+        };
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Checks every axis: non-empty, duplicate-free, in range. Called by
+    /// [`parse`](Self::parse); exposed for programmatically built
+    /// manifests.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        if self.name.is_empty() {
+            return Err(SweepError::Invalid("name", "must be non-empty".to_owned()));
+        }
+        non_empty_distinct("seeds", self.seeds.iter().copied())?;
+        non_empty_distinct("sigmas", self.sigmas.iter().map(|&s| u64::from(s)))?;
+        non_empty_distinct("taus", self.taus.iter().map(|t| t.to_bits()))?;
+        non_empty_distinct("months", self.months.iter().map(|&m| m as u64))?;
+        if let Some(&sigma) = self.sigmas.iter().find(|&&s| s == 0) {
+            return Err(SweepError::Invalid(
+                "sigmas",
+                format!("σ = {sigma}: the prevalence cap must be at least 1"),
+            ));
+        }
+        if let Some(&tau) = self
+            .taus
+            .iter()
+            .find(|&&t| !t.is_finite() || !(0.0..=1.0).contains(&t))
+        {
+            return Err(SweepError::Invalid(
+                "taus",
+                format!("τ = {tau}: thresholds must be finite and within [0, 1]"),
+            ));
+        }
+        if let Some(&m) = self.months.iter().find(|&&m| m < 2 || m > Month::ALL.len()) {
+            return Err(SweepError::Invalid(
+                "months",
+                format!(
+                    "{m}: window must span 2..={} months (a train/test pair needs two)",
+                    Month::ALL.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of runs the planner will expand this manifest into.
+    pub fn run_count(&self) -> usize {
+        self.seeds.len() * self.sigmas.len() * self.taus.len() * self.months.len()
+    }
+
+    /// A stable 64-bit identity for this manifest: a
+    /// [`downlake_exec::mix`]-fold over the *values* in fixed field
+    /// order.
+    ///
+    /// Two manifests hash equal iff their semantic content is equal —
+    /// JSON key order, whitespace, and the `threads` knob (timing plane)
+    /// never participate. Run ids derive from this hash, so they are
+    /// reproducible across processes and invariant to how the manifest
+    /// was spelled.
+    pub fn hash(&self) -> u64 {
+        let h = mix_str(HASH_STATE, &self.name);
+        let h = mix(h, self.scale.fraction().to_bits());
+        let h = fold_axis(h, self.seeds.iter().copied());
+        let h = fold_axis(h, self.sigmas.iter().map(|&s| u64::from(s)));
+        let h = fold_axis(h, self.taus.iter().map(|t| t.to_bits()));
+        fold_axis(h, self.months.iter().map(|&m| m as u64))
+    }
+}
+
+/// Length-prefixed fold of one axis into the hash state, so axes of
+/// different lengths cannot alias (`[1, 2] + []` vs `[1] + [2]`).
+fn fold_axis(state: u64, values: impl Iterator<Item = u64>) -> u64 {
+    let mut h = state;
+    let mut len = 0u64;
+    for value in values {
+        h = mix(h, value);
+        len += 1;
+    }
+    mix(h, len)
+}
+
+/// Rejects empty axes and duplicate values (a duplicate would run the
+/// same configuration twice and silently double-weight its cell).
+fn non_empty_distinct(
+    key: &'static str,
+    values: impl Iterator<Item = u64>,
+) -> Result<(), SweepError> {
+    let mut seen: Vec<u64> = Vec::new();
+    for value in values {
+        if seen.contains(&value) {
+            return Err(SweepError::Invalid(key, "duplicate axis value".to_owned()));
+        }
+        seen.push(value);
+    }
+    if seen.is_empty() {
+        return Err(SweepError::Invalid(
+            key,
+            "axis must be non-empty".to_owned(),
+        ));
+    }
+    Ok(())
+}
+
+/// Same scale spellings the `downlake` CLI accepts.
+fn parse_scale(arg: &str) -> Option<Scale> {
+    match arg {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "default" => Some(Scale::Default),
+        "large" => Some(Scale::Large),
+        "paper" => Some(Scale::Paper),
+        _ => arg
+            .parse::<f64>()
+            .ok()
+            .filter(|f| *f > 0.0)
+            .map(Scale::Fraction),
+    }
+}
+
+/// An all-`u64` JSON array.
+fn u64_axis(value: &Json, key: &'static str) -> Result<Vec<u64>, SweepError> {
+    value
+        .as_arr()
+        .ok_or(SweepError::Missing(key))?
+        .iter()
+        .map(|v| v.as_u64().ok_or(SweepError::Missing(key)))
+        .collect()
+}
+
+/// An all-numeric JSON array read as `f64`.
+fn f64_axis(value: &Json, key: &'static str) -> Result<Vec<f64>, SweepError> {
+    value
+        .as_arr()
+        .ok_or(SweepError::Missing(key))?
+        .iter()
+        .map(|v| v.as_f64().ok_or(SweepError::Missing(key)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_2x2() -> &'static str {
+        r#"{"name": "paper-2x2", "scale": "tiny", "sigmas": [5, 20], "taus": [0.0, 0.001]}"#
+    }
+
+    #[test]
+    fn parses_with_defaults() {
+        let m = SweepManifest::parse(paper_2x2()).expect("valid");
+        assert_eq!(m.name, "paper-2x2");
+        assert_eq!(m.scale, Scale::Tiny);
+        assert_eq!(m.seeds, vec![42]);
+        assert_eq!(m.sigmas, vec![5, 20]);
+        assert_eq!(m.taus, vec![0.0, 0.001]);
+        assert_eq!(m.months, vec![Month::ALL.len()]);
+        assert_eq!(m.threads, 1);
+        assert_eq!(m.run_count(), 4);
+    }
+
+    #[test]
+    fn minimal_manifest_is_the_paper_configuration() {
+        let m = SweepManifest::parse(r#"{"name": "paper"}"#).expect("valid");
+        assert_eq!(m.sigmas, vec![20]);
+        assert_eq!(m.taus, vec![0.0, 0.001]);
+        assert_eq!(m.run_count(), 2);
+    }
+
+    #[test]
+    fn key_order_does_not_change_the_hash() {
+        let a = SweepManifest::parse(paper_2x2()).expect("valid");
+        let b = SweepManifest::parse(
+            r#"{"taus": [0.0, 0.001], "sigmas": [5, 20], "scale": "tiny", "name": "paper-2x2"}"#,
+        )
+        .expect("valid");
+        assert_eq!(a, b);
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn threads_is_excluded_from_the_hash() {
+        let a = SweepManifest::parse(paper_2x2()).expect("valid");
+        let mut b = a.clone();
+        b.threads = 8;
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn value_changes_move_the_hash() {
+        let base = SweepManifest::parse(paper_2x2()).expect("valid");
+        let mut renamed = base.clone();
+        renamed.name = "other".to_owned();
+        assert_ne!(base.hash(), renamed.hash());
+        let mut reseeded = base.clone();
+        reseeded.seeds = vec![43];
+        assert_ne!(base.hash(), reseeded.hash());
+        let mut retau = base;
+        retau.taus = vec![0.0, 0.002];
+        assert_ne!(
+            retau.hash(),
+            SweepManifest::parse(paper_2x2()).unwrap().hash()
+        );
+    }
+
+    #[test]
+    fn axis_shifts_cannot_alias() {
+        // Moving a value between adjacent axes must change the hash:
+        // the fold is length-prefixed per axis.
+        let mut a = SweepManifest::parse(r#"{"name": "x"}"#).expect("valid");
+        let mut b = a.clone();
+        a.seeds = vec![1, 2];
+        a.sigmas = vec![3];
+        b.seeds = vec![1];
+        b.sigmas = vec![2, 3];
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(matches!(
+            SweepManifest::parse("not json"),
+            Err(SweepError::Json(_))
+        ));
+        assert!(matches!(
+            SweepManifest::parse(r#"{"scale": "tiny"}"#),
+            Err(SweepError::Missing("name"))
+        ));
+        assert!(matches!(
+            SweepManifest::parse(r#"{"name": "x", "sigma": [20]}"#),
+            Err(SweepError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            SweepManifest::parse(r#"{"name": "x", "sigmas": []}"#),
+            Err(SweepError::Invalid("sigmas", _))
+        ));
+        assert!(matches!(
+            SweepManifest::parse(r#"{"name": "x", "sigmas": [0]}"#),
+            Err(SweepError::Invalid("sigmas", _))
+        ));
+        assert!(matches!(
+            SweepManifest::parse(r#"{"name": "x", "taus": [1.5]}"#),
+            Err(SweepError::Invalid("taus", _))
+        ));
+        assert!(matches!(
+            SweepManifest::parse(r#"{"name": "x", "taus": [0.1, 0.1]}"#),
+            Err(SweepError::Invalid("taus", _))
+        ));
+        assert!(matches!(
+            SweepManifest::parse(r#"{"name": "x", "months": [1]}"#),
+            Err(SweepError::Invalid("months", _))
+        ));
+        assert!(matches!(
+            SweepManifest::parse(r#"{"name": "x", "months": [9]}"#),
+            Err(SweepError::Invalid("months", _))
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let err = SweepManifest::parse(r#"{"name": "x", "sigmas": [0]}"#).unwrap_err();
+        assert!(err.to_string().contains("sigmas"));
+    }
+}

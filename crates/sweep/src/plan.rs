@@ -1,0 +1,141 @@
+//! Deterministic expansion of a manifest into run specifications.
+//!
+//! [`plan`] crosses the manifest's axes in one fixed nesting order
+//! (seeds → σ → τ → months) and stamps each cell of the cross-product
+//! with a collision-free run id derived from the manifest hash through
+//! [`downlake_exec::unit_seed`]. The resulting list is a pure function
+//! of the manifest's values: re-planning the same manifest — in another
+//! process, at another thread count, from a JSON spelling with permuted
+//! keys — reproduces the identical list, ids included.
+
+use crate::manifest::SweepManifest;
+use downlake::StudyConfig;
+use downlake_exec::unit_seed;
+use downlake_synth::Scale;
+
+/// Stage salt separating sweep run ids from every other
+/// [`unit_seed`] stream in the workspace ("SWEEP" in ASCII).
+pub const SWEEP_SALT: u64 = 0x0053_5745_4550_u64;
+
+/// One planned run: a single point of the sweep's cross-product.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Collision-free run id: `unit_seed(manifest.hash(), SWEEP_SALT,
+    /// index)`.
+    pub id: u64,
+    /// Position in the planner's fixed expansion order.
+    pub index: u64,
+    /// World seed for this run.
+    pub seed: u64,
+    /// Collection-server prevalence cap σ for this run.
+    pub sigma: u32,
+    /// Rule-selection threshold τ for this run.
+    pub tau: f64,
+    /// Study-window length in months for this run.
+    pub months: usize,
+}
+
+impl RunSpec {
+    /// The study configuration this run executes.
+    ///
+    /// Per-run pipelines are pinned to the sequential oracle
+    /// (`threads = 1`): parallelism lives one level up, in the sweep
+    /// pool that fans runs out, so worker counts compose instead of
+    /// multiplying.
+    pub fn study_config(&self, scale: Scale) -> StudyConfig {
+        StudyConfig::new(self.seed)
+            .with_scale(scale)
+            .with_sigma(self.sigma)
+            .with_threads(1)
+    }
+}
+
+/// Expands the manifest into its full run list, in the fixed
+/// seeds → σ → τ → months nesting order.
+pub fn plan(manifest: &SweepManifest) -> Vec<RunSpec> {
+    let hash = manifest.hash();
+    let mut specs = Vec::with_capacity(manifest.run_count());
+    let mut index = 0u64;
+    for &seed in &manifest.seeds {
+        for &sigma in &manifest.sigmas {
+            for &tau in &manifest.taus {
+                for &months in &manifest.months {
+                    specs.push(RunSpec {
+                        id: unit_seed(hash, SWEEP_SALT, index),
+                        index,
+                        seed,
+                        sigma,
+                        tau,
+                        months,
+                    });
+                    index += 1;
+                }
+            }
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> SweepManifest {
+        SweepManifest::parse(
+            r#"{"name": "grid", "seeds": [1, 2], "sigmas": [5, 20], "taus": [0.0, 0.001], "months": [3, 7]}"#,
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn expansion_covers_the_full_cross_product_in_order() {
+        let m = manifest();
+        let specs = plan(&m);
+        assert_eq!(specs.len(), m.run_count());
+        assert_eq!(specs.len(), 16);
+        // Fixed nesting: months varies fastest, seeds slowest.
+        assert_eq!(
+            (specs[0].seed, specs[0].sigma, specs[0].tau, specs[0].months),
+            (1, 5, 0.0, 3)
+        );
+        assert_eq!(
+            (specs[1].seed, specs[1].sigma, specs[1].tau, specs[1].months),
+            (1, 5, 0.0, 7)
+        );
+        assert_eq!((specs[2].tau, specs[2].months), (0.001, 3));
+        assert_eq!(specs[8].seed, 2);
+        assert!(specs.iter().enumerate().all(|(i, s)| s.index == i as u64));
+    }
+
+    #[test]
+    fn run_ids_are_distinct_and_reproducible() {
+        let m = manifest();
+        let a = plan(&m);
+        let b = plan(&m);
+        assert_eq!(a, b);
+        let mut ids: Vec<u64> = a.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), a.len(), "run ids must be collision-free");
+    }
+
+    #[test]
+    fn ids_are_rooted_in_the_manifest_hash() {
+        let m = manifest();
+        let mut renamed = m.clone();
+        renamed.name = "other-grid".to_owned();
+        let a = plan(&m);
+        let b = plan(&renamed);
+        // Same grid, different manifest identity: every id moves.
+        assert!(a.iter().zip(&b).all(|(x, y)| x.id != y.id));
+    }
+
+    #[test]
+    fn study_config_carries_the_cell_and_pins_sequential() {
+        let spec = plan(&manifest())[5];
+        let config = spec.study_config(Scale::Tiny);
+        assert_eq!(config.synth.seed, spec.seed);
+        assert_eq!(config.synth.sigma, spec.sigma);
+        assert_eq!(config.threads, 1);
+    }
+}

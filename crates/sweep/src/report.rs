@@ -1,0 +1,466 @@
+//! The sensitivity surface: per-(σ, τ) cells and the commutative report.
+//!
+//! Each run contributes one [`SweepCell`] of pure integer tallies;
+//! [`SweepReport::merge`] folds reports key-wise, so any partition of
+//! the run list merged in any order yields the same surface — the
+//! property that lets the runner fan runs out over a worker pool
+//! without the pool's scheduling ever reaching the output. Derived
+//! rates (TP/FP, coverage) are computed at render time from the merged
+//! integers, never merged themselves.
+
+use crate::manifest::SweepManifest;
+use crate::plan::RunSpec;
+use downlake::experiments::RuleExperimentOutcome;
+use downlake::{Study, TextTable};
+use downlake_obs::json::Json;
+use downlake_obs::{ObsReport, RunManifest};
+
+/// Aggregated tallies for one (σ, τ) cell of the surface.
+///
+/// Every field is a sum of non-negative integers, so cell merging is
+/// commutative and associative by construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepCell {
+    /// Prevalence cap σ of this cell.
+    pub sigma: u32,
+    /// Rule-selection threshold τ of this cell.
+    pub tau: f64,
+    /// Runs folded into this cell.
+    pub runs: usize,
+    /// Evaluation rounds (month pairs) across those runs.
+    pub rounds: usize,
+    /// Rules PART extracted before selection.
+    pub rules_total: usize,
+    /// Rules surviving τ-selection.
+    pub rules_selected: usize,
+    /// Selected rules concluding benign.
+    pub benign_rules: usize,
+    /// Selected rules concluding malicious.
+    pub malicious_rules: usize,
+    /// Labeled test files: malicious classified malicious.
+    pub true_positives: usize,
+    /// Labeled test files: malicious classified benign.
+    pub false_negatives: usize,
+    /// Labeled test files: benign classified malicious.
+    pub false_positives: usize,
+    /// Labeled test files: benign classified benign.
+    pub true_negatives: usize,
+    /// Distinct selected rules that produced at least one false
+    /// positive.
+    pub fp_rules: usize,
+    /// Unknown files observed across test months.
+    pub unknown_total: usize,
+    /// Unknowns matching at least one rule.
+    pub unknown_matched: usize,
+    /// Unknowns labeled malicious.
+    pub unknown_malicious: usize,
+    /// Unknowns labeled benign.
+    pub unknown_benign: usize,
+    /// Unknowns rejected due to rule conflicts.
+    pub unknown_rejected: usize,
+    /// Distinct unknowns labeled across each run (summed over runs).
+    pub unknowns_labeled: usize,
+    /// Distinct unknowns observed across each run (summed over runs).
+    pub total_unknowns: usize,
+    /// Files with confident ground truth (summed over runs).
+    pub ground_truth_files: usize,
+}
+
+impl SweepCell {
+    /// Builds the cell one run contributes, summing the outcome's
+    /// rounds (all at this run's single τ).
+    pub fn from_outcome(sigma: u32, tau: f64, outcome: &RuleExperimentOutcome) -> Self {
+        let mut cell = SweepCell {
+            sigma,
+            tau,
+            runs: 1,
+            unknowns_labeled: outcome.unknowns_labeled,
+            total_unknowns: outcome.total_unknowns,
+            ground_truth_files: outcome.ground_truth_files,
+            ..SweepCell::default()
+        };
+        for round in &outcome.rounds {
+            cell.rounds += 1;
+            cell.rules_total += round.rules_total;
+            cell.rules_selected += round.rules_selected;
+            cell.benign_rules += round.benign_rules;
+            cell.malicious_rules += round.malicious_rules;
+            cell.true_positives += round.confusion.true_positives;
+            cell.false_negatives += round.confusion.false_negatives;
+            cell.false_positives += round.confusion.false_positives;
+            cell.true_negatives += round.confusion.true_negatives;
+            cell.fp_rules += round.fp_rules;
+            cell.unknown_total += round.unknown_total;
+            cell.unknown_matched += round.unknown_matched;
+            cell.unknown_malicious += round.unknown_malicious;
+            cell.unknown_benign += round.unknown_benign;
+            cell.unknown_rejected += round.unknown_rejected;
+        }
+        cell
+    }
+
+    /// The (σ, τ-bits) key cells merge on and sort by.
+    pub fn key(&self) -> (u32, u64) {
+        (self.sigma, self.tau.to_bits())
+    }
+
+    /// Folds another cell with the same key into this one.
+    pub fn absorb(&mut self, other: &SweepCell) {
+        debug_assert_eq!(self.key(), other.key(), "cell keys must match");
+        self.runs += other.runs;
+        self.rounds += other.rounds;
+        self.rules_total += other.rules_total;
+        self.rules_selected += other.rules_selected;
+        self.benign_rules += other.benign_rules;
+        self.malicious_rules += other.malicious_rules;
+        self.true_positives += other.true_positives;
+        self.false_negatives += other.false_negatives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.fp_rules += other.fp_rules;
+        self.unknown_total += other.unknown_total;
+        self.unknown_matched += other.unknown_matched;
+        self.unknown_malicious += other.unknown_malicious;
+        self.unknown_benign += other.unknown_benign;
+        self.unknown_rejected += other.unknown_rejected;
+        self.unknowns_labeled += other.unknowns_labeled;
+        self.total_unknowns += other.total_unknowns;
+        self.ground_truth_files += other.ground_truth_files;
+    }
+
+    /// True-positive rate over the labeled malicious test files, in
+    /// percent.
+    pub fn tp_rate_pct(&self) -> f64 {
+        pct(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
+    }
+
+    /// False-positive rate over the labeled benign test files, in
+    /// percent.
+    pub fn fp_rate_pct(&self) -> f64 {
+        pct(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
+    }
+
+    /// Share of unknown files the selected rules covered (matched), in
+    /// percent.
+    pub fn coverage_pct(&self) -> f64 {
+        pct(self.unknown_matched, self.unknown_total)
+    }
+}
+
+fn pct(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// The merged sensitivity surface of one sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Manifest name, echoed for identification.
+    pub name: String,
+    /// Manifest hash the run ids were derived from.
+    pub manifest_hash: u64,
+    /// Cells sorted by (σ, τ); one per distinct key seen so far.
+    cells: Vec<SweepCell>,
+    /// Aggregated pipeline observations across all merged runs.
+    obs: ObsReport,
+}
+
+impl SweepReport {
+    /// An empty report carrying the manifest's identity.
+    pub fn empty(manifest: &SweepManifest) -> Self {
+        Self {
+            name: manifest.name.clone(),
+            manifest_hash: manifest.hash(),
+            cells: Vec::new(),
+            obs: ObsReport::default(),
+        }
+    }
+
+    /// A report carrying the given cells (key-duplicates folded
+    /// through [`merge`](Self::merge)). Synthetic construction for
+    /// property tests and tools; the runner builds reports via
+    /// [`from_run`](Self::from_run).
+    pub fn from_cells(
+        manifest: &SweepManifest,
+        cells: impl IntoIterator<Item = SweepCell>,
+    ) -> Self {
+        let mut report = Self::empty(manifest);
+        for cell in cells {
+            let mut part = Self::empty(manifest);
+            part.cells.push(cell);
+            report.merge(&part);
+        }
+        report
+    }
+
+    /// The single-run report for one planned cell: the run's rule
+    /// tallies plus the study's deterministic observation planes.
+    pub fn from_run(
+        manifest: &SweepManifest,
+        spec: &RunSpec,
+        study: &Study,
+        outcome: &RuleExperimentOutcome,
+    ) -> Self {
+        let mut report = Self::empty(manifest);
+        report
+            .cells
+            .push(SweepCell::from_outcome(spec.sigma, spec.tau, outcome));
+        report.obs.merge(study.obs());
+        report
+    }
+
+    /// Folds another report of the same sweep into this one:
+    /// key-matched cells absorb, new keys insert, the cell list re-sorts
+    /// by (σ, τ), and the observation planes merge. Commutative — any
+    /// merge order over any partition of the runs produces the same
+    /// report (pinned by `sweep_report_merge_commutes`).
+    pub fn merge(&mut self, other: &SweepReport) {
+        debug_assert_eq!(self.manifest_hash, other.manifest_hash, "same sweep only");
+        for cell in &other.cells {
+            match self.cells.iter_mut().find(|c| c.key() == cell.key()) {
+                Some(mine) => mine.absorb(cell),
+                None => self.cells.push(cell.clone()),
+            }
+        }
+        self.cells
+            .sort_by(|a, b| a.sigma.cmp(&b.sigma).then(f64::total_cmp(&a.tau, &b.tau)));
+        self.obs.merge(&other.obs);
+    }
+
+    /// The surface cells, sorted by (σ, τ).
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// Looks up one cell by its exact (σ, τ) coordinates.
+    pub fn cell(&self, sigma: u32, tau: f64) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.key() == (sigma, tau.to_bits()))
+    }
+
+    /// Total runs folded in so far.
+    pub fn runs(&self) -> usize {
+        self.cells.iter().map(|c| c.runs).sum()
+    }
+
+    /// The aggregated observation planes.
+    pub fn obs(&self) -> &ObsReport {
+        &self.obs
+    }
+
+    /// Folds an extra observation snapshot (e.g. the sweep harness's
+    /// own counters) into the report's observation planes.
+    pub fn absorb_obs(&mut self, obs: &ObsReport) {
+        self.obs.merge(obs);
+    }
+
+    /// Renders the report as a [`RunManifest`] of kind `"sweep"`.
+    ///
+    /// The `run` section carries the sweep identity, the manifest axes,
+    /// and the full cell surface; `threads` is quarantined under
+    /// `timing`. [`RunManifest::to_json_stripped`] of the result is the
+    /// byte-comparable artifact: identical at every thread count.
+    pub fn manifest(&self, manifest: &SweepManifest) -> RunManifest {
+        let mut out = RunManifest::new("sweep");
+        out.set_run("name", self.name.as_str())
+            .set_run("manifest_hash", hex16(self.manifest_hash))
+            .set_run("scale", format!("{:?}", manifest.scale))
+            .set_run("seeds", uint_arr(manifest.seeds.iter().copied()))
+            .set_run(
+                "sigmas",
+                uint_arr(manifest.sigmas.iter().map(|&s| u64::from(s))),
+            )
+            .set_run(
+                "taus",
+                Json::Arr(manifest.taus.iter().map(|&t| Json::Float(t)).collect()),
+            )
+            .set_run(
+                "months",
+                uint_arr(manifest.months.iter().map(|&m| m as u64)),
+            )
+            .set_run("runs", self.runs())
+            .set_run(
+                "cells",
+                Json::Arr(self.cells.iter().map(cell_json).collect()),
+            )
+            .set_timing("threads", manifest.threads as u64)
+            .absorb(&self.obs);
+        out
+    }
+
+    /// Renders the surface as a text table, one row per (σ, τ) cell.
+    pub fn table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            format!("Sensitivity surface — sweep {:?}", self.name),
+            &[
+                "σ", "τ", "runs", "rules", "selected", "TP", "FP", "TP rate", "FP rate",
+                "unknowns", "coverage",
+            ],
+        );
+        for cell in &self.cells {
+            table.push_row(row_cells(cell));
+        }
+        table
+    }
+}
+
+/// One table row; built out of line so the hot-loop above stays
+/// allocation-annotation-free.
+fn row_cells(cell: &SweepCell) -> Vec<String> {
+    vec![
+        cell.sigma.to_string(),
+        format!("{:.2}%", cell.tau * 100.0),
+        cell.runs.to_string(),
+        cell.rules_total.to_string(),
+        cell.rules_selected.to_string(),
+        cell.true_positives.to_string(),
+        cell.false_positives.to_string(),
+        format!("{:.2}%", cell.tp_rate_pct()),
+        format!("{:.2}%", cell.fp_rate_pct()),
+        cell.unknown_total.to_string(),
+        format!("{:.2}%", cell.coverage_pct()),
+    ]
+}
+
+fn hex16(value: u64) -> String {
+    format!("{value:016x}")
+}
+
+fn uint_arr(values: impl Iterator<Item = u64>) -> Json {
+    Json::Arr(values.map(Json::UInt).collect())
+}
+
+/// A cell as an ordered JSON object: coordinates, raw tallies, then
+/// derived rates.
+fn cell_json(cell: &SweepCell) -> Json {
+    let uint = |k: &str, v: usize| (k.to_owned(), Json::UInt(v as u64));
+    Json::Obj(vec![
+        ("sigma".to_owned(), Json::UInt(u64::from(cell.sigma))),
+        ("tau".to_owned(), Json::Float(cell.tau)),
+        uint("runs", cell.runs),
+        uint("rounds", cell.rounds),
+        uint("rules_total", cell.rules_total),
+        uint("rules_selected", cell.rules_selected),
+        uint("benign_rules", cell.benign_rules),
+        uint("malicious_rules", cell.malicious_rules),
+        uint("true_positives", cell.true_positives),
+        uint("false_negatives", cell.false_negatives),
+        uint("false_positives", cell.false_positives),
+        uint("true_negatives", cell.true_negatives),
+        uint("fp_rules", cell.fp_rules),
+        uint("unknown_total", cell.unknown_total),
+        uint("unknown_matched", cell.unknown_matched),
+        uint("unknown_malicious", cell.unknown_malicious),
+        uint("unknown_benign", cell.unknown_benign),
+        uint("unknown_rejected", cell.unknown_rejected),
+        uint("unknowns_labeled", cell.unknowns_labeled),
+        uint("total_unknowns", cell.total_unknowns),
+        uint("ground_truth_files", cell.ground_truth_files),
+        ("tp_rate_pct".to_owned(), Json::Float(cell.tp_rate_pct())),
+        ("fp_rate_pct".to_owned(), Json::Float(cell.fp_rate_pct())),
+        ("coverage_pct".to_owned(), Json::Float(cell.coverage_pct())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> SweepManifest {
+        SweepManifest::parse(r#"{"name": "t", "sigmas": [5, 20], "taus": [0.0, 0.001]}"#)
+            .expect("valid")
+    }
+
+    fn cell(sigma: u32, tau: f64, runs: usize, tp: usize) -> SweepCell {
+        SweepCell {
+            sigma,
+            tau,
+            runs,
+            true_positives: tp,
+            false_negatives: tp, // 50% TP rate
+            unknown_total: 10,
+            unknown_matched: 4,
+            ..SweepCell::default()
+        }
+    }
+
+    fn report_with(manifest: &SweepManifest, cells: Vec<SweepCell>) -> SweepReport {
+        let mut r = SweepReport::empty(manifest);
+        for c in cells {
+            let mut part = SweepReport::empty(manifest);
+            part.cells.push(c);
+            r.merge(&part);
+        }
+        r
+    }
+
+    #[test]
+    fn merge_matches_keys_and_sorts() {
+        let m = manifest();
+        let r = report_with(
+            &m,
+            vec![
+                cell(20, 0.001, 1, 3),
+                cell(5, 0.0, 1, 2),
+                cell(20, 0.001, 1, 5),
+            ],
+        );
+        assert_eq!(r.cells().len(), 2);
+        assert_eq!(r.cells()[0].key(), (5, 0.0f64.to_bits()));
+        let merged = r.cell(20, 0.001).expect("cell present");
+        assert_eq!(merged.runs, 2);
+        assert_eq!(merged.true_positives, 8);
+        assert_eq!(r.runs(), 3);
+    }
+
+    #[test]
+    fn derived_rates_come_from_the_integers() {
+        let c = cell(20, 0.001, 1, 7);
+        assert_eq!(c.tp_rate_pct(), 50.0);
+        assert_eq!(c.coverage_pct(), 40.0);
+        assert_eq!(SweepCell::default().fp_rate_pct(), 0.0);
+    }
+
+    #[test]
+    fn rendered_manifest_has_the_surface_and_quarantined_threads() {
+        use downlake_obs::json;
+        let m = manifest();
+        let r = report_with(&m, vec![cell(5, 0.0, 1, 2), cell(20, 0.001, 1, 3)]);
+        let doc = json::parse(&r.manifest(&m).to_json()).expect("valid JSON");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("sweep"));
+        let run = doc.get("run").expect("run section");
+        assert_eq!(run.get("name").and_then(Json::as_str), Some("t"));
+        assert_eq!(run.get("runs").and_then(Json::as_u64), Some(2));
+        let cells = run.get("cells").and_then(Json::as_arr).expect("cells");
+        assert_eq!(cells.len(), 2);
+        assert_eq!(
+            cells
+                .first()
+                .and_then(|c| c.get("sigma"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+        let timing = doc.get("timing").expect("timing section");
+        assert_eq!(timing.get("threads").and_then(Json::as_u64), Some(1));
+        // threads never reach the stripped artifact.
+        let stripped = json::parse(&r.manifest(&m).to_json_stripped()).expect("valid");
+        assert_eq!(stripped.get("timing"), None);
+    }
+
+    #[test]
+    fn table_has_one_row_per_cell() {
+        let m = manifest();
+        let r = report_with(&m, vec![cell(5, 0.0, 1, 2), cell(20, 0.001, 1, 3)]);
+        assert_eq!(r.table().rows.len(), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! Fan-out execution of a planned sweep.
+//!
+//! Each planned run builds its own sequential study via
+//! [`Study::run_observed`] and evaluates the rule experiments at its
+//! single (τ, months) point; the sweep-level [`Pool`] is the only
+//! parallelism. Per-run reports come back in plan order and fold into
+//! one [`SweepReport`] through its commutative merge, so the surface is
+//! a pure function of the manifest at every thread count.
+
+use crate::manifest::SweepManifest;
+use crate::plan::{plan, RunSpec};
+use crate::report::SweepReport;
+use downlake::experiments::rule_experiments_over;
+use downlake::Study;
+use downlake_exec::Pool;
+use downlake_obs::{Clock, Registry};
+
+/// Runs the whole sweep: plan, fan out, merge.
+///
+/// The injected [`Clock`] feeds every per-run pipeline's timing plane;
+/// pass a `TestClock` for fully deterministic manifests (timings
+/// included) or a `RealClock` for wall-clock spans.
+pub fn run_sweep(manifest: &SweepManifest, clock: &dyn Clock) -> SweepReport {
+    let specs = plan(manifest);
+    let registry = Registry::new();
+    registry.counter_add("sweep.runs_planned", specs.len() as u64);
+    registry.counter_add(
+        "sweep.cells",
+        (manifest.sigmas.len() * manifest.taus.len()) as u64,
+    );
+
+    let pool = Pool::new(manifest.threads);
+    let parts = pool.map(&specs, |_, spec| run_one(manifest, spec, clock));
+
+    let mut report = SweepReport::empty(manifest);
+    for part in &parts {
+        report.merge(part);
+    }
+    report.absorb_obs(&registry.snapshot());
+    report
+}
+
+/// One planned run: sequential study + single-τ rule experiments.
+fn run_one(manifest: &SweepManifest, spec: &RunSpec, clock: &dyn Clock) -> SweepReport {
+    let study = Study::run_observed(&spec.study_config(manifest.scale), clock);
+    let outcome = rule_experiments_over(&study, &[spec.tau], spec.months);
+    SweepReport::from_run(manifest, spec, &study, &outcome)
+}

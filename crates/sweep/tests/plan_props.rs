@@ -1,0 +1,205 @@
+//! Property tests for the sweep planner.
+//!
+//! The contract under test: the [`RunSpec`] list is a **pure function
+//! of the manifest's values** — invariant to JSON key order and to the
+//! `threads` knob — with collision-free run ids and a stable expansion
+//! order. Each `proptest!` property has a plain `#[test]` mirror
+//! sweeping a dense deterministic grid, so the invariants stay
+//! exercised even where the proptest runner is unavailable.
+
+use downlake_sweep::{plan, SweepManifest};
+use proptest::prelude::*;
+
+/// τ pool the generators draw from: valid, distinct, bit-exact under
+/// JSON round-tripping.
+const TAU_POOL: [f64; 6] = [0.0, 0.0005, 0.001, 0.005, 0.01, 0.1];
+
+/// The manifest keys, in the spelling order `render` permutes.
+const KEYS: [&str; 7] = [
+    "name", "scale", "seeds", "sigmas", "taus", "months", "threads",
+];
+
+/// Renders a manifest as JSON with its keys in the given order.
+fn render(m: &SweepManifest, order: &[&str]) -> String {
+    let field = |key: &str| match key {
+        "name" => format!("\"name\": \"{}\"", m.name),
+        "scale" => "\"scale\": \"tiny\"".to_owned(),
+        "seeds" => format!("\"seeds\": {:?}", m.seeds),
+        "sigmas" => format!("\"sigmas\": {:?}", m.sigmas),
+        "taus" => format!("\"taus\": {:?}", m.taus),
+        "months" => format!("\"months\": {:?}", m.months),
+        "threads" => format!("\"threads\": {}", m.threads),
+        other => unreachable!("unknown key {other}"),
+    };
+    let body: Vec<String> = order.iter().map(|&k| field(k)).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// A generator for small valid manifests (ASCII name, distinct axes).
+/// Axis draws are sorted + deduplicated to satisfy the manifest's
+/// duplicate-free contract.
+fn manifest_strategy() -> impl Strategy<Value = SweepManifest> {
+    (
+        "[a-z][a-z0-9-]{0,11}",
+        proptest::collection::vec(0u64..500, 1..4),
+        proptest::collection::vec(1u32..60, 1..4),
+        proptest::collection::vec(0usize..TAU_POOL.len(), 1..4),
+        proptest::collection::vec(2usize..=7, 1..3),
+        0usize..9,
+    )
+        .prop_map(
+            |(name, mut seeds, mut sigmas, tau_idx, mut months, threads)| {
+                seeds.sort_unstable();
+                seeds.dedup();
+                sigmas.sort_unstable();
+                sigmas.dedup();
+                months.sort_unstable();
+                months.dedup();
+                let mut taus: Vec<f64> = tau_idx.iter().map(|&i| TAU_POOL[i]).collect();
+                taus.sort_by(f64::total_cmp);
+                taus.dedup_by(|a, b| a.to_bits() == b.to_bits());
+                let m = SweepManifest {
+                    name,
+                    scale: downlake_synth::Scale::Tiny,
+                    seeds,
+                    sigmas,
+                    taus,
+                    months,
+                    threads,
+                };
+                m.validate().expect("generator yields valid manifests");
+                m
+            },
+        )
+}
+
+/// Deterministic Fisher–Yates over the key list, driven by `seed` — the
+/// stub proptest has no `prop_shuffle`, so permutations come from a
+/// plain u64 draw.
+fn shuffled_keys(seed: u64) -> Vec<&'static str> {
+    let mut keys = KEYS.to_vec();
+    let mut state = seed;
+    for i in (1..keys.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((state >> 33) as usize) % (i + 1);
+        keys.swap(i, j);
+    }
+    keys
+}
+
+/// Core invariant check for one manifest and one key permutation.
+fn check_plan(m: &SweepManifest, order: &[&str]) {
+    let specs = plan(m);
+
+    // 1. Size and order: the fixed seeds → σ → τ → months nesting.
+    assert_eq!(specs.len(), m.run_count());
+    let mut expected = 0u64;
+    let mut walker = specs.iter();
+    for &seed in &m.seeds {
+        for &sigma in &m.sigmas {
+            for &tau in &m.taus {
+                for &months in &m.months {
+                    let spec = walker.next().expect("plan too short");
+                    assert_eq!(
+                        (spec.seed, spec.sigma, spec.tau.to_bits(), spec.months),
+                        (seed, sigma, tau.to_bits(), months),
+                        "expansion order broke at index {expected}"
+                    );
+                    assert_eq!(spec.index, expected);
+                    expected += 1;
+                }
+            }
+        }
+    }
+    assert!(walker.next().is_none(), "plan too long");
+
+    // 2. Collision-free ids.
+    let mut ids: Vec<u64> = specs.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), specs.len(), "run ids collided");
+
+    // 3. Purity: re-planning and re-parsing from a key-permuted JSON
+    //    spelling reproduce the identical list, ids included.
+    assert_eq!(specs, plan(m));
+    let respelled = render(m, order);
+    let reparsed = SweepManifest::parse(&respelled)
+        .unwrap_or_else(|e| panic!("respelled manifest must parse: {e}\n{respelled}"));
+    assert_eq!(&reparsed, m, "JSON round-trip changed the manifest");
+    assert_eq!(plan(&reparsed), specs, "key order leaked into the plan");
+
+    // 4. `threads` is timing-plane only: it moves neither ids nor order.
+    let mut rethreaded = m.clone();
+    rethreaded.threads = m.threads.wrapping_add(7);
+    assert_eq!(
+        plan(&rethreaded),
+        specs,
+        "thread count leaked into the plan"
+    );
+}
+
+proptest! {
+    #[test]
+    fn plan_is_pure_collision_free_and_spelling_invariant(
+        m in manifest_strategy(),
+        order_seed in any::<u64>(),
+    ) {
+        check_plan(&m, &shuffled_keys(order_seed));
+    }
+}
+
+/// Deterministic mirror: a dense grid of manifests × every rotation of
+/// the key order.
+#[test]
+fn grid_mirror_plan_invariants() {
+    for seeds in [vec![42], vec![1, 2, 3]] {
+        for sigmas in [vec![20], vec![5, 20, 60]] {
+            for taus in [vec![0.0], vec![0.0, 0.001], vec![0.001, 0.01, 0.1]] {
+                for months in [vec![7], vec![2, 7]] {
+                    let m = SweepManifest {
+                        name: "grid".to_owned(),
+                        scale: downlake_synth::Scale::Tiny,
+                        seeds: seeds.clone(),
+                        sigmas: sigmas.clone(),
+                        taus: taus.clone(),
+                        months: months.clone(),
+                        threads: 1,
+                    };
+                    m.validate().expect("grid manifests are valid");
+                    for rotation in 0..KEYS.len() {
+                        let mut order = KEYS.to_vec();
+                        order.rotate_left(rotation);
+                        check_plan(&m, &order);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Ids must stay collision-free across *distinct* manifests too: the
+/// manifest hash separates the streams.
+#[test]
+fn ids_do_not_collide_across_manifests() {
+    let mut all: Vec<u64> = Vec::new();
+    for name in ["a", "b", "c"] {
+        for seeds in [vec![42], vec![1, 2]] {
+            let m = SweepManifest {
+                name: name.to_owned(),
+                scale: downlake_synth::Scale::Tiny,
+                seeds,
+                sigmas: vec![5, 20],
+                taus: vec![0.0, 0.001],
+                months: vec![7],
+                threads: 1,
+            };
+            all.extend(plan(&m).iter().map(|s| s.id));
+        }
+    }
+    let total = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), total, "ids collided across manifests");
+}

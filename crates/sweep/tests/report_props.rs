@@ -1,0 +1,140 @@
+//! Property tests for [`SweepReport`]'s commutative merge — the law
+//! licensed by the `SweepReport` entry in `merge-contracts.json`.
+//!
+//! Cells are integer tallies keyed by (σ, τ): merging any partition of
+//! a run list in any order must produce the same surface, because the
+//! runner's pooled fan-out relies on exactly that to keep thread count
+//! out of the output. Each `proptest!` property has a deterministic
+//! grid mirror.
+
+use downlake_obs::Registry;
+use downlake_sweep::{SweepCell, SweepManifest, SweepReport};
+use proptest::prelude::*;
+
+fn manifest() -> SweepManifest {
+    SweepManifest::parse(r#"{"name": "law", "sigmas": [5, 20, 60], "taus": [0.0, 0.001, 0.01]}"#)
+        .expect("valid manifest")
+}
+
+/// σ/τ drawn from the manifest's own axes so keys collide often —
+/// a merge law over disjoint keys only would prove nothing.
+const SIGMAS: [u32; 3] = [5, 20, 60];
+const TAUS: [f64; 3] = [0.0, 0.001, 0.01];
+
+/// A strategy for one synthetic cell with small tallies.
+fn cell_strategy() -> impl Strategy<Value = SweepCell> {
+    (
+        0usize..SIGMAS.len(),
+        0usize..TAUS.len(),
+        proptest::collection::vec(0usize..100, 8),
+    )
+        .prop_map(|(si, ti, t)| SweepCell {
+            sigma: SIGMAS[si],
+            tau: TAUS[ti],
+            runs: 1,
+            rounds: t[0],
+            rules_total: t[1],
+            rules_selected: t[2],
+            true_positives: t[3],
+            false_positives: t[4],
+            unknown_total: t[5],
+            unknown_matched: t[6],
+            unknowns_labeled: t[7],
+            ..SweepCell::default()
+        })
+}
+
+/// An observation snapshot with overlapping keys across draws.
+fn obs_parts(tallies: &[usize]) -> Registry {
+    let registry = Registry::new();
+    for (i, &n) in tallies.iter().enumerate() {
+        // Two counter names shared across all generated snapshots.
+        let name = if i % 2 == 0 { "sweep.a" } else { "sweep.b" };
+        registry.counter_add(name, n as u64);
+        registry.record("sweep.h", n as u64);
+    }
+    registry
+}
+
+/// The law: key-wise integer addition is commutative and associative,
+/// so every merge order and every partition yields the same report.
+fn check_merge_laws(cells: &[SweepCell], obs_tallies: &[usize], split: usize) {
+    let m = manifest();
+    let split = split % (cells.len() + 1);
+
+    // Commutativity: a ⊕ b == b ⊕ a.
+    let a = SweepReport::from_cells(&m, cells[..split].to_vec());
+    let mut b = SweepReport::from_cells(&m, cells[split..].to_vec());
+    b.absorb_obs(&obs_parts(obs_tallies).snapshot());
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba, "merge must commute");
+    assert_eq!(
+        ab.manifest(&m).to_json(),
+        ba.manifest(&m).to_json(),
+        "rendered manifests must agree byte-for-byte"
+    );
+
+    // Associativity + identity: any partition folds to the sequential
+    // result, and the empty report is a no-op.
+    let sequential = SweepReport::from_cells(&m, cells.to_vec());
+    let mut partitioned = SweepReport::empty(&m);
+    partitioned.merge(&a);
+    partitioned.merge(&SweepReport::from_cells(&m, cells[split..].to_vec()));
+    assert_eq!(partitioned, sequential, "partitioning must not matter");
+    let mut with_identity = sequential.clone();
+    with_identity.merge(&SweepReport::empty(&m));
+    assert_eq!(with_identity, sequential, "empty report must be identity");
+
+    // Tally conservation: runs are never lost or double-counted.
+    assert_eq!(ab.runs(), cells.len());
+    let tp: usize = cells.iter().map(|c| c.true_positives).sum();
+    assert_eq!(
+        ab.cells().iter().map(|c| c.true_positives).sum::<usize>(),
+        tp
+    );
+
+    // The surface stays sorted by (σ, τ).
+    let keys: Vec<(u32, u64)> = ab.cells().iter().map(SweepCell::key).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "cells must stay sorted and key-unique");
+}
+
+proptest! {
+    #[test]
+    fn sweep_report_merge_commutes(
+        cells in proptest::collection::vec(cell_strategy(), 0..12),
+        obs_tallies in proptest::collection::vec(0usize..50, 0..6),
+        split in 0usize..16,
+    ) {
+        check_merge_laws(&cells, &obs_tallies, split);
+    }
+}
+
+/// Deterministic mirror: a dense grid over every (σ, τ) pair and every
+/// split point of a fixed 9-cell list.
+#[test]
+fn grid_mirror_merge_laws() {
+    let mut cells = Vec::new();
+    for (i, &sigma) in SIGMAS.iter().enumerate() {
+        for (j, &tau) in TAUS.iter().enumerate() {
+            cells.push(SweepCell {
+                sigma,
+                tau,
+                runs: 1,
+                rules_total: 10 * i + j,
+                true_positives: 7 * j + i,
+                unknown_total: 50,
+                unknown_matched: 13 * i,
+                ..SweepCell::default()
+            });
+        }
+    }
+    for split in 0..=cells.len() {
+        check_merge_laws(&cells, &[3, 1, 4, 1, 5], split);
+    }
+}

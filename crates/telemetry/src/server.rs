@@ -90,7 +90,18 @@ impl ReportingPolicy {
     /// The paper's production policy: σ = 20 with the major software-update
     /// hosts whitelisted.
     pub fn paper_default() -> Self {
-        let mut policy = Self::new(20);
+        Self::paper_whitelist(20)
+    }
+
+    /// The paper's URL whitelist with a custom prevalence threshold σ —
+    /// the knob the sensitivity sweeps turn. `paper_whitelist(20)` is
+    /// exactly [`ReportingPolicy::paper_default`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is zero (which would report nothing).
+    pub fn paper_whitelist(sigma: u32) -> Self {
+        let mut policy = Self::new(sigma);
         for domain in [
             "microsoft.com",
             "windowsupdate.com",
@@ -271,6 +282,19 @@ mod tests {
         assert!(p.is_whitelisted("microsoft.com"));
         assert!(p.is_whitelisted("MICROSOFT.COM"));
         assert!(!p.is_whitelisted("softonic.com"));
+    }
+
+    #[test]
+    fn paper_whitelist_varies_sigma_only() {
+        let p = ReportingPolicy::paper_whitelist(5);
+        assert_eq!(p.sigma(), 5);
+        assert!(p.is_whitelisted("adobe.com"));
+        let d = ReportingPolicy::paper_default();
+        assert_eq!(d.sigma(), 20);
+        assert_eq!(
+            p.is_whitelisted("windowsupdate.com"),
+            d.is_whitelisted("windowsupdate.com")
+        );
     }
 
     #[test]

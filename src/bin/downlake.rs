@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! downlake [--scale tiny|small|default|large|paper|<fraction>] [--seed N] [--threads N] [--obs PATH] <experiment>...
+//! downlake sweep --manifest PATH [--threads N] [--obs PATH]
 //! downlake --list
 //! ```
 //!
@@ -18,9 +19,16 @@
 //! `fig1` … `fig6`, `packers`, `evasion`, `reach`, `rules`, `all`),
 //! plus `run` (build the study and print headline counts only — the
 //! cheapest way to produce a manifest) and `stream` (live replay).
+//!
+//! `sweep` stands alone: it reads a JSON sweep manifest (σ values, τ
+//! thresholds, seeds, window lengths) via `--manifest`, fans the runs
+//! out over the pool, and prints the (σ, τ) sensitivity surface;
+//! `--obs` then writes the sweep's own run manifest, byte-identical
+//! outside `timing` at every `--threads` setting.
 
 use downlake_repro::core::{experiments, live, report, Study, StudyConfig};
 use downlake_repro::obs::{RealClock, Registry};
+use downlake_repro::sweep::{run_sweep, SweepManifest};
 use downlake_repro::synth::Scale;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -57,6 +65,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "stream",
         "live replay: online classification, checked against batch",
     ),
+    (
+        "sweep",
+        "sensitivity sweep over a --manifest: the (σ, τ) surface",
+    ),
     ("all", "the full report (everything above)"),
 ];
 
@@ -79,17 +91,20 @@ fn usage() -> ! {
     eprintln!(
         "usage: downlake [--scale SCALE] [--seed N] [--threads N] [--obs PATH] <experiment>..."
     );
+    eprintln!("       downlake sweep --manifest PATH [--threads N] [--obs PATH]");
     eprintln!("       downlake --list");
     eprintln!("       --threads 0 = one worker per core (output is identical at any count)");
     eprintln!("       --obs PATH  = write a JSON run manifest (metrics + quarantined timings)");
+    eprintln!("       --manifest PATH = JSON sweep manifest (σ/τ/seed/month axes) for `sweep`");
     std::process::exit(2);
 }
 
 fn main() {
     let mut scale = Scale::Small;
     let mut seed = 42u64;
-    let mut threads = 1usize;
+    let mut threads: Option<usize> = None;
     let mut obs_path: Option<std::path::PathBuf> = None;
+    let mut manifest_path: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -117,11 +132,15 @@ fn main() {
                 let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
                     usage()
                 };
-                threads = value;
+                threads = Some(value);
             }
             "--obs" => {
                 let Some(value) = args.next() else { usage() };
                 obs_path = Some(std::path::PathBuf::from(value));
+            }
+            "--manifest" => {
+                let Some(value) = args.next() else { usage() };
+                manifest_path = Some(std::path::PathBuf::from(value));
             }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => usage(),
@@ -138,6 +157,22 @@ fn main() {
         }
     }
 
+    // `sweep` builds its own studies from the manifest's axes, so it
+    // dispatches before (and instead of) the single-study path.
+    if wanted.iter().any(|id| id == "sweep") {
+        if wanted.len() != 1 {
+            eprintln!("`sweep` runs alone; drop the other experiment ids");
+            std::process::exit(2);
+        }
+        run_sweep_command(manifest_path, threads, obs_path);
+        return;
+    }
+    if manifest_path.is_some() {
+        eprintln!("--manifest only applies to the `sweep` experiment");
+        std::process::exit(2);
+    }
+
+    let threads = threads.unwrap_or(1);
     eprintln!("running study (scale {scale:?}, seed {seed}, threads {threads})…");
     let study = Study::run(
         &StudyConfig::new(seed)
@@ -232,5 +267,54 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("manifest written to {}", path.display());
+    }
+}
+
+/// The `sweep` subcommand: parse the manifest, fan out, print the
+/// surface, optionally write the sweep's run manifest.
+fn run_sweep_command(
+    manifest_path: Option<std::path::PathBuf>,
+    threads: Option<usize>,
+    obs_path: Option<std::path::PathBuf>,
+) {
+    let Some(path) = manifest_path else {
+        eprintln!("`sweep` requires --manifest PATH");
+        std::process::exit(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(err) => {
+            eprintln!("failed to read manifest {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let mut manifest = match SweepManifest::parse(&src) {
+        Ok(manifest) => manifest,
+        Err(err) => {
+            eprintln!("bad sweep manifest {}: {err}", path.display());
+            std::process::exit(2);
+        }
+    };
+    // --threads overrides the manifest's own fan-out width (both are
+    // timing plane: the surface is identical either way).
+    if let Some(threads) = threads {
+        manifest.threads = threads;
+    }
+    eprintln!(
+        "running sweep {:?} ({} runs over {} cells, scale {:?}, threads {})…",
+        manifest.name,
+        manifest.run_count(),
+        manifest.sigmas.len() * manifest.taus.len(),
+        manifest.scale,
+        manifest.threads,
+    );
+    let report = run_sweep(&manifest, &RealClock::new());
+    println!("{}", report.table());
+    if let Some(obs) = obs_path {
+        if let Err(err) = report.manifest(&manifest).write(&obs) {
+            eprintln!("failed to write manifest {}: {err}", obs.display());
+            std::process::exit(1);
+        }
+        eprintln!("manifest written to {}", obs.display());
     }
 }

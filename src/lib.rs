@@ -10,6 +10,7 @@ pub use downlake_groundtruth as groundtruth;
 pub use downlake_obs as obs;
 pub use downlake_rulelearn as rulelearn;
 pub use downlake_stream as stream;
+pub use downlake_sweep as sweep;
 pub use downlake_synth as synth;
 pub use downlake_telemetry as telemetry;
 pub use downlake_types as types;

@@ -1,0 +1,86 @@
+//! Pins the sweep harness's determinism contract end to end:
+//!
+//! 1. A 2×2 (σ × τ) sweep renders **byte-identical** timing-stripped
+//!    reports at `threads = 1` and `threads = 4` — the sweep-level pool
+//!    is pure scheduling, exactly like the per-study one.
+//! 2. The sweep's paper-configuration cell (σ = 20, τ = 0.1%) equals
+//!    the tallies of a plain single-run seed-42 study evaluated through
+//!    the re-runnable experiment entry point — fanning out changes
+//!    nothing about any individual cell.
+//! 3. That re-runnable entry point at the paper settings reproduces
+//!    the historical `rule_experiments` outcome exactly, so the sweep
+//!    refactor cannot have moved the paper's own numbers.
+
+mod common;
+
+use downlake_repro::core::experiments::{rule_experiments, rule_experiments_over, TAU_SETTINGS};
+use downlake_repro::obs::TestClock;
+use downlake_repro::sweep::{run_sweep, SweepCell, SweepManifest};
+use downlake_repro::types::Month;
+
+/// The pinned 2×2 manifest: paper σ and a tighter cap, both paper τs,
+/// the canonical seed, the full window, tiny scale.
+fn manifest(threads: usize) -> SweepManifest {
+    let mut m = SweepManifest::parse(
+        r#"{"name": "pin-2x2", "scale": "tiny", "seeds": [42], "sigmas": [5, 20], "taus": [0.0, 0.001]}"#,
+    )
+    .expect("pinned manifest is valid");
+    m.threads = threads;
+    m
+}
+
+#[test]
+fn sweep_report_is_byte_identical_across_thread_counts() {
+    let sequential = manifest(1);
+    let pooled = manifest(4);
+    // Different clocks too: timing must never leak into the stripped view.
+    let a = run_sweep(&sequential, &TestClock::with_tick(1));
+    let b = run_sweep(&pooled, &TestClock::with_tick(3));
+
+    let a_json = a.manifest(&sequential).to_json_stripped();
+    let b_json = b.manifest(&pooled).to_json_stripped();
+    assert_eq!(a_json, b_json, "thread count leaked into the sweep report");
+
+    // Sanity on the surface itself: 4 runs over 4 distinct cells, in
+    // (σ, τ) order.
+    assert_eq!(a.runs(), 4);
+    let keys: Vec<(u32, u64)> = a.cells().iter().map(SweepCell::key).collect();
+    assert_eq!(
+        keys,
+        vec![
+            (5, 0.0f64.to_bits()),
+            (5, 0.001f64.to_bits()),
+            (20, 0.0f64.to_bits()),
+            (20, 0.001f64.to_bits()),
+        ]
+    );
+}
+
+#[test]
+fn paper_cell_matches_the_single_run_study_exactly() {
+    let m = manifest(1);
+    let report = run_sweep(&m, &TestClock::with_tick(1));
+
+    // The same numbers computed without the sweep harness: the shared
+    // seed-42 tiny study (default σ = 20) evaluated at τ = 0.1% alone.
+    let study = common::tiny_study();
+    assert_eq!(study.config().synth.sigma, 20, "default σ is the paper's");
+    let outcome = rule_experiments_over(study, &[0.001], Month::ALL.len());
+    let expected = SweepCell::from_outcome(20, 0.001, &outcome);
+
+    let cell = report.cell(20, 0.001).expect("paper cell present");
+    assert_eq!(cell, &expected, "sweep cell diverged from the direct run");
+    assert!(cell.rounds > 0, "paper cell must carry real rounds");
+    assert!(cell.rules_selected > 0, "τ = 0.1% selects rules at σ = 20");
+}
+
+#[test]
+fn rerunnable_entry_point_reproduces_the_paper_outcome() {
+    let study = common::tiny_study();
+    let historical = rule_experiments(study);
+    let rerunnable = rule_experiments_over(study, &TAU_SETTINGS, Month::ALL.len());
+    assert_eq!(
+        historical, rerunnable,
+        "rule_experiments_over at paper settings must be rule_experiments"
+    );
+}
