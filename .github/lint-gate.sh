@@ -78,6 +78,16 @@ cargo run -p downlake-bench --release --bin query -- --smoke
 echo "sweep_fanout: tiny-scale smoke run (surface identity across pool widths)"
 cargo run -p downlake-bench --release --bin sweep -- --smoke
 
+# Smoke-run the lake-cache bench at tiny scale: runs the same study
+# in-RAM, lake-cold (generate + spill segments), and lake-warm (reopen
+# cached segments), and fails unless all three reports are
+# byte-identical AND the warm run performed zero event generation
+# (checked through the obs counters). The lake root is a tempdir the
+# bin removes on exit. The committed tests/lake_equivalence.rs suite
+# pins the same invariants in-process.
+echo "lake_cache: tiny-scale smoke run (cold/warm/in-RAM identity, warm generation-free)"
+cargo run -p downlake-bench --release --bin lake -- --smoke
+
 # Observability smoke: a run manifest must come out of the CLI and its
 # non-timing sections must be byte-identical at 1 vs 4 threads. The
 # committed tests/obs_manifest.rs suite pins the same invariant

@@ -166,10 +166,28 @@ impl AnalysisFrame {
         label_of: impl Fn(FileHash) -> FileLabel + Sync,
         type_of: impl Fn(FileHash) -> Option<MalwareType> + Sync,
     ) -> Self {
+        Self::build_chunked(dataset, pool, pool.threads().max(1), label_of, type_of)
+    }
+
+    /// [`AnalysisFrame::build_with`] with an explicit chunk count,
+    /// decoupled from the pool width.
+    ///
+    /// The lake-backed pipeline passes the world's on-disk shard count
+    /// here so a study built from cached segments chunks its columns
+    /// the same way regardless of the host's thread count. Any
+    /// `chunks >= 1` yields a byte-identical frame (the same invariance
+    /// `build_with` relies on); the knob only shapes the work units.
+    pub fn build_chunked(
+        dataset: &Dataset,
+        pool: &Pool,
+        chunks: usize,
+        label_of: impl Fn(FileHash) -> FileLabel + Sync,
+        type_of: impl Fn(FileHash) -> Option<MalwareType> + Sync,
+    ) -> Self {
         let n_events = dataset.events().len();
         let n_files = dataset.files().len();
         let n_processes = dataset.processes().len();
-        let jobs = pool.threads().max(1);
+        let jobs = chunks.max(1);
 
         // Per-URL e2LD column and the e2LD string table, copied from the
         // interning the telemetry layer already did.
@@ -412,9 +430,24 @@ impl AnalysisFrame {
         label_of: impl Fn(FileHash) -> FileLabel + Sync,
         type_of: impl Fn(FileHash) -> Option<MalwareType> + Sync,
     ) -> Self {
+        let chunks = pool.threads().max(1);
+        Self::build_observed_chunked(dataset, pool, chunks, registry, clock, label_of, type_of)
+    }
+
+    /// [`AnalysisFrame::build_observed`] with an explicit chunk count
+    /// (see [`AnalysisFrame::build_chunked`]).
+    pub fn build_observed_chunked(
+        dataset: &Dataset,
+        pool: &Pool,
+        chunks: usize,
+        registry: &downlake_obs::Registry,
+        clock: &dyn downlake_obs::Clock,
+        label_of: impl Fn(FileHash) -> FileLabel + Sync,
+        type_of: impl Fn(FileHash) -> Option<MalwareType> + Sync,
+    ) -> Self {
         let frame = {
             let _span = registry.span("frame.build", clock);
-            Self::build_with(dataset, pool, label_of, type_of)
+            Self::build_chunked(dataset, pool, chunks, label_of, type_of)
         };
         registry.counter_add("frame.events", frame.ev_file.len() as u64);
         registry.counter_add("frame.files", frame.file_label.len() as u64);
@@ -789,6 +822,30 @@ mod tests {
             assert_eq!(f.machine_offsets, oracle.machine_offsets);
             assert_eq!(f.machine_event_idx, oracle.machine_event_idx);
             assert_eq!(f.file_offsets, oracle.file_offsets);
+            assert_eq!(f.file_event_idx, oracle.file_event_idx);
+        }
+    }
+
+    #[test]
+    fn build_chunked_is_chunk_count_invariant() {
+        let ds = dataset();
+        let label = |h: FileHash| match h.raw() {
+            1 | 900 => FileLabel::Benign,
+            2 => FileLabel::Malicious,
+            _ => FileLabel::Unknown,
+        };
+        let ty = |h: FileHash| (h.raw() == 2).then_some(MalwareType::Trojan);
+        let oracle = AnalysisFrame::build(&ds, label, ty);
+        // Chunk counts decoupled from the pool width — including more
+        // chunks than rows — must reproduce the sequential frame.
+        for chunks in [1, 2, 5, 16] {
+            let f = AnalysisFrame::build_chunked(&ds, &Pool::new(2), chunks, label, ty);
+            assert_eq!(f.ev_file_label, oracle.ev_file_label, "chunks={chunks}");
+            assert_eq!(f.file_label, oracle.file_label);
+            assert_eq!(f.file_signer, oracle.file_signer);
+            assert_eq!(f.signers, oracle.signers);
+            assert_eq!(f.machine_offsets, oracle.machine_offsets);
+            assert_eq!(f.machine_event_idx, oracle.machine_event_idx);
             assert_eq!(f.file_event_idx, oracle.file_event_idx);
         }
     }

@@ -1,0 +1,140 @@
+//! `lake_cache` — wall-clock effect of the disk-resident event lake,
+//! measured end to end: cold build (generate + spill segments) vs warm
+//! scan (reopen cached segments, zero generation) vs the in-RAM
+//! pipeline.
+//!
+//! ```text
+//! cargo run --release -p downlake-bench --bin lake            # small scale
+//! cargo run --release -p downlake-bench --bin lake -- --smoke # tiny, for CI
+//! ```
+//!
+//! The verdict that must hold everywhere is byte-identity of the full
+//! report across all three paths — the lake is a cache, not a different
+//! pipeline — and the bin exits non-zero if it ever breaks. It also
+//! verifies through the obs counters that the warm run performed zero
+//! event generation (`lake.open.warm` fired, `synth.events` absent).
+//! Emits `BENCH_lake.json` via the shared [`downlake_bench::report`]
+//! manifest writer; the lake root lives under a process-unique temp
+//! directory that is removed on exit.
+
+use downlake::{report, Study, StudyConfig};
+use downlake_bench::report::{bench_manifest, TimedRun};
+use downlake_obs::ObsReport;
+use downlake_synth::Scale;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Run {
+    label: &'static str,
+    seconds: f64,
+    report: String,
+    obs: ObsReport,
+}
+
+fn run_once(label: &'static str, config: &StudyConfig) -> Run {
+    let start = Instant::now();
+    let study = Study::run(config);
+    let report = report::full_report(&study);
+    Run {
+        label,
+        seconds: start.elapsed().as_secs_f64(),
+        report,
+        obs: study.obs().clone(),
+    }
+}
+
+/// A fresh, process-unique lake root (no tempfile dependency).
+fn scratch_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("downlake-bench-lake-{}", std::process::id()));
+    // A stale directory from a crashed earlier run would turn our "cold"
+    // leg warm; start from nothing.
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("lake_cache: could not create scratch root: {e}");
+        std::process::exit(1);
+    }
+    dir
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, scale_name) = if smoke {
+        (Scale::Tiny, "tiny")
+    } else {
+        (Scale::Small, "small")
+    };
+    let seed = 42u64;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("lake_cache: scale {scale_name}, seed {seed}, host_cpus {host_cpus}");
+    let root = scratch_root();
+    let ram_config = StudyConfig::new(seed).with_scale(scale).with_threads(1);
+    let lake_config = ram_config.clone().with_lake(root.clone());
+
+    let runs = [
+        run_once("in_ram", &ram_config),
+        run_once("cold_build", &lake_config),
+        run_once("warm_scan", &lake_config),
+    ];
+    for run in &runs {
+        eprintln!("  {}: {:.3}s", run.label, run.seconds);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    let identical = runs.windows(2).all(|w| w[0].report == w[1].report);
+    let warm = &runs[2];
+    let warm_is_warm = warm.obs.counters.get("lake.open.warm") == Some(&1)
+        && !warm.obs.counters.contains_key("synth.events")
+        && !warm.obs.counters.contains_key("lake.fallback");
+    let speedup = if warm.seconds > 0.0 {
+        runs[0].seconds / warm.seconds
+    } else {
+        1.0
+    };
+    eprintln!(
+        "  speedup (in-RAM → warm scan): {speedup:.2}x, reports identical: {identical}, \
+         warm run generation-free: {warm_is_warm}"
+    );
+
+    let timed: Vec<TimedRun> = runs
+        .iter()
+        .map(|r| TimedRun {
+            threads: 1,
+            seconds: r.seconds,
+            events_per_sec: None,
+        })
+        .collect();
+    let mut manifest = bench_manifest(
+        "lake_cache",
+        scale_name,
+        seed,
+        identical && warm_is_warm,
+        host_cpus,
+        &timed,
+        speedup,
+    );
+    manifest
+        .set_timing("in_ram_seconds", runs[0].seconds)
+        .set_timing("cold_build_seconds", runs[1].seconds)
+        .set_timing("warm_scan_seconds", warm.seconds);
+    // The deterministic plane of the warm run carries the lake counters
+    // (`lake.open.warm`, `lake.events`, `lake.segments`) alongside the
+    // pipeline's own metrics.
+    manifest.absorb(&warm.obs);
+    if let Err(e) = manifest.write(std::path::Path::new("BENCH_lake.json")) {
+        eprintln!("lake_cache: could not write BENCH_lake.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("lake_cache: wrote BENCH_lake.json");
+
+    if !identical {
+        eprintln!("lake_cache: FAIL — the lake changed the report bytes");
+        std::process::exit(1);
+    }
+    if !warm_is_warm {
+        eprintln!("lake_cache: FAIL — the warm run regenerated instead of scanning");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Lake-backed world sourcing: wires the policy-free segment store of
+//! [`downlake_lake`] to the generator it must never depend on.
+//!
+//! The lake crate sits below `downlake-synth` in the layering DAG, so
+//! the knowledge of *how* to produce a world's shard streams and
+//! sidecar lives here: [`ensure_world`] hands
+//! [`Lake::open_or_build`] a builder closure that runs the sharded
+//! generator and serializes the world's file table, and reconstructs
+//! the [`World`] from the sidecar on **both** the warm and cold paths —
+//! one code path, with the sidecar round-trip exercised on every run.
+//!
+//! Addressing: the world hash ([`SynthConfig::world_hash`]) covers
+//! exactly the generation-relevant knobs — seed, scale, and the event
+//! mixture — and excludes collection-time knobs like σ, so every sweep
+//! permutation that shares a world shares one cached build.
+//!
+//! [`SynthConfig::world_hash`]: downlake_synth::SynthConfig::world_hash
+
+use crate::pipeline::StudyConfig;
+use downlake_exec::Pool;
+use downlake_lake::{Lake, LakeBuild, LakeError};
+use downlake_obs::{Clock, Registry};
+use downlake_synth::{worldcodec, World};
+use std::path::Path;
+
+/// Segment shard count when the study config leaves `shards` at `0`
+/// (auto). A fixed default — never the pool width — so the on-disk
+/// layout is independent of the host's core count.
+pub const LAKE_DEFAULT_SHARDS: usize = 8;
+
+/// The shard count a cold build spills with: the config's explicit
+/// `shards`, or [`LAKE_DEFAULT_SHARDS`]. Warm opens use whatever shard
+/// count is on disk — the merge is order-identical at any `k`.
+pub fn lake_shards(config: &StudyConfig) -> usize {
+    if config.shards == 0 {
+        LAKE_DEFAULT_SHARDS
+    } else {
+        config.shards
+    }
+}
+
+/// Opens the cached world for `config` under `root` — building and
+/// caching it when the cache is cold or corrupt — and reconstructs the
+/// [`World`] from the lake's sidecar.
+///
+/// A warm open performs zero event generation: the builder closure is
+/// only invoked on a cold or corrupt cache (see
+/// [`Lake::open_or_build`]'s counters). The returned world is
+/// byte-identical to a freshly generated one
+/// (`World::rebuild` + the sidecar codec round-trip, both pinned by
+/// `downlake-synth`'s tests).
+///
+/// # Errors
+///
+/// Returns [`LakeError`] only for real storage trouble (I/O failures,
+/// or a world sidecar that fails to decode after passing its checksum)
+/// — never for cache state. Callers fall back to the in-RAM pipeline.
+pub fn ensure_world(
+    root: &Path,
+    config: &StudyConfig,
+    pool: &Pool,
+    registry: &Registry,
+    clock: &dyn Clock,
+) -> Result<(Lake, World), LakeError> {
+    let world_hash = config.synth.world_hash();
+    let shards = lake_shards(config);
+    let lake = Lake::open_or_build(root, world_hash, registry, || {
+        let (world, shard_events) =
+            World::generate_sharded_observed(&config.synth, shards, pool, registry, clock);
+        LakeBuild {
+            shard_events,
+            aux: worldcodec::encode_world_files(&world),
+        }
+    })?;
+    let files = worldcodec::decode_world_files(lake.aux())?;
+    let world = World::rebuild(config.synth.clone(), files);
+    Ok((lake, world))
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod experiments;
+pub mod lake;
 pub mod live;
 mod pipeline;
 mod render;

@@ -182,12 +182,25 @@ fn prepare_impl<'a>(
         batch_verdicts.push((hash, ruleset.classify(&encoded, ConflictPolicy::Reject)));
     }
 
-    // The raw stream the study's collection server consumed, regenerated
-    // bit-for-bit (generation is deterministic at any shard count) and
-    // serialized to wire frames.
-    let pool = Pool::new(study.config().threads);
-    let generated = World::generate_with(&study.config().synth, study.config().shards, &pool);
-    let bytes = encode_events(&generated.events);
+    // The raw stream the study's collection server consumed. A
+    // lake-backed study replays it straight off the verified segments —
+    // the merged frame bytes equal `encode_events` of the canonical
+    // stream, no regeneration. Otherwise (or if the lake fails
+    // underneath us) the stream is regenerated bit-for-bit (generation
+    // is deterministic at any shard count) and serialized to wire
+    // frames.
+    let lake_bytes = study
+        .lake()
+        .and_then(|lake| lake.encode_merged().ok().map(|b| (lake.event_count(), b)));
+    let (events_total, bytes) = match lake_bytes {
+        Some((events, bytes)) => (events as usize, bytes),
+        None => {
+            let pool = Pool::new(study.config().threads);
+            let generated =
+                World::generate_with(&study.config().synth, study.config().shards, &pool);
+            (generated.events.len(), encode_events(&generated.events))
+        }
+    };
 
     LivePrep {
         urls: study.url_labeler(),
@@ -196,7 +209,7 @@ fn prepare_impl<'a>(
         engine,
         batch_vectors,
         batch_verdicts,
-        events_total: generated.events.len(),
+        events_total,
         bytes,
     }
 }

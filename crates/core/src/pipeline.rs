@@ -4,12 +4,14 @@ use downlake_analysis::{AnalysisFrame, LabelView};
 use downlake_avtype::{BehaviorExtractor, FamilyExtractor, ResolutionStats};
 use downlake_exec::{partition, Pool};
 use downlake_groundtruth::{DomainFacts, GroundTruth, GroundTruthOracle, OracleConfig, UrlLabeler};
+use downlake_lake::Lake;
 use downlake_obs::{Clock, ObsReport, RealClock, Registry, RunManifest};
 use downlake_synth::{Scale, SynthConfig, World};
 use downlake_telemetry::{CollectionServer, Dataset, ReportingPolicy, SuppressionStats};
 use downlake_types::{FileHash, FileLabel, MalwareType, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 
 /// Configuration of a full study run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,6 +28,12 @@ pub struct StudyConfig {
     /// output.
     #[serde(default)]
     pub shards: usize,
+    /// Root directory of the seed-addressed event lake. When set, the
+    /// raw event stream is read from (and on a cold cache, spilled to)
+    /// disk-resident segments instead of being regenerated in RAM.
+    /// Never affects output bytes — only where the stream lives.
+    #[serde(default)]
+    pub lake: Option<PathBuf>,
 }
 
 impl StudyConfig {
@@ -39,6 +47,7 @@ impl StudyConfig {
             },
             threads: 1,
             shards: 0,
+            lake: None,
         }
     }
 
@@ -66,6 +75,13 @@ impl StudyConfig {
     /// worker thread.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the event-lake root directory (builder-style). Studies
+    /// sharing a world hash then share one cached segment build.
+    pub fn with_lake(mut self, root: impl Into<PathBuf>) -> Self {
+        self.lake = Some(root.into());
         self
     }
 }
@@ -128,6 +144,7 @@ impl TypeAssignments {
 #[derive(Debug)]
 pub struct Study {
     config: StudyConfig,
+    lake: Option<Lake>,
     world: World,
     dataset: Dataset,
     suppression: SuppressionStats,
@@ -161,12 +178,38 @@ impl Study {
         let registry = Registry::new();
         let pool = Pool::new(config.threads);
 
-        // 1. Generate the world + raw event stream (sharded).
-        let generated = {
+        // 1. Source the world + raw event stream: through the
+        //    seed-addressed event lake when one is configured (zero
+        //    generation on a warm cache), regenerated in RAM otherwise.
+        //    Lake failures fall back to the in-RAM path — a broken cache
+        //    costs time, never the study.
+        let mut lake: Option<Lake> = None;
+        let (world, ram_events) = {
             let _span = registry.span("phase.generate", clock);
-            World::generate_observed(&config.synth, config.shards, &pool, &registry, clock)
+            let mut opened = None;
+            if let Some(root) = config.lake.as_deref() {
+                match crate::lake::ensure_world(root, config, &pool, &registry, clock) {
+                    Ok(pair) => opened = Some(pair),
+                    Err(_) => registry.counter_add("lake.fallback", 1),
+                }
+            }
+            match opened {
+                Some((opened_lake, world)) => {
+                    lake = Some(opened_lake);
+                    (world, None)
+                }
+                None => {
+                    let generated = World::generate_observed(
+                        &config.synth,
+                        config.shards,
+                        &pool,
+                        &registry,
+                        clock,
+                    );
+                    (generated.world, Some(generated.events))
+                }
+            }
         };
-        let world = generated.world;
 
         // 2. Feed the stream through the collection server.
         let (suppression, dataset) = {
@@ -176,8 +219,35 @@ impl Study {
             // harness turns this knob per scenario.
             let policy = ReportingPolicy::paper_whitelist(config.synth.sigma);
             let mut server = CollectionServer::new(policy);
-            for raw in generated.events {
-                server.observe(raw);
+            let streamed = match &lake {
+                Some(opened) => feed_from_lake(opened, &mut server),
+                None => false,
+            };
+            if !streamed {
+                if lake.take().is_some() {
+                    // The verified lake failed mid-scan (the files
+                    // changed underneath us): regenerate in RAM rather
+                    // than fail, and restart collection cleanly.
+                    registry.counter_add("lake.fallback", 1);
+                    server =
+                        CollectionServer::new(ReportingPolicy::paper_whitelist(config.synth.sigma));
+                }
+                let events = match ram_events {
+                    Some(events) => events,
+                    None => {
+                        World::generate_observed(
+                            &config.synth,
+                            config.shards,
+                            &pool,
+                            &registry,
+                            clock,
+                        )
+                        .events
+                    }
+                };
+                for raw in events {
+                    server.observe(raw);
+                }
             }
             (server.suppression_stats(), server.into_dataset())
         };
@@ -289,11 +359,19 @@ impl Study {
         // 6. Resolve labels/types into the shared columnar frame every
         //    table and figure pass consumes. Labels are looked up once
         //    per distinct file and process here, never again per event.
+        //    Lake-backed studies chunk by the on-disk shard count so the
+        //    work units match the segment layout; either way the frame
+        //    is chunk-count-invariant byte for byte.
         let frame = {
             let _span = registry.span("phase.frame", clock);
-            AnalysisFrame::build_observed(
+            let chunks = match &lake {
+                Some(opened) => opened.shard_count(),
+                None => pool.threads().max(1),
+            };
+            AnalysisFrame::build_observed_chunked(
                 &dataset,
                 &pool,
+                chunks,
                 &registry,
                 clock,
                 |h| ground_truth.label(h),
@@ -303,6 +381,7 @@ impl Study {
 
         Study {
             config: config.clone(),
+            lake,
             world,
             dataset,
             suppression,
@@ -322,6 +401,11 @@ impl Study {
     /// The generated world (latent truth included).
     pub fn world(&self) -> &World {
         &self.world
+    }
+
+    /// The opened event lake, when this study ran lake-backed.
+    pub fn lake(&self) -> Option<&Lake> {
+        self.lake.as_ref()
     }
 
     /// The collected, indexed dataset.
@@ -394,6 +478,25 @@ impl Study {
             |h| self.types.malware_type(h),
         )
     }
+}
+
+/// Streams a verified lake's merged scan into the collection server.
+/// Returns `false` on any scan error (the caller falls back to in-RAM
+/// generation); the server must then be discarded, as it may have
+/// consumed a partial stream.
+fn feed_from_lake(lake: &Lake, server: &mut CollectionServer) -> bool {
+    let Ok(scan) = lake.scan() else {
+        return false;
+    };
+    for item in scan {
+        match item {
+            Ok(raw) => {
+                server.observe(raw);
+            }
+            Err(_) => return false,
+        }
+    }
+    true
 }
 
 #[cfg(test)]

@@ -1,0 +1,154 @@
+//! Typed corruption taxonomy for the lake.
+//!
+//! Every way a cached world can be unusable gets its own variant, so
+//! [`Lake::open_or_build`](crate::Lake::open_or_build) can distinguish
+//! the one *expected* miss — the world directory simply not existing
+//! yet ([`LakeError::Absent`]) — from genuine corruption, which it
+//! counts under `lake.rebuild.corrupt` before falling back to
+//! regeneration. Nothing in this crate panics on bad bytes.
+
+use downlake_telemetry::CodecError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a lake, segment, or manifest failed to open or verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LakeError {
+    /// The world directory does not exist: a cold cache, not damage.
+    Absent,
+    /// A file the manifest (or the layout) promises is missing or
+    /// unreadable inside an existing world directory.
+    Missing {
+        /// What was expected.
+        what: &'static str,
+    },
+    /// An I/O operation failed mid-read or mid-write.
+    Io {
+        /// What was being done.
+        what: &'static str,
+        /// The OS error, stringified (keeps the variant comparable).
+        detail: String,
+    },
+    /// A segment's leading magic bytes are wrong — including the
+    /// all-zero placeholder a crashed, never-finalized write leaves
+    /// behind.
+    BadMagic {
+        /// The bytes found where the magic belongs.
+        found: [u8; 8],
+    },
+    /// The segment speaks a format version this build does not.
+    BadVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The segment belongs to a different world than the caller asked
+    /// for.
+    WorldMismatch {
+        /// The world hash requested.
+        expected: u64,
+        /// The world hash in the header.
+        found: u64,
+    },
+    /// The segment carries a different shard index than its manifest
+    /// position claims.
+    ShardMismatch {
+        /// The shard index expected from the manifest order.
+        expected: u32,
+        /// The shard index in the header.
+        found: u32,
+    },
+    /// Stored and recomputed content checksums disagree.
+    ChecksumMismatch {
+        /// The stored checksum.
+        expected: u64,
+        /// The recomputed (or footer) checksum.
+        found: u64,
+    },
+    /// The file ends before its declared layout does.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// A header field (event count, min/max timestamp) disagrees with
+    /// the payload it summarizes.
+    HeaderMismatch {
+        /// The field that disagrees.
+        what: &'static str,
+    },
+    /// The manifest is malformed, or names segments that disagree with
+    /// the headers on disk.
+    ManifestMismatch {
+        /// What disagreed.
+        what: &'static str,
+    },
+    /// A frame inside a segment payload failed the codec's structural
+    /// walk.
+    Codec(CodecError),
+}
+
+impl LakeError {
+    /// Whether this error is the expected cold-cache miss rather than
+    /// corruption: `open_or_build` counts the two differently.
+    pub fn is_cold(&self) -> bool {
+        matches!(self, LakeError::Absent)
+    }
+}
+
+impl fmt::Display for LakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LakeError::Absent => f.write_str("lake world directory does not exist"),
+            LakeError::Missing { what } => write!(f, "lake {what} is missing"),
+            LakeError::Io { what, detail } => write!(f, "lake i/o failed while {what}: {detail}"),
+            LakeError::BadMagic { found } => {
+                write!(f, "segment magic mismatch (found {found:02x?})")
+            }
+            LakeError::BadVersion { found } => {
+                write!(f, "unsupported segment format version {found}")
+            }
+            LakeError::WorldMismatch { expected, found } => {
+                write!(
+                    f,
+                    "segment world hash {found:016x} != expected {expected:016x}"
+                )
+            }
+            LakeError::ShardMismatch { expected, found } => {
+                write!(f, "segment shard index {found} != expected {expected}")
+            }
+            LakeError::ChecksumMismatch { expected, found } => {
+                write!(f, "segment checksum {found:016x} != stored {expected:016x}")
+            }
+            LakeError::Truncated { what } => write!(f, "truncated lake {what}"),
+            LakeError::HeaderMismatch { what } => {
+                write!(f, "segment header {what} disagrees with payload")
+            }
+            LakeError::ManifestMismatch { what } => {
+                write!(f, "lake manifest mismatch: {what}")
+            }
+            LakeError::Codec(e) => write!(f, "segment frame malformed: {e}"),
+        }
+    }
+}
+
+impl Error for LakeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LakeError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for LakeError {
+    fn from(e: CodecError) -> Self {
+        LakeError::Codec(e)
+    }
+}
+
+/// Wraps an [`std::io::Error`] with what was being attempted.
+pub(crate) fn io_err(what: &'static str, e: std::io::Error) -> LakeError {
+    LakeError::Io {
+        what,
+        detail: e.to_string(),
+    }
+}

@@ -1,0 +1,333 @@
+//! Disk-resident event lake for `downlake`.
+//!
+//! The paper's measurement spans ~3M download events over five months
+//! (§II); our reproduction used to regenerate that world in RAM on
+//! every run, which caps study scale at host memory and re-pays the
+//! full generation cost for every sweep permutation that shares a
+//! seed. This crate turns the event corpus into a durable,
+//! re-scannable artifact: a **seed-addressed segment store** under
+//! `<lake-root>/<world-hash>/`, where the world hash is a pure function
+//! of the generation-relevant configuration — so cross-run caching
+//! falls out of the addressing scheme instead of being bolted on.
+//!
+//! Layout of one world directory:
+//!
+//! ```text
+//! <lake-root>/<world-hash>/
+//!   shard-0.seg     codec frames, header+footer committed (segment.rs)
+//!   shard-1.seg     …one segment per generation shard…
+//!   world.bin       opaque sidecar: the world's latent file table
+//!   manifest.json   names every file — written LAST: the commit point
+//! ```
+//!
+//! The lake is deliberately **policy-free**: it stores whatever byte
+//! sidecar and per-shard event streams the injected builder produces,
+//! and depends only on the telemetry codec, the worker pool, the
+//! observability registry, and core types — never on the generator.
+//! That keeps the layering DAG acyclic (the generator's caller wires
+//! the two together) and makes the store reusable for any sharded,
+//! time-sorted event source.
+//!
+//! Corruption is a *typed, expected* condition, not a panic:
+//! [`Lake::open`] verifies magic, version, world hash, shard index,
+//! file size, every frame's structure, the streaming checksum, the
+//! committed footer, the header's summary fields, and
+//! manifest/segment agreement — and [`Lake::open_or_build`] falls back
+//! to regeneration (counting `lake.rebuild.corrupt`) on any damage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+pub mod manifest;
+mod scan;
+pub mod segment;
+
+pub use error::LakeError;
+pub use manifest::{LakeManifest, SegmentEntry, AUX_NAME, MANIFEST_NAME};
+pub use scan::LakeScan;
+pub use segment::{SegmentHeader, SegmentReader, SegmentSummary, SegmentWriter};
+
+use crate::manifest::hex;
+use crate::scan::FrameMerge;
+use crate::segment::{fnv1a, fnv1a_start};
+use downlake_obs::Registry;
+use downlake_telemetry::RawEvent;
+use downlake_types::Timestamp;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What a builder hands the lake to persist: one time-sorted event
+/// vector per shard plus an opaque world sidecar.
+///
+/// The shard vectors must each be stably time-sorted; the lake's merge
+/// then reproduces the stable global sort of their concatenation.
+#[derive(Debug)]
+pub struct LakeBuild {
+    /// Per-shard event streams, each stably sorted by timestamp.
+    pub shard_events: Vec<Vec<RawEvent>>,
+    /// Opaque sidecar bytes (the generator's world file table).
+    pub aux: Vec<u8>,
+}
+
+/// An opened, fully verified world in the lake.
+#[derive(Debug)]
+pub struct Lake {
+    world_dir: PathBuf,
+    world_hash: u64,
+    manifest: LakeManifest,
+    aux: Vec<u8>,
+}
+
+impl Lake {
+    /// Opens and fully verifies the world `world_hash` under `root`.
+    ///
+    /// Every segment is streamed end to end: header fields, frame
+    /// structure, checksum, footer, and manifest agreement are all
+    /// checked before the lake is handed out, so subsequent scans can
+    /// only fail if the files change underneath the process.
+    ///
+    /// # Errors
+    ///
+    /// [`LakeError::Absent`] when the world directory does not exist
+    /// (a cold cache); any other [`LakeError`] pinpoints the damage.
+    pub fn open(root: &Path, world_hash: u64) -> Result<Self, LakeError> {
+        let world_dir = world_dir(root, world_hash);
+        if !world_dir.is_dir() {
+            return Err(LakeError::Absent);
+        }
+        let src = fs::read_to_string(world_dir.join(MANIFEST_NAME))
+            .map_err(|_| LakeError::Missing { what: "manifest" })?;
+        let manifest = LakeManifest::parse(&src)?;
+        if manifest.world_hash != world_hash {
+            return Err(LakeError::WorldMismatch {
+                expected: world_hash,
+                found: manifest.world_hash,
+            });
+        }
+        let mut events = 0u64;
+        for (shard, entry) in manifest.segments.iter().enumerate() {
+            let reader =
+                SegmentReader::open(&world_dir.join(&entry.name), world_hash, shard as u32)?;
+            let summary = reader.validate()?;
+            if summary.events != entry.events || summary.checksum != entry.checksum {
+                return Err(LakeError::ManifestMismatch {
+                    what: "segment disagrees with its manifest entry",
+                });
+            }
+            events += summary.events;
+        }
+        if events != manifest.events {
+            return Err(LakeError::ManifestMismatch {
+                what: "event total disagrees with segments",
+            });
+        }
+        let aux = fs::read(world_dir.join(AUX_NAME)).map_err(|_| LakeError::Missing {
+            what: "world sidecar",
+        })?;
+        if aux.len() as u64 != manifest.aux_bytes {
+            return Err(LakeError::ManifestMismatch {
+                what: "sidecar length disagrees with manifest",
+            });
+        }
+        let aux_checksum = fnv1a(fnv1a_start(), &aux);
+        if aux_checksum != manifest.aux_checksum {
+            return Err(LakeError::ChecksumMismatch {
+                expected: manifest.aux_checksum,
+                found: aux_checksum,
+            });
+        }
+        Ok(Self {
+            world_dir,
+            world_hash,
+            manifest,
+            aux,
+        })
+    }
+
+    /// Opens the cached world, or builds it by calling `build` when the
+    /// cache is cold **or corrupt** — corruption is wiped and rebuilt,
+    /// never panicked on.
+    ///
+    /// Observability: exactly one of `lake.open.warm`,
+    /// `lake.build.cold`, or `lake.rebuild.corrupt` is incremented per
+    /// call, plus `lake.segments` / `lake.events` for the resulting
+    /// world. A warm open performs zero event generation (`build` is
+    /// never invoked), which tests assert through these counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] when building or the post-build reopen
+    /// fails — i.e. only on real I/O trouble, not on cache state.
+    pub fn open_or_build<F>(
+        root: &Path,
+        world_hash: u64,
+        registry: &Registry,
+        build: F,
+    ) -> Result<Self, LakeError>
+    where
+        F: FnOnce() -> LakeBuild,
+    {
+        match Self::open(root, world_hash) {
+            Ok(lake) => {
+                registry.counter_add("lake.open.warm", 1);
+                lake.record(registry);
+                return Ok(lake);
+            }
+            Err(LakeError::Absent) => {
+                registry.counter_add("lake.build.cold", 1);
+            }
+            Err(_) => {
+                registry.counter_add("lake.rebuild.corrupt", 1);
+                let dir = world_dir(root, world_hash);
+                if dir.exists() {
+                    fs::remove_dir_all(&dir)
+                        .map_err(|e| error::io_err("wiping corrupt world", e))?;
+                }
+            }
+        }
+        write_world(root, world_hash, &build())?;
+        // Reopen through the verifying path: the freshly written world
+        // gets exactly the same scrutiny as a cached one.
+        let lake = Self::open(root, world_hash)?;
+        lake.record(registry);
+        Ok(lake)
+    }
+
+    fn record(&self, registry: &Registry) {
+        registry.counter_add("lake.segments", self.manifest.segments.len() as u64);
+        registry.counter_add("lake.events", self.manifest.events);
+    }
+
+    /// The world hash this lake serves.
+    pub fn world_hash(&self) -> u64 {
+        self.world_hash
+    }
+
+    /// The world directory on disk.
+    pub fn world_dir(&self) -> &Path {
+        &self.world_dir
+    }
+
+    /// Number of segments (generation shards) in this world.
+    pub fn shard_count(&self) -> usize {
+        self.manifest.segments.len()
+    }
+
+    /// Total events across all segments.
+    pub fn event_count(&self) -> u64 {
+        self.manifest.events
+    }
+
+    /// The opaque world sidecar written at build time.
+    pub fn aux(&self) -> &[u8] {
+        &self.aux
+    }
+
+    /// Merged scan over the full study window, in the canonical stream
+    /// order (stable global time sort).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] when a segment cannot be reopened.
+    pub fn scan(&self) -> Result<LakeScan, LakeError> {
+        self.scan_window_seconds(i64::MIN, i64::MAX)
+    }
+
+    /// Merged scan restricted to `[lo, hi]` (inclusive). Segments whose
+    /// header span misses the window are never read past their header;
+    /// frames before the window are skipped without materialization via
+    /// the codec's `skip_event` fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] when a segment cannot be reopened.
+    pub fn scan_window(&self, lo: Timestamp, hi: Timestamp) -> Result<LakeScan, LakeError> {
+        self.scan_window_seconds(lo.seconds(), hi.seconds())
+    }
+
+    fn scan_window_seconds(&self, lo: i64, hi: i64) -> Result<LakeScan, LakeError> {
+        Ok(LakeScan::new(FrameMerge::new(self.readers()?, lo, hi)?))
+    }
+
+    /// The merged stream as wire bytes: exactly
+    /// `telemetry::codec::encode_events` of the canonical stream,
+    /// produced by copying stored frames verbatim (the codec is
+    /// canonical, so no decode/re-encode round-trip is needed). This is
+    /// what the live replay path feeds to `StreamSession::push_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] when a segment cannot be reopened or a
+    /// frame fails its structural walk.
+    pub fn encode_merged(&self) -> Result<Vec<u8>, LakeError> {
+        let mut merge = FrameMerge::new(self.readers()?, i64::MIN, i64::MAX)?;
+        let mut out = Vec::with_capacity(self.payload_hint());
+        while let Some(frame) = merge.next_frame() {
+            out.extend_from_slice(frame?);
+        }
+        Ok(out)
+    }
+
+    fn payload_hint(&self) -> usize {
+        // Events average well under a kilobyte; the hint only needs to
+        // be in the right ballpark to avoid repeated doubling.
+        (self.manifest.events as usize).saturating_mul(160)
+    }
+
+    fn readers(&self) -> Result<Vec<SegmentReader>, LakeError> {
+        let mut readers = Vec::with_capacity(self.manifest.segments.len());
+        for (shard, entry) in self.manifest.segments.iter().enumerate() {
+            readers.push(SegmentReader::open(
+                &self.world_dir.join(&entry.name),
+                self.world_hash,
+                shard as u32,
+            )?);
+        }
+        Ok(readers)
+    }
+}
+
+/// The directory a world hash maps to under `root`.
+pub fn world_dir(root: &Path, world_hash: u64) -> PathBuf {
+    root.join(hex(world_hash))
+}
+
+fn segment_name(shard: usize) -> String {
+    format!("shard-{shard}.seg")
+}
+
+/// Writes a complete world: segments, sidecar, then — as the commit
+/// point — the manifest.
+fn write_world(root: &Path, world_hash: u64, build: &LakeBuild) -> Result<(), LakeError> {
+    let dir = world_dir(root, world_hash);
+    fs::create_dir_all(&dir).map_err(|e| error::io_err("creating world directory", e))?;
+    let mut entries = Vec::with_capacity(build.shard_events.len());
+    let mut events = 0u64;
+    for (shard, shard_stream) in build.shard_events.iter().enumerate() {
+        let name = segment_name(shard);
+        let mut writer = SegmentWriter::create(&dir.join(&name), world_hash, shard as u32)?;
+        for event in shard_stream {
+            writer.append(event)?;
+        }
+        let header = writer.finalize()?;
+        events += header.event_count;
+        entries.push(SegmentEntry {
+            name,
+            events: header.event_count,
+            checksum: header.checksum,
+        });
+    }
+    fs::write(dir.join(AUX_NAME), &build.aux)
+        .map_err(|e| error::io_err("writing world sidecar", e))?;
+    let manifest = LakeManifest {
+        world_hash,
+        events,
+        segments: entries,
+        aux_bytes: build.aux.len() as u64,
+        aux_checksum: fnv1a(fnv1a_start(), &build.aux),
+    };
+    fs::write(dir.join(MANIFEST_NAME), manifest.render())
+        .map_err(|e| error::io_err("writing manifest", e))?;
+    Ok(())
+}

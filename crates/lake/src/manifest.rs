@@ -1,0 +1,217 @@
+//! The per-world `manifest.json`: the lake's commit record.
+//!
+//! The manifest is written **last** during a build — segments first,
+//! then the world sidecar, then this file — so its presence is the
+//! commit point: a directory without a parseable manifest is a crashed
+//! or foreign write and is treated as corrupt. It names every segment
+//! with its event count and checksum, letting
+//! [`Lake::open`](crate::Lake::open) detect manifest/segment
+//! disagreement (a segment swapped in from another build) on top of the
+//! segments' own self-checks.
+//!
+//! Rendered and parsed with [`downlake_obs::json`]; 64-bit hashes are
+//! carried as fixed-width hex strings so they survive any numeric
+//! round-trip exactly.
+
+use crate::error::LakeError;
+use downlake_obs::json::{parse, Json};
+
+/// File name of the manifest inside a world directory.
+pub const MANIFEST_NAME: &str = "manifest.json";
+/// File name of the world sidecar inside a world directory.
+pub const AUX_NAME: &str = "world.bin";
+/// Manifest format version.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// One segment as recorded by the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// File name relative to the world directory.
+    pub name: String,
+    /// Event frames in the segment.
+    pub events: u64,
+    /// The segment's content checksum.
+    pub checksum: u64,
+}
+
+/// The decoded lake manifest for one world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LakeManifest {
+    /// Hash of the generation-relevant configuration.
+    pub world_hash: u64,
+    /// Total events across all segments.
+    pub events: u64,
+    /// Segments in shard order.
+    pub segments: Vec<SegmentEntry>,
+    /// Byte length of the world sidecar.
+    pub aux_bytes: u64,
+    /// Checksum of the world sidecar.
+    pub aux_checksum: u64,
+}
+
+impl LakeManifest {
+    /// Renders the manifest as deterministic, insertion-ordered JSON.
+    pub fn render(&self) -> String {
+        let segments: Vec<Json> = self
+            .segments
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".to_owned(), Json::from(s.name.as_str())),
+                    ("events".to_owned(), Json::from(s.events)),
+                    ("checksum".to_owned(), Json::Str(hex(s.checksum))),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("lake".to_owned(), Json::from(MANIFEST_VERSION)),
+            ("world_hash".to_owned(), Json::Str(hex(self.world_hash))),
+            ("events".to_owned(), Json::from(self.events)),
+            ("segments".to_owned(), Json::Arr(segments)),
+            (
+                "aux".to_owned(),
+                Json::Obj(vec![
+                    ("name".to_owned(), Json::from(AUX_NAME)),
+                    ("bytes".to_owned(), Json::from(self.aux_bytes)),
+                    ("checksum".to_owned(), Json::Str(hex(self.aux_checksum))),
+                ]),
+            ),
+        ]);
+        doc.render()
+    }
+
+    /// Parses a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError::ManifestMismatch`] when the document is not
+    /// valid JSON, misses a field, or declares an unsupported version.
+    pub fn parse(src: &str) -> Result<Self, LakeError> {
+        let doc = parse(src).map_err(|_| bad("manifest is not valid JSON"))?;
+        let version = doc
+            .get("lake")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing lake version"))?;
+        if version != MANIFEST_VERSION {
+            return Err(bad("unsupported manifest version"));
+        }
+        let world_hash = doc
+            .get("world_hash")
+            .and_then(Json::as_str)
+            .and_then(unhex)
+            .ok_or_else(|| bad("missing world hash"))?;
+        let events = doc
+            .get("events")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing event total"))?;
+        let raw_segments = doc
+            .get("segments")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing segment list"))?;
+        let mut segments = Vec::with_capacity(raw_segments.len());
+        for seg in raw_segments {
+            let name = seg
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("segment without name"))?;
+            let seg_events = seg
+                .get("events")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("segment without event count"))?;
+            let checksum = seg
+                .get("checksum")
+                .and_then(Json::as_str)
+                .and_then(unhex)
+                .ok_or_else(|| bad("segment without checksum"))?;
+            segments.push(SegmentEntry {
+                name: name.to_owned(),
+                events: seg_events,
+                checksum,
+            });
+        }
+        let aux = doc.get("aux").ok_or_else(|| bad("missing aux record"))?;
+        let aux_bytes = aux
+            .get("bytes")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("aux record without byte length"))?;
+        let aux_checksum = aux
+            .get("checksum")
+            .and_then(Json::as_str)
+            .and_then(unhex)
+            .ok_or_else(|| bad("aux record without checksum"))?;
+        Ok(Self {
+            world_hash,
+            events,
+            segments,
+            aux_bytes,
+            aux_checksum,
+        })
+    }
+}
+
+fn bad(what: &'static str) -> LakeError {
+    LakeError::ManifestMismatch { what }
+}
+
+/// Fixed-width lowercase hex for a 64-bit value.
+pub(crate) fn hex(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn unhex(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LakeManifest {
+        LakeManifest {
+            world_hash: 0xdead_beef_1234_5678,
+            events: 42,
+            segments: vec![
+                SegmentEntry {
+                    name: "shard-0.seg".to_owned(),
+                    events: 40,
+                    checksum: 0x0102_0304_0506_0708,
+                },
+                SegmentEntry {
+                    name: "shard-1.seg".to_owned(),
+                    events: 2,
+                    checksum: u64::MAX,
+                },
+            ],
+            aux_bytes: 1000,
+            aux_checksum: 7,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_exactly() {
+        let m = sample();
+        let rendered = m.render();
+        let parsed = LakeManifest::parse(&rendered).expect("self-rendered manifest parses");
+        assert_eq!(parsed, m);
+        // Deterministic rendering: a second render is byte-identical.
+        assert_eq!(parsed.render(), rendered);
+    }
+
+    #[test]
+    fn malformed_documents_error_cleanly() {
+        assert!(LakeManifest::parse("").is_err());
+        assert!(LakeManifest::parse("{}").is_err());
+        assert!(LakeManifest::parse("{\"lake\": 99}").is_err());
+        let mut truncated = sample().render();
+        truncated.truncate(truncated.len() / 2);
+        assert!(LakeManifest::parse(&truncated).is_err());
+        // A non-hex world hash is rejected, not misparsed.
+        let doc = sample()
+            .render()
+            .replace(&hex(0xdead_beef_1234_5678), "zzzzzzzzzzzzzzzz");
+        assert!(LakeManifest::parse(&doc).is_err());
+    }
+}

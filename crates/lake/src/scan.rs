@@ -1,0 +1,163 @@
+//! K-way merge scans over a world's segments.
+//!
+//! Each segment holds a contiguous unit-range's events, stably
+//! time-sorted within the shard. Merging by `(timestamp, shard index)`
+//! while preserving within-shard order is exactly a stable sort of the
+//! shard concatenation — i.e. the canonical in-RAM stream order of
+//! `World::generate`, reproduced byte-identically at any shard count.
+//!
+//! Two consumers share the same merge core: [`LakeScan`] decodes each
+//! frame into a [`RawEvent`] for the collection server, and
+//! [`Lake::encode_merged`](crate::Lake::encode_merged) copies the raw
+//! frame bytes verbatim (the codec is canonical, so the concatenation
+//! equals `encode_events` of the merged stream). Window scans skip
+//! whole segments via the header's min/max timestamps and skip
+//! out-of-window frames via the codec's no-materialization fast path.
+
+use crate::error::LakeError;
+use crate::segment::SegmentReader;
+use downlake_telemetry::codec::decode_event;
+use downlake_telemetry::RawEvent;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+struct Source {
+    reader: SegmentReader,
+    frame: Vec<u8>,
+    /// Window-exhausted: every later frame in this shard is past `hi`.
+    done: bool,
+}
+
+/// The shared merge core: yields raw frames in `(timestamp, shard)`
+/// order, restricted to `[lo, hi]` (seconds, inclusive).
+pub(crate) struct FrameMerge {
+    sources: Vec<Source>,
+    heap: BinaryHeap<Reverse<(i64, usize)>>,
+    current: Vec<u8>,
+    lo: i64,
+    hi: i64,
+}
+
+impl FrameMerge {
+    pub(crate) fn new(readers: Vec<SegmentReader>, lo: i64, hi: i64) -> Result<Self, LakeError> {
+        let mut merge = Self {
+            sources: readers
+                .into_iter()
+                .map(|reader| {
+                    // A shard whose whole span misses the window never
+                    // needs its payload touched at all.
+                    let header = *reader.header();
+                    let outside =
+                        header.event_count == 0 || header.max_ts < lo || header.min_ts > hi;
+                    Source {
+                        reader,
+                        frame: Vec::new(),
+                        done: outside,
+                    }
+                })
+                .collect(),
+            heap: BinaryHeap::new(),
+            current: Vec::new(),
+            lo,
+            hi,
+        };
+        for idx in 0..merge.sources.len() {
+            merge.advance(idx)?;
+        }
+        Ok(merge)
+    }
+
+    /// Pulls the shard's next in-window frame into its buffer and
+    /// re-registers the shard in the heap; marks the shard done at
+    /// end-of-payload or past the window.
+    fn advance(&mut self, idx: usize) -> Result<(), LakeError> {
+        let source = &mut self.sources[idx];
+        if source.done {
+            return Ok(());
+        }
+        loop {
+            match source.reader.read_frame(&mut source.frame)? {
+                None => {
+                    source.done = true;
+                    return Ok(());
+                }
+                Some(ts) if ts < self.lo => continue,
+                Some(ts) if ts > self.hi => {
+                    // Within-shard order is sorted: nothing later fits.
+                    source.done = true;
+                    return Ok(());
+                }
+                Some(ts) => {
+                    self.heap.push(Reverse((ts, idx)));
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// The next frame in merged order, or `None` when all shards are
+    /// drained. The returned slice is valid until the next call.
+    pub(crate) fn next_frame(&mut self) -> Option<Result<&[u8], LakeError>> {
+        let Reverse((_, idx)) = self.heap.pop()?;
+        std::mem::swap(&mut self.current, &mut self.sources[idx].frame);
+        if let Err(e) = self.advance(idx) {
+            return Some(Err(e));
+        }
+        Some(Ok(&self.current))
+    }
+}
+
+/// Merged event iterator over a world's segments.
+///
+/// Yields `Result<RawEvent, LakeError>`; the first error fuses the
+/// iterator. When the lake was opened through
+/// [`Lake::open`](crate::Lake::open) every segment has already been
+/// fully verified, so scan-time errors indicate the file changed
+/// underneath the process.
+#[derive(Debug)]
+pub struct LakeScan {
+    merge: FrameMerge,
+    failed: bool,
+}
+
+impl std::fmt::Debug for FrameMerge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameMerge")
+            .field("sources", &self.sources.len())
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+impl LakeScan {
+    pub(crate) fn new(merge: FrameMerge) -> Self {
+        Self {
+            merge,
+            failed: false,
+        }
+    }
+}
+
+impl Iterator for LakeScan {
+    type Item = Result<RawEvent, LakeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let frame = match self.merge.next_frame()? {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        };
+        match decode_event(frame) {
+            Ok((event, _)) => Some(Ok(event)),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(LakeError::Codec(e)))
+            }
+        }
+    }
+}

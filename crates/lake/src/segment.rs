@@ -1,0 +1,431 @@
+//! On-disk segment format: fixed-layout header, codec-frame payload,
+//! footer-committed finalize.
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic          b"DLAKESEG"
+//!      8     4  version        u32 LE
+//!     12     4  shard          u32 LE
+//!     16     8  world hash     u64 LE
+//!     24     8  event count    u64 LE
+//!     32     8  min timestamp  i64 LE (0 when the segment is empty)
+//!     40     8  max timestamp  i64 LE (0 when the segment is empty)
+//!     48     8  checksum       u64 LE, FNV-1a over the payload bytes
+//!     56     8  payload length u64 LE
+//!     64     …  payload        concatenated telemetry codec frames
+//!      …     8  footer magic   b"DLAKEEND"
+//!      …     8  footer checksum, equal to the header checksum
+//! ```
+//!
+//! [`SegmentWriter::create`] writes a **zeroed** 64-byte placeholder
+//! where the header belongs; the real header is written only by
+//! [`SegmentWriter::finalize`], *after* the footer. A crash at any
+//! earlier point therefore leaves either a zero magic (placeholder
+//! still in place) or a file whose size disagrees with its declared
+//! payload length — both of which [`SegmentReader::open`] rejects with
+//! a typed [`LakeError`], never a panic.
+
+use crate::error::{io_err, LakeError};
+use downlake_telemetry::codec::skip_event;
+use downlake_telemetry::RawEvent;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Leading magic of every segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"DLAKESEG";
+/// Magic of the committed footer.
+pub const FOOTER_MAGIC: [u8; 8] = *b"DLAKEEND";
+/// Current segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 64;
+/// Fixed footer length in bytes.
+pub const FOOTER_LEN: usize = 16;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a running state.
+pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The FNV-1a initial state.
+pub fn fnv1a_start() -> u64 {
+    FNV_OFFSET
+}
+
+/// Decoded fixed-layout segment header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Format version.
+    pub version: u32,
+    /// Shard index of this segment within its world.
+    pub shard: u32,
+    /// Hash of the generation-relevant configuration.
+    pub world_hash: u64,
+    /// Number of event frames in the payload.
+    pub event_count: u64,
+    /// Smallest frame timestamp (seconds); 0 when empty.
+    pub min_ts: i64,
+    /// Largest frame timestamp (seconds); 0 when empty.
+    pub max_ts: i64,
+    /// FNV-1a checksum of the payload bytes.
+    pub checksum: u64,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+}
+
+impl SegmentHeader {
+    fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..8].copy_from_slice(&SEGMENT_MAGIC);
+        out[8..12].copy_from_slice(&self.version.to_le_bytes());
+        out[12..16].copy_from_slice(&self.shard.to_le_bytes());
+        out[16..24].copy_from_slice(&self.world_hash.to_le_bytes());
+        out[24..32].copy_from_slice(&self.event_count.to_le_bytes());
+        out[32..40].copy_from_slice(&self.min_ts.to_le_bytes());
+        out[40..48].copy_from_slice(&self.max_ts.to_le_bytes());
+        out[48..56].copy_from_slice(&self.checksum.to_le_bytes());
+        out[56..64].copy_from_slice(&self.payload_len.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8; HEADER_LEN]) -> Result<Self, LakeError> {
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&bytes[0..8]);
+        if magic != SEGMENT_MAGIC {
+            return Err(LakeError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(take4(bytes, 8));
+        if version != SEGMENT_VERSION {
+            return Err(LakeError::BadVersion { found: version });
+        }
+        Ok(Self {
+            version,
+            shard: u32::from_le_bytes(take4(bytes, 12)),
+            world_hash: u64::from_le_bytes(take8(bytes, 16)),
+            event_count: u64::from_le_bytes(take8(bytes, 24)),
+            min_ts: i64::from_le_bytes(take8(bytes, 32)),
+            max_ts: i64::from_le_bytes(take8(bytes, 40)),
+            checksum: u64::from_le_bytes(take8(bytes, 48)),
+            payload_len: u64::from_le_bytes(take8(bytes, 56)),
+        })
+    }
+}
+
+fn take4(bytes: &[u8; HEADER_LEN], at: usize) -> [u8; 4] {
+    let mut out = [0u8; 4];
+    out.copy_from_slice(&bytes[at..at + 4]);
+    out
+}
+
+fn take8(bytes: &[u8; HEADER_LEN], at: usize) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&bytes[at..at + 8]);
+    out
+}
+
+/// Streams events into a segment file; the header is committed last.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: BufWriter<File>,
+    shard: u32,
+    world_hash: u64,
+    count: u64,
+    min_ts: i64,
+    max_ts: i64,
+    checksum: u64,
+    payload_len: u64,
+    frame: Vec<u8>,
+}
+
+impl SegmentWriter {
+    /// Creates a segment file with a zeroed header placeholder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError::Io`] when the file cannot be created.
+    pub fn create(path: &Path, world_hash: u64, shard: u32) -> Result<Self, LakeError> {
+        let file = File::create(path).map_err(|e| io_err("creating segment", e))?;
+        let mut file = BufWriter::new(file);
+        file.write_all(&[0u8; HEADER_LEN])
+            .map_err(|e| io_err("writing header placeholder", e))?;
+        Ok(Self {
+            file,
+            shard,
+            world_hash,
+            count: 0,
+            min_ts: i64::MAX,
+            max_ts: i64::MIN,
+            checksum: fnv1a_start(),
+            payload_len: 0,
+            frame: Vec::new(),
+        })
+    }
+
+    /// Appends one event as a codec frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError::Io`] when the write fails.
+    pub fn append(&mut self, event: &RawEvent) -> Result<(), LakeError> {
+        self.frame.clear();
+        downlake_telemetry::codec::encode_event(event, &mut self.frame);
+        self.checksum = fnv1a(self.checksum, &self.frame);
+        self.payload_len += self.frame.len() as u64;
+        self.count += 1;
+        let secs = event.timestamp.seconds();
+        self.min_ts = self.min_ts.min(secs);
+        self.max_ts = self.max_ts.max(secs);
+        self.file
+            .write_all(&self.frame)
+            .map_err(|e| io_err("appending frame", e))
+    }
+
+    /// Commits the segment: footer first, then the real header over the
+    /// placeholder. Returns the committed header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError::Io`] when a write or seek fails.
+    pub fn finalize(mut self) -> Result<SegmentHeader, LakeError> {
+        self.file
+            .write_all(&FOOTER_MAGIC)
+            .map_err(|e| io_err("writing footer", e))?;
+        self.file
+            .write_all(&self.checksum.to_le_bytes())
+            .map_err(|e| io_err("writing footer", e))?;
+        let (min_ts, max_ts) = if self.count == 0 {
+            (0, 0)
+        } else {
+            (self.min_ts, self.max_ts)
+        };
+        let header = SegmentHeader {
+            version: SEGMENT_VERSION,
+            shard: self.shard,
+            world_hash: self.world_hash,
+            event_count: self.count,
+            min_ts,
+            max_ts,
+            checksum: self.checksum,
+            payload_len: self.payload_len,
+        };
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| io_err("seeking to header", e))?;
+        self.file
+            .write_all(&header.encode())
+            .map_err(|e| io_err("committing header", e))?;
+        self.file
+            .flush()
+            .map_err(|e| io_err("flushing segment", e))?;
+        Ok(header)
+    }
+}
+
+/// Summary of a fully verified segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSummary {
+    /// Frames verified.
+    pub events: u64,
+    /// The (verified) content checksum.
+    pub checksum: u64,
+}
+
+/// Bounded-memory reader over one segment: buffered reads, one reused
+/// frame buffer, no mmap.
+#[derive(Debug)]
+pub struct SegmentReader {
+    file: BufReader<File>,
+    header: SegmentHeader,
+    remaining: u64,
+    finished: bool,
+    count: u64,
+    min_ts: i64,
+    max_ts: i64,
+    checksum: u64,
+}
+
+impl SegmentReader {
+    /// Opens a segment and verifies its header against the expected
+    /// world hash, shard index, and the file's actual size.
+    ///
+    /// # Errors
+    ///
+    /// Returns the precise [`LakeError`] for a missing file, bad magic
+    /// or version, world/shard mismatch, or a size that disagrees with
+    /// the declared payload length (the signature of a truncated copy).
+    pub fn open(path: &Path, world_hash: u64, shard: u32) -> Result<Self, LakeError> {
+        let file = File::open(path).map_err(|_| LakeError::Missing { what: "segment" })?;
+        let size = file
+            .metadata()
+            .map_err(|e| io_err("reading segment metadata", e))?
+            .len();
+        let mut file = BufReader::new(file);
+        let mut raw = [0u8; HEADER_LEN];
+        file.read_exact(&mut raw)
+            .map_err(|_| LakeError::Truncated {
+                what: "segment header",
+            })?;
+        let header = SegmentHeader::decode(&raw)?;
+        if header.world_hash != world_hash {
+            return Err(LakeError::WorldMismatch {
+                expected: world_hash,
+                found: header.world_hash,
+            });
+        }
+        if header.shard != shard {
+            return Err(LakeError::ShardMismatch {
+                expected: shard,
+                found: header.shard,
+            });
+        }
+        let declared = HEADER_LEN as u64 + header.payload_len + FOOTER_LEN as u64;
+        if size != declared {
+            return Err(LakeError::Truncated {
+                what: "segment file",
+            });
+        }
+        Ok(Self {
+            file,
+            remaining: header.payload_len,
+            header,
+            finished: false,
+            count: 0,
+            min_ts: i64::MAX,
+            max_ts: i64::MIN,
+            checksum: fnv1a_start(),
+        })
+    }
+
+    /// The verified header.
+    pub fn header(&self) -> &SegmentHeader {
+        &self.header
+    }
+
+    /// Reads the next frame into `out` (prefix included) and returns
+    /// its timestamp in seconds, or `None` once the payload — and with
+    /// it the footer and every header crosscheck — has been consumed
+    /// and verified.
+    ///
+    /// The frame is structurally validated via the codec's
+    /// [`skip_event`] fast path (no record materialization); callers
+    /// that need the event decode `out` themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`LakeError`] on truncation, structural frame
+    /// corruption, checksum or footer damage, or a header field that
+    /// disagrees with the payload.
+    pub fn read_frame(&mut self, out: &mut Vec<u8>) -> Result<Option<i64>, LakeError> {
+        if self.remaining == 0 {
+            if !self.finished {
+                self.finish()?;
+                self.finished = true;
+            }
+            return Ok(None);
+        }
+        if self.remaining < 4 {
+            return Err(LakeError::Truncated {
+                what: "frame prefix",
+            });
+        }
+        let mut prefix = [0u8; 4];
+        self.file
+            .read_exact(&mut prefix)
+            .map_err(|e| io_err("reading frame prefix", e))?;
+        let len = u32::from_le_bytes(prefix) as u64;
+        if len + 4 > self.remaining {
+            return Err(LakeError::Truncated {
+                what: "frame payload",
+            });
+        }
+        out.clear();
+        out.extend_from_slice(&prefix);
+        out.resize(4 + len as usize, 0);
+        self.file
+            .read_exact(&mut out[4..])
+            .map_err(|e| io_err("reading frame payload", e))?;
+        let (ts, consumed) = skip_event(out)?;
+        debug_assert_eq!(consumed, out.len());
+        self.checksum = fnv1a(self.checksum, out);
+        self.remaining -= consumed as u64;
+        self.count += 1;
+        let secs = ts.seconds();
+        self.min_ts = self.min_ts.min(secs);
+        self.max_ts = self.max_ts.max(secs);
+        Ok(Some(secs))
+    }
+
+    /// Streams every frame, verifying structure, checksum, footer, and
+    /// header summary fields. Returns the verified totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`LakeError`] the streaming walk hits.
+    pub fn validate(mut self) -> Result<SegmentSummary, LakeError> {
+        let mut frame = Vec::new();
+        while self.read_frame(&mut frame)?.is_some() {}
+        Ok(SegmentSummary {
+            events: self.header.event_count,
+            checksum: self.header.checksum,
+        })
+    }
+
+    fn finish(&mut self) -> Result<(), LakeError> {
+        let mut footer = [0u8; FOOTER_LEN];
+        self.file
+            .read_exact(&mut footer)
+            .map_err(|_| LakeError::Truncated {
+                what: "segment footer",
+            })?;
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&footer[0..8]);
+        if magic != FOOTER_MAGIC {
+            return Err(LakeError::BadMagic { found: magic });
+        }
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(&footer[8..16]);
+        let footer_checksum = u64::from_le_bytes(sum);
+        if footer_checksum != self.header.checksum {
+            return Err(LakeError::ChecksumMismatch {
+                expected: self.header.checksum,
+                found: footer_checksum,
+            });
+        }
+        if self.checksum != self.header.checksum {
+            return Err(LakeError::ChecksumMismatch {
+                expected: self.header.checksum,
+                found: self.checksum,
+            });
+        }
+        if self.count != self.header.event_count {
+            return Err(LakeError::HeaderMismatch {
+                what: "event count",
+            });
+        }
+        let (min_ts, max_ts) = if self.count == 0 {
+            (0, 0)
+        } else {
+            (self.min_ts, self.max_ts)
+        };
+        if min_ts != self.header.min_ts {
+            return Err(LakeError::HeaderMismatch {
+                what: "min timestamp",
+            });
+        }
+        if max_ts != self.header.max_ts {
+            return Err(LakeError::HeaderMismatch {
+                what: "max timestamp",
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,416 @@
+//! Corruption honesty: every header field, the payload, the footer,
+//! the sidecar, and the manifest each get a byte flipped or truncated,
+//! and the lake must (a) report a typed [`LakeError`] — never panic —
+//! and (b) fall back to regeneration through [`Lake::open_or_build`],
+//! counting `lake.rebuild.corrupt`.
+
+use downlake_lake::{Lake, LakeBuild, LakeError, AUX_NAME, MANIFEST_NAME};
+use downlake_obs::Registry;
+use downlake_telemetry::codec::encode_events;
+use downlake_telemetry::RawEvent;
+use downlake_types::{FileHash, FileMeta, MachineId, PackerInfo, SignerInfo, Timestamp};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, process-unique scratch directory (no tempfile dependency).
+fn scratch_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "downlake-lake-corruption-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn event(file: u64, day: u32) -> RawEvent {
+    RawEvent {
+        file: FileHash::from_raw(file),
+        file_meta: FileMeta {
+            size_bytes: 4096 + file,
+            disk_name: "setup.exe".into(),
+            signer: Some(SignerInfo::valid(
+                "Somoto Ltd.",
+                "thawte code signing ca g2",
+            )),
+            packer: Some(PackerInfo::new("NSIS")),
+        },
+        machine: MachineId::from_raw(7),
+        process: FileHash::from_raw(100),
+        process_meta: FileMeta {
+            size_bytes: 0,
+            disk_name: "chrome.exe".into(),
+            signer: None,
+            packer: None,
+        },
+        url: "http://dl.example.com/f/setup.exe"
+            .parse()
+            .expect("static url"),
+        timestamp: Timestamp::from_day(day),
+        executed: true,
+    }
+}
+
+const WORLD: u64 = 0x00c0_ffee_0badu64;
+
+/// Three shards with interleaved timestamps, so the k-way merge is
+/// actually exercised, plus a non-empty sidecar.
+fn build() -> LakeBuild {
+    LakeBuild {
+        shard_events: vec![
+            vec![event(1, 0), event(2, 3), event(3, 9)],
+            vec![event(4, 1), event(5, 3)],
+            vec![event(6, 2), event(7, 5), event(8, 5), event(9, 30)],
+        ],
+        aux: b"latent world file table stand-in".to_vec(),
+    }
+}
+
+/// The canonical stream: stable global time sort of the shard concat.
+fn canonical() -> Vec<RawEvent> {
+    let b = build();
+    let mut all: Vec<RawEvent> = b.shard_events.into_iter().flatten().collect();
+    all.sort_by_key(|e| e.timestamp);
+    all
+}
+
+fn build_world(root: &Path) -> Registry {
+    let registry = Registry::new();
+    let lake = Lake::open_or_build(root, WORLD, &registry, build).expect("cold build");
+    assert_eq!(lake.shard_count(), 3);
+    assert_eq!(lake.event_count(), 9);
+    registry
+}
+
+fn segment_path(root: &Path) -> PathBuf {
+    downlake_lake::world_dir(root, WORLD).join("shard-0.seg")
+}
+
+fn flip_byte(path: &Path, offset: usize) {
+    let mut bytes = fs::read(path).expect("read file to corrupt");
+    bytes[offset] ^= 0xff;
+    fs::write(path, bytes).expect("write corrupted file");
+}
+
+/// After `corrupt` has damaged the on-disk world: `open` must return
+/// the expected typed error (checked by `check`), and `open_or_build`
+/// must regenerate rather than panic, counting the corruption.
+fn assert_detected_and_rebuilt(root: &Path, check: impl FnOnce(&LakeError)) {
+    let err = Lake::open(root, WORLD).expect_err("corruption must be detected");
+    assert!(!err.is_cold(), "corruption must not look like a cold cache");
+    check(&err);
+    let registry = Registry::new();
+    let lake = Lake::open_or_build(root, WORLD, &registry, build).expect("fallback rebuild");
+    assert_eq!(registry.counter("lake.rebuild.corrupt"), 1);
+    assert_eq!(registry.counter("lake.open.warm"), 0);
+    assert_eq!(lake.event_count(), 9);
+    // The rebuilt world is fully healthy again.
+    assert!(Lake::open(root, WORLD).is_ok());
+}
+
+#[test]
+fn cold_build_then_warm_open_with_zero_generation() {
+    let root = scratch_root();
+    let registry = build_world(&root);
+    assert_eq!(registry.counter("lake.build.cold"), 1);
+    assert_eq!(registry.counter("lake.open.warm"), 0);
+    assert_eq!(registry.counter("lake.segments"), 3);
+    assert_eq!(registry.counter("lake.events"), 9);
+
+    // Warm reopen: the builder must never run.
+    let registry = Registry::new();
+    let lake = Lake::open_or_build(&root, WORLD, &registry, || {
+        panic!("warm open must not invoke the builder")
+    })
+    .expect("warm open");
+    assert_eq!(registry.counter("lake.open.warm"), 1);
+    assert_eq!(registry.counter("lake.build.cold"), 0);
+    assert_eq!(registry.counter("lake.rebuild.corrupt"), 0);
+    assert_eq!(lake.aux(), b"latent world file table stand-in");
+
+    // The merged scan reproduces the canonical stream exactly.
+    let scanned: Vec<RawEvent> = lake
+        .scan()
+        .expect("scan")
+        .map(|r| r.expect("verified segment frame"))
+        .collect();
+    assert_eq!(scanned, canonical());
+
+    // And the merged wire bytes equal encode_events of that stream.
+    let expected = encode_events(canonical().iter());
+    assert_eq!(lake.encode_merged().expect("merged bytes"), expected);
+}
+
+#[test]
+fn window_scan_matches_filtered_canonical_stream() {
+    let root = scratch_root();
+    build_world(&root);
+    let lake = Lake::open(&root, WORLD).expect("open");
+    let lo = Timestamp::from_day(2);
+    let hi = Timestamp::from_day(6);
+    let scanned: Vec<RawEvent> = lake
+        .scan_window(lo, hi)
+        .expect("window scan")
+        .map(|r| r.expect("frame"))
+        .collect();
+    let expected: Vec<RawEvent> = canonical()
+        .into_iter()
+        .filter(|e| e.timestamp >= lo && e.timestamp <= hi)
+        .collect();
+    assert!(!expected.is_empty(), "window must select something");
+    assert_eq!(scanned, expected);
+}
+
+#[test]
+fn flipped_magic_is_bad_magic() {
+    let root = scratch_root();
+    build_world(&root);
+    flip_byte(&segment_path(&root), 0);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::BadMagic { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn crashed_write_placeholder_header_is_bad_magic() {
+    let root = scratch_root();
+    build_world(&root);
+    // A writer that died before finalize leaves the zeroed placeholder.
+    let path = segment_path(&root);
+    let mut bytes = fs::read(&path).expect("read segment");
+    for b in bytes.iter_mut().take(64) {
+        *b = 0;
+    }
+    fs::write(&path, bytes).expect("write crashed segment");
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::BadMagic { found } if *found == [0u8; 8]))
+    });
+}
+
+#[test]
+fn flipped_version_is_bad_version() {
+    let root = scratch_root();
+    build_world(&root);
+    flip_byte(&segment_path(&root), 8);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::BadVersion { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn flipped_shard_index_is_shard_mismatch() {
+    let root = scratch_root();
+    build_world(&root);
+    flip_byte(&segment_path(&root), 12);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(
+            matches!(e, LakeError::ShardMismatch { expected: 0, .. }),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_world_hash_is_world_mismatch() {
+    let root = scratch_root();
+    build_world(&root);
+    flip_byte(&segment_path(&root), 16);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(
+            matches!(
+                e,
+                LakeError::WorldMismatch {
+                    expected: WORLD,
+                    ..
+                }
+            ),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_event_count_is_header_mismatch() {
+    let root = scratch_root();
+    build_world(&root);
+    flip_byte(&segment_path(&root), 24);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(
+            matches!(
+                e,
+                LakeError::HeaderMismatch {
+                    what: "event count"
+                }
+            ),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_min_timestamp_is_header_mismatch() {
+    let root = scratch_root();
+    build_world(&root);
+    flip_byte(&segment_path(&root), 32);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::HeaderMismatch { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn flipped_max_timestamp_is_header_mismatch() {
+    let root = scratch_root();
+    build_world(&root);
+    flip_byte(&segment_path(&root), 40);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::HeaderMismatch { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn flipped_stored_checksum_is_checksum_mismatch() {
+    let root = scratch_root();
+    build_world(&root);
+    flip_byte(&segment_path(&root), 48);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::ChecksumMismatch { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn flipped_payload_length_is_truncation() {
+    let root = scratch_root();
+    build_world(&root);
+    flip_byte(&segment_path(&root), 56);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::Truncated { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn flipped_payload_byte_is_detected() {
+    let root = scratch_root();
+    build_world(&root);
+    let path = segment_path(&root);
+    let len = fs::read(&path).expect("read segment").len();
+    // Deep inside the payload, clear of header (64) and footer (16).
+    flip_byte(&path, 64 + (len - 80) / 2);
+    // Depending on which field the byte lands in, the structural walk
+    // (codec error) or the streaming checksum catches it — both typed.
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(
+            matches!(
+                e,
+                LakeError::Codec(_)
+                    | LakeError::ChecksumMismatch { .. }
+                    | LakeError::HeaderMismatch { .. }
+                    | LakeError::Truncated { .. }
+            ),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn truncated_mid_payload_is_detected() {
+    let root = scratch_root();
+    build_world(&root);
+    let path = segment_path(&root);
+    let mut bytes = fs::read(&path).expect("read segment");
+    let cut = 64 + (bytes.len() - 80) / 2;
+    bytes.truncate(cut);
+    fs::write(&path, bytes).expect("write truncated segment");
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::Truncated { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn truncated_footer_is_detected() {
+    let root = scratch_root();
+    build_world(&root);
+    let path = segment_path(&root);
+    let mut bytes = fs::read(&path).expect("read segment");
+    let keep = bytes.len() - 5;
+    bytes.truncate(keep);
+    fs::write(&path, bytes).expect("write truncated segment");
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::Truncated { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn corrupted_footer_magic_is_bad_magic() {
+    let root = scratch_root();
+    build_world(&root);
+    let path = segment_path(&root);
+    let len = fs::read(&path).expect("read segment").len();
+    flip_byte(&path, len - 16);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::BadMagic { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn missing_segment_is_missing() {
+    let root = scratch_root();
+    build_world(&root);
+    fs::remove_file(segment_path(&root)).expect("remove segment");
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::Missing { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn missing_manifest_is_missing_not_absent() {
+    let root = scratch_root();
+    build_world(&root);
+    let dir = downlake_lake::world_dir(&root, WORLD);
+    fs::remove_file(dir.join(MANIFEST_NAME)).expect("remove manifest");
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(
+            matches!(e, LakeError::Missing { what: "manifest" }),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn manifest_segment_disagreement_is_manifest_mismatch() {
+    let root = scratch_root();
+    build_world(&root);
+    let dir = downlake_lake::world_dir(&root, WORLD);
+    let manifest = fs::read_to_string(dir.join(MANIFEST_NAME)).expect("read manifest");
+    // Claim shard-0 holds 4 events instead of 3: segments themselves
+    // are intact, only the manifest lies.
+    let doctored = manifest.replacen("\"events\": 3", "\"events\": 4", 1);
+    assert_ne!(doctored, manifest, "replacement must hit");
+    fs::write(dir.join(MANIFEST_NAME), doctored).expect("write doctored manifest");
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::ManifestMismatch { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn corrupted_sidecar_is_checksum_mismatch() {
+    let root = scratch_root();
+    build_world(&root);
+    let dir = downlake_lake::world_dir(&root, WORLD);
+    flip_byte(&dir.join(AUX_NAME), 4);
+    assert_detected_and_rebuilt(&root, |e| {
+        assert!(matches!(e, LakeError::ChecksumMismatch { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn wrong_world_hash_request_is_absent_not_corrupt() {
+    let root = scratch_root();
+    build_world(&root);
+    // A different world hash maps to a different directory: cold, not
+    // corrupt — the cache never lies about which world it holds.
+    let err = Lake::open(&root, WORLD ^ 1).expect_err("other world is absent");
+    assert!(err.is_cold());
+}

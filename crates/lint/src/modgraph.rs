@@ -70,6 +70,15 @@ pub const LAYERS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "lake",
+        &[
+            "downlake_types",
+            "downlake_telemetry",
+            "downlake_exec",
+            "downlake_obs",
+        ],
+    ),
+    (
         "core",
         &[
             "downlake_types",
@@ -82,6 +91,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "downlake_analysis",
             "downlake_exec",
             "downlake_stream",
+            "downlake_lake",
             "downlake_obs",
         ],
     ),

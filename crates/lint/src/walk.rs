@@ -129,12 +129,14 @@ pub fn classify(rel: &str) -> Option<FileCtx> {
     let library = !binary && !bench_crate && rel.starts_with("crates/");
     // Hot paths held to the no-per-iteration-allocation rule: the
     // columnar analysis passes, the query operators they compose, the
-    // per-event streaming subsystem, and the sweep harness whose merge
-    // loops fold every run of a fan-out.
+    // per-event streaming subsystem, the sweep harness whose merge
+    // loops fold every run of a fan-out, and the event lake's
+    // per-event encode/scan paths.
     let hot_loop = rel.starts_with("crates/analysis/src/")
         || rel.starts_with("crates/query/src/")
         || rel.starts_with("crates/stream/src/")
-        || rel.starts_with("crates/sweep/src/");
+        || rel.starts_with("crates/sweep/src/")
+        || rel.starts_with("crates/lake/src/");
     Some(FileCtx {
         rel_path: rel.to_string(),
         allow_time: bench_crate,
@@ -175,6 +177,13 @@ mod tests {
         assert!(sweep.library && sweep.hot_loop && !sweep.allow_time);
         assert!(!sweep.allow_concurrency);
         assert!(classify("crates/sweep/tests/plan_props.rs").is_none());
+
+        // The event lake's segment encode/scan paths run per event:
+        // hot-loop library code, no time or concurrency waivers.
+        let lake = classify("crates/lake/src/segment.rs").expect("linted");
+        assert!(lake.library && lake.hot_loop && !lake.allow_time);
+        assert!(!lake.allow_concurrency);
+        assert!(classify("crates/lake/tests/corruption.rs").is_none());
 
         let bench = classify("crates/bench/src/ablation.rs").expect("linted");
         assert!(bench.allow_time && !bench.library);

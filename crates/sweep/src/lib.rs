@@ -39,4 +39,4 @@ pub mod run;
 pub use manifest::{SweepError, SweepManifest};
 pub use plan::{plan, RunSpec, SWEEP_SALT};
 pub use report::{SweepCell, SweepReport};
-pub use run::run_sweep;
+pub use run::{run_sweep, run_sweep_with_lake};

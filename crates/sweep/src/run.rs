@@ -14,6 +14,7 @@ use downlake::experiments::rule_experiments_over;
 use downlake::Study;
 use downlake_exec::Pool;
 use downlake_obs::{Clock, Registry};
+use std::path::Path;
 
 /// Runs the whole sweep: plan, fan out, merge.
 ///
@@ -21,6 +22,33 @@ use downlake_obs::{Clock, Registry};
 /// pass a `TestClock` for fully deterministic manifests (timings
 /// included) or a `RealClock` for wall-clock spans.
 pub fn run_sweep(manifest: &SweepManifest, clock: &dyn Clock) -> SweepReport {
+    run_sweep_impl(manifest, clock, None)
+}
+
+/// [`run_sweep`] backed by the seed-addressed event lake at
+/// `lake_root`.
+///
+/// The world hash excludes the collection-time knobs a sweep varies
+/// (σ, τ, months), so all permutations sharing a seed share one cached
+/// segment build. Each distinct world is built **once, sequentially,
+/// before the fan-out** — the pooled runs then all open warm and
+/// read-only, which keeps the lake free of concurrent writers. The
+/// report surface is byte-identical to [`run_sweep`]'s (pinned by
+/// `tests/lake_equivalence.rs`); only the cache and the obs planes
+/// differ.
+pub fn run_sweep_with_lake(
+    manifest: &SweepManifest,
+    clock: &dyn Clock,
+    lake_root: &Path,
+) -> SweepReport {
+    run_sweep_impl(manifest, clock, Some(lake_root))
+}
+
+fn run_sweep_impl(
+    manifest: &SweepManifest,
+    clock: &dyn Clock,
+    lake_root: Option<&Path>,
+) -> SweepReport {
     let specs = plan(manifest);
     let registry = Registry::new();
     registry.counter_add("sweep.runs_planned", specs.len() as u64);
@@ -29,8 +57,27 @@ pub fn run_sweep(manifest: &SweepManifest, clock: &dyn Clock) -> SweepReport {
         (manifest.sigmas.len() * manifest.taus.len()) as u64,
     );
 
+    if let Some(root) = lake_root {
+        // Pre-build every distinct world once on this thread; failures
+        // are tolerated (each run falls back to in-RAM generation).
+        let build_pool = Pool::sequential();
+        let mut built: Vec<u64> = Vec::new();
+        for spec in &specs {
+            let config = spec.study_config(manifest.scale).with_lake(root);
+            let hash = config.synth.world_hash();
+            if built.contains(&hash) {
+                continue;
+            }
+            built.push(hash);
+            if downlake::lake::ensure_world(root, &config, &build_pool, &registry, clock).is_err() {
+                registry.counter_add("sweep.lake_failures", 1);
+            }
+        }
+        registry.counter_add("sweep.lake_worlds", built.len() as u64);
+    }
+
     let pool = Pool::new(manifest.threads);
-    let parts = pool.map(&specs, |_, spec| run_one(manifest, spec, clock));
+    let parts = pool.map(&specs, |_, spec| run_one(manifest, spec, clock, lake_root));
 
     let mut report = SweepReport::empty(manifest);
     for part in &parts {
@@ -41,8 +88,17 @@ pub fn run_sweep(manifest: &SweepManifest, clock: &dyn Clock) -> SweepReport {
 }
 
 /// One planned run: sequential study + single-τ rule experiments.
-fn run_one(manifest: &SweepManifest, spec: &RunSpec, clock: &dyn Clock) -> SweepReport {
-    let study = Study::run_observed(&spec.study_config(manifest.scale), clock);
+fn run_one(
+    manifest: &SweepManifest,
+    spec: &RunSpec,
+    clock: &dyn Clock,
+    lake_root: Option<&Path>,
+) -> SweepReport {
+    let mut config = spec.study_config(manifest.scale);
+    if let Some(root) = lake_root {
+        config = config.with_lake(root);
+    }
+    let study = Study::run_observed(&config, clock);
     let outcome = rule_experiments_over(&study, &[spec.tau], spec.months);
     SweepReport::from_run(manifest, spec, &study, &outcome)
 }

@@ -1,6 +1,13 @@
 //! Generator configuration.
 
+use downlake_exec::mix;
 use serde::{Deserialize, Serialize};
+
+/// Version of the world-hash derivation itself. Folded into
+/// [`SynthConfig::world_hash`] so any change to the generation model
+/// that keeps the config layout (new calibration, new unit schedule)
+/// can retire every cached lake world by bumping one constant.
+pub const WORLD_HASH_VERSION: u64 = 1;
 
 /// How large a world to generate, as a fraction of the paper's population.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -100,6 +107,29 @@ impl SynthConfig {
         self.sigma = sigma;
         self
     }
+
+    /// Content hash of the *generation-relevant* configuration: the
+    /// identity of the raw event stream and latent world this config
+    /// produces.
+    ///
+    /// Deliberately excludes `sigma` — the prevalence threshold is a
+    /// collection-server knob applied downstream of generation, so every
+    /// σ (and τ) permutation of a sensitivity sweep shares one world and
+    /// therefore one cached lake build. Float fields are folded through
+    /// their exact bit patterns; [`WORLD_HASH_VERSION`] is folded in so
+    /// generation-model changes can invalidate cached worlds.
+    pub fn world_hash(&self) -> u64 {
+        let mut h = mix(0x444c_4b57_4f52_4c44, WORLD_HASH_VERSION); // "DLKWORLD"
+        h = mix(h, self.seed);
+        h = mix(h, self.scale.fraction().to_bits());
+        h = mix(h, self.unknown_singleton_mass.to_bits());
+        h = mix(h, self.labeled_singleton_mass.to_bits());
+        h = mix(h, self.max_prevalence as u64);
+        h = mix(h, self.unexecuted_share.to_bits());
+        h = mix(h, self.whitelisted_share.to_bits());
+        h = mix(h, self.unknown_latent_malicious.to_bits());
+        h
+    }
 }
 
 impl Default for SynthConfig {
@@ -127,6 +157,24 @@ mod tests {
         assert_eq!(Scale::Tiny.apply(1), 1);
         assert_eq!(Scale::Paper.apply(123), 123);
         assert_eq!(Scale::Fraction(0.5).apply(100), 50);
+    }
+
+    #[test]
+    fn world_hash_ignores_sigma_but_tracks_generation_knobs() {
+        let base = SynthConfig::new(42).with_scale(Scale::Tiny);
+        assert_eq!(base.world_hash(), base.clone().with_sigma(5).world_hash());
+        assert_eq!(base.world_hash(), base.clone().with_sigma(60).world_hash());
+        assert_ne!(
+            base.world_hash(),
+            SynthConfig::new(43).with_scale(Scale::Tiny).world_hash()
+        );
+        assert_ne!(
+            base.world_hash(),
+            base.clone().with_scale(Scale::Small).world_hash()
+        );
+        let mut shifted = base.clone();
+        shifted.unexecuted_share += 0.01;
+        assert_ne!(base.world_hash(), shifted.world_hash());
     }
 
     #[test]

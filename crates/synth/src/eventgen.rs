@@ -967,12 +967,58 @@ pub(crate) fn generate_observed(
     generate_impl(config, shards, pool, Some((registry, clock)))
 }
 
+/// [`generate_with`]'s output in lake-spill form: the world plus one
+/// event vector per shard, each stably time-sorted *within the shard*.
+///
+/// Concatenating the shard vectors in shard order and stably sorting by
+/// timestamp reproduces [`generate_with`]'s stream exactly — which is
+/// also what a k-way merge by `(timestamp, shard index)` that preserves
+/// within-shard order computes, so a segment store can persist the
+/// shards independently and still replay the canonical stream.
+///
+/// `shards == 0` falls back to one shard (never the pool width: a
+/// spilled layout must not depend on the host's thread count).
+pub(crate) fn generate_sharded_observed(
+    config: &SynthConfig,
+    shards: usize,
+    pool: &Pool,
+    registry: &Registry,
+    clock: &dyn Clock,
+) -> (World, Vec<Vec<RawEvent>>) {
+    let shard_count = shards.max(1);
+    let (world, mut shard_events) =
+        generate_parts(config, shard_count, pool, Some((registry, clock)));
+    for shard in &mut shard_events {
+        shard.sort_by_key(|e| e.timestamp);
+    }
+    (world, shard_events)
+}
+
 fn generate_impl(
     config: &SynthConfig,
     shards: usize,
     pool: &Pool,
     obs: Option<(&Registry, &dyn Clock)>,
 ) -> Generated {
+    let shard_count = if shards == 0 { pool.threads() } else { shards };
+    let (world, shard_events) = generate_parts(config, shard_count, pool, obs);
+    let mut events: Vec<RawEvent> = shard_events.into_iter().flatten().collect();
+    // Stable by-timestamp sort: ties keep unit order, which is fixed by
+    // the config alone.
+    events.sort_by_key(|e| e.timestamp);
+    Generated { world, events }
+}
+
+/// Shared generation core: runs the work units in `shard_count`
+/// contiguous groups on `pool` and returns the world plus the raw
+/// per-shard event vectors in unit emission order (not yet
+/// time-sorted).
+fn generate_parts(
+    config: &SynthConfig,
+    shard_count: usize,
+    pool: &Pool,
+    obs: Option<(&Registry, &dyn Clock)>,
+) -> (World, Vec<Vec<RawEvent>>) {
     let signers = SignerCatalog::generate_scaled(config.seed, config.scale.fraction().sqrt());
     let packers = PackerCatalog::new();
     let families = FamilyCatalog::generate(config.seed);
@@ -988,7 +1034,6 @@ fn generate_impl(
 
     let ctx = GenContext::new(config);
     let units = build_units(config);
-    let shard_count = if shards == 0 { pool.threads() } else { shards };
     let ranges = partition(units.len(), shard_count);
     // One pool job per shard; each runs its unit range in order. The
     // merge below visits shard outputs in shard order, which for
@@ -1033,19 +1078,21 @@ fn generate_impl(
     }
 
     let mut files: HashMap<FileHash, GeneratedFile> = HashMap::new();
-    let mut events: Vec<RawEvent> = Vec::new();
-    for output in shard_outputs.into_iter().flatten() {
-        for file in output.files {
-            files.insert(file.hash, file);
+    let mut shard_events: Vec<Vec<RawEvent>> = Vec::with_capacity(shard_outputs.len());
+    for outputs in shard_outputs {
+        let mut events = Vec::new();
+        for output in outputs {
+            for file in output.files {
+                files.insert(file.hash, file);
+            }
+            events.extend(output.events);
         }
-        events.extend(output.events);
+        shard_events.push(events);
     }
-    // Stable by-timestamp sort: ties keep unit order, which is fixed by
-    // the config alone.
-    events.sort_by_key(|e| e.timestamp);
 
     if let Some((registry, _)) = obs {
-        registry.counter_add("synth.events", events.len() as u64);
+        let total: usize = shard_events.iter().map(Vec::len).sum();
+        registry.counter_add("synth.events", total as u64);
         registry.counter_add("synth.generated_files", files.len() as u64);
     }
 
@@ -1093,7 +1140,7 @@ fn generate_impl(
         processes: inventory,
         files,
     };
-    Generated { world, events }
+    (world, shard_events)
 }
 
 #[cfg(test)]
@@ -1219,6 +1266,34 @@ mod tests {
         // And identical to the unobserved oracle.
         let oracle = generate(&config);
         assert_eq!(g1.events, oracle.events);
+    }
+
+    #[test]
+    fn sharded_spill_form_reassembles_the_canonical_stream() {
+        use downlake_obs::TestClock;
+        let config = SynthConfig::new(42).with_scale(Scale::Tiny);
+        let oracle = generate(&config);
+        for shards in [1usize, 3, 8] {
+            let registry = Registry::new();
+            let clock = TestClock::new();
+            let (world, shard_events) =
+                generate_sharded_observed(&config, shards, &Pool::new(2), &registry, &clock);
+            assert_eq!(shard_events.len(), shards, "one vector per shard");
+            for shard in &shard_events {
+                assert!(
+                    shard.windows(2).all(|w| w[0].timestamp <= w[1].timestamp),
+                    "each shard must be time-sorted"
+                );
+            }
+            let mut merged: Vec<RawEvent> = shard_events.into_iter().flatten().collect();
+            merged.sort_by_key(|e| e.timestamp);
+            assert_eq!(merged, oracle.events, "shards={shards}");
+            assert_eq!(world.file_count(), oracle.world.file_count());
+            // The deterministic observation plane matches the in-RAM
+            // observed path: spilling is invisible to the metrics.
+            let snap = registry.snapshot();
+            assert_eq!(snap.counters["synth.events"], oracle.events.len() as u64);
+        }
     }
 
     #[test]

@@ -39,13 +39,14 @@ mod dist;
 mod eventgen;
 mod filegen;
 mod world;
+pub mod worldcodec;
 
 pub use catalogs::domains::{DomainCatalog, DomainEntry, DomainKind};
 pub use catalogs::families::FamilyCatalog;
 pub use catalogs::packers::PackerCatalog;
 pub use catalogs::processes::{BenignProcessInventory, ProcessImage};
 pub use catalogs::signers::{SignerCatalog, SignerEntry, SignerScope};
-pub use config::{Scale, SynthConfig};
+pub use config::{Scale, SynthConfig, WORLD_HASH_VERSION};
 pub use dist::{BoundedZipf, Categorical, DiscretePowerLaw};
 pub use eventgen::Generated;
 pub use filegen::{FileDestiny, FileFactory, GeneratedFile};

@@ -1,5 +1,6 @@
 //! The synthetic world: catalogs plus the latent truth of every file.
 
+use crate::calibration;
 use crate::catalogs::domains::DomainCatalog;
 use crate::catalogs::families::FamilyCatalog;
 use crate::catalogs::packers::PackerCatalog;
@@ -56,6 +57,54 @@ impl World {
         clock: &dyn downlake_obs::Clock,
     ) -> Generated {
         eventgen::generate_observed(config, shards, pool, registry, clock)
+    }
+
+    /// Like [`World::generate_observed`], but returns the event stream
+    /// in lake-spill form: one vector per shard, each stably time-sorted
+    /// within the shard. Concatenating the vectors in shard order and
+    /// stably sorting by timestamp — equivalently, k-way merging by
+    /// `(timestamp, shard index)` with within-shard order preserved —
+    /// reproduces [`World::generate`]'s stream exactly.
+    ///
+    /// `shards == 0` falls back to one shard, never the pool width: a
+    /// spilled layout must not depend on the host's thread count.
+    pub fn generate_sharded_observed(
+        config: &SynthConfig,
+        shards: usize,
+        pool: &Pool,
+        registry: &downlake_obs::Registry,
+        clock: &dyn downlake_obs::Clock,
+    ) -> (World, Vec<Vec<downlake_telemetry::RawEvent>>) {
+        eventgen::generate_sharded_observed(config, shards, pool, registry, clock)
+    }
+
+    /// Reconstructs a world from its configuration and file table alone,
+    /// with **zero event generation**.
+    ///
+    /// Every catalog is a pure function of `(seed, scale)` — the event
+    /// simulation draws from them but never mutates them — so a spilled
+    /// world needs to persist only the file table (the latent truth
+    /// accumulated during generation); the catalogs are rebuilt here
+    /// exactly as [`World::generate`] builds them. The construction
+    /// order below mirrors the generator's and must stay in sync with
+    /// it (pinned by `rebuild_matches_generated_world`).
+    pub fn rebuild(config: SynthConfig, files: HashMap<FileHash, GeneratedFile>) -> World {
+        let signers = SignerCatalog::generate_scaled(config.seed, config.scale.fraction().sqrt());
+        let packers = PackerCatalog::new();
+        let families = FamilyCatalog::generate(config.seed);
+        let tail = (config.scale.apply(calibration::totals::DOMAINS) as usize).clamp(200, 40_000);
+        let domains = DomainCatalog::generate(config.seed, tail);
+        let mut next_hash = 0x0100_0000;
+        let processes = BenignProcessInventory::generate(config.seed, config.scale, &mut next_hash);
+        World {
+            config,
+            signers,
+            packers,
+            domains,
+            families,
+            processes,
+            files,
+        }
     }
 
     /// The configuration the world was generated from.
@@ -148,6 +197,30 @@ mod tests {
                 generated.world.latent(event.file).is_some(),
                 "event file without latent profile"
             );
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_generated_world() {
+        let config = SynthConfig::new(42).with_scale(Scale::Tiny);
+        let generated = World::generate(&config);
+        let rebuilt = World::rebuild(config.clone(), generated.world.files.clone());
+        assert_eq!(rebuilt.config(), generated.world.config());
+        assert_eq!(rebuilt.file_count(), generated.world.file_count());
+        // Catalogs are pure functions of (seed, scale): the rebuilt
+        // domain catalog and process inventory must match entry for
+        // entry, which is what the URL labeler and frame passes consume.
+        assert_eq!(
+            rebuilt.domains().entries(),
+            generated.world.domains().entries()
+        );
+        let a: Vec<_> = rebuilt.process_inventory().all().collect();
+        let b: Vec<_> = generated.world.process_inventory().all().collect();
+        assert_eq!(a, b);
+        // The latent truth rides in unchanged.
+        for file in generated.world.files() {
+            assert_eq!(rebuilt.destiny(file.hash), Some(file.destiny));
+            assert_eq!(rebuilt.latent(file.hash), Some(&file.latent));
         }
     }
 

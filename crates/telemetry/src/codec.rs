@@ -157,6 +157,77 @@ pub fn decode_event(buf: &[u8]) -> Result<(RawEvent, usize), CodecError> {
     Ok((event, cursor.pos))
 }
 
+/// Skips the frame at the start of `buf` without materializing it.
+///
+/// Walks the same field layout as [`decode_event`] — every length
+/// prefix and presence tag is followed and checked, including the
+/// trailing [`CodecError::FrameSlack`] reconciliation — but string
+/// bytes are seeked over rather than copied, so no allocation happens.
+/// Returns the frame's timestamp (the one field window scans need) and
+/// the total bytes consumed (prefix + payload).
+///
+/// Because string bytes are never inspected, this path does *not*
+/// validate UTF-8 or URL well-formedness; a frame that skips cleanly
+/// may still fail [`decode_event`] with [`CodecError::BadUtf8`] or
+/// [`CodecError::BadUrl`]. Structural corruption (truncation, bad
+/// tags, slack) is reported identically on both paths.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the frame is truncated or
+/// structurally malformed.
+pub fn skip_event(buf: &[u8]) -> Result<(Timestamp, usize), CodecError> {
+    let mut cursor = Cursor::new(buf);
+    let declared = cursor.take_u32("frame length")? as usize;
+    let payload_start = cursor.pos;
+    if buf.len() - payload_start < declared {
+        return Err(CodecError::Truncated {
+            what: "frame payload",
+            offset: buf.len(),
+        });
+    }
+
+    cursor.take_u64("file hash")?;
+    cursor.skip_meta("file")?;
+    cursor.take_u64("machine id")?;
+    cursor.take_u64("process hash")?;
+    cursor.skip_meta("process")?;
+    cursor.skip_str("url scheme")?;
+    cursor.skip_str("url host")?;
+    cursor.skip_str("url path")?;
+    let timestamp = Timestamp::from_seconds(cursor.take_i64("timestamp")?);
+    cursor.take_bool("executed flag")?;
+
+    let consumed = cursor.pos - payload_start;
+    if consumed != declared {
+        return Err(CodecError::FrameSlack { declared, consumed });
+    }
+    Ok((timestamp, cursor.pos))
+}
+
+/// Appends one [`FileMeta`] to `out` in the codec's wire layout.
+///
+/// Exposed so sidecar formats (the lake's world catalog) can reuse the
+/// event codec's exact field encoding instead of inventing a second
+/// one.
+pub fn encode_file_meta(meta: &FileMeta, out: &mut Vec<u8>) {
+    put_meta(out, meta);
+}
+
+/// Decodes one [`FileMeta`] from the start of `buf`.
+///
+/// Inverse of [`encode_file_meta`]; returns the meta and the bytes
+/// consumed.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the buffer is truncated or malformed.
+pub fn decode_file_meta(buf: &[u8]) -> Result<(FileMeta, usize), CodecError> {
+    let mut cursor = Cursor::new(buf);
+    let meta = cursor.take_meta("file meta")?;
+    Ok((meta, cursor.pos))
+}
+
 /// Streaming decoder over a concatenated frame buffer.
 ///
 /// Yields events until the buffer is exhausted; a malformed frame
@@ -306,6 +377,26 @@ impl<'a> Cursor<'a> {
             .map_err(|_| CodecError::BadUtf8 { what })
     }
 
+    fn skip_str(&mut self, what: &'static str) -> Result<(), CodecError> {
+        let len = self.take_u32(what)? as usize;
+        self.take(len, what)?;
+        Ok(())
+    }
+
+    fn skip_meta(&mut self, what: &'static str) -> Result<(), CodecError> {
+        self.take_u64(what)?; // size_bytes
+        self.skip_str(what)?; // disk_name
+        if self.take_bool(what)? {
+            self.skip_str(what)?; // signer subject
+            self.skip_str(what)?; // signer ca
+            self.take_bool(what)?; // signer valid
+        }
+        if self.take_bool(what)? {
+            self.skip_str(what)?; // packer name
+        }
+        Ok(())
+    }
+
     fn take_meta(&mut self, what: &'static str) -> Result<FileMeta, CodecError> {
         let size_bytes = self.take_u64(what)?;
         let disk_name = self.take_str(what)?;
@@ -448,5 +539,66 @@ mod tests {
     #[test]
     fn empty_buffer_yields_nothing() {
         assert_eq!(EventReader::new(&[]).count(), 0);
+    }
+
+    #[test]
+    fn skip_event_matches_decode_on_timestamp_and_consumed() {
+        let a = sample();
+        let mut b = sample();
+        b.file_meta.signer = None;
+        b.file_meta.packer = None;
+        b.timestamp = Timestamp::from_day(99);
+        let buf = encode_events([&a, &b]);
+        let (ts_a, len_a) = skip_event(&buf).unwrap();
+        let (_, dec_a) = decode_event(&buf).unwrap();
+        assert_eq!(ts_a, a.timestamp);
+        assert_eq!(len_a, dec_a);
+        let (ts_b, len_b) = skip_event(&buf[len_a..]).unwrap();
+        assert_eq!(ts_b, b.timestamp);
+        assert_eq!(len_a + len_b, buf.len());
+    }
+
+    #[test]
+    fn skip_event_rejects_truncation_at_every_cut() {
+        let mut buf = Vec::new();
+        encode_event(&sample(), &mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                skip_event(&buf[..cut]).is_err(),
+                "cut at {cut} must not skip"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_event_rejects_slack_and_bad_tags() {
+        let mut buf = Vec::new();
+        encode_event(&sample(), &mut buf);
+        let mut slack = buf.clone();
+        let declared = u32::from_le_bytes([slack[0], slack[1], slack[2], slack[3]]);
+        slack[0..4].copy_from_slice(&(declared + 2).to_le_bytes());
+        slack.extend_from_slice(&[0, 0]);
+        assert!(matches!(
+            skip_event(&slack),
+            Err(CodecError::FrameSlack { .. })
+        ));
+        let last = buf.len() - 1;
+        buf[last] = 9;
+        assert!(matches!(
+            skip_event(&buf),
+            Err(CodecError::BadTag { tag: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn file_meta_helpers_round_trip() {
+        let metas = [sample().file_meta, sample().process_meta];
+        for meta in metas {
+            let mut buf = Vec::new();
+            encode_file_meta(&meta, &mut buf);
+            let (decoded, consumed) = decode_file_meta(&buf).unwrap();
+            assert_eq!(decoded, meta);
+            assert_eq!(consumed, buf.len());
+        }
     }
 }

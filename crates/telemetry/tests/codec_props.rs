@@ -5,7 +5,9 @@
 //! a dense deterministic grid, so the invariants stay exercised even
 //! where the proptest runner is unavailable.
 
-use downlake_telemetry::codec::{decode_event, encode_event, encode_events, EventReader};
+use downlake_telemetry::codec::{
+    decode_event, encode_event, encode_events, skip_event, EventReader,
+};
 use downlake_telemetry::RawEvent;
 use downlake_types::{FileHash, FileMeta, MachineId, PackerInfo, SignerInfo, Timestamp, Url};
 use proptest::prelude::*;
@@ -72,11 +74,25 @@ fn check_round_trip(event: &RawEvent) {
     assert_eq!(&first, event);
     assert_eq!(&second, event);
 
-    // Every strict prefix of a single frame must fail, never panic.
+    // The skip fast path must agree with the full decoder on frame
+    // geometry and the timestamp, frame by frame through a stream.
+    let (ts, skipped) = skip_event(&buf).expect("self-encoded frame must skip");
+    assert_eq!(ts, event.timestamp, "skip must surface the timestamp");
+    assert_eq!(skipped, consumed, "skip and decode must consume alike");
+    let (ts2, skipped2) = skip_event(&stream[skipped..]).expect("second frame must skip");
+    assert_eq!(ts2, event.timestamp);
+    assert_eq!(skipped + skipped2, stream.len());
+
+    // Every strict prefix of a single frame must fail, never panic —
+    // on the decode path and the skip path alike.
     for cut in 0..buf.len() {
         assert!(
             decode_event(&buf[..cut]).is_err(),
             "prefix of length {cut} must not decode"
+        );
+        assert!(
+            skip_event(&buf[..cut]).is_err(),
+            "prefix of length {cut} must not skip"
         );
     }
 }

@@ -1,13 +1,19 @@
 //! `downlake` — the command-line front door to the reproduction.
 //!
 //! ```text
-//! downlake [--scale tiny|small|default|large|paper|<fraction>] [--seed N] [--threads N] [--obs PATH] <experiment>...
-//! downlake sweep --manifest PATH [--threads N] [--obs PATH]
+//! downlake [--scale tiny|small|default|large|paper|<fraction>] [--seed N] [--threads N] [--lake DIR] [--obs PATH] <experiment>...
+//! downlake sweep --manifest PATH [--threads N] [--lake DIR] [--obs PATH]
 //! downlake --list
 //! ```
 //!
 //! `--threads 0` uses one worker per available core; the thread count
 //! only changes wall-clock time, never a byte of output.
+//!
+//! `--lake DIR` roots the seed-addressed event lake: the raw event
+//! stream is spilled to (and on later runs read back from)
+//! disk-resident segments under `DIR/<world-hash>/`, so repeated runs —
+//! and sweep permutations sharing a seed — skip event generation
+//! entirely. Output bytes are identical with and without the flag.
 //!
 //! `--obs PATH` writes a JSON run manifest after the experiments finish:
 //! every deterministic counter/gauge/histogram the pipeline (and, for
@@ -28,7 +34,7 @@
 
 use downlake_repro::core::{experiments, live, report, Study, StudyConfig};
 use downlake_repro::obs::{RealClock, Registry};
-use downlake_repro::sweep::{run_sweep, SweepManifest};
+use downlake_repro::sweep::{run_sweep, run_sweep_with_lake, SweepManifest};
 use downlake_repro::synth::Scale;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -89,11 +95,12 @@ fn parse_scale(arg: &str) -> Option<Scale> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: downlake [--scale SCALE] [--seed N] [--threads N] [--obs PATH] <experiment>..."
+        "usage: downlake [--scale SCALE] [--seed N] [--threads N] [--lake DIR] [--obs PATH] <experiment>..."
     );
-    eprintln!("       downlake sweep --manifest PATH [--threads N] [--obs PATH]");
+    eprintln!("       downlake sweep --manifest PATH [--threads N] [--lake DIR] [--obs PATH]");
     eprintln!("       downlake --list");
     eprintln!("       --threads 0 = one worker per core (output is identical at any count)");
+    eprintln!("       --lake DIR  = cache the event stream as on-disk segments under DIR");
     eprintln!("       --obs PATH  = write a JSON run manifest (metrics + quarantined timings)");
     eprintln!("       --manifest PATH = JSON sweep manifest (σ/τ/seed/month axes) for `sweep`");
     std::process::exit(2);
@@ -105,6 +112,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut obs_path: Option<std::path::PathBuf> = None;
     let mut manifest_path: Option<std::path::PathBuf> = None;
+    let mut lake_root: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -142,6 +150,10 @@ fn main() {
                 let Some(value) = args.next() else { usage() };
                 manifest_path = Some(std::path::PathBuf::from(value));
             }
+            "--lake" => {
+                let Some(value) = args.next() else { usage() };
+                lake_root = Some(std::path::PathBuf::from(value));
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => usage(),
             other => wanted.push(other.to_owned()),
@@ -164,7 +176,7 @@ fn main() {
             eprintln!("`sweep` runs alone; drop the other experiment ids");
             std::process::exit(2);
         }
-        run_sweep_command(manifest_path, threads, obs_path);
+        run_sweep_command(manifest_path, threads, lake_root, obs_path);
         return;
     }
     if manifest_path.is_some() {
@@ -174,11 +186,14 @@ fn main() {
 
     let threads = threads.unwrap_or(1);
     eprintln!("running study (scale {scale:?}, seed {seed}, threads {threads})…");
-    let study = Study::run(
-        &StudyConfig::new(seed)
-            .with_scale(scale)
-            .with_threads(threads),
-    );
+    let mut config = StudyConfig::new(seed)
+        .with_scale(scale)
+        .with_threads(threads);
+    if let Some(root) = lake_root {
+        eprintln!("event lake rooted at {}", root.display());
+        config = config.with_lake(root);
+    }
+    let study = Study::run(&config);
 
     // Live-replay observations land here; absorbed into the manifest
     // alongside the study's own if --obs was given. Observation is
@@ -275,6 +290,7 @@ fn main() {
 fn run_sweep_command(
     manifest_path: Option<std::path::PathBuf>,
     threads: Option<usize>,
+    lake_root: Option<std::path::PathBuf>,
     obs_path: Option<std::path::PathBuf>,
 ) {
     let Some(path) = manifest_path else {
@@ -308,7 +324,13 @@ fn run_sweep_command(
         manifest.scale,
         manifest.threads,
     );
-    let report = run_sweep(&manifest, &RealClock::new());
+    let report = match &lake_root {
+        Some(root) => {
+            eprintln!("event lake rooted at {}", root.display());
+            run_sweep_with_lake(&manifest, &RealClock::new(), root)
+        }
+        None => run_sweep(&manifest, &RealClock::new()),
+    };
     println!("{}", report.table());
     if let Some(obs) = obs_path {
         if let Err(err) = report.manifest(&manifest).write(&obs) {

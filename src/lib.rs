@@ -7,6 +7,7 @@ pub use downlake_analysis as analysis;
 pub use downlake_avtype as avtype;
 pub use downlake_features as features;
 pub use downlake_groundtruth as groundtruth;
+pub use downlake_lake as lake;
 pub use downlake_obs as obs;
 pub use downlake_rulelearn as rulelearn;
 pub use downlake_stream as stream;

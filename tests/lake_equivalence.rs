@@ -1,0 +1,165 @@
+//! The event lake's central promise, pinned end to end: a lake-backed
+//! study is **byte-identical** to the in-RAM pipeline — full report,
+//! frame shape, and live-replay verdicts — at every thread count; a
+//! warm reopen performs **zero event generation** (asserted through the
+//! obs counters); and a sweep routed through the lake produces the
+//! identical (σ, τ) surface.
+
+use downlake_repro::core::{lake as corelake, live, report, Study, StudyConfig};
+use downlake_repro::obs::TestClock;
+use downlake_repro::sweep::{run_sweep, run_sweep_with_lake, SweepManifest};
+use downlake_repro::synth::Scale;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+mod common;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, process-unique lake root (no tempfile dependency).
+fn scratch_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "downlake-lake-equivalence-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn lake_config(root: &Path, threads: usize) -> StudyConfig {
+    StudyConfig::new(common::SEED)
+        .with_scale(Scale::Tiny)
+        .with_threads(threads)
+        .with_lake(root.to_path_buf())
+}
+
+#[test]
+fn lake_backed_study_reproduces_the_in_ram_report_at_threads_1_and_4() {
+    let oracle = common::tiny_study();
+    let oracle_report = report::full_report(oracle);
+    let root = scratch_root();
+    for threads in [1usize, 4] {
+        let study = Study::run(&lake_config(&root, threads));
+        assert!(
+            study.lake().is_some(),
+            "study must actually run lake-backed (threads={threads})"
+        );
+        // Report bytes: the entire rendered surface of the paper.
+        assert_eq!(
+            report::full_report(&study),
+            oracle_report,
+            "report diverged at threads={threads}"
+        );
+        // Frame shape: same dense row spaces before any rendering.
+        assert_eq!(study.frame().event_count(), oracle.frame().event_count());
+        assert_eq!(study.frame().file_count(), oracle.frame().file_count());
+        assert_eq!(
+            study.frame().process_count(),
+            oracle.frame().process_count()
+        );
+        assert_eq!(
+            study.frame().machine_count(),
+            oracle.frame().machine_count()
+        );
+        assert_eq!(study.dataset().stats(), oracle.dataset().stats());
+        assert_eq!(study.suppression(), oracle.suppression());
+    }
+}
+
+#[test]
+fn warm_open_does_zero_generation_and_live_replay_matches() {
+    let root = scratch_root();
+
+    // Cold run: builds the segments, counts the generation it did.
+    let cold = Study::run_observed(&lake_config(&root, 1), &TestClock::with_tick(1));
+    let cold_obs = cold.obs();
+    assert_eq!(cold_obs.counters["lake.build.cold"], 1);
+    assert!(cold_obs.counters["synth.events"] > 0, "cold run generates");
+    assert!(!cold_obs.counters.contains_key("lake.open.warm"));
+
+    // Warm run: opens the cached segments; the generator never runs.
+    let warm = Study::run_observed(&lake_config(&root, 1), &TestClock::with_tick(1));
+    let warm_obs = warm.obs();
+    assert_eq!(warm_obs.counters["lake.open.warm"], 1);
+    assert!(!warm_obs.counters.contains_key("lake.build.cold"));
+    assert!(!warm_obs.counters.contains_key("lake.rebuild.corrupt"));
+    assert!(!warm_obs.counters.contains_key("lake.fallback"));
+    assert!(
+        !warm_obs.counters.contains_key("synth.events"),
+        "a warm open must perform zero event generation"
+    );
+    assert_eq!(
+        warm_obs.counters["lake.events"],
+        cold_obs.counters["dataset.events"]
+            + cold_obs.counters["telemetry.suppressed.not_executed"]
+            + cold_obs.counters["telemetry.suppressed.prevalence_cap"]
+            + cold_obs.counters["telemetry.suppressed.whitelisted_url"],
+        "the lake holds the full pre-admission stream"
+    );
+
+    // Both lake runs and the in-RAM oracle agree on the surface.
+    let oracle = common::tiny_study();
+    assert_eq!(report::full_report(&warm), report::full_report(oracle));
+    assert_eq!(report::full_report(&cold), report::full_report(oracle));
+
+    // Live replay off the lake's merged frames: identical verdicts to
+    // the in-RAM replay, and both match the batch oracle.
+    let prep_lake = live::prepare(&warm, live::LiveConfig::default());
+    let prep_ram = live::prepare(oracle, live::LiveConfig::default());
+    assert_eq!(prep_lake.events_total(), prep_ram.events_total());
+    assert_eq!(prep_lake.stream_bytes(), prep_ram.stream_bytes());
+    let out_lake = prep_lake.replay(1).expect("lake-backed replay");
+    let out_ram = prep_ram.replay(1).expect("in-RAM replay");
+    assert!(out_lake.matches_batch);
+    assert_eq!(out_lake.verdicts, out_ram.verdicts);
+    assert_eq!(out_lake, out_ram);
+}
+
+#[test]
+fn shard_knob_changes_layout_but_not_bytes() {
+    // Explicit shard counts change the on-disk segment layout (and the
+    // world directory is shared — the world hash ignores shards), so use
+    // separate roots; the report must not move.
+    let oracle_report = report::full_report(common::tiny_study());
+    for shards in [1usize, 3] {
+        let root = scratch_root();
+        let config = lake_config(&root, 2).with_shards(shards);
+        let study = Study::run(&config);
+        let lake = study.lake().expect("lake-backed");
+        assert_eq!(lake.shard_count(), shards);
+        assert_eq!(
+            report::full_report(&study),
+            oracle_report,
+            "shards={shards}"
+        );
+    }
+    // The auto setting spills LAKE_DEFAULT_SHARDS segments, never the
+    // pool width.
+    let root = scratch_root();
+    let study = Study::run(&lake_config(&root, 2));
+    assert_eq!(
+        study.lake().expect("lake-backed").shard_count(),
+        corelake::LAKE_DEFAULT_SHARDS
+    );
+}
+
+#[test]
+fn sweep_surface_is_byte_identical_with_and_without_the_lake() {
+    let manifest = SweepManifest::parse(
+        r#"{"name": "lake-2x2", "scale": "tiny", "seeds": [42], "sigmas": [5, 20], "taus": [0.0, 0.001]}"#,
+    )
+    .expect("valid manifest");
+    let clock = TestClock::with_tick(1);
+    let plain = run_sweep(&manifest, &clock);
+    let root = scratch_root();
+    // First pass builds each world once (one seed → one world, shared by
+    // all four (σ, τ) cells); second pass runs fully warm.
+    let cold = run_sweep_with_lake(&manifest, &clock, &root);
+    let warm = run_sweep_with_lake(&manifest, &clock, &root);
+    assert_eq!(cold.table(), plain.table(), "cold lake sweep surface");
+    assert_eq!(warm.table(), plain.table(), "warm lake sweep surface");
+    // One seed at one scale: exactly one world directory on disk.
+    let worlds = std::fs::read_dir(&root).expect("lake root exists").count();
+    assert_eq!(worlds, 1, "all (σ, τ) permutations share one cached world");
+}
