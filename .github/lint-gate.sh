@@ -62,6 +62,16 @@ cargo run -p downlake-bench --release --bin parallel -- --smoke
 echo "stream_throughput: tiny-scale smoke run (online/batch identity)"
 cargo run -p downlake-bench --release --bin stream -- --smoke
 
+# Smoke-run the sharded-service bench at tiny scale: drives the full
+# stream through the StreamService at every (threads × shards) grid
+# cell with a February hot swap published at epoch 500, and fails
+# unless all cells end in the same logical state AND a swap-free run's
+# verdicts equal the single StreamSession replay's. The committed
+# tests/service_equivalence.rs suite pins the same invariants (plus
+# snapshot/resume identity) in-process.
+echo "service_throughput: tiny-scale smoke run (grid/session identity, hot swap exercised)"
+cargo run -p downlake-bench --release --bin service -- --smoke
+
 # Smoke-run the query-engine bench at tiny scale: runs all sixteen
 # analysis passes twice — once through the pre-refactor bespoke loops,
 # once through the downlake-query relational engine — and fails unless

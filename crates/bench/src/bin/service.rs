@@ -1,0 +1,170 @@
+//! `service_throughput` — events/second of the sharded stream service
+//! (`downlake::serve`) across a (threads × shards) grid, with the
+//! epoch-based hot swap exercised and byte-identity enforced.
+//!
+//! ```text
+//! cargo run --release -p downlake-bench --bin service            # large scale
+//! cargo run --release -p downlake-bench --bin service -- --smoke # tiny, for CI
+//! ```
+//!
+//! Emits `BENCH_service.json` in the current directory via the shared
+//! [`downlake_bench::report`] manifest writer, schema-matched to
+//! `BENCH_stream.json`: `host_cpus` is recorded (under `timing`)
+//! because a single-core runner cannot show pooled speedup, and
+//! `identical` reports the invariant that actually matters — every
+//! (threads, shards) cell ends in the same logical state (verdicts,
+//! swap divergences, merged tallies) as every other, and the sharded
+//! service's verdicts equal the single `StreamSession` replay's. Exits
+//! non-zero if identity ever breaks.
+
+use downlake::serve::{self, ServeOptions, ServeRun};
+use downlake::{Study, StudyConfig};
+use downlake_bench::report::{bench_manifest, TimedRun};
+use downlake_synth::Scale;
+use downlake_types::Month;
+use std::time::Instant;
+
+struct Cell {
+    threads: usize,
+    shards: usize,
+    seconds: f64,
+    events_per_sec: f64,
+    run: ServeRun,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, scale_name) = if smoke {
+        (Scale::Tiny, "tiny")
+    } else {
+        (Scale::Large, "large")
+    };
+    let seed = 42u64;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("service_throughput: scale {scale_name}, seed {seed}, host_cpus {host_cpus}");
+    let study = Study::run(&StudyConfig::new(seed).with_scale(scale));
+    // The hot swap is part of the measured shape: retrain on February
+    // and publish at an epoch boundary early in the stream.
+    let options = ServeOptions {
+        epoch_len: 500,
+        swap_month: Some(Month::February),
+        ..ServeOptions::default()
+    };
+    let prep = serve::stage(&study, options);
+    eprintln!(
+        "  staged: {} events, {} rules (gen 0), swap staged for epoch {}",
+        prep.events_total(),
+        prep.live().engine().rule_count(),
+        options.epoch_len
+    );
+
+    let cells: Vec<Cell> = [(1usize, 1usize), (4, 1), (1, 8), (4, 8)]
+        .into_iter()
+        .map(|(threads, shards)| {
+            let start = Instant::now();
+            let run = match prep.run(threads, shards) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("service_throughput: run failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let seconds = start.elapsed().as_secs_f64();
+            let events_per_sec = if seconds > 0.0 {
+                run.status.events_seen as f64 / seconds
+            } else {
+                0.0
+            };
+            eprintln!(
+                "  threads {threads} shards {shards}: {seconds:.3}s, \
+                 {events_per_sec:.0} events/s, gen {}, {} swap(s)",
+                run.status.generation, run.status.swaps
+            );
+            Cell {
+                threads,
+                shards,
+                seconds,
+                events_per_sec,
+                run,
+            }
+        })
+        .collect();
+
+    // Identity: every grid cell ends in the same logical state as every
+    // other, and the sharded verdict stream equals the single-session
+    // replay's (the session has no hot swap, so compare a swap-free
+    // run for that anchor).
+    let grid_identical = cells.windows(2).all(|w| w[0].run.same_state(&w[1].run));
+    let session_identical = {
+        let plain = serve::stage(
+            &study,
+            ServeOptions {
+                swap_month: None,
+                ..options
+            },
+        );
+        match (plain.run(1, 8), plain.live().replay(1)) {
+            (Ok(run), Ok(outcome)) => run.verdicts == outcome.verdicts,
+            _ => false,
+        }
+    };
+    let identical = grid_identical && session_identical;
+    // Pooled speedup at the widest shard count: threads 1 → 4.
+    let (t1, t4) = (
+        cells.iter().find(|c| c.threads == 1 && c.shards == 8),
+        cells.iter().find(|c| c.threads == 4 && c.shards == 8),
+    );
+    let speedup = match (t1, t4) {
+        (Some(one), Some(four)) if four.seconds > 0.0 => one.seconds / four.seconds,
+        _ => 1.0,
+    };
+    eprintln!(
+        "  speedup (1 → 4 threads @ 8 shards): {speedup:.2}x, identical: {identical} \
+         (grid {grid_identical}, session {session_identical})"
+    );
+
+    let timed: Vec<TimedRun> = cells
+        .iter()
+        .map(|c| TimedRun {
+            threads: c.threads,
+            seconds: c.seconds,
+            events_per_sec: Some(c.events_per_sec),
+        })
+        .collect();
+    let mut manifest = bench_manifest(
+        "service_throughput",
+        scale_name,
+        seed,
+        identical,
+        host_cpus,
+        &timed,
+        speedup,
+    );
+    manifest
+        .set_run("events", prep.events_total() as u64)
+        .set_run("rules", prep.live().engine().rule_count() as u64)
+        .set_run("epoch_len", options.epoch_len)
+        .set_run("shards_max", 8u64)
+        .absorb(study.obs());
+    if let Some(cell) = cells.first() {
+        manifest
+            .set_run("swaps_published", cell.run.status.swaps)
+            .set_run(
+                "swap_changed",
+                cell.run.swaps.iter().map(|s| s.changed).sum::<u64>(),
+            );
+    }
+    if let Err(e) = manifest.write(std::path::Path::new("BENCH_service.json")) {
+        eprintln!("service_throughput: could not write BENCH_service.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("service_throughput: wrote BENCH_service.json");
+
+    if !identical {
+        eprintln!("service_throughput: FAIL — grid cells or session replay diverged");
+        std::process::exit(1);
+    }
+}

@@ -43,6 +43,7 @@ pub mod live;
 mod pipeline;
 mod render;
 pub mod report;
+pub mod serve;
 
 pub use pipeline::{Study, StudyConfig, TypeAssignments};
 pub use render::{Figure, TextTable};

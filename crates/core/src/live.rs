@@ -124,6 +124,15 @@ fn train_ruleset(
     full.select_with(tau, min_coverage)
 }
 
+/// Trains and compiles a deployable rule engine on `month` with the
+/// Table XVI recipe [`prepare`] uses for its own engine — the
+/// retraining entry point for the stream service's epoch-based hot swap
+/// (`downlake::serve`): train on a later month, stage the compiled
+/// result, and let the service publish it at the next epoch boundary.
+pub fn train_engine(study: &Study, month: Month, tau: f64) -> CompiledRuleSet {
+    CompiledRuleSet::compile(&train_ruleset(study, month, tau, None))
+}
+
 /// Stages a live replay of `study`'s raw event stream.
 ///
 /// Trains and compiles the ruleset, classifies the finished dataset the
@@ -233,6 +242,20 @@ impl LivePrep<'_> {
     /// Size of the encoded stream in bytes.
     pub fn stream_bytes(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// The codec-encoded raw event stream itself — the same wire bytes
+    /// [`LivePrep::replay`] consumes, exposed so the stream service
+    /// (`downlake::serve`) can drive sharded runs, snapshot/resume
+    /// splits, and hot-swap replays over the identical stream.
+    pub fn stream(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The study's prevalence cap σ — the policy every replay of this
+    /// prep admits under.
+    pub fn sigma(&self) -> u32 {
+        self.sigma
     }
 
     /// Replays the encoded stream through a fresh [`StreamSession`].

@@ -1,0 +1,403 @@
+//! The stream service driver: sharded multi-tenant classification over
+//! a study's wire stream, with snapshot/resume and epoch-based rule
+//! hot-swap.
+//!
+//! [`crate::live`] proves the single-session shape (one
+//! `StreamSession`, byte-identical to the batch pipeline). This module
+//! stages the *operational* shape on top of the same artifacts: a
+//! [`StreamService`] routing machine ids onto shards, optionally
+//! retraining a second engine on a later month ([`live::train_engine`])
+//! and staging it for publication at an epoch boundary, and writing /
+//! restoring lake-style checksummed snapshots mid-stream.
+//!
+//! Determinism contract, inherited from the service and pinned by
+//! `tests/service_equivalence.rs` and the `service` bench: for a fixed
+//! stream and engine history, `threads` and `shards` change wall-clock
+//! time and routing bookkeeping only — the verdict stream, suppression
+//! counters, swap divergences, and merged report tallies are
+//! byte-identical at every `(threads, shards)` combination, and a
+//! snapshot/resume split at any event count reproduces the
+//! uninterrupted run exactly.
+
+use crate::live::{self, LiveConfig, LivePrep};
+use crate::pipeline::Study;
+use downlake_exec::Pool;
+use downlake_obs::Registry;
+use downlake_rulelearn::Verdict;
+use downlake_stream::{
+    CompiledRuleSet, ServiceConfig, ServiceStatus, SnapshotError, StreamService, SwapDivergence,
+};
+use downlake_telemetry::codec::decode_event;
+use downlake_telemetry::ReportingPolicy;
+use downlake_types::{FileHash, Month};
+use std::path::Path;
+
+/// Configuration of a service run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOptions {
+    /// Events per epoch: a staged engine activates at the next multiple.
+    pub epoch_len: u64,
+    /// Micro-batch size for pooled ingestion.
+    pub batch: usize,
+    /// Month the deployed (generation-0) ruleset trains on.
+    pub train_month: Month,
+    /// Rule-selection threshold τ for both engines.
+    pub tau: f64,
+    /// When set, retrain on this month and stage the compiled result
+    /// before the first event — it publishes at sequence `epoch_len`.
+    pub swap_month: Option<Month>,
+}
+
+impl Default for ServeOptions {
+    /// January training, τ = 0.1%, 4 096-event epochs, 512-event
+    /// batches, no swap — the live replay defaults plus the service's
+    /// own epoch default.
+    fn default() -> Self {
+        Self {
+            epoch_len: 4096,
+            batch: 512,
+            train_month: Month::January,
+            tau: 0.001,
+            swap_month: None,
+        }
+    }
+}
+
+/// Everything a service run needs, staged once per study: the live-prep
+/// artifacts (engine, batch oracle, wire stream) plus the optional
+/// retrained swap engine.
+#[derive(Debug)]
+pub struct ServePrep<'a> {
+    study: &'a Study,
+    options: ServeOptions,
+    prep: LivePrep<'a>,
+    staged: Option<CompiledRuleSet>,
+}
+
+/// End-of-run state of one service run. Two runs over the same stream
+/// with the same engine history must agree on everything
+/// [`ServeRun::same_state`] compares, whatever their `threads` and
+/// `shards`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRun {
+    /// Pool width the run ingested with (timing plane only).
+    pub threads: usize,
+    /// Shard count the run routed onto.
+    pub shards: usize,
+    /// Merged report plus global counters at end of stream.
+    pub status: ServiceStatus,
+    /// Per-file verdicts in arrival (first-sighting) order.
+    pub verdicts: Vec<(FileHash, Verdict)>,
+    /// Divergence records of published hot swaps.
+    pub swaps: Vec<SwapDivergence>,
+}
+
+impl ServeRun {
+    /// Whether two runs ended in the same logical state: identical
+    /// verdict streams, swap divergences, global counters, and merged
+    /// verdict tallies. The two deliberate exclusions are `threads`
+    /// (timing plane) and the report's `shards` partial count (routing
+    /// bookkeeping that necessarily differs across shard counts).
+    pub fn same_state(&self, other: &ServeRun) -> bool {
+        self.verdicts == other.verdicts
+            && self.swaps == other.swaps
+            && self.status.events_seen == other.status.events_seen
+            && self.status.events_admitted == other.status.events_admitted
+            && self.status.suppressed == other.status.suppressed
+            && self.status.generation == other.status.generation
+            && self.status.swaps == other.status.swaps
+            && self.status.report.events_routed == other.status.report.events_routed
+            && self.status.report.files_classified == other.status.report.files_classified
+            && self.status.report.class_verdicts == other.status.report.class_verdicts
+            && self.status.report.rejected == other.status.report.rejected
+            && self.status.report.no_match == other.status.report.no_match
+    }
+}
+
+/// Stages a service run over `study`'s wire stream: trains and compiles
+/// the generation-0 engine (and the swap engine, when
+/// [`ServeOptions::swap_month`] is set), classifies the batch oracle,
+/// and encodes the stream — all through [`live::prepare`], so the
+/// service consumes exactly the bytes the single-session replay does.
+pub fn stage(study: &Study, options: ServeOptions) -> ServePrep<'_> {
+    let prep = live::prepare(
+        study,
+        LiveConfig {
+            train_month: options.train_month,
+            tau: options.tau,
+            batch: options.batch,
+        },
+    );
+    let staged = options
+        .swap_month
+        .map(|month| live::train_engine(study, month, options.tau));
+    ServePrep {
+        study,
+        options,
+        prep,
+        staged,
+    }
+}
+
+impl<'a> ServePrep<'a> {
+    /// The staged live-replay artifacts (engine, oracle, wire stream).
+    pub fn live(&self) -> &LivePrep<'a> {
+        &self.prep
+    }
+
+    /// The retrained engine awaiting a hot swap, if any.
+    pub fn staged(&self) -> Option<&CompiledRuleSet> {
+        self.staged.as_ref()
+    }
+
+    /// The options this prep was staged with.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Events in the wire stream.
+    pub fn events_total(&self) -> usize {
+        self.prep.events_total()
+    }
+
+    /// A cold service over the prep's engine and policy, with the swap
+    /// engine (when configured) staged before the first event.
+    fn new_service(&self, shards: usize) -> StreamService<'a> {
+        let mut service = StreamService::new(
+            ServiceConfig::new(shards, self.options.epoch_len),
+            ReportingPolicy::paper_whitelist(self.prep.sigma()),
+            self.study.url_labeler(),
+            self.prep.engine().clone(),
+        );
+        if let Some(engine) = &self.staged {
+            service.stage_engine(engine.clone());
+        }
+        service
+    }
+
+    /// Freezes a finished (or killed) service into a [`ServeRun`].
+    fn finish(&self, service: &StreamService<'_>, threads: usize) -> ServeRun {
+        ServeRun {
+            threads,
+            shards: service.shard_count(),
+            status: service.status(&Pool::sequential()),
+            verdicts: service.merged_verdicts(),
+            swaps: service.swap_history().to_vec(),
+        }
+    }
+
+    /// Runs the whole stream through a fresh service at `(threads,
+    /// shards)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Codec`] if the wire stream is malformed —
+    /// impossible for bytes produced by [`live::prepare`].
+    pub fn run(&self, threads: usize, shards: usize) -> Result<ServeRun, SnapshotError> {
+        let mut service = self.new_service(shards);
+        let pool = Pool::new(threads);
+        service.push_bytes_batched(self.prep.stream(), self.options.batch, &pool)?;
+        Ok(self.finish(&service, threads))
+    }
+
+    /// Runs the stream up to event `at` (default: the midpoint), writes
+    /// a snapshot to `path`, and stops — the "kill" half of a
+    /// kill-and-resume drill. The returned run covers the prefix only.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the snapshot cannot be written;
+    /// [`SnapshotError::Codec`] if the wire stream is malformed.
+    pub fn run_to_snapshot(
+        &self,
+        threads: usize,
+        shards: usize,
+        path: &Path,
+        at: Option<u64>,
+    ) -> Result<ServeRun, SnapshotError> {
+        let bytes = self.prep.stream();
+        let total = self.prep.events_total() as u64;
+        let at = at.unwrap_or(total / 2).min(total);
+        let split = offset_of_event(bytes, at)?;
+        let mut service = self.new_service(shards);
+        let pool = Pool::new(threads);
+        service.push_bytes_batched(&bytes[..split], self.options.batch, &pool)?;
+        service.snapshot_to(path)?;
+        Ok(self.finish(&service, threads))
+    }
+
+    /// Restores the service from `path`, resolving which engine is
+    /// active: the generation-0 engine, or — when the snapshot was taken
+    /// after a hot swap published — the staged one.
+    fn restore_service(&self, path: &Path) -> Result<StreamService<'a>, SnapshotError> {
+        let urls = self.study.url_labeler();
+        let first = StreamService::restore(path, urls, self.prep.engine(), self.staged.as_ref());
+        match (first, &self.staged) {
+            (
+                Err(SnapshotError::EngineMismatch {
+                    what: "active engine",
+                    ..
+                }),
+                Some(staged),
+            ) => StreamService::restore(path, urls, staged, None),
+            (other, _) => other,
+        }
+    }
+
+    /// Restores from `path` and replays the rest of the stream — the
+    /// "resume" half of a kill-and-resume drill. An absent or damaged
+    /// snapshot falls back to a cold start over the whole stream
+    /// (counted in `registry` exactly as
+    /// [`StreamService::restore_or_cold`] counts: one of
+    /// `service.restore.warm` / `.cold` / `.corrupt` per call), so the
+    /// returned run always covers the full stream and must equal an
+    /// uninterrupted [`ServePrep::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadField`] if the snapshot claims more events
+    /// than the stream holds (it belongs to a different stream);
+    /// [`SnapshotError::Codec`] if the wire stream is malformed.
+    pub fn resume(
+        &self,
+        threads: usize,
+        shards: usize,
+        path: &Path,
+        registry: &Registry,
+    ) -> Result<ServeRun, SnapshotError> {
+        let mut service = match self.restore_service(path) {
+            Ok(service) => {
+                registry.counter_add("service.restore.warm", 1);
+                service
+            }
+            Err(e) => {
+                let counter = if e.is_cold() {
+                    "service.restore.cold"
+                } else {
+                    "service.restore.corrupt"
+                };
+                registry.counter_add(counter, 1);
+                self.new_service(shards)
+            }
+        };
+        let bytes = self.prep.stream();
+        let split = offset_of_event(bytes, service.events_seen())?;
+        let pool = Pool::new(threads);
+        service.push_bytes_batched(&bytes[split..], self.options.batch, &pool)?;
+        Ok(self.finish(&service, threads))
+    }
+}
+
+/// Byte offset of event number `count` in a codec stream (the position
+/// after the first `count` frames) — how a resume locates the exact
+/// point an interrupted run stopped at.
+fn offset_of_event(bytes: &[u8], count: u64) -> Result<usize, SnapshotError> {
+    let mut pos = 0usize;
+    let mut seen = 0u64;
+    while seen < count {
+        if pos >= bytes.len() {
+            return Err(SnapshotError::BadField {
+                what: "snapshot ahead of stream",
+            });
+        }
+        let (_, consumed) = decode_event(&bytes[pos..])?;
+        pos += consumed;
+        seen += 1;
+    }
+    Ok(pos)
+}
+
+/// Renders a finished run for the CLI: global counters, the merged
+/// verdict tallies, and one block per published hot swap.
+pub fn render_summary(run: &ServeRun) -> String {
+    let mut lines = Vec::new();
+    lines.push(format!("shards            {}", run.shards));
+    lines.push(format!("events seen       {}", run.status.events_seen));
+    lines.push(format!("events admitted   {}", run.status.events_admitted));
+    let s = run.status.suppressed;
+    lines.push(format!(
+        "suppressed        {} (not-executed {}, prevalence-cap {}, whitelisted {})",
+        s.total(),
+        s.not_executed,
+        s.prevalence_cap,
+        s.whitelisted_url
+    ));
+    lines.push(format!(
+        "files classified  {}",
+        run.status.report.files_classified
+    ));
+    for (label, n) in &run.status.report.class_verdicts {
+        lines.push(format!("verdict {label:<10} {n}"));
+    }
+    lines.push(format!("verdict rejected  {}", run.status.report.rejected));
+    lines.push(format!("verdict no-match  {}", run.status.report.no_match));
+    lines.push(format!("engine generation {}", run.status.generation));
+    lines.push(format!("swaps published   {}", run.status.swaps));
+    for swap in &run.swaps {
+        lines.push(format!("{swap}").trim_end().to_owned());
+    }
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StudyConfig;
+    use downlake_synth::Scale;
+
+    #[test]
+    fn grid_runs_agree_and_match_the_single_session() {
+        let study = Study::run(&StudyConfig::new(7).with_scale(Scale::Tiny));
+        let prep = stage(&study, ServeOptions::default());
+        let session = prep.live().replay(1).expect("well-formed stream");
+
+        let base = prep.run(1, 1).expect("run");
+        assert_eq!(
+            base.verdicts, session.verdicts,
+            "service verdicts must equal the single session's"
+        );
+        for shards in [1usize, 8] {
+            for threads in [1usize, 4] {
+                let run = prep.run(threads, shards).expect("run");
+                assert!(
+                    run.same_state(&base),
+                    "threads={threads} shards={shards} must not change the outcome"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_the_uninterrupted_run() {
+        let study = Study::run(&StudyConfig::new(7).with_scale(Scale::Tiny));
+        let prep = stage(
+            &study,
+            ServeOptions {
+                epoch_len: 500,
+                swap_month: Some(Month::February),
+                ..ServeOptions::default()
+            },
+        );
+        let dir = std::env::temp_dir().join(format!("downlake-serve-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("serve.snap");
+
+        let uninterrupted = prep.run(4, 8).expect("run");
+        assert_eq!(
+            uninterrupted.status.generation, 1,
+            "the staged swap must have published"
+        );
+
+        let killed = prep.run_to_snapshot(1, 8, &path, None).expect("kill half");
+        assert!(killed.status.events_seen < uninterrupted.status.events_seen);
+
+        let registry = Registry::new();
+        let resumed = prep.resume(4, 8, &path, &registry).expect("resume half");
+        assert_eq!(registry.counter("service.restore.warm"), 1);
+        assert!(
+            resumed.same_state(&uninterrupted),
+            "resume must reproduce the uninterrupted run byte-identically"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

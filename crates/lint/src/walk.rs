@@ -171,6 +171,18 @@ mod tests {
         assert!(engine.library && engine.hot_loop && !engine.allow_time);
         assert!(classify("crates/stream/tests/zero_alloc.rs").is_none());
 
+        // The sharded service and its snapshot codec sit on the same
+        // per-event path: hot-loop library code, no waivers, and their
+        // test suites are exempt like every other tests/ tree.
+        let service = classify("crates/stream/src/service.rs").expect("linted");
+        assert!(service.library && service.hot_loop && !service.allow_time);
+        assert!(!service.allow_concurrency);
+        let snapshot = classify("crates/stream/src/snapshot.rs").expect("linted");
+        assert!(snapshot.library && snapshot.hot_loop && !snapshot.allow_time);
+        assert!(classify("crates/stream/tests/snapshot_corruption.rs").is_none());
+        assert!(classify("crates/stream/tests/service_report_props.rs").is_none());
+        assert!(classify("tests/service_equivalence.rs").is_none());
+
         // The sweep harness merges every run of a fan-out: hot-loop
         // library code, with no time or concurrency waivers.
         let sweep = classify("crates/sweep/src/report.rs").expect("linted");

@@ -109,6 +109,42 @@ impl StreamingCollector {
     pub fn suppression_stats(&self) -> SuppressionStats {
         self.suppressed
     }
+
+    /// Prevalence state in deterministic order for snapshot
+    /// serialization: `(file, counted machines)` sorted by file hash.
+    /// Each machine list is already sorted (the `admit` invariant).
+    pub(crate) fn export_state(&self) -> Vec<(FileHash, &[MachineId])> {
+        let mut entries: Vec<(FileHash, &[MachineId])> = self
+            .machines_per_file
+            .iter()
+            .map(|(file, machines)| (*file, machines.as_slice()))
+            .collect();
+        entries.sort_unstable_by_key(|&(file, _)| file);
+        entries
+    }
+
+    /// Rebuilds a collector from snapshot state. The caller (snapshot
+    /// decode) is responsible for each machine list being sorted; the
+    /// debug assertion re-checks the invariant in tests.
+    pub(crate) fn restore(
+        policy: ReportingPolicy,
+        entries: Vec<(FileHash, Vec<MachineId>)>,
+        suppressed: SuppressionStats,
+        admitted: u64,
+    ) -> Self {
+        debug_assert!(
+            entries
+                .iter()
+                .all(|(_, m)| m.iter().zip(m.iter().skip(1)).all(|(a, b)| a < b)),
+            "machine lists must be strictly sorted"
+        );
+        Self {
+            policy,
+            machines_per_file: entries.into_iter().collect(),
+            suppressed,
+            admitted,
+        }
+    }
 }
 
 #[cfg(test)]

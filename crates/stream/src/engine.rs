@@ -22,6 +22,7 @@
 // a condition's value id (ids are bounded by attribute arity), so unseen
 // values simply fail every condition — the same semantics as the batch
 // path's `None` slots.
+use downlake_exec::{mix, mix_str};
 use downlake_rulelearn::{InternedEncoder, RuleSet, Verdict};
 
 /// One `attribute == value` test in the flat condition array.
@@ -49,6 +50,7 @@ pub struct CompiledRuleSet {
     rules: Vec<CompiledRule>,
     encoder: InternedEncoder,
     classes: Vec<String>,
+    fingerprint: u64,
 }
 
 impl CompiledRuleSet {
@@ -76,12 +78,41 @@ impl CompiledRuleSet {
                 class: rule.class,
             });
         }
+        // Fold the full lowered representation — schema value tables,
+        // class names, and every (attr, value) condition in rule order
+        // — into one stable identity via the workspace's canonical
+        // SplitMix64 combinators. Two compilations collide exactly when
+        // they would classify every possible row identically under the
+        // same names, which is what snapshot restore needs to check.
+        let schema = set.schema();
+        let mut fingerprint = mix_str(0, "downlake.stream.engine");
+        fingerprint = mix(fingerprint, schema.attrs().len() as u64);
+        for attr in schema.attrs() {
+            fingerprint = mix_str(fingerprint, attr.name());
+            fingerprint = mix(fingerprint, attr.arity() as u64);
+            for id in 0..attr.arity() as u32 {
+                fingerprint = mix_str(fingerprint, attr.value(id));
+            }
+        }
+        for class in schema.classes() {
+            fingerprint = mix_str(fingerprint, class);
+        }
+        fingerprint = mix(fingerprint, rules.len() as u64);
+        for rule in &rules {
+            fingerprint = mix(fingerprint, u64::from(rule.class));
+            fingerprint = mix(fingerprint, u64::from(rule.end - rule.start));
+            for cond in &conditions[rule.start as usize..rule.end as usize] {
+                fingerprint = mix(fingerprint, u64::from(cond.attr));
+                fingerprint = mix(fingerprint, u64::from(cond.value));
+            }
+        }
         Self {
-            arity: set.schema().attrs().len(),
+            arity: schema.attrs().len(),
             conditions,
             rules,
             encoder: set.encoder(),
-            classes: set.schema().classes().to_vec(),
+            classes: schema.classes().to_vec(),
+            fingerprint,
         }
     }
 
@@ -98,6 +129,22 @@ impl CompiledRuleSet {
     /// Number of classes in the compiled schema.
     pub fn class_count(&self) -> usize {
         self.classes.len()
+    }
+
+    /// Class names in class-id order.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Stable identity of the compiled representation.
+    ///
+    /// Folded over the schema's value tables, class names, and every
+    /// lowered condition during [`CompiledRuleSet::compile`]; snapshot
+    /// restore compares it against the engine recorded at snapshot time
+    /// so stale rules surface as a typed error instead of silently
+    /// diverging verdicts.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The flat condition array (introspection for tests).

@@ -17,6 +17,17 @@
 //! state byte-identical to the batch pipeline on the seed-42 study at
 //! every pool width.
 //!
+//! [`StreamService`] scales the session shape to a fleet: machine-ID
+//! sharded verdict logs over a stable hash-partition, snapshot/restore
+//! through a lake-style checksummed file format
+//! ([`StreamService::snapshot_to`] / [`StreamService::restore`], typed
+//! [`SnapshotError`]), and epoch-based [`CompiledRuleSet`] hot-swap
+//! with recorded old-vs-new [`SwapDivergence`]. Verdicts stay
+//! byte-identical to a single session at any `(threads, shards)`
+//! combination, across a snapshot/resume boundary, and per-shard
+//! tallies merge into a commutative [`ServiceReport`]
+//! (`tests/service_equivalence.rs` pins all three).
+//!
 //! Memory stays bounded by the number of distinct entities (files ×
 //! σ machine ids, processes, rules), never by stream length; the
 //! per-event hot path allocates nothing (lint rule P2 covers this
@@ -49,9 +60,16 @@
 mod collector;
 mod engine;
 mod online;
+mod service;
 mod session;
+mod snapshot;
 
 pub use collector::StreamingCollector;
 pub use engine::{CompiledCondition, CompiledRuleSet};
 pub use online::OnlineExtractor;
+pub use service::{ServiceConfig, ServiceReport, ServiceStatus, StreamService, SwapDivergence};
 pub use session::StreamSession;
+pub use snapshot::{
+    SnapshotError, SNAPSHOT_FOOTER_LEN, SNAPSHOT_FOOTER_MAGIC, SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};

@@ -26,11 +26,11 @@ use std::collections::HashMap;
 
 /// Feature values of a process image, captured at first sighting.
 #[derive(Debug, Clone)]
-struct ProcessFeatures {
-    signer: String,
-    ca: String,
-    packer: String,
-    kind: &'static str,
+pub(crate) struct ProcessFeatures {
+    pub(crate) signer: String,
+    pub(crate) ca: String,
+    pub(crate) packer: String,
+    pub(crate) kind: &'static str,
 }
 
 impl ProcessFeatures {
@@ -44,6 +44,16 @@ impl ProcessFeatures {
             )),
         }
     }
+}
+
+/// Maps a serialized category-feature value back onto the `'static`
+/// string [`category_feature`] hands out, or `None` for anything that
+/// is not one of the five Table X aggregates (a decode error upstream).
+pub(crate) fn kind_from_name(name: &str) -> Option<&'static str> {
+    ProcessCategory::AGGREGATES
+        .iter()
+        .map(|&c| category_feature(c))
+        .find(|&k| k == name)
 }
 
 /// Builds per-file Table XV feature vectors as events arrive.
@@ -122,6 +132,30 @@ impl<'a> OnlineExtractor<'a> {
     /// Number of distinct process images sighted.
     pub fn distinct_processes(&self) -> usize {
         self.processes.len()
+    }
+
+    /// Process-feature state in deterministic order for snapshot
+    /// serialization: `(process, features)` sorted by process hash.
+    pub(crate) fn export_processes(&self) -> Vec<(FileHash, &ProcessFeatures)> {
+        let mut entries: Vec<(FileHash, &ProcessFeatures)> =
+            self.processes.iter().map(|(h, p)| (*h, p)).collect();
+        entries.sort_unstable_by_key(|&(h, _)| h);
+        entries
+    }
+
+    /// Rebuilds an extractor from snapshot state. Vector order must be
+    /// the original first-sighting order (the snapshot stores it as
+    /// written).
+    pub(crate) fn restore(
+        urls: &'a UrlLabeler,
+        processes: Vec<(FileHash, ProcessFeatures)>,
+        vectors: FileVectors,
+    ) -> Self {
+        Self {
+            urls,
+            processes: processes.into_iter().collect(),
+            vectors,
+        }
     }
 }
 

@@ -1,0 +1,958 @@
+//! The multi-tenant stream service: sharded verdict bookkeeping,
+//! epoch-based rule hot-swap, and a commutative merged report.
+//!
+//! [`StreamService`] scales the single [`StreamSession`] shape up to a
+//! fleet: machine ids are routed onto a fixed number of **shards** by a
+//! stable hash-partition ([`downlake_exec::partition`] over a 65 536-slot
+//! space, so the shard count is decoupled from the pool width), and each
+//! shard keeps its own verdict log and routing counters. The paper's
+//! §II-A admission policy is *global* — a file's prevalence counts
+//! distinct machines across the whole fleet — so the σ-cap collector and
+//! the feature extractor stay sequential and fleet-wide, exactly like
+//! the stateful front of [`StreamSession::push_batch`]. What fans out
+//! over the [`Pool`] is the pure part: classifying encoded rows. That
+//! split is what makes verdicts byte-identical at any `(threads,
+//! shards)` combination — pinned by `tests/service_equivalence.rs`.
+//!
+//! **Hot swap.** A retrained [`CompiledRuleSet`] staged with
+//! [`StreamService::stage_engine`] is published atomically at the next
+//! event-count epoch boundary (`epoch_len` events). Activation happens
+//! *before* the boundary event is ingested, in both the per-event and
+//! batched paths, so the switch point is a pure function of the stream —
+//! never of batch size or thread count. Each activation records a
+//! [`SwapDivergence`]: every known file re-classified under the outgoing
+//! and incoming engines, with the changed count and per-transition
+//! tallies.
+//!
+//! **Report.** [`ServiceReport`] is a commutative monoid over per-shard
+//! partials (`merge-contracts.json` entry `ServiceReport`; property test
+//! `service_report_merge_commutes`), folded on the pool by
+//! [`StreamService::report`].
+//!
+//! [`StreamSession`]: crate::StreamSession
+//! [`StreamSession::push_batch`]: crate::StreamSession::push_batch
+
+use crate::collector::StreamingCollector;
+use crate::engine::CompiledRuleSet;
+use crate::online::OnlineExtractor;
+use downlake_exec::{partition, splitmix64, Pool};
+use downlake_features::FileVectors;
+use downlake_groundtruth::UrlLabeler;
+use downlake_rulelearn::Verdict;
+use downlake_telemetry::codec::{decode_event, CodecError};
+use downlake_telemetry::{RawEvent, ReportingPolicy, SuppressionStats};
+use downlake_types::{FileHash, MachineId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+
+/// Number of slots in the routing space. Machine ids hash onto slots;
+/// [`partition`] tiles the slots onto shards. Large enough that any
+/// practical shard count divides the space near-evenly.
+const ROUTE_SLOTS: usize = 65_536;
+
+/// Transition code for a conflict-rejected verdict (class ids are `u8`,
+/// so codes ≥ 256 can never collide with a class).
+const CODE_REJECTED: u16 = 0xFFFE;
+/// Transition code for a no-match verdict.
+const CODE_NO_MATCH: u16 = 0xFFFF;
+
+/// Sizing knobs for a [`StreamService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of shards machine ids are routed onto. Forced to ≥ 1.
+    pub shards: usize,
+    /// Events per epoch: a staged engine activates at the next multiple
+    /// of this count. Forced to ≥ 1.
+    pub epoch_len: u64,
+}
+
+impl ServiceConfig {
+    /// Creates a config, clamping both knobs to at least 1.
+    pub fn new(shards: usize, epoch_len: u64) -> Self {
+        Self {
+            shards: shards.max(1),
+            epoch_len: epoch_len.max(1),
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    /// Eight shards, 4 096-event epochs.
+    fn default() -> Self {
+        Self::new(8, 4096)
+    }
+}
+
+/// One logged verdict: which event (by global sequence number) classified
+/// which file, under which engine generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShardVerdict {
+    pub(crate) seq: u64,
+    pub(crate) file: FileHash,
+    pub(crate) verdict: Verdict,
+    pub(crate) generation: u32,
+}
+
+/// Per-shard state: the verdict log (ascending `seq`) plus routing
+/// counters.
+#[derive(Debug, Default)]
+pub(crate) struct ShardState {
+    pub(crate) log: Vec<ShardVerdict>,
+    pub(crate) events_routed: u64,
+}
+
+/// An engine staged for publication at the next epoch boundary.
+#[derive(Debug)]
+pub(crate) struct PendingSwap {
+    pub(crate) engine: CompiledRuleSet,
+    pub(crate) activate_at: u64,
+}
+
+/// What changed when a staged engine was published: every known file
+/// re-classified under the outgoing and incoming engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapDivergence {
+    /// Global sequence number at which the new engine took over.
+    pub at_seq: u64,
+    /// Generation of the outgoing engine.
+    pub from_generation: u32,
+    /// Generation of the incoming engine.
+    pub to_generation: u32,
+    /// Files re-classified (all files known at activation).
+    pub files: u64,
+    /// Files whose verdict changed.
+    pub changed: u64,
+    /// `(old label, new label, count)` per observed transition, sorted.
+    /// Labels are class names, `rejected`, or `no_match`.
+    pub transitions: Vec<(String, String, u64)>,
+}
+
+impl fmt::Display for SwapDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "swap @{}: gen {} -> {} | {} files, {} changed",
+            self.at_seq, self.from_generation, self.to_generation, self.files, self.changed
+        )?;
+        for (from, to, n) in &self.transitions {
+            writeln!(f, "  {from} -> {to}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-shard verdict tallies that merge commutatively (see
+/// `merge-contracts.json`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// Number of shard partials merged into this report.
+    pub shards: u64,
+    /// Events routed to the merged shards (admitted or not).
+    pub events_routed: u64,
+    /// Verdicts logged (one per first-sighting admitted file).
+    pub files_classified: u64,
+    /// `(class label, count)` per classified outcome, sorted by label.
+    pub class_verdicts: Vec<(String, u64)>,
+    /// Conflict-rejected verdicts.
+    pub rejected: u64,
+    /// No-match verdicts.
+    pub no_match: u64,
+}
+
+impl ServiceReport {
+    /// Absorbs another partial: integer fields add, class tallies merge
+    /// label-wise and re-sort. Commutative and associative, with the
+    /// default (all-zero) report as identity.
+    pub fn merge(&mut self, other: ServiceReport) {
+        self.shards += other.shards;
+        self.events_routed += other.events_routed;
+        self.files_classified += other.files_classified;
+        self.rejected += other.rejected;
+        self.no_match += other.no_match;
+        self.class_verdicts.extend(other.class_verdicts);
+        normalize_labels(&mut self.class_verdicts);
+    }
+}
+
+/// Sorts `(label, count)` pairs and folds duplicate labels by addition —
+/// the canonical form every [`ServiceReport`] keeps its tallies in.
+fn normalize_labels(pairs: &mut Vec<(String, u64)>) {
+    pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    pairs.dedup_by(|cur, prev| {
+        if cur.0 == prev.0 {
+            prev.1 += cur.1;
+            true
+        } else {
+            false
+        }
+    });
+}
+
+/// A point-in-time view of the whole service: the merged shard report
+/// plus the global (sequential-front) counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStatus {
+    /// Merged per-shard report.
+    pub report: ServiceReport,
+    /// Events pushed into the service (admitted or not).
+    pub events_seen: u64,
+    /// Events admitted by the §II-A policy.
+    pub events_admitted: u64,
+    /// Suppression counters.
+    pub suppressed: SuppressionStats,
+    /// Current engine generation (0 = the engine the service started
+    /// with; +1 per published swap).
+    pub generation: u32,
+    /// Number of published swaps.
+    pub swaps: u64,
+}
+
+/// A machine-sharded, hot-swappable classification service.
+#[derive(Debug)]
+pub struct StreamService<'a> {
+    collector: StreamingCollector,
+    extractor: OnlineExtractor<'a>,
+    engine: CompiledRuleSet,
+    /// Slot ranges per shard, from [`partition`] over [`ROUTE_SLOTS`].
+    ranges: Vec<Range<usize>>,
+    shards: Vec<ShardState>,
+    epoch_len: u64,
+    /// Global event sequence number (counts every pushed event).
+    seq: u64,
+    generation: u32,
+    pending: Option<PendingSwap>,
+    swaps: Vec<SwapDivergence>,
+    /// Class-name table per generation, for naming logged verdicts after
+    /// later swaps replaced the engine.
+    class_tables: Vec<Vec<String>>,
+    scratch: Vec<u32>,
+}
+
+impl<'a> StreamService<'a> {
+    /// Creates a service applying `policy`, resolving domain ranks
+    /// through `urls`, and classifying with `engine` (generation 0).
+    pub fn new(
+        config: ServiceConfig,
+        policy: ReportingPolicy,
+        urls: &'a UrlLabeler,
+        engine: CompiledRuleSet,
+    ) -> Self {
+        let config = ServiceConfig::new(config.shards, config.epoch_len);
+        let mut shards = Vec::with_capacity(config.shards);
+        shards.resize_with(config.shards, ShardState::default);
+        let scratch = Vec::with_capacity(engine.arity());
+        let class_tables = vec![engine.classes().to_vec()];
+        Self {
+            collector: StreamingCollector::new(policy),
+            extractor: OnlineExtractor::new(urls),
+            engine,
+            ranges: partition(ROUTE_SLOTS, config.shards),
+            shards,
+            epoch_len: config.epoch_len,
+            seq: 0,
+            generation: 0,
+            pending: None,
+            swaps: Vec::new(),
+            class_tables,
+            scratch,
+        }
+    }
+
+    /// The shard a machine id routes to: a SplitMix64 hash onto the slot
+    /// space, then the [`partition`] range holding that slot. Stable
+    /// across runs, independent of pool width and event order.
+    pub fn shard_of(&self, machine: MachineId) -> usize {
+        let slot = (splitmix64(machine.raw()) % ROUTE_SLOTS as u64) as usize;
+        self.ranges.partition_point(|r| r.end <= slot)
+    }
+
+    /// Sequential front shared by both push paths: bump the sequence
+    /// number and routing counter, run global admission and extraction,
+    /// and leave the encoded row in `self.scratch`. Returns the log
+    /// coordinates for events that produced a row to classify.
+    fn ingest_event(&mut self, raw: &RawEvent) -> Option<(usize, u64, FileHash)> {
+        let at = self.seq;
+        self.seq += 1;
+        let shard = self.shard_of(raw.machine);
+        self.shards[shard].events_routed += 1;
+        if self.collector.admit(raw).is_err() {
+            return None;
+        }
+        let vector = self.extractor.ingest(raw)?;
+        self.engine.encode_into(&vector.values(), &mut self.scratch);
+        Some((shard, at, raw.file))
+    }
+
+    /// Whether a staged engine is due: the global sequence number has
+    /// reached its epoch boundary.
+    fn swap_due(&self) -> bool {
+        self.pending
+            .as_ref()
+            .is_some_and(|p| self.seq >= p.activate_at)
+    }
+
+    /// Publishes the pending engine: swap it in, bump the generation,
+    /// and record the old-vs-new divergence over every known file.
+    fn activate(&mut self) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        let outgoing = std::mem::replace(&mut self.engine, pending.engine);
+        let mut transitions: BTreeMap<(u16, u16), u64> = BTreeMap::new();
+        let mut changed = 0u64;
+        let mut old_row: Vec<u32> = Vec::new();
+        let mut new_row: Vec<u32> = Vec::new();
+        for (_, vector) in self.extractor.vectors().iter() {
+            let values = vector.values();
+            let before = outgoing.classify_features(&values, &mut old_row);
+            let after = self.engine.classify_features(&values, &mut new_row);
+            if before != after {
+                changed += 1;
+            }
+            *transitions
+                .entry((verdict_code(before), verdict_code(after)))
+                .or_insert(0) += 1;
+        }
+        let from_generation = self.generation;
+        self.generation += 1;
+        self.class_tables.push(self.engine.classes().to_vec());
+        let divergence = SwapDivergence {
+            at_seq: self.seq,
+            from_generation,
+            to_generation: self.generation,
+            files: self.extractor.vectors().len() as u64,
+            changed,
+            transitions: transitions
+                .iter()
+                .map(|(&(from, to), &n)| {
+                    (
+                        code_label(from, outgoing.classes()),
+                        code_label(to, self.engine.classes()),
+                        n,
+                    )
+                })
+                .collect(),
+        };
+        self.swaps.push(divergence);
+    }
+
+    /// Stages a retrained engine for publication at the next epoch
+    /// boundary (the first sequence number that is a multiple of
+    /// `epoch_len` and strictly after the current one). Restaging before
+    /// activation replaces the previously staged engine. Returns the
+    /// activation sequence number.
+    pub fn stage_engine(&mut self, engine: CompiledRuleSet) -> u64 {
+        let activate_at = (self.seq / self.epoch_len + 1) * self.epoch_len;
+        self.pending = Some(PendingSwap {
+            engine,
+            activate_at,
+        });
+        activate_at
+    }
+
+    /// Ingests one event. Returns the verdict when the event was
+    /// admitted *and* is its file's first sighting; `None` for
+    /// suppressed events and repeat downloads. A due engine swap is
+    /// published before the event is processed.
+    pub fn push(&mut self, raw: &RawEvent) -> Option<Verdict> {
+        if self.swap_due() {
+            self.activate();
+        }
+        let (shard, at, file) = self.ingest_event(raw)?;
+        let verdict = self.engine.classify(&self.scratch);
+        self.shards[shard].log.push(ShardVerdict {
+            seq: at,
+            file,
+            verdict,
+            generation: self.generation,
+        });
+        Some(verdict)
+    }
+
+    /// Ingests a micro-batch, classifying the batch's new files on the
+    /// pool. Byte-identical to pushing the same events one at a time: the
+    /// sequential front runs per event (including the epoch-boundary
+    /// check, so a due swap splits the batch at exactly the sequence
+    /// number the per-event path would), and only the pure
+    /// row-classification fans out.
+    pub fn push_batch(&mut self, batch: &[RawEvent], pool: &Pool) {
+        let mut arity = self.engine.arity();
+        let mut meta: Vec<(usize, u64, FileHash)> = Vec::new();
+        let mut rows: Vec<u32> = Vec::new();
+        for raw in batch {
+            if self.swap_due() {
+                self.flush(&mut meta, &mut rows, arity, pool);
+                self.activate();
+                arity = self.engine.arity();
+            }
+            if let Some(entry) = self.ingest_event(raw) {
+                meta.push(entry);
+                rows.extend_from_slice(&self.scratch);
+            }
+        }
+        self.flush(&mut meta, &mut rows, arity, pool);
+    }
+
+    /// Classifies the accumulated rows on the pool (pure, order
+    /// restored) and appends the verdicts to their shards' logs.
+    fn flush(
+        &mut self,
+        meta: &mut Vec<(usize, u64, FileHash)>,
+        rows: &mut Vec<u32>,
+        arity: usize,
+        pool: &Pool,
+    ) {
+        if meta.is_empty() {
+            rows.clear();
+            return;
+        }
+        let engine = &self.engine;
+        let indexes: Vec<usize> = (0..meta.len()).collect();
+        let verdicts = pool.map(&indexes, |_, &i| {
+            engine.classify(&rows[i * arity..(i + 1) * arity])
+        });
+        let generation = self.generation;
+        for ((shard, at, file), verdict) in meta.drain(..).zip(verdicts) {
+            self.shards[shard].log.push(ShardVerdict {
+                seq: at,
+                file,
+                verdict,
+                generation,
+            });
+        }
+        rows.clear();
+    }
+
+    /// Decodes and pushes every event in a codec byte stream, one at a
+    /// time. Returns the number of events decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CodecError`] of the first malformed frame; events
+    /// before it have already been ingested.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Result<usize, CodecError> {
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        while pos < bytes.len() {
+            let (event, consumed) = decode_event(&bytes[pos..])?;
+            pos += consumed;
+            count += 1;
+            self.push(&event);
+        }
+        Ok(count)
+    }
+
+    /// Decodes a codec byte stream in micro-batches of `batch` events,
+    /// classifying each batch on the pool. Returns the number of events
+    /// decoded. `batch == 0` is treated as 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CodecError`] of the first malformed frame; batches
+    /// before it have already been ingested.
+    pub fn push_bytes_batched(
+        &mut self,
+        bytes: &[u8],
+        batch: usize,
+        pool: &Pool,
+    ) -> Result<usize, CodecError> {
+        let batch = batch.max(1);
+        let mut buffer: Vec<RawEvent> = Vec::with_capacity(batch);
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        while pos < bytes.len() {
+            let (event, consumed) = decode_event(&bytes[pos..])?;
+            pos += consumed;
+            count += 1;
+            buffer.push(event);
+            if buffer.len() == batch {
+                self.push_batch(&buffer, pool);
+                buffer.clear();
+            }
+        }
+        self.push_batch(&buffer, pool);
+        Ok(count)
+    }
+
+    /// All verdicts across shards, merged back into arrival order —
+    /// byte-identical to a single [`StreamSession`](crate::StreamSession)
+    /// replaying the same stream with the same engine history.
+    pub fn merged_verdicts(&self) -> Vec<(FileHash, Verdict)> {
+        let mut all: Vec<(u64, FileHash, Verdict)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.log.iter().map(|v| (v.seq, v.file, v.verdict)))
+            .collect();
+        all.sort_unstable_by_key(|&(seq, _, _)| seq);
+        all.into_iter().map(|(_, file, v)| (file, v)).collect()
+    }
+
+    /// One shard's tallies as a mergeable partial.
+    fn shard_report(&self, shard: usize) -> ServiceReport {
+        let state = &self.shards[shard];
+        let mut class_counts: BTreeMap<(u32, u8), u64> = BTreeMap::new();
+        let mut rejected = 0u64;
+        let mut no_match = 0u64;
+        for entry in &state.log {
+            match entry.verdict {
+                Verdict::Class(c) => {
+                    *class_counts.entry((entry.generation, c)).or_insert(0) += 1;
+                }
+                Verdict::Rejected => rejected += 1,
+                Verdict::NoMatch => no_match += 1,
+            }
+        }
+        let mut class_verdicts: Vec<(String, u64)> = class_counts
+            .iter()
+            .map(|(&(generation, class), &n)| (self.class_label(generation, class), n))
+            .collect();
+        normalize_labels(&mut class_verdicts);
+        ServiceReport {
+            shards: 1,
+            events_routed: state.events_routed,
+            files_classified: state.log.len() as u64,
+            class_verdicts,
+            rejected,
+            no_match,
+        }
+    }
+
+    /// The class name a logged verdict carried under its generation's
+    /// engine.
+    fn class_label(&self, generation: u32, class: u8) -> String {
+        self.class_tables
+            .get(generation as usize)
+            .and_then(|t| t.get(class as usize))
+            .cloned()
+            .unwrap_or_else(|| "unknown".to_owned())
+    }
+
+    /// Builds per-shard partials on the pool and folds them with
+    /// [`ServiceReport::merge`]. The merge is commutative, so the result
+    /// is independent of pool width and shard count (for a fixed
+    /// stream).
+    pub fn report(&self, pool: &Pool) -> ServiceReport {
+        let indexes: Vec<usize> = (0..self.shards.len()).collect();
+        let partials = pool.map(&indexes, |_, &i| self.shard_report(i));
+        let mut merged = ServiceReport::default();
+        for partial in partials {
+            merged.merge(partial);
+        }
+        merged
+    }
+
+    /// The merged report plus the global sequential-front counters.
+    pub fn status(&self, pool: &Pool) -> ServiceStatus {
+        ServiceStatus {
+            report: self.report(pool),
+            events_seen: self.seq,
+            events_admitted: self.collector.events_admitted(),
+            suppressed: self.collector.suppression_stats(),
+            generation: self.generation,
+            swaps: self.swaps.len() as u64,
+        }
+    }
+
+    /// Events pushed into the service so far (admitted or not).
+    pub fn events_seen(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events admitted by the policy so far.
+    pub fn events_admitted(&self) -> u64 {
+        self.collector.events_admitted()
+    }
+
+    /// Suppression counters so far.
+    pub fn suppression_stats(&self) -> SuppressionStats {
+        self.collector.suppression_stats()
+    }
+
+    /// Per-file feature vectors so far, in first-sighting order.
+    pub fn vectors(&self) -> &FileVectors {
+        self.extractor.vectors()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Events per epoch (hot-swap activation granularity).
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// Current engine generation.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// The engine currently classifying.
+    pub fn engine(&self) -> &CompiledRuleSet {
+        &self.engine
+    }
+
+    /// The staged swap, if any: `(activation seq, engine fingerprint)`.
+    pub fn pending_swap(&self) -> Option<(u64, u64)> {
+        self.pending
+            .as_ref()
+            .map(|p| (p.activate_at, p.engine.fingerprint()))
+    }
+
+    /// Divergence records of published swaps, in publication order.
+    pub fn swap_history(&self) -> &[SwapDivergence] {
+        &self.swaps
+    }
+
+    /// Records the service's cumulative tallies into `registry`'s
+    /// deterministic plane: the global front (`service.events_seen`,
+    /// admission and suppression counters), the merged verdict tallies
+    /// (`service.verdict.<label>`), swap counters, and per-shard routing
+    /// counters (`service.shard.<i>.events_routed` / `.files`).
+    ///
+    /// Everything recorded is a pure function of the stream and the
+    /// engine history — identical at any batch size, pool width, or
+    /// shard count for fixed config — so manifests are byte-comparable
+    /// across runs. Call at checkpoints; never on the per-event path.
+    pub fn observe_into(&self, registry: &downlake_obs::Registry) {
+        registry.counter_add("service.events_seen", self.seq);
+        registry.counter_add("service.events_admitted", self.events_admitted());
+        let s = self.suppression_stats();
+        registry.counter_add("service.suppressed.not_executed", s.not_executed);
+        registry.counter_add("service.suppressed.prevalence_cap", s.prevalence_cap);
+        registry.counter_add("service.suppressed.whitelisted_url", s.whitelisted_url);
+        registry.gauge_max("service.shards", self.shards.len() as u64);
+        registry.gauge_max("service.generation", u64::from(self.generation));
+        registry.counter_add("service.swaps", self.swaps.len() as u64);
+        let report = self.report(&Pool::sequential());
+        registry.counter_add("service.files_classified", report.files_classified);
+        report.class_verdicts.iter().for_each(|(label, n)| {
+            registry.counter_add(&format!("service.verdict.{label}"), *n);
+        });
+        registry.counter_add("service.verdict.rejected", report.rejected);
+        registry.counter_add("service.verdict.no_match", report.no_match);
+        self.shards.iter().enumerate().for_each(|(i, shard)| {
+            registry.counter_add(
+                &format!("service.shard.{i}.events_routed"),
+                shard.events_routed,
+            );
+            registry.counter_add(&format!("service.shard.{i}.files"), shard.log.len() as u64);
+        });
+    }
+
+    // --- snapshot plumbing (crate-private) ---------------------------
+
+    /// The global admission state (snapshot export).
+    pub(crate) fn collector(&self) -> &StreamingCollector {
+        &self.collector
+    }
+
+    /// The global extraction state (snapshot export).
+    pub(crate) fn extractor(&self) -> &OnlineExtractor<'a> {
+        &self.extractor
+    }
+
+    /// Per-shard logs (snapshot export).
+    pub(crate) fn shard_states(&self) -> &[ShardState] {
+        &self.shards
+    }
+
+    /// Class tables per generation (snapshot export).
+    pub(crate) fn class_tables(&self) -> &[Vec<String>] {
+        &self.class_tables
+    }
+
+    /// Reassembles a service from snapshot parts. The caller has already
+    /// validated that `engine` (and `pending`, if any) match the
+    /// fingerprints recorded at snapshot time.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        config: ServiceConfig,
+        collector: StreamingCollector,
+        extractor: OnlineExtractor<'a>,
+        engine: CompiledRuleSet,
+        shards: Vec<ShardState>,
+        seq: u64,
+        generation: u32,
+        pending: Option<PendingSwap>,
+        swaps: Vec<SwapDivergence>,
+        class_tables: Vec<Vec<String>>,
+    ) -> Self {
+        let scratch = Vec::with_capacity(engine.arity());
+        Self {
+            collector,
+            extractor,
+            engine,
+            ranges: partition(ROUTE_SLOTS, config.shards.max(1)),
+            shards,
+            epoch_len: config.epoch_len.max(1),
+            seq,
+            generation,
+            pending,
+            swaps,
+            class_tables,
+            scratch,
+        }
+    }
+}
+
+/// Collision-free transition code for a verdict: the class id, or a
+/// sentinel ≥ 256 for the two non-class outcomes.
+fn verdict_code(v: Verdict) -> u16 {
+    match v {
+        Verdict::Class(c) => u16::from(c),
+        Verdict::Rejected => CODE_REJECTED,
+        Verdict::NoMatch => CODE_NO_MATCH,
+    }
+}
+
+/// Human label for a transition code under a class table.
+fn code_label(code: u16, classes: &[String]) -> String {
+    match code {
+        CODE_REJECTED => "rejected".to_owned(),
+        CODE_NO_MATCH => "no_match".to_owned(),
+        c => classes
+            .get(c as usize)
+            .cloned()
+            .unwrap_or_else(|| "unknown".to_owned()),
+    }
+}
+
+/// Shared fixtures for this crate's service and snapshot unit tests: a
+/// tiny 8-attribute engine plus a deterministic event stream.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use downlake_rulelearn::{Condition, InstancesBuilder, Rule, RuleSet};
+    use downlake_types::{FileMeta, SignerInfo, Timestamp, Url};
+
+    /// Length of [`sample_events`].
+    pub(crate) const EVENT_COUNT: usize = 60;
+
+    pub(crate) fn engine_for(signer: &str) -> CompiledRuleSet {
+        let mut b = InstancesBuilder::new(
+            &[
+                "file's signer",
+                "file's CA",
+                "file's packer",
+                "process's signer",
+                "process's CA",
+                "process's packer",
+                "process's type",
+                "domain's Alexa rank",
+            ],
+            &["benign", "malicious"],
+        );
+        b.push(
+            &[
+                signer,
+                "ca",
+                "(unpacked)",
+                "(unsigned)",
+                "(unsigned)",
+                "(unpacked)",
+                "browser",
+                "unranked",
+            ],
+            "malicious",
+        );
+        let schema = b.build().schema().clone();
+        CompiledRuleSet::compile(&RuleSet::new(
+            schema,
+            vec![Rule {
+                conditions: vec![Condition { attr: 0, value: 0 }],
+                class: 1,
+                covered: 10,
+                errors: 0,
+            }],
+        ))
+    }
+
+    pub(crate) fn event(file: u64, machine: u64, signer: Option<&str>) -> RawEvent {
+        RawEvent {
+            file: FileHash::from_raw(file),
+            file_meta: FileMeta {
+                size_bytes: 1,
+                disk_name: "setup.exe".into(),
+                signer: signer.map(|s| SignerInfo::valid(s, "ca")),
+                packer: None,
+            },
+            machine: MachineId::from_raw(machine),
+            process: FileHash::from_raw(999),
+            process_meta: FileMeta {
+                disk_name: "chrome.exe".into(),
+                ..FileMeta::default()
+            },
+            url: "http://a.com/f.exe".parse::<Url>().unwrap(),
+            timestamp: Timestamp::from_day(0),
+            executed: true,
+        }
+    }
+
+    pub(crate) fn events(n: u64) -> Vec<RawEvent> {
+        (0..n)
+            .map(|i| event(i % 7, i, if i % 7 == 0 { Some("somoto") } else { None }))
+            .collect()
+    }
+
+    /// The deterministic event stream shared by service and snapshot
+    /// tests.
+    pub(crate) fn sample_events() -> Vec<RawEvent> {
+        events(EVENT_COUNT as u64)
+    }
+
+    /// A small 4-shard, 16-event-epoch service over the sample engine.
+    /// Returns the engine too so restore paths can re-supply it.
+    pub(crate) fn sample_service(urls: &UrlLabeler) -> (StreamService<'_>, CompiledRuleSet) {
+        let engine = engine_for("somoto");
+        let service = StreamService::new(
+            ServiceConfig::new(4, 16),
+            ReportingPolicy::new(20),
+            urls,
+            engine.clone(),
+        );
+        (service, engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::{engine_for, events};
+    use super::*;
+    use downlake_telemetry::codec::encode_events;
+    use downlake_types::MachineId;
+
+    #[test]
+    fn sharded_verdicts_match_a_single_session() {
+        use crate::StreamSession;
+        let urls = UrlLabeler::new();
+        let engine = engine_for("somoto");
+        let stream = events(60);
+        let bytes = encode_events(&stream);
+
+        let mut session = StreamSession::new(ReportingPolicy::new(20), &urls, &engine);
+        session.push_bytes(&bytes).unwrap();
+
+        for shards in [1usize, 3, 8] {
+            for threads in [1usize, 4] {
+                let mut svc = StreamService::new(
+                    ServiceConfig::new(shards, 16),
+                    ReportingPolicy::new(20),
+                    &urls,
+                    engine.clone(),
+                );
+                let pool = Pool::new(threads);
+                svc.push_bytes_batched(&bytes, 8, &pool).unwrap();
+                assert_eq!(
+                    svc.merged_verdicts().as_slice(),
+                    session.verdicts(),
+                    "shards={shards} threads={threads}"
+                );
+                assert_eq!(svc.vectors(), session.vectors());
+                assert_eq!(svc.suppression_stats(), session.suppression_stats());
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let urls = UrlLabeler::new();
+        let svc = StreamService::new(
+            ServiceConfig::new(8, 100),
+            ReportingPolicy::new(20),
+            &urls,
+            engine_for("somoto"),
+        );
+        for m in 0..1000u64 {
+            let shard = svc.shard_of(MachineId::from_raw(m));
+            assert!(shard < 8);
+            assert_eq!(shard, svc.shard_of(MachineId::from_raw(m)));
+        }
+    }
+
+    #[test]
+    fn swap_activates_at_the_epoch_boundary_and_records_divergence() {
+        let urls = UrlLabeler::new();
+        let mut svc = StreamService::new(
+            ServiceConfig::new(4, 10),
+            ReportingPolicy::new(20),
+            &urls,
+            engine_for("somoto"),
+        );
+        let stream = events(30);
+        for raw in &stream[..5] {
+            svc.push(raw);
+        }
+        // Staged at seq 5 -> activates at the boundary seq 10.
+        let at = svc.stage_engine(engine_for("never-matches"));
+        assert_eq!(at, 10);
+        for raw in &stream[5..] {
+            svc.push(raw);
+        }
+        assert_eq!(svc.generation(), 1);
+        let swaps = svc.swap_history();
+        assert_eq!(swaps.len(), 1);
+        assert_eq!(swaps[0].at_seq, 10);
+        assert_eq!(swaps[0].from_generation, 0);
+        assert_eq!(swaps[0].to_generation, 1);
+        // The malicious file flips to no_match under the new engine.
+        assert!(swaps[0].changed >= 1);
+        // Events 0..10 cycle through files 0..7, so all 7 distinct files
+        // were known at activation.
+        assert_eq!(swaps[0].files, 7);
+        // Verdict stream with the swap is identical per-event vs batched.
+        let bytes = encode_events(&stream);
+        let mut batched = StreamService::new(
+            ServiceConfig::new(4, 10),
+            ReportingPolicy::new(20),
+            &urls,
+            engine_for("somoto"),
+        );
+        let mut pos = 0usize;
+        let mut pushed = 0u64;
+        let pool = Pool::new(4);
+        // Replay with the same staging point (after 5 events).
+        let mut buffer = Vec::new();
+        while pos < bytes.len() {
+            let (event, consumed) = decode_event(&bytes[pos..]).unwrap();
+            pos += consumed;
+            pushed += 1;
+            buffer.push(event);
+            if pushed == 5 {
+                batched.push_batch(&buffer, &pool);
+                buffer.clear();
+                batched.stage_engine(engine_for("never-matches"));
+            }
+        }
+        batched.push_batch(&buffer, &pool);
+        assert_eq!(svc.merged_verdicts(), batched.merged_verdicts());
+        assert_eq!(svc.swap_history(), batched.swap_history());
+    }
+
+    #[test]
+    fn report_merges_commutatively_across_pool_widths() {
+        let urls = UrlLabeler::new();
+        let engine = engine_for("somoto");
+        let stream = events(60);
+        let mut svc = StreamService::new(
+            ServiceConfig::new(8, 100),
+            ReportingPolicy::new(20),
+            &urls,
+            engine,
+        );
+        for raw in &stream {
+            svc.push(raw);
+        }
+        let seq = svc.report(&Pool::sequential());
+        let wide = svc.report(&Pool::new(4));
+        assert_eq!(seq, wide);
+        assert_eq!(seq.shards, 8);
+        assert_eq!(seq.events_routed, 60);
+        assert_eq!(seq.files_classified, 7);
+        let total: u64 =
+            seq.class_verdicts.iter().map(|(_, n)| n).sum::<u64>() + seq.rejected + seq.no_match;
+        assert_eq!(total, seq.files_classified);
+    }
+}

@@ -1,0 +1,889 @@
+//! Snapshot/restore for [`StreamService`]: stop mid-stream, resume
+//! byte-identical.
+//!
+//! The on-disk format mirrors the lake's crash-safety contract
+//! (`downlake-lake` segments): a fixed 64-byte header, a payload of
+//! `telemetry::codec` fields, and a 16-byte footer that is written
+//! *before* the real header is committed.
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic          b"DLSVCSNP"
+//!      8     4  version        u32 LE
+//!     12     4  shard count    u32 LE
+//!     16     8  sequence no.   u64 LE (events seen)
+//!     24     8  epoch length   u64 LE
+//!     32     4  generation     u32 LE
+//!     36     4  reserved       u32 LE, must be zero
+//!     40     8  engine fp      u64 LE (active engine fingerprint)
+//!     48     8  checksum       u64 LE, FNV-1a over the payload bytes
+//!     56     8  payload length u64 LE
+//!     64     …  payload        codec fields (see `encode_payload`)
+//!      …     8  footer magic   b"DLSVCEND"
+//!      …     8  footer checksum, equal to the header checksum
+//! ```
+//!
+//! [`StreamService::snapshot_to`] writes a **zeroed** header
+//! placeholder first and commits the real header only after the footer,
+//! so a crash mid-write leaves either a zero magic or a size that
+//! disagrees with the declared payload length — both rejected with a
+//! typed [`SnapshotError`], never a panic. The payload opens with a
+//! copy of every header field, so flipping any *meaningful* header byte
+//! is detected as [`SnapshotError::HeaderMismatch`] even though the
+//! payload checksum still verifies.
+//!
+//! The snapshot is **self-contained for state** (policy, admission
+//! lists, feature vectors, shard logs, swap history) but stores only
+//! the *fingerprints* of compiled engines: the caller re-supplies the
+//! engines on [`StreamService::restore`] and the fingerprints are
+//! verified, so resuming with stale rules is a typed
+//! [`SnapshotError::EngineMismatch`] instead of silent verdict drift.
+
+use crate::collector::StreamingCollector;
+use crate::engine::CompiledRuleSet;
+use crate::online::{kind_from_name, OnlineExtractor, ProcessFeatures};
+use crate::service::{
+    PendingSwap, ServiceConfig, ShardState, ShardVerdict, StreamService, SwapDivergence,
+};
+use downlake_features::{FeatureVector, FileVectors};
+use downlake_groundtruth::UrlLabeler;
+use downlake_obs::Registry;
+use downlake_rulelearn::Verdict;
+use downlake_telemetry::codec::{put_bool, put_str, put_u32, put_u64, FieldReader};
+use downlake_telemetry::{CodecError, ReportingPolicy, SuppressionStats};
+use downlake_types::{FileHash, MachineId};
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Leading magic of a service snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DLSVCSNP";
+/// Magic of the committed footer.
+pub const SNAPSHOT_FOOTER_MAGIC: [u8; 8] = *b"DLSVCEND";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Fixed header length in bytes.
+pub const SNAPSHOT_HEADER_LEN: usize = 64;
+/// Fixed footer length in bytes.
+pub const SNAPSHOT_FOOTER_LEN: usize = 16;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes` (same checksum the lake's segments use; private
+/// copy because the L1 layering keeps `stream` independent of `lake`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why a snapshot failed to write, open, or verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot file does not exist: a cold start, not damage.
+    Absent,
+    /// An I/O operation failed mid-read or mid-write.
+    Io {
+        /// What was being done.
+        what: &'static str,
+        /// The OS error, stringified (keeps the variant comparable).
+        detail: String,
+    },
+    /// Leading or footer magic bytes are wrong — including the all-zero
+    /// placeholder a crashed, never-finalized write leaves behind.
+    BadMagic {
+        /// Which magic ("header" or "footer").
+        what: &'static str,
+        /// The bytes found where the magic belongs.
+        found: [u8; 8],
+    },
+    /// The snapshot speaks a format version this build does not.
+    BadVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The file ends before its declared layout does (or the declared
+    /// payload length disagrees with the file size).
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// Stored and recomputed checksums disagree.
+    ChecksumMismatch {
+        /// Which comparison failed ("footer" or "payload").
+        what: &'static str,
+        /// The checksum stored in the header.
+        expected: u64,
+        /// The footer or recomputed checksum.
+        found: u64,
+    },
+    /// A header field disagrees with the copy the payload carries.
+    HeaderMismatch {
+        /// The field that disagrees.
+        what: &'static str,
+    },
+    /// A payload field decoded but is semantically invalid (unknown
+    /// process kind, bad verdict tag, unsorted machine list, …).
+    BadField {
+        /// What was invalid.
+        what: &'static str,
+    },
+    /// The engine (or staged engine) supplied at restore does not match
+    /// the fingerprint recorded at snapshot time.
+    EngineMismatch {
+        /// Which engine ("active engine" or "staged engine").
+        what: &'static str,
+        /// The fingerprint recorded in the snapshot.
+        expected: u64,
+        /// The fingerprint of the engine supplied (0 when none was).
+        found: u64,
+    },
+    /// A payload field failed the codec's structural walk.
+    Codec(CodecError),
+}
+
+impl SnapshotError {
+    /// Whether this error is the expected cold-start miss rather than
+    /// corruption: [`StreamService::restore_or_cold`] counts the two
+    /// differently.
+    pub fn is_cold(&self) -> bool {
+        matches!(self, SnapshotError::Absent)
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Absent => f.write_str("service snapshot file does not exist"),
+            SnapshotError::Io { what, detail } => {
+                write!(f, "snapshot i/o failed while {what}: {detail}")
+            }
+            SnapshotError::BadMagic { what, found } => {
+                write!(f, "snapshot {what} magic mismatch (found {found:02x?})")
+            }
+            SnapshotError::BadVersion { found } => {
+                write!(f, "unsupported snapshot format version {found}")
+            }
+            SnapshotError::Truncated { what } => write!(f, "truncated snapshot {what}"),
+            SnapshotError::ChecksumMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "snapshot {what} checksum {found:016x} != stored {expected:016x}"
+                )
+            }
+            SnapshotError::HeaderMismatch { what } => {
+                write!(f, "snapshot header {what} disagrees with payload")
+            }
+            SnapshotError::BadField { what } => {
+                write!(f, "snapshot payload field invalid: {what}")
+            }
+            SnapshotError::EngineMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "snapshot {what} fingerprint {expected:016x} != supplied {found:016x}"
+                )
+            }
+            SnapshotError::Codec(e) => write!(f, "snapshot payload malformed: {e}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnapshotError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for SnapshotError {
+    fn from(e: CodecError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+/// Wraps an [`std::io::Error`] with what was being attempted.
+fn io_err(what: &'static str, e: std::io::Error) -> SnapshotError {
+    SnapshotError::Io {
+        what,
+        detail: e.to_string(),
+    }
+}
+
+/// Verdict wire tags (one byte, followed by the class id byte).
+const TAG_CLASS: u8 = 0;
+const TAG_REJECTED: u8 = 1;
+const TAG_NO_MATCH: u8 = 2;
+
+fn put_verdict(out: &mut Vec<u8>, v: Verdict) {
+    match v {
+        Verdict::Class(c) => {
+            out.push(TAG_CLASS);
+            out.push(c);
+        }
+        Verdict::Rejected => {
+            out.push(TAG_REJECTED);
+            out.push(0);
+        }
+        Verdict::NoMatch => {
+            out.push(TAG_NO_MATCH);
+            out.push(0);
+        }
+    }
+}
+
+fn take_verdict(r: &mut FieldReader<'_>) -> Result<Verdict, SnapshotError> {
+    let tag = r.take_u8("verdict tag")?;
+    let class = r.take_u8("verdict class")?;
+    match tag {
+        TAG_CLASS => Ok(Verdict::Class(class)),
+        TAG_REJECTED => Ok(Verdict::Rejected),
+        TAG_NO_MATCH => Ok(Verdict::NoMatch),
+        _ => Err(SnapshotError::BadField {
+            what: "verdict tag",
+        }),
+    }
+}
+
+/// Fields every snapshot header carries (also copied into the payload
+/// for flip detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SnapshotHeader {
+    shard_count: u32,
+    seq: u64,
+    epoch_len: u64,
+    generation: u32,
+    engine_fp: u64,
+    checksum: u64,
+    payload_len: u64,
+}
+
+impl SnapshotHeader {
+    fn encode(&self) -> [u8; SNAPSHOT_HEADER_LEN] {
+        let mut out = [0u8; SNAPSHOT_HEADER_LEN];
+        out[0..8].copy_from_slice(&SNAPSHOT_MAGIC);
+        out[8..12].copy_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out[12..16].copy_from_slice(&self.shard_count.to_le_bytes());
+        out[16..24].copy_from_slice(&self.seq.to_le_bytes());
+        out[24..32].copy_from_slice(&self.epoch_len.to_le_bytes());
+        out[32..36].copy_from_slice(&self.generation.to_le_bytes());
+        // 36..40 reserved, stays zero.
+        out[40..48].copy_from_slice(&self.engine_fp.to_le_bytes());
+        out[48..56].copy_from_slice(&self.checksum.to_le_bytes());
+        out[56..64].copy_from_slice(&self.payload_len.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&bytes[0..8]);
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic {
+                what: "header",
+                found: magic,
+            });
+        }
+        let version = u32::from_le_bytes(take4(bytes, 8));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion { found: version });
+        }
+        let reserved = u32::from_le_bytes(take4(bytes, 36));
+        if reserved != 0 {
+            return Err(SnapshotError::HeaderMismatch { what: "reserved" });
+        }
+        Ok(Self {
+            shard_count: u32::from_le_bytes(take4(bytes, 12)),
+            seq: u64::from_le_bytes(take8(bytes, 16)),
+            epoch_len: u64::from_le_bytes(take8(bytes, 24)),
+            generation: u32::from_le_bytes(take4(bytes, 32)),
+            engine_fp: u64::from_le_bytes(take8(bytes, 40)),
+            checksum: u64::from_le_bytes(take8(bytes, 48)),
+            payload_len: u64::from_le_bytes(take8(bytes, 56)),
+        })
+    }
+}
+
+fn take4(bytes: &[u8], at: usize) -> [u8; 4] {
+    let mut out = [0u8; 4];
+    out.copy_from_slice(&bytes[at..at + 4]);
+    out
+}
+
+fn take8(bytes: &[u8], at: usize) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&bytes[at..at + 8]);
+    out
+}
+
+impl<'a> StreamService<'a> {
+    /// Writes the full service state to `path` with the lake's
+    /// crash-safety ordering: zeroed header placeholder, payload,
+    /// footer, then the real header — so a torn write can never verify.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when any filesystem operation
+    /// fails; nothing else can fail (encoding is total).
+    pub fn snapshot_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        let payload = self.encode_payload();
+        let checksum = fnv1a(&payload);
+        let header = SnapshotHeader {
+            shard_count: self.shard_count() as u32,
+            seq: self.events_seen(),
+            epoch_len: self.epoch_len(),
+            generation: self.generation(),
+            engine_fp: self.engine().fingerprint(),
+            checksum,
+            payload_len: payload.len() as u64,
+        };
+        let file = File::create(path).map_err(|e| io_err("creating snapshot", e))?;
+        let mut w = BufWriter::new(file);
+        w.write_all(&[0u8; SNAPSHOT_HEADER_LEN])
+            .map_err(|e| io_err("writing header placeholder", e))?;
+        w.write_all(&payload)
+            .map_err(|e| io_err("writing payload", e))?;
+        w.write_all(&SNAPSHOT_FOOTER_MAGIC)
+            .map_err(|e| io_err("writing footer", e))?;
+        w.write_all(&checksum.to_le_bytes())
+            .map_err(|e| io_err("writing footer", e))?;
+        w.flush().map_err(|e| io_err("flushing snapshot", e))?;
+        let mut file = w
+            .into_inner()
+            .map_err(|e| io_err("flushing snapshot", e.into_error()))?;
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| io_err("committing header", e))?;
+        file.write_all(&header.encode())
+            .map_err(|e| io_err("committing header", e))?;
+        file.flush().map_err(|e| io_err("committing header", e))?;
+        Ok(())
+    }
+
+    /// Serializes everything the header does not carry. Every section is
+    /// written in a deterministic order (sorted exports, first-sighting
+    /// vector order), so snapshotting the same state twice yields
+    /// byte-identical files.
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        // Header crosscheck copy.
+        put_u32(&mut out, self.shard_count() as u32);
+        put_u64(&mut out, self.events_seen());
+        put_u64(&mut out, self.epoch_len());
+        put_u32(&mut out, self.generation());
+        put_u64(&mut out, self.engine().fingerprint());
+        // Policy (self-contained: σ + whitelist).
+        let policy = self.collector().policy();
+        put_u32(&mut out, policy.sigma());
+        let domains = policy.whitelisted_sorted();
+        put_u32(&mut out, domains.len() as u32);
+        for domain in &domains {
+            put_str(&mut out, domain);
+        }
+        // Collector: per-file machine lists (sorted), suppression,
+        // admitted count.
+        let entries = self.collector().export_state();
+        put_u32(&mut out, entries.len() as u32);
+        for (file, machines) in &entries {
+            put_u64(&mut out, file.raw());
+            put_u32(&mut out, machines.len() as u32);
+            for m in machines.iter() {
+                put_u64(&mut out, m.raw());
+            }
+        }
+        let s = self.suppression_stats();
+        put_u64(&mut out, s.not_executed);
+        put_u64(&mut out, s.prevalence_cap);
+        put_u64(&mut out, s.whitelisted_url);
+        put_u64(&mut out, self.events_admitted());
+        // Extractor: process features (sorted) + vectors (first-sighting
+        // order).
+        let processes = self.extractor().export_processes();
+        put_u32(&mut out, processes.len() as u32);
+        for (hash, p) in &processes {
+            put_u64(&mut out, hash.raw());
+            put_str(&mut out, &p.signer);
+            put_str(&mut out, &p.ca);
+            put_str(&mut out, &p.packer);
+            put_str(&mut out, p.kind);
+        }
+        let vectors = self.vectors();
+        put_u32(&mut out, vectors.len() as u32);
+        for (file, vector) in vectors.iter() {
+            put_u64(&mut out, file.raw());
+            for value in vector.values() {
+                put_str(&mut out, value);
+            }
+        }
+        // Shard logs.
+        put_u32(&mut out, self.shard_states().len() as u32);
+        for shard in self.shard_states() {
+            put_u64(&mut out, shard.events_routed);
+            put_u32(&mut out, shard.log.len() as u32);
+            for entry in &shard.log {
+                put_u64(&mut out, entry.seq);
+                put_u64(&mut out, entry.file.raw());
+                put_verdict(&mut out, entry.verdict);
+                put_u32(&mut out, entry.generation);
+            }
+        }
+        // Class tables per generation.
+        put_u32(&mut out, self.class_tables().len() as u32);
+        for table in self.class_tables() {
+            put_u32(&mut out, table.len() as u32);
+            for class in table {
+                put_str(&mut out, class);
+            }
+        }
+        // Pending swap (fingerprint only; engines are re-supplied).
+        match self.pending_swap() {
+            Some((activate_at, fingerprint)) => {
+                put_bool(&mut out, true);
+                put_u64(&mut out, activate_at);
+                put_u64(&mut out, fingerprint);
+            }
+            None => put_bool(&mut out, false),
+        }
+        // Swap history.
+        put_u32(&mut out, self.swap_history().len() as u32);
+        for swap in self.swap_history() {
+            put_u64(&mut out, swap.at_seq);
+            put_u32(&mut out, swap.from_generation);
+            put_u32(&mut out, swap.to_generation);
+            put_u64(&mut out, swap.files);
+            put_u64(&mut out, swap.changed);
+            put_u32(&mut out, swap.transitions.len() as u32);
+            for (from, to, n) in &swap.transitions {
+                put_str(&mut out, from);
+                put_str(&mut out, to);
+                put_u64(&mut out, *n);
+            }
+        }
+        out
+    }
+
+    /// Opens a snapshot and reassembles the service, re-supplying the
+    /// compiled engines: `engine` must match the active-engine
+    /// fingerprint recorded at snapshot time, and `pending` must match
+    /// the staged engine's when the snapshot records one (it is ignored
+    /// otherwise). The resumed service continues the stream with
+    /// verdicts byte-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Absent`] when the file does not exist (a cold
+    /// start, distinguishable via [`SnapshotError::is_cold`]); any other
+    /// variant describes damage or an engine mismatch. Never panics on
+    /// bad bytes.
+    pub fn restore(
+        path: &Path,
+        urls: &'a UrlLabeler,
+        engine: &CompiledRuleSet,
+        pending: Option<&CompiledRuleSet>,
+    ) -> Result<Self, SnapshotError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(SnapshotError::Absent)
+            }
+            Err(e) => return Err(io_err("reading snapshot", e)),
+        };
+        if bytes.len() < SNAPSHOT_HEADER_LEN {
+            return Err(SnapshotError::Truncated { what: "header" });
+        }
+        let header = SnapshotHeader::decode(&bytes)?;
+        if bytes.len() < SNAPSHOT_HEADER_LEN + SNAPSHOT_FOOTER_LEN {
+            return Err(SnapshotError::Truncated { what: "footer" });
+        }
+        let payload_end = bytes.len() - SNAPSHOT_FOOTER_LEN;
+        let payload = &bytes[SNAPSHOT_HEADER_LEN..payload_end];
+        if header.payload_len != payload.len() as u64 {
+            return Err(SnapshotError::Truncated { what: "payload" });
+        }
+        let footer = &bytes[payload_end..];
+        if footer[0..8] != SNAPSHOT_FOOTER_MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(&footer[0..8]);
+            return Err(SnapshotError::BadMagic {
+                what: "footer",
+                found,
+            });
+        }
+        let footer_checksum = u64::from_le_bytes(take8(footer, 8));
+        if footer_checksum != header.checksum {
+            return Err(SnapshotError::ChecksumMismatch {
+                what: "footer",
+                expected: header.checksum,
+                found: footer_checksum,
+            });
+        }
+        let computed = fnv1a(payload);
+        if computed != header.checksum {
+            return Err(SnapshotError::ChecksumMismatch {
+                what: "payload",
+                expected: header.checksum,
+                found: computed,
+            });
+        }
+        decode_payload(payload, &header, urls, engine, pending)
+    }
+
+    /// [`StreamService::restore`], falling back to a cold service when
+    /// the snapshot is absent **or damaged** — damage is reported
+    /// through the registry, never panicked on.
+    ///
+    /// Observability: exactly one of `service.restore.warm`,
+    /// `service.restore.cold`, or `service.restore.corrupt` is
+    /// incremented per call.
+    pub fn restore_or_cold(
+        path: &Path,
+        config: ServiceConfig,
+        policy: ReportingPolicy,
+        urls: &'a UrlLabeler,
+        engine: &CompiledRuleSet,
+        pending: Option<&CompiledRuleSet>,
+        registry: &Registry,
+    ) -> Self {
+        match Self::restore(path, urls, engine, pending) {
+            Ok(service) => {
+                registry.counter_add("service.restore.warm", 1);
+                service
+            }
+            Err(e) => {
+                if e.is_cold() {
+                    registry.counter_add("service.restore.cold", 1);
+                } else {
+                    registry.counter_add("service.restore.corrupt", 1);
+                }
+                StreamService::new(config, policy, urls, engine.clone())
+            }
+        }
+    }
+}
+
+/// Decodes the payload into a reassembled service. Called only after
+/// the checksum verified, so any failure here is either a genuinely
+/// malformed field ([`SnapshotError::BadField`] / [`SnapshotError::Codec`])
+/// or a header byte flipped without touching the payload
+/// ([`SnapshotError::HeaderMismatch`]).
+fn decode_payload<'a>(
+    payload: &[u8],
+    header: &SnapshotHeader,
+    urls: &'a UrlLabeler,
+    engine: &CompiledRuleSet,
+    pending: Option<&CompiledRuleSet>,
+) -> Result<StreamService<'a>, SnapshotError> {
+    let mut r = FieldReader::new(payload);
+    // Header crosscheck: every meaningful header field has a payload
+    // copy, so single-byte header flips surface as HeaderMismatch.
+    if r.take_u32("shard count copy")? != header.shard_count {
+        return Err(SnapshotError::HeaderMismatch {
+            what: "shard count",
+        });
+    }
+    if r.take_u64("sequence copy")? != header.seq {
+        return Err(SnapshotError::HeaderMismatch {
+            what: "sequence number",
+        });
+    }
+    if r.take_u64("epoch length copy")? != header.epoch_len {
+        return Err(SnapshotError::HeaderMismatch {
+            what: "epoch length",
+        });
+    }
+    if r.take_u32("generation copy")? != header.generation {
+        return Err(SnapshotError::HeaderMismatch { what: "generation" });
+    }
+    if r.take_u64("engine fingerprint copy")? != header.engine_fp {
+        return Err(SnapshotError::HeaderMismatch {
+            what: "engine fingerprint",
+        });
+    }
+    // Policy.
+    let sigma = r.take_u32("sigma")?;
+    if sigma == 0 {
+        return Err(SnapshotError::BadField { what: "sigma" });
+    }
+    let mut policy = ReportingPolicy::new(sigma);
+    let domain_count = r.take_u32("whitelist count")?;
+    for _ in 0..domain_count {
+        let domain = r.take_str("whitelist domain")?;
+        policy = policy.with_whitelisted_domain(&domain);
+    }
+    // Collector.
+    let file_count = r.take_u32("file count")?;
+    let mut entries: Vec<(FileHash, Vec<MachineId>)> = Vec::with_capacity(file_count as usize);
+    for _ in 0..file_count {
+        let file = FileHash::from_raw(r.take_u64("file hash")?);
+        let machine_count = r.take_u32("machine count")?;
+        let mut machines: Vec<MachineId> = Vec::with_capacity(machine_count as usize);
+        for _ in 0..machine_count {
+            machines.push(MachineId::from_raw(r.take_u64("machine id")?));
+        }
+        if !machines
+            .iter()
+            .zip(machines.iter().skip(1))
+            .all(|(a, b)| a < b)
+        {
+            return Err(SnapshotError::BadField {
+                what: "machine list order",
+            });
+        }
+        entries.push((file, machines));
+    }
+    let suppressed = SuppressionStats {
+        not_executed: r.take_u64("suppressed.not_executed")?,
+        prevalence_cap: r.take_u64("suppressed.prevalence_cap")?,
+        whitelisted_url: r.take_u64("suppressed.whitelisted_url")?,
+    };
+    let admitted = r.take_u64("events admitted")?;
+    let collector = StreamingCollector::restore(policy, entries, suppressed, admitted);
+    // Extractor.
+    let process_count = r.take_u32("process count")?;
+    let mut processes: Vec<(FileHash, ProcessFeatures)> =
+        Vec::with_capacity(process_count as usize);
+    for _ in 0..process_count {
+        let hash = FileHash::from_raw(r.take_u64("process hash")?);
+        let signer = r.take_str("process signer")?;
+        let ca = r.take_str("process ca")?;
+        let packer = r.take_str("process packer")?;
+        let kind_name = r.take_str("process kind")?;
+        let Some(kind) = kind_from_name(&kind_name) else {
+            return Err(SnapshotError::BadField {
+                what: "process kind",
+            });
+        };
+        processes.push((
+            hash,
+            ProcessFeatures {
+                signer,
+                ca,
+                packer,
+                kind,
+            },
+        ));
+    }
+    let vector_count = r.take_u32("vector count")?;
+    let mut vectors = FileVectors::default();
+    for _ in 0..vector_count {
+        let file = FileHash::from_raw(r.take_u64("vector file")?);
+        let values: [String; 8] = [
+            r.take_str("vector value")?,
+            r.take_str("vector value")?,
+            r.take_str("vector value")?,
+            r.take_str("vector value")?,
+            r.take_str("vector value")?,
+            r.take_str("vector value")?,
+            r.take_str("vector value")?,
+            r.take_str("vector value")?,
+        ];
+        if !vectors.push(file, FeatureVector::from_values(values)) {
+            return Err(SnapshotError::BadField {
+                what: "duplicate vector",
+            });
+        }
+    }
+    let extractor = OnlineExtractor::restore(urls, processes, vectors);
+    // Shard logs.
+    let shard_count = r.take_u32("shard section count")?;
+    if shard_count != header.shard_count {
+        return Err(SnapshotError::BadField {
+            what: "shard section count",
+        });
+    }
+    let mut shards: Vec<ShardState> = Vec::with_capacity(shard_count as usize);
+    for _ in 0..shard_count {
+        let events_routed = r.take_u64("shard events_routed")?;
+        let log_len = r.take_u32("shard log length")?;
+        let mut log: Vec<ShardVerdict> = Vec::with_capacity(log_len as usize);
+        for _ in 0..log_len {
+            let seq = r.take_u64("log seq")?;
+            let file = FileHash::from_raw(r.take_u64("log file")?);
+            let verdict = take_verdict(&mut r)?;
+            let generation = r.take_u32("log generation")?;
+            log.push(ShardVerdict {
+                seq,
+                file,
+                verdict,
+                generation,
+            });
+        }
+        shards.push(ShardState { log, events_routed });
+    }
+    // Class tables.
+    let table_count = r.take_u32("class table count")?;
+    if u64::from(table_count) != u64::from(header.generation) + 1 {
+        return Err(SnapshotError::BadField {
+            what: "class table count",
+        });
+    }
+    let mut class_tables: Vec<Vec<String>> = Vec::with_capacity(table_count as usize);
+    for _ in 0..table_count {
+        let len = r.take_u32("class table length")?;
+        let mut table: Vec<String> = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            table.push(r.take_str("class name")?);
+        }
+        class_tables.push(table);
+    }
+    // Pending swap.
+    let pending_swap = if r.take_bool("pending flag")? {
+        let activate_at = r.take_u64("pending activate_at")?;
+        let fingerprint = r.take_u64("pending fingerprint")?;
+        let Some(staged) = pending else {
+            return Err(SnapshotError::EngineMismatch {
+                what: "staged engine",
+                expected: fingerprint,
+                found: 0,
+            });
+        };
+        if staged.fingerprint() != fingerprint {
+            return Err(SnapshotError::EngineMismatch {
+                what: "staged engine",
+                expected: fingerprint,
+                found: staged.fingerprint(),
+            });
+        }
+        Some(PendingSwap {
+            engine: staged.clone(),
+            activate_at,
+        })
+    } else {
+        None
+    };
+    // Swap history.
+    let swap_count = r.take_u32("swap count")?;
+    let mut swaps: Vec<SwapDivergence> = Vec::with_capacity(swap_count as usize);
+    for _ in 0..swap_count {
+        let at_seq = r.take_u64("swap at_seq")?;
+        let from_generation = r.take_u32("swap from_generation")?;
+        let to_generation = r.take_u32("swap to_generation")?;
+        let files = r.take_u64("swap files")?;
+        let changed = r.take_u64("swap changed")?;
+        let transition_count = r.take_u32("swap transition count")?;
+        let mut transitions: Vec<(String, String, u64)> =
+            Vec::with_capacity(transition_count as usize);
+        for _ in 0..transition_count {
+            let from = r.take_str("transition from")?;
+            let to = r.take_str("transition to")?;
+            let n = r.take_u64("transition count")?;
+            transitions.push((from, to, n));
+        }
+        swaps.push(SwapDivergence {
+            at_seq,
+            from_generation,
+            to_generation,
+            files,
+            changed,
+            transitions,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(SnapshotError::BadField {
+            what: "payload slack",
+        });
+    }
+    // Engine identity, last: every structural check already passed, so
+    // a mismatch here is unambiguously "right snapshot, wrong rules".
+    if engine.fingerprint() != header.engine_fp {
+        return Err(SnapshotError::EngineMismatch {
+            what: "active engine",
+            expected: header.engine_fp,
+            found: engine.fingerprint(),
+        });
+    }
+    Ok(StreamService::from_parts(
+        ServiceConfig::new(header.shard_count as usize, header.epoch_len),
+        collector,
+        extractor,
+        engine.clone(),
+        shards,
+        header.seq,
+        header.generation,
+        pending_swap,
+        swaps,
+        class_tables,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::tests_support::{sample_events, sample_service, EVENT_COUNT};
+    use downlake_exec::Pool;
+
+    fn scratch_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("downlake-snapshot-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_byte_identical() {
+        let urls = UrlLabeler::new();
+        let (mut svc, engine) = sample_service(&urls);
+        let events = sample_events();
+        let split = EVENT_COUNT / 2;
+        for raw in &events[..split] {
+            svc.push(raw);
+        }
+        let path = scratch_file("roundtrip.snap");
+        svc.snapshot_to(&path).unwrap();
+
+        let mut resumed = StreamService::restore(&path, &urls, &engine, None).unwrap();
+        for raw in &events[split..] {
+            svc.push(raw);
+            resumed.push(raw);
+        }
+        assert_eq!(svc.merged_verdicts(), resumed.merged_verdicts());
+        assert_eq!(svc.vectors(), resumed.vectors());
+        assert_eq!(svc.suppression_stats(), resumed.suppression_stats());
+        assert_eq!(svc.events_seen(), resumed.events_seen());
+        let pool = Pool::sequential();
+        assert_eq!(svc.status(&pool), resumed.status(&pool));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshots_of_identical_state_are_byte_identical() {
+        let urls = UrlLabeler::new();
+        let (mut svc, _engine) = sample_service(&urls);
+        for raw in &sample_events() {
+            svc.push(raw);
+        }
+        let a = scratch_file("stable-a.snap");
+        let b = scratch_file("stable-b.snap");
+        svc.snapshot_to(&a).unwrap();
+        svc.snapshot_to(&b).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn absent_snapshot_is_cold_not_corrupt() {
+        let urls = UrlLabeler::new();
+        let (_, engine) = sample_service(&urls);
+        let err = StreamService::restore(
+            Path::new("/nonexistent/downlake.snap"),
+            &urls,
+            &engine,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.is_cold());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for [`ServiceReport`]'s commutative merge — the law
+//! licensed by the `ServiceReport` entry in `merge-contracts.json`.
+//!
+//! `StreamService::report` folds per-shard partials on the pool, so the
+//! merged report must be independent of fold order: integer fields add,
+//! class tallies merge label-wise and stay sorted. Labels are drawn
+//! from a small pool so collisions happen — a law over disjoint labels
+//! only would prove nothing. The `proptest!` property has a
+//! deterministic grid mirror.
+
+use downlake_stream::ServiceReport;
+use proptest::prelude::*;
+
+/// The label pool: real verdict labels a service produces, shared
+/// across generated partials so merges must fold duplicates.
+const LABELS: [&str; 4] = ["benign", "malicious", "rejected", "no_match"];
+
+/// A strategy for one synthetic per-shard partial with small tallies.
+fn report_strategy() -> impl Strategy<Value = ServiceReport> {
+    (
+        proptest::collection::vec((0usize..LABELS.len(), 0u64..100), 0..6),
+        proptest::collection::vec(0u64..1000, 4),
+    )
+        .prop_map(|(tallies, t)| {
+            let mut partial = ServiceReport {
+                shards: 1,
+                events_routed: t[0],
+                files_classified: t[1],
+                class_verdicts: Vec::new(),
+                rejected: t[2],
+                no_match: t[3],
+            };
+            // Feed raw (label, count) pairs through merge itself so the
+            // partial is in canonical form, like shard_report emits.
+            let raw = ServiceReport {
+                class_verdicts: tallies
+                    .into_iter()
+                    .map(|(li, n)| (LABELS[li].to_owned(), n))
+                    .collect(),
+                ..ServiceReport::default()
+            };
+            // A single-element merge normalizes (sorts + folds dups).
+            partial.merge(raw);
+            partial.shards = 1;
+            partial
+        })
+}
+
+/// The law: integer fields add and label tallies fold by addition, so
+/// every merge order over every partition yields the same report, with
+/// the default (all-zero) report as identity.
+fn check_merge_laws(partials: &[ServiceReport], split: usize) {
+    let split = split % (partials.len() + 1);
+    let fold = |parts: &[ServiceReport]| -> ServiceReport {
+        let mut merged = ServiceReport::default();
+        for p in parts {
+            merged.merge(p.clone());
+        }
+        merged
+    };
+
+    // Commutativity: a ⊕ b == b ⊕ a.
+    let a = fold(&partials[..split]);
+    let b = fold(&partials[split..]);
+    let mut ab = a.clone();
+    ab.merge(b.clone());
+    let mut ba = b.clone();
+    ba.merge(a.clone());
+    assert_eq!(ab, ba, "merge must commute");
+
+    // Associativity + identity: any partition folds to the sequential
+    // result, and the default report is a no-op.
+    let sequential = fold(partials);
+    assert_eq!(ab, sequential, "partitioning must not matter");
+    let mut with_identity = sequential.clone();
+    with_identity.merge(ServiceReport::default());
+    assert_eq!(with_identity, sequential, "default report must be identity");
+
+    // Tally conservation: nothing lost or double-counted.
+    assert_eq!(
+        ab.shards,
+        partials.iter().map(|p| p.shards).sum::<u64>(),
+        "shard partial count must be conserved"
+    );
+    let per_label: u64 = partials
+        .iter()
+        .flat_map(|p| p.class_verdicts.iter().map(|(_, n)| n))
+        .sum();
+    assert_eq!(
+        ab.class_verdicts.iter().map(|(_, n)| n).sum::<u64>(),
+        per_label,
+        "class tallies must be conserved"
+    );
+
+    // Tallies stay sorted and label-unique — the canonical form.
+    let labels: Vec<&str> = ab.class_verdicts.iter().map(|(l, _)| l.as_str()).collect();
+    let mut sorted = labels.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(labels, sorted, "labels must stay sorted and unique");
+}
+
+proptest! {
+    #[test]
+    fn service_report_merge_commutes(
+        partials in proptest::collection::vec(report_strategy(), 0..10),
+        split in 0usize..16,
+    ) {
+        check_merge_laws(&partials, split);
+    }
+}
+
+/// Deterministic mirror: a dense set of partials covering every label
+/// and every split point.
+#[test]
+fn grid_mirror_merge_laws() {
+    let mut partials = Vec::new();
+    for (i, label) in LABELS.iter().enumerate() {
+        partials.push(ServiceReport {
+            shards: 1,
+            events_routed: 10 * i as u64 + 1,
+            files_classified: 3 * i as u64,
+            class_verdicts: vec![
+                (label.to_string(), i as u64 + 1),
+                (LABELS[(i + 1) % LABELS.len()].to_string(), 2),
+            ],
+            rejected: i as u64,
+            no_match: 1,
+        });
+    }
+    // Pre-normalize each hand-built partial the way merge would.
+    for p in &mut partials {
+        let raw = std::mem::take(p);
+        let mut canonical = ServiceReport::default();
+        canonical.merge(raw);
+        *p = canonical;
+    }
+    for split in 0..=partials.len() {
+        check_merge_laws(&partials, split);
+    }
+}

@@ -1,0 +1,536 @@
+//! Snapshot corruption honesty, mirroring `crates/lake/tests/corruption.rs`:
+//! every header field, the payload, and the footer each get a byte
+//! flipped or truncated, and restore must (a) report the exact typed
+//! [`SnapshotError`] variant — never panic — and (b) fall back to a
+//! cold service through [`StreamService::restore_or_cold`], counting
+//! `service.restore.corrupt`.
+
+use downlake_groundtruth::UrlLabeler;
+use downlake_obs::Registry;
+use downlake_rulelearn::{Condition, InstancesBuilder, Rule, RuleSet};
+use downlake_stream::{
+    CompiledRuleSet, ServiceConfig, SnapshotError, StreamService, SNAPSHOT_HEADER_LEN,
+};
+use downlake_telemetry::{RawEvent, ReportingPolicy};
+use downlake_types::{FileHash, FileMeta, MachineId, SignerInfo, Timestamp, Url};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, process-unique scratch directory (no tempfile dependency).
+fn scratch_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "downlake-snapshot-corruption-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// An 8-attribute engine whose single rule fires on `signer` (interned
+/// as value 0 of attribute 0).
+fn engine_for(signer: &str) -> CompiledRuleSet {
+    let mut b = InstancesBuilder::new(
+        &[
+            "file's signer",
+            "file's CA",
+            "file's packer",
+            "process's signer",
+            "process's CA",
+            "process's packer",
+            "process's type",
+            "domain's Alexa rank",
+        ],
+        &["benign", "malicious"],
+    );
+    b.push(
+        &[
+            signer,
+            "ca",
+            "(unpacked)",
+            "(unsigned)",
+            "(unsigned)",
+            "(unpacked)",
+            "browser",
+            "unranked",
+        ],
+        "malicious",
+    );
+    let schema = b.build().schema().clone();
+    CompiledRuleSet::compile(&RuleSet::new(
+        schema,
+        vec![Rule {
+            conditions: vec![Condition { attr: 0, value: 0 }],
+            class: 1,
+            covered: 10,
+            errors: 0,
+        }],
+    ))
+}
+
+fn event(file: u64, machine: u64, signer: Option<&str>) -> RawEvent {
+    RawEvent {
+        file: FileHash::from_raw(file),
+        file_meta: FileMeta {
+            size_bytes: 1,
+            disk_name: "setup.exe".into(),
+            signer: signer.map(|s| SignerInfo::valid(s, "ca")),
+            packer: None,
+        },
+        machine: MachineId::from_raw(machine),
+        process: FileHash::from_raw(999),
+        process_meta: FileMeta {
+            disk_name: "chrome.exe".into(),
+            ..FileMeta::default()
+        },
+        url: "http://a.com/f.exe".parse::<Url>().unwrap(),
+        timestamp: Timestamp::from_day(0),
+        executed: true,
+    }
+}
+
+const CONFIG: ServiceConfig = ServiceConfig {
+    shards: 4,
+    epoch_len: 16,
+};
+
+/// Builds a service with state in every snapshot section (admission
+/// lists, vectors, shard logs, a published swap with divergence, and a
+/// staged pending engine) and writes its snapshot.
+fn write_snapshot(dir: &Path) -> PathBuf {
+    let urls = UrlLabeler::new();
+    let engine = engine_for("somoto");
+    let mut svc = StreamService::new(CONFIG, ReportingPolicy::paper_whitelist(20), &urls, engine);
+    let events: Vec<RawEvent> = (0..40)
+        .map(|i| event(i % 7, i, if i % 7 == 0 { Some("somoto") } else { None }))
+        .collect();
+    for raw in &events[..8] {
+        svc.push(raw);
+    }
+    // One swap published at seq 16, one still staged at snapshot time.
+    svc.stage_engine(engine_for("other-signer"));
+    for raw in &events[8..30] {
+        svc.push(raw);
+    }
+    assert_eq!(svc.generation(), 1, "first swap must have published");
+    svc.stage_engine(engine_for("third-signer"));
+    assert!(svc.pending_swap().is_some());
+    let path = dir.join("service.snap");
+    svc.snapshot_to(&path).expect("write snapshot");
+    path
+}
+
+fn flip_byte(path: &Path, offset: usize) {
+    let mut bytes = fs::read(path).expect("read file to corrupt");
+    bytes[offset] ^= 0xff;
+    fs::write(path, bytes).expect("write corrupted file");
+}
+
+/// The engines a restore must re-supply for the snapshot
+/// `write_snapshot` produces.
+fn restore_engines() -> (CompiledRuleSet, CompiledRuleSet) {
+    (engine_for("other-signer"), engine_for("third-signer"))
+}
+
+/// After `flip`/truncate damaged the snapshot: `restore` must return
+/// the expected typed error (checked by `check`), and `restore_or_cold`
+/// must fall back to a cold service rather than panic, counting the
+/// corruption.
+fn assert_detected_and_cold(path: &Path, check: impl FnOnce(&SnapshotError)) {
+    let urls = UrlLabeler::new();
+    let (active, staged) = restore_engines();
+    let err = StreamService::restore(path, &urls, &active, Some(&staged))
+        .expect_err("corruption must be detected");
+    assert!(!err.is_cold(), "corruption must not look like a cold start");
+    check(&err);
+    let registry = Registry::new();
+    let svc = StreamService::restore_or_cold(
+        path,
+        CONFIG,
+        ReportingPolicy::paper_whitelist(20),
+        &urls,
+        &active,
+        Some(&staged),
+        &registry,
+    );
+    assert_eq!(registry.counter("service.restore.corrupt"), 1);
+    assert_eq!(registry.counter("service.restore.warm"), 0);
+    assert_eq!(registry.counter("service.restore.cold"), 0);
+    assert_eq!(svc.events_seen(), 0, "fallback must be a cold service");
+}
+
+#[test]
+fn healthy_snapshot_restores_warm() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    let urls = UrlLabeler::new();
+    let (active, staged) = restore_engines();
+    let registry = Registry::new();
+    let svc = StreamService::restore_or_cold(
+        &path,
+        CONFIG,
+        ReportingPolicy::paper_whitelist(20),
+        &urls,
+        &active,
+        Some(&staged),
+        &registry,
+    );
+    assert_eq!(registry.counter("service.restore.warm"), 1);
+    assert_eq!(registry.counter("service.restore.corrupt"), 0);
+    assert_eq!(svc.events_seen(), 30);
+    assert_eq!(svc.generation(), 1);
+    assert_eq!(svc.swap_history().len(), 1);
+    assert!(svc.pending_swap().is_some());
+}
+
+#[test]
+fn flipped_magic_is_bad_magic() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    flip_byte(&path, 0);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(e, SnapshotError::BadMagic { what: "header", .. }),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn crashed_write_placeholder_header_is_bad_magic() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    // A writer that died before finalize leaves the zeroed placeholder.
+    let mut bytes = fs::read(&path).expect("read snapshot");
+    for b in bytes.iter_mut().take(SNAPSHOT_HEADER_LEN) {
+        *b = 0;
+    }
+    fs::write(&path, bytes).expect("write crashed snapshot");
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(e, SnapshotError::BadMagic { what: "header", found } if *found == [0u8; 8]),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_version_is_bad_version() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    flip_byte(&path, 8);
+    assert_detected_and_cold(&path, |e| {
+        assert!(matches!(e, SnapshotError::BadVersion { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn flipped_shard_count_is_header_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    flip_byte(&path, 12);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(
+                e,
+                SnapshotError::HeaderMismatch {
+                    what: "shard count"
+                }
+            ),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_sequence_number_is_header_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    flip_byte(&path, 16);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(
+                e,
+                SnapshotError::HeaderMismatch {
+                    what: "sequence number"
+                }
+            ),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_epoch_length_is_header_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    flip_byte(&path, 24);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(
+                e,
+                SnapshotError::HeaderMismatch {
+                    what: "epoch length"
+                }
+            ),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_generation_is_header_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    flip_byte(&path, 32);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(e, SnapshotError::HeaderMismatch { what: "generation" }),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_reserved_bytes_are_header_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    flip_byte(&path, 36);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(e, SnapshotError::HeaderMismatch { what: "reserved" }),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_engine_fingerprint_is_header_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    flip_byte(&path, 40);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(
+                e,
+                SnapshotError::HeaderMismatch {
+                    what: "engine fingerprint"
+                }
+            ),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_stored_checksum_is_checksum_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    flip_byte(&path, 48);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(e, SnapshotError::ChecksumMismatch { what: "footer", .. }),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_payload_length_is_truncation() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    flip_byte(&path, 56);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(e, SnapshotError::Truncated { what: "payload" }),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn flipped_payload_byte_is_checksum_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    let len = fs::read(&path).expect("read snapshot").len();
+    // Deep inside the payload, clear of header (64) and footer (16).
+    flip_byte(&path, SNAPSHOT_HEADER_LEN + (len - 80) / 2);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(
+                e,
+                SnapshotError::ChecksumMismatch {
+                    what: "payload",
+                    ..
+                }
+            ),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn every_single_payload_byte_flip_is_detected() {
+    // Exhaustive over the payload: no byte may flip silently. All land
+    // in ChecksumMismatch because verification happens before decode.
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    let pristine = fs::read(&path).expect("read snapshot");
+    let urls = UrlLabeler::new();
+    let (active, staged) = restore_engines();
+    for offset in (SNAPSHOT_HEADER_LEN..pristine.len() - 16).step_by(97) {
+        let mut bytes = pristine.clone();
+        bytes[offset] ^= 0xff;
+        fs::write(&path, bytes).expect("write corrupted snapshot");
+        let err = StreamService::restore(&path, &urls, &active, Some(&staged))
+            .expect_err("flip must be detected");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::ChecksumMismatch {
+                    what: "payload",
+                    ..
+                }
+            ),
+            "offset {offset}: got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn truncated_below_header_is_truncated_header() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    let mut bytes = fs::read(&path).expect("read snapshot");
+    bytes.truncate(SNAPSHOT_HEADER_LEN / 2);
+    fs::write(&path, bytes).expect("write truncated snapshot");
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(e, SnapshotError::Truncated { what: "header" }),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn truncated_mid_payload_is_detected() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    let mut bytes = fs::read(&path).expect("read snapshot");
+    let cut = SNAPSHOT_HEADER_LEN + (bytes.len() - 80) / 2;
+    bytes.truncate(cut);
+    fs::write(&path, bytes).expect("write truncated snapshot");
+    assert_detected_and_cold(&path, |e| {
+        assert!(matches!(e, SnapshotError::Truncated { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn truncated_footer_is_detected() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    let mut bytes = fs::read(&path).expect("read snapshot");
+    let keep = bytes.len() - 5;
+    bytes.truncate(keep);
+    fs::write(&path, bytes).expect("write truncated snapshot");
+    assert_detected_and_cold(&path, |e| {
+        assert!(matches!(e, SnapshotError::Truncated { .. }), "got {e:?}")
+    });
+}
+
+#[test]
+fn corrupted_footer_magic_is_bad_magic() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    let len = fs::read(&path).expect("read snapshot").len();
+    flip_byte(&path, len - 16);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(e, SnapshotError::BadMagic { what: "footer", .. }),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn corrupted_footer_checksum_is_checksum_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    let len = fs::read(&path).expect("read snapshot").len();
+    flip_byte(&path, len - 8);
+    assert_detected_and_cold(&path, |e| {
+        assert!(
+            matches!(e, SnapshotError::ChecksumMismatch { what: "footer", .. }),
+            "got {e:?}"
+        )
+    });
+}
+
+#[test]
+fn missing_snapshot_is_absent_and_counts_cold() {
+    let root = scratch_root();
+    let path = root.join("never-written.snap");
+    let urls = UrlLabeler::new();
+    let (active, staged) = restore_engines();
+    let err = StreamService::restore(&path, &urls, &active, Some(&staged))
+        .expect_err("missing file is absent");
+    assert!(err.is_cold(), "absent must be a cold start, not corruption");
+    let registry = Registry::new();
+    let svc = StreamService::restore_or_cold(
+        &path,
+        CONFIG,
+        ReportingPolicy::paper_whitelist(20),
+        &urls,
+        &active,
+        Some(&staged),
+        &registry,
+    );
+    assert_eq!(registry.counter("service.restore.cold"), 1);
+    assert_eq!(registry.counter("service.restore.corrupt"), 0);
+    assert_eq!(svc.events_seen(), 0);
+}
+
+#[test]
+fn wrong_active_engine_is_engine_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    let urls = UrlLabeler::new();
+    let (_, staged) = restore_engines();
+    let stale = engine_for("stale-rules");
+    let err = StreamService::restore(&path, &urls, &stale, Some(&staged))
+        .expect_err("stale engine must be rejected");
+    assert!(
+        matches!(
+            err,
+            SnapshotError::EngineMismatch {
+                what: "active engine",
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn missing_staged_engine_is_engine_mismatch() {
+    let root = scratch_root();
+    let path = write_snapshot(&root);
+    let urls = UrlLabeler::new();
+    let (active, _) = restore_engines();
+    let err = StreamService::restore(&path, &urls, &active, None)
+        .expect_err("recorded pending swap needs its engine");
+    assert!(
+        matches!(
+            err,
+            SnapshotError::EngineMismatch {
+                what: "staged engine",
+                found: 0,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+}

@@ -276,17 +276,98 @@ impl Iterator for EventReader<'_> {
     }
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Appends a little-endian `u32` field.
+///
+/// The `put_*` functions are the codec's primitive field encodings,
+/// exposed (like [`encode_file_meta`]) so sidecar formats — the lake's
+/// world catalog, the stream service's snapshot files — reuse the exact
+/// wire layout [`FieldReader`] decodes instead of inventing a second
+/// one.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_i64(out: &mut Vec<u8>, v: i64) {
+/// Appends a little-endian `u64` field.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+/// Appends a little-endian `i64` field.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a one-byte bool tag (0 or 1), the codec's presence encoding.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Appends a length-prefixed UTF-8 string (`u32` byte count + bytes).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+}
+
+/// Panic-free forward reader over fields written by the `put_*`
+/// functions.
+///
+/// Public counterpart of the codec's internal cursor: every accessor
+/// bounds-checks and returns [`CodecError::Truncated`] with the caller's
+/// field label instead of slicing out of range, so sidecar formats
+/// (e.g. the stream service snapshot) inherit the codec's
+/// corruption-is-a-typed-error contract for free.
+#[derive(Debug)]
+pub struct FieldReader<'a> {
+    inner: Cursor<'a>,
+}
+
+impl<'a> FieldReader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            inner: Cursor::new(buf),
+        }
+    }
+
+    /// Byte offset of the next unread field.
+    pub fn position(&self) -> usize {
+        self.inner.pos
+    }
+
+    /// Bytes left in the buffer.
+    pub fn remaining(&self) -> usize {
+        self.inner.buf.len() - self.inner.pos
+    }
+
+    /// Reads a single byte (e.g. a presence or variant tag).
+    pub fn take_u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Ok(self.inner.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32` field.
+    pub fn take_u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        self.inner.take_u32(what)
+    }
+
+    /// Reads a little-endian `u64` field.
+    pub fn take_u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        self.inner.take_u64(what)
+    }
+
+    /// Reads a little-endian `i64` field.
+    pub fn take_i64(&mut self, what: &'static str) -> Result<i64, CodecError> {
+        self.inner.take_i64(what)
+    }
+
+    /// Reads a one-byte bool tag, rejecting anything but 0 or 1.
+    pub fn take_bool(&mut self, what: &'static str) -> Result<bool, CodecError> {
+        self.inner.take_bool(what)
+    }
+
+    /// Reads a length-prefixed UTF-8 string field.
+    pub fn take_str(&mut self, what: &'static str) -> Result<String, CodecError> {
+        self.inner.take_str(what)
+    }
 }
 
 fn put_meta(out: &mut Vec<u8>, meta: &FileMeta) {
@@ -311,6 +392,7 @@ fn put_meta(out: &mut Vec<u8>, meta: &FileMeta) {
 }
 
 /// A panic-free forward reader over a byte slice.
+#[derive(Debug)]
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,

@@ -132,6 +132,17 @@ impl ReportingPolicy {
     pub fn is_whitelisted(&self, e2ld: &str) -> bool {
         self.whitelisted_e2lds.contains(&e2ld.to_ascii_lowercase())
     }
+
+    /// The whitelisted e2LDs in sorted order.
+    ///
+    /// Sorting makes the view deterministic, so serialized forms of the
+    /// policy (e.g. the stream-service snapshot) are byte-stable across
+    /// runs.
+    pub fn whitelisted_sorted(&self) -> Vec<&str> {
+        let mut domains: Vec<&str> = self.whitelisted_e2lds.iter().map(String::as_str).collect();
+        domains.sort_unstable();
+        domains
+    }
 }
 
 impl Default for ReportingPolicy {

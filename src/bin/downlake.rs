@@ -3,6 +3,7 @@
 //! ```text
 //! downlake [--scale tiny|small|default|large|paper|<fraction>] [--seed N] [--threads N] [--lake DIR] [--obs PATH] <experiment>...
 //! downlake sweep --manifest PATH [--threads N] [--lake DIR] [--obs PATH]
+//! downlake serve [--shards N] [--epoch-events N] [--swap-month MON] [--snapshot FILE ...]
 //! downlake --list
 //! ```
 //!
@@ -31,11 +32,23 @@
 //! out over the pool, and prints the (σ, τ) sensitivity surface;
 //! `--obs` then writes the sweep's own run manifest, byte-identical
 //! outside `timing` at every `--threads` setting.
+//!
+//! `serve` stands alone too: it runs the machine-sharded stream service
+//! (`downlake::serve`) over the study's wire stream — `--shards` picks
+//! the routing width, `--swap-month` retrains a second ruleset and
+//! hot-swaps it at the `--epoch-events` boundary, and `--snapshot FILE`
+//! drives the crash drill: alone it snapshots mid-stream, resumes from
+//! the file, and verifies the result byte-identical to an uninterrupted
+//! run; with `--kill-after-snapshot` it stops after writing the file
+//! (simulating the crash), and with `--resume` it restores and replays
+//! only the remainder, then verifies. See `docs/SERVICE.md` for the
+//! operator runbook.
 
-use downlake_repro::core::{experiments, live, report, Study, StudyConfig};
+use downlake_repro::core::{experiments, live, report, serve, Study, StudyConfig};
 use downlake_repro::obs::{RealClock, Registry};
 use downlake_repro::sweep::{run_sweep, run_sweep_with_lake, SweepManifest};
 use downlake_repro::synth::Scale;
+use downlake_repro::types::Month;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     (
@@ -75,6 +88,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "sweep",
         "sensitivity sweep over a --manifest: the (σ, τ) surface",
     ),
+    (
+        "serve",
+        "sharded stream service: snapshot/resume + epoch-based rule hot-swap",
+    ),
     ("all", "the full report (everything above)"),
 ];
 
@@ -98,12 +115,60 @@ fn usage() -> ! {
         "usage: downlake [--scale SCALE] [--seed N] [--threads N] [--lake DIR] [--obs PATH] <experiment>..."
     );
     eprintln!("       downlake sweep --manifest PATH [--threads N] [--lake DIR] [--obs PATH]");
+    eprintln!(
+        "       downlake serve [--shards N] [--threads N] [--epoch-events N] [--swap-month MON]"
+    );
+    eprintln!(
+        "                      [--snapshot FILE [--snapshot-at N] [--kill-after-snapshot | --resume]]"
+    );
     eprintln!("       downlake --list");
     eprintln!("       --threads 0 = one worker per core (output is identical at any count)");
     eprintln!("       --lake DIR  = cache the event stream as on-disk segments under DIR");
     eprintln!("       --obs PATH  = write a JSON run manifest (metrics + quarantined timings)");
     eprintln!("       --manifest PATH = JSON sweep manifest (σ/τ/seed/month axes) for `sweep`");
+    eprintln!(
+        "       serve: --shards N (default 8), --epoch-events N = hot-swap epoch (default 4096),"
+    );
+    eprintln!(
+        "              --swap-month Jan..Jul = retrain on that month and hot-swap at the epoch,"
+    );
+    eprintln!(
+        "              --snapshot FILE = write (and verify a resume of) a snapshot mid-stream,"
+    );
+    eprintln!("              --snapshot-at N = snapshot after N events (default: the midpoint),");
+    eprintln!("              --kill-after-snapshot = stop right after writing the snapshot,");
+    eprintln!("              --resume = restore FILE and replay only the remainder");
     std::process::exit(2);
+}
+
+fn parse_month(arg: &str) -> Option<Month> {
+    Month::ALL
+        .into_iter()
+        .find(|m| arg.eq_ignore_ascii_case(m.short_name()))
+}
+
+/// Flags consumed only by the `serve` subcommand.
+#[derive(Default)]
+struct ServeFlags {
+    shards: Option<usize>,
+    epoch_events: Option<u64>,
+    swap_month: Option<Month>,
+    snapshot: Option<std::path::PathBuf>,
+    snapshot_at: Option<u64>,
+    kill_after_snapshot: bool,
+    resume: bool,
+}
+
+impl ServeFlags {
+    fn any_set(&self) -> bool {
+        self.shards.is_some()
+            || self.epoch_events.is_some()
+            || self.swap_month.is_some()
+            || self.snapshot.is_some()
+            || self.snapshot_at.is_some()
+            || self.kill_after_snapshot
+            || self.resume
+    }
 }
 
 fn main() {
@@ -113,6 +178,7 @@ fn main() {
     let mut obs_path: Option<std::path::PathBuf> = None;
     let mut manifest_path: Option<std::path::PathBuf> = None;
     let mut lake_root: Option<std::path::PathBuf> = None;
+    let mut serve_flags = ServeFlags::default();
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -154,6 +220,37 @@ fn main() {
                 let Some(value) = args.next() else { usage() };
                 lake_root = Some(std::path::PathBuf::from(value));
             }
+            "--shards" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                serve_flags.shards = Some(value);
+            }
+            "--epoch-events" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                serve_flags.epoch_events = Some(value);
+            }
+            "--swap-month" => {
+                let Some(value) = args.next().and_then(|v| parse_month(&v)) else {
+                    eprintln!("--swap-month takes Jan, Feb, … Jul");
+                    usage()
+                };
+                serve_flags.swap_month = Some(value);
+            }
+            "--snapshot" => {
+                let Some(value) = args.next() else { usage() };
+                serve_flags.snapshot = Some(std::path::PathBuf::from(value));
+            }
+            "--snapshot-at" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                serve_flags.snapshot_at = Some(value);
+            }
+            "--kill-after-snapshot" => serve_flags.kill_after_snapshot = true,
+            "--resume" => serve_flags.resume = true,
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => usage(),
             other => wanted.push(other.to_owned()),
@@ -181,6 +278,24 @@ fn main() {
     }
     if manifest_path.is_some() {
         eprintln!("--manifest only applies to the `sweep` experiment");
+        std::process::exit(2);
+    }
+
+    // `serve` owns its own flags and run shapes (grid, kill, resume), so
+    // it dispatches standalone too.
+    if wanted.iter().any(|id| id == "serve") {
+        if wanted.len() != 1 {
+            eprintln!("`serve` runs alone; drop the other experiment ids");
+            std::process::exit(2);
+        }
+        run_serve_command(scale, seed, threads, lake_root, obs_path, serve_flags);
+        return;
+    }
+    if serve_flags.any_set() {
+        eprintln!(
+            "--shards/--epoch-events/--swap-month/--snapshot/--snapshot-at/\
+             --kill-after-snapshot/--resume only apply to the `serve` experiment"
+        );
         std::process::exit(2);
     }
 
@@ -282,6 +397,146 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("manifest written to {}", path.display());
+    }
+}
+
+/// The `serve` subcommand: build the study, stage the service prep
+/// (optionally retraining a hot-swap engine on `--swap-month`), then
+/// run the requested shape — a plain run, a full snapshot/kill/resume
+/// drill, or one half of it.
+fn run_serve_command(
+    scale: Scale,
+    seed: u64,
+    threads: Option<usize>,
+    lake_root: Option<std::path::PathBuf>,
+    obs_path: Option<std::path::PathBuf>,
+    flags: ServeFlags,
+) {
+    if flags.resume && flags.kill_after_snapshot {
+        eprintln!("--resume and --kill-after-snapshot are mutually exclusive");
+        std::process::exit(2);
+    }
+    if flags.snapshot.is_none()
+        && (flags.resume || flags.kill_after_snapshot || flags.snapshot_at.is_some())
+    {
+        eprintln!("--resume/--kill-after-snapshot/--snapshot-at require --snapshot FILE");
+        std::process::exit(2);
+    }
+    let threads = threads.unwrap_or(1);
+    let shards = flags.shards.unwrap_or(8);
+    eprintln!("running study (scale {scale:?}, seed {seed}, threads {threads})…");
+    let mut config = StudyConfig::new(seed)
+        .with_scale(scale)
+        .with_threads(threads);
+    if let Some(root) = lake_root {
+        eprintln!("event lake rooted at {}", root.display());
+        config = config.with_lake(root);
+    }
+    let study = Study::run(&config);
+
+    let options = serve::ServeOptions {
+        epoch_len: flags.epoch_events.unwrap_or(4096),
+        swap_month: flags.swap_month,
+        ..serve::ServeOptions::default()
+    };
+    match options.swap_month {
+        Some(month) => eprintln!(
+            "staging service (train {}, hot-swap retrain {month} at epoch {})…",
+            options.train_month, options.epoch_len
+        ),
+        None => eprintln!("staging service (train {})…", options.train_month),
+    }
+    let prep = serve::stage(&study, options);
+    eprintln!(
+        "  staged: {} events, {} rules (generation 0), {} shard(s)",
+        prep.events_total(),
+        prep.live().engine().rule_count(),
+        shards
+    );
+
+    let registry = Registry::new();
+    let fail = |err: &dyn std::fmt::Display| -> ! {
+        eprintln!("serve failed: {err}");
+        std::process::exit(1);
+    };
+    let run = match &flags.snapshot {
+        Some(path) if flags.kill_after_snapshot => {
+            let run = prep
+                .run_to_snapshot(threads, shards, path, flags.snapshot_at)
+                .unwrap_or_else(|e| fail(&e));
+            eprintln!(
+                "snapshot written to {} at event {}; killed (resume with --resume)",
+                path.display(),
+                run.status.events_seen
+            );
+            run
+        }
+        Some(path) if flags.resume => {
+            let run = prep
+                .resume(threads, shards, path, &registry)
+                .unwrap_or_else(|e| fail(&e));
+            let how = ["warm", "cold", "corrupt"]
+                .into_iter()
+                .find(|kind| registry.counter(&format!("service.restore.{kind}")) == 1)
+                .unwrap_or("warm");
+            eprintln!("restored {} ({how})", path.display());
+            verify_against_uninterrupted(&prep, threads, shards, &run);
+            run
+        }
+        Some(path) => {
+            // Full drill in one process: kill at the split point, then
+            // resume from the file and verify against an unbroken run.
+            let killed = prep
+                .run_to_snapshot(threads, shards, path, flags.snapshot_at)
+                .unwrap_or_else(|e| fail(&e));
+            eprintln!(
+                "snapshot written to {} at event {}",
+                path.display(),
+                killed.status.events_seen
+            );
+            let run = prep
+                .resume(threads, shards, path, &registry)
+                .unwrap_or_else(|e| fail(&e));
+            verify_against_uninterrupted(&prep, threads, shards, &run);
+            run
+        }
+        None => prep.run(threads, shards).unwrap_or_else(|e| fail(&e)),
+    };
+
+    println!("== Stream service ({threads} thread(s), {shards} shard(s)) ==");
+    println!("{}", serve::render_summary(&run));
+
+    if let Some(path) = obs_path {
+        let mut manifest = study.manifest();
+        manifest.absorb(&registry.snapshot());
+        if let Err(err) = manifest.write(&path) {
+            eprintln!("failed to write manifest {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("manifest written to {}", path.display());
+    }
+}
+
+/// Replays the stream uninterrupted and checks the resumed run ended in
+/// the identical logical state — the service's central invariant.
+fn verify_against_uninterrupted(
+    prep: &serve::ServePrep<'_>,
+    threads: usize,
+    shards: usize,
+    run: &serve::ServeRun,
+) {
+    match prep.run(threads, shards) {
+        Ok(reference) if run.same_state(&reference) => {
+            eprintln!("resume verified: byte-identical to an uninterrupted run");
+        }
+        Ok(_) => {
+            eprintln!("serve failed: resumed run DIVERGED from the uninterrupted run");
+            std::process::exit(1);
+        }
+        Err(err) => {
+            eprintln!("serve failed: {err}");
+            std::process::exit(1);
+        }
     }
 }
 

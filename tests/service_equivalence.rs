@@ -1,0 +1,163 @@
+//! The sharded-service equivalence gate for `downlake-stream`'s
+//! `StreamService`: for the seed-42 study, the (threads × shards) grid
+//! must be pure timing/routing surface — every cell ends byte-identical
+//! to the single-shard run, whose verdict stream in turn equals the
+//! single `StreamSession` replay's. A snapshot taken mid-stream and
+//! resumed (through the `telemetry::codec`-framed on-disk format) must
+//! reproduce the uninterrupted run exactly, and the epoch-published hot
+//! swap must report the exact pinned divergence — the re-classification
+//! of every known file under the outgoing and incoming engines is part
+//! of the deterministic surface, not best-effort logging.
+
+use downlake_repro::core::serve::{self, ServeOptions};
+use downlake_repro::obs::Registry;
+use downlake_repro::types::Month;
+use std::sync::OnceLock;
+
+mod common;
+
+/// Swap-free prep: the service must shadow the single-session replay.
+fn plain_prep() -> &'static serve::ServePrep<'static> {
+    static PREP: OnceLock<serve::ServePrep<'static>> = OnceLock::new();
+    PREP.get_or_init(|| serve::stage(common::tiny_study(), ServeOptions::default()))
+}
+
+/// Hot-swap prep: February retrain staged before the first event,
+/// publishing at the epoch-500 boundary.
+fn swap_prep() -> &'static serve::ServePrep<'static> {
+    static PREP: OnceLock<serve::ServePrep<'static>> = OnceLock::new();
+    PREP.get_or_init(|| {
+        serve::stage(
+            common::tiny_study(),
+            ServeOptions {
+                epoch_len: 500,
+                swap_month: Some(Month::February),
+                ..ServeOptions::default()
+            },
+        )
+    })
+}
+
+#[test]
+fn sharded_grid_is_byte_identical_to_the_single_session() {
+    let prep = plain_prep();
+    let session = prep.live().replay(1).expect("well-formed stream");
+    let base = prep.run(1, 1).expect("run");
+    assert_eq!(
+        base.verdicts, session.verdicts,
+        "sharding must not change one verdict relative to the single session"
+    );
+    assert_eq!(base.status.events_seen as usize, prep.events_total());
+
+    for shards in [1usize, 8] {
+        for threads in [1usize, 4] {
+            let run = prep.run(threads, shards).expect("run");
+            assert_eq!(run.shards, shards);
+            assert!(
+                run.same_state(&base),
+                "threads={threads} shards={shards} changed the outcome"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_and_resume_reproduce_the_uninterrupted_run() {
+    let prep = swap_prep();
+    let uninterrupted = prep.run(4, 8).expect("run");
+    assert_eq!(uninterrupted.status.generation, 1, "swap must publish");
+
+    let dir = std::env::temp_dir().join(format!(
+        "downlake-service-equivalence-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    // Split at several event counts, including one before the epoch-500
+    // swap boundary (the pending swap must travel in the snapshot) and
+    // one after (the post-swap generation must restore).
+    let total = prep.events_total() as u64;
+    for (i, at) in [100u64, 499, 500, total / 2, total - 1]
+        .into_iter()
+        .enumerate()
+    {
+        let path = dir.join(format!("split-{i}.snap"));
+        let killed = prep.run_to_snapshot(1, 8, &path, Some(at)).expect("kill");
+        assert_eq!(killed.status.events_seen, at);
+
+        let registry = Registry::new();
+        let resumed = prep.resume(4, 8, &path, &registry).expect("resume");
+        assert_eq!(
+            registry.counter("service.restore.warm"),
+            1,
+            "split at {at} must restore warm"
+        );
+        assert!(
+            resumed.same_state(&uninterrupted),
+            "resume from split at {at} diverged from the uninterrupted run"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_from_a_missing_snapshot_falls_back_cold_and_still_agrees() {
+    let prep = swap_prep();
+    let uninterrupted = prep.run(1, 8).expect("run");
+    let registry = Registry::new();
+    let resumed = prep
+        .resume(
+            4,
+            8,
+            std::path::Path::new("/nonexistent/service.snap"),
+            &registry,
+        )
+        .expect("cold fallback covers the whole stream");
+    assert_eq!(registry.counter("service.restore.cold"), 1);
+    assert_eq!(registry.counter("service.restore.warm"), 0);
+    assert!(resumed.same_state(&uninterrupted));
+}
+
+#[test]
+fn hot_swap_divergence_is_pinned() {
+    let prep = swap_prep();
+    let run = prep.run(1, 1).expect("run");
+    assert_eq!(run.status.swaps, 1, "exactly one swap must publish");
+    assert_eq!(run.swaps.len(), 1);
+
+    let swap = &run.swaps[0];
+    assert_eq!(
+        swap.at_seq, 500,
+        "publication is pinned to the epoch boundary"
+    );
+    assert_eq!((swap.from_generation, swap.to_generation), (0, 1));
+    assert_eq!(
+        (swap.files, swap.changed),
+        (400, 53),
+        "re-classification surface drifted for the seed-42 tiny study"
+    );
+    let expected: Vec<(String, String, u64)> = [
+        ("malicious", "malicious", 34u64),
+        ("malicious", "no_match", 47),
+        ("no_match", "malicious", 6),
+        ("no_match", "no_match", 313),
+    ]
+    .into_iter()
+    .map(|(a, b, n)| (a.to_owned(), b.to_owned(), n))
+    .collect();
+    assert_eq!(
+        swap.transitions, expected,
+        "verdict transition matrix drifted"
+    );
+
+    // The divergence record is itself part of the deterministic
+    // surface: every grid cell reports the same one.
+    for (threads, shards) in [(4usize, 1usize), (1, 8), (4, 8)] {
+        let other = prep.run(threads, shards).expect("run");
+        assert_eq!(
+            other.swaps, run.swaps,
+            "threads={threads} shards={shards} changed the divergence record"
+        );
+    }
+}
